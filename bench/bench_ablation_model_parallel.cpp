@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ablation: data vs model parallelism at equal GPU count — the
+ * quantitative backing for Section 2.2's choice ("data parallelism is
+ * simpler to get right and is the predominant method"). Naive model
+ * parallelism serializes the stages; GPipe-style pipelining recovers
+ * some of the loss; data parallelism wins for every suite model that
+ * fits a single GPU.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace tbd;
+
+namespace {
+
+void
+printFigure()
+{
+    benchutil::banner("Ablation - data vs model parallelism (4 GPUs)",
+                      "Section 2.2");
+
+    util::Table t({"model", "strategy", "throughput (samples/s)",
+                   "GPU efficiency", "stage balance", "cut traffic"});
+    for (const auto *m : {&models::resnet50(), &models::inceptionV3(),
+                          &models::seq2seqNmt()}) {
+        const auto fw = m->frameworks.front();
+        const std::int64_t per_gpu = 16;
+
+        dist::ClusterConfig dp{1, 4, dist::infiniband100G()};
+        const auto data = dist::simulateDataParallel(
+            *m, fw, gpusim::quadroP4000(), per_gpu, dp);
+
+        dist::ModelParallelConfig naive;
+        naive.stages = 4;
+        const auto mp_naive = dist::simulateModelParallel(
+            *m, fw, gpusim::quadroP4000(), per_gpu * 4, naive);
+
+        dist::ModelParallelConfig piped = naive;
+        piped.pipelined = true;
+        piped.microBatches = 8;
+        const auto mp_piped = dist::simulateModelParallel(
+            *m, fw, gpusim::quadroP4000(), per_gpu * 4, piped);
+
+        t.addRow({m->name, "data parallel (1M4G)",
+                  util::formatFixed(data.throughputSamples, 1),
+                  util::formatPercent(data.scalingEfficiency), "-",
+                  util::formatBytes(static_cast<std::uint64_t>(
+                      2.0 * m->describe(per_gpu).totalParams() * 4.0))});
+        t.addRow({m->name, "model parallel, naive",
+                  util::formatFixed(mp_naive.throughputSamples, 1),
+                  util::formatPercent(mp_naive.gpuEfficiency),
+                  util::formatFixed(mp_naive.balanceRatio, 2),
+                  util::formatBytes(static_cast<std::uint64_t>(
+                      mp_naive.transferBytes))});
+        t.addRow({m->name, "model parallel, pipelined",
+                  util::formatFixed(mp_piped.throughputSamples, 1),
+                  util::formatPercent(mp_piped.gpuEfficiency),
+                  util::formatFixed(mp_piped.balanceRatio, 2),
+                  util::formatBytes(static_cast<std::uint64_t>(
+                      mp_piped.transferBytes))});
+    }
+    t.print(std::cout);
+    std::cout << "\nNaive model parallelism idles all but one GPU; "
+                 "pipelining narrows but\ndoes not close the gap — data "
+                 "parallelism stays ahead whenever the model\nfits one "
+                 "device, which is why the paper studies only data "
+                 "parallelism.\n\n";
+}
+
+} // namespace
+
+TBD_BENCH_MAIN(printFigure)

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Training vs inference — the contrast that motivates the whole paper
+ * (Section 1): training stashes feature maps for the backward pass and
+ * runs ~3x the compute, so its memory footprint is dominated by
+ * activations and measured in gigabytes, while inference is dominated
+ * by the weights and fits in tens-to-hundreds of megabytes. This
+ * harness quantifies the gap for every suite model.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace tbd;
+
+namespace {
+
+void
+printFigure()
+{
+    benchutil::banner("Ablation - training vs inference",
+                      "Section 1 / Challenge 1");
+
+    util::Table t({"model", "batch", "train memory", "fm share",
+                   "inference memory", "weights share", "memory ratio",
+                   "train kernels", "infer kernels", "compute ratio"});
+    for (const auto *model : models::allModels()) {
+        const auto fw_id = model->frameworks.front();
+        const auto &fw = frameworks::profileFor(fw_id);
+        const auto batch = model->batchSweep.back();
+        const auto workload = model->describe(batch);
+
+        const auto train = perf::simulateIterationMemory(
+            *model, workload, fw, perf::OptimizerSpec{}, 0);
+        const auto infer =
+            perf::simulateInferenceMemory(*model, workload, fw);
+
+        const auto train_iter = perf::lowerIteration(workload, fw);
+        const auto infer_iter = perf::lowerInference(workload, fw);
+
+        t.addRow(
+            {model->name, std::to_string(batch),
+             util::formatBytes(train.total()),
+             util::formatPercent(
+                 train.fraction(memprof::MemCategory::FeatureMaps)),
+             util::formatBytes(infer.total()),
+             util::formatPercent(
+                 infer.fraction(memprof::MemCategory::Weights)),
+             util::formatFixed(static_cast<double>(train.total()) /
+                                   static_cast<double>(infer.total()),
+                               1) +
+                 "x",
+             std::to_string(train_iter.items.size()),
+             std::to_string(infer_iter.items.size()),
+             util::formatFixed(train_iter.totalFlops() /
+                                   infer_iter.totalFlops(),
+                               2) +
+                 "x"});
+    }
+    t.print(std::cout);
+    std::cout << "\nTraining needs the feature maps (62-97% of its "
+                 "footprint) and ~3x the\ncompute; inference is weights"
+                 "-dominated and an order of magnitude\nsmaller — the "
+                 "paper's Challenge 1 in numbers.\n\n";
+}
+
+} // namespace
+
+TBD_BENCH_MAIN(printFigure)

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 10: ResNet-50 on MXNet with multiple GPUs and machines,
+ * per-GPU mini-batches 8/16/32, across the paper's five cluster
+ * configurations — 1M1G, 2M1G over Ethernet, 2M1G over InfiniBand,
+ * 1M2G and 1M4G (Observation 13).
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace tbd;
+
+namespace {
+
+void
+printFigure()
+{
+    benchutil::banner(
+        "Figure 10 - ResNet-50/MXNet multi-GPU and multi-machine",
+        "Fig. 10 / Observation 13");
+
+    const std::vector<dist::ClusterConfig> clusters = {
+        {1, 1, dist::infiniband100G()},
+        {2, 1, dist::ethernet1G()},
+        {2, 1, dist::infiniband100G()},
+        {1, 2, dist::infiniband100G()},
+        {1, 4, dist::infiniband100G()},
+    };
+
+    util::Table t({"configuration", "per-GPU batch",
+                   "throughput (samples/s)", "exposed comm",
+                   "scaling efficiency"});
+    for (const auto &cluster : clusters) {
+        for (std::int64_t batch : {8, 16, 32}) {
+            auto r = dist::simulateDataParallel(
+                models::resnet50(), frameworks::FrameworkId::MXNet,
+                gpusim::quadroP4000(), batch, cluster);
+            t.addRow({r.label, std::to_string(batch),
+                      util::formatFixed(r.throughputSamples, 1),
+                      util::formatDuration(r.exposedCommUs * 1e-6),
+                      util::formatPercent(r.scalingEfficiency)});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "\nObservation 13: gradient exchange over slow Ethernet "
+                 "drops below the\nsingle-GPU baseline; InfiniBand and "
+                 "intra-machine PCIe scale nearly\nlinearly.\n\n";
+
+    benchmark::RegisterBenchmark(
+        "fig10/2M1G_ethernet", [](benchmark::State &state) {
+            dist::ClusterConfig cluster{2, 1, dist::ethernet1G()};
+            dist::ScalingResult r;
+            for (auto _ : state) {
+                r = dist::simulateDataParallel(
+                    models::resnet50(), frameworks::FrameworkId::MXNet,
+                    gpusim::quadroP4000(), 32, cluster);
+                benchmark::DoNotOptimize(r.iterationUs);
+            }
+            state.counters["throughput"] = r.throughputSamples;
+            state.counters["scaling_eff_pct"] =
+                r.scalingEfficiency * 100.0;
+        });
+}
+
+} // namespace
+
+TBD_BENCH_MAIN(printFigure)

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 2: model accuracy during training for five representative
+ * models on a single Quadro P4000 — top-1 accuracy for Inception-v3
+ * and ResNet-50 (days), BLEU for Transformer and Seq2Seq (hours), and
+ * the Pong game score for A3C (hours). The time axis is driven by the
+ * simulated throughput; the curve shapes come from the literature-
+ * derived convergence model (see DESIGN.md).
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace tbd;
+
+namespace {
+
+void
+printFigure()
+{
+    benchutil::banner("Figure 2 - model accuracy during training",
+                      "Fig. 2 / Sec. 3.3");
+
+    for (const auto &name : analysis::figure2Models()) {
+        const auto &model = models::modelByName(name);
+        const auto fw = model.frameworks.front();
+        const auto r = benchutil::simulate(
+            model, fw, gpusim::quadroP4000(), model.batchSweep.back());
+        const auto &spec = analysis::convergenceSpec(name);
+        auto curve = analysis::trainingCurve(spec, r.throughputUnits, 9);
+
+        util::Table t({"model", spec.metric, "training time"});
+        for (const auto &pt : curve) {
+            const bool days = pt.timeHours > 48.0 ||
+                              curve.back().timeHours > 100.0;
+            t.addRow({name, util::formatFixed(pt.metric, 2),
+                      days ? util::formatFixed(pt.timeHours / 24.0, 1) +
+                                 " days"
+                           : util::formatFixed(pt.timeHours, 1) + " h"});
+        }
+        t.print(std::cout);
+        std::cout << '\n';
+    }
+    std::cout << "Section 3.3 validation targets: top-1 reaches 75-80%, "
+                 "BLEU ~20-24,\nPong score 19-20.\n\n";
+
+    benchmark::RegisterBenchmark(
+        "fig2/curve_generation", [](benchmark::State &state) {
+            const auto &spec = analysis::convergenceSpec("ResNet-50");
+            for (auto _ : state) {
+                auto curve = analysis::trainingCurve(spec, 80.0, 64);
+                benchmark::DoNotOptimize(curve.back().metric);
+            }
+        });
+}
+
+} // namespace
+
+TBD_BENCH_MAIN(printFigure)

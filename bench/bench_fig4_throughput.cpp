@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Figure 4: DNN training throughput for different models across
+ * mini-batch sizes on the Quadro P4000 (plus the Faster R-CNN single
+ * number quoted in Section 4.2.1: ~2.3 images/s on both frameworks).
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace tbd;
+
+namespace {
+
+void
+printFigure()
+{
+    benchutil::banner("Figure 4 - training throughput vs mini-batch size",
+                      "Fig. 4 + Sec. 4.2.1");
+
+    for (const auto &panel : benchutil::figure456Panels()) {
+        const auto &model = *panel.model;
+        util::Table t({"panel", "implementation", "mini-batch",
+                       "throughput (" + model.throughputUnit + ")"});
+        for (std::int64_t batch : model.batchSweep) {
+            auto r = benchutil::simulateIfFits(
+                model, panel.framework, gpusim::quadroP4000(), batch);
+            t.addRow({panel.panel,
+                      model.name + " (" +
+                          frameworks::frameworkName(panel.framework) +
+                          ")",
+                      std::to_string(batch),
+                      r ? util::formatFixed(r->throughputUnits, 1)
+                        : "OOM"});
+        }
+        t.print(std::cout);
+        std::cout << '\n';
+
+        benchutil::registerSimCase(
+            "fig4/" + model.name + "/" +
+                frameworks::frameworkName(panel.framework),
+            model, panel.framework, gpusim::quadroP4000(),
+            model.batchSweep.back());
+    }
+
+    // ASCII renditions of the two most-cited panels.
+    auto panel_chart = [](const models::ModelDesc &model,
+                          std::vector<frameworks::FrameworkId> fws,
+                          const char *title) {
+        std::vector<double> xs(model.batchSweep.begin(),
+                               model.batchSweep.end());
+        std::vector<util::Series> series;
+        for (auto fw : fws) {
+            util::Series s;
+            s.label = model.name + " (" +
+                      frameworks::frameworkName(fw) + ")";
+            for (std::int64_t batch : model.batchSweep) {
+                auto r = benchutil::simulateIfFits(
+                    model, fw, gpusim::quadroP4000(), batch);
+                s.ys.push_back(r ? r->throughputUnits : 0.0);
+            }
+            series.push_back(std::move(s));
+        }
+        util::ChartOptions opt;
+        opt.xLabel = "mini-batch";
+        opt.yLabel = title;
+        opt.logX = true;
+        std::cout << util::asciiChart(xs, series, opt) << '\n';
+    };
+    using FI = frameworks::FrameworkId;
+    panel_chart(models::resnet50(),
+                {FI::TensorFlow, FI::MXNet, FI::CNTK},
+                "Fig 4a  ResNet-50 throughput (samples/s)");
+    panel_chart(models::seq2seqNmt(), {FI::TensorFlow},
+                "Fig 4c  Seq2Seq throughput (samples/s), NMT");
+    panel_chart(models::sockeye(), {FI::MXNet},
+                "Fig 4c  Seq2Seq throughput (samples/s), Sockeye");
+
+    // Faster R-CNN: fixed single-image batches.
+    util::Table frcnn({"model", "implementation",
+                       "throughput (images/s)"});
+    for (auto fw : models::fasterRcnn().frameworks) {
+        auto r = benchutil::simulate(models::fasterRcnn(), fw,
+                                     gpusim::quadroP4000(), 1);
+        frcnn.addRow({"Faster R-CNN", frameworks::frameworkName(fw),
+                      util::formatFixed(r.throughputSamples, 1)});
+    }
+    frcnn.print(std::cout);
+    std::cout << "(paper: 2.3 images/s on both implementations)\n\n";
+}
+
+} // namespace
+
+TBD_BENCH_MAIN(printFigure)

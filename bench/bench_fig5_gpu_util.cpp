@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 5: GPU compute utilization (Eq. 1 — fraction of wall time
+ * with at least one kernel active) across mini-batch sizes, plus the
+ * Faster R-CNN utilizations of Section 4.2.2 (~89-90%).
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace tbd;
+
+namespace {
+
+void
+printFigure()
+{
+    benchutil::banner(
+        "Figure 5 - GPU compute utilization vs mini-batch size",
+        "Fig. 5 + Sec. 4.2.2");
+
+    for (const auto &panel : benchutil::figure456Panels()) {
+        const auto &model = *panel.model;
+        util::Table t({"panel", "implementation", "mini-batch",
+                       "GPU compute utilization"});
+        for (std::int64_t batch : model.batchSweep) {
+            auto r = benchutil::simulateIfFits(
+                model, panel.framework, gpusim::quadroP4000(), batch);
+            t.addRow({panel.panel,
+                      model.name + " (" +
+                          frameworks::frameworkName(panel.framework) +
+                          ")",
+                      std::to_string(batch),
+                      r ? util::formatPercent(r->gpuUtilization) : "OOM"});
+        }
+        t.print(std::cout);
+        std::cout << '\n';
+    }
+
+    util::Table frcnn({"model", "implementation", "GPU utilization"});
+    for (auto fw : models::fasterRcnn().frameworks) {
+        auto r = benchutil::simulate(models::fasterRcnn(), fw,
+                                     gpusim::quadroP4000(), 1);
+        frcnn.addRow({"Faster R-CNN", frameworks::frameworkName(fw),
+                      util::formatPercent(r.gpuUtilization)});
+    }
+    frcnn.print(std::cout);
+    std::cout << "(paper: 89.4% TensorFlow, 90.3% MXNet)\n\n";
+
+    benchutil::registerSimCase("fig5/Sockeye/small_batch",
+                               models::sockeye(),
+                               frameworks::FrameworkId::MXNet,
+                               gpusim::quadroP4000(), 4);
+    benchutil::registerSimCase("fig5/Sockeye/large_batch",
+                               models::sockeye(),
+                               frameworks::FrameworkId::MXNet,
+                               gpusim::quadroP4000(), 64);
+}
+
+} // namespace
+
+TBD_BENCH_MAIN(printFigure)

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 6: GPU FP32 utilization (Eq. 2 — executed FP32 instructions
+ * against the peak over GPU-active time) across mini-batch sizes, plus
+ * Faster R-CNN's single numbers (Sec. 4.2.3: 70.9% MXNet, 58.9% TF in
+ * the paper).
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace tbd;
+
+namespace {
+
+void
+printFigure()
+{
+    benchutil::banner("Figure 6 - FP32 utilization vs mini-batch size",
+                      "Fig. 6 + Sec. 4.2.3");
+
+    for (const auto &panel : benchutil::figure456Panels()) {
+        const auto &model = *panel.model;
+        util::Table t({"panel", "implementation", "mini-batch",
+                       "FP32 utilization"});
+        for (std::int64_t batch : model.batchSweep) {
+            auto r = benchutil::simulateIfFits(
+                model, panel.framework, gpusim::quadroP4000(), batch);
+            t.addRow({panel.panel,
+                      model.name + " (" +
+                          frameworks::frameworkName(panel.framework) +
+                          ")",
+                      std::to_string(batch),
+                      r ? util::formatPercent(r->fp32Utilization)
+                        : "OOM"});
+        }
+        t.print(std::cout);
+        std::cout << '\n';
+    }
+
+    util::Table frcnn({"model", "implementation", "FP32 utilization"});
+    for (auto fw : models::fasterRcnn().frameworks) {
+        auto r = benchutil::simulate(models::fasterRcnn(), fw,
+                                     gpusim::quadroP4000(), 1);
+        frcnn.addRow({"Faster R-CNN", frameworks::frameworkName(fw),
+                      util::formatPercent(r.fp32Utilization)});
+    }
+    frcnn.print(std::cout);
+    std::cout << "(paper: 70.9% MXNet, 58.9% TensorFlow)\n\n";
+
+    benchutil::registerSimCase("fig6/ResNet-50/MXNet",
+                               models::resnet50(),
+                               frameworks::FrameworkId::MXNet,
+                               gpusim::quadroP4000(), 32);
+    benchutil::registerSimCase("fig6/NMT/TensorFlow",
+                               models::seq2seqNmt(),
+                               frameworks::FrameworkId::TensorFlow,
+                               gpusim::quadroP4000(), 128);
+}
+
+} // namespace
+
+TBD_BENCH_MAIN(printFigure)

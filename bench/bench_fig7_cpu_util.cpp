@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 7: average CPU utilization (Eq. 3 — busy core time over 28
+ * cores) for every model/framework implementation, at each model's
+ * largest feasible batch. The paper's reference values appear in the
+ * last column so the shape comparison is immediate.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench_util.h"
+
+using namespace tbd;
+
+namespace {
+
+void
+printFigure()
+{
+    benchutil::banner("Figure 7 - average CPU utilization",
+                      "Fig. 7 / Observation 9");
+
+    using FI = frameworks::FrameworkId;
+    // The paper's measured values, for the paper-vs-measured column.
+    const std::map<std::pair<std::string, FI>, double> paper = {
+        {{"ResNet-50", FI::MXNet}, 5.21},
+        {{"ResNet-50", FI::TensorFlow}, 5.58},
+        {{"ResNet-50", FI::CNTK}, 0.08},
+        {{"Inception-v3", FI::MXNet}, 5.20},
+        {{"Inception-v3", FI::TensorFlow}, 8.01},
+        {{"Inception-v3", FI::CNTK}, 0.05},
+        {{"NMT", FI::TensorFlow}, 5.30},
+        {{"Sockeye", FI::MXNet}, 6.10},
+        {{"Transformer", FI::TensorFlow}, 1.68},
+        {{"Faster R-CNN", FI::MXNet}, 3.64},
+        {{"Faster R-CNN", FI::TensorFlow}, 13.25},
+        {{"WGAN", FI::TensorFlow}, 1.78},
+        {{"Deep Speech 2", FI::MXNet}, 4.35},
+        {{"A3C", FI::MXNet}, 28.75},
+    };
+
+    util::Table t({"implementation", "mini-batch", "CPU utilization",
+                   "paper"});
+    for (const auto *model : models::allModels()) {
+        for (auto fw : model->frameworks) {
+            // Largest batch that fits, from the paper's sweep.
+            std::optional<perf::RunResult> best;
+            std::int64_t best_batch = 0;
+            for (std::int64_t b : model->batchSweep) {
+                auto r = benchutil::simulateIfFits(
+                    *model, fw, gpusim::quadroP4000(), b);
+                if (r) {
+                    best = r;
+                    best_batch = b;
+                }
+            }
+            if (!best)
+                continue;
+            const auto key = std::make_pair(model->name, fw);
+            const auto it = paper.find(key);
+            t.addRow({model->name + " (" + frameworks::frameworkName(fw) +
+                          ")",
+                      std::to_string(best_batch),
+                      util::formatPercent(best->cpuUtilization, 2),
+                      it != paper.end()
+                          ? util::formatFixed(it->second, 2) + "%"
+                          : "-"});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "\nObservation 9: CPU utilization is low everywhere; "
+                 "CNTK is near zero,\nA3C (Atari emulation) is the "
+                 "outlier.\n\n";
+
+    benchutil::registerSimCase("fig7/A3C/MXNet", models::a3c(),
+                               FI::MXNet, gpusim::quadroP4000(), 128);
+    benchutil::registerSimCase("fig7/ResNet-50/CNTK", models::resnet50(),
+                               FI::CNTK, gpusim::quadroP4000(), 32);
+}
+
+} // namespace
+
+TBD_BENCH_MAIN(printFigure)

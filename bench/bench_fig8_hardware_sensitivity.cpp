@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 8: hardware sensitivity — Quadro P4000 vs TITAN Xp on
+ * ResNet-50, Inception-v3 and the Seq2Seq models. The paper's point
+ * (Observation 10): the wider GPU is faster in absolute terms but
+ * achieves *lower* GPU and FP32 utilization.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace tbd;
+
+namespace {
+
+struct Fig8Config
+{
+    const models::ModelDesc *model;
+    frameworks::FrameworkId framework;
+    std::int64_t batch;
+    double paperP4000; ///< paper throughput on P4000
+    double paperXp;    ///< paper throughput on TITAN Xp
+};
+
+void
+printFigure()
+{
+    benchutil::banner("Figure 8 - P4000 vs TITAN Xp",
+                      "Fig. 8 / Observation 10");
+
+    using FI = frameworks::FrameworkId;
+    const std::vector<Fig8Config> configs = {
+        {&models::resnet50(), FI::MXNet, 32, 89, 184},
+        {&models::inceptionV3(), FI::MXNet, 32, 61, 124},
+        {&models::sockeye(), FI::MXNet, 64, 229, 232},
+        {&models::resnet50(), FI::TensorFlow, 32, 71, 102},
+        {&models::inceptionV3(), FI::TensorFlow, 32, 42, 61},
+        {&models::seq2seqNmt(), FI::TensorFlow, 128, 365, 530},
+    };
+
+    util::Table t({"implementation", "batch", "GPU", "throughput",
+                   "normalized", "GPU util", "FP32 util",
+                   "paper throughput"});
+    for (const auto &cfg : configs) {
+        const auto p4 = benchutil::simulate(*cfg.model, cfg.framework,
+                                            gpusim::quadroP4000(),
+                                            cfg.batch);
+        const auto xp = benchutil::simulate(*cfg.model, cfg.framework,
+                                            gpusim::titanXp(), cfg.batch);
+        auto add = [&](const perf::RunResult &r, double norm,
+                       double paper_thr) {
+            t.addRow({cfg.model->name + " (" +
+                          frameworks::frameworkName(cfg.framework) + ")",
+                      std::to_string(cfg.batch), r.gpuName,
+                      util::formatFixed(r.throughputUnits, 0),
+                      util::formatPercent(norm, 0),
+                      util::formatPercent(r.gpuUtilization),
+                      util::formatPercent(r.fp32Utilization),
+                      util::formatFixed(paper_thr, 0)});
+        };
+        add(p4, 1.0, cfg.paperP4000);
+        add(xp, xp.throughputUnits / p4.throughputUnits, cfg.paperXp);
+    }
+    t.print(std::cout);
+    std::cout << "\nObservation 10: TITAN Xp raises throughput but its "
+                 "compute resources are\nutilized less efficiently than "
+                 "the P4000's.\n\n";
+
+    benchutil::registerSimCase("fig8/ResNet-50/P4000",
+                               models::resnet50(), FI::MXNet,
+                               gpusim::quadroP4000(), 32);
+    benchutil::registerSimCase("fig8/ResNet-50/TITANXp",
+                               models::resnet50(), FI::MXNet,
+                               gpusim::titanXp(), 32);
+}
+
+} // namespace
+
+TBD_BENCH_MAIN(printFigure)

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Micro-benchmarks of the functional engine's real CPU kernels — the
+ * DeepBench-style layer-below view the paper contrasts TBD with
+ * (Section 5): per-op timings of GEMM, convolution, batch norm, LSTM
+ * steps, attention and CTC on actual FP32 math. Counters report
+ * achieved FLOP rates so the functional substrate's costs are visible
+ * next to the simulated GPU numbers.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/tbd.h"
+
+using namespace tbd;
+
+namespace {
+
+tensor::Tensor
+randn(tensor::Shape shape, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    tensor::Tensor t(std::move(shape));
+    t.fillNormal(rng, 0.0f, 1.0f);
+    return t;
+}
+
+void
+BM_Matmul(benchmark::State &state)
+{
+    const auto n = state.range(0);
+    tensor::Tensor a = randn(tensor::Shape{n, n}, 1);
+    tensor::Tensor b = randn(tensor::Shape{n, n}, 2);
+    for (auto _ : state) {
+        tensor::Tensor c = tensor::matmul(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.counters["FLOPS"] = benchmark::Counter(
+        2.0 * n * n * n, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_Conv2dForward(benchmark::State &state)
+{
+    const auto c = state.range(0);
+    util::Rng rng(3);
+    layers::Conv2d conv("conv", c, c, 3, 1, 1, rng);
+    tensor::Tensor x = randn(tensor::Shape{4, c, 16, 16}, 4);
+    for (auto _ : state) {
+        tensor::Tensor y = conv.forward(x, false);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.counters["FLOPS"] = benchmark::Counter(
+        2.0 * 4 * c * 16 * 16 * c * 9,
+        benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_Conv2dTrainStep(benchmark::State &state)
+{
+    util::Rng rng(5);
+    layers::Conv2d conv("conv", 16, 16, 3, 1, 1, rng);
+    tensor::Tensor x = randn(tensor::Shape{4, 16, 16, 16}, 6);
+    tensor::Tensor dy = randn(tensor::Shape{4, 16, 16, 16}, 7);
+    for (auto _ : state) {
+        conv.zeroGrads();
+        tensor::Tensor y = conv.forward(x, true);
+        tensor::Tensor dx = conv.backward(dy);
+        benchmark::DoNotOptimize(dx.data());
+    }
+}
+BENCHMARK(BM_Conv2dTrainStep);
+
+void
+BM_BatchNormForward(benchmark::State &state)
+{
+    layers::BatchNorm2d bn("bn", 32);
+    tensor::Tensor x = randn(tensor::Shape{8, 32, 16, 16}, 8);
+    for (auto _ : state) {
+        tensor::Tensor y = bn.forward(x, true);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_BatchNormForward);
+
+void
+BM_LstmSequence(benchmark::State &state)
+{
+    const auto steps = state.range(0);
+    util::Rng rng(9);
+    layers::Recurrent lstm("lstm", layers::CellKind::Lstm, 32, 64, rng);
+    tensor::Tensor x = randn(tensor::Shape{4, steps, 32}, 10);
+    for (auto _ : state) {
+        tensor::Tensor y = lstm.forward(x, false);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.counters["steps/s"] = benchmark::Counter(
+        static_cast<double>(steps),
+        benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_LstmSequence)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_GruSequence(benchmark::State &state)
+{
+    util::Rng rng(11);
+    layers::Recurrent gru("gru", layers::CellKind::Gru, 32, 64, rng);
+    tensor::Tensor x = randn(tensor::Shape{4, 16, 32}, 12);
+    for (auto _ : state) {
+        tensor::Tensor y = gru.forward(x, false);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_GruSequence);
+
+void
+BM_AttentionForward(benchmark::State &state)
+{
+    const auto t_len = state.range(0);
+    util::Rng rng(13);
+    layers::MultiHeadAttention mha("mha", 32, 4, rng);
+    tensor::Tensor x = randn(tensor::Shape{2, t_len, 32}, 14);
+    for (auto _ : state) {
+        tensor::Tensor y = mha.forward(x, false);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_AttentionForward)->Arg(8)->Arg(32);
+
+void
+BM_SoftmaxCrossEntropy(benchmark::State &state)
+{
+    tensor::Tensor logits = randn(tensor::Shape{64, 1000}, 15);
+    std::vector<std::int64_t> labels(64, 7);
+    layers::SoftmaxCrossEntropy ce;
+    for (auto _ : state) {
+        const double loss = ce.forward(logits, labels);
+        benchmark::DoNotOptimize(loss);
+    }
+}
+BENCHMARK(BM_SoftmaxCrossEntropy);
+
+void
+BM_CtcLoss(benchmark::State &state)
+{
+    tensor::Tensor logits = randn(tensor::Shape{4, 40, 29}, 16);
+    std::vector<std::vector<std::int64_t>> targets = {
+        {1, 2, 3, 4}, {5, 6, 7, 8}, {9, 10, 11, 12}, {13, 14, 15, 16}};
+    layers::CtcLoss ctc;
+    for (auto _ : state) {
+        const double loss = ctc.forward(logits, targets);
+        benchmark::DoNotOptimize(loss);
+    }
+}
+BENCHMARK(BM_CtcLoss);
+
+void
+BM_OptimizerStep(benchmark::State &state)
+{
+    util::Rng rng(17);
+    engine::Network net = models::buildTinyResNet(rng, 10, 3, 16);
+    engine::Adam opt(0.001f);
+    for (auto *p : net.params())
+        p->grad.fill(0.01f);
+    for (auto _ : state)
+        opt.step(net.params());
+    state.counters["params"] =
+        static_cast<double>(net.paramCount());
+}
+BENCHMARK(BM_OptimizerStep);
+
+void
+BM_SimulateResNetIteration(benchmark::State &state)
+{
+    // The performance-model path itself: lower + timeline for one
+    // ResNet-50 iteration.
+    const auto workload = models::resnet50().describe(32);
+    const auto &fw = frameworks::mxnet();
+    for (auto _ : state) {
+        auto iter = perf::lowerIteration(workload, fw);
+        gpusim::GpuTimeline tl(gpusim::quadroP4000());
+        for (const auto &item : iter.items)
+            tl.launch(item.kernel, fw.launchOverheadUs + item.extraHostUs);
+        tl.sync();
+        benchmark::DoNotOptimize(tl.stats().elapsedUs);
+    }
+}
+BENCHMARK(BM_SimulateResNetIteration);
+
+} // namespace
+
+BENCHMARK_MAIN();

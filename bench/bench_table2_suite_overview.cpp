@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Tables 2 and 3: the TBD benchmark-suite overview — eight models
+ * across six application domains with their layer counts, dominant
+ * layer types, framework implementations and training datasets.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace tbd;
+
+namespace {
+
+void
+printFigure()
+{
+    benchutil::banner("Tables 2 & 3 - benchmark and dataset overview",
+                      "Tables 2-3 / Sec. 3.1");
+
+    std::cout << "Table 2: Overview of Benchmarks\n";
+    core::BenchmarkSuite::table2Overview().print(std::cout);
+
+    std::cout << "\nTable 3: Training Datasets\n";
+    core::BenchmarkSuite::table3Datasets().print(std::cout);
+
+    std::cout << "\nper-model workload summary at the smallest sweep "
+                 "batch:\n";
+    util::Table w({"model", "batch", "fwd GFLOPs", "parameters",
+                   "stashed activations", "ops"});
+    for (const auto *m : core::BenchmarkSuite::models()) {
+        const auto b = m->batchSweep.front();
+        auto workload = m->describe(b);
+        w.addRow({m->name, std::to_string(b),
+                  util::formatFixed(workload.totalFwdFlops() / 1e9, 2),
+                  util::formatSi(
+                      static_cast<double>(workload.totalParams())),
+                  util::formatSi(static_cast<double>(
+                      workload.totalActivations())),
+                  std::to_string(workload.ops.size())});
+    }
+    w.print(std::cout);
+    std::cout << '\n';
+
+    benchmark::RegisterBenchmark(
+        "table2/workload_generation", [](benchmark::State &state) {
+            for (auto _ : state) {
+                auto w = models::resnet50().describe(32);
+                benchmark::DoNotOptimize(w.totalFwdFlops());
+            }
+        });
+}
+
+} // namespace
+
+TBD_BENCH_MAIN(printFigure)

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Table 4: hardware specifications of the evaluation platform — the
+ * two GPU device models and the host CPU — plus derived roofline
+ * quantities the timing model exposes (peak FP32, saturation
+ * parallelism).
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace tbd;
+
+namespace {
+
+void
+printFigure()
+{
+    benchutil::banner("Table 4 - hardware specifications",
+                      "Table 4 / Sec. 4.1");
+
+    core::BenchmarkSuite::table4Hardware().print(std::cout);
+
+    std::cout << "\nderived timing-model quantities:\n";
+    util::Table t({"GPU", "peak FP32", "saturation threads",
+                   "roofline ridge (FLOP/byte)"});
+    for (const auto *gpu : {&gpusim::quadroP4000(), &gpusim::titanXp()}) {
+        t.addRow({gpu->name,
+                  util::formatSi(gpu->peakFlops()) + "FLOPS",
+                  util::formatSi(gpu->saturationThreads()),
+                  util::formatFixed(gpu->peakFlops() /
+                                        (gpu->memoryBwGBs * 1e9),
+                                    1)});
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+
+    // Time a representative kernel on both devices.
+    for (const auto *gpu : {&gpusim::quadroP4000(), &gpusim::titanXp()}) {
+        benchmark::RegisterBenchmark(
+            ("table4/timeKernel/" + gpu->name).c_str(),
+            [gpu](benchmark::State &state) {
+                gpusim::KernelDesc k;
+                k.name = "sgemm";
+                k.category = gpusim::KernelCategory::Gemm;
+                k.flops = 1e9;
+                k.bytes = 1e7;
+                k.parallelism = 1e6;
+                k.computeEff = 0.6;
+                for (auto _ : state) {
+                    auto t = gpusim::timeKernel(*gpu, k);
+                    benchmark::DoNotOptimize(t.durationUs);
+                }
+            });
+    }
+}
+
+} // namespace
+
+TBD_BENCH_MAIN(printFigure)

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Table 5: the five longest-running kernels with below-average FP32
+ * utilization for ResNet-50 on TensorFlow at mini-batch 32 — the
+ * paper's "top candidates for acceleration" (Observation 8). The
+ * reproduced report surfaces the same kernel families the paper's
+ * nvprof run does: the cuDNN batch-norm pair, magma/sgemm, Eigen
+ * elementwise kernels and the TensorFlow bias kernel.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace tbd;
+
+namespace {
+
+void
+printFigure()
+{
+    benchutil::banner(
+        "Table 5 - longest low-FP32-utilization kernels "
+        "(ResNet-50, batch 32, TensorFlow)",
+        "Table 5 / Observation 8");
+
+    const auto r = benchutil::simulate(models::resnet50(),
+                                       frameworks::FrameworkId::TensorFlow,
+                                       gpusim::quadroP4000(), 32);
+    std::cout << "trace mean FP32 utilization: "
+              << util::formatPercent(
+                     analysis::traceMeanFp32Util(r.kernelTrace))
+              << "\n\n";
+
+    util::Table t({"Duration", "Utilization", "Kernel Name"});
+    for (const auto &agg :
+         analysis::longestLowUtilKernels(r.kernelTrace, 5)) {
+        t.addRow({util::formatPercent(agg.durationShare, 2),
+                  util::formatPercent(agg.meanFp32Util),
+                  agg.name + "..."});
+    }
+    t.print(std::cout);
+    std::cout << "\npaper's Table 5 rows: magma_lds128_sgemm_kernel "
+                 "(8.36%/30.0%),\ncudnn bn_bw_1C11 (5.53%/42.3%), cudnn "
+                 "bn_fw_tr_1C11 (4.65%/46.3%),\nEigenMetaKernel "
+                 "(3.12%/20.0%), BiasNHWCKernel (2.48%/40.0%)\n\n";
+
+    benchutil::registerSimCase("table5/ResNet-50/TensorFlow",
+                               models::resnet50(),
+                               frameworks::FrameworkId::TensorFlow,
+                               gpusim::quadroP4000(), 32);
+}
+
+} // namespace
+
+TBD_BENCH_MAIN(printFigure)

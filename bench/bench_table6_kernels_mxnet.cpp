@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Table 6: the five longest-running kernels with below-average FP32
+ * utilization for ResNet-50 on MXNet at mini-batch 32. The paper's
+ * rows are the cuDNN batch-norm pair, the cuDNN activation pair and
+ * MXNet's generic elementwise kernel; batch norm heads the list on
+ * both frameworks (Observation 8).
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace tbd;
+
+namespace {
+
+void
+printFigure()
+{
+    benchutil::banner(
+        "Table 6 - longest low-FP32-utilization kernels "
+        "(ResNet-50, batch 32, MXNet)",
+        "Table 6 / Observation 8");
+
+    const auto r = benchutil::simulate(models::resnet50(),
+                                       frameworks::FrameworkId::MXNet,
+                                       gpusim::quadroP4000(), 32);
+    std::cout << "trace mean FP32 utilization: "
+              << util::formatPercent(
+                     analysis::traceMeanFp32Util(r.kernelTrace))
+              << "\n\n";
+
+    util::Table t({"Duration", "Utilization", "Kernel Name"});
+    for (const auto &agg :
+         analysis::longestLowUtilKernels(r.kernelTrace, 5)) {
+        t.addRow({util::formatPercent(agg.durationShare, 2),
+                  util::formatPercent(agg.meanFp32Util),
+                  agg.name + "..."});
+    }
+    t.print(std::cout);
+    std::cout << "\npaper's Table 6 rows: cudnn bn_bw_1C11 "
+                 "(9.43%/30.0%), cudnn bn_fw_tr_1C11 (7.96%/42.3%),\n"
+                 "cudnn activation_bw_4d (5.14%/46.3%), cudnn "
+                 "activation_fw_4d (3.52%/20.0%),\n"
+                 "mxnet_generic_kernel (2.85%/40.0%)\n\n";
+
+    benchutil::registerSimCase("table6/ResNet-50/MXNet",
+                               models::resnet50(),
+                               frameworks::FrameworkId::MXNet,
+                               gpusim::quadroP4000(), 32);
+}
+
+} // namespace
+
+TBD_BENCH_MAIN(printFigure)

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Shared helpers for the figure/table regeneration harnesses.
+ *
+ * Every binary in bench/ regenerates one table or figure from the
+ * paper's evaluation section: it prints the same rows/series the paper
+ * reports (who wins, by what factor, where the crossovers fall), and
+ * additionally registers google-benchmark cases that time the
+ * simulation itself with the reproduced metrics attached as counters.
+ */
+
+#ifndef TBD_BENCH_BENCH_UTIL_H
+#define TBD_BENCH_BENCH_UTIL_H
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <optional>
+
+#include "core/tbd.h"
+
+namespace tbd::benchutil {
+
+/** Run one configuration through the performance simulator. */
+inline perf::RunResult
+simulate(const models::ModelDesc &model, frameworks::FrameworkId fw,
+         const gpusim::GpuSpec &gpu, std::int64_t batch,
+         bool enforceMemory = true)
+{
+    perf::PerfSimulator sim;
+    perf::RunConfig rc;
+    rc.model = &model;
+    rc.framework = fw;
+    rc.gpu = gpu;
+    rc.batch = batch;
+    rc.enforceMemory = enforceMemory;
+    return sim.run(rc);
+}
+
+/** Like simulate(), but nullopt when the batch exceeds GPU memory. */
+inline std::optional<perf::RunResult>
+simulateIfFits(const models::ModelDesc &model, frameworks::FrameworkId fw,
+               const gpusim::GpuSpec &gpu, std::int64_t batch)
+{
+    try {
+        return simulate(model, fw, gpu, batch);
+    } catch (const util::FatalError &) {
+        return std::nullopt;
+    }
+}
+
+/**
+ * Register a google-benchmark case that re-runs the simulation each
+ * iteration and attaches the reproduced metrics as counters.
+ */
+inline void
+registerSimCase(const std::string &name, const models::ModelDesc &model,
+                frameworks::FrameworkId fw, const gpusim::GpuSpec &gpu,
+                std::int64_t batch)
+{
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [&model, fw, gpu, batch](benchmark::State &state) {
+            perf::RunResult result;
+            for (auto _ : state) {
+                result = simulate(model, fw, gpu, batch);
+                benchmark::DoNotOptimize(result.iterationUs);
+            }
+            state.counters["throughput"] = result.throughputUnits;
+            state.counters["gpu_util_pct"] =
+                result.gpuUtilization * 100.0;
+            state.counters["fp32_util_pct"] =
+                result.fp32Utilization * 100.0;
+            state.counters["cpu_util_pct"] =
+                result.cpuUtilization * 100.0;
+            state.counters["mem_GiB"] =
+                static_cast<double>(result.memory.total()) /
+                (1024.0 * 1024.0 * 1024.0);
+        });
+}
+
+/** One panel of the Figure 4/5/6 batch sweeps. */
+struct SweepPanel
+{
+    const char *panel;                ///< e.g. "(a) ResNet-50"
+    const models::ModelDesc *model;
+    frameworks::FrameworkId framework;
+};
+
+/** The (model, framework) panels of Figures 4, 5 and 6. */
+inline std::vector<SweepPanel>
+figure456Panels()
+{
+    using FI = frameworks::FrameworkId;
+    return {
+        {"(a) ResNet-50", &models::resnet50(), FI::TensorFlow},
+        {"(a) ResNet-50", &models::resnet50(), FI::MXNet},
+        {"(a) ResNet-50", &models::resnet50(), FI::CNTK},
+        {"(b) Inception-v3", &models::inceptionV3(), FI::MXNet},
+        {"(b) Inception-v3", &models::inceptionV3(), FI::TensorFlow},
+        {"(b) Inception-v3", &models::inceptionV3(), FI::CNTK},
+        {"(c) Seq2Seq", &models::seq2seqNmt(), FI::TensorFlow},
+        {"(c) Seq2Seq", &models::sockeye(), FI::MXNet},
+        {"(d) Transformer", &models::transformer(), FI::TensorFlow},
+        {"(e) WGAN", &models::wgan(), FI::TensorFlow},
+        {"(f) Deep Speech 2", &models::deepSpeech2(), FI::MXNet},
+        {"(g) A3C", &models::a3c(), FI::MXNet},
+    };
+}
+
+/** Print a figure banner. */
+inline void
+banner(const char *what, const char *paper_ref)
+{
+    std::printf("================================================\n");
+    std::printf("TBD reproduction: %s\n(%s of Zhu et al., "
+                "\"TBD: Benchmarking and Analyzing Deep Neural Network "
+                "Training\", 2018)\n",
+                what, paper_ref);
+    std::printf("================================================\n\n");
+}
+
+} // namespace tbd::benchutil
+
+/**
+ * Standard bench main: print the reproduced figure, then run any
+ * registered google-benchmark cases (pass --benchmark_filter=-.* to
+ * print the figure only).
+ */
+#define TBD_BENCH_MAIN(printFigureFn)                                      \
+    int main(int argc, char **argv)                                       \
+    {                                                                      \
+        printFigureFn();                                                   \
+        ::benchmark::Initialize(&argc, argv);                              \
+        if (::benchmark::ReportUnrecognizedArguments(argc, argv))          \
+            return 1;                                                      \
+        ::benchmark::RunSpecifiedBenchmarks();                             \
+        ::benchmark::Shutdown();                                           \
+        return 0;                                                          \
+    }
+
+#endif // TBD_BENCH_BENCH_UTIL_H

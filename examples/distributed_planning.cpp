@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Capacity-planning with the distributed-training simulator: given a
+ * model, sweep cluster shapes and interconnects (Section 4.5 of the
+ * paper) and report which configurations are worth deploying. This is
+ * the decision the paper's Observation 13 informs: network bandwidth,
+ * not GPU count, governs multi-machine scaling.
+ *
+ * Usage: distributed_planning [model] [per-gpu batch]
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/tbd.h"
+
+using namespace tbd;
+
+int
+main(int argc, char **argv)
+{
+    const std::string model_name = argc > 1 ? argv[1] : "ResNet-50";
+    const std::int64_t batch = argc > 2 ? std::atoll(argv[2]) : 32;
+    const models::ModelDesc &model = models::modelByName(model_name);
+    const auto framework = model.frameworks.front();
+
+    std::printf("distributed scaling plan: %s (%s), %lld samples/GPU\n\n",
+                model.name.c_str(), frameworks::frameworkName(framework),
+                static_cast<long long>(batch));
+
+    struct Shape
+    {
+        int machines;
+        int gpus;
+        dist::LinkSpec network;
+    };
+    const std::vector<Shape> shapes = {
+        {1, 1, dist::infiniband100G()}, {1, 2, dist::infiniband100G()},
+        {1, 4, dist::infiniband100G()}, {2, 1, dist::ethernet1G()},
+        {2, 1, dist::infiniband100G()}, {2, 4, dist::ethernet1G()},
+        {2, 4, dist::infiniband100G()}, {4, 4, dist::infiniband100G()},
+    };
+
+    util::Table t({"cluster", "GPUs", "throughput (samples/s)",
+                   "exposed comm", "scaling efficiency", "verdict"});
+    double single_thr = 0.0;
+    for (const auto &shape : shapes) {
+        dist::ClusterConfig cluster;
+        cluster.machines = shape.machines;
+        cluster.gpusPerMachine = shape.gpus;
+        cluster.network = shape.network;
+        auto r = dist::simulateDataParallel(
+            model, framework, gpusim::quadroP4000(), batch, cluster);
+        if (r.totalGpus == 1)
+            single_thr = r.throughputSamples;
+        const char *verdict =
+            r.scalingEfficiency > 0.85  ? "deploy"
+            : r.scalingEfficiency > 0.6 ? "marginal"
+                                        : "wasted GPUs";
+        if (r.totalGpus > 1 && r.throughputSamples < single_thr)
+            verdict = "WORSE than 1 GPU";
+        t.addRow({r.label, std::to_string(r.totalGpus),
+                  util::formatFixed(r.throughputSamples, 1),
+                  util::formatDuration(r.exposedCommUs * 1e-6),
+                  util::formatPercent(r.scalingEfficiency), verdict});
+    }
+    t.print(std::cout);
+
+    std::printf("\ngradient payload: %s per iteration per worker "
+                "(x2 for push+pull)\n",
+                util::formatBytes(static_cast<std::uint64_t>(
+                                      model.describe(batch).totalParams()) *
+                                  4)
+                    .c_str());
+    return 0;
+}

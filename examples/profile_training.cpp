@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The "TBD as a profiling tool" workflow (Fig. 3 of the paper): pick a
+ * model, framework, GPU and batch sweep from the command line, run the
+ * sampling profiler, and print the full analysis — throughput curve,
+ * utilization metrics, memory breakdown, and the longest
+ * below-average-utilization kernels (the Table 5/6 report).
+ *
+ * Usage:
+ *   profile_training [model] [framework] [gpu]
+ *   profile_training "Inception-v3" TensorFlow "TITAN Xp"
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/tbd.h"
+
+using namespace tbd;
+
+int
+main(int argc, char **argv)
+{
+    core::BenchmarkRequest request;
+    request.model = argc > 1 ? argv[1] : "Inception-v3";
+    request.framework = argc > 2 ? argv[2] : "MXNet";
+    request.gpu = argc > 3 ? argv[3] : "Quadro P4000";
+
+    const models::ModelDesc &model =
+        models::modelByName(request.model);
+    std::printf("TBD profile: %s on %s (%s)\n", request.model.c_str(),
+                request.framework.c_str(), request.gpu.c_str());
+    std::printf("application: %s | dominant layer: %s | dataset: %s\n\n",
+                model.application.c_str(), model.dominantLayer.c_str(),
+                model.dataset->name.c_str());
+
+    // --- batch sweep -----------------------------------------------------
+    util::Table sweep({"mini-batch", "throughput (" +
+                                         model.throughputUnit + ")",
+                       "GPU util", "FP32 util", "CPU util", "memory"});
+    analysis::SampleReport last{};
+    bool have_last = false;
+    for (std::int64_t batch : model.batchSweep) {
+        request.batch = batch;
+        auto maybe = core::BenchmarkSuite::runIfFits(request);
+        if (!maybe) {
+            sweep.addRow({std::to_string(batch), "out of memory", "-",
+                          "-", "-", "-"});
+            continue;
+        }
+        const perf::RunResult &r = maybe->result;
+        sweep.addRow({std::to_string(batch),
+                      util::formatFixed(r.throughputUnits, 1),
+                      util::formatPercent(r.gpuUtilization),
+                      util::formatPercent(r.fp32Utilization),
+                      util::formatPercent(r.cpuUtilization, 2),
+                      util::formatBytes(r.memory.total())});
+        last = *maybe;
+        have_last = true;
+    }
+    sweep.print(std::cout);
+
+    if (!have_last) {
+        std::printf("no feasible batch size on this GPU\n");
+        return 1;
+    }
+
+    // --- memory breakdown at the largest feasible batch -------------------
+    std::printf("\nmemory breakdown at batch %lld:\n",
+                static_cast<long long>(last.result.batch));
+    for (std::size_t c = 0; c < memprof::kCategoryCount; ++c) {
+        const auto cat = static_cast<memprof::MemCategory>(c);
+        std::printf("  %-16s %10s  (%s)\n", memprof::memCategoryName(cat),
+                    util::formatBytes(last.result.memory.of(cat)).c_str(),
+                    util::formatPercent(last.result.memory.fraction(cat))
+                        .c_str());
+    }
+
+    // --- where the GPU time goes (Fathom-style breakdown) ------------------
+    std::printf("\nGPU time by kernel category:\n");
+    util::Table cats({"category", "share", "time/iter", "launches"});
+    for (const auto &c :
+         analysis::categoryBreakdown(last.result.kernelTrace)) {
+        cats.addRow({gpusim::kernelCategoryName(c.category),
+                     util::formatPercent(c.share),
+                     util::formatDuration(c.totalUs * 1e-6),
+                     std::to_string(c.invocations)});
+    }
+    cats.print(std::cout);
+
+    // --- kernel hot list ---------------------------------------------------
+    std::printf("\nlongest kernels with below-average FP32 utilization "
+                "(trace mean %s):\n",
+                util::formatPercent(
+                    analysis::traceMeanFp32Util(last.result.kernelTrace))
+                    .c_str());
+    util::Table kernels(
+        {"duration share", "FP32 util", "calls", "kernel"});
+    for (const auto &agg :
+         analysis::longestLowUtilKernels(last.result.kernelTrace, 5)) {
+        kernels.addRow({util::formatPercent(agg.durationShare, 2),
+                        util::formatPercent(agg.meanFp32Util),
+                        std::to_string(agg.invocations), agg.name});
+    }
+    kernels.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Deep reinforcement learning on the functional engine: an A3C-style
+ * actor-critic agent (policy + value heads, entropy-regularized policy
+ * gradient — the A3C objective of Mnih et al. that the paper
+ * benchmarks) learns the Catch environment end-to-end with real math.
+ *
+ * The agent starts near random (expected score ~ -0.4) and reaches a
+ * high catch rate within a few hundred episodes.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/tbd.h"
+
+using namespace tbd;
+
+namespace {
+
+constexpr std::int64_t kGrid = 6;
+
+/** Sample an action from the policy head's softmax. */
+std::int64_t
+sampleAction(const tensor::Tensor &head, util::Rng &rng)
+{
+    double mx = head.at(0);
+    for (std::int64_t a = 1; a < data::CatchEnv::kActions; ++a)
+        mx = std::max(mx, static_cast<double>(head.at(a)));
+    double probs[data::CatchEnv::kActions];
+    double denom = 0.0;
+    for (std::int64_t a = 0; a < data::CatchEnv::kActions; ++a) {
+        probs[a] = std::exp(head.at(a) - mx);
+        denom += probs[a];
+    }
+    double u = rng.uniform() * denom;
+    for (std::int64_t a = 0; a < data::CatchEnv::kActions - 1; ++a) {
+        if (u < probs[a])
+            return a;
+        u -= probs[a];
+    }
+    return data::CatchEnv::kActions - 1;
+}
+
+} // namespace
+
+int
+main()
+{
+    util::Rng rng(3);
+    data::CatchEnv env(kGrid, 17);
+    engine::Network net =
+        models::buildA3CNet(rng, kGrid, data::CatchEnv::kActions);
+    engine::Adam opt(0.008f);
+    layers::PolicyValueLoss objective(0.5f, 0.01f);
+    util::Rng action_rng(29);
+
+    std::printf("A3C-style agent on Catch (%lldx%lld grid), %lld params\n",
+                static_cast<long long>(kGrid),
+                static_cast<long long>(kGrid),
+                static_cast<long long>(net.paramCount()));
+
+    const int episodes = 600;
+    double window_reward = 0.0;
+    int window = 0;
+
+    for (int episode = 1; episode <= episodes; ++episode) {
+        std::vector<tensor::Tensor> observations;
+        std::vector<std::int64_t> actions;
+        tensor::Tensor obs = env.reset();
+        float reward = 0.0f;
+        bool done = false;
+        while (!done) {
+            tensor::Tensor in =
+                obs.reshaped(tensor::Shape{1, 1, kGrid, kGrid});
+            tensor::Tensor head = net.forward(in, false);
+            const std::int64_t action = sampleAction(head, action_rng);
+            observations.push_back(in);
+            actions.push_back(action);
+            auto out =
+                env.step(static_cast<data::CatchEnv::Action>(action));
+            obs = out.observation;
+            reward = out.reward;
+            done = out.done;
+        }
+
+        // Monte-Carlo update over the whole episode (terminal reward).
+        const auto steps =
+            static_cast<std::int64_t>(observations.size());
+        tensor::Tensor batch(tensor::Shape{steps, 1, kGrid, kGrid});
+        for (std::int64_t s = 0; s < steps; ++s)
+            for (std::int64_t j = 0; j < kGrid * kGrid; ++j)
+                batch.at(s * kGrid * kGrid + j) = observations
+                    [static_cast<std::size_t>(s)].at(j);
+        std::vector<float> returns(static_cast<std::size_t>(steps),
+                                   reward);
+        net.zeroGrads();
+        tensor::Tensor head = net.forward(batch, true);
+        objective.forward(head, actions, returns);
+        net.backward(objective.backward());
+        opt.step(net.params());
+
+        window_reward += reward;
+        ++window;
+        if (episode % 100 == 0) {
+            std::printf("  episodes %4d-%4d: mean score %+.2f\n",
+                        episode - window + 1, episode,
+                        window_reward / window);
+            window_reward = 0.0;
+            window = 0;
+        }
+    }
+
+    // Greedy evaluation.
+    int caught = 0;
+    const int eval_episodes = 100;
+    for (int e = 0; e < eval_episodes; ++e) {
+        tensor::Tensor obs = env.reset();
+        bool done = false;
+        float reward = 0.0f;
+        while (!done) {
+            tensor::Tensor in =
+                obs.reshaped(tensor::Shape{1, 1, kGrid, kGrid});
+            tensor::Tensor head = net.forward(in, false);
+            std::int64_t best = 0;
+            for (std::int64_t a = 1; a < data::CatchEnv::kActions; ++a)
+                if (head.at(a) > head.at(best))
+                    best = a;
+            auto out =
+                env.step(static_cast<data::CatchEnv::Action>(best));
+            obs = out.observation;
+            reward = out.reward;
+            done = out.done;
+        }
+        caught += reward > 0.0f;
+    }
+    std::printf("greedy policy catch rate: %d%%\n", caught);
+    return caught > 60 ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Full suite sweep: run every (model, framework) implementation at
+ * every mini-batch of its paper sweep on a chosen GPU and emit one
+ * combined report — the "nightly benchmark run" a team adopting TBD
+ * would schedule. Optionally writes the rows as CSV for plotting.
+ *
+ * Usage:
+ *   suite_report ["Quadro P4000"|"TITAN Xp"] [output.csv]
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "core/tbd.h"
+
+using namespace tbd;
+
+int
+main(int argc, char **argv)
+{
+    const std::string gpu_name = argc > 1 ? argv[1] : "Quadro P4000";
+    const std::string csv_path = argc > 2 ? argv[2] : "";
+    (void)core::BenchmarkSuite::gpuByName(gpu_name); // validate early
+
+    std::printf("TBD suite report on %s\n\n", gpu_name.c_str());
+
+    util::Table t({"model", "framework", "batch", "throughput", "unit",
+                   "GPU util", "FP32 util", "CPU util", "memory",
+                   "feature maps", "kernels/iter"});
+    int configs = 0, ooms = 0;
+    for (const auto *model : core::BenchmarkSuite::models()) {
+        for (auto fw : model->frameworks) {
+            for (std::int64_t batch : model->batchSweep) {
+                core::BenchmarkRequest req;
+                req.model = model->name;
+                req.framework = frameworks::frameworkName(fw);
+                req.gpu = gpu_name;
+                req.batch = batch;
+                ++configs;
+                auto maybe = core::BenchmarkSuite::runIfFits(req);
+                if (!maybe) {
+                    ++ooms;
+                    t.addRow({model->name, req.framework,
+                              std::to_string(batch), "OOM", "-", "-",
+                              "-", "-", "-", "-", "-"});
+                    continue;
+                }
+                const auto &r = maybe->result;
+                t.addRow(
+                    {model->name, req.framework, std::to_string(batch),
+                     util::formatFixed(r.throughputUnits, 1),
+                     model->throughputUnit,
+                     util::formatPercent(r.gpuUtilization),
+                     util::formatPercent(r.fp32Utilization),
+                     util::formatPercent(r.cpuUtilization, 2),
+                     util::formatBytes(r.memory.total()),
+                     util::formatPercent(r.memory.fraction(
+                         memprof::MemCategory::FeatureMaps)),
+                     std::to_string(r.kernelsPerIteration)});
+            }
+        }
+    }
+    t.print(std::cout);
+    std::printf("\n%d configurations, %d out-of-memory cells (the "
+                "paper's truncated sweeps)\n",
+                configs, ooms);
+
+    if (!csv_path.empty()) {
+        std::ofstream out(csv_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+            return 1;
+        }
+        t.printCsv(out);
+        std::printf("CSV written to %s\n", csv_path.c_str());
+    }
+    return 0;
+}

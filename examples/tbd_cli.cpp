@@ -1,0 +1,271 @@
+/**
+ * @file
+ * `tbd` — the command-line front-end of the benchmark suite. Every
+ * experiment in the library is reachable from one binary:
+ *
+ *   tbd_cli list
+ *   tbd_cli run <model> <framework> <batch> [gpu]
+ *   tbd_cli sweep <model> <framework> [gpu]
+ *   tbd_cli memory <model> <framework> <batch>
+ *   tbd_cli kernels <model> <framework> <batch>
+ *   tbd_cli distributed <model> <machines> <gpus-per-machine> <link>
+ *   tbd_cli curve <model>
+ *
+ * where <link> is one of: pcie, ethernet, infiniband.
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "core/tbd.h"
+
+using namespace tbd;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage:\n"
+        "  tbd_cli list\n"
+        "  tbd_cli run <model> <framework> <batch> [gpu]\n"
+        "  tbd_cli sweep <model> <framework> [gpu]\n"
+        "  tbd_cli memory <model> <framework> <batch>\n"
+        "  tbd_cli kernels <model> <framework> <batch>\n"
+        "  tbd_cli distributed <model> <machines> <gpus> "
+        "<pcie|ethernet|infiniband>\n"
+        "  tbd_cli curve <model>\n"
+        "  tbd_cli trace <model> <framework> <batch> <out.json>\n"
+        "  tbd_cli layers <model> <framework> <batch>\n");
+    return 2;
+}
+
+int
+cmdList()
+{
+    core::BenchmarkSuite::table2Overview().print(std::cout);
+    std::cout << "\nextensions beyond Table 2:\n";
+    for (const auto *m : models::extensionModels())
+        std::cout << "  " << m->name << " (" << m->application << ")\n";
+    std::cout << "\nGPUs: Quadro P4000, TITAN Xp\n";
+    return 0;
+}
+
+int
+cmdRun(const std::string &model, const std::string &framework,
+       std::int64_t batch, const std::string &gpu)
+{
+    core::BenchmarkRequest req{model, framework, gpu, batch};
+    const auto report = core::BenchmarkSuite::run(req);
+    const auto &r = report.result;
+    std::printf("%s / %s / %s, batch %lld\n", model.c_str(),
+                framework.c_str(), gpu.c_str(),
+                static_cast<long long>(batch));
+    std::printf("  throughput        %.1f %s\n", r.throughputUnits,
+                models::modelByName(model).throughputUnit.c_str());
+    std::printf("  iteration         %s\n",
+                util::formatDuration(r.iterationUs * 1e-6).c_str());
+    std::printf("  GPU utilization   %s\n",
+                util::formatPercent(r.gpuUtilization).c_str());
+    std::printf("  FP32 utilization  %s\n",
+                util::formatPercent(r.fp32Utilization).c_str());
+    std::printf("  CPU utilization   %s\n",
+                util::formatPercent(r.cpuUtilization, 2).c_str());
+    std::printf("  memory            %s (feature maps %s)\n",
+                util::formatBytes(r.memory.total()).c_str(),
+                util::formatPercent(
+                    r.memory.fraction(memprof::MemCategory::FeatureMaps))
+                    .c_str());
+    return 0;
+}
+
+int
+cmdSweep(const std::string &model, const std::string &framework,
+         const std::string &gpu)
+{
+    const auto &m = models::modelByName(model);
+    util::Table t({"batch", "throughput", "GPU util", "FP32 util",
+                   "memory"});
+    for (std::int64_t batch : m.batchSweep) {
+        core::BenchmarkRequest req{model, framework, gpu, batch};
+        auto maybe = core::BenchmarkSuite::runIfFits(req);
+        if (!maybe) {
+            t.addRow({std::to_string(batch), "OOM", "-", "-", "-"});
+            continue;
+        }
+        const auto &r = maybe->result;
+        t.addRow({std::to_string(batch),
+                  util::formatFixed(r.throughputUnits, 1),
+                  util::formatPercent(r.gpuUtilization),
+                  util::formatPercent(r.fp32Utilization),
+                  util::formatBytes(r.memory.total())});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdMemory(const std::string &model, const std::string &framework,
+          std::int64_t batch)
+{
+    core::BenchmarkRequest req{model, framework, "Quadro P4000", batch};
+    const auto r = core::BenchmarkSuite::run(req).result;
+    util::Table t({"category", "bytes", "share"});
+    for (std::size_t c = 0; c < memprof::kCategoryCount; ++c) {
+        const auto cat = static_cast<memprof::MemCategory>(c);
+        t.addRow({memprof::memCategoryName(cat),
+                  util::formatBytes(r.memory.of(cat)),
+                  util::formatPercent(r.memory.fraction(cat))});
+    }
+    t.addRow({"total", util::formatBytes(r.memory.total()), "100%"});
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdKernels(const std::string &model, const std::string &framework,
+           std::int64_t batch)
+{
+    core::BenchmarkRequest req{model, framework, "Quadro P4000", batch};
+    const auto r = core::BenchmarkSuite::run(req).result;
+    std::printf("GPU time by category:\n");
+    util::Table cats({"category", "share", "launches"});
+    for (const auto &c : analysis::categoryBreakdown(r.kernelTrace))
+        cats.addRow({gpusim::kernelCategoryName(c.category),
+                     util::formatPercent(c.share),
+                     std::to_string(c.invocations)});
+    cats.print(std::cout);
+
+    std::printf("\nlongest below-average-FP32 kernels:\n");
+    util::Table low({"duration", "FP32 util", "kernel"});
+    for (const auto &agg :
+         analysis::longestLowUtilKernels(r.kernelTrace, 5))
+        low.addRow({util::formatPercent(agg.durationShare, 2),
+                    util::formatPercent(agg.meanFp32Util), agg.name});
+    low.print(std::cout);
+    return 0;
+}
+
+int
+cmdDistributed(const std::string &model, int machines, int gpus,
+               const std::string &link_name)
+{
+    dist::LinkSpec link;
+    if (link_name == "pcie")
+        link = dist::pcie3x16();
+    else if (link_name == "ethernet")
+        link = dist::ethernet1G();
+    else if (link_name == "infiniband")
+        link = dist::infiniband100G();
+    else
+        return usage();
+
+    const auto &m = models::modelByName(model);
+    dist::ClusterConfig cluster;
+    cluster.machines = machines;
+    cluster.gpusPerMachine = gpus;
+    cluster.network = link;
+    const auto r = dist::simulateDataParallel(
+        m, m.frameworks.front(), gpusim::quadroP4000(),
+        m.batchSweep.back(), cluster);
+    std::printf("%s on %s: %.1f samples/s across %d GPUs "
+                "(%.0f%% scaling efficiency, %s exposed comm)\n",
+                model.c_str(), r.label.c_str(), r.throughputSamples,
+                r.totalGpus, r.scalingEfficiency * 100.0,
+                util::formatDuration(r.exposedCommUs * 1e-6).c_str());
+    return 0;
+}
+
+int
+cmdLayers(const std::string &model, const std::string &framework,
+          std::int64_t batch)
+{
+    core::BenchmarkRequest req{model, framework, "Quadro P4000", batch};
+    const auto r = core::BenchmarkSuite::run(req).result;
+    util::Table t({"layer", "GPU time share", "time/iter", "kernels"});
+    for (const auto &l : analysis::layerBreakdown(r.kernelTrace, 15)) {
+        t.addRow({l.layer, util::formatPercent(l.share),
+                  util::formatDuration(l.totalUs * 1e-6),
+                  std::to_string(l.kernels)});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdTrace(const std::string &model, const std::string &framework,
+         std::int64_t batch, const std::string &path)
+{
+    core::BenchmarkRequest req{model, framework, "Quadro P4000", batch};
+    const auto r = core::BenchmarkSuite::run(req).result;
+    analysis::exportChromeTrace(r.kernelTrace, path,
+                                model + " / " + framework + " / batch " +
+                                    std::to_string(batch));
+    std::printf("wrote %zu kernel events to %s "
+                "(open in chrome://tracing or ui.perfetto.dev)\n",
+                r.kernelTrace.size(), path.c_str());
+    return 0;
+}
+
+int
+cmdCurve(const std::string &model)
+{
+    const auto &m = models::modelByName(model);
+    const auto &spec = analysis::convergenceSpec(model);
+    core::BenchmarkRequest req{model,
+                               frameworks::frameworkName(
+                                   m.frameworks.front()),
+                               "Quadro P4000", m.batchSweep.back()};
+    const auto r = core::BenchmarkSuite::run(req).result;
+    util::Table t({spec.metric, "training time"});
+    for (const auto &pt :
+         analysis::trainingCurve(spec, r.throughputUnits, 10)) {
+        t.addRow({util::formatFixed(pt.metric, 2),
+                  pt.timeHours > 48.0
+                      ? util::formatFixed(pt.timeHours / 24.0, 1) +
+                            " days"
+                      : util::formatFixed(pt.timeHours, 1) + " h"});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    try {
+        if (cmd == "list")
+            return cmdList();
+        if (cmd == "run" && argc >= 5)
+            return cmdRun(argv[2], argv[3], std::atoll(argv[4]),
+                          argc > 5 ? argv[5] : "Quadro P4000");
+        if (cmd == "sweep" && argc >= 4)
+            return cmdSweep(argv[2], argv[3],
+                            argc > 4 ? argv[4] : "Quadro P4000");
+        if (cmd == "memory" && argc >= 5)
+            return cmdMemory(argv[2], argv[3], std::atoll(argv[4]));
+        if (cmd == "kernels" && argc >= 5)
+            return cmdKernels(argv[2], argv[3], std::atoll(argv[4]));
+        if (cmd == "distributed" && argc >= 6)
+            return cmdDistributed(argv[2], std::atoi(argv[3]),
+                                  std::atoi(argv[4]), argv[5]);
+        if (cmd == "curve" && argc >= 3)
+            return cmdCurve(argv[2]);
+        if (cmd == "trace" && argc >= 6)
+            return cmdTrace(argv[2], argv[3], std::atoll(argv[4]),
+                            argv[5]);
+        if (cmd == "layers" && argc >= 5)
+            return cmdLayers(argv[2], argv[3], std::atoll(argv[4]));
+    } catch (const util::FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return usage();
+}

@@ -1,0 +1,89 @@
+#include "analysis/convergence.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tbd::analysis {
+
+namespace {
+
+const std::vector<ConvergenceSpec> &
+allSpecs()
+{
+    // Plateaus and sample budgets follow the results the paper
+    // validates against (Section 3.3): 75-80% top-1 for the ImageNet
+    // models (~90 epochs), BLEU ~20 for Seq2Seq, BLEU low-20s for
+    // Transformer, and Pong 19-20 for A3C.
+    static const std::vector<ConvergenceSpec> specs = {
+        {"Inception-v3", "top-1 accuracy", CurveFamily::SaturatingPower,
+         0.78, 0.0, 108e6, 5.0},
+        {"ResNet-50", "top-1 accuracy", CurveFamily::SaturatingPower,
+         0.76, 0.0, 108e6, 5.0},
+        {"Transformer", "BLEU", CurveFamily::Logistic, 24.0, 0.0, 5.9e8,
+         8.0},
+        {"NMT", "BLEU", CurveFamily::Logistic, 20.0, 0.0, 6.5e6, 8.0},
+        {"Sockeye", "BLEU", CurveFamily::Logistic, 20.0, 0.0, 6.5e6, 8.0},
+        {"A3C", "game score (Pong)", CurveFamily::GameScore, 20.0, -21.0,
+         5.1e6, 10.0},
+    };
+    return specs;
+}
+
+} // namespace
+
+const ConvergenceSpec &
+convergenceSpec(const std::string &model)
+{
+    for (const auto &spec : allSpecs())
+        if (spec.model == model)
+            return spec;
+    TBD_FATAL("no convergence spec for model '", model, "'");
+}
+
+const std::vector<std::string> &
+figure2Models()
+{
+    static const std::vector<std::string> models = {
+        "Inception-v3", "ResNet-50", "Transformer", "NMT", "A3C"};
+    return models;
+}
+
+std::vector<CurvePoint>
+trainingCurve(const ConvergenceSpec &spec, double throughputSamples,
+              int points)
+{
+    TBD_CHECK(throughputSamples > 0.0, "throughput must be positive");
+    TBD_CHECK(points >= 2, "need at least two curve points");
+
+    const double total_seconds = spec.sampleBudget / throughputSamples;
+    std::vector<CurvePoint> curve;
+    curve.reserve(static_cast<std::size_t>(points));
+    for (int i = 0; i < points; ++i) {
+        // p in [0, 1]: fraction of the sample budget consumed.
+        const double p =
+            static_cast<double>(i) / static_cast<double>(points - 1);
+        double metric = spec.floor;
+        switch (spec.family) {
+          case CurveFamily::SaturatingPower:
+            // Rapid early gains, long plateau tail.
+            metric = spec.plateau *
+                     (1.0 - std::pow(1.0 + spec.shape * p, -1.6));
+            break;
+          case CurveFamily::Logistic:
+            metric = spec.plateau /
+                     (1.0 + std::exp(-spec.shape * (p - 0.35)));
+            break;
+          case CurveFamily::GameScore:
+            metric = spec.floor +
+                     (spec.plateau - spec.floor) /
+                         (1.0 + std::exp(-spec.shape * (p - 0.45)));
+            break;
+        }
+        curve.push_back(
+            CurvePoint{p * total_seconds / 3600.0, metric});
+    }
+    return curve;
+}
+
+} // namespace tbd::analysis

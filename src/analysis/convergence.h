@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Training-convergence model for Fig. 2 of the paper: metric-vs-time
+ * curves for representative models. Accuracy content cannot come from
+ * a performance simulator, so each model carries a literature-derived
+ * learning-curve family (plateau, sample budget, shape); the *time*
+ * axis is driven by the simulated throughput, which is what makes the
+ * reproduced curves land on the paper's day/hour scales.
+ */
+
+#ifndef TBD_ANALYSIS_CONVERGENCE_H
+#define TBD_ANALYSIS_CONVERGENCE_H
+
+#include <string>
+#include <vector>
+
+namespace tbd::analysis {
+
+/** Shape families for metric-vs-progress curves. */
+enum class CurveFamily
+{
+    SaturatingPower, ///< top-1 accuracy: m = plateau * (1-(1+p/s)^-k)
+    Logistic,        ///< BLEU-style S-curve
+    GameScore        ///< A3C: logistic from scoreMin to scoreMax
+};
+
+/** Convergence description of one benchmark model. */
+struct ConvergenceSpec
+{
+    std::string model;      ///< matching ModelDesc::name
+    std::string metric;     ///< "top-1 accuracy", "BLEU", "game score"
+    CurveFamily family = CurveFamily::SaturatingPower;
+    double plateau = 0.0;   ///< final metric value
+    double floor = 0.0;     ///< starting metric value
+    double sampleBudget = 0;///< training samples to convergence
+    double shape = 6.0;     ///< family-specific steepness
+};
+
+/** One point of a training curve. */
+struct CurvePoint
+{
+    double timeHours = 0.0;
+    double metric = 0.0;
+};
+
+/** Literature-derived convergence spec for a model; fatal if unknown. */
+const ConvergenceSpec &convergenceSpec(const std::string &model);
+
+/** Models with Fig. 2 panels, in the paper's order. */
+const std::vector<std::string> &figure2Models();
+
+/**
+ * Generate a metric-vs-wall-clock curve.
+ * @param spec               Curve family and budget.
+ * @param throughputSamples  Simulated training throughput (samples/s).
+ * @param points             Number of curve points.
+ */
+std::vector<CurvePoint> trainingCurve(const ConvergenceSpec &spec,
+                                      double throughputSamples,
+                                      int points = 24);
+
+} // namespace tbd::analysis
+
+#endif // TBD_ANALYSIS_CONVERGENCE_H

@@ -1,0 +1,171 @@
+#include "analysis/kernel_report.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+
+namespace tbd::analysis {
+
+namespace {
+
+/** Strip the op-instance suffix: "sgemm(res2a_1x1a)" -> "sgemm". */
+std::string
+baseName(const std::string &kernel_name)
+{
+    const auto paren = kernel_name.find('(');
+    return paren == std::string::npos ? kernel_name
+                                      : kernel_name.substr(0, paren);
+}
+
+} // namespace
+
+std::vector<KernelAggregate>
+aggregateKernels(const std::vector<gpusim::KernelExec> &trace)
+{
+    std::map<std::string, KernelAggregate> by_name;
+    double total_us = 0.0;
+    for (const auto &exec : trace) {
+        auto &agg = by_name[baseName(exec.name)];
+        if (agg.invocations == 0) {
+            agg.name = baseName(exec.name);
+            agg.category = exec.category;
+        }
+        ++agg.invocations;
+        agg.totalUs += exec.durationUs;
+        agg.meanFp32Util += exec.fp32Util * exec.durationUs;
+        total_us += exec.durationUs;
+    }
+    std::vector<KernelAggregate> out;
+    out.reserve(by_name.size());
+    for (auto &[name, agg] : by_name) {
+        if (agg.totalUs > 0.0)
+            agg.meanFp32Util /= agg.totalUs;
+        if (total_us > 0.0)
+            agg.durationShare = agg.totalUs / total_us;
+        out.push_back(std::move(agg));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const KernelAggregate &a, const KernelAggregate &b) {
+                  return a.totalUs > b.totalUs;
+              });
+    return out;
+}
+
+double
+traceMeanFp32Util(const std::vector<gpusim::KernelExec> &trace)
+{
+    double weighted = 0.0, total = 0.0;
+    for (const auto &exec : trace) {
+        weighted += exec.fp32Util * exec.durationUs;
+        total += exec.durationUs;
+    }
+    return total > 0.0 ? weighted / total : 0.0;
+}
+
+std::vector<KernelAggregate>
+longestLowUtilKernels(const std::vector<gpusim::KernelExec> &trace,
+                      std::size_t topN)
+{
+    const double avg = traceMeanFp32Util(trace);
+    std::vector<KernelAggregate> all = aggregateKernels(trace);
+    std::vector<KernelAggregate> low;
+    for (auto &agg : all) {
+        if (agg.meanFp32Util < avg)
+            low.push_back(agg); // already duration-sorted
+        if (low.size() == topN)
+            break;
+    }
+    return low;
+}
+
+std::vector<CategoryShare>
+categoryBreakdown(const std::vector<gpusim::KernelExec> &trace)
+{
+    std::map<gpusim::KernelCategory, CategoryShare> by_cat;
+    double total_us = 0.0;
+    for (const auto &exec : trace) {
+        auto &share = by_cat[exec.category];
+        share.category = exec.category;
+        ++share.invocations;
+        share.totalUs += exec.durationUs;
+        total_us += exec.durationUs;
+    }
+    std::vector<CategoryShare> out;
+    out.reserve(by_cat.size());
+    for (auto &[cat, share] : by_cat) {
+        if (share.totalUs <= 0.0)
+            continue;
+        if (total_us > 0.0)
+            share.share = share.totalUs / total_us;
+        out.push_back(share);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const CategoryShare &a, const CategoryShare &b) {
+                  return a.totalUs > b.totalUs;
+              });
+    return out;
+}
+
+namespace {
+
+/** Extract the layer instance from "kernel(layer_suffix)". */
+std::string
+layerName(const std::string &kernel_name)
+{
+    const auto open = kernel_name.find('(');
+    if (open == std::string::npos)
+        return kernel_name;
+    const auto close = kernel_name.rfind(')');
+    std::string inst = kernel_name.substr(
+        open + 1, close == std::string::npos ? std::string::npos
+                                             : close - open - 1);
+    // Strip pass suffixes so fw/bw/update kernels aggregate per layer.
+    static const char *suffixes[] = {
+        "_dgrad",  "_wgrad",  "_bw",     "_bias",   "_x_proj",
+        "_x_wgrad", "_h_step", "_cell",  "_sgd_mom_update",
+        "_prefetch", "_grad"};
+    for (const char *suffix : suffixes) {
+        const std::string s(suffix);
+        if (inst.size() > s.size() &&
+            inst.compare(inst.size() - s.size(), s.size(), s) == 0) {
+            inst.erase(inst.size() - s.size());
+            break;
+        }
+    }
+    return inst;
+}
+
+} // namespace
+
+std::vector<LayerShare>
+layerBreakdown(const std::vector<gpusim::KernelExec> &trace,
+               std::size_t topN)
+{
+    std::map<std::string, LayerShare> by_layer;
+    double total_us = 0.0;
+    for (const auto &exec : trace) {
+        auto &share = by_layer[layerName(exec.name)];
+        if (share.kernels == 0)
+            share.layer = layerName(exec.name);
+        ++share.kernels;
+        share.totalUs += exec.durationUs;
+        total_us += exec.durationUs;
+    }
+    std::vector<LayerShare> out;
+    out.reserve(by_layer.size());
+    for (auto &[name, share] : by_layer) {
+        if (total_us > 0.0)
+            share.share = share.totalUs / total_us;
+        out.push_back(std::move(share));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const LayerShare &a, const LayerShare &b) {
+                  return a.totalUs > b.totalUs;
+              });
+    if (out.size() > topN)
+        out.resize(topN);
+    return out;
+}
+
+} // namespace tbd::analysis

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Kernel-level aggregation over a simulated timeline — the nvprof-style
+ * view the paper uses to identify optimization targets: per-kernel
+ * share of total GPU time and FP32 utilization, and the "longest
+ * kernels with below-average utilization" report of Tables 5 and 6.
+ */
+
+#ifndef TBD_ANALYSIS_KERNEL_REPORT_H
+#define TBD_ANALYSIS_KERNEL_REPORT_H
+
+#include <string>
+#include <vector>
+
+#include "gpusim/timeline.h"
+
+namespace tbd::analysis {
+
+/** Aggregated statistics for one kernel (grouped by name). */
+struct KernelAggregate
+{
+    std::string name;
+    gpusim::KernelCategory category = gpusim::KernelCategory::Elementwise;
+    std::int64_t invocations = 0;
+    double totalUs = 0.0;
+    double durationShare = 0.0; ///< fraction of total GPU time
+    double meanFp32Util = 0.0;  ///< duration-weighted mean
+};
+
+/**
+ * Group a kernel trace by base kernel name (the part before the "("
+ * that carries the op instance) and aggregate durations/utilizations,
+ * sorted by descending total duration.
+ */
+std::vector<KernelAggregate>
+aggregateKernels(const std::vector<gpusim::KernelExec> &trace);
+
+/** Duration-weighted mean FP32 utilization of a trace. */
+double traceMeanFp32Util(const std::vector<gpusim::KernelExec> &trace);
+
+/**
+ * The Table 5/6 report: the `topN` kernels with the largest duration
+ * share whose FP32 utilization is *below* the trace average.
+ */
+std::vector<KernelAggregate>
+longestLowUtilKernels(const std::vector<gpusim::KernelExec> &trace,
+                      std::size_t topN = 5);
+
+/** Time spent in one kernel category (Fathom-style breakdown). */
+struct CategoryShare
+{
+    gpusim::KernelCategory category;
+    std::int64_t invocations = 0;
+    double totalUs = 0.0;
+    double share = 0.0; ///< fraction of total GPU time
+};
+
+/**
+ * Group GPU time by kernel category — the operation-type breakdown
+ * Fathom reports (the paper's closest related work, Section 5); TBD
+ * layers it on top of its system-level metrics. Sorted by descending
+ * share; categories with zero time are omitted.
+ */
+std::vector<CategoryShare>
+categoryBreakdown(const std::vector<gpusim::KernelExec> &trace);
+
+/** Time attributed to one layer/op instance. */
+struct LayerShare
+{
+    std::string layer; ///< op instance, e.g. "res2a_3x3"
+    std::int64_t kernels = 0;
+    double totalUs = 0.0;
+    double share = 0.0;
+};
+
+/**
+ * Attribute GPU time back to layer instances (the "timeline for
+ * individual layers" view the paper notes MXNet's built-in profiler
+ * provides, Section 5). Kernel names carry the op instance in
+ * parentheses; forward/backward/update kernels of the same layer
+ * aggregate together (suffixes like "_bw"/"_dgrad" are stripped).
+ * Returns the topN heaviest layers, descending.
+ */
+std::vector<LayerShare>
+layerBreakdown(const std::vector<gpusim::KernelExec> &trace,
+               std::size_t topN = 10);
+
+} // namespace tbd::analysis
+
+#endif // TBD_ANALYSIS_KERNEL_REPORT_H

@@ -1,0 +1,72 @@
+#include "analysis/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace tbd::analysis {
+
+SamplingProfiler::SamplingProfiler(int sampleIterations, double cvThreshold)
+    : sampleIterations_(sampleIterations), cvThreshold_(cvThreshold)
+{
+    TBD_CHECK(sampleIterations > 0, "need a positive sample window");
+}
+
+std::int64_t
+SamplingProfiler::findStableIteration(const std::vector<double> &times,
+                                      double tol)
+{
+    if (times.empty())
+        return 0;
+    // Reference: median of the last half of the series.
+    std::vector<double> tail(times.begin() +
+                                 static_cast<std::ptrdiff_t>(times.size() /
+                                                             2),
+                             times.end());
+    const double ref = util::percentile(tail, 50.0);
+    for (std::size_t i = 0; i < times.size(); ++i) {
+        bool settled = true;
+        for (std::size_t j = i; j < times.size(); ++j) {
+            if (std::fabs(times[j] - ref) > tol * ref) {
+                settled = false;
+                break;
+            }
+        }
+        if (settled)
+            return static_cast<std::int64_t>(i);
+    }
+    return static_cast<std::int64_t>(times.size());
+}
+
+SampleReport
+SamplingProfiler::profile(perf::RunConfig config) const
+{
+    config.sampleIterations = sampleIterations_;
+    // Generous warm-up; the stable point is detected, not assumed.
+    config.warmupIterations = std::max(config.warmupIterations, 5);
+
+    perf::PerfSimulator sim;
+    SampleReport report;
+    report.result = sim.run(config);
+
+    // Stability detection over warm-up + sampled series.
+    std::vector<double> all = report.result.warmupIterationUs;
+    all.insert(all.end(), report.result.sampleIterationUs.begin(),
+               report.result.sampleIterationUs.end());
+    report.stableAfter = findStableIteration(all);
+
+    util::RunningStat stat;
+    for (double t : report.result.sampleIterationUs)
+        stat.add(t);
+    report.throughputCv = stat.cv();
+    report.stable =
+        report.throughputCv <= cvThreshold_ &&
+        report.stableAfter <=
+            static_cast<std::int64_t>(report.result.warmupIterationUs
+                                          .size());
+    return report;
+}
+
+} // namespace tbd::analysis

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Sampling methodology of Section 3.4.2: profiling full training runs
+ * is impractical, so TBD samples a short window of iterations *after*
+ * the warm-up/auto-tuning phase has drained. This profiler detects the
+ * stable point from the per-iteration times, verifies the sampled
+ * window is steady (low coefficient of variation), and reports the
+ * paper's metrics over the window.
+ */
+
+#ifndef TBD_ANALYSIS_SAMPLING_H
+#define TBD_ANALYSIS_SAMPLING_H
+
+#include "perf/simulator.h"
+
+namespace tbd::analysis {
+
+/** A stable-phase sampling report. */
+struct SampleReport
+{
+    perf::RunResult result;      ///< stable-phase measurements
+    std::int64_t stableAfter = 0;///< iterations before steady state
+    double throughputCv = 0.0;   ///< cv of sampled iteration times
+    bool stable = false;         ///< window passed the stability check
+};
+
+/** Wraps PerfSimulator with warm-up detection and stability checks. */
+class SamplingProfiler
+{
+  public:
+    /**
+     * @param sampleIterations Iterations in the measurement window.
+     * @param cvThreshold      Maximum coefficient of variation of the
+     *                         sampled iteration times to call the
+     *                         window stable.
+     */
+    explicit SamplingProfiler(int sampleIterations = 50,
+                              double cvThreshold = 0.05);
+
+    /** Profile one configuration. */
+    SampleReport profile(perf::RunConfig config) const;
+
+    /**
+     * First index whose iteration time is within `tol` of the median
+     * of the tail (the paper's "throughput stabilizes after several
+     * hundred iterations" detection). Returns times.size() when the
+     * series never settles.
+     */
+    static std::int64_t findStableIteration(
+        const std::vector<double> &times, double tol = 0.05);
+
+  private:
+    int sampleIterations_;
+    double cvThreshold_;
+};
+
+} // namespace tbd::analysis
+
+#endif // TBD_ANALYSIS_SAMPLING_H

@@ -1,0 +1,67 @@
+#include "analysis/trace_export.h"
+
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace tbd::analysis {
+
+namespace {
+
+/** Minimal JSON string escaping for kernel names. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+writeChromeTrace(const std::vector<gpusim::KernelExec> &trace,
+                 std::ostream &os, const std::string &processName)
+{
+    os << "{\"traceEvents\":[\n";
+    // Process metadata row.
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+          "\"args\":{\"name\":\""
+       << jsonEscape(processName) << "\"}}";
+    for (const auto &exec : trace) {
+        os << ",\n{\"name\":\"" << jsonEscape(exec.name)
+           << "\",\"cat\":\"" << gpusim::kernelCategoryName(exec.category)
+           << "\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":"
+           << exec.startUs << ",\"dur\":" << exec.durationUs
+           << ",\"args\":{\"fp32_util\":" << exec.fp32Util
+           << ",\"gflops\":" << exec.flops / 1e9 << "}}";
+    }
+    os << "\n]}\n";
+}
+
+void
+exportChromeTrace(const std::vector<gpusim::KernelExec> &trace,
+                  const std::string &path, const std::string &processName)
+{
+    std::ofstream os(path);
+    TBD_CHECK(os.good(), "cannot open '", path, "' for writing");
+    writeChromeTrace(trace, os, processName);
+    TBD_CHECK(os.good(), "write failure on '", path, "'");
+}
+
+} // namespace tbd::analysis

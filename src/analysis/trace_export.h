@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Timeline export in the Chrome trace-event format (chrome://tracing /
+ * Perfetto). The paper's analysis pipeline (Fig. 3) materializes
+ * nvprof `.nvvp` timelines for inspection; this is the equivalent
+ * artifact for the simulated timeline — one duration event per kernel,
+ * with FP32 utilization and category attached as arguments.
+ */
+
+#ifndef TBD_ANALYSIS_TRACE_EXPORT_H
+#define TBD_ANALYSIS_TRACE_EXPORT_H
+
+#include <ostream>
+#include <string>
+
+#include "gpusim/timeline.h"
+
+namespace tbd::analysis {
+
+/**
+ * Write a kernel trace as Chrome trace-event JSON.
+ * @param trace       Executed kernels (e.g. RunResult::kernelTrace).
+ * @param os          Destination stream.
+ * @param processName Label for the trace's process row.
+ */
+void writeChromeTrace(const std::vector<gpusim::KernelExec> &trace,
+                      std::ostream &os,
+                      const std::string &processName = "TBD GPU timeline");
+
+/**
+ * Convenience: write the trace to a file.
+ * @throws util::FatalError when the file cannot be written.
+ */
+void exportChromeTrace(const std::vector<gpusim::KernelExec> &trace,
+                       const std::string &path,
+                       const std::string &processName = "TBD GPU timeline");
+
+} // namespace tbd::analysis
+
+#endif // TBD_ANALYSIS_TRACE_EXPORT_H

@@ -1,0 +1,123 @@
+#include "core/suite.h"
+
+#include <sstream>
+
+#include "data/dataset_spec.h"
+#include "util/format.h"
+#include "util/logging.h"
+
+namespace tbd::core {
+
+const std::vector<const models::ModelDesc *> &
+BenchmarkSuite::models()
+{
+    return models::allModels();
+}
+
+frameworks::FrameworkId
+BenchmarkSuite::frameworkByName(const std::string &name)
+{
+    for (auto id : frameworks::allFrameworks())
+        if (name == frameworks::frameworkName(id))
+            return id;
+    TBD_FATAL("unknown framework '", name,
+              "' (expected TensorFlow, MXNet or CNTK)");
+}
+
+const gpusim::GpuSpec &
+BenchmarkSuite::gpuByName(const std::string &name)
+{
+    if (name == gpusim::quadroP4000().name)
+        return gpusim::quadroP4000();
+    if (name == gpusim::titanXp().name)
+        return gpusim::titanXp();
+    TBD_FATAL("unknown GPU '", name,
+              "' (expected 'Quadro P4000' or 'TITAN Xp')");
+}
+
+analysis::SampleReport
+BenchmarkSuite::run(const BenchmarkRequest &request)
+{
+    perf::RunConfig config;
+    config.model = &models::modelByName(request.model);
+    config.framework = frameworkByName(request.framework);
+    config.gpu = gpuByName(request.gpu);
+    config.batch = request.batch;
+    return analysis::SamplingProfiler().profile(config);
+}
+
+std::optional<analysis::SampleReport>
+BenchmarkSuite::runIfFits(const BenchmarkRequest &request)
+{
+    try {
+        return run(request);
+    } catch (const util::FatalError &e) {
+        const std::string what = e.what();
+        if (what.find("out of memory") != std::string::npos)
+            return std::nullopt;
+        throw;
+    }
+}
+
+util::Table
+BenchmarkSuite::table2Overview()
+{
+    util::Table t({"Application", "Model", "Layers", "Dominant layer",
+                   "Frameworks", "Dataset"});
+    for (const auto *m : models()) {
+        std::ostringstream fw;
+        for (std::size_t i = 0; i < m->frameworks.size(); ++i) {
+            if (i)
+                fw << ", ";
+            fw << frameworks::frameworkName(m->frameworks[i]);
+        }
+        t.addRow({m->application, m->name, std::to_string(m->layerCount),
+                  m->dominantLayer, fw.str(), m->dataset->name});
+    }
+    return t;
+}
+
+util::Table
+BenchmarkSuite::table3Datasets()
+{
+    util::Table t({"Dataset", "Number of samples", "Size", "Special"});
+    for (const auto *d : data::allDatasets()) {
+        t.addRow({d->name,
+                  d->sampleCount > 0 ? std::to_string(d->sampleCount)
+                                     : "generated",
+                  d->shapeDesc, d->special});
+    }
+    return t;
+}
+
+util::Table
+BenchmarkSuite::table4Hardware()
+{
+    util::Table t({"Spec", "TITAN Xp", "Quadro P4000",
+                   "Intel Xeon E5-2680"});
+    const auto &xp = gpusim::titanXp();
+    const auto &p4 = gpusim::quadroP4000();
+    const auto &cpu = gpusim::xeonE52680();
+    auto fixed0 = [](double v) { return util::formatFixed(v, 0); };
+    t.addRow({"Multiprocessors", fixed0(xp.multiprocessors),
+              fixed0(p4.multiprocessors), ""});
+    t.addRow({"Core count", fixed0(xp.coreCount), fixed0(p4.coreCount),
+              fixed0(cpu.coreCount)});
+    t.addRow({"Max clock rate (MHz)", fixed0(xp.maxClockMHz),
+              fixed0(p4.maxClockMHz), fixed0(cpu.maxClockMHz)});
+    t.addRow({"Memory size (GB)", fixed0(xp.memoryGiB),
+              fixed0(p4.memoryGiB), fixed0(cpu.memoryGiB)});
+    t.addRow({"LLC size (MB)", fixed0(xp.llcMiB), fixed0(p4.llcMiB),
+              "35"});
+    t.addRow({"Memory bus type", xp.memoryBusType, p4.memoryBusType,
+              "DDR4"});
+    t.addRow({"Memory BW (GB/s)", util::formatFixed(xp.memoryBwGBs, 1),
+              util::formatFixed(p4.memoryBwGBs, 1),
+              util::formatFixed(cpu.memoryBwGBs, 1)});
+    t.addRow({"Peak FP32 (TFLOPS)",
+              util::formatFixed(xp.peakFlops() / 1e12, 2),
+              util::formatFixed(p4.peakFlops() / 1e12, 2), ""});
+    return t;
+}
+
+} // namespace tbd::core

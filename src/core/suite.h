@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The TBD benchmark-suite facade: a one-call API over the model
+ * registry, framework personalities, device models, performance
+ * simulator, memory profiler and analysis toolchain. This is the
+ * public entry point examples and benchmark harnesses use.
+ */
+
+#ifndef TBD_CORE_SUITE_H
+#define TBD_CORE_SUITE_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/kernel_report.h"
+#include "analysis/sampling.h"
+#include "models/model_desc.h"
+#include "perf/simulator.h"
+#include "util/table.h"
+
+namespace tbd::core {
+
+/** One benchmark request. */
+struct BenchmarkRequest
+{
+    std::string model = "ResNet-50";       ///< ModelDesc name
+    std::string framework = "TensorFlow";  ///< framework display name
+    std::string gpu = "Quadro P4000";      ///< "Quadro P4000"/"TITAN Xp"
+    std::int64_t batch = 32;
+};
+
+/** Suite facade. */
+class BenchmarkSuite
+{
+  public:
+    /** All registered benchmark models (Table 2). */
+    static const std::vector<const models::ModelDesc *> &models();
+
+    /** Resolve a framework by display name; fatal if unknown. */
+    static frameworks::FrameworkId frameworkByName(
+        const std::string &name);
+
+    /** Resolve a GPU by display name; fatal if unknown. */
+    static const gpusim::GpuSpec &gpuByName(const std::string &name);
+
+    /** Run one configuration through the sampling profiler. */
+    static analysis::SampleReport run(const BenchmarkRequest &request);
+
+    /**
+     * Run, returning nullopt instead of throwing when the
+     * configuration does not fit GPU memory (how the sweep harnesses
+     * mark OOM cells, mirroring the paper's truncated batch sweeps).
+     */
+    static std::optional<analysis::SampleReport> runIfFits(
+        const BenchmarkRequest &request);
+
+    /** Render Table 2 (benchmark overview) from the registry. */
+    static util::Table table2Overview();
+
+    /** Render Table 3 (datasets) from the registry. */
+    static util::Table table3Datasets();
+
+    /** Render Table 4 (hardware) from the device models. */
+    static util::Table table4Hardware();
+};
+
+} // namespace tbd::core
+
+#endif // TBD_CORE_SUITE_H

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Umbrella header for the TBD library: include this to get the whole
+ * public API — the benchmark suite facade, the functional training
+ * engine, the performance/memory simulators, the distributed-training
+ * model and the analysis toolchain.
+ */
+
+#ifndef TBD_CORE_TBD_H
+#define TBD_CORE_TBD_H
+
+#include "analysis/convergence.h"
+#include "analysis/kernel_report.h"
+#include "analysis/sampling.h"
+#include "analysis/trace_export.h"
+#include "core/suite.h"
+#include "data/bucketing.h"
+#include "data/catch_env.h"
+#include "data/dataset_spec.h"
+#include "data/synthetic.h"
+#include "dist/data_parallel.h"
+#include "dist/model_parallel.h"
+#include "engine/network.h"
+#include "engine/optimizer.h"
+#include "engine/schedule.h"
+#include "engine/checkpoint.h"
+#include "engine/session.h"
+#include "frameworks/framework.h"
+#include "gpusim/gpu_spec.h"
+#include "gpusim/kernel.h"
+#include "gpusim/timeline.h"
+#include "layers/activations.h"
+#include "layers/attention.h"
+#include "layers/composite.h"
+#include "layers/conv.h"
+#include "layers/dense.h"
+#include "layers/dropout.h"
+#include "layers/embedding.h"
+#include "layers/loss.h"
+#include "layers/norm.h"
+#include "layers/pool.h"
+#include "layers/recurrent.h"
+#include "memprof/memory_profiler.h"
+#include "models/functional.h"
+#include "models/model_desc.h"
+#include "models/workload.h"
+#include "models/yolo.h"
+#include "perf/lowering.h"
+#include "perf/memory_model.h"
+#include "perf/simulator.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/format.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/chart.h"
+#include "util/table.h"
+
+#endif // TBD_CORE_TBD_H

@@ -1,0 +1,116 @@
+#include "data/bucketing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tbd::data {
+
+LengthSampler::LengthSampler(double mean, double cv, std::int64_t lo,
+                             std::int64_t hi, std::uint64_t seed)
+    : mean_(mean), stddev_(mean * cv), lo_(lo), hi_(hi), rng_(seed)
+{
+    TBD_CHECK(mean > 0.0 && cv >= 0.0, "bad length distribution");
+    TBD_CHECK(lo >= 1 && lo <= hi, "bad length bounds [", lo, ", ", hi,
+              "]");
+}
+
+std::int64_t
+LengthSampler::sample()
+{
+    if (stddev_ == 0.0) {
+        return std::clamp(static_cast<std::int64_t>(mean_), lo_, hi_);
+    }
+    const double x = rng_.truncatedNormal(
+        mean_, stddev_, static_cast<double>(lo_),
+        static_cast<double>(hi_));
+    return std::clamp(static_cast<std::int64_t>(std::lround(x)), lo_,
+                      hi_);
+}
+
+std::vector<std::int64_t>
+LengthSampler::sample(std::int64_t n)
+{
+    TBD_CHECK(n > 0, "need a positive sample count");
+    std::vector<std::int64_t> out;
+    out.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i)
+        out.push_back(sample());
+    return out;
+}
+
+double
+Bucket::efficiency() const
+{
+    return paddedTokens == 0
+               ? 0.0
+               : static_cast<double>(realTokens) /
+                     static_cast<double>(paddedTokens);
+}
+
+double
+BucketingReport::overallEfficiency() const
+{
+    std::int64_t real = 0, padded = 0;
+    for (const auto &b : buckets) {
+        real += b.realTokens;
+        padded += b.paddedTokens;
+    }
+    return padded == 0 ? 0.0
+                       : static_cast<double>(real) /
+                             static_cast<double>(padded);
+}
+
+std::int64_t
+BucketingReport::totalPaddedTokens() const
+{
+    std::int64_t padded = 0;
+    for (const auto &b : buckets)
+        padded += b.paddedTokens;
+    return padded;
+}
+
+BucketingReport
+assignBuckets(const std::vector<std::int64_t> &lengths,
+              const std::vector<std::int64_t> &bounds)
+{
+    TBD_CHECK(!lengths.empty(), "no lengths to bucket");
+    TBD_CHECK(!bounds.empty(), "no bucket bounds");
+    TBD_CHECK(std::is_sorted(bounds.begin(), bounds.end()),
+              "bucket bounds must ascend");
+
+    BucketingReport report;
+    report.buckets.resize(bounds.size());
+    for (std::size_t i = 0; i < bounds.size(); ++i)
+        report.buckets[i].bound = bounds[i];
+
+    for (std::int64_t len : lengths) {
+        const auto it =
+            std::lower_bound(bounds.begin(), bounds.end(), len);
+        TBD_CHECK(it != bounds.end(), "length ", len,
+                  " exceeds the last bucket bound ", bounds.back());
+        auto &bucket = report.buckets[static_cast<std::size_t>(
+            it - bounds.begin())];
+        ++bucket.samples;
+        bucket.realTokens += len;
+        bucket.paddedTokens += bucket.bound;
+    }
+    return report;
+}
+
+double
+padToMaxEfficiency(const std::vector<std::int64_t> &lengths)
+{
+    TBD_CHECK(!lengths.empty(), "no lengths");
+    const std::int64_t mx =
+        *std::max_element(lengths.begin(), lengths.end());
+    std::int64_t real = 0;
+    for (std::int64_t len : lengths)
+        real += len;
+    return static_cast<double>(real) /
+           static_cast<double>(mx * static_cast<std::int64_t>(
+                                        lengths.size()));
+}
+
+} // namespace tbd::data

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Length sampling and bucketed batching for sequence datasets.
+ *
+ * IWSLT sentences are 20-30 words and LibriSpeech utterances seconds to
+ * half a minute (Table 3); the NMT/Sockeye implementations the paper
+ * profiles group samples into *buckets* of similar length and pad to
+ * the bucket bound, trading padding waste against kernel-shape reuse.
+ * This module provides the length sampler and the bucket assignment
+ * plus a padding-efficiency accounting, feeding the simulator's
+ * length-variation mode and the functional examples.
+ */
+
+#ifndef TBD_DATA_BUCKETING_H
+#define TBD_DATA_BUCKETING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tbd::data {
+
+/** Truncated-normal sequence-length sampler. */
+class LengthSampler
+{
+  public:
+    /**
+     * @param mean Mean length (tokens or frames).
+     * @param cv   Coefficient of variation.
+     * @param lo   Minimum length.
+     * @param hi   Maximum length (bucketing bound).
+     * @param seed Stream seed.
+     */
+    LengthSampler(double mean, double cv, std::int64_t lo,
+                  std::int64_t hi, std::uint64_t seed);
+
+    /** Draw one length. */
+    std::int64_t sample();
+
+    /** Draw n lengths. */
+    std::vector<std::int64_t> sample(std::int64_t n);
+
+  private:
+    double mean_, stddev_;
+    std::int64_t lo_, hi_;
+    util::Rng rng_;
+};
+
+/** One bucket's composition after assignment. */
+struct Bucket
+{
+    std::int64_t bound = 0;       ///< padded length of the bucket
+    std::int64_t samples = 0;     ///< sequences assigned
+    std::int64_t realTokens = 0;  ///< pre-padding token count
+    std::int64_t paddedTokens = 0;///< samples * bound
+
+    /** Fraction of padded tokens that are real payload. */
+    double efficiency() const;
+};
+
+/** Assignment report across all buckets. */
+struct BucketingReport
+{
+    std::vector<Bucket> buckets;
+
+    /** Overall payload fraction across buckets. */
+    double overallEfficiency() const;
+
+    /** Total padded tokens (what the GPU actually processes). */
+    std::int64_t totalPaddedTokens() const;
+};
+
+/**
+ * Assign lengths to the smallest bucket bound that fits each one.
+ * @param lengths Sampled sequence lengths.
+ * @param bounds  Ascending bucket bounds; the last must cover the max
+ *                length (fatal otherwise).
+ */
+BucketingReport assignBuckets(const std::vector<std::int64_t> &lengths,
+                              const std::vector<std::int64_t> &bounds);
+
+/**
+ * Padding efficiency of a *single* bucket covering everything — what
+ * an implementation without bucketing pays (pad-to-max).
+ */
+double padToMaxEfficiency(const std::vector<std::int64_t> &lengths);
+
+} // namespace tbd::data
+
+#endif // TBD_DATA_BUCKETING_H

@@ -1,0 +1,60 @@
+#include "data/catch_env.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tbd::data {
+
+CatchEnv::CatchEnv(std::int64_t gridSize, std::uint64_t seed)
+    : grid_(gridSize), rng_(seed)
+{
+    TBD_CHECK(gridSize >= 3, "grid must be at least 3x3");
+}
+
+tensor::Tensor
+CatchEnv::reset()
+{
+    ballRow_ = 0;
+    ballCol_ = rng_.uniformInt(0, grid_ - 1);
+    paddleCol_ = grid_ / 2;
+    done_ = false;
+    return render();
+}
+
+CatchEnv::StepOutcome
+CatchEnv::step(Action action)
+{
+    TBD_CHECK(!done_, "step() on finished episode; call reset()");
+    switch (action) {
+      case Action::Left:
+        paddleCol_ = std::max<std::int64_t>(0, paddleCol_ - 1);
+        break;
+      case Action::Right:
+        paddleCol_ = std::min(grid_ - 1, paddleCol_ + 1);
+        break;
+      case Action::Stay:
+        break;
+    }
+    ++ballRow_;
+
+    StepOutcome out;
+    if (ballRow_ == grid_ - 1) {
+        done_ = true;
+        out.done = true;
+        out.reward = ballCol_ == paddleCol_ ? 1.0f : -1.0f;
+    }
+    out.observation = render();
+    return out;
+}
+
+tensor::Tensor
+CatchEnv::render() const
+{
+    tensor::Tensor obs(tensor::Shape{1, grid_, grid_});
+    obs.at(ballRow_ * grid_ + ballCol_) = 1.0f;
+    obs.at((grid_ - 1) * grid_ + paddleCol_) = 0.5f;
+    return obs;
+}
+
+} // namespace tbd::data

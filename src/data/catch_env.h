@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A tiny deterministic "Catch" environment standing in for the Atari
+ * 2600 emulator (DESIGN.md substitution): a ball falls down a grid and
+ * a paddle must be under it when it lands. It exposes the same
+ * interaction pattern A3C needs — pixel observations, discrete
+ * actions, terminal rewards — at a size the functional engine can
+ * train against in a unit test.
+ */
+
+#ifndef TBD_DATA_CATCH_ENV_H
+#define TBD_DATA_CATCH_ENV_H
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace tbd::data {
+
+/** Falling-ball catch game on a square grid. */
+class CatchEnv
+{
+  public:
+    /** Discrete action space. */
+    enum class Action { Left = 0, Stay = 1, Right = 2 };
+
+    /** Number of actions. */
+    static constexpr std::int64_t kActions = 3;
+
+    /**
+     * @param gridSize Side of the square grid (>= 3).
+     * @param seed     Ball-spawn stream seed.
+     */
+    explicit CatchEnv(std::int64_t gridSize = 7, std::uint64_t seed = 1);
+
+    /** Reset to a new episode; returns the initial observation. */
+    tensor::Tensor reset();
+
+    /** Step result. */
+    struct StepOutcome
+    {
+        tensor::Tensor observation; ///< [1, gridSize, gridSize]
+        float reward = 0.0f;        ///< +1 catch, -1 miss, else 0
+        bool done = false;
+    };
+
+    /** Advance one frame with the given action. */
+    StepOutcome step(Action action);
+
+    /** Grid side length. */
+    std::int64_t gridSize() const { return grid_; }
+
+    /** Episode length (frames until the ball lands). */
+    std::int64_t episodeLength() const { return grid_ - 1; }
+
+  private:
+    tensor::Tensor render() const;
+
+    std::int64_t grid_;
+    util::Rng rng_;
+    std::int64_t ballRow_ = 0, ballCol_ = 0, paddleCol_ = 0;
+    bool done_ = true;
+};
+
+} // namespace tbd::data
+
+#endif // TBD_DATA_CATCH_ENV_H

@@ -1,0 +1,124 @@
+#include "data/synthetic.h"
+
+#include "util/logging.h"
+
+namespace tbd::data {
+
+SyntheticImages::SyntheticImages(std::int64_t classes, std::int64_t channels,
+                                 std::int64_t size, std::uint64_t seed)
+    : classes_(classes), channels_(channels), size_(size), rng_(seed)
+{
+    TBD_CHECK(classes >= 2 && channels >= 1 && size >= 2,
+              "invalid synthetic image config");
+    templates_.reserve(static_cast<std::size_t>(classes));
+    for (std::int64_t c = 0; c < classes; ++c) {
+        tensor::Tensor t(tensor::Shape{channels, size, size});
+        t.fillNormal(rng_, 0.0f, 1.0f);
+        templates_.push_back(std::move(t));
+    }
+}
+
+ImageBatch
+SyntheticImages::nextBatch(std::int64_t n)
+{
+    TBD_CHECK(n > 0, "batch size must be positive");
+    ImageBatch batch;
+    batch.images = tensor::Tensor(tensor::Shape{n, channels_, size_, size_});
+    batch.labels.resize(static_cast<std::size_t>(n));
+    const std::int64_t plane = channels_ * size_ * size_;
+    for (std::int64_t i = 0; i < n; ++i) {
+        const std::int64_t label = rng_.uniformInt(0, classes_ - 1);
+        batch.labels[static_cast<std::size_t>(i)] = label;
+        const tensor::Tensor &tmpl =
+            templates_[static_cast<std::size_t>(label)];
+        for (std::int64_t j = 0; j < plane; ++j) {
+            batch.images.at(i * plane + j) =
+                tmpl.at(j) + 0.5f * static_cast<float>(rng_.normal());
+        }
+    }
+    return batch;
+}
+
+SyntheticTranslation::SyntheticTranslation(std::int64_t vocab,
+                                           std::int64_t seqLen,
+                                           std::uint64_t seed)
+    : vocab_(vocab), seqLen_(seqLen), rng_(seed)
+{
+    TBD_CHECK(vocab >= 4 && seqLen >= 1,
+              "invalid synthetic translation config");
+}
+
+SequenceBatch
+SyntheticTranslation::nextBatch(std::int64_t n)
+{
+    TBD_CHECK(n > 0, "batch size must be positive");
+    SequenceBatch batch;
+    batch.src = tensor::Tensor(tensor::Shape{n, seqLen_});
+    batch.tgt = tensor::Tensor(tensor::Shape{n, seqLen_});
+    batch.tgtIds.resize(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+        auto &ids = batch.tgtIds[static_cast<std::size_t>(i)];
+        ids.resize(static_cast<std::size_t>(seqLen_));
+        for (std::int64_t t = 0; t < seqLen_; ++t) {
+            const std::int64_t tok = rng_.uniformInt(0, vocab_ - 1);
+            // "Translation" rule: shift by 1 mod vocab. Learnable by a
+            // per-token map, and sequence context helps RNNs refine it.
+            const std::int64_t out = (tok + 1) % vocab_;
+            batch.src.at(i * seqLen_ + t) = static_cast<float>(tok);
+            batch.tgt.at(i * seqLen_ + t) = static_cast<float>(out);
+            ids[static_cast<std::size_t>(t)] = out;
+        }
+    }
+    return batch;
+}
+
+SyntheticAudio::SyntheticAudio(std::int64_t alphabet, std::int64_t frames,
+                               std::int64_t featDim, std::int64_t labelLen,
+                               std::uint64_t seed)
+    : alphabet_(alphabet), frames_(frames), featDim_(featDim),
+      labelLen_(labelLen), rng_(seed)
+{
+    TBD_CHECK(alphabet >= 2 && featDim >= 2, "invalid audio config");
+    TBD_CHECK(frames >= 2 * labelLen + 1,
+              "frames must cover the CTC-extended label");
+}
+
+AudioBatch
+SyntheticAudio::nextBatch(std::int64_t n)
+{
+    TBD_CHECK(n > 0, "batch size must be positive");
+    AudioBatch batch;
+    batch.features = tensor::Tensor(tensor::Shape{n, frames_, featDim_});
+    batch.labels.resize(static_cast<std::size_t>(n));
+    const std::int64_t span = frames_ / labelLen_;
+    for (std::int64_t i = 0; i < n; ++i) {
+        auto &label = batch.labels[static_cast<std::size_t>(i)];
+        label.resize(static_cast<std::size_t>(labelLen_));
+        std::int64_t prev = 0;
+        for (std::int64_t s = 0; s < labelLen_; ++s) {
+            // Avoid immediate repeats so short utterances stay feasible.
+            std::int64_t sym;
+            do {
+                sym = rng_.uniformInt(1, alphabet_);
+            } while (sym == prev);
+            prev = sym;
+            label[static_cast<std::size_t>(s)] = sym;
+            // Imprint: symbol k lights up feature dim (k mod F) over its
+            // frame span.
+            const std::int64_t dim = sym % featDim_;
+            for (std::int64_t t = s * span;
+                 t < std::min((s + 1) * span, frames_); ++t) {
+                batch.features.at((i * frames_ + t) * featDim_ + dim) =
+                    2.0f;
+            }
+        }
+        // Additive noise everywhere.
+        for (std::int64_t j = 0; j < frames_ * featDim_; ++j) {
+            batch.features.at(i * frames_ * featDim_ + j) +=
+                0.3f * static_cast<float>(rng_.normal());
+        }
+    }
+    return batch;
+}
+
+} // namespace tbd::data

@@ -1,0 +1,106 @@
+#include "dist/data_parallel.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tbd::dist {
+
+std::string
+ClusterConfig::label() const
+{
+    std::string s = std::to_string(machines) + "M" +
+                    std::to_string(gpusPerMachine) + "G";
+    if (machines > 1)
+        s += " (" + network.name + ")";
+    return s;
+}
+
+ScalingResult
+simulateDataParallel(const models::ModelDesc &model,
+                     frameworks::FrameworkId framework,
+                     const gpusim::GpuSpec &gpu, std::int64_t perGpuBatch,
+                     const ClusterConfig &cluster)
+{
+    TBD_CHECK(cluster.machines >= 1 && cluster.gpusPerMachine >= 1,
+              "cluster must have at least one GPU");
+    TBD_CHECK(cluster.overlapFraction >= 0.0 &&
+                  cluster.overlapFraction <= 1.0,
+              "overlap fraction out of [0, 1]");
+
+    // Per-GPU compute from the single-GPU simulator.
+    perf::PerfSimulator sim;
+    perf::RunConfig rc;
+    rc.model = &model;
+    rc.framework = framework;
+    rc.gpu = gpu;
+    rc.batch = perGpuBatch;
+    const perf::RunResult single = sim.run(rc);
+
+    TBD_CHECK(cluster.gradientCompression >= 1.0,
+              "compression ratio must be >= 1");
+    const double grad_bytes =
+        static_cast<double>(model.describe(perGpuBatch).totalParams()) *
+        4.0 / cluster.gradientCompression;
+
+    ScalingResult result;
+    result.label = cluster.label();
+    result.totalGpus = cluster.totalGpus();
+    result.computeUs = single.iterationUs;
+
+    // Communication per iteration.
+    double comm_us = 0.0;
+    const int gpus = cluster.totalGpus();
+    if (gpus > 1) {
+        switch (cluster.strategy) {
+          case SyncStrategy::ParameterServer: {
+            // The server lives on machine 0. Every worker pushes its
+            // gradients and pulls fresh weights (2x the model size).
+            // Remote workers share the server's NIC, so their
+            // transfers serialize on it; local workers go over PCIe.
+            const int remote_workers =
+                (cluster.machines - 1) * cluster.gpusPerMachine;
+            const int local_workers = cluster.gpusPerMachine;
+            const double remote_us =
+                cluster.network.transferUs(2.0 * grad_bytes) *
+                remote_workers;
+            // Local PCIe transfers proceed concurrently with network
+            // traffic; they contend only with each other.
+            const double local_us =
+                cluster.intraNode.transferUs(2.0 * grad_bytes) *
+                local_workers;
+            comm_us = std::max(remote_us, local_us);
+            break;
+          }
+          case SyncStrategy::RingAllReduce: {
+            // Bandwidth-optimal ring: 2 * (n-1)/n of the payload over
+            // the slowest link in the ring.
+            const LinkSpec &slowest = cluster.machines > 1
+                                          ? cluster.network
+                                          : cluster.intraNode;
+            comm_us = slowest.transferUs(
+                2.0 * grad_bytes *
+                (static_cast<double>(gpus - 1) / gpus));
+            break;
+          }
+        }
+    }
+    result.commUs = comm_us;
+
+    // Layer-wise gradient exchange overlaps part of the backward pass.
+    const double overlappable =
+        cluster.overlapFraction * single.iterationUs;
+    result.exposedCommUs = std::max(0.0, comm_us - overlappable);
+    result.iterationUs = single.iterationUs + result.exposedCommUs;
+
+    result.throughputSamples =
+        static_cast<double>(perGpuBatch) * gpus /
+        (result.iterationUs * 1e-6);
+    const double single_thr = static_cast<double>(perGpuBatch) /
+                              (single.iterationUs * 1e-6);
+    result.scalingEfficiency =
+        result.throughputSamples / (single_thr * gpus);
+    return result;
+}
+
+} // namespace tbd::dist

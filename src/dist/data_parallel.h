@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Data-parallel distributed-training simulator (Sections 2.2 and 4.5):
+ * every GPU trains a full replica on its slice of the mini-batch and
+ * exchanges weight updates each iteration — via a parameter server
+ * (the MXNet kvstore path the paper uses) or a ring all-reduce.
+ * Per-GPU compute comes from the single-GPU performance simulator;
+ * this module adds the communication and overlap model that produces
+ * Fig. 10.
+ */
+
+#ifndef TBD_DIST_DATA_PARALLEL_H
+#define TBD_DIST_DATA_PARALLEL_H
+
+#include "dist/link.h"
+#include "perf/simulator.h"
+
+namespace tbd::dist {
+
+/** Weight-exchange strategies. */
+enum class SyncStrategy
+{
+    ParameterServer, ///< push gradients, pull weights (MXNet kvstore)
+    RingAllReduce    ///< bandwidth-optimal ring
+};
+
+/** Cluster shape for one scaling experiment. */
+struct ClusterConfig
+{
+    int machines = 1;
+    int gpusPerMachine = 1;
+    LinkSpec network = infiniband100G(); ///< machine-to-machine
+    LinkSpec intraNode = pcie3x16();     ///< GPU-to-host within a node
+    SyncStrategy strategy = SyncStrategy::ParameterServer;
+    /**
+     * Fraction of the backward pass the gradient exchange overlaps
+     * with (layer-wise push while earlier layers still compute).
+     */
+    double overlapFraction = 0.5;
+
+    /**
+     * Gradient-compression ratio (1 = FP32 as-is, 2 = FP16, 32 = 1-bit
+     * SGD-style). Observation 13 suggests "reducing the amount of data
+     * sent" as one remedy for slow networks; this models it.
+     */
+    double gradientCompression = 1.0;
+
+    /** Total GPUs in the cluster. */
+    int totalGpus() const { return machines * gpusPerMachine; }
+
+    /** Short display label, e.g. "2M1G (1 GbE)". */
+    std::string label() const;
+};
+
+/** Result of one distributed-training simulation. */
+struct ScalingResult
+{
+    std::string label;
+    int totalGpus = 0;
+    double computeUs = 0.0;     ///< per-GPU iteration compute
+    double commUs = 0.0;        ///< gradient/weight exchange
+    double exposedCommUs = 0.0; ///< comm not hidden behind backward
+    double iterationUs = 0.0;
+    double throughputSamples = 0.0; ///< aggregate samples/s
+    double scalingEfficiency = 0.0; ///< vs totalGpus x single-GPU
+};
+
+/**
+ * Simulate data-parallel training.
+ * @param model       Benchmark model.
+ * @param framework   Framework running each replica.
+ * @param gpu         GPU type of every worker.
+ * @param perGpuBatch Mini-batch slice per GPU.
+ * @param cluster     Cluster shape and links.
+ */
+ScalingResult simulateDataParallel(const models::ModelDesc &model,
+                                   frameworks::FrameworkId framework,
+                                   const gpusim::GpuSpec &gpu,
+                                   std::int64_t perGpuBatch,
+                                   const ClusterConfig &cluster);
+
+} // namespace tbd::dist
+
+#endif // TBD_DIST_DATA_PARALLEL_H

@@ -1,0 +1,35 @@
+#include "dist/link.h"
+
+#include "util/logging.h"
+
+namespace tbd::dist {
+
+double
+LinkSpec::transferUs(double bytes) const
+{
+    TBD_CHECK(bandwidthGBs > 0.0, "link ", name, " has no bandwidth");
+    return bytes / (bandwidthGBs * 1e9) * 1e6 + latencyUs;
+}
+
+const LinkSpec &
+pcie3x16()
+{
+    static const LinkSpec link{"PCIe 3.0 x16", 13.0, 5.0};
+    return link;
+}
+
+const LinkSpec &
+ethernet1G()
+{
+    static const LinkSpec link{"1 GbE", 0.117, 50.0};
+    return link;
+}
+
+const LinkSpec &
+infiniband100G()
+{
+    static const LinkSpec link{"InfiniBand 100Gb/s", 11.0, 2.0};
+    return link;
+}
+
+} // namespace tbd::dist

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Interconnect models for distributed training (Section 4.5): the
+ * links the paper's cluster exposes — PCIe 3.0 x16 within a machine,
+ * Ethernet and 100 Gb/s InfiniBand between machines.
+ */
+
+#ifndef TBD_DIST_LINK_H
+#define TBD_DIST_LINK_H
+
+#include <string>
+
+namespace tbd::dist {
+
+/** A bidirectional communication link. */
+struct LinkSpec
+{
+    std::string name;
+    double bandwidthGBs = 0.0; ///< effective payload bandwidth
+    double latencyUs = 0.0;    ///< per-transfer latency
+
+    /** Time to move `bytes` across the link, in microseconds. */
+    double transferUs(double bytes) const;
+};
+
+/** PCIe 3.0 x16 effective bandwidth (intra-machine GPU links). */
+const LinkSpec &pcie3x16();
+
+/**
+ * Gigabit Ethernet. The paper's "2 machines (ethernet)" configuration
+ * degrades below single-GPU throughput (Observation 13) — the
+ * signature of gradient exchange over a ~1 Gb/s path.
+ */
+const LinkSpec &ethernet1G();
+
+/** 100 Gb/s InfiniBand (Mellanox) — the paper's fast fabric. */
+const LinkSpec &infiniband100G();
+
+} // namespace tbd::dist
+
+#endif // TBD_DIST_LINK_H

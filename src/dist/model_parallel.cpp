@@ -1,0 +1,131 @@
+#include "dist/model_parallel.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "perf/lowering.h"
+#include "util/logging.h"
+
+namespace tbd::dist {
+
+namespace {
+
+/**
+ * Partition ops into `stages` contiguous groups of roughly equal
+ * forward FLOPs (greedy threshold cut — the "careful workload
+ * partitioning" Section 2.2 says model parallelism requires).
+ */
+std::vector<std::size_t>
+cutPoints(const models::Workload &workload, int stages)
+{
+    const double total = workload.totalFwdFlops();
+    std::vector<std::size_t> cuts; // index of first op of stages 1..S-1
+    double acc = 0.0;
+    int next_stage = 1;
+    for (std::size_t i = 0; i < workload.ops.size(); ++i) {
+        acc += workload.ops[i].fwdFlops;
+        if (next_stage < stages &&
+            acc >= total * next_stage / stages) {
+            cuts.push_back(i + 1);
+            ++next_stage;
+        }
+    }
+    while (static_cast<int>(cuts.size()) < stages - 1)
+        cuts.push_back(workload.ops.size() - 1);
+    return cuts;
+}
+
+/** fw+bw+update time of a sub-workload on one GPU. */
+double
+stageTimeUs(const models::Workload &stage,
+            const frameworks::FrameworkProfile &fw,
+            const gpusim::GpuSpec &gpu)
+{
+    const auto iter = perf::lowerIteration(stage, fw);
+    gpusim::GpuTimeline tl(gpu);
+    for (const auto &item : iter.items)
+        tl.launch(item.kernel, fw.launchOverheadUs + item.extraHostUs);
+    tl.sync();
+    return tl.stats().elapsedUs;
+}
+
+} // namespace
+
+ModelParallelResult
+simulateModelParallel(const models::ModelDesc &model,
+                      frameworks::FrameworkId framework,
+                      const gpusim::GpuSpec &gpu, std::int64_t batch,
+                      const ModelParallelConfig &config)
+{
+    TBD_CHECK(config.stages >= 1, "need at least one stage");
+    TBD_CHECK(!config.pipelined || config.microBatches >= 1,
+              "pipelining needs micro-batches");
+    const auto &fw = frameworks::profileFor(framework);
+    const models::Workload workload = model.describe(batch);
+    TBD_CHECK(workload.ops.size() >=
+                  static_cast<std::size_t>(config.stages),
+              model.name, " has fewer ops than stages");
+
+    const auto cuts = cutPoints(workload, config.stages);
+
+    ModelParallelResult result;
+    result.stages = config.stages;
+
+    std::size_t begin = 0;
+    for (int s = 0; s < config.stages; ++s) {
+        const std::size_t end = s + 1 < config.stages
+                                    ? cuts[static_cast<std::size_t>(s)]
+                                    : workload.ops.size();
+        models::Workload stage;
+        stage.ops.assign(workload.ops.begin() +
+                             static_cast<std::ptrdiff_t>(begin),
+                         workload.ops.begin() +
+                             static_cast<std::ptrdiff_t>(end));
+        if (stage.ops.empty()) {
+            result.stageUs.push_back(0.0);
+        } else {
+            result.stageUs.push_back(stageTimeUs(stage, fw, gpu));
+        }
+        // Activations forward + their gradients backward cross the cut.
+        if (s + 1 < config.stages && end > 0) {
+            result.transferBytes +=
+                2.0 * workload.ops[end - 1].outputElems * 4.0;
+        }
+        begin = end;
+    }
+
+    const double max_stage =
+        *std::max_element(result.stageUs.begin(), result.stageUs.end());
+    const double sum_stage = std::accumulate(result.stageUs.begin(),
+                                             result.stageUs.end(), 0.0);
+    result.balanceRatio =
+        sum_stage > 0.0
+            ? max_stage / (sum_stage / config.stages)
+            : 0.0;
+    result.transferUs = result.transferBytes > 0.0
+                            ? config.link.transferUs(result.transferBytes)
+                            : 0.0;
+
+    if (!config.pipelined || config.stages == 1) {
+        // Naive model parallelism: one batch flows through the stages
+        // sequentially; at any moment only one GPU works.
+        result.iterationUs = sum_stage + result.transferUs;
+    } else {
+        // GPipe-style: m micro-batches, steady state dominated by the
+        // slowest stage; (m + S - 1) slots of that stage's micro-time,
+        // each cut adding its per-micro-batch transfer.
+        const int m = config.microBatches;
+        const double micro_max = max_stage / m;
+        const double micro_transfer = result.transferUs / m;
+        result.iterationUs =
+            (m + config.stages - 1) * (micro_max + micro_transfer);
+    }
+
+    result.throughputSamples =
+        static_cast<double>(batch) / (result.iterationUs * 1e-6);
+    result.gpuEfficiency =
+        sum_stage / (result.iterationUs * config.stages);
+    return result;
+}
+
+} // namespace tbd::dist

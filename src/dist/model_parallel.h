@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Model-parallel training simulator — the alternative Section 2.2 of
+ * the paper describes and sets aside ("data parallelism is simpler to
+ * get right and is the predominant method"). Implemented here so that
+ * claim can be tested quantitatively: a model's ops are partitioned
+ * into contiguous stages on separate GPUs, activations (and their
+ * gradients) cross the link at every cut, and the iteration either
+ * serializes through the stages (naive) or pipelines micro-batches
+ * through them (GPipe-style).
+ */
+
+#ifndef TBD_DIST_MODEL_PARALLEL_H
+#define TBD_DIST_MODEL_PARALLEL_H
+
+#include "dist/link.h"
+#include "perf/simulator.h"
+
+namespace tbd::dist {
+
+/** Model-parallel execution configuration. */
+struct ModelParallelConfig
+{
+    int stages = 2;              ///< GPUs / pipeline stages
+    LinkSpec link = pcie3x16();  ///< stage-to-stage link
+    bool pipelined = false;      ///< GPipe-style micro-batching
+    int microBatches = 4;        ///< micro-batches when pipelined
+};
+
+/** Result of a model-parallel simulation. */
+struct ModelParallelResult
+{
+    int stages = 0;
+    std::vector<double> stageUs;     ///< per-stage fw+bw time
+    double balanceRatio = 0.0;       ///< max stage / mean stage
+    double transferBytes = 0.0;      ///< activations + gradients moved
+    double transferUs = 0.0;
+    double iterationUs = 0.0;
+    double throughputSamples = 0.0;
+    /** Fraction of GPU-seconds actually used (1 = perfect). */
+    double gpuEfficiency = 0.0;
+};
+
+/**
+ * Simulate model-parallel training of one iteration.
+ * @throws util::FatalError when the model has fewer ops than stages.
+ */
+ModelParallelResult
+simulateModelParallel(const models::ModelDesc &model,
+                      frameworks::FrameworkId framework,
+                      const gpusim::GpuSpec &gpu, std::int64_t batch,
+                      const ModelParallelConfig &config);
+
+} // namespace tbd::dist
+
+#endif // TBD_DIST_MODEL_PARALLEL_H

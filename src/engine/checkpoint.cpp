@@ -1,0 +1,98 @@
+#include "engine/checkpoint.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace tbd::engine {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x54424443; // "TBDC"
+constexpr std::uint32_t kVersion = 1;
+
+void
+writeU64(std::ostream &os, std::uint64_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+std::uint64_t
+readU64(std::istream &is)
+{
+    std::uint64_t v = 0;
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    return v;
+}
+
+} // namespace
+
+void
+saveCheckpoint(Network &net, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    TBD_CHECK(os.good(), "cannot open '", path, "' for writing");
+
+    const auto params = net.params();
+    std::uint32_t header[2] = {kMagic, kVersion};
+    os.write(reinterpret_cast<const char *>(header), sizeof(header));
+    writeU64(os, params.size());
+
+    for (layers::Param *p : params) {
+        writeU64(os, p->name.size());
+        os.write(p->name.data(),
+                 static_cast<std::streamsize>(p->name.size()));
+        const auto &dims = p->value.shape().dims();
+        writeU64(os, dims.size());
+        for (std::int64_t d : dims)
+            writeU64(os, static_cast<std::uint64_t>(d));
+        os.write(reinterpret_cast<const char *>(p->value.data()),
+                 static_cast<std::streamsize>(p->value.numel() *
+                                              sizeof(float)));
+    }
+    TBD_CHECK(os.good(), "write failure on '", path, "'");
+}
+
+void
+loadCheckpoint(Network &net, const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    TBD_CHECK(is.good(), "cannot open '", path, "' for reading");
+
+    std::uint32_t header[2] = {0, 0};
+    is.read(reinterpret_cast<char *>(header), sizeof(header));
+    TBD_CHECK(is.good() && header[0] == kMagic,
+              "'", path, "' is not a TBD checkpoint");
+    TBD_CHECK(header[1] == kVersion, "unsupported checkpoint version ",
+              header[1]);
+
+    const auto params = net.params();
+    const std::uint64_t count = readU64(is);
+    TBD_CHECK(count == params.size(), "checkpoint has ", count,
+              " parameters, network has ", params.size());
+
+    for (layers::Param *p : params) {
+        const std::uint64_t name_len = readU64(is);
+        std::string name(name_len, '\0');
+        is.read(name.data(), static_cast<std::streamsize>(name_len));
+        TBD_CHECK(name == p->name, "checkpoint parameter '", name,
+                  "' does not match network parameter '", p->name, "'");
+
+        const std::uint64_t rank = readU64(is);
+        std::vector<std::int64_t> dims(rank);
+        for (auto &d : dims)
+            d = static_cast<std::int64_t>(readU64(is));
+        TBD_CHECK(tensor::Shape(dims) == p->value.shape(),
+                  "shape mismatch for '", name, "': checkpoint ",
+                  tensor::Shape(dims).toString(), ", network ",
+                  p->value.shape().toString());
+
+        is.read(reinterpret_cast<char *>(p->value.data()),
+                static_cast<std::streamsize>(p->value.numel() *
+                                             sizeof(float)));
+        TBD_CHECK(is.good(), "truncated checkpoint '", path, "'");
+    }
+}
+
+} // namespace tbd::engine

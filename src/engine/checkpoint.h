@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Checkpointing: save/restore a Network's parameters to a simple
+ * self-describing binary format (magic, version, per-parameter name +
+ * shape + FP32 payload). Training state can thus survive process
+ * restarts — table stakes for the multi-day ImageNet runs the paper's
+ * Fig. 2 time scales imply.
+ */
+
+#ifndef TBD_ENGINE_CHECKPOINT_H
+#define TBD_ENGINE_CHECKPOINT_H
+
+#include <string>
+
+#include "engine/network.h"
+
+namespace tbd::engine {
+
+/**
+ * Write all parameters of `net` to `path`.
+ * @throws util::FatalError on I/O failure.
+ */
+void saveCheckpoint(Network &net, const std::string &path);
+
+/**
+ * Load parameters into `net` from `path`, matching by parameter name
+ * and shape.
+ * @throws util::FatalError on I/O failure, unknown format, or any
+ *         name/shape mismatch (a checkpoint for a different model).
+ */
+void loadCheckpoint(Network &net, const std::string &path);
+
+} // namespace tbd::engine
+
+#endif // TBD_ENGINE_CHECKPOINT_H

@@ -1,0 +1,61 @@
+#include "engine/network.h"
+
+#include "util/logging.h"
+
+namespace tbd::engine {
+
+Network::Network(std::string name) : name_(std::move(name)) {}
+
+Network &
+Network::add(layers::LayerPtr layer)
+{
+    TBD_CHECK(layer != nullptr, "Network::add(nullptr)");
+    layers_.push_back(std::move(layer));
+    return *this;
+}
+
+tensor::Tensor
+Network::forward(const tensor::Tensor &x, bool training)
+{
+    tensor::Tensor cur = x;
+    for (auto &layer : layers_)
+        cur = layer->forward(cur, training);
+    return cur;
+}
+
+tensor::Tensor
+Network::backward(const tensor::Tensor &dy)
+{
+    tensor::Tensor cur = dy;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+        cur = (*it)->backward(cur);
+    return cur;
+}
+
+std::vector<layers::Param *>
+Network::params()
+{
+    std::vector<layers::Param *> out;
+    for (auto &layer : layers_)
+        for (layers::Param *p : layer->params())
+            out.push_back(p);
+    return out;
+}
+
+void
+Network::zeroGrads()
+{
+    for (layers::Param *p : params())
+        p->grad.fill(0.0f);
+}
+
+std::int64_t
+Network::paramCount()
+{
+    std::int64_t n = 0;
+    for (layers::Param *p : params())
+        n += p->value.numel();
+    return n;
+}
+
+} // namespace tbd::engine

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Network container for the functional engine: an owned stack of layers
+ * with whole-model forward/backward and parameter enumeration.
+ */
+
+#ifndef TBD_ENGINE_NETWORK_H
+#define TBD_ENGINE_NETWORK_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "layers/layer.h"
+
+namespace tbd::engine {
+
+/** An owned, ordered stack of layers trained end-to-end. */
+class Network
+{
+  public:
+    /** @param name Model name used in reports. */
+    explicit Network(std::string name);
+
+    /** Append a layer; returns *this for chaining. */
+    Network &add(layers::LayerPtr layer);
+
+    /** Run all layers in order. */
+    tensor::Tensor forward(const tensor::Tensor &x, bool training);
+
+    /** Run all layers in reverse; returns dLoss/dInput. */
+    tensor::Tensor backward(const tensor::Tensor &dy);
+
+    /** All learnable parameters, in layer order. */
+    std::vector<layers::Param *> params();
+
+    /** Zero all parameter gradients. */
+    void zeroGrads();
+
+    /** Total learnable scalar count. */
+    std::int64_t paramCount();
+
+    /** Model name. */
+    const std::string &name() const { return name_; }
+
+    /** Number of top-level layers. */
+    std::size_t size() const { return layers_.size(); }
+
+  private:
+    std::string name_;
+    std::vector<layers::LayerPtr> layers_;
+};
+
+} // namespace tbd::engine
+
+#endif // TBD_ENGINE_NETWORK_H

@@ -1,0 +1,82 @@
+#include "engine/optimizer.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tbd::engine {
+
+Sgd::Sgd(float lr_) : lr(lr_)
+{
+    TBD_CHECK(lr > 0.0f, "learning rate must be positive");
+}
+
+void
+Sgd::step(const std::vector<layers::Param *> &params)
+{
+    for (layers::Param *p : params)
+        p->value.addScaled(p->grad, -lr);
+}
+
+SgdMomentum::SgdMomentum(float lr_, float momentum_, float weightDecay_)
+    : lr(lr_), momentum(momentum_), weightDecay(weightDecay_)
+{
+    TBD_CHECK(lr > 0.0f, "learning rate must be positive");
+    TBD_CHECK(momentum >= 0.0f && momentum < 1.0f, "momentum ", momentum,
+              " out of [0, 1)");
+    TBD_CHECK(weightDecay >= 0.0f, "weight decay must be non-negative");
+}
+
+void
+SgdMomentum::step(const std::vector<layers::Param *> &params)
+{
+    for (layers::Param *p : params) {
+        auto it = velocity_.find(p);
+        if (it == velocity_.end()) {
+            it = velocity_.emplace(p, tensor::Tensor(p->value.shape()))
+                     .first;
+        }
+        tensor::Tensor &v = it->second;
+        v.scale(momentum);
+        v.addScaled(p->grad, 1.0f);
+        if (weightDecay > 0.0f)
+            v.addScaled(p->value, weightDecay); // L2 penalty gradient
+        p->value.addScaled(v, -lr);
+    }
+}
+
+Adam::Adam(float lr_, float beta1, float beta2, float eps)
+    : lr(lr_), beta1_(beta1), beta2_(beta2), eps_(eps)
+{
+    TBD_CHECK(lr > 0.0f, "learning rate must be positive");
+}
+
+void
+Adam::step(const std::vector<layers::Param *> &params)
+{
+    ++t_;
+    const float bc1 =
+        1.0f - std::pow(beta1_, static_cast<float>(t_));
+    const float bc2 =
+        1.0f - std::pow(beta2_, static_cast<float>(t_));
+    for (layers::Param *p : params) {
+        auto mit = m_.find(p);
+        if (mit == m_.end()) {
+            mit = m_.emplace(p, tensor::Tensor(p->value.shape())).first;
+            v_.emplace(p, tensor::Tensor(p->value.shape()));
+        }
+        tensor::Tensor &m = mit->second;
+        tensor::Tensor &v = v_.at(p);
+        const std::int64_t n = p->value.numel();
+        for (std::int64_t i = 0; i < n; ++i) {
+            const float g = p->grad.at(i);
+            m.at(i) = beta1_ * m.at(i) + (1.0f - beta1_) * g;
+            v.at(i) = beta2_ * v.at(i) + (1.0f - beta2_) * g * g;
+            const float mhat = m.at(i) / bc1;
+            const float vhat = v.at(i) / bc2;
+            p->value.at(i) -= lr * mhat / (std::sqrt(vhat) + eps_);
+        }
+    }
+}
+
+} // namespace tbd::engine

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * First-order optimizers: SGD, SGD with momentum, and Adam.
+ *
+ * Momentum/Adam slot buffers are exactly the "dynamic" allocations the
+ * paper's MXNet memory profiler attributes to the optimizer (Fig. 9);
+ * the performance engine accounts for them through the same parameter
+ * counts these optimizers use.
+ */
+
+#ifndef TBD_ENGINE_OPTIMIZER_H
+#define TBD_ENGINE_OPTIMIZER_H
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "layers/layer.h"
+
+namespace tbd::engine {
+
+/** Abstract optimizer over a fixed parameter set. */
+class Optimizer
+{
+  public:
+    virtual ~Optimizer() = default;
+
+    /** Apply one update step using the accumulated gradients. */
+    virtual void step(const std::vector<layers::Param *> &params) = 0;
+
+    /** Set the learning rate (driven by an LrSchedule each step). */
+    virtual void setLearningRate(float lr) = 0;
+
+    /** Human-readable name. */
+    virtual std::string name() const = 0;
+
+    /** Slot-buffer scalars per parameter scalar (0, 1, or 2). */
+    virtual int slotsPerParam() const = 0;
+};
+
+/** Plain stochastic gradient descent. */
+class Sgd : public Optimizer
+{
+  public:
+    explicit Sgd(float lr);
+
+    void step(const std::vector<layers::Param *> &params) override;
+    void setLearningRate(float lr_) override { lr = lr_; }
+    std::string name() const override { return "sgd"; }
+    int slotsPerParam() const override { return 0; }
+
+    /** Learning rate (mutable for schedules). */
+    float lr;
+};
+
+/** SGD with classical momentum and optional L2 weight decay. */
+class SgdMomentum : public Optimizer
+{
+  public:
+    /**
+     * @param lr          Learning rate.
+     * @param momentum    Momentum coefficient in [0, 1).
+     * @param weightDecay L2 penalty coefficient (the ImageNet recipes
+     *                    use 1e-4).
+     */
+    SgdMomentum(float lr, float momentum = 0.9f,
+                float weightDecay = 0.0f);
+
+    void step(const std::vector<layers::Param *> &params) override;
+    void setLearningRate(float lr_) override { lr = lr_; }
+    std::string name() const override { return "sgd_momentum"; }
+    int slotsPerParam() const override { return 1; }
+
+    float lr;
+    float momentum;
+    float weightDecay;
+
+  private:
+    std::unordered_map<layers::Param *, tensor::Tensor> velocity_;
+};
+
+/** Adam (Kingma & Ba). */
+class Adam : public Optimizer
+{
+  public:
+    Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+         float eps = 1e-8f);
+
+    void step(const std::vector<layers::Param *> &params) override;
+    void setLearningRate(float lr_) override { lr = lr_; }
+    std::string name() const override { return "adam"; }
+    int slotsPerParam() const override { return 2; }
+
+    float lr;
+
+  private:
+    float beta1_, beta2_, eps_;
+    std::int64_t t_ = 0;
+    std::unordered_map<layers::Param *, tensor::Tensor> m_;
+    std::unordered_map<layers::Param *, tensor::Tensor> v_;
+};
+
+} // namespace tbd::engine
+
+#endif // TBD_ENGINE_OPTIMIZER_H

@@ -1,0 +1,63 @@
+#include "engine/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tbd::engine {
+
+ConstantLr::ConstantLr(float lr) : lr_(lr)
+{
+    TBD_CHECK(lr > 0.0f, "learning rate must be positive");
+}
+
+float
+ConstantLr::at(std::int64_t) const
+{
+    return lr_;
+}
+
+StepDecayLr::StepDecayLr(float base, std::vector<std::int64_t> boundaries,
+                         float factor)
+    : base_(base), factor_(factor), boundaries_(std::move(boundaries))
+{
+    TBD_CHECK(base > 0.0f, "learning rate must be positive");
+    TBD_CHECK(factor > 0.0f && factor < 1.0f, "decay factor must be in "
+                                              "(0, 1)");
+    TBD_CHECK(std::is_sorted(boundaries_.begin(), boundaries_.end()),
+              "decay boundaries must be ascending");
+}
+
+float
+StepDecayLr::at(std::int64_t step) const
+{
+    float lr = base_;
+    for (std::int64_t b : boundaries_) {
+        if (step >= b)
+            lr *= factor_;
+        else
+            break;
+    }
+    return lr;
+}
+
+WarmupInverseSqrtLr::WarmupInverseSqrtLr(float base,
+                                         std::int64_t warmupSteps)
+    : base_(base), warmupSteps_(warmupSteps)
+{
+    TBD_CHECK(base > 0.0f, "learning rate must be positive");
+    TBD_CHECK(warmupSteps > 0, "warmup must cover at least one step");
+}
+
+float
+WarmupInverseSqrtLr::at(std::int64_t step) const
+{
+    const auto s = static_cast<double>(std::max<std::int64_t>(step, 0));
+    const auto w = static_cast<double>(warmupSteps_);
+    if (s < w)
+        return static_cast<float>(base_ * (s + 1.0) / w);
+    return static_cast<float>(base_ * std::sqrt(w / (s + 1.0)));
+}
+
+} // namespace tbd::engine

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Learning-rate schedules. The paper's training runs (Section 3.3)
+ * follow the standard recipes of their models — step decay for the
+ * ImageNet CNNs, warmup + inverse-square-root for the Transformer —
+ * and notes that scaling mini-batches across GPUs requires adjusting
+ * the learning rate (Goyal et al.); these schedules provide those
+ * recipes for the functional engine.
+ */
+
+#ifndef TBD_ENGINE_SCHEDULE_H
+#define TBD_ENGINE_SCHEDULE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace tbd::engine {
+
+/** Abstract learning-rate schedule: iteration -> learning rate. */
+class LrSchedule
+{
+  public:
+    virtual ~LrSchedule() = default;
+
+    /** Learning rate at (0-based) iteration `step`. */
+    virtual float at(std::int64_t step) const = 0;
+};
+
+/** Constant learning rate. */
+class ConstantLr : public LrSchedule
+{
+  public:
+    explicit ConstantLr(float lr);
+    float at(std::int64_t step) const override;
+
+  private:
+    float lr_;
+};
+
+/**
+ * Step decay: multiply by `factor` at each boundary — the ImageNet
+ * recipe (e.g. x0.1 at epochs 30/60/80).
+ */
+class StepDecayLr : public LrSchedule
+{
+  public:
+    /**
+     * @param base       Initial learning rate.
+     * @param boundaries Iterations at which the rate drops (ascending).
+     * @param factor     Multiplier applied at each boundary.
+     */
+    StepDecayLr(float base, std::vector<std::int64_t> boundaries,
+                float factor = 0.1f);
+    float at(std::int64_t step) const override;
+
+  private:
+    float base_, factor_;
+    std::vector<std::int64_t> boundaries_;
+};
+
+/**
+ * Linear warmup to `base` over `warmupSteps`, then inverse-square-root
+ * decay — the Transformer (Vaswani et al.) schedule. Also the
+ * gradual-warmup trick Goyal et al. use for large-batch SGD, which the
+ * paper cites for multi-GPU scaling.
+ */
+class WarmupInverseSqrtLr : public LrSchedule
+{
+  public:
+    WarmupInverseSqrtLr(float base, std::int64_t warmupSteps);
+    float at(std::int64_t step) const override;
+
+  private:
+    float base_;
+    std::int64_t warmupSteps_;
+};
+
+} // namespace tbd::engine
+
+#endif // TBD_ENGINE_SCHEDULE_H

@@ -1,0 +1,54 @@
+#include "engine/session.h"
+
+#include <chrono>
+
+#include "util/logging.h"
+
+namespace tbd::engine {
+
+Session::Session(Network &net, Optimizer &optimizer)
+    : net_(net), optimizer_(optimizer)
+{
+}
+
+void
+Session::setSchedule(const LrSchedule *schedule)
+{
+    schedule_ = schedule;
+}
+
+StepResult
+Session::step(const tensor::Tensor &input, const LossFn &loss)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    if (schedule_)
+        optimizer_.setLearningRate(schedule_->at(iteration_));
+    net_.zeroGrads();
+    tensor::Tensor out = net_.forward(input, /*training=*/true);
+    StepResult result;
+    tensor::Tensor dout = loss(out, result);
+    net_.backward(dout);
+    optimizer_.step(net_.params());
+
+    const auto t1 = std::chrono::steady_clock::now();
+    ++iteration_;
+    history_.push_back(IterationRecord{
+        iteration_, result.loss, result.metric,
+        std::chrono::duration<double>(t1 - t0).count()});
+    return result;
+}
+
+double
+Session::recentLoss(std::size_t n) const
+{
+    if (history_.empty())
+        return 0.0;
+    const std::size_t take = std::min(n, history_.size());
+    double acc = 0.0;
+    for (std::size_t i = history_.size() - take; i < history_.size(); ++i)
+        acc += history_[i].loss;
+    return acc / static_cast<double>(take);
+}
+
+} // namespace tbd::engine

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Training session: the mini-batch SGD loop of Section 2.1 of the
+ * paper, with warm-up/stable-phase iteration accounting matching the
+ * sampling methodology of Section 3.4.2.
+ */
+
+#ifndef TBD_ENGINE_SESSION_H
+#define TBD_ENGINE_SESSION_H
+
+#include <functional>
+#include <vector>
+
+#include "engine/network.h"
+#include "engine/optimizer.h"
+#include "engine/schedule.h"
+
+namespace tbd::engine {
+
+/** One mini-batch of training data plus its typed loss closure. */
+struct StepResult
+{
+    double loss = 0.0;     ///< mean loss over the mini-batch
+    double metric = 0.0;   ///< task metric (accuracy, score, ...)
+};
+
+/**
+ * Loss adapter: given the network output for a mini-batch, compute the
+ * scalar loss (+ optional metric) and return dLoss/dOutput.
+ */
+using LossFn = std::function<tensor::Tensor(const tensor::Tensor &output,
+                                            StepResult &result)>;
+
+/** Per-iteration record kept by the session. */
+struct IterationRecord
+{
+    std::int64_t iteration = 0;
+    double loss = 0.0;
+    double metric = 0.0;
+    double wallSeconds = 0.0; ///< host wall-clock for the step
+};
+
+/** Functional training driver. */
+class Session
+{
+  public:
+    /**
+     * @param net       Network to train (not owned).
+     * @param optimizer Optimizer to apply each step (not owned).
+     */
+    Session(Network &net, Optimizer &optimizer);
+
+    /**
+     * Attach a learning-rate schedule: before every step the
+     * optimizer's rate is set to schedule.at(iteration). The schedule
+     * must outlive the session; pass nullptr to detach.
+     */
+    void setSchedule(const LrSchedule *schedule);
+
+    /**
+     * Run one training step: zero grads, forward, loss, backward,
+     * optimizer update.
+     */
+    StepResult step(const tensor::Tensor &input, const LossFn &loss);
+
+    /** History of all steps taken through this session. */
+    const std::vector<IterationRecord> &history() const { return history_; }
+
+    /** Mean loss over the last n steps (n capped at history size). */
+    double recentLoss(std::size_t n) const;
+
+    /** Total steps taken. */
+    std::int64_t iteration() const { return iteration_; }
+
+  private:
+    Network &net_;
+    Optimizer &optimizer_;
+    const LrSchedule *schedule_ = nullptr;
+    std::int64_t iteration_ = 0;
+    std::vector<IterationRecord> history_;
+};
+
+} // namespace tbd::engine
+
+#endif // TBD_ENGINE_SESSION_H

@@ -1,0 +1,51 @@
+#include "gpusim/gpu_spec.h"
+
+namespace tbd::gpusim {
+
+double
+GpuSpec::peakFlops() const
+{
+    return 2.0 * coreCount * maxClockMHz * 1e6;
+}
+
+std::uint64_t
+GpuSpec::memoryBytes() const
+{
+    return static_cast<std::uint64_t>(memoryGiB * 1024.0 * 1024.0 * 1024.0);
+}
+
+double
+GpuSpec::saturationThreads() const
+{
+    // ~100 work items per core are needed to half-fill the pipes once
+    // tiling granularity and latency hiding are accounted for; the
+    // constant is a fit against the paper's batch-size sweeps (Fig. 4)
+    // and the P4000-vs-TITAN-Xp utilization gap (Fig. 8).
+    return 100.0 * coreCount;
+}
+
+const GpuSpec &
+quadroP4000()
+{
+    static const GpuSpec spec{
+        "Quadro P4000", 14, 1792, 1480.0, 8.0, 2.0, "GDDR5", 243.0, 3802.0};
+    return spec;
+}
+
+const GpuSpec &
+titanXp()
+{
+    static const GpuSpec spec{
+        "TITAN Xp", 30, 3840, 1582.0, 12.0, 3.0, "GDDR5X", 547.6, 5705.0};
+    return spec;
+}
+
+const CpuSpec &
+xeonE52680()
+{
+    static const CpuSpec spec{"Intel Xeon E5-2680", 28, 2900.0, 128.0,
+                              76.8};
+    return spec;
+}
+
+} // namespace tbd::gpusim

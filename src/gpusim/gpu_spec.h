@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Hardware device models parameterized by Table 4 of the paper:
+ * NVIDIA Quadro P4000 and TITAN Xp GPUs plus the Intel Xeon E5-2680
+ * host. The GPU model exposes the quantities the kernel-timing model
+ * needs: peak FP32 rate, memory bandwidth, memory capacity, and the
+ * parallelism required to saturate the cores.
+ */
+
+#ifndef TBD_GPUSIM_GPU_SPEC_H
+#define TBD_GPUSIM_GPU_SPEC_H
+
+#include <cstdint>
+#include <string>
+
+namespace tbd::gpusim {
+
+/** GPU device description (Table 4 columns). */
+struct GpuSpec
+{
+    std::string name;            ///< marketing name, e.g. "Quadro P4000"
+    int multiprocessors = 0;     ///< SM count
+    int coreCount = 0;           ///< CUDA cores
+    double maxClockMHz = 0.0;    ///< boost clock
+    double memoryGiB = 0.0;      ///< device memory capacity
+    double llcMiB = 0.0;         ///< L2 cache size
+    std::string memoryBusType;   ///< e.g. "GDDR5"
+    double memoryBwGBs = 0.0;    ///< DRAM bandwidth, GB/s
+    double memorySpeedMHz = 0.0; ///< memory clock
+
+    /** Peak single-precision rate in FLOP/s (2 FLOPs/core/cycle FMA). */
+    double peakFlops() const;
+
+    /** Device memory capacity in bytes. */
+    std::uint64_t memoryBytes() const;
+
+    /**
+     * Resident threads needed to reach ~50% of peak issue rate.
+     * Scales with core count: wider GPUs need more exposed parallelism,
+     * which is what makes the same kernel achieve a *lower* fraction of
+     * peak on TITAN Xp than on P4000 (the paper's Observation 10).
+     */
+    double saturationThreads() const;
+};
+
+/** Host CPU description (Table 4 last column). */
+struct CpuSpec
+{
+    std::string name;
+    int coreCount = 0;
+    double maxClockMHz = 0.0;
+    double memoryGiB = 0.0;
+    double memoryBwGBs = 0.0;
+};
+
+/** Quadro P4000: the paper's primary evaluation GPU. */
+const GpuSpec &quadroP4000();
+
+/** TITAN Xp: the paper's hardware-sensitivity GPU (Section 4.3). */
+const GpuSpec &titanXp();
+
+/** Intel Xeon E5-2680 (28 cores): the paper's host CPU. */
+const CpuSpec &xeonE52680();
+
+/** PCIe 3.0 x16 effective host-device bandwidth in GB/s. */
+constexpr double kPcie3GBs = 13.0;
+
+} // namespace tbd::gpusim
+
+#endif // TBD_GPUSIM_GPU_SPEC_H

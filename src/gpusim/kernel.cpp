@@ -1,0 +1,74 @@
+#include "gpusim/kernel.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tbd::gpusim {
+
+const char *
+kernelCategoryName(KernelCategory c)
+{
+    switch (c) {
+      case KernelCategory::Gemm:
+        return "gemm";
+      case KernelCategory::Conv:
+        return "conv";
+      case KernelCategory::BatchNorm:
+        return "batch_norm";
+      case KernelCategory::Activation:
+        return "activation";
+      case KernelCategory::Pool:
+        return "pool";
+      case KernelCategory::Softmax:
+        return "softmax";
+      case KernelCategory::Elementwise:
+        return "elementwise";
+      case KernelCategory::RnnPointwise:
+        return "rnn_pointwise";
+      case KernelCategory::Gather:
+        return "gather";
+      case KernelCategory::Reduction:
+        return "reduction";
+      case KernelCategory::Update:
+        return "update";
+      case KernelCategory::Copy:
+        return "copy";
+    }
+    return "unknown";
+}
+
+KernelTiming
+timeKernel(const GpuSpec &gpu, const KernelDesc &kernel)
+{
+    TBD_CHECK(kernel.flops >= 0.0 && kernel.bytes >= 0.0,
+              "kernel work must be non-negative: ", kernel.name);
+    TBD_CHECK(kernel.computeEff > 0.0 && kernel.computeEff <= 1.0,
+              "computeEff out of (0, 1]: ", kernel.name);
+    TBD_CHECK(kernel.memoryEff > 0.0 && kernel.memoryEff <= 1.0,
+              "memoryEff out of (0, 1]: ", kernel.name);
+
+    const double par = std::max(kernel.parallelism, 1.0);
+    const double sat = par / (par + gpu.saturationThreads());
+
+    const double compute_us =
+        kernel.flops / (gpu.peakFlops() * kernel.computeEff * sat) * 1e6;
+    const double memory_us =
+        kernel.bytes / (gpu.memoryBwGBs * 1e9 * kernel.memoryEff) * 1e6;
+
+    KernelTiming t;
+    if (compute_us >= memory_us) {
+        t.limiter = Limiter::Compute;
+        t.durationUs = compute_us;
+    } else {
+        t.limiter = Limiter::Memory;
+        t.durationUs = memory_us;
+    }
+    if (t.durationUs < kKernelTailUs)
+        t.limiter = Limiter::Tail;
+    t.durationUs += kKernelTailUs;
+    t.fp32Util = kernel.flops / (gpu.peakFlops() * t.durationUs * 1e-6);
+    return t;
+}
+
+} // namespace tbd::gpusim

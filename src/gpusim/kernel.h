@@ -1,0 +1,85 @@
+/**
+ * @file
+ * GPU kernel descriptors and the analytic kernel-timing model.
+ *
+ * Every framework-level op lowers to one or more KernelDesc instances
+ * (the lowering lives in src/perf). A kernel's duration is the max of
+ * its compute time and its memory time — a roofline — scaled by a
+ * parallel-saturation factor, plus a fixed tail. Its FP32 utilization
+ * is *measured* from the resulting timeline exactly as the paper
+ * defines it (executed FP32 instructions / peak over active time),
+ * so low utilization emerges from small or memory-bound kernels rather
+ * than being asserted.
+ */
+
+#ifndef TBD_GPUSIM_KERNEL_H
+#define TBD_GPUSIM_KERNEL_H
+
+#include <cstdint>
+#include <string>
+
+#include "gpusim/gpu_spec.h"
+
+namespace tbd::gpusim {
+
+/** Kernel families; drives reporting and default efficiencies. */
+enum class KernelCategory
+{
+    Gemm,        ///< dense matrix multiply (cuBLAS-style)
+    Conv,        ///< implicit-GEMM convolution (cuDNN-style)
+    BatchNorm,   ///< batch-norm training kernels
+    Activation,  ///< pointwise activations
+    Pool,        ///< pooling
+    Softmax,     ///< softmax / log-softmax
+    Elementwise, ///< generic fused/unfused pointwise ops
+    RnnPointwise,///< per-step RNN gate nonlinearities
+    Gather,      ///< embedding lookup / scatter
+    Reduction,   ///< loss reductions, norms
+    Update,      ///< optimizer parameter updates
+    Copy         ///< device-side copies / transposes
+};
+
+/** Human-readable category name. */
+const char *kernelCategoryName(KernelCategory c);
+
+/** One GPU kernel invocation, as produced by op lowering. */
+struct KernelDesc
+{
+    std::string name;      ///< cuDNN/cuBLAS/framework-flavored name
+    KernelCategory category = KernelCategory::Elementwise;
+    double flops = 0.0;    ///< executed FP32 instructions (nvprof's view)
+    double bytes = 0.0;    ///< DRAM traffic in bytes
+    double parallelism = 0.0; ///< independent thread-level work items
+    double computeEff = 0.5;  ///< fraction of peak issue at saturation
+    double memoryEff = 0.7;   ///< fraction of peak DRAM bandwidth
+};
+
+/** What bounded a kernel's duration. */
+enum class Limiter { Compute, Memory, Tail };
+
+/** Timing-model output for one kernel on one device. */
+struct KernelTiming
+{
+    double durationUs = 0.0;
+    double fp32Util = 0.0; ///< flops / (duration * peak)
+    Limiter limiter = Limiter::Compute;
+};
+
+/**
+ * Roofline + saturation timing model.
+ *
+ * compute time = flops / (peak * computeEff * sat(parallelism))
+ * memory time  = bytes / (bandwidth * memoryEff)
+ * duration     = max(compute, memory) + fixed tail
+ *
+ * where sat(p) = p / (p + saturationThreads) models how small kernels
+ * cannot fill a wide GPU.
+ */
+KernelTiming timeKernel(const GpuSpec &gpu, const KernelDesc &kernel);
+
+/** Fixed per-kernel tail (drain/launch latency on-device), in us. */
+constexpr double kKernelTailUs = 1.7;
+
+} // namespace tbd::gpusim
+
+#endif // TBD_GPUSIM_KERNEL_H

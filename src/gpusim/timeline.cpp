@@ -1,0 +1,82 @@
+#include "gpusim/timeline.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tbd::gpusim {
+
+double
+TimelineStats::gpuUtilization() const
+{
+    if (elapsedUs <= 0.0)
+        return 0.0;
+    return std::min(1.0, gpuBusyUs / elapsedUs);
+}
+
+double
+TimelineStats::fp32Utilization(const GpuSpec &gpu) const
+{
+    if (gpuBusyUs <= 0.0)
+        return 0.0;
+    return totalFlops / (gpu.peakFlops() * gpuBusyUs * 1e-6);
+}
+
+GpuTimeline::GpuTimeline(GpuSpec gpu) : gpu_(std::move(gpu)) {}
+
+void
+GpuTimeline::launch(const KernelDesc &kernel, double launchCpuUs)
+{
+    TBD_CHECK(launchCpuUs >= 0.0, "negative launch cost");
+    cpuCursorUs_ += launchCpuUs;
+    cpuBusyUs_ += launchCpuUs;
+
+    const KernelTiming t = timeKernel(gpu_, kernel);
+    const double start = std::max(cpuCursorUs_, gpuCursorUs_);
+    gpuCursorUs_ = start + t.durationUs;
+    gpuBusyUs_ += t.durationUs;
+    totalFlops_ += kernel.flops;
+    execs_.push_back(KernelExec{kernel.name, kernel.category, start,
+                                t.durationUs, kernel.flops, t.fp32Util,
+                                t.limiter});
+}
+
+void
+GpuTimeline::hostCompute(double us)
+{
+    TBD_CHECK(us >= 0.0, "negative host compute");
+    cpuCursorUs_ += us;
+    cpuBusyUs_ += us;
+}
+
+void
+GpuTimeline::sync()
+{
+    cpuCursorUs_ = std::max(cpuCursorUs_, gpuCursorUs_);
+    gpuCursorUs_ = cpuCursorUs_;
+}
+
+TimelineStats
+GpuTimeline::stats() const
+{
+    TimelineStats s;
+    s.elapsedUs = std::max(cpuCursorUs_, gpuCursorUs_) - intervalStartUs_;
+    s.gpuBusyUs = gpuBusyUs_;
+    s.cpuBusyUs = cpuBusyUs_;
+    s.totalFlops = totalFlops_;
+    s.kernelCount = static_cast<std::int64_t>(execs_.size());
+    return s;
+}
+
+void
+GpuTimeline::beginInterval()
+{
+    sync();
+    intervalStartUs_ = cpuCursorUs_;
+    gpuBusyUs_ = 0.0;
+    cpuBusyUs_ = 0.0;
+    totalFlops_ = 0.0;
+    execs_.clear();
+}
+
+} // namespace tbd::gpusim

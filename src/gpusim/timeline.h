@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Discrete-event timeline of one training pipeline: a CPU thread that
+ * issues kernel launches asynchronously and a GPU that executes them
+ * back-to-back while its queue is non-empty.
+ *
+ * This is the mechanism behind the paper's utilization observations:
+ * when kernels are short relative to their CPU launch cost (RNN cells,
+ * tiny models), the queue drains and the GPU idles — GPU compute
+ * utilization drops with no explicit "utilization knob" anywhere.
+ */
+
+#ifndef TBD_GPUSIM_TIMELINE_H
+#define TBD_GPUSIM_TIMELINE_H
+
+#include <vector>
+
+#include "gpusim/kernel.h"
+
+namespace tbd::gpusim {
+
+/** One executed kernel on the timeline. */
+struct KernelExec
+{
+    std::string name;
+    KernelCategory category;
+    double startUs = 0.0;
+    double durationUs = 0.0;
+    double flops = 0.0;
+    double fp32Util = 0.0;
+    Limiter limiter = Limiter::Compute;
+};
+
+/** Aggregate statistics over a timeline interval. */
+struct TimelineStats
+{
+    double elapsedUs = 0.0;     ///< wall time (sync point)
+    double gpuBusyUs = 0.0;     ///< sum of kernel durations
+    double cpuBusyUs = 0.0;     ///< launch + frontend CPU time
+    double totalFlops = 0.0;    ///< executed FP32 instructions
+    std::int64_t kernelCount = 0;
+
+    /** Fraction of wall time with at least one kernel active (Eq. 1). */
+    double gpuUtilization() const;
+
+    /** Executed FP32 rate over GPU-active time vs peak (Eq. 2). */
+    double fp32Utilization(const GpuSpec &gpu) const;
+};
+
+/** CPU-issues / GPU-executes event simulator. */
+class GpuTimeline
+{
+  public:
+    /** @param gpu Device executing the kernels (copied). */
+    explicit GpuTimeline(GpuSpec gpu);
+
+    /**
+     * Issue one kernel: the CPU spends launchCpuUs issuing it, then the
+     * kernel runs when both the launch has happened and the GPU is
+     * free.
+     */
+    void launch(const KernelDesc &kernel, double launchCpuUs);
+
+    /** CPU-only work (framework frontend, Python glue); blocks issue. */
+    void hostCompute(double us);
+
+    /** Block the CPU until all launched kernels have finished. */
+    void sync();
+
+    /** Device this timeline runs on. */
+    const GpuSpec &gpu() const { return gpu_; }
+
+    /** Executed kernels in issue order. */
+    const std::vector<KernelExec> &executions() const { return execs_; }
+
+    /** Aggregate stats as of the last sync. */
+    TimelineStats stats() const;
+
+    /** Drop recorded history but keep clocks (used to skip warm-up). */
+    void beginInterval();
+
+  private:
+    GpuSpec gpu_;
+    double cpuCursorUs_ = 0.0; ///< when the CPU is next free
+    double gpuCursorUs_ = 0.0; ///< when the GPU is next free
+    double intervalStartUs_ = 0.0;
+    double gpuBusyUs_ = 0.0;
+    double cpuBusyUs_ = 0.0;
+    double totalFlops_ = 0.0;
+    std::vector<KernelExec> execs_;
+};
+
+} // namespace tbd::gpusim
+
+#endif // TBD_GPUSIM_TIMELINE_H

@@ -1,0 +1,87 @@
+#include "layers/activations.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tbd::layers {
+
+const char *
+actKindName(ActKind kind)
+{
+    switch (kind) {
+      case ActKind::ReLU:
+        return "relu";
+      case ActKind::LeakyReLU:
+        return "leaky_relu";
+      case ActKind::Sigmoid:
+        return "sigmoid";
+      case ActKind::Tanh:
+        return "tanh";
+    }
+    return "unknown";
+}
+
+Activation::Activation(std::string name, ActKind kind, float slope)
+    : Layer(std::move(name)), kind_(kind), slope_(slope)
+{
+}
+
+tensor::Tensor
+Activation::forward(const tensor::Tensor &x, bool training)
+{
+    tensor::Tensor y;
+    switch (kind_) {
+      case ActKind::ReLU:
+        y = tensor::map(x, [](float v) { return v > 0.0f ? v : 0.0f; });
+        break;
+      case ActKind::LeakyReLU: {
+        const float s = slope_;
+        y = tensor::map(x, [s](float v) { return v > 0.0f ? v : s * v; });
+        break;
+      }
+      case ActKind::Sigmoid:
+        y = tensor::map(
+            x, [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+        break;
+      case ActKind::Tanh:
+        y = tensor::map(x, [](float v) { return std::tanh(v); });
+        break;
+    }
+    if (training) {
+        savedInput_ = x;
+        savedOutput_ = y;
+    }
+    return y;
+}
+
+tensor::Tensor
+Activation::backward(const tensor::Tensor &dy)
+{
+    TBD_CHECK(savedOutput_.defined(),
+              "Activation::backward without training forward");
+    switch (kind_) {
+      case ActKind::ReLU:
+        return tensor::zip(dy, savedInput_, [](float g, float v) {
+            return v > 0.0f ? g : 0.0f;
+        });
+      case ActKind::LeakyReLU: {
+        const float s = slope_;
+        return tensor::zip(dy, savedInput_, [s](float g, float v) {
+            return v > 0.0f ? g : s * g;
+        });
+      }
+      case ActKind::Sigmoid:
+        return tensor::zip(dy, savedOutput_, [](float g, float y) {
+            return g * y * (1.0f - y);
+        });
+      case ActKind::Tanh:
+        return tensor::zip(dy, savedOutput_, [](float g, float y) {
+            return g * (1.0f - y * y);
+        });
+    }
+    TBD_PANIC("unreachable activation kind");
+}
+
+} // namespace tbd::layers

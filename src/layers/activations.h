@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Pointwise activation layers (ReLU, LeakyReLU, Sigmoid, Tanh).
+ *
+ * These correspond to the `activation_fw/bw` cuDNN kernels the paper's
+ * kernel tables surface — cheap in FLOPs, memory-bound on GPU.
+ */
+
+#ifndef TBD_LAYERS_ACTIVATIONS_H
+#define TBD_LAYERS_ACTIVATIONS_H
+
+#include "layers/layer.h"
+
+namespace tbd::layers {
+
+/** Supported pointwise activation functions. */
+enum class ActKind { ReLU, LeakyReLU, Sigmoid, Tanh };
+
+/** Human-readable activation name ("relu", ...). */
+const char *actKindName(ActKind kind);
+
+/** Pointwise activation layer. */
+class Activation : public Layer
+{
+  public:
+    /**
+     * @param name  Instance name.
+     * @param kind  Which function to apply.
+     * @param slope Negative-side slope (LeakyReLU only).
+     */
+    Activation(std::string name, ActKind kind, float slope = 0.01f);
+
+    tensor::Tensor forward(const tensor::Tensor &x, bool training) override;
+    tensor::Tensor backward(const tensor::Tensor &dy) override;
+
+    /** Activation kind. */
+    ActKind kind() const { return kind_; }
+
+  private:
+    ActKind kind_;
+    float slope_;
+    tensor::Tensor savedOutput_; ///< stashed feature map for backward
+    tensor::Tensor savedInput_;  ///< needed for ReLU-family backward
+};
+
+} // namespace tbd::layers
+
+#endif // TBD_LAYERS_ACTIVATIONS_H

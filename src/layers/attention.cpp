@@ -1,0 +1,179 @@
+#include "layers/attention.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tbd::layers {
+
+namespace {
+
+/**
+ * Extract one head's [T, dHead] block for batch item n from a packed
+ * [N*T, D] projection.
+ */
+tensor::Tensor
+headSlice(const tensor::Tensor &packed, std::int64_t n, std::int64_t h,
+          std::int64_t T, std::int64_t dHead, std::int64_t D)
+{
+    tensor::Tensor out(tensor::Shape{T, dHead});
+    const float *src = packed.data();
+    float *dst = out.data();
+    for (std::int64_t t = 0; t < T; ++t)
+        std::copy(src + (n * T + t) * D + h * dHead,
+                  src + (n * T + t) * D + (h + 1) * dHead, dst + t * dHead);
+    return out;
+}
+
+/** Scatter-add one head's [T, dHead] gradient back into [N*T, D]. */
+void
+headScatterAdd(tensor::Tensor &packed, const tensor::Tensor &block,
+               std::int64_t n, std::int64_t h, std::int64_t T,
+               std::int64_t dHead, std::int64_t D)
+{
+    const float *src = block.data();
+    float *dst = packed.data();
+    for (std::int64_t t = 0; t < T; ++t)
+        for (std::int64_t j = 0; j < dHead; ++j)
+            dst[(n * T + t) * D + h * dHead + j] += src[t * dHead + j];
+}
+
+} // namespace
+
+MultiHeadAttention::MultiHeadAttention(std::string name, std::int64_t dModel,
+                                       std::int64_t heads, util::Rng &rng,
+                                       bool causal)
+    : Layer(std::move(name)), dModel_(dModel), heads_(heads),
+      dHead_(dModel / heads), causal_(causal)
+{
+    TBD_CHECK(dModel > 0 && heads > 0 && dModel % heads == 0,
+              "dModel ", dModel, " must be divisible by heads ", heads);
+    const float bound = std::sqrt(6.0f / static_cast<float>(2 * dModel));
+    auto init = [&](Param &p, const char *suffix) {
+        p.name = this->name() + suffix;
+        p.value = tensor::Tensor(tensor::Shape{dModel, dModel});
+        p.grad = tensor::Tensor(tensor::Shape{dModel, dModel});
+        p.value.fillUniform(rng, -bound, bound);
+    };
+    init(wq_, ".wq");
+    init(wk_, ".wk");
+    init(wv_, ".wv");
+    init(wo_, ".wo");
+}
+
+tensor::Tensor
+MultiHeadAttention::forward(const tensor::Tensor &x, bool training)
+{
+    TBD_CHECK(x.shape().rank() == 3 && x.shape().dim(2) == dModel_,
+              "attention input must be [N, T, ", dModel_, "], got ",
+              x.shape().toString());
+    const auto N = x.shape().dim(0), T = x.shape().dim(1);
+
+    tensor::Tensor x2 = x.reshaped(tensor::Shape{N * T, dModel_});
+    tensor::Tensor q = tensor::matmul(x2, wq_.value);
+    tensor::Tensor k = tensor::matmul(x2, wk_.value);
+    tensor::Tensor v = tensor::matmul(x2, wv_.value);
+
+    tensor::Tensor ctx(tensor::Shape{N * T, dModel_});
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dHead_));
+
+    if (training) {
+        savedAttn_.clear();
+        savedAttn_.reserve(static_cast<std::size_t>(N * heads_));
+    }
+
+    for (std::int64_t n = 0; n < N; ++n) {
+        for (std::int64_t h = 0; h < heads_; ++h) {
+            tensor::Tensor qh = headSlice(q, n, h, T, dHead_, dModel_);
+            tensor::Tensor kh = headSlice(k, n, h, T, dHead_, dModel_);
+            tensor::Tensor vh = headSlice(v, n, h, T, dHead_, dModel_);
+
+            tensor::Tensor scores = tensor::matmulNT(qh, kh); // [T, T]
+            scores.scale(scale);
+            if (causal_) {
+                for (std::int64_t i = 0; i < T; ++i)
+                    for (std::int64_t j = i + 1; j < T; ++j)
+                        scores.at2(i, j) = -1e30f;
+            }
+            tensor::Tensor attn = tensor::softmaxRows(scores);
+            tensor::Tensor ctx_h = tensor::matmul(attn, vh); // [T, dHead]
+            headScatterAdd(ctx, ctx_h, n, h, T, dHead_, dModel_);
+            if (training)
+                savedAttn_.push_back(attn);
+        }
+    }
+
+    tensor::Tensor y2 = tensor::matmul(ctx, wo_.value);
+    if (training) {
+        savedX2_ = x2;
+        savedQ_ = q;
+        savedK_ = k;
+        savedV_ = v;
+        savedCtx_ = ctx;
+        savedInputShape_ = x.shape();
+    }
+    return y2.reshaped(tensor::Shape{N, T, dModel_});
+}
+
+tensor::Tensor
+MultiHeadAttention::backward(const tensor::Tensor &dy)
+{
+    TBD_CHECK(savedX2_.defined(),
+              "MultiHeadAttention::backward without training forward");
+    const auto N = savedInputShape_.dim(0), T = savedInputShape_.dim(1);
+    tensor::Tensor dy2 = dy.reshaped(tensor::Shape{N * T, dModel_});
+
+    // Output projection.
+    wo_.grad.addScaled(tensor::matmulTN(savedCtx_, dy2), 1.0f);
+    tensor::Tensor dctx = tensor::matmulNT(dy2, wo_.value);
+
+    tensor::Tensor dq(tensor::Shape{N * T, dModel_});
+    tensor::Tensor dk(tensor::Shape{N * T, dModel_});
+    tensor::Tensor dv(tensor::Shape{N * T, dModel_});
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dHead_));
+
+    for (std::int64_t n = 0; n < N; ++n) {
+        for (std::int64_t h = 0; h < heads_; ++h) {
+            const tensor::Tensor &attn =
+                savedAttn_[static_cast<std::size_t>(n * heads_ + h)];
+            tensor::Tensor qh = headSlice(savedQ_, n, h, T, dHead_, dModel_);
+            tensor::Tensor kh = headSlice(savedK_, n, h, T, dHead_, dModel_);
+            tensor::Tensor vh = headSlice(savedV_, n, h, T, dHead_, dModel_);
+            tensor::Tensor dctx_h =
+                headSlice(dctx, n, h, T, dHead_, dModel_);
+
+            // ctx = attn * v
+            tensor::Tensor dattn = tensor::matmulNT(dctx_h, vh); // [T, T]
+            tensor::Tensor dvh = tensor::matmulTN(attn, dctx_h);
+            // attn = softmax(scores)
+            tensor::Tensor dscores =
+                tensor::softmaxRowsBackward(attn, dattn);
+            dscores.scale(scale);
+            // scores = q k^T
+            tensor::Tensor dqh = tensor::matmul(dscores, kh);
+            tensor::Tensor dkh = tensor::matmulTN(dscores, qh);
+
+            headScatterAdd(dq, dqh, n, h, T, dHead_, dModel_);
+            headScatterAdd(dk, dkh, n, h, T, dHead_, dModel_);
+            headScatterAdd(dv, dvh, n, h, T, dHead_, dModel_);
+        }
+    }
+
+    wq_.grad.addScaled(tensor::matmulTN(savedX2_, dq), 1.0f);
+    wk_.grad.addScaled(tensor::matmulTN(savedX2_, dk), 1.0f);
+    wv_.grad.addScaled(tensor::matmulTN(savedX2_, dv), 1.0f);
+
+    tensor::Tensor dx2 = tensor::matmulNT(dq, wq_.value);
+    dx2.addScaled(tensor::matmulNT(dk, wk_.value), 1.0f);
+    dx2.addScaled(tensor::matmulNT(dv, wv_.value), 1.0f);
+    return dx2.reshaped(savedInputShape_);
+}
+
+std::vector<Param *>
+MultiHeadAttention::params()
+{
+    return {&wq_, &wk_, &wv_, &wo_};
+}
+
+} // namespace tbd::layers

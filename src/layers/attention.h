@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Multi-head scaled-dot-product self-attention.
+ *
+ * The paper contrasts the Transformer's attention layers with LSTM
+ * layers (Observation 5): attention exposes batch*heads*T^2 parallel
+ * work per layer with no sequential dependency, which is why it keeps
+ * GPUs busy where LSTMs cannot. This functional implementation is the
+ * counterpart the performance model lowers to large GEMMs.
+ */
+
+#ifndef TBD_LAYERS_ATTENTION_H
+#define TBD_LAYERS_ATTENTION_H
+
+#include "layers/layer.h"
+#include "util/rng.h"
+
+namespace tbd::layers {
+
+/** Multi-head self-attention over [N, T, D] with optional causal mask. */
+class MultiHeadAttention : public Layer
+{
+  public:
+    /**
+     * @param name   Instance name.
+     * @param dModel Model width D (must be divisible by heads).
+     * @param heads  Head count.
+     * @param rng    Initializer stream.
+     * @param causal Mask future positions (decoder self-attention).
+     */
+    MultiHeadAttention(std::string name, std::int64_t dModel,
+                       std::int64_t heads, util::Rng &rng,
+                       bool causal = false);
+
+    tensor::Tensor forward(const tensor::Tensor &x, bool training) override;
+    tensor::Tensor backward(const tensor::Tensor &dy) override;
+    std::vector<Param *> params() override;
+
+  private:
+    std::int64_t dModel_, heads_, dHead_;
+    bool causal_;
+    Param wq_, wk_, wv_, wo_; ///< [D, D] projections
+
+    // Training caches.
+    tensor::Tensor savedX2_;   ///< [N*T, D]
+    tensor::Tensor savedQ_;    ///< [N*T, D]
+    tensor::Tensor savedK_;
+    tensor::Tensor savedV_;
+    tensor::Tensor savedCtx_;  ///< concatenated head contexts [N*T, D]
+    std::vector<tensor::Tensor> savedAttn_; ///< per (n, head): [T, T]
+    tensor::Shape savedInputShape_;
+};
+
+} // namespace tbd::layers
+
+#endif // TBD_LAYERS_ATTENTION_H

@@ -1,0 +1,146 @@
+#include "layers/composite.h"
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tbd::layers {
+
+Sequential::Sequential(std::string name) : Layer(std::move(name)) {}
+
+Sequential &
+Sequential::add(LayerPtr layer)
+{
+    TBD_CHECK(layer != nullptr, "Sequential::add(nullptr)");
+    children_.push_back(std::move(layer));
+    return *this;
+}
+
+Layer &
+Sequential::child(std::size_t i)
+{
+    TBD_CHECK(i < children_.size(), "child index ", i, " out of ",
+              children_.size());
+    return *children_[i];
+}
+
+tensor::Tensor
+Sequential::forward(const tensor::Tensor &x, bool training)
+{
+    tensor::Tensor cur = x;
+    for (auto &child : children_)
+        cur = child->forward(cur, training);
+    return cur;
+}
+
+tensor::Tensor
+Sequential::backward(const tensor::Tensor &dy)
+{
+    tensor::Tensor cur = dy;
+    for (auto it = children_.rbegin(); it != children_.rend(); ++it)
+        cur = (*it)->backward(cur);
+    return cur;
+}
+
+std::vector<Param *>
+Sequential::params()
+{
+    std::vector<Param *> out;
+    for (auto &child : children_)
+        for (Param *p : child->params())
+            out.push_back(p);
+    return out;
+}
+
+Residual::Residual(std::string name, LayerPtr body, LayerPtr shortcut)
+    : Layer(std::move(name)), body_(std::move(body)),
+      shortcut_(std::move(shortcut))
+{
+    TBD_CHECK(body_ != nullptr, "Residual body must not be null");
+}
+
+tensor::Tensor
+Residual::forward(const tensor::Tensor &x, bool training)
+{
+    tensor::Tensor main = body_->forward(x, training);
+    tensor::Tensor side =
+        shortcut_ ? shortcut_->forward(x, training) : x;
+    TBD_CHECK(main.shape() == side.shape(),
+              "residual branch shapes differ: ", main.shape().toString(),
+              " vs ", side.shape().toString());
+    return tensor::zip(main, side, [](float a, float b) { return a + b; });
+}
+
+tensor::Tensor
+Residual::backward(const tensor::Tensor &dy)
+{
+    tensor::Tensor dx = body_->backward(dy);
+    if (shortcut_) {
+        dx.addScaled(shortcut_->backward(dy), 1.0f);
+    } else {
+        dx.addScaled(dy, 1.0f);
+    }
+    return dx;
+}
+
+std::vector<Param *>
+Residual::params()
+{
+    std::vector<Param *> out = body_->params();
+    if (shortcut_)
+        for (Param *p : shortcut_->params())
+            out.push_back(p);
+    return out;
+}
+
+ConcatBranches::ConcatBranches(std::string name,
+                               std::vector<LayerPtr> branches)
+    : Layer(std::move(name)), branches_(std::move(branches))
+{
+    TBD_CHECK(!branches_.empty(), "ConcatBranches needs >= 1 branch");
+    for (const auto &b : branches_)
+        TBD_CHECK(b != nullptr, "ConcatBranches branch must not be null");
+}
+
+tensor::Tensor
+ConcatBranches::forward(const tensor::Tensor &x, bool training)
+{
+    std::vector<tensor::Tensor> outs;
+    outs.reserve(branches_.size());
+    savedChannelSplits_.clear();
+    for (auto &b : branches_) {
+        outs.push_back(b->forward(x, training));
+        savedChannelSplits_.push_back(outs.back().shape().dim(1));
+    }
+    return tensor::concatAxis1(outs);
+}
+
+tensor::Tensor
+ConcatBranches::backward(const tensor::Tensor &dy)
+{
+    TBD_CHECK(!savedChannelSplits_.empty(),
+              "ConcatBranches::backward without training forward");
+    std::vector<tensor::Tensor> parts =
+        tensor::splitAxis1(dy, savedChannelSplits_);
+    tensor::Tensor dx;
+    for (std::size_t i = 0; i < branches_.size(); ++i) {
+        tensor::Tensor d = branches_[i]->backward(parts[i]);
+        if (!dx.defined()) {
+            dx = d.clone();
+        } else {
+            dx.addScaled(d, 1.0f);
+        }
+    }
+    return dx;
+}
+
+std::vector<Param *>
+ConcatBranches::params()
+{
+    std::vector<Param *> out;
+    for (auto &b : branches_)
+        for (Param *p : b->params())
+            out.push_back(p);
+    return out;
+}
+
+} // namespace tbd::layers

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Composite layers: Sequential containers, residual blocks (ResNet /
+ * WGAN), and channel-concat branch blocks (Inception).
+ */
+
+#ifndef TBD_LAYERS_COMPOSITE_H
+#define TBD_LAYERS_COMPOSITE_H
+
+#include "layers/layer.h"
+
+namespace tbd::layers {
+
+/** Runs child layers in order; owns them. */
+class Sequential : public Layer
+{
+  public:
+    explicit Sequential(std::string name);
+
+    /** Append a child layer; returns *this for chaining. */
+    Sequential &add(LayerPtr layer);
+
+    tensor::Tensor forward(const tensor::Tensor &x, bool training) override;
+    tensor::Tensor backward(const tensor::Tensor &dy) override;
+    std::vector<Param *> params() override;
+
+    /** Number of direct children. */
+    std::size_t size() const { return children_.size(); }
+
+    /** Access a direct child. */
+    Layer &child(std::size_t i);
+
+  private:
+    std::vector<LayerPtr> children_;
+};
+
+/**
+ * Residual block: y = body(x) + shortcut(x).
+ * A null shortcut means identity (shapes must then match).
+ */
+class Residual : public Layer
+{
+  public:
+    Residual(std::string name, LayerPtr body, LayerPtr shortcut = nullptr);
+
+    tensor::Tensor forward(const tensor::Tensor &x, bool training) override;
+    tensor::Tensor backward(const tensor::Tensor &dy) override;
+    std::vector<Param *> params() override;
+
+  private:
+    LayerPtr body_;
+    LayerPtr shortcut_; ///< nullptr = identity
+};
+
+/** Parallel branches concatenated along the channel axis (axis 1). */
+class ConcatBranches : public Layer
+{
+  public:
+    ConcatBranches(std::string name, std::vector<LayerPtr> branches);
+
+    tensor::Tensor forward(const tensor::Tensor &x, bool training) override;
+    tensor::Tensor backward(const tensor::Tensor &dy) override;
+    std::vector<Param *> params() override;
+
+  private:
+    std::vector<LayerPtr> branches_;
+    std::vector<std::int64_t> savedChannelSplits_;
+};
+
+} // namespace tbd::layers
+
+#endif // TBD_LAYERS_COMPOSITE_H

@@ -1,0 +1,117 @@
+#include "layers/conv.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tbd::layers {
+
+Conv2d::Conv2d(std::string name, std::int64_t inC, std::int64_t outC,
+               std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+               util::Rng &rng, bool useBias)
+    : Conv2d(std::move(name), inC, outC,
+             ConvSpec{kernel, kernel, stride, stride, pad, pad}, rng,
+             useBias)
+{
+}
+
+Conv2d::Conv2d(std::string name, std::int64_t inC, std::int64_t outC,
+               const ConvSpec &spec, util::Rng &rng, bool useBias)
+    : Layer(std::move(name)), inC_(inC), outC_(outC), spec_(spec),
+      useBias_(useBias)
+{
+    TBD_CHECK(inC > 0 && outC > 0 && spec.kH > 0 && spec.kW > 0 &&
+                  spec.strideH > 0 && spec.strideW > 0 && spec.padH >= 0 &&
+                  spec.padW >= 0,
+              "invalid conv geometry");
+    const std::int64_t fan_in = inC * spec.kH * spec.kW;
+    weight_.name = this->name() + ".weight";
+    weight_.value = tensor::Tensor(tensor::Shape{outC, fan_in});
+    weight_.grad = tensor::Tensor(tensor::Shape{outC, fan_in});
+    weight_.value.fillNormal(
+        rng, 0.0f, std::sqrt(2.0f / static_cast<float>(fan_in))); // He init
+
+    bias_.name = this->name() + ".bias";
+    bias_.value = tensor::Tensor(tensor::Shape{outC});
+    bias_.grad = tensor::Tensor(tensor::Shape{outC});
+}
+
+tensor::Tensor
+Conv2d::forward(const tensor::Tensor &x, bool training)
+{
+    TBD_CHECK(x.shape().rank() == 4 && x.shape().dim(1) == inC_,
+              "conv input must be [N, ", inC_, ", H, W], got ",
+              x.shape().toString());
+    const auto N = x.shape().dim(0);
+    geom_ = tensor::Conv2dGeom{inC_,         x.shape().dim(2),
+                               x.shape().dim(3), outC_,
+                               spec_.kH,     spec_.kW,
+                               spec_.strideH, spec_.strideW,
+                               spec_.padH,   spec_.padW};
+    const auto oh = geom_.outH(), ow = geom_.outW();
+
+    // cols: [N*oh*ow, inC*kH*kW]; weight^T: [inC*kH*kW, outC].
+    tensor::Tensor cols = tensor::im2col(x, geom_);
+    tensor::Tensor y2 =
+        tensor::matmulNT(cols, weight_.value); // [N*oh*ow, outC]
+    if (useBias_)
+        tensor::addRowBias(y2, bias_.value);
+
+    if (training) {
+        savedCols_ = cols;
+        savedInputShape_ = x.shape();
+    }
+
+    // Rearrange [N*oh*ow, outC] -> [N, outC, oh, ow].
+    tensor::Tensor y(tensor::Shape{N, outC_, oh, ow});
+    const float *src = y2.data();
+    float *dst = y.data();
+    for (std::int64_t n = 0; n < N; ++n)
+        for (std::int64_t p = 0; p < oh * ow; ++p)
+            for (std::int64_t c = 0; c < outC_; ++c)
+                dst[(n * outC_ + c) * oh * ow + p] =
+                    src[(n * oh * ow + p) * outC_ + c];
+    return y;
+}
+
+tensor::Tensor
+Conv2d::backward(const tensor::Tensor &dy)
+{
+    TBD_CHECK(savedCols_.defined(),
+              "Conv2d::backward without training forward");
+    const auto N = savedInputShape_.dim(0);
+    const auto oh = geom_.outH(), ow = geom_.outW();
+    TBD_CHECK(dy.shape() == tensor::Shape({N, outC_, oh, ow}),
+              "conv backward gradient shape mismatch: ",
+              dy.shape().toString());
+
+    // Rearrange dy [N, outC, oh, ow] -> [N*oh*ow, outC].
+    tensor::Tensor dy2(tensor::Shape{N * oh * ow, outC_});
+    const float *src = dy.data();
+    float *dst = dy2.data();
+    for (std::int64_t n = 0; n < N; ++n)
+        for (std::int64_t c = 0; c < outC_; ++c)
+            for (std::int64_t p = 0; p < oh * ow; ++p)
+                dst[(n * oh * ow + p) * outC_ + c] =
+                    src[(n * outC_ + c) * oh * ow + p];
+
+    // wgrad: dW = dy2^T cols  -> [outC, inC*kH*kW].
+    weight_.grad.addScaled(tensor::matmulTN(dy2, savedCols_), 1.0f);
+    if (useBias_)
+        bias_.grad.addScaled(tensor::sumRows(dy2), 1.0f);
+
+    // dgrad: dcols = dy2 W -> [N*oh*ow, inC*kH*kW], then col2im.
+    tensor::Tensor dcols = tensor::matmul(dy2, weight_.value);
+    return tensor::col2im(dcols, N, geom_);
+}
+
+std::vector<Param *>
+Conv2d::params()
+{
+    if (useBias_)
+        return {&weight_, &bias_};
+    return {&weight_};
+}
+
+} // namespace tbd::layers

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * 2-D convolution layer (NCHW), lowered to GEMM via im2col — the same
+ * strategy as cuDNN's implicit-GEMM algorithms, so the functional engine
+ * and the GPU kernel model agree on the work a convolution represents.
+ */
+
+#ifndef TBD_LAYERS_CONV_H
+#define TBD_LAYERS_CONV_H
+
+#include "layers/layer.h"
+#include "tensor/ops.h"
+
+namespace tbd::util {
+class Rng;
+} // namespace tbd::util
+
+namespace tbd::layers {
+
+/** Rectangular convolution geometry (kernel / stride / padding). */
+struct ConvSpec
+{
+    std::int64_t kH = 3, kW = 3;
+    std::int64_t strideH = 1, strideW = 1;
+    std::int64_t padH = 0, padW = 0;
+};
+
+/** 2-D convolution with optional bias. */
+class Conv2d : public Layer
+{
+  public:
+    /**
+     * Square-kernel convenience constructor.
+     * @param name    Instance name.
+     * @param inC     Input channels.
+     * @param outC    Output channels.
+     * @param kernel  Square kernel size.
+     * @param stride  Stride in both dimensions.
+     * @param pad     Zero padding in both dimensions.
+     * @param rng     Initializer stream (He-normal weights).
+     * @param useBias Whether to add a per-channel bias.
+     */
+    Conv2d(std::string name, std::int64_t inC, std::int64_t outC,
+           std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+           util::Rng &rng, bool useBias = false);
+
+    /**
+     * Rectangular constructor — Deep Speech 2's 41x11 / 21x11
+     * time-frequency filters and Inception's 1x7/7x1 factorizations.
+     */
+    Conv2d(std::string name, std::int64_t inC, std::int64_t outC,
+           const ConvSpec &spec, util::Rng &rng, bool useBias = false);
+
+    tensor::Tensor forward(const tensor::Tensor &x, bool training) override;
+    tensor::Tensor backward(const tensor::Tensor &dy) override;
+    std::vector<Param *> params() override;
+
+    /** Output channels. */
+    std::int64_t outChannels() const { return outC_; }
+
+  private:
+    std::int64_t inC_, outC_;
+    ConvSpec spec_;
+    bool useBias_;
+    Param weight_; ///< [outC, inC * kH * kW]
+    Param bias_;   ///< [outC]
+    tensor::Conv2dGeom geom_{};
+    tensor::Tensor savedCols_; ///< im2col expansion of the input
+    tensor::Shape savedInputShape_;
+};
+
+} // namespace tbd::layers
+
+#endif // TBD_LAYERS_CONV_H

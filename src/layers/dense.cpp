@@ -1,0 +1,76 @@
+#include "layers/dense.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tbd::layers {
+
+FullyConnected::FullyConnected(std::string name, std::int64_t inF,
+                               std::int64_t outF, util::Rng &rng,
+                               bool useBias)
+    : Layer(std::move(name)), inF_(inF), outF_(outF), useBias_(useBias)
+{
+    TBD_CHECK(inF > 0 && outF > 0, "dense layer dims must be positive");
+    weight_.name = this->name() + ".weight";
+    weight_.value = tensor::Tensor(tensor::Shape{inF, outF});
+    weight_.grad = tensor::Tensor(tensor::Shape{inF, outF});
+    const float bound =
+        std::sqrt(6.0f / static_cast<float>(inF + outF)); // Xavier
+    weight_.value.fillUniform(rng, -bound, bound);
+
+    bias_.name = this->name() + ".bias";
+    bias_.value = tensor::Tensor(tensor::Shape{outF});
+    bias_.grad = tensor::Tensor(tensor::Shape{outF});
+}
+
+tensor::Tensor
+FullyConnected::forward(const tensor::Tensor &x, bool training)
+{
+    TBD_CHECK(x.numel() % inF_ == 0, "dense input ", x.shape().toString(),
+              " is not divisible by inF=", inF_);
+    const std::int64_t rows = x.numel() / inF_;
+    tensor::Tensor x2 = x.reshaped(tensor::Shape{rows, inF_});
+    tensor::Tensor y = tensor::matmul(x2, weight_.value);
+    if (useBias_)
+        tensor::addRowBias(y, bias_.value);
+    if (training) {
+        savedInput2d_ = x2;
+        savedInputShape_ = x.shape();
+    }
+    // Preserve leading axes: replace the last axis with outF.
+    std::vector<std::int64_t> out_dims = x.shape().dims();
+    out_dims.back() = outF_;
+    if (x.shape().dim(-1) != inF_) {
+        // Input was implicitly flattened; return the 2-D result.
+        return y;
+    }
+    return y.reshaped(tensor::Shape(std::move(out_dims)));
+}
+
+tensor::Tensor
+FullyConnected::backward(const tensor::Tensor &dy)
+{
+    TBD_CHECK(savedInput2d_.defined(),
+              "FullyConnected::backward without training forward");
+    const std::int64_t rows = savedInput2d_.shape().dim(0);
+    tensor::Tensor dy2 = dy.reshaped(tensor::Shape{rows, outF_});
+    // dW = x^T dy ; db = column sums of dy ; dx = dy W^T.
+    weight_.grad.addScaled(tensor::matmulTN(savedInput2d_, dy2), 1.0f);
+    if (useBias_)
+        bias_.grad.addScaled(tensor::sumRows(dy2), 1.0f);
+    tensor::Tensor dx = tensor::matmulNT(dy2, weight_.value);
+    return dx.reshaped(savedInputShape_);
+}
+
+std::vector<Param *>
+FullyConnected::params()
+{
+    if (useBias_)
+        return {&weight_, &bias_};
+    return {&weight_};
+}
+
+} // namespace tbd::layers

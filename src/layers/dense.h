@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fully-connected (dense) layer: y = x W + b.
+ *
+ * The GPU-side equivalent is an sgemm kernel plus a bias kernel — the
+ * dominant op family in the paper's Seq2Seq and Transformer workloads.
+ */
+
+#ifndef TBD_LAYERS_DENSE_H
+#define TBD_LAYERS_DENSE_H
+
+#include "layers/layer.h"
+
+namespace tbd::util {
+class Rng;
+} // namespace tbd::util
+
+namespace tbd::layers {
+
+/** Dense layer over the last axis; input is flattened to [rows, inF]. */
+class FullyConnected : public Layer
+{
+  public:
+    /**
+     * @param name     Instance name.
+     * @param inF      Input feature width.
+     * @param outF     Output feature width.
+     * @param rng      Initializer stream (Xavier-uniform weights).
+     * @param useBias  Whether to add a learnable bias.
+     */
+    FullyConnected(std::string name, std::int64_t inF, std::int64_t outF,
+                   util::Rng &rng, bool useBias = true);
+
+    tensor::Tensor forward(const tensor::Tensor &x, bool training) override;
+    tensor::Tensor backward(const tensor::Tensor &dy) override;
+    std::vector<Param *> params() override;
+
+    /** Input feature width. */
+    std::int64_t inFeatures() const { return inF_; }
+
+    /** Output feature width. */
+    std::int64_t outFeatures() const { return outF_; }
+
+  private:
+    std::int64_t inF_;
+    std::int64_t outF_;
+    bool useBias_;
+    Param weight_;
+    Param bias_;
+    tensor::Tensor savedInput2d_; ///< input flattened to [rows, inF]
+    tensor::Shape savedInputShape_;
+};
+
+} // namespace tbd::layers
+
+#endif // TBD_LAYERS_DENSE_H

@@ -1,0 +1,39 @@
+#include "layers/dropout.h"
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tbd::layers {
+
+Dropout::Dropout(std::string name, float rate, util::Rng rng)
+    : Layer(std::move(name)), rate_(rate), rng_(rng)
+{
+    TBD_CHECK(rate >= 0.0f && rate < 1.0f, "dropout rate ", rate,
+              " out of [0, 1)");
+}
+
+tensor::Tensor
+Dropout::forward(const tensor::Tensor &x, bool training)
+{
+    if (!training || rate_ == 0.0f)
+        return x;
+    savedMask_ = tensor::Tensor(x.shape());
+    const float keep_scale = 1.0f / (1.0f - rate_);
+    float *pm = savedMask_.data();
+    const std::int64_t n = x.numel();
+    for (std::int64_t i = 0; i < n; ++i)
+        pm[i] = rng_.uniform() < rate_ ? 0.0f : keep_scale;
+    return tensor::zip(x, savedMask_,
+                       [](float v, float m) { return v * m; });
+}
+
+tensor::Tensor
+Dropout::backward(const tensor::Tensor &dy)
+{
+    if (!savedMask_.defined())
+        return dy; // rate 0 / inference passthrough
+    return tensor::zip(dy, savedMask_,
+                       [](float g, float m) { return g * m; });
+}
+
+} // namespace tbd::layers

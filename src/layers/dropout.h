@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Inverted dropout layer.
+ */
+
+#ifndef TBD_LAYERS_DROPOUT_H
+#define TBD_LAYERS_DROPOUT_H
+
+#include "layers/layer.h"
+#include "util/rng.h"
+
+namespace tbd::layers {
+
+/** Inverted dropout: active only in training mode. */
+class Dropout : public Layer
+{
+  public:
+    /**
+     * @param name Instance name.
+     * @param rate Drop probability in [0, 1).
+     * @param rng  Mask stream (copied; the layer owns its stream so the
+     *             mask sequence is reproducible per layer).
+     */
+    Dropout(std::string name, float rate, util::Rng rng);
+
+    tensor::Tensor forward(const tensor::Tensor &x, bool training) override;
+    tensor::Tensor backward(const tensor::Tensor &dy) override;
+
+  private:
+    float rate_;
+    util::Rng rng_;
+    tensor::Tensor savedMask_; ///< scale factors (0 or 1/(1-rate))
+};
+
+} // namespace tbd::layers
+
+#endif // TBD_LAYERS_DROPOUT_H

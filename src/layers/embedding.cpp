@@ -1,0 +1,74 @@
+#include "layers/embedding.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tbd::layers {
+
+Embedding::Embedding(std::string name, std::int64_t vocab,
+                     std::int64_t embedDim, util::Rng &rng)
+    : Layer(std::move(name)), vocab_(vocab), embedDim_(embedDim)
+{
+    TBD_CHECK(vocab > 0 && embedDim > 0, "embedding dims must be positive");
+    table_.name = this->name() + ".table";
+    table_.value = tensor::Tensor(tensor::Shape{vocab, embedDim});
+    table_.grad = tensor::Tensor(tensor::Shape{vocab, embedDim});
+    table_.value.fillNormal(rng, 0.0f, 0.05f);
+}
+
+tensor::Tensor
+Embedding::forward(const tensor::Tensor &x, bool training)
+{
+    const std::int64_t tokens = x.numel();
+    std::vector<std::int64_t> ids(static_cast<std::size_t>(tokens));
+    for (std::int64_t i = 0; i < tokens; ++i) {
+        const auto id = static_cast<std::int64_t>(x.at(i));
+        TBD_CHECK(id >= 0 && id < vocab_, "token id ", id,
+                  " out of vocab size ", vocab_);
+        ids[static_cast<std::size_t>(i)] = id;
+    }
+    std::vector<std::int64_t> out_dims = x.shape().dims();
+    out_dims.push_back(embedDim_);
+    tensor::Tensor y(tensor::Shape(std::move(out_dims)));
+    float *py = y.data();
+    const float *pt = table_.value.data();
+    for (std::int64_t i = 0; i < tokens; ++i) {
+        const float *row = pt + ids[static_cast<std::size_t>(i)] * embedDim_;
+        std::copy(row, row + embedDim_, py + i * embedDim_);
+    }
+    if (training) {
+        savedIds_ = std::move(ids);
+        savedInputShape_ = x.shape();
+    }
+    return y;
+}
+
+tensor::Tensor
+Embedding::backward(const tensor::Tensor &dy)
+{
+    TBD_CHECK(!savedIds_.empty(),
+              "Embedding::backward without training forward");
+    const auto tokens = static_cast<std::int64_t>(savedIds_.size());
+    TBD_CHECK(dy.numel() == tokens * embedDim_,
+              "embedding gradient size mismatch");
+    const float *pdy = dy.data();
+    float *pg = table_.grad.data();
+    for (std::int64_t i = 0; i < tokens; ++i) {
+        float *row = pg + savedIds_[static_cast<std::size_t>(i)] * embedDim_;
+        const float *src = pdy + i * embedDim_;
+        for (std::int64_t j = 0; j < embedDim_; ++j)
+            row[j] += src[j];
+    }
+    // Token ids are discrete; the input gradient is zero by convention.
+    return tensor::Tensor(savedInputShape_);
+}
+
+std::vector<Param *>
+Embedding::params()
+{
+    return {&table_};
+}
+
+} // namespace tbd::layers

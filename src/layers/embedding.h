@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Token-embedding lookup layer.
+ *
+ * Inputs carry token ids as floats in an [N, T] tensor (the functional
+ * engine is FP32-only); outputs are [N, T, embedDim]. On GPU this is a
+ * memory-bound gather kernel, which is how the performance model treats
+ * it.
+ */
+
+#ifndef TBD_LAYERS_EMBEDDING_H
+#define TBD_LAYERS_EMBEDDING_H
+
+#include "layers/layer.h"
+
+namespace tbd::util {
+class Rng;
+} // namespace tbd::util
+
+namespace tbd::layers {
+
+/** Embedding table lookup with sparse gradient scatter-add. */
+class Embedding : public Layer
+{
+  public:
+    /**
+     * @param name     Instance name.
+     * @param vocab    Vocabulary size.
+     * @param embedDim Embedding width.
+     * @param rng      Initializer stream.
+     */
+    Embedding(std::string name, std::int64_t vocab, std::int64_t embedDim,
+              util::Rng &rng);
+
+    tensor::Tensor forward(const tensor::Tensor &x, bool training) override;
+    tensor::Tensor backward(const tensor::Tensor &dy) override;
+    std::vector<Param *> params() override;
+
+  private:
+    std::int64_t vocab_, embedDim_;
+    Param table_; ///< [vocab, embedDim]
+    std::vector<std::int64_t> savedIds_;
+    tensor::Shape savedInputShape_;
+};
+
+} // namespace tbd::layers
+
+#endif // TBD_LAYERS_EMBEDDING_H

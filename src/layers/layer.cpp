@@ -1,0 +1,21 @@
+#include "layers/layer.h"
+
+namespace tbd::layers {
+
+void
+Layer::zeroGrads()
+{
+    for (Param *p : params())
+        p->grad.fill(0.0f);
+}
+
+std::int64_t
+Layer::paramCount()
+{
+    std::int64_t n = 0;
+    for (Param *p : params())
+        n += p->value.numel();
+    return n;
+}
+
+} // namespace tbd::layers

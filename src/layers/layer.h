@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Base class for functional layers.
+ *
+ * Layers own their parameters and compute real forward/backward math on
+ * FP32 tensors. The backward contract mirrors classic frameworks:
+ * backward(dy) consumes the upstream gradient, *accumulates* parameter
+ * gradients (so gradients sum across micro-batches until zeroGrads()),
+ * and returns the gradient with respect to the layer input.
+ */
+
+#ifndef TBD_LAYERS_LAYER_H
+#define TBD_LAYERS_LAYER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tbd::layers {
+
+/** A learnable parameter: value plus accumulated gradient. */
+struct Param
+{
+    std::string name;     ///< qualified name, e.g. "conv1.weight"
+    tensor::Tensor value; ///< parameter values
+    tensor::Tensor grad;  ///< accumulated dLoss/dvalue
+};
+
+/** Abstract functional layer. */
+class Layer
+{
+  public:
+    /** Construct with an instance name used in reports and param names. */
+    explicit Layer(std::string name) : name_(std::move(name)) {}
+    virtual ~Layer() = default;
+
+    Layer(const Layer &) = delete;
+    Layer &operator=(const Layer &) = delete;
+
+    /**
+     * Forward pass.
+     * @param x        Input activation.
+     * @param training True during training (enables dropout, BN batch
+     *                 statistics, and stashing of feature maps needed by
+     *                 backward).
+     */
+    virtual tensor::Tensor forward(const tensor::Tensor &x,
+                                   bool training) = 0;
+
+    /**
+     * Backward pass for the most recent training-mode forward.
+     * Accumulates parameter gradients and returns dLoss/dInput.
+     */
+    virtual tensor::Tensor backward(const tensor::Tensor &dy) = 0;
+
+    /** Learnable parameters (empty for stateless layers). */
+    virtual std::vector<Param *> params() { return {}; }
+
+    /** Instance name. */
+    const std::string &name() const { return name_; }
+
+    /** Zero all accumulated parameter gradients. */
+    void zeroGrads();
+
+    /** Total learnable scalar count. */
+    std::int64_t paramCount();
+
+  private:
+    std::string name_;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+} // namespace tbd::layers
+
+#endif // TBD_LAYERS_LAYER_H

@@ -1,0 +1,369 @@
+#include "layers/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tbd::layers {
+
+namespace {
+
+constexpr double kLogZero = -1e30;
+
+double
+logSumExp2(double a, double b)
+{
+    if (a < b)
+        std::swap(a, b);
+    if (b <= kLogZero / 2)
+        return a;
+    return a + std::log1p(std::exp(b - a));
+}
+
+double
+logSumExp3(double a, double b, double c)
+{
+    return logSumExp2(logSumExp2(a, b), c);
+}
+
+} // namespace
+
+SoftmaxCrossEntropy::SoftmaxCrossEntropy(float labelSmoothing)
+    : smoothing_(labelSmoothing)
+{
+    TBD_CHECK(labelSmoothing >= 0.0f && labelSmoothing < 1.0f,
+              "label smoothing ", labelSmoothing, " out of [0, 1)");
+}
+
+double
+SoftmaxCrossEntropy::forward(const tensor::Tensor &logits,
+                             const std::vector<std::int64_t> &labels)
+{
+    TBD_CHECK(logits.shape().rank() == 2, "logits must be [N, C]");
+    const auto N = logits.shape().dim(0), C = logits.shape().dim(1);
+    TBD_CHECK(static_cast<std::int64_t>(labels.size()) == N,
+              "label count ", labels.size(), " != batch ", N);
+
+    savedProbs_ = tensor::softmaxRows(logits);
+    savedLabels_ = labels;
+
+    const float off = smoothing_ / static_cast<float>(C);
+    const float on = 1.0f - smoothing_ + off;
+    double loss = 0.0;
+    for (std::int64_t n = 0; n < N; ++n) {
+        const std::int64_t y = labels[static_cast<std::size_t>(n)];
+        TBD_CHECK(y >= 0 && y < C, "label ", y, " out of classes ", C);
+        for (std::int64_t c = 0; c < C; ++c) {
+            const float w = (c == y) ? on : off;
+            if (w > 0.0f) {
+                loss -= w * std::log(std::max(savedProbs_.at2(n, c),
+                                              1e-12f));
+            }
+        }
+    }
+    return loss / static_cast<double>(N);
+}
+
+tensor::Tensor
+SoftmaxCrossEntropy::backward() const
+{
+    TBD_CHECK(savedProbs_.defined(), "loss backward before forward");
+    const auto N = savedProbs_.shape().dim(0),
+               C = savedProbs_.shape().dim(1);
+    const float off = smoothing_ / static_cast<float>(C);
+    const float on = 1.0f - smoothing_ + off;
+    tensor::Tensor d(savedProbs_.shape());
+    const float inv_n = 1.0f / static_cast<float>(N);
+    for (std::int64_t n = 0; n < N; ++n) {
+        const std::int64_t y = savedLabels_[static_cast<std::size_t>(n)];
+        for (std::int64_t c = 0; c < C; ++c) {
+            const float target = (c == y) ? on : off;
+            d.at2(n, c) = (savedProbs_.at2(n, c) - target) * inv_n;
+        }
+    }
+    return d;
+}
+
+double
+SoftmaxCrossEntropy::accuracy() const
+{
+    TBD_CHECK(savedProbs_.defined(), "accuracy before forward");
+    const auto N = savedProbs_.shape().dim(0),
+               C = savedProbs_.shape().dim(1);
+    std::int64_t hits = 0;
+    for (std::int64_t n = 0; n < N; ++n) {
+        std::int64_t best = 0;
+        for (std::int64_t c = 1; c < C; ++c)
+            if (savedProbs_.at2(n, c) > savedProbs_.at2(n, best))
+                best = c;
+        if (best == savedLabels_[static_cast<std::size_t>(n)])
+            ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(N);
+}
+
+double
+MseLoss::forward(const tensor::Tensor &pred, const tensor::Tensor &target)
+{
+    TBD_CHECK(pred.shape() == target.shape(), "MSE shape mismatch: ",
+              pred.shape().toString(), " vs ", target.shape().toString());
+    savedPred_ = pred;
+    savedTarget_ = target;
+    double loss = 0.0;
+    const std::int64_t n = pred.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+        const double d = pred.at(i) - target.at(i);
+        loss += d * d;
+    }
+    return loss / static_cast<double>(n);
+}
+
+tensor::Tensor
+MseLoss::backward() const
+{
+    TBD_CHECK(savedPred_.defined(), "MSE backward before forward");
+    const float scale = 2.0f / static_cast<float>(savedPred_.numel());
+    return tensor::zip(savedPred_, savedTarget_,
+                       [scale](float p, float t) {
+                           return scale * (p - t);
+                       });
+}
+
+double
+CtcLoss::forward(const tensor::Tensor &logits,
+                 const std::vector<std::vector<std::int64_t>> &targets)
+{
+    TBD_CHECK(logits.shape().rank() == 3, "CTC logits must be [N, T, C]");
+    const auto N = logits.shape().dim(0), T = logits.shape().dim(1),
+               C = logits.shape().dim(2);
+    TBD_CHECK(static_cast<std::int64_t>(targets.size()) == N,
+              "CTC target count mismatch");
+
+    savedGrad_ = tensor::Tensor(logits.shape());
+    double total = 0.0;
+
+    for (std::int64_t n = 0; n < N; ++n) {
+        const auto &label = targets[static_cast<std::size_t>(n)];
+        const auto L = static_cast<std::int64_t>(label.size());
+        const std::int64_t S = 2 * L + 1;
+        TBD_CHECK(L > 0, "CTC target must be non-empty");
+        for (std::int64_t v : label)
+            TBD_CHECK(v >= 1 && v < C, "CTC label ", v,
+                      " outside [1, ", C, ")");
+
+        // Extended label with blanks: 0 l1 0 l2 0 ... lL 0.
+        auto ext = [&](std::int64_t s) -> std::int64_t {
+            return (s % 2 == 0) ? 0
+                                : label[static_cast<std::size_t>(s / 2)];
+        };
+
+        // Per-sample log-softmax.
+        std::vector<double> ly(static_cast<std::size_t>(T * C));
+        for (std::int64_t t = 0; t < T; ++t) {
+            float mx = logits.at((n * T + t) * C);
+            for (std::int64_t c = 1; c < C; ++c)
+                mx = std::max(mx, logits.at((n * T + t) * C + c));
+            double denom = 0.0;
+            for (std::int64_t c = 0; c < C; ++c)
+                denom += std::exp(
+                    static_cast<double>(logits.at((n * T + t) * C + c)) -
+                    mx);
+            const double log_denom = std::log(denom) + mx;
+            for (std::int64_t c = 0; c < C; ++c)
+                ly[static_cast<std::size_t>(t * C + c)] =
+                    static_cast<double>(logits.at((n * T + t) * C + c)) -
+                    log_denom;
+        }
+        auto lyat = [&](std::int64_t t, std::int64_t c) {
+            return ly[static_cast<std::size_t>(t * C + c)];
+        };
+
+        // Forward variables (Graves convention: include emission at t).
+        std::vector<double> la(static_cast<std::size_t>(T * S), kLogZero);
+        la[0] = lyat(0, 0);
+        if (S > 1)
+            la[1] = lyat(0, ext(1));
+        for (std::int64_t t = 1; t < T; ++t) {
+            for (std::int64_t s = 0; s < S; ++s) {
+                double acc = la[static_cast<std::size_t>((t - 1) * S + s)];
+                if (s >= 1) {
+                    acc = logSumExp2(
+                        acc,
+                        la[static_cast<std::size_t>((t - 1) * S + s - 1)]);
+                }
+                if (s >= 2 && ext(s) != 0 && ext(s) != ext(s - 2)) {
+                    acc = logSumExp2(
+                        acc,
+                        la[static_cast<std::size_t>((t - 1) * S + s - 2)]);
+                }
+                la[static_cast<std::size_t>(t * S + s)] =
+                    acc + lyat(t, ext(s));
+            }
+        }
+        double log_p =
+            la[static_cast<std::size_t>((T - 1) * S + S - 1)];
+        if (S > 1) {
+            log_p = logSumExp2(
+                log_p, la[static_cast<std::size_t>((T - 1) * S + S - 2)]);
+        }
+        TBD_CHECK(log_p > kLogZero / 2, "CTC alignment infeasible: T=", T,
+                  " too short for label length ", L);
+
+        // Backward variables.
+        std::vector<double> lb(static_cast<std::size_t>(T * S), kLogZero);
+        lb[static_cast<std::size_t>((T - 1) * S + S - 1)] =
+            lyat(T - 1, 0);
+        if (S > 1) {
+            lb[static_cast<std::size_t>((T - 1) * S + S - 2)] =
+                lyat(T - 1, ext(S - 2));
+        }
+        for (std::int64_t t = T - 2; t >= 0; --t) {
+            for (std::int64_t s = S - 1; s >= 0; --s) {
+                double acc = lb[static_cast<std::size_t>((t + 1) * S + s)];
+                if (s + 1 < S) {
+                    acc = logSumExp2(
+                        acc,
+                        lb[static_cast<std::size_t>((t + 1) * S + s + 1)]);
+                }
+                if (s + 2 < S && ext(s + 2) != 0 && ext(s + 2) != ext(s)) {
+                    acc = logSumExp2(
+                        acc,
+                        lb[static_cast<std::size_t>((t + 1) * S + s + 2)]);
+                }
+                lb[static_cast<std::size_t>(t * S + s)] =
+                    acc + lyat(t, ext(s));
+            }
+        }
+
+        // Gradient wrt logits: y - posterior (Graves eq. 16).
+        const float inv_n = 1.0f / static_cast<float>(N);
+        for (std::int64_t t = 0; t < T; ++t) {
+            std::vector<double> lab_sum(static_cast<std::size_t>(C),
+                                        kLogZero);
+            for (std::int64_t s = 0; s < S; ++s) {
+                const std::int64_t k = ext(s);
+                lab_sum[static_cast<std::size_t>(k)] = logSumExp2(
+                    lab_sum[static_cast<std::size_t>(k)],
+                    la[static_cast<std::size_t>(t * S + s)] +
+                        lb[static_cast<std::size_t>(t * S + s)]);
+            }
+            for (std::int64_t c = 0; c < C; ++c) {
+                const double y_tc = std::exp(lyat(t, c));
+                double posterior = 0.0;
+                if (lab_sum[static_cast<std::size_t>(c)] > kLogZero / 2) {
+                    posterior =
+                        std::exp(lab_sum[static_cast<std::size_t>(c)] -
+                                 log_p - lyat(t, c));
+                }
+                savedGrad_.at((n * T + t) * C + c) =
+                    static_cast<float>(y_tc - posterior) * inv_n;
+            }
+        }
+        total -= log_p;
+    }
+    return total / static_cast<double>(N);
+}
+
+tensor::Tensor
+CtcLoss::backward() const
+{
+    TBD_CHECK(savedGrad_.defined(), "CTC backward before forward");
+    return savedGrad_;
+}
+
+double
+WassersteinLoss::forward(const tensor::Tensor &pred, float sign)
+{
+    TBD_CHECK(sign == 1.0f || sign == -1.0f,
+              "Wasserstein sign must be +1 or -1");
+    savedShape_ = pred.shape();
+    savedScale_ = sign / static_cast<float>(pred.numel());
+    return sign * pred.sum() / static_cast<double>(pred.numel());
+}
+
+tensor::Tensor
+WassersteinLoss::backward() const
+{
+    TBD_CHECK(savedScale_ != 0.0f, "Wasserstein backward before forward");
+    return tensor::Tensor(savedShape_, savedScale_);
+}
+
+PolicyValueLoss::PolicyValueLoss(float valueCoeff, float entropyCoeff)
+    : valueCoeff_(valueCoeff), entropyCoeff_(entropyCoeff)
+{
+}
+
+double
+PolicyValueLoss::forward(const tensor::Tensor &head,
+                         const std::vector<std::int64_t> &actions,
+                         const std::vector<float> &returns)
+{
+    TBD_CHECK(head.shape().rank() == 2 && head.shape().dim(1) >= 2,
+              "policy/value head must be [N, A+1]");
+    const auto N = head.shape().dim(0);
+    const auto A = head.shape().dim(1) - 1;
+    TBD_CHECK(static_cast<std::int64_t>(actions.size()) == N &&
+                  static_cast<std::int64_t>(returns.size()) == N,
+              "action/return count mismatch");
+
+    savedGrad_ = tensor::Tensor(head.shape());
+    double total = 0.0;
+    const float inv_n = 1.0f / static_cast<float>(N);
+
+    for (std::int64_t n = 0; n < N; ++n) {
+        // Policy softmax over the first A entries.
+        float mx = head.at2(n, 0);
+        for (std::int64_t a = 1; a < A; ++a)
+            mx = std::max(mx, head.at2(n, a));
+        double denom = 0.0;
+        for (std::int64_t a = 0; a < A; ++a)
+            denom += std::exp(static_cast<double>(head.at2(n, a)) - mx);
+        const double log_denom = std::log(denom) + mx;
+
+        const std::int64_t act = actions[static_cast<std::size_t>(n)];
+        TBD_CHECK(act >= 0 && act < A, "action ", act, " out of ", A);
+        const double logp_a = head.at2(n, act) - log_denom;
+        const double v = head.at2(n, A);
+        const double ret = returns[static_cast<std::size_t>(n)];
+        const double adv = ret - v; // constant for the policy term
+
+        double entropy = 0.0;
+        for (std::int64_t a = 0; a < A; ++a) {
+            const double p =
+                std::exp(static_cast<double>(head.at2(n, a)) - log_denom);
+            if (p > 1e-12)
+                entropy -= p * std::log(p);
+        }
+
+        total += -logp_a * adv + 0.5 * valueCoeff_ * adv * adv -
+                 entropyCoeff_ * entropy;
+
+        // Gradients.
+        for (std::int64_t a = 0; a < A; ++a) {
+            const double p =
+                std::exp(static_cast<double>(head.at2(n, a)) - log_denom);
+            const double indicator = (a == act) ? 1.0 : 0.0;
+            // d(-logp_a * adv)/dlogit = adv * (p - indicator)
+            double g = adv * (p - indicator);
+            // d(-c_e H)/dlogit = c_e * p * (log p + H)
+            g += entropyCoeff_ * p * (std::log(std::max(p, 1e-12)) +
+                                      entropy);
+            savedGrad_.at2(n, a) = static_cast<float>(g) * inv_n;
+        }
+        // Value head: d(0.5 c_v (R-V)^2)/dV = -c_v (R-V).
+        savedGrad_.at2(n, A) =
+            static_cast<float>(-valueCoeff_ * adv) * inv_n;
+    }
+    return total * inv_n;
+}
+
+tensor::Tensor
+PolicyValueLoss::backward() const
+{
+    TBD_CHECK(savedGrad_.defined(), "policy/value backward before forward");
+    return savedGrad_;
+}
+
+} // namespace tbd::layers

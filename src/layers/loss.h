@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Training losses for the TBD application domains:
+ *  - softmax cross-entropy (image classification, translation, detection)
+ *  - mean squared error (value heads, regression)
+ *  - CTC (Deep Speech 2 speech recognition), full Graves forward-backward
+ *  - Wasserstein critic objective (WGAN)
+ *  - actor-critic policy/value objective (A3C)
+ *
+ * Losses are separate from Layer because their targets are typed
+ * (class ids, label sequences, returns) rather than tensors.
+ */
+
+#ifndef TBD_LAYERS_LOSS_H
+#define TBD_LAYERS_LOSS_H
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tbd::layers {
+
+/** Softmax + cross-entropy over [N, C] logits with integer labels. */
+class SoftmaxCrossEntropy
+{
+  public:
+    /** @param labelSmoothing Uniform smoothing mass in [0, 1). */
+    explicit SoftmaxCrossEntropy(float labelSmoothing = 0.0f);
+
+    /** Mean loss over the batch; stashes state for backward. */
+    double forward(const tensor::Tensor &logits,
+                   const std::vector<std::int64_t> &labels);
+
+    /** dLoss/dLogits for the last forward. */
+    tensor::Tensor backward() const;
+
+    /** Top-1 accuracy of the last forward's logits. */
+    double accuracy() const;
+
+  private:
+    float smoothing_;
+    tensor::Tensor savedProbs_;
+    std::vector<std::int64_t> savedLabels_;
+};
+
+/** Mean squared error against a target tensor. */
+class MseLoss
+{
+  public:
+    /** Mean over all elements of (pred - target)^2. */
+    double forward(const tensor::Tensor &pred, const tensor::Tensor &target);
+
+    /** dLoss/dPred for the last forward. */
+    tensor::Tensor backward() const;
+
+  private:
+    tensor::Tensor savedPred_;
+    tensor::Tensor savedTarget_;
+};
+
+/**
+ * Connectionist temporal classification loss (Graves et al. 2006) in
+ * log space. Class 0 is the blank symbol. Targets must not contain the
+ * blank and must be alignable (roughly: length + repeats <= time steps).
+ */
+class CtcLoss
+{
+  public:
+    /**
+     * Mean per-sample negative log likelihood.
+     * @param logits  [N, T, C] unnormalized scores.
+     * @param targets Per-sample label sequences (values in [1, C)).
+     */
+    double forward(const tensor::Tensor &logits,
+                   const std::vector<std::vector<std::int64_t>> &targets);
+
+    /** dLoss/dLogits for the last forward. */
+    tensor::Tensor backward() const;
+
+  private:
+    tensor::Tensor savedGrad_;
+};
+
+/**
+ * Wasserstein critic objective: loss = sign * mean(pred).
+ * Use sign=-1 on real samples and sign=+1 on generated samples so the
+ * critic maximizes D(real) - D(fake); the generator trains with sign=-1
+ * on generated samples. (The gradient penalty of WGAN-GP needs double
+ * backward and is modelled only in the performance engine; see
+ * DESIGN.md.)
+ */
+class WassersteinLoss
+{
+  public:
+    /** Mean critic score scaled by sign. */
+    double forward(const tensor::Tensor &pred, float sign);
+
+    /** dLoss/dPred for the last forward. */
+    tensor::Tensor backward() const;
+
+  private:
+    tensor::Shape savedShape_;
+    float savedScale_ = 0.0f;
+};
+
+/**
+ * A3C actor-critic objective over a [N, A+1] head (A policy logits
+ * followed by one value output):
+ *   L = -log pi(a) * (R - V) + 0.5 c_v (R - V)^2 - c_e H(pi)
+ * with the advantage treated as a constant in the policy term.
+ */
+class PolicyValueLoss
+{
+  public:
+    /**
+     * @param valueCoeff   Weight of the value (critic) term.
+     * @param entropyCoeff Weight of the entropy bonus.
+     */
+    PolicyValueLoss(float valueCoeff = 0.5f, float entropyCoeff = 0.01f);
+
+    /** Mean loss over the batch. */
+    double forward(const tensor::Tensor &head,
+                   const std::vector<std::int64_t> &actions,
+                   const std::vector<float> &returns);
+
+    /** dLoss/dHead for the last forward. */
+    tensor::Tensor backward() const;
+
+  private:
+    float valueCoeff_, entropyCoeff_;
+    tensor::Tensor savedGrad_;
+};
+
+} // namespace tbd::layers
+
+#endif // TBD_LAYERS_LOSS_H

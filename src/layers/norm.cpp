@@ -1,0 +1,238 @@
+#include "layers/norm.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tbd::layers {
+
+BatchNorm2d::BatchNorm2d(std::string name, std::int64_t channels,
+                         float momentum, float eps)
+    : Layer(std::move(name)), channels_(channels), momentum_(momentum),
+      eps_(eps)
+{
+    TBD_CHECK(channels > 0, "batch norm channel count must be positive");
+    gamma_.name = this->name() + ".gamma";
+    gamma_.value = tensor::Tensor(tensor::Shape{channels}, 1.0f);
+    gamma_.grad = tensor::Tensor(tensor::Shape{channels});
+    beta_.name = this->name() + ".beta";
+    beta_.value = tensor::Tensor(tensor::Shape{channels});
+    beta_.grad = tensor::Tensor(tensor::Shape{channels});
+    runningMean_ = tensor::Tensor(tensor::Shape{channels});
+    runningVar_ = tensor::Tensor(tensor::Shape{channels}, 1.0f);
+}
+
+tensor::Tensor
+BatchNorm2d::forward(const tensor::Tensor &x, bool training)
+{
+    TBD_CHECK(x.shape().rank() == 4 && x.shape().dim(1) == channels_,
+              "batch norm input must be [N, ", channels_, ", H, W], got ",
+              x.shape().toString());
+    const auto N = x.shape().dim(0), H = x.shape().dim(2),
+               W = x.shape().dim(3);
+    const auto plane = H * W;
+    const double count = static_cast<double>(N * plane);
+
+    tensor::Tensor y(x.shape());
+    const float *px = x.data();
+    float *py = y.data();
+
+    if (training) {
+        savedShape_ = x.shape();
+        savedXhat_ = tensor::Tensor(x.shape());
+        savedInvStd_.assign(static_cast<std::size_t>(channels_), 0.0f);
+    }
+    float *pxhat = training ? savedXhat_.data() : nullptr;
+
+    for (std::int64_t c = 0; c < channels_; ++c) {
+        float mean_c, var_c;
+        if (training) {
+            double sum = 0.0, sq = 0.0;
+            for (std::int64_t n = 0; n < N; ++n) {
+                const float *plane_ptr =
+                    px + (n * channels_ + c) * plane;
+                for (std::int64_t i = 0; i < plane; ++i) {
+                    sum += plane_ptr[i];
+                    sq += static_cast<double>(plane_ptr[i]) * plane_ptr[i];
+                }
+            }
+            mean_c = static_cast<float>(sum / count);
+            var_c = static_cast<float>(sq / count -
+                                       static_cast<double>(mean_c) * mean_c);
+            runningMean_.at(c) =
+                momentum_ * runningMean_.at(c) + (1.0f - momentum_) * mean_c;
+            runningVar_.at(c) =
+                momentum_ * runningVar_.at(c) + (1.0f - momentum_) * var_c;
+        } else {
+            mean_c = runningMean_.at(c);
+            var_c = runningVar_.at(c);
+        }
+        const float inv_std = 1.0f / std::sqrt(var_c + eps_);
+        if (training)
+            savedInvStd_[static_cast<std::size_t>(c)] = inv_std;
+        const float g = gamma_.value.at(c), b = beta_.value.at(c);
+        for (std::int64_t n = 0; n < N; ++n) {
+            const std::int64_t base = (n * channels_ + c) * plane;
+            for (std::int64_t i = 0; i < plane; ++i) {
+                const float xhat = (px[base + i] - mean_c) * inv_std;
+                if (training)
+                    pxhat[base + i] = xhat;
+                py[base + i] = g * xhat + b;
+            }
+        }
+    }
+    return y;
+}
+
+tensor::Tensor
+BatchNorm2d::backward(const tensor::Tensor &dy)
+{
+    TBD_CHECK(savedXhat_.defined(),
+              "BatchNorm2d::backward without training forward");
+    TBD_CHECK(dy.shape() == savedShape_, "batch norm gradient shape ",
+              dy.shape().toString(), " != ", savedShape_.toString());
+    const auto N = savedShape_.dim(0), H = savedShape_.dim(2),
+               W = savedShape_.dim(3);
+    const auto plane = H * W;
+    const double count = static_cast<double>(N * plane);
+
+    tensor::Tensor dx(savedShape_);
+    const float *pdy = dy.data();
+    const float *pxhat = savedXhat_.data();
+    float *pdx = dx.data();
+
+    for (std::int64_t c = 0; c < channels_; ++c) {
+        double dsum = 0.0, dxhat_dot = 0.0;
+        for (std::int64_t n = 0; n < N; ++n) {
+            const std::int64_t base = (n * channels_ + c) * plane;
+            for (std::int64_t i = 0; i < plane; ++i) {
+                dsum += pdy[base + i];
+                dxhat_dot +=
+                    static_cast<double>(pdy[base + i]) * pxhat[base + i];
+            }
+        }
+        gamma_.grad.at(c) += static_cast<float>(dxhat_dot);
+        beta_.grad.at(c) += static_cast<float>(dsum);
+
+        const float g = gamma_.value.at(c);
+        const float inv_std = savedInvStd_[static_cast<std::size_t>(c)];
+        const float mean_dy = static_cast<float>(dsum / count);
+        const float mean_dy_xhat = static_cast<float>(dxhat_dot / count);
+        for (std::int64_t n = 0; n < N; ++n) {
+            const std::int64_t base = (n * channels_ + c) * plane;
+            for (std::int64_t i = 0; i < plane; ++i) {
+                pdx[base + i] =
+                    g * inv_std *
+                    (pdy[base + i] - mean_dy -
+                     pxhat[base + i] * mean_dy_xhat);
+            }
+        }
+    }
+    return dx;
+}
+
+std::vector<Param *>
+BatchNorm2d::params()
+{
+    return {&gamma_, &beta_};
+}
+
+LayerNorm::LayerNorm(std::string name, std::int64_t width, float eps)
+    : Layer(std::move(name)), width_(width), eps_(eps)
+{
+    TBD_CHECK(width > 0, "layer norm width must be positive");
+    gamma_.name = this->name() + ".gamma";
+    gamma_.value = tensor::Tensor(tensor::Shape{width}, 1.0f);
+    gamma_.grad = tensor::Tensor(tensor::Shape{width});
+    beta_.name = this->name() + ".beta";
+    beta_.value = tensor::Tensor(tensor::Shape{width});
+    beta_.grad = tensor::Tensor(tensor::Shape{width});
+}
+
+tensor::Tensor
+LayerNorm::forward(const tensor::Tensor &x, bool training)
+{
+    TBD_CHECK(x.shape().dim(-1) == width_, "layer norm input last dim is ",
+              x.shape().dim(-1), ", expected ", width_);
+    const std::int64_t rows = x.numel() / width_;
+
+    tensor::Tensor y(x.shape());
+    const float *px = x.data();
+    float *py = y.data();
+
+    if (training) {
+        savedShape_ = x.shape();
+        savedXhat_ = tensor::Tensor(x.shape());
+        savedInvStd_.assign(static_cast<std::size_t>(rows), 0.0f);
+    }
+    float *pxhat = training ? savedXhat_.data() : nullptr;
+
+    for (std::int64_t r = 0; r < rows; ++r) {
+        const float *row = px + r * width_;
+        double sum = 0.0, sq = 0.0;
+        for (std::int64_t j = 0; j < width_; ++j) {
+            sum += row[j];
+            sq += static_cast<double>(row[j]) * row[j];
+        }
+        const float mean_r =
+            static_cast<float>(sum / static_cast<double>(width_));
+        const float var_r = static_cast<float>(
+            sq / static_cast<double>(width_) -
+            static_cast<double>(mean_r) * mean_r);
+        const float inv_std = 1.0f / std::sqrt(var_r + eps_);
+        if (training)
+            savedInvStd_[static_cast<std::size_t>(r)] = inv_std;
+        for (std::int64_t j = 0; j < width_; ++j) {
+            const float xhat = (row[j] - mean_r) * inv_std;
+            if (training)
+                pxhat[r * width_ + j] = xhat;
+            py[r * width_ + j] =
+                gamma_.value.at(j) * xhat + beta_.value.at(j);
+        }
+    }
+    return y;
+}
+
+tensor::Tensor
+LayerNorm::backward(const tensor::Tensor &dy)
+{
+    TBD_CHECK(savedXhat_.defined(),
+              "LayerNorm::backward without training forward");
+    const std::int64_t rows = savedShape_.numel() / width_;
+    tensor::Tensor dx(savedShape_);
+    const float *pdy = dy.data();
+    const float *pxhat = savedXhat_.data();
+    float *pdx = dx.data();
+
+    for (std::int64_t r = 0; r < rows; ++r) {
+        const float *dyr = pdy + r * width_;
+        const float *xh = pxhat + r * width_;
+        double dsum = 0.0, dxhat_dot = 0.0;
+        for (std::int64_t j = 0; j < width_; ++j) {
+            const double dxhat = static_cast<double>(dyr[j]) *
+                                 gamma_.value.at(j);
+            dsum += dxhat;
+            dxhat_dot += dxhat * xh[j];
+            gamma_.grad.at(j) += dyr[j] * xh[j];
+            beta_.grad.at(j) += dyr[j];
+        }
+        const float inv_std = savedInvStd_[static_cast<std::size_t>(r)];
+        const double inv_w = 1.0 / static_cast<double>(width_);
+        for (std::int64_t j = 0; j < width_; ++j) {
+            const double dxhat = static_cast<double>(dyr[j]) *
+                                 gamma_.value.at(j);
+            pdx[r * width_ + j] = static_cast<float>(
+                inv_std * (dxhat - dsum * inv_w - xh[j] * dxhat_dot *
+                                                      inv_w));
+        }
+    }
+    return dx;
+}
+
+std::vector<Param *>
+LayerNorm::params()
+{
+    return {&gamma_, &beta_};
+}
+
+} // namespace tbd::layers

@@ -1,0 +1,140 @@
+#include "layers/pool.h"
+
+#include "util/logging.h"
+
+namespace tbd::layers {
+
+namespace {
+
+tensor::Conv2dGeom
+poolGeom(const tensor::Shape &in, std::int64_t k, std::int64_t s,
+         std::int64_t p)
+{
+    TBD_CHECK(in.rank() == 4, "pooling input must be NCHW");
+    return tensor::Conv2dGeom{in.dim(1), in.dim(2), in.dim(3), in.dim(1),
+                              k,         k,         s,         s,
+                              p,         p};
+}
+
+} // namespace
+
+MaxPool2d::MaxPool2d(std::string name, std::int64_t kernel,
+                     std::int64_t stride, std::int64_t pad)
+    : Layer(std::move(name)), kernel_(kernel), stride_(stride), pad_(pad)
+{
+}
+
+tensor::Tensor
+MaxPool2d::forward(const tensor::Tensor &x, bool training)
+{
+    const auto geom = poolGeom(x.shape(), kernel_, stride_, pad_);
+    auto res = tensor::maxPool2d(x, geom);
+    if (training) {
+        saved_ = res;
+        savedInputShape_ = x.shape();
+    }
+    return res.output;
+}
+
+tensor::Tensor
+MaxPool2d::backward(const tensor::Tensor &dy)
+{
+    TBD_CHECK(!saved_.argmax.empty(),
+              "MaxPool2d::backward without training forward");
+    return tensor::maxPool2dBackward(dy, saved_, savedInputShape_);
+}
+
+AvgPool2d::AvgPool2d(std::string name, std::int64_t kernel,
+                     std::int64_t stride, std::int64_t pad)
+    : Layer(std::move(name)), kernel_(kernel), stride_(stride), pad_(pad)
+{
+}
+
+tensor::Tensor
+AvgPool2d::forward(const tensor::Tensor &x, bool training)
+{
+    const auto geom = poolGeom(x.shape(), kernel_, stride_, pad_);
+    if (training) {
+        savedGeom_ = geom;
+        savedInputShape_ = x.shape();
+    }
+    return tensor::avgPool2d(x, geom);
+}
+
+tensor::Tensor
+AvgPool2d::backward(const tensor::Tensor &dy)
+{
+    TBD_CHECK(savedInputShape_.rank() == 4,
+              "AvgPool2d::backward without training forward");
+    return tensor::avgPool2dBackward(dy, savedInputShape_, savedGeom_);
+}
+
+GlobalAvgPool::GlobalAvgPool(std::string name) : Layer(std::move(name)) {}
+
+tensor::Tensor
+GlobalAvgPool::forward(const tensor::Tensor &x, bool training)
+{
+    TBD_CHECK(x.shape().rank() == 4, "global avg pool input must be NCHW");
+    const auto N = x.shape().dim(0), C = x.shape().dim(1);
+    const auto plane = x.shape().dim(2) * x.shape().dim(3);
+    if (training)
+        savedInputShape_ = x.shape();
+    tensor::Tensor y(tensor::Shape{N, C});
+    const float *px = x.data();
+    float *py = y.data();
+    for (std::int64_t n = 0; n < N; ++n) {
+        for (std::int64_t c = 0; c < C; ++c) {
+            double acc = 0.0;
+            const float *p = px + (n * C + c) * plane;
+            for (std::int64_t i = 0; i < plane; ++i)
+                acc += p[i];
+            py[n * C + c] =
+                static_cast<float>(acc / static_cast<double>(plane));
+        }
+    }
+    return y;
+}
+
+tensor::Tensor
+GlobalAvgPool::backward(const tensor::Tensor &dy)
+{
+    TBD_CHECK(savedInputShape_.rank() == 4,
+              "GlobalAvgPool::backward without training forward");
+    const auto N = savedInputShape_.dim(0), C = savedInputShape_.dim(1);
+    const auto plane = savedInputShape_.dim(2) * savedInputShape_.dim(3);
+    tensor::Tensor dx(savedInputShape_);
+    const float *pdy = dy.data();
+    float *pdx = dx.data();
+    const float inv = 1.0f / static_cast<float>(plane);
+    for (std::int64_t n = 0; n < N; ++n) {
+        for (std::int64_t c = 0; c < C; ++c) {
+            const float g = pdy[n * C + c] * inv;
+            float *p = pdx + (n * C + c) * plane;
+            for (std::int64_t i = 0; i < plane; ++i)
+                p[i] = g;
+        }
+    }
+    return dx;
+}
+
+Flatten::Flatten(std::string name) : Layer(std::move(name)) {}
+
+tensor::Tensor
+Flatten::forward(const tensor::Tensor &x, bool training)
+{
+    TBD_CHECK(x.shape().rank() >= 2, "flatten input must have rank >= 2");
+    if (training)
+        savedInputShape_ = x.shape();
+    const auto N = x.shape().dim(0);
+    return x.reshaped(tensor::Shape{N, x.numel() / N});
+}
+
+tensor::Tensor
+Flatten::backward(const tensor::Tensor &dy)
+{
+    TBD_CHECK(savedInputShape_.rank() >= 2,
+              "Flatten::backward without training forward");
+    return dy.reshaped(savedInputShape_);
+}
+
+} // namespace tbd::layers

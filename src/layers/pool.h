@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Pooling layers over NCHW inputs: max, average, and global average.
+ */
+
+#ifndef TBD_LAYERS_POOL_H
+#define TBD_LAYERS_POOL_H
+
+#include "layers/layer.h"
+#include "tensor/ops.h"
+
+namespace tbd::layers {
+
+/** Max pooling with a square window. */
+class MaxPool2d : public Layer
+{
+  public:
+    MaxPool2d(std::string name, std::int64_t kernel, std::int64_t stride,
+              std::int64_t pad = 0);
+
+    tensor::Tensor forward(const tensor::Tensor &x, bool training) override;
+    tensor::Tensor backward(const tensor::Tensor &dy) override;
+
+  private:
+    std::int64_t kernel_, stride_, pad_;
+    tensor::PoolResult saved_;
+    tensor::Shape savedInputShape_;
+};
+
+/** Average pooling with a square window. */
+class AvgPool2d : public Layer
+{
+  public:
+    AvgPool2d(std::string name, std::int64_t kernel, std::int64_t stride,
+              std::int64_t pad = 0);
+
+    tensor::Tensor forward(const tensor::Tensor &x, bool training) override;
+    tensor::Tensor backward(const tensor::Tensor &dy) override;
+
+  private:
+    std::int64_t kernel_, stride_, pad_;
+    tensor::Conv2dGeom savedGeom_{};
+    tensor::Shape savedInputShape_;
+};
+
+/** Global average pooling: [N,C,H,W] -> [N,C]. */
+class GlobalAvgPool : public Layer
+{
+  public:
+    explicit GlobalAvgPool(std::string name);
+
+    tensor::Tensor forward(const tensor::Tensor &x, bool training) override;
+    tensor::Tensor backward(const tensor::Tensor &dy) override;
+
+  private:
+    tensor::Shape savedInputShape_;
+};
+
+/** Flatten [N, ...] -> [N, prod(rest)]. */
+class Flatten : public Layer
+{
+  public:
+    explicit Flatten(std::string name);
+
+    tensor::Tensor forward(const tensor::Tensor &x, bool training) override;
+    tensor::Tensor backward(const tensor::Tensor &dy) override;
+
+  private:
+    tensor::Shape savedInputShape_;
+};
+
+} // namespace tbd::layers
+
+#endif // TBD_LAYERS_POOL_H

@@ -1,0 +1,412 @@
+#include "layers/recurrent.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tbd::layers {
+
+namespace {
+
+float
+sigmoidf(float v)
+{
+    return 1.0f / (1.0f + std::exp(-v));
+}
+
+/** Copy time step t of x[N,T,F] into an [N,F] matrix. */
+tensor::Tensor
+timeSlice(const tensor::Tensor &x, std::int64_t t)
+{
+    const auto N = x.shape().dim(0), T = x.shape().dim(1),
+               F = x.shape().dim(2);
+    tensor::Tensor out(tensor::Shape{N, F});
+    const float *px = x.data();
+    float *po = out.data();
+    for (std::int64_t n = 0; n < N; ++n)
+        std::copy(px + (n * T + t) * F, px + (n * T + t + 1) * F,
+                  po + n * F);
+    return out;
+}
+
+/** Write an [N,F] matrix into time step t of out[N,T,F]. */
+void
+setTimeSlice(tensor::Tensor &out, std::int64_t t, const tensor::Tensor &v)
+{
+    const auto N = out.shape().dim(0), T = out.shape().dim(1),
+               F = out.shape().dim(2);
+    const float *pv = v.data();
+    float *po = out.data();
+    for (std::int64_t n = 0; n < N; ++n)
+        std::copy(pv + n * F, pv + (n + 1) * F, po + (n * T + t) * F);
+}
+
+} // namespace
+
+const char *
+cellKindName(CellKind kind)
+{
+    switch (kind) {
+      case CellKind::Vanilla:
+        return "rnn";
+      case CellKind::Gru:
+        return "gru";
+      case CellKind::Lstm:
+        return "lstm";
+    }
+    return "unknown";
+}
+
+Recurrent::Recurrent(std::string name, CellKind kind, std::int64_t inF,
+                     std::int64_t hidden, util::Rng &rng,
+                     bool returnSequence)
+    : Layer(std::move(name)), kind_(kind), inF_(inF), hidden_(hidden),
+      returnSequence_(returnSequence)
+{
+    TBD_CHECK(inF > 0 && hidden > 0, "recurrent dims must be positive");
+    const std::int64_t g = gateMultiple() * hidden_;
+    const float bound = std::sqrt(1.0f / static_cast<float>(hidden_));
+
+    wx_.name = this->name() + ".wx";
+    wx_.value = tensor::Tensor(tensor::Shape{inF_, g});
+    wx_.grad = tensor::Tensor(tensor::Shape{inF_, g});
+    wx_.value.fillUniform(rng, -bound, bound);
+
+    wh_.name = this->name() + ".wh";
+    wh_.value = tensor::Tensor(tensor::Shape{hidden_, g});
+    wh_.grad = tensor::Tensor(tensor::Shape{hidden_, g});
+    wh_.value.fillUniform(rng, -bound, bound);
+
+    bx_.name = this->name() + ".bx";
+    bx_.value = tensor::Tensor(tensor::Shape{g});
+    bx_.grad = tensor::Tensor(tensor::Shape{g});
+
+    bh_.name = this->name() + ".bh";
+    bh_.value = tensor::Tensor(tensor::Shape{g});
+    bh_.grad = tensor::Tensor(tensor::Shape{g});
+}
+
+std::int64_t
+Recurrent::gateMultiple() const
+{
+    switch (kind_) {
+      case CellKind::Vanilla:
+        return 1;
+      case CellKind::Gru:
+        return 3;
+      case CellKind::Lstm:
+        return 4;
+    }
+    TBD_PANIC("unreachable cell kind");
+}
+
+tensor::Tensor
+Recurrent::forward(const tensor::Tensor &x, bool training)
+{
+    TBD_CHECK(x.shape().rank() == 3 && x.shape().dim(2) == inF_,
+              "recurrent input must be [N, T, ", inF_, "], got ",
+              x.shape().toString());
+    const auto N = x.shape().dim(0), T = x.shape().dim(1);
+
+    cacheX_.clear();
+    cacheH_.clear();
+    cacheC_.clear();
+    cacheGates_.clear();
+    cacheAux_.clear();
+    savedBatch_ = N;
+    savedSteps_ = T;
+
+    tensor::Tensor h(tensor::Shape{N, hidden_});
+    tensor::Tensor c(tensor::Shape{N, hidden_});
+    tensor::Tensor out_seq(tensor::Shape{N, T, hidden_});
+
+    for (std::int64_t t = 0; t < T; ++t) {
+        tensor::Tensor x_t = timeSlice(x, t);
+        if (training)
+            cacheX_.push_back(x_t);
+        h = stepForward(x_t, h, c, training);
+        if (training) {
+            cacheH_.push_back(h);
+            if (kind_ == CellKind::Lstm)
+                cacheC_.push_back(c.clone());
+        }
+        setTimeSlice(out_seq, t, h);
+    }
+    return returnSequence_ ? out_seq : h;
+}
+
+tensor::Tensor
+Recurrent::stepForward(const tensor::Tensor &x_t,
+                       const tensor::Tensor &h_prev, tensor::Tensor &c_state,
+                       bool training)
+{
+    const auto N = x_t.shape().dim(0);
+    const auto H = hidden_;
+
+    // pre = x Wx + bx + h Wh + bh, except GRU handles the n-gate's
+    // recurrent half separately to honour n = tanh(xW + bx + r*(hW + bh)).
+    tensor::Tensor pre_x = tensor::matmul(x_t, wx_.value);
+    tensor::addRowBias(pre_x, bx_.value);
+    tensor::Tensor pre_h = tensor::matmul(h_prev, wh_.value);
+    tensor::addRowBias(pre_h, bh_.value);
+
+    tensor::Tensor h_next(tensor::Shape{N, H});
+
+    switch (kind_) {
+      case CellKind::Vanilla: {
+        tensor::Tensor gates(tensor::Shape{N, H});
+        for (std::int64_t i = 0; i < N * H; ++i) {
+            const float v = std::tanh(pre_x.at(i) + pre_h.at(i));
+            gates.at(i) = v;
+            h_next.at(i) = v;
+        }
+        if (training)
+            cacheGates_.push_back(gates);
+        break;
+      }
+      case CellKind::Lstm: {
+        // Gate order in the fused weight: i, f, g, o.
+        tensor::Tensor gates(tensor::Shape{N, 4 * H});
+        for (std::int64_t n = 0; n < N; ++n) {
+            for (std::int64_t j = 0; j < H; ++j) {
+                const std::int64_t bi = n * 4 * H;
+                const float pi = pre_x.at2(n, j) + pre_h.at2(n, j);
+                const float pf = pre_x.at2(n, H + j) + pre_h.at2(n, H + j);
+                const float pg =
+                    pre_x.at2(n, 2 * H + j) + pre_h.at2(n, 2 * H + j);
+                const float po =
+                    pre_x.at2(n, 3 * H + j) + pre_h.at2(n, 3 * H + j);
+                const float ig = sigmoidf(pi);
+                const float fg = sigmoidf(pf);
+                const float gg = std::tanh(pg);
+                const float og = sigmoidf(po);
+                gates.at(bi + j) = ig;
+                gates.at(bi + H + j) = fg;
+                gates.at(bi + 2 * H + j) = gg;
+                gates.at(bi + 3 * H + j) = og;
+                const float c_new = fg * c_state.at2(n, j) + ig * gg;
+                c_state.at2(n, j) = c_new;
+                h_next.at2(n, j) = og * std::tanh(c_new);
+            }
+        }
+        if (training)
+            cacheGates_.push_back(gates);
+        break;
+      }
+      case CellKind::Gru: {
+        // Gate order: r, z, n.
+        tensor::Tensor gates(tensor::Shape{N, 3 * H});
+        tensor::Tensor aux(tensor::Shape{N, H}); // q = h Wh_n + bh_n
+        for (std::int64_t n = 0; n < N; ++n) {
+            for (std::int64_t j = 0; j < H; ++j) {
+                const float pr = pre_x.at2(n, j) + pre_h.at2(n, j);
+                const float pz = pre_x.at2(n, H + j) + pre_h.at2(n, H + j);
+                const float q = pre_h.at2(n, 2 * H + j);
+                const float r = sigmoidf(pr);
+                const float z = sigmoidf(pz);
+                const float ng = std::tanh(pre_x.at2(n, 2 * H + j) + r * q);
+                gates.at(n * 3 * H + j) = r;
+                gates.at(n * 3 * H + H + j) = z;
+                gates.at(n * 3 * H + 2 * H + j) = ng;
+                aux.at2(n, j) = q;
+                h_next.at2(n, j) =
+                    (1.0f - z) * ng + z * h_prev.at2(n, j);
+            }
+        }
+        if (training) {
+            cacheGates_.push_back(gates);
+            cacheAux_.push_back(aux);
+        }
+        break;
+      }
+    }
+    return h_next;
+}
+
+tensor::Tensor
+Recurrent::backward(const tensor::Tensor &dy)
+{
+    TBD_CHECK(savedSteps_ > 0,
+              "Recurrent::backward without training forward");
+    const auto N = savedBatch_, T = savedSteps_, H = hidden_;
+
+    tensor::Tensor dx_seq(tensor::Shape{N, T, inF_});
+    tensor::Tensor dh(tensor::Shape{N, H});   // recurrent dL/dh_t carry
+    tensor::Tensor dc(tensor::Shape{N, H});   // LSTM dL/dc_t carry
+
+    if (!returnSequence_) {
+        TBD_CHECK(dy.shape() == tensor::Shape({N, H}),
+                  "last-state gradient must be [N, H]");
+        dh.addScaled(dy, 1.0f);
+    } else {
+        TBD_CHECK(dy.shape() == tensor::Shape({N, T, H}),
+                  "sequence gradient must be [N, T, H]");
+    }
+
+    const std::int64_t G = gateMultiple() * H;
+
+    for (std::int64_t t = T - 1; t >= 0; --t) {
+        if (returnSequence_)
+            dh.addScaled(timeSlice(dy, t), 1.0f);
+
+        const tensor::Tensor &gates = cacheGates_[t];
+        const tensor::Tensor &x_t = cacheX_[t];
+        tensor::Tensor h_prev =
+            t > 0 ? cacheH_[t - 1] : tensor::Tensor(tensor::Shape{N, H});
+
+        // dPreX / dPreH: gradients of the two pre-activation GEMM outputs.
+        tensor::Tensor dpre_x(tensor::Shape{N, G});
+        tensor::Tensor dpre_h(tensor::Shape{N, G});
+        tensor::Tensor dh_prev(tensor::Shape{N, H});
+        tensor::Tensor dc_prev(tensor::Shape{N, H});
+
+        switch (kind_) {
+          case CellKind::Vanilla: {
+            for (std::int64_t i = 0; i < N * H; ++i) {
+                const float g = gates.at(i);
+                const float d = dh.at(i) * (1.0f - g * g);
+                dpre_x.at(i) = d;
+                dpre_h.at(i) = d;
+            }
+            break;
+          }
+          case CellKind::Lstm: {
+            const tensor::Tensor &c_t = cacheC_[t];
+            const tensor::Tensor c_prev_vals =
+                t > 0 ? cacheC_[t - 1] : tensor::Tensor(tensor::Shape{N, H});
+            for (std::int64_t n = 0; n < N; ++n) {
+                for (std::int64_t j = 0; j < H; ++j) {
+                    const std::int64_t bi = n * 4 * H;
+                    const float ig = gates.at(bi + j);
+                    const float fg = gates.at(bi + H + j);
+                    const float gg = gates.at(bi + 2 * H + j);
+                    const float og = gates.at(bi + 3 * H + j);
+                    const float tc = std::tanh(c_t.at2(n, j));
+                    const float dh_nj = dh.at2(n, j);
+                    const float do_ = dh_nj * tc;
+                    const float dct =
+                        dc.at2(n, j) + dh_nj * og * (1.0f - tc * tc);
+                    const float di = dct * gg;
+                    const float dg = dct * ig;
+                    const float df = dct * c_prev_vals.at2(n, j);
+                    dc_prev.at2(n, j) = dct * fg;
+                    const float dpi = di * ig * (1.0f - ig);
+                    const float dpf = df * fg * (1.0f - fg);
+                    const float dpg = dg * (1.0f - gg * gg);
+                    const float dpo = do_ * og * (1.0f - og);
+                    dpre_x.at(n * 4 * H + j) = dpi;
+                    dpre_x.at(n * 4 * H + H + j) = dpf;
+                    dpre_x.at(n * 4 * H + 2 * H + j) = dpg;
+                    dpre_x.at(n * 4 * H + 3 * H + j) = dpo;
+                }
+            }
+            dpre_h = dpre_x.clone();
+            break;
+          }
+          case CellKind::Gru: {
+            const tensor::Tensor &aux = cacheAux_[t];
+            for (std::int64_t n = 0; n < N; ++n) {
+                for (std::int64_t j = 0; j < H; ++j) {
+                    const std::int64_t bi = n * 3 * H;
+                    const float r = gates.at(bi + j);
+                    const float z = gates.at(bi + H + j);
+                    const float ng = gates.at(bi + 2 * H + j);
+                    const float q = aux.at2(n, j);
+                    const float hp = h_prev.at2(n, j);
+                    const float dh_nj = dh.at2(n, j);
+
+                    const float dz = dh_nj * (hp - ng);
+                    const float dn = dh_nj * (1.0f - z);
+                    dh_prev.at2(n, j) += dh_nj * z;
+
+                    const float dpn = dn * (1.0f - ng * ng);
+                    const float dr = dpn * q;
+                    const float dq = dpn * r;
+                    const float dpr = dr * r * (1.0f - r);
+                    const float dpz = dz * z * (1.0f - z);
+
+                    dpre_x.at(bi + j) = dpr;
+                    dpre_x.at(bi + H + j) = dpz;
+                    dpre_x.at(bi + 2 * H + j) = dpn;
+                    dpre_h.at(bi + j) = dpr;
+                    dpre_h.at(bi + H + j) = dpz;
+                    dpre_h.at(bi + 2 * H + j) = dq;
+                }
+            }
+            break;
+          }
+        }
+
+        // Parameter gradients.
+        wx_.grad.addScaled(tensor::matmulTN(x_t, dpre_x), 1.0f);
+        wh_.grad.addScaled(tensor::matmulTN(h_prev, dpre_h), 1.0f);
+        bx_.grad.addScaled(tensor::sumRows(dpre_x), 1.0f);
+        bh_.grad.addScaled(tensor::sumRows(dpre_h), 1.0f);
+
+        // Input and recurrent gradients.
+        setTimeSlice(dx_seq, t, tensor::matmulNT(dpre_x, wx_.value));
+        dh_prev.addScaled(tensor::matmulNT(dpre_h, wh_.value), 1.0f);
+
+        dh = dh_prev;
+        dc = dc_prev;
+    }
+    return dx_seq;
+}
+
+std::vector<Param *>
+Recurrent::params()
+{
+    return {&wx_, &wh_, &bx_, &bh_};
+}
+
+Bidirectional::Bidirectional(std::string name, CellKind kind,
+                             std::int64_t inF, std::int64_t hidden,
+                             util::Rng &rng)
+    : Layer(name), fwd_(name + ".fwd", kind, inF, hidden, rng, true),
+      bwd_(name + ".bwd", kind, inF, hidden, rng, true)
+{
+}
+
+tensor::Tensor
+Bidirectional::reverseTime(const tensor::Tensor &x)
+{
+    const auto N = x.shape().dim(0), T = x.shape().dim(1),
+               F = x.shape().dim(2);
+    tensor::Tensor out(x.shape());
+    const float *px = x.data();
+    float *po = out.data();
+    for (std::int64_t n = 0; n < N; ++n)
+        for (std::int64_t t = 0; t < T; ++t)
+            std::copy(px + (n * T + t) * F, px + (n * T + t + 1) * F,
+                      po + (n * T + (T - 1 - t)) * F);
+    return out;
+}
+
+tensor::Tensor
+Bidirectional::forward(const tensor::Tensor &x, bool training)
+{
+    tensor::Tensor a = fwd_.forward(x, training);
+    tensor::Tensor b =
+        reverseTime(bwd_.forward(reverseTime(x), training));
+    return tensor::zip(a, b, [](float u, float v) { return u + v; });
+}
+
+tensor::Tensor
+Bidirectional::backward(const tensor::Tensor &dy)
+{
+    tensor::Tensor dx = fwd_.backward(dy);
+    dx.addScaled(reverseTime(bwd_.backward(reverseTime(dy))), 1.0f);
+    return dx;
+}
+
+std::vector<Param *>
+Bidirectional::params()
+{
+    std::vector<Param *> out = fwd_.params();
+    for (Param *p : bwd_.params())
+        out.push_back(p);
+    return out;
+}
+
+} // namespace tbd::layers

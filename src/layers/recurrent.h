@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Recurrent sequence layers: vanilla RNN, GRU, and LSTM with full
+ * backpropagation-through-time.
+ *
+ * These are the layer family behind the paper's central finding that
+ * RNN/LSTM training underutilizes GPUs (Observations 2, 5, 7): each
+ * time step is a sequential dependency, so GPU kernels stay small no
+ * matter the mini-batch. The functional implementation here mirrors
+ * that structure step-by-step.
+ */
+
+#ifndef TBD_LAYERS_RECURRENT_H
+#define TBD_LAYERS_RECURRENT_H
+
+#include "layers/layer.h"
+#include "util/rng.h"
+
+namespace tbd::layers {
+
+/** Recurrent cell families covered by the TBD models. */
+enum class CellKind
+{
+    Vanilla, ///< h = tanh(x Wx + h Wh + b)   (Deep Speech 2 variant)
+    Gru,     ///< gated recurrent unit        (Deep Speech 2 default)
+    Lstm     ///< long short-term memory      (NMT / Sockeye)
+};
+
+/** Human-readable cell name ("lstm", ...). */
+const char *cellKindName(CellKind kind);
+
+/**
+ * Single-direction recurrent layer over [N, T, inF] sequences.
+ * Produces [N, T, H] when returnSequence, else the final hidden [N, H].
+ */
+class Recurrent : public Layer
+{
+  public:
+    /**
+     * @param name           Instance name.
+     * @param kind           Cell family.
+     * @param inF            Input feature width.
+     * @param hidden         Hidden state width H.
+     * @param rng            Initializer stream.
+     * @param returnSequence Emit all steps (true) or only the last.
+     */
+    Recurrent(std::string name, CellKind kind, std::int64_t inF,
+              std::int64_t hidden, util::Rng &rng,
+              bool returnSequence = true);
+
+    tensor::Tensor forward(const tensor::Tensor &x, bool training) override;
+    tensor::Tensor backward(const tensor::Tensor &dy) override;
+    std::vector<Param *> params() override;
+
+    /** Hidden width. */
+    std::int64_t hidden() const { return hidden_; }
+
+    /** Cell family. */
+    CellKind kind() const { return kind_; }
+
+  private:
+    /** Gate multiple per cell kind (1, 3, or 4 blocks of width H). */
+    std::int64_t gateMultiple() const;
+
+    tensor::Tensor stepForward(const tensor::Tensor &x_t,
+                               const tensor::Tensor &h_prev,
+                               tensor::Tensor &c_state, bool training);
+
+    CellKind kind_;
+    std::int64_t inF_, hidden_;
+    bool returnSequence_;
+
+    Param wx_;  ///< [inF, G*H]
+    Param wh_;  ///< [H, G*H]
+    Param bx_;  ///< [G*H]
+    Param bh_;  ///< [G*H] (GRU needs the split bias; others fold into bx)
+
+    // Per-step training caches (index 0 .. T-1).
+    std::vector<tensor::Tensor> cacheX_;     ///< inputs x_t
+    std::vector<tensor::Tensor> cacheH_;     ///< hidden h_t (post-step)
+    std::vector<tensor::Tensor> cacheC_;     ///< LSTM cell states c_t
+    std::vector<tensor::Tensor> cacheGates_; ///< post-activation gates
+    std::vector<tensor::Tensor> cacheAux_;   ///< GRU q = h Wh_n + bh_n
+    std::int64_t savedBatch_ = 0;
+    std::int64_t savedSteps_ = 0;
+};
+
+/** Two Recurrent layers run in opposite directions, outputs summed. */
+class Bidirectional : public Layer
+{
+  public:
+    /**
+     * @param name   Instance name.
+     * @param kind   Cell family for both directions.
+     * @param inF    Input feature width.
+     * @param hidden Hidden width of each direction.
+     * @param rng    Initializer stream.
+     */
+    Bidirectional(std::string name, CellKind kind, std::int64_t inF,
+                  std::int64_t hidden, util::Rng &rng);
+
+    tensor::Tensor forward(const tensor::Tensor &x, bool training) override;
+    tensor::Tensor backward(const tensor::Tensor &dy) override;
+    std::vector<Param *> params() override;
+
+  private:
+    static tensor::Tensor reverseTime(const tensor::Tensor &x);
+
+    Recurrent fwd_;
+    Recurrent bwd_;
+};
+
+} // namespace tbd::layers
+
+#endif // TBD_LAYERS_RECURRENT_H

@@ -1,0 +1,116 @@
+#include "memprof/memory_profiler.h"
+
+#include "util/format.h"
+#include "util/logging.h"
+
+namespace tbd::memprof {
+
+const char *
+memCategoryName(MemCategory c)
+{
+    switch (c) {
+      case MemCategory::Weights:
+        return "weights";
+      case MemCategory::WeightGradients:
+        return "weight gradients";
+      case MemCategory::FeatureMaps:
+        return "feature maps";
+      case MemCategory::Workspace:
+        return "workspace";
+      case MemCategory::Dynamic:
+        return "dynamic";
+    }
+    return "unknown";
+}
+
+std::uint64_t
+MemoryBreakdown::of(MemCategory c) const
+{
+    return peakBytes[static_cast<std::size_t>(c)];
+}
+
+std::uint64_t
+MemoryBreakdown::total() const
+{
+    std::uint64_t t = 0;
+    for (std::uint64_t b : peakBytes)
+        t += b;
+    return t;
+}
+
+double
+MemoryBreakdown::fraction(MemCategory c) const
+{
+    const std::uint64_t t = total();
+    return t == 0 ? 0.0
+                  : static_cast<double>(of(c)) / static_cast<double>(t);
+}
+
+MemoryProfiler::MemoryProfiler(std::uint64_t capacityBytes,
+                               bool recordHistory)
+    : capacity_(capacityBytes), recordHistory_(recordHistory)
+{
+}
+
+void
+MemoryProfiler::recordEvent()
+{
+    ++sequence_;
+    if (!recordHistory_)
+        return;
+    MemoryEvent event;
+    event.sequence = sequence_;
+    event.totalLive = totalLive_;
+    event.liveByCategory = liveByCat_;
+    history_.push_back(event);
+}
+
+AllocationId
+MemoryProfiler::allocate(MemCategory category, std::uint64_t bytes,
+                         std::string label)
+{
+    if (capacity_ != 0 && totalLive_ + bytes > capacity_) {
+        TBD_FATAL("GPU out of memory allocating ",
+                  util::formatBytes(bytes), " for '",
+                  label.empty() ? memCategoryName(category) : label,
+                  "': ", util::formatBytes(totalLive_), " live of ",
+                  util::formatBytes(capacity_), " capacity");
+    }
+    const AllocationId id = nextId_++;
+    live_.emplace(id, Allocation{category, bytes, std::move(label)});
+    const auto ci = static_cast<std::size_t>(category);
+    liveByCat_[ci] += bytes;
+    totalLive_ += bytes;
+    peakByCat_[ci] = std::max(peakByCat_[ci], liveByCat_[ci]);
+    peakTotal_ = std::max(peakTotal_, totalLive_);
+    recordEvent();
+    return id;
+}
+
+void
+MemoryProfiler::release(AllocationId id)
+{
+    auto it = live_.find(id);
+    TBD_CHECK(it != live_.end(), "release of unknown allocation id ", id);
+    const auto ci = static_cast<std::size_t>(it->second.category);
+    liveByCat_[ci] -= it->second.bytes;
+    totalLive_ -= it->second.bytes;
+    live_.erase(it);
+    recordEvent();
+}
+
+std::uint64_t
+MemoryProfiler::liveBytes(MemCategory category) const
+{
+    return liveByCat_[static_cast<std::size_t>(category)];
+}
+
+MemoryBreakdown
+MemoryProfiler::breakdown() const
+{
+    MemoryBreakdown b;
+    b.peakBytes = peakByCat_;
+    return b;
+}
+
+} // namespace tbd::memprof

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Categorized GPU-memory profiler — the reproduction of the paper's
+ * memory-profiling tool (Section 3.4.3, "Memory consumption").
+ *
+ * Allocations are tagged with one of the five categories the paper's
+ * profilers report: weights, weight gradients, feature maps, workspace
+ * and dynamic. The profiler tracks live bytes and the maximum ever
+ * allocated per category (the paper's metric), and enforces a device
+ * capacity so that exceeding GPU memory fails exactly like a training
+ * OOM would (this is what limits maximum mini-batch size in Fig. 4).
+ */
+
+#ifndef TBD_MEMPROF_MEMORY_PROFILER_H
+#define TBD_MEMPROF_MEMORY_PROFILER_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace tbd::memprof {
+
+/** The five data-structure categories of the paper's profiler. */
+enum class MemCategory
+{
+    Weights = 0,
+    WeightGradients,
+    FeatureMaps,
+    Workspace,
+    Dynamic,
+};
+
+/** Number of categories (array sizing). */
+constexpr std::size_t kCategoryCount = 5;
+
+/** Human-readable category name matching the paper's figure legend. */
+const char *memCategoryName(MemCategory c);
+
+/** Per-category peak consumption, in bytes. */
+struct MemoryBreakdown
+{
+    std::array<std::uint64_t, kCategoryCount> peakBytes{};
+
+    /** Peak bytes of one category. */
+    std::uint64_t of(MemCategory c) const;
+
+    /** Sum of per-category peaks (the paper's stacked-bar total). */
+    std::uint64_t total() const;
+
+    /** Fraction of the total attributable to one category. */
+    double fraction(MemCategory c) const;
+};
+
+/** Handle to one live allocation. */
+using AllocationId = std::uint64_t;
+
+/** One point of the live-footprint history. */
+struct MemoryEvent
+{
+    std::uint64_t sequence = 0;   ///< allocation/release counter
+    std::uint64_t totalLive = 0;  ///< live bytes after the event
+    std::array<std::uint64_t, kCategoryCount> liveByCategory{};
+};
+
+/** Categorized allocator with capacity enforcement. */
+class MemoryProfiler
+{
+  public:
+    /**
+     * @param capacityBytes Device capacity; 0 disables OOM checking.
+     * @param recordHistory Record a MemoryEvent per allocation/release
+     *                      (the live-footprint-over-time view the
+     *                      paper's profiler tools plot).
+     */
+    explicit MemoryProfiler(std::uint64_t capacityBytes = 0,
+                            bool recordHistory = false);
+
+    /**
+     * Allocate and tag a block.
+     * @throws util::FatalError when the total live footprint would
+     *         exceed the device capacity (a training OOM).
+     */
+    AllocationId allocate(MemCategory category, std::uint64_t bytes,
+                          std::string label = {});
+
+    /** Release a block; fatal on an unknown id (double free). */
+    void release(AllocationId id);
+
+    /** Live bytes in one category. */
+    std::uint64_t liveBytes(MemCategory category) const;
+
+    /** Live bytes across all categories. */
+    std::uint64_t totalLiveBytes() const { return totalLive_; }
+
+    /** Peak total live bytes seen so far. */
+    std::uint64_t peakTotalBytes() const { return peakTotal_; }
+
+    /** Per-category peaks (the paper's reported breakdown). */
+    MemoryBreakdown breakdown() const;
+
+    /** Number of live allocations. */
+    std::size_t liveCount() const { return live_.size(); }
+
+    /** Configured capacity (0 = unlimited). */
+    std::uint64_t capacityBytes() const { return capacity_; }
+
+    /** Recorded footprint history (empty unless recording enabled). */
+    const std::vector<MemoryEvent> &history() const { return history_; }
+
+  private:
+    void recordEvent();
+
+    struct Allocation
+    {
+        MemCategory category;
+        std::uint64_t bytes;
+        std::string label;
+    };
+
+    std::uint64_t capacity_;
+    bool recordHistory_;
+    std::vector<MemoryEvent> history_;
+    std::uint64_t sequence_ = 0;
+    AllocationId nextId_ = 1;
+    std::unordered_map<AllocationId, Allocation> live_;
+    std::array<std::uint64_t, kCategoryCount> liveByCat_{};
+    std::array<std::uint64_t, kCategoryCount> peakByCat_{};
+    std::uint64_t totalLive_ = 0;
+    std::uint64_t peakTotal_ = 0;
+};
+
+} // namespace tbd::memprof
+
+#endif // TBD_MEMPROF_MEMORY_PROFILER_H

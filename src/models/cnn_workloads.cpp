@@ -1,0 +1,287 @@
+#include "models/cnn_workloads.h"
+
+#include "util/logging.h"
+
+namespace tbd::models {
+
+namespace {
+
+/** Appends conv + batch norm + ReLU; returns output spatial size. */
+std::int64_t
+convBnRelu(Workload &w, const std::string &name, std::int64_t batch,
+           std::int64_t inC, std::int64_t inH, std::int64_t inW,
+           std::int64_t outC, std::int64_t kH, std::int64_t kW,
+           std::int64_t stride, std::int64_t padH, std::int64_t padW)
+{
+    w.add(convOp(name, batch, inC, inH, inW, outC, kH, kW, stride, stride,
+                 padH, padW));
+    const std::int64_t oh = (inH + 2 * padH - kH) / stride + 1;
+    const std::int64_t ow = (inW + 2 * padW - kW) / stride + 1;
+    w.add(batchNormOp(name + "_bn", batch, outC, oh, ow));
+    w.add(activationOp(name + "_relu", batch * outC * oh * ow));
+    return oh;
+}
+
+/** Square-input convenience wrapper; returns output side. */
+std::int64_t
+convBnReluSq(Workload &w, const std::string &name, std::int64_t batch,
+             std::int64_t inC, std::int64_t size, std::int64_t outC,
+             std::int64_t k, std::int64_t stride, std::int64_t pad)
+{
+    return convBnRelu(w, name, batch, inC, size, size, outC, k, k, stride,
+                      pad, pad);
+}
+
+/**
+ * One ResNet bottleneck: 1x1 reduce, 3x3, 1x1 expand, with an optional
+ * strided projection shortcut. Returns output spatial size.
+ */
+std::int64_t
+bottleneck(Workload &w, const std::string &name, std::int64_t batch,
+           std::int64_t inC, std::int64_t size, std::int64_t midC,
+           std::int64_t outC, std::int64_t stride, bool project)
+{
+    std::int64_t s = size;
+    convBnReluSq(w, name + "_1x1a", batch, inC, s, midC, 1, 1, 0);
+    s = convBnReluSq(w, name + "_3x3", batch, midC, s, midC, 3, stride, 1);
+    // Expand has BN but the ReLU comes after the residual add.
+    w.add(convOp(name + "_1x1b", batch, midC, s, outC, 1, 1, 0));
+    w.add(batchNormOp(name + "_1x1b_bn", batch, outC, s, s));
+    if (project) {
+        w.add(convOp(name + "_proj", batch, inC, size, outC, 1, stride, 0));
+        w.add(batchNormOp(name + "_proj_bn", batch, outC, s, s));
+    }
+    w.add(elementwiseOp(name + "_add", batch * outC * s * s));
+    w.add(activationOp(name + "_relu", batch * outC * s * s));
+    return s;
+}
+
+} // namespace
+
+Workload
+resnetWorkload(std::int64_t batch, std::int64_t imageSize,
+               const std::vector<int> &blocks, bool withHead)
+{
+    TBD_CHECK(blocks.size() == 4, "ResNet needs four stages");
+    Workload w;
+
+    // Stem: 7x7/64 stride 2, then 3x3 max pool stride 2.
+    std::int64_t size =
+        convBnReluSq(w, "conv1", batch, 3, imageSize, 64, 7, 2, 3);
+    size = (size + 2 - 3) / 2 + 1;
+    w.add(poolOp("pool1", batch, 64, size, size, 3));
+
+    std::int64_t in_c = 64;
+    const std::int64_t mids[4] = {64, 128, 256, 512};
+    for (int stage = 0; stage < 4; ++stage) {
+        const std::int64_t mid = mids[stage];
+        const std::int64_t out_c = mid * 4;
+        for (int b = 0; b < blocks[static_cast<std::size_t>(stage)]; ++b) {
+            const std::int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+            const bool project = b == 0;
+            const std::string name = "res" + std::to_string(stage + 2) +
+                                     static_cast<char>('a' + b);
+            size = bottleneck(w, name, batch, in_c, size, mid, out_c,
+                              stride, project);
+            in_c = out_c;
+        }
+    }
+
+    if (withHead) {
+        w.add(poolOp("global_pool", batch, in_c, 1, 1,
+                     static_cast<std::int64_t>(size)));
+        w.add(gemmOp("fc1000", batch, in_c, 1000));
+        w.add(softmaxOp("softmax", batch, 1000));
+        w.add(lossOp("loss", batch, 1000));
+    }
+    return w;
+}
+
+Workload
+resnet50Workload(std::int64_t batch)
+{
+    return resnetWorkload(batch, 224, {3, 4, 6, 3}, /*withHead=*/true);
+}
+
+Workload
+resnet101ConvStack(std::int64_t batch, std::int64_t inH, std::int64_t inW)
+{
+    // Same structure as resnetWorkload but rectangular input and no
+    // conv5/head: Faster R-CNN applies conv5 per-RoI.
+    Workload w;
+    std::int64_t h =
+        convBnRelu(w, "conv1", batch, 3, inH, inW, 64, 7, 7, 2, 3, 3);
+    std::int64_t aspect_w = (inW + 6 - 7) / 2 + 1;
+    h = (h + 2 - 3) / 2 + 1;
+    aspect_w = (aspect_w + 2 - 3) / 2 + 1;
+    w.add(poolOp("pool1", batch, 64, h, aspect_w, 3));
+
+    std::int64_t in_c = 64;
+    const std::vector<int> blocks = {3, 4, 23};
+    const std::int64_t mids[3] = {64, 128, 256};
+    for (int stage = 0; stage < 3; ++stage) {
+        const std::int64_t mid = mids[stage];
+        const std::int64_t out_c = mid * 4;
+        for (int b = 0; b < blocks[static_cast<std::size_t>(stage)]; ++b) {
+            const std::int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+            const std::string name = "res" + std::to_string(stage + 2) +
+                                     "b" + std::to_string(b);
+            // Rectangular bottleneck: emit ops with hxw flops directly.
+            const std::int64_t oh = stride == 1 ? h : (h + 1) / 2;
+            const std::int64_t ow =
+                stride == 1 ? aspect_w : (aspect_w + 1) / 2;
+            w.add(convOp(name + "_1x1a", batch, in_c, h, aspect_w, mid, 1,
+                         1, 1, 1, 0, 0));
+            w.add(batchNormOp(name + "_bn_a", batch, mid, h, aspect_w));
+            w.add(activationOp(name + "_relu_a", batch * mid * h *
+                                                     aspect_w));
+            w.add(convOp(name + "_3x3", batch, mid, h, aspect_w, mid, 3, 3,
+                         stride, stride, 1, 1));
+            w.add(batchNormOp(name + "_bn_b", batch, mid, oh, ow));
+            w.add(activationOp(name + "_relu_b", batch * mid * oh * ow));
+            w.add(convOp(name + "_1x1b", batch, mid, oh, ow, out_c, 1, 1,
+                         1, 1, 0, 0));
+            w.add(batchNormOp(name + "_bn_c", batch, out_c, oh, ow));
+            if (b == 0) {
+                w.add(convOp(name + "_proj", batch, in_c, h, aspect_w,
+                             out_c, 1, 1, stride, stride, 0, 0));
+                w.add(batchNormOp(name + "_bn_p", batch, out_c, oh, ow));
+            }
+            w.add(elementwiseOp(name + "_add", batch * out_c * oh * ow));
+            w.add(activationOp(name + "_relu", batch * out_c * oh * ow));
+            h = oh;
+            aspect_w = ow;
+            in_c = out_c;
+        }
+    }
+    return w;
+}
+
+namespace {
+
+/** Inception branch helper: 1x1 into (kHxkW)* chain. */
+struct Branch
+{
+    std::vector<OpDesc> ops;
+    std::int64_t outC = 0;
+};
+
+} // namespace
+
+Workload
+inceptionV3Workload(std::int64_t batch)
+{
+    Workload w;
+    // Stem.
+    std::int64_t s = convBnReluSq(w, "stem1", batch, 3, 299, 32, 3, 2, 0);
+    s = convBnReluSq(w, "stem2", batch, 32, s, 32, 3, 1, 0);
+    s = convBnReluSq(w, "stem3", batch, 32, s, 64, 3, 1, 1);
+    s = (s - 3) / 2 + 1;
+    w.add(poolOp("stem_pool1", batch, 64, s, s, 3));
+    s = convBnReluSq(w, "stem4", batch, 64, s, 80, 1, 1, 0);
+    s = convBnReluSq(w, "stem5", batch, 80, s, 192, 3, 1, 0);
+    s = (s - 3) / 2 + 1;
+    w.add(poolOp("stem_pool2", batch, 192, s, s, 3)); // 35x35x192
+
+    std::int64_t in_c = 192;
+
+    // Three InceptionA blocks (pool-proj 32, 64, 64).
+    const std::int64_t poolproj_a[3] = {32, 64, 64};
+    for (int i = 0; i < 3; ++i) {
+        const std::string n = "mixedA" + std::to_string(i);
+        convBnReluSq(w, n + "_1x1", batch, in_c, s, 64, 1, 1, 0);
+        convBnReluSq(w, n + "_5x5a", batch, in_c, s, 48, 1, 1, 0);
+        convBnReluSq(w, n + "_5x5b", batch, 48, s, 64, 5, 1, 2);
+        convBnReluSq(w, n + "_dbl_a", batch, in_c, s, 64, 1, 1, 0);
+        convBnReluSq(w, n + "_dbl_b", batch, 64, s, 96, 3, 1, 1);
+        convBnReluSq(w, n + "_dbl_c", batch, 96, s, 96, 3, 1, 1);
+        w.add(poolOp(n + "_pool", batch, in_c, s, s, 3));
+        convBnReluSq(w, n + "_poolproj", batch, in_c, s, poolproj_a[i], 1,
+                     1, 0);
+        in_c = 64 + 64 + 96 + poolproj_a[i];
+    }
+
+    // Reduction A: 35 -> 17.
+    {
+        const std::string n = "reductionA";
+        w.add(convOp(n + "_3x3", batch, in_c, s, 384, 3, 2, 0));
+        w.add(batchNormOp(n + "_3x3_bn", batch, 384, (s - 3) / 2 + 1,
+                          (s - 3) / 2 + 1));
+        convBnReluSq(w, n + "_dbl_a", batch, in_c, s, 64, 1, 1, 0);
+        convBnReluSq(w, n + "_dbl_b", batch, 64, s, 96, 3, 1, 1);
+        const std::int64_t ns = (s - 3) / 2 + 1;
+        w.add(convOp(n + "_dbl_c", batch, 96, s, 96, 3, 2, 0));
+        w.add(batchNormOp(n + "_dbl_c_bn", batch, 96, ns, ns));
+        w.add(poolOp(n + "_pool", batch, in_c, ns, ns, 3));
+        s = ns;
+        in_c = 384 + 96 + in_c;
+    }
+
+    // Four InceptionB blocks with factorized 7x7 (c7 = 128/160/160/192).
+    const std::int64_t c7s[4] = {128, 160, 160, 192};
+    for (int i = 0; i < 4; ++i) {
+        const std::string n = "mixedB" + std::to_string(i);
+        const std::int64_t c7 = c7s[i];
+        convBnReluSq(w, n + "_1x1", batch, in_c, s, 192, 1, 1, 0);
+        convBnReluSq(w, n + "_7x7a", batch, in_c, s, c7, 1, 1, 0);
+        w.add(convOp(n + "_7x7b", batch, c7, s, s, c7, 1, 7, 1, 1, 0, 3));
+        w.add(batchNormOp(n + "_7x7b_bn", batch, c7, s, s));
+        w.add(convOp(n + "_7x7c", batch, c7, s, s, 192, 7, 1, 1, 1, 3, 0));
+        w.add(batchNormOp(n + "_7x7c_bn", batch, 192, s, s));
+        convBnReluSq(w, n + "_dbl_a", batch, in_c, s, c7, 1, 1, 0);
+        w.add(convOp(n + "_dbl_b", batch, c7, s, s, c7, 7, 1, 1, 1, 3, 0));
+        w.add(convOp(n + "_dbl_c", batch, c7, s, s, c7, 1, 7, 1, 1, 0, 3));
+        w.add(convOp(n + "_dbl_d", batch, c7, s, s, c7, 7, 1, 1, 1, 3, 0));
+        w.add(convOp(n + "_dbl_e", batch, c7, s, s, 192, 1, 7, 1, 1, 0,
+                     3));
+        w.add(batchNormOp(n + "_dbl_bn", batch, 192, s, s));
+        w.add(poolOp(n + "_pool", batch, in_c, s, s, 3));
+        convBnReluSq(w, n + "_poolproj", batch, in_c, s, 192, 1, 1, 0);
+        in_c = 192 * 4;
+    }
+
+    // Reduction B: 17 -> 8.
+    {
+        const std::string n = "reductionB";
+        convBnReluSq(w, n + "_a1", batch, in_c, s, 192, 1, 1, 0);
+        const std::int64_t ns = (s - 3) / 2 + 1;
+        w.add(convOp(n + "_a2", batch, 192, s, 320, 3, 2, 0));
+        convBnReluSq(w, n + "_b1", batch, in_c, s, 192, 1, 1, 0);
+        w.add(convOp(n + "_b2", batch, 192, s, s, 192, 1, 7, 1, 1, 0, 3));
+        w.add(convOp(n + "_b3", batch, 192, s, s, 192, 7, 1, 1, 1, 3, 0));
+        w.add(convOp(n + "_b4", batch, 192, s, 192, 3, 2, 0));
+        w.add(poolOp(n + "_pool", batch, in_c, ns, ns, 3));
+        s = ns;
+        in_c = 320 + 192 + in_c;
+    }
+
+    // Two InceptionC blocks.
+    for (int i = 0; i < 2; ++i) {
+        const std::string n = "mixedC" + std::to_string(i);
+        convBnReluSq(w, n + "_1x1", batch, in_c, s, 320, 1, 1, 0);
+        convBnReluSq(w, n + "_3x3a", batch, in_c, s, 384, 1, 1, 0);
+        w.add(convOp(n + "_3x3b1", batch, 384, s, s, 384, 1, 3, 1, 1, 0,
+                     1));
+        w.add(convOp(n + "_3x3b2", batch, 384, s, s, 384, 3, 1, 1, 1, 1,
+                     0));
+        convBnReluSq(w, n + "_dbl_a", batch, in_c, s, 448, 1, 1, 0);
+        convBnReluSq(w, n + "_dbl_b", batch, 448, s, 384, 3, 1, 1);
+        w.add(convOp(n + "_dbl_c1", batch, 384, s, s, 384, 1, 3, 1, 1, 0,
+                     1));
+        w.add(convOp(n + "_dbl_c2", batch, 384, s, s, 384, 3, 1, 1, 1, 1,
+                     0));
+        w.add(poolOp(n + "_pool", batch, in_c, s, s, 3));
+        convBnReluSq(w, n + "_poolproj", batch, in_c, s, 192, 1, 1, 0);
+        in_c = 320 + 768 + 768 + 192;
+    }
+
+    // Head.
+    w.add(poolOp("global_pool", batch, in_c, 1, 1, s));
+    w.add(dropoutOp("dropout", batch * in_c));
+    w.add(gemmOp("fc1000", batch, in_c, 1000));
+    w.add(softmaxOp("softmax", batch, 1000));
+    w.add(lossOp("loss", batch, 1000));
+    return w;
+}
+
+} // namespace tbd::models

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Workload builders for the convolutional backbones: ResNet-50/101
+ * (image classification and the Faster R-CNN convolution stack) and
+ * Inception-v3.
+ */
+
+#ifndef TBD_MODELS_CNN_WORKLOADS_H
+#define TBD_MODELS_CNN_WORKLOADS_H
+
+#include "models/workload.h"
+
+namespace tbd::models {
+
+/**
+ * ResNet bottleneck backbone.
+ * @param batch      Mini-batch size.
+ * @param imageSize  Square input side (224 for classification).
+ * @param blocks     Bottleneck counts per stage (e.g. {3,4,6,3} = 50).
+ * @param withHead   Append global pool + fc1000 + softmax loss.
+ */
+Workload resnetWorkload(std::int64_t batch, std::int64_t imageSize,
+                        const std::vector<int> &blocks, bool withHead);
+
+/** ResNet-50 at 224x224 with classification head. */
+Workload resnet50Workload(std::int64_t batch);
+
+/**
+ * ResNet-101 convolution stack (stages conv1-conv4) on an arbitrary
+ * input size — the shared feature extractor of Faster R-CNN.
+ */
+Workload resnet101ConvStack(std::int64_t batch, std::int64_t inH,
+                            std::int64_t inW);
+
+/** Inception-v3 at 299x299 with classification head. */
+Workload inceptionV3Workload(std::int64_t batch);
+
+} // namespace tbd::models
+
+#endif // TBD_MODELS_CNN_WORKLOADS_H

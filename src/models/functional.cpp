@@ -1,0 +1,215 @@
+#include "models/functional.h"
+
+#include "layers/activations.h"
+#include "layers/attention.h"
+#include "layers/composite.h"
+#include "layers/conv.h"
+#include "layers/dense.h"
+#include "layers/dropout.h"
+#include "layers/embedding.h"
+#include "layers/norm.h"
+#include "layers/pool.h"
+#include "layers/recurrent.h"
+
+namespace tbd::models {
+
+namespace {
+
+using namespace tbd::layers;
+
+LayerPtr
+convBnRelu(util::Rng &rng, const std::string &name, std::int64_t inC,
+           std::int64_t outC, std::int64_t k, std::int64_t stride,
+           std::int64_t pad)
+{
+    auto seq = std::make_unique<Sequential>(name);
+    seq->add(std::make_unique<Conv2d>(name + "_conv", inC, outC, k, stride,
+                                      pad, rng));
+    seq->add(std::make_unique<BatchNorm2d>(name + "_bn", outC));
+    seq->add(std::make_unique<Activation>(name + "_relu", ActKind::ReLU));
+    return seq;
+}
+
+LayerPtr
+bottleneckBlock(util::Rng &rng, const std::string &name, std::int64_t inC,
+                std::int64_t midC, std::int64_t outC, std::int64_t stride)
+{
+    auto body = std::make_unique<Sequential>(name + "_body");
+    body->add(convBnRelu(rng, name + "_a", inC, midC, 1, 1, 0));
+    body->add(convBnRelu(rng, name + "_b", midC, midC, 3, stride, 1));
+    body->add(std::make_unique<Conv2d>(name + "_c", midC, outC, 1, 1, 0,
+                                       rng));
+    body->add(std::make_unique<BatchNorm2d>(name + "_c_bn", outC));
+
+    LayerPtr shortcut;
+    if (inC != outC || stride != 1) {
+        auto proj = std::make_unique<Sequential>(name + "_proj");
+        proj->add(std::make_unique<Conv2d>(name + "_proj_conv", inC, outC,
+                                           1, stride, 0, rng));
+        proj->add(std::make_unique<BatchNorm2d>(name + "_proj_bn", outC));
+        shortcut = std::move(proj);
+    }
+    auto res = std::make_unique<Residual>(name, std::move(body),
+                                          std::move(shortcut));
+    auto wrap = std::make_unique<Sequential>(name + "_out");
+    wrap->add(std::move(res));
+    wrap->add(std::make_unique<Activation>(name + "_relu", ActKind::ReLU));
+    return wrap;
+}
+
+} // namespace
+
+engine::Network
+buildTinyResNet(util::Rng &rng, std::int64_t classes, std::int64_t channels,
+                std::int64_t imageSize)
+{
+    (void)imageSize;
+    engine::Network net("tiny-resnet");
+    net.add(convBnRelu(rng, "stem", channels, 8, 3, 1, 1));
+    net.add(bottleneckBlock(rng, "res2a", 8, 4, 16, 1));
+    net.add(bottleneckBlock(rng, "res3a", 16, 8, 32, 2));
+    net.add(std::make_unique<GlobalAvgPool>("gap"));
+    tbd::util::Rng head_rng = rng.fork();
+    net.add(std::make_unique<FullyConnected>("fc", 32, classes, head_rng));
+    return net;
+}
+
+engine::Network
+buildTinyInception(util::Rng &rng, std::int64_t classes,
+                   std::int64_t channels, std::int64_t imageSize)
+{
+    (void)imageSize;
+    engine::Network net("tiny-inception");
+    net.add(convBnRelu(rng, "stem", channels, 8, 3, 2, 1));
+
+    std::vector<LayerPtr> branches;
+    branches.push_back(convBnRelu(rng, "b1x1", 8, 4, 1, 1, 0));
+    {
+        auto b = std::make_unique<Sequential>("b5x5");
+        b->add(convBnRelu(rng, "b5x5_a", 8, 4, 1, 1, 0));
+        b->add(convBnRelu(rng, "b5x5_b", 4, 4, 5, 1, 2));
+        branches.push_back(std::move(b));
+    }
+    {
+        auto b = std::make_unique<Sequential>("b3x3dbl");
+        b->add(convBnRelu(rng, "b3_a", 8, 4, 1, 1, 0));
+        b->add(convBnRelu(rng, "b3_b", 4, 6, 3, 1, 1));
+        b->add(convBnRelu(rng, "b3_c", 6, 6, 3, 1, 1));
+        branches.push_back(std::move(b));
+    }
+    net.add(std::make_unique<ConcatBranches>("mixed0",
+                                             std::move(branches)));
+    net.add(std::make_unique<GlobalAvgPool>("gap"));
+    tbd::util::Rng head_rng = rng.fork();
+    net.add(std::make_unique<FullyConnected>("fc", 14, classes, head_rng));
+    return net;
+}
+
+engine::Network
+buildTinySeq2Seq(util::Rng &rng, std::int64_t vocab, std::int64_t embed,
+                 std::int64_t hidden, int layers)
+{
+    engine::Network net("tiny-seq2seq");
+    net.add(std::make_unique<Embedding>("embed", vocab, embed, rng));
+    std::int64_t in_f = embed;
+    for (int l = 0; l < layers; ++l) {
+        net.add(std::make_unique<Recurrent>("lstm" + std::to_string(l),
+                                            CellKind::Lstm, in_f, hidden,
+                                            rng, true));
+        in_f = hidden;
+    }
+    net.add(std::make_unique<FullyConnected>("vocab_proj", hidden, vocab,
+                                             rng));
+    return net;
+}
+
+engine::Network
+buildTinyTransformer(util::Rng &rng, std::int64_t vocab,
+                     std::int64_t dModel, std::int64_t heads, int layers)
+{
+    engine::Network net("tiny-transformer");
+    net.add(std::make_unique<Embedding>("embed", vocab, dModel, rng));
+    for (int l = 0; l < layers; ++l) {
+        const std::string n = "enc" + std::to_string(l);
+        auto body = std::make_unique<Sequential>(n + "_attn_body");
+        body->add(std::make_unique<MultiHeadAttention>(n + "_attn", dModel,
+                                                       heads, rng));
+        net.add(std::make_unique<Residual>(n + "_res1", std::move(body)));
+        net.add(std::make_unique<LayerNorm>(n + "_ln1", dModel));
+
+        auto ffn = std::make_unique<Sequential>(n + "_ffn");
+        ffn->add(std::make_unique<FullyConnected>(n + "_ff1", dModel,
+                                                  dModel * 4, rng));
+        ffn->add(std::make_unique<Activation>(n + "_relu", ActKind::ReLU));
+        ffn->add(std::make_unique<FullyConnected>(n + "_ff2", dModel * 4,
+                                                  dModel, rng));
+        net.add(std::make_unique<Residual>(n + "_res2", std::move(ffn)));
+        net.add(std::make_unique<LayerNorm>(n + "_ln2", dModel));
+    }
+    net.add(std::make_unique<FullyConnected>("vocab_proj", dModel, vocab,
+                                             rng));
+    return net;
+}
+
+engine::Network
+buildTinyDeepSpeech(util::Rng &rng, std::int64_t featDim,
+                    std::int64_t alphabet, std::int64_t hidden)
+{
+    engine::Network net("tiny-deepspeech");
+    net.add(std::make_unique<Bidirectional>("bigru0", CellKind::Gru,
+                                            featDim, hidden, rng));
+    net.add(std::make_unique<Bidirectional>("bigru1", CellKind::Gru,
+                                            hidden, hidden, rng));
+    // CTC logits per frame: alphabet symbols + blank (class 0).
+    net.add(std::make_unique<FullyConnected>("ctc_proj", hidden,
+                                             alphabet + 1, rng));
+    return net;
+}
+
+engine::Network
+buildTinyCritic(util::Rng &rng, std::int64_t channels,
+                std::int64_t imageSize)
+{
+    (void)imageSize;
+    engine::Network net("tiny-critic");
+    net.add(std::make_unique<Conv2d>("stem", channels, 8, 3, 1, 1, rng));
+    net.add(std::make_unique<Activation>("stem_lrelu", ActKind::LeakyReLU,
+                                         0.2f));
+    net.add(bottleneckBlock(rng, "res", 8, 4, 8, 2));
+    net.add(std::make_unique<GlobalAvgPool>("gap"));
+    net.add(std::make_unique<FullyConnected>("score", 8, 1, rng));
+    return net;
+}
+
+engine::Network
+buildTinyGenerator(util::Rng &rng, std::int64_t zDim, std::int64_t channels,
+                   std::int64_t imageSize)
+{
+    engine::Network net("tiny-generator");
+    net.add(std::make_unique<FullyConnected>(
+        "fc", zDim, channels * imageSize * imageSize * 4, rng));
+    net.add(std::make_unique<Activation>("relu", ActKind::ReLU));
+    net.add(std::make_unique<FullyConnected>(
+        "proj", channels * imageSize * imageSize * 4,
+        channels * imageSize * imageSize, rng));
+    net.add(std::make_unique<Activation>("tanh", ActKind::Tanh));
+    return net;
+}
+
+engine::Network
+buildA3CNet(util::Rng &rng, std::int64_t gridSize, std::int64_t actions)
+{
+    engine::Network net("a3c-net");
+    net.add(std::make_unique<Conv2d>("conv1", 1, 8, 3, 1, 1, rng));
+    net.add(std::make_unique<Activation>("relu1", ActKind::ReLU));
+    net.add(std::make_unique<Flatten>("flatten"));
+    net.add(std::make_unique<FullyConnected>(
+        "fc", 8 * gridSize * gridSize, 64, rng));
+    net.add(std::make_unique<Activation>("relu2", ActKind::ReLU));
+    // Combined head: `actions` policy logits + 1 value output.
+    net.add(std::make_unique<FullyConnected>("head", 64, actions + 1,
+                                             rng));
+    return net;
+}
+
+} // namespace tbd::models

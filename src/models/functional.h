@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Functional (trainable) builders for scaled-down versions of the TBD
+ * models. Full paper shapes are CPU-intractable for real math, so
+ * these preserve each model's layer *structure* (residual bottlenecks,
+ * inception branches, stacked LSTMs, attention blocks, conv+GRU+CTC,
+ * generator/critic pair, policy/value heads) at dimensions the
+ * functional engine trains in seconds — the scaling DESIGN.md records.
+ */
+
+#ifndef TBD_MODELS_FUNCTIONAL_H
+#define TBD_MODELS_FUNCTIONAL_H
+
+#include "engine/network.h"
+#include "util/rng.h"
+
+namespace tbd::models {
+
+/** Miniature ResNet: stem + 2 bottleneck stages + head. */
+engine::Network buildTinyResNet(util::Rng &rng, std::int64_t classes,
+                                std::int64_t channels = 3,
+                                std::int64_t imageSize = 16);
+
+/** Miniature Inception: stem + one 3-branch concat block + head. */
+engine::Network buildTinyInception(util::Rng &rng, std::int64_t classes,
+                                   std::int64_t channels = 3,
+                                   std::int64_t imageSize = 16);
+
+/**
+ * Seq2Seq-style sequence transducer: embedding, stacked LSTMs, and a
+ * per-token vocabulary projection (trained with teacher forcing on the
+ * synthetic copy+shift language).
+ */
+engine::Network buildTinySeq2Seq(util::Rng &rng, std::int64_t vocab,
+                                 std::int64_t embed = 16,
+                                 std::int64_t hidden = 32,
+                                 int layers = 2);
+
+/** Transformer encoder stack with a token-level classifier head. */
+engine::Network buildTinyTransformer(util::Rng &rng, std::int64_t vocab,
+                                     std::int64_t dModel = 16,
+                                     std::int64_t heads = 2,
+                                     int layers = 2);
+
+/** Deep-Speech-2-style acoustic model: GRUs + per-frame CTC logits. */
+engine::Network buildTinyDeepSpeech(util::Rng &rng, std::int64_t featDim,
+                                    std::int64_t alphabet,
+                                    std::int64_t hidden = 32);
+
+/** WGAN critic: conv + residual downsampling to a scalar score. */
+engine::Network buildTinyCritic(util::Rng &rng, std::int64_t channels = 1,
+                                std::int64_t imageSize = 8);
+
+/** WGAN generator: dense from z to a channels x size x size image. */
+engine::Network buildTinyGenerator(util::Rng &rng, std::int64_t zDim,
+                                   std::int64_t channels = 1,
+                                   std::int64_t imageSize = 8);
+
+/** A3C network: two convs + fc + combined policy/value head. */
+engine::Network buildA3CNet(util::Rng &rng, std::int64_t gridSize,
+                            std::int64_t actions);
+
+} // namespace tbd::models
+
+#endif // TBD_MODELS_FUNCTIONAL_H

@@ -1,0 +1,143 @@
+#include "models/misc_workloads.h"
+
+#include "models/cnn_workloads.h"
+#include "util/logging.h"
+
+namespace tbd::models {
+
+Workload
+fasterRcnnWorkload(std::int64_t batch)
+{
+    TBD_CHECK(batch == 1, "Faster R-CNN trains one image per GPU");
+    Workload w = resnet101ConvStack(batch, 600, 850);
+
+    // Feature map after conv4: 1024 channels at ~1/16 resolution.
+    const std::int64_t fh = 38, fw = 54, fc = 1024;
+
+    // Region proposal network: 3x3 conv + objectness/bbox heads over
+    // 9 anchors per position.
+    w.add(convOp("rpn_conv", batch, fc, fh, fw, 512, 3, 3, 1, 1, 1, 1));
+    w.add(activationOp("rpn_relu", batch * 512 * fh * fw));
+    w.add(convOp("rpn_cls", batch, 512, fh, fw, 18, 1, 1, 1, 1, 0, 0));
+    w.add(convOp("rpn_bbox", batch, 512, fh, fw, 36, 1, 1, 1, 1, 0, 0));
+    w.add(softmaxOp("rpn_cls_softmax", batch * fh * fw * 9, 2));
+
+    // RoI pooling of 128 sampled proposals to 14x14.
+    const std::int64_t rois = 128;
+    w.add(roiPoolOp("roi_pool", rois, fc, 14));
+
+    // Per-RoI conv5 stage: 3 bottlenecks at 7x7 after stride 2.
+    {
+        std::int64_t in_c = fc;
+        std::int64_t s = 14;
+        for (int b = 0; b < 3; ++b) {
+            const std::string n = "roi_res5" +
+                                  std::string(1, static_cast<char>('a' + b));
+            const std::int64_t stride = b == 0 ? 2 : 1;
+            const std::int64_t os = b == 0 ? 7 : s;
+            w.add(convOp(n + "_1x1a", rois, in_c, s, 512, 1, 1, 0));
+            w.add(batchNormOp(n + "_bn_a", rois, 512, s, s));
+            w.add(convOp(n + "_3x3", rois, 512, s, 512, 3, stride, 1));
+            w.add(batchNormOp(n + "_bn_b", rois, 512, os, os));
+            w.add(convOp(n + "_1x1b", rois, 512, os, 2048, 1, 1, 0));
+            w.add(batchNormOp(n + "_bn_c", rois, 2048, os, os));
+            if (b == 0)
+                w.add(convOp(n + "_proj", rois, in_c, s, 2048, 1, 2, 0));
+            w.add(activationOp(n + "_relu", rois * 2048 * os * os));
+            in_c = 2048;
+            s = os;
+        }
+    }
+
+    // Detection heads over pooled 2048-d RoI features.
+    w.add(poolOp("roi_gap", rois, 2048, 1, 1, 7));
+    w.add(gemmOp("cls_score", rois, 2048, 21)); // 20 classes + bg
+    w.add(gemmOp("bbox_pred", rois, 2048, 84));
+    w.add(softmaxOp("cls_softmax", rois, 21));
+    w.add(lossOp("frcnn_loss", rois, 21));
+    return w;
+}
+
+Workload
+wganWorkload(std::int64_t batch)
+{
+    TBD_CHECK(batch > 0, "bad WGAN batch");
+    const std::int64_t dim = 128;
+
+    // Critic: conv stem + 4 residual blocks downsampling 64 -> 4.
+    auto critic = [&](const std::string &prefix) {
+        Workload c;
+        c.add(convOp(prefix + "stem", batch, 3, 64, dim, 3, 1, 1));
+        std::int64_t s = 64;
+        for (int b = 0; b < 4; ++b) {
+            const std::string n =
+                prefix + "resblock" + std::to_string(b);
+            c.add(convOp(n + "_c1", batch, dim, s, dim, 3, 1, 1));
+            c.add(activationOp(n + "_relu1", batch * dim * s * s));
+            c.add(convOp(n + "_c2", batch, dim, s, dim, 3, 2, 1));
+            c.add(convOp(n + "_proj", batch, dim, s, dim, 1, 2, 0));
+            s = (s + 2 - 3) / 2 + 1;
+            c.add(elementwiseOp(n + "_add", batch * dim * s * s));
+            c.add(activationOp(n + "_relu2", batch * dim * s * s));
+        }
+        c.add(poolOp(prefix + "gap", batch, dim, 1, 1, s));
+        c.add(gemmOp(prefix + "out", batch, dim, 1));
+        return c;
+    };
+
+    // Generator: fc from z=128 to 4x4xdim + 4 upsampling residual
+    // blocks back to 64x64x3.
+    auto generator = [&]() {
+        Workload g;
+        g.add(gemmOp("gen_fc", batch, 128, dim * 4 * 4));
+        std::int64_t s = 4;
+        for (int b = 0; b < 4; ++b) {
+            const std::string n = "gen_resblock" + std::to_string(b);
+            s *= 2; // nearest-neighbour upsample
+            g.add(convOp(n + "_c1", batch, dim, s, dim, 3, 1, 1));
+            g.add(batchNormOp(n + "_bn1", batch, dim, s, s));
+            g.add(activationOp(n + "_relu1", batch * dim * s * s));
+            g.add(convOp(n + "_c2", batch, dim, s, dim, 3, 1, 1));
+            g.add(batchNormOp(n + "_bn2", batch, dim, s, s));
+            g.add(elementwiseOp(n + "_add", batch * dim * s * s));
+            g.add(activationOp(n + "_relu2", batch * dim * s * s));
+        }
+        g.add(convOp("gen_to_rgb", batch, dim, 64, 3, 3, 1, 1));
+        g.add(activationOp("gen_tanh", batch * 3 * 64 * 64));
+        return g;
+    };
+
+    // One WGAN-GP *measured* iteration = one critic update: D(real),
+    // G(z) to synthesize fakes, D(fake), and the gradient-penalty
+    // critic pass on interpolates. The generator update happens once
+    // per n_critic=5 of these and its amortized cost is within the
+    // model's noise floor, so throughput is reported per critic step
+    // (the unit Fig. 4e's samples/s corresponds to).
+    Workload w;
+    w.append(critic("critic_step_real_"));
+    w.append(generator(), "critic_step_gen_");
+    w.append(critic("critic_step_fake_"));
+    w.append(critic("critic_step_gp_"));
+    w.add(lossOp("wgan_loss", batch, 1));
+    return w;
+}
+
+Workload
+a3cWorkload(std::int64_t batch)
+{
+    TBD_CHECK(batch > 0, "bad A3C batch");
+    Workload w;
+    w.add(convOp("conv1", batch, 4, 84, 16, 8, 4, 0)); // -> 20x20x16
+    w.add(activationOp("conv1_relu", batch * 16 * 20 * 20));
+    w.add(convOp("conv2", batch, 16, 20, 32, 4, 2, 0)); // -> 9x9x32
+    w.add(activationOp("conv2_relu", batch * 32 * 9 * 9));
+    w.add(gemmOp("fc", batch, 32 * 9 * 9, 256));
+    w.add(activationOp("fc_relu", batch * 256));
+    w.add(gemmOp("policy_head", batch, 256, 6)); // Pong action set
+    w.add(gemmOp("value_head", batch, 256, 1));
+    w.add(softmaxOp("policy_softmax", batch, 6));
+    w.add(lossOp("a3c_loss", batch, 7));
+    return w;
+}
+
+} // namespace tbd::models

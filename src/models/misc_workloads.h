@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Workload builders for Faster R-CNN, WGAN-GP and A3C.
+ */
+
+#ifndef TBD_MODELS_MISC_WORKLOADS_H
+#define TBD_MODELS_MISC_WORKLOADS_H
+
+#include "models/workload.h"
+
+namespace tbd::models {
+
+/**
+ * Faster R-CNN with a shared ResNet-101 convolution stack (the paper's
+ * configuration): backbone on a 600x850 image, region proposal
+ * network, RoI pooling of 128 proposals, per-RoI conv5 stage and the
+ * two detection heads. Batch is fixed at 1 image per GPU.
+ */
+Workload fasterRcnnWorkload(std::int64_t batch);
+
+/**
+ * WGAN-GP iteration: n_critic=5 critic updates (real + generated
+ * batches) followed by one generator update, plus the gradient-penalty
+ * pass (an extra critic forward+backward). Both networks are the
+ * 4-residual-block CNNs of Gulrajani et al. on 64x64 images.
+ */
+Workload wganWorkload(std::int64_t batch);
+
+/**
+ * A3C policy/value network on 4x84x84 Atari frame stacks:
+ * conv 16x8x8/4, conv 32x4x4/2, fc 256, policy + value heads.
+ */
+Workload a3cWorkload(std::int64_t batch);
+
+} // namespace tbd::models
+
+#endif // TBD_MODELS_MISC_WORKLOADS_H

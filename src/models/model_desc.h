@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Benchmark-model registry: one ModelDesc per row of Table 2 of the
+ * paper, carrying the metadata the suite reports (application domain,
+ * dominant layer, dataset, implementing frameworks) plus the workload
+ * generator the performance engine consumes.
+ */
+
+#ifndef TBD_MODELS_MODEL_DESC_H
+#define TBD_MODELS_MODEL_DESC_H
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/dataset_spec.h"
+#include "frameworks/framework.h"
+#include "models/workload.h"
+
+namespace tbd::models {
+
+/** One TBD benchmark model (a row of Table 2). */
+struct ModelDesc
+{
+    std::string name;          ///< e.g. "ResNet-50"
+    std::string application;   ///< e.g. "Image classification"
+    std::string dominantLayer; ///< e.g. "CONV"
+    int layerCount = 0;        ///< Table 2 layer count
+
+    /** Frameworks with implementations (Table 2). */
+    std::vector<frameworks::FrameworkId> frameworks;
+
+    /** Training dataset (Table 3). */
+    const data::DatasetSpec *dataset = nullptr;
+
+    /** Throughput unit ("samples/s" or "audio seconds/s"). */
+    std::string throughputUnit = "samples/s";
+
+    /** Throughput units per processed sample (12.6 s/utterance for DS2). */
+    double unitsPerSample = 1.0;
+
+    /**
+     * Dataset samples per batch unit: 1 for models whose batch counts
+     * samples; 1/seqLen for the Transformer, whose batch counts tokens
+     * (input-pipeline and H2D costs are per *sentence*).
+     */
+    double datasetSamplesPerBatchUnit = 1.0;
+
+    /** Mini-batch sizes swept in Figures 4-6. */
+    std::vector<std::int64_t> batchSweep;
+
+    /**
+     * CPU-core-us of model-specific host work per sample (e.g. the A3C
+     * Atari emulator), executed on up to cpuWorkerThreads in parallel
+     * and serialized with GPU work.
+     */
+    double cpuWorkUsPerSample = 0.0;
+    int cpuWorkerThreads = 8;
+
+    /** Fixed per-iteration host time in us (Python glue, proposals). */
+    double fixedHostUsPerIter = 0.0;
+
+    /**
+     * Live-buffer multiplier on stashed activations, calibrated per
+     * model family against the paper's Fig. 9 totals: frameworks keep
+     * gradient buffers, bucketing headroom and un-reused temporaries
+     * beyond the minimal feature-map stash (EXPERIMENTS.md documents
+     * the fit).
+     */
+    double activationStashFactor = 0.58;
+
+    /** Per-framework extra host us per iteration (e.g. CPU NMS). */
+    std::map<frameworks::FrameworkId, double> perFrameworkHostUsPerIter;
+
+    /** Workload generator: ops for one iteration at this batch size. */
+    std::function<Workload(std::int64_t batch)> describe;
+
+    /**
+     * Length-scaled workload generator for sequence models (null for
+     * fixed-shape models): lengthScale 1.0 reproduces describe(). Used
+     * to sample per-iteration sentence/utterance lengths — the
+     * variation that makes the paper define Deep Speech 2 throughput
+     * in audio seconds (Section 3.4.3).
+     */
+    std::function<Workload(std::int64_t batch, double lengthScale)>
+        describeScaled;
+
+    /** True when the model has an implementation on this framework. */
+    bool supports(frameworks::FrameworkId id) const;
+};
+
+/** ResNet-50 image classifier (He et al.). */
+const ModelDesc &resnet50();
+
+/** Inception-v3 image classifier (Szegedy et al.). */
+const ModelDesc &inceptionV3();
+
+/** Seq2Seq NMT: the TensorFlow LSTM translation model. */
+const ModelDesc &seq2seqNmt();
+
+/** Sockeye: the MXNet LSTM translation model (same topology as NMT). */
+const ModelDesc &sockeye();
+
+/** Transformer (Vaswani et al.), batch measured in tokens. */
+const ModelDesc &transformer();
+
+/** Faster R-CNN object detector with a ResNet-101 backbone. */
+const ModelDesc &fasterRcnn();
+
+/** Deep Speech 2 speech recognizer (paper's 5-RNN MXNet variant). */
+const ModelDesc &deepSpeech2();
+
+/** WGAN with gradient penalty (Gulrajani et al.). */
+const ModelDesc &wgan();
+
+/** A3C deep reinforcement learner (Mnih et al.) on Atari. */
+const ModelDesc &a3c();
+
+/** All eight models in Table 2 order. */
+const std::vector<const ModelDesc *> &allModels();
+
+/** Lookup by name; fatal if unknown. */
+const ModelDesc &modelByName(const std::string &name);
+
+} // namespace tbd::models
+
+#endif // TBD_MODELS_MODEL_DESC_H

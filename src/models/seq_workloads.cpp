@@ -1,0 +1,139 @@
+#include "models/seq_workloads.h"
+
+#include "util/logging.h"
+
+namespace tbd::models {
+
+Workload
+seq2seqWorkload(std::int64_t batch, std::int64_t seqLen,
+                std::int64_t hidden, std::int64_t vocab)
+{
+    TBD_CHECK(batch > 0 && seqLen > 0, "bad seq2seq config");
+    Workload w;
+    const std::int64_t tokens = batch * seqLen;
+
+    // Encoder.
+    w.add(embeddingOp("enc_embed", tokens, vocab, hidden));
+    w.add(rnnOp("enc_lstm0", RnnKind::Lstm, batch, seqLen, hidden, hidden));
+    w.add(dropoutOp("enc_drop0", tokens * hidden));
+    w.add(rnnOp("enc_lstm1", RnnKind::Lstm, batch, seqLen, hidden, hidden));
+
+    // Decoder (teacher-forced over the target sequence).
+    w.add(embeddingOp("dec_embed", tokens, vocab, hidden));
+    w.add(rnnOp("dec_lstm0", RnnKind::Lstm, batch, seqLen, hidden, hidden));
+    w.add(dropoutOp("dec_drop0", tokens * hidden));
+    w.add(rnnOp("dec_lstm1", RnnKind::Lstm, batch, seqLen, hidden, hidden));
+
+    // Luong attention per decoder step: scores against all encoder
+    // states, context vector, and the attentional combination layer.
+    {
+        OpDesc attn;
+        attn.name = "luong_attention";
+        attn.type = OpType::Attention;
+        // scores: B*T_dec*T_enc*H mults (x2 for the context matmul).
+        attn.fwdFlops = 2.0 * 2.0 * batch * seqLen * seqLen * hidden;
+        attn.params = hidden * hidden; // general score weight
+        attn.inputElems = tokens * hidden;
+        attn.outputElems = tokens * hidden + batch * seqLen * seqLen;
+        w.add(attn);
+        w.add(gemmOp("attn_combine", tokens, 2 * hidden, hidden));
+        w.add(activationOp("attn_tanh", tokens * hidden));
+    }
+
+    // Vocabulary projection + softmax over every decoder position —
+    // the single largest GEMM in the model.
+    w.add(gemmOp("vocab_proj", tokens, hidden, vocab));
+    w.add(softmaxOp("vocab_softmax", tokens, vocab));
+    w.add(lossOp("loss", tokens, vocab));
+    return w;
+}
+
+Workload
+transformerWorkload(std::int64_t batchTokens, std::int64_t seqLen,
+                    std::int64_t vocab)
+{
+    TBD_CHECK(batchTokens >= seqLen,
+              "token batch smaller than one sequence");
+    const std::int64_t d_model = 512, heads = 8, d_ff = 2048;
+    const std::int64_t n_seq = batchTokens / seqLen;
+    const std::int64_t tokens = n_seq * seqLen;
+
+    Workload w;
+    w.add(embeddingOp("src_embed", tokens, vocab, d_model));
+    w.add(embeddingOp("tgt_embed", tokens, vocab, d_model));
+
+    auto ffn = [&](const std::string &n) {
+        w.add(gemmOp(n + "_ff1", tokens, d_model, d_ff));
+        w.add(activationOp(n + "_ff_relu", tokens * d_ff));
+        w.add(gemmOp(n + "_ff2", tokens, d_ff, d_model));
+        w.add(layerNormOp(n + "_ln2", tokens, d_model));
+    };
+
+    for (int l = 0; l < 6; ++l) {
+        const std::string n = "enc" + std::to_string(l);
+        w.add(attentionOp(n + "_self_attn", n_seq, seqLen, d_model,
+                          heads));
+        w.add(layerNormOp(n + "_ln1", tokens, d_model));
+        ffn(n);
+        w.add(dropoutOp(n + "_drop", tokens * d_model));
+    }
+    for (int l = 0; l < 6; ++l) {
+        const std::string n = "dec" + std::to_string(l);
+        w.add(attentionOp(n + "_self_attn", n_seq, seqLen, d_model,
+                          heads));
+        w.add(layerNormOp(n + "_ln1", tokens, d_model));
+        w.add(attentionOp(n + "_cross_attn", n_seq, seqLen, d_model,
+                          heads));
+        w.add(layerNormOp(n + "_ln_cross", tokens, d_model));
+        ffn(n);
+        w.add(dropoutOp(n + "_drop", tokens * d_model));
+    }
+
+    w.add(gemmOp("vocab_proj", tokens, d_model, vocab));
+    w.add(softmaxOp("vocab_softmax", tokens, vocab));
+    w.add(lossOp("loss", tokens, vocab));
+    return w;
+}
+
+Workload
+deepSpeech2Workload(std::int64_t batch, double audioSecs)
+{
+    TBD_CHECK(batch > 0 && audioSecs > 0.0, "bad DS2 config");
+    // 100 spectrogram frames per second, 161 frequency bins.
+    const auto frames = static_cast<std::int64_t>(audioSecs * 100.0);
+    const std::int64_t freq = 161;
+    const std::int64_t hidden = 1760;
+    const std::int64_t alphabet = 29; // a-z, space, apostrophe, blank
+
+    Workload w;
+    // Conv front-end (Deep Speech 2 paper geometry).
+    w.add(convOp("conv1", batch, 1, frames, freq, 32, 11, 41, 2, 2, 5,
+                 20));
+    const std::int64_t t1 = (frames + 10 - 11) / 2 + 1;
+    const std::int64_t f1 = (freq + 40 - 41) / 2 + 1;
+    w.add(batchNormOp("conv1_bn", batch, 32, t1, f1));
+    w.add(activationOp("conv1_relu", batch * 32 * t1 * f1));
+    w.add(convOp("conv2", batch, 32, t1, f1, 32, 11, 21, 1, 2, 5, 10));
+    const std::int64_t t2 = t1;
+    const std::int64_t f2 = (f1 + 20 - 21) / 2 + 1;
+    w.add(batchNormOp("conv2_bn", batch, 32, t2, f2));
+    w.add(activationOp("conv2_relu", batch * 32 * t2 * f2));
+
+    // Five bidirectional GRU layers over the time axis.
+    std::int64_t in_f = 32 * f2;
+    for (int l = 0; l < 5; ++l) {
+        w.add(rnnOp("bigru" + std::to_string(l), RnnKind::Gru, batch, t2,
+                    in_f, hidden, /*directions=*/2));
+        w.add(batchNormOp("rnn_bn" + std::to_string(l), batch, 1, t2,
+                          hidden));
+        in_f = hidden;
+    }
+
+    // CTC head over every frame.
+    w.add(gemmOp("ctc_proj", batch * t2, hidden, alphabet));
+    w.add(softmaxOp("ctc_softmax", batch * t2, alphabet));
+    w.add(lossOp("ctc_loss", batch * t2, alphabet));
+    return w;
+}
+
+} // namespace tbd::models

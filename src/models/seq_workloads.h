@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Workload builders for the sequence models: the LSTM Seq2Seq
+ * translators (NMT / Sockeye), the Transformer, and Deep Speech 2.
+ */
+
+#ifndef TBD_MODELS_SEQ_WORKLOADS_H
+#define TBD_MODELS_SEQ_WORKLOADS_H
+
+#include "models/workload.h"
+
+namespace tbd::models {
+
+/**
+ * LSTM encoder-decoder with attention (the NMT/Sockeye topology):
+ * embeddings, 2-layer encoder, 2-layer decoder, Luong attention, and a
+ * vocabulary projection + softmax per decoder step.
+ */
+Workload seq2seqWorkload(std::int64_t batch, std::int64_t seqLen = 25,
+                         std::int64_t hidden = 512,
+                         std::int64_t vocab = 17188);
+
+/**
+ * Transformer base (6+6 layers, d=512, h=8, ff=2048). The paper sweeps
+ * the batch in *tokens* (Fig. 4d); tokens are grouped into sequences of
+ * seqLen.
+ */
+Workload transformerWorkload(std::int64_t batchTokens,
+                             std::int64_t seqLen = 25,
+                             std::int64_t vocab = 17188);
+
+/**
+ * Deep Speech 2, MXNet default variant the paper used: 2 conv layers
+ * plus 5 bidirectional GRU layers and a CTC head.
+ * @param batch      Utterances per iteration.
+ * @param audioSecs  Utterance duration in seconds (100 frames/s).
+ */
+Workload deepSpeech2Workload(std::int64_t batch, double audioSecs = 12.6);
+
+} // namespace tbd::models
+
+#endif // TBD_MODELS_SEQ_WORKLOADS_H

@@ -1,0 +1,313 @@
+#include "models/workload.h"
+
+#include "util/logging.h"
+
+namespace tbd::models {
+
+const char *
+opTypeName(OpType type)
+{
+    switch (type) {
+      case OpType::Conv2d:
+        return "conv2d";
+      case OpType::Gemm:
+        return "gemm";
+      case OpType::BatchNorm:
+        return "batch_norm";
+      case OpType::LayerNorm:
+        return "layer_norm";
+      case OpType::Activation:
+        return "activation";
+      case OpType::Pool:
+        return "pool";
+      case OpType::Softmax:
+        return "softmax";
+      case OpType::Dropout:
+        return "dropout";
+      case OpType::Embedding:
+        return "embedding";
+      case OpType::Rnn:
+        return "rnn";
+      case OpType::Attention:
+        return "attention";
+      case OpType::Elementwise:
+        return "elementwise";
+      case OpType::Loss:
+        return "loss";
+      case OpType::RoiPool:
+        return "roi_pool";
+    }
+    return "unknown";
+}
+
+double
+Workload::totalFwdFlops() const
+{
+    double s = 0.0;
+    for (const auto &op : ops)
+        s += op.fwdFlops;
+    return s;
+}
+
+std::int64_t
+Workload::totalParams() const
+{
+    std::int64_t s = 0;
+    for (const auto &op : ops)
+        s += op.params;
+    return s;
+}
+
+std::int64_t
+Workload::totalActivations() const
+{
+    std::int64_t s = 0;
+    for (const auto &op : ops)
+        s += op.outputElems;
+    return s;
+}
+
+void
+Workload::append(const Workload &other, const std::string &prefix)
+{
+    for (OpDesc op : other.ops) {
+        if (!prefix.empty())
+            op.name = prefix + op.name;
+        ops.push_back(std::move(op));
+    }
+}
+
+OpDesc
+convOp(std::string name, std::int64_t batch, std::int64_t inC,
+       std::int64_t inH, std::int64_t inW, std::int64_t outC,
+       std::int64_t kH, std::int64_t kW, std::int64_t strideH,
+       std::int64_t strideW, std::int64_t padH, std::int64_t padW)
+{
+    TBD_CHECK(batch > 0 && inC > 0 && outC > 0, "bad conv shape: ", name);
+    const std::int64_t oh = (inH + 2 * padH - kH) / strideH + 1;
+    const std::int64_t ow = (inW + 2 * padW - kW) / strideW + 1;
+    TBD_CHECK(oh > 0 && ow > 0, "conv output empty: ", name);
+    OpDesc op;
+    op.name = std::move(name);
+    op.type = OpType::Conv2d;
+    op.fwdFlops = 2.0 * batch * outC * oh * ow * inC * kH * kW;
+    op.params = outC * inC * kH * kW;
+    op.inputElems = batch * inC * inH * inW;
+    op.outputElems = batch * outC * oh * ow;
+    return op;
+}
+
+OpDesc
+convOp(std::string name, std::int64_t batch, std::int64_t inC,
+       std::int64_t inHW, std::int64_t outC, std::int64_t k,
+       std::int64_t stride, std::int64_t pad)
+{
+    return convOp(std::move(name), batch, inC, inHW, inHW, outC, k, k,
+                  stride, stride, pad, pad);
+}
+
+OpDesc
+gemmOp(std::string name, std::int64_t rows, std::int64_t inF,
+       std::int64_t outF, bool bias)
+{
+    TBD_CHECK(rows > 0 && inF > 0 && outF > 0, "bad gemm shape: ", name);
+    OpDesc op;
+    op.name = std::move(name);
+    op.type = OpType::Gemm;
+    op.fwdFlops = 2.0 * rows * inF * outF;
+    op.params = inF * outF + (bias ? outF : 0);
+    op.inputElems = rows * inF;
+    op.outputElems = rows * outF;
+    return op;
+}
+
+OpDesc
+batchNormOp(std::string name, std::int64_t batch, std::int64_t c,
+            std::int64_t h, std::int64_t w)
+{
+    OpDesc op;
+    op.name = std::move(name);
+    op.type = OpType::BatchNorm;
+    const std::int64_t elems = batch * c * h * w;
+    // Mean/var/normalize passes: ~10 arithmetic ops per element.
+    op.fwdFlops = 10.0 * elems;
+    op.params = 2 * c;
+    op.inputElems = elems;
+    op.outputElems = elems;
+    return op;
+}
+
+OpDesc
+layerNormOp(std::string name, std::int64_t rows, std::int64_t width)
+{
+    OpDesc op;
+    op.name = std::move(name);
+    op.type = OpType::LayerNorm;
+    const std::int64_t elems = rows * width;
+    op.fwdFlops = 8.0 * elems;
+    op.params = 2 * width;
+    op.inputElems = elems;
+    op.outputElems = elems;
+    return op;
+}
+
+OpDesc
+activationOp(std::string name, std::int64_t elems)
+{
+    OpDesc op;
+    op.name = std::move(name);
+    op.type = OpType::Activation;
+    op.fwdFlops = 2.0 * elems;
+    op.inputElems = elems;
+    op.outputElems = elems;
+    return op;
+}
+
+OpDesc
+poolOp(std::string name, std::int64_t batch, std::int64_t c,
+       std::int64_t outH, std::int64_t outW, std::int64_t k)
+{
+    OpDesc op;
+    op.name = std::move(name);
+    op.type = OpType::Pool;
+    op.outputElems = batch * c * outH * outW;
+    op.inputElems = op.outputElems * k * k; // approximate window cover
+    op.fwdFlops = static_cast<double>(op.outputElems) * k * k;
+    return op;
+}
+
+OpDesc
+softmaxOp(std::string name, std::int64_t rows, std::int64_t width)
+{
+    OpDesc op;
+    op.name = std::move(name);
+    op.type = OpType::Softmax;
+    const std::int64_t elems = rows * width;
+    op.fwdFlops = 5.0 * elems;
+    op.inputElems = elems;
+    op.outputElems = elems;
+    return op;
+}
+
+OpDesc
+dropoutOp(std::string name, std::int64_t elems)
+{
+    OpDesc op;
+    op.name = std::move(name);
+    op.type = OpType::Dropout;
+    op.fwdFlops = 2.0 * elems;
+    op.inputElems = elems;
+    op.outputElems = elems;
+    return op;
+}
+
+OpDesc
+embeddingOp(std::string name, std::int64_t tokens, std::int64_t vocab,
+            std::int64_t embed)
+{
+    OpDesc op;
+    op.name = std::move(name);
+    op.type = OpType::Embedding;
+    op.fwdFlops = static_cast<double>(tokens) * embed; // gather+copy
+    op.params = vocab * embed;
+    op.inputElems = tokens;
+    op.outputElems = tokens * embed;
+    return op;
+}
+
+OpDesc
+rnnOp(std::string name, RnnKind kind, std::int64_t batch,
+      std::int64_t steps, std::int64_t inF, std::int64_t hidden,
+      int directions)
+{
+    TBD_CHECK(directions == 1 || directions == 2,
+              "rnn directions must be 1 or 2: ", name);
+    std::int64_t gates = 1;
+    switch (kind) {
+      case RnnKind::Vanilla:
+        gates = 1;
+        break;
+      case RnnKind::Gru:
+        gates = 3;
+        break;
+      case RnnKind::Lstm:
+        gates = 4;
+        break;
+    }
+    OpDesc op;
+    op.name = std::move(name);
+    op.type = OpType::Rnn;
+    // Per step per direction: x-proj + h-proj GEMMs plus pointwise cell.
+    const double per_step =
+        2.0 * batch * (inF + hidden) * gates * hidden +
+        12.0 * batch * hidden;
+    op.fwdFlops = per_step * steps * directions;
+    op.params =
+        directions * (gates * hidden * (inF + hidden) + 2 * gates * hidden);
+    op.inputElems = batch * steps * inF;
+    // Stash per step: gates + cell/hidden states.
+    op.outputElems =
+        batch * steps * directions * (gates * hidden + 2 * hidden);
+    op.timeSteps = steps * directions;
+    op.stepWidth = batch * gates * hidden;
+    return op;
+}
+
+OpDesc
+attentionOp(std::string name, std::int64_t batch, std::int64_t steps,
+            std::int64_t dModel, std::int64_t heads)
+{
+    TBD_CHECK(dModel % heads == 0, "attention dModel % heads != 0: ", name);
+    OpDesc op;
+    op.name = std::move(name);
+    op.type = OpType::Attention;
+    const double proj = 4.0 * 2.0 * batch * steps * dModel * dModel;
+    const double scores =
+        2.0 * 2.0 * batch * heads * steps * steps * (dModel / heads);
+    op.fwdFlops = proj + scores;
+    op.params = 4 * dModel * dModel;
+    op.inputElems = batch * steps * dModel;
+    // q, k, v, context, attention matrices.
+    op.outputElems =
+        batch * steps * dModel * 4 + batch * heads * steps * steps;
+    return op;
+}
+
+OpDesc
+elementwiseOp(std::string name, std::int64_t elems)
+{
+    OpDesc op;
+    op.name = std::move(name);
+    op.type = OpType::Elementwise;
+    op.fwdFlops = static_cast<double>(elems);
+    op.inputElems = elems;
+    op.outputElems = elems;
+    return op;
+}
+
+OpDesc
+lossOp(std::string name, std::int64_t rows, std::int64_t width)
+{
+    OpDesc op;
+    op.name = std::move(name);
+    op.type = OpType::Loss;
+    op.fwdFlops = 6.0 * rows * width;
+    op.inputElems = rows * width;
+    op.outputElems = rows; // per-sample losses
+    return op;
+}
+
+OpDesc
+roiPoolOp(std::string name, std::int64_t rois, std::int64_t channels,
+          std::int64_t outHW)
+{
+    OpDesc op;
+    op.name = std::move(name);
+    op.type = OpType::RoiPool;
+    op.outputElems = rois * channels * outHW * outHW;
+    op.inputElems = op.outputElems * 4;
+    op.fwdFlops = static_cast<double>(op.outputElems) * 8.0;
+    return op;
+}
+
+} // namespace tbd::models

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The workload IR shared by the performance engine and the memory
+ * model: a model at a given mini-batch size is a sequence of OpDesc
+ * records, each carrying the shape-derived quantities that determine
+ * kernels, time and memory — forward FLOPs, parameter count, stashed
+ * activation elements, and (for recurrent ops) the sequential step
+ * structure that caps GPU parallelism.
+ *
+ * The factory helpers encode the standard cost formulas (e.g. conv
+ * FLOPs = 2 * N * outC * outH * outW * inC * kH * kW); the per-model
+ * files in this directory compose them into the paper's eight
+ * benchmark models at full paper shapes.
+ */
+
+#ifndef TBD_MODELS_WORKLOAD_H
+#define TBD_MODELS_WORKLOAD_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tbd::models {
+
+/** Framework-level op families the lowering understands. */
+enum class OpType
+{
+    Conv2d,
+    Gemm,
+    BatchNorm,
+    LayerNorm,
+    Activation,
+    Pool,
+    Softmax,
+    Dropout,
+    Embedding,
+    Rnn,       ///< sequential recurrent layer (any cell kind)
+    Attention, ///< multi-head attention block
+    Elementwise,
+    Loss,
+    RoiPool
+};
+
+/** Human-readable op-type name. */
+const char *opTypeName(OpType type);
+
+/** One framework-level op at a concrete batch size. */
+struct OpDesc
+{
+    std::string name;             ///< layer instance name
+    OpType type = OpType::Elementwise;
+    double fwdFlops = 0.0;        ///< theoretical forward FLOPs
+    std::int64_t params = 0;      ///< learnable scalars
+    std::int64_t inputElems = 0;  ///< input activation elements
+    std::int64_t outputElems = 0; ///< stashed feature-map elements
+    std::int64_t timeSteps = 1;   ///< sequential steps (RNN: T per dir
+                                  ///< summed over directions)
+    std::int64_t stepWidth = 0;   ///< RNN: parallel elems per step
+};
+
+/** An ordered op list describing one training iteration's forward. */
+struct Workload
+{
+    std::vector<OpDesc> ops;
+
+    /** Sum of forward FLOPs. */
+    double totalFwdFlops() const;
+
+    /** Sum of learnable parameters. */
+    std::int64_t totalParams() const;
+
+    /** Sum of stashed activation elements. */
+    std::int64_t totalActivations() const;
+
+    /** Append another workload's ops with a name prefix. */
+    void append(const Workload &other, const std::string &prefix = {});
+
+    /** Append one op. */
+    void add(OpDesc op) { ops.push_back(std::move(op)); }
+};
+
+// --- factory helpers -----------------------------------------------------
+
+/** 2-D convolution (possibly rectangular kernel). */
+OpDesc convOp(std::string name, std::int64_t batch, std::int64_t inC,
+              std::int64_t inH, std::int64_t inW, std::int64_t outC,
+              std::int64_t kH, std::int64_t kW, std::int64_t strideH,
+              std::int64_t strideW, std::int64_t padH, std::int64_t padW);
+
+/** Square-kernel convenience overload. */
+OpDesc convOp(std::string name, std::int64_t batch, std::int64_t inC,
+              std::int64_t inHW, std::int64_t outC, std::int64_t k,
+              std::int64_t stride, std::int64_t pad);
+
+/** Dense layer over [rows, inF] -> [rows, outF]. */
+OpDesc gemmOp(std::string name, std::int64_t rows, std::int64_t inF,
+              std::int64_t outF, bool bias = true);
+
+/** Spatial batch norm over a [batch, c, h, w] activation. */
+OpDesc batchNormOp(std::string name, std::int64_t batch, std::int64_t c,
+                   std::int64_t h, std::int64_t w);
+
+/** Layer norm over [rows, width]. */
+OpDesc layerNormOp(std::string name, std::int64_t rows, std::int64_t width);
+
+/** Pointwise activation over n elements. */
+OpDesc activationOp(std::string name, std::int64_t elems);
+
+/** Pooling from inHW to outHW with window k. */
+OpDesc poolOp(std::string name, std::int64_t batch, std::int64_t c,
+              std::int64_t outH, std::int64_t outW, std::int64_t k);
+
+/** Row softmax over [rows, width] (e.g. vocabulary distribution). */
+OpDesc softmaxOp(std::string name, std::int64_t rows, std::int64_t width);
+
+/** Dropout over n elements. */
+OpDesc dropoutOp(std::string name, std::int64_t elems);
+
+/** Embedding lookup of `tokens` ids into width-`embed` vectors. */
+OpDesc embeddingOp(std::string name, std::int64_t tokens,
+                   std::int64_t vocab, std::int64_t embed);
+
+/** Recurrent cell kinds for rnnOp. */
+enum class RnnKind { Vanilla, Gru, Lstm };
+
+/**
+ * Recurrent layer over [batch, steps, inF] with hidden width H.
+ * Directions > 1 models bidirectional layers.
+ */
+OpDesc rnnOp(std::string name, RnnKind kind, std::int64_t batch,
+             std::int64_t steps, std::int64_t inF, std::int64_t hidden,
+             int directions = 1);
+
+/** Multi-head self/cross attention over [batch, steps, dModel]. */
+OpDesc attentionOp(std::string name, std::int64_t batch,
+                   std::int64_t steps, std::int64_t dModel,
+                   std::int64_t heads);
+
+/** Generic elementwise op (residual adds, scaling). */
+OpDesc elementwiseOp(std::string name, std::int64_t elems);
+
+/** Loss op over [rows, width] predictions. */
+OpDesc lossOp(std::string name, std::int64_t rows, std::int64_t width);
+
+/** RoI pooling of `rois` regions to outHW x outHW x channels. */
+OpDesc roiPoolOp(std::string name, std::int64_t rois, std::int64_t channels,
+                 std::int64_t outHW);
+
+} // namespace tbd::models
+
+#endif // TBD_MODELS_WORKLOAD_H

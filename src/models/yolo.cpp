@@ -1,0 +1,105 @@
+#include "models/yolo.h"
+
+#include "util/logging.h"
+
+namespace tbd::models {
+
+namespace {
+
+/** conv 3x3 or 1x1 + batch norm + leaky ReLU (Darknet building block). */
+std::int64_t
+darknetConv(Workload &w, const std::string &name, std::int64_t batch,
+            std::int64_t inC, std::int64_t size, std::int64_t outC,
+            std::int64_t k)
+{
+    const std::int64_t pad = k / 2;
+    w.add(convOp(name, batch, inC, size, outC, k, 1, pad));
+    w.add(batchNormOp(name + "_bn", batch, outC, size, size));
+    w.add(activationOp(name + "_leaky", batch * outC * size * size));
+    return size;
+}
+
+} // namespace
+
+Workload
+yolo9000Workload(std::int64_t batch)
+{
+    TBD_CHECK(batch > 0, "bad YOLO batch");
+    Workload w;
+    std::int64_t s = 416;
+
+    // Darknet-19 backbone.
+    darknetConv(w, "conv1", batch, 3, s, 32, 3);
+    s /= 2;
+    w.add(poolOp("pool1", batch, 32, s, s, 2));
+    darknetConv(w, "conv2", batch, 32, s, 64, 3);
+    s /= 2;
+    w.add(poolOp("pool2", batch, 64, s, s, 2));
+    darknetConv(w, "conv3", batch, 64, s, 128, 3);
+    darknetConv(w, "conv4", batch, 128, s, 64, 1);
+    darknetConv(w, "conv5", batch, 64, s, 128, 3);
+    s /= 2;
+    w.add(poolOp("pool3", batch, 128, s, s, 2));
+    darknetConv(w, "conv6", batch, 128, s, 256, 3);
+    darknetConv(w, "conv7", batch, 256, s, 128, 1);
+    darknetConv(w, "conv8", batch, 128, s, 256, 3);
+    s /= 2;
+    w.add(poolOp("pool4", batch, 256, s, s, 2));
+    darknetConv(w, "conv9", batch, 256, s, 512, 3);
+    darknetConv(w, "conv10", batch, 512, s, 256, 1);
+    darknetConv(w, "conv11", batch, 256, s, 512, 3);
+    darknetConv(w, "conv12", batch, 512, s, 256, 1);
+    const std::int64_t passthrough_c = 512, passthrough_s = s / 2;
+    darknetConv(w, "conv13", batch, 256, s, 512, 3); // passthrough source
+    s /= 2;
+    w.add(poolOp("pool5", batch, 512, s, s, 2));
+    darknetConv(w, "conv14", batch, 512, s, 1024, 3);
+    darknetConv(w, "conv15", batch, 1024, s, 512, 1);
+    darknetConv(w, "conv16", batch, 512, s, 1024, 3);
+    darknetConv(w, "conv17", batch, 1024, s, 512, 1);
+    darknetConv(w, "conv18", batch, 512, s, 1024, 3);
+
+    // Detection head: two 3x3/1024 convs, the passthrough branch (1x1
+    // conv to 64 channels, then space-to-depth into 256 x 13 x 13),
+    // one more 3x3 over the concat and the anchor output
+    // (5 anchors x (5 + 20 VOC classes)).
+    darknetConv(w, "head1", batch, 1024, s, 1024, 3);
+    darknetConv(w, "head2", batch, 1024, s, 1024, 3);
+    darknetConv(w, "passthrough_1x1", batch, passthrough_c,
+                passthrough_s, 64, 1);
+    w.add(elementwiseOp("passthrough_reorg",
+                        batch * 64 * passthrough_s * passthrough_s));
+    darknetConv(w, "head3", batch, 1024 + 64 * 4, s, 1024, 3);
+    w.add(convOp("detect", batch, 1024, s, 5 * 25, 1, 1, 0));
+    w.add(softmaxOp("class_softmax", batch * s * s * 5, 20));
+    w.add(lossOp("yolo_loss", batch * s * s * 5, 25));
+    return w;
+}
+
+const ModelDesc &
+yolo9000()
+{
+    static const ModelDesc m = [] {
+        ModelDesc d;
+        d.name = "YOLO9000";
+        d.application = "Object detection";
+        d.dominantLayer = "CONV";
+        d.layerCount = 19;
+        d.frameworks = {frameworks::FrameworkId::TensorFlow,
+                        frameworks::FrameworkId::MXNet};
+        d.dataset = &data::pascalVoc2007();
+        d.batchSweep = {4, 8, 16, 32};
+        d.describe = [](std::int64_t b) { return yolo9000Workload(b); };
+        return d;
+    }();
+    return m;
+}
+
+const std::vector<const ModelDesc *> &
+extensionModels()
+{
+    static const std::vector<const ModelDesc *> all = {&yolo9000()};
+    return all;
+}
+
+} // namespace tbd::models

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * YOLO9000 / YOLOv2 — the object detector the paper names as the next
+ * suite addition ("In the future, we plan to add YOLO9000", Section
+ * 3.1.2). Implemented here as a suite *extension*: a Darknet-19
+ * backbone at 416x416 with the passthrough layer and the anchor-based
+ * detection head, registered separately from the Table 2 models so the
+ * paper's tables stay faithful.
+ */
+
+#ifndef TBD_MODELS_YOLO_H
+#define TBD_MODELS_YOLO_H
+
+#include "models/model_desc.h"
+
+namespace tbd::models {
+
+/** YOLO9000 training workload (Darknet-19 + detection head). */
+Workload yolo9000Workload(std::int64_t batch);
+
+/** YOLO9000 extension model descriptor. */
+const ModelDesc &yolo9000();
+
+/** Suite extensions beyond Table 2 (currently YOLO9000). */
+const std::vector<const ModelDesc *> &extensionModels();
+
+} // namespace tbd::models
+
+#endif // TBD_MODELS_YOLO_H

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Op-to-kernel lowering: translates a Workload (framework-level ops)
+ * into the GPU kernel stream one training iteration launches —
+ * forward kernels, backward kernels (data-gradient and weight-gradient
+ * passes) in reverse order, and one optimizer-update kernel per
+ * parameterized op.
+ *
+ * Framework personalities shape the stream exactly the way the paper's
+ * cross-framework differences arise: kernel selection and naming,
+ * elementwise fusion (one fused kernel vs a chain of small ones),
+ * fused-vs-per-step RNN cells, and per-kernel efficiency levels.
+ *
+ * Calibration constants: each category carries an *instruction factor*
+ * (executed FP32 instructions per theoretical FLOP, which is what
+ * nvprof counts and the paper's Eq. 2 measures) and efficiency levels
+ * fitted so the simulated Figures 4-6 reproduce the paper's shapes;
+ * EXPERIMENTS.md records the resulting paper-vs-measured comparison.
+ */
+
+#ifndef TBD_PERF_LOWERING_H
+#define TBD_PERF_LOWERING_H
+
+#include <vector>
+
+#include "frameworks/framework.h"
+#include "gpusim/kernel.h"
+#include "models/workload.h"
+
+namespace tbd::perf {
+
+/** One kernel launch plus host-side work attributable to it. */
+struct LaunchItem
+{
+    gpusim::KernelDesc kernel;
+    double extraHostUs = 0.0; ///< frontend cost on op boundaries
+};
+
+/** A full training iteration as a launch stream. */
+struct LoweredIteration
+{
+    std::vector<LaunchItem> items;
+    std::int64_t opCount = 0;
+
+    /** Total executed FP32 instructions across all kernels. */
+    double totalFlops() const;
+};
+
+/**
+ * Lower one training iteration (forward + backward + update) of the
+ * given workload under a framework personality.
+ */
+LoweredIteration lowerIteration(const models::Workload &workload,
+                                const frameworks::FrameworkProfile &fw);
+
+/**
+ * Lower one *inference* pass: forward kernels only — no backward, no
+ * optimizer updates, no feature-map stashing. The paper's Section 1
+ * contrast ("training differs significantly from inference") becomes
+ * measurable by running both lowerings through the same timeline.
+ */
+LoweredIteration lowerInference(const models::Workload &workload,
+                                const frameworks::FrameworkProfile &fw);
+
+/**
+ * Kernels emitted by the cuDNN-style auto-tuning phase (workspace and
+ * algorithm search) that runs during the first training iterations;
+ * the sampling profiler excludes them per Section 3.4.2.
+ */
+LoweredIteration autotuneKernels(const models::Workload &workload,
+                                 const frameworks::FrameworkProfile &fw);
+
+} // namespace tbd::perf
+
+#endif // TBD_PERF_LOWERING_H

@@ -1,0 +1,203 @@
+#include "perf/memory_model.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "gpusim/gpu_spec.h"
+#include "util/logging.h"
+
+namespace tbd::perf {
+
+namespace {
+
+using memprof::AllocationId;
+using memprof::MemCategory;
+using memprof::MemoryProfiler;
+
+constexpr double kBytesPerElem = 4.0;
+
+/** Stashed feature-map bytes for one op under a framework. */
+std::uint64_t
+featureBytes(const models::ModelDesc &model, const models::OpDesc &op,
+             const frameworks::FrameworkProfile &fw)
+{
+    double factor = model.activationStashFactor * fw.allocatorSlack;
+    if (op.type == models::OpType::Rnn) {
+        // Unrolled graphs keep per-step cell intermediates alive; the
+        // framework factor is what separates Sockeye's 64-batch ceiling
+        // from NMT's 128 on the same 8 GiB GPU.
+        factor *= fw.rnnActivationFactor;
+    }
+    return static_cast<std::uint64_t>(op.outputElems * kBytesPerElem *
+                                      factor);
+}
+
+} // namespace
+
+OffloadCost
+offloadCost(const models::ModelDesc &model,
+            const models::Workload &workload,
+            const frameworks::FrameworkProfile &fw)
+{
+    OffloadCost cost;
+    for (const auto &op : workload.ops)
+        cost.trafficBytes += featureBytes(model, op, fw);
+    cost.trafficBytes *= 2; // offload after forward + prefetch for bw
+    cost.transferUs = static_cast<double>(cost.trafficBytes) /
+                      (gpusim::kPcie3GBs * 1e9) * 1e6;
+    return cost;
+}
+
+memprof::MemoryBreakdown
+simulateIterationMemory(const models::ModelDesc &model,
+                        const models::Workload &workload,
+                        const frameworks::FrameworkProfile &fw,
+                        const OptimizerSpec &optimizer,
+                        std::uint64_t capacityBytes,
+                        MemoryOptimization optimization)
+{
+    MemoryProfiler prof(capacityBytes);
+
+    const auto params = workload.totalParams();
+    const auto param_bytes =
+        static_cast<std::uint64_t>(params * kBytesPerElem);
+
+    // Static setup: weights and their gradient buffers.
+    prof.allocate(MemCategory::Weights, param_bytes, "weights");
+    prof.allocate(MemCategory::WeightGradients, param_bytes,
+                  "weight gradients");
+
+    // Optimizer slots: MXNet materializes them lazily during training
+    // ("dynamic"); TF/CNTK allocate slot variables with the weights.
+    const auto slot_bytes = static_cast<std::uint64_t>(
+        param_bytes * optimizer.slotsPerParam);
+    if (slot_bytes > 0) {
+        prof.allocate(fw.dynamicOptimizerState ? MemCategory::Dynamic
+                                               : MemCategory::Weights,
+                      slot_bytes, "optimizer slots");
+    }
+
+    // Convolution workspace: sized to the framework budget, but no
+    // larger than the biggest conv's im2col expansion needs.
+    std::uint64_t largest_conv = 0;
+    for (const auto &op : workload.ops) {
+        if (op.type == models::OpType::Conv2d) {
+            largest_conv = std::max(
+                largest_conv, static_cast<std::uint64_t>(
+                                  op.outputElems * kBytesPerElem * 4.0));
+        }
+    }
+    const std::uint64_t workspace = std::min(
+        static_cast<std::uint64_t>(fw.workspaceCapBytes), largest_conv);
+    if (workspace > 0)
+        prof.allocate(MemCategory::Workspace, workspace, "conv workspace");
+
+    const bool offload =
+        optimization == MemoryOptimization::OffloadFeatureMaps;
+
+    // Forward: stash every op's feature maps. Under the vDNN-style
+    // policy a stash is copied to host memory as soon as the next op
+    // has consumed it, so only a two-op window stays resident.
+    std::vector<AllocationId> stashed(workload.ops.size(), 0);
+    std::vector<bool> resident(workload.ops.size(), false);
+    for (std::size_t i = 0; i < workload.ops.size(); ++i) {
+        const auto &op = workload.ops[i];
+        stashed[i] = prof.allocate(MemCategory::FeatureMaps,
+                                   featureBytes(model, op, fw), op.name);
+        resident[i] = true;
+        if (offload && i >= 2) {
+            prof.release(stashed[i - 2]);
+            resident[i - 2] = false;
+        }
+    }
+
+    // Backward: walk in reverse; hold the downstream activation
+    // gradient while computing the upstream one. Offloaded stashes are
+    // prefetched back transiently, then released for good.
+    AllocationId downstream_grad = 0;
+    bool has_downstream = false;
+    for (std::size_t i = workload.ops.size(); i-- > 0;) {
+        const auto &op = workload.ops[i];
+        if (offload && !resident[i]) {
+            stashed[i] = prof.allocate(MemCategory::FeatureMaps,
+                                       featureBytes(model, op, fw),
+                                       op.name + "_prefetch");
+            resident[i] = true;
+        }
+        const AllocationId upstream_grad = prof.allocate(
+            MemCategory::FeatureMaps,
+            static_cast<std::uint64_t>(op.inputElems * kBytesPerElem),
+            op.name + "_grad");
+        if (has_downstream)
+            prof.release(downstream_grad);
+        downstream_grad = upstream_grad;
+        has_downstream = true;
+        prof.release(stashed[i]);
+        resident[i] = false;
+    }
+    if (has_downstream)
+        prof.release(downstream_grad);
+
+    return prof.breakdown();
+}
+
+memprof::MemoryBreakdown
+simulateInferenceMemory(const models::ModelDesc & /*model*/,
+                        const models::Workload &workload,
+                        const frameworks::FrameworkProfile & /*fw*/)
+{
+    // model/fw are part of the signature for symmetry with the
+    // training-memory entry point; inference stashes nothing, so
+    // neither the stash factors nor the allocator policy applies.
+    MemoryProfiler prof(0);
+    prof.allocate(MemCategory::Weights,
+                  static_cast<std::uint64_t>(workload.totalParams() *
+                                             kBytesPerElem),
+                  "weights");
+    // Inference keeps only the producing and consuming activations
+    // alive; no stash factor applies because nothing is retained for a
+    // backward pass.
+    AllocationId prev = 0;
+    bool has_prev = false;
+    for (const auto &op : workload.ops) {
+        const AllocationId cur = prof.allocate(
+            MemCategory::FeatureMaps,
+            static_cast<std::uint64_t>(op.outputElems * kBytesPerElem),
+            op.name);
+        if (has_prev)
+            prof.release(prev);
+        prev = cur;
+        has_prev = true;
+    }
+    if (has_prev)
+        prof.release(prev);
+    return prof.breakdown();
+}
+
+std::int64_t
+maxFeasibleBatch(const models::ModelDesc &model,
+                 const frameworks::FrameworkProfile &fw,
+                 std::uint64_t capacityBytes,
+                 MemoryOptimization optimization)
+{
+    TBD_CHECK(capacityBytes > 0, "capacity required for feasibility");
+    std::int64_t best = 0;
+    std::vector<std::int64_t> grid = model.batchSweep;
+    // Extend the sweep upward by doubling so the ceiling is visible
+    // even when it lies beyond the paper's plotted range.
+    for (int i = 0; i < 4; ++i)
+        grid.push_back(grid.back() << 1);
+    for (std::int64_t b : grid) {
+        try {
+            simulateIterationMemory(model, model.describe(b), fw,
+                                    OptimizerSpec{}, capacityBytes,
+                                    optimization);
+            best = std::max(best, b);
+        } catch (const util::FatalError &) {
+            break;
+        }
+    }
+    return best;
+}
+
+} // namespace tbd::perf

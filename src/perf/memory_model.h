@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Training-iteration memory model: replays a workload's allocation
+ * schedule through the categorized MemoryProfiler to produce the
+ * paper's Fig. 9 breakdown (weights / weight gradients / feature maps
+ * / workspace / dynamic) and to enforce the device capacity that caps
+ * feasible mini-batch sizes.
+ *
+ * Schedule replayed: weights, gradients and (statically allocating
+ * frameworks') optimizer slots come up front; the forward pass stashes
+ * every op's feature maps; the backward pass walks ops in reverse
+ * holding two transient activation-gradient buffers; workspace is the
+ * framework's conv-algorithm budget. MXNet's momentum buffers
+ * materialize during the first iteration, which is the paper's
+ * "dynamic" category.
+ */
+
+#ifndef TBD_PERF_MEMORY_MODEL_H
+#define TBD_PERF_MEMORY_MODEL_H
+
+#include "frameworks/framework.h"
+#include "memprof/memory_profiler.h"
+#include "models/model_desc.h"
+
+namespace tbd::perf {
+
+/** Optimizer slot counts (scalars per parameter). */
+struct OptimizerSpec
+{
+    int slotsPerParam = 1; ///< 1 = SGD momentum (the paper's setups)
+};
+
+/**
+ * Memory optimizations the paper's Observation 11 motivates: feature
+ * maps dominate the training footprint, so offloading them to host
+ * memory during the forward pass and prefetching them back for the
+ * backward pass (the vDNN approach of Rhu et al., which the paper
+ * cites) trades PCIe traffic for GPU capacity.
+ */
+enum class MemoryOptimization
+{
+    None,              ///< stash everything on-device (the baseline)
+    OffloadFeatureMaps ///< vDNN-style host offload of feature maps
+};
+
+/** PCIe cost of one iteration's feature-map offload + prefetch. */
+struct OffloadCost
+{
+    std::uint64_t trafficBytes = 0; ///< offload + prefetch payload
+    double transferUs = 0.0;        ///< at PCIe 3.0 x16 bandwidth
+};
+
+/** Traffic the OffloadFeatureMaps policy generates per iteration. */
+OffloadCost offloadCost(const models::ModelDesc &model,
+                        const models::Workload &workload,
+                        const frameworks::FrameworkProfile &fw);
+
+/**
+ * Replay one training iteration's allocations.
+ *
+ * @param model         Model descriptor (activation stash factor).
+ * @param workload      Ops at the batch size under test.
+ * @param fw            Framework personality (slack, workspace, dynamic
+ *                      optimizer state).
+ * @param optimizer     Optimizer slot configuration.
+ * @param capacityBytes Device memory; 0 disables the OOM check.
+ * @throws util::FatalError when the footprint exceeds capacity.
+ */
+memprof::MemoryBreakdown
+simulateIterationMemory(const models::ModelDesc &model,
+                        const models::Workload &workload,
+                        const frameworks::FrameworkProfile &fw,
+                        const OptimizerSpec &optimizer,
+                        std::uint64_t capacityBytes,
+                        MemoryOptimization optimization =
+                            MemoryOptimization::None);
+
+/**
+ * Inference footprint: weights plus a two-op activation window — no
+ * gradients, optimizer state or stashed feature maps. Reproduces the
+ * paper's Section 1 contrast: inference memory is dominated by the
+ * weights and is orders of magnitude below training.
+ */
+memprof::MemoryBreakdown
+simulateInferenceMemory(const models::ModelDesc &model,
+                        const models::Workload &workload,
+                        const frameworks::FrameworkProfile &fw);
+
+/**
+ * Largest batch from the model's sweep grid (doubling beyond it) that
+ * fits the device; 0 when not even the smallest batch fits.
+ */
+std::int64_t maxFeasibleBatch(const models::ModelDesc &model,
+                              const frameworks::FrameworkProfile &fw,
+                              std::uint64_t capacityBytes,
+                              MemoryOptimization optimization =
+                                  MemoryOptimization::None);
+
+} // namespace tbd::perf
+
+#endif // TBD_PERF_MEMORY_MODEL_H

@@ -1,0 +1,175 @@
+#include "perf/simulator.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tbd::perf {
+
+namespace {
+
+/** Input-pipeline prefetch threads (tf.data / MXNet iterators). */
+constexpr int kDataPipelineThreads = 4;
+
+} // namespace
+
+RunResult
+PerfSimulator::run(const RunConfig &config) const
+{
+    TBD_CHECK(config.model != nullptr, "RunConfig.model is null");
+    const auto &model = *config.model;
+    TBD_CHECK(model.supports(config.framework), model.name,
+              " has no implementation on ",
+              frameworks::frameworkName(config.framework));
+    TBD_CHECK(config.batch > 0, "batch must be positive");
+    TBD_CHECK(config.sampleIterations > 0, "need at least one sample");
+
+    const auto &fw = frameworks::profileFor(config.framework);
+    const models::Workload workload = model.describe(config.batch);
+
+    RunResult result;
+    result.modelName = model.name;
+    result.frameworkName = fw.name;
+    result.gpuName = config.gpu.name;
+    result.batch = config.batch;
+
+    // Memory first: training that OOMs never reaches steady state.
+    result.memory = simulateIterationMemory(
+        model, workload, fw, OptimizerSpec{},
+        config.enforceMemory ? config.gpu.memoryBytes() : 0);
+
+    const LoweredIteration iter = lowerIteration(workload, fw);
+    const LoweredIteration tune = autotuneKernels(workload, fw);
+
+    // Per-iteration length sampling (Sec. 3.4.3): sequence datasets
+    // yield iterations of varying cost; the sampled lowered iterations
+    // replace the fixed one during the measurement window.
+    std::vector<LoweredIteration> varied;
+    double mean_length_scale = 1.0;
+    if (config.lengthCv > 0.0 && model.describeScaled) {
+        util::Rng length_rng(config.lengthSeed);
+        double scale_sum = 0.0;
+        varied.reserve(static_cast<std::size_t>(config.sampleIterations));
+        for (int i = 0; i < config.sampleIterations; ++i) {
+            const double scale = length_rng.truncatedNormal(
+                1.0, config.lengthCv, 0.5, 2.0);
+            scale_sum += scale;
+            varied.push_back(lowerIteration(
+                model.describeScaled(config.batch, scale), fw));
+        }
+        mean_length_scale =
+            scale_sum / static_cast<double>(config.sampleIterations);
+    }
+
+    gpusim::GpuTimeline timeline(config.gpu);
+
+    // Serialized host work per iteration: framework glue and on-policy
+    // environment batches (A3C collects experience before each update).
+    const double serial_host_us =
+        fw.perIterationHostUs + model.fixedHostUsPerIter;
+    // Model host work that runs on worker threads concurrently with
+    // the GPU (Faster R-CNN proposal generation / NMS).
+    double parallel_host_us = 0.0;
+    auto it = model.perFrameworkHostUsPerIter.find(config.framework);
+    if (it != model.perFrameworkHostUsPerIter.end())
+        parallel_host_us = it->second;
+    const double env_us_total =
+        model.cpuWorkUsPerSample * static_cast<double>(config.batch);
+    const double env_serial_us =
+        env_us_total / std::max(1, model.cpuWorkerThreads);
+
+    auto run_iteration = [&](const LoweredIteration &body,
+                             bool with_autotune) {
+        timeline.hostCompute(serial_host_us + env_serial_us);
+        if (with_autotune) {
+            for (const auto &item : tune.items)
+                timeline.launch(item.kernel,
+                                fw.launchOverheadUs + item.extraHostUs);
+        }
+        for (const auto &item : body.items)
+            timeline.launch(item.kernel,
+                            fw.launchOverheadUs + item.extraHostUs);
+        timeline.sync();
+    };
+
+    // Warm-up + auto-tuning phase (excluded from sampling).
+    timeline.beginInterval();
+    double prev_elapsed = 0.0;
+    for (int i = 0; i < config.warmupIterations; ++i) {
+        run_iteration(iter, /*with_autotune=*/i == 0);
+        const double elapsed = timeline.stats().elapsedUs;
+        result.warmupIterationUs.push_back(elapsed - prev_elapsed);
+        prev_elapsed = elapsed;
+    }
+
+    timeline.beginInterval();
+    prev_elapsed = 0.0;
+    for (int i = 0; i < config.sampleIterations; ++i) {
+        run_iteration(varied.empty()
+                          ? iter
+                          : varied[static_cast<std::size_t>(i)],
+                      false);
+        const double elapsed = timeline.stats().elapsedUs;
+        result.sampleIterationUs.push_back(elapsed - prev_elapsed);
+        prev_elapsed = elapsed;
+    }
+    const auto stats = timeline.stats();
+
+    const double pipeline_us =
+        stats.elapsedUs / config.sampleIterations;
+
+    // Input pipeline runs on prefetch threads and overlaps compute;
+    // A3C-style env work is already serialized above, so the dataset
+    // prep applies only to models without their own host work loop.
+    const double dataset_samples = static_cast<double>(config.batch) *
+                                   model.datasetSamplesPerBatchUnit;
+    const double prep_us_total =
+        model.cpuWorkUsPerSample > 0.0
+            ? 0.0
+            : model.dataset->prepUsPerSample * fw.dataPipelineFactor *
+                  dataset_samples;
+    const double data_stage_us = prep_us_total / kDataPipelineThreads;
+
+    // Host-to-device copy of the input batch, double-buffered.
+    const double copy_us = model.dataset->bytesPerSample *
+                           dataset_samples /
+                           (gpusim::kPcie3GBs * 1e9) * 1e6;
+
+    const double parallel_host_stage_us =
+        parallel_host_us / std::max(1, model.cpuWorkerThreads);
+
+    result.iterationUs = std::max(
+        {pipeline_us, data_stage_us, copy_us, parallel_host_stage_us});
+    result.throughputSamples =
+        static_cast<double>(config.batch) / (result.iterationUs * 1e-6);
+    // Longer sampled sequences carry more work units (audio seconds).
+    result.throughputUnits = result.throughputSamples *
+                             model.unitsPerSample * mean_length_scale;
+
+    result.gpuUtilization =
+        (stats.gpuBusyUs / config.sampleIterations) / result.iterationUs;
+    result.fp32Utilization = stats.fp32Utilization(config.gpu);
+
+    const double cpu_busy_us_per_iter =
+        stats.cpuBusyUs / config.sampleIterations + prep_us_total +
+        parallel_host_us +
+        (env_us_total - env_serial_us); // worker threads beyond serial
+    result.cpuUtilization =
+        cpu_busy_us_per_iter /
+        (gpusim::xeonE52680().coreCount * result.iterationUs);
+
+    result.kernelsPerIteration =
+        static_cast<std::int64_t>(iter.items.size());
+
+    // One iteration's kernel trace for the Table 5/6 reports.
+    const auto &execs = timeline.executions();
+    const std::size_t per_iter = iter.items.size();
+    result.kernelTrace.assign(execs.begin(),
+                              execs.begin() +
+                                  static_cast<std::ptrdiff_t>(std::min(
+                                      per_iter, execs.size())));
+    return result;
+}
+
+} // namespace tbd::perf

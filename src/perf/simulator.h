@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The TBD performance simulator: runs a (model, framework, GPU, batch)
+ * configuration through warm-up, auto-tuning and sampled stable-state
+ * iterations on the GPU timeline — the measurement pipeline of Fig. 3
+ * of the paper — and reports the paper's metrics: throughput, GPU
+ * compute utilization (Eq. 1), FP32 utilization (Eq. 2), CPU
+ * utilization (Eq. 3) and the Fig. 9 memory breakdown.
+ */
+
+#ifndef TBD_PERF_SIMULATOR_H
+#define TBD_PERF_SIMULATOR_H
+
+#include <optional>
+
+#include "gpusim/timeline.h"
+#include "perf/lowering.h"
+#include "perf/memory_model.h"
+
+namespace tbd::perf {
+
+/** One benchmark configuration. */
+struct RunConfig
+{
+    const models::ModelDesc *model = nullptr;
+    frameworks::FrameworkId framework =
+        frameworks::FrameworkId::TensorFlow;
+    gpusim::GpuSpec gpu;
+    std::int64_t batch = 32;
+    int warmupIterations = 3;  ///< excluded from sampling (Sec. 3.4.2)
+    int sampleIterations = 10; ///< sampled stable-state iterations
+    bool enforceMemory = true; ///< fail on OOM like real training
+
+    /**
+     * Coefficient of variation of per-iteration sequence lengths
+     * (sentence/utterance sampling, Sec. 3.4.3). 0 disables; models
+     * without describeScaled ignore it. Lengths are drawn from a
+     * truncated normal around the dataset mean.
+     */
+    double lengthCv = 0.0;
+    std::uint64_t lengthSeed = 42; ///< length-sampling stream seed
+};
+
+/** Simulated measurements for one configuration. */
+struct RunResult
+{
+    std::string modelName;
+    std::string frameworkName;
+    std::string gpuName;
+    std::int64_t batch = 0;
+
+    double iterationUs = 0.0;       ///< stable-state iteration time
+    double throughputSamples = 0.0; ///< samples per second
+    double throughputUnits = 0.0;   ///< paper units (images, tokens, s)
+    double gpuUtilization = 0.0;    ///< Eq. 1
+    double fp32Utilization = 0.0;   ///< Eq. 2
+    double cpuUtilization = 0.0;    ///< Eq. 3 (28-core host)
+    std::int64_t kernelsPerIteration = 0;
+
+    memprof::MemoryBreakdown memory; ///< Fig. 9 categories
+
+    /** Kernel executions of one sampled iteration (Tables 5/6 input). */
+    std::vector<gpusim::KernelExec> kernelTrace;
+
+    /** Per-iteration wall time of the warm-up phase (auto-tuning). */
+    std::vector<double> warmupIterationUs;
+
+    /** Per-iteration wall time of the sampled stable phase. */
+    std::vector<double> sampleIterationUs;
+};
+
+/** Runs configurations against the gpusim substrate. */
+class PerfSimulator
+{
+  public:
+    /**
+     * Simulate one configuration end-to-end.
+     * @throws util::FatalError if the model has no implementation on
+     *         the requested framework, or on OOM when enforceMemory.
+     */
+    RunResult run(const RunConfig &config) const;
+};
+
+} // namespace tbd::perf
+
+#endif // TBD_PERF_SIMULATOR_H

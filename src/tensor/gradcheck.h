@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Central-difference numeric gradient checking.
+ *
+ * Every layer in src/layers is verified against this in the test suite:
+ * the analytic backward pass must match the numeric derivative of a
+ * scalar loss within tolerance.
+ */
+
+#ifndef TBD_TENSOR_GRADCHECK_H
+#define TBD_TENSOR_GRADCHECK_H
+
+#include <functional>
+
+#include "tensor/tensor.h"
+
+namespace tbd::tensor {
+
+/** Result of a gradient check. */
+struct GradCheckResult
+{
+    double maxAbsError = 0.0; ///< worst |analytic - numeric|
+    double maxRelError = 0.0; ///< worst relative error on large entries
+    std::int64_t checked = 0; ///< number of entries compared
+    bool
+    ok(double tol = 1e-2) const
+    {
+        return maxRelError <= tol;
+    }
+};
+
+/**
+ * Compare an analytic gradient with the central-difference gradient of a
+ * scalar-valued function.
+ *
+ * @param x         Point at which to differentiate (perturbed in place
+ *                  and restored).
+ * @param loss      Scalar function of x.
+ * @param analytic  Analytic dLoss/dx, same shape as x.
+ * @param eps       Finite-difference step.
+ * @param maxProbe  Cap on entries to probe (evenly strided); 0 = all.
+ */
+GradCheckResult checkGradient(Tensor &x,
+                              const std::function<double()> &loss,
+                              const Tensor &analytic, double eps = 1e-3,
+                              std::int64_t maxProbe = 64);
+
+} // namespace tbd::tensor
+
+#endif // TBD_TENSOR_GRADCHECK_H

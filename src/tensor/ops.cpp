@@ -1,0 +1,532 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tbd::tensor {
+
+namespace {
+
+constexpr std::int64_t kBlock = 64; // GEMM cache block
+
+void
+checkRank2(const Tensor &t, const char *name)
+{
+    TBD_CHECK(t.shape().rank() == 2, name, " must be rank 2, got ",
+              t.shape().toString());
+}
+
+} // namespace
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    checkRank2(a, "matmul lhs");
+    checkRank2(b, "matmul rhs");
+    const auto M = a.shape().dim(0), K = a.shape().dim(1);
+    const auto K2 = b.shape().dim(0), N = b.shape().dim(1);
+    TBD_CHECK(K == K2, "matmul inner dims differ: ", K, " vs ", K2);
+
+    Tensor c(Shape{M, N});
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+
+    for (std::int64_t i0 = 0; i0 < M; i0 += kBlock) {
+        const std::int64_t i1 = std::min(i0 + kBlock, M);
+        for (std::int64_t k0 = 0; k0 < K; k0 += kBlock) {
+            const std::int64_t k1 = std::min(k0 + kBlock, K);
+            for (std::int64_t i = i0; i < i1; ++i) {
+                for (std::int64_t k = k0; k < k1; ++k) {
+                    const float aik = pa[i * K + k];
+                    if (aik == 0.0f)
+                        continue;
+                    const float *brow = pb + k * N;
+                    float *crow = pc + i * N;
+                    for (std::int64_t j = 0; j < N; ++j)
+                        crow[j] += aik * brow[j];
+                }
+            }
+        }
+    }
+    return c;
+}
+
+Tensor
+matmulTN(const Tensor &a, const Tensor &b)
+{
+    checkRank2(a, "matmulTN lhs");
+    checkRank2(b, "matmulTN rhs");
+    const auto M = a.shape().dim(0), Ka = a.shape().dim(1);
+    const auto M2 = b.shape().dim(0), N = b.shape().dim(1);
+    TBD_CHECK(M == M2, "matmulTN outer dims differ: ", M, " vs ", M2);
+
+    Tensor c(Shape{Ka, N});
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    for (std::int64_t m = 0; m < M; ++m) {
+        const float *arow = pa + m * Ka;
+        const float *brow = pb + m * N;
+        for (std::int64_t k = 0; k < Ka; ++k) {
+            const float amk = arow[k];
+            if (amk == 0.0f)
+                continue;
+            float *crow = pc + k * N;
+            for (std::int64_t j = 0; j < N; ++j)
+                crow[j] += amk * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+matmulNT(const Tensor &a, const Tensor &b)
+{
+    checkRank2(a, "matmulNT lhs");
+    checkRank2(b, "matmulNT rhs");
+    const auto M = a.shape().dim(0), N = a.shape().dim(1);
+    const auto Kb = b.shape().dim(0), N2 = b.shape().dim(1);
+    TBD_CHECK(N == N2, "matmulNT inner dims differ: ", N, " vs ", N2);
+
+    Tensor c(Shape{M, Kb});
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    for (std::int64_t i = 0; i < M; ++i) {
+        const float *arow = pa + i * N;
+        float *crow = pc + i * Kb;
+        for (std::int64_t k = 0; k < Kb; ++k) {
+            const float *brow = pb + k * N;
+            float acc = 0.0f;
+            for (std::int64_t j = 0; j < N; ++j)
+                acc += arow[j] * brow[j];
+            crow[k] = acc;
+        }
+    }
+    return c;
+}
+
+Tensor
+map(const Tensor &x, const std::function<float(float)> &f)
+{
+    Tensor y(x.shape());
+    const float *px = x.data();
+    float *py = y.data();
+    const std::int64_t n = x.numel();
+    for (std::int64_t i = 0; i < n; ++i)
+        py[i] = f(px[i]);
+    return y;
+}
+
+Tensor
+zip(const Tensor &x, const Tensor &y,
+    const std::function<float(float, float)> &f)
+{
+    TBD_CHECK(x.shape() == y.shape(), "zip shape mismatch: ",
+              x.shape().toString(), " vs ", y.shape().toString());
+    Tensor z(x.shape());
+    const float *px = x.data();
+    const float *py = y.data();
+    float *pz = z.data();
+    const std::int64_t n = x.numel();
+    for (std::int64_t i = 0; i < n; ++i)
+        pz[i] = f(px[i], py[i]);
+    return z;
+}
+
+void
+addRowBias(Tensor &x, const Tensor &bias)
+{
+    checkRank2(x, "addRowBias input");
+    const auto M = x.shape().dim(0), N = x.shape().dim(1);
+    TBD_CHECK(bias.numel() == N, "bias length ", bias.numel(),
+              " does not match row width ", N);
+    float *px = x.data();
+    const float *pb = bias.data();
+    for (std::int64_t i = 0; i < M; ++i)
+        for (std::int64_t j = 0; j < N; ++j)
+            px[i * N + j] += pb[j];
+}
+
+Tensor
+sumRows(const Tensor &x)
+{
+    checkRank2(x, "sumRows input");
+    const auto M = x.shape().dim(0), N = x.shape().dim(1);
+    Tensor s(Shape{N});
+    const float *px = x.data();
+    float *ps = s.data();
+    for (std::int64_t i = 0; i < M; ++i)
+        for (std::int64_t j = 0; j < N; ++j)
+            ps[j] += px[i * N + j];
+    return s;
+}
+
+Tensor
+softmaxRows(const Tensor &x)
+{
+    checkRank2(x, "softmaxRows input");
+    const auto M = x.shape().dim(0), N = x.shape().dim(1);
+    Tensor y(x.shape());
+    const float *px = x.data();
+    float *py = y.data();
+    for (std::int64_t i = 0; i < M; ++i) {
+        const float *row = px + i * N;
+        float *out = py + i * N;
+        float mx = row[0];
+        for (std::int64_t j = 1; j < N; ++j)
+            mx = std::max(mx, row[j]);
+        float denom = 0.0f;
+        for (std::int64_t j = 0; j < N; ++j) {
+            out[j] = std::exp(row[j] - mx);
+            denom += out[j];
+        }
+        for (std::int64_t j = 0; j < N; ++j)
+            out[j] /= denom;
+    }
+    return y;
+}
+
+Tensor
+softmaxRowsBackward(const Tensor &y, const Tensor &dy)
+{
+    TBD_CHECK(y.shape() == dy.shape(), "softmax backward shape mismatch");
+    const auto M = y.shape().dim(0), N = y.shape().dim(1);
+    Tensor dx(y.shape());
+    const float *py = y.data();
+    const float *pdy = dy.data();
+    float *pdx = dx.data();
+    for (std::int64_t i = 0; i < M; ++i) {
+        const float *yr = py + i * N;
+        const float *dyr = pdy + i * N;
+        float dot = 0.0f;
+        for (std::int64_t j = 0; j < N; ++j)
+            dot += yr[j] * dyr[j];
+        float *dxr = pdx + i * N;
+        for (std::int64_t j = 0; j < N; ++j)
+            dxr[j] = yr[j] * (dyr[j] - dot);
+    }
+    return dx;
+}
+
+std::int64_t
+Conv2dGeom::outH() const
+{
+    return (inH + 2 * padH - kH) / strideH + 1;
+}
+
+std::int64_t
+Conv2dGeom::outW() const
+{
+    return (inW + 2 * padW - kW) / strideW + 1;
+}
+
+Tensor
+im2col(const Tensor &x, const Conv2dGeom &g)
+{
+    TBD_CHECK(x.shape().rank() == 4, "im2col input must be NCHW");
+    const auto N = x.shape().dim(0);
+    TBD_CHECK(x.shape().dim(1) == g.inC && x.shape().dim(2) == g.inH &&
+                  x.shape().dim(3) == g.inW,
+              "im2col geometry mismatch: input ", x.shape().toString());
+    const auto oh = g.outH(), ow = g.outW();
+    TBD_CHECK(oh > 0 && ow > 0, "conv output is empty for input ",
+              x.shape().toString());
+    const auto cols = g.inC * g.kH * g.kW;
+    Tensor out(Shape{N * oh * ow, cols});
+    const float *px = x.data();
+    float *po = out.data();
+    for (std::int64_t n = 0; n < N; ++n) {
+        for (std::int64_t y = 0; y < oh; ++y) {
+            for (std::int64_t xcol = 0; xcol < ow; ++xcol) {
+                float *row = po + ((n * oh + y) * ow + xcol) * cols;
+                std::int64_t idx = 0;
+                for (std::int64_t c = 0; c < g.inC; ++c) {
+                    for (std::int64_t ky = 0; ky < g.kH; ++ky) {
+                        const std::int64_t iy = y * g.strideH + ky - g.padH;
+                        for (std::int64_t kx = 0; kx < g.kW; ++kx, ++idx) {
+                            const std::int64_t ix =
+                                xcol * g.strideW + kx - g.padW;
+                            if (iy < 0 || iy >= g.inH || ix < 0 ||
+                                ix >= g.inW) {
+                                row[idx] = 0.0f;
+                            } else {
+                                row[idx] = px[((n * g.inC + c) * g.inH + iy) *
+                                                  g.inW +
+                                              ix];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+col2im(const Tensor &cols, std::int64_t batch, const Conv2dGeom &g)
+{
+    const auto oh = g.outH(), ow = g.outW();
+    const auto width = g.inC * g.kH * g.kW;
+    TBD_CHECK(cols.shape().rank() == 2 &&
+                  cols.shape().dim(0) == batch * oh * ow &&
+                  cols.shape().dim(1) == width,
+              "col2im input shape mismatch: ", cols.shape().toString());
+    Tensor img(Shape{batch, g.inC, g.inH, g.inW});
+    const float *pc = cols.data();
+    float *pi = img.data();
+    for (std::int64_t n = 0; n < batch; ++n) {
+        for (std::int64_t y = 0; y < oh; ++y) {
+            for (std::int64_t xcol = 0; xcol < ow; ++xcol) {
+                const float *row = pc + ((n * oh + y) * ow + xcol) * width;
+                std::int64_t idx = 0;
+                for (std::int64_t c = 0; c < g.inC; ++c) {
+                    for (std::int64_t ky = 0; ky < g.kH; ++ky) {
+                        const std::int64_t iy = y * g.strideH + ky - g.padH;
+                        for (std::int64_t kx = 0; kx < g.kW; ++kx, ++idx) {
+                            const std::int64_t ix =
+                                xcol * g.strideW + kx - g.padW;
+                            if (iy < 0 || iy >= g.inH || ix < 0 ||
+                                ix >= g.inW) {
+                                continue;
+                            }
+                            pi[((n * g.inC + c) * g.inH + iy) * g.inW + ix] +=
+                                row[idx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return img;
+}
+
+PoolResult
+maxPool2d(const Tensor &x, const Conv2dGeom &g)
+{
+    TBD_CHECK(x.shape().rank() == 4, "maxPool2d input must be NCHW");
+    const auto N = x.shape().dim(0), C = x.shape().dim(1);
+    const auto oh = g.outH(), ow = g.outW();
+    PoolResult res;
+    res.output = Tensor(Shape{N, C, oh, ow});
+    res.argmax.assign(static_cast<std::size_t>(N * C * oh * ow), -1);
+    const float *px = x.data();
+    float *py = res.output.data();
+    std::int64_t out_idx = 0;
+    for (std::int64_t n = 0; n < N; ++n) {
+        for (std::int64_t c = 0; c < C; ++c) {
+            for (std::int64_t y = 0; y < oh; ++y) {
+                for (std::int64_t xo = 0; xo < ow; ++xo, ++out_idx) {
+                    float best = -3.4e38f;
+                    std::int64_t best_idx = -1;
+                    for (std::int64_t ky = 0; ky < g.kH; ++ky) {
+                        const std::int64_t iy = y * g.strideH + ky - g.padH;
+                        if (iy < 0 || iy >= g.inH)
+                            continue;
+                        for (std::int64_t kx = 0; kx < g.kW; ++kx) {
+                            const std::int64_t ix =
+                                xo * g.strideW + kx - g.padW;
+                            if (ix < 0 || ix >= g.inW)
+                                continue;
+                            const std::int64_t in_idx =
+                                ((n * C + c) * g.inH + iy) * g.inW + ix;
+                            if (px[in_idx] > best) {
+                                best = px[in_idx];
+                                best_idx = in_idx;
+                            }
+                        }
+                    }
+                    py[out_idx] = best_idx < 0 ? 0.0f : best;
+                    res.argmax[static_cast<std::size_t>(out_idx)] = best_idx;
+                }
+            }
+        }
+    }
+    return res;
+}
+
+Tensor
+maxPool2dBackward(const Tensor &dy, const PoolResult &fw,
+                  const Shape &inputShape)
+{
+    TBD_CHECK(dy.numel() ==
+                  static_cast<std::int64_t>(fw.argmax.size()),
+              "maxPool2dBackward gradient size mismatch");
+    Tensor dx(inputShape);
+    const float *pdy = dy.data();
+    float *pdx = dx.data();
+    for (std::size_t i = 0; i < fw.argmax.size(); ++i) {
+        const std::int64_t src = fw.argmax[i];
+        if (src >= 0)
+            pdx[src] += pdy[static_cast<std::int64_t>(i)];
+    }
+    return dx;
+}
+
+Tensor
+avgPool2d(const Tensor &x, const Conv2dGeom &g)
+{
+    TBD_CHECK(x.shape().rank() == 4, "avgPool2d input must be NCHW");
+    const auto N = x.shape().dim(0), C = x.shape().dim(1);
+    const auto oh = g.outH(), ow = g.outW();
+    Tensor y(Shape{N, C, oh, ow});
+    const float *px = x.data();
+    float *py = y.data();
+    const float inv = 1.0f / static_cast<float>(g.kH * g.kW);
+    std::int64_t out_idx = 0;
+    for (std::int64_t n = 0; n < N; ++n) {
+        for (std::int64_t c = 0; c < C; ++c) {
+            for (std::int64_t yo = 0; yo < oh; ++yo) {
+                for (std::int64_t xo = 0; xo < ow; ++xo, ++out_idx) {
+                    float acc = 0.0f;
+                    for (std::int64_t ky = 0; ky < g.kH; ++ky) {
+                        const std::int64_t iy = yo * g.strideH + ky - g.padH;
+                        if (iy < 0 || iy >= g.inH)
+                            continue;
+                        for (std::int64_t kx = 0; kx < g.kW; ++kx) {
+                            const std::int64_t ix =
+                                xo * g.strideW + kx - g.padW;
+                            if (ix < 0 || ix >= g.inW)
+                                continue;
+                            acc += px[((n * C + c) * g.inH + iy) * g.inW +
+                                      ix];
+                        }
+                    }
+                    py[out_idx] = acc * inv;
+                }
+            }
+        }
+    }
+    return y;
+}
+
+Tensor
+avgPool2dBackward(const Tensor &dy, const Shape &inputShape,
+                  const Conv2dGeom &g)
+{
+    const auto N = inputShape.dim(0), C = inputShape.dim(1);
+    const auto oh = g.outH(), ow = g.outW();
+    TBD_CHECK(dy.numel() == N * C * oh * ow,
+              "avgPool2dBackward gradient size mismatch");
+    Tensor dx(inputShape);
+    const float *pdy = dy.data();
+    float *pdx = dx.data();
+    const float inv = 1.0f / static_cast<float>(g.kH * g.kW);
+    std::int64_t out_idx = 0;
+    for (std::int64_t n = 0; n < N; ++n) {
+        for (std::int64_t c = 0; c < C; ++c) {
+            for (std::int64_t yo = 0; yo < oh; ++yo) {
+                for (std::int64_t xo = 0; xo < ow; ++xo, ++out_idx) {
+                    const float grad = pdy[out_idx] * inv;
+                    for (std::int64_t ky = 0; ky < g.kH; ++ky) {
+                        const std::int64_t iy = yo * g.strideH + ky - g.padH;
+                        if (iy < 0 || iy >= g.inH)
+                            continue;
+                        for (std::int64_t kx = 0; kx < g.kW; ++kx) {
+                            const std::int64_t ix =
+                                xo * g.strideW + kx - g.padW;
+                            if (ix < 0 || ix >= g.inW)
+                                continue;
+                            pdx[((n * C + c) * g.inH + iy) * g.inW + ix] +=
+                                grad;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return dx;
+}
+
+Tensor
+transpose2d(const Tensor &x)
+{
+    checkRank2(x, "transpose2d input");
+    const auto M = x.shape().dim(0), N = x.shape().dim(1);
+    Tensor y(Shape{N, M});
+    const float *px = x.data();
+    float *py = y.data();
+    for (std::int64_t i = 0; i < M; ++i)
+        for (std::int64_t j = 0; j < N; ++j)
+            py[j * M + i] = px[i * N + j];
+    return y;
+}
+
+Tensor
+concatAxis1(const std::vector<Tensor> &xs)
+{
+    TBD_CHECK(!xs.empty(), "concatAxis1 of empty list");
+    const auto rank = xs[0].shape().rank();
+    TBD_CHECK(rank >= 2, "concatAxis1 requires rank >= 2");
+    std::int64_t axis1 = 0;
+    for (const auto &t : xs) {
+        TBD_CHECK(t.shape().rank() == rank, "concatAxis1 rank mismatch");
+        for (std::size_t d = 0; d < rank; ++d) {
+            if (d != 1) {
+                TBD_CHECK(t.shape().dim(static_cast<std::int64_t>(d)) ==
+                              xs[0].shape().dim(static_cast<std::int64_t>(d)),
+                          "concatAxis1 non-axis dim mismatch");
+            }
+        }
+        axis1 += t.shape().dim(1);
+    }
+    Shape out_shape = xs[0].shape().withDim(1, axis1);
+    Tensor out(out_shape);
+
+    const auto outer = xs[0].shape().dim(0);
+    std::int64_t inner = 1;
+    for (std::size_t d = 2; d < rank; ++d)
+        inner *= xs[0].shape().dim(static_cast<std::int64_t>(d));
+
+    float *po = out.data();
+    for (std::int64_t n = 0; n < outer; ++n) {
+        std::int64_t dst_c = 0;
+        for (const auto &t : xs) {
+            const auto c = t.shape().dim(1);
+            const float *src = t.data() + n * c * inner;
+            float *dst = po + (n * axis1 + dst_c) * inner;
+            std::copy(src, src + c * inner, dst);
+            dst_c += c;
+        }
+    }
+    return out;
+}
+
+std::vector<Tensor>
+splitAxis1(const Tensor &x, const std::vector<std::int64_t> &sizes)
+{
+    const auto rank = x.shape().rank();
+    TBD_CHECK(rank >= 2, "splitAxis1 requires rank >= 2");
+    std::int64_t total = 0;
+    for (std::int64_t s : sizes)
+        total += s;
+    TBD_CHECK(total == x.shape().dim(1), "splitAxis1 sizes sum to ", total,
+              ", axis is ", x.shape().dim(1));
+
+    const auto outer = x.shape().dim(0);
+    std::int64_t inner = 1;
+    for (std::size_t d = 2; d < rank; ++d)
+        inner *= x.shape().dim(static_cast<std::int64_t>(d));
+
+    std::vector<Tensor> parts;
+    parts.reserve(sizes.size());
+    std::int64_t src_c = 0;
+    for (std::int64_t c : sizes) {
+        Tensor part(x.shape().withDim(1, c));
+        float *dst = part.data();
+        const float *po = x.data();
+        for (std::int64_t n = 0; n < outer; ++n) {
+            const float *src = po + (n * x.shape().dim(1) + src_c) * inner;
+            std::copy(src, src + c * inner, dst + n * c * inner);
+        }
+        src_c += c;
+        parts.push_back(std::move(part));
+    }
+    return parts;
+}
+
+} // namespace tbd::tensor

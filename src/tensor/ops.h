@@ -1,0 +1,111 @@
+/**
+ * @file
+ * CPU reference kernels for the functional engine.
+ *
+ * These are the numeric primitives the layer library composes for real
+ * forward/backward computation: GEMM (with transpose variants used by
+ * backprop), im2col-based convolution support, pooling, softmax, and
+ * elementwise maps. They are written for clarity and testability, with a
+ * lightly blocked GEMM so that the examples train in reasonable time.
+ */
+
+#ifndef TBD_TENSOR_OPS_H
+#define TBD_TENSOR_OPS_H
+
+#include <functional>
+
+#include "tensor/tensor.h"
+
+namespace tbd::tensor {
+
+/** C[M,N] = A[M,K] * B[K,N]. */
+Tensor matmul(const Tensor &a, const Tensor &b);
+
+/** C[K_a?,..] = A^T * B where A is [M,K_a], B is [M,N] -> C[K_a,N]. */
+Tensor matmulTN(const Tensor &a, const Tensor &b);
+
+/** C[M,K_b] = A * B^T where A is [M,N], B is [K_b,N]. */
+Tensor matmulNT(const Tensor &a, const Tensor &b);
+
+/** y[i] = f(x[i]) elementwise. */
+Tensor map(const Tensor &x, const std::function<float(float)> &f);
+
+/** z[i] = f(x[i], y[i]) elementwise; shapes must match. */
+Tensor zip(const Tensor &x, const Tensor &y,
+           const std::function<float(float, float)> &f);
+
+/** Add a length-N bias vector to every row of a [M,N] matrix in place. */
+void addRowBias(Tensor &x, const Tensor &bias);
+
+/** Column-sum of a [M,N] matrix: returns [N] (bias gradient). */
+Tensor sumRows(const Tensor &x);
+
+/** Row-wise softmax of a [M,N] matrix (numerically stabilized). */
+Tensor softmaxRows(const Tensor &x);
+
+/**
+ * Backward of row-wise softmax: given y = softmax(x) and dL/dy, returns
+ * dL/dx.
+ */
+Tensor softmaxRowsBackward(const Tensor &y, const Tensor &dy);
+
+/** Geometry of a 2-D convolution or pooling window. */
+struct Conv2dGeom
+{
+    std::int64_t inC, inH, inW;   ///< input channels / spatial dims
+    std::int64_t outC;            ///< output channels (conv only)
+    std::int64_t kH, kW;          ///< kernel size
+    std::int64_t strideH, strideW;
+    std::int64_t padH, padW;
+
+    /** Output height for this geometry. */
+    std::int64_t outH() const;
+
+    /** Output width for this geometry. */
+    std::int64_t outW() const;
+};
+
+/**
+ * im2col: expand x[N,C,H,W] into columns [N * outH * outW, C * kH * kW]
+ * so convolution reduces to GEMM — the same lowering cuDNN's implicit
+ * GEMM algorithms use.
+ */
+Tensor im2col(const Tensor &x, const Conv2dGeom &g);
+
+/** col2im: scatter-add columns back to an image (conv input gradient). */
+Tensor col2im(const Tensor &cols, std::int64_t batch, const Conv2dGeom &g);
+
+/** Max pooling forward; argmax indices are stored for backward. */
+struct PoolResult
+{
+    Tensor output;               ///< pooled output [N,C,outH,outW]
+    std::vector<std::int64_t> argmax; ///< flat input index per output elem
+};
+
+/** Max-pool x[N,C,H,W] with the given window geometry (outC ignored). */
+PoolResult maxPool2d(const Tensor &x, const Conv2dGeom &g);
+
+/** Backward of maxPool2d: route dy through the recorded argmax. */
+Tensor maxPool2dBackward(const Tensor &dy, const PoolResult &fw,
+                         const Shape &inputShape);
+
+/** Average-pool x[N,C,H,W] with the given window geometry. */
+Tensor avgPool2d(const Tensor &x, const Conv2dGeom &g);
+
+/** Backward of avgPool2d. */
+Tensor avgPool2dBackward(const Tensor &dy, const Shape &inputShape,
+                         const Conv2dGeom &g);
+
+/** Transpose a [M,N] matrix. */
+Tensor transpose2d(const Tensor &x);
+
+/** Concatenate rank-matching tensors along axis 1 (channels). */
+Tensor concatAxis1(const std::vector<Tensor> &xs);
+
+/** Split a tensor along axis 1 into chunks of the given sizes. */
+std::vector<Tensor> splitAxis1(const Tensor &x,
+                               const std::vector<std::int64_t> &sizes);
+
+} // namespace tbd::tensor
+
+#endif // TBD_TENSOR_OPS_H

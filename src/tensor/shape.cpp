@@ -1,0 +1,75 @@
+#include "tensor/shape.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace tbd::tensor {
+
+namespace {
+
+void
+validate(const std::vector<std::int64_t> &dims)
+{
+    for (std::int64_t d : dims)
+        TBD_CHECK(d > 0, "shape dimension must be positive, got ", d);
+}
+
+} // namespace
+
+Shape::Shape(std::initializer_list<std::int64_t> dims) : dims_(dims)
+{
+    validate(dims_);
+}
+
+Shape::Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims))
+{
+    validate(dims_);
+}
+
+std::int64_t
+Shape::dim(std::int64_t i) const
+{
+    const auto r = static_cast<std::int64_t>(dims_.size());
+    if (i < 0)
+        i += r;
+    TBD_CHECK(i >= 0 && i < r, "shape dim index ", i, " out of rank ", r);
+    return dims_[static_cast<std::size_t>(i)];
+}
+
+std::int64_t
+Shape::numel() const
+{
+    std::int64_t n = 1;
+    for (std::int64_t d : dims_)
+        n *= d;
+    return n;
+}
+
+Shape
+Shape::withDim(std::int64_t i, std::int64_t value) const
+{
+    const auto r = static_cast<std::int64_t>(dims_.size());
+    if (i < 0)
+        i += r;
+    TBD_CHECK(i >= 0 && i < r, "shape dim index ", i, " out of rank ", r);
+    std::vector<std::int64_t> dims = dims_;
+    dims[static_cast<std::size_t>(i)] = value;
+    return Shape(std::move(dims));
+}
+
+std::string
+Shape::toString() const
+{
+    std::ostringstream oss;
+    oss << '[';
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        if (i)
+            oss << ", ";
+        oss << dims_[i];
+    }
+    oss << ']';
+    return oss.str();
+}
+
+} // namespace tbd::tensor

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Tensor shape type shared by the functional engine and the performance
+ * model (the latter only ever needs shape arithmetic).
+ */
+
+#ifndef TBD_TENSOR_SHAPE_H
+#define TBD_TENSOR_SHAPE_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace tbd::tensor {
+
+/** Row-major tensor shape; dimension 0 is the outermost (batch) axis. */
+class Shape
+{
+  public:
+    Shape() = default;
+
+    /** Construct from an explicit dimension list; all dims must be > 0. */
+    Shape(std::initializer_list<std::int64_t> dims);
+
+    /** Construct from a vector of dimensions; all dims must be > 0. */
+    explicit Shape(std::vector<std::int64_t> dims);
+
+    /** Number of dimensions. */
+    std::size_t rank() const { return dims_.size(); }
+
+    /** Size of dimension i; supports negative Python-style indices. */
+    std::int64_t dim(std::int64_t i) const;
+
+    /** Total element count (1 for a scalar/rank-0 shape). */
+    std::int64_t numel() const;
+
+    /** Underlying dimension vector. */
+    const std::vector<std::int64_t> &dims() const { return dims_; }
+
+    /** Shape with dimension i replaced (used for batch substitution). */
+    Shape withDim(std::int64_t i, std::int64_t value) const;
+
+    /** Render as "[N, C, H, W]". */
+    std::string toString() const;
+
+    bool operator==(const Shape &other) const = default;
+
+  private:
+    std::vector<std::int64_t> dims_;
+};
+
+} // namespace tbd::tensor
+
+#endif // TBD_TENSOR_SHAPE_H

@@ -1,0 +1,185 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tbd::tensor {
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(std::make_shared<std::vector<float>>(
+          static_cast<std::size_t>(shape_.numel()), 0.0f))
+{
+}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)),
+      data_(std::make_shared<std::vector<float>>(
+          static_cast<std::size_t>(shape_.numel()), fill))
+{
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)),
+      data_(std::make_shared<std::vector<float>>(std::move(data)))
+{
+    TBD_CHECK(static_cast<std::int64_t>(data_->size()) == shape_.numel(),
+              "data size ", data_->size(), " does not match shape ",
+              shape_.toString());
+}
+
+void
+Tensor::checkDefined() const
+{
+    TBD_CHECK(defined(), "operation on undefined tensor");
+}
+
+float &
+Tensor::at(std::int64_t i)
+{
+    checkDefined();
+    TBD_ASSERT(i >= 0 && i < numel(), "flat index ", i, " out of ", numel());
+    return (*data_)[static_cast<std::size_t>(i)];
+}
+
+float
+Tensor::at(std::int64_t i) const
+{
+    checkDefined();
+    TBD_ASSERT(i >= 0 && i < numel(), "flat index ", i, " out of ", numel());
+    return (*data_)[static_cast<std::size_t>(i)];
+}
+
+float &
+Tensor::at2(std::int64_t r, std::int64_t c)
+{
+    TBD_ASSERT(shape_.rank() == 2, "at2 on rank-", shape_.rank(), " tensor");
+    return at(r * shape_.dim(1) + c);
+}
+
+float
+Tensor::at2(std::int64_t r, std::int64_t c) const
+{
+    TBD_ASSERT(shape_.rank() == 2, "at2 on rank-", shape_.rank(), " tensor");
+    return at(r * shape_.dim(1) + c);
+}
+
+float &
+Tensor::at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w)
+{
+    TBD_ASSERT(shape_.rank() == 4, "at4 on rank-", shape_.rank(), " tensor");
+    const auto C = shape_.dim(1), H = shape_.dim(2), W = shape_.dim(3);
+    return at(((n * C + c) * H + h) * W + w);
+}
+
+float
+Tensor::at4(std::int64_t n, std::int64_t c, std::int64_t h,
+            std::int64_t w) const
+{
+    TBD_ASSERT(shape_.rank() == 4, "at4 on rank-", shape_.rank(), " tensor");
+    const auto C = shape_.dim(1), H = shape_.dim(2), W = shape_.dim(3);
+    return at(((n * C + c) * H + h) * W + w);
+}
+
+float *
+Tensor::data()
+{
+    checkDefined();
+    return data_->data();
+}
+
+const float *
+Tensor::data() const
+{
+    checkDefined();
+    return data_->data();
+}
+
+Tensor
+Tensor::clone() const
+{
+    checkDefined();
+    return Tensor(shape_, *data_);
+}
+
+Tensor
+Tensor::reshaped(Shape shape) const
+{
+    checkDefined();
+    TBD_CHECK(shape.numel() == shape_.numel(), "reshape ", shape_.toString(),
+              " -> ", shape.toString(), " changes element count");
+    Tensor t;
+    t.shape_ = std::move(shape);
+    t.data_ = data_;
+    return t;
+}
+
+void
+Tensor::fill(float value)
+{
+    checkDefined();
+    std::fill(data_->begin(), data_->end(), value);
+}
+
+void
+Tensor::fillNormal(util::Rng &rng, float mean, float stddev)
+{
+    checkDefined();
+    for (float &x : *data_)
+        x = static_cast<float>(rng.normal(mean, stddev));
+}
+
+void
+Tensor::fillUniform(util::Rng &rng, float lo, float hi)
+{
+    checkDefined();
+    for (float &x : *data_)
+        x = static_cast<float>(rng.uniform(lo, hi));
+}
+
+void
+Tensor::addScaled(const Tensor &other, float alpha)
+{
+    checkDefined();
+    TBD_CHECK(other.shape() == shape_, "addScaled shape mismatch: ",
+              shape_.toString(), " vs ", other.shape().toString());
+    const float *src = other.data();
+    float *dst = data_->data();
+    const std::size_t n = data_->size();
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] += alpha * src[i];
+}
+
+void
+Tensor::scale(float alpha)
+{
+    checkDefined();
+    for (float &x : *data_)
+        x *= alpha;
+}
+
+double
+Tensor::sum() const
+{
+    checkDefined();
+    double s = 0.0;
+    for (float x : *data_)
+        s += x;
+    return s;
+}
+
+double
+Tensor::meanAbs() const
+{
+    checkDefined();
+    if (data_->empty())
+        return 0.0;
+    double s = 0.0;
+    for (float x : *data_)
+        s += std::fabs(x);
+    return s / static_cast<double>(data_->size());
+}
+
+} // namespace tbd::tensor

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Dense FP32 tensor with shared, contiguous, row-major storage.
+ *
+ * This is the numeric substrate of TBD's *functional* engine: layers in
+ * src/layers compute real forward/backward math on these tensors, which
+ * is what lets the test suite gradient-check every layer and the examples
+ * actually train. DNN training is FP32-dominated (the paper's FP32
+ * utilization metric exists for exactly this reason), so a single dtype
+ * suffices.
+ */
+
+#ifndef TBD_TENSOR_TENSOR_H
+#define TBD_TENSOR_TENSOR_H
+
+#include <memory>
+#include <vector>
+
+#include "tensor/shape.h"
+
+namespace tbd::util {
+class Rng;
+} // namespace tbd::util
+
+namespace tbd::tensor {
+
+/** Dense FP32 tensor; copies share storage (use clone() to deep-copy). */
+class Tensor
+{
+  public:
+    /** Empty tensor (rank 0, no storage). */
+    Tensor() = default;
+
+    /** Allocate a zero-initialized tensor of the given shape. */
+    explicit Tensor(Shape shape);
+
+    /** Allocate and fill with an explicit value. */
+    Tensor(Shape shape, float fill);
+
+    /** Wrap an explicit data vector; size must match the shape. */
+    Tensor(Shape shape, std::vector<float> data);
+
+    /** Tensor shape. */
+    const Shape &shape() const { return shape_; }
+
+    /** Total element count. */
+    std::int64_t numel() const { return shape_.numel(); }
+
+    /** True when storage is allocated. */
+    bool defined() const { return static_cast<bool>(data_); }
+
+    /** Mutable flat element access. */
+    float &at(std::int64_t i);
+
+    /** Const flat element access. */
+    float at(std::int64_t i) const;
+
+    /** 2-D indexed access (row-major); rank must be 2. */
+    float &at2(std::int64_t r, std::int64_t c);
+
+    /** Const 2-D indexed access. */
+    float at2(std::int64_t r, std::int64_t c) const;
+
+    /** 4-D indexed access (NCHW); rank must be 4. */
+    float &at4(std::int64_t n, std::int64_t c, std::int64_t h,
+               std::int64_t w);
+
+    /** Const 4-D indexed access. */
+    float at4(std::int64_t n, std::int64_t c, std::int64_t h,
+              std::int64_t w) const;
+
+    /** Raw mutable pointer to flat storage. */
+    float *data();
+
+    /** Raw const pointer to flat storage. */
+    const float *data() const;
+
+    /** Deep copy with fresh storage. */
+    Tensor clone() const;
+
+    /** Same storage reinterpreted with a new shape of equal numel. */
+    Tensor reshaped(Shape shape) const;
+
+    /** Set every element to the given value. */
+    void fill(float value);
+
+    /** Fill with N(mean, stddev) draws from the given RNG. */
+    void fillNormal(util::Rng &rng, float mean, float stddev);
+
+    /** Fill with U[lo, hi) draws from the given RNG. */
+    void fillUniform(util::Rng &rng, float lo, float hi);
+
+    /** In-place axpy: this += alpha * other (shapes must match). */
+    void addScaled(const Tensor &other, float alpha);
+
+    /** In-place scale: this *= alpha. */
+    void scale(float alpha);
+
+    /** Sum of all elements. */
+    double sum() const;
+
+    /** Mean absolute value of all elements (0 for empty). */
+    double meanAbs() const;
+
+  private:
+    void checkDefined() const;
+
+    Shape shape_;
+    std::shared_ptr<std::vector<float>> data_;
+};
+
+} // namespace tbd::tensor
+
+#endif // TBD_TENSOR_TENSOR_H

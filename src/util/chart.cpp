@@ -1,0 +1,129 @@
+#include "util/chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/format.h"
+#include "util/logging.h"
+
+namespace tbd::util {
+
+namespace {
+
+constexpr char kMarkers[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+
+double
+xPosition(double x, double lo, double hi, bool log_x)
+{
+    if (log_x) {
+        TBD_CHECK(x > 0.0 && lo > 0.0 && hi > 0.0,
+                  "log-scale chart needs positive x values");
+        return (std::log(x) - std::log(lo)) /
+               std::max(1e-12, std::log(hi) - std::log(lo));
+    }
+    return (x - lo) / std::max(1e-12, hi - lo);
+}
+
+} // namespace
+
+std::string
+asciiChart(const std::vector<double> &xs, const std::vector<Series> &series,
+           const ChartOptions &options)
+{
+    TBD_CHECK(!xs.empty(), "chart needs at least one x position");
+    TBD_CHECK(!series.empty(), "chart needs at least one series");
+    TBD_CHECK(options.width >= 8 && options.height >= 4,
+              "chart too small");
+    for (const auto &s : series) {
+        TBD_CHECK(s.ys.size() == xs.size(), "series '", s.label,
+                  "' has ", s.ys.size(), " points, x axis has ",
+                  xs.size());
+    }
+
+    double y_lo = 0.0, y_hi = 0.0;
+    bool first = true;
+    for (const auto &s : series) {
+        for (double y : s.ys) {
+            if (first) {
+                y_lo = y_hi = y;
+                first = false;
+            }
+            y_lo = std::min(y_lo, y);
+            y_hi = std::max(y_hi, y);
+        }
+    }
+    if (y_hi == y_lo)
+        y_hi = y_lo + 1.0;
+    // Anchor at zero when everything is non-negative (utilization and
+    // throughput charts read better from the floor).
+    if (y_lo > 0.0 && y_lo < 0.5 * y_hi)
+        y_lo = 0.0;
+
+    const double x_lo = *std::min_element(xs.begin(), xs.end());
+    const double x_hi = *std::max_element(xs.begin(), xs.end());
+
+    std::vector<std::string> grid(
+        static_cast<std::size_t>(options.height),
+        std::string(static_cast<std::size_t>(options.width), ' '));
+
+    for (std::size_t si = 0; si < series.size(); ++si) {
+        const char marker = kMarkers[si % sizeof(kMarkers)];
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+            const double fx =
+                xPosition(xs[i], x_lo, x_hi, options.logX);
+            const double fy = (series[si].ys[i] - y_lo) / (y_hi - y_lo);
+            const int col = static_cast<int>(
+                std::lround(fx * (options.width - 1)));
+            const int row = options.height - 1 -
+                            static_cast<int>(std::lround(
+                                fy * (options.height - 1)));
+            grid[static_cast<std::size_t>(
+                std::clamp(row, 0, options.height - 1))]
+                [static_cast<std::size_t>(
+                    std::clamp(col, 0, options.width - 1))] = marker;
+        }
+    }
+
+    std::ostringstream out;
+    if (!options.yLabel.empty())
+        out << options.yLabel << '\n';
+    const std::string hi_label = formatSi(y_hi);
+    const std::string lo_label = formatSi(y_lo);
+    const std::size_t axis_width = std::max(hi_label.size(),
+                                            lo_label.size());
+    for (int row = 0; row < options.height; ++row) {
+        std::string label;
+        if (row == 0)
+            label = hi_label;
+        else if (row == options.height - 1)
+            label = lo_label;
+        out << std::string(axis_width - label.size(), ' ') << label
+            << " |" << grid[static_cast<std::size_t>(row)] << '\n';
+    }
+    out << std::string(axis_width + 1, ' ') << '+'
+        << std::string(static_cast<std::size_t>(options.width), '-')
+        << '\n';
+    // X tick labels at both ends.
+    const std::string x_left = formatSi(x_lo);
+    const std::string x_right = formatSi(x_hi);
+    out << std::string(axis_width + 2, ' ') << x_left
+        << std::string(
+               std::max<std::size_t>(1, static_cast<std::size_t>(
+                                            options.width) -
+                                            x_left.size() -
+                                            x_right.size()),
+               ' ')
+        << x_right;
+    if (!options.xLabel.empty())
+        out << "  (" << options.xLabel << ')';
+    out << '\n';
+    // Legend.
+    for (std::size_t si = 0; si < series.size(); ++si) {
+        out << "  " << kMarkers[si % sizeof(kMarkers)] << ' '
+            << series[si].label << '\n';
+    }
+    return out.str();
+}
+
+} // namespace tbd::util

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * ASCII line charts for the figure-regeneration harnesses: the paper's
+ * figures are curves, so the benches render the reproduced series as a
+ * small console plot next to the numeric tables.
+ */
+
+#ifndef TBD_UTIL_CHART_H
+#define TBD_UTIL_CHART_H
+
+#include <string>
+#include <vector>
+
+namespace tbd::util {
+
+/** One plotted series. */
+struct Series
+{
+    std::string label;
+    std::vector<double> ys; ///< one value per x position
+};
+
+/** Chart geometry and labels. */
+struct ChartOptions
+{
+    int width = 60;        ///< plot columns
+    int height = 14;       ///< plot rows
+    std::string xLabel;    ///< e.g. "mini-batch"
+    std::string yLabel;    ///< e.g. "samples/s"
+    bool logX = false;     ///< log-scale x (batch sweeps double)
+};
+
+/**
+ * Render series over shared x positions as an ASCII chart with a
+ * y-axis, x-tick labels and a legend. Each series uses its own marker
+ * ('*', 'o', '+', 'x', ...). All series must match xs in length;
+ * fatal otherwise.
+ */
+std::string asciiChart(const std::vector<double> &xs,
+                       const std::vector<Series> &series,
+                       const ChartOptions &options = {});
+
+} // namespace tbd::util
+
+#endif // TBD_UTIL_CHART_H

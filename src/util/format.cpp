@@ -1,0 +1,66 @@
+#include "util/format.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace tbd::util {
+
+std::string
+formatFixed(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    static constexpr std::array<const char *, 6> units = {
+        "B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+    double v = static_cast<double>(bytes);
+    std::size_t u = 0;
+    while (v >= 1024.0 && u + 1 < units.size()) {
+        v /= 1024.0;
+        ++u;
+    }
+    return formatFixed(v, u == 0 ? 0 : 2) + " " + units[u];
+}
+
+std::string
+formatSi(double value)
+{
+    static constexpr std::array<const char *, 7> units = {
+        "", "K", "M", "G", "T", "P", "E"};
+    double v = std::fabs(value);
+    std::size_t u = 0;
+    while (v >= 1000.0 && u + 1 < units.size()) {
+        v /= 1000.0;
+        ++u;
+    }
+    const double signedV = value < 0 ? -v : v;
+    return formatFixed(signedV, u == 0 ? 0 : 2) +
+           (u == 0 ? "" : std::string(" ") + units[u]);
+}
+
+std::string
+formatDuration(double seconds)
+{
+    const double abs = std::fabs(seconds);
+    if (abs >= 1.0)
+        return formatFixed(seconds, 2) + " s";
+    if (abs >= 1e-3)
+        return formatFixed(seconds * 1e3, 2) + " ms";
+    if (abs >= 1e-6)
+        return formatFixed(seconds * 1e6, 2) + " us";
+    return formatFixed(seconds * 1e9, 1) + " ns";
+}
+
+std::string
+formatPercent(double fraction, int decimals)
+{
+    return formatFixed(fraction * 100.0, decimals) + "%";
+}
+
+} // namespace tbd::util

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Human-readable unit formatting for reports (bytes, FLOPs, durations).
+ */
+
+#ifndef TBD_UTIL_FORMAT_H
+#define TBD_UTIL_FORMAT_H
+
+#include <cstdint>
+#include <string>
+
+namespace tbd::util {
+
+/** Format a byte count with binary units, e.g. "3.27 GiB". */
+std::string formatBytes(std::uint64_t bytes);
+
+/** Format a count with SI units, e.g. "7.72 G" for FLOPs. */
+std::string formatSi(double value);
+
+/** Format seconds adaptively (ns/us/ms/s), e.g. "14.2 ms". */
+std::string formatDuration(double seconds);
+
+/** Format a [0, 1] fraction as a percentage, e.g. "87.3%". */
+std::string formatPercent(double fraction, int decimals = 1);
+
+/** Fixed-point formatting helper, e.g. formatFixed(3.14159, 2) == "3.14". */
+std::string formatFixed(double value, int decimals);
+
+} // namespace tbd::util
+
+#endif // TBD_UTIL_FORMAT_H

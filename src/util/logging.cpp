@@ -1,0 +1,69 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace tbd::util {
+
+namespace {
+
+std::atomic<LogLevel> globalLevel{LogLevel::Warn};
+
+void
+emit(const char *tag, const std::string &msg)
+{
+    std::fprintf(stderr, "[tbd:%s] %s\n", tag, msg.c_str());
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel.load(std::memory_order_relaxed);
+}
+
+void
+inform(const std::string &msg)
+{
+    if (logLevel() >= LogLevel::Info)
+        emit("info", msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    if (logLevel() >= LogLevel::Warn)
+        emit("warn", msg);
+}
+
+void
+debug(const std::string &msg)
+{
+    if (logLevel() >= LogLevel::Debug)
+        emit("debug", msg);
+}
+
+void
+fatal(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream oss;
+    oss << "fatal: " << msg << " (" << file << ":" << line << ")";
+    throw FatalError(oss.str());
+}
+
+void
+panic(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream oss;
+    oss << "panic: " << msg << " (" << file << ":" << line << ")";
+    throw PanicError(oss.str());
+}
+
+} // namespace tbd::util

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Status and error reporting for the TBD library.
+ *
+ * Follows the gem5 fatal/panic split:
+ *  - TBD_FATAL: the run cannot continue because of a *user* error
+ *    (bad configuration, invalid argument). Throws tbd::util::FatalError.
+ *  - TBD_PANIC: an internal invariant was violated (a TBD bug). Throws
+ *    tbd::util::PanicError.
+ *  - inform()/warn(): status messages that never stop execution.
+ */
+
+#ifndef TBD_UTIL_LOGGING_H
+#define TBD_UTIL_LOGGING_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tbd::util {
+
+/** Verbosity levels for status messages. */
+enum class LogLevel { Silent = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Error thrown on user-caused failures (bad config, OOM, etc.). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Error thrown on internal invariant violations (TBD bugs). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Set the global verbosity threshold; messages above it are dropped. */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity threshold. */
+LogLevel logLevel();
+
+/** Emit an informational message (LogLevel::Info). */
+void inform(const std::string &msg);
+
+/** Emit a warning message (LogLevel::Warn). */
+void warn(const std::string &msg);
+
+/** Emit a debug message (LogLevel::Debug). */
+void debug(const std::string &msg);
+
+/** Throw FatalError with file/line context. */
+[[noreturn]] void fatal(const char *file, int line, const std::string &msg);
+
+/** Throw PanicError with file/line context. */
+[[noreturn]] void panic(const char *file, int line, const std::string &msg);
+
+namespace detail {
+
+/** Build a message from stream-style arguments. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+} // namespace tbd::util
+
+#define TBD_FATAL(...)                                                      \
+    ::tbd::util::fatal(__FILE__, __LINE__,                                  \
+                       ::tbd::util::detail::concat(__VA_ARGS__))
+
+#define TBD_PANIC(...)                                                      \
+    ::tbd::util::panic(__FILE__, __LINE__,                                  \
+                       ::tbd::util::detail::concat(__VA_ARGS__))
+
+/** Fatal-if: user-facing precondition check. */
+#define TBD_CHECK(cond, ...)                                                \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            TBD_FATAL("check failed: " #cond ": ",                          \
+                      ::tbd::util::detail::concat(__VA_ARGS__));            \
+        }                                                                   \
+    } while (0)
+
+/** Panic-if-not: internal invariant check. */
+#define TBD_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            TBD_PANIC("assertion failed: " #cond ": ",                      \
+                      ::tbd::util::detail::concat(__VA_ARGS__));            \
+        }                                                                   \
+    } while (0)
+
+#endif // TBD_UTIL_LOGGING_H

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Deterministic random number generation for TBD.
+ *
+ * All stochastic components (weight initialization, synthetic datasets,
+ * sampled sentence/audio lengths) draw from tbd::util::Rng so that runs
+ * are reproducible given a seed. The generator is xoshiro256++, seeded
+ * through SplitMix64 as its authors recommend.
+ */
+
+#ifndef TBD_UTIL_RNG_H
+#define TBD_UTIL_RNG_H
+
+#include <cstdint>
+
+namespace tbd::util {
+
+/** Deterministic, seedable PRNG (xoshiro256++). */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; equal seeds give equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t nextU64();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Standard normal variate (Box-Muller with caching). */
+    double normal();
+
+    /** Normal variate with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Truncated normal in [lo, hi] via rejection (used for lengths). */
+    double truncatedNormal(double mean, double stddev, double lo, double hi);
+
+    /** Fork an independent child stream (for per-worker determinism). */
+    Rng fork();
+
+  private:
+    std::uint64_t state_[4];
+    double cachedNormal_ = 0.0;
+    bool hasCachedNormal_ = false;
+};
+
+} // namespace tbd::util
+
+#endif // TBD_UTIL_RNG_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Small statistics helpers used by the profiling toolchain.
+ */
+
+#ifndef TBD_UTIL_STATS_H
+#define TBD_UTIL_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace tbd::util {
+
+/**
+ * Online accumulator for mean/variance/min/max (Welford's algorithm).
+ * Used for per-iteration throughput samples in the sampling profiler.
+ */
+class RunningStat
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    std::size_t count() const { return count_; }
+
+    /** Sample mean; 0 when empty. */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance; 0 with fewer than two observations. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Minimum observation; +inf when empty. */
+    double min() const { return min_; }
+
+    /** Maximum observation; -inf when empty. */
+    double max() const { return max_; }
+
+    /** Coefficient of variation (stddev / mean); 0 when mean is 0. */
+    double cv() const;
+
+    /** Merge another accumulator into this one (parallel reduce). */
+    void merge(const RunningStat &other);
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 1.0 / 0.0 * 1.0; // +inf without <limits> churn
+    double max_ = -(1.0 / 0.0);
+};
+
+/** Arithmetic mean of a vector; 0 when empty. */
+double mean(const std::vector<double> &xs);
+
+/**
+ * Linear-interpolation percentile (p in [0, 100]) of a copy of xs.
+ * Fatal on an empty input.
+ */
+double percentile(std::vector<double> xs, double p);
+
+/** Geometric mean; fatal if any element is non-positive. */
+double geometricMean(const std::vector<double> &xs);
+
+} // namespace tbd::util
+
+#endif // TBD_UTIL_STATS_H

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Console table and CSV emitters used by every benchmark harness.
+ *
+ * The benches print the same rows/series the paper's tables and figures
+ * report; Table renders them aligned for the console and can also dump
+ * CSV so curves can be re-plotted.
+ */
+
+#ifndef TBD_UTIL_TABLE_H
+#define TBD_UTIL_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tbd::util {
+
+/** Aligned console table with optional CSV output. */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Render aligned text with a header separator to the stream. */
+    void print(std::ostream &os) const;
+
+    /** Render RFC-4180-ish CSV (quotes cells containing , or "). */
+    void printCsv(std::ostream &os) const;
+
+    /** Convenience: render to a string via print(). */
+    std::string toString() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace tbd::util
+
+#endif // TBD_UTIL_TABLE_H

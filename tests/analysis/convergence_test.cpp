@@ -1,0 +1,75 @@
+#include "analysis/convergence.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace ta = tbd::analysis;
+
+TEST(Convergence, SpecsExistForFigure2Models)
+{
+    for (const auto &name : ta::figure2Models())
+        EXPECT_NO_THROW(ta::convergenceSpec(name)) << name;
+    EXPECT_THROW(ta::convergenceSpec("WGAN"), tbd::util::FatalError);
+}
+
+TEST(Convergence, CurveIsMonotoneAndReachesPlateau)
+{
+    const auto &spec = ta::convergenceSpec("ResNet-50");
+    auto curve = ta::trainingCurve(spec, 80.0, 32);
+    ASSERT_EQ(curve.size(), 32u);
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        EXPECT_GE(curve[i].metric, curve[i - 1].metric);
+        EXPECT_GT(curve[i].timeHours, curve[i - 1].timeHours);
+    }
+    // Top-1 accuracy converges to 75-80% (Section 3.3).
+    EXPECT_GT(curve.back().metric, 0.70);
+    EXPECT_LE(curve.back().metric, 0.80);
+}
+
+TEST(Convergence, ImagenetTrainingTakesDaysAtP4000Rates)
+{
+    // Fig. 2a/2b time scale: ~2-3 weeks on a single Quadro P4000.
+    const auto &spec = ta::convergenceSpec("Inception-v3");
+    auto curve = ta::trainingCurve(spec, 63.0);
+    const double days = curve.back().timeHours / 24.0;
+    EXPECT_GT(days, 12.0);
+    EXPECT_LT(days, 30.0);
+}
+
+TEST(Convergence, Seq2SeqTrainsInHours)
+{
+    // Fig. 2d time scale: a few hours.
+    const auto &spec = ta::convergenceSpec("NMT");
+    auto curve = ta::trainingCurve(spec, 400.0);
+    EXPECT_GT(curve.back().timeHours, 2.0);
+    EXPECT_LT(curve.back().timeHours, 10.0);
+    EXPECT_NEAR(curve.back().metric, 20.0, 1.0); // BLEU ~ 20
+}
+
+TEST(Convergence, A3cStartsAtMinusTwentyOne)
+{
+    const auto &spec = ta::convergenceSpec("A3C");
+    auto curve = ta::trainingCurve(spec, 118.0);
+    EXPECT_LT(curve.front().metric, -15.0);
+    EXPECT_GT(curve.back().metric, 15.0); // Pong solved: 19-20
+    EXPECT_GT(curve.back().timeHours, 5.0);
+    EXPECT_LT(curve.back().timeHours, 20.0);
+}
+
+TEST(Convergence, FasterThroughputShortensWallClock)
+{
+    const auto &spec = ta::convergenceSpec("ResNet-50");
+    auto slow = ta::trainingCurve(spec, 71.0);
+    auto fast = ta::trainingCurve(spec, 172.0); // TITAN Xp rate
+    EXPECT_LT(fast.back().timeHours, slow.back().timeHours);
+    // Same final accuracy: hardware changes time, not the metric.
+    EXPECT_NEAR(fast.back().metric, slow.back().metric, 1e-9);
+}
+
+TEST(Convergence, RejectsBadInputs)
+{
+    const auto &spec = ta::convergenceSpec("ResNet-50");
+    EXPECT_THROW(ta::trainingCurve(spec, 0.0), tbd::util::FatalError);
+    EXPECT_THROW(ta::trainingCurve(spec, 10.0, 1), tbd::util::FatalError);
+}

@@ -1,0 +1,193 @@
+#include "analysis/kernel_report.h"
+
+#include <gtest/gtest.h>
+
+#include "frameworks/framework.h"
+#include "models/cnn_workloads.h"
+#include "perf/simulator.h"
+
+namespace ta = tbd::analysis;
+namespace tg = tbd::gpusim;
+
+namespace {
+
+tg::KernelExec
+exec(const char *name, double durUs, double util)
+{
+    tg::KernelExec e;
+    e.name = name;
+    e.durationUs = durUs;
+    e.fp32Util = util;
+    return e;
+}
+
+} // namespace
+
+TEST(KernelReport, AggregatesByBaseName)
+{
+    std::vector<tg::KernelExec> trace = {
+        exec("sgemm(fc1)", 10.0, 0.5),
+        exec("sgemm(fc2)", 30.0, 0.3),
+        exec("bn_fw(res2a)", 20.0, 0.4),
+    };
+    auto aggs = ta::aggregateKernels(trace);
+    ASSERT_EQ(aggs.size(), 2u);
+    EXPECT_EQ(aggs[0].name, "sgemm"); // largest total duration first
+    EXPECT_EQ(aggs[0].invocations, 2);
+    EXPECT_NEAR(aggs[0].totalUs, 40.0, 1e-9);
+    // Duration-weighted util: (10*0.5 + 30*0.3)/40 = 0.35.
+    EXPECT_NEAR(aggs[0].meanFp32Util, 0.35, 1e-9);
+    EXPECT_NEAR(aggs[0].durationShare, 40.0 / 60.0, 1e-9);
+}
+
+TEST(KernelReport, TraceMeanIsDurationWeighted)
+{
+    std::vector<tg::KernelExec> trace = {exec("a", 90.0, 0.1),
+                                         exec("b", 10.0, 0.9)};
+    EXPECT_NEAR(ta::traceMeanFp32Util(trace), 0.18, 1e-9);
+}
+
+TEST(KernelReport, LowUtilFilterExcludesAboveAverage)
+{
+    std::vector<tg::KernelExec> trace = {
+        exec("hot_gemm", 50.0, 0.8),
+        exec("slow_bn", 30.0, 0.3),
+        exec("slow_act", 20.0, 0.2),
+    };
+    // Mean = (50*.8 + 30*.3 + 20*.2)/100 = 0.53.
+    auto low = ta::longestLowUtilKernels(trace, 5);
+    ASSERT_EQ(low.size(), 2u);
+    EXPECT_EQ(low[0].name, "slow_bn"); // longer of the two
+    EXPECT_EQ(low[1].name, "slow_act");
+}
+
+TEST(KernelReport, EmptyTrace)
+{
+    std::vector<tg::KernelExec> empty;
+    EXPECT_EQ(ta::aggregateKernels(empty).size(), 0u);
+    EXPECT_EQ(ta::traceMeanFp32Util(empty), 0.0);
+}
+
+TEST(KernelReport, ResNetTablesSurfaceBatchNormKernels)
+{
+    // Tables 5 and 6: the cuDNN batch-norm kernels are among the
+    // longest below-average-utilization kernels for ResNet-50 on both
+    // TensorFlow and MXNet.
+    for (auto fw : {tbd::frameworks::FrameworkId::TensorFlow,
+                    tbd::frameworks::FrameworkId::MXNet}) {
+        tbd::perf::PerfSimulator sim;
+        tbd::perf::RunConfig rc;
+        rc.model = &tbd::models::resnet50();
+        rc.framework = fw;
+        rc.gpu = tg::quadroP4000();
+        rc.batch = 32;
+        auto r = sim.run(rc);
+        auto low = ta::longestLowUtilKernels(r.kernelTrace, 5);
+        ASSERT_GE(low.size(), 2u);
+        bool has_bn = false;
+        for (const auto &agg : low)
+            has_bn |= agg.name.find("bn_") != std::string::npos;
+        EXPECT_TRUE(has_bn) << "framework "
+                            << tbd::frameworks::frameworkName(fw);
+        // Every reported kernel sits below the trace average.
+        const double avg = ta::traceMeanFp32Util(r.kernelTrace);
+        for (const auto &agg : low)
+            EXPECT_LT(agg.meanFp32Util, avg);
+    }
+}
+
+TEST(CategoryBreakdown, SharesSumToOne)
+{
+    tbd::perf::PerfSimulator sim;
+    tbd::perf::RunConfig rc;
+    rc.model = &tbd::models::resnet50();
+    rc.framework = tbd::frameworks::FrameworkId::MXNet;
+    rc.gpu = tg::quadroP4000();
+    rc.batch = 16;
+    auto r = sim.run(rc);
+    auto cats = ta::categoryBreakdown(r.kernelTrace);
+    ASSERT_FALSE(cats.empty());
+    double total = 0.0;
+    for (const auto &c : cats) {
+        EXPECT_GT(c.totalUs, 0.0);
+        EXPECT_GT(c.invocations, 0);
+        total += c.share;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    // Sorted by descending time.
+    for (std::size_t i = 1; i < cats.size(); ++i)
+        EXPECT_GE(cats[i - 1].totalUs, cats[i].totalUs);
+}
+
+TEST(CategoryBreakdown, ConvDominatesResNet)
+{
+    tbd::perf::PerfSimulator sim;
+    tbd::perf::RunConfig rc;
+    rc.model = &tbd::models::resnet50();
+    rc.framework = tbd::frameworks::FrameworkId::MXNet;
+    rc.gpu = tg::quadroP4000();
+    rc.batch = 32;
+    auto r = sim.run(rc);
+    auto cats = ta::categoryBreakdown(r.kernelTrace);
+    EXPECT_EQ(cats.front().category, tg::KernelCategory::Conv);
+    EXPECT_GT(cats.front().share, 0.5);
+}
+
+TEST(CategoryBreakdown, GemmDominatesSeq2Seq)
+{
+    tbd::perf::PerfSimulator sim;
+    tbd::perf::RunConfig rc;
+    rc.model = &tbd::models::sockeye();
+    rc.framework = tbd::frameworks::FrameworkId::MXNet;
+    rc.gpu = tg::quadroP4000();
+    rc.batch = 32;
+    auto r = sim.run(rc);
+    auto cats = ta::categoryBreakdown(r.kernelTrace);
+    EXPECT_EQ(cats.front().category, tg::KernelCategory::Gemm);
+}
+
+TEST(CategoryBreakdown, EmptyTraceIsEmpty)
+{
+    EXPECT_TRUE(ta::categoryBreakdown({}).empty());
+}
+
+TEST(LayerBreakdown, AggregatesForwardBackwardAndUpdate)
+{
+    std::vector<tg::KernelExec> trace;
+    auto push = [&](const char *name, double us) {
+        tg::KernelExec e;
+        e.name = name;
+        e.durationUs = us;
+        trace.push_back(e);
+    };
+    push("conv_fw(res2a_3x3)", 10.0);
+    push("dgrad(res2a_3x3_dgrad)", 20.0);
+    push("wgrad(res2a_3x3_wgrad)", 20.0);
+    push("update(res2a_3x3_sgd_mom_update)", 1.0);
+    push("conv_fw(res3a_3x3)", 5.0);
+
+    auto layers = ta::layerBreakdown(trace, 10);
+    ASSERT_EQ(layers.size(), 2u);
+    EXPECT_EQ(layers[0].layer, "res2a_3x3");
+    EXPECT_EQ(layers[0].kernels, 4);
+    EXPECT_NEAR(layers[0].totalUs, 51.0, 1e-9);
+    EXPECT_NEAR(layers[0].share, 51.0 / 56.0, 1e-9);
+}
+
+TEST(LayerBreakdown, TopNLimitsOutput)
+{
+    tbd::perf::PerfSimulator sim;
+    tbd::perf::RunConfig rc;
+    rc.model = &tbd::models::resnet50();
+    rc.framework = tbd::frameworks::FrameworkId::MXNet;
+    rc.gpu = tg::quadroP4000();
+    rc.batch = 16;
+    auto r = sim.run(rc);
+    auto layers = ta::layerBreakdown(r.kernelTrace, 5);
+    EXPECT_EQ(layers.size(), 5u);
+    // The heaviest layers of ResNet-50 are convolutions with real
+    // instance names from the workload.
+    EXPECT_FALSE(layers[0].layer.empty());
+    for (std::size_t i = 1; i < layers.size(); ++i)
+        EXPECT_GE(layers[i - 1].totalUs, layers[i].totalUs);
+}

@@ -1,0 +1,59 @@
+#include "analysis/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace ta = tbd::analysis;
+namespace md = tbd::models;
+namespace tf = tbd::frameworks;
+namespace tg = tbd::gpusim;
+
+TEST(Sampling, FindStableIterationSkipsWarmup)
+{
+    // Warm-up spikes, then steady 100s.
+    std::vector<double> times = {900, 400, 101, 100, 99, 100, 101, 100};
+    EXPECT_EQ(ta::SamplingProfiler::findStableIteration(times), 2);
+}
+
+TEST(Sampling, FindStableIterationImmediateWhenFlat)
+{
+    std::vector<double> times(10, 50.0);
+    EXPECT_EQ(ta::SamplingProfiler::findStableIteration(times), 0);
+}
+
+TEST(Sampling, FindStableIterationNeverSettles)
+{
+    // Alternating series: only the trivial single-element suffix can
+    // ever "settle", so no usable stable window exists.
+    std::vector<double> times = {100, 500, 100, 500, 100};
+    EXPECT_GE(ta::SamplingProfiler::findStableIteration(times),
+              static_cast<std::int64_t>(times.size()) - 1);
+}
+
+TEST(Sampling, EmptySeries)
+{
+    EXPECT_EQ(ta::SamplingProfiler::findStableIteration({}), 0);
+}
+
+TEST(Sampling, ProfileDetectsWarmupAndStabilizes)
+{
+    ta::SamplingProfiler profiler(/*sampleIterations=*/20);
+    tbd::perf::RunConfig rc;
+    rc.model = &md::resnet50();
+    rc.framework = tf::FrameworkId::MXNet;
+    rc.gpu = tg::quadroP4000();
+    rc.batch = 16;
+    auto report = profiler.profile(rc);
+    EXPECT_TRUE(report.stable);
+    // Auto-tuning makes iteration 0 slow, so stability starts after it.
+    EXPECT_GE(report.stableAfter, 1);
+    EXPECT_LT(report.throughputCv, 0.05);
+    EXPECT_EQ(report.result.sampleIterationUs.size(), 20u);
+    EXPECT_GT(report.result.throughputSamples, 0.0);
+}
+
+TEST(Sampling, RejectsNonPositiveWindow)
+{
+    EXPECT_THROW(ta::SamplingProfiler(0), tbd::util::FatalError);
+}

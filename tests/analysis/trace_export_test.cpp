@@ -1,0 +1,100 @@
+#include "analysis/trace_export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "frameworks/framework.h"
+#include "perf/simulator.h"
+#include "util/logging.h"
+
+namespace ta = tbd::analysis;
+namespace tg = tbd::gpusim;
+
+namespace {
+
+std::vector<tg::KernelExec>
+smallTrace()
+{
+    tg::KernelExec a;
+    a.name = "sgemm(fc \"quoted\")";
+    a.category = tg::KernelCategory::Gemm;
+    a.startUs = 10.0;
+    a.durationUs = 5.0;
+    a.flops = 2e9;
+    a.fp32Util = 0.5;
+    tg::KernelExec b;
+    b.name = "bn_fw(res2a)";
+    b.category = tg::KernelCategory::BatchNorm;
+    b.startUs = 15.0;
+    b.durationUs = 2.0;
+    return {a, b};
+}
+
+} // namespace
+
+TEST(TraceExport, EmitsChromeTraceEvents)
+{
+    std::ostringstream os;
+    ta::writeChromeTrace(smallTrace(), os, "test run");
+    const std::string s = os.str();
+    EXPECT_NE(s.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(s.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(s.find("\"ts\":10"), std::string::npos);
+    EXPECT_NE(s.find("\"dur\":5"), std::string::npos);
+    EXPECT_NE(s.find("\"cat\":\"batch_norm\""), std::string::npos);
+    EXPECT_NE(s.find("test run"), std::string::npos);
+}
+
+TEST(TraceExport, EscapesJsonSpecials)
+{
+    std::ostringstream os;
+    ta::writeChromeTrace(smallTrace(), os);
+    EXPECT_NE(os.str().find("\\\"quoted\\\""), std::string::npos);
+}
+
+TEST(TraceExport, EmptyTraceIsValidJson)
+{
+    std::ostringstream os;
+    ta::writeChromeTrace({}, os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("\"traceEvents\""), std::string::npos);
+    EXPECT_EQ(s.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(TraceExport, RoundTripsARealSimulation)
+{
+    tbd::perf::PerfSimulator sim;
+    tbd::perf::RunConfig rc;
+    rc.model = &tbd::models::resnet50();
+    rc.framework = tbd::frameworks::FrameworkId::MXNet;
+    rc.gpu = tg::quadroP4000();
+    rc.batch = 8;
+    auto r = sim.run(rc);
+
+    const std::string path =
+        std::string(::testing::TempDir()) + "tbd_trace.json";
+    ta::exportChromeTrace(r.kernelTrace, path, "ResNet-50");
+    std::ifstream is(path);
+    ASSERT_TRUE(is.good());
+    std::string contents((std::istreambuf_iterator<char>(is)),
+                         std::istreambuf_iterator<char>());
+    std::remove(path.c_str());
+    // One event per kernel plus the metadata record.
+    std::size_t events = 0, pos = 0;
+    while ((pos = contents.find("\"ph\":\"X\"", pos)) !=
+           std::string::npos) {
+        ++events;
+        pos += 8;
+    }
+    EXPECT_EQ(events, r.kernelTrace.size());
+}
+
+TEST(TraceExport, UnwritablePathIsFatal)
+{
+    EXPECT_THROW(
+        ta::exportChromeTrace({}, "/nonexistent/dir/trace.json"),
+        tbd::util::FatalError);
+}

@@ -1,0 +1,84 @@
+#include "core/suite.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace tc = tbd::core;
+
+TEST(Suite, ResolvesFrameworksByName)
+{
+    EXPECT_EQ(tc::BenchmarkSuite::frameworkByName("TensorFlow"),
+              tbd::frameworks::FrameworkId::TensorFlow);
+    EXPECT_EQ(tc::BenchmarkSuite::frameworkByName("MXNet"),
+              tbd::frameworks::FrameworkId::MXNet);
+    EXPECT_THROW(tc::BenchmarkSuite::frameworkByName("Caffe"),
+                 tbd::util::FatalError);
+}
+
+TEST(Suite, ResolvesGpusByName)
+{
+    EXPECT_EQ(tc::BenchmarkSuite::gpuByName("TITAN Xp").coreCount, 3840);
+    EXPECT_THROW(tc::BenchmarkSuite::gpuByName("V100"),
+                 tbd::util::FatalError);
+}
+
+TEST(Suite, RunsARequestEndToEnd)
+{
+    tc::BenchmarkRequest req;
+    req.model = "ResNet-50";
+    req.framework = "MXNet";
+    req.batch = 16;
+    auto report = tc::BenchmarkSuite::run(req);
+    EXPECT_TRUE(report.stable);
+    EXPECT_GT(report.result.throughputSamples, 0.0);
+    EXPECT_EQ(report.result.batch, 16);
+    EXPECT_EQ(report.result.frameworkName, "MXNet");
+}
+
+TEST(Suite, RunIfFitsReturnsNulloptOnOom)
+{
+    tc::BenchmarkRequest req;
+    req.model = "Sockeye";
+    req.framework = "MXNet";
+    req.batch = 512; // far beyond the 8 GiB ceiling
+    EXPECT_FALSE(tc::BenchmarkSuite::runIfFits(req).has_value());
+    req.batch = 16;
+    EXPECT_TRUE(tc::BenchmarkSuite::runIfFits(req).has_value());
+}
+
+TEST(Suite, RunIfFitsStillThrowsOnUserError)
+{
+    tc::BenchmarkRequest req;
+    req.model = "Deep Speech 2";
+    req.framework = "CNTK"; // unsupported combination, not an OOM
+    EXPECT_THROW(tc::BenchmarkSuite::runIfFits(req),
+                 tbd::util::FatalError);
+}
+
+TEST(Suite, Table2HasNineImplementationRows)
+{
+    auto t = tc::BenchmarkSuite::table2Overview();
+    EXPECT_EQ(t.rowCount(), 9u);
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("ResNet-50"), std::string::npos);
+    EXPECT_NE(s.find("Deep Speech 2"), std::string::npos);
+    EXPECT_NE(s.find("Atari 2600"), std::string::npos);
+}
+
+TEST(Suite, Table3ListsDatasets)
+{
+    auto t = tc::BenchmarkSuite::table3Datasets();
+    EXPECT_EQ(t.rowCount(), 6u);
+    EXPECT_NE(t.toString().find("IWSLT15"), std::string::npos);
+}
+
+TEST(Suite, Table4ListsHardwareSpecs)
+{
+    auto t = tc::BenchmarkSuite::table4Hardware();
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("TITAN Xp"), std::string::npos);
+    EXPECT_NE(s.find("1792"), std::string::npos); // P4000 cores
+    EXPECT_NE(s.find("GDDR5X"), std::string::npos);
+    EXPECT_NE(s.find("547.6"), std::string::npos); // Xp bandwidth
+}

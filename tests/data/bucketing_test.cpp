@@ -1,0 +1,80 @@
+#include "data/bucketing.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace td = tbd::data;
+
+TEST(LengthSampler, RespectsBoundsAndMean)
+{
+    td::LengthSampler sampler(25.0, 0.2, 20, 30, 1); // IWSLT-like
+    double sum = 0.0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) {
+        const auto len = sampler.sample();
+        EXPECT_GE(len, 20);
+        EXPECT_LE(len, 30);
+        sum += static_cast<double>(len);
+    }
+    EXPECT_NEAR(sum / n, 25.0, 0.5);
+}
+
+TEST(LengthSampler, ZeroCvIsDeterministic)
+{
+    td::LengthSampler sampler(25.0, 0.0, 20, 30, 2);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(sampler.sample(), 25);
+}
+
+TEST(LengthSampler, BatchSampling)
+{
+    td::LengthSampler sampler(10.0, 0.3, 1, 40, 3);
+    auto lengths = sampler.sample(64);
+    EXPECT_EQ(lengths.size(), 64u);
+    EXPECT_THROW(sampler.sample(0), tbd::util::FatalError);
+}
+
+TEST(Bucketing, AssignsToSmallestFittingBound)
+{
+    std::vector<std::int64_t> lengths = {5, 10, 11, 20, 3};
+    auto report = td::assignBuckets(lengths, {10, 20});
+    ASSERT_EQ(report.buckets.size(), 2u);
+    EXPECT_EQ(report.buckets[0].samples, 3); // 5, 10, 3
+    EXPECT_EQ(report.buckets[1].samples, 2); // 11, 20
+    EXPECT_EQ(report.buckets[0].realTokens, 18);
+    EXPECT_EQ(report.buckets[0].paddedTokens, 30);
+    EXPECT_EQ(report.buckets[1].paddedTokens, 40);
+}
+
+TEST(Bucketing, EfficiencyAccounting)
+{
+    std::vector<std::int64_t> lengths = {10, 10, 20, 20};
+    auto report = td::assignBuckets(lengths, {10, 20});
+    // Both buckets perfectly packed.
+    EXPECT_DOUBLE_EQ(report.overallEfficiency(), 1.0);
+    EXPECT_EQ(report.totalPaddedTokens(), 60);
+}
+
+TEST(Bucketing, BeatsPadToMax)
+{
+    // The reason the paper's Seq2Seq implementations bucket: padding
+    // everything to the longest sentence wastes far more tokens.
+    td::LengthSampler sampler(25.0, 0.2, 10, 50, 4);
+    auto lengths = sampler.sample(512);
+    auto bucketed = td::assignBuckets(lengths, {15, 20, 25, 30, 40, 50});
+    const double naive = td::padToMaxEfficiency(lengths);
+    EXPECT_GT(bucketed.overallEfficiency(), naive);
+    EXPECT_GT(bucketed.overallEfficiency(), 0.85);
+}
+
+TEST(Bucketing, RejectsUncoveredLengths)
+{
+    EXPECT_THROW(td::assignBuckets({25}, {10, 20}),
+                 tbd::util::FatalError);
+    EXPECT_THROW(td::assignBuckets({}, {10}), tbd::util::FatalError);
+    EXPECT_THROW(td::assignBuckets({5}, {20, 10}),
+                 tbd::util::FatalError);
+}

@@ -1,0 +1,89 @@
+#include "data/catch_env.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace td = tbd::data;
+
+TEST(CatchEnv, EpisodeLengthAndTermination)
+{
+    td::CatchEnv env(7, 1);
+    env.reset();
+    int steps = 0;
+    bool done = false;
+    while (!done) {
+        auto out = env.step(td::CatchEnv::Action::Stay);
+        done = out.done;
+        ++steps;
+        ASSERT_LE(steps, 10);
+    }
+    EXPECT_EQ(steps, env.episodeLength());
+}
+
+TEST(CatchEnv, RewardOnlyAtTerminal)
+{
+    td::CatchEnv env(7, 2);
+    env.reset();
+    for (std::int64_t i = 0; i < env.episodeLength() - 1; ++i) {
+        auto out = env.step(td::CatchEnv::Action::Stay);
+        EXPECT_EQ(out.reward, 0.0f);
+        EXPECT_FALSE(out.done);
+    }
+    auto last = env.step(td::CatchEnv::Action::Stay);
+    EXPECT_TRUE(last.done);
+    EXPECT_TRUE(last.reward == 1.0f || last.reward == -1.0f);
+}
+
+TEST(CatchEnv, PerfectPolicyAlwaysCatches)
+{
+    td::CatchEnv env(7, 3);
+    for (int episode = 0; episode < 20; ++episode) {
+        auto obs = env.reset();
+        // Find ball and paddle columns from the observation.
+        float reward = 0.0f;
+        bool done = false;
+        while (!done) {
+            std::int64_t ball = -1, paddle = -1;
+            for (std::int64_t j = 0; j < 7 * 7; ++j) {
+                if (obs.at(j) == 1.0f)
+                    ball = j % 7;
+                if (j >= 6 * 7 && obs.at(j) == 0.5f)
+                    paddle = j % 7;
+            }
+            auto act = td::CatchEnv::Action::Stay;
+            if (paddle < ball)
+                act = td::CatchEnv::Action::Right;
+            else if (paddle > ball)
+                act = td::CatchEnv::Action::Left;
+            auto out = env.step(act);
+            obs = out.observation;
+            reward = out.reward;
+            done = out.done;
+        }
+        EXPECT_EQ(reward, 1.0f) << "episode " << episode;
+    }
+}
+
+TEST(CatchEnv, SteppingFinishedEpisodeIsFatal)
+{
+    td::CatchEnv env(5, 4);
+    env.reset();
+    while (!env.step(td::CatchEnv::Action::Stay).done) {
+    }
+    EXPECT_THROW(env.step(td::CatchEnv::Action::Stay),
+                 tbd::util::FatalError);
+}
+
+TEST(CatchEnv, ObservationEncodesBallAndPaddle)
+{
+    td::CatchEnv env(5, 5);
+    auto obs = env.reset();
+    int balls = 0, paddles = 0;
+    for (std::int64_t j = 0; j < 25; ++j) {
+        balls += obs.at(j) == 1.0f;
+        paddles += obs.at(j) == 0.5f;
+    }
+    EXPECT_EQ(balls, 1);
+    EXPECT_EQ(paddles, 1);
+}

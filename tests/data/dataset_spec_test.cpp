@@ -1,0 +1,47 @@
+#include "data/dataset_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace td = tbd::data;
+
+TEST(DatasetSpec, Table3RowCount)
+{
+    EXPECT_EQ(td::allDatasets().size(), 6u);
+}
+
+TEST(DatasetSpec, ImagenetMatchesTable3)
+{
+    const auto &d = td::imagenet1k();
+    EXPECT_EQ(d.sampleCount, 1200000);
+    EXPECT_NE(d.shapeDesc.find("3x256x256"), std::string::npos);
+}
+
+TEST(DatasetSpec, IwsltVocabularyNoted)
+{
+    const auto &d = td::iwslt15();
+    EXPECT_EQ(d.sampleCount, 133000);
+    EXPECT_NE(d.special.find("17188"), std::string::npos);
+    EXPECT_NEAR(d.meanSeqLen, 25.0, 1e-9);
+}
+
+TEST(DatasetSpec, VocAnnotationCount)
+{
+    const auto &d = td::pascalVoc2007();
+    EXPECT_EQ(d.sampleCount, 5011);
+    EXPECT_NE(d.special.find("12608"), std::string::npos);
+}
+
+TEST(DatasetSpec, BytesPerSampleArePositive)
+{
+    for (const auto *d : td::allDatasets()) {
+        EXPECT_GT(d->bytesPerSample, 0.0) << d->name;
+        EXPECT_GE(d->prepUsPerSample, 0.0) << d->name;
+    }
+}
+
+TEST(DatasetSpec, AtariPrepDominates)
+{
+    // The A3C CPU-utilization outlier (Fig. 7) comes from emulator cost.
+    EXPECT_GT(td::atari2600().prepUsPerSample,
+              3.0 * td::imagenet1k().prepUsPerSample);
+}

@@ -1,0 +1,105 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace td = tbd::data;
+namespace tt = tbd::tensor;
+
+TEST(SyntheticImages, BatchShapesAndLabels)
+{
+    td::SyntheticImages gen(10, 3, 8, 1);
+    auto batch = gen.nextBatch(16);
+    EXPECT_EQ(batch.images.shape(), tt::Shape({16, 3, 8, 8}));
+    ASSERT_EQ(batch.labels.size(), 16u);
+    for (auto l : batch.labels) {
+        EXPECT_GE(l, 0);
+        EXPECT_LT(l, 10);
+    }
+}
+
+TEST(SyntheticImages, SameSeedSameBatches)
+{
+    td::SyntheticImages a(4, 1, 6, 7), b(4, 1, 6, 7);
+    auto ba = a.nextBatch(8), bb = b.nextBatch(8);
+    EXPECT_EQ(ba.labels, bb.labels);
+    for (std::int64_t i = 0; i < ba.images.numel(); ++i)
+        EXPECT_FLOAT_EQ(ba.images.at(i), bb.images.at(i));
+}
+
+TEST(SyntheticImages, ClassesAreSeparable)
+{
+    // Same-class images must be closer to each other than cross-class,
+    // otherwise nothing could ever learn from this data.
+    td::SyntheticImages gen(2, 1, 8, 3);
+    std::vector<tt::Tensor> class0, class1;
+    while (class0.size() < 4 || class1.size() < 4) {
+        auto b = gen.nextBatch(8);
+        for (std::size_t i = 0; i < b.labels.size(); ++i) {
+            const std::int64_t plane = 64;
+            tt::Tensor img(tt::Shape{plane});
+            for (std::int64_t j = 0; j < plane; ++j)
+                img.at(j) =
+                    b.images.at(static_cast<std::int64_t>(i) * plane + j);
+            (b.labels[i] == 0 ? class0 : class1).push_back(img);
+        }
+    }
+    auto dist = [](const tt::Tensor &a, const tt::Tensor &b) {
+        double d = 0.0;
+        for (std::int64_t i = 0; i < a.numel(); ++i) {
+            const double delta = a.at(i) - b.at(i);
+            d += delta * delta;
+        }
+        return d;
+    };
+    const double within = dist(class0[0], class0[1]);
+    const double across = dist(class0[0], class1[0]);
+    EXPECT_LT(within, across);
+}
+
+TEST(SyntheticTranslation, ShiftRuleHolds)
+{
+    td::SyntheticTranslation gen(50, 12, 2);
+    auto batch = gen.nextBatch(4);
+    EXPECT_EQ(batch.src.shape(), tt::Shape({4, 12}));
+    for (std::int64_t i = 0; i < batch.src.numel(); ++i) {
+        const auto s = static_cast<std::int64_t>(batch.src.at(i));
+        const auto t = static_cast<std::int64_t>(batch.tgt.at(i));
+        EXPECT_EQ(t, (s + 1) % 50);
+    }
+}
+
+TEST(SyntheticTranslation, TargetIdsMatchTensor)
+{
+    td::SyntheticTranslation gen(20, 5, 3);
+    auto batch = gen.nextBatch(3);
+    for (std::size_t n = 0; n < 3; ++n)
+        for (std::int64_t t = 0; t < 5; ++t)
+            EXPECT_EQ(batch.tgtIds[n][static_cast<std::size_t>(t)],
+                      static_cast<std::int64_t>(
+                          batch.tgt.at(static_cast<std::int64_t>(n) * 5 +
+                                       t)));
+}
+
+TEST(SyntheticAudio, LabelsAvoidBlankAndImmediateRepeats)
+{
+    td::SyntheticAudio gen(8, 30, 6, 5, 4);
+    auto batch = gen.nextBatch(6);
+    EXPECT_EQ(batch.features.shape(), tt::Shape({6, 30, 6}));
+    for (const auto &label : batch.labels) {
+        ASSERT_EQ(label.size(), 5u);
+        for (std::size_t i = 0; i < label.size(); ++i) {
+            EXPECT_GE(label[i], 1);
+            EXPECT_LE(label[i], 8);
+            if (i > 0)
+                EXPECT_NE(label[i], label[i - 1]);
+        }
+    }
+}
+
+TEST(SyntheticAudio, RejectsInfeasibleFrameCount)
+{
+    EXPECT_THROW(td::SyntheticAudio(8, 5, 6, 5, 1),
+                 tbd::util::FatalError);
+}

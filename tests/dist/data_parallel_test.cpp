@@ -1,0 +1,154 @@
+#include "dist/data_parallel.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace td = tbd::dist;
+namespace md = tbd::models;
+namespace tf = tbd::frameworks;
+namespace tg = tbd::gpusim;
+
+namespace {
+
+td::ScalingResult
+run(int machines, int gpus_per_machine, const td::LinkSpec &network,
+    std::int64_t batch = 32)
+{
+    td::ClusterConfig cluster;
+    cluster.machines = machines;
+    cluster.gpusPerMachine = gpus_per_machine;
+    cluster.network = network;
+    return td::simulateDataParallel(md::resnet50(),
+                                    tf::FrameworkId::MXNet,
+                                    tg::quadroP4000(), batch, cluster);
+}
+
+} // namespace
+
+TEST(DataParallel, SingleGpuHasNoCommunication)
+{
+    auto r = run(1, 1, td::infiniband100G());
+    EXPECT_EQ(r.totalGpus, 1);
+    EXPECT_DOUBLE_EQ(r.commUs, 0.0);
+    EXPECT_DOUBLE_EQ(r.scalingEfficiency, 1.0);
+}
+
+TEST(DataParallel, MultiGpuSingleMachineScalesWell)
+{
+    // Observation 13: PCIe gives enough bandwidth within one machine.
+    auto one = run(1, 1, td::infiniband100G());
+    auto two = run(1, 2, td::infiniband100G());
+    auto four = run(1, 4, td::infiniband100G());
+    EXPECT_GT(two.throughputSamples, 1.8 * one.throughputSamples);
+    EXPECT_GT(four.throughputSamples, 3.4 * one.throughputSamples);
+    EXPECT_GT(four.scalingEfficiency, 0.85);
+}
+
+TEST(DataParallel, EthernetDegradesBelowSingleGpu)
+{
+    // Fig. 10: two machines over Ethernet fall *below* one GPU.
+    auto one = run(1, 1, td::infiniband100G());
+    auto eth = run(2, 1, td::ethernet1G());
+    EXPECT_LT(eth.throughputSamples, one.throughputSamples);
+    EXPECT_GT(eth.exposedCommUs, eth.computeUs); // network-bound
+}
+
+TEST(DataParallel, InfinibandRestoresScaling)
+{
+    auto one = run(1, 1, td::infiniband100G());
+    auto ib = run(2, 1, td::infiniband100G());
+    EXPECT_GT(ib.throughputSamples, 1.7 * one.throughputSamples);
+}
+
+TEST(DataParallel, Figure10Ordering)
+{
+    // eth 2M1G < 1M1G < ib 2M1G <= 1M2G < 1M4G.
+    auto m1g1 = run(1, 1, td::infiniband100G());
+    auto eth = run(2, 1, td::ethernet1G());
+    auto ib = run(2, 1, td::infiniband100G());
+    auto m1g2 = run(1, 2, td::infiniband100G());
+    auto m1g4 = run(1, 4, td::infiniband100G());
+    EXPECT_LT(eth.throughputSamples, m1g1.throughputSamples);
+    EXPECT_LT(m1g1.throughputSamples, ib.throughputSamples);
+    EXPECT_LE(ib.throughputSamples, 1.05 * m1g2.throughputSamples);
+    EXPECT_LT(m1g2.throughputSamples, m1g4.throughputSamples);
+}
+
+TEST(DataParallel, AllReduceBeatsParameterServerOverEthernet)
+{
+    td::ClusterConfig ps;
+    ps.machines = 4;
+    ps.gpusPerMachine = 1;
+    ps.network = td::ethernet1G();
+    ps.strategy = td::SyncStrategy::ParameterServer;
+    td::ClusterConfig ring = ps;
+    ring.strategy = td::SyncStrategy::RingAllReduce;
+
+    auto ps_r = td::simulateDataParallel(md::resnet50(),
+                                         tf::FrameworkId::MXNet,
+                                         tg::quadroP4000(), 32, ps);
+    auto ring_r = td::simulateDataParallel(md::resnet50(),
+                                           tf::FrameworkId::MXNet,
+                                           tg::quadroP4000(), 32, ring);
+    // The PS NIC serializes all workers' pushes; the ring amortizes.
+    EXPECT_GT(ring_r.throughputSamples, ps_r.throughputSamples);
+}
+
+TEST(DataParallel, SmallModelsTolerateSlowNetworks)
+{
+    // A3C's ~1.3M-parameter network ships in ~10 MB: even 1 GbE
+    // keeps up with its environment-bound iterations.
+    td::ClusterConfig cluster;
+    cluster.machines = 2;
+    cluster.gpusPerMachine = 1;
+    cluster.network = td::ethernet1G();
+    auto r = td::simulateDataParallel(md::a3c(), tf::FrameworkId::MXNet,
+                                      tg::quadroP4000(), 64, cluster);
+    EXPECT_GT(r.scalingEfficiency, 0.8);
+}
+
+TEST(DataParallel, LabelFormatsLikeFigure10)
+{
+    td::ClusterConfig cluster;
+    cluster.machines = 2;
+    cluster.gpusPerMachine = 1;
+    cluster.network = td::ethernet1G();
+    EXPECT_EQ(cluster.label(), "2M1G (1 GbE)");
+    cluster.machines = 1;
+    cluster.gpusPerMachine = 4;
+    EXPECT_EQ(cluster.label(), "1M4G");
+}
+
+TEST(DataParallel, RejectsBadCluster)
+{
+    td::ClusterConfig cluster;
+    cluster.machines = 0;
+    EXPECT_THROW(td::simulateDataParallel(md::resnet50(),
+                                          tf::FrameworkId::MXNet,
+                                          tg::quadroP4000(), 32, cluster),
+                 tbd::util::FatalError);
+}
+
+TEST(DataParallel, GradientCompressionRecoversEthernet)
+{
+    td::ClusterConfig eth{2, 1, td::ethernet1G()};
+    auto plain = run(2, 1, td::ethernet1G());
+    td::ClusterConfig compressed = eth;
+    compressed.gradientCompression = 32.0; // 1-bit SGD
+    auto packed = td::simulateDataParallel(
+        md::resnet50(), tf::FrameworkId::MXNet, tg::quadroP4000(), 32,
+        compressed);
+    EXPECT_GT(packed.throughputSamples, 2.0 * plain.throughputSamples);
+    EXPECT_LT(packed.exposedCommUs, plain.exposedCommUs);
+}
+
+TEST(DataParallel, RejectsCompressionBelowOne)
+{
+    td::ClusterConfig cluster{2, 1, td::ethernet1G()};
+    cluster.gradientCompression = 0.5;
+    EXPECT_THROW(td::simulateDataParallel(md::resnet50(),
+                                          tf::FrameworkId::MXNet,
+                                          tg::quadroP4000(), 32, cluster),
+                 tbd::util::FatalError);
+}

@@ -1,0 +1,36 @@
+#include "dist/link.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace td = tbd::dist;
+
+TEST(Link, TransferTimeIsBytesOverBandwidthPlusLatency)
+{
+    td::LinkSpec link{"test", 10.0, 7.0}; // 10 GB/s, 7 us
+    // 1 GB / 10 GB/s = 100 ms = 100000 us, + 7.
+    EXPECT_NEAR(link.transferUs(1e9), 100007.0, 1.0);
+}
+
+TEST(Link, ZeroBandwidthIsFatal)
+{
+    td::LinkSpec link{"broken", 0.0, 0.0};
+    EXPECT_THROW(link.transferUs(100.0), tbd::util::FatalError);
+}
+
+TEST(Link, PresetOrdering)
+{
+    // PCIe > InfiniBand-effective > 1 GbE in payload bandwidth.
+    EXPECT_GT(td::pcie3x16().bandwidthGBs,
+              td::infiniband100G().bandwidthGBs);
+    EXPECT_GT(td::infiniband100G().bandwidthGBs,
+              50.0 * td::ethernet1G().bandwidthGBs);
+}
+
+TEST(Link, InfinibandNearHundredGigabits)
+{
+    // 100 Gb/s line rate ~ 12.5 GB/s; effective payload a bit lower.
+    EXPECT_GT(td::infiniband100G().bandwidthGBs, 9.0);
+    EXPECT_LT(td::infiniband100G().bandwidthGBs, 12.5);
+}

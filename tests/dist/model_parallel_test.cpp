@@ -1,0 +1,114 @@
+#include "dist/model_parallel.h"
+
+#include <gtest/gtest.h>
+
+#include "dist/data_parallel.h"
+#include "util/logging.h"
+
+namespace td = tbd::dist;
+namespace md = tbd::models;
+namespace tf = tbd::frameworks;
+namespace tg = tbd::gpusim;
+
+namespace {
+
+td::ModelParallelResult
+run(const md::ModelDesc &m, int stages, bool pipelined,
+    std::int64_t batch = 32)
+{
+    td::ModelParallelConfig cfg;
+    cfg.stages = stages;
+    cfg.pipelined = pipelined;
+    return td::simulateModelParallel(m, m.frameworks.front(),
+                                     tg::quadroP4000(), batch, cfg);
+}
+
+} // namespace
+
+TEST(ModelParallel, SingleStageMatchesStructure)
+{
+    auto r = run(md::resnet50(), 1, false);
+    EXPECT_EQ(r.stages, 1);
+    EXPECT_DOUBLE_EQ(r.transferBytes, 0.0);
+    EXPECT_NEAR(r.gpuEfficiency, 1.0, 1e-9);
+}
+
+TEST(ModelParallel, NaiveNeverFasterThanOneGpu)
+{
+    // Sequential stages + cut transfers: total time can only grow.
+    auto one = run(md::resnet50(), 1, false);
+    for (int stages : {2, 4}) {
+        auto r = run(md::resnet50(), stages, false);
+        EXPECT_GE(r.iterationUs, one.iterationUs * 0.99) << stages;
+        EXPECT_LT(r.gpuEfficiency, 0.7) << stages;
+    }
+}
+
+TEST(ModelParallel, PipeliningRecoversThroughput)
+{
+    auto naive = run(md::resnet50(), 4, false);
+    td::ModelParallelConfig cfg;
+    cfg.stages = 4;
+    cfg.pipelined = true;
+    cfg.microBatches = 8;
+    auto piped = td::simulateModelParallel(md::resnet50(),
+                                           tf::FrameworkId::MXNet,
+                                           tg::quadroP4000(), 32, cfg);
+    EXPECT_GT(piped.throughputSamples, 1.5 * naive.throughputSamples);
+}
+
+TEST(ModelParallel, StagesAreRoughlyBalanced)
+{
+    for (const auto *m : {&md::resnet50(), &md::inceptionV3()}) {
+        auto r = run(*m, 4, false);
+        EXPECT_LT(r.balanceRatio, 1.8) << m->name;
+        EXPECT_EQ(r.stageUs.size(), 4u);
+        for (double t : r.stageUs)
+            EXPECT_GT(t, 0.0);
+    }
+}
+
+TEST(ModelParallel, CutTransfersAccounted)
+{
+    auto r2 = run(md::resnet50(), 2, false);
+    auto r4 = run(md::resnet50(), 4, false);
+    EXPECT_GT(r2.transferBytes, 0.0);
+    EXPECT_GT(r4.transferBytes, r2.transferBytes); // more cuts
+    EXPECT_GT(r4.transferUs, 0.0);
+}
+
+TEST(ModelParallel, DataParallelismWinsForTheSuiteModels)
+{
+    // The quantitative form of the paper's Section 2.2 choice: for the
+    // TBD models (which fit one GPU), data parallelism over PCIe beats
+    // even pipelined model parallelism at equal GPU count.
+    td::ClusterConfig dp{1, 4, td::infiniband100G()};
+    td::ModelParallelConfig mp;
+    mp.stages = 4;
+    mp.pipelined = true;
+    mp.microBatches = 8;
+    for (const auto *m : {&md::resnet50(), &md::seq2seqNmt()}) {
+        const auto fw = m->frameworks.front();
+        auto data = td::simulateDataParallel(*m, fw, tg::quadroP4000(),
+                                             32, dp);
+        auto mod = td::simulateModelParallel(*m, fw, tg::quadroP4000(),
+                                             32 * 4, mp);
+        EXPECT_GT(data.throughputSamples, mod.throughputSamples)
+            << m->name;
+    }
+}
+
+TEST(ModelParallel, RejectsBadConfigs)
+{
+    td::ModelParallelConfig cfg;
+    cfg.stages = 0;
+    EXPECT_THROW(td::simulateModelParallel(md::resnet50(),
+                                           tf::FrameworkId::MXNet,
+                                           tg::quadroP4000(), 8, cfg),
+                 tbd::util::FatalError);
+    cfg.stages = 1000; // more stages than A3C has ops
+    EXPECT_THROW(td::simulateModelParallel(md::a3c(),
+                                           tf::FrameworkId::MXNet,
+                                           tg::quadroP4000(), 8, cfg),
+                 tbd::util::FatalError);
+}

@@ -1,0 +1,130 @@
+#include "engine/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "layers/activations.h"
+#include "layers/dense.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace te = tbd::engine;
+namespace tl = tbd::layers;
+namespace tt = tbd::tensor;
+
+namespace {
+
+te::Network
+makeNet(std::uint64_t seed)
+{
+    tbd::util::Rng rng(seed);
+    te::Network net("ckpt-net");
+    net.add(std::make_unique<tl::FullyConnected>("fc1", 4, 8, rng));
+    net.add(std::make_unique<tl::Activation>("t", tl::ActKind::Tanh));
+    net.add(std::make_unique<tl::FullyConnected>("fc2", 8, 3, rng));
+    return net;
+}
+
+/** Temp file path that cleans itself up. */
+struct TempFile
+{
+    std::string path;
+
+    explicit TempFile(const char *name)
+        : path(std::string(::testing::TempDir()) + name)
+    {
+    }
+
+    ~TempFile() { std::remove(path.c_str()); }
+};
+
+} // namespace
+
+TEST(Checkpoint, RoundTripRestoresExactWeights)
+{
+    TempFile file("tbd_roundtrip.ckpt");
+    te::Network a = makeNet(1);
+    te::saveCheckpoint(a, file.path);
+
+    te::Network b = makeNet(2); // different init
+    te::loadCheckpoint(b, file.path);
+
+    auto pa = a.params(), pb = b.params();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+        ASSERT_EQ(pa[i]->value.numel(), pb[i]->value.numel());
+        for (std::int64_t j = 0; j < pa[i]->value.numel(); ++j)
+            EXPECT_FLOAT_EQ(pa[i]->value.at(j), pb[i]->value.at(j))
+                << pa[i]->name;
+    }
+}
+
+TEST(Checkpoint, RestoredNetworkComputesIdentically)
+{
+    TempFile file("tbd_identical.ckpt");
+    te::Network a = makeNet(3);
+    te::saveCheckpoint(a, file.path);
+    te::Network b = makeNet(4);
+    te::loadCheckpoint(b, file.path);
+
+    tbd::util::Rng rng(5);
+    tt::Tensor x(tt::Shape{2, 4});
+    x.fillNormal(rng, 0.0f, 1.0f);
+    tt::Tensor ya = a.forward(x, false);
+    tt::Tensor yb = b.forward(x, false);
+    for (std::int64_t i = 0; i < ya.numel(); ++i)
+        EXPECT_FLOAT_EQ(ya.at(i), yb.at(i));
+}
+
+TEST(Checkpoint, RejectsWrongArchitecture)
+{
+    TempFile file("tbd_wrongarch.ckpt");
+    te::Network a = makeNet(1);
+    te::saveCheckpoint(a, file.path);
+
+    tbd::util::Rng rng(6);
+    te::Network wrong("other");
+    wrong.add(std::make_unique<tl::FullyConnected>("fc1", 4, 8, rng));
+    // Parameter count mismatch (only one layer).
+    EXPECT_THROW(te::loadCheckpoint(wrong, file.path),
+                 tbd::util::FatalError);
+}
+
+TEST(Checkpoint, RejectsWrongShape)
+{
+    TempFile file("tbd_wrongshape.ckpt");
+    te::Network a = makeNet(1);
+    te::saveCheckpoint(a, file.path);
+
+    tbd::util::Rng rng(7);
+    te::Network wrong("ckpt-net");
+    wrong.add(std::make_unique<tl::FullyConnected>("fc1", 4, 9, rng));
+    wrong.add(std::make_unique<tl::Activation>("t", tl::ActKind::Tanh));
+    wrong.add(std::make_unique<tl::FullyConnected>("fc2", 9, 3, rng));
+    EXPECT_THROW(te::loadCheckpoint(wrong, file.path),
+                 tbd::util::FatalError);
+}
+
+TEST(Checkpoint, RejectsGarbageFile)
+{
+    TempFile file("tbd_garbage.ckpt");
+    {
+        std::FILE *f = std::fopen(file.path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fputs("not a checkpoint", f);
+        std::fclose(f);
+    }
+    te::Network net = makeNet(1);
+    EXPECT_THROW(te::loadCheckpoint(net, file.path),
+                 tbd::util::FatalError);
+}
+
+TEST(Checkpoint, MissingFileIsFatal)
+{
+    te::Network net = makeNet(1);
+    EXPECT_THROW(te::loadCheckpoint(net, "/nonexistent/dir/x.ckpt"),
+                 tbd::util::FatalError);
+    EXPECT_THROW(te::saveCheckpoint(net, "/nonexistent/dir/x.ckpt"),
+                 tbd::util::FatalError);
+}

@@ -1,0 +1,68 @@
+#include "engine/network.h"
+
+#include <gtest/gtest.h>
+
+#include "layers/activations.h"
+#include "layers/dense.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace te = tbd::engine;
+namespace tl = tbd::layers;
+namespace tt = tbd::tensor;
+
+namespace {
+
+te::Network
+makeMlp(std::uint64_t seed)
+{
+    tbd::util::Rng rng(seed);
+    te::Network net("mlp");
+    net.add(std::make_unique<tl::FullyConnected>("fc1", 4, 8, rng));
+    net.add(std::make_unique<tl::Activation>("relu", tl::ActKind::ReLU));
+    net.add(std::make_unique<tl::FullyConnected>("fc2", 8, 2, rng));
+    return net;
+}
+
+} // namespace
+
+TEST(Network, ForwardShape)
+{
+    te::Network net = makeMlp(1);
+    tbd::util::Rng rng(2);
+    tt::Tensor x(tt::Shape{5, 4});
+    x.fillNormal(rng, 0.0f, 1.0f);
+    EXPECT_EQ(net.forward(x, false).shape(), tt::Shape({5, 2}));
+}
+
+TEST(Network, ParamAggregation)
+{
+    te::Network net = makeMlp(1);
+    EXPECT_EQ(net.paramCount(), (4 * 8 + 8) + (8 * 2 + 2));
+    EXPECT_EQ(net.params().size(), 4u);
+    EXPECT_EQ(net.size(), 3u);
+}
+
+TEST(Network, ZeroGradsClearsAll)
+{
+    te::Network net = makeMlp(1);
+    tbd::util::Rng rng(3);
+    tt::Tensor x(tt::Shape{2, 4});
+    x.fillNormal(rng, 0.0f, 1.0f);
+    net.forward(x, true);
+    tt::Tensor dy(tt::Shape{2, 2}, 1.0f);
+    net.backward(dy);
+    bool any_nonzero = false;
+    for (auto *p : net.params())
+        any_nonzero |= p->grad.meanAbs() > 0.0;
+    EXPECT_TRUE(any_nonzero);
+    net.zeroGrads();
+    for (auto *p : net.params())
+        EXPECT_EQ(p->grad.meanAbs(), 0.0);
+}
+
+TEST(Network, AddRejectsNull)
+{
+    te::Network net("n");
+    EXPECT_THROW(net.add(nullptr), tbd::util::FatalError);
+}

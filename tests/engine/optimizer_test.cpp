@@ -1,0 +1,118 @@
+#include "engine/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace te = tbd::engine;
+namespace tl = tbd::layers;
+namespace tt = tbd::tensor;
+
+namespace {
+
+/** A free-standing parameter initialized at x0 with gradient 2x (for
+ *  f(x) = x^2) refreshed each step. */
+struct Quadratic
+{
+    tl::Param p;
+
+    explicit Quadratic(float x0)
+    {
+        p.name = "x";
+        p.value = tt::Tensor(tt::Shape{1}, x0);
+        p.grad = tt::Tensor(tt::Shape{1});
+    }
+
+    void
+    refreshGrad()
+    {
+        p.grad.at(0) = 2.0f * p.value.at(0);
+    }
+};
+
+template <typename Opt>
+float
+minimizeQuadratic(Opt &opt, int steps, float x0 = 5.0f)
+{
+    Quadratic q(x0);
+    for (int i = 0; i < steps; ++i) {
+        q.refreshGrad();
+        opt.step({&q.p});
+    }
+    return q.p.value.at(0);
+}
+
+} // namespace
+
+TEST(Sgd, ConvergesOnQuadratic)
+{
+    te::Sgd opt(0.1f);
+    EXPECT_NEAR(minimizeQuadratic(opt, 100), 0.0f, 1e-4);
+}
+
+TEST(Sgd, SingleStepIsExact)
+{
+    te::Sgd opt(0.1f);
+    Quadratic q(5.0f);
+    q.refreshGrad();
+    opt.step({&q.p});
+    EXPECT_FLOAT_EQ(q.p.value.at(0), 5.0f - 0.1f * 10.0f);
+}
+
+TEST(Sgd, RejectsNonPositiveLr)
+{
+    EXPECT_THROW(te::Sgd(-0.1f), tbd::util::FatalError);
+}
+
+TEST(SgdMomentum, ConvergesOnQuadratic)
+{
+    te::SgdMomentum opt(0.05f, 0.9f);
+    EXPECT_NEAR(minimizeQuadratic(opt, 200), 0.0f, 1e-3);
+}
+
+TEST(SgdMomentum, VelocityAccumulates)
+{
+    te::SgdMomentum opt(0.1f, 0.9f);
+    Quadratic q(1.0f);
+    q.refreshGrad();
+    opt.step({&q.p});
+    const float after_one = q.p.value.at(0);
+    // With momentum, the second step moves farther than a plain SGD step
+    // would from the same point.
+    q.refreshGrad();
+    opt.step({&q.p});
+    const float delta2 = after_one - q.p.value.at(0);
+    const float plain = 0.1f * 2.0f * after_one;
+    EXPECT_GT(delta2, plain);
+}
+
+TEST(SgdMomentum, SlotCount)
+{
+    te::SgdMomentum opt(0.1f);
+    EXPECT_EQ(opt.slotsPerParam(), 1);
+}
+
+TEST(Adam, ConvergesOnQuadratic)
+{
+    te::Adam opt(0.2f);
+    EXPECT_NEAR(minimizeQuadratic(opt, 300), 0.0f, 1e-2);
+}
+
+TEST(Adam, FirstStepIsLrSized)
+{
+    // With bias correction, Adam's first step is ~lr regardless of
+    // gradient scale.
+    te::Adam opt(0.01f);
+    Quadratic q(100.0f);
+    q.refreshGrad();
+    opt.step({&q.p});
+    EXPECT_NEAR(q.p.value.at(0), 100.0f - 0.01f, 1e-4);
+}
+
+TEST(Adam, SlotCount)
+{
+    te::Adam opt(0.1f);
+    EXPECT_EQ(opt.slotsPerParam(), 2);
+}

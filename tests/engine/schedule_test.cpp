@@ -1,0 +1,70 @@
+#include "engine/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/optimizer.h"
+#include "util/logging.h"
+
+namespace te = tbd::engine;
+
+TEST(Schedule, ConstantIsConstant)
+{
+    te::ConstantLr lr(0.1f);
+    EXPECT_FLOAT_EQ(lr.at(0), 0.1f);
+    EXPECT_FLOAT_EQ(lr.at(1000000), 0.1f);
+    EXPECT_THROW(te::ConstantLr(0.0f), tbd::util::FatalError);
+}
+
+TEST(Schedule, StepDecayDropsAtBoundaries)
+{
+    // The ImageNet recipe: x0.1 at the epoch-30/60 boundaries.
+    te::StepDecayLr lr(0.1f, {300, 600}, 0.1f);
+    EXPECT_FLOAT_EQ(lr.at(0), 0.1f);
+    EXPECT_FLOAT_EQ(lr.at(299), 0.1f);
+    EXPECT_FLOAT_EQ(lr.at(300), 0.01f);
+    EXPECT_FLOAT_EQ(lr.at(599), 0.01f);
+    EXPECT_NEAR(lr.at(600), 0.001f, 1e-9);
+}
+
+TEST(Schedule, StepDecayValidatesInputs)
+{
+    EXPECT_THROW(te::StepDecayLr(0.1f, {600, 300}),
+                 tbd::util::FatalError); // not ascending
+    EXPECT_THROW(te::StepDecayLr(0.1f, {10}, 1.5f),
+                 tbd::util::FatalError); // factor >= 1
+}
+
+TEST(Schedule, WarmupRampsLinearly)
+{
+    te::WarmupInverseSqrtLr lr(1.0f, 100);
+    EXPECT_NEAR(lr.at(0), 0.01f, 1e-6);
+    EXPECT_NEAR(lr.at(49), 0.50f, 1e-6);
+    EXPECT_NEAR(lr.at(99), 1.0f, 1e-6);
+}
+
+TEST(Schedule, InverseSqrtDecayAfterWarmup)
+{
+    te::WarmupInverseSqrtLr lr(1.0f, 100);
+    // At 4x the warmup steps the rate has halved.
+    EXPECT_NEAR(lr.at(399), 0.5f, 1e-3);
+    EXPECT_GT(lr.at(200), lr.at(400));
+}
+
+TEST(Schedule, WarmupPeaksAtBase)
+{
+    te::WarmupInverseSqrtLr lr(0.05f, 50);
+    float peak = 0.0f;
+    for (int s = 0; s < 1000; ++s)
+        peak = std::max(peak, lr.at(s));
+    EXPECT_NEAR(peak, 0.05f, 1e-6);
+}
+
+TEST(Schedule, DrivesOptimizerLr)
+{
+    // Typical usage: refresh the optimizer's lr each step.
+    te::StepDecayLr schedule(0.1f, {5});
+    te::Sgd opt(schedule.at(0));
+    for (int step = 0; step < 10; ++step)
+        opt.lr = schedule.at(step);
+    EXPECT_FLOAT_EQ(opt.lr, 0.01f);
+}

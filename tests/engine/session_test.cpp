@@ -1,0 +1,125 @@
+#include "engine/session.h"
+
+#include <gtest/gtest.h>
+
+#include "layers/activations.h"
+#include "layers/dense.h"
+#include "layers/loss.h"
+#include "util/rng.h"
+
+namespace te = tbd::engine;
+namespace tl = tbd::layers;
+namespace tt = tbd::tensor;
+
+namespace {
+
+/** XOR-ish binary classification; a 2-layer MLP must solve it. */
+struct XorTask
+{
+    tt::Tensor inputs{tt::Shape{4, 2},
+                      std::vector<float>{0, 0, 0, 1, 1, 0, 1, 1}};
+    std::vector<std::int64_t> labels{0, 1, 1, 0};
+};
+
+} // namespace
+
+TEST(Session, TrainsXorToHighAccuracy)
+{
+    tbd::util::Rng rng(12);
+    te::Network net("xor");
+    net.add(std::make_unique<tl::FullyConnected>("fc1", 2, 16, rng));
+    net.add(std::make_unique<tl::Activation>("t", tl::ActKind::Tanh));
+    net.add(std::make_unique<tl::FullyConnected>("fc2", 16, 2, rng));
+
+    te::Adam opt(0.05f);
+    te::Session session(net, opt);
+    XorTask task;
+    tl::SoftmaxCrossEntropy ce;
+
+    te::StepResult last;
+    for (int i = 0; i < 300; ++i) {
+        last = session.step(task.inputs, [&](const tt::Tensor &out,
+                                             te::StepResult &r) {
+            r.loss = ce.forward(out, task.labels);
+            r.metric = ce.accuracy();
+            return ce.backward();
+        });
+    }
+    EXPECT_EQ(session.iteration(), 300);
+    EXPECT_LT(last.loss, 0.05);
+    EXPECT_DOUBLE_EQ(last.metric, 1.0);
+}
+
+TEST(Session, HistoryRecordsEveryStep)
+{
+    tbd::util::Rng rng(1);
+    te::Network net("n");
+    net.add(std::make_unique<tl::FullyConnected>("fc", 2, 2, rng));
+    te::Sgd opt(0.01f);
+    te::Session session(net, opt);
+    XorTask task;
+    tl::SoftmaxCrossEntropy ce;
+    for (int i = 0; i < 5; ++i) {
+        session.step(task.inputs,
+                     [&](const tt::Tensor &out, te::StepResult &r) {
+                         r.loss = ce.forward(out, task.labels);
+                         return ce.backward();
+                     });
+    }
+    ASSERT_EQ(session.history().size(), 5u);
+    EXPECT_EQ(session.history()[0].iteration, 1);
+    EXPECT_EQ(session.history()[4].iteration, 5);
+    EXPECT_GE(session.history()[2].wallSeconds, 0.0);
+}
+
+TEST(Session, LossDecreasesOnAverage)
+{
+    tbd::util::Rng rng(2);
+    te::Network net("n");
+    net.add(std::make_unique<tl::FullyConnected>("fc1", 2, 8, rng));
+    net.add(std::make_unique<tl::Activation>("t", tl::ActKind::Tanh));
+    net.add(std::make_unique<tl::FullyConnected>("fc2", 8, 2, rng));
+    te::Adam opt(0.03f);
+    te::Session session(net, opt);
+    XorTask task;
+    tl::SoftmaxCrossEntropy ce;
+    auto loss_fn = [&](const tt::Tensor &out, te::StepResult &r) {
+        r.loss = ce.forward(out, task.labels);
+        return ce.backward();
+    };
+    for (int i = 0; i < 10; ++i)
+        session.step(task.inputs, loss_fn);
+    const double early = session.recentLoss(10);
+    for (int i = 0; i < 150; ++i)
+        session.step(task.inputs, loss_fn);
+    const double late = session.recentLoss(10);
+    EXPECT_LT(late, early);
+}
+
+TEST(Session, AttachedScheduleDrivesLearningRate)
+{
+    tbd::util::Rng rng(3);
+    te::Network net("n");
+    net.add(std::make_unique<tl::FullyConnected>("fc", 2, 2, rng));
+    te::Sgd opt(999.0f); // will be overwritten by the schedule
+    te::StepDecayLr schedule(0.1f, {3});
+    te::Session session(net, opt);
+    session.setSchedule(&schedule);
+
+    XorTask task;
+    tl::SoftmaxCrossEntropy ce;
+    auto loss_fn = [&](const tt::Tensor &out, te::StepResult &r) {
+        r.loss = ce.forward(out, task.labels);
+        return ce.backward();
+    };
+    session.step(task.inputs, loss_fn); // iteration 0
+    EXPECT_FLOAT_EQ(opt.lr, 0.1f);
+    for (int i = 0; i < 4; ++i)
+        session.step(task.inputs, loss_fn);
+    EXPECT_FLOAT_EQ(opt.lr, 0.01f); // past the boundary
+
+    session.setSchedule(nullptr);
+    opt.lr = 0.5f;
+    session.step(task.inputs, loss_fn);
+    EXPECT_FLOAT_EQ(opt.lr, 0.5f); // detached: untouched
+}

@@ -1,0 +1,68 @@
+#include "frameworks/framework.h"
+
+#include <gtest/gtest.h>
+
+namespace tf = tbd::frameworks;
+
+TEST(Frameworks, ThreePresetsRegistered)
+{
+    EXPECT_EQ(tf::allFrameworks().size(), 3u);
+}
+
+TEST(Frameworks, LookupRoundTrips)
+{
+    for (auto id : tf::allFrameworks()) {
+        const auto &p = tf::profileFor(id);
+        EXPECT_EQ(p.id, id);
+        EXPECT_EQ(p.name, tf::frameworkName(id));
+    }
+}
+
+TEST(Frameworks, MxnetLeadsOnConvEfficiency)
+{
+    // Observation 3 ingredient: MXNet beats TF on CNNs in Fig. 4a/4b.
+    EXPECT_GT(tf::mxnet().convEff, tf::tensorflow().convEff);
+}
+
+TEST(Frameworks, TfLeadsOnRnnSmallGemms)
+{
+    // ...while TF beats Sockeye/MXNet on Seq2Seq (Fig. 4c).
+    EXPECT_GT(tf::tensorflow().smallGemmEff, tf::mxnet().smallGemmEff);
+    EXPECT_TRUE(tf::tensorflow().fusesElementwise);
+    EXPECT_FALSE(tf::mxnet().fusesElementwise);
+}
+
+TEST(Frameworks, TfPacksRnnMemoryTighter)
+{
+    // TF trains NMT at batch 128 on 8 GiB where Sockeye stops at 64.
+    EXPECT_LT(tf::tensorflow().rnnActivationFactor,
+              tf::mxnet().rnnActivationFactor);
+    EXPECT_LT(tf::tensorflow().allocatorSlack, tf::mxnet().allocatorSlack);
+}
+
+TEST(Frameworks, CntkHasNegligibleHostFootprint)
+{
+    // Fig. 7: CNTK CPU utilization is 0.05-0.08%.
+    EXPECT_LT(tf::cntk().dataPipelineFactor, 0.05);
+    EXPECT_LT(tf::cntk().frontendUsPerOp, tf::tensorflow().frontendUsPerOp);
+}
+
+TEST(Frameworks, OnlyMxnetUsesDynamicOptimizerState)
+{
+    // The paper's "dynamic" memory category exists because MXNet
+    // allocates momentum buffers during training iterations.
+    EXPECT_TRUE(tf::mxnet().dynamicOptimizerState);
+    EXPECT_FALSE(tf::tensorflow().dynamicOptimizerState);
+    EXPECT_FALSE(tf::cntk().dynamicOptimizerState);
+}
+
+TEST(Frameworks, KernelNamingIsFrameworkFlavored)
+{
+    // Tables 5 and 6 surface framework-specific kernel names.
+    EXPECT_NE(tf::tensorflow().elementwiseKernel.find("Eigen"),
+              std::string::npos);
+    EXPECT_NE(tf::mxnet().elementwiseKernel.find("mxnet"),
+              std::string::npos);
+    EXPECT_NE(tf::tensorflow().gemmKernel.find("magma"),
+              std::string::npos);
+}

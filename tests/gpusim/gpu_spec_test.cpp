@@ -1,0 +1,54 @@
+#include "gpusim/gpu_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace tg = tbd::gpusim;
+
+TEST(GpuSpec, P4000MatchesTable4)
+{
+    const auto &gpu = tg::quadroP4000();
+    EXPECT_EQ(gpu.multiprocessors, 14);
+    EXPECT_EQ(gpu.coreCount, 1792);
+    EXPECT_DOUBLE_EQ(gpu.maxClockMHz, 1480.0);
+    EXPECT_DOUBLE_EQ(gpu.memoryGiB, 8.0);
+    EXPECT_DOUBLE_EQ(gpu.memoryBwGBs, 243.0);
+    EXPECT_EQ(gpu.memoryBusType, "GDDR5");
+}
+
+TEST(GpuSpec, TitanXpMatchesTable4)
+{
+    const auto &gpu = tg::titanXp();
+    EXPECT_EQ(gpu.multiprocessors, 30);
+    EXPECT_EQ(gpu.coreCount, 3840);
+    EXPECT_DOUBLE_EQ(gpu.maxClockMHz, 1582.0);
+    EXPECT_DOUBLE_EQ(gpu.memoryGiB, 12.0);
+    EXPECT_DOUBLE_EQ(gpu.memoryBwGBs, 547.6);
+}
+
+TEST(GpuSpec, PeakFlopsFormula)
+{
+    // P4000: 2 * 1792 * 1.48 GHz = 5.304 TFLOPS.
+    EXPECT_NEAR(tg::quadroP4000().peakFlops(), 5.304e12, 1e9);
+    // TITAN Xp: 2 * 3840 * 1.582 GHz = 12.15 TFLOPS.
+    EXPECT_NEAR(tg::titanXp().peakFlops(), 12.15e12, 1e10);
+}
+
+TEST(GpuSpec, TitanXpIsHarderToSaturate)
+{
+    // Observation 10 prerequisite: the wider GPU needs more threads.
+    EXPECT_GT(tg::titanXp().saturationThreads(),
+              tg::quadroP4000().saturationThreads());
+}
+
+TEST(GpuSpec, MemoryBytes)
+{
+    EXPECT_EQ(tg::quadroP4000().memoryBytes(), 8ull << 30);
+}
+
+TEST(GpuSpec, HostCpuMatchesTable4)
+{
+    const auto &cpu = tg::xeonE52680();
+    EXPECT_EQ(cpu.coreCount, 28);
+    EXPECT_DOUBLE_EQ(cpu.maxClockMHz, 2900.0);
+    EXPECT_DOUBLE_EQ(cpu.memoryBwGBs, 76.8);
+}

@@ -1,0 +1,109 @@
+#include "gpusim/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace tg = tbd::gpusim;
+
+namespace {
+
+tg::KernelDesc
+bigComputeKernel()
+{
+    tg::KernelDesc k;
+    k.name = "sgemm";
+    k.category = tg::KernelCategory::Gemm;
+    k.flops = 1e10; // 10 GFLOP
+    k.bytes = 1e6;
+    k.parallelism = 1e8; // saturating
+    k.computeEff = 0.6;
+    return k;
+}
+
+} // namespace
+
+TEST(KernelTiming, ComputeBoundDuration)
+{
+    const auto &gpu = tg::quadroP4000();
+    auto t = tg::timeKernel(gpu, bigComputeKernel());
+    // 1e10 / (5.3e12 * 0.6) ~= 3.14 ms (saturated).
+    EXPECT_EQ(t.limiter, tg::Limiter::Compute);
+    EXPECT_NEAR(t.durationUs, 3150.0, 100.0);
+}
+
+TEST(KernelTiming, Fp32UtilApproachesEffWhenSaturated)
+{
+    const auto &gpu = tg::quadroP4000();
+    auto t = tg::timeKernel(gpu, bigComputeKernel());
+    EXPECT_NEAR(t.fp32Util, 0.6, 0.02);
+}
+
+TEST(KernelTiming, SmallKernelsCannotSaturate)
+{
+    const auto &gpu = tg::quadroP4000();
+    tg::KernelDesc k = bigComputeKernel();
+    k.parallelism = gpu.saturationThreads(); // sat factor = 0.5
+    auto t = tg::timeKernel(gpu, k);
+    EXPECT_NEAR(t.fp32Util, 0.3, 0.02);
+}
+
+TEST(KernelTiming, MemoryBoundKernel)
+{
+    const auto &gpu = tg::quadroP4000();
+    tg::KernelDesc k;
+    k.name = "bn_fw";
+    k.category = tg::KernelCategory::BatchNorm;
+    k.flops = 1e7;
+    k.bytes = 1e9; // 1 GB of traffic
+    k.parallelism = 1e8;
+    k.memoryEff = 0.8;
+    auto t = tg::timeKernel(gpu, k);
+    EXPECT_EQ(t.limiter, tg::Limiter::Memory);
+    // 1e9 / (243e9 * 0.8) = 5.14 ms.
+    EXPECT_NEAR(t.durationUs, 5144.0, 60.0);
+    EXPECT_LT(t.fp32Util, 0.01); // memory-bound => low FP32 util
+}
+
+TEST(KernelTiming, TinyKernelPaysFixedTail)
+{
+    const auto &gpu = tg::quadroP4000();
+    tg::KernelDesc k;
+    k.name = "tiny";
+    k.flops = 100.0;
+    k.bytes = 100.0;
+    k.parallelism = 32;
+    auto t = tg::timeKernel(gpu, k);
+    EXPECT_EQ(t.limiter, tg::Limiter::Tail);
+    EXPECT_GE(t.durationUs, tg::kKernelTailUs);
+}
+
+TEST(KernelTiming, SameKernelLowerUtilOnTitanXp)
+{
+    // Observation 10: identical work achieves a smaller fraction of
+    // peak on the wider GPU.
+    tg::KernelDesc k = bigComputeKernel();
+    k.parallelism = 2.0e5; // mid-size kernel
+    auto p4000 = tg::timeKernel(tg::quadroP4000(), k);
+    auto xp = tg::timeKernel(tg::titanXp(), k);
+    EXPECT_LT(xp.fp32Util, p4000.fp32Util);
+    // ... but it still finishes faster in absolute terms.
+    EXPECT_LT(xp.durationUs, p4000.durationUs);
+}
+
+TEST(KernelTiming, RejectsInvalidEfficiency)
+{
+    tg::KernelDesc k = bigComputeKernel();
+    k.computeEff = 0.0;
+    EXPECT_THROW(tg::timeKernel(tg::quadroP4000(), k),
+                 tbd::util::FatalError);
+}
+
+TEST(KernelTiming, CategoryNamesAreStable)
+{
+    EXPECT_STREQ(tg::kernelCategoryName(tg::KernelCategory::Gemm), "gemm");
+    EXPECT_STREQ(tg::kernelCategoryName(tg::KernelCategory::BatchNorm),
+                 "batch_norm");
+    EXPECT_STREQ(tg::kernelCategoryName(tg::KernelCategory::Update),
+                 "update");
+}

@@ -1,0 +1,111 @@
+#include "gpusim/timeline.h"
+
+#include <gtest/gtest.h>
+
+namespace tg = tbd::gpusim;
+
+namespace {
+
+tg::KernelDesc
+kernelWithDuration(double targetUs)
+{
+    // Saturating compute kernel sized so duration ~= targetUs + tail.
+    tg::KernelDesc k;
+    k.name = "k";
+    k.flops = (targetUs - tg::kKernelTailUs) * 1e-6 *
+              tg::quadroP4000().peakFlops() * 0.5;
+    k.parallelism = 1e9;
+    k.computeEff = 0.5;
+    return k;
+}
+
+} // namespace
+
+TEST(Timeline, LongKernelsKeepGpuBusy)
+{
+    tg::GpuTimeline tl(tg::quadroP4000());
+    // 100 kernels of ~500us, launch cost 5us: launches hide behind
+    // execution, so utilization approaches 1.
+    for (int i = 0; i < 100; ++i)
+        tl.launch(kernelWithDuration(500.0), 5.0);
+    tl.sync();
+    auto s = tl.stats();
+    EXPECT_GT(s.gpuUtilization(), 0.97);
+    EXPECT_EQ(s.kernelCount, 100);
+}
+
+TEST(Timeline, ShortKernelsAreLaunchBound)
+{
+    tg::GpuTimeline tl(tg::quadroP4000());
+    // Kernels shorter than their launch cost: the GPU starves. This is
+    // the LSTM mechanism behind the paper's Observation 5.
+    for (int i = 0; i < 1000; ++i)
+        tl.launch(kernelWithDuration(3.0), 10.0);
+    tl.sync();
+    auto s = tl.stats();
+    EXPECT_LT(s.gpuUtilization(), 0.5);
+}
+
+TEST(Timeline, HostComputeDelaysKernels)
+{
+    tg::GpuTimeline tl(tg::quadroP4000());
+    tl.hostCompute(10000.0);
+    tl.launch(kernelWithDuration(100.0), 5.0);
+    tl.sync();
+    auto s = tl.stats();
+    EXPECT_GT(s.elapsedUs, 10000.0);
+    EXPECT_LT(s.gpuUtilization(), 0.05);
+}
+
+TEST(Timeline, StatsAccumulateFlops)
+{
+    tg::GpuTimeline tl(tg::quadroP4000());
+    auto k = kernelWithDuration(100.0);
+    tl.launch(k, 5.0);
+    tl.launch(k, 5.0);
+    tl.sync();
+    EXPECT_DOUBLE_EQ(tl.stats().totalFlops, 2.0 * k.flops);
+}
+
+TEST(Timeline, BeginIntervalDropsWarmup)
+{
+    tg::GpuTimeline tl(tg::quadroP4000());
+    for (int i = 0; i < 10; ++i)
+        tl.launch(kernelWithDuration(200.0), 5.0);
+    tl.beginInterval(); // discard warm-up (sampling methodology 3.4.2)
+    for (int i = 0; i < 3; ++i)
+        tl.launch(kernelWithDuration(200.0), 5.0);
+    tl.sync();
+    auto s = tl.stats();
+    EXPECT_EQ(s.kernelCount, 3);
+    EXPECT_NEAR(s.gpuBusyUs, 3 * 200.0, 30.0);
+    EXPECT_GT(s.gpuUtilization(), 0.9);
+}
+
+TEST(Timeline, ExecutionsRecordStartTimesInOrder)
+{
+    tg::GpuTimeline tl(tg::quadroP4000());
+    tl.launch(kernelWithDuration(50.0), 5.0);
+    tl.launch(kernelWithDuration(50.0), 5.0);
+    const auto &ex = tl.executions();
+    ASSERT_EQ(ex.size(), 2u);
+    EXPECT_GE(ex[1].startUs, ex[0].startUs + ex[0].durationUs);
+}
+
+TEST(Timeline, Fp32UtilizationOfMixedTimeline)
+{
+    tg::GpuTimeline tl(tg::quadroP4000());
+    // One compute kernel at 50% eff + one zero-flop memory kernel of
+    // equal duration: aggregate FP32 util should be ~25%.
+    tl.launch(kernelWithDuration(500.0), 2.0);
+    tg::KernelDesc mem;
+    mem.name = "memcpyish";
+    mem.flops = 0.0;
+    mem.bytes = 500.0e-6 * tg::quadroP4000().memoryBwGBs * 1e9 * 0.7;
+    mem.parallelism = 1e9;
+    mem.memoryEff = 0.7;
+    tl.launch(mem, 2.0);
+    tl.sync();
+    auto s = tl.stats();
+    EXPECT_NEAR(s.fp32Utilization(tl.gpu()), 0.25, 0.03);
+}

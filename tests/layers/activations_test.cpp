@@ -1,0 +1,76 @@
+#include "layers/activations.h"
+
+#include <gtest/gtest.h>
+
+#include "layer_test_util.h"
+
+namespace tl = tbd::layers;
+namespace tt = tbd::tensor;
+using tbd::testutil::checkLayerGradients;
+using tbd::testutil::randn;
+
+class ActivationGradTest : public ::testing::TestWithParam<tl::ActKind>
+{
+};
+
+TEST_P(ActivationGradTest, GradientMatchesNumeric)
+{
+    tl::Activation act("act", GetParam());
+    // Keep inputs away from the ReLU kink at 0 so the central
+    // difference never straddles the non-differentiable point.
+    tt::Tensor x = randn(tt::Shape{4, 9}, 17);
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+        if (std::abs(x.at(i)) < 0.1f)
+            x.at(i) = x.at(i) < 0.0f ? -0.1f : 0.1f;
+    }
+    checkLayerGradients(act, x, 99, 2e-2, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ActivationGradTest,
+                         ::testing::Values(tl::ActKind::ReLU,
+                                           tl::ActKind::LeakyReLU,
+                                           tl::ActKind::Sigmoid,
+                                           tl::ActKind::Tanh),
+                         [](const auto &info) {
+                             return tl::actKindName(info.param);
+                         });
+
+TEST(Activation, ReluClampsNegative)
+{
+    tl::Activation act("relu", tl::ActKind::ReLU);
+    tt::Tensor x(tt::Shape{3}, std::vector<float>{-2.0f, 0.0f, 3.0f});
+    tt::Tensor y = act.forward(x, false);
+    EXPECT_FLOAT_EQ(y.at(0), 0.0f);
+    EXPECT_FLOAT_EQ(y.at(1), 0.0f);
+    EXPECT_FLOAT_EQ(y.at(2), 3.0f);
+}
+
+TEST(Activation, SigmoidRange)
+{
+    tl::Activation act("sig", tl::ActKind::Sigmoid);
+    tt::Tensor x(tt::Shape{2}, std::vector<float>{-100.0f, 100.0f});
+    tt::Tensor y = act.forward(x, false);
+    EXPECT_NEAR(y.at(0), 0.0f, 1e-6);
+    EXPECT_NEAR(y.at(1), 1.0f, 1e-6);
+}
+
+TEST(Activation, LeakyReluSlope)
+{
+    tl::Activation act("lrelu", tl::ActKind::LeakyReLU, 0.1f);
+    tt::Tensor x(tt::Shape{1}, std::vector<float>{-10.0f});
+    EXPECT_FLOAT_EQ(act.forward(x, false).at(0), -1.0f);
+}
+
+TEST(Activation, BackwardWithoutForwardThrows)
+{
+    tl::Activation act("relu", tl::ActKind::ReLU);
+    tt::Tensor dy(tt::Shape{2});
+    EXPECT_THROW(act.backward(dy), tbd::util::FatalError);
+}
+
+TEST(Activation, HasNoParams)
+{
+    tl::Activation act("relu", tl::ActKind::ReLU);
+    EXPECT_TRUE(act.params().empty());
+    EXPECT_EQ(act.paramCount(), 0);
+}

@@ -1,0 +1,76 @@
+#include "layers/attention.h"
+
+#include <gtest/gtest.h>
+
+#include "layer_test_util.h"
+
+namespace tl = tbd::layers;
+namespace tt = tbd::tensor;
+using tbd::testutil::checkLayerGradients;
+using tbd::testutil::randn;
+
+TEST(MultiHeadAttention, OutputShape)
+{
+    tbd::util::Rng rng(1);
+    tl::MultiHeadAttention mha("mha", 8, 2, rng);
+    tt::Tensor y = mha.forward(randn(tt::Shape{2, 5, 8}, 2), false);
+    EXPECT_EQ(y.shape(), tt::Shape({2, 5, 8}));
+}
+
+TEST(MultiHeadAttention, RejectsIndivisibleHeads)
+{
+    tbd::util::Rng rng(1);
+    EXPECT_THROW(tl::MultiHeadAttention("m", 10, 3, rng),
+                 tbd::util::FatalError);
+}
+
+TEST(MultiHeadAttention, GradientMatchesNumeric)
+{
+    tbd::util::Rng rng(3);
+    tl::MultiHeadAttention mha("mha", 6, 2, rng);
+    checkLayerGradients(mha, randn(tt::Shape{2, 3, 6}, 4, 0.5f), 53, 3e-2);
+}
+
+TEST(MultiHeadAttention, CausalGradientMatchesNumeric)
+{
+    tbd::util::Rng rng(5);
+    tl::MultiHeadAttention mha("mha", 4, 2, rng, /*causal=*/true);
+    checkLayerGradients(mha, randn(tt::Shape{1, 4, 4}, 6, 0.5f), 54, 3e-2);
+}
+
+TEST(MultiHeadAttention, CausalMaskBlocksFuture)
+{
+    // With a causal mask, output at t=0 must not depend on input at t>0.
+    tbd::util::Rng rng(7);
+    tl::MultiHeadAttention mha("mha", 4, 1, rng, /*causal=*/true);
+    tt::Tensor a = randn(tt::Shape{1, 3, 4}, 8);
+    tt::Tensor b = a.clone();
+    b.at(2 * 4 + 1) = 100.0f; // change t=2
+    tt::Tensor ya = mha.forward(a, false);
+    tt::Tensor yb = mha.forward(b, false);
+    for (std::int64_t j = 0; j < 4; ++j)
+        EXPECT_NEAR(ya.at(j), yb.at(j), 1e-5); // t=0 row unchanged
+}
+
+TEST(MultiHeadAttention, NonCausalSeesFuture)
+{
+    tbd::util::Rng rng(9);
+    tl::MultiHeadAttention mha("mha", 4, 1, rng, /*causal=*/false);
+    tt::Tensor a = randn(tt::Shape{1, 3, 4}, 10);
+    tt::Tensor b = a.clone();
+    b.at(2 * 4 + 1) = 100.0f;
+    tt::Tensor ya = mha.forward(a, false);
+    tt::Tensor yb = mha.forward(b, false);
+    double diff = 0.0;
+    for (std::int64_t j = 0; j < 4; ++j)
+        diff += std::abs(ya.at(j) - yb.at(j));
+    EXPECT_GT(diff, 1e-4);
+}
+
+TEST(MultiHeadAttention, FourProjectionParams)
+{
+    tbd::util::Rng rng(1);
+    tl::MultiHeadAttention mha("mha", 8, 2, rng);
+    EXPECT_EQ(mha.params().size(), 4u);
+    EXPECT_EQ(mha.paramCount(), 4 * 8 * 8);
+}

@@ -1,0 +1,114 @@
+#include "layers/composite.h"
+
+#include <gtest/gtest.h>
+
+#include "layers/activations.h"
+#include "layers/conv.h"
+#include "layers/dense.h"
+#include "layer_test_util.h"
+
+namespace tl = tbd::layers;
+namespace tt = tbd::tensor;
+using tbd::testutil::checkLayerGradients;
+using tbd::testutil::randn;
+
+namespace {
+
+tl::LayerPtr
+makeDense(const char *name, std::int64_t in, std::int64_t out,
+          std::uint64_t seed)
+{
+    tbd::util::Rng rng(seed);
+    return std::make_unique<tl::FullyConnected>(name, in, out, rng);
+}
+
+} // namespace
+
+TEST(Sequential, RunsChildrenInOrder)
+{
+    tl::Sequential seq("seq");
+    seq.add(makeDense("a", 4, 6, 1));
+    seq.add(std::make_unique<tl::Activation>("r", tl::ActKind::Tanh));
+    seq.add(makeDense("b", 6, 2, 2));
+    tt::Tensor y = seq.forward(randn(tt::Shape{3, 4}, 3), false);
+    EXPECT_EQ(y.shape(), tt::Shape({3, 2}));
+    EXPECT_EQ(seq.size(), 3u);
+}
+
+TEST(Sequential, CollectsAllParams)
+{
+    tl::Sequential seq("seq");
+    seq.add(makeDense("a", 4, 6, 1)); // 4*6+6 = 30
+    seq.add(makeDense("b", 6, 2, 2)); // 6*2+2 = 14
+    EXPECT_EQ(seq.paramCount(), 44);
+}
+
+TEST(Sequential, GradientMatchesNumeric)
+{
+    tl::Sequential seq("seq");
+    seq.add(makeDense("a", 4, 5, 1));
+    seq.add(std::make_unique<tl::Activation>("t", tl::ActKind::Tanh));
+    seq.add(makeDense("b", 5, 3, 2));
+    checkLayerGradients(seq, randn(tt::Shape{2, 4}, 9));
+}
+
+TEST(Residual, IdentityShortcutAddsInput)
+{
+    // Body is a tanh; y = tanh(x) + x.
+    auto body = std::make_unique<tl::Activation>("t", tl::ActKind::Tanh);
+    tl::Residual res("res", std::move(body));
+    tt::Tensor x(tt::Shape{2, 3}, 0.0f);
+    tt::Tensor y = res.forward(x, false);
+    for (std::int64_t i = 0; i < y.numel(); ++i)
+        EXPECT_FLOAT_EQ(y.at(i), 0.0f);
+}
+
+TEST(Residual, GradientMatchesNumericIdentityShortcut)
+{
+    auto body = std::make_unique<tl::Sequential>("body");
+    body->add(makeDense("a", 4, 4, 11));
+    body->add(std::make_unique<tl::Activation>("t", tl::ActKind::Tanh));
+    tl::Residual res("res", std::move(body));
+    checkLayerGradients(res, randn(tt::Shape{2, 4}, 12));
+}
+
+TEST(Residual, GradientMatchesNumericProjectionShortcut)
+{
+    auto body = makeDense("body", 4, 6, 13);
+    auto shortcut = makeDense("short", 4, 6, 14);
+    tl::Residual res("res", std::move(body), std::move(shortcut));
+    checkLayerGradients(res, randn(tt::Shape{2, 4}, 15));
+}
+
+TEST(Residual, RejectsShapeMismatch)
+{
+    auto body = makeDense("body", 4, 6, 16);
+    tl::Residual res("res", std::move(body)); // identity shortcut: 4 != 6
+    EXPECT_THROW(res.forward(randn(tt::Shape{2, 4}, 17), false),
+                 tbd::util::FatalError);
+}
+
+TEST(ConcatBranches, ConcatenatesChannels)
+{
+    tbd::util::Rng rng(1);
+    std::vector<tl::LayerPtr> branches;
+    branches.push_back(
+        std::make_unique<tl::Conv2d>("b1", 2, 3, 1, 1, 0, rng));
+    branches.push_back(
+        std::make_unique<tl::Conv2d>("b2", 2, 5, 3, 1, 1, rng));
+    tl::ConcatBranches cat("cat", std::move(branches));
+    tt::Tensor y = cat.forward(randn(tt::Shape{2, 2, 4, 4}, 2), false);
+    EXPECT_EQ(y.shape(), tt::Shape({2, 8, 4, 4}));
+}
+
+TEST(ConcatBranches, GradientMatchesNumeric)
+{
+    tbd::util::Rng rng(3);
+    std::vector<tl::LayerPtr> branches;
+    branches.push_back(
+        std::make_unique<tl::Conv2d>("b1", 2, 2, 1, 1, 0, rng));
+    branches.push_back(
+        std::make_unique<tl::Conv2d>("b2", 2, 3, 3, 1, 1, rng));
+    tl::ConcatBranches cat("cat", std::move(branches));
+    checkLayerGradients(cat, randn(tt::Shape{1, 2, 3, 3}, 4, 0.5f));
+}

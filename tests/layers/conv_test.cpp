@@ -1,0 +1,108 @@
+#include "layers/conv.h"
+
+#include <gtest/gtest.h>
+
+#include "layer_test_util.h"
+
+namespace tl = tbd::layers;
+namespace tt = tbd::tensor;
+using tbd::testutil::checkLayerGradients;
+using tbd::testutil::randn;
+
+TEST(Conv2d, OutputShapeStride1SamePad)
+{
+    tbd::util::Rng rng(1);
+    tl::Conv2d conv("c", 3, 8, 3, 1, 1, rng);
+    tt::Tensor y = conv.forward(randn(tt::Shape{2, 3, 6, 6}, 2), false);
+    EXPECT_EQ(y.shape(), tt::Shape({2, 8, 6, 6}));
+}
+
+TEST(Conv2d, OutputShapeStride2)
+{
+    tbd::util::Rng rng(1);
+    tl::Conv2d conv("c", 4, 16, 3, 2, 1, rng);
+    tt::Tensor y = conv.forward(randn(tt::Shape{1, 4, 8, 8}, 2), false);
+    EXPECT_EQ(y.shape(), tt::Shape({1, 16, 4, 4}));
+}
+
+TEST(Conv2d, IdentityKernelPassesThrough)
+{
+    tbd::util::Rng rng(1);
+    tl::Conv2d conv("c", 1, 1, 1, 1, 0, rng);
+    // Set the single 1x1 weight to 1.
+    conv.params()[0]->value.fill(1.0f);
+    tt::Tensor x = randn(tt::Shape{1, 1, 4, 4}, 3);
+    tt::Tensor y = conv.forward(x, false);
+    for (std::int64_t i = 0; i < x.numel(); ++i)
+        EXPECT_NEAR(y.at(i), x.at(i), 1e-6);
+}
+
+TEST(Conv2d, KnownSumKernel)
+{
+    tbd::util::Rng rng(1);
+    tl::Conv2d conv("c", 1, 1, 2, 1, 0, rng);
+    conv.params()[0]->value.fill(1.0f); // sums each 2x2 patch
+    tt::Tensor x(tt::Shape{1, 1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+    tt::Tensor y = conv.forward(x, false);
+    ASSERT_EQ(y.numel(), 1);
+    EXPECT_FLOAT_EQ(y.at(0), 10.0f);
+}
+
+TEST(Conv2d, GradientMatchesNumeric)
+{
+    tbd::util::Rng rng(5);
+    tl::Conv2d conv("c", 2, 3, 3, 1, 1, rng);
+    checkLayerGradients(conv, randn(tt::Shape{2, 2, 5, 5}, 6, 0.5f));
+}
+
+TEST(Conv2d, GradientMatchesNumericStridedWithBias)
+{
+    tbd::util::Rng rng(7);
+    tl::Conv2d conv("c", 2, 4, 3, 2, 1, rng, /*useBias=*/true);
+    EXPECT_EQ(conv.params().size(), 2u);
+    checkLayerGradients(conv, randn(tt::Shape{2, 2, 6, 6}, 8, 0.5f));
+}
+
+TEST(Conv2d, ParamCount)
+{
+    tbd::util::Rng rng(1);
+    tl::Conv2d conv("c", 16, 32, 3, 1, 1, rng);
+    EXPECT_EQ(conv.paramCount(), 32 * 16 * 3 * 3);
+}
+
+TEST(Conv2d, RejectsWrongChannelCount)
+{
+    tbd::util::Rng rng(1);
+    tl::Conv2d conv("c", 3, 8, 3, 1, 1, rng);
+    EXPECT_THROW(conv.forward(randn(tt::Shape{1, 4, 6, 6}, 1), false),
+                 tbd::util::FatalError);
+}
+
+TEST(Conv2d, RectangularKernelOutputShape)
+{
+    // Deep-Speech-2-style time-frequency filter (scaled down).
+    tbd::util::Rng rng(11);
+    tl::Conv2d conv("c", 1, 4, tl::ConvSpec{5, 3, 2, 1, 2, 1}, rng);
+    tt::Tensor y = conv.forward(randn(tt::Shape{2, 1, 12, 8}, 12), false);
+    // outH = (12 + 4 - 5)/2 + 1 = 6; outW = (8 + 2 - 3)/1 + 1 = 8.
+    EXPECT_EQ(y.shape(), tt::Shape({2, 4, 6, 8}));
+}
+
+TEST(Conv2d, RectangularGradientMatchesNumeric)
+{
+    tbd::util::Rng rng(13);
+    tl::Conv2d conv("c", 2, 3, tl::ConvSpec{3, 1, 1, 1, 1, 0}, rng);
+    checkLayerGradients(conv, randn(tt::Shape{2, 2, 5, 4}, 14, 0.5f));
+}
+
+TEST(Conv2d, FactorizedPairMatchesInceptionPattern)
+{
+    // 1x3 followed by 3x1 keeps the spatial size (Inception-v3's
+    // factorized convolutions).
+    tbd::util::Rng rng(15);
+    tl::Conv2d a("a", 2, 2, tl::ConvSpec{1, 3, 1, 1, 0, 1}, rng);
+    tl::Conv2d b("b", 2, 2, tl::ConvSpec{3, 1, 1, 1, 1, 0}, rng);
+    tt::Tensor x = randn(tt::Shape{1, 2, 6, 6}, 16);
+    tt::Tensor y = b.forward(a.forward(x, false), false);
+    EXPECT_EQ(y.shape(), x.shape());
+}

@@ -1,0 +1,82 @@
+#include "layers/dense.h"
+
+#include <gtest/gtest.h>
+
+#include "layer_test_util.h"
+
+namespace tl = tbd::layers;
+namespace tt = tbd::tensor;
+using tbd::testutil::checkLayerGradients;
+using tbd::testutil::randn;
+
+TEST(FullyConnected, OutputShape2d)
+{
+    tbd::util::Rng rng(1);
+    tl::FullyConnected fc("fc", 8, 5, rng);
+    tt::Tensor y = fc.forward(randn(tt::Shape{3, 8}, 2), false);
+    EXPECT_EQ(y.shape(), tt::Shape({3, 5}));
+}
+
+TEST(FullyConnected, PreservesLeadingAxes)
+{
+    tbd::util::Rng rng(1);
+    tl::FullyConnected fc("fc", 8, 5, rng);
+    tt::Tensor y = fc.forward(randn(tt::Shape{2, 4, 8}, 2), false);
+    EXPECT_EQ(y.shape(), tt::Shape({2, 4, 5}));
+}
+
+TEST(FullyConnected, FlattensConvFeatures)
+{
+    tbd::util::Rng rng(1);
+    tl::FullyConnected fc("fc", 2 * 3 * 3, 4, rng);
+    tt::Tensor y = fc.forward(randn(tt::Shape{5, 2, 3, 3}, 2), false);
+    EXPECT_EQ(y.shape(), tt::Shape({5, 4}));
+}
+
+TEST(FullyConnected, GradientMatchesNumeric)
+{
+    tbd::util::Rng rng(3);
+    tl::FullyConnected fc("fc", 6, 4, rng);
+    checkLayerGradients(fc, randn(tt::Shape{3, 6}, 4));
+}
+
+TEST(FullyConnected, GradientMatchesNumericNoBias)
+{
+    tbd::util::Rng rng(5);
+    tl::FullyConnected fc("fc", 5, 3, rng, /*useBias=*/false);
+    EXPECT_EQ(fc.params().size(), 1u);
+    checkLayerGradients(fc, randn(tt::Shape{2, 5}, 6));
+}
+
+TEST(FullyConnected, ParamCount)
+{
+    tbd::util::Rng rng(1);
+    tl::FullyConnected fc("fc", 10, 7, rng);
+    EXPECT_EQ(fc.paramCount(), 10 * 7 + 7);
+}
+
+TEST(FullyConnected, GradientAccumulatesAcrossSteps)
+{
+    tbd::util::Rng rng(7);
+    tl::FullyConnected fc("fc", 3, 2, rng);
+    tt::Tensor x = randn(tt::Shape{2, 3}, 8);
+    tt::Tensor dy(tt::Shape{2, 2}, 1.0f);
+
+    fc.forward(x, true);
+    fc.backward(dy);
+    const float once = fc.params()[0]->grad.at(0);
+    fc.forward(x, true);
+    fc.backward(dy);
+    EXPECT_NEAR(fc.params()[0]->grad.at(0), 2.0f * once, 1e-5);
+
+    fc.zeroGrads();
+    EXPECT_FLOAT_EQ(fc.params()[0]->grad.at(0), 0.0f);
+}
+
+TEST(FullyConnected, RejectsIndivisibleInput)
+{
+    tbd::util::Rng rng(1);
+    tl::FullyConnected fc("fc", 7, 2, rng);
+    EXPECT_THROW(fc.forward(randn(tt::Shape{3, 5}, 1), false),
+                 tbd::util::FatalError);
+}

@@ -1,0 +1,66 @@
+#include "layers/dropout.h"
+
+#include <gtest/gtest.h>
+
+#include "layer_test_util.h"
+
+namespace tl = tbd::layers;
+namespace tt = tbd::tensor;
+using tbd::testutil::randn;
+
+TEST(Dropout, InferencePassesThrough)
+{
+    tl::Dropout drop("d", 0.5f, tbd::util::Rng(1));
+    tt::Tensor x = randn(tt::Shape{100}, 2);
+    tt::Tensor y = drop.forward(x, false);
+    for (std::int64_t i = 0; i < x.numel(); ++i)
+        EXPECT_FLOAT_EQ(y.at(i), x.at(i));
+}
+
+TEST(Dropout, TrainingDropsApproxRate)
+{
+    tl::Dropout drop("d", 0.3f, tbd::util::Rng(3));
+    tt::Tensor x(tt::Shape{20000}, 1.0f);
+    tt::Tensor y = drop.forward(x, true);
+    std::int64_t zeros = 0;
+    for (std::int64_t i = 0; i < y.numel(); ++i)
+        zeros += y.at(i) == 0.0f;
+    const double rate = static_cast<double>(zeros) / y.numel();
+    EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(Dropout, InvertedScalingPreservesExpectation)
+{
+    tl::Dropout drop("d", 0.5f, tbd::util::Rng(4));
+    tt::Tensor x(tt::Shape{50000}, 1.0f);
+    tt::Tensor y = drop.forward(x, true);
+    EXPECT_NEAR(y.sum() / y.numel(), 1.0, 0.03);
+}
+
+TEST(Dropout, BackwardUsesSameMask)
+{
+    tl::Dropout drop("d", 0.5f, tbd::util::Rng(5));
+    tt::Tensor x(tt::Shape{64}, 1.0f);
+    tt::Tensor y = drop.forward(x, true);
+    tt::Tensor dy(tt::Shape{64}, 1.0f);
+    tt::Tensor dx = drop.backward(dy);
+    for (std::int64_t i = 0; i < 64; ++i)
+        EXPECT_FLOAT_EQ(dx.at(i), y.at(i)); // mask * 1 both times
+}
+
+TEST(Dropout, ZeroRateIsIdentityInTraining)
+{
+    tl::Dropout drop("d", 0.0f, tbd::util::Rng(6));
+    tt::Tensor x = randn(tt::Shape{16}, 7);
+    tt::Tensor y = drop.forward(x, true);
+    for (std::int64_t i = 0; i < 16; ++i)
+        EXPECT_FLOAT_EQ(y.at(i), x.at(i));
+}
+
+TEST(Dropout, RejectsRateOutOfRange)
+{
+    EXPECT_THROW(tl::Dropout("d", 1.0f, tbd::util::Rng(1)),
+                 tbd::util::FatalError);
+    EXPECT_THROW(tl::Dropout("d", -0.1f, tbd::util::Rng(1)),
+                 tbd::util::FatalError);
+}

@@ -1,0 +1,51 @@
+#include "layers/embedding.h"
+
+#include <gtest/gtest.h>
+
+#include "layer_test_util.h"
+
+namespace tl = tbd::layers;
+namespace tt = tbd::tensor;
+
+TEST(Embedding, LooksUpRows)
+{
+    tbd::util::Rng rng(1);
+    tl::Embedding emb("e", 10, 4, rng);
+    tt::Tensor ids(tt::Shape{2, 3},
+                   std::vector<float>{0, 1, 2, 7, 8, 9});
+    tt::Tensor y = emb.forward(ids, false);
+    EXPECT_EQ(y.shape(), tt::Shape({2, 3, 4}));
+    // Row for token 7 equals table row 7.
+    for (std::int64_t j = 0; j < 4; ++j)
+        EXPECT_FLOAT_EQ(y.at((3 + 0) * 4 + j),
+                        emb.params()[0]->value.at2(7, j));
+}
+
+TEST(Embedding, GradientScatterAddsDuplicates)
+{
+    tbd::util::Rng rng(2);
+    tl::Embedding emb("e", 5, 2, rng);
+    tt::Tensor ids(tt::Shape{1, 3}, std::vector<float>{2, 2, 4});
+    emb.forward(ids, true);
+    tt::Tensor dy(tt::Shape{1, 3, 2}, 1.0f);
+    emb.backward(dy);
+    tl::Param *table = emb.params()[0];
+    EXPECT_FLOAT_EQ(table->grad.at2(2, 0), 2.0f); // token 2 used twice
+    EXPECT_FLOAT_EQ(table->grad.at2(4, 0), 1.0f);
+    EXPECT_FLOAT_EQ(table->grad.at2(0, 0), 0.0f);
+}
+
+TEST(Embedding, RejectsOutOfVocabIds)
+{
+    tbd::util::Rng rng(3);
+    tl::Embedding emb("e", 5, 2, rng);
+    tt::Tensor bad(tt::Shape{1}, std::vector<float>{5});
+    EXPECT_THROW(emb.forward(bad, false), tbd::util::FatalError);
+}
+
+TEST(Embedding, ParamCount)
+{
+    tbd::util::Rng rng(4);
+    tl::Embedding emb("e", 100, 16, rng);
+    EXPECT_EQ(emb.paramCount(), 1600);
+}

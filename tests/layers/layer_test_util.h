@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared gradient-checking harness for layer tests: verifies both the
+ * input gradient and every parameter gradient of a layer against
+ * central differences of a weighted-sum loss.
+ */
+
+#ifndef TBD_TESTS_LAYERS_LAYER_TEST_UTIL_H
+#define TBD_TESTS_LAYERS_LAYER_TEST_UTIL_H
+
+#include <gtest/gtest.h>
+
+#include "layers/layer.h"
+#include "tensor/gradcheck.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tbd::testutil {
+
+/** Loss = sum(weights * layer(x)); returns its value. */
+inline double
+weightedLoss(layers::Layer &layer, const tensor::Tensor &x,
+             const tensor::Tensor &weights)
+{
+    tensor::Tensor y = layer.forward(x, /*training=*/true);
+    double s = 0.0;
+    for (std::int64_t i = 0; i < y.numel(); ++i)
+        s += static_cast<double>(y.at(i)) * weights.at(i);
+    return s;
+}
+
+/**
+ * Gradient-check a layer's input gradient and all parameter gradients.
+ * @param layer  Layer under test.
+ * @param x      Input point (mutated transiently during the check).
+ * @param seed   Seed for the upstream weighting.
+ * @param tol    Relative-error tolerance.
+ * @param eps    Finite-difference step.
+ */
+inline void
+checkLayerGradients(layers::Layer &layer, tensor::Tensor x,
+                    std::uint64_t seed = 99, double tol = 2e-2,
+                    double eps = 1e-2)
+{
+    util::Rng rng(seed);
+    tensor::Tensor y0 = layer.forward(x, true);
+    tensor::Tensor w(y0.shape());
+    w.fillNormal(rng, 0.0f, 1.0f);
+
+    layer.zeroGrads();
+    layer.forward(x, true);
+    tensor::Tensor dx = layer.backward(w);
+
+    auto loss = [&]() { return weightedLoss(layer, x, w); };
+
+    auto input_res = tensor::checkGradient(x, loss, dx, eps, 48);
+    EXPECT_TRUE(input_res.ok(tol))
+        << layer.name() << " input grad rel err " << input_res.maxRelError;
+
+    for (layers::Param *p : layer.params()) {
+        auto res = tensor::checkGradient(p->value, loss, p->grad, eps, 32);
+        EXPECT_TRUE(res.ok(tol))
+            << p->name << " grad rel err " << res.maxRelError;
+    }
+}
+
+/** Random normal tensor helper. */
+inline tensor::Tensor
+randn(tensor::Shape shape, std::uint64_t seed, float stddev = 1.0f)
+{
+    util::Rng rng(seed);
+    tensor::Tensor t(std::move(shape));
+    t.fillNormal(rng, 0.0f, stddev);
+    return t;
+}
+
+} // namespace tbd::testutil
+
+#endif // TBD_TESTS_LAYERS_LAYER_TEST_UTIL_H

@@ -1,0 +1,182 @@
+#include "layers/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/gradcheck.h"
+#include "layer_test_util.h"
+
+namespace tl = tbd::layers;
+namespace tt = tbd::tensor;
+using tbd::testutil::randn;
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogC)
+{
+    tl::SoftmaxCrossEntropy ce;
+    tt::Tensor logits(tt::Shape{2, 4}); // all zeros
+    const double loss = ce.forward(logits, {0, 3});
+    EXPECT_NEAR(loss, std::log(4.0), 1e-5);
+}
+
+TEST(SoftmaxCrossEntropy, ConfidentCorrectIsLowLoss)
+{
+    tl::SoftmaxCrossEntropy ce;
+    tt::Tensor logits(tt::Shape{1, 3}, std::vector<float>{10, 0, 0});
+    EXPECT_LT(ce.forward(logits, {0}), 0.01);
+    EXPECT_DOUBLE_EQ(ce.accuracy(), 1.0);
+}
+
+TEST(SoftmaxCrossEntropy, GradientMatchesNumeric)
+{
+    tl::SoftmaxCrossEntropy ce;
+    tt::Tensor logits = randn(tt::Shape{3, 5}, 1);
+    std::vector<std::int64_t> labels = {1, 4, 0};
+    ce.forward(logits, labels);
+    tt::Tensor analytic = ce.backward();
+    auto loss = [&]() { return ce.forward(logits, labels); };
+    auto res = tt::checkGradient(logits, loss, analytic, 1e-3, 0);
+    EXPECT_TRUE(res.ok(1e-2)) << res.maxRelError;
+}
+
+TEST(SoftmaxCrossEntropy, LabelSmoothingGradientMatchesNumeric)
+{
+    tl::SoftmaxCrossEntropy ce(0.1f);
+    tt::Tensor logits = randn(tt::Shape{2, 4}, 2);
+    std::vector<std::int64_t> labels = {0, 2};
+    ce.forward(logits, labels);
+    tt::Tensor analytic = ce.backward();
+    auto loss = [&]() { return ce.forward(logits, labels); };
+    auto res = tt::checkGradient(logits, loss, analytic, 1e-3, 0);
+    EXPECT_TRUE(res.ok(1e-2)) << res.maxRelError;
+}
+
+TEST(SoftmaxCrossEntropy, RejectsBadLabel)
+{
+    tl::SoftmaxCrossEntropy ce;
+    tt::Tensor logits(tt::Shape{1, 3});
+    EXPECT_THROW(ce.forward(logits, {3}), tbd::util::FatalError);
+}
+
+TEST(MseLoss, KnownValueAndGradient)
+{
+    tl::MseLoss mse;
+    tt::Tensor pred(tt::Shape{2}, std::vector<float>{1.0f, 3.0f});
+    tt::Tensor target(tt::Shape{2}, std::vector<float>{0.0f, 0.0f});
+    EXPECT_DOUBLE_EQ(mse.forward(pred, target), 5.0);
+    tt::Tensor g = mse.backward();
+    EXPECT_FLOAT_EQ(g.at(0), 1.0f); // 2*(1-0)/2
+    EXPECT_FLOAT_EQ(g.at(1), 3.0f);
+}
+
+TEST(CtcLoss, PerfectAlignmentHasLowLoss)
+{
+    // T=3, C=3 (blank=0). Target "1 2". Make logits strongly favor the
+    // path 1,2,blank.
+    tt::Tensor logits(tt::Shape{1, 3, 3});
+    logits.at(0 * 3 + 1) = 10.0f; // t0 -> 1
+    logits.at(1 * 3 + 2) = 10.0f; // t1 -> 2
+    logits.at(2 * 3 + 0) = 10.0f; // t2 -> blank
+    tl::CtcLoss ctc;
+    const double loss = ctc.forward(logits, {{1, 2}});
+    EXPECT_LT(loss, 0.01);
+}
+
+TEST(CtcLoss, UniformLogitsLossMatchesPathCount)
+{
+    // With uniform distributions every length-T path has prob C^-T;
+    // loss = -log(#valid paths / C^T).
+    tt::Tensor logits(tt::Shape{1, 2, 2}); // T=2, C=2, target "1"
+    tl::CtcLoss ctc;
+    const double loss = ctc.forward(logits, {{1}});
+    // Valid paths for label "1" with T=2: (1,1), (0,1), (1,0) -> 3/4.
+    EXPECT_NEAR(loss, -std::log(3.0 / 4.0), 1e-6);
+}
+
+TEST(CtcLoss, GradientMatchesNumeric)
+{
+    tt::Tensor logits = randn(tt::Shape{2, 5, 4}, 3);
+    std::vector<std::vector<std::int64_t>> targets = {{1, 2}, {3, 3}};
+    tl::CtcLoss ctc;
+    ctc.forward(logits, targets);
+    tt::Tensor analytic = ctc.backward();
+    auto loss = [&]() { return ctc.forward(logits, targets); };
+    auto res = tt::checkGradient(logits, loss, analytic, 1e-3, 64);
+    EXPECT_TRUE(res.ok(1e-2)) << res.maxRelError;
+}
+
+TEST(CtcLoss, RepeatedLabelNeedsSeparatorBlank)
+{
+    // Label "1 1" with T=2 is infeasible (needs 1, blank, 1).
+    tt::Tensor logits(tt::Shape{1, 2, 2});
+    tl::CtcLoss ctc;
+    EXPECT_THROW(ctc.forward(logits, {{1, 1}}), tbd::util::FatalError);
+}
+
+TEST(CtcLoss, RejectsBlankInTarget)
+{
+    tt::Tensor logits(tt::Shape{1, 4, 3});
+    tl::CtcLoss ctc;
+    EXPECT_THROW(ctc.forward(logits, {{0}}), tbd::util::FatalError);
+}
+
+TEST(WassersteinLoss, SignedMeanAndConstantGradient)
+{
+    tl::WassersteinLoss w;
+    tt::Tensor pred(tt::Shape{4}, std::vector<float>{1, 2, 3, 4});
+    EXPECT_DOUBLE_EQ(w.forward(pred, +1.0f), 2.5);
+    tt::Tensor g = w.backward();
+    for (std::int64_t i = 0; i < 4; ++i)
+        EXPECT_FLOAT_EQ(g.at(i), 0.25f);
+    EXPECT_DOUBLE_EQ(w.forward(pred, -1.0f), -2.5);
+}
+
+TEST(PolicyValueLoss, PolicyColumnsGradientMatchesNumeric)
+{
+    // The value column intentionally carries a stop-gradient in the
+    // policy term, so only the policy logits are numerically checkable
+    // against the full loss.
+    tl::PolicyValueLoss pv(0.5f, 0.01f);
+    tt::Tensor head = randn(tt::Shape{3, 5}, 4); // 4 actions + value
+    std::vector<std::int64_t> actions = {0, 2, 3};
+    std::vector<float> returns = {1.0f, -0.5f, 2.0f};
+    pv.forward(head, actions, returns);
+    tt::Tensor analytic = pv.backward();
+
+    const double eps = 1e-3;
+    for (std::int64_t n = 0; n < 3; ++n) {
+        for (std::int64_t a = 0; a < 4; ++a) { // skip the value column
+            const float orig = head.at2(n, a);
+            head.at2(n, a) = orig + static_cast<float>(eps);
+            const double up = pv.forward(head, actions, returns);
+            head.at2(n, a) = orig - static_cast<float>(eps);
+            const double down = pv.forward(head, actions, returns);
+            head.at2(n, a) = orig;
+            const double numeric = (up - down) / (2.0 * eps);
+            EXPECT_NEAR(numeric, analytic.at2(n, a), 2e-3)
+                << "entry (" << n << ", " << a << ")";
+        }
+    }
+}
+
+TEST(PolicyValueLoss, PolicyGradientPushesTowardRewardedAction)
+{
+    tl::PolicyValueLoss pv(0.5f, 0.0f);
+    tt::Tensor head(tt::Shape{1, 3}); // 2 actions + value, all zero
+    // Return 1 with V=0 -> positive advantage for action 0.
+    pv.forward(head, {0}, {1.0f});
+    tt::Tensor g = pv.backward();
+    EXPECT_LT(g.at(0), 0.0f); // gradient descent raises logit of action 0
+    EXPECT_GT(g.at(1), 0.0f);
+    EXPECT_LT(g.at(2), 0.0f); // value head pulled toward the return
+}
+
+TEST(PolicyValueLoss, ValueHeadGradientIsExact)
+{
+    tl::PolicyValueLoss pv(0.5f, 0.0f);
+    tt::Tensor head(tt::Shape{1, 3});
+    head.at(2) = 0.5f; // V = 0.5, R = 2 -> adv = 1.5
+    pv.forward(head, {0}, {2.0f});
+    tt::Tensor g = pv.backward();
+    EXPECT_NEAR(g.at(2), -0.5f * 1.5f, 1e-6);
+}

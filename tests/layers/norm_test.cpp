@@ -1,0 +1,94 @@
+#include "layers/norm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "layer_test_util.h"
+
+namespace tl = tbd::layers;
+namespace tt = tbd::tensor;
+using tbd::testutil::checkLayerGradients;
+using tbd::testutil::randn;
+
+TEST(BatchNorm2d, NormalizesPerChannelInTraining)
+{
+    tl::BatchNorm2d bn("bn", 3);
+    tt::Tensor x = randn(tt::Shape{4, 3, 5, 5}, 1, 3.0f);
+    tt::Tensor y = bn.forward(x, true);
+    // Each channel of the output should be ~N(0, 1) (gamma=1, beta=0).
+    const auto plane = 5 * 5;
+    for (std::int64_t c = 0; c < 3; ++c) {
+        double sum = 0.0, sq = 0.0;
+        for (std::int64_t n = 0; n < 4; ++n) {
+            for (std::int64_t i = 0; i < plane; ++i) {
+                const float v = y.at((n * 3 + c) * plane + i);
+                sum += v;
+                sq += static_cast<double>(v) * v;
+            }
+        }
+        const double count = 4.0 * plane;
+        EXPECT_NEAR(sum / count, 0.0, 1e-4);
+        EXPECT_NEAR(sq / count, 1.0, 1e-2);
+    }
+}
+
+TEST(BatchNorm2d, InferenceUsesRunningStats)
+{
+    tl::BatchNorm2d bn("bn", 2, /*momentum=*/0.0f);
+    tt::Tensor x = randn(tt::Shape{8, 2, 4, 4}, 2, 2.0f);
+    bn.forward(x, true); // momentum 0: running stats = batch stats
+    tt::Tensor y_train = bn.forward(x, true);
+    tt::Tensor y_eval = bn.forward(x, false);
+    for (std::int64_t i = 0; i < y_train.numel(); ++i)
+        EXPECT_NEAR(y_eval.at(i), y_train.at(i), 5e-3);
+}
+
+TEST(BatchNorm2d, GradientMatchesNumeric)
+{
+    tl::BatchNorm2d bn("bn", 2);
+    checkLayerGradients(bn, randn(tt::Shape{3, 2, 3, 3}, 3), 99, 3e-2);
+}
+
+TEST(BatchNorm2d, GammaBetaAreParams)
+{
+    tl::BatchNorm2d bn("bn", 7);
+    EXPECT_EQ(bn.params().size(), 2u);
+    EXPECT_EQ(bn.paramCount(), 14);
+}
+
+TEST(BatchNorm2d, RejectsWrongChannels)
+{
+    tl::BatchNorm2d bn("bn", 3);
+    EXPECT_THROW(bn.forward(randn(tt::Shape{1, 4, 2, 2}, 1), true),
+                 tbd::util::FatalError);
+}
+
+TEST(LayerNorm, NormalizesRows)
+{
+    tl::LayerNorm ln("ln", 16);
+    tt::Tensor x = randn(tt::Shape{4, 16}, 5, 4.0f);
+    tt::Tensor y = ln.forward(x, false);
+    for (std::int64_t r = 0; r < 4; ++r) {
+        double sum = 0.0, sq = 0.0;
+        for (std::int64_t j = 0; j < 16; ++j) {
+            sum += y.at2(r, j);
+            sq += static_cast<double>(y.at2(r, j)) * y.at2(r, j);
+        }
+        EXPECT_NEAR(sum / 16.0, 0.0, 1e-4);
+        EXPECT_NEAR(sq / 16.0, 1.0, 2e-2);
+    }
+}
+
+TEST(LayerNorm, GradientMatchesNumeric)
+{
+    tl::LayerNorm ln("ln", 6);
+    checkLayerGradients(ln, randn(tt::Shape{3, 4, 6}, 6), 100, 3e-2);
+}
+
+TEST(LayerNorm, WorksOnRank3TransformerShapes)
+{
+    tl::LayerNorm ln("ln", 8);
+    tt::Tensor y = ln.forward(randn(tt::Shape{2, 5, 8}, 7), false);
+    EXPECT_EQ(y.shape(), tt::Shape({2, 5, 8}));
+}

@@ -1,0 +1,65 @@
+#include "layers/pool.h"
+
+#include <gtest/gtest.h>
+
+#include "layer_test_util.h"
+
+namespace tl = tbd::layers;
+namespace tt = tbd::tensor;
+using tbd::testutil::checkLayerGradients;
+using tbd::testutil::randn;
+
+TEST(MaxPool2d, OutputShape)
+{
+    tl::MaxPool2d pool("p", 3, 2, 1);
+    tt::Tensor y = pool.forward(randn(tt::Shape{2, 4, 8, 8}, 1), false);
+    EXPECT_EQ(y.shape(), tt::Shape({2, 4, 4, 4}));
+}
+
+TEST(MaxPool2d, GradientMatchesNumeric)
+{
+    tl::MaxPool2d pool("p", 2, 2);
+    // Distinct values so the argmax is stable under perturbation.
+    tt::Tensor x(tt::Shape{1, 2, 4, 4});
+    for (std::int64_t i = 0; i < x.numel(); ++i)
+        x.at(i) = static_cast<float>(i % 7) + 0.1f * static_cast<float>(i);
+    checkLayerGradients(pool, x, 3, 2e-2, 1e-3);
+}
+
+TEST(AvgPool2d, GradientMatchesNumeric)
+{
+    tl::AvgPool2d pool("p", 2, 2);
+    checkLayerGradients(pool, randn(tt::Shape{2, 2, 4, 4}, 4));
+}
+
+TEST(GlobalAvgPool, ReducesToChannels)
+{
+    tl::GlobalAvgPool pool("gap");
+    tt::Tensor x(tt::Shape{2, 3, 4, 4}, 2.0f);
+    tt::Tensor y = pool.forward(x, false);
+    EXPECT_EQ(y.shape(), tt::Shape({2, 3}));
+    EXPECT_FLOAT_EQ(y.at(0), 2.0f);
+}
+
+TEST(GlobalAvgPool, GradientMatchesNumeric)
+{
+    tl::GlobalAvgPool pool("gap");
+    checkLayerGradients(pool, randn(tt::Shape{2, 3, 3, 3}, 5));
+}
+
+TEST(Flatten, RoundTripsShape)
+{
+    tl::Flatten fl("fl");
+    tt::Tensor x = randn(tt::Shape{2, 3, 4, 5}, 6);
+    tt::Tensor y = fl.forward(x, true);
+    EXPECT_EQ(y.shape(), tt::Shape({2, 60}));
+    tt::Tensor dx = fl.backward(y);
+    EXPECT_EQ(dx.shape(), x.shape());
+}
+
+TEST(Pooling, BackwardBeforeForwardThrows)
+{
+    tl::MaxPool2d pool("p", 2, 2);
+    EXPECT_THROW(pool.backward(tt::Tensor(tt::Shape{1, 1, 1, 1})),
+                 tbd::util::FatalError);
+}

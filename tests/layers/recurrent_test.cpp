@@ -1,0 +1,109 @@
+#include "layers/recurrent.h"
+
+#include <gtest/gtest.h>
+
+#include "layer_test_util.h"
+
+namespace tl = tbd::layers;
+namespace tt = tbd::tensor;
+using tbd::testutil::checkLayerGradients;
+using tbd::testutil::randn;
+
+class RecurrentGradTest : public ::testing::TestWithParam<tl::CellKind>
+{
+};
+
+TEST_P(RecurrentGradTest, SequenceGradientMatchesNumeric)
+{
+    tbd::util::Rng rng(1);
+    tl::Recurrent rnn("rnn", GetParam(), 3, 4, rng, true);
+    checkLayerGradients(rnn, randn(tt::Shape{2, 5, 3}, 2, 0.5f), 50, 3e-2);
+}
+
+TEST_P(RecurrentGradTest, LastStateGradientMatchesNumeric)
+{
+    tbd::util::Rng rng(3);
+    tl::Recurrent rnn("rnn", GetParam(), 3, 4, rng, false);
+    checkLayerGradients(rnn, randn(tt::Shape{2, 4, 3}, 4, 0.5f), 51, 3e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCells, RecurrentGradTest,
+                         ::testing::Values(tl::CellKind::Vanilla,
+                                           tl::CellKind::Gru,
+                                           tl::CellKind::Lstm),
+                         [](const auto &info) {
+                             return tl::cellKindName(info.param);
+                         });
+
+TEST(Recurrent, OutputShapes)
+{
+    tbd::util::Rng rng(1);
+    tl::Recurrent seq("a", tl::CellKind::Lstm, 6, 8, rng, true);
+    tl::Recurrent last("b", tl::CellKind::Lstm, 6, 8, rng, false);
+    tt::Tensor x = randn(tt::Shape{3, 7, 6}, 2);
+    EXPECT_EQ(seq.forward(x, false).shape(), tt::Shape({3, 7, 8}));
+    EXPECT_EQ(last.forward(x, false).shape(), tt::Shape({3, 8}));
+}
+
+TEST(Recurrent, ParamCounts)
+{
+    tbd::util::Rng rng(1);
+    tl::Recurrent lstm("l", tl::CellKind::Lstm, 10, 20, rng);
+    // wx: 10*80, wh: 20*80, bx: 80, bh: 80.
+    EXPECT_EQ(lstm.paramCount(), 10 * 80 + 20 * 80 + 160);
+    tl::Recurrent gru("g", tl::CellKind::Gru, 10, 20, rng);
+    EXPECT_EQ(gru.paramCount(), 10 * 60 + 20 * 60 + 120);
+    tl::Recurrent rnn("r", tl::CellKind::Vanilla, 10, 20, rng);
+    EXPECT_EQ(rnn.paramCount(), 10 * 20 + 20 * 20 + 40);
+}
+
+TEST(Recurrent, LstmStateCarriesInformationAcrossTime)
+{
+    // An LSTM must distinguish sequences that differ only in early
+    // steps; a memoryless map cannot.
+    tbd::util::Rng rng(5);
+    tl::Recurrent lstm("l", tl::CellKind::Lstm, 2, 4, rng, false);
+    tt::Tensor a(tt::Shape{1, 3, 2}, 0.0f);
+    tt::Tensor b(tt::Shape{1, 3, 2}, 0.0f);
+    b.at(0) = 5.0f; // differs only at t=0
+    tt::Tensor ya = lstm.forward(a, false);
+    tt::Tensor yb = lstm.forward(b, false);
+    double diff = 0.0;
+    for (std::int64_t i = 0; i < ya.numel(); ++i)
+        diff += std::abs(ya.at(i) - yb.at(i));
+    EXPECT_GT(diff, 1e-4);
+}
+
+TEST(Recurrent, RejectsWrongInputWidth)
+{
+    tbd::util::Rng rng(1);
+    tl::Recurrent rnn("r", tl::CellKind::Gru, 3, 4, rng);
+    EXPECT_THROW(rnn.forward(randn(tt::Shape{2, 5, 4}, 1), false),
+                 tbd::util::FatalError);
+}
+
+TEST(Bidirectional, OutputShapeAndGradient)
+{
+    tbd::util::Rng rng(1);
+    tl::Bidirectional bi("bi", tl::CellKind::Gru, 3, 4, rng);
+    tt::Tensor x = randn(tt::Shape{2, 4, 3}, 2, 0.5f);
+    EXPECT_EQ(bi.forward(x, false).shape(), tt::Shape({2, 4, 4}));
+    checkLayerGradients(bi, x, 52, 3e-2);
+}
+
+TEST(Bidirectional, SeesFutureContext)
+{
+    // The backward direction must react to late-step changes at t=0.
+    tbd::util::Rng rng(9);
+    tl::Bidirectional bi("bi", tl::CellKind::Vanilla, 1, 2, rng);
+    tt::Tensor a(tt::Shape{1, 4, 1}, 0.0f);
+    tt::Tensor b = a.clone();
+    b.at(3) = 3.0f; // change the last step
+    tt::Tensor ya = bi.forward(a, false);
+    tt::Tensor yb = bi.forward(b, false);
+    // Output at t=0 must differ (only the reverse pass can carry it).
+    double diff = 0.0;
+    for (std::int64_t j = 0; j < 2; ++j)
+        diff += std::abs(ya.at(j) - yb.at(j));
+    EXPECT_GT(diff, 1e-5);
+}

@@ -1,0 +1,134 @@
+#include "memprof/memory_profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace mp = tbd::memprof;
+
+TEST(MemoryProfiler, TracksLiveBytesPerCategory)
+{
+    mp::MemoryProfiler prof;
+    prof.allocate(mp::MemCategory::Weights, 100);
+    prof.allocate(mp::MemCategory::FeatureMaps, 300);
+    EXPECT_EQ(prof.liveBytes(mp::MemCategory::Weights), 100u);
+    EXPECT_EQ(prof.liveBytes(mp::MemCategory::FeatureMaps), 300u);
+    EXPECT_EQ(prof.totalLiveBytes(), 400u);
+    EXPECT_EQ(prof.liveCount(), 2u);
+}
+
+TEST(MemoryProfiler, ReleaseReturnsBytes)
+{
+    mp::MemoryProfiler prof;
+    auto id = prof.allocate(mp::MemCategory::Workspace, 64);
+    prof.release(id);
+    EXPECT_EQ(prof.totalLiveBytes(), 0u);
+    EXPECT_EQ(prof.liveCount(), 0u);
+}
+
+TEST(MemoryProfiler, DoubleFreeIsFatal)
+{
+    mp::MemoryProfiler prof;
+    auto id = prof.allocate(mp::MemCategory::Dynamic, 8);
+    prof.release(id);
+    EXPECT_THROW(prof.release(id), tbd::util::FatalError);
+}
+
+TEST(MemoryProfiler, PeaksAreMaxEverAllocated)
+{
+    // The paper: "we measure the memory consumption by the maximal
+    // amount of memory ever allocated for each type".
+    mp::MemoryProfiler prof;
+    auto a = prof.allocate(mp::MemCategory::FeatureMaps, 500);
+    prof.release(a);
+    prof.allocate(mp::MemCategory::FeatureMaps, 200);
+    auto b = prof.breakdown();
+    EXPECT_EQ(b.of(mp::MemCategory::FeatureMaps), 500u);
+}
+
+TEST(MemoryProfiler, PeakTotalTracksHighWater)
+{
+    mp::MemoryProfiler prof;
+    auto a = prof.allocate(mp::MemCategory::Weights, 400);
+    auto b = prof.allocate(mp::MemCategory::FeatureMaps, 600);
+    prof.release(a);
+    prof.release(b);
+    prof.allocate(mp::MemCategory::Workspace, 100);
+    EXPECT_EQ(prof.peakTotalBytes(), 1000u);
+}
+
+TEST(MemoryProfiler, OomWhenExceedingCapacity)
+{
+    mp::MemoryProfiler prof(1000);
+    prof.allocate(mp::MemCategory::Weights, 900);
+    EXPECT_THROW(prof.allocate(mp::MemCategory::FeatureMaps, 200),
+                 tbd::util::FatalError);
+    // Live state unchanged after the failed allocation.
+    EXPECT_EQ(prof.totalLiveBytes(), 900u);
+}
+
+TEST(MemoryProfiler, ZeroCapacityDisablesOom)
+{
+    mp::MemoryProfiler prof(0);
+    EXPECT_NO_THROW(
+        prof.allocate(mp::MemCategory::FeatureMaps, 1ull << 40));
+}
+
+TEST(MemoryBreakdown, TotalAndFractions)
+{
+    mp::MemoryProfiler prof;
+    prof.allocate(mp::MemCategory::Weights, 100);
+    prof.allocate(mp::MemCategory::FeatureMaps, 900);
+    auto b = prof.breakdown();
+    EXPECT_EQ(b.total(), 1000u);
+    EXPECT_DOUBLE_EQ(b.fraction(mp::MemCategory::FeatureMaps), 0.9);
+    EXPECT_DOUBLE_EQ(b.fraction(mp::MemCategory::Dynamic), 0.0);
+}
+
+TEST(MemoryBreakdown, CategoryNamesMatchPaperLegend)
+{
+    EXPECT_STREQ(mp::memCategoryName(mp::MemCategory::Weights), "weights");
+    EXPECT_STREQ(mp::memCategoryName(mp::MemCategory::WeightGradients),
+                 "weight gradients");
+    EXPECT_STREQ(mp::memCategoryName(mp::MemCategory::FeatureMaps),
+                 "feature maps");
+    EXPECT_STREQ(mp::memCategoryName(mp::MemCategory::Workspace),
+                 "workspace");
+    EXPECT_STREQ(mp::memCategoryName(mp::MemCategory::Dynamic), "dynamic");
+}
+
+TEST(MemoryProfiler, HistoryDisabledByDefault)
+{
+    mp::MemoryProfiler prof;
+    prof.allocate(mp::MemCategory::Weights, 10);
+    EXPECT_TRUE(prof.history().empty());
+}
+
+TEST(MemoryProfiler, HistoryRecordsEveryEvent)
+{
+    mp::MemoryProfiler prof(0, /*recordHistory=*/true);
+    auto a = prof.allocate(mp::MemCategory::Weights, 100);
+    prof.allocate(mp::MemCategory::FeatureMaps, 50);
+    prof.release(a);
+    const auto &h = prof.history();
+    ASSERT_EQ(h.size(), 3u);
+    EXPECT_EQ(h[0].totalLive, 100u);
+    EXPECT_EQ(h[1].totalLive, 150u);
+    EXPECT_EQ(h[2].totalLive, 50u);
+    EXPECT_EQ(h[1].liveByCategory[static_cast<std::size_t>(
+                  mp::MemCategory::FeatureMaps)],
+              50u);
+    EXPECT_LT(h[0].sequence, h[1].sequence);
+}
+
+TEST(MemoryProfiler, HistoryPeakMatchesPeakTotal)
+{
+    mp::MemoryProfiler prof(0, true);
+    auto a = prof.allocate(mp::MemCategory::FeatureMaps, 400);
+    prof.allocate(mp::MemCategory::Weights, 100);
+    prof.release(a);
+    std::uint64_t peak = 0;
+    for (const auto &e : prof.history())
+        peak = std::max(peak, e.totalLive);
+    EXPECT_EQ(peak, prof.peakTotalBytes());
+}

@@ -1,0 +1,82 @@
+#include "models/cnn_workloads.h"
+
+#include <gtest/gtest.h>
+
+namespace md = tbd::models;
+
+TEST(ResNet50, ParameterCountMatchesLiterature)
+{
+    // ResNet-50 has ~25.5M parameters.
+    auto w = md::resnet50Workload(1);
+    EXPECT_NEAR(static_cast<double>(w.totalParams()), 25.5e6, 1.5e6);
+}
+
+TEST(ResNet50, ForwardFlopsMatchLiterature)
+{
+    // ~4.1 GMACs per 224x224 image = ~8.2 GFLOPs in the 2-FLOPs-per-MAC
+    // convention this library uses throughout.
+    auto w = md::resnet50Workload(1);
+    EXPECT_NEAR(w.totalFwdFlops(), 8.2e9, 0.8e9);
+}
+
+TEST(ResNet50, FlopsScaleLinearlyWithBatch)
+{
+    auto w1 = md::resnet50Workload(1);
+    auto w32 = md::resnet50Workload(32);
+    EXPECT_NEAR(w32.totalFwdFlops() / w1.totalFwdFlops(), 32.0, 0.5);
+    EXPECT_EQ(w32.totalParams(), w1.totalParams());
+}
+
+TEST(ResNet50, ActivationFootprintMatchesLiterature)
+{
+    // Stored activations: tens of millions of elements per image.
+    auto w = md::resnet50Workload(1);
+    EXPECT_GT(w.totalActivations(), 25e6);
+    EXPECT_LT(w.totalActivations(), 80e6);
+}
+
+TEST(ResNet50, HasFiftyThreeConvLayers)
+{
+    auto w = md::resnet50Workload(1);
+    int convs = 0, bns = 0;
+    for (const auto &op : w.ops) {
+        convs += op.type == md::OpType::Conv2d;
+        bns += op.type == md::OpType::BatchNorm;
+    }
+    // 1 stem + 16 blocks * 3 + 4 projections = 53 convolutions.
+    EXPECT_EQ(convs, 53);
+    EXPECT_EQ(bns, convs); // every conv is batch-normalized
+}
+
+TEST(ResNet101Stack, DeeperThanResNet50Stack)
+{
+    auto r101 = md::resnet101ConvStack(1, 600, 850);
+    int convs = 0;
+    for (const auto &op : r101.ops)
+        convs += op.type == md::OpType::Conv2d;
+    // 1 + (3+4+23)*3 + 3 projections = 94 convs through conv4.
+    EXPECT_EQ(convs, 94);
+}
+
+TEST(InceptionV3, ParameterCountMatchesLiterature)
+{
+    // Inception-v3 has ~23.8M parameters (we model ~the same within
+    // the tolerance of the simplified auxiliary-free architecture).
+    auto w = md::inceptionV3Workload(1);
+    EXPECT_NEAR(static_cast<double>(w.totalParams()), 23.8e6, 3.0e6);
+}
+
+TEST(InceptionV3, ForwardFlopsMatchLiterature)
+{
+    // ~5.7 GMACs per 299x299 image = ~11.4 GFLOPs (2 FLOPs per MAC).
+    auto w = md::inceptionV3Workload(1);
+    EXPECT_NEAR(w.totalFwdFlops(), 11.4e9, 2.0e9);
+}
+
+TEST(InceptionV3, MoreFlopsPerImageThanResNet50)
+{
+    // This ordering is why Inception-v3 throughput < ResNet-50
+    // throughput at equal batch in Fig. 4.
+    EXPECT_GT(md::inceptionV3Workload(8).totalFwdFlops(),
+              md::resnet50Workload(8).totalFwdFlops());
+}

@@ -1,0 +1,84 @@
+#include "models/misc_workloads.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace md = tbd::models;
+
+TEST(FasterRcnn, OnlyBatchOneSupported)
+{
+    EXPECT_NO_THROW(md::fasterRcnnWorkload(1));
+    EXPECT_THROW(md::fasterRcnnWorkload(2), tbd::util::FatalError);
+}
+
+TEST(FasterRcnn, ContainsRpnRoiAndHeads)
+{
+    auto w = md::fasterRcnnWorkload(1);
+    bool has_rpn = false, has_roi = false, has_cls = false;
+    for (const auto &op : w.ops) {
+        has_rpn |= op.name == "rpn_conv";
+        has_roi |= op.type == md::OpType::RoiPool;
+        has_cls |= op.name == "cls_score";
+    }
+    EXPECT_TRUE(has_rpn);
+    EXPECT_TRUE(has_roi);
+    EXPECT_TRUE(has_cls);
+}
+
+TEST(FasterRcnn, HeavierThanClassificationPerImage)
+{
+    // A 600x850 detection image costs far more than a 224x224 crop.
+    auto w = md::fasterRcnnWorkload(1);
+    EXPECT_GT(w.totalFwdFlops(), 5e10);
+}
+
+TEST(Wgan, CriticStepHasRealFakeAndGradientPenaltyPasses)
+{
+    auto w = md::wganWorkload(16);
+    int critic_stems = 0, gen_fcs = 0, gp_passes = 0;
+    for (const auto &op : w.ops) {
+        if (op.name.find("stem") != std::string::npos &&
+            op.name.find("critic_step") != std::string::npos) {
+            ++critic_stems;
+        }
+        if (op.name.find("gen_fc") != std::string::npos)
+            ++gen_fcs;
+        if (op.name.find("_gp_") != std::string::npos &&
+            op.name.find("stem") != std::string::npos) {
+            ++gp_passes;
+        }
+    }
+    // One critic step: real + fake + gradient-penalty critic passes.
+    EXPECT_EQ(critic_stems, 3);
+    EXPECT_EQ(gp_passes, 1);
+    // The generator runs forward once to synthesize the fakes.
+    EXPECT_EQ(gen_fcs, 1);
+}
+
+TEST(Wgan, WorkScalesWithBatch)
+{
+    auto w8 = md::wganWorkload(8);
+    auto w32 = md::wganWorkload(32);
+    EXPECT_NEAR(w32.totalFwdFlops() / w8.totalFwdFlops(), 4.0, 0.3);
+}
+
+TEST(A3c, FourLayerNetworkIsTiny)
+{
+    auto w = md::a3cWorkload(32);
+    // ~1.3M params (fc dominates), far smaller than the CNN models.
+    EXPECT_LT(w.totalParams(), 3e6);
+    int convs = 0, gemms = 0;
+    for (const auto &op : w.ops) {
+        convs += op.type == md::OpType::Conv2d;
+        gemms += op.type == md::OpType::Gemm;
+    }
+    EXPECT_EQ(convs, 2);
+    EXPECT_EQ(gemms, 3); // fc + policy + value
+}
+
+TEST(A3c, PerSampleComputeIsSmall)
+{
+    auto w = md::a3cWorkload(1);
+    EXPECT_LT(w.totalFwdFlops(), 1e8); // tens of MFLOPs per state
+}

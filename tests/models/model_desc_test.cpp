@@ -1,0 +1,87 @@
+#include "models/model_desc.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace md = tbd::models;
+namespace tf = tbd::frameworks;
+
+TEST(ModelRegistry, EightModelsLikeTable2)
+{
+    // Table 2 rows: ResNet-50, Inception-v3, Seq2Seq (NMT + Sockeye
+    // implementations), Transformer, Faster R-CNN, Deep Speech 2,
+    // WGAN, A3C. We register NMT and Sockeye separately => 9 entries
+    // covering 8 models.
+    EXPECT_EQ(md::allModels().size(), 9u);
+}
+
+TEST(ModelRegistry, LookupByName)
+{
+    EXPECT_EQ(md::modelByName("ResNet-50").layerCount, 50);
+    EXPECT_THROW(md::modelByName("AlexNet"), tbd::util::FatalError);
+}
+
+TEST(ModelRegistry, FrameworkAvailabilityMatchesTable2)
+{
+    EXPECT_TRUE(md::resnet50().supports(tf::FrameworkId::CNTK));
+    EXPECT_TRUE(md::inceptionV3().supports(tf::FrameworkId::TensorFlow));
+    EXPECT_FALSE(md::seq2seqNmt().supports(tf::FrameworkId::MXNet));
+    EXPECT_FALSE(md::sockeye().supports(tf::FrameworkId::TensorFlow));
+    EXPECT_FALSE(md::transformer().supports(tf::FrameworkId::CNTK));
+    EXPECT_TRUE(md::fasterRcnn().supports(tf::FrameworkId::MXNet));
+    EXPECT_FALSE(md::deepSpeech2().supports(tf::FrameworkId::CNTK));
+    EXPECT_TRUE(md::wgan().supports(tf::FrameworkId::TensorFlow));
+    EXPECT_TRUE(md::a3c().supports(tf::FrameworkId::MXNet));
+}
+
+TEST(ModelRegistry, ApplicationDomainsCoverTable2)
+{
+    std::set<std::string> domains;
+    for (const auto *m : md::allModels())
+        domains.insert(m->application);
+    EXPECT_EQ(domains.size(), 6u); // six application domains
+}
+
+TEST(ModelRegistry, DatasetsAttached)
+{
+    for (const auto *m : md::allModels()) {
+        ASSERT_NE(m->dataset, nullptr) << m->name;
+        EXPECT_FALSE(m->batchSweep.empty()) << m->name;
+        ASSERT_TRUE(static_cast<bool>(m->describe)) << m->name;
+    }
+}
+
+TEST(ModelRegistry, DeepSpeechMeasuresAudioSeconds)
+{
+    const auto &ds2 = md::deepSpeech2();
+    EXPECT_EQ(ds2.throughputUnit, "audio seconds/s");
+    EXPECT_NEAR(ds2.unitsPerSample, 12.6, 1e-9);
+}
+
+TEST(ModelRegistry, FasterRcnnHasHostProposalWork)
+{
+    const auto &frcnn = md::fasterRcnn();
+    const auto tf_us = frcnn.perFrameworkHostUsPerIter.at(
+        tf::FrameworkId::TensorFlow);
+    const auto mx_us =
+        frcnn.perFrameworkHostUsPerIter.at(tf::FrameworkId::MXNet);
+    EXPECT_GT(tf_us, mx_us); // Fig. 7: TF 13.25% vs MXNet 3.64%
+    EXPECT_EQ(frcnn.batchSweep, std::vector<std::int64_t>{1});
+}
+
+TEST(ModelRegistry, A3cDoesEnvironmentWorkOnCpu)
+{
+    EXPECT_GT(md::a3c().cpuWorkUsPerSample, 0.0);
+    EXPECT_GT(md::a3c().cpuWorkerThreads, 0);
+}
+
+TEST(ModelRegistry, WorkloadsGenerateAtSweepBatches)
+{
+    for (const auto *m : md::allModels()) {
+        const auto b = m->batchSweep.front();
+        auto w = m->describe(b);
+        EXPECT_FALSE(w.ops.empty()) << m->name;
+        EXPECT_GT(w.totalFwdFlops(), 0.0) << m->name;
+    }
+}

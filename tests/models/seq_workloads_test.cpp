@@ -1,0 +1,109 @@
+#include "models/seq_workloads.h"
+
+#include <gtest/gtest.h>
+
+namespace md = tbd::models;
+
+namespace {
+
+double
+rnnFlopsShare(const md::Workload &w)
+{
+    double rnn = 0.0;
+    for (const auto &op : w.ops)
+        if (op.type == md::OpType::Rnn)
+            rnn += op.fwdFlops;
+    return rnn / w.totalFwdFlops();
+}
+
+} // namespace
+
+TEST(Seq2Seq, DominatedByLstmAndVocabProjection)
+{
+    auto w = md::seq2seqWorkload(64);
+    double rnn = 0.0, gemm = 0.0;
+    for (const auto &op : w.ops) {
+        if (op.type == md::OpType::Rnn)
+            rnn += op.fwdFlops;
+        if (op.type == md::OpType::Gemm)
+            gemm += op.fwdFlops;
+    }
+    EXPECT_GT((rnn + gemm) / w.totalFwdFlops(), 0.8);
+    EXPECT_GT(rnn, 0.0);
+}
+
+TEST(Seq2Seq, EmbeddingParamsDominateParameterCount)
+{
+    // Two 17188x512 embeddings plus the 512x17188 projection.
+    auto w = md::seq2seqWorkload(1);
+    EXPECT_GT(w.totalParams(), 3 * 17188 * 512);
+}
+
+TEST(Seq2Seq, FourLstmLayersWithSequentialSteps)
+{
+    auto w = md::seq2seqWorkload(32);
+    int lstms = 0;
+    for (const auto &op : w.ops) {
+        if (op.type == md::OpType::Rnn) {
+            ++lstms;
+            EXPECT_EQ(op.timeSteps, 25); // bucketed IWSLT length
+        }
+    }
+    EXPECT_EQ(lstms, 4); // 2 encoder + 2 decoder
+}
+
+TEST(Transformer, NoRecurrentOps)
+{
+    // Observation 5's counterpoint: the Transformer replaces recurrence
+    // with attention, so nothing in it serializes across time steps.
+    auto w = md::transformerWorkload(2048);
+    for (const auto &op : w.ops) {
+        EXPECT_NE(op.type, md::OpType::Rnn) << op.name;
+        EXPECT_EQ(op.timeSteps, 1) << op.name;
+    }
+}
+
+TEST(Transformer, EighteenAttentionBlocks)
+{
+    auto w = md::transformerWorkload(1024);
+    int attn = 0;
+    for (const auto &op : w.ops)
+        attn += op.type == md::OpType::Attention;
+    EXPECT_EQ(attn, 6 + 2 * 6); // enc self + dec self + dec cross
+}
+
+TEST(Transformer, TokenBatchControlsWork)
+{
+    auto small = md::transformerWorkload(256);
+    auto large = md::transformerWorkload(4096);
+    EXPECT_NEAR(large.totalFwdFlops() / small.totalFwdFlops(), 16.0, 1.0);
+}
+
+TEST(DeepSpeech2, TwoConvsAndFiveBidirectionalGrus)
+{
+    auto w = md::deepSpeech2Workload(2);
+    int convs = 0, rnns = 0;
+    for (const auto &op : w.ops) {
+        convs += op.type == md::OpType::Conv2d;
+        if (op.type == md::OpType::Rnn) {
+            ++rnns;
+            EXPECT_GT(op.timeSteps, 1000); // bidirectional, ~630 frames
+        }
+    }
+    EXPECT_EQ(convs, 2);
+    EXPECT_EQ(rnns, 5);
+}
+
+TEST(DeepSpeech2, RnnDominatesCompute)
+{
+    // The premise of Observations 2 and 7.
+    EXPECT_GT(rnnFlopsShare(md::deepSpeech2Workload(4)), 0.6);
+}
+
+TEST(DeepSpeech2, WorkScalesWithAudioDuration)
+{
+    auto shortUtt = md::deepSpeech2Workload(1, 6.0);
+    auto longUtt = md::deepSpeech2Workload(1, 12.0);
+    EXPECT_NEAR(longUtt.totalFwdFlops() / shortUtt.totalFwdFlops(), 2.0,
+                0.2);
+}

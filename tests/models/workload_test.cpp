@@ -1,0 +1,88 @@
+#include "models/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace md = tbd::models;
+
+TEST(Workload, ConvOpFlopsFormula)
+{
+    // 2 * N * outC * outH * outW * inC * k * k.
+    auto op = md::convOp("c", 2, 3, 8, 16, 3, 1, 1);
+    EXPECT_DOUBLE_EQ(op.fwdFlops, 2.0 * 2 * 16 * 8 * 8 * 3 * 3 * 3);
+    EXPECT_EQ(op.params, 16 * 3 * 3 * 3);
+    EXPECT_EQ(op.outputElems, 2 * 16 * 8 * 8);
+}
+
+TEST(Workload, ConvOpStrideShrinksOutput)
+{
+    auto op = md::convOp("c", 1, 4, 224, 8, 7, 2, 3);
+    EXPECT_EQ(op.outputElems, 8 * 112 * 112);
+}
+
+TEST(Workload, RectangularConvOp)
+{
+    auto op = md::convOp("c", 1, 1, 10, 20, 2, 3, 5, 1, 1, 1, 2);
+    // outH = (10+2-3)/1+1 = 10, outW = (20+4-5)/1+1 = 20.
+    EXPECT_EQ(op.outputElems, 2 * 10 * 20);
+}
+
+TEST(Workload, GemmOpCounts)
+{
+    auto op = md::gemmOp("g", 32, 100, 10);
+    EXPECT_DOUBLE_EQ(op.fwdFlops, 2.0 * 32 * 100 * 10);
+    EXPECT_EQ(op.params, 100 * 10 + 10);
+}
+
+TEST(Workload, RnnOpLstmGateStructure)
+{
+    auto op = md::rnnOp("r", md::RnnKind::Lstm, 4, 10, 8, 16);
+    EXPECT_EQ(op.timeSteps, 10);
+    EXPECT_EQ(op.stepWidth, 4 * 4 * 16);
+    // params: 4*16*(8+16) weight + 2*4*16 bias.
+    EXPECT_EQ(op.params, 4 * 16 * (8 + 16) + 2 * 4 * 16);
+    EXPECT_GT(op.fwdFlops, 0.0);
+}
+
+TEST(Workload, BidirectionalDoublesWork)
+{
+    auto uni = md::rnnOp("u", md::RnnKind::Gru, 2, 5, 8, 8, 1);
+    auto bi = md::rnnOp("b", md::RnnKind::Gru, 2, 5, 8, 8, 2);
+    EXPECT_DOUBLE_EQ(bi.fwdFlops, 2.0 * uni.fwdFlops);
+    EXPECT_EQ(bi.timeSteps, 2 * uni.timeSteps);
+    EXPECT_EQ(bi.params, 2 * uni.params);
+}
+
+TEST(Workload, AttentionQuadraticInSteps)
+{
+    auto shortSeq = md::attentionOp("a", 1, 16, 64, 4);
+    auto longSeq = md::attentionOp("a", 1, 32, 64, 4);
+    // Score term grows 4x, projection term 2x.
+    EXPECT_GT(longSeq.fwdFlops, 2.0 * shortSeq.fwdFlops);
+}
+
+TEST(Workload, AppendWithPrefix)
+{
+    md::Workload a, b;
+    a.add(md::gemmOp("g", 1, 2, 3));
+    b.add(md::gemmOp("h", 1, 2, 3));
+    a.append(b, "x_");
+    ASSERT_EQ(a.ops.size(), 2u);
+    EXPECT_EQ(a.ops[1].name, "x_h");
+    EXPECT_DOUBLE_EQ(a.totalFwdFlops(), 2.0 * a.ops[0].fwdFlops);
+}
+
+TEST(Workload, EmbeddingParamsAreTableSized)
+{
+    auto op = md::embeddingOp("e", 100, 17188, 512);
+    EXPECT_EQ(op.params, 17188 * 512);
+    EXPECT_EQ(op.outputElems, 100 * 512);
+}
+
+TEST(Workload, OpTypeNames)
+{
+    EXPECT_STREQ(md::opTypeName(md::OpType::Conv2d), "conv2d");
+    EXPECT_STREQ(md::opTypeName(md::OpType::Rnn), "rnn");
+    EXPECT_STREQ(md::opTypeName(md::OpType::Attention), "attention");
+}

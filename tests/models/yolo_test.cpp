@@ -1,0 +1,66 @@
+#include "models/yolo.h"
+
+#include <gtest/gtest.h>
+
+#include "models/cnn_workloads.h"
+#include "models/misc_workloads.h"
+#include "util/logging.h"
+
+namespace md = tbd::models;
+
+TEST(Yolo9000, RegisteredAsExtensionNotInTable2)
+{
+    EXPECT_EQ(md::extensionModels().size(), 1u);
+    EXPECT_EQ(md::extensionModels()[0]->name, "YOLO9000");
+    // Table 2 stays faithful to the paper: YOLO is not in allModels().
+    for (const auto *m : md::allModels())
+        EXPECT_NE(m->name, "YOLO9000");
+    EXPECT_THROW(md::modelByName("YOLO9000"), tbd::util::FatalError);
+}
+
+TEST(Yolo9000, DarknetNineteenConvolutions)
+{
+    auto w = md::yolo9000Workload(1);
+    int backbone_convs = 0;
+    for (const auto &op : w.ops) {
+        if (op.type == md::OpType::Conv2d &&
+            op.name.rfind("conv", 0) == 0) {
+            ++backbone_convs;
+        }
+    }
+    EXPECT_EQ(backbone_convs, 18); // Darknet-19 = 18 convs + 1 in head
+}
+
+TEST(Yolo9000, ParameterCountMatchesLiterature)
+{
+    // Darknet-19 + YOLOv2 head: ~50M parameters (the 3072->1024 head
+    // conv alone is 28M).
+    auto w = md::yolo9000Workload(1);
+    EXPECT_NEAR(static_cast<double>(w.totalParams()), 50e6, 10e6);
+}
+
+TEST(Yolo9000, FasterThanFasterRcnnPerImage)
+{
+    // The paper's motivation for adding YOLO: "It can perform inference
+    // faster than Faster R-CNN". Training cost per image shows the same
+    // ordering (416x416 single-shot vs 600x850 two-stage).
+    auto yolo = md::yolo9000Workload(1);
+    auto frcnn = md::fasterRcnnWorkload(1);
+    EXPECT_LT(yolo.totalFwdFlops(), frcnn.totalFwdFlops());
+}
+
+TEST(Yolo9000, PassthroughConcatPresent)
+{
+    auto w = md::yolo9000Workload(2);
+    bool reorg = false;
+    for (const auto &op : w.ops)
+        reorg |= op.name == "passthrough_reorg";
+    EXPECT_TRUE(reorg);
+}
+
+TEST(Yolo9000, WorkScalesWithBatch)
+{
+    auto w4 = md::yolo9000Workload(4);
+    auto w16 = md::yolo9000Workload(16);
+    EXPECT_NEAR(w16.totalFwdFlops() / w4.totalFwdFlops(), 4.0, 0.2);
+}

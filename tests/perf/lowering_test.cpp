@@ -1,0 +1,193 @@
+#include "perf/lowering.h"
+
+#include <gtest/gtest.h>
+
+#include "models/cnn_workloads.h"
+#include "models/seq_workloads.h"
+#include "util/logging.h"
+
+namespace tp = tbd::perf;
+namespace md = tbd::models;
+namespace tf = tbd::frameworks;
+namespace tg = tbd::gpusim;
+
+namespace {
+
+md::Workload
+oneConv()
+{
+    md::Workload w;
+    w.add(md::convOp("c", 8, 16, 28, 32, 3, 1, 1));
+    return w;
+}
+
+int
+countCategory(const tp::LoweredIteration &iter, tg::KernelCategory cat)
+{
+    int n = 0;
+    for (const auto &item : iter.items)
+        n += item.kernel.category == cat;
+    return n;
+}
+
+} // namespace
+
+TEST(Lowering, ConvHasForwardDgradWgradKernels)
+{
+    auto iter = tp::lowerIteration(oneConv(), tf::tensorflow());
+    EXPECT_EQ(countCategory(iter, tg::KernelCategory::Conv), 3);
+    // One parameterized op => one optimizer update kernel.
+    EXPECT_EQ(countCategory(iter, tg::KernelCategory::Update), 1);
+}
+
+TEST(Lowering, BackwardCostsRoughlyTwiceForward)
+{
+    auto iter = tp::lowerIteration(oneConv(), tf::tensorflow());
+    double fw = 0.0, bw = 0.0;
+    for (const auto &item : iter.items) {
+        if (item.kernel.category != tg::KernelCategory::Conv)
+            continue;
+        if (item.kernel.name.find("implicit_convolve") !=
+            std::string::npos) {
+            fw += item.kernel.flops;
+        } else {
+            bw += item.kernel.flops;
+        }
+    }
+    EXPECT_NEAR(bw / fw, 2.0, 0.01);
+}
+
+TEST(Lowering, EmptyWorkloadIsFatal)
+{
+    md::Workload empty;
+    EXPECT_THROW(tp::lowerIteration(empty, tf::mxnet()),
+                 tbd::util::FatalError);
+}
+
+TEST(Lowering, ResNetKernelNamesIncludeBatchNormFamilies)
+{
+    auto iter =
+        tp::lowerIteration(md::resnet50Workload(8), tf::tensorflow());
+    bool has_bn_fw = false, has_bn_bw = false, has_conv = false;
+    for (const auto &item : iter.items) {
+        has_bn_fw |= item.kernel.name.find("bn_fw_tr_1C11") !=
+                     std::string::npos;
+        has_bn_bw |= item.kernel.name.find("bn_bw_1C11") !=
+                     std::string::npos;
+        has_conv |= item.kernel.name.find("implicit_convolve") !=
+                    std::string::npos;
+    }
+    EXPECT_TRUE(has_bn_fw);
+    EXPECT_TRUE(has_bn_bw);
+    EXPECT_TRUE(has_conv);
+}
+
+TEST(Lowering, FrameworkFlavorsElementwiseKernels)
+{
+    auto tf_iter =
+        tp::lowerIteration(md::resnet50Workload(4), tf::tensorflow());
+    auto mx_iter =
+        tp::lowerIteration(md::resnet50Workload(4), tf::mxnet());
+    auto has = [](const tp::LoweredIteration &iter, const char *s) {
+        for (const auto &item : iter.items)
+            if (item.kernel.name.find(s) != std::string::npos)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(has(tf_iter, "Eigen"));
+    EXPECT_FALSE(has(mx_iter, "Eigen"));
+    EXPECT_TRUE(has(mx_iter, "mxnet"));
+}
+
+TEST(Lowering, UnfusedRnnEmitsPerStepKernels)
+{
+    md::Workload w;
+    w.add(md::rnnOp("lstm", md::RnnKind::Lstm, 16, 25, 64, 64));
+    auto mx = tp::lowerIteration(w, tf::mxnet());      // 5 pointwise/step
+    auto tf_ = tp::lowerIteration(w, tf::tensorflow());// fused chains: 2
+    auto cntk = tp::lowerIteration(w, tf::cntk());     // cuDNN fused: 0
+    EXPECT_GT(mx.items.size(), tf_.items.size());
+    EXPECT_GT(tf_.items.size(), cntk.items.size());
+    // MXNet: fw (1 big gemm + 25*(1+5)) + bw same + update = >300.
+    EXPECT_GT(countCategory(mx, tg::KernelCategory::RnnPointwise),
+              2 * 25 * 4);
+}
+
+TEST(Lowering, TotalFlopsScaleWithBatch)
+{
+    auto small = tp::lowerIteration(md::resnet50Workload(4),
+                                    tf::tensorflow());
+    auto large = tp::lowerIteration(md::resnet50Workload(16),
+                                    tf::tensorflow());
+    EXPECT_NEAR(large.totalFlops() / small.totalFlops(), 4.0, 0.3);
+}
+
+TEST(Lowering, AutotuneOnlyProbesConvolutions)
+{
+    auto tune = tp::autotuneKernels(md::seq2seqWorkload(8), tf::mxnet());
+    // Seq2Seq has no convolutions, so nothing to auto-tune.
+    EXPECT_TRUE(tune.items.empty());
+
+    auto conv_tune = tp::autotuneKernels(oneConv(), tf::mxnet());
+    EXPECT_EQ(conv_tune.items.size(), 6u); // 6 algorithm probes
+}
+
+TEST(Lowering, FirstKernelOfOpCarriesFrontendCost)
+{
+    auto iter = tp::lowerIteration(oneConv(), tf::tensorflow());
+    // Stream: conv_fw | dgrad, wgrad | update. The wgrad kernel is the
+    // second kernel of the backward op and pays no frontend surcharge.
+    ASSERT_EQ(iter.items.size(), 4u);
+    EXPECT_GT(iter.items[0].extraHostUs, 0.0);
+    EXPECT_GT(iter.items[1].extraHostUs, 0.0);
+    EXPECT_EQ(iter.items[2].extraHostUs, 0.0);
+}
+
+TEST(Lowering, InferenceHasNoBackwardOrUpdateKernels)
+{
+    auto iter = tp::lowerInference(md::resnet50Workload(8),
+                                   tf::tensorflow());
+    for (const auto &item : iter.items) {
+        EXPECT_EQ(item.kernel.name.find("dgrad"), std::string::npos);
+        EXPECT_EQ(item.kernel.name.find("wgrad"), std::string::npos);
+        EXPECT_NE(item.kernel.category, tg::KernelCategory::Update)
+            << item.kernel.name;
+        EXPECT_EQ(item.kernel.name.find("bn_bw"), std::string::npos);
+    }
+}
+
+TEST(Lowering, InferenceSkipsDropoutAndLoss)
+{
+    md::Workload w;
+    w.add(md::gemmOp("fc", 8, 16, 16));
+    w.add(md::dropoutOp("drop", 8 * 16));
+    w.add(md::lossOp("loss", 8, 16));
+    // MXNet lowers dropout as a kernel during training...
+    auto train = tp::lowerIteration(w, tf::mxnet());
+    auto infer = tp::lowerInference(w, tf::mxnet());
+    bool train_has_drop = false, infer_has_drop = false,
+         infer_has_loss = false;
+    for (const auto &item : train.items)
+        train_has_drop |=
+            item.kernel.name.find("drop") != std::string::npos;
+    for (const auto &item : infer.items) {
+        infer_has_drop |=
+            item.kernel.name.find("drop") != std::string::npos;
+        infer_has_loss |=
+            item.kernel.name.find("loss") != std::string::npos;
+    }
+    EXPECT_TRUE(train_has_drop);
+    EXPECT_FALSE(infer_has_drop);
+    EXPECT_FALSE(infer_has_loss);
+}
+
+TEST(Lowering, TrainingCostsRoughlyThriceInference)
+{
+    // Forward + dgrad + wgrad: the classic 3x rule the paper's
+    // Section 1 contrast rests on.
+    auto train = tp::lowerIteration(md::resnet50Workload(8),
+                                    tf::mxnet());
+    auto infer = tp::lowerInference(md::resnet50Workload(8),
+                                    tf::mxnet());
+    EXPECT_NEAR(train.totalFlops() / infer.totalFlops(), 3.0, 0.3);
+}

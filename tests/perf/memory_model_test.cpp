@@ -1,0 +1,153 @@
+#include "perf/memory_model.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace tp = tbd::perf;
+namespace md = tbd::models;
+namespace tf = tbd::frameworks;
+namespace mp = tbd::memprof;
+
+namespace {
+
+mp::MemoryBreakdown
+breakdownFor(const md::ModelDesc &model, const tf::FrameworkProfile &fw,
+             std::int64_t batch, std::uint64_t capacity = 0)
+{
+    return tp::simulateIterationMemory(model, model.describe(batch), fw,
+                                       tp::OptimizerSpec{}, capacity);
+}
+
+constexpr std::uint64_t kGiB8 = 8ull << 30;
+
+} // namespace
+
+TEST(MemoryModel, FeatureMapsDominate)
+{
+    // Observation 11: feature maps consume 62-89% of the footprint.
+    for (const auto *m : md::allModels()) {
+        const auto fw_id = m->frameworks.front();
+        auto b = breakdownFor(*m, tf::profileFor(fw_id),
+                              m->batchSweep.back());
+        EXPECT_GT(b.fraction(mp::MemCategory::FeatureMaps), 0.45)
+            << m->name;
+    }
+}
+
+TEST(MemoryModel, FeatureMapsScaleLinearlyWithBatch)
+{
+    // Observation 12 premise.
+    const auto &m = md::resnet50();
+    auto b8 = breakdownFor(m, tf::mxnet(), 8);
+    auto b32 = breakdownFor(m, tf::mxnet(), 32);
+    const double ratio =
+        static_cast<double>(b32.of(mp::MemCategory::FeatureMaps)) /
+        static_cast<double>(b8.of(mp::MemCategory::FeatureMaps));
+    EXPECT_NEAR(ratio, 4.0, 0.2);
+    // Weights do not scale with batch.
+    EXPECT_EQ(b8.of(mp::MemCategory::Weights),
+              b32.of(mp::MemCategory::Weights));
+}
+
+TEST(MemoryModel, MxnetDynamicCategoryHoldsOptimizerState)
+{
+    const auto &m = md::resnet50();
+    auto mx = breakdownFor(m, tf::mxnet(), 16);
+    auto tfb = breakdownFor(m, tf::tensorflow(), 16);
+    EXPECT_GT(mx.of(mp::MemCategory::Dynamic), 0u);
+    EXPECT_EQ(tfb.of(mp::MemCategory::Dynamic), 0u);
+    // The slots equal the parameter bytes for SGD momentum.
+    EXPECT_EQ(mx.of(mp::MemCategory::Dynamic),
+              mx.of(mp::MemCategory::WeightGradients));
+}
+
+TEST(MemoryModel, WeightsAndGradientsMatchParamCount)
+{
+    const auto &m = md::resnet50();
+    const auto params = m.describe(8).totalParams();
+    auto b = breakdownFor(m, tf::mxnet(), 8);
+    EXPECT_EQ(b.of(mp::MemCategory::WeightGradients),
+              static_cast<std::uint64_t>(params) * 4);
+}
+
+TEST(MemoryModel, WorkspaceBoundedByFrameworkBudget)
+{
+    const auto &m = md::resnet50();
+    auto b = breakdownFor(m, tf::mxnet(), 32);
+    EXPECT_LE(b.of(mp::MemCategory::Workspace),
+              static_cast<std::uint64_t>(tf::mxnet().workspaceCapBytes));
+    EXPECT_GT(b.of(mp::MemCategory::Workspace), 0u);
+}
+
+TEST(MemoryModel, PaperBatchCeilings)
+{
+    // The memory wall the paper reports on the 8 GiB P4000:
+    // NMT/TensorFlow trains at batch 128; Sockeye/MXNet stops at 64.
+    EXPECT_NO_THROW(
+        breakdownFor(md::seq2seqNmt(), tf::tensorflow(), 128, kGiB8));
+    EXPECT_NO_THROW(breakdownFor(md::sockeye(), tf::mxnet(), 64, kGiB8));
+    EXPECT_THROW(breakdownFor(md::sockeye(), tf::mxnet(), 128, kGiB8),
+                 tbd::util::FatalError);
+}
+
+TEST(MemoryModel, MaxFeasibleBatchMatchesPaperSweeps)
+{
+    EXPECT_EQ(tp::maxFeasibleBatch(md::seq2seqNmt(), tf::tensorflow(),
+                                   kGiB8),
+              128);
+    EXPECT_EQ(tp::maxFeasibleBatch(md::sockeye(), tf::mxnet(), kGiB8),
+              64);
+    // ResNet-50 trains at batch 64 on all frameworks (Fig. 4a).
+    EXPECT_GE(tp::maxFeasibleBatch(md::resnet50(), tf::mxnet(), kGiB8),
+              64);
+    // Deep Speech 2 is memory-capped at tiny batches (Fig. 4f/9d).
+    EXPECT_LE(tp::maxFeasibleBatch(md::deepSpeech2(), tf::mxnet(), kGiB8),
+              8);
+}
+
+TEST(MemoryModel, LargerGpuRaisesTheCeiling)
+{
+    const auto small = tp::maxFeasibleBatch(md::sockeye(), tf::mxnet(),
+                                            8ull << 30);
+    const auto large = tp::maxFeasibleBatch(md::sockeye(), tf::mxnet(),
+                                            16ull << 30);
+    EXPECT_GT(large, small);
+}
+
+TEST(MemoryModel, TfPacksSeq2SeqTighterThanMxnet)
+{
+    auto tfb = breakdownFor(md::seq2seqNmt(), tf::tensorflow(), 64);
+    auto mxb = breakdownFor(md::sockeye(), tf::mxnet(), 64);
+    EXPECT_LT(tfb.total(), mxb.total());
+}
+
+TEST(InferenceMemory, WeightsDominateAndFootprintIsSmall)
+{
+    // The paper's Section 1 contrast: inference memory is dominated by
+    // the weights and is far below the training footprint.
+    for (const auto *m : {&md::resnet50(), &md::sockeye(),
+                          &md::wgan()}) {
+        const auto &fw = tf::profileFor(m->frameworks.front());
+        const auto workload = m->describe(m->batchSweep.back());
+        const auto train = tp::simulateIterationMemory(
+            *m, workload, fw, tp::OptimizerSpec{}, 0);
+        const auto infer =
+            tp::simulateInferenceMemory(*m, workload, fw);
+        EXPECT_LT(infer.total(), train.total() / 4) << m->name;
+        EXPECT_GT(infer.fraction(mp::MemCategory::Weights),
+                  train.fraction(mp::MemCategory::Weights))
+            << m->name;
+        EXPECT_EQ(infer.of(mp::MemCategory::WeightGradients), 0u);
+        EXPECT_EQ(infer.of(mp::MemCategory::Dynamic), 0u);
+    }
+}
+
+TEST(InferenceMemory, BatchOneFitsInHundredsOfMegabytes)
+{
+    const auto &m = md::resnet50();
+    const auto infer = tp::simulateInferenceMemory(
+        m, m.describe(1), tf::profileFor(m.frameworks.front()));
+    // Weights ~98 MiB + a small activation window.
+    EXPECT_LT(infer.total(), 200ull << 20);
+}

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "perf/memory_model.h"
+#include "util/logging.h"
+
+namespace tp = tbd::perf;
+namespace md = tbd::models;
+namespace tf = tbd::frameworks;
+namespace mp = tbd::memprof;
+
+namespace {
+
+mp::MemoryBreakdown
+breakdown(const md::ModelDesc &m, std::int64_t batch,
+          tp::MemoryOptimization opt)
+{
+    return tp::simulateIterationMemory(m, m.describe(batch),
+                                       tf::profileFor(
+                                           m.frameworks.front()),
+                                       tp::OptimizerSpec{}, 0, opt);
+}
+
+} // namespace
+
+TEST(Offload, ShrinksFeatureMapFootprint)
+{
+    for (const auto *m : md::allModels()) {
+        const auto base = breakdown(*m, m->batchSweep.back(),
+                                    tp::MemoryOptimization::None);
+        const auto off =
+            breakdown(*m, m->batchSweep.back(),
+                      tp::MemoryOptimization::OffloadFeatureMaps);
+        EXPECT_LE(off.of(mp::MemCategory::FeatureMaps),
+                  base.of(mp::MemCategory::FeatureMaps))
+            << m->name;
+        // Weights/gradients are untouched by the policy.
+        EXPECT_EQ(off.of(mp::MemCategory::Weights),
+                  base.of(mp::MemCategory::Weights));
+        EXPECT_EQ(off.of(mp::MemCategory::WeightGradients),
+                  base.of(mp::MemCategory::WeightGradients));
+    }
+}
+
+TEST(Offload, DeepModelsShrinkALot)
+{
+    // ResNet-50 stashes ~160 op outputs; keeping a 2-op window must
+    // remove the bulk of the footprint (the vDNN result).
+    const auto &m = md::resnet50();
+    const auto base =
+        breakdown(m, 32, tp::MemoryOptimization::None).total();
+    const auto off =
+        breakdown(m, 32, tp::MemoryOptimization::OffloadFeatureMaps)
+            .total();
+    EXPECT_LT(static_cast<double>(off), 0.45 * static_cast<double>(base));
+}
+
+TEST(Offload, RaisesBatchCeilings)
+{
+    const auto cap = 8ull << 30;
+    for (const auto *m : {&md::resnet50(), &md::sockeye(),
+                          &md::deepSpeech2()}) {
+        const auto &fw = tf::profileFor(m->frameworks.front());
+        const auto base = tp::maxFeasibleBatch(*m, fw, cap);
+        const auto off = tp::maxFeasibleBatch(
+            *m, fw, cap, tp::MemoryOptimization::OffloadFeatureMaps);
+        EXPECT_GT(off, base) << m->name;
+    }
+}
+
+TEST(Offload, TrafficCoversFeatureMapsTwice)
+{
+    const auto &m = md::sockeye();
+    const auto &fw = tf::profileFor(m.frameworks.front());
+    const auto workload = m.describe(64);
+    const auto cost = tp::offloadCost(m, workload, fw);
+    // Traffic must be about 2x the baseline feature-map footprint.
+    const auto base = tp::simulateIterationMemory(
+        m, workload, fw, tp::OptimizerSpec{}, 0);
+    const double fm =
+        static_cast<double>(base.of(mp::MemCategory::FeatureMaps));
+    EXPECT_GT(static_cast<double>(cost.trafficBytes), 1.8 * fm);
+    EXPECT_LT(static_cast<double>(cost.trafficBytes), 2.3 * fm);
+    EXPECT_GT(cost.transferUs, 0.0);
+}
+
+TEST(Offload, CapacityStillEnforced)
+{
+    // Offload raises the wall but cannot abolish it.
+    const auto &m = md::sockeye();
+    const auto &fw = tf::profileFor(m.frameworks.front());
+    EXPECT_THROW(tp::simulateIterationMemory(
+                     m, m.describe(1024), fw, tp::OptimizerSpec{},
+                     8ull << 30,
+                     tp::MemoryOptimization::OffloadFeatureMaps),
+                 tbd::util::FatalError);
+}

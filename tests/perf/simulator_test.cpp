@@ -1,0 +1,257 @@
+#include "perf/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace tp = tbd::perf;
+namespace md = tbd::models;
+namespace tf = tbd::frameworks;
+namespace tg = tbd::gpusim;
+
+namespace {
+
+tp::RunResult
+runCfg(const md::ModelDesc &m, tf::FrameworkId f, std::int64_t batch,
+       const tg::GpuSpec &gpu = tg::quadroP4000())
+{
+    tp::PerfSimulator sim;
+    tp::RunConfig rc;
+    rc.model = &m;
+    rc.framework = f;
+    rc.gpu = gpu;
+    rc.batch = batch;
+    return sim.run(rc);
+}
+
+} // namespace
+
+TEST(Simulator, ThroughputRisesWithBatch)
+{
+    // Observation 1, for a CNN and an RNN model.
+    auto r8 = runCfg(md::resnet50(), tf::FrameworkId::MXNet, 8);
+    auto r32 = runCfg(md::resnet50(), tf::FrameworkId::MXNet, 32);
+    EXPECT_GT(r32.throughputSamples, r8.throughputSamples);
+
+    auto n8 = runCfg(md::seq2seqNmt(), tf::FrameworkId::TensorFlow, 8);
+    auto n64 = runCfg(md::seq2seqNmt(), tf::FrameworkId::TensorFlow, 64);
+    EXPECT_GT(n64.throughputSamples, 3.0 * n8.throughputSamples);
+}
+
+TEST(Simulator, CnnSaturatesRnnDoesNot)
+{
+    // Observation 2: RNN throughput keeps scaling to the memory limit,
+    // CNN throughput saturates.
+    auto r32 = runCfg(md::resnet50(), tf::FrameworkId::MXNet, 32);
+    auto r64 = runCfg(md::resnet50(), tf::FrameworkId::MXNet, 64);
+    const double cnn_gain =
+        r64.throughputSamples / r32.throughputSamples;
+    EXPECT_LT(cnn_gain, 1.15); // < 15% from doubling the batch
+
+    auto s32 = runCfg(md::sockeye(), tf::FrameworkId::MXNet, 32);
+    auto s64 = runCfg(md::sockeye(), tf::FrameworkId::MXNet, 64);
+    const double rnn_gain =
+        s64.throughputSamples / s32.throughputSamples;
+    EXPECT_GT(rnn_gain, 1.25); // paper: +25% going 64 -> 128 for NMT
+}
+
+TEST(Simulator, FrameworkOrderingMatchesObservation3)
+{
+    // MXNet leads on CNNs...
+    auto mx = runCfg(md::resnet50(), tf::FrameworkId::MXNet, 32);
+    auto tfr = runCfg(md::resnet50(), tf::FrameworkId::TensorFlow, 32);
+    EXPECT_GT(mx.throughputSamples, tfr.throughputSamples);
+    // ...TensorFlow leads on Seq2Seq at the same batch size.
+    auto nmt = runCfg(md::seq2seqNmt(), tf::FrameworkId::TensorFlow, 64);
+    auto sock = runCfg(md::sockeye(), tf::FrameworkId::MXNet, 64);
+    EXPECT_GT(nmt.throughputSamples, sock.throughputSamples);
+}
+
+TEST(Simulator, LstmFp32UtilizationIsLow)
+{
+    // Observation 7: RNN-based models achieve far lower FP32
+    // utilization than CNNs even at their maximum batch.
+    auto cnn = runCfg(md::resnet50(), tf::FrameworkId::MXNet, 32);
+    auto lstm = runCfg(md::sockeye(), tf::FrameworkId::MXNet, 64);
+    auto ds2 = runCfg(md::deepSpeech2(), tf::FrameworkId::MXNet, 4);
+    EXPECT_LT(lstm.fp32Utilization, 0.5 * cnn.fp32Utilization);
+    EXPECT_LT(ds2.fp32Utilization, 0.3 * cnn.fp32Utilization);
+}
+
+TEST(Simulator, TransformerAvoidsTheRnnPenalty)
+{
+    // Observation 5's counterpoint: the attention-based translator
+    // utilizes the GPU like the CNNs do.
+    auto tr =
+        runCfg(md::transformer(), tf::FrameworkId::TensorFlow, 2048);
+    EXPECT_GT(tr.gpuUtilization, 0.95);
+    EXPECT_GT(tr.fp32Utilization, 0.4);
+}
+
+TEST(Simulator, RnnGpuUtilizationRisesWithBatch)
+{
+    // Observation 4/5: small batches leave the GPU starved on
+    // per-step dispatch.
+    auto s4 = runCfg(md::sockeye(), tf::FrameworkId::MXNet, 4);
+    auto s64 = runCfg(md::sockeye(), tf::FrameworkId::MXNet, 64);
+    EXPECT_LT(s4.gpuUtilization, s64.gpuUtilization);
+}
+
+TEST(Simulator, CpuUtilizationIsLow)
+{
+    // Observation 9: under 15% everywhere, under 8% for all but two
+    // models; CNTK is near zero; A3C is the outlier.
+    auto tfr = runCfg(md::resnet50(), tf::FrameworkId::TensorFlow, 32);
+    EXPECT_LT(tfr.cpuUtilization, 0.15);
+    auto cntk = runCfg(md::resnet50(), tf::FrameworkId::CNTK, 32);
+    EXPECT_LT(cntk.cpuUtilization, 0.005);
+    auto a3c = runCfg(md::a3c(), tf::FrameworkId::MXNet, 128);
+    EXPECT_GT(a3c.cpuUtilization, 0.15);
+    EXPECT_LT(a3c.cpuUtilization, 0.45);
+}
+
+TEST(Simulator, TitanXpFasterButLessUtilized)
+{
+    // Observation 10.
+    auto p4 = runCfg(md::resnet50(), tf::FrameworkId::MXNet, 32);
+    auto xp = runCfg(md::resnet50(), tf::FrameworkId::MXNet, 32,
+                     tg::titanXp());
+    EXPECT_GT(xp.throughputSamples, 1.5 * p4.throughputSamples);
+    EXPECT_LT(xp.fp32Utilization, p4.fp32Utilization);
+}
+
+TEST(Simulator, OomEnforcedAgainstDeviceCapacity)
+{
+    tp::PerfSimulator sim;
+    tp::RunConfig rc;
+    rc.model = &md::sockeye();
+    rc.framework = tf::FrameworkId::MXNet;
+    rc.gpu = tg::quadroP4000();
+    rc.batch = 256;
+    EXPECT_THROW(sim.run(rc), tbd::util::FatalError);
+    rc.enforceMemory = false;
+    EXPECT_NO_THROW(sim.run(rc));
+}
+
+TEST(Simulator, RejectsUnsupportedFramework)
+{
+    tp::PerfSimulator sim;
+    tp::RunConfig rc;
+    rc.model = &md::deepSpeech2(); // MXNet only
+    rc.framework = tf::FrameworkId::CNTK;
+    rc.gpu = tg::quadroP4000();
+    rc.batch = 2;
+    EXPECT_THROW(sim.run(rc), tbd::util::FatalError);
+}
+
+TEST(Simulator, WarmupIterationsAreSlower)
+{
+    // Iteration 0 carries the cuDNN auto-tuning probes.
+    auto r = runCfg(md::resnet50(), tf::FrameworkId::TensorFlow, 16);
+    ASSERT_GE(r.warmupIterationUs.size(), 2u);
+    ASSERT_FALSE(r.sampleIterationUs.empty());
+    EXPECT_GT(r.warmupIterationUs[0], 2.0 * r.sampleIterationUs[0]);
+    // Stable iterations are self-consistent.
+    for (double t : r.sampleIterationUs)
+        EXPECT_NEAR(t, r.sampleIterationUs[0],
+                    0.01 * r.sampleIterationUs[0]);
+}
+
+TEST(Simulator, KernelTraceCoversOneIteration)
+{
+    auto r = runCfg(md::resnet50(), tf::FrameworkId::MXNet, 8);
+    EXPECT_EQ(static_cast<std::int64_t>(r.kernelTrace.size()),
+              r.kernelsPerIteration);
+}
+
+TEST(Simulator, FasterRcnnMatchesPaperThroughputBand)
+{
+    // The paper reports 2.3 images/s for both implementations.
+    auto tfr = runCfg(md::fasterRcnn(), tf::FrameworkId::TensorFlow, 1);
+    auto mx = runCfg(md::fasterRcnn(), tf::FrameworkId::MXNet, 1);
+    EXPECT_GT(tfr.throughputSamples, 1.0);
+    EXPECT_LT(tfr.throughputSamples, 4.0);
+    EXPECT_GT(mx.throughputSamples, 1.0);
+    EXPECT_LT(mx.throughputSamples, 4.0);
+    // High GPU utilization on both (paper: 89-90%).
+    EXPECT_GT(mx.gpuUtilization, 0.8);
+}
+
+TEST(Simulator, LengthSamplingProducesIterationJitter)
+{
+    tp::RunConfig rc;
+    rc.model = &md::sockeye();
+    rc.framework = tf::FrameworkId::MXNet;
+    rc.gpu = tg::quadroP4000();
+    rc.batch = 16;
+    rc.sampleIterations = 12;
+    rc.lengthCv = 0.25; // IWSLT sentences are 20-30 words
+
+    tp::PerfSimulator sim;
+    auto varied = sim.run(rc);
+    double lo = varied.sampleIterationUs.front();
+    double hi = lo;
+    for (double t : varied.sampleIterationUs) {
+        lo = std::min(lo, t);
+        hi = std::max(hi, t);
+    }
+    EXPECT_GT(hi, 1.1 * lo); // genuinely variable iterations
+
+    rc.lengthCv = 0.0;
+    auto fixed = sim.run(rc);
+    for (double t : fixed.sampleIterationUs)
+        EXPECT_NEAR(t, fixed.sampleIterationUs.front(),
+                    0.01 * fixed.sampleIterationUs.front());
+}
+
+TEST(Simulator, LengthSamplingIsSeededAndDeterministic)
+{
+    tp::RunConfig rc;
+    rc.model = &md::deepSpeech2();
+    rc.framework = tf::FrameworkId::MXNet;
+    rc.gpu = tg::quadroP4000();
+    rc.batch = 2;
+    rc.sampleIterations = 4;
+    rc.lengthCv = 0.3;
+    tp::PerfSimulator sim;
+    auto a = sim.run(rc);
+    auto b = sim.run(rc);
+    EXPECT_DOUBLE_EQ(a.throughputUnits, b.throughputUnits);
+    rc.lengthSeed = 7;
+    auto c = sim.run(rc);
+    EXPECT_NE(a.throughputUnits, c.throughputUnits);
+}
+
+TEST(Simulator, FixedShapeModelsIgnoreLengthCv)
+{
+    tp::RunConfig rc;
+    rc.model = &md::resnet50(); // no describeScaled
+    rc.framework = tf::FrameworkId::MXNet;
+    rc.gpu = tg::quadroP4000();
+    rc.batch = 8;
+    tp::PerfSimulator sim;
+    auto plain = sim.run(rc);
+    rc.lengthCv = 0.5;
+    auto jittered = sim.run(rc);
+    EXPECT_DOUBLE_EQ(plain.throughputSamples,
+                     jittered.throughputSamples);
+}
+
+TEST(Simulator, AudioSecondsScaleWithSampledLengths)
+{
+    // Throughput in audio seconds must reflect the *sampled* durations,
+    // not the nominal mean (the paper's Sec. 3.4.3 definition).
+    tp::RunConfig rc;
+    rc.model = &md::deepSpeech2();
+    rc.framework = tf::FrameworkId::MXNet;
+    rc.gpu = tg::quadroP4000();
+    rc.batch = 2;
+    rc.sampleIterations = 6;
+    rc.lengthCv = 0.3;
+    tp::PerfSimulator sim;
+    auto r = sim.run(rc);
+    // samples/s * 12.6 would be the nominal conversion; the scaled one
+    // must differ because the mean sampled scale != 1 exactly.
+    EXPECT_NE(r.throughputUnits, r.throughputSamples * 12.6);
+    EXPECT_GT(r.throughputUnits, 0.0);
+}

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Property-style parameterized sweeps over the functional layer
+ * library: every geometry a TBD model uses must gradient-check, and
+ * structural invariants (shape algebra, parameter counts) must hold
+ * across the swept space — not just at the single points the unit
+ * tests pin down.
+ */
+
+#include <gtest/gtest.h>
+
+#include "layer_test_util.h"
+#include "layers/attention.h"
+#include "layers/conv.h"
+#include "layers/dense.h"
+#include "layers/norm.h"
+#include "layers/recurrent.h"
+
+namespace tl = tbd::layers;
+namespace tt = tbd::tensor;
+using tbd::testutil::checkLayerGradients;
+using tbd::testutil::randn;
+
+// ---------------------------------------------------------------------------
+// Conv2d geometry sweep: (kernel, stride, pad) combos from the model zoo.
+// ---------------------------------------------------------------------------
+
+struct ConvGeom
+{
+    std::int64_t kernel, stride, pad;
+};
+
+class ConvGeometrySweep : public ::testing::TestWithParam<ConvGeom>
+{
+};
+
+TEST_P(ConvGeometrySweep, GradientMatchesNumeric)
+{
+    const auto g = GetParam();
+    tbd::util::Rng rng(1000 + g.kernel * 100 + g.stride * 10 + g.pad);
+    tl::Conv2d conv("c", 2, 3, g.kernel, g.stride, g.pad, rng);
+    checkLayerGradients(conv, randn(tt::Shape{2, 2, 8, 8}, 7, 0.5f), 55,
+                        3e-2);
+}
+
+TEST_P(ConvGeometrySweep, OutputShapeFormula)
+{
+    const auto g = GetParam();
+    tbd::util::Rng rng(1);
+    tl::Conv2d conv("c", 2, 5, g.kernel, g.stride, g.pad, rng);
+    tt::Tensor y = conv.forward(randn(tt::Shape{1, 2, 12, 12}, 2), false);
+    const std::int64_t expect =
+        (12 + 2 * g.pad - g.kernel) / g.stride + 1;
+    EXPECT_EQ(y.shape(), tt::Shape({1, 5, expect, expect}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelZooGeometries, ConvGeometrySweep,
+    ::testing::Values(ConvGeom{1, 1, 0},  // bottleneck reduce/expand
+                      ConvGeom{3, 1, 1},  // the workhorse conv
+                      ConvGeom{3, 2, 1},  // stage-entry downsample
+                      ConvGeom{5, 1, 2},  // inception 5x5 branch
+                      ConvGeom{7, 2, 3},  // ResNet stem
+                      ConvGeom{4, 2, 1},  // A3C conv2 geometry
+                      ConvGeom{1, 2, 0}), // projection shortcut
+    [](const auto &info) {
+        return "k" + std::to_string(info.param.kernel) + "s" +
+               std::to_string(info.param.stride) + "p" +
+               std::to_string(info.param.pad);
+    });
+
+// ---------------------------------------------------------------------------
+// Dense width sweep.
+// ---------------------------------------------------------------------------
+
+class DenseWidthSweep
+    : public ::testing::TestWithParam<std::pair<std::int64_t, std::int64_t>>
+{
+};
+
+TEST_P(DenseWidthSweep, GradientAndParamCount)
+{
+    const auto [in_f, out_f] = GetParam();
+    tbd::util::Rng rng(static_cast<std::uint64_t>(in_f * 131 + out_f));
+    tl::FullyConnected fc("fc", in_f, out_f, rng);
+    EXPECT_EQ(fc.paramCount(), in_f * out_f + out_f);
+    checkLayerGradients(fc, randn(tt::Shape{3, in_f}, 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, DenseWidthSweep,
+    ::testing::Values(std::pair<std::int64_t, std::int64_t>{1, 1},
+                      std::pair<std::int64_t, std::int64_t>{1, 16},
+                      std::pair<std::int64_t, std::int64_t>{16, 1},
+                      std::pair<std::int64_t, std::int64_t>{7, 13},
+                      std::pair<std::int64_t, std::int64_t>{32, 8}),
+    [](const auto &info) {
+        return std::to_string(info.param.first) + "x" +
+               std::to_string(info.param.second);
+    });
+
+// ---------------------------------------------------------------------------
+// Recurrent sweep: cell kind x (sequence length, hidden width).
+// ---------------------------------------------------------------------------
+
+struct RnnCase
+{
+    tl::CellKind kind;
+    std::int64_t steps, hidden;
+};
+
+class RecurrentSweep : public ::testing::TestWithParam<RnnCase>
+{
+};
+
+TEST_P(RecurrentSweep, GradientMatchesNumeric)
+{
+    const auto c = GetParam();
+    tbd::util::Rng rng(static_cast<std::uint64_t>(c.steps * 17 +
+                                                  c.hidden));
+    tl::Recurrent rnn("r", c.kind, 3, c.hidden, rng, true);
+    checkLayerGradients(rnn, randn(tt::Shape{2, c.steps, 3}, 5, 0.5f), 56,
+                        3e-2);
+}
+
+TEST_P(RecurrentSweep, SingleStepEqualsCellApplication)
+{
+    // T=1 must behave like one cell step: output shape [N, 1, H].
+    const auto c = GetParam();
+    tbd::util::Rng rng(9);
+    tl::Recurrent rnn("r", c.kind, 3, c.hidden, rng, true);
+    tt::Tensor y = rnn.forward(randn(tt::Shape{4, 1, 3}, 10), false);
+    EXPECT_EQ(y.shape(), tt::Shape({4, 1, c.hidden}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CellsAndLengths, RecurrentSweep,
+    ::testing::Values(RnnCase{tl::CellKind::Vanilla, 1, 4},
+                      RnnCase{tl::CellKind::Vanilla, 7, 5},
+                      RnnCase{tl::CellKind::Gru, 1, 4},
+                      RnnCase{tl::CellKind::Gru, 6, 3},
+                      RnnCase{tl::CellKind::Lstm, 1, 4},
+                      RnnCase{tl::CellKind::Lstm, 6, 3}),
+    [](const auto &info) {
+        return std::string(tl::cellKindName(info.param.kind)) + "_t" +
+               std::to_string(info.param.steps) + "_h" +
+               std::to_string(info.param.hidden);
+    });
+
+// ---------------------------------------------------------------------------
+// Attention sweep: heads x sequence length x causality.
+// ---------------------------------------------------------------------------
+
+struct AttnCase
+{
+    std::int64_t heads, steps;
+    bool causal;
+};
+
+class AttentionSweep : public ::testing::TestWithParam<AttnCase>
+{
+};
+
+TEST_P(AttentionSweep, GradientMatchesNumeric)
+{
+    const auto c = GetParam();
+    tbd::util::Rng rng(static_cast<std::uint64_t>(c.heads * 31 +
+                                                  c.steps));
+    tl::MultiHeadAttention mha("mha", 8, c.heads, rng, c.causal);
+    checkLayerGradients(mha, randn(tt::Shape{1, c.steps, 8}, 6, 0.5f), 57,
+                        3e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HeadsAndLengths, AttentionSweep,
+    ::testing::Values(AttnCase{1, 3, false}, AttnCase{2, 3, false},
+                      AttnCase{4, 5, false}, AttnCase{2, 4, true},
+                      AttnCase{1, 1, false}),
+    [](const auto &info) {
+        return "h" + std::to_string(info.param.heads) + "_t" +
+               std::to_string(info.param.steps) +
+               (info.param.causal ? "_causal" : "");
+    });
+
+// ---------------------------------------------------------------------------
+// Normalization width sweep.
+// ---------------------------------------------------------------------------
+
+class NormWidthSweep : public ::testing::TestWithParam<std::int64_t>
+{
+};
+
+TEST_P(NormWidthSweep, LayerNormGradient)
+{
+    const auto width = GetParam();
+    tl::LayerNorm ln("ln", width);
+    checkLayerGradients(ln, randn(tt::Shape{3, width}, 8), 58, 3e-2);
+}
+
+TEST_P(NormWidthSweep, BatchNormGradient)
+{
+    const auto width = GetParam();
+    tl::BatchNorm2d bn("bn", width);
+    checkLayerGradients(bn, randn(tt::Shape{2, width, 3, 3}, 9), 59,
+                        3e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, NormWidthSweep,
+                         ::testing::Values(1, 2, 5, 8),
+                         [](const auto &info) {
+                             return "w" + std::to_string(info.param);
+                         });

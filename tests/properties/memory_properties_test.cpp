@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Memory-model invariants over the full (model x framework x batch)
+ * grid: breakdown consistency, batch monotonicity, and the structural
+ * facts behind Observations 11 and 12.
+ */
+
+#include <gtest/gtest.h>
+
+#include "perf/memory_model.h"
+#include "util/logging.h"
+
+namespace tp = tbd::perf;
+namespace md = tbd::models;
+namespace tf = tbd::frameworks;
+namespace mp = tbd::memprof;
+
+namespace {
+
+struct Case
+{
+    const md::ModelDesc *model;
+    tf::FrameworkId framework;
+};
+
+std::vector<Case>
+allCases()
+{
+    std::vector<Case> cases;
+    for (const auto *m : md::allModels())
+        for (auto fw : m->frameworks)
+            cases.push_back({m, fw});
+    return cases;
+}
+
+mp::MemoryBreakdown
+breakdown(const Case &c, std::int64_t batch)
+{
+    return tp::simulateIterationMemory(*c.model, c.model->describe(batch),
+                                       tf::profileFor(c.framework),
+                                       tp::OptimizerSpec{}, 0);
+}
+
+} // namespace
+
+class MemorySweep : public ::testing::TestWithParam<Case>
+{
+};
+
+TEST_P(MemorySweep, CategoriesSumToTotal)
+{
+    const auto &c = GetParam();
+    const auto b = breakdown(c, c.model->batchSweep.front());
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < mp::kCategoryCount; ++i)
+        sum += b.of(static_cast<mp::MemCategory>(i));
+    EXPECT_EQ(sum, b.total());
+}
+
+TEST_P(MemorySweep, MonotoneInBatch)
+{
+    const auto &c = GetParam();
+    std::uint64_t prev = 0;
+    for (std::int64_t batch : c.model->batchSweep) {
+        const auto total = breakdown(c, batch).total();
+        EXPECT_GE(total, prev)
+            << c.model->name << " batch " << batch;
+        prev = total;
+    }
+}
+
+TEST_P(MemorySweep, WeightsEqualGradients)
+{
+    const auto &c = GetParam();
+    const auto b = breakdown(c, c.model->batchSweep.back());
+    // Weight gradients mirror the parameter buffer exactly; weights may
+    // additionally hold statically-allocated optimizer slots.
+    EXPECT_GE(b.of(mp::MemCategory::Weights),
+              b.of(mp::MemCategory::WeightGradients));
+    EXPECT_GT(b.of(mp::MemCategory::WeightGradients), 0u);
+}
+
+TEST_P(MemorySweep, DynamicOnlyOnMxnet)
+{
+    const auto &c = GetParam();
+    const auto b = breakdown(c, c.model->batchSweep.front());
+    if (tf::profileFor(c.framework).dynamicOptimizerState) {
+        EXPECT_GT(b.of(mp::MemCategory::Dynamic), 0u);
+    } else {
+        EXPECT_EQ(b.of(mp::MemCategory::Dynamic), 0u);
+    }
+}
+
+TEST_P(MemorySweep, FeatureMapFractionGrowsWithBatch)
+{
+    // Weights are batch-invariant while feature maps grow: the feature
+    // map *share* must be non-decreasing along the sweep (Obs. 12).
+    const auto &c = GetParam();
+    if (c.model->batchSweep.size() < 2)
+        return;
+    const double lo = breakdown(c, c.model->batchSweep.front())
+                          .fraction(mp::MemCategory::FeatureMaps);
+    const double hi = breakdown(c, c.model->batchSweep.back())
+                          .fraction(mp::MemCategory::FeatureMaps);
+    EXPECT_GE(hi, lo - 1e-9) << c.model->name;
+}
+
+TEST_P(MemorySweep, CapacityCeilingIsConsistent)
+{
+    // maxFeasibleBatch must actually fit, and the next grid point must
+    // not.
+    const auto &c = GetParam();
+    const std::uint64_t cap = 8ull << 30;
+    const auto &profile = tf::profileFor(c.framework);
+    const auto max_batch = tp::maxFeasibleBatch(*c.model, profile, cap);
+    if (max_batch == 0)
+        return; // nothing fits (not the case for any registered model)
+    EXPECT_NO_THROW(tp::simulateIterationMemory(
+        *c.model, c.model->describe(max_batch), profile,
+        tp::OptimizerSpec{}, cap));
+    bool doubled_fits = true;
+    try {
+        tp::simulateIterationMemory(*c.model,
+                                    c.model->describe(max_batch * 2),
+                                    profile, tp::OptimizerSpec{}, cap);
+    } catch (const tbd::util::FatalError &) {
+        doubled_fits = false;
+    }
+    if (doubled_fits) {
+        // The ceiling lies beyond the probed grid; that is only
+        // consistent for models far below capacity (e.g. A3C).
+        EXPECT_GE(max_batch, c.model->batchSweep.back()) << c.model->name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllImplementations, MemorySweep, ::testing::ValuesIn(allCases()),
+    [](const auto &info) {
+        std::string name =
+            info.param.model->name + std::string("_") +
+            tf::frameworkName(info.param.framework);
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });

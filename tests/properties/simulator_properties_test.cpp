@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Cross-configuration invariants of the full performance simulator:
+ * metric ranges, determinism, and relations between metrics that any
+ * consistent measurement pipeline must satisfy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "perf/simulator.h"
+
+namespace tp = tbd::perf;
+namespace md = tbd::models;
+namespace tf = tbd::frameworks;
+namespace tg = tbd::gpusim;
+
+namespace {
+
+struct Case
+{
+    const md::ModelDesc *model;
+    tf::FrameworkId framework;
+    std::int64_t batch;
+};
+
+std::vector<Case>
+allCases()
+{
+    std::vector<Case> cases;
+    for (const auto *m : md::allModels()) {
+        for (auto fw : m->frameworks) {
+            cases.push_back({m, fw, m->batchSweep.front()});
+            if (m->batchSweep.back() != m->batchSweep.front())
+                cases.push_back({m, fw, m->batchSweep.back()});
+        }
+    }
+    return cases;
+}
+
+tp::RunResult
+run(const Case &c, const tg::GpuSpec &gpu = tg::quadroP4000())
+{
+    tp::PerfSimulator sim;
+    tp::RunConfig rc;
+    rc.model = c.model;
+    rc.framework = c.framework;
+    rc.gpu = gpu;
+    rc.batch = c.batch;
+    rc.enforceMemory = false; // ranges tested even past the 8 GiB wall
+    return sim.run(rc);
+}
+
+} // namespace
+
+class SimulatorSweep : public ::testing::TestWithParam<Case>
+{
+};
+
+TEST_P(SimulatorSweep, MetricsInRange)
+{
+    const auto r = run(GetParam());
+    EXPECT_GT(r.iterationUs, 0.0);
+    EXPECT_GT(r.throughputSamples, 0.0);
+    EXPECT_GE(r.gpuUtilization, 0.0);
+    EXPECT_LE(r.gpuUtilization, 1.0 + 1e-9);
+    EXPECT_GE(r.fp32Utilization, 0.0);
+    EXPECT_LE(r.fp32Utilization, 1.0);
+    EXPECT_GE(r.cpuUtilization, 0.0);
+    EXPECT_LE(r.cpuUtilization, 1.0);
+    EXPECT_GT(r.kernelsPerIteration, 0);
+}
+
+TEST_P(SimulatorSweep, Deterministic)
+{
+    const auto a = run(GetParam());
+    const auto b = run(GetParam());
+    EXPECT_DOUBLE_EQ(a.throughputSamples, b.throughputSamples);
+    EXPECT_DOUBLE_EQ(a.gpuUtilization, b.gpuUtilization);
+    EXPECT_DOUBLE_EQ(a.fp32Utilization, b.fp32Utilization);
+    EXPECT_EQ(a.memory.total(), b.memory.total());
+}
+
+TEST_P(SimulatorSweep, ThroughputConsistentWithIterationTime)
+{
+    const auto &c = GetParam();
+    const auto r = run(c);
+    EXPECT_NEAR(r.throughputSamples,
+                static_cast<double>(c.batch) / (r.iterationUs * 1e-6),
+                1e-6 * r.throughputSamples);
+    EXPECT_NEAR(r.throughputUnits,
+                r.throughputSamples * c.model->unitsPerSample,
+                1e-6 * r.throughputUnits);
+}
+
+TEST_P(SimulatorSweep, TitanXpNeverSlower)
+{
+    const auto &c = GetParam();
+    const auto p4 = run(c);
+    const auto xp = run(c, tg::titanXp());
+    EXPECT_GE(xp.throughputSamples, p4.throughputSamples * 0.999)
+        << c.model->name;
+}
+
+TEST_P(SimulatorSweep, FasterGpuNeverBetterUtilized)
+{
+    const auto &c = GetParam();
+    const auto p4 = run(c);
+    const auto xp = run(c, tg::titanXp());
+    EXPECT_LE(xp.fp32Utilization, p4.fp32Utilization + 1e-6)
+        << c.model->name;
+}
+
+TEST_P(SimulatorSweep, WarmupAtLeastAsSlowAsStable)
+{
+    const auto r = run(GetParam());
+    ASSERT_FALSE(r.warmupIterationUs.empty());
+    ASSERT_FALSE(r.sampleIterationUs.empty());
+    EXPECT_GE(r.warmupIterationUs.front(),
+              r.sampleIterationUs.front() * 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, SimulatorSweep, ::testing::ValuesIn(allCases()),
+    [](const auto &info) {
+        std::string name = info.param.model->name + std::string("_") +
+                           tf::frameworkName(info.param.framework) +
+                           "_b" + std::to_string(info.param.batch);
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Properties of the kernel-timing model that must hold for *any*
+ * kernel on *any* device — monotonicity and bound laws a roofline
+ * model owes its users.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gpusim/kernel.h"
+#include "util/rng.h"
+
+namespace tg = tbd::gpusim;
+
+namespace {
+
+/** Deterministic pseudo-random kernel population. */
+std::vector<tg::KernelDesc>
+kernelPopulation(int count)
+{
+    tbd::util::Rng rng(123);
+    std::vector<tg::KernelDesc> kernels;
+    kernels.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        tg::KernelDesc k;
+        k.name = "k" + std::to_string(i);
+        k.flops = std::pow(10.0, rng.uniform(4.0, 10.0));
+        k.bytes = std::pow(10.0, rng.uniform(3.0, 8.0));
+        k.parallelism = std::pow(10.0, rng.uniform(2.0, 7.0));
+        k.computeEff = rng.uniform(0.1, 0.9);
+        k.memoryEff = rng.uniform(0.3, 0.9);
+        kernels.push_back(std::move(k));
+    }
+    return kernels;
+}
+
+const std::vector<const tg::GpuSpec *> kDevices = {
+    &tg::quadroP4000(), &tg::titanXp()};
+
+} // namespace
+
+TEST(TimingProperties, DurationPositiveAndUtilInRange)
+{
+    for (const auto *gpu : kDevices) {
+        for (const auto &k : kernelPopulation(200)) {
+            const auto t = tg::timeKernel(*gpu, k);
+            EXPECT_GE(t.durationUs, tg::kKernelTailUs);
+            EXPECT_GE(t.fp32Util, 0.0) << k.name;
+            EXPECT_LE(t.fp32Util, 1.0) << k.name;
+        }
+    }
+}
+
+TEST(TimingProperties, MoreFlopsNeverFaster)
+{
+    for (const auto *gpu : kDevices) {
+        for (auto k : kernelPopulation(50)) {
+            const auto base = tg::timeKernel(*gpu, k);
+            k.flops *= 2.0;
+            const auto doubled = tg::timeKernel(*gpu, k);
+            EXPECT_GE(doubled.durationUs, base.durationUs) << k.name;
+        }
+    }
+}
+
+TEST(TimingProperties, MoreBytesNeverFaster)
+{
+    for (const auto *gpu : kDevices) {
+        for (auto k : kernelPopulation(50)) {
+            const auto base = tg::timeKernel(*gpu, k);
+            k.bytes *= 4.0;
+            const auto heavier = tg::timeKernel(*gpu, k);
+            EXPECT_GE(heavier.durationUs, base.durationUs) << k.name;
+        }
+    }
+}
+
+TEST(TimingProperties, MoreParallelismNeverSlower)
+{
+    for (const auto *gpu : kDevices) {
+        for (auto k : kernelPopulation(50)) {
+            const auto base = tg::timeKernel(*gpu, k);
+            k.parallelism *= 8.0;
+            const auto wider = tg::timeKernel(*gpu, k);
+            EXPECT_LE(wider.durationUs, base.durationUs + 1e-9) << k.name;
+        }
+    }
+}
+
+TEST(TimingProperties, UtilizationBoundedByComputeEff)
+{
+    // Measured FP32 utilization can never exceed the kernel's
+    // compute-efficiency ceiling.
+    for (const auto *gpu : kDevices) {
+        for (const auto &k : kernelPopulation(200)) {
+            const auto t = tg::timeKernel(*gpu, k);
+            EXPECT_LE(t.fp32Util, k.computeEff + 1e-9) << k.name;
+        }
+    }
+}
+
+TEST(TimingProperties, RooflineLowerBounds)
+{
+    // Duration is never below either roofline term alone.
+    for (const auto *gpu : kDevices) {
+        for (const auto &k : kernelPopulation(100)) {
+            const auto t = tg::timeKernel(*gpu, k);
+            const double mem_floor_us =
+                k.bytes / (gpu->memoryBwGBs * 1e9 * k.memoryEff) * 1e6;
+            const double compute_floor_us =
+                k.flops / (gpu->peakFlops() * k.computeEff) * 1e6;
+            EXPECT_GE(t.durationUs + 1e-9, mem_floor_us) << k.name;
+            EXPECT_GE(t.durationUs + 1e-9, compute_floor_us) << k.name;
+        }
+    }
+}
+
+TEST(TimingProperties, WiderGpuNeverSlowerNeverBetterUtilized)
+{
+    // For identical work the TITAN Xp finishes no later and achieves no
+    // higher fraction of its (larger) peak — the paper's Obs. 10 as a
+    // universal property of the model.
+    for (const auto &k : kernelPopulation(200)) {
+        const auto p4 = tg::timeKernel(tg::quadroP4000(), k);
+        const auto xp = tg::timeKernel(tg::titanXp(), k);
+        EXPECT_LE(xp.durationUs, p4.durationUs + 1e-9) << k.name;
+        EXPECT_LE(xp.fp32Util, p4.fp32Util + 1e-9) << k.name;
+    }
+}

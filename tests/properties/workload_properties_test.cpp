@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Invariants of every registered model's workload over its full batch
+ * sweep: cost accounting must be internally consistent (non-negative,
+ * parameter counts batch-invariant, compute ~linear in batch) for the
+ * performance and memory models to mean anything.
+ */
+
+#include <gtest/gtest.h>
+
+#include "models/model_desc.h"
+
+namespace md = tbd::models;
+
+namespace {
+
+struct Case
+{
+    const md::ModelDesc *model;
+    std::int64_t batch;
+};
+
+std::vector<Case>
+allCases()
+{
+    std::vector<Case> cases;
+    for (const auto *m : md::allModels())
+        for (std::int64_t b : m->batchSweep)
+            cases.push_back({m, b});
+    return cases;
+}
+
+} // namespace
+
+class WorkloadSweep : public ::testing::TestWithParam<Case>
+{
+};
+
+TEST_P(WorkloadSweep, CostsAreWellFormed)
+{
+    const auto [model, batch] = GetParam();
+    const auto w = model->describe(batch);
+    ASSERT_FALSE(w.ops.empty());
+    for (const auto &op : w.ops) {
+        EXPECT_GE(op.fwdFlops, 0.0) << op.name;
+        EXPECT_GE(op.params, 0) << op.name;
+        EXPECT_GT(op.outputElems, 0) << op.name;
+        EXPECT_GE(op.timeSteps, 1) << op.name;
+        EXPECT_FALSE(op.name.empty());
+    }
+    EXPECT_GT(w.totalFwdFlops(), 0.0);
+    EXPECT_GT(w.totalParams(), 0);
+}
+
+TEST_P(WorkloadSweep, OpNamesAreUnique)
+{
+    const auto [model, batch] = GetParam();
+    const auto w = model->describe(batch);
+    std::set<std::string> names;
+    for (const auto &op : w.ops)
+        EXPECT_TRUE(names.insert(op.name).second)
+            << "duplicate op name: " << op.name;
+}
+
+TEST_P(WorkloadSweep, ParamsAreBatchInvariant)
+{
+    const auto [model, batch] = GetParam();
+    EXPECT_EQ(model->describe(batch).totalParams(),
+              model->describe(model->batchSweep.front()).totalParams());
+}
+
+TEST_P(WorkloadSweep, ComputeScalesWithBatch)
+{
+    // Compare against the second sweep point: the smallest one may be
+    // below one Transformer sequence, where token->sequence rounding
+    // distorts the ratio.
+    const auto [model, batch] = GetParam();
+    if (model->batchSweep.size() < 2)
+        return;
+    const auto base = model->batchSweep[1];
+    if (batch <= base)
+        return;
+    const double ratio = model->describe(batch).totalFwdFlops() /
+                         model->describe(base).totalFwdFlops();
+    const double expected =
+        static_cast<double>(batch) / static_cast<double>(base);
+    EXPECT_NEAR(ratio, expected, 0.25 * expected)
+        << model->name << " batch " << batch;
+}
+
+TEST_P(WorkloadSweep, ActivationsScaleWithBatch)
+{
+    const auto [model, batch] = GetParam();
+    if (model->batchSweep.size() < 2)
+        return;
+    const auto base = model->batchSweep[1];
+    if (batch <= base)
+        return;
+    const double ratio =
+        static_cast<double>(model->describe(batch).totalActivations()) /
+        static_cast<double>(model->describe(base).totalActivations());
+    const double expected =
+        static_cast<double>(batch) / static_cast<double>(base);
+    EXPECT_NEAR(ratio, expected, 0.25 * expected) << model->name;
+}
+
+TEST_P(WorkloadSweep, DeterministicDescription)
+{
+    const auto [model, batch] = GetParam();
+    const auto a = model->describe(batch);
+    const auto b = model->describe(batch);
+    ASSERT_EQ(a.ops.size(), b.ops.size());
+    EXPECT_DOUBLE_EQ(a.totalFwdFlops(), b.totalFwdFlops());
+    EXPECT_EQ(a.totalParams(), b.totalParams());
+    for (std::size_t i = 0; i < a.ops.size(); ++i)
+        EXPECT_EQ(a.ops[i].name, b.ops[i].name);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModelsAllBatches, WorkloadSweep, ::testing::ValuesIn(allCases()),
+    [](const auto &info) {
+        std::string name = info.param.model->name + "_b" +
+                           std::to_string(info.param.batch);
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });

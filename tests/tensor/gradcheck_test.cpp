@@ -1,0 +1,59 @@
+#include "tensor/gradcheck.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace tt = tbd::tensor;
+
+TEST(GradCheck, AcceptsCorrectGradient)
+{
+    // f(x) = sum(x^2) -> df/dx = 2x.
+    tbd::util::Rng rng(1);
+    tt::Tensor x(tt::Shape{10});
+    x.fillNormal(rng, 0.0f, 1.0f);
+    tt::Tensor analytic = tt::map(x, [](float v) { return 2.0f * v; });
+    auto loss = [&]() {
+        double s = 0.0;
+        for (std::int64_t i = 0; i < x.numel(); ++i)
+            s += static_cast<double>(x.at(i)) * x.at(i);
+        return s;
+    };
+    auto res = tt::checkGradient(x, loss, analytic);
+    EXPECT_TRUE(res.ok(1e-3)) << res.maxRelError;
+    EXPECT_EQ(res.checked, 10);
+}
+
+TEST(GradCheck, RejectsWrongGradient)
+{
+    tbd::util::Rng rng(2);
+    tt::Tensor x(tt::Shape{8});
+    x.fillNormal(rng, 1.0f, 0.5f);
+    tt::Tensor wrong = tt::map(x, [](float v) { return 3.0f * v; });
+    auto loss = [&]() {
+        double s = 0.0;
+        for (std::int64_t i = 0; i < x.numel(); ++i)
+            s += static_cast<double>(x.at(i)) * x.at(i);
+        return s;
+    };
+    auto res = tt::checkGradient(x, loss, wrong);
+    EXPECT_FALSE(res.ok(1e-2));
+}
+
+TEST(GradCheck, ProbeCapLimitsWork)
+{
+    tbd::util::Rng rng(3);
+    tt::Tensor x(tt::Shape{1000});
+    x.fillNormal(rng, 0.0f, 1.0f);
+    tt::Tensor analytic = tt::map(x, [](float v) { return 2.0f * v; });
+    auto loss = [&]() {
+        double s = 0.0;
+        for (std::int64_t i = 0; i < x.numel(); ++i)
+            s += static_cast<double>(x.at(i)) * x.at(i);
+        return s;
+    };
+    auto res = tt::checkGradient(x, loss, analytic, 1e-3, 16);
+    EXPECT_LE(res.checked, 100);
+    EXPECT_TRUE(res.ok(1e-3));
+}

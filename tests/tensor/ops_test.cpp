@@ -1,0 +1,207 @@
+#include "tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tt = tbd::tensor;
+
+namespace {
+
+tt::Tensor
+randomTensor(tt::Shape shape, std::uint64_t seed)
+{
+    tbd::util::Rng rng(seed);
+    tt::Tensor t(std::move(shape));
+    t.fillNormal(rng, 0.0f, 1.0f);
+    return t;
+}
+
+} // namespace
+
+TEST(Ops, MatmulIdentity)
+{
+    tt::Tensor a = randomTensor(tt::Shape{3, 3}, 1);
+    tt::Tensor eye(tt::Shape{3, 3});
+    for (int i = 0; i < 3; ++i)
+        eye.at2(i, i) = 1.0f;
+    tt::Tensor c = tt::matmul(a, eye);
+    for (std::int64_t i = 0; i < a.numel(); ++i)
+        EXPECT_FLOAT_EQ(c.at(i), a.at(i));
+}
+
+TEST(Ops, MatmulKnownValues)
+{
+    tt::Tensor a(tt::Shape{2, 2}, std::vector<float>{1, 2, 3, 4});
+    tt::Tensor b(tt::Shape{2, 2}, std::vector<float>{5, 6, 7, 8});
+    tt::Tensor c = tt::matmul(a, b);
+    EXPECT_FLOAT_EQ(c.at2(0, 0), 19.0f);
+    EXPECT_FLOAT_EQ(c.at2(0, 1), 22.0f);
+    EXPECT_FLOAT_EQ(c.at2(1, 0), 43.0f);
+    EXPECT_FLOAT_EQ(c.at2(1, 1), 50.0f);
+}
+
+TEST(Ops, MatmulDimChecks)
+{
+    tt::Tensor a(tt::Shape{2, 3});
+    tt::Tensor b(tt::Shape{4, 2});
+    EXPECT_THROW(tt::matmul(a, b), tbd::util::FatalError);
+}
+
+TEST(Ops, MatmulTNMatchesExplicitTranspose)
+{
+    tt::Tensor a = randomTensor(tt::Shape{5, 3}, 2);
+    tt::Tensor b = randomTensor(tt::Shape{5, 4}, 3);
+    tt::Tensor viaTN = tt::matmulTN(a, b);
+    tt::Tensor expl = tt::matmul(tt::transpose2d(a), b);
+    for (std::int64_t i = 0; i < viaTN.numel(); ++i)
+        EXPECT_NEAR(viaTN.at(i), expl.at(i), 1e-4);
+}
+
+TEST(Ops, MatmulNTMatchesExplicitTranspose)
+{
+    tt::Tensor a = randomTensor(tt::Shape{5, 3}, 4);
+    tt::Tensor b = randomTensor(tt::Shape{6, 3}, 5);
+    tt::Tensor viaNT = tt::matmulNT(a, b);
+    tt::Tensor expl = tt::matmul(a, tt::transpose2d(b));
+    for (std::int64_t i = 0; i < viaNT.numel(); ++i)
+        EXPECT_NEAR(viaNT.at(i), expl.at(i), 1e-4);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne)
+{
+    tt::Tensor x = randomTensor(tt::Shape{4, 7}, 6);
+    tt::Tensor y = tt::softmaxRows(x);
+    for (std::int64_t r = 0; r < 4; ++r) {
+        double s = 0.0;
+        for (std::int64_t c = 0; c < 7; ++c) {
+            EXPECT_GT(y.at2(r, c), 0.0f);
+            s += y.at2(r, c);
+        }
+        EXPECT_NEAR(s, 1.0, 1e-5);
+    }
+}
+
+TEST(Ops, SoftmaxNumericallyStableWithLargeLogits)
+{
+    tt::Tensor x(tt::Shape{1, 3}, std::vector<float>{1000.0f, 1000.0f,
+                                                     999.0f});
+    tt::Tensor y = tt::softmaxRows(x);
+    EXPECT_FALSE(std::isnan(y.at(0)));
+    EXPECT_NEAR(y.at(0), y.at(1), 1e-6);
+}
+
+TEST(Ops, AddRowBiasAndSumRows)
+{
+    tt::Tensor x(tt::Shape{2, 3});
+    tt::Tensor b(tt::Shape{3}, std::vector<float>{1, 2, 3});
+    tt::addRowBias(x, b);
+    EXPECT_FLOAT_EQ(x.at2(1, 2), 3.0f);
+    tt::Tensor s = tt::sumRows(x);
+    EXPECT_FLOAT_EQ(s.at(0), 2.0f);
+    EXPECT_FLOAT_EQ(s.at(2), 6.0f);
+}
+
+TEST(Ops, Conv2dGeomOutputDims)
+{
+    // ResNet-50 stem: 224x224, k7 s2 p3 -> 112x112.
+    tt::Conv2dGeom g{3, 224, 224, 64, 7, 7, 2, 2, 3, 3};
+    EXPECT_EQ(g.outH(), 112);
+    EXPECT_EQ(g.outW(), 112);
+}
+
+TEST(Ops, Im2ColKnownPattern)
+{
+    // 1x1x3x3 input, 2x2 kernel, stride 1, no pad -> 4 patches of 4.
+    tt::Tensor x(tt::Shape{1, 1, 3, 3},
+                 std::vector<float>{1, 2, 3, 4, 5, 6, 7, 8, 9});
+    tt::Conv2dGeom g{1, 3, 3, 1, 2, 2, 1, 1, 0, 0};
+    tt::Tensor cols = tt::im2col(x, g);
+    ASSERT_EQ(cols.shape(), tt::Shape({4, 4}));
+    EXPECT_FLOAT_EQ(cols.at2(0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(cols.at2(0, 3), 5.0f);
+    EXPECT_FLOAT_EQ(cols.at2(3, 0), 5.0f);
+    EXPECT_FLOAT_EQ(cols.at2(3, 3), 9.0f);
+}
+
+TEST(Ops, Im2ColZeroPadsBorders)
+{
+    tt::Tensor x(tt::Shape{1, 1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+    tt::Conv2dGeom g{1, 2, 2, 1, 3, 3, 1, 1, 1, 1};
+    tt::Tensor cols = tt::im2col(x, g);
+    // First output position (top-left): top-left 2x2 of the kernel
+    // window falls on padding.
+    EXPECT_FLOAT_EQ(cols.at2(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(cols.at2(0, 4), 1.0f); // center = x(0,0)
+}
+
+TEST(Ops, Col2ImRoundTripCountsOverlaps)
+{
+    // col2im(im2col(x)) multiplies each pixel by its patch multiplicity.
+    tt::Tensor x(tt::Shape{1, 1, 3, 3}, 1.0f);
+    tt::Conv2dGeom g{1, 3, 3, 1, 2, 2, 1, 1, 0, 0};
+    tt::Tensor cols = tt::im2col(x, g);
+    tt::Tensor back = tt::col2im(cols, 1, g);
+    EXPECT_FLOAT_EQ(back.at4(0, 0, 0, 0), 1.0f); // corner in 1 patch
+    EXPECT_FLOAT_EQ(back.at4(0, 0, 1, 1), 4.0f); // center in 4 patches
+}
+
+TEST(Ops, MaxPoolSelectsMaxAndRoutesGradient)
+{
+    tt::Tensor x(tt::Shape{1, 1, 2, 2}, std::vector<float>{1, 5, 3, 2});
+    tt::Conv2dGeom g{1, 2, 2, 1, 2, 2, 2, 2, 0, 0};
+    auto res = tt::maxPool2d(x, g);
+    ASSERT_EQ(res.output.numel(), 1);
+    EXPECT_FLOAT_EQ(res.output.at(0), 5.0f);
+
+    tt::Tensor dy(tt::Shape{1, 1, 1, 1}, 2.0f);
+    tt::Tensor dx = tt::maxPool2dBackward(dy, res, x.shape());
+    EXPECT_FLOAT_EQ(dx.at(0), 0.0f);
+    EXPECT_FLOAT_EQ(dx.at(1), 2.0f);
+}
+
+TEST(Ops, AvgPoolAveragesAndSpreadsGradient)
+{
+    tt::Tensor x(tt::Shape{1, 1, 2, 2}, std::vector<float>{1, 5, 3, 3});
+    tt::Conv2dGeom g{1, 2, 2, 1, 2, 2, 2, 2, 0, 0};
+    tt::Tensor y = tt::avgPool2d(x, g);
+    EXPECT_FLOAT_EQ(y.at(0), 3.0f);
+
+    tt::Tensor dy(tt::Shape{1, 1, 1, 1}, 4.0f);
+    tt::Tensor dx = tt::avgPool2dBackward(dy, x.shape(), g);
+    for (std::int64_t i = 0; i < 4; ++i)
+        EXPECT_FLOAT_EQ(dx.at(i), 1.0f);
+}
+
+TEST(Ops, ConcatSplitRoundTrip)
+{
+    tt::Tensor a = randomTensor(tt::Shape{2, 3, 2, 2}, 7);
+    tt::Tensor b = randomTensor(tt::Shape{2, 5, 2, 2}, 8);
+    tt::Tensor cat = tt::concatAxis1({a, b});
+    ASSERT_EQ(cat.shape(), tt::Shape({2, 8, 2, 2}));
+    auto parts = tt::splitAxis1(cat, {3, 5});
+    for (std::int64_t i = 0; i < a.numel(); ++i)
+        EXPECT_FLOAT_EQ(parts[0].at(i), a.at(i));
+    for (std::int64_t i = 0; i < b.numel(); ++i)
+        EXPECT_FLOAT_EQ(parts[1].at(i), b.at(i));
+}
+
+TEST(Ops, SplitSizesMustCoverAxis)
+{
+    tt::Tensor x(tt::Shape{1, 4, 1, 1});
+    EXPECT_THROW(tt::splitAxis1(x, {1, 2}), tbd::util::FatalError);
+}
+
+TEST(Ops, MapAndZip)
+{
+    tt::Tensor x(tt::Shape{3}, std::vector<float>{-1, 0, 2});
+    tt::Tensor y = tt::map(x, [](float v) { return v * v; });
+    EXPECT_FLOAT_EQ(y.at(0), 1.0f);
+    EXPECT_FLOAT_EQ(y.at(2), 4.0f);
+    tt::Tensor z = tt::zip(x, y, [](float a, float b) { return a + b; });
+    EXPECT_FLOAT_EQ(z.at(0), 0.0f);
+    EXPECT_FLOAT_EQ(z.at(2), 6.0f);
+}

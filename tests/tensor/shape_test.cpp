@@ -1,0 +1,61 @@
+#include "tensor/shape.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace tt = tbd::tensor;
+
+TEST(Shape, NumelAndRank)
+{
+    tt::Shape s{2, 3, 4};
+    EXPECT_EQ(s.rank(), 3u);
+    EXPECT_EQ(s.numel(), 24);
+}
+
+TEST(Shape, ScalarShape)
+{
+    tt::Shape s;
+    EXPECT_EQ(s.rank(), 0u);
+    EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(Shape, NegativeIndexing)
+{
+    tt::Shape s{2, 3, 4};
+    EXPECT_EQ(s.dim(-1), 4);
+    EXPECT_EQ(s.dim(-3), 2);
+}
+
+TEST(Shape, OutOfRangeThrows)
+{
+    tt::Shape s{2, 3};
+    EXPECT_THROW(s.dim(2), tbd::util::FatalError);
+    EXPECT_THROW(s.dim(-3), tbd::util::FatalError);
+}
+
+TEST(Shape, RejectsNonPositiveDims)
+{
+    EXPECT_THROW(tt::Shape({2, 0}), tbd::util::FatalError);
+    EXPECT_THROW(tt::Shape({-1}), tbd::util::FatalError);
+}
+
+TEST(Shape, WithDimReplaces)
+{
+    tt::Shape s{8, 3, 224, 224};
+    tt::Shape t = s.withDim(0, 32);
+    EXPECT_EQ(t.dim(0), 32);
+    EXPECT_EQ(t.dim(1), 3);
+    EXPECT_EQ(s.dim(0), 8); // original untouched
+}
+
+TEST(Shape, Equality)
+{
+    EXPECT_EQ(tt::Shape({2, 3}), tt::Shape({2, 3}));
+    EXPECT_NE(tt::Shape({2, 3}), tt::Shape({3, 2}));
+}
+
+TEST(Shape, ToString)
+{
+    EXPECT_EQ(tt::Shape({1, 2, 3}).toString(), "[1, 2, 3]");
+}

@@ -1,0 +1,92 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tt = tbd::tensor;
+
+TEST(Tensor, ZeroInitialized)
+{
+    tt::Tensor t(tt::Shape{2, 3});
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        EXPECT_EQ(t.at(i), 0.0f);
+}
+
+TEST(Tensor, FillConstructor)
+{
+    tt::Tensor t(tt::Shape{4}, 2.5f);
+    EXPECT_EQ(t.at(3), 2.5f);
+}
+
+TEST(Tensor, DataVectorSizeChecked)
+{
+    EXPECT_THROW(tt::Tensor(tt::Shape{3}, std::vector<float>{1.0f}),
+                 tbd::util::FatalError);
+}
+
+TEST(Tensor, CopySharesStorageCloneDoesNot)
+{
+    tt::Tensor a(tt::Shape{2}, 1.0f);
+    tt::Tensor b = a;         // shares
+    tt::Tensor c = a.clone(); // deep copy
+    a.at(0) = 9.0f;
+    EXPECT_EQ(b.at(0), 9.0f);
+    EXPECT_EQ(c.at(0), 1.0f);
+}
+
+TEST(Tensor, ReshapePreservesDataAndChecksNumel)
+{
+    tt::Tensor a(tt::Shape{2, 3});
+    a.at(5) = 7.0f;
+    tt::Tensor b = a.reshaped(tt::Shape{3, 2});
+    EXPECT_EQ(b.at2(2, 1), 7.0f);
+    EXPECT_THROW(a.reshaped(tt::Shape{4}), tbd::util::FatalError);
+}
+
+TEST(Tensor, At4Indexing)
+{
+    tt::Tensor t(tt::Shape{2, 3, 4, 5});
+    t.at4(1, 2, 3, 4) = 42.0f;
+    EXPECT_EQ(t.at(t.numel() - 1), 42.0f);
+}
+
+TEST(Tensor, AddScaledAndScale)
+{
+    tt::Tensor a(tt::Shape{3}, 1.0f);
+    tt::Tensor b(tt::Shape{3}, 2.0f);
+    a.addScaled(b, 0.5f);
+    EXPECT_FLOAT_EQ(a.at(0), 2.0f);
+    a.scale(2.0f);
+    EXPECT_FLOAT_EQ(a.at(2), 4.0f);
+}
+
+TEST(Tensor, AddScaledShapeMismatchThrows)
+{
+    tt::Tensor a(tt::Shape{3});
+    tt::Tensor b(tt::Shape{4});
+    EXPECT_THROW(a.addScaled(b, 1.0f), tbd::util::FatalError);
+}
+
+TEST(Tensor, SumAndMeanAbs)
+{
+    tt::Tensor t(tt::Shape{2}, -3.0f);
+    EXPECT_DOUBLE_EQ(t.sum(), -6.0);
+    EXPECT_DOUBLE_EQ(t.meanAbs(), 3.0);
+}
+
+TEST(Tensor, FillNormalStatistics)
+{
+    tbd::util::Rng rng(1);
+    tt::Tensor t(tt::Shape{100000});
+    t.fillNormal(rng, 1.0f, 2.0f);
+    EXPECT_NEAR(t.sum() / t.numel(), 1.0, 0.05);
+}
+
+TEST(Tensor, UndefinedTensorThrowsOnUse)
+{
+    tt::Tensor t;
+    EXPECT_FALSE(t.defined());
+    EXPECT_THROW(t.fill(1.0f), tbd::util::FatalError);
+}

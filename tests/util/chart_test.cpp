@@ -1,0 +1,71 @@
+#include "util/chart.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace tu = tbd::util;
+
+TEST(Chart, ContainsMarkersAxisAndLegend)
+{
+    tu::ChartOptions opt;
+    opt.xLabel = "batch";
+    opt.yLabel = "samples/s";
+    const std::string s = tu::asciiChart(
+        {4, 8, 16, 32},
+        {{"ResNet-50", {50, 60, 70, 80}}, {"NMT", {10, 20, 40, 80}}},
+        opt);
+    EXPECT_NE(s.find('*'), std::string::npos);
+    EXPECT_NE(s.find('o'), std::string::npos);
+    EXPECT_NE(s.find("ResNet-50"), std::string::npos);
+    EXPECT_NE(s.find("NMT"), std::string::npos);
+    EXPECT_NE(s.find("samples/s"), std::string::npos);
+    EXPECT_NE(s.find("(batch)"), std::string::npos);
+    EXPECT_NE(s.find('+'), std::string::npos); // axis corner
+}
+
+TEST(Chart, RisingSeriesRisesOnTheGrid)
+{
+    const std::string s =
+        tu::asciiChart({1, 2, 3}, {{"up", {0.0, 5.0, 10.0}}});
+    // The last point must appear above the first: find rows containing
+    // the marker and check ordering.
+    std::vector<std::string> lines;
+    std::istringstream iss(s);
+    std::string line;
+    while (std::getline(iss, line))
+        lines.push_back(line);
+    int first_row = -1, last_row = -1;
+    for (int r = 0; r < static_cast<int>(lines.size()); ++r) {
+        const auto pos = lines[static_cast<std::size_t>(r)].find('*');
+        if (pos == std::string::npos)
+            continue;
+        if (first_row < 0)
+            first_row = r; // topmost marker = highest value
+        last_row = r;
+    }
+    ASSERT_GE(first_row, 0);
+    EXPECT_LT(first_row, last_row); // spans multiple rows
+}
+
+TEST(Chart, LogScaleAcceptsDoublingSweeps)
+{
+    tu::ChartOptions opt;
+    opt.logX = true;
+    EXPECT_NO_THROW(tu::asciiChart({4, 8, 16, 32, 64},
+                                   {{"s", {1, 2, 3, 4, 5}}}, opt));
+    EXPECT_THROW(tu::asciiChart({0, 1}, {{"s", {1, 2}}}, opt),
+                 tbd::util::FatalError);
+}
+
+TEST(Chart, RejectsMismatchedSeries)
+{
+    EXPECT_THROW(tu::asciiChart({1, 2, 3}, {{"s", {1, 2}}}),
+                 tbd::util::FatalError);
+    EXPECT_THROW(tu::asciiChart({}, {{"s", {}}}), tbd::util::FatalError);
+}
+
+TEST(Chart, FlatSeriesDoesNotDivideByZero)
+{
+    EXPECT_NO_THROW(tu::asciiChart({1, 2}, {{"flat", {3.0, 3.0}}}));
+}

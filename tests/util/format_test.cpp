@@ -1,0 +1,39 @@
+#include "util/format.h"
+
+#include <gtest/gtest.h>
+
+namespace tu = tbd::util;
+
+TEST(Format, Bytes)
+{
+    EXPECT_EQ(tu::formatBytes(512), "512 B");
+    EXPECT_EQ(tu::formatBytes(2048), "2.00 KiB");
+    EXPECT_EQ(tu::formatBytes(3ull << 30), "3.00 GiB");
+}
+
+TEST(Format, Si)
+{
+    EXPECT_EQ(tu::formatSi(999), "999");
+    EXPECT_EQ(tu::formatSi(1500), "1.50 K");
+    EXPECT_EQ(tu::formatSi(7.72e9), "7.72 G");
+}
+
+TEST(Format, Duration)
+{
+    EXPECT_EQ(tu::formatDuration(2.5), "2.50 s");
+    EXPECT_EQ(tu::formatDuration(0.0142), "14.20 ms");
+    EXPECT_EQ(tu::formatDuration(5.5e-6), "5.50 us");
+    EXPECT_EQ(tu::formatDuration(3e-9), "3.0 ns");
+}
+
+TEST(Format, Percent)
+{
+    EXPECT_EQ(tu::formatPercent(0.873), "87.3%");
+    EXPECT_EQ(tu::formatPercent(0.05, 2), "5.00%");
+}
+
+TEST(Format, Fixed)
+{
+    EXPECT_EQ(tu::formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(tu::formatFixed(-1.0, 0), "-1");
+}

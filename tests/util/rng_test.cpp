@@ -1,0 +1,103 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tu = tbd::util;
+
+TEST(Rng, SameSeedSameStream)
+{
+    tu::Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    tu::Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.nextU64() == b.nextU64();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    tu::Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    tu::Rng rng(11);
+    double acc = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        acc += rng.uniform();
+    EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    tu::Rng rng(3);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformInt(2, 5);
+        EXPECT_GE(v, 2);
+        EXPECT_LE(v, 5);
+        saw_lo |= v == 2;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntRejectsEmptyRange)
+{
+    tu::Rng rng(1);
+    EXPECT_THROW(rng.uniformInt(5, 2), tu::FatalError);
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    tu::Rng rng(42);
+    double sum = 0.0, sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal(3.0, 2.0);
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 3.0, 0.05);
+    EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, TruncatedNormalRespectsBounds)
+{
+    tu::Rng rng(5);
+    for (int i = 0; i < 5000; ++i) {
+        const double x = rng.truncatedNormal(10.0, 5.0, 8.0, 12.0);
+        EXPECT_GE(x, 8.0);
+        EXPECT_LE(x, 12.0);
+    }
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    tu::Rng parent(9);
+    tu::Rng child = parent.fork();
+    // Child stream should not track parent stream.
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += parent.nextU64() == child.nextU64();
+    EXPECT_LT(same, 2);
+}

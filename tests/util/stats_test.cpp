@@ -1,0 +1,92 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace tu = tbd::util;
+
+TEST(RunningStat, EmptyIsZeroMean)
+{
+    tu::RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MeanAndVariance)
+{
+    tu::RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential)
+{
+    tu::RunningStat a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        const double x = 0.37 * i - 3.0;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmptyIsNoop)
+{
+    tu::RunningStat a, empty;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(RunningStat, CvIsRelativeSpread)
+{
+    tu::RunningStat s;
+    s.add(10.0);
+    s.add(10.0);
+    EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(Stats, MeanOfVector)
+{
+    EXPECT_DOUBLE_EQ(tu::mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(tu::mean({}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates)
+{
+    std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(tu::percentile(xs, 0), 10.0);
+    EXPECT_DOUBLE_EQ(tu::percentile(xs, 100), 40.0);
+    EXPECT_DOUBLE_EQ(tu::percentile(xs, 50), 25.0);
+}
+
+TEST(Stats, PercentileSingleElement)
+{
+    EXPECT_DOUBLE_EQ(tu::percentile({5.0}, 99), 5.0);
+}
+
+TEST(Stats, PercentileRejectsEmptyAndBadP)
+{
+    EXPECT_THROW(tu::percentile({}, 50), tu::FatalError);
+    EXPECT_THROW(tu::percentile({1.0}, 101), tu::FatalError);
+}
+
+TEST(Stats, GeometricMean)
+{
+    EXPECT_NEAR(tu::geometricMean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_THROW(tu::geometricMean({1.0, 0.0}), tu::FatalError);
+}

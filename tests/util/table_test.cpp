@@ -1,0 +1,52 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace tu = tbd::util;
+
+TEST(Table, AlignedOutputContainsCells)
+{
+    tu::Table t({"model", "throughput"});
+    t.addRow({"ResNet-50", "89.0"});
+    t.addRow({"Inception-v3", "61.0"});
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("model"), std::string::npos);
+    EXPECT_NE(s.find("ResNet-50"), std::string::npos);
+    EXPECT_NE(s.find("61.0"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, RejectsArityMismatch)
+{
+    tu::Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), tu::FatalError);
+}
+
+TEST(Table, RejectsZeroColumns)
+{
+    EXPECT_THROW(tu::Table t({}), tu::FatalError);
+}
+
+TEST(Table, CsvEscapesSpecials)
+{
+    tu::Table t({"name", "note"});
+    t.addRow({"a,b", "say \"hi\""});
+    std::ostringstream oss;
+    t.printCsv(oss);
+    const std::string s = oss.str();
+    EXPECT_NE(s.find("\"a,b\""), std::string::npos);
+    EXPECT_NE(s.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvHasHeaderRow)
+{
+    tu::Table t({"x", "y"});
+    t.addRow({"1", "2"});
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_EQ(oss.str(), "x,y\n1,2\n");
+}
