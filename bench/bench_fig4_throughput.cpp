@@ -19,13 +19,24 @@ printFigure()
     benchutil::banner("Figure 4 - training throughput vs mini-batch size",
                       "Fig. 4 + Sec. 4.2.1");
 
-    for (const auto &panel : benchutil::figure456Panels()) {
+    // Every (panel, batch) cell is independent: fan the whole figure
+    // out over the thread pool in one runSweep, then render in order.
+    const auto panels = benchutil::figure456Panels();
+    std::vector<core::BenchmarkRequest> cells;
+    for (const auto &panel : panels)
+        for (std::int64_t batch : panel.model->batchSweep)
+            cells.push_back(benchutil::requestFor(
+                *panel.model, panel.framework, gpusim::quadroP4000(),
+                batch));
+    const auto results = core::BenchmarkSuite::runSweep(cells);
+
+    std::size_t cell = 0;
+    for (const auto &panel : panels) {
         const auto &model = *panel.model;
         util::Table t({"panel", "implementation", "mini-batch",
                        "throughput (" + model.throughputUnit + ")"});
         for (std::int64_t batch : model.batchSweep) {
-            auto r = benchutil::simulateIfFits(
-                model, panel.framework, gpusim::quadroP4000(), batch);
+            const auto &r = results[cell++];
             t.addRow({panel.panel,
                       model.name + " (" +
                           frameworks::frameworkName(panel.framework) +
@@ -50,14 +61,20 @@ printFigure()
                           const char *title) {
         std::vector<double> xs(model.batchSweep.begin(),
                                model.batchSweep.end());
+        std::vector<core::BenchmarkRequest> chart_cells;
+        for (auto fw : fws)
+            for (std::int64_t batch : model.batchSweep)
+                chart_cells.push_back(benchutil::requestFor(
+                    model, fw, gpusim::quadroP4000(), batch));
+        const auto rs = core::BenchmarkSuite::runSweep(chart_cells);
         std::vector<util::Series> series;
+        std::size_t k = 0;
         for (auto fw : fws) {
             util::Series s;
             s.label = model.name + " (" +
                       frameworks::frameworkName(fw) + ")";
-            for (std::int64_t batch : model.batchSweep) {
-                auto r = benchutil::simulateIfFits(
-                    model, fw, gpusim::quadroP4000(), batch);
+            for (std::size_t bi = 0; bi < model.batchSweep.size(); ++bi) {
+                const auto &r = rs[k++];
                 s.ys.push_back(r ? r->throughputUnits : 0.0);
             }
             series.push_back(std::move(s));
@@ -80,11 +97,15 @@ printFigure()
     // Faster R-CNN: fixed single-image batches.
     util::Table frcnn({"model", "implementation",
                        "throughput (images/s)"});
-    for (auto fw : models::fasterRcnn().frameworks) {
-        auto r = benchutil::simulate(models::fasterRcnn(), fw,
-                                     gpusim::quadroP4000(), 1);
-        frcnn.addRow({"Faster R-CNN", frameworks::frameworkName(fw),
-                      util::formatFixed(r.throughputSamples, 1)});
+    std::vector<core::BenchmarkRequest> frcnn_cells;
+    for (auto fw : models::fasterRcnn().frameworks)
+        frcnn_cells.push_back(benchutil::requestFor(
+            models::fasterRcnn(), fw, gpusim::quadroP4000(), 1));
+    const auto frcnn_rs = core::BenchmarkSuite::runSweep(frcnn_cells);
+    for (std::size_t i = 0; i < frcnn_cells.size(); ++i) {
+        frcnn.addRow({"Faster R-CNN", frcnn_cells[i].framework,
+                      util::formatFixed(
+                          frcnn_rs[i].value().throughputSamples, 1)});
     }
     frcnn.print(std::cout);
     std::cout << "(paper: 2.3 images/s on both implementations)\n\n";

@@ -20,13 +20,26 @@ printFigure()
     benchutil::banner("Figure 6 - FP32 utilization vs mini-batch size",
                       "Fig. 6 + Sec. 4.2.3");
 
-    for (const auto &panel : benchutil::figure456Panels()) {
+    // All cells fan out over the thread pool in one ordered sweep.
+    const auto panels = benchutil::figure456Panels();
+    std::vector<core::BenchmarkRequest> cells;
+    for (const auto &panel : panels)
+        for (std::int64_t batch : panel.model->batchSweep)
+            cells.push_back(benchutil::requestFor(
+                *panel.model, panel.framework, gpusim::quadroP4000(),
+                batch));
+    for (auto fw : models::fasterRcnn().frameworks)
+        cells.push_back(benchutil::requestFor(
+            models::fasterRcnn(), fw, gpusim::quadroP4000(), 1));
+    const auto results = core::BenchmarkSuite::runSweep(cells);
+
+    std::size_t cell = 0;
+    for (const auto &panel : panels) {
         const auto &model = *panel.model;
         util::Table t({"panel", "implementation", "mini-batch",
                        "FP32 utilization"});
         for (std::int64_t batch : model.batchSweep) {
-            auto r = benchutil::simulateIfFits(
-                model, panel.framework, gpusim::quadroP4000(), batch);
+            const auto &r = results[cell++];
             t.addRow({panel.panel,
                       model.name + " (" +
                           frameworks::frameworkName(panel.framework) +
@@ -41,10 +54,9 @@ printFigure()
 
     util::Table frcnn({"model", "implementation", "FP32 utilization"});
     for (auto fw : models::fasterRcnn().frameworks) {
-        auto r = benchutil::simulate(models::fasterRcnn(), fw,
-                                     gpusim::quadroP4000(), 1);
+        const auto &r = results[cell++];
         frcnn.addRow({"Faster R-CNN", frameworks::frameworkName(fw),
-                      util::formatPercent(r.fp32Utilization)});
+                      util::formatPercent(r.value().fp32Utilization)});
     }
     frcnn.print(std::cout);
     std::cout << "(paper: 70.9% MXNet, 58.9% TensorFlow)\n\n";

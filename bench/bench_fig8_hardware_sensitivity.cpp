@@ -39,15 +39,24 @@ printFigure()
         {&models::seq2seqNmt(), FI::TensorFlow, 128, 365, 530},
     };
 
+    // Both GPUs of every config are independent cells: one sweep over
+    // the pool, then consume pairwise in config order.
+    std::vector<core::BenchmarkRequest> cells;
+    for (const auto &cfg : configs) {
+        cells.push_back(benchutil::requestFor(
+            *cfg.model, cfg.framework, gpusim::quadroP4000(), cfg.batch));
+        cells.push_back(benchutil::requestFor(
+            *cfg.model, cfg.framework, gpusim::titanXp(), cfg.batch));
+    }
+    const auto results = core::BenchmarkSuite::runSweep(cells);
+
     util::Table t({"implementation", "batch", "GPU", "throughput",
                    "normalized", "GPU util", "FP32 util",
                    "paper throughput"});
+    std::size_t cell = 0;
     for (const auto &cfg : configs) {
-        const auto p4 = benchutil::simulate(*cfg.model, cfg.framework,
-                                            gpusim::quadroP4000(),
-                                            cfg.batch);
-        const auto xp = benchutil::simulate(*cfg.model, cfg.framework,
-                                            gpusim::titanXp(), cfg.batch);
+        const auto p4 = results[cell++].value();
+        const auto xp = results[cell++].value();
         auto add = [&](const perf::RunResult &r, double norm,
                        double paper_thr) {
             t.addRow({cfg.model->name + " (" +

@@ -43,14 +43,22 @@ printFigure()
         {&models::a3c(), FI::MXNet, {32, 64, 128}},
     };
 
+    // Fan every (panel, batch) cell over the thread pool at once.
+    std::vector<core::BenchmarkRequest> cells;
+    for (const auto &panel : panels)
+        for (std::int64_t batch : panel.batches)
+            cells.push_back(benchutil::requestFor(
+                *panel.model, panel.framework, gpusim::quadroP4000(),
+                batch));
+    const auto results = core::BenchmarkSuite::runSweep(cells);
+
+    std::size_t cell = 0;
     for (const auto &panel : panels) {
         util::Table t({"implementation", "batch", "feature maps",
                        "weights", "weight grads", "dynamic", "workspace",
                        "total", "fm share"});
         for (std::int64_t batch : panel.batches) {
-            auto r = benchutil::simulateIfFits(
-                *panel.model, panel.framework, gpusim::quadroP4000(),
-                batch);
+            const auto &r = results[cell++];
             if (!r) {
                 t.addRow({panel.model->name, std::to_string(batch), "OOM",
                           "-", "-", "-", "-", "-", "-"});

@@ -25,8 +25,14 @@ randn(tensor::Shape shape, std::uint64_t seed)
     return t;
 }
 
+// The serial/threaded pairs below run the *same* kernels: the threaded
+// variants use the process-wide pool (TBD_THREADS), the serial ones pin
+// a one-thread pool for the scope of the run. Outputs are
+// bitwise-identical either way (see DESIGN.md "Threading model"); only
+// the FLOPS counters should move.
+
 void
-BM_Matmul(benchmark::State &state)
+matmulBody(benchmark::State &state)
 {
     const auto n = state.range(0);
     tensor::Tensor a = randn(tensor::Shape{n, n}, 1);
@@ -38,10 +44,25 @@ BM_Matmul(benchmark::State &state)
     state.counters["FLOPS"] = benchmark::Counter(
         2.0 * n * n * n, benchmark::Counter::kIsIterationInvariantRate);
 }
-BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
 
 void
-BM_Conv2dForward(benchmark::State &state)
+BM_Matmul(benchmark::State &state)
+{
+    matmulBody(state);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void
+BM_MatmulSerial(benchmark::State &state)
+{
+    util::ThreadPool serial(1);
+    util::ThreadPool::Scope scope(serial);
+    matmulBody(state);
+}
+BENCHMARK(BM_MatmulSerial)->Arg(256)->Arg(512);
+
+void
+conv2dForwardBody(benchmark::State &state)
 {
     const auto c = state.range(0);
     util::Rng rng(3);
@@ -55,7 +76,22 @@ BM_Conv2dForward(benchmark::State &state)
         2.0 * 4 * c * 16 * 16 * c * 9,
         benchmark::Counter::kIsIterationInvariantRate);
 }
-BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_Conv2dForward(benchmark::State &state)
+{
+    conv2dForwardBody(state);
+}
+BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void
+BM_Conv2dForwardSerial(benchmark::State &state)
+{
+    util::ThreadPool serial(1);
+    util::ThreadPool::Scope scope(serial);
+    conv2dForwardBody(state);
+}
+BENCHMARK(BM_Conv2dForwardSerial)->Arg(32)->Arg(64);
 
 void
 BM_Conv2dTrainStep(benchmark::State &state)

@@ -49,6 +49,19 @@ simulateIfFits(const models::ModelDesc &model, frameworks::FrameworkId fw,
     }
 }
 
+/** One sweep cell as a BenchmarkSuite request (for runSweep). */
+inline core::BenchmarkRequest
+requestFor(const models::ModelDesc &model, frameworks::FrameworkId fw,
+           const gpusim::GpuSpec &gpu, std::int64_t batch)
+{
+    core::BenchmarkRequest r;
+    r.model = model.name;
+    r.framework = frameworks::frameworkName(fw);
+    r.gpu = gpu.name;
+    r.batch = batch;
+    return r;
+}
+
 /**
  * Register a google-benchmark case that re-runs the simulation each
  * iteration and attaches the reproduced metrics as counters.

@@ -5,8 +5,31 @@
 #include "data/dataset_spec.h"
 #include "util/format.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace tbd::core {
+
+namespace {
+
+perf::RunConfig
+makeConfig(const BenchmarkRequest &request)
+{
+    perf::RunConfig config;
+    config.model = &models::modelByName(request.model);
+    config.framework = BenchmarkSuite::frameworkByName(request.framework);
+    config.gpu = BenchmarkSuite::gpuByName(request.gpu);
+    config.batch = request.batch;
+    return config;
+}
+
+bool
+isOom(const util::FatalError &e)
+{
+    return std::string(e.what()).find("out of memory") !=
+           std::string::npos;
+}
+
+} // namespace
 
 const std::vector<const models::ModelDesc *> &
 BenchmarkSuite::models()
@@ -38,12 +61,7 @@ BenchmarkSuite::gpuByName(const std::string &name)
 analysis::SampleReport
 BenchmarkSuite::run(const BenchmarkRequest &request)
 {
-    perf::RunConfig config;
-    config.model = &models::modelByName(request.model);
-    config.framework = frameworkByName(request.framework);
-    config.gpu = gpuByName(request.gpu);
-    config.batch = request.batch;
-    return analysis::SamplingProfiler().profile(config);
+    return analysis::SamplingProfiler().profile(makeConfig(request));
 }
 
 std::optional<analysis::SampleReport>
@@ -52,11 +70,34 @@ BenchmarkSuite::runIfFits(const BenchmarkRequest &request)
     try {
         return run(request);
     } catch (const util::FatalError &e) {
-        const std::string what = e.what();
-        if (what.find("out of memory") != std::string::npos)
+        if (isOom(e))
             return std::nullopt;
         throw;
     }
+}
+
+std::vector<std::optional<perf::RunResult>>
+BenchmarkSuite::runSweep(const std::vector<BenchmarkRequest> &requests)
+{
+    std::vector<std::optional<perf::RunResult>> results(requests.size());
+    // Grain 1: one cell per pool task. Every task writes only its own
+    // results[i] slot, so the output order is the request order no
+    // matter which worker finishes first.
+    util::parallelFor(
+        0, static_cast<std::int64_t>(requests.size()), 1,
+        [&](std::int64_t b, std::int64_t e) {
+            for (std::int64_t i = b; i < e; ++i) {
+                try {
+                    results[static_cast<std::size_t>(i)] =
+                        perf::PerfSimulator().run(makeConfig(
+                            requests[static_cast<std::size_t>(i)]));
+                } catch (const util::FatalError &err) {
+                    if (!isOom(err))
+                        throw;
+                }
+            }
+        });
+    return results;
 }
 
 util::Table

@@ -55,6 +55,18 @@ class BenchmarkSuite
     static std::optional<analysis::SampleReport> runIfFits(
         const BenchmarkRequest &request);
 
+    /**
+     * Evaluate many independent cells of a figure/table sweep on the
+     * process-wide thread pool (util::ThreadPool; sized by
+     * TBD_THREADS). Each cell is one PerfSimulator::run — const and
+     * stateless, so cells are freely parallel. Results come back in
+     * request order regardless of completion order, with the exact
+     * numbers a serial loop over simulate() produces; OOM cells are
+     * nullopt, any other error is rethrown on the caller.
+     */
+    static std::vector<std::optional<perf::RunResult>> runSweep(
+        const std::vector<BenchmarkRequest> &requests);
+
     /** Render Table 2 (benchmark overview) from the registry. */
     static util::Table table2Overview();
 

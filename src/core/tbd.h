@@ -56,5 +56,6 @@
 #include "util/stats.h"
 #include "util/chart.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 #endif // TBD_CORE_TBD_H

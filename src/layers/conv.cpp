@@ -4,6 +4,7 @@
 
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace tbd::layers {
 
@@ -63,15 +64,17 @@ Conv2d::forward(const tensor::Tensor &x, bool training)
         savedInputShape_ = x.shape();
     }
 
-    // Rearrange [N*oh*ow, outC] -> [N, outC, oh, ow].
+    // Rearrange [N*oh*ow, outC] -> [N, outC, oh, ow], batch-parallel.
     tensor::Tensor y(tensor::Shape{N, outC_, oh, ow});
     const float *src = y2.data();
     float *dst = y.data();
-    for (std::int64_t n = 0; n < N; ++n)
-        for (std::int64_t p = 0; p < oh * ow; ++p)
-            for (std::int64_t c = 0; c < outC_; ++c)
-                dst[(n * outC_ + c) * oh * ow + p] =
-                    src[(n * oh * ow + p) * outC_ + c];
+    util::parallelFor(0, N, 1, [&](std::int64_t nb, std::int64_t ne) {
+        for (std::int64_t n = nb; n < ne; ++n)
+            for (std::int64_t p = 0; p < oh * ow; ++p)
+                for (std::int64_t c = 0; c < outC_; ++c)
+                    dst[(n * outC_ + c) * oh * ow + p] =
+                        src[(n * oh * ow + p) * outC_ + c];
+    });
     return y;
 }
 
@@ -86,15 +89,17 @@ Conv2d::backward(const tensor::Tensor &dy)
               "conv backward gradient shape mismatch: ",
               dy.shape().toString());
 
-    // Rearrange dy [N, outC, oh, ow] -> [N*oh*ow, outC].
+    // Rearrange dy [N, outC, oh, ow] -> [N*oh*ow, outC], batch-parallel.
     tensor::Tensor dy2(tensor::Shape{N * oh * ow, outC_});
     const float *src = dy.data();
     float *dst = dy2.data();
-    for (std::int64_t n = 0; n < N; ++n)
-        for (std::int64_t c = 0; c < outC_; ++c)
-            for (std::int64_t p = 0; p < oh * ow; ++p)
-                dst[(n * oh * ow + p) * outC_ + c] =
-                    src[(n * outC_ + c) * oh * ow + p];
+    util::parallelFor(0, N, 1, [&](std::int64_t nb, std::int64_t ne) {
+        for (std::int64_t n = nb; n < ne; ++n)
+            for (std::int64_t c = 0; c < outC_; ++c)
+                for (std::int64_t p = 0; p < oh * ow; ++p)
+                    dst[(n * oh * ow + p) * outC_ + c] =
+                        src[(n * outC_ + c) * oh * ow + p];
+    });
 
     // wgrad: dW = dy2^T cols  -> [outC, inC*kH*kW].
     weight_.grad.addScaled(tensor::matmulTN(dy2, savedCols_), 1.0f);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace tbd::layers {
 
@@ -44,7 +45,13 @@ BatchNorm2d::forward(const tensor::Tensor &x, bool training)
     }
     float *pxhat = training ? savedXhat_.data() : nullptr;
 
-    for (std::int64_t c = 0; c < channels_; ++c) {
+    // Channel-parallel: every statistic, running-average slot and
+    // output slab below is indexed by c only, and the per-channel
+    // reductions run serially inside one chunk, so results match the
+    // serial order bitwise at any thread count.
+    util::parallelFor(0, channels_, 1, [&](std::int64_t cb,
+                                           std::int64_t ce) {
+    for (std::int64_t c = cb; c < ce; ++c) {
         float mean_c, var_c;
         if (training) {
             double sum = 0.0, sq = 0.0;
@@ -81,6 +88,7 @@ BatchNorm2d::forward(const tensor::Tensor &x, bool training)
             }
         }
     }
+    });
     return y;
 }
 
@@ -101,7 +109,9 @@ BatchNorm2d::backward(const tensor::Tensor &dy)
     const float *pxhat = savedXhat_.data();
     float *pdx = dx.data();
 
-    for (std::int64_t c = 0; c < channels_; ++c) {
+    util::parallelFor(0, channels_, 1, [&](std::int64_t cb,
+                                           std::int64_t ce) {
+    for (std::int64_t c = cb; c < ce; ++c) {
         double dsum = 0.0, dxhat_dot = 0.0;
         for (std::int64_t n = 0; n < N; ++n) {
             const std::int64_t base = (n * channels_ + c) * plane;
@@ -128,6 +138,7 @@ BatchNorm2d::backward(const tensor::Tensor &dy)
             }
         }
     }
+    });
     return dx;
 }
 

@@ -1,6 +1,7 @@
 #include "layers/pool.h"
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace tbd::layers {
 
@@ -82,16 +83,15 @@ GlobalAvgPool::forward(const tensor::Tensor &x, bool training)
     tensor::Tensor y(tensor::Shape{N, C});
     const float *px = x.data();
     float *py = y.data();
-    for (std::int64_t n = 0; n < N; ++n) {
-        for (std::int64_t c = 0; c < C; ++c) {
+    util::parallelFor(0, N * C, 1, [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t nc = b; nc < e; ++nc) {
             double acc = 0.0;
-            const float *p = px + (n * C + c) * plane;
+            const float *p = px + nc * plane;
             for (std::int64_t i = 0; i < plane; ++i)
                 acc += p[i];
-            py[n * C + c] =
-                static_cast<float>(acc / static_cast<double>(plane));
+            py[nc] = static_cast<float>(acc / static_cast<double>(plane));
         }
-    }
+    });
     return y;
 }
 
@@ -106,14 +106,14 @@ GlobalAvgPool::backward(const tensor::Tensor &dy)
     const float *pdy = dy.data();
     float *pdx = dx.data();
     const float inv = 1.0f / static_cast<float>(plane);
-    for (std::int64_t n = 0; n < N; ++n) {
-        for (std::int64_t c = 0; c < C; ++c) {
-            const float g = pdy[n * C + c] * inv;
-            float *p = pdx + (n * C + c) * plane;
+    util::parallelFor(0, N * C, 1, [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t nc = b; nc < e; ++nc) {
+            const float g = pdy[nc] * inv;
+            float *p = pdx + nc * plane;
             for (std::int64_t i = 0; i < plane; ++i)
                 p[i] = g;
         }
-    }
+    });
     return dx;
 }
 

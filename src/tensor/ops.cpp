@@ -4,12 +4,14 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace tbd::tensor {
 
 namespace {
 
-constexpr std::int64_t kBlock = 64; // GEMM cache block
+constexpr std::int64_t kBlock = 64;      // GEMM cache block / row grain
+constexpr std::int64_t kElemGrain = 1 << 14; // elementwise chunk
 
 void
 checkRank2(const Tensor &t, const char *name)
@@ -34,15 +36,15 @@ matmul(const Tensor &a, const Tensor &b)
     const float *pb = b.data();
     float *pc = c.data();
 
-    for (std::int64_t i0 = 0; i0 < M; i0 += kBlock) {
-        const std::int64_t i1 = std::min(i0 + kBlock, M);
+    // Row-partitioned: each chunk owns rows [i0, i1) of C, so the
+    // per-element accumulation order (k ascending) is the same for any
+    // thread count and results stay bitwise-identical to serial.
+    util::parallelFor(0, M, kBlock, [&](std::int64_t i0, std::int64_t i1) {
         for (std::int64_t k0 = 0; k0 < K; k0 += kBlock) {
             const std::int64_t k1 = std::min(k0 + kBlock, K);
             for (std::int64_t i = i0; i < i1; ++i) {
                 for (std::int64_t k = k0; k < k1; ++k) {
                     const float aik = pa[i * K + k];
-                    if (aik == 0.0f)
-                        continue;
                     const float *brow = pb + k * N;
                     float *crow = pc + i * N;
                     for (std::int64_t j = 0; j < N; ++j)
@@ -50,7 +52,7 @@ matmul(const Tensor &a, const Tensor &b)
                 }
             }
         }
-    }
+    });
     return c;
 }
 
@@ -67,18 +69,23 @@ matmulTN(const Tensor &a, const Tensor &b)
     const float *pa = a.data();
     const float *pb = b.data();
     float *pc = c.data();
-    for (std::int64_t m = 0; m < M; ++m) {
-        const float *arow = pa + m * Ka;
-        const float *brow = pb + m * N;
-        for (std::int64_t k = 0; k < Ka; ++k) {
-            const float amk = arow[k];
-            if (amk == 0.0f)
-                continue;
-            float *crow = pc + k * N;
-            for (std::int64_t j = 0; j < N; ++j)
-                crow[j] += amk * brow[j];
+    // Partition the rows of C (the k axis); the m reduction stays in
+    // ascending order inside each chunk, blocked for cache reuse like
+    // matmul.
+    util::parallelFor(0, Ka, kBlock, [&](std::int64_t kb, std::int64_t ke) {
+        for (std::int64_t m0 = 0; m0 < M; m0 += kBlock) {
+            const std::int64_t m1 = std::min(m0 + kBlock, M);
+            for (std::int64_t k = kb; k < ke; ++k) {
+                float *crow = pc + k * N;
+                for (std::int64_t m = m0; m < m1; ++m) {
+                    const float amk = pa[m * Ka + k];
+                    const float *brow = pb + m * N;
+                    for (std::int64_t j = 0; j < N; ++j)
+                        crow[j] += amk * brow[j];
+                }
+            }
         }
-    }
+    });
     return c;
 }
 
@@ -95,17 +102,24 @@ matmulNT(const Tensor &a, const Tensor &b)
     const float *pa = a.data();
     const float *pb = b.data();
     float *pc = c.data();
-    for (std::int64_t i = 0; i < M; ++i) {
-        const float *arow = pa + i * N;
-        float *crow = pc + i * Kb;
-        for (std::int64_t k = 0; k < Kb; ++k) {
-            const float *brow = pb + k * N;
-            float acc = 0.0f;
-            for (std::int64_t j = 0; j < N; ++j)
-                acc += arow[j] * brow[j];
-            crow[k] = acc;
+    // Row-partitioned dot products, blocked over the rows of B so a
+    // block of B stays cache-resident across the chunk's rows of A.
+    util::parallelFor(0, M, kBlock, [&](std::int64_t ib, std::int64_t ie) {
+        for (std::int64_t k0 = 0; k0 < Kb; k0 += kBlock) {
+            const std::int64_t k1 = std::min(k0 + kBlock, Kb);
+            for (std::int64_t i = ib; i < ie; ++i) {
+                const float *arow = pa + i * N;
+                float *crow = pc + i * Kb;
+                for (std::int64_t k = k0; k < k1; ++k) {
+                    const float *brow = pb + k * N;
+                    float acc = 0.0f;
+                    for (std::int64_t j = 0; j < N; ++j)
+                        acc += arow[j] * brow[j];
+                    crow[k] = acc;
+                }
+            }
         }
-    }
+    });
     return c;
 }
 
@@ -116,8 +130,11 @@ map(const Tensor &x, const std::function<float(float)> &f)
     const float *px = x.data();
     float *py = y.data();
     const std::int64_t n = x.numel();
-    for (std::int64_t i = 0; i < n; ++i)
-        py[i] = f(px[i]);
+    util::parallelFor(0, n, kElemGrain,
+                      [&](std::int64_t b, std::int64_t e) {
+                          for (std::int64_t i = b; i < e; ++i)
+                              py[i] = f(px[i]);
+                      });
     return y;
 }
 
@@ -132,8 +149,11 @@ zip(const Tensor &x, const Tensor &y,
     const float *py = y.data();
     float *pz = z.data();
     const std::int64_t n = x.numel();
-    for (std::int64_t i = 0; i < n; ++i)
-        pz[i] = f(px[i], py[i]);
+    util::parallelFor(0, n, kElemGrain,
+                      [&](std::int64_t b, std::int64_t e) {
+                          for (std::int64_t i = b; i < e; ++i)
+                              pz[i] = f(px[i], py[i]);
+                      });
     return z;
 }
 
@@ -146,9 +166,11 @@ addRowBias(Tensor &x, const Tensor &bias)
               " does not match row width ", N);
     float *px = x.data();
     const float *pb = bias.data();
-    for (std::int64_t i = 0; i < M; ++i)
-        for (std::int64_t j = 0; j < N; ++j)
-            px[i * N + j] += pb[j];
+    util::parallelFor(0, M, kBlock, [&](std::int64_t ib, std::int64_t ie) {
+        for (std::int64_t i = ib; i < ie; ++i)
+            for (std::int64_t j = 0; j < N; ++j)
+                px[i * N + j] += pb[j];
+    });
 }
 
 Tensor
@@ -173,20 +195,22 @@ softmaxRows(const Tensor &x)
     Tensor y(x.shape());
     const float *px = x.data();
     float *py = y.data();
-    for (std::int64_t i = 0; i < M; ++i) {
-        const float *row = px + i * N;
-        float *out = py + i * N;
-        float mx = row[0];
-        for (std::int64_t j = 1; j < N; ++j)
-            mx = std::max(mx, row[j]);
-        float denom = 0.0f;
-        for (std::int64_t j = 0; j < N; ++j) {
-            out[j] = std::exp(row[j] - mx);
-            denom += out[j];
+    util::parallelFor(0, M, kBlock, [&](std::int64_t ib, std::int64_t ie) {
+        for (std::int64_t i = ib; i < ie; ++i) {
+            const float *row = px + i * N;
+            float *out = py + i * N;
+            float mx = row[0];
+            for (std::int64_t j = 1; j < N; ++j)
+                mx = std::max(mx, row[j]);
+            float denom = 0.0f;
+            for (std::int64_t j = 0; j < N; ++j) {
+                out[j] = std::exp(row[j] - mx);
+                denom += out[j];
+            }
+            for (std::int64_t j = 0; j < N; ++j)
+                out[j] /= denom;
         }
-        for (std::int64_t j = 0; j < N; ++j)
-            out[j] /= denom;
-    }
+    });
     return y;
 }
 
@@ -199,16 +223,18 @@ softmaxRowsBackward(const Tensor &y, const Tensor &dy)
     const float *py = y.data();
     const float *pdy = dy.data();
     float *pdx = dx.data();
-    for (std::int64_t i = 0; i < M; ++i) {
-        const float *yr = py + i * N;
-        const float *dyr = pdy + i * N;
-        float dot = 0.0f;
-        for (std::int64_t j = 0; j < N; ++j)
-            dot += yr[j] * dyr[j];
-        float *dxr = pdx + i * N;
-        for (std::int64_t j = 0; j < N; ++j)
-            dxr[j] = yr[j] * (dyr[j] - dot);
-    }
+    util::parallelFor(0, M, kBlock, [&](std::int64_t ib, std::int64_t ie) {
+        for (std::int64_t i = ib; i < ie; ++i) {
+            const float *yr = py + i * N;
+            const float *dyr = pdy + i * N;
+            float dot = 0.0f;
+            for (std::int64_t j = 0; j < N; ++j)
+                dot += yr[j] * dyr[j];
+            float *dxr = pdx + i * N;
+            for (std::int64_t j = 0; j < N; ++j)
+                dxr[j] = yr[j] * (dyr[j] - dot);
+        }
+    });
     return dx;
 }
 
@@ -239,8 +265,10 @@ im2col(const Tensor &x, const Conv2dGeom &g)
     Tensor out(Shape{N * oh * ow, cols});
     const float *px = x.data();
     float *po = out.data();
-    for (std::int64_t n = 0; n < N; ++n) {
-        for (std::int64_t y = 0; y < oh; ++y) {
+    // Batch-parallel: each (n, y) pair fills a disjoint band of rows.
+    util::parallelFor(0, N * oh, oh, [&](std::int64_t rb, std::int64_t re) {
+        for (std::int64_t r = rb; r < re; ++r) {
+            const std::int64_t n = r / oh, y = r % oh;
             for (std::int64_t xcol = 0; xcol < ow; ++xcol) {
                 float *row = po + ((n * oh + y) * ow + xcol) * cols;
                 std::int64_t idx = 0;
@@ -263,7 +291,7 @@ im2col(const Tensor &x, const Conv2dGeom &g)
                 }
             }
         }
-    }
+    });
     return out;
 }
 
@@ -279,29 +307,36 @@ col2im(const Tensor &cols, std::int64_t batch, const Conv2dGeom &g)
     Tensor img(Shape{batch, g.inC, g.inH, g.inW});
     const float *pc = cols.data();
     float *pi = img.data();
-    for (std::int64_t n = 0; n < batch; ++n) {
-        for (std::int64_t y = 0; y < oh; ++y) {
-            for (std::int64_t xcol = 0; xcol < ow; ++xcol) {
-                const float *row = pc + ((n * oh + y) * ow + xcol) * width;
-                std::int64_t idx = 0;
-                for (std::int64_t c = 0; c < g.inC; ++c) {
-                    for (std::int64_t ky = 0; ky < g.kH; ++ky) {
-                        const std::int64_t iy = y * g.strideH + ky - g.padH;
-                        for (std::int64_t kx = 0; kx < g.kW; ++kx, ++idx) {
-                            const std::int64_t ix =
-                                xcol * g.strideW + kx - g.padW;
-                            if (iy < 0 || iy >= g.inH || ix < 0 ||
-                                ix >= g.inW) {
-                                continue;
+    // The scatter-add overlaps between output positions of one image
+    // but never across images, so partition by batch index.
+    util::parallelFor(0, batch, 1, [&](std::int64_t nb, std::int64_t ne) {
+        for (std::int64_t n = nb; n < ne; ++n) {
+            for (std::int64_t y = 0; y < oh; ++y) {
+                for (std::int64_t xcol = 0; xcol < ow; ++xcol) {
+                    const float *row =
+                        pc + ((n * oh + y) * ow + xcol) * width;
+                    std::int64_t idx = 0;
+                    for (std::int64_t c = 0; c < g.inC; ++c) {
+                        for (std::int64_t ky = 0; ky < g.kH; ++ky) {
+                            const std::int64_t iy =
+                                y * g.strideH + ky - g.padH;
+                            for (std::int64_t kx = 0; kx < g.kW;
+                                 ++kx, ++idx) {
+                                const std::int64_t ix =
+                                    xcol * g.strideW + kx - g.padW;
+                                if (iy < 0 || iy >= g.inH || ix < 0 ||
+                                    ix >= g.inW) {
+                                    continue;
+                                }
+                                pi[((n * g.inC + c) * g.inH + iy) * g.inW +
+                                   ix] += row[idx];
                             }
-                            pi[((n * g.inC + c) * g.inH + iy) * g.inW + ix] +=
-                                row[idx];
                         }
                     }
                 }
             }
         }
-    }
+    });
     return img;
 }
 
@@ -316,9 +351,11 @@ maxPool2d(const Tensor &x, const Conv2dGeom &g)
     res.argmax.assign(static_cast<std::size_t>(N * C * oh * ow), -1);
     const float *px = x.data();
     float *py = res.output.data();
-    std::int64_t out_idx = 0;
-    for (std::int64_t n = 0; n < N; ++n) {
-        for (std::int64_t c = 0; c < C; ++c) {
+    // Each (n, c) plane reads and writes a disjoint slab.
+    util::parallelFor(0, N * C, 1, [&](std::int64_t pb, std::int64_t pe) {
+        for (std::int64_t p = pb; p < pe; ++p) {
+            const std::int64_t n = p / C, c = p % C;
+            std::int64_t out_idx = p * oh * ow;
             for (std::int64_t y = 0; y < oh; ++y) {
                 for (std::int64_t xo = 0; xo < ow; ++xo, ++out_idx) {
                     float best = -3.4e38f;
@@ -345,7 +382,7 @@ maxPool2d(const Tensor &x, const Conv2dGeom &g)
                 }
             }
         }
-    }
+    });
     return res;
 }
 
@@ -359,11 +396,21 @@ maxPool2dBackward(const Tensor &dy, const PoolResult &fw,
     Tensor dx(inputShape);
     const float *pdy = dy.data();
     float *pdx = dx.data();
-    for (std::size_t i = 0; i < fw.argmax.size(); ++i) {
-        const std::int64_t src = fw.argmax[i];
-        if (src >= 0)
-            pdx[src] += pdy[static_cast<std::int64_t>(i)];
-    }
+    // An output plane's argmax entries point into the matching input
+    // plane only, so plane-sized chunks scatter into disjoint slabs.
+    const std::int64_t plane = std::max<std::int64_t>(
+        1, inputShape.rank() == 4
+               ? dy.numel() / (inputShape.dim(0) * inputShape.dim(1))
+               : dy.numel());
+    util::parallelFor(
+        0, dy.numel(), plane, [&](std::int64_t b, std::int64_t e) {
+            for (std::int64_t i = b; i < e; ++i) {
+                const std::int64_t src =
+                    fw.argmax[static_cast<std::size_t>(i)];
+                if (src >= 0)
+                    pdx[src] += pdy[i];
+            }
+        });
     return dx;
 }
 
@@ -377,9 +424,10 @@ avgPool2d(const Tensor &x, const Conv2dGeom &g)
     const float *px = x.data();
     float *py = y.data();
     const float inv = 1.0f / static_cast<float>(g.kH * g.kW);
-    std::int64_t out_idx = 0;
-    for (std::int64_t n = 0; n < N; ++n) {
-        for (std::int64_t c = 0; c < C; ++c) {
+    util::parallelFor(0, N * C, 1, [&](std::int64_t pb, std::int64_t pe) {
+        for (std::int64_t p = pb; p < pe; ++p) {
+            const std::int64_t n = p / C, c = p % C;
+            std::int64_t out_idx = p * oh * ow;
             for (std::int64_t yo = 0; yo < oh; ++yo) {
                 for (std::int64_t xo = 0; xo < ow; ++xo, ++out_idx) {
                     float acc = 0.0f;
@@ -400,7 +448,7 @@ avgPool2d(const Tensor &x, const Conv2dGeom &g)
                 }
             }
         }
-    }
+    });
     return y;
 }
 
@@ -416,9 +464,10 @@ avgPool2dBackward(const Tensor &dy, const Shape &inputShape,
     const float *pdy = dy.data();
     float *pdx = dx.data();
     const float inv = 1.0f / static_cast<float>(g.kH * g.kW);
-    std::int64_t out_idx = 0;
-    for (std::int64_t n = 0; n < N; ++n) {
-        for (std::int64_t c = 0; c < C; ++c) {
+    util::parallelFor(0, N * C, 1, [&](std::int64_t pb, std::int64_t pe) {
+        for (std::int64_t p = pb; p < pe; ++p) {
+            const std::int64_t n = p / C, c = p % C;
+            std::int64_t out_idx = p * oh * ow;
             for (std::int64_t yo = 0; yo < oh; ++yo) {
                 for (std::int64_t xo = 0; xo < ow; ++xo, ++out_idx) {
                     const float grad = pdy[out_idx] * inv;
@@ -438,7 +487,7 @@ avgPool2dBackward(const Tensor &dy, const Shape &inputShape,
                 }
             }
         }
-    }
+    });
     return dx;
 }
 
@@ -450,9 +499,11 @@ transpose2d(const Tensor &x)
     Tensor y(Shape{N, M});
     const float *px = x.data();
     float *py = y.data();
-    for (std::int64_t i = 0; i < M; ++i)
-        for (std::int64_t j = 0; j < N; ++j)
-            py[j * M + i] = px[i * N + j];
+    util::parallelFor(0, M, kBlock, [&](std::int64_t ib, std::int64_t ie) {
+        for (std::int64_t i = ib; i < ie; ++i)
+            for (std::int64_t j = 0; j < N; ++j)
+                py[j * M + i] = px[i * N + j];
+    });
     return y;
 }
 

@@ -1,0 +1,183 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "util/logging.h"
+
+namespace tbd::util {
+
+namespace {
+
+// Set while a worker (or a caller draining a batch) executes chunks;
+// nested parallelFor calls see it and run inline instead of enqueueing,
+// which keeps one batch from deadlocking behind another.
+thread_local bool tls_in_task = false;
+
+thread_local ThreadPool *tls_current_pool = nullptr;
+
+} // namespace
+
+/** Shared completion state of one parallelFor invocation. */
+struct ThreadPool::Batch
+{
+    std::mutex mutex;
+    std::condition_variable done;
+    std::int64_t pending = 0;
+    std::exception_ptr error;
+
+    void finishOne(std::exception_ptr err)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (err && !error)
+            error = std::move(err);
+        if (--pending == 0)
+            done.notify_all();
+    }
+};
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads <= 1)
+        return; // serial pool: parallelFor runs inline
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        tls_in_task = true;
+        task();
+        tls_in_task = false;
+    }
+}
+
+void
+ThreadPool::runSerial(std::int64_t begin, std::int64_t end,
+                      std::int64_t grain, const ChunkFn &fn)
+{
+    for (std::int64_t b = begin; b < end; b += grain)
+        fn(b, std::min(b + grain, end));
+}
+
+void
+ThreadPool::parallelFor(std::int64_t begin, std::int64_t end,
+                        std::int64_t grain, const ChunkFn &fn)
+{
+    TBD_CHECK(grain > 0, "parallelFor grain must be positive, got ", grain);
+    if (begin >= end)
+        return;
+    // Inline when there is nothing to fan out: serial pool, a range
+    // that fits one chunk, or a nested call from inside a pool task.
+    if (workers_.empty() || end - begin <= grain || tls_in_task) {
+        runSerial(begin, end, grain, fn);
+        return;
+    }
+
+    Batch batch;
+    batch.pending = (end - begin + grain - 1) / grain;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::int64_t b = begin; b < end; b += grain) {
+            const std::int64_t e = std::min(b + grain, end);
+            queue_.emplace_back([&batch, &fn, b, e] {
+                std::exception_ptr err;
+                try {
+                    fn(b, e);
+                } catch (...) {
+                    err = std::current_exception();
+                }
+                batch.finishOne(std::move(err));
+            });
+        }
+    }
+    wake_.notify_all();
+
+    // Help drain the queue instead of blocking idle: the caller may pick
+    // up chunks of unrelated batches too, which is safe — every task is
+    // self-contained and reports to its own Batch.
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!queue_.empty()) {
+                task = std::move(queue_.front());
+                queue_.pop_front();
+            }
+        }
+        if (!task)
+            break;
+        tls_in_task = true;
+        task();
+        tls_in_task = false;
+    }
+
+    std::unique_lock<std::mutex> lock(batch.mutex);
+    batch.done.wait(lock, [&batch] { return batch.pending == 0; });
+    if (batch.error)
+        std::rethrow_exception(batch.error);
+}
+
+std::size_t
+threadCountFromEnv(const char *value)
+{
+    const std::size_t fallback =
+        std::max(1u, std::thread::hardware_concurrency());
+    if (!value || !*value)
+        return fallback;
+    char *endp = nullptr;
+    const long n = std::strtol(value, &endp, 10);
+    if (endp == value || *endp != '\0' || n <= 0)
+        return fallback;
+    return static_cast<std::size_t>(n);
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(threadCountFromEnv(std::getenv("TBD_THREADS")));
+    return pool;
+}
+
+ThreadPool &
+ThreadPool::current()
+{
+    return tls_current_pool ? *tls_current_pool : global();
+}
+
+ThreadPool::Scope::Scope(ThreadPool &pool) : previous_(tls_current_pool)
+{
+    tls_current_pool = &pool;
+}
+
+ThreadPool::Scope::~Scope()
+{
+    tls_current_pool = previous_;
+}
+
+} // namespace tbd::util

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * A deterministic, work-stealing-free thread pool for the functional
+ * engine and the sweep harnesses.
+ *
+ * Design rules (see DESIGN.md "Threading model"):
+ *  - parallelFor() splits [begin, end) into fixed chunks derived only
+ *    from (begin, end, grain) — never from the thread count — and each
+ *    chunk writes a disjoint slice of the output. Results are therefore
+ *    bitwise-identical for any thread count, including serial.
+ *  - Nested parallelFor() calls (a kernel invoked from inside a pool
+ *    task) run inline on the calling worker; the pool never deadlocks
+ *    on itself.
+ *  - The first exception thrown by any chunk is captured and rethrown
+ *    on the calling thread after all chunks retire.
+ *
+ * The process-wide pool is sized by the TBD_THREADS environment
+ * variable (default: std::thread::hardware_concurrency). Tests and
+ * benchmarks can substitute a differently-sized pool for the current
+ * thread with ThreadPool::Scope.
+ */
+
+#ifndef TBD_UTIL_THREAD_POOL_H
+#define TBD_UTIL_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tbd::util {
+
+/** Chunk body: processes the half-open index range [chunkBegin, chunkEnd). */
+using ChunkFn = std::function<void(std::int64_t, std::int64_t)>;
+
+/** Fixed-size blocking thread pool with a deterministic parallel-for. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Worker count. 0 and 1 both mean "no workers":
+     *        parallelFor runs inline on the caller.
+     */
+    explicit ThreadPool(std::size_t threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Worker threads owned by the pool (0 when serial). */
+    std::size_t threadCount() const { return workers_.size(); }
+
+    /**
+     * Run fn over [begin, end) in chunks of at most `grain` indices.
+     * Chunk boundaries depend only on (begin, end, grain), so outputs
+     * that are pure functions of the index range are identical for
+     * every thread count. Blocks until all chunks are done; rethrows
+     * the first chunk exception.
+     */
+    void parallelFor(std::int64_t begin, std::int64_t end,
+                     std::int64_t grain, const ChunkFn &fn);
+
+    /** The process-wide pool, sized from TBD_THREADS on first use. */
+    static ThreadPool &global();
+
+    /** Pool parallelFor() free functions dispatch to for this thread. */
+    static ThreadPool &current();
+
+    /** RAII override of current() for the calling thread (tests/bench). */
+    class Scope
+    {
+      public:
+        explicit Scope(ThreadPool &pool);
+        ~Scope();
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        ThreadPool *previous_;
+    };
+
+  private:
+    struct Batch; // one parallelFor invocation
+
+    void workerLoop();
+    void runSerial(std::int64_t begin, std::int64_t end,
+                   std::int64_t grain, const ChunkFn &fn);
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stopping_ = false;
+};
+
+/**
+ * Thread count requested by an environment value: a positive integer
+ * string selects that many threads, anything else (unset, empty,
+ * malformed, zero, negative) falls back to hardware_concurrency.
+ * Split out of ThreadPool::global() so the parsing is testable.
+ */
+std::size_t threadCountFromEnv(const char *value);
+
+/** parallelFor on ThreadPool::current() — what the kernels call. */
+inline void
+parallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
+            const ChunkFn &fn)
+{
+    ThreadPool::current().parallelFor(begin, end, grain, fn);
+}
+
+} // namespace tbd::util
+
+#endif // TBD_UTIL_THREAD_POOL_H

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace tc = tbd::core;
 
@@ -54,6 +55,100 @@ TEST(Suite, RunIfFitsStillThrowsOnUserError)
     req.framework = "CNTK"; // unsupported combination, not an OOM
     EXPECT_THROW(tc::BenchmarkSuite::runIfFits(req),
                  tbd::util::FatalError);
+}
+
+namespace {
+
+std::vector<tc::BenchmarkRequest>
+sweepRequests()
+{
+    std::vector<tc::BenchmarkRequest> reqs;
+    for (std::int64_t batch : {8, 16, 32}) {
+        tc::BenchmarkRequest r;
+        r.model = "ResNet-50";
+        r.framework = "MXNet";
+        r.batch = batch;
+        reqs.push_back(r);
+    }
+    tc::BenchmarkRequest oom;
+    oom.model = "Sockeye";
+    oom.framework = "MXNet";
+    oom.batch = 512; // does not fit the 8 GiB P4000
+    reqs.push_back(oom);
+    tc::BenchmarkRequest nmt;
+    nmt.model = "NMT";
+    nmt.framework = "TensorFlow";
+    nmt.batch = 64;
+    reqs.push_back(nmt);
+    return reqs;
+}
+
+} // namespace
+
+TEST(Suite, RunSweepKeepsRequestOrderAndMarksOom)
+{
+    const auto reqs = sweepRequests();
+    const auto results = tc::BenchmarkSuite::runSweep(reqs);
+    ASSERT_EQ(results.size(), reqs.size());
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        if (reqs[i].model == "Sockeye") {
+            EXPECT_FALSE(results[i].has_value()) << "cell " << i;
+            continue;
+        }
+        ASSERT_TRUE(results[i].has_value()) << "cell " << i;
+        EXPECT_EQ(results[i]->modelName, reqs[i].model);
+        EXPECT_EQ(results[i]->frameworkName, reqs[i].framework);
+        EXPECT_EQ(results[i]->batch, reqs[i].batch);
+        EXPECT_GT(results[i]->throughputSamples, 0.0);
+    }
+}
+
+TEST(Suite, RunSweepMatchesSerialLoopExactly)
+{
+    const auto reqs = sweepRequests();
+
+    // Serial reference: the same sweep under a one-thread pool.
+    tbd::util::ThreadPool serial(1);
+    std::vector<std::optional<tbd::perf::RunResult>> reference;
+    {
+        tbd::util::ThreadPool::Scope scope(serial);
+        reference = tc::BenchmarkSuite::runSweep(reqs);
+    }
+
+    tbd::util::ThreadPool pool(4);
+    tbd::util::ThreadPool::Scope scope(pool);
+    const auto parallel = tc::BenchmarkSuite::runSweep(reqs);
+
+    ASSERT_EQ(parallel.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        ASSERT_EQ(parallel[i].has_value(), reference[i].has_value())
+            << "cell " << i;
+        if (!reference[i])
+            continue;
+        EXPECT_EQ(parallel[i]->iterationUs, reference[i]->iterationUs);
+        EXPECT_EQ(parallel[i]->throughputUnits,
+                  reference[i]->throughputUnits);
+        EXPECT_EQ(parallel[i]->gpuUtilization,
+                  reference[i]->gpuUtilization);
+        EXPECT_EQ(parallel[i]->fp32Utilization,
+                  reference[i]->fp32Utilization);
+        EXPECT_EQ(parallel[i]->memory.total(),
+                  reference[i]->memory.total());
+    }
+}
+
+TEST(Suite, RunSweepRethrowsNonOomErrors)
+{
+    std::vector<tc::BenchmarkRequest> reqs(1);
+    reqs[0].model = "Deep Speech 2";
+    reqs[0].framework = "CNTK"; // unsupported combination, not an OOM
+    EXPECT_THROW(tc::BenchmarkSuite::runSweep(reqs),
+                 tbd::util::FatalError);
+}
+
+TEST(Suite, RunSweepOfNothingIsEmpty)
+{
+    EXPECT_TRUE(tc::BenchmarkSuite::runSweep({}).empty());
 }
 
 TEST(Suite, Table2HasNineImplementationRows)

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Determinism of the threaded tensor kernels: for every thread count,
+ * outputs must be bitwise-equal to the serial reference (DESIGN.md
+ * "Threading model" — thread count never changes results).
+ */
+
+#include "tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace tt = tbd::tensor;
+namespace tu = tbd::util;
+
+namespace {
+
+tt::Tensor
+randn(tt::Shape shape, std::uint64_t seed)
+{
+    tu::Rng rng(seed);
+    tt::Tensor t(std::move(shape));
+    t.fillNormal(rng, 0.0f, 1.0f);
+    return t;
+}
+
+bool
+bitwiseEqual(const tt::Tensor &a, const tt::Tensor &b)
+{
+    return a.shape() == b.shape() &&
+           std::memcmp(a.data(), b.data(),
+                       static_cast<std::size_t>(a.numel()) *
+                           sizeof(float)) == 0;
+}
+
+// Runs fn serially, then under pools of several thread counts, and
+// checks every parallel result is bitwise-identical to the serial one.
+void
+expectDeterministic(const std::function<tt::Tensor()> &fn)
+{
+    tu::ThreadPool serial(1);
+    tt::Tensor reference;
+    {
+        tu::ThreadPool::Scope scope(serial);
+        reference = fn();
+    }
+    for (std::size_t threads : {2u, 3u, 8u}) {
+        tu::ThreadPool pool(threads);
+        tu::ThreadPool::Scope scope(pool);
+        tt::Tensor parallel = fn();
+        EXPECT_TRUE(bitwiseEqual(reference, parallel))
+            << "mismatch at " << threads << " threads";
+    }
+}
+
+} // namespace
+
+TEST(OpsParallel, MatmulBitwiseEqualAcrossThreadCounts)
+{
+    // 193x117 exercises ragged tail blocks of the 64-wide partition.
+    const tt::Tensor a = randn(tt::Shape{193, 87}, 1);
+    const tt::Tensor b = randn(tt::Shape{87, 117}, 2);
+    expectDeterministic([&] { return tt::matmul(a, b); });
+}
+
+TEST(OpsParallel, MatmulTNBitwiseEqualAcrossThreadCounts)
+{
+    const tt::Tensor a = randn(tt::Shape{150, 130}, 3);
+    const tt::Tensor b = randn(tt::Shape{150, 70}, 4);
+    expectDeterministic([&] { return tt::matmulTN(a, b); });
+}
+
+TEST(OpsParallel, MatmulNTBitwiseEqualAcrossThreadCounts)
+{
+    const tt::Tensor a = randn(tt::Shape{130, 150}, 5);
+    const tt::Tensor b = randn(tt::Shape{90, 150}, 6);
+    expectDeterministic([&] { return tt::matmulNT(a, b); });
+}
+
+TEST(OpsParallel, MatmulChainMatchesManualReference)
+{
+    // The blocked/threaded GEMM against a naive triple loop.
+    const tt::Tensor a = randn(tt::Shape{33, 21}, 7);
+    const tt::Tensor b = randn(tt::Shape{21, 29}, 8);
+    const tt::Tensor c = tt::matmul(a, b);
+    for (std::int64_t i = 0; i < 33; ++i) {
+        for (std::int64_t j = 0; j < 29; ++j) {
+            float acc = 0.0f;
+            for (std::int64_t k = 0; k < 21; ++k)
+                acc += a.data()[i * 21 + k] * b.data()[k * 29 + j];
+            EXPECT_NEAR(c.data()[i * 29 + j], acc, 1e-4f);
+        }
+    }
+}
+
+TEST(OpsParallel, Im2colCol2imBitwiseEqualAcrossThreadCounts)
+{
+    const tt::Conv2dGeom g{3, 13, 11, 5, 3, 3, 2, 2, 1, 1};
+    const tt::Tensor x = randn(tt::Shape{5, 3, 13, 11}, 9);
+    expectDeterministic([&] { return tt::im2col(x, g); });
+
+    const tt::Tensor cols =
+        randn(tt::Shape{5 * g.outH() * g.outW(), 3 * 3 * 3}, 10);
+    expectDeterministic([&] { return tt::col2im(cols, 5, g); });
+}
+
+TEST(OpsParallel, PoolingBitwiseEqualAcrossThreadCounts)
+{
+    const tt::Conv2dGeom g{6, 12, 12, 6, 2, 2, 2, 2, 0, 0};
+    const tt::Tensor x = randn(tt::Shape{3, 6, 12, 12}, 11);
+    expectDeterministic([&] { return tt::maxPool2d(x, g).output; });
+    expectDeterministic([&] { return tt::avgPool2d(x, g); });
+
+    const tt::Tensor dy = randn(tt::Shape{3, 6, 6, 6}, 12);
+    const auto fw = tt::maxPool2d(x, g);
+    expectDeterministic(
+        [&] { return tt::maxPool2dBackward(dy, fw, x.shape()); });
+    expectDeterministic(
+        [&] { return tt::avgPool2dBackward(dy, x.shape(), g); });
+}
+
+TEST(OpsParallel, ElementwiseAndSoftmaxBitwiseEqual)
+{
+    const tt::Tensor x = randn(tt::Shape{70000}, 13);
+    const tt::Tensor y = randn(tt::Shape{70000}, 14);
+    expectDeterministic(
+        [&] { return tt::map(x, [](float v) { return v * 2.0f + 1.0f; }); });
+    expectDeterministic([&] {
+        return tt::zip(x, y, [](float u, float v) { return u * v; });
+    });
+
+    const tt::Tensor logits = randn(tt::Shape{300, 40}, 15);
+    expectDeterministic([&] { return tt::softmaxRows(logits); });
+    const tt::Tensor sm = tt::softmaxRows(logits);
+    const tt::Tensor dy = randn(tt::Shape{300, 40}, 16);
+    expectDeterministic(
+        [&] { return tt::softmaxRowsBackward(sm, dy); });
+}
+
+TEST(OpsParallel, TransposeAndRowBiasBitwiseEqual)
+{
+    const tt::Tensor x = randn(tt::Shape{170, 90}, 17);
+    expectDeterministic([&] { return tt::transpose2d(x); });
+
+    const tt::Tensor bias = randn(tt::Shape{90}, 18);
+    expectDeterministic([&] {
+        tt::Tensor copy = x.clone();
+        tt::addRowBias(copy, bias);
+        return copy;
+    });
+}

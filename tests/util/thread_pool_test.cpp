@@ -1,0 +1,178 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace tu = tbd::util;
+
+namespace {
+
+// Collects the chunk boundaries a parallelFor produced, order-free.
+std::set<std::pair<std::int64_t, std::int64_t>>
+chunksOf(tu::ThreadPool &pool, std::int64_t begin, std::int64_t end,
+         std::int64_t grain)
+{
+    std::mutex m;
+    std::set<std::pair<std::int64_t, std::int64_t>> chunks;
+    pool.parallelFor(begin, end, grain,
+                     [&](std::int64_t b, std::int64_t e) {
+                         std::lock_guard<std::mutex> lock(m);
+                         chunks.emplace(b, e);
+                     });
+    return chunks;
+}
+
+} // namespace
+
+TEST(ThreadPool, SerialPoolHasNoWorkers)
+{
+    tu::ThreadPool p0(0), p1(1), p4(4);
+    EXPECT_EQ(p0.threadCount(), 0u);
+    EXPECT_EQ(p1.threadCount(), 0u);
+    EXPECT_EQ(p4.threadCount(), 4u);
+}
+
+TEST(ThreadPool, CoversRangeExactlyOnce)
+{
+    tu::ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(100);
+    pool.parallelFor(0, 100, 7, [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i)
+            hits[static_cast<std::size_t>(i)]++;
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ChunkBoundariesDependOnlyOnGrain)
+{
+    // The same (begin, end, grain) must produce the same chunk set for
+    // every thread count — the root of the determinism guarantee.
+    tu::ThreadPool serial(1), two(2), eight(8);
+    const auto ref = chunksOf(serial, 3, 50, 8);
+    EXPECT_EQ(chunksOf(two, 3, 50, 8), ref);
+    EXPECT_EQ(chunksOf(eight, 3, 50, 8), ref);
+    // And the boundaries are the expected arithmetic ones.
+    std::set<std::pair<std::int64_t, std::int64_t>> expect = {
+        {3, 11}, {11, 19}, {19, 27}, {27, 35}, {35, 43}, {43, 50}};
+    EXPECT_EQ(ref, expect);
+}
+
+TEST(ThreadPool, GrainLargerThanRangeIsOneChunk)
+{
+    tu::ThreadPool pool(4);
+    const auto chunks = chunksOf(pool, 0, 5, 100);
+    ASSERT_EQ(chunks.size(), 1u);
+    const std::pair<std::int64_t, std::int64_t> whole{0, 5};
+    EXPECT_EQ(*chunks.begin(), whole);
+}
+
+TEST(ThreadPool, EmptyRangeRunsNothing)
+{
+    tu::ThreadPool pool(4);
+    EXPECT_TRUE(chunksOf(pool, 10, 10, 1).empty());
+    EXPECT_TRUE(chunksOf(pool, 10, 5, 1).empty());
+}
+
+TEST(ThreadPool, NonPositiveGrainIsFatal)
+{
+    tu::ThreadPool pool(2);
+    EXPECT_THROW(pool.parallelFor(0, 10, 0, [](std::int64_t,
+                                               std::int64_t) {}),
+                 tu::FatalError);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline)
+{
+    tu::ThreadPool pool(4);
+    std::atomic<std::int64_t> sum{0};
+    pool.parallelFor(0, 8, 1, [&](std::int64_t ob, std::int64_t oe) {
+        for (std::int64_t o = ob; o < oe; ++o) {
+            // Nested call from a worker must not deadlock and must
+            // still cover its whole range.
+            pool.parallelFor(0, 10, 3,
+                             [&](std::int64_t b, std::int64_t e) {
+                                 sum += e - b;
+                             });
+        }
+    });
+    EXPECT_EQ(sum.load(), 80);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller)
+{
+    tu::ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(0, 100, 1,
+                         [](std::int64_t b, std::int64_t) {
+                             if (b == 37)
+                                 throw std::runtime_error("chunk 37");
+                         }),
+        std::runtime_error);
+    // The pool survives a throwing batch.
+    std::atomic<int> count{0};
+    pool.parallelFor(0, 10, 1,
+                     [&](std::int64_t, std::int64_t) { count++; });
+    EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ScopeOverridesCurrentAndRestores)
+{
+    tu::ThreadPool pool(3);
+    EXPECT_NE(&tu::ThreadPool::current(), &pool);
+    {
+        tu::ThreadPool::Scope scope(pool);
+        EXPECT_EQ(&tu::ThreadPool::current(), &pool);
+        {
+            tu::ThreadPool inner(2);
+            tu::ThreadPool::Scope nested(inner);
+            EXPECT_EQ(&tu::ThreadPool::current(), &inner);
+        }
+        EXPECT_EQ(&tu::ThreadPool::current(), &pool);
+    }
+    EXPECT_EQ(&tu::ThreadPool::current(), &tu::ThreadPool::global());
+}
+
+TEST(ThreadPool, FreeParallelForUsesCurrentPool)
+{
+    tu::ThreadPool pool(2);
+    tu::ThreadPool::Scope scope(pool);
+    std::atomic<int> count{0};
+    tu::parallelFor(0, 6, 2,
+                    [&](std::int64_t, std::int64_t) { count++; });
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, ThreadCountFromEnvParsesStrictly)
+{
+    EXPECT_EQ(tu::threadCountFromEnv("3"), 3u);
+    EXPECT_EQ(tu::threadCountFromEnv("16"), 16u);
+    const std::size_t fallback = tu::threadCountFromEnv(nullptr);
+    EXPECT_GE(fallback, 1u);
+    EXPECT_EQ(tu::threadCountFromEnv(""), fallback);
+    EXPECT_EQ(tu::threadCountFromEnv("0"), fallback);
+    EXPECT_EQ(tu::threadCountFromEnv("-4"), fallback);
+    EXPECT_EQ(tu::threadCountFromEnv("abc"), fallback);
+    EXPECT_EQ(tu::threadCountFromEnv("2x"), fallback);
+}
+
+TEST(ThreadPool, ManySmallBatchesDrainCleanly)
+{
+    tu::ThreadPool pool(4);
+    std::int64_t total = 0;
+    for (int round = 0; round < 200; ++round) {
+        std::atomic<std::int64_t> sum{0};
+        pool.parallelFor(0, 16, 1, [&](std::int64_t b, std::int64_t e) {
+            sum += e - b;
+        });
+        total += sum.load();
+    }
+    EXPECT_EQ(total, 200 * 16);
+}
