@@ -1,5 +1,6 @@
 #include "analysis/trace_export.h"
 
+#include <cstdio>
 #include <fstream>
 
 #include "util/logging.h"
@@ -38,6 +39,10 @@ void
 writeChromeTrace(const std::vector<gpusim::KernelExec> &trace,
                  std::ostream &os, const std::string &processName)
 {
+    // 17 significant digits: timestamps and durations round-trip
+    // bit-exactly through JSON, so re-parsed traces compare bitwise
+    // against the kernel trace they came from.
+    const std::streamsize savedPrecision = os.precision(17);
     os << "{\"traceEvents\":[\n";
     // Process metadata row.
     os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
@@ -52,16 +57,32 @@ writeChromeTrace(const std::vector<gpusim::KernelExec> &trace,
            << ",\"gflops\":" << exec.flops / 1e9 << "}}";
     }
     os << "\n]}\n";
+    os.precision(savedPrecision);
 }
 
 void
 exportChromeTrace(const std::vector<gpusim::KernelExec> &trace,
                   const std::string &path, const std::string &processName)
 {
-    std::ofstream os(path);
-    TBD_CHECK(os.good(), "cannot open '", path, "' for writing");
-    writeChromeTrace(trace, os, processName);
-    TBD_CHECK(os.good(), "write failure on '", path, "'");
+    // Write-to-temporary + rename: a failure mid-export never leaves a
+    // truncated trace (or any file at all) at the destination.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp);
+        TBD_CHECK(os.good(), "cannot open '", path, "' for writing");
+        writeChromeTrace(trace, os, processName);
+        os.flush();
+        if (!os.good()) {
+            os.close();
+            std::remove(tmp.c_str());
+            TBD_FATAL("write failure on '", path, "'");
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        TBD_FATAL("cannot move finished trace into place at '", path,
+                  "'");
+    }
 }
 
 } // namespace tbd::analysis

@@ -1,0 +1,254 @@
+#include "check/golden.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace tbd::check {
+
+namespace {
+
+/** JSON keys for the five memory categories, in MemCategory order. */
+constexpr const char *kMemoryKeys[memprof::kCategoryCount] = {
+    "weights", "weight_gradients", "feature_maps", "workspace",
+    "dynamic"};
+
+std::string
+slug(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        const auto u = static_cast<unsigned char>(c);
+        out += std::isalnum(u)
+                   ? static_cast<char>(std::tolower(u))
+                   : '-';
+    }
+    return out;
+}
+
+std::string
+formatDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+GoldenDiff::summary() const
+{
+    std::ostringstream oss;
+    for (const auto &f : fields)
+        oss << "  " << f.field << ": expected " << f.expected
+            << ", got " << f.actual << "\n";
+    return oss.str();
+}
+
+perf::RunConfig
+canonicalConfig(const models::ModelDesc &model)
+{
+    TBD_CHECK(!model.batchSweep.empty(), model.name,
+              " has an empty batch sweep");
+    TBD_CHECK(!model.frameworks.empty(), model.name,
+              " has no implementing framework");
+    perf::RunConfig config;
+    config.model = &model;
+    config.framework = model.frameworks.front();
+    config.gpu = gpusim::quadroP4000();
+    config.batch = model.batchSweep.front();
+    return config;
+}
+
+GoldenRecord
+captureGolden(const perf::RunConfig &config,
+              const perf::RunResult &result)
+{
+    GoldenRecord record;
+    record.model = result.modelName;
+    record.framework = result.frameworkName;
+    record.gpu = result.gpuName;
+    record.batch = result.batch;
+    record.iterationUs = result.iterationUs;
+    record.throughputSamples = result.throughputSamples;
+    record.throughputUnits = result.throughputUnits;
+    record.gpuUtilization = result.gpuUtilization;
+    record.fp32Utilization = result.fp32Utilization;
+    record.cpuUtilization = result.cpuUtilization;
+    record.kernelsPerIteration = result.kernelsPerIteration;
+    record.totalSimulatedUs =
+        std::accumulate(result.warmupIterationUs.begin(),
+                        result.warmupIterationUs.end(), 0.0) +
+        std::accumulate(result.sampleIterationUs.begin(),
+                        result.sampleIterationUs.end(), 0.0);
+    record.memoryBytes = result.memory.peakBytes;
+    record.memoryTotal = result.memory.total();
+    (void)config;
+    return record;
+}
+
+GoldenRecord
+captureCanonical(const models::ModelDesc &model)
+{
+    const perf::RunConfig config = canonicalConfig(model);
+    return captureGolden(config, perf::PerfSimulator().run(config));
+}
+
+std::string
+goldenFileName(const GoldenRecord &record)
+{
+    return slug(record.model) + "_" + slug(record.framework) + "_b" +
+           std::to_string(record.batch) + ".json";
+}
+
+util::json::Value
+goldenToJson(const GoldenRecord &record)
+{
+    using util::json::Value;
+    Value doc = Value::object();
+    doc.set("schema", Value(std::int64_t{1}));
+    doc.set("model", Value(record.model));
+    doc.set("framework", Value(record.framework));
+    doc.set("gpu", Value(record.gpu));
+    doc.set("batch", Value(record.batch));
+
+    Value metrics = Value::object();
+    metrics.set("iteration_us", Value(record.iterationUs));
+    metrics.set("throughput_samples_per_s",
+                Value(record.throughputSamples));
+    metrics.set("throughput_units_per_s",
+                Value(record.throughputUnits));
+    metrics.set("gpu_utilization", Value(record.gpuUtilization));
+    metrics.set("fp32_utilization", Value(record.fp32Utilization));
+    metrics.set("cpu_utilization", Value(record.cpuUtilization));
+    metrics.set("kernels_per_iteration",
+                Value(record.kernelsPerIteration));
+    metrics.set("total_simulated_us", Value(record.totalSimulatedUs));
+    doc.set("metrics", std::move(metrics));
+
+    Value memory = Value::object();
+    for (std::size_t c = 0; c < memprof::kCategoryCount; ++c)
+        memory.set(kMemoryKeys[c], Value(record.memoryBytes[c]));
+    memory.set("total", Value(record.memoryTotal));
+    doc.set("memory_bytes", std::move(memory));
+    return doc;
+}
+
+GoldenRecord
+goldenFromJson(const util::json::Value &value)
+{
+    GoldenRecord record;
+    TBD_CHECK(value.at("schema").asInt() == 1,
+              "unsupported golden schema version ",
+              value.at("schema").asInt());
+    record.model = value.at("model").asString();
+    record.framework = value.at("framework").asString();
+    record.gpu = value.at("gpu").asString();
+    record.batch = value.at("batch").asInt();
+
+    const auto &metrics = value.at("metrics");
+    record.iterationUs = metrics.at("iteration_us").asDouble();
+    record.throughputSamples =
+        metrics.at("throughput_samples_per_s").asDouble();
+    record.throughputUnits =
+        metrics.at("throughput_units_per_s").asDouble();
+    record.gpuUtilization = metrics.at("gpu_utilization").asDouble();
+    record.fp32Utilization = metrics.at("fp32_utilization").asDouble();
+    record.cpuUtilization = metrics.at("cpu_utilization").asDouble();
+    record.kernelsPerIteration =
+        metrics.at("kernels_per_iteration").asInt();
+    record.totalSimulatedUs =
+        metrics.at("total_simulated_us").asDouble();
+
+    const auto &memory = value.at("memory_bytes");
+    for (std::size_t c = 0; c < memprof::kCategoryCount; ++c)
+        record.memoryBytes[c] = memory.at(kMemoryKeys[c]).asUint();
+    record.memoryTotal = memory.at("total").asUint();
+    return record;
+}
+
+void
+writeGoldenFile(const std::string &path, const GoldenRecord &record)
+{
+    std::ofstream os(path);
+    TBD_CHECK(os.good(), "cannot open '", path, "' for writing");
+    os << goldenToJson(record).dump(2);
+    os.flush();
+    TBD_CHECK(os.good(), "write failure on '", path, "'");
+}
+
+GoldenRecord
+readGoldenFile(const std::string &path)
+{
+    std::ifstream is(path);
+    TBD_CHECK(is.good(), "cannot open golden file '", path,
+              "' (run tools/tbd_golden rebaseline to create it)");
+    std::string text((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    try {
+        return goldenFromJson(util::json::Value::parse(text));
+    } catch (const util::FatalError &e) {
+        TBD_FATAL("malformed golden file '", path, "': ", e.what());
+    }
+}
+
+GoldenDiff
+compareGolden(const GoldenRecord &expected, const GoldenRecord &actual,
+              double relTol)
+{
+    GoldenDiff diff;
+    auto exactStr = [&](const char *field, const std::string &e,
+                        const std::string &a) {
+        if (e != a)
+            diff.fields.push_back({field, e, a});
+    };
+    auto exactInt = [&](const char *field, std::uint64_t e,
+                        std::uint64_t a) {
+        if (e != a)
+            diff.fields.push_back(
+                {field, std::to_string(e), std::to_string(a)});
+    };
+    auto relFloat = [&](const char *field, double e, double a) {
+        const double scale =
+            std::max({1.0, std::fabs(e), std::fabs(a)});
+        if (!(std::fabs(e - a) <= relTol * scale))
+            diff.fields.push_back(
+                {field, formatDouble(e), formatDouble(a)});
+    };
+
+    exactStr("model", expected.model, actual.model);
+    exactStr("framework", expected.framework, actual.framework);
+    exactStr("gpu", expected.gpu, actual.gpu);
+    exactInt("batch", static_cast<std::uint64_t>(expected.batch),
+             static_cast<std::uint64_t>(actual.batch));
+    relFloat("iteration_us", expected.iterationUs, actual.iterationUs);
+    relFloat("throughput_samples_per_s", expected.throughputSamples,
+             actual.throughputSamples);
+    relFloat("throughput_units_per_s", expected.throughputUnits,
+             actual.throughputUnits);
+    relFloat("gpu_utilization", expected.gpuUtilization,
+             actual.gpuUtilization);
+    relFloat("fp32_utilization", expected.fp32Utilization,
+             actual.fp32Utilization);
+    relFloat("cpu_utilization", expected.cpuUtilization,
+             actual.cpuUtilization);
+    exactInt("kernels_per_iteration",
+             static_cast<std::uint64_t>(expected.kernelsPerIteration),
+             static_cast<std::uint64_t>(actual.kernelsPerIteration));
+    relFloat("total_simulated_us", expected.totalSimulatedUs,
+             actual.totalSimulatedUs);
+    for (std::size_t c = 0; c < memprof::kCategoryCount; ++c)
+        exactInt((std::string("memory_bytes.") + kMemoryKeys[c]).c_str(),
+                 expected.memoryBytes[c], actual.memoryBytes[c]);
+    exactInt("memory_bytes.total", expected.memoryTotal,
+             actual.memoryTotal);
+    return diff;
+}
+
+} // namespace tbd::check

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Golden-trace regression harness: canonical per-workload metric
+ * records serialized to committed JSON, with tolerance-aware diffing.
+ *
+ * Every registered benchmark model gets one canonical configuration
+ * (smallest sweep batch, first implementing framework, Quadro P4000).
+ * Its simulated metrics — throughput, the three utilizations, the
+ * memory split, kernel count and total simulated time — are stored
+ * under tests/golden/ and re-checked by tier-1; any drift in
+ * gpusim/perf/memprof arithmetic fails the diff loudly. Integer
+ * quantities (kernel counts, byte totals) compare exactly; derived
+ * floats compare with a relative epsilon far below any meaningful
+ * model change. `tools/tbd_golden rebaseline` regenerates the files
+ * after an intentional change.
+ */
+
+#ifndef TBD_CHECK_GOLDEN_H
+#define TBD_CHECK_GOLDEN_H
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "perf/simulator.h"
+#include "util/json.h"
+
+namespace tbd::check {
+
+/** Relative tolerance for derived floating-point golden fields. */
+constexpr double kGoldenRelTol = 1e-7;
+
+/** Canonical metrics record for one workload configuration. */
+struct GoldenRecord
+{
+    std::string model;
+    std::string framework;
+    std::string gpu;
+    std::int64_t batch = 0;
+
+    double iterationUs = 0.0;
+    double throughputSamples = 0.0;
+    double throughputUnits = 0.0;
+    double gpuUtilization = 0.0;
+    double fp32Utilization = 0.0;
+    double cpuUtilization = 0.0;
+    std::int64_t kernelsPerIteration = 0;
+    double totalSimulatedUs = 0.0; ///< warm-up + sampled wall time
+
+    /** Per-category memory peaks, in MemCategory order. */
+    std::array<std::uint64_t, memprof::kCategoryCount> memoryBytes{};
+    std::uint64_t memoryTotal = 0;
+};
+
+/** One golden field that moved. */
+struct FieldDiff
+{
+    std::string field;
+    std::string expected;
+    std::string actual;
+};
+
+/** Outcome of one golden comparison. */
+struct GoldenDiff
+{
+    std::vector<FieldDiff> fields;
+
+    /** True when every field matched. */
+    bool ok() const { return fields.empty(); }
+
+    /** One line per mismatched field (empty string when ok). */
+    std::string summary() const;
+};
+
+/**
+ * The canonical configuration of one workload: smallest sweep batch,
+ * first implementing framework, Quadro P4000, default sampling.
+ */
+perf::RunConfig canonicalConfig(const models::ModelDesc &model);
+
+/** Build a record from a finished simulation. */
+GoldenRecord captureGolden(const perf::RunConfig &config,
+                           const perf::RunResult &result);
+
+/** Run a workload's canonical configuration and capture its record. */
+GoldenRecord captureCanonical(const models::ModelDesc &model);
+
+/** Committed file name for a record (model/framework/batch slug). */
+std::string goldenFileName(const GoldenRecord &record);
+
+/** Serialize a record. */
+util::json::Value goldenToJson(const GoldenRecord &record);
+
+/**
+ * Deserialize a record.
+ * @throws util::FatalError on a malformed or incomplete document.
+ */
+GoldenRecord goldenFromJson(const util::json::Value &value);
+
+/**
+ * Write a record as pretty-printed JSON.
+ * @throws util::FatalError on I/O failure.
+ */
+void writeGoldenFile(const std::string &path, const GoldenRecord &record);
+
+/**
+ * Read a committed golden file.
+ * @throws util::FatalError on I/O or parse failure.
+ */
+GoldenRecord readGoldenFile(const std::string &path);
+
+/**
+ * Structured diff of two records: identity fields and integers compare
+ * exactly, derived floats with the given relative tolerance.
+ */
+GoldenDiff compareGolden(const GoldenRecord &expected,
+                         const GoldenRecord &actual,
+                         double relTol = kGoldenRelTol);
+
+} // namespace tbd::check
+
+#endif // TBD_CHECK_GOLDEN_H

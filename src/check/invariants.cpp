@@ -1,0 +1,390 @@
+#include "check/invariants.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace tbd::check {
+
+namespace {
+
+/**
+ * Looser tolerance for identities recomputed from long floating-point
+ * sums (one-iteration trace totals vs whole-window accumulators).
+ */
+constexpr double kSumTolerance = 1e-7;
+
+bool
+closeRel(double a, double b, double relTol)
+{
+    const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+    return std::fabs(a - b) <= relTol * scale;
+}
+
+bool
+finiteNonNegative(double v)
+{
+    return std::isfinite(v) && v >= 0.0;
+}
+
+template <typename... Args>
+std::string
+describe(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace
+
+void
+CheckReport::add(std::string rule, std::string detail)
+{
+    violations.push_back({std::move(rule), std::move(detail)});
+}
+
+void
+CheckReport::merge(const CheckReport &other)
+{
+    violations.insert(violations.end(), other.violations.begin(),
+                      other.violations.end());
+}
+
+std::string
+CheckReport::summary() const
+{
+    std::ostringstream oss;
+    for (const auto &v : violations)
+        oss << "  [" << v.rule << "] " << v.detail << "\n";
+    return oss.str();
+}
+
+CheckReport
+validateTimeline(const std::vector<gpusim::KernelExec> &trace,
+                 const gpusim::GpuSpec &gpu)
+{
+    CheckReport report;
+    const double peak = gpu.peakFlops();
+    double prevEnd = 0.0;
+    double prevStart = -1.0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const auto &k = trace[i];
+        if (!finiteNonNegative(k.durationUs) ||
+            !finiteNonNegative(k.startUs)) {
+            report.add("timeline.finite",
+                       describe("kernel #", i, " '", k.name,
+                                "' has start ", k.startUs, ", duration ",
+                                k.durationUs));
+            continue;
+        }
+        if (k.startUs < prevStart)
+            report.add("timeline.order",
+                       describe("kernel #", i, " '", k.name,
+                                "' starts at ", k.startUs,
+                                "us before its predecessor at ",
+                                prevStart, "us"));
+        const double slack =
+            kRelTolerance * std::max(1.0, prevEnd);
+        if (i > 0 && k.startUs + slack < prevEnd)
+            report.add("timeline.overlap",
+                       describe("kernel #", i, " '", k.name,
+                                "' starts at ", k.startUs,
+                                "us while the engine is busy until ",
+                                prevEnd, "us"));
+        if (!finiteNonNegative(k.flops))
+            report.add("timeline.flops",
+                       describe("kernel #", i, " '", k.name,
+                                "' has flops ", k.flops));
+        if (k.fp32Util < 0.0 || k.fp32Util > 1.0 + kRelTolerance)
+            report.add("timeline.fp32_range",
+                       describe("kernel #", i, " '", k.name,
+                                "' has FP32 utilization ", k.fp32Util));
+        if (k.durationUs > 0.0 && peak > 0.0) {
+            const double expected =
+                k.flops / (peak * k.durationUs * 1e-6);
+            if (!closeRel(k.fp32Util, expected, kRelTolerance))
+                report.add(
+                    "timeline.fp32_consistency",
+                    describe("kernel #", i, " '", k.name,
+                             "' reports FP32 utilization ", k.fp32Util,
+                             " but flops/duration/peak give ", expected));
+        }
+        prevStart = k.startUs;
+        prevEnd = k.startUs + k.durationUs;
+    }
+    return report;
+}
+
+CheckReport
+validateStats(const gpusim::TimelineStats &stats,
+              const gpusim::GpuSpec &gpu)
+{
+    CheckReport report;
+    if (!finiteNonNegative(stats.elapsedUs) ||
+        !finiteNonNegative(stats.gpuBusyUs) ||
+        !finiteNonNegative(stats.cpuBusyUs) ||
+        !finiteNonNegative(stats.totalFlops))
+        report.add("stats.finite",
+                   describe("elapsed ", stats.elapsedUs, "us, GPU busy ",
+                            stats.gpuBusyUs, "us, CPU busy ",
+                            stats.cpuBusyUs, "us, flops ",
+                            stats.totalFlops));
+    if (stats.kernelCount < 0)
+        report.add("stats.kernel_count",
+                   describe("negative kernel count ", stats.kernelCount));
+    const double slack = kRelTolerance * std::max(1.0, stats.elapsedUs);
+    if (stats.gpuBusyUs > stats.elapsedUs + slack)
+        report.add("stats.span",
+                   describe("GPU busy ", stats.gpuBusyUs,
+                            "us exceeds the ", stats.elapsedUs,
+                            "us interval span"));
+    const double gpuUtil = stats.gpuUtilization();
+    if (gpuUtil < 0.0 || gpuUtil > 1.0)
+        report.add("stats.gpu_util_range",
+                   describe("GPU utilization ", gpuUtil));
+    const double fp32 = stats.fp32Utilization(gpu);
+    if (fp32 < 0.0 || fp32 > 1.0 + kRelTolerance)
+        report.add("stats.fp32_range",
+                   describe("FP32 utilization ", fp32));
+    if (stats.gpuBusyUs > 0.0 && gpu.peakFlops() > 0.0) {
+        const double expected =
+            stats.totalFlops /
+            (gpu.peakFlops() * stats.gpuBusyUs * 1e-6);
+        if (!closeRel(fp32, expected, kRelTolerance))
+            report.add("stats.fp32_consistency",
+                       describe("FP32 utilization ", fp32,
+                                " vs flops/busy/peak ", expected));
+    }
+    return report;
+}
+
+CheckReport
+validateMemory(const memprof::MemoryBreakdown &memory,
+               std::uint64_t capacityBytes)
+{
+    CheckReport report;
+    std::uint64_t sum = 0;
+    for (std::size_t c = 0; c < memprof::kCategoryCount; ++c)
+        sum += memory.peakBytes[c];
+    if (sum != memory.total())
+        report.add("memory.sum",
+                   describe("category peaks sum to ", sum,
+                            " bytes but total() reports ",
+                            memory.total()));
+    if (capacityBytes > 0 && memory.total() > capacityBytes)
+        report.add("memory.capacity",
+                   describe("footprint ", memory.total(),
+                            " bytes exceeds device capacity ",
+                            capacityBytes));
+    for (std::size_t c = 0; c < memprof::kCategoryCount; ++c) {
+        const auto cat = static_cast<memprof::MemCategory>(c);
+        const double frac = memory.fraction(cat);
+        if (frac < 0.0 || frac > 1.0 + kRelTolerance)
+            report.add("memory.fraction",
+                       describe(memprof::memCategoryName(cat),
+                                " fraction ", frac, " outside [0, 1]"));
+    }
+    return report;
+}
+
+CheckReport
+validateRunResult(const perf::RunConfig &config,
+                  const perf::RunResult &result)
+{
+    CheckReport report;
+    if (result.batch != config.batch)
+        report.add("result.batch",
+                   describe("result batch ", result.batch,
+                            " != configured batch ", config.batch));
+    if (!(std::isfinite(result.iterationUs) && result.iterationUs > 0.0))
+        report.add("result.iteration_time",
+                   describe("iteration time ", result.iterationUs, "us"));
+
+    // Throughput laws: samples/s is batch over iteration time; paper
+    // units are a fixed per-sample factor when lengths are not sampled.
+    if (result.iterationUs > 0.0) {
+        const double expected = static_cast<double>(config.batch) /
+                                (result.iterationUs * 1e-6);
+        if (!closeRel(result.throughputSamples, expected, kRelTolerance))
+            report.add("result.throughput",
+                       describe("throughput ", result.throughputSamples,
+                                " samples/s vs batch/iteration ",
+                                expected));
+    }
+    if (config.lengthCv == 0.0 && config.model != nullptr) {
+        const double expected =
+            result.throughputSamples * config.model->unitsPerSample;
+        if (!closeRel(result.throughputUnits, expected, kRelTolerance))
+            report.add("result.throughput_units",
+                       describe("unit throughput ",
+                                result.throughputUnits, " vs ",
+                                expected));
+    }
+
+    auto checkUnitRange = [&](const char *rule, double v) {
+        if (!std::isfinite(v) || v < 0.0 || v > 1.0 + kRelTolerance)
+            report.add(rule, describe("value ", v, " outside [0, 1]"));
+    };
+    checkUnitRange("result.gpu_util_range", result.gpuUtilization);
+    checkUnitRange("result.fp32_range", result.fp32Utilization);
+    checkUnitRange("result.cpu_util_range", result.cpuUtilization);
+
+    // Sampled-phase bookkeeping: the reported iteration time is the
+    // slowest pipeline stage, so it can never undercut the mean
+    // timeline iteration.
+    if (result.sampleIterationUs.size() !=
+        static_cast<std::size_t>(config.sampleIterations))
+        report.add("result.sample_count",
+                   describe("recorded ", result.sampleIterationUs.size(),
+                            " sampled iterations, configured ",
+                            config.sampleIterations));
+    double sampleSumUs = 0.0;
+    for (double t : result.sampleIterationUs) {
+        if (!finiteNonNegative(t))
+            report.add("result.sample_times",
+                       describe("non-finite or negative sampled "
+                                "iteration time ",
+                                t, "us"));
+        sampleSumUs += t;
+    }
+    if (!result.sampleIterationUs.empty()) {
+        const double mean =
+            sampleSumUs /
+            static_cast<double>(result.sampleIterationUs.size());
+        if (result.iterationUs + kSumTolerance *
+                                     std::max(1.0, mean) <
+            mean)
+            report.add("result.iteration_floor",
+                       describe("iteration time ", result.iterationUs,
+                                "us below the mean timeline iteration ",
+                                mean, "us"));
+    }
+
+    if (result.kernelsPerIteration <= 0)
+        report.add("result.kernel_count",
+                   describe("kernels per iteration ",
+                            result.kernelsPerIteration));
+    if (static_cast<std::int64_t>(result.kernelTrace.size()) >
+        result.kernelsPerIteration)
+        report.add("result.trace_size",
+                   describe("kernel trace holds ",
+                            result.kernelTrace.size(),
+                            " kernels, more than the ",
+                            result.kernelsPerIteration,
+                            " launched per iteration"));
+
+    report.merge(validateTimeline(result.kernelTrace, config.gpu));
+
+    // Eq. 2 re-derived from the trace: with fixed-length iterations the
+    // one-iteration trace carries the same flops/busy ratio as the
+    // whole sampled window.
+    if (config.lengthCv == 0.0 && !result.kernelTrace.empty()) {
+        double flops = 0.0, busyUs = 0.0;
+        for (const auto &k : result.kernelTrace) {
+            flops += k.flops;
+            busyUs += k.durationUs;
+        }
+        if (busyUs > 0.0 && config.gpu.peakFlops() > 0.0) {
+            const double expected =
+                flops / (config.gpu.peakFlops() * busyUs * 1e-6);
+            if (!closeRel(result.fp32Utilization, expected,
+                          kSumTolerance))
+                report.add("result.fp32_consistency",
+                           describe("FP32 utilization ",
+                                    result.fp32Utilization,
+                                    " inconsistent with the kernel "
+                                    "trace's ",
+                                    expected));
+        }
+    }
+
+    report.merge(validateMemory(
+        result.memory,
+        config.enforceMemory ? config.gpu.memoryBytes() : 0));
+    return report;
+}
+
+CheckReport
+validateDeterminism(const perf::RunConfig &config)
+{
+    CheckReport report;
+    const perf::PerfSimulator sim;
+    const perf::RunResult a = sim.run(config);
+    const perf::RunResult b = sim.run(config);
+
+    auto expectEq = [&](const char *field, double x, double y) {
+        if (!(x == y))
+            report.add("determinism",
+                       describe(field, " differs across runs: ", x,
+                                " vs ", y));
+    };
+    expectEq("iterationUs", a.iterationUs, b.iterationUs);
+    expectEq("throughputSamples", a.throughputSamples,
+             b.throughputSamples);
+    expectEq("throughputUnits", a.throughputUnits, b.throughputUnits);
+    expectEq("gpuUtilization", a.gpuUtilization, b.gpuUtilization);
+    expectEq("fp32Utilization", a.fp32Utilization, b.fp32Utilization);
+    expectEq("cpuUtilization", a.cpuUtilization, b.cpuUtilization);
+    if (a.kernelsPerIteration != b.kernelsPerIteration)
+        report.add("determinism",
+                   describe("kernelsPerIteration differs: ",
+                            a.kernelsPerIteration, " vs ",
+                            b.kernelsPerIteration));
+    if (a.memory.peakBytes != b.memory.peakBytes)
+        report.add("determinism", "memory breakdown differs across runs");
+    if (a.sampleIterationUs != b.sampleIterationUs)
+        report.add("determinism",
+                   "sampled iteration times differ across runs");
+    if (a.kernelTrace.size() != b.kernelTrace.size()) {
+        report.add("determinism",
+                   describe("kernel trace length differs: ",
+                            a.kernelTrace.size(), " vs ",
+                            b.kernelTrace.size()));
+        return report;
+    }
+    for (std::size_t i = 0; i < a.kernelTrace.size(); ++i) {
+        const auto &ka = a.kernelTrace[i];
+        const auto &kb = b.kernelTrace[i];
+        if (ka.name != kb.name || ka.startUs != kb.startUs ||
+            ka.durationUs != kb.durationUs || ka.flops != kb.flops ||
+            ka.fp32Util != kb.fp32Util) {
+            report.add("determinism",
+                       describe("kernel #", i, " ('", ka.name,
+                                "') differs across runs"));
+            break;
+        }
+    }
+    return report;
+}
+
+bool
+auditEnabled()
+{
+    const char *env = std::getenv("TBD_CHECK");
+    return env != nullptr && env[0] != '\0' &&
+           !(env[0] == '0' && env[1] == '\0');
+}
+
+void
+installSimulatorAudit()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        perf::setRunAudit([](const perf::RunConfig &config,
+                             const perf::RunResult &result) {
+            const CheckReport report =
+                validateRunResult(config, result);
+            if (!report.ok())
+                TBD_PANIC("simulation audit failed for ",
+                          result.modelName, " / ",
+                          result.frameworkName, " / batch ",
+                          result.batch, ":\n", report.summary());
+        });
+    });
+}
+
+} // namespace tbd::check

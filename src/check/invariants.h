@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Machine-checked invariants over simulator output — the conservation
+ * laws any dependency-accurate timeline must satisfy (in the spirit of
+ * Daydream's argument that downstream estimates are only as
+ * trustworthy as the timeline beneath them):
+ *
+ *  - kernel intervals are non-overlapping and monotonically ordered on
+ *    the single GPU engine, with non-negative, finite durations;
+ *  - per-kernel FP32 utilization equals flops / (peak * duration);
+ *  - span time is at least the busy time it contains, and every
+ *    utilization metric lies in [0, 1];
+ *  - reported FP32 utilization is consistent with the executed FLOPs,
+ *    busy time and device peak;
+ *  - the memory breakdown's five categories sum to the reported total
+ *    and never exceed device capacity;
+ *  - repeated runs of one configuration are bitwise identical.
+ *
+ * Validators return a CheckReport listing every violated rule rather
+ * than stopping at the first, so a failing audit names all the broken
+ * laws at once. The audit hook (installSimulatorAudit / TBD_CHECK=1)
+ * turns violations into util::PanicError — a violated conservation law
+ * is a TBD bug, never a user error.
+ */
+
+#ifndef TBD_CHECK_INVARIANTS_H
+#define TBD_CHECK_INVARIANTS_H
+
+#include <string>
+#include <vector>
+
+#include "perf/simulator.h"
+
+namespace tbd::check {
+
+/** One violated invariant. */
+struct Violation
+{
+    std::string rule;   ///< short rule id, e.g. "timeline.overlap"
+    std::string detail; ///< human-readable evidence
+};
+
+/** Outcome of one validation pass. */
+struct CheckReport
+{
+    std::vector<Violation> violations;
+
+    /** True when no invariant was violated. */
+    bool ok() const { return violations.empty(); }
+
+    /** Record one violation. */
+    void add(std::string rule, std::string detail);
+
+    /** Merge another report's violations into this one. */
+    void merge(const CheckReport &other);
+
+    /** One line per violation (empty string when ok). */
+    std::string summary() const;
+};
+
+/** Relative tolerance used for derived floating-point identities. */
+constexpr double kRelTolerance = 1e-9;
+
+/**
+ * Audit one executed kernel stream: interval ordering, non-overlap,
+ * finite non-negative durations, and per-kernel FP32-utilization
+ * consistency against the device peak.
+ */
+CheckReport validateTimeline(const std::vector<gpusim::KernelExec> &trace,
+                             const gpusim::GpuSpec &gpu);
+
+/**
+ * Audit aggregate timeline statistics: span >= busy time, utilization
+ * range, and Eq. 2 consistency (flops / (peak * busy)).
+ */
+CheckReport validateStats(const gpusim::TimelineStats &stats,
+                          const gpusim::GpuSpec &gpu);
+
+/**
+ * Audit a memory breakdown: category peaks sum to the reported total
+ * and fit the device capacity (capacityBytes 0 skips the capacity
+ * check, matching the profiler's "unlimited" mode).
+ */
+CheckReport validateMemory(const memprof::MemoryBreakdown &memory,
+                           std::uint64_t capacityBytes);
+
+/**
+ * Audit a full simulation result against the configuration that
+ * produced it: timeline + memory + metric ranges + throughput /
+ * utilization consistency laws.
+ */
+CheckReport validateRunResult(const perf::RunConfig &config,
+                              const perf::RunResult &result);
+
+/**
+ * Re-run a configuration twice and require bitwise-identical metrics,
+ * memory and kernel timelines (per-iteration determinism).
+ */
+CheckReport validateDeterminism(const perf::RunConfig &config);
+
+/** True when the TBD_CHECK environment variable opts audits in. */
+bool auditEnabled();
+
+/**
+ * Install validateRunResult as the PerfSimulator post-run audit:
+ * every simulation self-audits and throws util::PanicError on any
+ * violation. Idempotent. core::BenchmarkSuite installs this
+ * automatically when TBD_CHECK=1.
+ */
+void installSimulatorAudit();
+
+} // namespace tbd::check
+
+#endif // TBD_CHECK_INVARIANTS_H

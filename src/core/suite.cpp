@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "check/invariants.h"
 #include "data/dataset_spec.h"
 #include "util/format.h"
 #include "util/logging.h"
@@ -10,6 +11,18 @@
 namespace tbd::core {
 
 namespace {
+
+/**
+ * Opt-in self-audit (TBD_CHECK=1): every simulation the suite runs is
+ * validated against the tbd::check invariants, so a benchmark sweep
+ * doubles as a correctness sweep. Installed once, before any run.
+ */
+void
+maybeInstallAudit()
+{
+    if (check::auditEnabled())
+        check::installSimulatorAudit();
+}
 
 perf::RunConfig
 makeConfig(const BenchmarkRequest &request)
@@ -61,6 +74,7 @@ BenchmarkSuite::gpuByName(const std::string &name)
 analysis::SampleReport
 BenchmarkSuite::run(const BenchmarkRequest &request)
 {
+    maybeInstallAudit();
     return analysis::SamplingProfiler().profile(makeConfig(request));
 }
 
@@ -79,6 +93,7 @@ BenchmarkSuite::runIfFits(const BenchmarkRequest &request)
 std::vector<std::optional<perf::RunResult>>
 BenchmarkSuite::runSweep(const std::vector<BenchmarkRequest> &requests)
 {
+    maybeInstallAudit();
     std::vector<std::optional<perf::RunResult>> results(requests.size());
     // Grain 1: one cell per pool task. Every task writes only its own
     // results[i] slot, so the output order is the request order no

@@ -30,7 +30,14 @@ struct BenchmarkRequest
     std::int64_t batch = 32;
 };
 
-/** Suite facade. */
+/**
+ * Suite facade.
+ *
+ * Setting TBD_CHECK=1 in the environment makes every simulation the
+ * suite runs self-audit against the tbd::check invariants (timeline
+ * conservation laws, metric ranges, memory accounting); a violation
+ * throws util::PanicError.
+ */
 class BenchmarkSuite
 {
   public:

@@ -1,6 +1,7 @@
 #include "engine/checkpoint.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 
 #include "util/logging.h"
@@ -31,27 +32,42 @@ readU64(std::istream &is)
 void
 saveCheckpoint(Network &net, const std::string &path)
 {
-    std::ofstream os(path, std::ios::binary);
-    TBD_CHECK(os.good(), "cannot open '", path, "' for writing");
+    // Write-to-temporary + rename: a failure mid-save never leaves a
+    // truncated checkpoint (or clobbers a good one) at the destination.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary);
+        TBD_CHECK(os.good(), "cannot open '", path, "' for writing");
 
-    const auto params = net.params();
-    std::uint32_t header[2] = {kMagic, kVersion};
-    os.write(reinterpret_cast<const char *>(header), sizeof(header));
-    writeU64(os, params.size());
+        const auto params = net.params();
+        std::uint32_t header[2] = {kMagic, kVersion};
+        os.write(reinterpret_cast<const char *>(header), sizeof(header));
+        writeU64(os, params.size());
 
-    for (layers::Param *p : params) {
-        writeU64(os, p->name.size());
-        os.write(p->name.data(),
-                 static_cast<std::streamsize>(p->name.size()));
-        const auto &dims = p->value.shape().dims();
-        writeU64(os, dims.size());
-        for (std::int64_t d : dims)
-            writeU64(os, static_cast<std::uint64_t>(d));
-        os.write(reinterpret_cast<const char *>(p->value.data()),
-                 static_cast<std::streamsize>(p->value.numel() *
-                                              sizeof(float)));
+        for (layers::Param *p : params) {
+            writeU64(os, p->name.size());
+            os.write(p->name.data(),
+                     static_cast<std::streamsize>(p->name.size()));
+            const auto &dims = p->value.shape().dims();
+            writeU64(os, dims.size());
+            for (std::int64_t d : dims)
+                writeU64(os, static_cast<std::uint64_t>(d));
+            os.write(reinterpret_cast<const char *>(p->value.data()),
+                     static_cast<std::streamsize>(p->value.numel() *
+                                                  sizeof(float)));
+        }
+        os.flush();
+        if (!os.good()) {
+            os.close();
+            std::remove(tmp.c_str());
+            TBD_FATAL("write failure on '", path, "'");
+        }
     }
-    TBD_CHECK(os.good(), "write failure on '", path, "'");
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        TBD_FATAL("cannot move finished checkpoint into place at '",
+                  path, "'");
+    }
 }
 
 void

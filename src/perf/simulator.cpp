@@ -12,7 +12,23 @@ namespace {
 /** Input-pipeline prefetch threads (tf.data / MXNet iterators). */
 constexpr int kDataPipelineThreads = 4;
 
+/** The installed post-run audit (empty when auditing is off). */
+RunAudit &
+runAudit()
+{
+    static RunAudit audit;
+    return audit;
+}
+
 } // namespace
+
+RunAudit
+setRunAudit(RunAudit audit)
+{
+    RunAudit previous = std::move(runAudit());
+    runAudit() = std::move(audit);
+    return previous;
+}
 
 RunResult
 PerfSimulator::run(const RunConfig &config) const
@@ -169,6 +185,9 @@ PerfSimulator::run(const RunConfig &config) const
                               execs.begin() +
                                   static_cast<std::ptrdiff_t>(std::min(
                                       per_iter, execs.size())));
+
+    if (const RunAudit &audit = runAudit())
+        audit(config, result);
     return result;
 }
 

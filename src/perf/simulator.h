@@ -11,6 +11,7 @@
 #ifndef TBD_PERF_SIMULATOR_H
 #define TBD_PERF_SIMULATOR_H
 
+#include <functional>
 #include <optional>
 
 #include "gpusim/timeline.h"
@@ -68,6 +69,22 @@ struct RunResult
     /** Per-iteration wall time of the sampled stable phase. */
     std::vector<double> sampleIterationUs;
 };
+
+/**
+ * Post-run audit callback: invoked with every finished simulation and
+ * the configuration that produced it. tbd::check installs its
+ * invariant validator here (see check::installSimulatorAudit); the
+ * indirection keeps perf free of a dependency on the checker.
+ */
+using RunAudit =
+    std::function<void(const RunConfig &, const RunResult &)>;
+
+/**
+ * Install (or clear, with nullptr) the global post-run audit and
+ * return the previous one. Must not race with in-flight runs: set it
+ * before fanning simulations out over the thread pool.
+ */
+RunAudit setRunAudit(RunAudit audit);
 
 /** Runs configurations against the gpusim substrate. */
 class PerfSimulator

@@ -1,0 +1,544 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace tbd::util::json {
+
+namespace {
+
+const char *
+kindName(Value::Kind k)
+{
+    switch (k) {
+      case Value::Kind::Null:
+        return "null";
+      case Value::Kind::Bool:
+        return "bool";
+      case Value::Kind::Number:
+        return "number";
+      case Value::Kind::String:
+        return "string";
+      case Value::Kind::Array:
+        return "array";
+      case Value::Kind::Object:
+        return "object";
+    }
+    return "unknown";
+}
+
+/** Recursive-descent parser over the document text. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Value parseDocument()
+    {
+        Value v = parseValue();
+        skipWhitespace();
+        TBD_CHECK(pos_ == text_.size(),
+                  "trailing characters after JSON value at offset ", pos_);
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string &what)
+    {
+        TBD_FATAL("JSON parse error at offset ", pos_, ": ", what);
+    }
+
+    void skipWhitespace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', got '" + peek() +
+                 "'");
+        ++pos_;
+    }
+
+    bool consumeLiteral(const char *lit)
+    {
+        const std::size_t n = std::char_traits<char>::length(lit);
+        if (text_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    Value parseValue()
+    {
+        skipWhitespace();
+        const char c = peek();
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return Value(parseString());
+        if (c == 't') {
+            if (!consumeLiteral("true"))
+                fail("bad literal");
+            return Value(true);
+        }
+        if (c == 'f') {
+            if (!consumeLiteral("false"))
+                fail("bad literal");
+            return Value(false);
+        }
+        if (c == 'n') {
+            if (!consumeLiteral("null"))
+                fail("bad literal");
+            return Value();
+        }
+        return parseNumber();
+    }
+
+    Value parseObject()
+    {
+        expect('{');
+        Value obj = Value::object();
+        skipWhitespace();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        while (true) {
+            skipWhitespace();
+            std::string key = parseString();
+            skipWhitespace();
+            expect(':');
+            obj.set(key, parseValue());
+            skipWhitespace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return obj;
+        }
+    }
+
+    Value parseArray()
+    {
+        expect('[');
+        Value arr = Value::array();
+        skipWhitespace();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        while (true) {
+            arr.push(parseValue());
+            skipWhitespace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return arr;
+        }
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            const char c = peek();
+            ++pos_;
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            const char esc = peek();
+            ++pos_;
+            switch (esc) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u':
+                out += parseUnicodeEscape();
+                break;
+              default:
+                fail(std::string("bad escape '\\") + esc + "'");
+            }
+        }
+    }
+
+    std::string parseUnicodeEscape()
+    {
+        if (pos_ + 4 > text_.size())
+            fail("truncated \\u escape");
+        unsigned cp = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_++];
+            cp <<= 4;
+            if (c >= '0' && c <= '9')
+                cp |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                cp |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                cp |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                fail("bad \\u escape digit");
+        }
+        // UTF-8 encode (basic multilingual plane only; surrogate pairs
+        // never appear in TBD's own artifacts).
+        std::string out;
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+        return out;
+    }
+
+    Value parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a value");
+        const std::string token = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        const double v = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size())
+            fail("malformed number '" + token + "'");
+        return Value(v);
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+void
+escapeInto(std::string &out, const std::string &s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+void
+numberInto(std::string &out, double v)
+{
+    TBD_CHECK(std::isfinite(v), "cannot serialize non-finite number");
+    // Integral values (kernel counts, byte totals) print exactly.
+    if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        out += buf;
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+}
+
+void
+dumpInto(std::string &out, const Value &v, int indent, int depth)
+{
+    const std::string pad =
+        indent > 0 ? std::string(static_cast<std::size_t>(indent) *
+                                     (static_cast<std::size_t>(depth) + 1),
+                                 ' ')
+                   : std::string();
+    const std::string closePad =
+        indent > 0 ? std::string(static_cast<std::size_t>(indent) *
+                                     static_cast<std::size_t>(depth),
+                                 ' ')
+                   : std::string();
+    const char *nl = indent > 0 ? "\n" : "";
+
+    switch (v.kind()) {
+      case Value::Kind::Null:
+        out += "null";
+        break;
+      case Value::Kind::Bool:
+        out += v.asBool() ? "true" : "false";
+        break;
+      case Value::Kind::Number:
+        numberInto(out, v.asDouble());
+        break;
+      case Value::Kind::String:
+        out += '"';
+        escapeInto(out, v.asString());
+        out += '"';
+        break;
+      case Value::Kind::Array: {
+        if (v.items().empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        out += nl;
+        for (std::size_t i = 0; i < v.items().size(); ++i) {
+            out += pad;
+            dumpInto(out, v.items()[i], indent, depth + 1);
+            if (i + 1 < v.items().size())
+                out += ',';
+            out += nl;
+        }
+        out += closePad;
+        out += ']';
+        break;
+      }
+      case Value::Kind::Object: {
+        if (v.members().empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        out += nl;
+        for (std::size_t i = 0; i < v.members().size(); ++i) {
+            out += pad;
+            out += '"';
+            escapeInto(out, v.members()[i].first);
+            out += indent > 0 ? "\": " : "\":";
+            dumpInto(out, v.members()[i].second, indent, depth + 1);
+            if (i + 1 < v.members().size())
+                out += ',';
+            out += nl;
+        }
+        out += closePad;
+        out += '}';
+        break;
+      }
+    }
+}
+
+} // namespace
+
+Value
+Value::array()
+{
+    Value v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+Value
+Value::object()
+{
+    Value v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+Value
+Value::parse(const std::string &text)
+{
+    return Parser(text).parseDocument();
+}
+
+bool
+Value::asBool() const
+{
+    TBD_CHECK(kind_ == Kind::Bool, "JSON value is ", kindName(kind_),
+              ", not bool");
+    return bool_;
+}
+
+double
+Value::asDouble() const
+{
+    TBD_CHECK(kind_ == Kind::Number, "JSON value is ", kindName(kind_),
+              ", not number");
+    return num_;
+}
+
+std::int64_t
+Value::asInt() const
+{
+    const double v = asDouble();
+    TBD_CHECK(v == std::floor(v), "JSON number ", v, " is not integral");
+    return static_cast<std::int64_t>(v);
+}
+
+std::uint64_t
+Value::asUint() const
+{
+    const std::int64_t v = asInt();
+    TBD_CHECK(v >= 0, "JSON number ", v, " is negative");
+    return static_cast<std::uint64_t>(v);
+}
+
+const std::string &
+Value::asString() const
+{
+    TBD_CHECK(kind_ == Kind::String, "JSON value is ", kindName(kind_),
+              ", not string");
+    return str_;
+}
+
+const Array &
+Value::items() const
+{
+    TBD_CHECK(kind_ == Kind::Array, "JSON value is ", kindName(kind_),
+              ", not array");
+    return arr_;
+}
+
+void
+Value::push(Value v)
+{
+    TBD_CHECK(kind_ == Kind::Array, "JSON value is ", kindName(kind_),
+              ", not array");
+    arr_.push_back(std::move(v));
+}
+
+const Object &
+Value::members() const
+{
+    TBD_CHECK(kind_ == Kind::Object, "JSON value is ", kindName(kind_),
+              ", not object");
+    return obj_;
+}
+
+void
+Value::set(const std::string &key, Value v)
+{
+    TBD_CHECK(kind_ == Kind::Object, "JSON value is ", kindName(kind_),
+              ", not object");
+    for (auto &member : obj_) {
+        if (member.first == key) {
+            member.second = std::move(v);
+            return;
+        }
+    }
+    obj_.emplace_back(key, std::move(v));
+}
+
+bool
+Value::has(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return false;
+    for (const auto &member : obj_)
+        if (member.first == key)
+            return true;
+    return false;
+}
+
+const Value &
+Value::at(const std::string &key) const
+{
+    TBD_CHECK(kind_ == Kind::Object, "JSON value is ", kindName(kind_),
+              ", not object");
+    for (const auto &member : obj_)
+        if (member.first == key)
+            return member.second;
+    TBD_FATAL("JSON object has no member '", key, "'");
+}
+
+const Value &
+Value::at(std::size_t index) const
+{
+    TBD_CHECK(kind_ == Kind::Array, "JSON value is ", kindName(kind_),
+              ", not array");
+    TBD_CHECK(index < arr_.size(), "JSON array index ", index,
+              " out of range (size ", arr_.size(), ")");
+    return arr_[index];
+}
+
+std::size_t
+Value::size() const
+{
+    if (kind_ == Kind::Array)
+        return arr_.size();
+    if (kind_ == Kind::Object)
+        return obj_.size();
+    TBD_FATAL("JSON value is ", kindName(kind_),
+              ", not array or object");
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::string out;
+    dumpInto(out, *this, indent, 0);
+    if (indent > 0)
+        out += '\n';
+    return out;
+}
+
+} // namespace tbd::util::json

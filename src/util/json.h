@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Minimal JSON value type, parser and serializer.
+ *
+ * TBD emits JSON artifacts (Chrome traces, golden metric records) and
+ * must read some of them back — golden files for the regression
+ * harness, exported traces for round-trip tests. This is a small,
+ * dependency-free implementation covering exactly the JSON subset
+ * those artifacts use: objects, arrays, strings, finite numbers,
+ * booleans and null. Parse errors are user errors (a corrupted or
+ * hand-edited file) and throw util::FatalError.
+ */
+
+#ifndef TBD_UTIL_JSON_H
+#define TBD_UTIL_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tbd::util::json {
+
+class Value;
+
+/** Ordered key/value members (insertion order is preserved). */
+using Object = std::vector<std::pair<std::string, Value>>;
+
+/** Array elements. */
+using Array = std::vector<Value>;
+
+/** One JSON value of any kind. */
+class Value
+{
+  public:
+    /** JSON value kinds. */
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    /** Null value. */
+    Value() = default;
+
+    /** Boolean value. */
+    explicit Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+
+    /** Number value. */
+    explicit Value(double d) : kind_(Kind::Number), num_(d) {}
+
+    /** Number value from a signed integer (exact up to 2^53). */
+    explicit Value(std::int64_t i)
+        : kind_(Kind::Number), num_(static_cast<double>(i))
+    {
+    }
+
+    /** Number value from an unsigned integer (exact up to 2^53). */
+    explicit Value(std::uint64_t u)
+        : kind_(Kind::Number), num_(static_cast<double>(u))
+    {
+    }
+
+    /** String value. */
+    explicit Value(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+
+    /** Empty array value. */
+    static Value array();
+
+    /** Empty object value. */
+    static Value object();
+
+    /**
+     * Parse a JSON document.
+     * @throws util::FatalError on malformed input or trailing garbage.
+     */
+    static Value parse(const std::string &text);
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Boolean content; fatal when not a Bool. */
+    bool asBool() const;
+
+    /** Numeric content; fatal when not a Number. */
+    double asDouble() const;
+
+    /** Numeric content as a signed integer; fatal on non-integers. */
+    std::int64_t asInt() const;
+
+    /** Numeric content as an unsigned integer; fatal when negative. */
+    std::uint64_t asUint() const;
+
+    /** String content; fatal when not a String. */
+    const std::string &asString() const;
+
+    /** Array elements; fatal when not an Array. */
+    const Array &items() const;
+
+    /** Append an element; fatal when not an Array. */
+    void push(Value v);
+
+    /** Object members in insertion order; fatal when not an Object. */
+    const Object &members() const;
+
+    /** Set (or overwrite) a member; fatal when not an Object. */
+    void set(const std::string &key, Value v);
+
+    /** True when an Object has the key. */
+    bool has(const std::string &key) const;
+
+    /** Member lookup; fatal when not an Object or the key is absent. */
+    const Value &at(const std::string &key) const;
+
+    /** Array element; fatal when not an Array or out of range. */
+    const Value &at(std::size_t index) const;
+
+    /** Element/member count of an Array or Object. */
+    std::size_t size() const;
+
+    /**
+     * Serialize. Numbers round-trip exactly (17 significant digits),
+     * integral values print without a fraction.
+     * @param indent Spaces per nesting level; 0 emits one line.
+     */
+    std::string dump(int indent = 0) const;
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    Array arr_;
+    Object obj_;
+};
+
+} // namespace tbd::util::json
+
+#endif // TBD_UTIL_JSON_H

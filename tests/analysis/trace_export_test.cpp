@@ -3,11 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "frameworks/framework.h"
 #include "perf/simulator.h"
+#include "util/json.h"
 #include "util/logging.h"
 
 namespace ta = tbd::analysis;
@@ -97,4 +99,59 @@ TEST(TraceExport, UnwritablePathIsFatal)
     EXPECT_THROW(
         ta::exportChromeTrace({}, "/nonexistent/dir/trace.json"),
         tbd::util::FatalError);
+    EXPECT_FALSE(
+        std::filesystem::exists("/nonexistent/dir/trace.json"));
+    EXPECT_FALSE(
+        std::filesystem::exists("/nonexistent/dir/trace.json.tmp"));
+}
+
+TEST(TraceExport, ExportOntoDirectoryIsFatalAndLeavesNoDebris)
+{
+    // The final rename fails (the target is a directory); the partially
+    // written temporary must be cleaned up and the target untouched.
+    const std::string dir =
+        std::string(::testing::TempDir()) + "tbd_trace_target_dir";
+    std::filesystem::create_directory(dir);
+    EXPECT_THROW(ta::exportChromeTrace(smallTrace(), dir),
+                 tbd::util::FatalError);
+    EXPECT_FALSE(std::filesystem::exists(dir + ".tmp"));
+    EXPECT_TRUE(std::filesystem::is_directory(dir));
+    std::filesystem::remove(dir);
+}
+
+TEST(TraceExport, ParsedTraceMatchesKernelTraceBitwise)
+{
+    tbd::perf::PerfSimulator sim;
+    tbd::perf::RunConfig rc;
+    rc.model = &tbd::models::resnet50();
+    rc.framework = tbd::frameworks::FrameworkId::TensorFlow;
+    rc.gpu = tg::quadroP4000();
+    rc.batch = 4;
+    const auto r = sim.run(rc);
+
+    std::ostringstream os;
+    ta::writeChromeTrace(r.kernelTrace, os, "round trip");
+    const auto doc = tbd::util::json::Value::parse(os.str());
+
+    // One metadata record, then one complete ("X") event per kernel.
+    const auto &events = doc.at("traceEvents").items();
+    ASSERT_EQ(events.size(), r.kernelTrace.size() + 1);
+    EXPECT_EQ(events[0].at("ph").asString(), "M");
+
+    double prevTs = 0.0;
+    for (std::size_t i = 1; i < events.size(); ++i) {
+        const auto &e = events[i];
+        const auto &k = r.kernelTrace[i - 1];
+        EXPECT_EQ(e.at("ph").asString(), "X");
+        const double ts = e.at("ts").asDouble();
+        const double dur = e.at("dur").asDouble();
+        EXPECT_GE(ts, prevTs) << "event " << i << " not monotonic";
+        EXPECT_GE(dur, 0.0);
+        // 17-digit serialization makes the round trip exact.
+        EXPECT_EQ(ts, k.startUs);
+        EXPECT_EQ(dur, k.durationUs);
+        EXPECT_EQ(e.at("name").asString(), k.name);
+        EXPECT_EQ(e.at("args").at("fp32_util").asDouble(), k.fp32Util);
+        prevTs = ts;
+    }
 }

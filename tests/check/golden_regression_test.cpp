@@ -1,0 +1,181 @@
+#include "check/golden.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "check/invariants.h"
+#include "models/model_desc.h"
+#include "util/logging.h"
+
+namespace tc = tbd::check;
+namespace md = tbd::models;
+namespace util = tbd::util;
+
+#ifndef TBD_GOLDEN_DIR
+#define TBD_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace {
+
+std::string
+goldenPath(const tc::GoldenRecord &record)
+{
+    return std::string(TBD_GOLDEN_DIR) + "/" +
+           tc::goldenFileName(record);
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    const char *dir = std::getenv("TMPDIR");
+    return std::string(dir ? dir : "/tmp") + "/" + name;
+}
+
+} // namespace
+
+/**
+ * The tentpole regression gate: every registered workload's canonical
+ * simulation must match its committed golden record bit-for-bit on
+ * integers and within kGoldenRelTol on derived floats.
+ */
+class GoldenRegression
+    : public ::testing::TestWithParam<const md::ModelDesc *>
+{
+};
+
+TEST_P(GoldenRegression, MatchesCommittedGolden)
+{
+    const md::ModelDesc &model = *GetParam();
+    const tc::GoldenRecord actual = tc::captureCanonical(model);
+    const tc::GoldenRecord expected =
+        tc::readGoldenFile(goldenPath(actual));
+    const tc::GoldenDiff diff = tc::compareGolden(expected, actual);
+    EXPECT_TRUE(diff.ok())
+        << "golden drift for " << model.name << ":\n"
+        << diff.summary()
+        << "if intentional, run: tbd_golden rebaseline";
+}
+
+TEST_P(GoldenRegression, CanonicalRunSatisfiesInvariants)
+{
+    const md::ModelDesc &model = *GetParam();
+    const tbd::perf::RunConfig config = tc::canonicalConfig(model);
+    const tbd::perf::RunResult result =
+        tbd::perf::PerfSimulator().run(config);
+    const tc::CheckReport report = tc::validateRunResult(config, result);
+    EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, GoldenRegression,
+    ::testing::ValuesIn(md::allModels()),
+    [](const ::testing::TestParamInfo<const md::ModelDesc *> &info) {
+        std::string name;
+        for (char c : info.param->name)
+            name += std::isalnum(static_cast<unsigned char>(c))
+                        ? c
+                        : '_';
+        return name;
+    });
+
+TEST(GoldenHarness, FileRoundTripPreservesEveryField)
+{
+    const tc::GoldenRecord record =
+        tc::captureCanonical(md::resnet50());
+    const std::string path = tempPath("tbd_golden_roundtrip.json");
+    tc::writeGoldenFile(path, record);
+    const tc::GoldenRecord reread = tc::readGoldenFile(path);
+    std::remove(path.c_str());
+
+    const tc::GoldenDiff diff =
+        tc::compareGolden(record, reread, /*relTol=*/0.0);
+    EXPECT_TRUE(diff.ok()) << diff.summary();
+    EXPECT_EQ(record.memoryBytes, reread.memoryBytes);
+    EXPECT_EQ(record.kernelsPerIteration, reread.kernelsPerIteration);
+}
+
+TEST(GoldenHarness, OnePercentPerturbationIsDetected)
+{
+    // The acceptance bar for the tolerance choice: a 1% drift in any
+    // derived float (or one byte of memory) must fail the diff.
+    const tc::GoldenRecord expected =
+        tc::captureCanonical(md::resnet50());
+
+    tc::GoldenRecord actual = expected;
+    actual.iterationUs *= 1.01;
+    EXPECT_FALSE(tc::compareGolden(expected, actual).ok());
+
+    actual = expected;
+    actual.fp32Utilization *= 0.99;
+    EXPECT_FALSE(tc::compareGolden(expected, actual).ok());
+
+    actual = expected;
+    actual.memoryBytes[0] += 1;
+    EXPECT_FALSE(tc::compareGolden(expected, actual).ok());
+
+    actual = expected;
+    actual.kernelsPerIteration += 1;
+    EXPECT_FALSE(tc::compareGolden(expected, actual).ok());
+}
+
+TEST(GoldenHarness, TinyFloatNoiseIsTolerated)
+{
+    const tc::GoldenRecord expected =
+        tc::captureCanonical(md::resnet50());
+    tc::GoldenRecord actual = expected;
+    actual.iterationUs *= 1.0 + 1e-12;
+    actual.throughputSamples *= 1.0 - 1e-12;
+    EXPECT_TRUE(tc::compareGolden(expected, actual).ok());
+}
+
+TEST(GoldenHarness, IdentityFieldsCompareExactly)
+{
+    const tc::GoldenRecord expected =
+        tc::captureCanonical(md::resnet50());
+    tc::GoldenRecord actual = expected;
+    actual.framework = "MXNet";
+    const tc::GoldenDiff diff = tc::compareGolden(expected, actual);
+    ASSERT_FALSE(diff.ok());
+    EXPECT_EQ(diff.fields[0].field, "framework");
+}
+
+TEST(GoldenHarness, MissingFileThrowsFatal)
+{
+    EXPECT_THROW(tc::readGoldenFile("/nonexistent/golden.json"),
+                 util::FatalError);
+}
+
+TEST(GoldenHarness, MalformedFileThrowsFatal)
+{
+    const std::string path = tempPath("tbd_golden_malformed.json");
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::fputs("{\"schema\": 1, \"model\": ", f);
+        std::fclose(f);
+    }
+    EXPECT_THROW(tc::readGoldenFile(path), util::FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(GoldenHarness, WrongSchemaVersionThrowsFatal)
+{
+    tbd::util::json::Value doc =
+        tc::goldenToJson(tc::captureCanonical(md::resnet50()));
+    doc.set("schema", tbd::util::json::Value(99.0));
+    EXPECT_THROW(tc::goldenFromJson(doc), util::FatalError);
+}
+
+TEST(GoldenHarness, FileNameSlugsAreStable)
+{
+    tc::GoldenRecord record;
+    record.model = "Faster R-CNN";
+    record.framework = "TensorFlow";
+    record.batch = 1;
+    EXPECT_EQ(tc::goldenFileName(record),
+              "faster-r-cnn_tensorflow_b1.json");
+}

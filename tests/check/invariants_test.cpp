@@ -1,0 +1,223 @@
+#include "check/invariants.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "models/model_desc.h"
+#include "util/logging.h"
+
+namespace tc = tbd::check;
+namespace tg = tbd::gpusim;
+namespace tp = tbd::perf;
+namespace mp = tbd::memprof;
+namespace md = tbd::models;
+
+namespace {
+
+tp::RunConfig
+resnetConfig()
+{
+    tp::RunConfig config;
+    config.model = &md::resnet50();
+    config.framework = tbd::frameworks::FrameworkId::TensorFlow;
+    config.gpu = tg::quadroP4000();
+    config.batch = 4;
+    return config;
+}
+
+tp::RunResult
+runResnet()
+{
+    return tp::PerfSimulator().run(resnetConfig());
+}
+
+bool
+hasRule(const tc::CheckReport &report, const std::string &rule)
+{
+    for (const auto &v : report.violations)
+        if (v.rule == rule)
+            return true;
+    return false;
+}
+
+/** A well-formed two-kernel trace to corrupt in the negative tests. */
+std::vector<tg::KernelExec>
+wellFormedTrace(const tg::GpuSpec &gpu)
+{
+    const double peak = gpu.peakFlops();
+    tg::KernelExec a;
+    a.name = "k0";
+    a.startUs = 10.0;
+    a.durationUs = 5.0;
+    a.flops = 0.25 * peak * a.durationUs * 1e-6;
+    a.fp32Util = a.flops / (peak * a.durationUs * 1e-6);
+    tg::KernelExec b = a;
+    b.name = "k1";
+    b.startUs = 15.0;
+    return {a, b};
+}
+
+} // namespace
+
+TEST(CheckInvariants, RealSimulationPassesAllValidators)
+{
+    const auto config = resnetConfig();
+    const auto result = runResnet();
+    const auto report = tc::validateRunResult(config, result);
+    EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(CheckInvariants, EveryTimelinePassesOnRealTraces)
+{
+    const auto result = runResnet();
+    const auto report =
+        tc::validateTimeline(result.kernelTrace, tg::quadroP4000());
+    EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(CheckInvariants, LiveTimelineStatsPass)
+{
+    tg::GpuTimeline timeline(tg::quadroP4000());
+    tg::KernelDesc k;
+    k.name = "probe";
+    k.flops = 1e9;
+    k.bytes = 1e6;
+    k.parallelism = 1e5;
+    timeline.launch(k, 5.0);
+    timeline.launch(k, 5.0);
+    timeline.hostCompute(10.0);
+    timeline.sync();
+    const auto report =
+        tc::validateStats(timeline.stats(), timeline.gpu());
+    EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(CheckInvariants, DetectsOverlappingKernels)
+{
+    auto trace = wellFormedTrace(tg::quadroP4000());
+    trace[1].startUs = trace[0].startUs + 1.0; // inside kernel 0
+    const auto report =
+        tc::validateTimeline(trace, tg::quadroP4000());
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(hasRule(report, "timeline.overlap")) << report.summary();
+}
+
+TEST(CheckInvariants, DetectsOutOfOrderKernels)
+{
+    auto trace = wellFormedTrace(tg::quadroP4000());
+    std::swap(trace[0], trace[1]);
+    const auto report =
+        tc::validateTimeline(trace, tg::quadroP4000());
+    EXPECT_TRUE(hasRule(report, "timeline.order")) << report.summary();
+}
+
+TEST(CheckInvariants, DetectsNonFiniteDurations)
+{
+    auto trace = wellFormedTrace(tg::quadroP4000());
+    trace[1].durationUs = -2.0;
+    EXPECT_TRUE(hasRule(tc::validateTimeline(trace, tg::quadroP4000()),
+                        "timeline.finite"));
+}
+
+TEST(CheckInvariants, DetectsInconsistentFp32Utilization)
+{
+    auto trace = wellFormedTrace(tg::quadroP4000());
+    trace[0].fp32Util *= 1.01; // drifted by 1%
+    EXPECT_TRUE(hasRule(tc::validateTimeline(trace, tg::quadroP4000()),
+                        "timeline.fp32_consistency"));
+}
+
+TEST(CheckInvariants, DetectsBusyExceedingSpan)
+{
+    tg::TimelineStats stats;
+    stats.elapsedUs = 100.0;
+    stats.gpuBusyUs = 150.0;
+    EXPECT_TRUE(hasRule(tc::validateStats(stats, tg::quadroP4000()),
+                        "stats.span"));
+}
+
+TEST(CheckInvariants, DetectsCapacityOverflow)
+{
+    mp::MemoryBreakdown memory;
+    memory.peakBytes[0] = 600;
+    memory.peakBytes[2] = 500;
+    EXPECT_TRUE(tc::validateMemory(memory, 2000).ok());
+    EXPECT_TRUE(
+        hasRule(tc::validateMemory(memory, 1000), "memory.capacity"));
+    // Capacity 0 means unlimited, like the profiler itself.
+    EXPECT_TRUE(tc::validateMemory(memory, 0).ok());
+}
+
+TEST(CheckInvariants, DetectsPerturbedThroughput)
+{
+    const auto config = resnetConfig();
+    auto result = runResnet();
+    result.throughputSamples *= 1.01;
+    const auto report = tc::validateRunResult(config, result);
+    EXPECT_TRUE(hasRule(report, "result.throughput"))
+        << report.summary();
+}
+
+TEST(CheckInvariants, DetectsUtilizationOutOfRange)
+{
+    const auto config = resnetConfig();
+    auto result = runResnet();
+    result.gpuUtilization = 1.5;
+    result.cpuUtilization = -0.1;
+    const auto report = tc::validateRunResult(config, result);
+    EXPECT_TRUE(hasRule(report, "result.gpu_util_range"));
+    EXPECT_TRUE(hasRule(report, "result.cpu_util_range"));
+}
+
+TEST(CheckInvariants, DetectsDroppedSampleIterations)
+{
+    const auto config = resnetConfig();
+    auto result = runResnet();
+    result.sampleIterationUs.pop_back();
+    EXPECT_TRUE(hasRule(tc::validateRunResult(config, result),
+                        "result.sample_count"));
+}
+
+TEST(CheckInvariants, SimulationsAreDeterministic)
+{
+    const auto report = tc::validateDeterminism(resnetConfig());
+    EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(CheckInvariants, AuditHookReceivesEveryRun)
+{
+    int calls = 0;
+    auto previous = tp::setRunAudit(
+        [&](const tp::RunConfig &, const tp::RunResult &) { ++calls; });
+    runResnet();
+    runResnet();
+    tp::setRunAudit(std::move(previous));
+    EXPECT_EQ(calls, 2);
+}
+
+TEST(CheckInvariants, InstalledAuditAcceptsValidRuns)
+{
+    // installSimulatorAudit is process-global and idempotent; valid
+    // simulations must sail through it un-thrown.
+    tc::installSimulatorAudit();
+    EXPECT_NO_THROW(runResnet());
+}
+
+TEST(CheckInvariants, AuditEnabledFollowsEnvironment)
+{
+    const char *saved = std::getenv("TBD_CHECK");
+    const std::string savedValue = saved ? saved : "";
+
+    ::unsetenv("TBD_CHECK");
+    EXPECT_FALSE(tc::auditEnabled());
+    ::setenv("TBD_CHECK", "0", 1);
+    EXPECT_FALSE(tc::auditEnabled());
+    ::setenv("TBD_CHECK", "1", 1);
+    EXPECT_TRUE(tc::auditEnabled());
+
+    if (saved)
+        ::setenv("TBD_CHECK", savedValue.c_str(), 1);
+    else
+        ::unsetenv("TBD_CHECK");
+}

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 
 #include "layers/activations.h"
 #include "layers/dense.h"
@@ -127,4 +128,46 @@ TEST(Checkpoint, MissingFileIsFatal)
                  tbd::util::FatalError);
     EXPECT_THROW(te::saveCheckpoint(net, "/nonexistent/dir/x.ckpt"),
                  tbd::util::FatalError);
+}
+
+TEST(Checkpoint, FailedSaveLeavesNoPartialFile)
+{
+    te::Network net = makeNet(1);
+    EXPECT_THROW(te::saveCheckpoint(net, "/nonexistent/dir/x.ckpt"),
+                 tbd::util::FatalError);
+    EXPECT_FALSE(std::filesystem::exists("/nonexistent/dir/x.ckpt"));
+    EXPECT_FALSE(
+        std::filesystem::exists("/nonexistent/dir/x.ckpt.tmp"));
+}
+
+TEST(Checkpoint, SaveOntoDirectoryIsFatalAndLeavesNoDebris)
+{
+    // The final rename fails (the target is a directory); the partially
+    // written temporary must be cleaned up and the target untouched.
+    const std::string dir =
+        std::string(::testing::TempDir()) + "tbd_ckpt_target_dir";
+    std::filesystem::create_directory(dir);
+    te::Network net = makeNet(1);
+    EXPECT_THROW(te::saveCheckpoint(net, dir), tbd::util::FatalError);
+    EXPECT_FALSE(std::filesystem::exists(dir + ".tmp"));
+    EXPECT_TRUE(std::filesystem::is_directory(dir));
+    std::filesystem::remove(dir);
+}
+
+TEST(Checkpoint, SaveOverwritesExistingCheckpointAtomically)
+{
+    TempFile file("tbd_overwrite.ckpt");
+    te::Network a = makeNet(8);
+    te::saveCheckpoint(a, file.path);
+    te::Network b = makeNet(9);
+    te::saveCheckpoint(b, file.path); // replaces, never truncates
+    EXPECT_FALSE(std::filesystem::exists(file.path + ".tmp"));
+
+    te::Network restored = makeNet(10);
+    te::loadCheckpoint(restored, file.path);
+    auto pb = b.params(), pr = restored.params();
+    ASSERT_EQ(pb.size(), pr.size());
+    for (std::size_t i = 0; i < pb.size(); ++i)
+        for (std::int64_t j = 0; j < pb[i]->value.numel(); ++j)
+            EXPECT_FLOAT_EQ(pb[i]->value.at(j), pr[i]->value.at(j));
 }

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Property sweep over the Figure 4/5/6 grids: every (model, framework,
+ * batch) cell the figures plot must satisfy the tbd::check
+ * conservation laws — ordered non-overlapping kernel intervals,
+ * utilizations in range, throughput/iteration-time identities, and a
+ * memory breakdown that sums to its total.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "check/invariants.h"
+
+namespace tc = tbd::check;
+namespace tp = tbd::perf;
+namespace md = tbd::models;
+namespace tf = tbd::frameworks;
+namespace tg = tbd::gpusim;
+
+namespace {
+
+struct Cell
+{
+    const md::ModelDesc *model;
+    tf::FrameworkId framework;
+    std::int64_t batch;
+};
+
+/** Every cell of the Fig. 4/5/6 batch-sweep grids. */
+std::vector<Cell>
+figureCells()
+{
+    std::vector<Cell> cells;
+    for (const auto *m : md::allModels())
+        for (auto fw : m->frameworks)
+            for (std::int64_t batch : m->batchSweep)
+                cells.push_back({m, fw, batch});
+    return cells;
+}
+
+tp::RunConfig
+configFor(const Cell &cell)
+{
+    tp::RunConfig rc;
+    rc.model = cell.model;
+    rc.framework = cell.framework;
+    rc.gpu = tg::quadroP4000();
+    rc.batch = cell.batch;
+    rc.enforceMemory = false; // the figures plot cells past the 8 GiB wall
+    return rc;
+}
+
+} // namespace
+
+class CheckSweep : public ::testing::TestWithParam<Cell>
+{
+};
+
+TEST_P(CheckSweep, FigureCellSatisfiesAllInvariants)
+{
+    const tp::RunConfig config = configFor(GetParam());
+    const tp::RunResult result = tp::PerfSimulator().run(config);
+    const tc::CheckReport report = tc::validateRunResult(config, result);
+    EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST_P(CheckSweep, FigureCellTimelineIsWellFormed)
+{
+    const tp::RunConfig config = configFor(GetParam());
+    const tp::RunResult result = tp::PerfSimulator().run(config);
+    ASSERT_FALSE(result.kernelTrace.empty());
+    const tc::CheckReport report =
+        tc::validateTimeline(result.kernelTrace, config.gpu);
+    EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Figure456Grid, CheckSweep, ::testing::ValuesIn(figureCells()),
+    [](const auto &info) {
+        std::string name = info.param.model->name + std::string("_") +
+                           tf::frameworkName(info.param.framework) +
+                           "_b" + std::to_string(info.param.batch);
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });

@@ -1,0 +1,89 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tj = tbd::util::json;
+using tbd::util::FatalError;
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(tj::Value::parse("null").isNull());
+    EXPECT_TRUE(tj::Value::parse("true").asBool());
+    EXPECT_FALSE(tj::Value::parse("false").asBool());
+    EXPECT_DOUBLE_EQ(tj::Value::parse("-2.5e3").asDouble(), -2500.0);
+    EXPECT_EQ(tj::Value::parse("\"hi\\nthere\"").asString(),
+              "hi\nthere");
+}
+
+TEST(Json, ParsesNestedDocument)
+{
+    const auto doc = tj::Value::parse(
+        "{\"a\": [1, 2, {\"b\": true}], \"c\": \"x\"}");
+    EXPECT_EQ(doc.size(), 2u);
+    EXPECT_EQ(doc.at("a").size(), 3u);
+    EXPECT_EQ(doc.at("a").at(1).asInt(), 2);
+    EXPECT_TRUE(doc.at("a").at(2).at("b").asBool());
+    EXPECT_EQ(doc.at("c").asString(), "x");
+    EXPECT_TRUE(doc.has("a"));
+    EXPECT_FALSE(doc.has("z"));
+}
+
+TEST(Json, ParsesUnicodeEscapes)
+{
+    EXPECT_EQ(tj::Value::parse("\"\\u0041\\u00e9\"").asString(),
+              "A\xc3\xa9");
+}
+
+TEST(Json, DumpParseRoundTripsExactDoubles)
+{
+    // 17 significant digits round-trip any IEEE double bit-exactly.
+    const double values[] = {0.1, 1.0 / 3.0, 83129.078087519971,
+                             6.02214076e23, -0.0};
+    for (double v : values) {
+        tj::Value num(v);
+        const auto reparsed = tj::Value::parse(num.dump());
+        EXPECT_EQ(reparsed.asDouble(), v) << num.dump();
+    }
+}
+
+TEST(Json, IntegralNumbersPrintWithoutFraction)
+{
+    EXPECT_EQ(tj::Value(std::int64_t{514}).dump(), "514");
+    EXPECT_EQ(tj::Value(std::uint64_t{737684374}).dump(), "737684374");
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder)
+{
+    auto obj = tj::Value::object();
+    obj.set("z", tj::Value(std::int64_t{1}));
+    obj.set("a", tj::Value(std::int64_t{2}));
+    EXPECT_EQ(obj.members()[0].first, "z");
+    EXPECT_EQ(obj.members()[1].first, "a");
+    EXPECT_EQ(obj.dump(), "{\"z\":1,\"a\":2}");
+
+    obj.set("z", tj::Value(std::int64_t{3})); // overwrite keeps order
+    EXPECT_EQ(obj.size(), 2u);
+    EXPECT_EQ(obj.at("z").asInt(), 3);
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    EXPECT_THROW(tj::Value::parse(""), FatalError);
+    EXPECT_THROW(tj::Value::parse("{\"a\": }"), FatalError);
+    EXPECT_THROW(tj::Value::parse("[1, 2"), FatalError);
+    EXPECT_THROW(tj::Value::parse("123 trailing"), FatalError);
+    EXPECT_THROW(tj::Value::parse("\"unterminated"), FatalError);
+}
+
+TEST(Json, TypeMismatchesAreFatal)
+{
+    const auto doc = tj::Value::parse("{\"a\": 1.5}");
+    EXPECT_THROW(doc.at("a").asString(), FatalError);
+    EXPECT_THROW(doc.at("a").asInt(), FatalError); // not integral
+    EXPECT_THROW(doc.at("missing"), FatalError);
+    EXPECT_THROW(tj::Value::parse("-1").asUint(), FatalError);
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * `tbd_golden` — golden-trace maintenance CLI.
+ *
+ *   tbd_golden check [dir]        compare all workloads to the goldens
+ *   tbd_golden rebaseline [dir]   regenerate the committed goldens
+ *   tbd_golden print <model>      dump one canonical record as JSON
+ *
+ * `dir` defaults to the repository's tests/golden/ (baked in at build
+ * time). `check` exits non-zero when any record drifted or a file is
+ * missing; `rebaseline` (also spelled `--rebaseline`) rewrites every
+ * file and is the intended workflow after a deliberate simulator
+ * change.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "check/golden.h"
+#include "check/invariants.h"
+#include "models/model_desc.h"
+#include "util/logging.h"
+
+#ifndef TBD_GOLDEN_DIR
+#define TBD_GOLDEN_DIR "tests/golden"
+#endif
+
+using namespace tbd;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  tbd_golden check [dir]\n"
+                 "  tbd_golden rebaseline [dir]\n"
+                 "  tbd_golden print <model>\n"
+                 "\ndefault dir: %s\n",
+                 TBD_GOLDEN_DIR);
+    return 2;
+}
+
+std::string
+goldenPath(const std::string &dir, const check::GoldenRecord &record)
+{
+    return dir + "/" + check::goldenFileName(record);
+}
+
+int
+cmdCheck(const std::string &dir)
+{
+    int drifted = 0;
+    for (const auto *model : models::allModels()) {
+        const check::GoldenRecord actual =
+            check::captureCanonical(*model);
+        const std::string path = goldenPath(dir, actual);
+        check::GoldenRecord expected;
+        try {
+            expected = check::readGoldenFile(path);
+        } catch (const util::FatalError &e) {
+            std::printf("MISSING  %-16s %s\n", model->name.c_str(),
+                        e.what());
+            ++drifted;
+            continue;
+        }
+        const check::GoldenDiff diff =
+            check::compareGolden(expected, actual);
+        if (diff.ok()) {
+            std::printf("OK       %-16s %s\n", model->name.c_str(),
+                        check::goldenFileName(actual).c_str());
+        } else {
+            std::printf("DRIFTED  %-16s %s\n%s", model->name.c_str(),
+                        check::goldenFileName(actual).c_str(),
+                        diff.summary().c_str());
+            ++drifted;
+        }
+    }
+    if (drifted) {
+        std::printf("\n%d workload(s) drifted from the goldens. If the "
+                    "change is intentional, run:\n  tbd_golden "
+                    "rebaseline\n",
+                    drifted);
+        return 1;
+    }
+    std::printf("\nall %zu workloads match the goldens\n",
+                models::allModels().size());
+    return 0;
+}
+
+int
+cmdRebaseline(const std::string &dir)
+{
+    for (const auto *model : models::allModels()) {
+        // Refuse to baseline a simulation that breaks its own
+        // conservation laws.
+        const perf::RunConfig config = check::canonicalConfig(*model);
+        const perf::RunResult result =
+            perf::PerfSimulator().run(config);
+        const check::CheckReport audit =
+            check::validateRunResult(config, result);
+        if (!audit.ok()) {
+            std::fprintf(stderr,
+                         "refusing to rebaseline %s: invariants "
+                         "violated\n%s",
+                         model->name.c_str(), audit.summary().c_str());
+            return 1;
+        }
+        const check::GoldenRecord record =
+            check::captureGolden(config, result);
+        const std::string path = goldenPath(dir, record);
+        check::writeGoldenFile(path, record);
+        std::printf("wrote %s\n", path.c_str());
+    }
+    return 0;
+}
+
+int
+cmdPrint(const std::string &modelName)
+{
+    const auto &model = models::modelByName(modelName);
+    const check::GoldenRecord record = check::captureCanonical(model);
+    std::printf("%s", check::goldenToJson(record).dump(2).c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    const std::string dir = argc > 2 ? argv[2] : TBD_GOLDEN_DIR;
+    try {
+        if (cmd == "check")
+            return cmdCheck(dir);
+        if (cmd == "rebaseline" || cmd == "--rebaseline")
+            return cmdRebaseline(dir);
+        if (cmd == "print" && argc > 2)
+            return cmdPrint(argv[2]);
+    } catch (const util::FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return usage();
+}
