@@ -29,14 +29,26 @@ printFigure()
         {1, 4, dist::infiniband100G()},
     };
 
+    // The per-GPU batch axis comes from a SweepSpec so the figure
+    // shares its cell construction (and name resolution) with the
+    // single-GPU sweeps.
+    const auto batch_cells = core::SweepSpec()
+                                 .model(models::resnet50().name)
+                                 .framework("MXNet")
+                                 .batches({8, 16, 32})
+                                 .requests();
+
     util::Table t({"configuration", "per-GPU batch",
                    "throughput (samples/s)", "exposed comm",
                    "scaling efficiency"});
     for (const auto &cluster : clusters) {
-        for (std::int64_t batch : {8, 16, 32}) {
+        for (const auto &cell : batch_cells) {
+            const std::int64_t batch = cell.batch;
             auto r = dist::simulateDataParallel(
-                models::resnet50(), frameworks::FrameworkId::MXNet,
-                gpusim::quadroP4000(), batch, cluster);
+                *core::findModelDesc(cell.model),
+                *core::BenchmarkSuite::findFramework(cell.framework),
+                *core::BenchmarkSuite::findGpu(cell.gpu), batch,
+                cluster);
             t.addRow({r.label, std::to_string(batch),
                       util::formatFixed(r.throughputSamples, 1),
                       util::formatDuration(r.exposedCommUs * 1e-6),

@@ -23,11 +23,11 @@ printFigure()
     // out over the thread pool in one runSweep, then render in order.
     const auto panels = benchutil::figure456Panels();
     std::vector<core::BenchmarkRequest> cells;
-    for (const auto &panel : panels)
-        for (std::int64_t batch : panel.model->batchSweep)
-            cells.push_back(benchutil::requestFor(
-                *panel.model, panel.framework, gpusim::quadroP4000(),
-                batch));
+    for (const auto &panel : panels) {
+        const auto panel_cells = benchutil::panelCells(panel);
+        cells.insert(cells.end(), panel_cells.begin(),
+                     panel_cells.end());
+    }
     const auto results = core::BenchmarkSuite::runSweep(cells);
 
     std::size_t cell = 0;
@@ -61,12 +61,13 @@ printFigure()
                           const char *title) {
         std::vector<double> xs(model.batchSweep.begin(),
                                model.batchSweep.end());
-        std::vector<core::BenchmarkRequest> chart_cells;
+        std::vector<std::string> fw_names;
         for (auto fw : fws)
-            for (std::int64_t batch : model.batchSweep)
-                chart_cells.push_back(benchutil::requestFor(
-                    model, fw, gpusim::quadroP4000(), batch));
-        const auto rs = core::BenchmarkSuite::runSweep(chart_cells);
+            fw_names.push_back(frameworks::frameworkName(fw));
+        // Framework-major order: the spec expands frameworks before
+        // batches, matching the per-series consumption below.
+        const auto rs = core::BenchmarkSuite::runSweep(
+            core::SweepSpec().model(model.name).frameworks(fw_names));
         std::vector<util::Series> series;
         std::size_t k = 0;
         for (auto fw : fws) {
@@ -97,10 +98,10 @@ printFigure()
     // Faster R-CNN: fixed single-image batches.
     util::Table frcnn({"model", "implementation",
                        "throughput (images/s)"});
-    std::vector<core::BenchmarkRequest> frcnn_cells;
-    for (auto fw : models::fasterRcnn().frameworks)
-        frcnn_cells.push_back(benchutil::requestFor(
-            models::fasterRcnn(), fw, gpusim::quadroP4000(), 1));
+    const auto frcnn_cells = core::SweepSpec()
+                                 .model(models::fasterRcnn().name)
+                                 .batches({1})
+                                 .requests();
     const auto frcnn_rs = core::BenchmarkSuite::runSweep(frcnn_cells);
     for (std::size_t i = 0; i < frcnn_cells.size(); ++i) {
         frcnn.addRow({"Faster R-CNN", frcnn_cells[i].framework,

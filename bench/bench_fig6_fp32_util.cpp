@@ -23,14 +23,16 @@ printFigure()
     // All cells fan out over the thread pool in one ordered sweep.
     const auto panels = benchutil::figure456Panels();
     std::vector<core::BenchmarkRequest> cells;
-    for (const auto &panel : panels)
-        for (std::int64_t batch : panel.model->batchSweep)
-            cells.push_back(benchutil::requestFor(
-                *panel.model, panel.framework, gpusim::quadroP4000(),
-                batch));
-    for (auto fw : models::fasterRcnn().frameworks)
-        cells.push_back(benchutil::requestFor(
-            models::fasterRcnn(), fw, gpusim::quadroP4000(), 1));
+    for (const auto &panel : panels) {
+        const auto panel_cells = benchutil::panelCells(panel);
+        cells.insert(cells.end(), panel_cells.begin(),
+                     panel_cells.end());
+    }
+    const auto frcnn_cells = core::SweepSpec()
+                                 .model(models::fasterRcnn().name)
+                                 .batches({1})
+                                 .requests();
+    cells.insert(cells.end(), frcnn_cells.begin(), frcnn_cells.end());
     const auto results = core::BenchmarkSuite::runSweep(cells);
 
     std::size_t cell = 0;

@@ -40,13 +40,20 @@ printFigure()
     };
 
     // Both GPUs of every config are independent cells: one sweep over
-    // the pool, then consume pairwise in config order.
+    // the pool, then consume pairwise in config order. The spec's GPU
+    // axis expands before batches, so each config yields its P4000
+    // cell followed by its TITAN Xp cell.
     std::vector<core::BenchmarkRequest> cells;
     for (const auto &cfg : configs) {
-        cells.push_back(benchutil::requestFor(
-            *cfg.model, cfg.framework, gpusim::quadroP4000(), cfg.batch));
-        cells.push_back(benchutil::requestFor(
-            *cfg.model, cfg.framework, gpusim::titanXp(), cfg.batch));
+        const auto pair =
+            core::SweepSpec()
+                .model(cfg.model->name)
+                .framework(frameworks::frameworkName(cfg.framework))
+                .gpus({gpusim::quadroP4000().name,
+                       gpusim::titanXp().name})
+                .batches({cfg.batch})
+                .requests();
+        cells.insert(cells.end(), pair.begin(), pair.end());
     }
     const auto results = core::BenchmarkSuite::runSweep(cells);
 

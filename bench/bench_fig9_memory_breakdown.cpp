@@ -45,11 +45,16 @@ printFigure()
 
     // Fan every (panel, batch) cell over the thread pool at once.
     std::vector<core::BenchmarkRequest> cells;
-    for (const auto &panel : panels)
-        for (std::int64_t batch : panel.batches)
-            cells.push_back(benchutil::requestFor(
-                *panel.model, panel.framework, gpusim::quadroP4000(),
-                batch));
+    for (const auto &panel : panels) {
+        const auto panel_cells =
+            core::SweepSpec()
+                .model(panel.model->name)
+                .framework(frameworks::frameworkName(panel.framework))
+                .batches(panel.batches)
+                .requests();
+        cells.insert(cells.end(), panel_cells.begin(),
+                     panel_cells.end());
+    }
     const auto results = core::BenchmarkSuite::runSweep(cells);
 
     std::size_t cell = 0;

@@ -121,6 +121,21 @@ figure456Panels()
     };
 }
 
+/**
+ * The sweep cells of one Figure 4/5/6 panel: the panel's model and
+ * framework over the model's paper batch sweep on the Quadro P4000.
+ * One SweepSpec per panel (rather than one global product) preserves
+ * the figures' per-panel framework order.
+ */
+inline std::vector<core::BenchmarkRequest>
+panelCells(const SweepPanel &panel)
+{
+    return core::SweepSpec()
+        .model(panel.model->name)
+        .framework(frameworks::frameworkName(panel.framework))
+        .requests();
+}
+
 /** Print a figure banner. */
 inline void
 banner(const char *what, const char *paper_ref)
@@ -138,12 +153,21 @@ banner(const char *what, const char *paper_ref)
 /**
  * Standard bench main: print the reproduced figure, then run any
  * registered google-benchmark cases (pass --benchmark_filter=-.* to
- * print the figure only).
+ * print the figure only). Under TBD_OBS=1 the whole run sits inside
+ * one root span so the exported trace accounts for the harness wall
+ * time (the tbd_obs check gate requires >= 95% root coverage).
  */
 #define TBD_BENCH_MAIN(printFigureFn)                                      \
     int main(int argc, char **argv)                                       \
     {                                                                      \
-        printFigureFn();                                                   \
+        ::tbd::obs::Span bench_span("bench.main");                         \
+        {                                                                  \
+            ::tbd::obs::Span figure_span("bench.figure",                   \
+                                         bench_span.id());                 \
+            printFigureFn();                                               \
+        }                                                                  \
+        ::tbd::obs::Span gbench_span("bench.benchmark",                    \
+                                     bench_span.id());                     \
         ::benchmark::Initialize(&argc, argv);                              \
         if (::benchmark::ReportUnrecognizedArguments(argc, argv))          \
             return 1;                                                      \

@@ -21,50 +21,52 @@ main(int argc, char **argv)
 {
     const std::string gpu_name = argc > 1 ? argv[1] : "Quadro P4000";
     const std::string csv_path = argc > 2 ? argv[2] : "";
-    (void)core::BenchmarkSuite::gpuByName(gpu_name); // validate early
+    if (!core::BenchmarkSuite::findGpu(gpu_name)) {
+        std::fprintf(stderr, "unknown GPU '%s' (valid:", gpu_name.c_str());
+        for (const auto &name : core::BenchmarkSuite::gpuNames())
+            std::fprintf(stderr, " '%s'", name.c_str());
+        std::fprintf(stderr, ")\n");
+        return 1;
+    }
 
     std::printf("TBD suite report on %s\n\n", gpu_name.c_str());
+
+    // The spec's defaults are exactly this report: every model, each
+    // model's implementing frameworks, the paper batch sweeps.
+    const auto cells =
+        core::SweepSpec().gpu(gpu_name).requests();
+    const auto results = core::BenchmarkSuite::runSweep(cells);
 
     util::Table t({"model", "framework", "batch", "throughput", "unit",
                    "GPU util", "FP32 util", "CPU util", "memory",
                    "feature maps", "kernels/iter"});
-    int configs = 0, ooms = 0;
-    for (const auto *model : core::BenchmarkSuite::models()) {
-        for (auto fw : model->frameworks) {
-            for (std::int64_t batch : model->batchSweep) {
-                core::BenchmarkRequest req;
-                req.model = model->name;
-                req.framework = frameworks::frameworkName(fw);
-                req.gpu = gpu_name;
-                req.batch = batch;
-                ++configs;
-                auto maybe = core::BenchmarkSuite::runIfFits(req);
-                if (!maybe) {
-                    ++ooms;
-                    t.addRow({model->name, req.framework,
-                              std::to_string(batch), "OOM", "-", "-",
-                              "-", "-", "-", "-", "-"});
-                    continue;
-                }
-                const auto &r = maybe->result;
-                t.addRow(
-                    {model->name, req.framework, std::to_string(batch),
-                     util::formatFixed(r.throughputUnits, 1),
-                     model->throughputUnit,
-                     util::formatPercent(r.gpuUtilization),
-                     util::formatPercent(r.fp32Utilization),
-                     util::formatPercent(r.cpuUtilization, 2),
-                     util::formatBytes(r.memory.total()),
-                     util::formatPercent(r.memory.fraction(
-                         memprof::MemCategory::FeatureMaps)),
-                     std::to_string(r.kernelsPerIteration)});
-            }
+    int ooms = 0;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const auto &req = cells[i];
+        const auto &maybe = results[i];
+        if (!maybe) {
+            ++ooms;
+            t.addRow({req.model, req.framework,
+                      std::to_string(req.batch), "OOM", "-", "-", "-",
+                      "-", "-", "-", "-"});
+            continue;
         }
+        const auto &r = *maybe;
+        t.addRow({req.model, req.framework, std::to_string(req.batch),
+                  util::formatFixed(r.throughputUnits, 1),
+                  core::findModelDesc(req.model)->throughputUnit,
+                  util::formatPercent(r.gpuUtilization),
+                  util::formatPercent(r.fp32Utilization),
+                  util::formatPercent(r.cpuUtilization, 2),
+                  util::formatBytes(r.memory.total()),
+                  util::formatPercent(r.memory.fraction(
+                      memprof::MemCategory::FeatureMaps)),
+                  std::to_string(r.kernelsPerIteration)});
     }
     t.print(std::cout);
-    std::printf("\n%d configurations, %d out-of-memory cells (the "
+    std::printf("\n%zu configurations, %d out-of-memory cells (the "
                 "paper's truncated sweeps)\n",
-                configs, ooms);
+                cells.size(), ooms);
 
     if (!csv_path.empty()) {
         std::ofstream out(csv_path);

@@ -10,8 +10,12 @@
  *   tbd_cli kernels <model> <framework> <batch>
  *   tbd_cli distributed <model> <machines> <gpus-per-machine> <link>
  *   tbd_cli curve <model>
+ *   tbd_cli obs <model> <framework> <batch>
  *
- * where <link> is one of: pcie, ethernet, infiniband.
+ * where <link> is one of: pcie, ethernet, infiniband. `obs` runs one
+ * configuration with tbd::obs collection forced on and prints the
+ * trace roll-up (top spans by self time, metric summary) — the
+ * interactive face of the TBD_OBS=1 JSONL export.
  */
 
 #include <cstring>
@@ -38,7 +42,8 @@ usage()
         "<pcie|ethernet|infiniband>\n"
         "  tbd_cli curve <model>\n"
         "  tbd_cli trace <model> <framework> <batch> <out.json>\n"
-        "  tbd_cli layers <model> <framework> <batch>\n");
+        "  tbd_cli layers <model> <framework> <batch>\n"
+        "  tbd_cli obs <model> <framework> <batch>\n");
     return 2;
 }
 
@@ -210,6 +215,23 @@ cmdTrace(const std::string &model, const std::string &framework,
 }
 
 int
+cmdObs(const std::string &model, const std::string &framework,
+       std::int64_t batch)
+{
+    obs::setEnabled(true);
+    obs::resetAll();
+    core::BenchmarkRequest req{model, framework, "Quadro P4000",
+                               batch};
+    (void)core::BenchmarkSuite::run(req);
+    const auto report = analysis::buildObsReport(obs::dumpTrace());
+    std::printf("top spans by self time:\n");
+    report.spanTable(15).print(std::cout);
+    std::printf("\nmetrics:\n");
+    report.metricTable().print(std::cout);
+    return 0;
+}
+
+int
 cmdCurve(const std::string &model)
 {
     const auto &m = models::modelByName(model);
@@ -263,6 +285,8 @@ main(int argc, char **argv)
                             argv[5]);
         if (cmd == "layers" && argc >= 5)
             return cmdLayers(argv[2], argv[3], std::atoll(argv[4]));
+        if (cmd == "obs" && argc >= 5)
+            return cmdObs(argv[2], argv[3], std::atoll(argv[4]));
     } catch (const util::FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

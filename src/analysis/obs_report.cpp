@@ -1,0 +1,109 @@
+#include "analysis/obs_report.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/format.h"
+
+namespace tbd::analysis {
+
+util::Table
+ObsReport::spanTable(std::size_t topN) const
+{
+    util::Table t({"span", "count", "total", "self", "self share",
+                   "mean", "max"});
+    const std::size_t rows = std::min(topN, spans.size());
+    for (std::size_t i = 0; i < rows; ++i) {
+        const SpanAggregate &a = spans[i];
+        t.addRow({a.name, std::to_string(a.count),
+                  util::formatDuration(a.totalUs * 1e-6),
+                  util::formatDuration(a.selfUs * 1e-6),
+                  util::formatPercent(a.selfShare),
+                  util::formatDuration(a.meanUs * 1e-6),
+                  util::formatDuration(a.maxUs * 1e-6)});
+    }
+    return t;
+}
+
+util::Table
+ObsReport::metricTable() const
+{
+    util::Table t({"metric", "kind", "value", "count", "mean", "p95"});
+    for (const auto &m : metrics) {
+        switch (m.kind) {
+          case obs::MetricSnapshot::Kind::Counter:
+            t.addRow({m.name, "counter", util::formatFixed(m.value, 0),
+                      "-", "-", "-"});
+            break;
+          case obs::MetricSnapshot::Kind::Gauge:
+            t.addRow({m.name, "gauge", util::formatFixed(m.value, 3),
+                      "-", "-", "-"});
+            break;
+          case obs::MetricSnapshot::Kind::Histogram: {
+            const double mean =
+                m.count == 0 ? 0.0
+                             : m.sum / static_cast<double>(m.count);
+            t.addRow({m.name, "histogram", "-",
+                      std::to_string(m.count),
+                      util::formatFixed(mean, 2),
+                      util::formatFixed(m.p95, 2)});
+            break;
+          }
+        }
+    }
+    return t;
+}
+
+ObsReport
+buildObsReport(const obs::TraceDump &dump)
+{
+    ObsReport report;
+    report.metrics = dump.metrics;
+    report.wallUs = dump.wallUs;
+    report.rootCoverage = dump.rootSpanCoverage();
+
+    // Self time = own duration minus direct children's durations
+    // (clamped: children overlapping a parent's tail can't drive a
+    // span negative).
+    std::unordered_map<obs::SpanId, double> children_us;
+    for (const auto &span : dump.spans)
+        if (span.parent != 0)
+            children_us[span.parent] += span.durUs;
+
+    std::unordered_map<std::string, SpanAggregate> by_name;
+    for (const auto &span : dump.spans) {
+        SpanAggregate &agg = by_name[span.name];
+        agg.name = span.name;
+        agg.count += 1;
+        agg.totalUs += span.durUs;
+        agg.maxUs = std::max(agg.maxUs, span.durUs);
+        const auto it = children_us.find(span.id);
+        const double child_us =
+            it == children_us.end() ? 0.0 : it->second;
+        agg.selfUs += std::max(0.0, span.durUs - child_us);
+    }
+
+    double total_self_us = 0.0;
+    for (const auto &[name, agg] : by_name)
+        total_self_us += agg.selfUs;
+    for (auto &[name, agg] : by_name) {
+        agg.meanUs = agg.totalUs / static_cast<double>(agg.count);
+        agg.selfShare =
+            total_self_us > 0.0 ? agg.selfUs / total_self_us : 0.0;
+        report.spans.push_back(agg);
+    }
+    std::sort(report.spans.begin(), report.spans.end(),
+              [](const SpanAggregate &a, const SpanAggregate &b) {
+                  return a.selfUs != b.selfUs ? a.selfUs > b.selfUs
+                                              : a.name < b.name;
+              });
+    return report;
+}
+
+ObsReport
+loadObsReport(const std::string &jsonlText)
+{
+    return buildObsReport(obs::parseJsonl(jsonlText));
+}
+
+} // namespace tbd::analysis

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Roll-up of a tbd::obs trace: aggregates spans by name (count, total
+ * and *self* time — duration minus the duration of direct children)
+ * and summarizes every metric, answering "where did the wall time
+ * go?" for a sweep or simulator run the way the paper's Fig. 3
+ * pipeline answers it for a training iteration.
+ */
+
+#ifndef TBD_ANALYSIS_OBS_REPORT_H
+#define TBD_ANALYSIS_OBS_REPORT_H
+
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+#include "util/table.h"
+
+namespace tbd::analysis {
+
+/** Aggregated timing of every span with one name. */
+struct SpanAggregate
+{
+    std::string name;
+    std::int64_t count = 0;  ///< spans with this name
+    double totalUs = 0.0;    ///< summed durations
+    double selfUs = 0.0;     ///< total minus direct children
+    double meanUs = 0.0;     ///< totalUs / count
+    double maxUs = 0.0;      ///< longest single span
+    double selfShare = 0.0;  ///< selfUs over all spans' self time
+};
+
+/** The obs roll-up: span aggregates plus the metric snapshot. */
+struct ObsReport
+{
+    std::vector<SpanAggregate> spans; ///< sorted by selfUs, descending
+    std::vector<obs::MetricSnapshot> metrics;
+    double wallUs = 0.0;          ///< trace wall time (0 if unknown)
+    double rootCoverage = 0.0;    ///< root-span share of wallUs
+
+    /** Span table: name, count, total, self, self-share, mean, max. */
+    util::Table spanTable(std::size_t topN = 20) const;
+
+    /** Metric table: name, kind, value/count/mean/p95. */
+    util::Table metricTable() const;
+};
+
+/** Build the roll-up from a trace dump (live or parsed from JSONL). */
+ObsReport buildObsReport(const obs::TraceDump &dump);
+
+/**
+ * Parse a JSONL trace export and build its roll-up.
+ * @throws util::FatalError on malformed input.
+ */
+ObsReport loadObsReport(const std::string &jsonlText);
+
+} // namespace tbd::analysis
+
+#endif // TBD_ANALYSIS_OBS_REPORT_H

@@ -1,11 +1,13 @@
 #include "core/suite.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "check/invariants.h"
+#include "core/sweep_spec.h"
 #include "data/dataset_spec.h"
+#include "obs/obs.h"
 #include "util/format.h"
-#include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace tbd::core {
@@ -24,17 +26,6 @@ maybeInstallAudit()
         check::installSimulatorAudit();
 }
 
-perf::RunConfig
-makeConfig(const BenchmarkRequest &request)
-{
-    perf::RunConfig config;
-    config.model = &models::modelByName(request.model);
-    config.framework = BenchmarkSuite::frameworkByName(request.framework);
-    config.gpu = BenchmarkSuite::gpuByName(request.gpu);
-    config.batch = request.batch;
-    return config;
-}
-
 bool
 isOom(const util::FatalError &e)
 {
@@ -42,7 +33,134 @@ isOom(const util::FatalError &e)
            std::string::npos;
 }
 
+/** Known device models, in Table 4 display order. */
+const std::vector<const gpusim::GpuSpec *> &
+knownGpus()
+{
+    static const std::vector<const gpusim::GpuSpec *> gpus = {
+        &gpusim::quadroP4000(), &gpusim::titanXp()};
+    return gpus;
+}
+
+/** Levenshtein edit distance (for "did you mean" suggestions). */
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t up = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                               diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            diag = up;
+        }
+    }
+    return row[b.size()];
+}
+
+/** Closest candidate, or empty when nothing is plausibly a typo. */
+std::string
+nearestName(const std::string &name,
+            const std::vector<std::string> &candidates)
+{
+    std::string best;
+    std::size_t best_dist = 0;
+    for (const auto &candidate : candidates) {
+        const std::size_t dist = editDistance(name, candidate);
+        if (best.empty() || dist < best_dist) {
+            best = candidate;
+            best_dist = dist;
+        }
+    }
+    // A suggestion further away than half the typed name is noise.
+    const std::size_t threshold = std::max<std::size_t>(
+        2, std::max(name.size(), best.size()) / 2);
+    return best_dist <= threshold ? best : std::string();
+}
+
+std::string
+unknownNameMessage(const std::string &kind, const std::string &name,
+                   const std::vector<std::string> &valid_names,
+                   const std::string &suggestion)
+{
+    std::ostringstream oss;
+    oss << "unknown " << kind << " '" << name << "' (valid: ";
+    for (std::size_t i = 0; i < valid_names.size(); ++i) {
+        if (i)
+            oss << ", ";
+        oss << valid_names[i];
+    }
+    oss << ")";
+    if (!suggestion.empty())
+        oss << "; did you mean '" << suggestion << "'?";
+    return oss.str();
+}
+
 } // namespace
+
+UnknownNameError::UnknownNameError(std::string kind, std::string name,
+                                   std::vector<std::string> validNames)
+    : util::FatalError(unknownNameMessage(
+          kind, name, validNames, nearestName(name, validNames))),
+      kind_(std::move(kind)),
+      name_(std::move(name)),
+      validNames_(std::move(validNames)),
+      suggestion_(nearestName(name_, validNames_))
+{
+}
+
+const models::ModelDesc *
+findModelDesc(const std::string &name)
+{
+    for (const models::ModelDesc *m : models::allModels())
+        if (m->name == name)
+            return m;
+    return nullptr;
+}
+
+std::vector<std::string>
+modelNames()
+{
+    std::vector<std::string> names;
+    for (const models::ModelDesc *m : models::allModels())
+        names.push_back(m->name);
+    return names;
+}
+
+perf::RunConfig
+toRunConfig(const BenchmarkRequest &request)
+{
+    const models::ModelDesc *model = findModelDesc(request.model);
+    if (model == nullptr)
+        throw UnknownNameError("model", request.model, modelNames());
+    const auto framework =
+        BenchmarkSuite::findFramework(request.framework);
+    if (!framework)
+        throw UnknownNameError("framework", request.framework,
+                               BenchmarkSuite::frameworkNames());
+    const auto gpu = BenchmarkSuite::findGpu(request.gpu);
+    if (!gpu)
+        throw UnknownNameError("GPU", request.gpu,
+                               BenchmarkSuite::gpuNames());
+    TBD_CHECK(request.batch > 0, "batch must be positive, got ",
+              request.batch, " for ", request.model);
+    TBD_CHECK(request.lengthCv >= 0.0 && request.lengthCv <= 1.0,
+              "lengthCv must lie in [0, 1], got ", request.lengthCv,
+              " for ", request.model);
+
+    perf::RunConfig config;
+    config.model = model;
+    config.framework = *framework;
+    config.gpu = *gpu;
+    config.batch = request.batch;
+    config.lengthCv = request.lengthCv;
+    config.lengthSeed = request.lengthSeed;
+    return config;
+}
 
 const std::vector<const models::ModelDesc *> &
 BenchmarkSuite::models()
@@ -50,32 +168,71 @@ BenchmarkSuite::models()
     return models::allModels();
 }
 
-frameworks::FrameworkId
-BenchmarkSuite::frameworkByName(const std::string &name)
+std::optional<frameworks::FrameworkId>
+BenchmarkSuite::findFramework(const std::string &name)
 {
     for (auto id : frameworks::allFrameworks())
         if (name == frameworks::frameworkName(id))
             return id;
-    TBD_FATAL("unknown framework '", name,
-              "' (expected TensorFlow, MXNet or CNTK)");
+    return std::nullopt;
+}
+
+std::optional<gpusim::GpuSpec>
+BenchmarkSuite::findGpu(const std::string &name)
+{
+    for (const gpusim::GpuSpec *gpu : knownGpus())
+        if (name == gpu->name)
+            return *gpu;
+    return std::nullopt;
+}
+
+std::vector<std::string>
+BenchmarkSuite::frameworkNames()
+{
+    std::vector<std::string> names;
+    for (auto id : frameworks::allFrameworks())
+        names.push_back(frameworks::frameworkName(id));
+    return names;
+}
+
+std::vector<std::string>
+BenchmarkSuite::gpuNames()
+{
+    std::vector<std::string> names;
+    for (const gpusim::GpuSpec *gpu : knownGpus())
+        names.push_back(gpu->name);
+    return names;
+}
+
+frameworks::FrameworkId
+BenchmarkSuite::frameworkByName(const std::string &name)
+{
+    if (auto id = findFramework(name))
+        return *id;
+    throw UnknownNameError("framework", name, frameworkNames());
 }
 
 const gpusim::GpuSpec &
 BenchmarkSuite::gpuByName(const std::string &name)
 {
-    if (name == gpusim::quadroP4000().name)
-        return gpusim::quadroP4000();
-    if (name == gpusim::titanXp().name)
-        return gpusim::titanXp();
-    TBD_FATAL("unknown GPU '", name,
-              "' (expected 'Quadro P4000' or 'TITAN Xp')");
+    for (const gpusim::GpuSpec *gpu : knownGpus())
+        if (name == gpu->name)
+            return *gpu;
+    throw UnknownNameError("GPU", name, gpuNames());
 }
 
 analysis::SampleReport
 BenchmarkSuite::run(const BenchmarkRequest &request)
 {
     maybeInstallAudit();
-    return analysis::SamplingProfiler().profile(makeConfig(request));
+    obs::Span span("suite.run");
+    span.attr("model", request.model);
+    span.attr("framework", request.framework);
+    span.attr("gpu", request.gpu);
+    span.attr("batch", request.batch);
+    perf::RunConfig config = toRunConfig(request);
+    config.obsParent = span.id();
+    return analysis::SamplingProfiler().profile(config);
 }
 
 std::optional<analysis::SampleReport>
@@ -94,25 +251,77 @@ std::vector<std::optional<perf::RunResult>>
 BenchmarkSuite::runSweep(const std::vector<BenchmarkRequest> &requests)
 {
     maybeInstallAudit();
+    const bool traced = obs::enabled();
+    obs::Span sweep_span("suite.sweep");
+    sweep_span.attr("cells",
+                    static_cast<std::int64_t>(requests.size()));
+    const double sweep_start_us = traced ? obs::traceNowUs() : 0.0;
+    if (traced)
+        obs::MetricsRegistry::global()
+            .counter("suite.cells_total")
+            .add(static_cast<std::int64_t>(requests.size()));
+
     std::vector<std::optional<perf::RunResult>> results(requests.size());
     // Grain 1: one cell per pool task. Every task writes only its own
     // results[i] slot, so the output order is the request order no
-    // matter which worker finishes first.
+    // matter which worker finishes first. Cell spans parent to the
+    // sweep span by explicit id — cells run on arbitrary pool workers,
+    // where thread-local nesting would mis-attribute them.
     util::parallelFor(
         0, static_cast<std::int64_t>(requests.size()), 1,
         [&](std::int64_t b, std::int64_t e) {
             for (std::int64_t i = b; i < e; ++i) {
+                const auto &request =
+                    requests[static_cast<std::size_t>(i)];
+                obs::Span cell("suite.sweep.cell", sweep_span.id());
+                cell.attr("model", request.model);
+                cell.attr("framework", request.framework);
+                cell.attr("gpu", request.gpu);
+                cell.attr("batch", request.batch);
+                if (traced)
+                    // Pool queueing delay: how long the cell waited
+                    // between sweep submission and its first cycle.
+                    cell.attr("queue_us",
+                              obs::traceNowUs() - sweep_start_us);
                 try {
+                    perf::RunConfig config = toRunConfig(request);
+                    config.obsParent = cell.id();
                     results[static_cast<std::size_t>(i)] =
-                        perf::PerfSimulator().run(makeConfig(
-                            requests[static_cast<std::size_t>(i)]));
+                        perf::PerfSimulator().run(config);
                 } catch (const util::FatalError &err) {
                     if (!isOom(err))
                         throw;
+                    cell.attr("oom", std::int64_t{1});
+                    if (traced)
+                        obs::MetricsRegistry::global()
+                            .counter("suite.cells_oom")
+                            .add(1);
                 }
+                if (traced)
+                    // Live progress: sampled by dashboards mid-sweep.
+                    obs::MetricsRegistry::global()
+                        .counter("suite.cells_done")
+                        .add(1);
             }
         });
+
+    if (traced) {
+        // Merge phase: fold per-cell outcomes into sweep-level attrs.
+        const double run_done_us = obs::traceNowUs();
+        std::int64_t oom_cells = 0;
+        for (const auto &result : results)
+            oom_cells += result.has_value() ? 0 : 1;
+        sweep_span.attr("run_us", run_done_us - sweep_start_us);
+        sweep_span.attr("oom_cells", oom_cells);
+        sweep_span.attr("merge_us", obs::traceNowUs() - run_done_us);
+    }
     return results;
+}
+
+std::vector<std::optional<perf::RunResult>>
+BenchmarkSuite::runSweep(const SweepSpec &spec)
+{
+    return runSweep(spec.requests());
 }
 
 util::Table

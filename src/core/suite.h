@@ -17,9 +17,12 @@
 #include "analysis/sampling.h"
 #include "models/model_desc.h"
 #include "perf/simulator.h"
+#include "util/logging.h"
 #include "util/table.h"
 
 namespace tbd::core {
+
+class SweepSpec;
 
 /** One benchmark request. */
 struct BenchmarkRequest
@@ -28,7 +31,64 @@ struct BenchmarkRequest
     std::string framework = "TensorFlow";  ///< framework display name
     std::string gpu = "Quadro P4000";      ///< "Quadro P4000"/"TITAN Xp"
     std::int64_t batch = 32;
+
+    /**
+     * Per-iteration sequence-length variation (Sec. 3.4.3), forwarded
+     * to perf::RunConfig::lengthCv. Must lie in [0, 1]; 0 disables.
+     */
+    double lengthCv = 0.0;
+    std::uint64_t lengthSeed = 42; ///< length-sampling stream seed
 };
+
+/**
+ * A name the facade could not resolve. Carries the lookup kind
+ * ("framework", "GPU"), every valid name, and the closest valid name
+ * by edit distance — the what() message lists all three, so a typo'd
+ * CLI argument tells the user exactly what to type instead.
+ */
+class UnknownNameError : public util::FatalError
+{
+  public:
+    UnknownNameError(std::string kind, std::string name,
+                     std::vector<std::string> validNames);
+
+    /** Lookup domain, e.g. "framework" or "GPU". */
+    const std::string &kind() const { return kind_; }
+
+    /** The name that failed to resolve. */
+    const std::string &name() const { return name_; }
+
+    /** All names the lookup accepts. */
+    const std::vector<std::string> &validNames() const
+    {
+        return validNames_;
+    }
+
+    /** Closest valid name by edit distance (empty when none close). */
+    const std::string &suggestion() const { return suggestion_; }
+
+  private:
+    std::string kind_;
+    std::string name_;
+    std::vector<std::string> validNames_;
+    std::string suggestion_;
+};
+
+/** Resolve a Table 2 model by name; nullptr when unknown. */
+const models::ModelDesc *findModelDesc(const std::string &name);
+
+/** All Table 2 model names (error messages, CLI help). */
+std::vector<std::string> modelNames();
+
+/**
+ * Translate one request into a simulator configuration — the single
+ * request→RunConfig path used by BenchmarkSuite::run, runIfFits and
+ * runSweep alike.
+ * @throws UnknownNameError for an unresolvable model, framework or
+ *         GPU name; util::FatalError for a non-positive batch or a
+ *         lengthCv outside [0, 1].
+ */
+perf::RunConfig toRunConfig(const BenchmarkRequest &request);
 
 /**
  * Suite facade.
@@ -36,7 +96,9 @@ struct BenchmarkRequest
  * Setting TBD_CHECK=1 in the environment makes every simulation the
  * suite runs self-audit against the tbd::check invariants (timeline
  * conservation laws, metric ranges, memory accounting); a violation
- * throws util::PanicError.
+ * throws util::PanicError. Setting TBD_OBS=1 records tbd::obs spans
+ * and metrics for every run and sweep cell without changing any
+ * simulated number.
  */
 class BenchmarkSuite
 {
@@ -44,11 +106,36 @@ class BenchmarkSuite
     /** All registered benchmark models (Table 2). */
     static const std::vector<const models::ModelDesc *> &models();
 
-    /** Resolve a framework by display name; fatal if unknown. */
+    /** Resolve a framework by display name; nullopt when unknown. */
+    static std::optional<frameworks::FrameworkId> findFramework(
+        const std::string &name);
+
+    /** Resolve a GPU model by display name; nullopt when unknown. */
+    static std::optional<gpusim::GpuSpec> findGpu(
+        const std::string &name);
+
+    /** Display names findFramework accepts. */
+    static std::vector<std::string> frameworkNames();
+
+    /** Display names findGpu accepts. */
+    static std::vector<std::string> gpuNames();
+
+    /**
+     * Resolve a framework by display name.
+     * @deprecated Thin wrapper kept for source compatibility; new
+     *             code should call findFramework and handle nullopt
+     *             (or let toRunConfig do the throwing).
+     * @throws UnknownNameError when the name is unknown.
+     */
     static frameworks::FrameworkId frameworkByName(
         const std::string &name);
 
-    /** Resolve a GPU by display name; fatal if unknown. */
+    /**
+     * Resolve a GPU by display name.
+     * @deprecated Thin wrapper kept for source compatibility; new
+     *             code should call findGpu and handle nullopt.
+     * @throws UnknownNameError when the name is unknown.
+     */
     static const gpusim::GpuSpec &gpuByName(const std::string &name);
 
     /** Run one configuration through the sampling profiler. */
@@ -73,6 +160,10 @@ class BenchmarkSuite
      */
     static std::vector<std::optional<perf::RunResult>> runSweep(
         const std::vector<BenchmarkRequest> &requests);
+
+    /** Sweep the cells a SweepSpec expands to. */
+    static std::vector<std::optional<perf::RunResult>> runSweep(
+        const SweepSpec &spec);
 
     /** Render Table 2 (benchmark overview) from the registry. */
     static util::Table table2Overview();

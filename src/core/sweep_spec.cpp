@@ -1,0 +1,161 @@
+#include "core/sweep_spec.h"
+
+#include <algorithm>
+
+namespace tbd::core {
+
+SweepSpec &
+SweepSpec::models(std::vector<std::string> names)
+{
+    models_ = std::move(names);
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::model(const std::string &name)
+{
+    return models({name});
+}
+
+SweepSpec &
+SweepSpec::frameworks(std::vector<std::string> names)
+{
+    frameworks_ = std::move(names);
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::framework(const std::string &name)
+{
+    return frameworks({name});
+}
+
+SweepSpec &
+SweepSpec::gpus(std::vector<std::string> names)
+{
+    gpus_ = std::move(names);
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::gpu(const std::string &name)
+{
+    return gpus({name});
+}
+
+SweepSpec &
+SweepSpec::batches(std::vector<std::int64_t> values)
+{
+    batches_ = std::move(values);
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::paperBatches()
+{
+    batches_.reset();
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::keepUnsupported()
+{
+    keepUnsupported_ = true;
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::maxBatch(std::int64_t maxBatch)
+{
+    maxBatch_ = maxBatch;
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::lengthCv(double cv, std::uint64_t seed)
+{
+    lengthCv_ = cv;
+    lengthSeed_ = seed;
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::filter(std::function<bool(const BenchmarkRequest &)> predicate)
+{
+    filters_.push_back(std::move(predicate));
+    return *this;
+}
+
+std::vector<BenchmarkRequest>
+SweepSpec::requests() const
+{
+    // Resolve every axis up front so a typo fails before any cell
+    // runs, with the full valid-name list in the error.
+    std::vector<const models::ModelDesc *> model_axis;
+    if (models_.empty()) {
+        model_axis = models::allModels();
+    } else {
+        for (const auto &name : models_) {
+            const models::ModelDesc *m = findModelDesc(name);
+            if (m == nullptr)
+                throw UnknownNameError("model", name, modelNames());
+            model_axis.push_back(m);
+        }
+    }
+
+    std::vector<frameworks::FrameworkId> framework_axis;
+    for (const auto &name : frameworks_) {
+        const auto id = BenchmarkSuite::findFramework(name);
+        if (!id)
+            throw UnknownNameError("framework", name,
+                                   BenchmarkSuite::frameworkNames());
+        framework_axis.push_back(*id);
+    }
+
+    std::vector<gpusim::GpuSpec> gpu_axis;
+    const std::vector<std::string> gpu_names =
+        gpus_.empty() ? std::vector<std::string>{"Quadro P4000"}
+                      : gpus_;
+    for (const auto &name : gpu_names) {
+        const auto gpu = BenchmarkSuite::findGpu(name);
+        if (!gpu)
+            throw UnknownNameError("GPU", name,
+                                   BenchmarkSuite::gpuNames());
+        gpu_axis.push_back(*gpu);
+    }
+
+    std::vector<BenchmarkRequest> cells;
+    for (const models::ModelDesc *model : model_axis) {
+        // Unset framework axis: the model's implementations, in
+        // registry order (the order the paper's panels list them).
+        const std::vector<frameworks::FrameworkId> &fws =
+            frameworks_.empty() ? model->frameworks : framework_axis;
+        const std::vector<std::int64_t> &batches =
+            batches_ ? *batches_ : model->batchSweep;
+        for (frameworks::FrameworkId fw : fws) {
+            if (!model->supports(fw) && !keepUnsupported_)
+                continue;
+            for (const gpusim::GpuSpec &gpu : gpu_axis) {
+                for (std::int64_t batch : batches) {
+                    if (maxBatch_ && batch > *maxBatch_)
+                        continue;
+                    BenchmarkRequest cell;
+                    cell.model = model->name;
+                    cell.framework = frameworks::frameworkName(fw);
+                    cell.gpu = gpu.name;
+                    cell.batch = batch;
+                    cell.lengthCv = lengthCv_;
+                    cell.lengthSeed = lengthSeed_;
+                    const bool kept = std::all_of(
+                        filters_.begin(), filters_.end(),
+                        [&](const auto &pred) { return pred(cell); });
+                    if (kept)
+                        cells.push_back(std::move(cell));
+                }
+            }
+        }
+    }
+    return cells;
+}
+
+} // namespace tbd::core

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Declarative sweep construction: a SweepSpec names the axes of a
+ * figure/table sweep — models × frameworks × GPUs × batches — and
+ * expands the cartesian product into the ordered BenchmarkRequest
+ * vector BenchmarkSuite::runSweep consumes. The figure harnesses
+ * (Figs. 4-6, 8-10) are each one or a few specs instead of hand-
+ * rolled nested loops, and any axis can be filtered without touching
+ * the expansion logic.
+ *
+ * Expansion order is deterministic: models in the given (or registry)
+ * order, then frameworks, then GPUs, then batches — so a spec's cell
+ * index maps 1:1 onto a figure's row order.
+ */
+
+#ifndef TBD_CORE_SWEEP_SPEC_H
+#define TBD_CORE_SWEEP_SPEC_H
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/suite.h"
+
+namespace tbd::core {
+
+/** Cartesian sweep builder over the benchmark registry. */
+class SweepSpec
+{
+  public:
+    /**
+     * Defaults: every Table 2 model, each model's implementing
+     * frameworks in registry order, the Quadro P4000, and each
+     * model's paper batch sweep.
+     */
+    SweepSpec() = default;
+
+    /** Restrict the model axis to these names, in this order. */
+    SweepSpec &models(std::vector<std::string> names);
+
+    /** Restrict to one model. */
+    SweepSpec &model(const std::string &name);
+
+    /**
+     * Fix the framework axis to these display names, in this order.
+     * Combinations without an implementation are dropped (the sweep
+     * analogue of Table 2's empty cells) unless keepUnsupported().
+     */
+    SweepSpec &frameworks(std::vector<std::string> names);
+
+    /** Restrict to one framework. */
+    SweepSpec &framework(const std::string &name);
+
+    /** Set the GPU axis (default: Quadro P4000 only). */
+    SweepSpec &gpus(std::vector<std::string> names);
+
+    /** Restrict to one GPU. */
+    SweepSpec &gpu(const std::string &name);
+
+    /** Fix the batch axis for every model. */
+    SweepSpec &batches(std::vector<std::int64_t> values);
+
+    /** Use each model's paper batch sweep (the default). */
+    SweepSpec &paperBatches();
+
+    /** Keep model×framework combos without an implementation. */
+    SweepSpec &keepUnsupported();
+
+    /** Per-axis filter: keep batches ≤ maxBatch. */
+    SweepSpec &maxBatch(std::int64_t maxBatch);
+
+    /** Per-iteration length variation for every cell (Sec. 3.4.3). */
+    SweepSpec &lengthCv(double cv, std::uint64_t seed = 42);
+
+    /**
+     * Arbitrary cell filter, applied after axis expansion; chainable
+     * (all registered predicates must accept a cell).
+     */
+    SweepSpec &filter(
+        std::function<bool(const BenchmarkRequest &)> predicate);
+
+    /**
+     * Expand the cartesian product in deterministic order.
+     * @throws UnknownNameError for an unresolvable model, framework
+     *         or GPU name on any axis (with the nearest valid name).
+     */
+    std::vector<BenchmarkRequest> requests() const;
+
+  private:
+    std::vector<std::string> models_;     ///< empty = all models
+    std::vector<std::string> frameworks_; ///< empty = per-model list
+    std::vector<std::string> gpus_;       ///< empty = {Quadro P4000}
+    std::optional<std::vector<std::int64_t>> batches_; ///< unset = paper
+    std::optional<std::int64_t> maxBatch_;
+    bool keepUnsupported_ = false;
+    double lengthCv_ = 0.0;
+    std::uint64_t lengthSeed_ = 42;
+    std::vector<std::function<bool(const BenchmarkRequest &)>> filters_;
+};
+
+} // namespace tbd::core
+
+#endif // TBD_CORE_SWEEP_SPEC_H

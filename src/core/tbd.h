@@ -11,9 +11,11 @@
 
 #include "analysis/convergence.h"
 #include "analysis/kernel_report.h"
+#include "analysis/obs_report.h"
 #include "analysis/sampling.h"
 #include "analysis/trace_export.h"
 #include "core/suite.h"
+#include "core/sweep_spec.h"
 #include "data/bucketing.h"
 #include "data/catch_env.h"
 #include "data/dataset_spec.h"
@@ -41,6 +43,7 @@
 #include "layers/pool.h"
 #include "layers/recurrent.h"
 #include "memprof/memory_profiler.h"
+#include "obs/obs.h"
 #include "models/functional.h"
 #include "models/model_desc.h"
 #include "models/workload.h"

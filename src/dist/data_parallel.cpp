@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "util/logging.h"
 
 namespace tbd::dist {
@@ -28,6 +29,11 @@ simulateDataParallel(const models::ModelDesc &model,
                   cluster.overlapFraction <= 1.0,
               "overlap fraction out of [0, 1]");
 
+    obs::Span span("dist.simulate");
+    span.attr("model", model.name);
+    span.attr("cluster", cluster.label());
+    span.attr("per_gpu_batch", perGpuBatch);
+
     // Per-GPU compute from the single-GPU simulator.
     perf::PerfSimulator sim;
     perf::RunConfig rc;
@@ -35,6 +41,7 @@ simulateDataParallel(const models::ModelDesc &model,
     rc.framework = framework;
     rc.gpu = gpu;
     rc.batch = perGpuBatch;
+    rc.obsParent = span.id();
     const perf::RunResult single = sim.run(rc);
 
     TBD_CHECK(cluster.gradientCompression >= 1.0,

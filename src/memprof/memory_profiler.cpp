@@ -1,9 +1,38 @@
 #include "memprof/memory_profiler.h"
 
+#include "obs/obs.h"
 #include "util/format.h"
 #include "util/logging.h"
 
 namespace tbd::memprof {
+
+namespace {
+
+/**
+ * Per-category obs counters, resolved once. Counter updates are
+ * relaxed atomics, so concurrent profilers on pool workers account
+ * without serializing.
+ */
+obs::Counter &
+categoryCounter(MemCategory category)
+{
+    static const std::array<obs::Counter *, kCategoryCount> counters =
+        [] {
+            std::array<obs::Counter *, kCategoryCount> out{};
+            auto &registry = obs::MetricsRegistry::global();
+            out[0] = &registry.counter("memprof.alloc_bytes.weights");
+            out[1] = &registry.counter(
+                "memprof.alloc_bytes.weight_gradients");
+            out[2] =
+                &registry.counter("memprof.alloc_bytes.feature_maps");
+            out[3] = &registry.counter("memprof.alloc_bytes.workspace");
+            out[4] = &registry.counter("memprof.alloc_bytes.dynamic");
+            return out;
+        }();
+    return *counters[static_cast<std::size_t>(category)];
+}
+
+} // namespace
 
 const char *
 memCategoryName(MemCategory c)
@@ -70,6 +99,10 @@ MemoryProfiler::allocate(MemCategory category, std::uint64_t bytes,
                          std::string label)
 {
     if (capacity_ != 0 && totalLive_ + bytes > capacity_) {
+        if (obs::enabled())
+            obs::MetricsRegistry::global()
+                .counter("memprof.oom_events")
+                .add(1);
         TBD_FATAL("GPU out of memory allocating ",
                   util::formatBytes(bytes), " for '",
                   label.empty() ? memCategoryName(category) : label,
@@ -83,6 +116,13 @@ MemoryProfiler::allocate(MemCategory category, std::uint64_t bytes,
     totalLive_ += bytes;
     peakByCat_[ci] = std::max(peakByCat_[ci], liveByCat_[ci]);
     peakTotal_ = std::max(peakTotal_, totalLive_);
+    if (obs::enabled()) {
+        obs::MetricsRegistry::global()
+            .counter("memprof.allocations")
+            .add(1);
+        categoryCounter(category).add(
+            static_cast<std::int64_t>(bytes));
+    }
     recordEvent();
     return id;
 }

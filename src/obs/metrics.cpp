@@ -1,0 +1,198 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tbd::obs {
+
+namespace {
+
+/** Bucket index for one sample: floor(log2(v)), clamped. */
+std::size_t
+bucketIndex(double value)
+{
+    if (!(value >= 1.0))
+        return 0;
+    const int exp = std::min<int>(
+        static_cast<int>(Histogram::kBuckets) - 1,
+        static_cast<int>(std::floor(std::log2(value))));
+    return static_cast<std::size_t>(exp);
+}
+
+/** Relaxed atomic add on a double (no fetch_add for FP pre-C++20 libs). */
+void
+atomicAdd(std::atomic<double> &target, double delta)
+{
+    double cur = target.load(std::memory_order_relaxed);
+    while (!target.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed))
+        ;
+}
+
+/** Relaxed atomic min/max update. */
+template <typename Cmp>
+void
+atomicExtreme(std::atomic<double> &target, double value, Cmp better)
+{
+    double cur = target.load(std::memory_order_relaxed);
+    while (better(value, cur) &&
+           !target.compare_exchange_weak(cur, value,
+                                         std::memory_order_relaxed))
+        ;
+}
+
+} // namespace
+
+void
+Histogram::observe(double value)
+{
+    const std::uint64_t n =
+        count_.fetch_add(1, std::memory_order_relaxed);
+    atomicAdd(sum_, value);
+    if (n == 0) {
+        // First sample seeds both extremes; racing observers correct
+        // any interleaving through the extreme updates below.
+        min_.store(value, std::memory_order_relaxed);
+        max_.store(value, std::memory_order_relaxed);
+    }
+    atomicExtreme(min_, value, std::less<double>());
+    atomicExtreme(max_, value, std::greater<double>());
+    buckets_[bucketIndex(value)].fetch_add(1,
+                                           std::memory_order_relaxed);
+}
+
+double
+Histogram::min() const
+{
+    return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double
+Histogram::max() const
+{
+    return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    const std::uint64_t total = count();
+    if (total == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double rank = q * static_cast<double>(total - 1);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        seen += buckets_[i].load(std::memory_order_relaxed);
+        if (static_cast<double>(seen) > rank) {
+            // Geometric midpoint of [2^i, 2^(i+1)), clamped to the
+            // exactly-tracked extremes.
+            const double mid =
+                i == 0 ? 1.0 : std::exp2(static_cast<double>(i) + 0.5);
+            return std::clamp(mid, min(), max());
+        }
+    }
+    return max();
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    // Intentionally leaked: the at-exit trace flush snapshots the
+    // metrics after static destructors would have run.
+    static MetricsRegistry *registry = new MetricsRegistry;
+    return *registry;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &c : counters_)
+        if (c.name_ == name)
+            return c;
+    counters_.emplace_back(name);
+    return counters_.back();
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &g : gauges_)
+        if (g.name_ == name)
+            return g;
+    gauges_.emplace_back(name);
+    return gauges_.back();
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &h : histograms_)
+        if (h.name_ == name)
+            return h;
+    histograms_.emplace_back(name);
+    return histograms_.back();
+}
+
+std::vector<MetricSnapshot>
+MetricsRegistry::snapshot() const
+{
+    std::vector<MetricSnapshot> out;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &c : counters_) {
+            MetricSnapshot s;
+            s.name = c.name_;
+            s.kind = MetricSnapshot::Kind::Counter;
+            s.value = static_cast<double>(c.value());
+            out.push_back(std::move(s));
+        }
+        for (const auto &g : gauges_) {
+            MetricSnapshot s;
+            s.name = g.name_;
+            s.kind = MetricSnapshot::Kind::Gauge;
+            s.value = g.value();
+            out.push_back(std::move(s));
+        }
+        for (const auto &h : histograms_) {
+            MetricSnapshot s;
+            s.name = h.name_;
+            s.kind = MetricSnapshot::Kind::Histogram;
+            s.count = h.count();
+            s.sum = h.sum();
+            s.min = h.min();
+            s.max = h.max();
+            s.p50 = h.quantile(0.50);
+            s.p95 = h.quantile(0.95);
+            out.push_back(std::move(s));
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const MetricSnapshot &a, const MetricSnapshot &b) {
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &c : counters_)
+        c.value_.store(0, std::memory_order_relaxed);
+    for (auto &g : gauges_)
+        g.value_.store(0.0, std::memory_order_relaxed);
+    for (auto &h : histograms_) {
+        h.count_.store(0, std::memory_order_relaxed);
+        h.sum_.store(0.0, std::memory_order_relaxed);
+        h.min_.store(0.0, std::memory_order_relaxed);
+        h.max_.store(0.0, std::memory_order_relaxed);
+        for (auto &b : h.buckets_)
+            b.store(0, std::memory_order_relaxed);
+    }
+}
+
+} // namespace tbd::obs

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Process-wide metrics registry — the counting half of tbd::obs.
+ *
+ * Counters, gauges and histograms are registered once (under a mutex)
+ * and then updated through stable handles whose hot path is a single
+ * relaxed atomic operation — safe from any util::ThreadPool worker
+ * with no serialization between threads. The registry is additive
+ * observability: nothing in the simulation pipeline reads a metric
+ * back, so enabling or disabling collection can never perturb
+ * simulated results (see DESIGN.md "Observability").
+ *
+ * Metric names are dotted paths ("suite.cells_done",
+ * "dist.transfer_us"); registering the same name twice returns the
+ * same instrument, so call sites can keep static handle references.
+ */
+
+#ifndef TBD_OBS_METRICS_H
+#define TBD_OBS_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tbd::obs {
+
+/** Monotonically increasing count (events, bytes, cells done). */
+class Counter
+{
+  public:
+    explicit Counter(std::string name) : name_(std::move(name)) {}
+
+    /** Add to the count (relaxed atomic; any thread). */
+    void add(std::int64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    /** Current total. */
+    std::int64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    /** Registered name. */
+    const std::string &name() const { return name_; }
+
+  private:
+    friend class MetricsRegistry;
+    std::string name_;
+    std::atomic<std::int64_t> value_{0};
+};
+
+/** Last-write-wins instantaneous value (progress, live bytes). */
+class Gauge
+{
+  public:
+    explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+    /** Set the current value (relaxed atomic; any thread). */
+    void set(double value)
+    {
+        value_.store(value, std::memory_order_relaxed);
+    }
+
+    /** Current value. */
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    /** Registered name. */
+    const std::string &name() const { return name_; }
+
+  private:
+    friend class MetricsRegistry;
+    std::string name_;
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Distribution of non-negative samples over base-2 exponential
+ * buckets (bucket i holds samples in [2^i, 2^(i+1)); sub-1 samples
+ * land in bucket 0). Tracks count, sum, min and max exactly and
+ * estimates quantiles from the bucket counts.
+ */
+class Histogram
+{
+  public:
+    /** Bucket count: 2^47 us ≈ 4.5 years — no sample escapes. */
+    static constexpr std::size_t kBuckets = 48;
+
+    explicit Histogram(std::string name) : name_(std::move(name)) {}
+
+    /** Record one sample (lock-free; any thread). */
+    void observe(double value);
+
+    /** Samples recorded so far. */
+    std::uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+    /** Smallest sample (0 when empty). */
+    double min() const;
+
+    /** Largest sample (0 when empty). */
+    double max() const;
+
+    /**
+     * Quantile estimate from the bucket counts (q in [0, 1]). The
+     * geometric midpoint of the selected bucket, clamped to the
+     * observed min/max; 0 when empty.
+     */
+    double quantile(double q) const;
+
+    /** Registered name. */
+    const std::string &name() const { return name_; }
+
+  private:
+    friend class MetricsRegistry;
+    std::string name_;
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+    std::atomic<double> min_{0.0};
+    std::atomic<double> max_{0.0};
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/** Point-in-time view of one instrument (what the exporter writes). */
+struct MetricSnapshot
+{
+    /** Instrument kinds. */
+    enum class Kind { Counter, Gauge, Histogram };
+
+    std::string name;
+    Kind kind = Kind::Counter;
+    double value = 0.0;        ///< counter total or gauge value
+    std::uint64_t count = 0;   ///< histogram sample count
+    double sum = 0.0;          ///< histogram sample sum
+    double min = 0.0;          ///< histogram smallest sample
+    double max = 0.0;          ///< histogram largest sample
+    double p50 = 0.0;          ///< histogram median estimate
+    double p95 = 0.0;          ///< histogram tail estimate
+};
+
+/**
+ * The process-wide instrument registry. Lookup-or-create serializes
+ * on a mutex; the returned references stay valid for the process
+ * lifetime (instruments live in deques and are never destroyed, only
+ * zeroed by reset()).
+ */
+class MetricsRegistry
+{
+  public:
+    /** The singleton registry. */
+    static MetricsRegistry &global();
+
+    /** Find or create a counter. */
+    Counter &counter(const std::string &name);
+
+    /** Find or create a gauge. */
+    Gauge &gauge(const std::string &name);
+
+    /** Find or create a histogram. */
+    Histogram &histogram(const std::string &name);
+
+    /** Snapshot every instrument, sorted by name. */
+    std::vector<MetricSnapshot> snapshot() const;
+
+    /** Zero every instrument (tests; handles stay valid). */
+    void reset();
+
+  private:
+    MetricsRegistry() = default;
+
+    mutable std::mutex mutex_;
+    std::deque<Counter> counters_;
+    std::deque<Gauge> gauges_;
+    std::deque<Histogram> histograms_;
+};
+
+} // namespace tbd::obs
+
+#endif // TBD_OBS_METRICS_H

@@ -1,0 +1,316 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace tbd::obs {
+
+namespace {
+
+namespace json = util::json;
+
+/** TBD_OBS truthiness: set, non-empty and not literally "0". */
+bool
+envEnabled()
+{
+    const char *env = std::getenv("TBD_OBS");
+    return env != nullptr && env[0] != '\0' &&
+           !(env[0] == '0' && env[1] == '\0');
+}
+
+/**
+ * Collection state: -1 = consult the environment (cached on first
+ * use), 0/1 = programmatic override.
+ */
+std::atomic<int> &
+enabledState()
+{
+    static std::atomic<int> state{-1};
+    return state;
+}
+
+/** At-exit flush to exportPath(), armed once by the env switch. */
+void
+installAtExitFlush()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        std::atexit([] {
+            // Re-check: a test may have toggled collection off, but
+            // the env switch owns the file export decision.
+            if (!envEnabled())
+                return;
+            try {
+                flushToFile(exportPath());
+            } catch (const util::FatalError &e) {
+                std::fprintf(stderr, "tbd::obs flush failed: %s\n",
+                             e.what());
+            }
+        });
+    });
+}
+
+json::Value
+attrsToJson(const std::vector<SpanAttr> &attrs)
+{
+    json::Value obj = json::Value::object();
+    for (const auto &a : attrs) {
+        switch (a.kind) {
+          case SpanAttr::Kind::String:
+            obj.set(a.key, json::Value(a.str));
+            break;
+          case SpanAttr::Kind::Int:
+            obj.set(a.key, json::Value(a.intVal));
+            break;
+          case SpanAttr::Kind::Number:
+            obj.set(a.key, json::Value(a.num));
+            break;
+        }
+    }
+    return obj;
+}
+
+std::vector<SpanAttr>
+attrsFromJson(const json::Value &obj)
+{
+    std::vector<SpanAttr> attrs;
+    for (const auto &[key, value] : obj.members()) {
+        SpanAttr a;
+        a.key = key;
+        if (value.isString()) {
+            a.kind = SpanAttr::Kind::String;
+            a.str = value.asString();
+        } else {
+            // Integral numbers round-trip as Int, the rest as Number.
+            const double d = value.asDouble();
+            if (d == static_cast<double>(static_cast<std::int64_t>(d))) {
+                a.kind = SpanAttr::Kind::Int;
+                a.intVal = static_cast<std::int64_t>(d);
+            } else {
+                a.kind = SpanAttr::Kind::Number;
+                a.num = d;
+            }
+        }
+        attrs.push_back(std::move(a));
+    }
+    return attrs;
+}
+
+const char *
+metricKindName(MetricSnapshot::Kind kind)
+{
+    switch (kind) {
+      case MetricSnapshot::Kind::Counter:
+        return "counter";
+      case MetricSnapshot::Kind::Gauge:
+        return "gauge";
+      case MetricSnapshot::Kind::Histogram:
+        return "histogram";
+    }
+    return "counter";
+}
+
+} // namespace
+
+bool
+enabled()
+{
+    int state = enabledState().load(std::memory_order_relaxed);
+    if (state < 0) {
+        state = envEnabled() ? 1 : 0;
+        enabledState().store(state, std::memory_order_relaxed);
+        if (state == 1)
+            installAtExitFlush();
+    }
+    return state == 1;
+}
+
+void
+setEnabled(bool on)
+{
+    enabledState().store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+std::string
+exportPath()
+{
+    const char *env = std::getenv("TBD_OBS_FILE");
+    return env != nullptr && env[0] != '\0' ? env : "tbd_obs.jsonl";
+}
+
+double
+TraceDump::rootSpanCoverage() const
+{
+    if (wallUs <= 0.0)
+        return 0.0;
+    // Union of the root spans' intervals: overlapping roots (a harness
+    // main span over the suite facade's own root spans) must not count
+    // twice.
+    std::vector<std::pair<double, double>> intervals;
+    for (const auto &span : spans)
+        if (span.parent == 0)
+            intervals.emplace_back(span.startUs,
+                                   span.startUs + span.durUs);
+    std::sort(intervals.begin(), intervals.end());
+    double root_us = 0.0;
+    double cursor = 0.0;
+    for (const auto &[begin, end] : intervals) {
+        const double from = std::max(begin, cursor);
+        if (end > from) {
+            root_us += end - from;
+            cursor = end;
+        }
+    }
+    return std::min(1.0, root_us / wallUs);
+}
+
+TraceDump
+dumpTrace()
+{
+    TraceDump dump;
+    dump.spans = collectSpans();
+    dump.metrics = MetricsRegistry::global().snapshot();
+    dump.wallUs = traceNowUs();
+    return dump;
+}
+
+void
+writeJsonl(const TraceDump &dump, std::ostream &os)
+{
+    {
+        json::Value meta = json::Value::object();
+        meta.set("type", json::Value(std::string("meta")));
+        meta.set("wall_us", json::Value(dump.wallUs));
+        meta.set("spans", json::Value(
+                              static_cast<std::int64_t>(dump.spans.size())));
+        meta.set("metrics",
+                 json::Value(
+                     static_cast<std::int64_t>(dump.metrics.size())));
+        os << meta.dump() << '\n';
+    }
+    for (const auto &span : dump.spans) {
+        json::Value line = json::Value::object();
+        line.set("type", json::Value(std::string("span")));
+        line.set("id", json::Value(span.id));
+        line.set("parent", json::Value(span.parent));
+        line.set("name", json::Value(span.name));
+        line.set("start_us", json::Value(span.startUs));
+        line.set("dur_us", json::Value(span.durUs));
+        if (!span.attrs.empty())
+            line.set("attrs", attrsToJson(span.attrs));
+        os << line.dump() << '\n';
+    }
+    for (const auto &metric : dump.metrics) {
+        json::Value line = json::Value::object();
+        line.set("type",
+                 json::Value(std::string(metricKindName(metric.kind))));
+        line.set("name", json::Value(metric.name));
+        if (metric.kind == MetricSnapshot::Kind::Histogram) {
+            line.set("count", json::Value(metric.count));
+            line.set("sum", json::Value(metric.sum));
+            line.set("min", json::Value(metric.min));
+            line.set("max", json::Value(metric.max));
+            line.set("p50", json::Value(metric.p50));
+            line.set("p95", json::Value(metric.p95));
+        } else {
+            line.set("value", json::Value(metric.value));
+        }
+        os << line.dump() << '\n';
+    }
+}
+
+TraceDump
+parseJsonl(const std::string &text)
+{
+    TraceDump dump;
+    std::istringstream in(text);
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        json::Value v;
+        try {
+            v = json::Value::parse(line);
+        } catch (const util::FatalError &e) {
+            TBD_FATAL("obs trace line ", line_no, ": ", e.what());
+        }
+        const std::string &type = v.at("type").asString();
+        if (type == "meta") {
+            dump.wallUs = v.at("wall_us").asDouble();
+        } else if (type == "span") {
+            SpanRecord span;
+            span.id = v.at("id").asUint();
+            span.parent = v.at("parent").asUint();
+            span.name = v.at("name").asString();
+            span.startUs = v.at("start_us").asDouble();
+            span.durUs = v.at("dur_us").asDouble();
+            if (v.has("attrs"))
+                span.attrs = attrsFromJson(v.at("attrs"));
+            dump.spans.push_back(std::move(span));
+        } else if (type == "counter" || type == "gauge" ||
+                   type == "histogram") {
+            MetricSnapshot metric;
+            metric.name = v.at("name").asString();
+            if (type == "histogram") {
+                metric.kind = MetricSnapshot::Kind::Histogram;
+                metric.count = v.at("count").asUint();
+                metric.sum = v.at("sum").asDouble();
+                metric.min = v.at("min").asDouble();
+                metric.max = v.at("max").asDouble();
+                metric.p50 = v.at("p50").asDouble();
+                metric.p95 = v.at("p95").asDouble();
+            } else {
+                metric.kind = type == "counter"
+                                  ? MetricSnapshot::Kind::Counter
+                                  : MetricSnapshot::Kind::Gauge;
+                metric.value = v.at("value").asDouble();
+            }
+            dump.metrics.push_back(std::move(metric));
+        }
+        // Unknown types: skipped for forward compatibility.
+    }
+    return dump;
+}
+
+void
+flushToFile(const std::string &path)
+{
+    const TraceDump dump = dumpTrace();
+    // Write-to-temporary + rename: a failure mid-flush never leaves a
+    // truncated trace at the destination.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp);
+        TBD_CHECK(os.good(), "cannot open '", path, "' for writing");
+        writeJsonl(dump, os);
+        os.flush();
+        if (!os.good()) {
+            os.close();
+            std::remove(tmp.c_str());
+            TBD_FATAL("write failure on '", path, "'");
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        TBD_FATAL("cannot rename '", tmp, "' to '", path, "'");
+    }
+}
+
+void
+resetAll()
+{
+    resetSpans();
+    MetricsRegistry::global().reset();
+}
+
+} // namespace tbd::obs

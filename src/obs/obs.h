@@ -1,0 +1,97 @@
+/**
+ * @file
+ * tbd::obs — the observability subsystem: structured tracing (Span)
+ * and metrics (MetricsRegistry) over the whole measurement pipeline,
+ * exported as JSONL.
+ *
+ * The paper's contribution is a *measurement* toolchain; obs is the
+ * same idea applied to TBD itself (in the spirit of DeepProf and
+ * Daydream: first-class execution traces, not ad-hoc prints). The
+ * simulator phases, sweep cells, link transfers and memory-profiler
+ * categories all report here when tracing is on.
+ *
+ * Activation:
+ *  - TBD_OBS=1 in the environment enables collection process-wide and
+ *    arranges an at-exit flush to TBD_OBS_FILE (default
+ *    "tbd_obs.jsonl").
+ *  - setEnabled() toggles collection programmatically (tests, the
+ *    `tbd_cli obs` command) without touching the file export.
+ *
+ * The export is JSON Lines: one self-contained util::json document
+ * per line — a meta line (trace wall time), one line per span and one
+ * per metric — so a consumer can stream it without loading the whole
+ * trace. parseJsonl() reads the format back for the obs_report
+ * roll-up and the round-trip tests.
+ *
+ * Guarantee: collection never perturbs results. Spans and metrics are
+ * write-only from the simulation's point of view; RunResult is
+ * bitwise identical with tracing on and off.
+ */
+
+#ifndef TBD_OBS_OBS_H
+#define TBD_OBS_OBS_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace tbd::obs {
+
+/** True when spans and metrics are being collected. */
+bool enabled();
+
+/**
+ * Programmatic override of collection (tests, CLI). Does not install
+ * the at-exit file flush — that stays tied to the TBD_OBS
+ * environment switch.
+ */
+void setEnabled(bool on);
+
+/**
+ * Export destination honoured by the at-exit flush: TBD_OBS_FILE, or
+ * "tbd_obs.jsonl" when unset.
+ */
+std::string exportPath();
+
+/** Everything collected so far: spans, metrics and the wall clock. */
+struct TraceDump
+{
+    double wallUs = 0.0; ///< wall time since the trace epoch
+    std::vector<SpanRecord> spans;
+    std::vector<MetricSnapshot> metrics;
+
+    /**
+     * Fraction of wallUs covered by root spans (parent == 0) — the
+     * acceptance gate for harness instrumentation coverage.
+     */
+    double rootSpanCoverage() const;
+};
+
+/** Snapshot the current spans and metrics (does not clear). */
+TraceDump dumpTrace();
+
+/** Serialize a dump as JSONL. */
+void writeJsonl(const TraceDump &dump, std::ostream &os);
+
+/**
+ * Parse a JSONL trace back into a dump. Unknown record types are
+ * skipped (forward compatibility).
+ * @throws util::FatalError on malformed JSON or missing fields.
+ */
+TraceDump parseJsonl(const std::string &text);
+
+/**
+ * Write the current dump to `path` (atomically: tmp + rename).
+ * @throws util::FatalError when the file cannot be written.
+ */
+void flushToFile(const std::string &path);
+
+/** Clear all recorded spans and zero all metrics (tests). */
+void resetAll();
+
+} // namespace tbd::obs
+
+#endif // TBD_OBS_OBS_H

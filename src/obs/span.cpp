@@ -1,0 +1,181 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+#include "obs/obs.h"
+
+namespace tbd::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** The trace epoch: first touch of the tracing clock. */
+Clock::time_point
+epoch()
+{
+    static const Clock::time_point start = Clock::now();
+    return start;
+}
+
+/**
+ * One thread's finished-span buffer. Buffers are owned by the global
+ * registry (so they survive thread exit until flush) and found via a
+ * thread_local pointer; the per-buffer mutex is only ever contended
+ * by collectSpans(), never by another recording thread.
+ */
+struct ThreadBuffer
+{
+    std::mutex mutex;
+    std::vector<SpanRecord> records;
+};
+
+struct BufferRegistry
+{
+    std::mutex mutex;
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+};
+
+BufferRegistry &
+bufferRegistry()
+{
+    // Intentionally leaked: the at-exit trace flush reads the buffers
+    // after static destructors would have run, so the registry must
+    // outlive ordinary static storage.
+    static BufferRegistry *registry = new BufferRegistry;
+    return *registry;
+}
+
+ThreadBuffer &
+myBuffer()
+{
+    thread_local ThreadBuffer *buffer = [] {
+        auto owned = std::make_unique<ThreadBuffer>();
+        ThreadBuffer *raw = owned.get();
+        auto &reg = bufferRegistry();
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        reg.buffers.push_back(std::move(owned));
+        return raw;
+    }();
+    return *buffer;
+}
+
+} // namespace
+
+namespace detail {
+
+SpanId
+nextSpanId()
+{
+    static std::atomic<SpanId> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+recordSpan(SpanRecord &&record)
+{
+    ThreadBuffer &buffer = myBuffer();
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    buffer.records.push_back(std::move(record));
+}
+
+} // namespace detail
+
+double
+traceNowUs()
+{
+    return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                     epoch())
+        .count();
+}
+
+Span::Span(const char *name, SpanId parent)
+{
+    if (!enabled())
+        return;
+    active_ = true;
+    record_.id = detail::nextSpanId();
+    record_.parent = parent;
+    record_.name = name;
+    record_.startUs = traceNowUs();
+}
+
+Span::~Span()
+{
+    if (!active_)
+        return;
+    record_.durUs = traceNowUs() - record_.startUs;
+    detail::recordSpan(std::move(record_));
+}
+
+void
+Span::attr(const char *key, const std::string &value)
+{
+    if (!active_)
+        return;
+    SpanAttr a;
+    a.key = key;
+    a.kind = SpanAttr::Kind::String;
+    a.str = value;
+    record_.attrs.push_back(std::move(a));
+}
+
+void
+Span::attr(const char *key, std::int64_t value)
+{
+    if (!active_)
+        return;
+    SpanAttr a;
+    a.key = key;
+    a.kind = SpanAttr::Kind::Int;
+    a.intVal = value;
+    record_.attrs.push_back(std::move(a));
+}
+
+void
+Span::attr(const char *key, double value)
+{
+    if (!active_)
+        return;
+    SpanAttr a;
+    a.key = key;
+    a.kind = SpanAttr::Kind::Number;
+    a.num = value;
+    record_.attrs.push_back(std::move(a));
+}
+
+std::vector<SpanRecord>
+collectSpans()
+{
+    std::vector<SpanRecord> out;
+    auto &reg = bufferRegistry();
+    std::lock_guard<std::mutex> reg_lock(reg.mutex);
+    for (auto &buffer : reg.buffers) {
+        std::lock_guard<std::mutex> lock(buffer->mutex);
+        out.insert(out.end(), buffer->records.begin(),
+                   buffer->records.end());
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SpanRecord &a, const SpanRecord &b) {
+                  return a.startUs != b.startUs ? a.startUs < b.startUs
+                                                : a.id < b.id;
+              });
+    return out;
+}
+
+void
+resetSpans()
+{
+    auto &reg = bufferRegistry();
+    std::lock_guard<std::mutex> reg_lock(reg.mutex);
+    for (auto &buffer : reg.buffers) {
+        std::lock_guard<std::mutex> lock(buffer->mutex);
+        buffer->records.clear();
+    }
+}
+
+} // namespace tbd::obs

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * RAII span tracing — the timing half of tbd::obs.
+ *
+ * A Span measures one wall-clock interval (a simulator phase, a sweep
+ * cell, a whole figure harness) and records it into a per-thread
+ * buffer when it closes. Parenthood is *explicit*: a child names its
+ * parent by SpanId, never by thread-local "current span" state —
+ * util::parallelFor moves work across worker threads, so implicit
+ * TLS nesting would mis-attribute every cell of a sweep. Pass the
+ * parent's id() into the code that should nest under it (RunConfig
+ * carries one for the simulator phases).
+ *
+ * Spans observe, they never steer: all timestamps are wall-clock
+ * (steady_clock) and nothing in the simulation reads them back, so a
+ * traced run produces bitwise-identical results to an untraced one
+ * (tests/obs/determinism asserts this).
+ */
+
+#ifndef TBD_OBS_SPAN_H
+#define TBD_OBS_SPAN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tbd::obs {
+
+/** Identifies one span; 0 means "no span" (used for "no parent"). */
+using SpanId = std::uint64_t;
+
+/** One key/value annotation on a span. */
+struct SpanAttr
+{
+    /** Attribute value kinds. */
+    enum class Kind { String, Int, Number };
+
+    std::string key;
+    Kind kind = Kind::String;
+    std::string str;        ///< Kind::String payload
+    std::int64_t intVal = 0;///< Kind::Int payload
+    double num = 0.0;       ///< Kind::Number payload
+};
+
+/** One finished span, as buffered and exported. */
+struct SpanRecord
+{
+    SpanId id = 0;
+    SpanId parent = 0;  ///< 0 = root
+    std::string name;   ///< dotted path, e.g. "perf.run.sampling"
+    double startUs = 0; ///< wall clock, relative to the trace epoch
+    double durUs = 0;   ///< wall-clock duration
+    std::vector<SpanAttr> attrs;
+};
+
+/**
+ * RAII wall-clock interval. Construction opens the span (a no-op
+ * when tracing is disabled — one branch, no allocation); destruction
+ * records it into the calling thread's buffer.
+ */
+class Span
+{
+  public:
+    /**
+     * Open a span.
+     * @param name   Dotted span name ("suite.sweep.cell").
+     * @param parent Enclosing span's id(), or 0 for a root span.
+     */
+    explicit Span(const char *name, SpanId parent = 0);
+    ~Span();
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    /**
+     * This span's id, for parenting children — including children
+     * created on *other* threads (sweep cells under a sweep span).
+     * 0 when tracing is disabled.
+     */
+    SpanId id() const { return record_.id; }
+
+    /** Annotate with a string value. */
+    void attr(const char *key, const std::string &value);
+
+    /** Annotate with an integer value. */
+    void attr(const char *key, std::int64_t value);
+
+    /** Annotate with a floating-point value. */
+    void attr(const char *key, double value);
+
+  private:
+    bool active_ = false;
+    SpanRecord record_;
+};
+
+/**
+ * Collect every span recorded so far, merged across all per-thread
+ * buffers and sorted by (startUs, id). Does not clear the buffers;
+ * safe to call while other threads still record.
+ */
+std::vector<SpanRecord> collectSpans();
+
+/** Drop all recorded spans (tests and explicit re-arming). */
+void resetSpans();
+
+/**
+ * Wall-clock microseconds since the trace epoch (process start of
+ * tracing). The denominator for root-span coverage checks.
+ */
+double traceNowUs();
+
+namespace detail {
+
+/** Allocate a fresh span id (atomic; never returns 0). */
+SpanId nextSpanId();
+
+/** Append a finished record to the calling thread's buffer. */
+void recordSpan(SpanRecord &&record);
+
+} // namespace detail
+
+} // namespace tbd::obs
+
+#endif // TBD_OBS_SPAN_H

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -44,6 +45,17 @@ PerfSimulator::run(const RunConfig &config) const
     const auto &fw = frameworks::profileFor(config.framework);
     const models::Workload workload = model.describe(config.batch);
 
+    // Fig. 3 measurement phases, each under its own span. The parent
+    // handle is explicit (RunConfig::obsParent) because sweep cells
+    // run on arbitrary pool workers.
+    obs::Span run_span("perf.run", config.obsParent);
+    run_span.attr("model", model.name);
+    run_span.attr("framework", fw.name);
+    run_span.attr("gpu", config.gpu.name);
+    run_span.attr("batch", config.batch);
+    if (obs::enabled())
+        obs::MetricsRegistry::global().counter("perf.runs").add(1);
+
     RunResult result;
     result.modelName = model.name;
     result.frameworkName = fw.name;
@@ -51,31 +63,42 @@ PerfSimulator::run(const RunConfig &config) const
     result.batch = config.batch;
 
     // Memory first: training that OOMs never reaches steady state.
-    result.memory = simulateIterationMemory(
-        model, workload, fw, OptimizerSpec{},
-        config.enforceMemory ? config.gpu.memoryBytes() : 0);
+    result.memory = [&] {
+        obs::Span span("perf.run.memory_model", run_span.id());
+        return simulateIterationMemory(
+            model, workload, fw, OptimizerSpec{},
+            config.enforceMemory ? config.gpu.memoryBytes() : 0);
+    }();
 
-    const LoweredIteration iter = lowerIteration(workload, fw);
-    const LoweredIteration tune = autotuneKernels(workload, fw);
-
+    LoweredIteration iter;
+    LoweredIteration tune;
     // Per-iteration length sampling (Sec. 3.4.3): sequence datasets
     // yield iterations of varying cost; the sampled lowered iterations
     // replace the fixed one during the measurement window.
     std::vector<LoweredIteration> varied;
     double mean_length_scale = 1.0;
-    if (config.lengthCv > 0.0 && model.describeScaled) {
-        util::Rng length_rng(config.lengthSeed);
-        double scale_sum = 0.0;
-        varied.reserve(static_cast<std::size_t>(config.sampleIterations));
-        for (int i = 0; i < config.sampleIterations; ++i) {
-            const double scale = length_rng.truncatedNormal(
-                1.0, config.lengthCv, 0.5, 2.0);
-            scale_sum += scale;
-            varied.push_back(lowerIteration(
-                model.describeScaled(config.batch, scale), fw));
+    {
+        obs::Span span("perf.run.lowering", run_span.id());
+        iter = lowerIteration(workload, fw);
+        tune = autotuneKernels(workload, fw);
+        if (config.lengthCv > 0.0 && model.describeScaled) {
+            util::Rng length_rng(config.lengthSeed);
+            double scale_sum = 0.0;
+            varied.reserve(
+                static_cast<std::size_t>(config.sampleIterations));
+            for (int i = 0; i < config.sampleIterations; ++i) {
+                const double scale = length_rng.truncatedNormal(
+                    1.0, config.lengthCv, 0.5, 2.0);
+                scale_sum += scale;
+                varied.push_back(lowerIteration(
+                    model.describeScaled(config.batch, scale), fw));
+            }
+            mean_length_scale =
+                scale_sum /
+                static_cast<double>(config.sampleIterations);
         }
-        mean_length_scale =
-            scale_sum / static_cast<double>(config.sampleIterations);
+        span.attr("kernels_per_iteration",
+                  static_cast<std::int64_t>(iter.items.size()));
     }
 
     gpusim::GpuTimeline timeline(config.gpu);
@@ -109,26 +132,37 @@ PerfSimulator::run(const RunConfig &config) const
         timeline.sync();
     };
 
-    // Warm-up + auto-tuning phase (excluded from sampling).
-    timeline.beginInterval();
-    double prev_elapsed = 0.0;
-    for (int i = 0; i < config.warmupIterations; ++i) {
-        run_iteration(iter, /*with_autotune=*/i == 0);
-        const double elapsed = timeline.stats().elapsedUs;
-        result.warmupIterationUs.push_back(elapsed - prev_elapsed);
-        prev_elapsed = elapsed;
+    {
+        // Warm-up + auto-tuning phase (excluded from sampling).
+        obs::Span span("perf.run.warmup", run_span.id());
+        span.attr("iterations",
+                  static_cast<std::int64_t>(config.warmupIterations));
+        timeline.beginInterval();
+        double prev_elapsed = 0.0;
+        for (int i = 0; i < config.warmupIterations; ++i) {
+            run_iteration(iter, /*with_autotune=*/i == 0);
+            const double elapsed = timeline.stats().elapsedUs;
+            result.warmupIterationUs.push_back(elapsed - prev_elapsed);
+            prev_elapsed = elapsed;
+        }
     }
 
-    timeline.beginInterval();
-    prev_elapsed = 0.0;
-    for (int i = 0; i < config.sampleIterations; ++i) {
-        run_iteration(varied.empty()
-                          ? iter
-                          : varied[static_cast<std::size_t>(i)],
-                      false);
-        const double elapsed = timeline.stats().elapsedUs;
-        result.sampleIterationUs.push_back(elapsed - prev_elapsed);
-        prev_elapsed = elapsed;
+    {
+        // Sampled stable-state phase (the measurement window).
+        obs::Span span("perf.run.sampling", run_span.id());
+        span.attr("iterations",
+                  static_cast<std::int64_t>(config.sampleIterations));
+        timeline.beginInterval();
+        double prev_elapsed = 0.0;
+        for (int i = 0; i < config.sampleIterations; ++i) {
+            run_iteration(varied.empty()
+                              ? iter
+                              : varied[static_cast<std::size_t>(i)],
+                          false);
+            const double elapsed = timeline.stats().elapsedUs;
+            result.sampleIterationUs.push_back(elapsed - prev_elapsed);
+            prev_elapsed = elapsed;
+        }
     }
     const auto stats = timeline.stats();
 
@@ -185,6 +219,16 @@ PerfSimulator::run(const RunConfig &config) const
                               execs.begin() +
                                   static_cast<std::ptrdiff_t>(std::min(
                                       per_iter, execs.size())));
+
+    if (obs::enabled()) {
+        auto &registry = obs::MetricsRegistry::global();
+        registry.counter("perf.kernel_launches")
+            .add(static_cast<std::int64_t>(execs.size()));
+        // Simulated (not wall) stable-iteration time: lets the obs
+        // report relate wall cost to simulated progress.
+        registry.histogram("perf.iteration_sim_us")
+            .observe(result.iterationUs);
+    }
 
     if (const RunAudit &audit = runAudit())
         audit(config, result);

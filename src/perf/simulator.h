@@ -15,6 +15,7 @@
 #include <optional>
 
 #include "gpusim/timeline.h"
+#include "obs/span.h"
 #include "perf/lowering.h"
 #include "perf/memory_model.h"
 
@@ -40,6 +41,14 @@ struct RunConfig
      */
     double lengthCv = 0.0;
     std::uint64_t lengthSeed = 42; ///< length-sampling stream seed
+
+    /**
+     * tbd::obs parent span for this run's phase spans (0 = root).
+     * Explicit because runs execute on thread-pool workers, where
+     * thread-local "current span" state would mis-parent them. Pure
+     * observability: never read by the simulation itself.
+     */
+    obs::SpanId obsParent = 0;
 };
 
 /** Simulated measurements for one configuration. */

@@ -1,0 +1,141 @@
+#include "analysis/obs_report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ta = tbd::analysis;
+namespace to = tbd::obs;
+
+namespace {
+
+to::SpanRecord
+span(to::SpanId id, to::SpanId parent, const char *name, double start,
+     double dur)
+{
+    to::SpanRecord s;
+    s.id = id;
+    s.parent = parent;
+    s.name = name;
+    s.startUs = start;
+    s.durUs = dur;
+    return s;
+}
+
+/** root(100us) -> child(60us) -> grandchild(20us), plus a sibling. */
+to::TraceDump
+sampleTrace()
+{
+    to::TraceDump dump;
+    dump.wallUs = 100.0;
+    dump.spans = {
+        span(1, 0, "root", 0.0, 100.0),
+        span(2, 1, "child", 10.0, 60.0),
+        span(3, 2, "leaf", 20.0, 20.0),
+        span(4, 1, "leaf", 75.0, 10.0),
+    };
+    return dump;
+}
+
+} // namespace
+
+TEST(ObsReport, SelfTimeSubtractsDirectChildrenOnly)
+{
+    const auto report = ta::buildObsReport(sampleTrace());
+    ASSERT_EQ(report.spans.size(), 3u);
+
+    const ta::SpanAggregate *root = nullptr, *child = nullptr,
+                            *leaf = nullptr;
+    for (const auto &agg : report.spans) {
+        if (agg.name == "root")
+            root = &agg;
+        else if (agg.name == "child")
+            child = &agg;
+        else if (agg.name == "leaf")
+            leaf = &agg;
+    }
+    ASSERT_NE(root, nullptr);
+    ASSERT_NE(child, nullptr);
+    ASSERT_NE(leaf, nullptr);
+
+    // root: 100 - (60 + 10) = 30; child: 60 - 20 = 40; leaf: 20 + 10.
+    EXPECT_EQ(root->selfUs, 30.0);
+    EXPECT_EQ(child->selfUs, 40.0);
+    EXPECT_EQ(leaf->selfUs, 30.0);
+    EXPECT_EQ(leaf->count, 2);
+    EXPECT_EQ(leaf->totalUs, 30.0);
+    EXPECT_EQ(leaf->maxUs, 20.0);
+    EXPECT_EQ(leaf->meanUs, 15.0);
+
+    // Self shares sum to one.
+    double share = 0.0;
+    for (const auto &agg : report.spans)
+        share += agg.selfShare;
+    EXPECT_NEAR(share, 1.0, 1e-12);
+}
+
+TEST(ObsReport, SortsBySelfTimeDescending)
+{
+    const auto report = ta::buildObsReport(sampleTrace());
+    for (std::size_t i = 1; i < report.spans.size(); ++i)
+        EXPECT_GE(report.spans[i - 1].selfUs, report.spans[i].selfUs);
+    EXPECT_EQ(report.rootCoverage, 1.0);
+}
+
+TEST(ObsReport, LoadsFromJsonl)
+{
+    to::TraceDump dump = sampleTrace();
+    to::MetricSnapshot m;
+    m.name = "x.count";
+    m.kind = to::MetricSnapshot::Kind::Counter;
+    m.value = 5.0;
+    dump.metrics.push_back(m);
+
+    std::ostringstream os;
+    to::writeJsonl(dump, os);
+    const auto report = ta::loadObsReport(os.str());
+    EXPECT_EQ(report.spans.size(), 3u);
+    ASSERT_EQ(report.metrics.size(), 1u);
+    EXPECT_EQ(report.metrics[0].name, "x.count");
+    EXPECT_EQ(report.wallUs, 100.0);
+}
+
+TEST(ObsReport, TablesRenderEveryKind)
+{
+    to::TraceDump dump = sampleTrace();
+    to::MetricSnapshot c;
+    c.name = "a.counter";
+    c.kind = to::MetricSnapshot::Kind::Counter;
+    c.value = 3.0;
+    to::MetricSnapshot g;
+    g.name = "b.gauge";
+    g.kind = to::MetricSnapshot::Kind::Gauge;
+    g.value = 0.5;
+    to::MetricSnapshot h;
+    h.name = "c.hist";
+    h.kind = to::MetricSnapshot::Kind::Histogram;
+    h.count = 4;
+    h.sum = 8.0;
+    h.p95 = 3.0;
+    dump.metrics = {c, g, h};
+
+    const auto report = ta::buildObsReport(dump);
+    const std::string spans = report.spanTable().toString();
+    EXPECT_NE(spans.find("root"), std::string::npos);
+    EXPECT_NE(spans.find("leaf"), std::string::npos);
+    const std::string metrics = report.metricTable().toString();
+    EXPECT_NE(metrics.find("a.counter"), std::string::npos);
+    EXPECT_NE(metrics.find("gauge"), std::string::npos);
+    EXPECT_NE(metrics.find("histogram"), std::string::npos);
+
+    // topN truncates.
+    EXPECT_EQ(report.spanTable(1).rowCount(), 1u);
+}
+
+TEST(ObsReport, EmptyTraceYieldsEmptyReport)
+{
+    const auto report = ta::buildObsReport(to::TraceDump{});
+    EXPECT_TRUE(report.spans.empty());
+    EXPECT_TRUE(report.metrics.empty());
+    EXPECT_EQ(report.rootCoverage, 0.0);
+}

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/sweep_spec.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -148,7 +149,9 @@ TEST(Suite, RunSweepRethrowsNonOomErrors)
 
 TEST(Suite, RunSweepOfNothingIsEmpty)
 {
-    EXPECT_TRUE(tc::BenchmarkSuite::runSweep({}).empty());
+    EXPECT_TRUE(tc::BenchmarkSuite::runSweep(
+                    std::vector<tc::BenchmarkRequest>{})
+                    .empty());
 }
 
 TEST(Suite, Table2HasNineImplementationRows)
@@ -176,4 +179,138 @@ TEST(Suite, Table4ListsHardwareSpecs)
     EXPECT_NE(s.find("1792"), std::string::npos); // P4000 cores
     EXPECT_NE(s.find("GDDR5X"), std::string::npos);
     EXPECT_NE(s.find("547.6"), std::string::npos); // Xp bandwidth
+}
+
+// --- Lookup API redesign: optional-returning finders -----------------
+
+TEST(Suite, FindFrameworkReturnsNulloptOnUnknown)
+{
+    EXPECT_EQ(tc::BenchmarkSuite::findFramework("TensorFlow"),
+              tbd::frameworks::FrameworkId::TensorFlow);
+    EXPECT_EQ(tc::BenchmarkSuite::findFramework("CNTK"),
+              tbd::frameworks::FrameworkId::CNTK);
+    EXPECT_FALSE(
+        tc::BenchmarkSuite::findFramework("Caffe").has_value());
+    EXPECT_FALSE(tc::BenchmarkSuite::findFramework("").has_value());
+}
+
+TEST(Suite, FindGpuReturnsNulloptOnUnknown)
+{
+    const auto xp = tc::BenchmarkSuite::findGpu("TITAN Xp");
+    ASSERT_TRUE(xp.has_value());
+    EXPECT_EQ(xp->coreCount, 3840);
+    EXPECT_FALSE(tc::BenchmarkSuite::findGpu("V100").has_value());
+}
+
+TEST(Suite, NameListsMatchTheFinders)
+{
+    for (const auto &name : tc::BenchmarkSuite::frameworkNames())
+        EXPECT_TRUE(tc::BenchmarkSuite::findFramework(name))
+            << name;
+    for (const auto &name : tc::BenchmarkSuite::gpuNames())
+        EXPECT_TRUE(tc::BenchmarkSuite::findGpu(name)) << name;
+    for (const auto &name : tc::modelNames())
+        EXPECT_NE(tc::findModelDesc(name), nullptr) << name;
+}
+
+TEST(Suite, UnknownNameErrorSuggestsNearestFramework)
+{
+    try {
+        (void)tc::BenchmarkSuite::frameworkByName("TensorFlw");
+        FAIL() << "expected UnknownNameError";
+    } catch (const tc::UnknownNameError &e) {
+        EXPECT_EQ(e.kind(), "framework");
+        EXPECT_EQ(e.name(), "TensorFlw");
+        EXPECT_EQ(e.suggestion(), "TensorFlow");
+        const std::string what = e.what();
+        EXPECT_NE(what.find("TensorFlow"), std::string::npos) << what;
+        EXPECT_NE(what.find("did you mean"), std::string::npos)
+            << what;
+        EXPECT_FALSE(e.validNames().empty());
+    }
+}
+
+TEST(Suite, UnknownNameErrorListsValidGpus)
+{
+    try {
+        (void)tc::BenchmarkSuite::gpuByName("GTX 1080");
+        FAIL() << "expected UnknownNameError";
+    } catch (const tc::UnknownNameError &e) {
+        EXPECT_EQ(e.kind(), "GPU");
+        const std::string what = e.what();
+        EXPECT_NE(what.find("Quadro P4000"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("TITAN Xp"), std::string::npos) << what;
+    }
+}
+
+TEST(Suite, DeprecatedWrappersAgreeWithTheFinders)
+{
+    EXPECT_EQ(tc::BenchmarkSuite::frameworkByName("MXNet"),
+              *tc::BenchmarkSuite::findFramework("MXNet"));
+    EXPECT_EQ(tc::BenchmarkSuite::gpuByName("Quadro P4000").coreCount,
+              tc::BenchmarkSuite::findGpu("Quadro P4000")->coreCount);
+}
+
+// --- toRunConfig: the single request -> RunConfig path ---------------
+
+TEST(Suite, ToRunConfigTranslatesEveryField)
+{
+    tc::BenchmarkRequest req;
+    req.model = "Sockeye";
+    req.framework = "MXNet";
+    req.gpu = "TITAN Xp";
+    req.batch = 24;
+    req.lengthCv = 0.25;
+    req.lengthSeed = 9;
+    const auto rc = tc::toRunConfig(req);
+    EXPECT_EQ(rc.model->name, "Sockeye");
+    EXPECT_EQ(rc.framework, tbd::frameworks::FrameworkId::MXNet);
+    EXPECT_EQ(rc.gpu.name, "TITAN Xp");
+    EXPECT_EQ(rc.batch, 24);
+    EXPECT_EQ(rc.lengthCv, 0.25);
+    EXPECT_EQ(rc.lengthSeed, 9u);
+}
+
+TEST(Suite, ToRunConfigValidatesNamesAndRanges)
+{
+    tc::BenchmarkRequest req;
+    req.model = "ResNet-50";
+    req.framework = "MXNet";
+
+    tc::BenchmarkRequest bad_model = req;
+    bad_model.model = "ResNet-51";
+    EXPECT_THROW((void)tc::toRunConfig(bad_model),
+                 tc::UnknownNameError);
+
+    tc::BenchmarkRequest bad_fw = req;
+    bad_fw.framework = "Torch";
+    EXPECT_THROW((void)tc::toRunConfig(bad_fw), tc::UnknownNameError);
+
+    tc::BenchmarkRequest bad_gpu = req;
+    bad_gpu.gpu = "V100";
+    EXPECT_THROW((void)tc::toRunConfig(bad_gpu),
+                 tc::UnknownNameError);
+
+    tc::BenchmarkRequest bad_batch = req;
+    bad_batch.batch = 0;
+    EXPECT_THROW((void)tc::toRunConfig(bad_batch),
+                 tbd::util::FatalError);
+
+    tc::BenchmarkRequest bad_cv = req;
+    bad_cv.lengthCv = 1.5;
+    EXPECT_THROW((void)tc::toRunConfig(bad_cv),
+                 tbd::util::FatalError);
+}
+
+TEST(Suite, RunSweepAcceptsASweepSpec)
+{
+    const auto results = tc::BenchmarkSuite::runSweep(
+        tc::SweepSpec().model("ResNet-50").framework("MXNet").batches(
+            {8, 16}));
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_TRUE(results[0].has_value());
+    EXPECT_TRUE(results[1].has_value());
+    EXPECT_EQ(results[0]->batch, 8);
+    EXPECT_EQ(results[1]->batch, 16);
 }

@@ -1,0 +1,117 @@
+#include "core/sweep_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "models/model_desc.h"
+
+namespace tc = tbd::core;
+namespace tmod = tbd::models;
+
+TEST(SweepSpec, DefaultsCoverEveryImplementationAndPaperBatch)
+{
+    const auto cells = tc::SweepSpec().requests();
+    std::size_t expected = 0;
+    for (const auto *model : tmod::allModels())
+        expected += model->frameworks.size() * model->batchSweep.size();
+    EXPECT_EQ(cells.size(), expected);
+    for (const auto &cell : cells)
+        EXPECT_EQ(cell.gpu, "Quadro P4000");
+}
+
+TEST(SweepSpec, ExpansionOrderIsModelFrameworkGpuBatch)
+{
+    const auto cells = tc::SweepSpec()
+                           .model("ResNet-50")
+                           .frameworks({"MXNet", "TensorFlow"})
+                           .gpus({"Quadro P4000", "TITAN Xp"})
+                           .batches({8, 16})
+                           .requests();
+    ASSERT_EQ(cells.size(), 8u);
+    // Frameworks in the given order, then GPUs, then batches.
+    EXPECT_EQ(cells[0].framework, "MXNet");
+    EXPECT_EQ(cells[0].gpu, "Quadro P4000");
+    EXPECT_EQ(cells[0].batch, 8);
+    EXPECT_EQ(cells[1].batch, 16);
+    EXPECT_EQ(cells[2].gpu, "TITAN Xp");
+    EXPECT_EQ(cells[4].framework, "TensorFlow");
+}
+
+TEST(SweepSpec, DropsUnsupportedCombinationsByDefault)
+{
+    // Deep Speech 2 has no CNTK implementation (Table 2's empty cell).
+    const auto cells = tc::SweepSpec()
+                           .model("Deep Speech 2")
+                           .frameworks({"MXNet", "CNTK"})
+                           .batches({2})
+                           .requests();
+    ASSERT_EQ(cells.size(), 1u);
+    EXPECT_EQ(cells[0].framework, "MXNet");
+
+    const auto kept = tc::SweepSpec()
+                          .model("Deep Speech 2")
+                          .frameworks({"MXNet", "CNTK"})
+                          .batches({2})
+                          .keepUnsupported()
+                          .requests();
+    EXPECT_EQ(kept.size(), 2u);
+}
+
+TEST(SweepSpec, MaxBatchFiltersThePaperSweep)
+{
+    const auto cells = tc::SweepSpec()
+                           .model("ResNet-50")
+                           .framework("MXNet")
+                           .maxBatch(16)
+                           .requests();
+    EXPECT_FALSE(cells.empty());
+    for (const auto &cell : cells)
+        EXPECT_LE(cell.batch, 16);
+}
+
+TEST(SweepSpec, CustomFiltersChain)
+{
+    const auto cells =
+        tc::SweepSpec()
+            .model("ResNet-50")
+            .framework("MXNet")
+            .filter([](const tc::BenchmarkRequest &r) {
+                return r.batch >= 8;
+            })
+            .filter([](const tc::BenchmarkRequest &r) {
+                return r.batch <= 32;
+            })
+            .requests();
+    EXPECT_FALSE(cells.empty());
+    for (const auto &cell : cells) {
+        EXPECT_GE(cell.batch, 8);
+        EXPECT_LE(cell.batch, 32);
+    }
+}
+
+TEST(SweepSpec, LengthCvPropagatesToEveryCell)
+{
+    const auto cells = tc::SweepSpec()
+                           .model("Sockeye")
+                           .framework("MXNet")
+                           .batches({16})
+                           .lengthCv(0.3, 7)
+                           .requests();
+    ASSERT_EQ(cells.size(), 1u);
+    EXPECT_EQ(cells[0].lengthCv, 0.3);
+    EXPECT_EQ(cells[0].lengthSeed, 7u);
+}
+
+TEST(SweepSpec, UnknownNamesThrowWithSuggestions)
+{
+    try {
+        (void)tc::SweepSpec().model("ResNet-5O").requests();
+        FAIL() << "expected UnknownNameError";
+    } catch (const tc::UnknownNameError &e) {
+        EXPECT_EQ(e.kind(), "model");
+        EXPECT_EQ(e.suggestion(), "ResNet-50");
+    }
+    EXPECT_THROW((void)tc::SweepSpec().framework("Caffe").requests(),
+                 tc::UnknownNameError);
+    EXPECT_THROW((void)tc::SweepSpec().gpu("V100").requests(),
+                 tc::UnknownNameError);
+}

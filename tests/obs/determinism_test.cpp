@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "core/suite.h"
+#include "obs/obs.h"
+#include "perf/simulator.h"
+
+namespace tc = tbd::core;
+namespace to = tbd::obs;
+
+namespace {
+
+tbd::perf::RunResult
+runOnce()
+{
+    tbd::perf::RunConfig rc = tc::toRunConfig(tc::BenchmarkRequest{
+        "ResNet-50", "MXNet", "Quadro P4000", 16});
+    tbd::perf::PerfSimulator sim;
+    return sim.run(rc);
+}
+
+/** Bitwise equality of every simulated number in a RunResult. */
+void
+expectIdentical(const tbd::perf::RunResult &a,
+                const tbd::perf::RunResult &b)
+{
+    EXPECT_EQ(a.modelName, b.modelName);
+    EXPECT_EQ(a.frameworkName, b.frameworkName);
+    EXPECT_EQ(a.gpuName, b.gpuName);
+    EXPECT_EQ(a.batch, b.batch);
+    EXPECT_EQ(a.iterationUs, b.iterationUs);
+    EXPECT_EQ(a.throughputSamples, b.throughputSamples);
+    EXPECT_EQ(a.throughputUnits, b.throughputUnits);
+    EXPECT_EQ(a.gpuUtilization, b.gpuUtilization);
+    EXPECT_EQ(a.fp32Utilization, b.fp32Utilization);
+    EXPECT_EQ(a.cpuUtilization, b.cpuUtilization);
+    EXPECT_EQ(a.kernelsPerIteration, b.kernelsPerIteration);
+    EXPECT_EQ(a.memory.total(), b.memory.total());
+    ASSERT_EQ(a.kernelTrace.size(), b.kernelTrace.size());
+    for (std::size_t i = 0; i < a.kernelTrace.size(); ++i) {
+        EXPECT_EQ(a.kernelTrace[i].startUs, b.kernelTrace[i].startUs);
+        EXPECT_EQ(a.kernelTrace[i].durationUs,
+                  b.kernelTrace[i].durationUs);
+    }
+    ASSERT_EQ(a.warmupIterationUs.size(), b.warmupIterationUs.size());
+    for (std::size_t i = 0; i < a.warmupIterationUs.size(); ++i)
+        EXPECT_EQ(a.warmupIterationUs[i], b.warmupIterationUs[i]);
+    ASSERT_EQ(a.sampleIterationUs.size(), b.sampleIterationUs.size());
+    for (std::size_t i = 0; i < a.sampleIterationUs.size(); ++i)
+        EXPECT_EQ(a.sampleIterationUs[i], b.sampleIterationUs[i]);
+}
+
+} // namespace
+
+/**
+ * The obs acceptance guarantee: collection is write-only for the
+ * simulation, so every simulated number is bitwise identical with
+ * tracing on and off.
+ */
+TEST(ObsDeterminism, RunResultIsBitwiseIdenticalWithObsOnAndOff)
+{
+    to::setEnabled(false);
+    to::resetAll();
+    const auto off = runOnce();
+    EXPECT_TRUE(to::collectSpans().empty());
+
+    to::setEnabled(true);
+    to::resetAll();
+    const auto on = runOnce();
+    EXPECT_FALSE(to::collectSpans().empty());
+
+    to::resetAll();
+    to::setEnabled(false);
+    const auto off_again = runOnce();
+
+    expectIdentical(off, on);
+    expectIdentical(off, off_again);
+}
+
+TEST(ObsDeterminism, SweepResultsIdenticalWithObsOnAndOff)
+{
+    std::vector<tc::BenchmarkRequest> cells;
+    for (std::int64_t batch : {8, 16}) {
+        tc::BenchmarkRequest req;
+        req.model = "WGAN";
+        req.framework = "TensorFlow";
+        req.batch = batch;
+        cells.push_back(req);
+    }
+
+    to::setEnabled(false);
+    to::resetAll();
+    const auto off = tc::BenchmarkSuite::runSweep(cells);
+
+    to::setEnabled(true);
+    to::resetAll();
+    const auto on = tc::BenchmarkSuite::runSweep(cells);
+    to::resetAll();
+    to::setEnabled(false);
+
+    ASSERT_EQ(off.size(), on.size());
+    for (std::size_t i = 0; i < off.size(); ++i) {
+        ASSERT_EQ(off[i].has_value(), on[i].has_value());
+        if (off[i])
+            expectIdentical(*off[i], *on[i]);
+    }
+}

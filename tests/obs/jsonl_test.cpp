@@ -1,0 +1,172 @@
+#include "obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace to = tbd::obs;
+
+namespace {
+
+class JsonlTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        to::setEnabled(true);
+        to::resetAll();
+    }
+    void TearDown() override
+    {
+        to::resetAll();
+        to::setEnabled(false);
+    }
+};
+
+/** Collect a small but representative trace. */
+to::TraceDump
+sampleDump()
+{
+    {
+        to::Span outer("outer");
+        outer.attr("model", std::string("ResNet-50"));
+        outer.attr("batch", std::int64_t{32});
+        outer.attr("share", 0.25);
+        to::Span inner("inner", outer.id());
+        (void)inner;
+    }
+    to::MetricsRegistry::global().counter("jsonl.count").add(7);
+    to::MetricsRegistry::global().gauge("jsonl.gauge").set(1.25);
+    auto &h = to::MetricsRegistry::global().histogram("jsonl.hist");
+    h.observe(2.0);
+    h.observe(8.0);
+    return to::dumpTrace();
+}
+
+} // namespace
+
+TEST_F(JsonlTest, RoundTripsThroughUtilJson)
+{
+    const to::TraceDump dump = sampleDump();
+    std::ostringstream os;
+    to::writeJsonl(dump, os);
+    const to::TraceDump back = to::parseJsonl(os.str());
+
+    EXPECT_EQ(back.wallUs, dump.wallUs);
+    ASSERT_EQ(back.spans.size(), dump.spans.size());
+    for (std::size_t i = 0; i < dump.spans.size(); ++i) {
+        EXPECT_EQ(back.spans[i].id, dump.spans[i].id);
+        EXPECT_EQ(back.spans[i].parent, dump.spans[i].parent);
+        EXPECT_EQ(back.spans[i].name, dump.spans[i].name);
+        EXPECT_EQ(back.spans[i].startUs, dump.spans[i].startUs);
+        EXPECT_EQ(back.spans[i].durUs, dump.spans[i].durUs);
+        ASSERT_EQ(back.spans[i].attrs.size(),
+                  dump.spans[i].attrs.size());
+    }
+    ASSERT_EQ(back.metrics.size(), dump.metrics.size());
+    for (std::size_t i = 0; i < dump.metrics.size(); ++i) {
+        EXPECT_EQ(back.metrics[i].name, dump.metrics[i].name);
+        EXPECT_EQ(back.metrics[i].kind, dump.metrics[i].kind);
+        EXPECT_EQ(back.metrics[i].value, dump.metrics[i].value);
+        EXPECT_EQ(back.metrics[i].count, dump.metrics[i].count);
+        EXPECT_EQ(back.metrics[i].sum, dump.metrics[i].sum);
+    }
+}
+
+TEST_F(JsonlTest, AttrValuesSurviveTheRoundTrip)
+{
+    const to::TraceDump dump = sampleDump();
+    std::ostringstream os;
+    to::writeJsonl(dump, os);
+    const to::TraceDump back = to::parseJsonl(os.str());
+
+    const to::SpanRecord *outer = nullptr;
+    for (const auto &span : back.spans)
+        if (span.name == "outer")
+            outer = &span;
+    ASSERT_NE(outer, nullptr);
+    ASSERT_EQ(outer->attrs.size(), 3u);
+    for (const auto &attr : outer->attrs) {
+        if (attr.key == "model") {
+            EXPECT_EQ(attr.str, "ResNet-50");
+        } else if (attr.key == "batch") {
+            EXPECT_EQ(attr.intVal, 32);
+        } else if (attr.key == "share") {
+            EXPECT_EQ(attr.num, 0.25);
+        } else {
+            ADD_FAILURE() << "unexpected attr " << attr.key;
+        }
+    }
+}
+
+TEST_F(JsonlTest, MalformedLinesReportTheirLineNumber)
+{
+    try {
+        to::parseJsonl("{\"type\":\"meta\",\"wall_us\":1.0}\n"
+                       "this is not json\n");
+        FAIL() << "expected FatalError";
+    } catch (const tbd::util::FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST_F(JsonlTest, UnknownRecordTypesAreSkipped)
+{
+    const to::TraceDump dump = to::parseJsonl(
+        "{\"type\":\"meta\",\"wall_us\":10.0}\n"
+        "{\"type\":\"future-record\",\"x\":1}\n"
+        "{\"type\":\"counter\",\"name\":\"c\",\"value\":3}\n");
+    EXPECT_EQ(dump.wallUs, 10.0);
+    EXPECT_TRUE(dump.spans.empty());
+    ASSERT_EQ(dump.metrics.size(), 1u);
+    EXPECT_EQ(dump.metrics[0].value, 3.0);
+}
+
+TEST_F(JsonlTest, FlushWritesAtomicallyAndIsReadable)
+{
+    (void)sampleDump();
+    const std::string path = "obs_flush_test.jsonl";
+    to::flushToFile(path);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const to::TraceDump back = to::parseJsonl(buf.str());
+    EXPECT_EQ(back.spans.size(), 2u);
+    EXPECT_FALSE(back.metrics.empty());
+    // No stale temporary left behind.
+    std::ifstream tmp(path + ".tmp");
+    EXPECT_FALSE(tmp.good());
+    std::remove(path.c_str());
+}
+
+TEST_F(JsonlTest, RootSpanCoverageMergesOverlappingRoots)
+{
+    to::TraceDump dump;
+    dump.wallUs = 100.0;
+    to::SpanRecord a;
+    a.id = 1;
+    a.parent = 0;
+    a.startUs = 0.0;
+    a.durUs = 60.0;
+    to::SpanRecord b = a;
+    b.id = 2;
+    b.startUs = 40.0; // overlaps a on [40, 60)
+    b.durUs = 40.0;   // union is [0, 80) of 100
+    dump.spans = {a, b};
+    EXPECT_NEAR(dump.rootSpanCoverage(), 0.8, 1e-12);
+
+    // Nested spans never count toward root coverage.
+    to::SpanRecord child = a;
+    child.id = 3;
+    child.parent = 1;
+    dump.spans.push_back(child);
+    EXPECT_NEAR(dump.rootSpanCoverage(), 0.8, 1e-12);
+}

@@ -1,0 +1,115 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace to = tbd::obs;
+
+namespace {
+
+/** Fresh registry state for every test. */
+class MetricsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { to::resetAll(); }
+    void TearDown() override { to::resetAll(); }
+};
+
+} // namespace
+
+TEST_F(MetricsTest, CounterAddsAndSnapshots)
+{
+    auto &c = to::MetricsRegistry::global().counter("test.counter");
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42);
+
+    const auto snap = to::MetricsRegistry::global().snapshot();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].name, "test.counter");
+    EXPECT_EQ(snap[0].kind, to::MetricSnapshot::Kind::Counter);
+    EXPECT_EQ(snap[0].value, 42.0);
+}
+
+TEST_F(MetricsTest, FindOrCreateReturnsSameInstance)
+{
+    auto &a = to::MetricsRegistry::global().counter("test.same");
+    auto &b = to::MetricsRegistry::global().counter("test.same");
+    EXPECT_EQ(&a, &b);
+    a.add(7);
+    EXPECT_EQ(b.value(), 7);
+}
+
+TEST_F(MetricsTest, GaugeKeepsLastValue)
+{
+    auto &g = to::MetricsRegistry::global().gauge("test.gauge");
+    g.set(1.5);
+    g.set(2.5);
+    EXPECT_EQ(g.value(), 2.5);
+}
+
+TEST_F(MetricsTest, HistogramTracksExtremesAndQuantiles)
+{
+    auto &h = to::MetricsRegistry::global().histogram("test.hist");
+    for (int i = 1; i <= 100; ++i)
+        h.observe(static_cast<double>(i));
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.sum(), 5050.0);
+    EXPECT_EQ(h.min(), 1.0);
+    EXPECT_EQ(h.max(), 100.0);
+    // Power-of-two buckets: quantiles are approximate but ordered and
+    // inside the observed range.
+    const double p50 = h.quantile(0.50);
+    const double p95 = h.quantile(0.95);
+    EXPECT_GE(p50, 1.0);
+    EXPECT_LE(p95, 100.0);
+    EXPECT_LE(p50, p95);
+}
+
+TEST_F(MetricsTest, EmptyHistogramIsAllZero)
+{
+    auto &h = to::MetricsRegistry::global().histogram("test.empty");
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0.0);
+    EXPECT_EQ(h.max(), 0.0);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST_F(MetricsTest, SnapshotIsSortedByName)
+{
+    to::MetricsRegistry::global().counter("test.b");
+    to::MetricsRegistry::global().counter("test.a");
+    to::MetricsRegistry::global().gauge("test.c");
+    const auto snap = to::MetricsRegistry::global().snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].name, "test.a");
+    EXPECT_EQ(snap[1].name, "test.b");
+    EXPECT_EQ(snap[2].name, "test.c");
+}
+
+TEST_F(MetricsTest, ConcurrentCounterAddsAreLossless)
+{
+    auto &c = to::MetricsRegistry::global().counter("test.mt");
+    auto &h = to::MetricsRegistry::global().histogram("test.mt.h");
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < kPerThread; ++i) {
+                c.add();
+                h.observe(1.0);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(c.value(), kThreads * kPerThread);
+    EXPECT_EQ(h.count(),
+              static_cast<std::uint64_t>(kThreads * kPerThread));
+    EXPECT_EQ(h.sum(), static_cast<double>(kThreads * kPerThread));
+}

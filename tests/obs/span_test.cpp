@@ -1,0 +1,119 @@
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "obs/obs.h"
+#include "util/thread_pool.h"
+
+namespace to = tbd::obs;
+
+namespace {
+
+class SpanTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        to::setEnabled(true);
+        to::resetAll();
+    }
+    void TearDown() override
+    {
+        to::resetAll();
+        to::setEnabled(false);
+    }
+};
+
+} // namespace
+
+TEST_F(SpanTest, RecordsNestedSpansWithExplicitParents)
+{
+    to::SpanId outer_id = 0;
+    {
+        to::Span outer("outer");
+        outer_id = outer.id();
+        EXPECT_NE(outer_id, 0u);
+        {
+            to::Span inner("inner", outer.id());
+            (void)inner;
+        }
+    }
+    const auto spans = to::collectSpans();
+    ASSERT_EQ(spans.size(), 2u);
+    // Sorted by start time: outer first.
+    EXPECT_EQ(spans[0].name, "outer");
+    EXPECT_EQ(spans[0].parent, 0u);
+    EXPECT_EQ(spans[1].name, "inner");
+    EXPECT_EQ(spans[1].parent, outer_id);
+    EXPECT_GE(spans[0].durUs, spans[1].durUs);
+    EXPECT_GE(spans[1].startUs, spans[0].startUs);
+}
+
+TEST_F(SpanTest, DisabledSpansCostNothingAndRecordNothing)
+{
+    to::setEnabled(false);
+    {
+        to::Span span("invisible");
+        EXPECT_EQ(span.id(), 0u);
+        span.attr("key", std::int64_t{1});
+    }
+    EXPECT_TRUE(to::collectSpans().empty());
+}
+
+TEST_F(SpanTest, AttrsRoundTripAllKinds)
+{
+    {
+        to::Span span("attrs");
+        span.attr("s", std::string("value"));
+        span.attr("i", std::int64_t{42});
+        span.attr("d", 2.5);
+    }
+    const auto spans = to::collectSpans();
+    ASSERT_EQ(spans.size(), 1u);
+    ASSERT_EQ(spans[0].attrs.size(), 3u);
+    EXPECT_EQ(spans[0].attrs[0].key, "s");
+    EXPECT_EQ(spans[0].attrs[0].str, "value");
+    EXPECT_EQ(spans[0].attrs[1].intVal, 42);
+    EXPECT_EQ(spans[0].attrs[2].num, 2.5);
+}
+
+TEST_F(SpanTest, ParentHandlesSurviveThreadPoolWorkers)
+{
+    // The explicit-parent design exists exactly for this: spans opened
+    // on arbitrary pool workers still attach to the spawning span.
+    to::SpanId parent_id = 0;
+    {
+        to::Span parent("pool.parent");
+        parent_id = parent.id();
+        tbd::util::parallelFor(
+            0, 16, 1, [&](std::int64_t begin, std::int64_t end) {
+                for (std::int64_t i = begin; i < end; ++i) {
+                    to::Span child("pool.child", parent_id);
+                    child.attr("index", i);
+                }
+            });
+    }
+    const auto spans = to::collectSpans();
+    ASSERT_EQ(spans.size(), 17u);
+    int children = 0;
+    for (const auto &span : spans) {
+        if (span.name == "pool.child") {
+            ++children;
+            EXPECT_EQ(span.parent, parent_id);
+        }
+    }
+    EXPECT_EQ(children, 16);
+}
+
+TEST_F(SpanTest, ResetClearsAllBuffers)
+{
+    {
+        to::Span span("gone");
+        (void)span;
+    }
+    EXPECT_EQ(to::collectSpans().size(), 1u);
+    to::resetSpans();
+    EXPECT_TRUE(to::collectSpans().empty());
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * `tbd_obs` — observability-trace maintenance CLI.
+ *
+ *   tbd_obs check <trace.jsonl> [--min-coverage F]
+ *   tbd_obs report <trace.jsonl> [--top N]
+ *
+ * `check` validates a JSONL export produced under TBD_OBS=1: the file
+ * must exist, be non-empty, parse line-by-line, and contain at least
+ * one span. With --min-coverage it additionally requires the root
+ * spans to account for at least fraction F of the trace wall time
+ * (the CI gate uses 0.95). Exits non-zero on any violation so it can
+ * anchor a pipeline step.
+ *
+ * `report` prints the analysis::obs_report roll-up: top spans by self
+ * time and the metric summary.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/obs_report.h"
+#include "obs/obs.h"
+#include "util/format.h"
+#include "util/logging.h"
+
+using namespace tbd;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  tbd_obs check <trace.jsonl> [--min-coverage F]\n"
+                 "  tbd_obs report <trace.jsonl> [--top N]\n");
+    return 2;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        TBD_FATAL("cannot open trace file '", path, "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+int
+cmdCheck(const std::string &path, double minCoverage)
+{
+    const std::string text = readFile(path);
+    if (text.find_first_not_of(" \t\r\n") == std::string::npos) {
+        std::fprintf(stderr, "FAIL: trace '%s' is empty\n",
+                     path.c_str());
+        return 1;
+    }
+
+    obs::TraceDump dump;
+    try {
+        dump = obs::parseJsonl(text);
+    } catch (const util::FatalError &err) {
+        std::fprintf(stderr, "FAIL: trace '%s' does not parse: %s\n",
+                     path.c_str(), err.what());
+        return 1;
+    }
+
+    if (dump.spans.empty()) {
+        std::fprintf(stderr, "FAIL: trace '%s' contains no spans\n",
+                     path.c_str());
+        return 1;
+    }
+
+    const double coverage = dump.rootSpanCoverage();
+    if (minCoverage > 0.0 && coverage < minCoverage) {
+        std::fprintf(stderr,
+                     "FAIL: root-span coverage %.1f%% below the "
+                     "required %.1f%%\n",
+                     coverage * 100.0, minCoverage * 100.0);
+        return 1;
+    }
+
+    std::printf("OK: %zu spans, %zu metrics, root coverage %.1f%%\n",
+                dump.spans.size(), dump.metrics.size(),
+                coverage * 100.0);
+    return 0;
+}
+
+int
+cmdReport(const std::string &path, std::size_t topN)
+{
+    const analysis::ObsReport report =
+        analysis::loadObsReport(readFile(path));
+
+    std::printf("trace wall time: %s   root coverage: %s\n\n",
+                util::formatDuration(report.wallUs * 1e-6).c_str(),
+                util::formatPercent(report.rootCoverage).c_str());
+    std::printf("%s\n", report.spanTable(topN).toString().c_str());
+    if (!report.metrics.empty())
+        std::printf("%s\n", report.metricTable().toString().c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    const std::string cmd = argv[1];
+    const std::string path = argv[2];
+
+    try {
+        if (cmd == "check") {
+            double min_coverage = 0.0;
+            if (argc == 5 &&
+                std::string(argv[3]) == "--min-coverage") {
+                min_coverage = std::stod(argv[4]);
+            } else if (argc != 3) {
+                return usage();
+            }
+            return cmdCheck(path, min_coverage);
+        }
+        if (cmd == "report") {
+            std::size_t top_n = 20;
+            if (argc == 5 && std::string(argv[3]) == "--top") {
+                top_n = static_cast<std::size_t>(
+                    std::stoul(argv[4]));
+            } else if (argc != 3) {
+                return usage();
+            }
+            return cmdReport(path, top_n);
+        }
+    } catch (const util::FatalError &err) {
+        std::fprintf(stderr, "error: %s\n", err.what());
+        return 1;
+    }
+    return usage();
+}
