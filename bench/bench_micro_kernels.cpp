@@ -11,6 +11,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/tbd.h"
+#include "perf/lowering_cache.h"
 
 using namespace tbd;
 
@@ -225,6 +226,86 @@ BM_SimulateResNetIteration(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SimulateResNetIteration);
+
+// End-to-end simulator wall time, fast paths on vs off. The paired
+// NoCache variants are the TBD_NOCACHE=1 baseline the fast paths are
+// judged against; simulated numbers are bitwise-identical across the
+// pair (tests/perf/fast_path_test.cpp holds that line).
+
+void
+perfSimulatorRunBody(benchmark::State &state, bool fastPaths)
+{
+    perf::setFastPathsEnabled(fastPaths);
+    perf::RunConfig rc;
+    rc.model = &models::resnet50();
+    rc.framework = frameworks::FrameworkId::MXNet;
+    rc.gpu = gpusim::quadroP4000();
+    rc.batch = 32;
+    const perf::PerfSimulator sim;
+    for (auto _ : state) {
+        const perf::RunResult result = sim.run(rc);
+        benchmark::DoNotOptimize(result.iterationUs);
+    }
+    perf::setFastPathsEnabled(std::nullopt);
+}
+
+void
+BM_PerfSimulatorRun(benchmark::State &state)
+{
+    perfSimulatorRunBody(state, /*fastPaths=*/true);
+}
+BENCHMARK(BM_PerfSimulatorRun);
+
+void
+BM_PerfSimulatorRunNoCache(benchmark::State &state)
+{
+    perfSimulatorRunBody(state, /*fastPaths=*/false);
+}
+BENCHMARK(BM_PerfSimulatorRunNoCache);
+
+void
+runSweepBody(benchmark::State &state, bool fastPaths)
+{
+    perf::setFastPathsEnabled(fastPaths);
+    // A Fig. 8-style grid: three models, both GPUs, the first three
+    // points of each model's own batch sweep — the workload shape
+    // runSweep sees when the figure harnesses fan out on the pool.
+    const std::pair<const models::ModelDesc *, const char *> lines[] = {
+        {&models::resnet50(), "MXNet"},
+        {&models::seq2seqNmt(), "TensorFlow"},
+        {&models::transformer(), "TensorFlow"},
+    };
+    std::vector<core::BenchmarkRequest> cells;
+    for (const char *gpu : {"Quadro P4000", "TITAN Xp"}) {
+        for (const auto &[model, framework] : lines) {
+            const std::size_t points =
+                std::min<std::size_t>(3, model->batchSweep.size());
+            for (std::size_t i = 0; i < points; ++i)
+                cells.push_back({model->name, framework, gpu,
+                                 model->batchSweep[i]});
+        }
+    }
+    for (auto _ : state) {
+        const auto results = core::BenchmarkSuite::runSweep(cells);
+        benchmark::DoNotOptimize(results.size());
+    }
+    state.counters["cells"] = static_cast<double>(cells.size());
+    perf::setFastPathsEnabled(std::nullopt);
+}
+
+void
+BM_RunSweep(benchmark::State &state)
+{
+    runSweepBody(state, /*fastPaths=*/true);
+}
+BENCHMARK(BM_RunSweep);
+
+void
+BM_RunSweepNoCache(benchmark::State &state)
+{
+    runSweepBody(state, /*fastPaths=*/false);
+}
+BENCHMARK(BM_RunSweepNoCache);
 
 } // namespace
 

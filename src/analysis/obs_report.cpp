@@ -54,6 +54,55 @@ ObsReport::metricTable() const
     return t;
 }
 
+util::Table
+FastPathSummary::table() const
+{
+    util::Table t({"fast path", "hits", "misses", "hit rate"});
+    for (const auto &layer : layers)
+        t.addRow({layer.name, std::to_string(layer.hits),
+                  std::to_string(layer.misses),
+                  util::formatPercent(layer.hitRate)});
+    return t;
+}
+
+FastPathSummary
+fastPathSummary(const std::vector<obs::MetricSnapshot> &metrics)
+{
+    const auto counter = [&metrics](const char *name,
+                                    std::int64_t &out) {
+        for (const auto &m : metrics) {
+            if (m.name == name &&
+                m.kind == obs::MetricSnapshot::Kind::Counter) {
+                out = static_cast<std::int64_t>(m.value);
+                return true;
+            }
+        }
+        return false;
+    };
+
+    FastPathSummary summary;
+    const auto add = [&](const char *label, const char *hitName,
+                         const char *missName) {
+        FastPathStat stat;
+        stat.name = label;
+        const bool has_hit = counter(hitName, stat.hits);
+        const bool has_miss = counter(missName, stat.misses);
+        if (!has_hit && !has_miss)
+            return; // layer never ran (e.g. TBD_NOCACHE=1)
+        const std::int64_t total = stat.hits + stat.misses;
+        stat.hitRate =
+            total > 0 ? static_cast<double>(stat.hits) /
+                            static_cast<double>(total)
+                      : 0.0;
+        summary.layers.push_back(std::move(stat));
+    };
+    add("lowering cache", "perf.lowering_cache.hit",
+        "perf.lowering_cache.miss");
+    add("timeline replay", "gpusim.replay.hit",
+        "gpusim.replay.fallback");
+    return summary;
+}
+
 ObsReport
 buildObsReport(const obs::TraceDump &dump)
 {

@@ -45,6 +45,36 @@ struct ObsReport
     util::Table metricTable() const;
 };
 
+/** One simulator fast-path layer's hit accounting. */
+struct FastPathStat
+{
+    std::string name;        ///< e.g. "lowering cache"
+    std::int64_t hits = 0;   ///< fast-path takes
+    std::int64_t misses = 0; ///< slow-path executions
+    double hitRate = 0.0;    ///< hits / (hits + misses); 0 when idle
+};
+
+/**
+ * Hit/miss roll-up of the simulator's fast-path counters
+ * (perf.lowering_cache.{hit,miss}, gpusim.replay.{hit,fallback}).
+ * Layers whose counters are absent from the trace — fast paths off
+ * (TBD_NOCACHE=1) or no simulations run — are omitted; empty() then
+ * tells the caller to say so instead of printing an empty table.
+ */
+struct FastPathSummary
+{
+    std::vector<FastPathStat> layers;
+
+    bool empty() const { return layers.empty(); }
+
+    /** Layer table: name, hits, misses, hit rate. */
+    util::Table table() const;
+};
+
+/** Extract the fast-path summary from a metric snapshot. */
+FastPathSummary fastPathSummary(
+    const std::vector<obs::MetricSnapshot> &metrics);
+
 /** Build the roll-up from a trace dump (live or parsed from JSONL). */
 ObsReport buildObsReport(const obs::TraceDump &dump);
 

@@ -156,6 +156,10 @@ toRunConfig(const BenchmarkRequest &request)
     config.model = model;
     config.framework = *framework;
     config.gpu = *gpu;
+    // The paper's Table 4 testbed host — explicit (not just the
+    // RunConfig default) so the facade pins the Eq. 3 denominator
+    // regardless of how the default evolves.
+    config.cpu = gpusim::xeonE52680();
     config.batch = request.batch;
     config.lengthCv = request.lengthCv;
     config.lengthSeed = request.lengthSeed;

@@ -98,7 +98,11 @@ perf::RunConfig toRunConfig(const BenchmarkRequest &request);
  * conservation laws, metric ranges, memory accounting); a violation
  * throws util::PanicError. Setting TBD_OBS=1 records tbd::obs spans
  * and metrics for every run and sweep cell without changing any
- * simulated number.
+ * simulated number. Setting TBD_NOCACHE=1 disables the simulator's
+ * fast paths (lowering cache, kernel-trace limiting, steady-state
+ * timeline replay); results are bitwise-identical either way — the
+ * switch exists as an escape hatch and an A/B baseline (see DESIGN.md
+ * "Simulation fast paths").
  */
 class BenchmarkSuite
 {

@@ -1,0 +1,90 @@
+#include "gpusim/intern.h"
+
+#include <deque>
+#include <mutex>
+#include <ostream>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace tbd::gpusim {
+
+namespace {
+
+/**
+ * The symbol table. Strings live in a deque so growth never moves
+ * them; the lookup map keys on string_views into those entries, which
+ * therefore stay valid as the table grows. Reads (the common case
+ * once a workload's names exist) take the shared lock only.
+ */
+struct InternTable
+{
+    mutable std::shared_mutex mutex;
+    std::deque<std::string> names;
+    std::unordered_map<std::string_view, NameId> ids;
+
+    InternTable()
+    {
+        names.emplace_back(); // id 0 = ""
+        ids.emplace(std::string_view(names.front()), 0);
+    }
+};
+
+InternTable &
+table()
+{
+    // Leaked, never destroyed: interned names must outlive any static
+    // consumer (the obs registries follow the same immortal pattern).
+    static InternTable *t = new InternTable();
+    return *t;
+}
+
+} // namespace
+
+NameId
+internKernelName(std::string_view name)
+{
+    InternTable &t = table();
+    {
+        std::shared_lock lock(t.mutex);
+        auto it = t.ids.find(name);
+        if (it != t.ids.end())
+            return it->second;
+    }
+    std::unique_lock lock(t.mutex);
+    // Re-check: another thread may have interned it between locks.
+    auto it = t.ids.find(name);
+    if (it != t.ids.end())
+        return it->second;
+    const auto id = static_cast<NameId>(t.names.size());
+    t.names.emplace_back(name);
+    t.ids.emplace(std::string_view(t.names.back()), id);
+    return id;
+}
+
+const std::string &
+internedKernelName(NameId id)
+{
+    InternTable &t = table();
+    std::shared_lock lock(t.mutex);
+    TBD_CHECK(id < t.names.size(), "unknown interned kernel-name id ",
+              id, " (table holds ", t.names.size(), " names)");
+    return t.names[id];
+}
+
+std::size_t
+internedKernelNameCount()
+{
+    InternTable &t = table();
+    std::shared_lock lock(t.mutex);
+    return t.names.size();
+}
+
+std::ostream &
+operator<<(std::ostream &os, KernelName name)
+{
+    return os << name.str();
+}
+
+} // namespace tbd::gpusim

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Process-wide kernel-name interning.
+ *
+ * Op lowering names every kernel it emits ("sgemm_128x128x8_NN(res2a)"),
+ * and one training iteration launches thousands of them: carrying a
+ * heap-allocated std::string through every KernelDesc copy and
+ * KernelExec record dominated the simulator's allocation profile. A
+ * KernelName is instead a 32-bit handle into a process-wide symbol
+ * table; the string is materialized only where a human reads it
+ * (reports, trace export, error messages).
+ *
+ * The table is append-only and thread-safe: interning the same string
+ * from any number of util::ThreadPool workers yields the same id, and
+ * the returned string references stay valid for the process lifetime.
+ * Ids are assigned in first-intern order, so they are deterministic
+ * for a deterministic workload but NOT stable across processes —
+ * serialize the string, never the id.
+ */
+
+#ifndef TBD_GPUSIM_INTERN_H
+#define TBD_GPUSIM_INTERN_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace tbd::gpusim {
+
+/** Handle into the process-wide kernel-name table (0 = ""). */
+using NameId = std::uint32_t;
+
+/** Intern a name, returning its stable id (thread-safe). */
+NameId internKernelName(std::string_view name);
+
+/**
+ * The string behind an id (thread-safe; reference valid forever).
+ * @throws util::FatalError for an id no intern call returned.
+ */
+const std::string &internedKernelName(NameId id);
+
+/** Distinct names interned so far (includes the implicit ""). */
+std::size_t internedKernelNameCount();
+
+/**
+ * An interned kernel name: copyable for the cost of an int, comparable
+ * by id, and implicitly convertible to the interned std::string so
+ * report/export code keeps reading `exec.name` as a string.
+ */
+class KernelName
+{
+  public:
+    /** The empty name (id 0). */
+    KernelName() = default;
+
+    KernelName(std::string_view name) : id_(internKernelName(name)) {}
+    KernelName(const std::string &name)
+        : id_(internKernelName(name))
+    {
+    }
+    KernelName(const char *name) : id_(internKernelName(name)) {}
+
+    /** Table handle. */
+    NameId id() const { return id_; }
+
+    /** True for the default-constructed empty name. */
+    bool empty() const { return id_ == 0; }
+
+    /** The interned string (valid for the process lifetime). */
+    const std::string &str() const { return internedKernelName(id_); }
+
+    /** Implicit view as the interned string. */
+    operator const std::string &() const { return str(); }
+
+    /** Id equality is string equality: the table never duplicates. */
+    friend bool operator==(KernelName a, KernelName b)
+    {
+        return a.id_ == b.id_;
+    }
+    friend bool operator!=(KernelName a, KernelName b)
+    {
+        return a.id_ != b.id_;
+    }
+
+    /** Lexicographic (report-stable, not id-order). */
+    friend bool operator<(KernelName a, KernelName b)
+    {
+        return a.str() < b.str();
+    }
+
+  private:
+    NameId id_ = 0;
+};
+
+std::ostream &operator<<(std::ostream &os, KernelName name);
+
+} // namespace tbd::gpusim
+
+#endif // TBD_GPUSIM_INTERN_H

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "gpusim/gpu_spec.h"
+#include "gpusim/intern.h"
 
 namespace tbd::gpusim {
 
@@ -45,7 +46,7 @@ const char *kernelCategoryName(KernelCategory c);
 /** One GPU kernel invocation, as produced by op lowering. */
 struct KernelDesc
 {
-    std::string name;      ///< cuDNN/cuBLAS/framework-flavored name
+    KernelName name;       ///< interned cuDNN/cuBLAS-flavored name
     KernelCategory category = KernelCategory::Elementwise;
     double flops = 0.0;    ///< executed FP32 instructions (nvprof's view)
     double bytes = 0.0;    ///< DRAM traffic in bytes

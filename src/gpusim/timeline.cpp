@@ -28,43 +28,74 @@ void
 GpuTimeline::launch(const KernelDesc &kernel, double launchCpuUs)
 {
     TBD_CHECK(launchCpuUs >= 0.0, "negative launch cost");
-    cpuCursorUs_ += launchCpuUs;
-    cpuBusyUs_ += launchCpuUs;
+    cpuOffsetUs_ += launchCpuUs;
+    iterCpuBusyUs_ += launchCpuUs;
 
     const KernelTiming t = timeKernel(gpu_, kernel);
-    const double start = std::max(cpuCursorUs_, gpuCursorUs_);
-    gpuCursorUs_ = start + t.durationUs;
-    gpuBusyUs_ += t.durationUs;
-    totalFlops_ += kernel.flops;
-    execs_.push_back(KernelExec{kernel.name, kernel.category, start,
-                                t.durationUs, kernel.flops, t.fp32Util,
-                                t.limiter});
+    const double start = std::max(cpuOffsetUs_, gpuOffsetUs_);
+    gpuOffsetUs_ = start + t.durationUs;
+    iterGpuBusyUs_ += t.durationUs;
+    iterFlops_ += kernel.flops;
+    ++iterKernels_;
+    if (execs_.size() < traceLimit_)
+        execs_.push_back(KernelExec{kernel.name, kernel.category,
+                                    baseUs_ + start, t.durationUs,
+                                    kernel.flops, t.fp32Util, t.limiter});
 }
 
 void
 GpuTimeline::hostCompute(double us)
 {
     TBD_CHECK(us >= 0.0, "negative host compute");
-    cpuCursorUs_ += us;
-    cpuBusyUs_ += us;
+    cpuOffsetUs_ += us;
+    iterCpuBusyUs_ += us;
 }
 
 void
 GpuTimeline::sync()
 {
-    cpuCursorUs_ = std::max(cpuCursorUs_, gpuCursorUs_);
-    gpuCursorUs_ = cpuCursorUs_;
+    const double advance = std::max(cpuOffsetUs_, gpuOffsetUs_);
+    lastDelta_ = IterationDelta{advance, iterGpuBusyUs_, iterCpuBusyUs_,
+                                iterFlops_, iterKernels_};
+    // Fold the drained iteration into the totals with the exact
+    // additions applyIterationDelta() performs — the two paths must
+    // stay bitwise-interchangeable.
+    baseUs_ += advance;
+    cpuOffsetUs_ = 0.0;
+    gpuOffsetUs_ = 0.0;
+    gpuBusyUs_ += iterGpuBusyUs_;
+    cpuBusyUs_ += iterCpuBusyUs_;
+    totalFlops_ += iterFlops_;
+    kernelCount_ += iterKernels_;
+    iterGpuBusyUs_ = 0.0;
+    iterCpuBusyUs_ = 0.0;
+    iterFlops_ = 0.0;
+    iterKernels_ = 0;
+}
+
+void
+GpuTimeline::applyIterationDelta(const IterationDelta &delta)
+{
+    TBD_CHECK(atSyncPoint(),
+              "iteration replay requires a drained timeline");
+    baseUs_ += delta.advanceUs;
+    gpuBusyUs_ += delta.gpuBusyUs;
+    cpuBusyUs_ += delta.cpuBusyUs;
+    totalFlops_ += delta.flops;
+    kernelCount_ += delta.kernels;
+    lastDelta_ = delta;
 }
 
 TimelineStats
 GpuTimeline::stats() const
 {
     TimelineStats s;
-    s.elapsedUs = std::max(cpuCursorUs_, gpuCursorUs_) - intervalStartUs_;
-    s.gpuBusyUs = gpuBusyUs_;
-    s.cpuBusyUs = cpuBusyUs_;
-    s.totalFlops = totalFlops_;
-    s.kernelCount = static_cast<std::int64_t>(execs_.size());
+    s.elapsedUs =
+        (baseUs_ + std::max(cpuOffsetUs_, gpuOffsetUs_)) - intervalStartUs_;
+    s.gpuBusyUs = gpuBusyUs_ + iterGpuBusyUs_;
+    s.cpuBusyUs = cpuBusyUs_ + iterCpuBusyUs_;
+    s.totalFlops = totalFlops_ + iterFlops_;
+    s.kernelCount = kernelCount_ + iterKernels_;
     return s;
 }
 
@@ -72,10 +103,11 @@ void
 GpuTimeline::beginInterval()
 {
     sync();
-    intervalStartUs_ = cpuCursorUs_;
+    intervalStartUs_ = baseUs_;
     gpuBusyUs_ = 0.0;
     cpuBusyUs_ = 0.0;
     totalFlops_ = 0.0;
+    kernelCount_ = 0;
     execs_.clear();
 }
 

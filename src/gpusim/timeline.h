@@ -8,11 +8,24 @@
  * when kernels are short relative to their CPU launch cost (RNN cells,
  * tiny models), the queue drains and the GPU idles — GPU compute
  * utilization drops with no explicit "utilization knob" anywhere.
+ *
+ * Steady-state replay: training iterations separated by sync() start
+ * from an identical relative state (both cursors drained), so an
+ * iteration that launches the same sequence as its predecessor
+ * advances the timeline by a bitwise-identical delta. The timeline
+ * keeps its clocks as base + in-flight offsets and folds the offsets
+ * at every sync, which makes that delta observable
+ * (lastIterationDelta) and re-appliable (applyIterationDelta) with
+ * *the same floating-point operations* the event loop would perform —
+ * replay is exact, not approximate. perf::PerfSimulator uses this to
+ * skip the event loop for the N identical stable-state iterations
+ * (see DESIGN.md "Simulation fast paths").
  */
 
 #ifndef TBD_GPUSIM_TIMELINE_H
 #define TBD_GPUSIM_TIMELINE_H
 
+#include <cstddef>
 #include <vector>
 
 #include "gpusim/kernel.h"
@@ -22,7 +35,7 @@ namespace tbd::gpusim {
 /** One executed kernel on the timeline. */
 struct KernelExec
 {
-    std::string name;
+    KernelName name;
     KernelCategory category;
     double startUs = 0.0;
     double durationUs = 0.0;
@@ -45,6 +58,20 @@ struct TimelineStats
 
     /** Executed FP32 rate over GPU-active time vs peak (Eq. 2). */
     double fp32Utilization(const GpuSpec &gpu) const;
+};
+
+/**
+ * Everything one synced iteration added to the timeline: the clock
+ * advance plus the aggregate-stat increments. Captured by sync(),
+ * replayed by applyIterationDelta().
+ */
+struct IterationDelta
+{
+    double advanceUs = 0.0;  ///< wall-clock advance to the sync point
+    double gpuBusyUs = 0.0;  ///< kernel-duration sum of the iteration
+    double cpuBusyUs = 0.0;  ///< launch + host CPU time
+    double flops = 0.0;      ///< executed FP32 instructions
+    std::int64_t kernels = 0;///< launches in the iteration
 };
 
 /** CPU-issues / GPU-executes event simulator. */
@@ -70,7 +97,7 @@ class GpuTimeline
     /** Device this timeline runs on. */
     const GpuSpec &gpu() const { return gpu_; }
 
-    /** Executed kernels in issue order. */
+    /** Executed kernels in issue order (up to the trace limit). */
     const std::vector<KernelExec> &executions() const { return execs_; }
 
     /** Aggregate stats as of the last sync. */
@@ -79,14 +106,70 @@ class GpuTimeline
     /** Drop recorded history but keep clocks (used to skip warm-up). */
     void beginInterval();
 
+    /**
+     * True when no issued work is in flight (every sync leaves the
+     * timeline here). Replay is only valid from this state: it is the
+     * state the recorded iteration started from.
+     */
+    bool atSyncPoint() const
+    {
+        return cpuOffsetUs_ == 0.0 && gpuOffsetUs_ == 0.0;
+    }
+
+    /** What the most recent sync() folded in (zeroes before any sync). */
+    const IterationDelta &lastIterationDelta() const
+    {
+        return lastDelta_;
+    }
+
+    /**
+     * Advance clocks and aggregates by a previously captured delta —
+     * bitwise-identical to re-running the event loop that produced it,
+     * because sync() folds a live iteration with exactly these
+     * additions. The caller owns the proof that the skipped iteration
+     * would have issued the same sequence (PerfSimulator fingerprints
+     * the launch stream).
+     * @throws util::FatalError when work is in flight (not at a sync
+     *         point).
+     */
+    void applyIterationDelta(const IterationDelta &delta);
+
+    /**
+     * Stop recording KernelExec history once `maxExecs` entries exist.
+     * Aggregate stats are unaffected — only the executions() buffer is
+     * capped. The simulator keeps one iteration's trace; recording
+     * every stable-state iteration of a sweep was pure waste.
+     * Defaults to unlimited.
+     */
+    void setTraceLimit(std::size_t maxExecs) { traceLimit_ = maxExecs; }
+
+    /** True when the executions() buffer has reached the trace limit. */
+    bool traceComplete() const
+    {
+        return execs_.size() >= traceLimit_;
+    }
+
   private:
     GpuSpec gpu_;
-    double cpuCursorUs_ = 0.0; ///< when the CPU is next free
-    double gpuCursorUs_ = 0.0; ///< when the GPU is next free
+    // Clocks: absolute time = baseUs_ + offset. Offsets restart from
+    // zero at every sync so identical iterations perform identical
+    // arithmetic regardless of how much time already passed.
+    double baseUs_ = 0.0;      ///< folded wall clock (last sync point)
+    double cpuOffsetUs_ = 0.0; ///< CPU cursor since the last sync
+    double gpuOffsetUs_ = 0.0; ///< GPU cursor since the last sync
     double intervalStartUs_ = 0.0;
+    // Aggregates: folded totals plus the in-flight iteration's partial
+    // sums (folded by sync, mirrored by applyIterationDelta).
     double gpuBusyUs_ = 0.0;
     double cpuBusyUs_ = 0.0;
     double totalFlops_ = 0.0;
+    std::int64_t kernelCount_ = 0;
+    double iterGpuBusyUs_ = 0.0;
+    double iterCpuBusyUs_ = 0.0;
+    double iterFlops_ = 0.0;
+    std::int64_t iterKernels_ = 0;
+    IterationDelta lastDelta_;
+    std::size_t traceLimit_ = SIZE_MAX;
     std::vector<KernelExec> execs_;
 };
 

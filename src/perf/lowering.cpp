@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "util/logging.h"
 
@@ -388,7 +389,47 @@ lowerBackwardOp(Emitter &e, const OpDesc &op, const FrameworkProfile &fw)
     }
 }
 
+// FNV-1a over 64-bit words; doubles hash by bit pattern so the
+// fingerprint distinguishes values an equality comparison would (no
+// -0.0/0.0 or rounding leniency — replay must mean bitwise-equal work).
+void
+fnvMix(std::uint64_t &h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xffu;
+        h *= 1099511628211ULL;
+    }
+}
+
+std::uint64_t
+doubleBits(double d)
+{
+    std::uint64_t u = 0;
+    std::memcpy(&u, &d, sizeof(u));
+    return u;
+}
+
 } // namespace
+
+std::uint64_t
+fingerprintIteration(const LoweredIteration &iter)
+{
+    std::uint64_t h = 14695981039346656037ULL;
+    fnvMix(h, static_cast<std::uint64_t>(iter.items.size()));
+    fnvMix(h, static_cast<std::uint64_t>(iter.opCount));
+    for (const auto &item : iter.items) {
+        const auto &k = item.kernel;
+        fnvMix(h, k.name.id());
+        fnvMix(h, static_cast<std::uint64_t>(k.category));
+        fnvMix(h, doubleBits(k.flops));
+        fnvMix(h, doubleBits(k.bytes));
+        fnvMix(h, doubleBits(k.parallelism));
+        fnvMix(h, doubleBits(k.computeEff));
+        fnvMix(h, doubleBits(k.memoryEff));
+        fnvMix(h, doubleBits(item.extraHostUs));
+    }
+    return h;
+}
 
 double
 LoweredIteration::totalFlops() const
@@ -426,6 +467,7 @@ lowerIteration(const models::Workload &workload,
                           3.0 * op.params * kBytesPerElem,
                           static_cast<double>(op.params), 0.2));
     }
+    e.out.fingerprint = fingerprintIteration(e.out);
     return e.out;
 }
 
@@ -440,6 +482,7 @@ lowerInference(const models::Workload &workload,
             continue; // inference skips regularization and the loss
         lowerForwardOp(e, op, fw);
     }
+    e.out.fingerprint = fingerprintIteration(e.out);
     return e.out;
 }
 
@@ -462,6 +505,7 @@ autotuneKernels(const models::Workload &workload,
                               std::max(0.15, fw.convEff - 0.08 * algo)));
         }
     }
+    e.out.fingerprint = fingerprintIteration(e.out);
     return e.out;
 }
 

@@ -21,6 +21,7 @@
 #ifndef TBD_PERF_LOWERING_H
 #define TBD_PERF_LOWERING_H
 
+#include <cstdint>
 #include <vector>
 
 #include "frameworks/framework.h"
@@ -42,9 +43,22 @@ struct LoweredIteration
     std::vector<LaunchItem> items;
     std::int64_t opCount = 0;
 
+    /**
+     * Content hash of the launch stream (names, categories, and the
+     * exact bit patterns of every numeric field). Two lowerings with
+     * equal fingerprints issue identical work, which is what licenses
+     * the simulator's steady-state timeline replay. In-process only:
+     * the hash covers interned name ids, which are not stable across
+     * processes. Filled in by the lowering entry points.
+     */
+    std::uint64_t fingerprint = 0;
+
     /** Total executed FP32 instructions across all kernels. */
     double totalFlops() const;
 };
+
+/** Compute the content hash stored in LoweredIteration::fingerprint. */
+std::uint64_t fingerprintIteration(const LoweredIteration &iter);
 
 /**
  * Lower one training iteration (forward + backward + update) of the

@@ -1,0 +1,222 @@
+#include "perf/lowering_cache.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+#include <string_view>
+#include <unordered_map>
+
+#include "obs/obs.h"
+#include "util/logging.h"
+
+namespace tbd::perf {
+
+namespace {
+
+/** -1 = follow the environment, 0/1 = forced by setFastPathsEnabled. */
+std::atomic<int> fast_override{-1};
+
+bool
+envNoCache()
+{
+    // Same truthiness rule as TBD_OBS / TBD_CHECK: set, non-empty and
+    // not literally "0". Cached — the simulator consults this on every
+    // run and the answer must not change under a live sweep.
+    static const bool nocache = [] {
+        const char *v = std::getenv("TBD_NOCACHE");
+        return v != nullptr && *v != '\0' && std::string_view(v) != "0";
+    }();
+    return nocache;
+}
+
+constexpr std::size_t kMaxEntries = 1024;
+
+} // namespace
+
+bool
+fastPathsEnabled()
+{
+    const int forced = fast_override.load(std::memory_order_relaxed);
+    if (forced >= 0)
+        return forced != 0;
+    return !envNoCache();
+}
+
+void
+setFastPathsEnabled(std::optional<bool> enabled)
+{
+    fast_override.store(enabled ? (*enabled ? 1 : 0) : -1,
+                        std::memory_order_relaxed);
+}
+
+struct LoweringCache::Impl
+{
+    /** What a lowering depends on (the profile follows the id). */
+    struct Key
+    {
+        const models::ModelDesc *model = nullptr;
+        int framework = 0;
+        std::int64_t batch = 0;
+        int kind = 0;                 ///< Kind: never collide across entry points
+        std::uint64_t scaleBits = 0;  ///< bit pattern of the length scale
+
+        bool operator==(const Key &o) const
+        {
+            return model == o.model && framework == o.framework &&
+                   batch == o.batch && kind == o.kind &&
+                   scaleBits == o.scaleBits;
+        }
+    };
+
+    enum Kind { KindIteration = 0, KindScaled = 1, KindAutotune = 2 };
+
+    struct KeyHash
+    {
+        std::size_t operator()(const Key &k) const
+        {
+            std::uint64_t h = 14695981039346656037ULL;
+            const auto mix = [&h](std::uint64_t v) {
+                h ^= v;
+                h *= 1099511628211ULL;
+            };
+            mix(reinterpret_cast<std::uintptr_t>(k.model));
+            mix(static_cast<std::uint64_t>(k.framework));
+            mix(static_cast<std::uint64_t>(k.batch));
+            mix(static_cast<std::uint64_t>(k.kind));
+            mix(k.scaleBits);
+            return static_cast<std::size_t>(h);
+        }
+    };
+
+    mutable std::shared_mutex mutex;
+    std::unordered_map<Key, std::shared_ptr<const LoweredIteration>,
+                       KeyHash>
+        entries;
+    std::deque<Key> insertionOrder; ///< FIFO eviction queue
+    std::atomic<std::int64_t> hits{0};
+    std::atomic<std::int64_t> misses{0};
+    std::atomic<std::int64_t> evictions{0};
+
+    /**
+     * Shared-lock lookup; on miss, lower OUTSIDE any lock (lowering a
+     * large model is the expensive part and must not serialize other
+     * workers), then insert under the unique lock. When two workers
+     * race on the same key the first insert wins and both return the
+     * same entry.
+     */
+    template <typename Lower>
+    std::shared_ptr<const LoweredIteration>
+    lookup(const Key &key, Lower &&lower)
+    {
+        {
+            std::shared_lock lock(mutex);
+            auto it = entries.find(key);
+            if (it != entries.end()) {
+                hits.fetch_add(1, std::memory_order_relaxed);
+                if (obs::enabled())
+                    obs::MetricsRegistry::global()
+                        .counter("perf.lowering_cache.hit")
+                        .add(1);
+                return it->second;
+            }
+        }
+        misses.fetch_add(1, std::memory_order_relaxed);
+        if (obs::enabled())
+            obs::MetricsRegistry::global()
+                .counter("perf.lowering_cache.miss")
+                .add(1);
+        auto lowered =
+            std::make_shared<const LoweredIteration>(lower());
+        std::unique_lock lock(mutex);
+        auto [it, inserted] = entries.emplace(key, lowered);
+        if (!inserted)
+            return it->second; // lost the race; share the winner
+        insertionOrder.push_back(key);
+        if (entries.size() > kMaxEntries) {
+            entries.erase(insertionOrder.front());
+            insertionOrder.pop_front();
+            evictions.fetch_add(1, std::memory_order_relaxed);
+        }
+        return lowered;
+    }
+};
+
+LoweringCache::LoweringCache() : impl_(new Impl()) {}
+
+LoweringCache &
+LoweringCache::global()
+{
+    static LoweringCache *cache = new LoweringCache();
+    return *cache;
+}
+
+std::shared_ptr<const LoweredIteration>
+LoweringCache::iteration(const models::ModelDesc &model,
+                         frameworks::FrameworkId framework,
+                         std::int64_t batch)
+{
+    Impl::Key key{&model, static_cast<int>(framework), batch,
+                  Impl::KindIteration, 0};
+    return impl_->lookup(key, [&] {
+        return lowerIteration(model.describe(batch),
+                              frameworks::profileFor(framework));
+    });
+}
+
+std::shared_ptr<const LoweredIteration>
+LoweringCache::scaledIteration(const models::ModelDesc &model,
+                               frameworks::FrameworkId framework,
+                               std::int64_t batch, double lengthScale)
+{
+    TBD_CHECK(static_cast<bool>(model.describeScaled), model.name,
+              " has no length-scaled workload generator");
+    std::uint64_t scale_bits = 0;
+    std::memcpy(&scale_bits, &lengthScale, sizeof(scale_bits));
+    Impl::Key key{&model, static_cast<int>(framework), batch,
+                  Impl::KindScaled, scale_bits};
+    return impl_->lookup(key, [&] {
+        return lowerIteration(model.describeScaled(batch, lengthScale),
+                              frameworks::profileFor(framework));
+    });
+}
+
+std::shared_ptr<const LoweredIteration>
+LoweringCache::autotune(const models::ModelDesc &model,
+                        frameworks::FrameworkId framework,
+                        std::int64_t batch)
+{
+    Impl::Key key{&model, static_cast<int>(framework), batch,
+                  Impl::KindAutotune, 0};
+    return impl_->lookup(key, [&] {
+        return autotuneKernels(model.describe(batch),
+                               frameworks::profileFor(framework));
+    });
+}
+
+LoweringCache::Stats
+LoweringCache::stats() const
+{
+    std::shared_lock lock(impl_->mutex);
+    Stats s;
+    s.hits = impl_->hits.load(std::memory_order_relaxed);
+    s.misses = impl_->misses.load(std::memory_order_relaxed);
+    s.evictions = impl_->evictions.load(std::memory_order_relaxed);
+    s.entries = static_cast<std::int64_t>(impl_->entries.size());
+    return s;
+}
+
+void
+LoweringCache::clear()
+{
+    std::unique_lock lock(impl_->mutex);
+    impl_->entries.clear();
+    impl_->insertionOrder.clear();
+    impl_->hits.store(0, std::memory_order_relaxed);
+    impl_->misses.store(0, std::memory_order_relaxed);
+    impl_->evictions.store(0, std::memory_order_relaxed);
+}
+
+} // namespace tbd::perf

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Content-keyed cache of lowered iterations, and the master switch for
+ * the simulator's fast paths.
+ *
+ * Lowering is pure: the launch stream for (model, framework, batch,
+ * length scale) never changes within a process. A figure sweep lowers
+ * the same cell shapes once per (GPU, batch) point and the lengthCv
+ * sampling loop re-lowers per iteration, so the same streams were
+ * being rebuilt — names concatenated, vectors regrown — thousands of
+ * times. The cache shares one immutable LoweredIteration per distinct
+ * key across all util::ThreadPool workers.
+ *
+ * Correctness: entries are immutable (handed out as
+ * shared_ptr<const>), keyed on everything the lowering reads, and the
+ * cached object is byte-for-byte the one a fresh lowering would
+ * produce — so results are bitwise-identical with the cache on or off.
+ * `TBD_NOCACHE=1` turns every fast path off (this cache, timeline
+ * trace limiting, and steady-state replay) as the escape hatch and the
+ * A/B baseline; see DESIGN.md "Simulation fast paths".
+ */
+
+#ifndef TBD_PERF_LOWERING_CACHE_H
+#define TBD_PERF_LOWERING_CACHE_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "models/model_desc.h"
+#include "perf/lowering.h"
+
+namespace tbd::perf {
+
+/**
+ * True unless TBD_NOCACHE is set to a non-empty value other than "0"
+ * (or a programmatic override is installed). Read once and cached:
+ * flipping the environment mid-process has no effect — tests use
+ * setFastPathsEnabled() instead.
+ */
+bool fastPathsEnabled();
+
+/**
+ * Programmatic override for fastPathsEnabled(): true/false forces the
+ * fast paths on/off, nullopt restores the environment default. For
+ * tests and benchmarks (A/B the same process); not thread-safe against
+ * concurrent runs — set it before fanning work out.
+ */
+void setFastPathsEnabled(std::optional<bool> enabled);
+
+/** Thread-safe, process-wide cache of lowered iterations. */
+class LoweringCache
+{
+  public:
+    /** Cache hit/size accounting (also exported as obs counters). */
+    struct Stats
+    {
+        std::int64_t hits = 0;
+        std::int64_t misses = 0;
+        std::int64_t evictions = 0;
+        std::int64_t entries = 0;
+    };
+
+    /** The process-wide instance every simulator run shares. */
+    static LoweringCache &global();
+
+    /** Cached lowerIteration(model.describe(batch), profile). */
+    std::shared_ptr<const LoweredIteration>
+    iteration(const models::ModelDesc &model,
+              frameworks::FrameworkId framework, std::int64_t batch);
+
+    /**
+     * Cached lowerIteration(model.describeScaled(batch, scale), ...).
+     * Keyed on the exact bit pattern of `lengthScale`, in a separate
+     * key space from iteration() — describeScaled(b, 1.0) documents
+     * equivalence with describe(b) but the cache never assumes it.
+     * @throws util::FatalError if the model has no describeScaled.
+     */
+    std::shared_ptr<const LoweredIteration>
+    scaledIteration(const models::ModelDesc &model,
+                    frameworks::FrameworkId framework, std::int64_t batch,
+                    double lengthScale);
+
+    /** Cached autotuneKernels(model.describe(batch), profile). */
+    std::shared_ptr<const LoweredIteration>
+    autotune(const models::ModelDesc &model,
+             frameworks::FrameworkId framework, std::int64_t batch);
+
+    /** Current counters (consistent snapshot not guaranteed). */
+    Stats stats() const;
+
+    /** Drop all entries and zero the counters (tests). */
+    void clear();
+
+  private:
+    struct Impl;
+    LoweringCache();
+    ~LoweringCache() = delete; // immortal, like the obs registries
+
+    Impl *impl_;
+};
+
+} // namespace tbd::perf
+
+#endif // TBD_PERF_LOWERING_CACHE_H

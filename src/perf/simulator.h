@@ -28,6 +28,14 @@ struct RunConfig
     frameworks::FrameworkId framework =
         frameworks::FrameworkId::TensorFlow;
     gpusim::GpuSpec gpu;
+
+    /**
+     * Host CPU driving the GPU: its core count is the denominator of
+     * the paper's CPU-utilization metric (Eq. 3). Defaults to the
+     * paper's Xeon E5-2680 testbed host (Table 4).
+     */
+    gpusim::CpuSpec cpu = gpusim::xeonE52680();
+
     std::int64_t batch = 32;
     int warmupIterations = 3;  ///< excluded from sampling (Sec. 3.4.2)
     int sampleIterations = 10; ///< sampled stable-state iterations

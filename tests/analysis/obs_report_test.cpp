@@ -139,3 +139,58 @@ TEST(ObsReport, EmptyTraceYieldsEmptyReport)
     EXPECT_TRUE(report.metrics.empty());
     EXPECT_EQ(report.rootCoverage, 0.0);
 }
+
+namespace {
+
+to::MetricSnapshot
+counterSnapshot(const char *name, double value)
+{
+    to::MetricSnapshot m;
+    m.name = name;
+    m.kind = to::MetricSnapshot::Kind::Counter;
+    m.value = value;
+    return m;
+}
+
+} // namespace
+
+TEST(ObsReport, FastPathSummaryRollsUpCacheAndReplayCounters)
+{
+    const std::vector<to::MetricSnapshot> metrics = {
+        counterSnapshot("perf.lowering_cache.hit", 30.0),
+        counterSnapshot("perf.lowering_cache.miss", 10.0),
+        counterSnapshot("gpusim.replay.hit", 18.0),
+        counterSnapshot("gpusim.replay.fallback", 6.0),
+        counterSnapshot("perf.runs", 2.0), // unrelated, ignored
+    };
+    const ta::FastPathSummary summary = ta::fastPathSummary(metrics);
+    ASSERT_EQ(summary.layers.size(), 2u);
+
+    EXPECT_EQ(summary.layers[0].name, "lowering cache");
+    EXPECT_EQ(summary.layers[0].hits, 30);
+    EXPECT_EQ(summary.layers[0].misses, 10);
+    EXPECT_DOUBLE_EQ(summary.layers[0].hitRate, 0.75);
+
+    EXPECT_EQ(summary.layers[1].name, "timeline replay");
+    EXPECT_EQ(summary.layers[1].hits, 18);
+    EXPECT_EQ(summary.layers[1].misses, 6);
+    EXPECT_DOUBLE_EQ(summary.layers[1].hitRate, 0.75);
+
+    const std::string rendered = summary.table().toString();
+    EXPECT_NE(rendered.find("lowering cache"), std::string::npos);
+    EXPECT_NE(rendered.find("timeline replay"), std::string::npos);
+}
+
+TEST(ObsReport, FastPathSummaryOmitsAbsentLayers)
+{
+    // Only the cache counters present (e.g. replay never armed).
+    const ta::FastPathSummary partial = ta::fastPathSummary(
+        {counterSnapshot("perf.lowering_cache.hit", 5.0)});
+    ASSERT_EQ(partial.layers.size(), 1u);
+    EXPECT_EQ(partial.layers[0].name, "lowering cache");
+    EXPECT_EQ(partial.layers[0].misses, 0);
+    EXPECT_DOUBLE_EQ(partial.layers[0].hitRate, 1.0);
+
+    // No fast-path counters at all: TBD_NOCACHE=1 or no simulations.
+    EXPECT_TRUE(ta::fastPathSummary({}).empty());
+}

@@ -1,0 +1,97 @@
+#include "gpusim/intern.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace tg = tbd::gpusim;
+
+TEST(Intern, SameStringYieldsSameId)
+{
+    const tg::NameId a = tg::internKernelName("sgemm_128x128(fc1)");
+    const tg::NameId b = tg::internKernelName("sgemm_128x128(fc1)");
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(tg::internedKernelName(a), "sgemm_128x128(fc1)");
+}
+
+TEST(Intern, DistinctStringsYieldDistinctIds)
+{
+    const tg::NameId a = tg::internKernelName("intern_distinct_a");
+    const tg::NameId b = tg::internKernelName("intern_distinct_b");
+    EXPECT_NE(a, b);
+}
+
+TEST(Intern, EmptyNameIsIdZero)
+{
+    EXPECT_EQ(tg::internKernelName(""), 0u);
+    EXPECT_EQ(tg::internedKernelName(0), "");
+    EXPECT_TRUE(tg::KernelName().empty());
+}
+
+TEST(Intern, KernelNameConvertsAndCompares)
+{
+    tg::KernelName k = std::string("relu_kernel(conv1_act)");
+    EXPECT_EQ(k.str(), "relu_kernel(conv1_act)");
+    // Implicit conversion keeps string-consuming call sites compiling.
+    const std::string &as_string = k;
+    EXPECT_EQ(as_string, "relu_kernel(conv1_act)");
+
+    tg::KernelName same("relu_kernel(conv1_act)");
+    tg::KernelName other("relu_kernel(conv2_act)");
+    EXPECT_EQ(k, same);
+    EXPECT_NE(k, other);
+    EXPECT_LT(k, other); // lexicographic, not id order
+
+    std::ostringstream oss;
+    oss << k;
+    EXPECT_EQ(oss.str(), "relu_kernel(conv1_act)");
+}
+
+TEST(Intern, ConcurrentInterningIsConsistent)
+{
+    // Many threads intern the same name set concurrently; every thread
+    // must observe identical string->id assignments and every id must
+    // round-trip to its string.
+    constexpr int kThreads = 8;
+    constexpr int kNames = 64;
+    std::vector<std::vector<tg::NameId>> per_thread(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t, &per_thread] {
+            auto &ids = per_thread[static_cast<std::size_t>(t)];
+            ids.reserve(kNames);
+            for (int i = 0; i < kNames; ++i)
+                ids.push_back(tg::internKernelName(
+                    "concurrent_intern_" + std::to_string(i)));
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    std::set<tg::NameId> distinct;
+    for (int i = 0; i < kNames; ++i) {
+        const tg::NameId expected = per_thread[0][static_cast<std::size_t>(i)];
+        for (int t = 1; t < kThreads; ++t)
+            EXPECT_EQ(per_thread[static_cast<std::size_t>(t)]
+                                [static_cast<std::size_t>(i)],
+                      expected);
+        EXPECT_EQ(tg::internedKernelName(expected),
+                  "concurrent_intern_" + std::to_string(i));
+        distinct.insert(expected);
+    }
+    EXPECT_EQ(distinct.size(), static_cast<std::size_t>(kNames));
+    EXPECT_GE(tg::internedKernelNameCount(),
+              static_cast<std::size_t>(kNames));
+}
+
+TEST(Intern, UnknownIdThrows)
+{
+    EXPECT_THROW(tg::internedKernelName(0x7fffffffu), tbd::util::FatalError);
+}

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/logging.h"
+
 namespace tg = tbd::gpusim;
 
 namespace {
@@ -90,6 +92,77 @@ TEST(Timeline, ExecutionsRecordStartTimesInOrder)
     const auto &ex = tl.executions();
     ASSERT_EQ(ex.size(), 2u);
     EXPECT_GE(ex[1].startUs, ex[0].startUs + ex[0].durationUs);
+}
+
+TEST(Timeline, ReplayedIterationIsBitwiseIdenticalToEventLoop)
+{
+    // Run three identical iterations through the event loop on one
+    // timeline; on another, run the first iteration and replay the
+    // remaining two from its delta. Every stat must match EXACTLY —
+    // replay is defined as performing the same floating-point ops.
+    const auto iteration = [](tg::GpuTimeline &tl) {
+        tl.hostCompute(12.5);
+        tl.launch(kernelWithDuration(40.0), 7.0);
+        tl.launch(kernelWithDuration(3.0), 9.0);
+        tl.launch(kernelWithDuration(150.0), 5.0);
+        tl.sync();
+    };
+
+    tg::GpuTimeline looped(tg::quadroP4000());
+    for (int i = 0; i < 3; ++i)
+        iteration(looped);
+
+    tg::GpuTimeline replayed(tg::quadroP4000());
+    iteration(replayed);
+    const tg::IterationDelta delta = replayed.lastIterationDelta();
+    replayed.applyIterationDelta(delta);
+    replayed.applyIterationDelta(delta);
+
+    const auto a = looped.stats();
+    const auto b = replayed.stats();
+    EXPECT_EQ(a.elapsedUs, b.elapsedUs);
+    EXPECT_EQ(a.gpuBusyUs, b.gpuBusyUs);
+    EXPECT_EQ(a.cpuBusyUs, b.cpuBusyUs);
+    EXPECT_EQ(a.totalFlops, b.totalFlops);
+    EXPECT_EQ(a.kernelCount, b.kernelCount);
+}
+
+TEST(Timeline, ApplyDeltaRequiresDrainedTimeline)
+{
+    tg::GpuTimeline tl(tg::quadroP4000());
+    tl.launch(kernelWithDuration(50.0), 5.0);
+    tl.sync();
+    const tg::IterationDelta delta = tl.lastIterationDelta();
+    EXPECT_TRUE(tl.atSyncPoint());
+
+    tl.launch(kernelWithDuration(50.0), 5.0); // in flight again
+    EXPECT_FALSE(tl.atSyncPoint());
+    EXPECT_THROW(tl.applyIterationDelta(delta), tbd::util::FatalError);
+}
+
+TEST(Timeline, TraceLimitCapsRecordingButNotStats)
+{
+    tg::GpuTimeline tl(tg::quadroP4000());
+    tl.setTraceLimit(3);
+    EXPECT_FALSE(tl.traceComplete());
+    for (int i = 0; i < 10; ++i)
+        tl.launch(kernelWithDuration(50.0), 5.0);
+    tl.sync();
+    EXPECT_EQ(tl.executions().size(), 3u);
+    EXPECT_TRUE(tl.traceComplete());
+    // Aggregates still see all ten launches.
+    EXPECT_EQ(tl.stats().kernelCount, 10);
+
+    // The recorded prefix is exactly what an unlimited timeline records.
+    tg::GpuTimeline full(tg::quadroP4000());
+    for (int i = 0; i < 10; ++i)
+        full.launch(kernelWithDuration(50.0), 5.0);
+    full.sync();
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(tl.executions()[i].startUs, full.executions()[i].startUs);
+        EXPECT_EQ(tl.executions()[i].durationUs,
+                  full.executions()[i].durationUs);
+    }
 }
 
 TEST(Timeline, Fp32UtilizationOfMixedTimeline)

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * The fast-path contract: with the lowering cache, trace limiting and
+ * steady-state replay enabled (the default), every simulated number is
+ * BITWISE-identical to the slow path (TBD_NOCACHE=1). These tests A/B
+ * the two modes in-process via setFastPathsEnabled and compare every
+ * RunResult field with exact equality — no tolerances anywhere.
+ */
+
+#include "perf/lowering_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "models/model_desc.h"
+#include "obs/obs.h"
+#include "perf/simulator.h"
+#include "util/logging.h"
+
+namespace tp = tbd::perf;
+namespace md = tbd::models;
+namespace tf = tbd::frameworks;
+namespace tg = tbd::gpusim;
+
+namespace {
+
+/** Restores the environment-driven gating when a test exits. */
+struct FastPathGuard
+{
+    explicit FastPathGuard(bool enabled)
+    {
+        tp::setFastPathsEnabled(enabled);
+    }
+    ~FastPathGuard() { tp::setFastPathsEnabled(std::nullopt); }
+};
+
+std::optional<tp::RunResult>
+runWith(bool fast, const md::ModelDesc &model, tf::FrameworkId fw,
+        std::int64_t batch, double lengthCv = 0.0)
+{
+    FastPathGuard guard(fast);
+    tp::RunConfig rc;
+    rc.model = &model;
+    rc.framework = fw;
+    rc.gpu = tg::quadroP4000();
+    rc.batch = batch;
+    rc.lengthCv = lengthCv;
+    try {
+        return tp::PerfSimulator().run(rc);
+    } catch (const tbd::util::FatalError &) {
+        return std::nullopt; // OOM cell: fine, as long as both modes agree
+    }
+}
+
+void
+expectBitwiseEqual(const tp::RunResult &slow, const tp::RunResult &fast)
+{
+    EXPECT_EQ(slow.modelName, fast.modelName);
+    EXPECT_EQ(slow.frameworkName, fast.frameworkName);
+    EXPECT_EQ(slow.gpuName, fast.gpuName);
+    EXPECT_EQ(slow.batch, fast.batch);
+
+    // Exact double equality on purpose: the fast path performs the
+    // same floating-point operations, not merely close ones.
+    EXPECT_EQ(slow.iterationUs, fast.iterationUs);
+    EXPECT_EQ(slow.throughputSamples, fast.throughputSamples);
+    EXPECT_EQ(slow.throughputUnits, fast.throughputUnits);
+    EXPECT_EQ(slow.gpuUtilization, fast.gpuUtilization);
+    EXPECT_EQ(slow.fp32Utilization, fast.fp32Utilization);
+    EXPECT_EQ(slow.cpuUtilization, fast.cpuUtilization);
+    EXPECT_EQ(slow.kernelsPerIteration, fast.kernelsPerIteration);
+
+    EXPECT_EQ(slow.memory.peakBytes, fast.memory.peakBytes);
+
+    EXPECT_EQ(slow.warmupIterationUs, fast.warmupIterationUs);
+    EXPECT_EQ(slow.sampleIterationUs, fast.sampleIterationUs);
+
+    ASSERT_EQ(slow.kernelTrace.size(), fast.kernelTrace.size());
+    for (std::size_t i = 0; i < slow.kernelTrace.size(); ++i) {
+        const auto &s = slow.kernelTrace[i];
+        const auto &f = fast.kernelTrace[i];
+        EXPECT_EQ(s.name.id(), f.name.id()) << "trace entry " << i;
+        EXPECT_EQ(s.category, f.category) << "trace entry " << i;
+        EXPECT_EQ(s.startUs, f.startUs) << "trace entry " << i;
+        EXPECT_EQ(s.durationUs, f.durationUs) << "trace entry " << i;
+        EXPECT_EQ(s.flops, f.flops) << "trace entry " << i;
+        EXPECT_EQ(s.fp32Util, f.fp32Util) << "trace entry " << i;
+        EXPECT_EQ(s.limiter, f.limiter) << "trace entry " << i;
+    }
+}
+
+} // namespace
+
+TEST(FastPath, BitwiseIdenticalAcrossAllWorkloadsAndFrameworks)
+{
+    for (const md::ModelDesc *model : md::allModels()) {
+        for (tf::FrameworkId fw : tf::allFrameworks()) {
+            if (!model->supports(fw))
+                continue;
+            ASSERT_FALSE(model->batchSweep.empty()) << model->name;
+            const std::int64_t batch = model->batchSweep.front();
+            SCOPED_TRACE(model->name + " on " +
+                         tf::frameworkName(fw) + " b" +
+                         std::to_string(batch));
+            const auto slow = runWith(false, *model, fw, batch);
+            const auto fast = runWith(true, *model, fw, batch);
+            ASSERT_EQ(slow.has_value(), fast.has_value());
+            if (slow)
+                expectBitwiseEqual(*slow, *fast);
+        }
+    }
+}
+
+TEST(FastPath, BitwiseIdenticalWithLengthSampling)
+{
+    // Deep Speech 2 exercises the lengthCv path: every sampled
+    // iteration lowers a differently-scaled workload, replay almost
+    // never fires, and the kernel trace spans iteration boundaries.
+    const auto &model = md::deepSpeech2();
+    ASSERT_TRUE(static_cast<bool>(model.describeScaled));
+    const auto slow = runWith(false, model, tf::FrameworkId::MXNet,
+                              model.batchSweep.front(), 0.35);
+    const auto fast = runWith(true, model, tf::FrameworkId::MXNet,
+                              model.batchSweep.front(), 0.35);
+    ASSERT_TRUE(slow.has_value());
+    ASSERT_TRUE(fast.has_value());
+    expectBitwiseEqual(*slow, *fast);
+}
+
+TEST(FastPath, CacheIsSharedAcrossRuns)
+{
+    auto &cache = tp::LoweringCache::global();
+    cache.clear();
+    FastPathGuard guard(true);
+
+    ASSERT_TRUE(runWith(true, md::resnet50(), tf::FrameworkId::MXNet, 8)
+                    .has_value());
+    const auto first = cache.stats();
+    EXPECT_GT(first.misses, 0);
+
+    ASSERT_TRUE(runWith(true, md::resnet50(), tf::FrameworkId::MXNet, 8)
+                    .has_value());
+    const auto second = cache.stats();
+    EXPECT_EQ(second.misses, first.misses); // everything reused
+    EXPECT_GT(second.hits, first.hits);
+    EXPECT_EQ(second.entries, first.entries);
+}
+
+TEST(FastPath, ReplayCountersDistinguishSteadyAndVariedRuns)
+{
+    FastPathGuard guard(true);
+    tbd::obs::setEnabled(true);
+    auto &registry = tbd::obs::MetricsRegistry::global();
+
+    const auto counterValue = [&registry](const char *name) {
+        for (const auto &m : registry.snapshot())
+            if (m.name == name)
+                return static_cast<std::int64_t>(m.value);
+        return std::int64_t{0};
+    };
+
+    // Fixed-shape model: after one full pass per phase, every later
+    // iteration replays.
+    tbd::obs::resetAll();
+    ASSERT_TRUE(runWith(true, md::resnet50(), tf::FrameworkId::MXNet, 8)
+                    .has_value());
+    EXPECT_GT(counterValue("gpusim.replay.hit"), 0);
+    EXPECT_GE(counterValue("gpusim.replay.fallback"), 2);
+
+    // Length-sampled model: the varied iterations fingerprint
+    // differently, so the sampling phase falls back every time.
+    tbd::obs::resetAll();
+    ASSERT_TRUE(runWith(true, md::deepSpeech2(), tf::FrameworkId::MXNet,
+                        md::deepSpeech2().batchSweep.front(), 0.35)
+                    .has_value());
+    EXPECT_GE(counterValue("gpusim.replay.fallback"), 10);
+
+    tbd::obs::setEnabled(false);
+}
+
+TEST(FastPath, OverrideControlsGating)
+{
+    tp::setFastPathsEnabled(false);
+    EXPECT_FALSE(tp::fastPathsEnabled());
+    tp::setFastPathsEnabled(true);
+    EXPECT_TRUE(tp::fastPathsEnabled());
+    tp::setFastPathsEnabled(std::nullopt);
+}

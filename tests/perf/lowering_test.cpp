@@ -47,7 +47,7 @@ TEST(Lowering, BackwardCostsRoughlyTwiceForward)
     for (const auto &item : iter.items) {
         if (item.kernel.category != tg::KernelCategory::Conv)
             continue;
-        if (item.kernel.name.find("implicit_convolve") !=
+        if (item.kernel.name.str().find("implicit_convolve") !=
             std::string::npos) {
             fw += item.kernel.flops;
         } else {
@@ -70,11 +70,11 @@ TEST(Lowering, ResNetKernelNamesIncludeBatchNormFamilies)
         tp::lowerIteration(md::resnet50Workload(8), tf::tensorflow());
     bool has_bn_fw = false, has_bn_bw = false, has_conv = false;
     for (const auto &item : iter.items) {
-        has_bn_fw |= item.kernel.name.find("bn_fw_tr_1C11") !=
+        has_bn_fw |= item.kernel.name.str().find("bn_fw_tr_1C11") !=
                      std::string::npos;
-        has_bn_bw |= item.kernel.name.find("bn_bw_1C11") !=
+        has_bn_bw |= item.kernel.name.str().find("bn_bw_1C11") !=
                      std::string::npos;
-        has_conv |= item.kernel.name.find("implicit_convolve") !=
+        has_conv |= item.kernel.name.str().find("implicit_convolve") !=
                     std::string::npos;
     }
     EXPECT_TRUE(has_bn_fw);
@@ -90,7 +90,7 @@ TEST(Lowering, FrameworkFlavorsElementwiseKernels)
         tp::lowerIteration(md::resnet50Workload(4), tf::mxnet());
     auto has = [](const tp::LoweredIteration &iter, const char *s) {
         for (const auto &item : iter.items)
-            if (item.kernel.name.find(s) != std::string::npos)
+            if (item.kernel.name.str().find(s) != std::string::npos)
                 return true;
         return false;
     };
@@ -148,11 +148,11 @@ TEST(Lowering, InferenceHasNoBackwardOrUpdateKernels)
     auto iter = tp::lowerInference(md::resnet50Workload(8),
                                    tf::tensorflow());
     for (const auto &item : iter.items) {
-        EXPECT_EQ(item.kernel.name.find("dgrad"), std::string::npos);
-        EXPECT_EQ(item.kernel.name.find("wgrad"), std::string::npos);
+        EXPECT_EQ(item.kernel.name.str().find("dgrad"), std::string::npos);
+        EXPECT_EQ(item.kernel.name.str().find("wgrad"), std::string::npos);
         EXPECT_NE(item.kernel.category, tg::KernelCategory::Update)
             << item.kernel.name;
-        EXPECT_EQ(item.kernel.name.find("bn_bw"), std::string::npos);
+        EXPECT_EQ(item.kernel.name.str().find("bn_bw"), std::string::npos);
     }
 }
 
@@ -169,12 +169,12 @@ TEST(Lowering, InferenceSkipsDropoutAndLoss)
          infer_has_loss = false;
     for (const auto &item : train.items)
         train_has_drop |=
-            item.kernel.name.find("drop") != std::string::npos;
+            item.kernel.name.str().find("drop") != std::string::npos;
     for (const auto &item : infer.items) {
         infer_has_drop |=
-            item.kernel.name.find("drop") != std::string::npos;
+            item.kernel.name.str().find("drop") != std::string::npos;
         infer_has_loss |=
-            item.kernel.name.find("loss") != std::string::npos;
+            item.kernel.name.str().find("loss") != std::string::npos;
     }
     EXPECT_TRUE(train_has_drop);
     EXPECT_FALSE(infer_has_drop);

@@ -13,7 +13,9 @@
  * anchor a pipeline step.
  *
  * `report` prints the analysis::obs_report roll-up: top spans by self
- * time and the metric summary.
+ * time, the metric summary, and the simulator fast-path hit rates
+ * (lowering cache, steady-state replay) when their counters are in
+ * the trace.
  */
 
 #include <cstdio>
@@ -103,6 +105,14 @@ cmdReport(const std::string &path, std::size_t topN)
     std::printf("%s\n", report.spanTable(topN).toString().c_str());
     if (!report.metrics.empty())
         std::printf("%s\n", report.metricTable().toString().c_str());
+
+    const analysis::FastPathSummary fast =
+        analysis::fastPathSummary(report.metrics);
+    if (!fast.empty())
+        std::printf("%s\n", fast.table().toString().c_str());
+    else
+        std::printf("fast paths: no cache/replay counters in trace "
+                    "(TBD_NOCACHE=1 or no simulations)\n");
     return 0;
 }
 
