@@ -6,6 +6,7 @@
 #include "check/invariants.h"
 #include "core/sweep_spec.h"
 #include "data/dataset_spec.h"
+#include "lint/lint.h"
 #include "obs/obs.h"
 #include "util/format.h"
 #include "util/thread_pool.h"
@@ -17,13 +18,17 @@ namespace {
 /**
  * Opt-in self-audit (TBD_CHECK=1): every simulation the suite runs is
  * validated against the tbd::check invariants, so a benchmark sweep
- * doubles as a correctness sweep. Installed once, before any run.
+ * doubles as a correctness sweep. TBD_LINT=1 additionally lints the
+ * whole model registry before the first simulation (static analysis,
+ * paid once per process). Installed once, before any run.
  */
 void
 maybeInstallAudit()
 {
     if (check::auditEnabled())
         check::installSimulatorAudit();
+    if (lint::lintEnabled())
+        lint::installPreRunLint();
 }
 
 bool

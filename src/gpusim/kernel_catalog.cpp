@@ -1,0 +1,59 @@
+#include "gpusim/kernel_catalog.h"
+
+#include <algorithm>
+
+namespace tbd::gpusim {
+
+bool
+KernelCatalogEntry::allows(KernelCategory category) const
+{
+    return std::find(categories.begin(), categories.end(), category) !=
+           categories.end();
+}
+
+std::string_view
+kernelBaseName(std::string_view instanceName)
+{
+    const std::size_t paren = instanceName.find('(');
+    return paren == std::string_view::npos
+               ? instanceName
+               : instanceName.substr(0, paren);
+}
+
+const std::vector<KernelCatalogEntry> &
+fixedKernelCatalog()
+{
+    using C = KernelCategory;
+    static const std::vector<KernelCatalogEntry> entries = {
+        {"cudnn::detail::implicit_convolve_sgemm", {C::Conv}, false},
+        {"cudnn::detail::dgrad_engine", {C::Conv}, false},
+        {"cudnn::detail::wgrad_alg0_engine", {C::Conv}, false},
+        {"cudnn::detail::bn_fw_tr_1C11_kernel_new", {C::BatchNorm}, false},
+        {"cudnn::detail::bn_bw_1C11_kernel_new", {C::BatchNorm}, false},
+        {"cudnn::detail::pooling_fw_4d_kernel", {C::Pool}, false},
+        {"cudnn::detail::pooling_bw_4d_kernel", {C::Pool}, false},
+        {"softmax_warp_forward", {C::Softmax}, false},
+        {"softmax_warp_backward", {C::Softmax}, false},
+        {"indexing_gather_kernel", {C::Gather}, false},
+        {"indexing_scatter_add_kernel", {C::Gather}, false},
+        {"roi_pool_fw_kernel", {C::Pool}, false},
+        {"roi_pool_bw_kernel", {C::Pool}, false},
+        // Warm-up algorithm search (Section 3.4.2): emitted by the
+        // auto-tune lowering, so orphan analysis does see it.
+        {"cudnn_algo_probe", {C::Conv}, false},
+    };
+    return entries;
+}
+
+const KernelCatalogEntry *
+findCatalogEntry(const std::vector<KernelCatalogEntry> &catalog,
+                 std::string_view baseName)
+{
+    for (const auto &entry : catalog) {
+        if (entry.baseName == baseName)
+            return &entry;
+    }
+    return nullptr;
+}
+
+} // namespace tbd::gpusim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The kernel catalog: the closed set of kernel *base names* the
+ * simulator is allowed to launch, with the categories each name may
+ * carry. Lowering emits instance names like
+ * "cudnn::detail::dgrad_engine(res2a_3x3)" — base name up to the '('
+ * plus the op instance in parentheses — and the catalog is the
+ * authority on the base-name half. tbd::lint audits both directions
+ * against it: a lowered kernel whose base name is not catalogued means
+ * someone extended the lowering without registering the kernel (its
+ * per-category efficiency data is then unreviewed), and a catalogued
+ * name no workload ever lowers to is dead calibration data.
+ *
+ * Names come in two layers: the fixed cuDNN/cuBLAS-flavoured names
+ * this header owns, and per-framework names carried by each
+ * FrameworkProfile (gemmKernel, elementwiseKernel, ...). gpusim cannot
+ * see the frameworks library, so fixedKernelCatalog() returns only the
+ * former; lint::buildKernelCatalog composes the full set.
+ */
+
+#ifndef TBD_GPUSIM_KERNEL_CATALOG_H
+#define TBD_GPUSIM_KERNEL_CATALOG_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gpusim/kernel.h"
+
+namespace tbd::gpusim {
+
+/** One catalogued kernel base name. */
+struct KernelCatalogEntry
+{
+    std::string baseName;
+    /** Categories launches of this name may carry. */
+    std::vector<KernelCategory> categories;
+    /**
+     * Emitted by the simulator runtime (copies, probes) rather than
+     * steady-state op lowering; exempt from orphan analysis.
+     */
+    bool runtimeOnly = false;
+
+    /** True when the category is allowed for this name. */
+    bool allows(KernelCategory category) const;
+};
+
+/**
+ * Base name of a kernel instance name: everything before the first
+ * '(' (the whole string when there is none).
+ */
+std::string_view kernelBaseName(std::string_view instanceName);
+
+/** The framework-independent catalogue entries. */
+const std::vector<KernelCatalogEntry> &fixedKernelCatalog();
+
+/** Lookup by base name in any entry list; nullptr when absent. */
+const KernelCatalogEntry *
+findCatalogEntry(const std::vector<KernelCatalogEntry> &catalog,
+                 std::string_view baseName);
+
+} // namespace tbd::gpusim
+
+#endif // TBD_GPUSIM_KERNEL_CATALOG_H

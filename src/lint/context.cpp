@@ -1,0 +1,73 @@
+#include "lint/context.h"
+
+#include <algorithm>
+
+#include "perf/memory_model.h"
+
+namespace tbd::lint {
+
+std::string
+LoweredModel::label() const
+{
+    return model->name + "/" + framework->name;
+}
+
+void
+LintContext::addModel(const models::ModelDesc &model,
+                      std::int64_t batchOverride)
+{
+    models.push_back(&model);
+
+    // A model the metadata rules will reject anyway cannot be lowered;
+    // it still belongs to `models` so those rules get to see it.
+    if (!model.describe)
+        return;
+
+    std::int64_t batch = batchOverride;
+    if (batch <= 0) {
+        for (const std::int64_t b : model.batchSweep)
+            batch = batch <= 0 ? b : std::min(batch, b);
+        if (batch <= 0)
+            batch = 1;
+    }
+
+    for (const auto *fw : frameworks) {
+        if (!model.supports(fw->id))
+            continue;
+        LoweredModel entry;
+        entry.model = &model;
+        entry.framework = fw;
+        entry.batch = batch;
+        entry.workload = model.describe(batch);
+        if (entry.workload.ops.empty())
+            continue; // model.metadata flags this
+        entry.training = perf::lowerIteration(entry.workload, *fw);
+        entry.autotune = perf::autotuneKernels(entry.workload, *fw);
+        entry.memory = perf::simulateIterationMemory(
+            model, entry.workload, *fw, perf::OptimizerSpec{},
+            /*capacityBytes=*/0);
+        lowered.push_back(std::move(entry));
+    }
+}
+
+LintContext
+emptyContext()
+{
+    LintContext ctx;
+    ctx.frameworks = {&frameworks::tensorflow(), &frameworks::mxnet(),
+                      &frameworks::cntk()};
+    ctx.gpus = {&gpusim::quadroP4000(), &gpusim::titanXp()};
+    ctx.cpu = &gpusim::xeonE52680();
+    return ctx;
+}
+
+LintContext
+buildSuiteContext()
+{
+    LintContext ctx = emptyContext();
+    for (const auto *model : models::allModels())
+        ctx.addModel(*model);
+    return ctx;
+}
+
+} // namespace tbd::lint

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The data a lint pass runs over, assembled once and shared by every
+ * rule: model descriptors, their workloads and lowered kernel streams
+ * per implementing framework, the device spec tables, framework
+ * personalities and per-configuration memory breakdowns. Building the
+ * context does the expensive work (describe + lowerIteration +
+ * simulateIterationMemory per model x framework); rules then run in
+ * microseconds, which is what makes the TBD_LINT=1 pre-run hook cheap
+ * enough to leave on.
+ *
+ * Fixture tests build a context by hand around a synthetic ModelDesc
+ * (addModel), so every rule can be demonstrated to fire without
+ * touching the shipped registry.
+ */
+
+#ifndef TBD_LINT_CONTEXT_H
+#define TBD_LINT_CONTEXT_H
+
+#include <vector>
+
+#include "frameworks/framework.h"
+#include "gpusim/gpu_spec.h"
+#include "gpusim/kernel_catalog.h"
+#include "memprof/memory_profiler.h"
+#include "models/model_desc.h"
+#include "perf/lowering.h"
+
+namespace tbd::lint {
+
+/** One model x framework lowering under analysis. */
+struct LoweredModel
+{
+    const models::ModelDesc *model = nullptr;
+    const frameworks::FrameworkProfile *framework = nullptr;
+    std::int64_t batch = 0;         ///< batch the workload was built at
+    models::Workload workload;      ///< describe(batch)
+    perf::LoweredIteration training; ///< lowerIteration output
+    perf::LoweredIteration autotune; ///< warm-up algorithm probes
+    memprof::MemoryBreakdown memory; ///< capacity-unlimited footprint
+
+    /** "Model/Framework" label used in finding objects. */
+    std::string label() const;
+};
+
+/** Everything the rules inspect. */
+struct LintContext
+{
+    std::vector<const models::ModelDesc *> models;
+    std::vector<const frameworks::FrameworkProfile *> frameworks;
+    std::vector<const gpusim::GpuSpec *> gpus;
+    const gpusim::CpuSpec *cpu = nullptr;
+    std::vector<LoweredModel> lowered;
+
+    /**
+     * Add a model and, for each of its implementing frameworks present
+     * in `frameworks`, lower it at its smallest sweep batch (or
+     * `batchOverride` when positive). Models whose metadata is too
+     * broken to lower (no describe, empty op list, no frameworks) are
+     * still added to `models` so the metadata rules can flag them —
+     * they just contribute no LoweredModel.
+     */
+    void addModel(const models::ModelDesc &model,
+                  std::int64_t batchOverride = 0);
+};
+
+/**
+ * The shipped-suite context: all Table 2 models, the three framework
+ * personalities, both Table 4 GPUs and the Xeon host.
+ */
+LintContext buildSuiteContext();
+
+/**
+ * A context pre-populated with devices and frameworks but no models —
+ * the starting point for rule fixtures.
+ */
+LintContext emptyContext();
+
+/**
+ * The full kernel catalog for a framework set: the fixed gpusim names
+ * plus every per-framework kernel name, with categories merged when
+ * profiles share a base name (TensorFlow's EigenMetaKernel serves both
+ * elementwise and activation duty).
+ */
+std::vector<gpusim::KernelCatalogEntry>
+buildKernelCatalog(const std::vector<const frameworks::FrameworkProfile *>
+                       &frameworks);
+
+} // namespace tbd::lint
+
+#endif // TBD_LINT_CONTEXT_H

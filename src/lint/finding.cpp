@@ -1,0 +1,151 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace tbd::lint {
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Info:
+        return "info";
+      case Severity::Warning:
+        return "warning";
+      case Severity::Error:
+        return "error";
+    }
+    return "unknown";
+}
+
+std::optional<Severity>
+severityFromName(const std::string &name)
+{
+    if (name == "info")
+        return Severity::Info;
+    if (name == "warning")
+        return Severity::Warning;
+    if (name == "error")
+        return Severity::Error;
+    return std::nullopt;
+}
+
+std::string
+findingKey(const Finding &finding)
+{
+    return finding.rule + "|" + finding.object;
+}
+
+std::size_t
+LintReport::count(Severity severity) const
+{
+    return static_cast<std::size_t>(
+        std::count_if(findings.begin(), findings.end(),
+                      [severity](const Finding &f) {
+                          return f.severity == severity;
+                      }));
+}
+
+std::size_t
+LintReport::countAtLeast(Severity severity) const
+{
+    return static_cast<std::size_t>(
+        std::count_if(findings.begin(), findings.end(),
+                      [severity](const Finding &f) {
+                          return f.severity >= severity;
+                      }));
+}
+
+std::string
+LintReport::summary() const
+{
+    std::ostringstream os;
+    for (const auto &f : findings) {
+        os << severityName(f.severity) << "  " << f.rule << "  "
+           << f.object << "\n    " << f.detail << "\n";
+        if (!f.fixHint.empty())
+            os << "    fix: " << f.fixHint << "\n";
+    }
+    return os.str();
+}
+
+util::json::Value
+LintReport::toJson() const
+{
+    using util::json::Value;
+    Value counts = Value::object();
+    counts.set("error", Value(static_cast<std::int64_t>(
+                            count(Severity::Error))));
+    counts.set("warning", Value(static_cast<std::int64_t>(
+                              count(Severity::Warning))));
+    counts.set("info", Value(static_cast<std::int64_t>(
+                           count(Severity::Info))));
+    counts.set("suppressed",
+               Value(static_cast<std::int64_t>(suppressed)));
+
+    Value items = Value::array();
+    for (const auto &f : findings) {
+        Value item = Value::object();
+        item.set("rule", Value(f.rule));
+        item.set("severity", Value(std::string(severityName(f.severity))));
+        item.set("category", Value(f.category));
+        if (!f.model.empty())
+            item.set("model", Value(f.model));
+        item.set("object", Value(f.object));
+        item.set("detail", Value(f.detail));
+        if (!f.fixHint.empty())
+            item.set("fix", Value(f.fixHint));
+        items.push(std::move(item));
+    }
+
+    Value doc = Value::object();
+    doc.set("version", Value(std::int64_t{1}));
+    doc.set("rules_run", Value(static_cast<std::int64_t>(rulesRun)));
+    doc.set("models_checked",
+            Value(static_cast<std::int64_t>(modelsChecked)));
+    doc.set("lowerings_checked",
+            Value(static_cast<std::int64_t>(loweringsChecked)));
+    doc.set("counts", std::move(counts));
+    doc.set("findings", std::move(items));
+    return doc;
+}
+
+std::set<std::string>
+baselineKeys(const util::json::Value &baseline)
+{
+    std::set<std::string> keys;
+    TBD_CHECK(baseline.isObject() && baseline.has("findings"),
+              "lint baseline has no findings array");
+    for (const auto &item : baseline.at("findings").items()) {
+        Finding f;
+        f.rule = item.at("rule").asString();
+        f.object = item.at("object").asString();
+        keys.insert(findingKey(f));
+    }
+    return keys;
+}
+
+BaselineDiff
+diffAgainstBaseline(const LintReport &report,
+                    const std::set<std::string> &keys, Severity gate)
+{
+    BaselineDiff diff;
+    std::set<std::string> seen;
+    for (const auto &f : report.findings) {
+        seen.insert(findingKey(f));
+        if (f.severity < gate)
+            continue;
+        if (keys.find(findingKey(f)) == keys.end())
+            diff.fresh.push_back(f);
+    }
+    for (const auto &key : keys) {
+        if (seen.find(key) == seen.end())
+            diff.stale.push_back(key);
+    }
+    return diff;
+}
+
+} // namespace tbd::lint

@@ -1,0 +1,49 @@
+#include "lint/lint.h"
+
+#include <cstdlib>
+#include <mutex>
+
+#include "lint/rule.h"
+#include "perf/simulator.h"
+#include "util/logging.h"
+
+namespace tbd::lint {
+
+LintReport
+lintSuite(const LintOptions &options)
+{
+    return RuleRegistry::builtin().run(buildSuiteContext(), options);
+}
+
+bool
+lintEnabled()
+{
+    const char *env = std::getenv("TBD_LINT");
+    return env != nullptr && env[0] != '\0' &&
+           !(env[0] == '0' && env[1] == '\0');
+}
+
+void
+installPreRunLint()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        perf::setRunPrologue([] {
+            // The registry is immutable once built, so one lint pass
+            // covers the whole process: first run pays, later runs
+            // re-raise the cached outcome for free.
+            static const std::string verdict = [] {
+                const LintReport report = lintSuite();
+                return report.clean() ? std::string()
+                                      : report.summary();
+            }();
+            if (!verdict.empty())
+                TBD_PANIC("TBD_LINT: the model registry has "
+                          "error-level lint findings; refusing to "
+                          "simulate:\n",
+                          verdict);
+        });
+    });
+}
+
+} // namespace tbd::lint

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * `tbd::lint` — static analysis of the simulation *model*.
+ *
+ * Runtime audits (`tbd::check`) only validate what a given run happens
+ * to exercise; the linter instead inspects the whole registry at once
+ * without executing a timeline: every ModelDesc, its lowered kernel
+ * stream per implementing framework, the Table 4 device tables, the
+ * kernel catalog and the memory-category accounting. A kernel whose
+ * analytic FLOP/byte counts imply more than 100% of a device's
+ * roofline, or a layer that references an op nobody produces, silently
+ * corrupts every downstream utilization number — the linter makes such
+ * defects a build-time failure instead of a subtly wrong Figure 5.
+ *
+ * Findings carry a rule id, severity, category and fix hint; rules live
+ * in a registry (see rule.h) so adding one is a single registration.
+ * Three surfaces consume the report:
+ *
+ *  - `tools/tbd_lint` (text or --json, --severity gate, --baseline
+ *    diff; non-zero exit on gated findings),
+ *  - `TBD_LINT=1`, which makes the first PerfSimulator run of the
+ *    process lint the registry and throw util::PanicError on any
+ *    error-level finding (mirroring TBD_CHECK),
+ *  - the committed `tests/lint/baseline.json`, which CI diffs against
+ *    so *new* findings fail the build.
+ *
+ * Suppressions: a ModelDesc may list rule ids in `lintSuppress`
+ * ("rule.id" or "rule.id=object-substring") to waive a finding it
+ * knowingly triggers; suppressed findings are counted, not reported.
+ */
+
+#ifndef TBD_LINT_LINT_H
+#define TBD_LINT_LINT_H
+
+#include <cstddef>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace tbd::lint {
+
+/** Finding severities, in increasing order of badness. */
+enum class Severity { Info = 0, Warning = 1, Error = 2 };
+
+/** Lower-case display name ("info", "warning", "error"). */
+const char *severityName(Severity severity);
+
+/** Parse a display name; nullopt for anything else. */
+std::optional<Severity> severityFromName(const std::string &name);
+
+/** One defect (or notable fact) the linter found. */
+struct Finding
+{
+    std::string rule;     ///< rule id, e.g. "kernel.roofline"
+    Severity severity = Severity::Error;
+    std::string category; ///< rule family: "model", "kernel", ...
+    std::string model;    ///< owning model name ("" = registry-wide)
+    std::string object;   ///< what it is about ("ResNet-50/TensorFlow")
+    std::string detail;   ///< evidence, with the offending numbers
+    std::string fixHint;  ///< how to repair it
+};
+
+/**
+ * Baseline identity of a finding: rule + object, deliberately
+ * excluding the detail text so a recalibrated constant does not churn
+ * the committed baseline.
+ */
+std::string findingKey(const Finding &finding);
+
+/** Outcome of one lint pass. */
+struct LintReport
+{
+    std::vector<Finding> findings; ///< sorted by (rule, object, detail)
+    std::size_t rulesRun = 0;      ///< rules evaluated
+    std::size_t suppressed = 0;    ///< findings waived by annotations
+    std::size_t modelsChecked = 0; ///< models in the linted context
+    std::size_t loweringsChecked = 0; ///< model x framework lowerings
+
+    /** Findings at exactly this severity. */
+    std::size_t count(Severity severity) const;
+
+    /** Findings at or above this severity. */
+    std::size_t countAtLeast(Severity severity) const;
+
+    /** True when nothing at or above `gate` was found. */
+    bool clean(Severity gate = Severity::Error) const
+    {
+        return countAtLeast(gate) == 0;
+    }
+
+    /** Human-readable multi-line report (empty string when clean). */
+    std::string summary() const;
+
+    /** Machine-readable report (the --json / baseline schema). */
+    util::json::Value toJson() const;
+};
+
+/** Findings present in a report but not in a baseline, and vice versa. */
+struct BaselineDiff
+{
+    std::vector<Finding> fresh;      ///< in the report, not the baseline
+    std::vector<std::string> stale;  ///< baseline keys no longer found
+
+    bool clean() const { return fresh.empty(); }
+};
+
+/** Extract the finding keys a baseline JSON document records. */
+std::set<std::string> baselineKeys(const util::json::Value &baseline);
+
+/**
+ * Diff a report against baseline keys, considering only findings at or
+ * above `gate` as candidates for freshness.
+ */
+BaselineDiff diffAgainstBaseline(const LintReport &report,
+                                 const std::set<std::string> &keys,
+                                 Severity gate = Severity::Info);
+
+/** Per-invocation linting knobs. */
+struct LintOptions
+{
+    /** Rule ids disabled wholesale (CLI --suppress). */
+    std::set<std::string> disabledRules;
+};
+
+/**
+ * Lint the full shipped registry: every Table 2 model, each
+ * implementing framework (lowered at the model's smallest sweep
+ * batch), both Table 4 GPUs and the host CPU.
+ */
+LintReport lintSuite(const LintOptions &options = {});
+
+/** True when the TBD_LINT environment variable opts linting in. */
+bool lintEnabled();
+
+/**
+ * Install a perf-run prologue that lints the registry once per process
+ * (first simulation pays it; later runs are free) and throws
+ * util::PanicError when any error-level finding exists — the static
+ * sibling of check::installSimulatorAudit. Idempotent.
+ * core::BenchmarkSuite installs this automatically when TBD_LINT=1.
+ */
+void installPreRunLint();
+
+} // namespace tbd::lint
+
+#endif // TBD_LINT_LINT_H

@@ -1,0 +1,113 @@
+#include "lint/rule.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tbd::lint {
+
+namespace {
+
+/**
+ * True when a ModelDesc suppression annotation waives this finding.
+ * Annotations are "rule.id" (whole rule for the model) or
+ * "rule.id=needle" (only findings whose object contains the needle).
+ */
+bool
+suppressedBy(const models::ModelDesc &model, const std::string &ruleId,
+             const std::string &object)
+{
+    for (const auto &entry : model.lintSuppress) {
+        const std::size_t eq = entry.find('=');
+        const std::string rule =
+            eq == std::string::npos ? entry : entry.substr(0, eq);
+        if (rule != ruleId)
+            continue;
+        if (eq == std::string::npos)
+            return true;
+        if (object.find(entry.substr(eq + 1)) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+Sink::Sink(const Rule &rule, LintReport &report)
+    : rule_(rule), report_(report)
+{
+}
+
+void
+Sink::emit(std::string object, std::string detail,
+           const models::ModelDesc *model)
+{
+    if (model != nullptr && suppressedBy(*model, rule_.id, object)) {
+        ++report_.suppressed;
+        return;
+    }
+    Finding f;
+    f.rule = rule_.id;
+    f.severity = rule_.severity;
+    f.category = rule_.category;
+    f.model = model != nullptr ? model->name : "";
+    f.object = std::move(object);
+    f.detail = std::move(detail);
+    f.fixHint = rule_.fixHint;
+    report_.findings.push_back(std::move(f));
+    ++emitted_;
+}
+
+void
+RuleRegistry::add(Rule rule)
+{
+    TBD_CHECK(!rule.id.empty(), "lint rule with empty id");
+    TBD_CHECK(rule.id.find('.') != std::string::npos,
+              "lint rule id '", rule.id, "' is not category.slug");
+    TBD_CHECK(static_cast<bool>(rule.run), "lint rule '", rule.id,
+              "' has no check function");
+    TBD_CHECK(find(rule.id) == nullptr, "duplicate lint rule id '",
+              rule.id, "'");
+    rules_.push_back(std::move(rule));
+}
+
+const Rule *
+RuleRegistry::find(const std::string &id) const
+{
+    for (const auto &rule : rules_) {
+        if (rule.id == id)
+            return &rule;
+    }
+    return nullptr;
+}
+
+LintReport
+RuleRegistry::run(const LintContext &context,
+                  const LintOptions &options) const
+{
+    LintReport report;
+    report.modelsChecked = context.models.size();
+    report.loweringsChecked = context.lowered.size();
+    for (const auto &rule : rules_) {
+        if (options.disabledRules.count(rule.id) != 0)
+            continue;
+        Sink sink(rule, report);
+        rule.run(context, sink);
+        ++report.rulesRun;
+    }
+    // Deterministic report order, independent of rule registration
+    // shuffles: severity (worst first), then rule, object, detail.
+    std::sort(report.findings.begin(), report.findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.severity != b.severity)
+                      return a.severity > b.severity;
+                  if (a.rule != b.rule)
+                      return a.rule < b.rule;
+                  if (a.object != b.object)
+                      return a.object < b.object;
+                  return a.detail < b.detail;
+              });
+    return report;
+}
+
+} // namespace tbd::lint

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The lint rule registry. A Rule couples an id, severity, category and
+ * fix hint with a check function; the registry owns the builtin rule
+ * set (rules.cpp) and runs every enabled rule over a LintContext,
+ * stamping rule metadata onto emitted findings and honouring the
+ * per-model suppression annotations.
+ *
+ * Adding a rule (see DESIGN.md §12):
+ *   1. write a `void ruleFoo(const LintContext &, Sink &)` in
+ *      rules.cpp and register it in RuleRegistry::builtin(),
+ *   2. add a fixture in tests/lint/lint_rules_test.cpp that fires it,
+ *   3. confirm `tbd_lint` stays clean on the shipped suite (or
+ *      rebaseline deliberately).
+ */
+
+#ifndef TBD_LINT_RULE_H
+#define TBD_LINT_RULE_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lint/context.h"
+#include "lint/lint.h"
+
+namespace tbd::lint {
+
+class Sink;
+
+/** One static check. */
+struct Rule
+{
+    std::string id;          ///< "category.slug", unique
+    Severity severity = Severity::Error;
+    std::string category;    ///< finding family ("model", "kernel", ...)
+    std::string description; ///< one-line what-it-checks
+    std::string fixHint;     ///< stamped onto every finding
+    std::function<void(const LintContext &, Sink &)> run;
+};
+
+/** Collects findings for one rule, applying suppressions. */
+class Sink
+{
+  public:
+    Sink(const Rule &rule, LintReport &report);
+
+    /**
+     * Emit one finding. `model` (when non-null) names the owning
+     * model and makes the finding suppressible via its lintSuppress
+     * annotations.
+     */
+    void emit(std::string object, std::string detail,
+              const models::ModelDesc *model = nullptr);
+
+    /** Findings emitted (not counting suppressed ones). */
+    std::size_t emitted() const { return emitted_; }
+
+  private:
+    const Rule &rule_;
+    LintReport &report_;
+    std::size_t emitted_ = 0;
+};
+
+/**
+ * Collision/ordering defects in an intern-table snapshot: slot 0 must
+ * hold the empty name and no string may occupy two slots. Exposed as a
+ * pure function because the process-wide table is append-only and
+ * cannot be faked from a fixture; the intern.collision rule feeds it
+ * the real table.
+ */
+std::vector<std::string>
+internTableDefects(const std::vector<std::string> &names);
+
+/** Ordered, id-unique rule collection. */
+class RuleRegistry
+{
+  public:
+    /** The process-wide registry holding the builtin rules. */
+    static const RuleRegistry &builtin();
+
+    /** Registry without builtins (tests compose their own). */
+    RuleRegistry() = default;
+
+    /** Register a rule; fatal on a duplicate or malformed id. */
+    void add(Rule rule);
+
+    /** All rules, in registration order. */
+    const std::vector<Rule> &rules() const { return rules_; }
+
+    /** Lookup by id; nullptr when unknown. */
+    const Rule *find(const std::string &id) const;
+
+    /** Run every enabled rule over the context. */
+    LintReport run(const LintContext &context,
+                   const LintOptions &options = {}) const;
+
+  private:
+    std::vector<Rule> rules_;
+};
+
+} // namespace tbd::lint
+
+#endif // TBD_LINT_RULE_H

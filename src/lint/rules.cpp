@@ -1,0 +1,840 @@
+/**
+ * @file
+ * The builtin lint rules. Every rule is a free function over the
+ * shared LintContext; RuleRegistry::builtin() wires them to ids,
+ * severities and fix hints. DESIGN.md §12 documents the recipe for
+ * adding one.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "gpusim/intern.h"
+#include "gpusim/kernel.h"
+#include "gpusim/kernel_catalog.h"
+#include "lint/rule.h"
+#include "perf/memory_model.h"
+#include "util/format.h"
+#include "util/logging.h"
+
+namespace tbd::lint {
+
+namespace {
+
+using gpusim::KernelCategory;
+using gpusim::KernelDesc;
+using models::ModelDesc;
+using models::OpDesc;
+
+constexpr double kBytesPerParam = 4.0; // FP32 training state
+
+/** Default-precision number formatting for finding details. */
+std::string
+num(double value)
+{
+    std::ostringstream os;
+    os << value;
+    return os.str();
+}
+
+/** Apply `fn(lowered, kernel)` to every lowered kernel (training +
+ *  autotune streams). */
+template <typename Fn>
+void
+forEachKernel(const LintContext &ctx, Fn fn)
+{
+    for (const auto &lm : ctx.lowered) {
+        for (const auto &item : lm.training.items)
+            fn(lm, item.kernel);
+        for (const auto &item : lm.autotune.items)
+            fn(lm, item.kernel);
+    }
+}
+
+/** True when a kernel's static fields are sound (shared gate: the
+ *  timing-model rules must not feed timeKernel data it asserts on). */
+bool
+kernelStaticallySound(const KernelDesc &k)
+{
+    return std::isfinite(k.flops) && std::isfinite(k.bytes) &&
+           std::isfinite(k.parallelism) && k.flops >= 0.0 &&
+           k.bytes >= 0.0 && (k.flops > 0.0 || k.bytes > 0.0) &&
+           k.parallelism > 0.0 && k.computeEff > 0.0 &&
+           k.computeEff <= 1.0 && k.memoryEff > 0.0 && k.memoryEff <= 1.0;
+}
+
+std::string
+describeKernel(const LoweredModel &lm, const KernelDesc &k)
+{
+    return lm.label() + ":" + k.name.str();
+}
+
+// --- model rules ---------------------------------------------------------
+
+void
+ruleModelMetadata(const LintContext &ctx, Sink &sink)
+{
+    std::set<std::string> names;
+    for (const auto *m : ctx.models) {
+        const std::string object = m->name.empty() ? "<unnamed>" : m->name;
+        if (m->name.empty())
+            sink.emit(object, "model has an empty name", m);
+        else if (!names.insert(m->name).second)
+            sink.emit(object, "duplicate model name in the registry", m);
+        if (m->dataset == nullptr)
+            sink.emit(object, "dataset pointer is null (Table 3 row "
+                              "missing)", m);
+        if (!m->describe) {
+            sink.emit(object, "describe() workload generator is not set",
+                      m);
+        } else {
+            std::int64_t probe = 1;
+            if (!m->batchSweep.empty() && m->batchSweep.front() > 0)
+                probe = m->batchSweep.front();
+            if (m->describe(probe).ops.empty())
+                sink.emit(object, "describe() returns an empty op list",
+                          m);
+        }
+        if (m->frameworks.empty())
+            sink.emit(object, "no implementing framework listed", m);
+        std::set<frameworks::FrameworkId> fws;
+        for (const auto id : m->frameworks) {
+            if (!fws.insert(id).second)
+                sink.emit(object,
+                          std::string("framework ") +
+                              frameworks::frameworkName(id) +
+                              " listed twice",
+                          m);
+        }
+        if (m->throughputUnit.empty())
+            sink.emit(object, "throughputUnit is empty", m);
+        if (!(m->unitsPerSample > 0.0))
+            sink.emit(object,
+                      "unitsPerSample must be positive, is " +
+                          num(m->unitsPerSample),
+                      m);
+        if (!(m->activationStashFactor > 0.0))
+            sink.emit(object,
+                      "activationStashFactor must be positive, is " +
+                          num(m->activationStashFactor),
+                      m);
+    }
+}
+
+void
+ruleModelBatchSweep(const LintContext &ctx, Sink &sink)
+{
+    for (const auto *m : ctx.models) {
+        if (m->batchSweep.empty()) {
+            sink.emit(m->name, "batchSweep is empty (Figs. 4-6 need at "
+                               "least one mini-batch size)", m);
+            continue;
+        }
+        std::int64_t prev = 0;
+        for (const std::int64_t b : m->batchSweep) {
+            if (b <= 0) {
+                sink.emit(m->name,
+                          "batchSweep contains non-positive batch " +
+                              std::to_string(b),
+                          m);
+            } else if (b <= prev) {
+                sink.emit(m->name,
+                          "batchSweep not strictly increasing at " +
+                              std::to_string(b),
+                          m);
+            }
+            prev = b;
+        }
+    }
+}
+
+void
+ruleModelDuplicateOp(const LintContext &ctx, Sink &sink)
+{
+    for (const auto &lm : ctx.lowered) {
+        if (!ctx.frameworks.empty() &&
+            lm.framework != ctx.frameworks.front())
+            continue; // the op list is framework-independent
+        std::set<std::string> seen;
+        for (const auto &op : lm.workload.ops) {
+            if (!seen.insert(op.name).second)
+                sink.emit(lm.model->name + ":" + op.name,
+                          "two ops share the instance name '" + op.name +
+                              "'; per-layer attribution and input "
+                              "references become ambiguous",
+                          lm.model);
+        }
+    }
+}
+
+void
+ruleModelDanglingInput(const LintContext &ctx, Sink &sink)
+{
+    for (const auto &lm : ctx.lowered) {
+        if (!ctx.frameworks.empty() &&
+            lm.framework != ctx.frameworks.front())
+            continue;
+        std::set<std::string> names;
+        for (const auto &op : lm.workload.ops)
+            names.insert(op.name);
+        for (const auto &op : lm.workload.ops) {
+            for (const auto &input : op.inputs) {
+                if (names.find(input) == names.end())
+                    sink.emit(lm.model->name + ":" + op.name,
+                              "op references input '" + input +
+                                  "', which no op in the workload "
+                                  "produces",
+                              lm.model);
+            }
+        }
+    }
+}
+
+void
+ruleModelInputCycle(const LintContext &ctx, Sink &sink)
+{
+    for (const auto &lm : ctx.lowered) {
+        if (!ctx.frameworks.empty() &&
+            lm.framework != ctx.frameworks.front())
+            continue;
+        // The workload is an ordered schedule: a dependency on an op
+        // that runs at the same position or later can never be
+        // satisfied — the dataflow graph has a cycle through the
+        // schedule order.
+        std::map<std::string, std::size_t> first;
+        for (std::size_t i = 0; i < lm.workload.ops.size(); ++i)
+            first.emplace(lm.workload.ops[i].name, i);
+        for (std::size_t i = 0; i < lm.workload.ops.size(); ++i) {
+            const OpDesc &op = lm.workload.ops[i];
+            for (const auto &input : op.inputs) {
+                const auto it = first.find(input);
+                if (it == first.end())
+                    continue; // model.dangling-input owns this
+                if (it->second >= i)
+                    sink.emit(lm.model->name + ":" + op.name,
+                              "op consumes '" + input +
+                                  "', which is not produced until "
+                                  "schedule position " +
+                                  std::to_string(it->second) +
+                                  " (dependency cycle)",
+                              lm.model);
+            }
+        }
+    }
+}
+
+void
+ruleModelParamAccounting(const LintContext &ctx, Sink &sink)
+{
+    for (const auto &lm : ctx.lowered) {
+        // The optimizer lowering emits exactly one Update kernel per
+        // parameterized op, whose parallelism is that op's parameter
+        // count — so lowered update work must reconcile exactly with
+        // the workload's declared parameters.
+        double update_params = 0.0;
+        std::int64_t update_kernels = 0;
+        for (const auto &item : lm.training.items) {
+            if (item.kernel.category != KernelCategory::Update)
+                continue;
+            ++update_kernels;
+            update_params += item.kernel.parallelism;
+        }
+        std::int64_t param_ops = 0;
+        for (const auto &op : lm.workload.ops)
+            param_ops += op.params > 0 ? 1 : 0;
+        const auto total =
+            static_cast<double>(lm.workload.totalParams());
+        if (update_kernels != param_ops)
+            sink.emit(lm.label(),
+                      std::to_string(param_ops) +
+                          " parameterized ops but " +
+                          std::to_string(update_kernels) +
+                          " optimizer-update kernels",
+                      lm.model);
+        else if (update_params != total)
+            sink.emit(lm.label(),
+                      "optimizer updates cover " + num(update_params) +
+                          " params, workload declares " + num(total),
+                      lm.model);
+    }
+}
+
+// --- kernel rules --------------------------------------------------------
+
+void
+ruleKernelNonpositive(const LintContext &ctx, Sink &sink)
+{
+    forEachKernel(ctx, [&](const LoweredModel &lm, const KernelDesc &k) {
+        std::string why;
+        if (!std::isfinite(k.flops) || !std::isfinite(k.bytes) ||
+            !std::isfinite(k.parallelism))
+            why = "non-finite flops/bytes/parallelism";
+        else if (k.flops < 0.0)
+            why = "negative flops " + num(k.flops);
+        else if (k.bytes < 0.0)
+            why = "negative bytes " + num(k.bytes);
+        else if (k.flops == 0.0 && k.bytes == 0.0)
+            why = "kernel does no work (0 flops, 0 bytes)";
+        else if (k.parallelism <= 0.0)
+            why = "non-positive parallelism " + num(k.parallelism);
+        if (!why.empty())
+            sink.emit(describeKernel(lm, k), why, lm.model);
+    });
+}
+
+void
+ruleKernelEfficiency(const LintContext &ctx, Sink &sink)
+{
+    forEachKernel(ctx, [&](const LoweredModel &lm, const KernelDesc &k) {
+        if (!(k.computeEff > 0.0) || k.computeEff > 1.0)
+            sink.emit(describeKernel(lm, k),
+                      "computeEff " + num(k.computeEff) +
+                          " outside (0, 1]: implies more than 100% of "
+                          "peak issue",
+                      lm.model);
+        if (!(k.memoryEff > 0.0) || k.memoryEff > 1.0)
+            sink.emit(describeKernel(lm, k),
+                      "memoryEff " + num(k.memoryEff) +
+                          " outside (0, 1]: implies more than 100% of "
+                          "DRAM bandwidth",
+                      lm.model);
+    });
+}
+
+void
+ruleKernelRoofline(const LintContext &ctx, Sink &sink)
+{
+    constexpr double kTol = 1.0 + 1e-9;
+    // One finding per (lowering, kernel base name, device) keeps a
+    // broken kernel family from producing thousands of duplicates.
+    std::set<std::string> flagged;
+    forEachKernel(ctx, [&](const LoweredModel &lm, const KernelDesc &k) {
+        if (!kernelStaticallySound(k))
+            return; // kernel.nonpositive / kernel.efficiency own these
+        for (const auto *gpu : ctx.gpus) {
+            const gpusim::KernelTiming t = gpusim::timeKernel(*gpu, k);
+            std::string why;
+            if (!std::isfinite(t.durationUs) || t.durationUs <= 0.0)
+                why = "non-positive duration " + num(t.durationUs) +
+                      "us";
+            else if (t.fp32Util > kTol)
+                why = "FP32 utilization " + num(t.fp32Util) +
+                      " exceeds the device peak (roofline violation)";
+            else {
+                const double implied_bw =
+                    k.bytes / (t.durationUs * 1e-6) / 1e9;
+                if (implied_bw > gpu->memoryBwGBs * kTol)
+                    why = "implied DRAM bandwidth " + num(implied_bw) +
+                          " GB/s exceeds the device's " +
+                          num(gpu->memoryBwGBs) + " GB/s";
+            }
+            if (why.empty())
+                continue;
+            const std::string key =
+                lm.label() + "|" +
+                std::string(gpusim::kernelBaseName(k.name.str())) + "|" +
+                gpu->name;
+            if (flagged.insert(key).second)
+                sink.emit(key, why, lm.model);
+        }
+    });
+}
+
+// --- catalog rules -------------------------------------------------------
+
+void
+ruleCatalogUnknown(const LintContext &ctx, Sink &sink)
+{
+    const auto catalog = buildKernelCatalog(ctx.frameworks);
+    std::set<std::string> flagged;
+    forEachKernel(ctx, [&](const LoweredModel &lm, const KernelDesc &k) {
+        const std::string base(gpusim::kernelBaseName(k.name.str()));
+        const auto *entry = gpusim::findCatalogEntry(catalog, base);
+        std::string why;
+        if (entry == nullptr)
+            why = "kernel base name is not in the kernel catalog";
+        else if (!entry->allows(k.category))
+            why = std::string("catalog does not allow category '") +
+                  gpusim::kernelCategoryName(k.category) +
+                  "' for this kernel";
+        if (why.empty())
+            return;
+        const std::string key = lm.label() + "|" + base + "|" +
+                                gpusim::kernelCategoryName(k.category);
+        if (flagged.insert(key).second)
+            sink.emit(key, why, lm.model);
+    });
+}
+
+void
+ruleCatalogOrphan(const LintContext &ctx, Sink &sink)
+{
+    if (ctx.lowered.empty())
+        return; // nothing lowered: everything would be a false orphan
+    const auto catalog = buildKernelCatalog(ctx.frameworks);
+    std::set<std::string> produced;
+    forEachKernel(ctx, [&](const LoweredModel &, const KernelDesc &k) {
+        produced.insert(
+            std::string(gpusim::kernelBaseName(k.name.str())));
+    });
+    for (const auto &entry : catalog) {
+        if (entry.runtimeOnly)
+            continue;
+        if (produced.find(entry.baseName) == produced.end())
+            sink.emit(entry.baseName,
+                      "no workload in the context lowers to this "
+                      "catalogued kernel (dead calibration data)");
+    }
+}
+
+// --- memory rules --------------------------------------------------------
+
+void
+ruleMemoryConservation(const LintContext &ctx, Sink &sink)
+{
+    for (const auto &lm : ctx.lowered) {
+        const auto &mem = lm.memory;
+        std::uint64_t sum = 0;
+        for (std::size_t c = 0; c < memprof::kCategoryCount; ++c)
+            sum += mem.peakBytes[c];
+        if (sum != mem.total()) {
+            sink.emit(lm.label(),
+                      "weights+grads+feature-maps+workspace+dynamic = " +
+                          util::formatBytes(sum) +
+                          " but reported total is " +
+                          util::formatBytes(mem.total()),
+                      lm.model);
+            continue;
+        }
+        if (mem.total() == 0) {
+            sink.emit(lm.label(),
+                      "training iteration reports a zero memory "
+                      "footprint",
+                      lm.model);
+            continue;
+        }
+        double frac = 0.0;
+        for (std::size_t c = 0; c < memprof::kCategoryCount; ++c)
+            frac +=
+                mem.fraction(static_cast<memprof::MemCategory>(c));
+        if (std::abs(frac - 1.0) > 1e-9) {
+            sink.emit(lm.label(),
+                      "category fractions sum to " + num(frac) +
+                          ", expected 1",
+                      lm.model);
+            continue;
+        }
+        // Replay the iteration: the allocation schedule is a pure
+        // function of (model, workload, framework), so a second replay
+        // that books different bytes means some category accounting
+        // leaks state between runs.
+        const memprof::MemoryBreakdown replay =
+            perf::simulateIterationMemory(*lm.model, lm.workload,
+                                          *lm.framework,
+                                          perf::OptimizerSpec{},
+                                          /*capacityBytes=*/0);
+        for (std::size_t c = 0; c < memprof::kCategoryCount; ++c) {
+            if (replay.peakBytes[c] != mem.peakBytes[c]) {
+                sink.emit(lm.label(),
+                          std::string("replaying the iteration books ") +
+                              util::formatBytes(replay.peakBytes[c]) +
+                              " of " +
+                              memprof::memCategoryName(
+                                  static_cast<memprof::MemCategory>(c)) +
+                              ", first run booked " +
+                              util::formatBytes(mem.peakBytes[c]) +
+                              " (memory model is not deterministic)",
+                          lm.model);
+                break;
+            }
+        }
+    }
+}
+
+void
+ruleMemoryParamBytes(const LintContext &ctx, Sink &sink)
+{
+    for (const auto &lm : ctx.lowered) {
+        const auto params =
+            static_cast<std::uint64_t>(lm.workload.totalParams());
+        const auto raw = static_cast<std::uint64_t>(
+            static_cast<double>(params) * kBytesPerParam);
+        const std::uint64_t weights =
+            lm.memory.of(memprof::MemCategory::Weights);
+        const std::uint64_t grads =
+            lm.memory.of(memprof::MemCategory::WeightGradients);
+        if (weights < raw)
+            sink.emit(lm.label(),
+                      "weights category holds " +
+                          util::formatBytes(weights) + " but " +
+                          std::to_string(params) +
+                          " FP32 params need at least " +
+                          util::formatBytes(raw),
+                      lm.model);
+        if (params > 0 && grads < raw)
+            sink.emit(lm.label(),
+                      "weight-gradient category holds " +
+                          util::formatBytes(grads) +
+                          " but a full gradient needs at least " +
+                          util::formatBytes(raw),
+                      lm.model);
+    }
+}
+
+// --- sweep rules ---------------------------------------------------------
+
+bool
+isOomError(const util::FatalError &e)
+{
+    return std::string(e.what()).find("out of memory") !=
+           std::string::npos;
+}
+
+/** nullopt = cell errors for a non-OOM reason (other checks own it). */
+std::optional<bool>
+cellMustOom(const ModelDesc &model,
+            const frameworks::FrameworkProfile &fw, std::int64_t batch,
+            const gpusim::GpuSpec &gpu)
+{
+    try {
+        perf::simulateIterationMemory(model, model.describe(batch), fw,
+                                      perf::OptimizerSpec{},
+                                      gpu.memoryBytes());
+        return false;
+    } catch (const util::FatalError &e) {
+        if (isOomError(e))
+            return true;
+        return std::nullopt;
+    }
+}
+
+void
+ruleSweepMinBatchOom(const LintContext &ctx, Sink &sink)
+{
+    for (const auto &lm : ctx.lowered) {
+        for (const auto *gpu : ctx.gpus) {
+            const auto oom =
+                cellMustOom(*lm.model, *lm.framework, lm.batch, *gpu);
+            if (oom.has_value() && *oom)
+                sink.emit(lm.label() + "@" + gpu->name,
+                          "smallest sweep batch " +
+                              std::to_string(lm.batch) +
+                              " already exceeds " + gpu->name +
+                              " memory: every cell of this row is "
+                              "unrunnable",
+                          lm.model);
+        }
+    }
+}
+
+void
+ruleSweepStaticOom(const LintContext &ctx, Sink &sink)
+{
+    for (const auto &lm : ctx.lowered) {
+        for (const auto *gpu : ctx.gpus) {
+            for (const std::int64_t batch : lm.model->batchSweep) {
+                if (batch <= 0)
+                    continue; // model.batch-sweep owns this
+                const auto oom =
+                    cellMustOom(*lm.model, *lm.framework, batch, *gpu);
+                if (oom.has_value() && *oom)
+                    sink.emit(lm.label() + "/b" + std::to_string(batch) +
+                                  "@" + gpu->name,
+                              "cell statically exceeds device memory; "
+                              "sweeps mark it OOM (the paper's "
+                              "truncated batch axes)",
+                              lm.model);
+            }
+        }
+    }
+}
+
+// --- registry-wide rules -------------------------------------------------
+
+void
+ruleInternCollision(const LintContext &, Sink &sink)
+{
+    const std::size_t count = gpusim::internedKernelNameCount();
+    std::vector<std::string> names;
+    names.reserve(count);
+    for (std::size_t id = 0; id < count; ++id)
+        names.push_back(
+            gpusim::internedKernelName(static_cast<gpusim::NameId>(id)));
+    for (const auto &defect : internTableDefects(names))
+        sink.emit("intern", defect);
+    // Round-trip half of the audit: re-interning an existing string
+    // must return its original id (only checkable against the live
+    // table, so it stays out of the pure helper).
+    for (std::size_t id = 0; id < count; ++id) {
+        const gpusim::NameId round =
+            gpusim::internKernelName(names[id]);
+        if (round != static_cast<gpusim::NameId>(id))
+            sink.emit("intern:" + std::to_string(id),
+                      "re-interning '" + names[id] + "' returns id " +
+                          std::to_string(round) +
+                          " (round-trip broken)");
+    }
+}
+
+void
+ruleDeviceSpec(const LintContext &ctx, Sink &sink)
+{
+    std::set<std::string> names;
+    for (const auto *gpu : ctx.gpus) {
+        const std::string n = gpu->name.empty() ? "<unnamed GPU>"
+                                                : gpu->name;
+        if (gpu->name.empty())
+            sink.emit(n, "GPU spec has an empty name");
+        else if (!names.insert(n).second)
+            sink.emit(n, "duplicate GPU name in the spec table");
+        if (gpu->multiprocessors <= 0 || gpu->coreCount <= 0)
+            sink.emit(n, "non-positive SM or core count");
+        if (!(gpu->maxClockMHz > 0.0) || !(gpu->memoryBwGBs > 0.0) ||
+            !(gpu->memoryGiB > 0.0))
+            sink.emit(n, "non-positive clock, bandwidth or memory size");
+        const double expect_peak =
+            2.0 * gpu->coreCount * gpu->maxClockMHz * 1e6;
+        if (std::abs(gpu->peakFlops() - expect_peak) >
+            1e-6 * std::abs(expect_peak))
+            sink.emit(n, "peakFlops() disagrees with 2 x cores x clock "
+                         "(Table 4 FMA identity)");
+        const double expect_bytes =
+            gpu->memoryGiB * 1024.0 * 1024.0 * 1024.0;
+        if (std::abs(static_cast<double>(gpu->memoryBytes()) -
+                     expect_bytes) > 1.0)
+            sink.emit(n, "memoryBytes() disagrees with memoryGiB");
+        if (!(gpu->saturationThreads() > 0.0))
+            sink.emit(n, "saturationThreads() must be positive");
+    }
+    if (ctx.cpu != nullptr) {
+        if (ctx.cpu->coreCount <= 0 || !(ctx.cpu->maxClockMHz > 0.0))
+            sink.emit(ctx.cpu->name.empty() ? "<unnamed CPU>"
+                                            : ctx.cpu->name,
+                      "host CPU needs positive cores and clock");
+    }
+}
+
+void
+ruleFrameworkProfile(const LintContext &ctx, Sink &sink)
+{
+    std::set<std::string> names;
+    for (const auto *fw : ctx.frameworks) {
+        const std::string &n = fw->name;
+        if (n.empty()) {
+            sink.emit("<unnamed framework>",
+                      "framework profile has an empty display name");
+            continue;
+        }
+        if (!names.insert(n).second)
+            sink.emit(n, "duplicate framework display name");
+        const struct
+        {
+            const char *field;
+            double value;
+        } effs[] = {{"gemmEff", fw->gemmEff},
+                    {"convEff", fw->convEff},
+                    {"smallGemmEff", fw->smallGemmEff}};
+        for (const auto &e : effs) {
+            if (!(e.value > 0.0) || e.value > 1.0)
+                sink.emit(n, std::string(e.field) + " = " +
+                                 num(e.value) + " outside (0, 1]");
+        }
+        const struct
+        {
+            const char *field;
+            double value;
+        } costs[] = {{"launchOverheadUs", fw->launchOverheadUs},
+                     {"frontendUsPerOp", fw->frontendUsPerOp},
+                     {"perIterationHostUs", fw->perIterationHostUs},
+                     {"rnnStepHostUs", fw->rnnStepHostUs},
+                     {"workspaceCapBytes", fw->workspaceCapBytes},
+                     {"dataPipelineFactor", fw->dataPipelineFactor},
+                     {"rnnActivationFactor", fw->rnnActivationFactor}};
+        for (const auto &c : costs) {
+            if (c.value < 0.0 || !std::isfinite(c.value))
+                sink.emit(n, std::string(c.field) + " = " +
+                                 num(c.value) +
+                                 " must be finite and non-negative");
+        }
+        if (fw->allocatorSlack < 1.0)
+            sink.emit(n, "allocatorSlack " + num(fw->allocatorSlack) +
+                             " < 1 would shrink allocations");
+        if (fw->gemmKernel.empty() || fw->elementwiseKernel.empty() ||
+            fw->activationFwKernel.empty() ||
+            fw->activationBwKernel.empty() || fw->biasKernel.empty())
+            sink.emit(n, "framework kernel name fields must be "
+                         "non-empty");
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+internTableDefects(const std::vector<std::string> &names)
+{
+    std::vector<std::string> defects;
+    std::unordered_map<std::string, std::size_t> seen;
+    seen.reserve(names.size());
+    for (std::size_t id = 0; id < names.size(); ++id) {
+        const std::string &name = names[id];
+        if (id == 0 && !name.empty()) {
+            defects.push_back("slot 0 must hold the empty name, is '" +
+                              name + "'");
+            continue;
+        }
+        const auto [it, fresh] = seen.emplace(name, id);
+        if (!fresh)
+            defects.push_back("slots " + std::to_string(it->second) +
+                              " and " + std::to_string(id) +
+                              " both hold the string '" + name +
+                              "' (table collision)");
+    }
+    return defects;
+}
+
+std::vector<gpusim::KernelCatalogEntry>
+buildKernelCatalog(
+    const std::vector<const frameworks::FrameworkProfile *> &frameworks)
+{
+    std::vector<gpusim::KernelCatalogEntry> catalog =
+        gpusim::fixedKernelCatalog();
+    const auto merge = [&catalog](const std::string &name,
+                                  std::vector<KernelCategory> cats) {
+        if (name.empty())
+            return;
+        for (auto &entry : catalog) {
+            if (entry.baseName != name)
+                continue;
+            for (const auto c : cats) {
+                if (!entry.allows(c))
+                    entry.categories.push_back(c);
+            }
+            return;
+        }
+        catalog.push_back({name, std::move(cats), false});
+    };
+    using C = KernelCategory;
+    for (const auto *fw : frameworks) {
+        merge(fw->gemmKernel, {C::Gemm});
+        // The generic elementwise kernel serves every pointwise duty
+        // the lowering has: fused chains, RNN cell gates, loss
+        // reductions and optimizer updates.
+        merge(fw->elementwiseKernel,
+              {C::Elementwise, C::RnnPointwise, C::Reduction, C::Update});
+        merge(fw->activationFwKernel, {C::Activation});
+        merge(fw->activationBwKernel, {C::Activation});
+        merge(fw->biasKernel, {C::Elementwise});
+    }
+    return catalog;
+}
+
+const RuleRegistry &
+RuleRegistry::builtin()
+{
+    static const RuleRegistry *registry = [] {
+        auto *r = new RuleRegistry();
+        r->add({"model.metadata", Severity::Error, "model",
+                "ModelDesc carries complete Table 2/3 metadata",
+                "fill in the missing ModelDesc fields at its "
+                "registration site",
+                ruleModelMetadata});
+        r->add({"model.batch-sweep", Severity::Error, "model",
+                "batchSweep is non-empty, positive and strictly "
+                "increasing",
+                "fix the model's batchSweep list",
+                ruleModelBatchSweep});
+        r->add({"model.duplicate-op", Severity::Error, "model",
+                "op instance names are unique within a workload",
+                "rename the colliding op in the workload builder",
+                ruleModelDuplicateOp});
+        r->add({"model.dangling-input", Severity::Error, "model",
+                "every OpDesc::inputs entry names an op in the "
+                "workload",
+                "reference an existing op name or drop the entry",
+                ruleModelDanglingInput});
+        r->add({"model.input-cycle", Severity::Error, "model",
+                "explicit dataflow references respect the schedule "
+                "order (acyclic)",
+                "reorder the ops or fix the input reference",
+                ruleModelInputCycle});
+        r->add({"model.param-accounting", Severity::Error, "model",
+                "lowered optimizer updates cover exactly the declared "
+                "parameters",
+                "keep OpDesc::params and the update lowering in sync",
+                ruleModelParamAccounting});
+        r->add({"kernel.nonpositive", Severity::Error, "kernel",
+                "every lowered kernel does finite, non-negative work",
+                "fix the op factory or lowering that computed the "
+                "kernel's flops/bytes",
+                ruleKernelNonpositive});
+        r->add({"kernel.efficiency", Severity::Error, "kernel",
+                "per-kernel efficiencies lie in (0, 1]",
+                "clamp the framework/category efficiency constants",
+                ruleKernelEfficiency});
+        r->add({"kernel.roofline", Severity::Error, "kernel",
+                "no kernel implies >100% of any device's compute or "
+                "bandwidth roofline",
+                "re-derive the kernel's flops/bytes or efficiency "
+                "calibration",
+                ruleKernelRoofline});
+        r->add({"catalog.unknown-kernel", Severity::Error, "catalog",
+                "every lowered kernel base name is catalogued with a "
+                "matching category",
+                "register the kernel in gpusim::fixedKernelCatalog or "
+                "the framework profile",
+                ruleCatalogUnknown});
+        r->add({"catalog.orphan", Severity::Warning, "catalog",
+                "every catalogued kernel is lowered to by some "
+                "workload",
+                "delete the dead catalog entry or add the missing "
+                "lowering",
+                ruleCatalogOrphan});
+        r->add({"memory.conservation", Severity::Error, "memory",
+                "the five memory categories sum to the total and "
+                "replay deterministically",
+                "audit MemoryBreakdown::total or the profiler's "
+                "category accounting",
+                ruleMemoryConservation});
+        r->add({"memory.param-bytes", Severity::Error, "memory",
+                "weights and gradients hold at least 4 bytes per "
+                "declared parameter",
+                "audit the memory model's weight/gradient allocation",
+                ruleMemoryParamBytes});
+        r->add({"sweep.min-batch-oom", Severity::Error, "sweep",
+                "the smallest sweep batch of every configuration fits "
+                "each device",
+                "shrink the model's minimum batch or annotate the "
+                "model with a suppression",
+                ruleSweepMinBatchOom});
+        r->add({"sweep.static-oom", Severity::Info, "sweep",
+                "inventory of sweep cells that statically must OOM "
+                "(expected truncation)",
+                "", ruleSweepStaticOom});
+        r->add({"intern.collision", Severity::Error, "intern",
+                "the kernel-name intern table is collision-free and "
+                "round-trips",
+                "audit gpusim::internKernelName for a hashing or "
+                "locking defect",
+                ruleInternCollision});
+        r->add({"device.spec", Severity::Error, "device",
+                "GPU/CPU spec tables are positive and internally "
+                "consistent (Table 4)",
+                "fix the device constants in gpusim/gpu_spec.cpp",
+                ruleDeviceSpec});
+        r->add({"framework.profile", Severity::Error, "framework",
+                "framework personalities have sane efficiencies, "
+                "costs and kernel names",
+                "fix the profile constants in "
+                "frameworks/framework.cpp",
+                ruleFrameworkProfile});
+        return r;
+    }();
+    return *registry;
+}
+
+} // namespace tbd::lint

@@ -51,7 +51,13 @@ bottleneck(Workload &w, const std::string &name, std::int64_t batch,
         w.add(convOp(name + "_proj", batch, inC, size, outC, 1, stride, 0));
         w.add(batchNormOp(name + "_proj_bn", batch, outC, s, s));
     }
-    w.add(elementwiseOp(name + "_add", batch * outC * s * s));
+    // The residual add consumes the expand branch and, when present,
+    // the projection shortcut — declared so lint can audit the refs.
+    OpDesc add = elementwiseOp(name + "_add", batch * outC * s * s);
+    add.inputs.push_back(name + "_1x1b_bn");
+    if (project)
+        add.inputs.push_back(name + "_proj_bn");
+    w.add(std::move(add));
     w.add(activationOp(name + "_relu", batch * outC * s * s));
     return s;
 }
@@ -147,7 +153,12 @@ resnet101ConvStack(std::int64_t batch, std::int64_t inH, std::int64_t inW)
                              out_c, 1, 1, stride, stride, 0, 0));
                 w.add(batchNormOp(name + "_bn_p", batch, out_c, oh, ow));
             }
-            w.add(elementwiseOp(name + "_add", batch * out_c * oh * ow));
+            OpDesc add =
+                elementwiseOp(name + "_add", batch * out_c * oh * ow);
+            add.inputs.push_back(name + "_bn_c");
+            if (b == 0)
+                add.inputs.push_back(name + "_bn_p");
+            w.add(std::move(add));
             w.add(activationOp(name + "_relu", batch * out_c * oh * ow));
             h = oh;
             aspect_w = ow;

@@ -73,6 +73,15 @@ struct ModelDesc
     /** Per-framework extra host us per iteration (e.g. CPU NMS). */
     std::map<frameworks::FrameworkId, double> perFrameworkHostUsPerIter;
 
+    /**
+     * tbd::lint suppression annotations: each entry waives one rule
+     * for findings this model owns, either wholesale ("sweep.min-
+     * batch-oom") or narrowed to findings whose object contains a
+     * substring ("kernel.roofline=TITAN Xp"). Suppressions are for
+     * *understood* findings — document why next to the annotation.
+     */
+    std::vector<std::string> lintSuppress;
+
     /** Workload generator: ops for one iteration at this batch size. */
     std::function<Workload(std::int64_t batch)> describe;
 

@@ -71,8 +71,13 @@ void
 Workload::append(const Workload &other, const std::string &prefix)
 {
     for (OpDesc op : other.ops) {
-        if (!prefix.empty())
+        if (!prefix.empty()) {
             op.name = prefix + op.name;
+            // Skip-connection references are names within `other`, so
+            // they move into the same namespace as the ops they name.
+            for (auto &input : op.inputs)
+                input = prefix + input;
+        }
         ops.push_back(std::move(op));
     }
 }

@@ -56,6 +56,17 @@ struct OpDesc
     std::int64_t timeSteps = 1;   ///< sequential steps (RNN: T per dir
                                   ///< summed over directions)
     std::int64_t stepWidth = 0;   ///< RNN: parallel elems per step
+
+    /**
+     * Names of ops whose outputs this op consumes *besides* its
+     * predecessor in the list (skip connections: residual adds,
+     * projection shortcuts). Empty means purely sequential. Purely
+     * declarative dataflow metadata — the lowering and timing ignore
+     * it — but tbd::lint audits it: every referenced name must exist
+     * (no dangling layer references) and must be produced *earlier*
+     * in the schedule (no dependency cycles).
+     */
+    std::vector<std::string> inputs;
 };
 
 /** An ordered op list describing one training iteration's forward. */

@@ -23,6 +23,14 @@ runAudit()
     return audit;
 }
 
+/** The installed pre-run prologue (empty when nothing is hooked). */
+RunPrologue &
+runPrologue()
+{
+    static RunPrologue prologue;
+    return prologue;
+}
+
 } // namespace
 
 RunAudit
@@ -33,9 +41,20 @@ setRunAudit(RunAudit audit)
     return previous;
 }
 
+RunPrologue
+setRunPrologue(RunPrologue prologue)
+{
+    RunPrologue previous = std::move(runPrologue());
+    runPrologue() = std::move(prologue);
+    return previous;
+}
+
 RunResult
 PerfSimulator::run(const RunConfig &config) const
 {
+    if (const RunPrologue &prologue = runPrologue())
+        prologue();
+
     TBD_CHECK(config.model != nullptr, "RunConfig.model is null");
     const auto &model = *config.model;
     TBD_CHECK(model.supports(config.framework), model.name,

@@ -103,6 +103,22 @@ using RunAudit =
  */
 RunAudit setRunAudit(RunAudit audit);
 
+/**
+ * Pre-run hook: invoked at the top of every PerfSimulator::run, before
+ * any simulation work. tbd::lint installs its registry linter here
+ * (see lint::installPreRunLint) the same way tbd::check uses the
+ * post-run audit — the indirection keeps perf free of a dependency on
+ * the analyzers. The hook throws to veto the run.
+ */
+using RunPrologue = std::function<void()>;
+
+/**
+ * Install (or clear, with nullptr) the global pre-run prologue and
+ * return the previous one. Must not race with in-flight runs: set it
+ * before fanning simulations out over the thread pool.
+ */
+RunPrologue setRunPrologue(RunPrologue prologue);
+
 /** Runs configurations against the gpusim substrate. */
 class PerfSimulator
 {

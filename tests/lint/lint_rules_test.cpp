@@ -1,0 +1,434 @@
+/**
+ * @file
+ * One fixture per builtin lint rule, each constructed to *fire* it:
+ * the rule set is only trustworthy if every rule demonstrably catches
+ * the defect it claims to. Fixtures build a LintContext by hand around
+ * synthetic ModelDescs (or tamper with a lowered context), never
+ * touching the shipped registry.
+ */
+
+#include "lint/rule.h"
+
+#include <gtest/gtest.h>
+
+#include "lint/lint.h"
+#include "models/model_desc.h"
+#include "util/logging.h"
+
+namespace tl = tbd::lint;
+namespace md = tbd::models;
+namespace fw = tbd::frameworks;
+namespace tg = tbd::gpusim;
+namespace mp = tbd::memprof;
+
+namespace {
+
+std::size_t
+countRule(const tl::LintReport &report, const std::string &id)
+{
+    std::size_t n = 0;
+    for (const auto &f : report.findings)
+        n += f.rule == id ? 1 : 0;
+    return n;
+}
+
+tl::LintReport
+runRules(const tl::LintContext &ctx, const tl::LintOptions &options = {})
+{
+    return tl::RuleRegistry::builtin().run(ctx, options);
+}
+
+/** A well-formed single-GEMM fixture model the rules accept. */
+md::ModelDesc
+cleanModel(const std::string &name)
+{
+    md::ModelDesc m;
+    m.name = name;
+    m.application = "Fixture";
+    m.dominantLayer = "GEMM";
+    m.layerCount = 1;
+    m.frameworks = {fw::FrameworkId::TensorFlow};
+    m.dataset = md::resnet50().dataset;
+    m.batchSweep = {1};
+    m.describe = [](std::int64_t batch) {
+        md::Workload w;
+        w.add(md::gemmOp("fc", batch * 8, 64, 64));
+        return w;
+    };
+    return m;
+}
+
+TEST(LintRules, MetadataFiresOnIncompleteModel)
+{
+    md::ModelDesc broken; // empty name, null dataset, no describe, ...
+    broken.unitsPerSample = 0.0;
+    tl::LintContext ctx = tl::emptyContext();
+    ctx.addModel(broken);
+    const auto report = runRules(ctx);
+    EXPECT_GE(countRule(report, "model.metadata"), 4u);
+}
+
+TEST(LintRules, MetadataCleanOnFixtureModel)
+{
+    const md::ModelDesc m = cleanModel("fx-clean");
+    tl::LintContext ctx = tl::emptyContext();
+    ctx.addModel(m);
+    const auto report = runRules(ctx);
+    EXPECT_EQ(countRule(report, "model.metadata"), 0u);
+}
+
+TEST(LintRules, BatchSweepFiresOnDisorder)
+{
+    md::ModelDesc m = cleanModel("fx-sweep");
+    m.batchSweep = {4, 2, -1}; // descending + non-positive
+    tl::LintContext ctx = tl::emptyContext();
+    ctx.addModel(m);
+    const auto report = runRules(ctx);
+    EXPECT_GE(countRule(report, "model.batch-sweep"), 2u);
+}
+
+TEST(LintRules, DuplicateOpFiresOnNameCollision)
+{
+    md::ModelDesc m = cleanModel("fx-dup");
+    m.describe = [](std::int64_t batch) {
+        md::Workload w;
+        w.add(md::gemmOp("fc", batch * 8, 64, 64));
+        w.add(md::gemmOp("fc", batch * 8, 64, 64));
+        return w;
+    };
+    tl::LintContext ctx = tl::emptyContext();
+    ctx.addModel(m);
+    const auto report = runRules(ctx);
+    EXPECT_EQ(countRule(report, "model.duplicate-op"), 1u);
+}
+
+TEST(LintRules, DanglingInputFiresOnUnknownReference)
+{
+    md::ModelDesc m = cleanModel("fx-dangle");
+    m.describe = [](std::int64_t batch) {
+        md::Workload w;
+        md::OpDesc op = md::gemmOp("fc", batch * 8, 64, 64);
+        op.inputs.push_back("no_such_op");
+        w.add(std::move(op));
+        return w;
+    };
+    tl::LintContext ctx = tl::emptyContext();
+    ctx.addModel(m);
+    const auto report = runRules(ctx);
+    EXPECT_EQ(countRule(report, "model.dangling-input"), 1u);
+}
+
+TEST(LintRules, InputCycleFiresOnForwardReference)
+{
+    md::ModelDesc m = cleanModel("fx-cycle");
+    m.describe = [](std::int64_t batch) {
+        md::Workload w;
+        md::OpDesc a = md::gemmOp("a", batch * 8, 64, 64);
+        a.inputs.push_back("b"); // consumes an op scheduled later
+        w.add(std::move(a));
+        w.add(md::gemmOp("b", batch * 8, 64, 64));
+        return w;
+    };
+    tl::LintContext ctx = tl::emptyContext();
+    ctx.addModel(m);
+    const auto report = runRules(ctx);
+    EXPECT_EQ(countRule(report, "model.input-cycle"), 1u);
+}
+
+TEST(LintRules, InputCycleFiresOnSelfReference)
+{
+    md::ModelDesc m = cleanModel("fx-self");
+    m.describe = [](std::int64_t batch) {
+        md::Workload w;
+        md::OpDesc a = md::gemmOp("a", batch * 8, 64, 64);
+        a.inputs.push_back("a");
+        w.add(std::move(a));
+        return w;
+    };
+    tl::LintContext ctx = tl::emptyContext();
+    ctx.addModel(m);
+    const auto report = runRules(ctx);
+    EXPECT_EQ(countRule(report, "model.input-cycle"), 1u);
+}
+
+TEST(LintRules, ParamAccountingFiresOnDeclaredParamDrift)
+{
+    const md::ModelDesc m = cleanModel("fx-params");
+    tl::LintContext ctx = tl::emptyContext();
+    ctx.addModel(m);
+    ASSERT_FALSE(ctx.lowered.empty());
+    // The lowered stream was built from the untampered workload; bump
+    // the declared count afterwards so they disagree.
+    ctx.lowered[0].workload.ops[0].params += 1;
+    const auto report = runRules(ctx);
+    EXPECT_GE(countRule(report, "model.param-accounting"), 1u);
+}
+
+TEST(LintRules, KernelNonpositiveFiresOnNegativeFlops)
+{
+    const md::ModelDesc m = cleanModel("fx-negflops");
+    tl::LintContext ctx = tl::emptyContext();
+    ctx.addModel(m);
+    ASSERT_FALSE(ctx.lowered.empty());
+    ASSERT_FALSE(ctx.lowered[0].training.items.empty());
+    ctx.lowered[0].training.items[0].kernel.flops = -5.0;
+    const auto report = runRules(ctx);
+    EXPECT_GE(countRule(report, "kernel.nonpositive"), 1u);
+}
+
+TEST(LintRules, KernelEfficiencyFiresAboveOne)
+{
+    const md::ModelDesc m = cleanModel("fx-eff");
+    tl::LintContext ctx = tl::emptyContext();
+    ctx.addModel(m);
+    ASSERT_FALSE(ctx.lowered.empty());
+    ASSERT_FALSE(ctx.lowered[0].training.items.empty());
+    ctx.lowered[0].training.items[0].kernel.computeEff = 1.5;
+    const auto report = runRules(ctx);
+    EXPECT_GE(countRule(report, "kernel.efficiency"), 1u);
+}
+
+TEST(LintRules, RooflineFiresOnDegenerateDevice)
+{
+    const md::ModelDesc m = cleanModel("fx-roofline");
+    tl::LintContext ctx = tl::emptyContext();
+    // A GPU with zero peak rate makes every compute-bound duration
+    // infinite — the roofline rule must catch the resulting
+    // non-finite timings (device.spec flags the spec itself).
+    tg::GpuSpec dead;
+    dead.name = "Dead GPU";
+    dead.multiprocessors = 1;
+    dead.coreCount = 0;
+    dead.maxClockMHz = 0.0;
+    dead.memoryGiB = 8.0;
+    dead.memoryBwGBs = 100.0;
+    ctx.gpus = {&dead};
+    ctx.addModel(m);
+    const auto report = runRules(ctx);
+    EXPECT_GE(countRule(report, "kernel.roofline"), 1u);
+}
+
+TEST(LintRules, RooflineCleanOnRealDevices)
+{
+    const md::ModelDesc m = cleanModel("fx-roofline-clean");
+    tl::LintContext ctx = tl::emptyContext();
+    ctx.addModel(m);
+    const auto report = runRules(ctx);
+    EXPECT_EQ(countRule(report, "kernel.roofline"), 0u);
+}
+
+TEST(LintRules, CatalogUnknownFiresOnUncataloguedName)
+{
+    const md::ModelDesc m = cleanModel("fx-unknown");
+    tl::LintContext ctx = tl::emptyContext();
+    ctx.addModel(m);
+    ASSERT_FALSE(ctx.lowered.empty());
+    ASSERT_FALSE(ctx.lowered[0].training.items.empty());
+    ctx.lowered[0].training.items[0].kernel.name =
+        tg::KernelName("mystery_kernel(fc)");
+    const auto report = runRules(ctx);
+    EXPECT_GE(countRule(report, "catalog.unknown-kernel"), 1u);
+}
+
+TEST(LintRules, CatalogOrphanFiresOnUnreachedEntries)
+{
+    // A GEMM-only context never lowers to the conv/pool/batch-norm
+    // kernels the fixed catalog carries.
+    const md::ModelDesc m = cleanModel("fx-orphan");
+    tl::LintContext ctx = tl::emptyContext();
+    ctx.addModel(m);
+    const auto report = runRules(ctx);
+    EXPECT_GE(countRule(report, "catalog.orphan"), 1u);
+}
+
+TEST(LintRules, MemoryConservationFiresOnTamperedBreakdown)
+{
+    const md::ModelDesc m = cleanModel("fx-memtamper");
+    tl::LintContext ctx = tl::emptyContext();
+    ctx.addModel(m);
+    ASSERT_FALSE(ctx.lowered.empty());
+    ctx.lowered[0].memory.peakBytes[static_cast<std::size_t>(
+        mp::MemCategory::Workspace)] += 1024;
+    const auto report = runRules(ctx);
+    EXPECT_GE(countRule(report, "memory.conservation"), 1u);
+}
+
+TEST(LintRules, MemoryConservationFiresOnZeroFootprint)
+{
+    const md::ModelDesc m = cleanModel("fx-memzero");
+    tl::LintContext ctx = tl::emptyContext();
+    ctx.addModel(m);
+    ASSERT_FALSE(ctx.lowered.empty());
+    ctx.lowered[0].memory = mp::MemoryBreakdown{};
+    const auto report = runRules(ctx);
+    EXPECT_GE(countRule(report, "memory.conservation"), 1u);
+}
+
+TEST(LintRules, MemoryParamBytesFiresOnMissingWeights)
+{
+    const md::ModelDesc m = cleanModel("fx-noweights");
+    tl::LintContext ctx = tl::emptyContext();
+    ctx.addModel(m);
+    ASSERT_FALSE(ctx.lowered.empty());
+    ctx.lowered[0].memory.peakBytes[static_cast<std::size_t>(
+        mp::MemCategory::Weights)] = 0;
+    const auto report = runRules(ctx);
+    EXPECT_GE(countRule(report, "memory.param-bytes"), 1u);
+}
+
+TEST(LintRules, MinBatchOomFiresWhenNothingFits)
+{
+    md::ModelDesc m = cleanModel("fx-hugemin");
+    m.describe = [](std::int64_t) {
+        md::Workload w;
+        // ~40 GB of stashed activations: no Table 4 device holds it.
+        w.add(md::elementwiseOp("blob", 10'000'000'000));
+        return w;
+    };
+    tl::LintContext ctx = tl::emptyContext();
+    ctx.addModel(m);
+    const auto report = runRules(ctx);
+    EXPECT_GE(countRule(report, "sweep.min-batch-oom"), 1u);
+}
+
+TEST(LintRules, StaticOomInventoriesInfeasibleCells)
+{
+    md::ModelDesc m = cleanModel("fx-bigsweep");
+    m.batchSweep = {1, 1024};
+    m.describe = [](std::int64_t batch) {
+        md::Workload w;
+        // ~200 MB per batch unit: batch 1 fits, batch 1024 cannot.
+        w.add(md::elementwiseOp("blob", batch * 50'000'000));
+        return w;
+    };
+    tl::LintContext ctx = tl::emptyContext();
+    ctx.addModel(m);
+    const auto report = runRules(ctx);
+    EXPECT_EQ(countRule(report, "sweep.min-batch-oom"), 0u);
+    EXPECT_GE(countRule(report, "sweep.static-oom"), 1u);
+}
+
+TEST(LintRules, InternDefectsFlagCollisions)
+{
+    EXPECT_TRUE(tl::internTableDefects({"", "a", "b"}).empty());
+    EXPECT_FALSE(tl::internTableDefects({"", "a", "a"}).empty());
+    EXPECT_FALSE(tl::internTableDefects({"x"}).empty());
+}
+
+TEST(LintRules, InternRuleCleanOnLiveTable)
+{
+    const auto report = runRules(tl::emptyContext());
+    EXPECT_EQ(countRule(report, "intern.collision"), 0u);
+}
+
+TEST(LintRules, DeviceSpecFiresOnBrokenGpu)
+{
+    tl::LintContext ctx = tl::emptyContext();
+    tg::GpuSpec bad;
+    bad.name = "Bad GPU";
+    bad.multiprocessors = -1;
+    bad.coreCount = 256;
+    bad.maxClockMHz = 0.0;
+    ctx.gpus = {&bad};
+    const auto report = runRules(ctx);
+    EXPECT_GE(countRule(report, "device.spec"), 1u);
+}
+
+TEST(LintRules, DeviceSpecCleanOnShippedTables)
+{
+    const auto report = runRules(tl::emptyContext());
+    EXPECT_EQ(countRule(report, "device.spec"), 0u);
+}
+
+TEST(LintRules, FrameworkProfileFiresOnBrokenPersonality)
+{
+    tl::LintContext ctx = tl::emptyContext();
+    fw::FrameworkProfile bad = fw::tensorflow();
+    bad.name = "Broken";
+    bad.gemmEff = 1.5;
+    bad.launchOverheadUs = -1.0;
+    bad.allocatorSlack = 0.5;
+    bad.gemmKernel.clear();
+    ctx.frameworks = {&bad};
+    const auto report = runRules(ctx);
+    EXPECT_GE(countRule(report, "framework.profile"), 4u);
+}
+
+TEST(LintRules, SuppressionWaivesModelFinding)
+{
+    md::ModelDesc m = cleanModel("fx-suppress");
+    m.describe = [](std::int64_t batch) {
+        md::Workload w;
+        md::OpDesc op = md::gemmOp("fc", batch * 8, 64, 64);
+        op.inputs.push_back("no_such_op");
+        w.add(std::move(op));
+        return w;
+    };
+    m.lintSuppress = {"model.dangling-input"};
+    tl::LintContext ctx = tl::emptyContext();
+    ctx.addModel(m);
+    const auto report = runRules(ctx);
+    EXPECT_EQ(countRule(report, "model.dangling-input"), 0u);
+    EXPECT_GE(report.suppressed, 1u);
+}
+
+TEST(LintRules, SuppressionNarrowsToObjectSubstring)
+{
+    md::ModelDesc m = cleanModel("fx-narrow");
+    m.describe = [](std::int64_t batch) {
+        md::Workload w;
+        md::OpDesc alpha = md::gemmOp("alpha", batch * 8, 64, 64);
+        alpha.inputs.push_back("no_such_op");
+        w.add(std::move(alpha));
+        md::OpDesc beta = md::gemmOp("beta", batch * 8, 64, 64);
+        beta.inputs.push_back("no_such_op");
+        w.add(std::move(beta));
+        return w;
+    };
+    m.lintSuppress = {"model.dangling-input=:alpha"};
+    tl::LintContext ctx = tl::emptyContext();
+    ctx.addModel(m);
+    const auto report = runRules(ctx);
+    EXPECT_EQ(countRule(report, "model.dangling-input"), 1u);
+    EXPECT_EQ(report.suppressed, 1u);
+}
+
+TEST(LintRules, DisabledRuleDoesNotRun)
+{
+    md::ModelDesc m = cleanModel("fx-disable");
+    m.batchSweep = {}; // would fire model.batch-sweep
+    tl::LintContext ctx = tl::emptyContext();
+    ctx.addModel(m);
+    tl::LintOptions options;
+    options.disabledRules.insert("model.batch-sweep");
+    const auto report = runRules(ctx, options);
+    EXPECT_EQ(countRule(report, "model.batch-sweep"), 0u);
+    EXPECT_EQ(report.rulesRun,
+              tl::RuleRegistry::builtin().rules().size() - 1);
+}
+
+TEST(LintRules, RegistryRejectsMalformedRules)
+{
+    tl::RuleRegistry registry;
+    tl::Rule rule;
+    rule.id = "no-dot";
+    rule.run = [](const tl::LintContext &, tl::Sink &) {};
+    EXPECT_THROW(registry.add(rule), tbd::util::FatalError);
+    rule.id = "a.b";
+    registry.add(rule);
+    EXPECT_THROW(registry.add(rule), tbd::util::FatalError); // duplicate
+}
+
+TEST(LintRules, EveryBuiltinRuleIsWellFormed)
+{
+    const auto &rules = tl::RuleRegistry::builtin().rules();
+    EXPECT_GE(rules.size(), 10u);
+    for (const auto &rule : rules) {
+        EXPECT_NE(rule.id.find('.'), std::string::npos) << rule.id;
+        EXPECT_FALSE(rule.category.empty()) << rule.id;
+        EXPECT_FALSE(rule.description.empty()) << rule.id;
+        EXPECT_TRUE(static_cast<bool>(rule.run)) << rule.id;
+    }
+}
+
+} // namespace

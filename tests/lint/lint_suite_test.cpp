@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The gate the tentpole promises: the shipped nine-workload suite must
+ * produce zero error-level lint findings, and the committed
+ * tests/lint/baseline.json must exactly describe what the linter
+ * reports today (so CI fails on any *new* finding, and stale entries
+ * are caught here instead of rotting).
+ */
+
+#include "lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+
+#include "lint/rule.h"
+#include "models/model_desc.h"
+#include "perf/simulator.h"
+#include "util/logging.h"
+
+#ifndef TBD_LINT_BASELINE
+#define TBD_LINT_BASELINE "tests/lint/baseline.json"
+#endif
+
+namespace tl = tbd::lint;
+namespace md = tbd::models;
+
+namespace {
+
+const tl::LintReport &
+suiteReport()
+{
+    // Building the suite context lowers every model x framework pair;
+    // do it once for the whole binary.
+    static const tl::LintReport report = tl::lintSuite();
+    return report;
+}
+
+tbd::util::json::Value
+readBaseline()
+{
+    std::ifstream is(TBD_LINT_BASELINE);
+    EXPECT_TRUE(is.good()) << "missing " << TBD_LINT_BASELINE;
+    std::string text((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    return tbd::util::json::Value::parse(text);
+}
+
+TEST(LintSuite, ShippedSuiteHasNoErrorFindings)
+{
+    const auto &report = suiteReport();
+    EXPECT_TRUE(report.clean(tl::Severity::Error)) << report.summary();
+}
+
+TEST(LintSuite, EveryRuleRunsOverTheWholeRegistry)
+{
+    const auto &report = suiteReport();
+    EXPECT_EQ(report.rulesRun,
+              tl::RuleRegistry::builtin().rules().size());
+    EXPECT_EQ(report.modelsChecked, md::allModels().size());
+    // Each model lowers on every implementing framework.
+    std::size_t expected = 0;
+    for (const auto *model : md::allModels())
+        expected += model->frameworks.size();
+    EXPECT_EQ(report.loweringsChecked, expected);
+}
+
+TEST(LintSuite, CommittedBaselineMatchesExactly)
+{
+    const auto &report = suiteReport();
+    const auto keys = tl::baselineKeys(readBaseline());
+    const tl::BaselineDiff diff =
+        tl::diffAgainstBaseline(report, keys, tl::Severity::Info);
+    for (const auto &f : diff.fresh)
+        ADD_FAILURE() << "finding not in baseline (rebaseline with "
+                         "tbd_lint run --json): "
+                      << tl::findingKey(f);
+    for (const auto &key : diff.stale)
+        ADD_FAILURE() << "stale baseline entry: " << key;
+}
+
+TEST(LintSuite, JsonReportRoundTripsAsBaseline)
+{
+    const auto &report = suiteReport();
+    const auto json = report.toJson();
+    EXPECT_TRUE(json.has("findings"));
+    EXPECT_TRUE(json.has("counts"));
+    const auto keys = tl::baselineKeys(json);
+    EXPECT_EQ(keys.size() <= report.findings.size(), true);
+    // A report diffed against its own keys is clean by construction.
+    const tl::BaselineDiff diff =
+        tl::diffAgainstBaseline(report, keys, tl::Severity::Info);
+    EXPECT_TRUE(diff.clean());
+    EXPECT_TRUE(diff.stale.empty());
+}
+
+TEST(LintSuite, FindingKeyIgnoresDetail)
+{
+    tl::Finding a;
+    a.rule = "kernel.roofline";
+    a.object = "ResNet-50/TensorFlow";
+    a.detail = "one wording";
+    tl::Finding b = a;
+    b.detail = "another wording";
+    EXPECT_EQ(tl::findingKey(a), tl::findingKey(b));
+}
+
+TEST(LintSuite, SeverityNamesRoundTrip)
+{
+    using tl::Severity;
+    for (const auto s :
+         {Severity::Info, Severity::Warning, Severity::Error})
+        EXPECT_EQ(tl::severityFromName(tl::severityName(s)), s);
+    EXPECT_FALSE(tl::severityFromName("fatal").has_value());
+}
+
+TEST(LintSuite, LintEnabledReadsEnvironment)
+{
+    ::unsetenv("TBD_LINT");
+    EXPECT_FALSE(tl::lintEnabled());
+    ::setenv("TBD_LINT", "0", 1);
+    EXPECT_FALSE(tl::lintEnabled());
+    ::setenv("TBD_LINT", "1", 1);
+    EXPECT_TRUE(tl::lintEnabled());
+    ::unsetenv("TBD_LINT");
+}
+
+TEST(LintSuite, PreRunLintPassesOnCleanRegistry)
+{
+    // The shipped registry is clean, so the prologue must not veto a
+    // simulation (a dirty registry would make it throw PanicError).
+    tl::installPreRunLint();
+    tbd::perf::RunConfig config;
+    config.model = &md::resnet50();
+    config.framework = tbd::frameworks::FrameworkId::TensorFlow;
+    config.gpu = tbd::gpusim::quadroP4000();
+    config.batch = 2;
+    config.warmupIterations = 1;
+    config.sampleIterations = 1;
+    EXPECT_NO_THROW(tbd::perf::PerfSimulator().run(config));
+}
+
+} // namespace

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * `tbd_lint` — static analyzer CLI over the model/catalog registry.
+ *
+ *   tbd_lint run [options]   lint the shipped suite
+ *   tbd_lint rules           list the builtin rules
+ *
+ * run options:
+ *   --json                 machine-readable report on stdout
+ *   --severity <level>     exit-gate level: info|warning|error
+ *                          (default error)
+ *   --baseline <file>      diff against a committed baseline: only
+ *                          findings absent from it count against the
+ *                          gate (stale baseline keys are reported so
+ *                          the file can be pruned)
+ *   --suppress <rule.id>   disable a rule for this invocation
+ *                          (repeatable)
+ *
+ * Exit status: 0 clean, 1 gated findings (or fatal analysis error),
+ * 2 usage. Without --baseline the gate counts every finding at or
+ * above --severity; CI runs `--severity info --baseline
+ * tests/lint/baseline.json` so any *new* finding fails the build.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "lint/lint.h"
+#include "lint/rule.h"
+#include "util/logging.h"
+
+using namespace tbd;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  tbd_lint run [--json] [--severity info|warning|"
+                 "error]\n"
+                 "               [--baseline <file>] [--suppress "
+                 "<rule.id>]...\n"
+                 "  tbd_lint rules\n");
+    return 2;
+}
+
+util::json::Value
+loadBaseline(const std::string &path)
+{
+    std::ifstream is(path);
+    TBD_CHECK(is.good(), "cannot open lint baseline '", path, "'");
+    std::string text((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    return util::json::Value::parse(text);
+}
+
+int
+cmdRules()
+{
+    for (const auto &rule : lint::RuleRegistry::builtin().rules())
+        std::printf("%-24s %-8s %s\n", rule.id.c_str(),
+                    lint::severityName(rule.severity),
+                    rule.description.c_str());
+    return 0;
+}
+
+int
+cmdRun(int argc, char **argv)
+{
+    bool json = false;
+    lint::Severity gate = lint::Severity::Error;
+    std::string baselinePath;
+    lint::LintOptions options;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--severity" && i + 1 < argc) {
+            const auto parsed = lint::severityFromName(argv[++i]);
+            if (!parsed.has_value())
+                return usage();
+            gate = *parsed;
+        } else if (arg == "--baseline" && i + 1 < argc) {
+            baselinePath = argv[++i];
+        } else if (arg == "--suppress" && i + 1 < argc) {
+            options.disabledRules.insert(argv[++i]);
+        } else {
+            return usage();
+        }
+    }
+
+    const lint::LintReport report = lint::lintSuite(options);
+
+    if (json)
+        std::printf("%s\n", report.toJson().dump(2).c_str());
+    else if (!report.findings.empty())
+        std::printf("%s", report.summary().c_str());
+
+    if (!baselinePath.empty()) {
+        const lint::BaselineDiff diff = lint::diffAgainstBaseline(
+            report, lint::baselineKeys(loadBaseline(baselinePath)),
+            gate);
+        for (const auto &key : diff.stale)
+            std::fprintf(stderr,
+                         "stale baseline entry (no longer found): %s\n",
+                         key.c_str());
+        if (!diff.clean()) {
+            std::fprintf(stderr,
+                         "%zu finding(s) not in the baseline:\n",
+                         diff.fresh.size());
+            for (const auto &f : diff.fresh)
+                std::fprintf(stderr, "  %s  %s  %s\n",
+                             lint::severityName(f.severity),
+                             f.rule.c_str(), f.object.c_str());
+            return 1;
+        }
+        if (!json)
+            std::printf("lint: %zu rule(s), %zu finding(s), all known "
+                        "to the baseline\n",
+                        report.rulesRun, report.findings.size());
+        return 0;
+    }
+
+    const std::size_t gated = report.countAtLeast(gate);
+    if (gated != 0) {
+        std::fprintf(stderr,
+                     "lint: %zu finding(s) at or above '%s'\n", gated,
+                     lint::severityName(gate));
+        return 1;
+    }
+    if (!json)
+        std::printf("lint: %zu rule(s) over %zu model(s), %zu "
+                    "lowering(s): clean at '%s' (%zu below-gate "
+                    "finding(s), %zu suppressed)\n",
+                    report.rulesRun, report.modelsChecked,
+                    report.loweringsChecked, lint::severityName(gate),
+                    report.findings.size(), report.suppressed);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    try {
+        if (cmd == "run")
+            return cmdRun(argc, argv);
+        if (cmd == "rules")
+            return cmdRules();
+    } catch (const util::FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    } catch (const util::PanicError &e) {
+        std::fprintf(stderr, "panic: %s\n", e.what());
+        return 1;
+    }
+    return usage();
+}
