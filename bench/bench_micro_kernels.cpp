@@ -10,8 +10,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "core/tbd.h"
+#include "engine/fusion.h"
 #include "perf/lowering_cache.h"
+#include "tensor/simd.h"
 
 using namespace tbd;
 
@@ -61,6 +64,19 @@ BM_MatmulSerial(benchmark::State &state)
     matmulBody(state);
 }
 BENCHMARK(BM_MatmulSerial)->Arg(256)->Arg(512);
+
+// The scalar reference oracle (TBD_SIMD=off path). BM_Matmul over
+// BM_MatmulScalar is the vectorization speedup the fast-path work is
+// judged by; check_bench_regression.py holds BM_Matmul against the
+// committed Release baseline.
+void
+BM_MatmulScalar(benchmark::State &state)
+{
+    tensor::simd::setSimdEnabled(false);
+    matmulBody(state);
+    tensor::simd::setSimdEnabled(std::nullopt);
+}
+BENCHMARK(BM_MatmulScalar)->Arg(256)->Arg(512);
 
 void
 conv2dForwardBody(benchmark::State &state)
@@ -122,6 +138,146 @@ BM_BatchNormForward(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * x.numel());
 }
 BENCHMARK(BM_BatchNormForward);
+
+void
+BM_ElementwiseRelu(benchmark::State &state)
+{
+    const auto n = state.range(0);
+    layers::Activation relu("relu", layers::ActKind::ReLU);
+    tensor::Tensor x = randn(tensor::Shape{n}, 41);
+    for (auto _ : state) {
+        tensor::Tensor y = relu.forward(x, false);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ElementwiseRelu)->Arg(1 << 16)->Arg(1 << 20);
+
+// Fused-vs-unfused pairs: the same Network, the same bitwise outputs
+// (tests/engine/fusion_test.cpp holds that line); only the number of
+// memory passes over the activations differs.
+
+engine::Network
+denseReluNet(util::Rng &rng)
+{
+    engine::Network net("dense-relu");
+    net.add(std::make_unique<layers::FullyConnected>("fc1", 256, 256,
+                                                     rng));
+    net.add(std::make_unique<layers::Activation>(
+        "relu1", layers::ActKind::ReLU));
+    net.add(std::make_unique<layers::FullyConnected>("fc2", 256, 256,
+                                                     rng));
+    net.add(std::make_unique<layers::Activation>(
+        "relu2", layers::ActKind::ReLU));
+    return net;
+}
+
+engine::Network
+convBnReluNet(util::Rng &rng)
+{
+    engine::Network net("conv-bn-relu");
+    net.add(std::make_unique<layers::Conv2d>("conv", 16, 16, 3, 1, 1,
+                                             rng, /*useBias=*/true));
+    net.add(std::make_unique<layers::BatchNorm2d>("bn", 16));
+    net.add(std::make_unique<layers::Activation>(
+        "relu", layers::ActKind::ReLU));
+    return net;
+}
+
+void
+trainStepBody(benchmark::State &state, engine::Network &net,
+              const tensor::Tensor &x, const tensor::Tensor &dy,
+              bool fused)
+{
+    engine::setFusionEnabled(fused);
+    for (auto _ : state) {
+        net.zeroGrads();
+        tensor::Tensor y = net.forward(x, true);
+        tensor::Tensor dx = net.backward(dy);
+        benchmark::DoNotOptimize(dx.data());
+    }
+    engine::setFusionEnabled(std::nullopt);
+}
+
+void
+denseTrainStepBody(benchmark::State &state, bool fused)
+{
+    util::Rng rng(42);
+    engine::Network net = denseReluNet(rng);
+    tensor::Tensor x = randn(tensor::Shape{64, 256}, 43);
+    tensor::Tensor dy = randn(tensor::Shape{64, 256}, 44);
+    trainStepBody(state, net, x, dy, fused);
+}
+
+void
+BM_DenseReluTrainStepFused(benchmark::State &state)
+{
+    denseTrainStepBody(state, /*fused=*/true);
+}
+BENCHMARK(BM_DenseReluTrainStepFused);
+
+void
+BM_DenseReluTrainStepUnfused(benchmark::State &state)
+{
+    denseTrainStepBody(state, /*fused=*/false);
+}
+BENCHMARK(BM_DenseReluTrainStepUnfused);
+
+void
+convBnTrainStepBody(benchmark::State &state, bool fused)
+{
+    util::Rng rng(45);
+    engine::Network net = convBnReluNet(rng);
+    tensor::Tensor x = randn(tensor::Shape{4, 16, 16, 16}, 46);
+    tensor::Tensor dy = randn(tensor::Shape{4, 16, 16, 16}, 47);
+    trainStepBody(state, net, x, dy, fused);
+}
+
+void
+BM_ConvBnReluTrainStepFused(benchmark::State &state)
+{
+    convBnTrainStepBody(state, /*fused=*/true);
+}
+BENCHMARK(BM_ConvBnReluTrainStepFused);
+
+void
+BM_ConvBnReluTrainStepUnfused(benchmark::State &state)
+{
+    convBnTrainStepBody(state, /*fused=*/false);
+}
+BENCHMARK(BM_ConvBnReluTrainStepUnfused);
+
+// Inference is where conv+BN fusion pays most: the BN fold rides the
+// conv epilogue and the BN layer never touches memory.
+void
+convBnInferenceBody(benchmark::State &state, bool fused)
+{
+    util::Rng rng(48);
+    engine::Network net = convBnReluNet(rng);
+    tensor::Tensor x = randn(tensor::Shape{4, 16, 16, 16}, 49);
+    tensor::Tensor warm = net.forward(x, true); // real running stats
+    benchmark::DoNotOptimize(warm.data());
+    engine::setFusionEnabled(fused);
+    for (auto _ : state) {
+        tensor::Tensor y = net.forward(x, false);
+        benchmark::DoNotOptimize(y.data());
+    }
+    engine::setFusionEnabled(std::nullopt);
+}
+
+void
+BM_ConvBnReluInferenceFused(benchmark::State &state)
+{
+    convBnInferenceBody(state, /*fused=*/true);
+}
+BENCHMARK(BM_ConvBnReluInferenceFused);
+
+void
+BM_ConvBnReluInferenceUnfused(benchmark::State &state)
+{
+    convBnInferenceBody(state, /*fused=*/false);
+}
+BENCHMARK(BM_ConvBnReluInferenceUnfused);
 
 void
 BM_LstmSequence(benchmark::State &state)
@@ -309,4 +465,17 @@ BENCHMARK(BM_RunSweepNoCache);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Not BENCHMARK_MAIN(): committed-baseline provenance requires the
+// Release guard (see benchutil::guardBuildType).
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    if (!tbd::benchutil::guardBuildType())
+        return 2;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

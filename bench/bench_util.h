@@ -15,11 +15,63 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <optional>
+#include <string>
 
 #include "core/tbd.h"
+#include "tensor/simd.h"
 
 namespace tbd::benchutil {
+
+/**
+ * Refuse to time a non-Release build, and stamp run provenance.
+ *
+ * A committed baseline recorded from an unoptimized build poisons
+ * every later comparison (BENCH_micro.json once shipped with
+ * "library_build_type": "debug"), so the harness hard-fails unless
+ * CMake said Release. Set TBD_BENCH_ALLOW_DEBUG=1 to smoke-test a
+ * debug harness anyway; the run is still tagged so the JSON can never
+ * masquerade as a baseline. Also records the active SIMD tier — a
+ * scalar-tier number is not comparable to an AVX2 one.
+ *
+ * @return true when benchmarks may run.
+ */
+inline bool
+guardBuildType()
+{
+#ifdef TBD_BENCH_BUILD_TYPE
+    const std::string build_type = TBD_BENCH_BUILD_TYPE;
+#else
+    const std::string build_type = "unknown";
+#endif
+    const bool release = build_type == "Release";
+    if (!release) {
+        const char *allow = std::getenv("TBD_BENCH_ALLOW_DEBUG");
+        if (allow == nullptr || std::strcmp(allow, "1") != 0) {
+            std::fprintf(stderr,
+                         "error: refusing to benchmark a '%s' build; "
+                         "numbers from unoptimized builds are not "
+                         "comparable to committed baselines.\n"
+                         "Configure with -DCMAKE_BUILD_TYPE=Release, "
+                         "or set TBD_BENCH_ALLOW_DEBUG=1 to run "
+                         "anyway (tagged, never a baseline).\n",
+                         build_type.c_str());
+            return false;
+        }
+        std::fprintf(stderr,
+                     "warning: benchmarking a '%s' build "
+                     "(TBD_BENCH_ALLOW_DEBUG=1); do not commit these "
+                     "numbers.\n",
+                     build_type.c_str());
+    }
+    benchmark::AddCustomContext("tbd_build_type", build_type);
+    benchmark::AddCustomContext(
+        "tbd_simd_tier",
+        tensor::simd::tierName(tensor::simd::activeTier()));
+    return true;
+}
 
 /** Run one configuration through the performance simulator. */
 inline perf::RunResult
@@ -171,6 +223,8 @@ banner(const char *what, const char *paper_ref)
         ::benchmark::Initialize(&argc, argv);                              \
         if (::benchmark::ReportUnrecognizedArguments(argc, argv))          \
             return 1;                                                      \
+        if (!::tbd::benchutil::guardBuildType())                           \
+            return 2;                                                      \
         ::benchmark::RunSpecifiedBenchmarks();                             \
         ::benchmark::Shutdown();                                           \
         return 0;                                                          \

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON run against a committed baseline.
+
+Usage:
+    check_bench_regression.py --baseline BENCH_micro.json \
+        --current bench_now.json [--tolerance 3.0] [--filter REGEX]
+
+The baseline is the committed Release recording (BENCH_micro.json at
+the repo root); the current run is a fresh ``--benchmark_out`` JSON
+from the same binary. A benchmark regresses when its cpu_time exceeds
+``baseline * tolerance``. The tolerance is a ratio, not a percentage:
+CI runners differ from the recording host by integer factors (CPU
+generation, frequency, neighbours), so the band is wide by design —
+this gate catches order-of-magnitude accidents (a de-vectorized
+kernel, a debug-flagged TU, a fast path wired out), not percent-level
+drift.
+
+Provenance is enforced, not assumed: the current run must carry the
+``tbd_build_type: Release`` context stamp that bench_util.h's
+guardBuildType() attaches, so a debug binary can never green the gate
+(the committed baseline once shipped with debug provenance; see
+DESIGN.md "Fast paths in the functional engine").
+
+Only benchmarks present in BOTH files are compared — CI filters the
+run down to the stable micro-kernels — but an empty intersection is an
+error, never a vacuous pass. Exits 0 when every compared benchmark is
+inside the band, 1 on any regression or provenance failure.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+# ns per unit, for normalizing cpu_time across time_unit values.
+_TIME_UNITS_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_benchmarks(path):
+    """Return (context, {name: cpu_time_ns}) for real iteration runs."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    times = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip aggregates (mean/median/stddev rows) and error rows.
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        if "error_occurred" in bench:
+            continue
+        unit = _TIME_UNITS_NS.get(bench.get("time_unit", "ns"))
+        if unit is None:
+            raise SystemExit(
+                f"{path}: unknown time_unit in {bench.get('name')!r}")
+        times[bench["name"]] = float(bench["cpu_time"]) * unit
+    return doc.get("context", {}), times
+
+
+def check_provenance(context, path, what):
+    """Fail unless the run was stamped as a Release build."""
+    build_type = context.get("tbd_build_type")
+    if build_type != "Release":
+        print(
+            f"error: {what} {path} has tbd_build_type="
+            f"{build_type!r}, want 'Release'. Re-record from a "
+            "-DCMAKE_BUILD_TYPE=Release build (bench_util.h refuses "
+            "to run otherwise).",
+            file=sys.stderr)
+        return False
+    return True
+
+
+def format_ns(ns):
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f}us"
+    return f"{ns:.0f}ns"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline JSON (BENCH_micro.json)")
+    parser.add_argument("--current", required=True,
+                        help="fresh --benchmark_out JSON to check")
+    parser.add_argument("--tolerance", type=float, default=3.0,
+                        help="allowed cpu_time ratio over baseline "
+                             "(default: %(default)s)")
+    parser.add_argument("--filter", default=None,
+                        help="only compare benchmark names matching "
+                             "this regex")
+    args = parser.parse_args(argv)
+
+    if args.tolerance <= 1.0:
+        parser.error("--tolerance must be > 1.0 (it is a ratio)")
+
+    base_ctx, baseline = load_benchmarks(args.baseline)
+    cur_ctx, current = load_benchmarks(args.current)
+
+    ok = check_provenance(base_ctx, args.baseline, "baseline")
+    ok &= check_provenance(cur_ctx, args.current, "current run")
+
+    names = sorted(set(baseline) & set(current))
+    if args.filter is not None:
+        pattern = re.compile(args.filter)
+        names = [n for n in names if pattern.search(n)]
+    if not names:
+        print("error: no benchmarks in common between baseline and "
+              "current run (name drift? over-tight --filter?)",
+              file=sys.stderr)
+        return 1
+
+    regressions = []
+    width = max(len(n) for n in names)
+    print(f"{'benchmark':<{width}}  {'baseline':>10}  {'current':>10}"
+          f"  {'ratio':>6}  band<= {args.tolerance:.2f}x")
+    for name in names:
+        ratio = current[name] / baseline[name]
+        verdict = "ok" if ratio <= args.tolerance else "REGRESSED"
+        print(f"{name:<{width}}  {format_ns(baseline[name]):>10}"
+              f"  {format_ns(current[name]):>10}  {ratio:>5.2f}x"
+              f"  {verdict}")
+        if ratio > args.tolerance:
+            regressions.append(name)
+
+    skipped = sorted(set(baseline) - set(current))
+    if skipped:
+        print(f"note: {len(skipped)} baseline benchmark(s) not in the "
+              f"current run: {', '.join(skipped[:8])}"
+              f"{' ...' if len(skipped) > 8 else ''}")
+
+    if regressions:
+        print(f"error: {len(regressions)} benchmark(s) regressed past "
+              f"{args.tolerance:.2f}x: {', '.join(regressions)}",
+              file=sys.stderr)
+        return 1
+    if not ok:
+        return 1
+    print(f"{len(names)} benchmark(s) within the band.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -100,6 +100,11 @@ fastPathSummary(const std::vector<obs::MetricSnapshot> &metrics)
         "perf.lowering_cache.miss");
     add("timeline replay", "gpusim.replay.hit",
         "gpusim.replay.fallback");
+    // Functional-engine fast paths: vector-tier kernel dispatch
+    // (fallback = scalar oracle ran, e.g. TBD_SIMD=off) and the
+    // fusion plan (miss = a layer executed unfused).
+    add("simd dispatch", "engine.simd.dispatch", "engine.simd.fallback");
+    add("fusion", "engine.fusion.hit", "engine.fusion.miss");
     return summary;
 }
 

@@ -1,0 +1,180 @@
+#include "engine/fusion.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+#include "layers/activations.h"
+#include "layers/conv.h"
+#include "layers/dense.h"
+#include "layers/norm.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "util/logging.h"
+
+namespace tbd::engine {
+
+namespace {
+
+/** -1 = follow the environment, 0/1 = forced by setFusionEnabled. */
+std::atomic<int> fusion_override{-1};
+
+bool
+envFusionEnabled()
+{
+    // Cached: consulted on every forward and the answer must not
+    // change mid-run (mirrors TBD_SIMD in tensor/simd.cpp).
+    static const bool enabled =
+        fusionEnabledFromEnv(std::getenv("TBD_FUSION"));
+    return enabled;
+}
+
+void
+noteFusion(bool hit)
+{
+    if (!obs::enabled())
+        return;
+    obs::MetricsRegistry::global()
+        .counter(hit ? "engine.fusion.hit" : "engine.fusion.miss")
+        .add(1);
+}
+
+} // namespace
+
+bool
+fusionEnabled()
+{
+    const int forced = fusion_override.load(std::memory_order_relaxed);
+    if (forced >= 0)
+        return forced != 0;
+    return envFusionEnabled();
+}
+
+void
+setFusionEnabled(std::optional<bool> enabled)
+{
+    fusion_override.store(enabled ? (*enabled ? 1 : 0) : -1,
+                          std::memory_order_relaxed);
+}
+
+bool
+fusionEnabledFromEnv(const char *value)
+{
+    if (value == nullptr)
+        return true;
+    const std::string_view v(value);
+    return v != "off" && v != "0";
+}
+
+std::vector<FusionSegment>
+buildFusionPlan(const std::vector<layers::LayerPtr> &stack)
+{
+    using Kind = FusionSegment::Kind;
+    std::vector<FusionSegment> plan;
+    const std::size_t n = stack.size();
+    for (std::size_t i = 0; i < n;) {
+        FusionSegment seg;
+        seg.begin = i;
+        layers::Layer *cur = stack[i].get();
+        auto *next = i + 1 < n ? stack[i + 1].get() : nullptr;
+
+        if (auto *dense = dynamic_cast<layers::FullyConnected *>(cur)) {
+            if (auto *act = dynamic_cast<layers::Activation *>(next)) {
+                seg.kind = Kind::DenseAct;
+                seg.count = 2;
+                seg.dense = dense;
+                seg.act = act;
+            }
+        } else if (auto *conv = dynamic_cast<layers::Conv2d *>(cur)) {
+            auto *bn = dynamic_cast<layers::BatchNorm2d *>(next);
+            if (bn != nullptr && bn->channels() == conv->outChannels()) {
+                auto *after = i + 2 < n ? stack[i + 2].get() : nullptr;
+                auto *act = dynamic_cast<layers::Activation *>(after);
+                seg.kind = act != nullptr ? Kind::ConvBnAct : Kind::ConvBn;
+                seg.count = act != nullptr ? 3 : 2;
+                seg.conv = conv;
+                seg.bn = bn;
+                seg.act = act;
+            } else if (auto *act =
+                           dynamic_cast<layers::Activation *>(next)) {
+                seg.kind = Kind::ConvAct;
+                seg.count = 2;
+                seg.conv = conv;
+                seg.act = act;
+            }
+        } else if (auto *bn = dynamic_cast<layers::BatchNorm2d *>(cur)) {
+            if (auto *act = dynamic_cast<layers::Activation *>(next)) {
+                seg.kind = Kind::BnAct;
+                seg.count = 2;
+                seg.bn = bn;
+                seg.act = act;
+            }
+        }
+        plan.push_back(seg);
+        i += seg.count;
+    }
+    return plan;
+}
+
+tensor::Tensor
+runFusionSegment(const FusionSegment &seg,
+                 const std::vector<layers::LayerPtr> &stack,
+                 const tensor::Tensor &x, bool training)
+{
+    using Kind = FusionSegment::Kind;
+    const auto kNone = tensor::kern::Act::None;
+    const auto act = seg.act != nullptr ? layers::toKernAct(seg.act->kind())
+                                        : kNone;
+    const float slope = seg.act != nullptr ? seg.act->slope() : 0.0f;
+
+    switch (seg.kind) {
+      case Kind::Single:
+        noteFusion(false);
+        return stack[seg.begin]->forward(x, training);
+      case Kind::DenseAct: {
+        noteFusion(true);
+        tensor::Tensor y = seg.dense->forwardFused(x, training, act, slope);
+        if (training)
+            seg.act->noteFusedForward(y);
+        return y;
+      }
+      case Kind::ConvAct: {
+        noteFusion(true);
+        tensor::Tensor y =
+            seg.conv->forwardFused(x, training, nullptr, act, slope);
+        if (training)
+            seg.act->noteFusedForward(y);
+        return y;
+      }
+      case Kind::ConvBn:
+      case Kind::ConvBnAct: {
+        noteFusion(true);
+        if (!training) {
+            // Inference: BN reduces to a per-channel affine from the
+            // running statistics, so it folds straight into the conv
+            // output epilogue and the BN layer never runs.
+            const layers::BnFold fold = seg.bn->inferenceFold();
+            return seg.conv->forwardFused(x, false, &fold, act, slope);
+        }
+        // Training: batch statistics need the pre-BN activations, so
+        // the conv runs unfused and the activation fuses into BN's
+        // normalize pass instead.
+        tensor::Tensor mid =
+            seg.conv->forwardFused(x, true, nullptr, kNone, 0.0f);
+        tensor::Tensor y = seg.bn->forwardFused(mid, true, act, slope);
+        if (seg.act != nullptr)
+            seg.act->noteFusedForward(y);
+        return y;
+      }
+      case Kind::BnAct: {
+        noteFusion(true);
+        tensor::Tensor y = seg.bn->forwardFused(x, training, act, slope);
+        if (training)
+            seg.act->noteFusedForward(y);
+        return y;
+      }
+    }
+    TBD_PANIC("unreachable fusion segment kind");
+}
+
+} // namespace tbd::engine

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Elementwise / batch-norm fusion planning for engine::Network.
+ *
+ * A fusion plan partitions a network's layer stack into segments that
+ * execute as one fused producer call instead of a chain of full-tensor
+ * passes:
+ *
+ *  - Dense + Activation      -> GEMM with a bias+activation epilogue
+ *  - Conv + Activation       -> conv with an activation epilogue
+ *  - Conv + BN (+ Act)       -> inference: BN folded into the conv
+ *                               output epilogue (the BN layer never
+ *                               runs); training: conv unfused, then BN
+ *                               with the activation fused into its
+ *                               normalize pass
+ *  - BN + Activation         -> one normalize+affine+activation pass
+ *
+ * Legality rests on two facts. First, every fused epilogue performs
+ * the *same per-element operation sequence* as the unfused layer
+ * chain — only intermediate memory round-trips are elided, and those
+ * are value-preserving (see tensor/kernels.h) — so fusion on/off is
+ * bitwise identical. Second, backward is never fused: consumers stash
+ * what they need during the fused forward (Activation adopts the
+ * segment output via noteFusedForward; BN stashes xhat inside its own
+ * pass), so the reverse sweep still visits every layer.
+ *
+ * The TBD_FUSION environment variable ("off" / "0" to disable) and
+ * setFusionEnabled() gate plan execution, mirroring TBD_SIMD.
+ */
+
+#ifndef TBD_ENGINE_FUSION_H
+#define TBD_ENGINE_FUSION_H
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "layers/layer.h"
+
+namespace tbd::layers {
+class Activation;
+class BatchNorm2d;
+class Conv2d;
+class FullyConnected;
+} // namespace tbd::layers
+
+namespace tbd::engine {
+
+/** Whether Network::forward executes fusion plans. */
+bool fusionEnabled();
+
+/**
+ * Force fusion on/off for this process (nullopt = follow TBD_FUSION).
+ * Testing hook, exercised by tests/engine/fusion_test.cpp.
+ */
+void setFusionEnabled(std::optional<bool> enabled);
+
+/** Parse a TBD_FUSION value; unset/anything but "off"/"0" enables. */
+bool fusionEnabledFromEnv(const char *value);
+
+/** One executable slice of a layer stack. */
+struct FusionSegment
+{
+    enum class Kind {
+        Single,    ///< one layer, executed unfused
+        DenseAct,  ///< FullyConnected + Activation
+        ConvAct,   ///< Conv2d + Activation
+        ConvBn,    ///< Conv2d + BatchNorm2d
+        ConvBnAct, ///< Conv2d + BatchNorm2d + Activation
+        BnAct,     ///< BatchNorm2d + Activation
+    };
+
+    Kind kind = Kind::Single;
+    std::size_t begin = 0; ///< first layer index in the stack
+    std::size_t count = 1; ///< layers covered
+
+    // Downcast views into the stack, filled by buildFusionPlan for the
+    // roles the segment kind needs (null otherwise).
+    layers::FullyConnected *dense = nullptr;
+    layers::Conv2d *conv = nullptr;
+    layers::BatchNorm2d *bn = nullptr;
+    layers::Activation *act = nullptr;
+};
+
+/**
+ * Scan a layer stack into maximal fusable segments. Structure-only:
+ * the training/inference choice (e.g. whether a ConvBn segment may
+ * fold BN into the conv) is made when the segment runs.
+ */
+std::vector<FusionSegment>
+buildFusionPlan(const std::vector<layers::LayerPtr> &stack);
+
+/**
+ * Execute one segment of @p stack on @p x. Bumps the
+ * engine.fusion.hit / engine.fusion.miss counters (multi-layer
+ * segment ran fused / single layer ran unfused) when tracing is on.
+ */
+tensor::Tensor runFusionSegment(const FusionSegment &seg,
+                                const std::vector<layers::LayerPtr> &stack,
+                                const tensor::Tensor &x, bool training);
+
+} // namespace tbd::engine
+
+#endif // TBD_ENGINE_FUSION_H

@@ -11,15 +11,26 @@ Network::add(layers::LayerPtr layer)
 {
     TBD_CHECK(layer != nullptr, "Network::add(nullptr)");
     layers_.push_back(std::move(layer));
+    planDirty_ = true;
     return *this;
 }
 
 tensor::Tensor
 Network::forward(const tensor::Tensor &x, bool training)
 {
+    if (!fusionEnabled()) {
+        tensor::Tensor cur = x;
+        for (auto &layer : layers_)
+            cur = layer->forward(cur, training);
+        return cur;
+    }
+    if (planDirty_) {
+        plan_ = buildFusionPlan(layers_);
+        planDirty_ = false;
+    }
     tensor::Tensor cur = x;
-    for (auto &layer : layers_)
-        cur = layer->forward(cur, training);
+    for (const FusionSegment &seg : plan_)
+        cur = runFusionSegment(seg, layers_, cur, training);
     return cur;
 }
 

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/fusion.h"
 #include "layers/layer.h"
 
 namespace tbd::engine {
@@ -25,7 +26,11 @@ class Network
     /** Append a layer; returns *this for chaining. */
     Network &add(layers::LayerPtr layer);
 
-    /** Run all layers in order. */
+    /**
+     * Run all layers in order. When fusionEnabled(), execution follows
+     * the network's fusion plan (rebuilt lazily after add()) — bitwise
+     * identical to the unfused layer chain, see engine/fusion.h.
+     */
     tensor::Tensor forward(const tensor::Tensor &x, bool training);
 
     /** Run all layers in reverse; returns dLoss/dInput. */
@@ -49,6 +54,8 @@ class Network
   private:
     std::string name_;
     std::vector<layers::LayerPtr> layers_;
+    std::vector<FusionSegment> plan_; ///< lazily rebuilt fusion plan
+    bool planDirty_ = true;           ///< set by add()
 };
 
 } // namespace tbd::engine

@@ -1,11 +1,26 @@
 #include "layers/activations.h"
 
-#include <cmath>
-
-#include "tensor/ops.h"
+#include "tensor/simd.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace tbd::layers {
+
+namespace {
+
+/** Elementwise chunk size handed to one pool worker. */
+constexpr std::int64_t kElemGrain = 1 << 14;
+
+/** One SIMD-dispatch decision per layer-op invocation. */
+const tensor::kern::Ops &
+activeOps()
+{
+    const bool vec = tensor::simd::active();
+    tensor::simd::noteDispatch(vec);
+    return tensor::kern::ops(vec);
+}
+
+} // namespace
 
 const char *
 actKindName(ActKind kind)
@@ -23,36 +38,44 @@ actKindName(ActKind kind)
     return "unknown";
 }
 
+tensor::kern::Act
+toKernAct(ActKind kind)
+{
+    switch (kind) {
+      case ActKind::ReLU:
+        return tensor::kern::Act::Relu;
+      case ActKind::LeakyReLU:
+        return tensor::kern::Act::LeakyRelu;
+      case ActKind::Sigmoid:
+        return tensor::kern::Act::Sigmoid;
+      case ActKind::Tanh:
+        return tensor::kern::Act::Tanh;
+    }
+    TBD_PANIC("unreachable activation kind");
+}
+
 Activation::Activation(std::string name, ActKind kind, float slope)
     : Layer(std::move(name)), kind_(kind), slope_(slope)
 {
+    TBD_CHECK(kind != ActKind::LeakyReLU || slope > 0.0f,
+              "LeakyReLU slope must be positive (got ", slope,
+              "): backward recovers the input sign from the output");
 }
 
 tensor::Tensor
 Activation::forward(const tensor::Tensor &x, bool training)
 {
-    tensor::Tensor y;
-    switch (kind_) {
-      case ActKind::ReLU:
-        y = tensor::map(x, [](float v) { return v > 0.0f ? v : 0.0f; });
-        break;
-      case ActKind::LeakyReLU: {
-        const float s = slope_;
-        y = tensor::map(x, [s](float v) { return v > 0.0f ? v : s * v; });
-        break;
-      }
-      case ActKind::Sigmoid:
-        y = tensor::map(
-            x, [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
-        break;
-      case ActKind::Tanh:
-        y = tensor::map(x, [](float v) { return std::tanh(v); });
-        break;
-    }
-    if (training) {
-        savedInput_ = x;
+    const auto &kt = activeOps();
+    const auto act = toKernAct(kind_);
+    tensor::Tensor y(x.shape());
+    const float *px = x.data();
+    float *py = y.data();
+    util::parallelFor(0, x.numel(), kElemGrain,
+                      [&](std::int64_t b, std::int64_t e) {
+                          kt.actForward(py + b, px + b, e - b, act, slope_);
+                      });
+    if (training)
         savedOutput_ = y;
-    }
     return y;
 }
 
@@ -61,27 +84,21 @@ Activation::backward(const tensor::Tensor &dy)
 {
     TBD_CHECK(savedOutput_.defined(),
               "Activation::backward without training forward");
-    switch (kind_) {
-      case ActKind::ReLU:
-        return tensor::zip(dy, savedInput_, [](float g, float v) {
-            return v > 0.0f ? g : 0.0f;
-        });
-      case ActKind::LeakyReLU: {
-        const float s = slope_;
-        return tensor::zip(dy, savedInput_, [s](float g, float v) {
-            return v > 0.0f ? g : s * g;
-        });
-      }
-      case ActKind::Sigmoid:
-        return tensor::zip(dy, savedOutput_, [](float g, float y) {
-            return g * y * (1.0f - y);
-        });
-      case ActKind::Tanh:
-        return tensor::zip(dy, savedOutput_, [](float g, float y) {
-            return g * (1.0f - y * y);
-        });
-    }
-    TBD_PANIC("unreachable activation kind");
+    TBD_CHECK(dy.shape() == savedOutput_.shape(),
+              "activation gradient shape ", dy.shape().toString(),
+              " != ", savedOutput_.shape().toString());
+    const auto &kt = activeOps();
+    const auto act = toKernAct(kind_);
+    tensor::Tensor dx(dy.shape());
+    const float *pdy = dy.data();
+    const float *py = savedOutput_.data();
+    float *pdx = dx.data();
+    util::parallelFor(0, dy.numel(), kElemGrain,
+                      [&](std::int64_t b, std::int64_t e) {
+                          kt.actBackward(pdx + b, pdy + b, py + b, e - b,
+                                         act, slope_);
+                      });
+    return dx;
 }
 
 } // namespace tbd::layers

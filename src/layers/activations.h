@@ -4,12 +4,20 @@
  *
  * These correspond to the `activation_fw/bw` cuDNN kernels the paper's
  * kernel tables surface — cheap in FLOPs, memory-bound on GPU.
+ *
+ * Forward and backward run through the tensor/kernels.h microkernel
+ * tier. Backward is computed from the *forward output* alone — every
+ * supported kind's derivative is exactly recoverable from y (for the
+ * ReLU family this requires slope > 0 so that sign(y) == sign(x)) —
+ * which halves the stash footprint and lets producers that fused the
+ * activation epilogue hand the output over via noteFusedForward().
  */
 
 #ifndef TBD_LAYERS_ACTIVATIONS_H
 #define TBD_LAYERS_ACTIVATIONS_H
 
 #include "layers/layer.h"
+#include "tensor/kernels.h"
 
 namespace tbd::layers {
 
@@ -19,6 +27,9 @@ enum class ActKind { ReLU, LeakyReLU, Sigmoid, Tanh };
 /** Human-readable activation name ("relu", ...). */
 const char *actKindName(ActKind kind);
 
+/** Kernel-layer epilogue code for an activation kind. */
+tensor::kern::Act toKernAct(ActKind kind);
+
 /** Pointwise activation layer. */
 class Activation : public Layer
 {
@@ -26,7 +37,9 @@ class Activation : public Layer
     /**
      * @param name  Instance name.
      * @param kind  Which function to apply.
-     * @param slope Negative-side slope (LeakyReLU only).
+     * @param slope Negative-side slope (LeakyReLU only; must be > 0 so
+     *              backward can recover the input's sign from the
+     *              output).
      */
     Activation(std::string name, ActKind kind, float slope = 0.01f);
 
@@ -36,11 +49,20 @@ class Activation : public Layer
     /** Activation kind. */
     ActKind kind() const { return kind_; }
 
+    /** Negative-side slope (meaningful for LeakyReLU). */
+    float slope() const { return slope_; }
+
+    /**
+     * Adopt an output computed by a producer that applied this
+     * activation as a fused epilogue (engine fusion plan), so that
+     * backward() works exactly as if forward() had run.
+     */
+    void noteFusedForward(const tensor::Tensor &y) { savedOutput_ = y; }
+
   private:
     ActKind kind_;
     float slope_;
     tensor::Tensor savedOutput_; ///< stashed feature map for backward
-    tensor::Tensor savedInput_;  ///< needed for ReLU-family backward
 };
 
 } // namespace tbd::layers

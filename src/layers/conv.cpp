@@ -2,11 +2,26 @@
 
 #include <cmath>
 
+#include "tensor/simd.h"
+#include "util/arena.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace tbd::layers {
+
+namespace {
+
+/** One SIMD-dispatch decision per layer-op invocation. */
+const tensor::kern::Ops &
+activeOps()
+{
+    const bool vec = tensor::simd::active();
+    tensor::simd::noteDispatch(vec);
+    return tensor::kern::ops(vec);
+}
+
+} // namespace
 
 Conv2d::Conv2d(std::string name, std::int64_t inC, std::int64_t outC,
                std::int64_t kernel, std::int64_t stride, std::int64_t pad,
@@ -41,9 +56,19 @@ Conv2d::Conv2d(std::string name, std::int64_t inC, std::int64_t outC,
 tensor::Tensor
 Conv2d::forward(const tensor::Tensor &x, bool training)
 {
+    return forwardFused(x, training, nullptr, tensor::kern::Act::None,
+                        0.0f);
+}
+
+tensor::Tensor
+Conv2d::forwardFused(const tensor::Tensor &x, bool training,
+                     const BnFold *fold, tensor::kern::Act act, float slope)
+{
     TBD_CHECK(x.shape().rank() == 4 && x.shape().dim(1) == inC_,
               "conv input must be [N, ", inC_, ", H, W], got ",
               x.shape().toString());
+    TBD_CHECK(!training || fold == nullptr,
+              "BN fold into conv is inference-only");
     const auto N = x.shape().dim(0);
     geom_ = tensor::Conv2dGeom{inC_,         x.shape().dim(2),
                                x.shape().dim(3), outC_,
@@ -51,29 +76,67 @@ Conv2d::forward(const tensor::Tensor &x, bool training)
                                spec_.strideH, spec_.strideW,
                                spec_.padH,   spec_.padW};
     const auto oh = geom_.outH(), ow = geom_.outW();
+    TBD_CHECK(oh > 0 && ow > 0, "conv output is empty for input ",
+              x.shape().toString());
+    const auto plane = oh * ow;
+    const auto rows = N * plane;
+    const auto fan_in = inC_ * spec_.kH * spec_.kW;
+    TBD_CHECK(fold == nullptr ||
+                  static_cast<std::int64_t>(fold->mean.size()) == outC_,
+              "BN fold channel count mismatch");
 
-    // cols: [N*oh*ow, inC*kH*kW]; weight^T: [inC*kH*kW, outC].
-    tensor::Tensor cols = tensor::im2col(x, geom_);
-    tensor::Tensor y2 =
-        tensor::matmulNT(cols, weight_.value); // [N*oh*ow, outC]
-    if (useBias_)
-        tensor::addRowBias(y2, bias_.value);
-
+    // cols: [N*oh*ow, inC*kH*kW]; training keeps it for backward,
+    // inference uses arena scratch.
+    util::Arena &arena = util::Arena::current();
+    util::Arena::Scope scope;
+    const float *pcols = nullptr;
     if (training) {
-        savedCols_ = cols;
+        savedCols_ = tensor::im2col(x, geom_);
         savedInputShape_ = x.shape();
+        pcols = savedCols_.data();
+    } else {
+        float *cols = arena.alloc(rows * fan_in);
+        tensor::im2colInto(cols, x.data(), N, geom_);
+        pcols = cols;
     }
 
-    // Rearrange [N*oh*ow, outC] -> [N, outC, oh, ow], batch-parallel.
+    // y2 = cols * weight^T: [N*oh*ow, outC], in arena scratch.
+    float *y2 = arena.alloc(rows * outC_);
+    tensor::matmulNTInto(y2, pcols, weight_.value.data(), rows, fan_in,
+                         outC_);
+
+    // Rearrange [N*oh*ow, outC] -> [N, outC, oh, ow], batch-parallel,
+    // then run the per-plane epilogues on the contiguous NCHW planes.
+    // Bias reuses the bnApply kernel with an identity normalization
+    // ((v - 0) * 1 == v and fma(1, v, b) rounds exactly like v + b),
+    // so bias / BN-fold / activation compose without new kernels.
     tensor::Tensor y(tensor::Shape{N, outC_, oh, ow});
-    const float *src = y2.data();
+    const float *src = y2;
     float *dst = y.data();
+    const float *pb = useBias_ ? bias_.value.data() : nullptr;
+    const auto &kt = activeOps();
+    const auto kNone = tensor::kern::Act::None;
     util::parallelFor(0, N, 1, [&](std::int64_t nb, std::int64_t ne) {
-        for (std::int64_t n = nb; n < ne; ++n)
-            for (std::int64_t p = 0; p < oh * ow; ++p)
+        for (std::int64_t n = nb; n < ne; ++n) {
+            for (std::int64_t p = 0; p < plane; ++p)
                 for (std::int64_t c = 0; c < outC_; ++c)
-                    dst[(n * outC_ + c) * oh * ow + p] =
-                        src[(n * oh * ow + p) * outC_ + c];
+                    dst[(n * outC_ + c) * plane + p] =
+                        src[(n * plane + p) * outC_ + c];
+            for (std::int64_t c = 0; c < outC_; ++c) {
+                float *out = dst + (n * outC_ + c) * plane;
+                const auto i = static_cast<std::size_t>(c);
+                if (pb != nullptr)
+                    kt.bnApply(out, nullptr, out, plane, 0.0f, 1.0f, 1.0f,
+                               pb[c], fold != nullptr ? kNone : act,
+                               slope);
+                if (fold != nullptr)
+                    kt.bnApply(out, nullptr, out, plane, fold->mean[i],
+                               fold->invStd[i], fold->gamma[i],
+                               fold->beta[i], act, slope);
+                else if (pb == nullptr && act != kNone)
+                    kt.actForward(out, out, plane, act, slope);
+            }
+        }
     });
     return y;
 }
@@ -88,27 +151,43 @@ Conv2d::backward(const tensor::Tensor &dy)
     TBD_CHECK(dy.shape() == tensor::Shape({N, outC_, oh, ow}),
               "conv backward gradient shape mismatch: ",
               dy.shape().toString());
+    const auto plane = oh * ow;
+    const auto rows = N * plane;
+    const auto fan_in = inC_ * spec_.kH * spec_.kW;
+    const auto &kt = activeOps();
+    util::Arena &arena = util::Arena::current();
+    util::Arena::Scope scope;
 
     // Rearrange dy [N, outC, oh, ow] -> [N*oh*ow, outC], batch-parallel.
-    tensor::Tensor dy2(tensor::Shape{N * oh * ow, outC_});
+    float *dy2 = arena.alloc(rows * outC_);
     const float *src = dy.data();
-    float *dst = dy2.data();
     util::parallelFor(0, N, 1, [&](std::int64_t nb, std::int64_t ne) {
         for (std::int64_t n = nb; n < ne; ++n)
             for (std::int64_t c = 0; c < outC_; ++c)
-                for (std::int64_t p = 0; p < oh * ow; ++p)
-                    dst[(n * oh * ow + p) * outC_ + c] =
-                        src[(n * outC_ + c) * oh * ow + p];
+                for (std::int64_t p = 0; p < plane; ++p)
+                    dy2[(n * plane + p) * outC_ + c] =
+                        src[(n * outC_ + c) * plane + p];
     });
 
-    // wgrad: dW = dy2^T cols  -> [outC, inC*kH*kW].
-    weight_.grad.addScaled(tensor::matmulTN(dy2, savedCols_), 1.0f);
-    if (useBias_)
-        bias_.grad.addScaled(tensor::sumRows(dy2), 1.0f);
+    // wgrad: dW = dy2^T cols -> [outC, inC*kH*kW]; computed into a
+    // zeroed arena temporary, folded into the gradient with one axpy
+    // (fma(1, t, g) == g + t exactly).
+    float *dw = arena.allocZeroed(outC_ * fan_in);
+    tensor::matmulTNInto(dw, dy2, savedCols_.data(), rows, outC_, fan_in);
+    kt.axpy(weight_.grad.data(), dw, 1.0f, outC_ * fan_in);
+    if (useBias_) {
+        float *db = arena.allocZeroed(outC_);
+        kt.sumRowsAcc(db, dy2, rows, outC_);
+        kt.axpy(bias_.grad.data(), db, 1.0f, outC_);
+    }
 
     // dgrad: dcols = dy2 W -> [N*oh*ow, inC*kH*kW], then col2im.
-    tensor::Tensor dcols = tensor::matmul(dy2, weight_.value);
-    return tensor::col2im(dcols, N, geom_);
+    float *dcols = arena.allocZeroed(rows * fan_in);
+    tensor::matmulInto(dcols, dy2, weight_.value.data(), rows, outC_,
+                       fan_in);
+    tensor::Tensor dx(savedInputShape_);
+    tensor::col2imInto(dx.data(), dcols, N, geom_);
+    return dx;
 }
 
 std::vector<Param *>

@@ -3,12 +3,19 @@
  * 2-D convolution layer (NCHW), lowered to GEMM via im2col — the same
  * strategy as cuDNN's implicit-GEMM algorithms, so the functional engine
  * and the GPU kernel model agree on the work a convolution represents.
+ *
+ * The bias add, an optional inference-mode batch-norm fold, and an
+ * optional pointwise activation apply as per-plane epilogue passes on
+ * the rearranged output (see forwardFused); the im2col expansion, the
+ * GEMM scratch and all backward temporaries live in the thread's
+ * util::Arena.
  */
 
 #ifndef TBD_LAYERS_CONV_H
 #define TBD_LAYERS_CONV_H
 
 #include "layers/layer.h"
+#include "layers/norm.h"
 #include "tensor/ops.h"
 
 namespace tbd::util {
@@ -54,6 +61,19 @@ class Conv2d : public Layer
     tensor::Tensor forward(const tensor::Tensor &x, bool training) override;
     tensor::Tensor backward(const tensor::Tensor &dy) override;
     std::vector<Param *> params() override;
+
+    /**
+     * Forward with fused output epilogues. forward() is this with no
+     * fold and Act::None. @p fold applies a following BatchNorm2d's
+     * inference normalization per channel (illegal while training —
+     * batch statistics need the pre-BN activations, so the engine
+     * fusion plan only passes it when training == false); @p act is a
+     * trailing pointwise activation. The per-element operation
+     * sequence matches the unfused layer chain exactly.
+     */
+    tensor::Tensor forwardFused(const tensor::Tensor &x, bool training,
+                                const BnFold *fold, tensor::kern::Act act,
+                                float slope);
 
     /** Output channels. */
     std::int64_t outChannels() const { return outC_; }

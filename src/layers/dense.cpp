@@ -3,10 +3,26 @@
 #include <cmath>
 
 #include "tensor/ops.h"
+#include "tensor/simd.h"
+#include "util/arena.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace tbd::layers {
+
+namespace {
+
+/** One SIMD-dispatch decision per layer-op invocation. */
+const tensor::kern::Ops &
+activeOps()
+{
+    const bool vec = tensor::simd::active();
+    tensor::simd::noteDispatch(vec);
+    return tensor::kern::ops(vec);
+}
+
+} // namespace
 
 FullyConnected::FullyConnected(std::string name, std::int64_t inF,
                                std::int64_t outF, util::Rng &rng,
@@ -29,13 +45,39 @@ FullyConnected::FullyConnected(std::string name, std::int64_t inF,
 tensor::Tensor
 FullyConnected::forward(const tensor::Tensor &x, bool training)
 {
+    return forwardFused(x, training, tensor::kern::Act::None, 0.0f);
+}
+
+tensor::Tensor
+FullyConnected::forwardFused(const tensor::Tensor &x, bool training,
+                             tensor::kern::Act act, float slope)
+{
     TBD_CHECK(x.numel() % inF_ == 0, "dense input ", x.shape().toString(),
               " is not divisible by inF=", inF_);
     const std::int64_t rows = x.numel() / inF_;
     tensor::Tensor x2 = x.reshaped(tensor::Shape{rows, inF_});
-    tensor::Tensor y = tensor::matmul(x2, weight_.value);
-    if (useBias_)
-        tensor::addRowBias(y, bias_.value);
+    tensor::Tensor y(tensor::Shape{rows, outF_});
+    tensor::matmulInto(y.data(), x2.data(), weight_.value.data(), rows,
+                       inF_, outF_);
+
+    // Epilogue: bias add and activation as one pass over the output.
+    const auto &kt = activeOps();
+    float *py = y.data();
+    if (useBias_) {
+        const float *pb = bias_.value.data();
+        util::parallelFor(0, rows, 64,
+                          [&](std::int64_t rb, std::int64_t re) {
+                              kt.biasAct(py + rb * outF_, py + rb * outF_,
+                                         pb, re - rb, outF_, act, slope);
+                          });
+    } else if (act != tensor::kern::Act::None) {
+        util::parallelFor(0, rows * outF_, std::int64_t(1) << 14,
+                          [&](std::int64_t b, std::int64_t e) {
+                              kt.actForward(py + b, py + b, e - b, act,
+                                            slope);
+                          });
+    }
+
     if (training) {
         savedInput2d_ = x2;
         savedInputShape_ = x.shape();
@@ -57,11 +99,27 @@ FullyConnected::backward(const tensor::Tensor &dy)
               "FullyConnected::backward without training forward");
     const std::int64_t rows = savedInput2d_.shape().dim(0);
     tensor::Tensor dy2 = dy.reshaped(tensor::Shape{rows, outF_});
-    // dW = x^T dy ; db = column sums of dy ; dx = dy W^T.
-    weight_.grad.addScaled(tensor::matmulTN(savedInput2d_, dy2), 1.0f);
-    if (useBias_)
-        bias_.grad.addScaled(tensor::sumRows(dy2), 1.0f);
-    tensor::Tensor dx = tensor::matmulNT(dy2, weight_.value);
+    const auto &kt = activeOps();
+
+    // dW = x^T dy ; db = column sums of dy ; dx = dy W^T. The weight
+    // and bias contributions land in arena temporaries and fold into
+    // the gradients with a single axpy each (fma(1, t, g) == g + t
+    // exactly, so accumulation stays bitwise independent of scratch).
+    util::Arena &arena = util::Arena::current();
+    util::Arena::Scope scope;
+    float *dw = arena.allocZeroed(inF_ * outF_);
+    tensor::matmulTNInto(dw, savedInput2d_.data(), dy2.data(), rows, inF_,
+                         outF_);
+    kt.axpy(weight_.grad.data(), dw, 1.0f, inF_ * outF_);
+    if (useBias_) {
+        float *db = arena.allocZeroed(outF_);
+        kt.sumRowsAcc(db, dy2.data(), rows, outF_);
+        kt.axpy(bias_.grad.data(), db, 1.0f, outF_);
+    }
+
+    tensor::Tensor dx(tensor::Shape{rows, inF_});
+    tensor::matmulNTInto(dx.data(), dy2.data(), weight_.value.data(), rows,
+                         outF_, inF_);
     return dx.reshaped(savedInputShape_);
 }
 

@@ -4,12 +4,16 @@
  *
  * The GPU-side equivalent is an sgemm kernel plus a bias kernel — the
  * dominant op family in the paper's Seq2Seq and Transformer workloads.
+ * The bias add and an optional pointwise activation run as one fused
+ * epilogue pass over the GEMM output (see forwardFused), which is what
+ * the engine fusion plan calls for Dense+Activation segments.
  */
 
 #ifndef TBD_LAYERS_DENSE_H
 #define TBD_LAYERS_DENSE_H
 
 #include "layers/layer.h"
+#include "tensor/kernels.h"
 
 namespace tbd::util {
 class Rng;
@@ -34,6 +38,16 @@ class FullyConnected : public Layer
     tensor::Tensor forward(const tensor::Tensor &x, bool training) override;
     tensor::Tensor backward(const tensor::Tensor &dy) override;
     std::vector<Param *> params() override;
+
+    /**
+     * Forward with the bias add and the given activation applied as a
+     * single fused epilogue over the GEMM output. forward() is this
+     * with Act::None; the per-element operation sequence is identical
+     * either way, so fusing an activation in changes nothing but the
+     * number of memory passes.
+     */
+    tensor::Tensor forwardFused(const tensor::Tensor &x, bool training,
+                                tensor::kern::Act act, float slope);
 
     /** Input feature width. */
     std::int64_t inFeatures() const { return inF_; }

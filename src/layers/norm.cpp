@@ -2,10 +2,24 @@
 
 #include <cmath>
 
+#include "tensor/simd.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace tbd::layers {
+
+namespace {
+
+/** One SIMD-dispatch decision per layer-op invocation. */
+const tensor::kern::Ops &
+activeOps()
+{
+    const bool vec = tensor::simd::active();
+    tensor::simd::noteDispatch(vec);
+    return tensor::kern::ops(vec);
+}
+
+} // namespace
 
 BatchNorm2d::BatchNorm2d(std::string name, std::int64_t channels,
                          float momentum, float eps)
@@ -26,6 +40,13 @@ BatchNorm2d::BatchNorm2d(std::string name, std::int64_t channels,
 tensor::Tensor
 BatchNorm2d::forward(const tensor::Tensor &x, bool training)
 {
+    return forwardFused(x, training, tensor::kern::Act::None, 0.0f);
+}
+
+tensor::Tensor
+BatchNorm2d::forwardFused(const tensor::Tensor &x, bool training,
+                          tensor::kern::Act act, float slope)
+{
     TBD_CHECK(x.shape().rank() == 4 && x.shape().dim(1) == channels_,
               "batch norm input must be [N, ", channels_, ", H, W], got ",
               x.shape().toString());
@@ -44,6 +65,7 @@ BatchNorm2d::forward(const tensor::Tensor &x, bool training)
         savedInvStd_.assign(static_cast<std::size_t>(channels_), 0.0f);
     }
     float *pxhat = training ? savedXhat_.data() : nullptr;
+    const auto &kt = activeOps();
 
     // Channel-parallel: every statistic, running-average slot and
     // output slab below is indexed by c only, and the per-channel
@@ -56,12 +78,10 @@ BatchNorm2d::forward(const tensor::Tensor &x, bool training)
         if (training) {
             double sum = 0.0, sq = 0.0;
             for (std::int64_t n = 0; n < N; ++n) {
-                const float *plane_ptr =
-                    px + (n * channels_ + c) * plane;
-                for (std::int64_t i = 0; i < plane; ++i) {
-                    sum += plane_ptr[i];
-                    sq += static_cast<double>(plane_ptr[i]) * plane_ptr[i];
-                }
+                double s, q;
+                kt.sumSq(px + (n * channels_ + c) * plane, plane, s, q);
+                sum += s;
+                sq += q;
             }
             mean_c = static_cast<float>(sum / count);
             var_c = static_cast<float>(sq / count -
@@ -80,16 +100,32 @@ BatchNorm2d::forward(const tensor::Tensor &x, bool training)
         const float g = gamma_.value.at(c), b = beta_.value.at(c);
         for (std::int64_t n = 0; n < N; ++n) {
             const std::int64_t base = (n * channels_ + c) * plane;
-            for (std::int64_t i = 0; i < plane; ++i) {
-                const float xhat = (px[base + i] - mean_c) * inv_std;
-                if (training)
-                    pxhat[base + i] = xhat;
-                py[base + i] = g * xhat + b;
-            }
+            kt.bnApply(py + base, pxhat != nullptr ? pxhat + base : nullptr,
+                       px + base, plane, mean_c, inv_std, g, b, act, slope);
         }
     }
     });
     return y;
+}
+
+BnFold
+BatchNorm2d::inferenceFold() const
+{
+    const auto n = static_cast<std::size_t>(channels_);
+    BnFold fold;
+    fold.mean.resize(n);
+    fold.invStd.resize(n);
+    fold.gamma.resize(n);
+    fold.beta.resize(n);
+    for (std::int64_t c = 0; c < channels_; ++c) {
+        const auto i = static_cast<std::size_t>(c);
+        fold.mean[i] = runningMean_.at(c);
+        // The exact expression the inference forward pass evaluates.
+        fold.invStd[i] = 1.0f / std::sqrt(runningVar_.at(c) + eps_);
+        fold.gamma[i] = gamma_.value.at(c);
+        fold.beta[i] = beta_.value.at(c);
+    }
+    return fold;
 }
 
 tensor::Tensor
@@ -108,6 +144,7 @@ BatchNorm2d::backward(const tensor::Tensor &dy)
     const float *pdy = dy.data();
     const float *pxhat = savedXhat_.data();
     float *pdx = dx.data();
+    const auto &kt = activeOps();
 
     util::parallelFor(0, channels_, 1, [&](std::int64_t cb,
                                            std::int64_t ce) {
@@ -115,27 +152,23 @@ BatchNorm2d::backward(const tensor::Tensor &dy)
         double dsum = 0.0, dxhat_dot = 0.0;
         for (std::int64_t n = 0; n < N; ++n) {
             const std::int64_t base = (n * channels_ + c) * plane;
-            for (std::int64_t i = 0; i < plane; ++i) {
-                dsum += pdy[base + i];
-                dxhat_dot +=
-                    static_cast<double>(pdy[base + i]) * pxhat[base + i];
-            }
+            double s, q;
+            kt.bnBackwardReduce(pdy + base, pxhat + base, plane, s, q);
+            dsum += s;
+            dxhat_dot += q;
         }
         gamma_.grad.at(c) += static_cast<float>(dxhat_dot);
         beta_.grad.at(c) += static_cast<float>(dsum);
 
         const float g = gamma_.value.at(c);
         const float inv_std = savedInvStd_[static_cast<std::size_t>(c)];
+        const float g_inv_std = g * inv_std;
         const float mean_dy = static_cast<float>(dsum / count);
         const float mean_dy_xhat = static_cast<float>(dxhat_dot / count);
         for (std::int64_t n = 0; n < N; ++n) {
             const std::int64_t base = (n * channels_ + c) * plane;
-            for (std::int64_t i = 0; i < plane; ++i) {
-                pdx[base + i] =
-                    g * inv_std *
-                    (pdy[base + i] - mean_dy -
-                     pxhat[base + i] * mean_dy_xhat);
-            }
+            kt.bnBackwardApply(pdx + base, pdy + base, pxhat + base, plane,
+                               g_inv_std, mean_dy, mean_dy_xhat);
         }
     }
     });
@@ -177,14 +210,12 @@ LayerNorm::forward(const tensor::Tensor &x, bool training)
         savedInvStd_.assign(static_cast<std::size_t>(rows), 0.0f);
     }
     float *pxhat = training ? savedXhat_.data() : nullptr;
+    const auto &kt = activeOps();
 
     for (std::int64_t r = 0; r < rows; ++r) {
         const float *row = px + r * width_;
-        double sum = 0.0, sq = 0.0;
-        for (std::int64_t j = 0; j < width_; ++j) {
-            sum += row[j];
-            sq += static_cast<double>(row[j]) * row[j];
-        }
+        double sum, sq;
+        kt.sumSq(row, width_, sum, sq);
         const float mean_r =
             static_cast<float>(sum / static_cast<double>(width_));
         const float var_r = static_cast<float>(

@@ -6,15 +6,32 @@
  * Batch norm matters to this reproduction beyond correctness: the
  * paper's Tables 5 and 6 identify the cuDNN `bn_fw_tr`/`bn_bw` kernels
  * as the longest-running *low-FP32-utilization* kernels in ResNet-50 on
- * both TensorFlow and MXNet.
+ * both TensorFlow and MXNet. The normalize+affine pass (optionally
+ * with a fused activation epilogue) and the statistics reductions run
+ * through the tensor/kernels.h microkernel tier.
  */
 
 #ifndef TBD_LAYERS_NORM_H
 #define TBD_LAYERS_NORM_H
 
 #include "layers/layer.h"
+#include "tensor/kernels.h"
 
 namespace tbd::layers {
+
+/**
+ * Per-channel inference-mode batch-norm parameters, precomputed so a
+ * preceding op (Conv2d) can apply the normalization as an output
+ * epilogue. Only legal outside training: batch statistics and the
+ * running-average update depend on seeing the pre-BN activations.
+ */
+struct BnFold
+{
+    std::vector<float> mean;   ///< running mean per channel
+    std::vector<float> invStd; ///< 1 / sqrt(runningVar + eps)
+    std::vector<float> gamma;  ///< scale per channel
+    std::vector<float> beta;   ///< shift per channel
+};
 
 /** Spatial batch normalization over NCHW inputs, per-channel affine. */
 class BatchNorm2d : public Layer
@@ -32,6 +49,20 @@ class BatchNorm2d : public Layer
     tensor::Tensor forward(const tensor::Tensor &x, bool training) override;
     tensor::Tensor backward(const tensor::Tensor &dy) override;
     std::vector<Param *> params() override;
+
+    /**
+     * Forward with a pointwise activation fused into the
+     * normalize+affine output pass. forward() is this with Act::None;
+     * the per-element operation sequence is identical either way.
+     */
+    tensor::Tensor forwardFused(const tensor::Tensor &x, bool training,
+                                tensor::kern::Act act, float slope);
+
+    /** Inference-mode per-channel fold (see BnFold). */
+    BnFold inferenceFold() const;
+
+    /** Channel count C. */
+    std::int64_t channels() const { return channels_; }
 
   private:
     std::int64_t channels_;

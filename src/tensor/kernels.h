@@ -1,0 +1,264 @@
+/**
+ * @file
+ * The functional engine's inner microkernels, in two interchangeable
+ * implementations: `kern::scalar` (portable reference — the bitwise
+ * oracle) and `kern::avx2` (AVX2+FMA intrinsics, present only when
+ * TBD_SIMD_HAS_AVX2 is compiled in). Callers pick a tier once per
+ * tensor op via simd::active() and call the per-chunk kernels from
+ * inside util::parallelFor bodies; the kernels themselves never
+ * allocate, dispatch or spawn.
+ *
+ * ## Semantics contract (what makes scalar == avx2 bitwise)
+ *
+ * Every kernel's floating-point result is defined by a fixed
+ * per-element operation sequence that both tiers implement verbatim:
+ *
+ *  - Multiply-accumulate is *fused* (IEEE-754 fusedMultiplyAdd, a
+ *    single rounding): the scalar tier uses std::fma, the vector tier
+ *    vfmadd. GEMM accumulates each output element in ascending-k
+ *    order; storing a partial sum to memory and reloading it is
+ *    value-preserving, so callers may block the reduction axis freely.
+ *  - Reductions to one value (dot products, BN statistics) are
+ *    *lane-striped*: 8 float (or 4 double) partial accumulators where
+ *    stripe l sums elements with index ≡ l (mod lanes), combined by
+ *    the fixed tree (s_l = acc_l + acc_{l+half}, repeated), then any
+ *    tail elements folded in sequentially. The scalar tier mirrors
+ *    the striping and the tree exactly.
+ *  - Comparisons, min/max, add, subtract, multiply, divide are exact
+ *    IEEE operations — identical in any width by definition.
+ *
+ * kernels_scalar.cpp is compiled with -ffp-contract=off so the
+ * compiler cannot fuse (or unfuse) anything behind the contract's
+ * back. tests/tensor/simd_kernels_test.cpp A/Bs every kernel across
+ * odd sizes and unaligned pointers with memcmp equality.
+ */
+
+#ifndef TBD_TENSOR_KERNELS_H
+#define TBD_TENSOR_KERNELS_H
+
+#include <cstdint>
+
+namespace tbd::tensor::kern {
+
+/** Elementwise epilogue applied by the fused kernels. */
+enum class Act : std::uint8_t {
+    None,      ///< identity
+    Relu,      ///< max(v, 0) as (v > 0 ? v : 0)
+    LeakyRelu, ///< v > 0 ? v : slope * v
+    Sigmoid,   ///< 1 / (1 + exp(-v)) — scalar-only (libm exp)
+    Tanh,      ///< tanh(v) — scalar-only (libm tanh)
+};
+
+/**
+ * The geometry of one pooling row kernel call: 8-wide vectorization
+ * over consecutive output columns is legal only for strideW == 1 with
+ * no padding (every window element is then in bounds for every lane).
+ */
+struct PoolRow
+{
+    const float *in;    ///< input plane, at row (y * strideH)
+    std::int64_t inW;   ///< input row pitch
+    std::int64_t ow;    ///< output columns to produce
+    std::int64_t kH, kW;
+    std::int64_t strideW;
+};
+
+// Each kernel below exists in both namespaces with the same signature
+// and the same defined result. Only ever call kern::avx2 functions
+// after checking simd::active().
+
+namespace scalar {
+
+/** C[r, j] += sum_k A[r, k] * B[k, j]; k ascending, fused. */
+void gemmNN(float *c, const float *a, const float *b, std::int64_t rows,
+            std::int64_t N, std::int64_t K);
+
+/**
+ * C[r, j] += sum_m A[m, r + rowOff] * B[m, j] for r in [0, rows) —
+ * the A^T B panel of matmulTN; m ascending, fused.
+ */
+void gemmTN(float *c, const float *a, const float *b, std::int64_t rows,
+            std::int64_t rowOff, std::int64_t lda, std::int64_t M,
+            std::int64_t N);
+
+/**
+ * C[r, k] = dot(A[r, :], B[k, :]) over N for k in [0, Kb) — the A B^T
+ * rows of matmulNT; lane-striped dot (see contract).
+ */
+void gemmNT(float *c, const float *a, const float *b, std::int64_t rows,
+            std::int64_t N, std::int64_t Kb, std::int64_t ldc);
+
+/** dst[i] = fma(alpha, src[i], dst[i]). */
+void axpy(float *dst, const float *src, float alpha, std::int64_t n);
+
+/** x[i] *= alpha. */
+void scale(float *x, float alpha, std::int64_t n);
+
+/** Lane-striped dot product of two length-n vectors. */
+float dot(const float *a, const float *b, std::int64_t n);
+
+/** x[r, j] += bias[j] over a [rows, n] panel. */
+void addRowBias(float *x, const float *bias, std::int64_t rows,
+                std::int64_t n);
+
+/** dst[j] += sum over the panel's rows of x[r, j]; r ascending. */
+void sumRowsAcc(float *dst, const float *x, std::int64_t rows,
+                std::int64_t n);
+
+/** dst[i] = act(src[i]); dst may alias src. */
+void actForward(float *dst, const float *src, std::int64_t n, Act act,
+                float slope);
+
+/**
+ * dst[i] = act'(y[i]) * dy[i] where y is the *forward output* (all
+ * four Act kinds are exactly recoverable from it — see
+ * layers/activations.cpp); dst may alias dy.
+ */
+void actBackward(float *dst, const float *dy, const float *y,
+                 std::int64_t n, Act act, float slope);
+
+/**
+ * dst[r, j] = act(src[r, j] + bias[j]) over a [rows, n] panel — the
+ * fused bias+activation epilogue; dst may alias src.
+ */
+void biasAct(float *dst, const float *src, const float *bias,
+             std::int64_t rows, std::int64_t n, Act act, float slope);
+
+/** Lane-striped (4 double stripes) sum and sum-of-squares of x. */
+void sumSq(const float *x, std::int64_t n, double &sum, double &sumsq);
+
+/**
+ * Batch/layer-norm normalize+affine(+activation) pass over one
+ * contiguous run: xhat = (x - mean) * invStd; y = act(fma(g, xhat,
+ * b)). When xhat != nullptr the normalized values are stashed for
+ * backward. y may alias x.
+ */
+void bnApply(float *y, float *xhat, const float *x, std::int64_t n,
+             float mean, float invStd, float g, float b, Act act,
+             float slope);
+
+/** Striped reduction for BN backward: sum(dy) and sum(dy * xhat). */
+void bnBackwardReduce(const float *dy, const float *xhat, std::int64_t n,
+                      double &dsum, double &ddot);
+
+/**
+ * BN backward input-gradient pass: dx = gInvStd * (fma(-xhat,
+ * meanDyXhat, dy - meanDy)).
+ */
+void bnBackwardApply(float *dx, const float *dy, const float *xhat,
+                     std::int64_t n, float gInvStd, float meanDy,
+                     float meanDyXhat);
+
+/**
+ * One output row of max pooling: out[xo] = max over the window, strict
+ * > keeps the first maximum; argmax[xo] gets base + plane-relative
+ * input index of that maximum. A window where nothing compares
+ * greater than -inf (all -inf/NaN) stores 0 with argmax -1, matching
+ * the generic-geometry path in tensor/ops.cpp. Callers guarantee
+ * in-bounds windows (strideW == 1, no padding) for the vector tier.
+ */
+void maxPoolRow(float *out, std::int64_t *argmax, std::int64_t base,
+                const PoolRow &row);
+
+/** One output row of average pooling: out[xo] = (window sum) * inv. */
+void avgPoolRow(float *out, float inv, const PoolRow &row);
+
+} // namespace scalar
+
+#if defined(TBD_SIMD_HAS_AVX2)
+namespace avx2 {
+
+void gemmNN(float *c, const float *a, const float *b, std::int64_t rows,
+            std::int64_t N, std::int64_t K);
+void gemmTN(float *c, const float *a, const float *b, std::int64_t rows,
+            std::int64_t rowOff, std::int64_t lda, std::int64_t M,
+            std::int64_t N);
+void gemmNT(float *c, const float *a, const float *b, std::int64_t rows,
+            std::int64_t N, std::int64_t Kb, std::int64_t ldc);
+void axpy(float *dst, const float *src, float alpha, std::int64_t n);
+void scale(float *x, float alpha, std::int64_t n);
+float dot(const float *a, const float *b, std::int64_t n);
+void addRowBias(float *x, const float *bias, std::int64_t rows,
+                std::int64_t n);
+void sumRowsAcc(float *dst, const float *x, std::int64_t rows,
+                std::int64_t n);
+void actForward(float *dst, const float *src, std::int64_t n, Act act,
+                float slope);
+void actBackward(float *dst, const float *dy, const float *y,
+                 std::int64_t n, Act act, float slope);
+void biasAct(float *dst, const float *src, const float *bias,
+             std::int64_t rows, std::int64_t n, Act act, float slope);
+void sumSq(const float *x, std::int64_t n, double &sum, double &sumsq);
+void bnApply(float *y, float *xhat, const float *x, std::int64_t n,
+             float mean, float invStd, float g, float b, Act act,
+             float slope);
+void bnBackwardReduce(const float *dy, const float *xhat, std::int64_t n,
+                      double &dsum, double &ddot);
+void bnBackwardApply(float *dx, const float *dy, const float *xhat,
+                     std::int64_t n, float gInvStd, float meanDy,
+                     float meanDyXhat);
+void maxPoolRow(float *out, std::int64_t *argmax, std::int64_t base,
+                const PoolRow &row);
+void avgPoolRow(float *out, float inv, const PoolRow &row);
+
+} // namespace avx2
+#endif // TBD_SIMD_HAS_AVX2
+
+/**
+ * Function-pointer view of one kernel tier. Call sites fetch a table
+ * once per tensor-op invocation (ops(simd::active())) and never
+ * mention an ISA; only kernels_avx2.cpp sees TBD_SIMD_HAS_AVX2.
+ */
+struct Ops
+{
+    void (*gemmNN)(float *, const float *, const float *, std::int64_t,
+                   std::int64_t, std::int64_t);
+    void (*gemmTN)(float *, const float *, const float *, std::int64_t,
+                   std::int64_t, std::int64_t, std::int64_t,
+                   std::int64_t);
+    void (*gemmNT)(float *, const float *, const float *, std::int64_t,
+                   std::int64_t, std::int64_t, std::int64_t);
+    void (*axpy)(float *, const float *, float, std::int64_t);
+    void (*scale)(float *, float, std::int64_t);
+    float (*dot)(const float *, const float *, std::int64_t);
+    void (*addRowBias)(float *, const float *, std::int64_t,
+                       std::int64_t);
+    void (*sumRowsAcc)(float *, const float *, std::int64_t,
+                       std::int64_t);
+    void (*actForward)(float *, const float *, std::int64_t, Act, float);
+    void (*actBackward)(float *, const float *, const float *,
+                        std::int64_t, Act, float);
+    void (*biasAct)(float *, const float *, const float *, std::int64_t,
+                    std::int64_t, Act, float);
+    void (*sumSq)(const float *, std::int64_t, double &, double &);
+    void (*bnApply)(float *, float *, const float *, std::int64_t, float,
+                    float, float, float, Act, float);
+    void (*bnBackwardReduce)(const float *, const float *, std::int64_t,
+                             double &, double &);
+    void (*bnBackwardApply)(float *, const float *, const float *,
+                            std::int64_t, float, float, float);
+    void (*maxPoolRow)(float *, std::int64_t *, std::int64_t,
+                       const PoolRow &);
+    void (*avgPoolRow)(float *, float, const PoolRow &);
+};
+
+/** The scalar oracle's dispatch table. */
+const Ops &scalarOps();
+
+/**
+ * The compiled vector tier's dispatch table; aliases scalarOps() when
+ * no vector tier was compiled in. Callers must still gate on
+ * simd::active() — this table alone does not check the CPU.
+ */
+const Ops &vectorOps();
+
+/** Table for one dispatch decision (see simd::active()). */
+inline const Ops &
+ops(bool vector)
+{
+    return vector ? vectorOps() : scalarOps();
+}
+
+} // namespace tbd::tensor::kern
+
+#endif // TBD_TENSOR_KERNELS_H

@@ -1,0 +1,753 @@
+/**
+ * @file
+ * AVX2+FMA implementation of the microkernel layer.
+ *
+ * The only translation unit in the library compiled with
+ * -mavx2 -mfma; CMake defines TBD_SIMD_HAS_AVX2 here (and on
+ * simd.cpp) when the compiler accepts those flags. Everything in this
+ * file must produce results bitwise-identical to kernels_scalar.cpp:
+ * the scalar file *defines* the semantics, this one re-executes them 8
+ * (float) or 4 (double) lanes at a time. Register tiling is free to
+ * change because each output element's reduction chain keeps its
+ * order; anything that alters a per-element operation sequence is a
+ * bug the A/B tests in tests/tensor/simd_kernels_test.cpp will catch.
+ *
+ * Scalar tails here repeat the oracle's expressions verbatim (explicit
+ * std::fma; -ffp-contract=off keeps the compiler honest). Sigmoid and
+ * tanh *forward* passes delegate to the scalar tier (libm calls);
+ * their backward passes are plain arithmetic and vectorize fine.
+ */
+
+#include "tensor/kernels.h"
+
+#if defined(TBD_SIMD_HAS_AVX2)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <limits>
+
+namespace tbd::tensor::kern::avx2 {
+
+namespace {
+
+/** Horizontal sum of one ymm of floats — the fixed combine tree. */
+inline float
+hsum8(__m256 v)
+{
+    const __m128 lo = _mm256_castps256_ps128(v);
+    const __m128 hi = _mm256_extractf128_ps(v, 1);
+    const __m128 s = _mm_add_ps(lo, hi);
+    const __m128 t = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    return _mm_cvtss_f32(_mm_add_ss(t, _mm_movehdup_ps(t)));
+}
+
+/** Horizontal sum of one ymm of doubles — (d0 + d2) + (d1 + d3). */
+inline double
+hsum4d(__m256d v)
+{
+    const __m128d lo = _mm256_castpd256_pd128(v);
+    const __m128d hi = _mm256_extractf128_pd(v, 1);
+    const __m128d s = _mm_add_pd(lo, hi);
+    return _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)));
+}
+
+/** maskload/maskstore mask covering the first rem (1..7) lanes. */
+inline __m256i
+tailMask(std::int64_t rem)
+{
+    alignas(32) static const std::int32_t tbl[16] = {
+        -1, -1, -1, -1, -1, -1, -1, -1, 0, 0, 0, 0, 0, 0, 0, 0};
+    return _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(tbl + 8 - rem));
+}
+
+/** Scalar-tail twin of the vectorizable activation epilogues. */
+inline float
+applyActTail(float v, Act act, float slope)
+{
+    switch (act) {
+      case Act::Relu:
+        return v > 0.0f ? v : 0.0f;
+      case Act::LeakyRelu:
+        return v > 0.0f ? v : slope * v;
+      default:
+        return v;
+    }
+}
+
+/** Vector activation epilogue (None / Relu / LeakyRelu only). */
+inline __m256
+actVec(__m256 v, Act act, __m256 slope)
+{
+    switch (act) {
+      case Act::Relu:
+        return _mm256_and_ps(
+            v, _mm256_cmp_ps(v, _mm256_setzero_ps(), _CMP_GT_OQ));
+      case Act::LeakyRelu:
+        return _mm256_blendv_ps(
+            _mm256_mul_ps(slope, v), v,
+            _mm256_cmp_ps(v, _mm256_setzero_ps(), _CMP_GT_OQ));
+      default:
+        return v;
+    }
+}
+
+// --- gemmNN: MR x (8*NV) register tile, k innermost -----------------
+
+template <int MR, int NV>
+inline void
+nnTile(float *c, const float *a, const float *b, std::int64_t r0,
+       std::int64_t j0, std::int64_t N, std::int64_t K)
+{
+    __m256 acc[MR][NV];
+    for (int i = 0; i < MR; ++i)
+        for (int v = 0; v < NV; ++v)
+            acc[i][v] = _mm256_loadu_ps(c + (r0 + i) * N + j0 + 8 * v);
+    for (std::int64_t k = 0; k < K; ++k) {
+        __m256 bv[NV];
+        for (int v = 0; v < NV; ++v)
+            bv[v] = _mm256_loadu_ps(b + k * N + j0 + 8 * v);
+        for (int i = 0; i < MR; ++i) {
+            const __m256 av = _mm256_broadcast_ss(a + (r0 + i) * K + k);
+            for (int v = 0; v < NV; ++v)
+                acc[i][v] = _mm256_fmadd_ps(av, bv[v], acc[i][v]);
+        }
+    }
+    for (int i = 0; i < MR; ++i)
+        for (int v = 0; v < NV; ++v)
+            _mm256_storeu_ps(c + (r0 + i) * N + j0 + 8 * v, acc[i][v]);
+}
+
+template <int MR>
+inline void
+nnTileMask(float *c, const float *a, const float *b, std::int64_t r0,
+           std::int64_t j0, std::int64_t N, std::int64_t K,
+           std::int64_t rem)
+{
+    const __m256i m = tailMask(rem);
+    __m256 acc[MR];
+    for (int i = 0; i < MR; ++i)
+        acc[i] = _mm256_maskload_ps(c + (r0 + i) * N + j0, m);
+    for (std::int64_t k = 0; k < K; ++k) {
+        const __m256 bv = _mm256_maskload_ps(b + k * N + j0, m);
+        for (int i = 0; i < MR; ++i) {
+            const __m256 av = _mm256_broadcast_ss(a + (r0 + i) * K + k);
+            acc[i] = _mm256_fmadd_ps(av, bv, acc[i]);
+        }
+    }
+    for (int i = 0; i < MR; ++i)
+        _mm256_maskstore_ps(c + (r0 + i) * N + j0, m, acc[i]);
+}
+
+template <int MR>
+inline void
+nnRows(float *c, const float *a, const float *b, std::int64_t r0,
+       std::int64_t N, std::int64_t K)
+{
+    std::int64_t j = 0;
+    for (; j + 16 <= N; j += 16)
+        nnTile<MR, 2>(c, a, b, r0, j, N, K);
+    if (j + 8 <= N) {
+        nnTile<MR, 1>(c, a, b, r0, j, N, K);
+        j += 8;
+    }
+    if (j < N)
+        nnTileMask<MR>(c, a, b, r0, j, N, K, N - j);
+}
+
+// --- gemmTN: like gemmNN but A is walked down a column (stride lda) -
+
+template <int MR, int NV>
+inline void
+tnTile(float *c, const float *a, const float *b, std::int64_t r0,
+       std::int64_t rowOff, std::int64_t j0, std::int64_t lda,
+       std::int64_t M, std::int64_t N)
+{
+    __m256 acc[MR][NV];
+    for (int i = 0; i < MR; ++i)
+        for (int v = 0; v < NV; ++v)
+            acc[i][v] = _mm256_loadu_ps(c + (r0 + i) * N + j0 + 8 * v);
+    for (std::int64_t m = 0; m < M; ++m) {
+        const float *arow = a + m * lda + rowOff + r0;
+        __m256 bv[NV];
+        for (int v = 0; v < NV; ++v)
+            bv[v] = _mm256_loadu_ps(b + m * N + j0 + 8 * v);
+        for (int i = 0; i < MR; ++i) {
+            const __m256 av = _mm256_broadcast_ss(arow + i);
+            for (int v = 0; v < NV; ++v)
+                acc[i][v] = _mm256_fmadd_ps(av, bv[v], acc[i][v]);
+        }
+    }
+    for (int i = 0; i < MR; ++i)
+        for (int v = 0; v < NV; ++v)
+            _mm256_storeu_ps(c + (r0 + i) * N + j0 + 8 * v, acc[i][v]);
+}
+
+template <int MR>
+inline void
+tnTileMask(float *c, const float *a, const float *b, std::int64_t r0,
+           std::int64_t rowOff, std::int64_t j0, std::int64_t lda,
+           std::int64_t M, std::int64_t N, std::int64_t rem)
+{
+    const __m256i msk = tailMask(rem);
+    __m256 acc[MR];
+    for (int i = 0; i < MR; ++i)
+        acc[i] = _mm256_maskload_ps(c + (r0 + i) * N + j0, msk);
+    for (std::int64_t m = 0; m < M; ++m) {
+        const float *arow = a + m * lda + rowOff + r0;
+        const __m256 bv = _mm256_maskload_ps(b + m * N + j0, msk);
+        for (int i = 0; i < MR; ++i) {
+            const __m256 av = _mm256_broadcast_ss(arow + i);
+            acc[i] = _mm256_fmadd_ps(av, bv, acc[i]);
+        }
+    }
+    for (int i = 0; i < MR; ++i)
+        _mm256_maskstore_ps(c + (r0 + i) * N + j0, msk, acc[i]);
+}
+
+template <int MR>
+inline void
+tnRows(float *c, const float *a, const float *b, std::int64_t r0,
+       std::int64_t rowOff, std::int64_t lda, std::int64_t M,
+       std::int64_t N)
+{
+    std::int64_t j = 0;
+    for (; j + 16 <= N; j += 16)
+        tnTile<MR, 2>(c, a, b, r0, rowOff, j, lda, M, N);
+    if (j + 8 <= N) {
+        tnTile<MR, 1>(c, a, b, r0, rowOff, j, lda, M, N);
+        j += 8;
+    }
+    if (j < N)
+        tnTileMask<MR>(c, a, b, r0, rowOff, j, lda, M, N, N - j);
+}
+
+// --- gemmNT: 2x4 block of lane-striped dot products -----------------
+
+inline void
+ntTile24(float *c, const float *a, const float *b, std::int64_t r,
+         std::int64_t k0, std::int64_t N, std::int64_t ldc)
+{
+    __m256 acc[2][4];
+    for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 4; ++j)
+            acc[i][j] = _mm256_setzero_ps();
+    const float *a0 = a + r * N;
+    const float *a1 = a0 + N;
+    const std::int64_t lim = N & ~std::int64_t(7);
+    std::int64_t i = 0;
+    for (; i < lim; i += 8) {
+        const __m256 av0 = _mm256_loadu_ps(a0 + i);
+        const __m256 av1 = _mm256_loadu_ps(a1 + i);
+        for (int j = 0; j < 4; ++j) {
+            const __m256 bv = _mm256_loadu_ps(b + (k0 + j) * N + i);
+            acc[0][j] = _mm256_fmadd_ps(av0, bv, acc[0][j]);
+            acc[1][j] = _mm256_fmadd_ps(av1, bv, acc[1][j]);
+        }
+    }
+    for (int rr = 0; rr < 2; ++rr) {
+        const float *arow = rr == 0 ? a0 : a1;
+        for (int j = 0; j < 4; ++j) {
+            const float *brow = b + (k0 + j) * N;
+            float s = hsum8(acc[rr][j]);
+            for (std::int64_t t = lim; t < N; ++t)
+                s = std::fma(arow[t], brow[t], s);
+            c[(r + rr) * ldc + k0 + j] = s;
+        }
+    }
+}
+
+} // namespace
+
+void
+gemmNN(float *c, const float *a, const float *b, std::int64_t rows,
+       std::int64_t N, std::int64_t K)
+{
+    std::int64_t r = 0;
+    for (; r + 6 <= rows; r += 6)
+        nnRows<6>(c, a, b, r, N, K);
+    switch (rows - r) {
+      case 5:
+        nnRows<5>(c, a, b, r, N, K);
+        break;
+      case 4:
+        nnRows<4>(c, a, b, r, N, K);
+        break;
+      case 3:
+        nnRows<3>(c, a, b, r, N, K);
+        break;
+      case 2:
+        nnRows<2>(c, a, b, r, N, K);
+        break;
+      case 1:
+        nnRows<1>(c, a, b, r, N, K);
+        break;
+      default:
+        break;
+    }
+}
+
+void
+gemmTN(float *c, const float *a, const float *b, std::int64_t rows,
+       std::int64_t rowOff, std::int64_t lda, std::int64_t M,
+       std::int64_t N)
+{
+    std::int64_t r = 0;
+    for (; r + 4 <= rows; r += 4)
+        tnRows<4>(c, a, b, r, rowOff, lda, M, N);
+    switch (rows - r) {
+      case 3:
+        tnRows<3>(c, a, b, r, rowOff, lda, M, N);
+        break;
+      case 2:
+        tnRows<2>(c, a, b, r, rowOff, lda, M, N);
+        break;
+      case 1:
+        tnRows<1>(c, a, b, r, rowOff, lda, M, N);
+        break;
+      default:
+        break;
+    }
+}
+
+void
+gemmNT(float *c, const float *a, const float *b, std::int64_t rows,
+       std::int64_t N, std::int64_t Kb, std::int64_t ldc)
+{
+    std::int64_t r = 0;
+    for (; r + 2 <= rows; r += 2) {
+        std::int64_t k = 0;
+        for (; k + 4 <= Kb; k += 4)
+            ntTile24(c, a, b, r, k, N, ldc);
+        for (; k < Kb; ++k) {
+            c[r * ldc + k] = dot(a + r * N, b + k * N, N);
+            c[(r + 1) * ldc + k] = dot(a + (r + 1) * N, b + k * N, N);
+        }
+    }
+    if (r < rows)
+        for (std::int64_t k = 0; k < Kb; ++k)
+            c[r * ldc + k] = dot(a + r * N, b + k * N, N);
+}
+
+void
+axpy(float *dst, const float *src, float alpha, std::int64_t n)
+{
+    const __m256 av = _mm256_set1_ps(alpha);
+    const std::int64_t lim = n & ~std::int64_t(7);
+    std::int64_t i = 0;
+    for (; i < lim; i += 8)
+        _mm256_storeu_ps(dst + i,
+                         _mm256_fmadd_ps(av, _mm256_loadu_ps(src + i),
+                                         _mm256_loadu_ps(dst + i)));
+    for (; i < n; ++i)
+        dst[i] = std::fma(alpha, src[i], dst[i]);
+}
+
+void
+scale(float *x, float alpha, std::int64_t n)
+{
+    const __m256 av = _mm256_set1_ps(alpha);
+    const std::int64_t lim = n & ~std::int64_t(7);
+    std::int64_t i = 0;
+    for (; i < lim; i += 8)
+        _mm256_storeu_ps(x + i, _mm256_mul_ps(_mm256_loadu_ps(x + i), av));
+    for (; i < n; ++i)
+        x[i] *= alpha;
+}
+
+float
+dot(const float *a, const float *b, std::int64_t n)
+{
+    __m256 acc = _mm256_setzero_ps();
+    const std::int64_t lim = n & ~std::int64_t(7);
+    std::int64_t i = 0;
+    for (; i < lim; i += 8)
+        acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + i),
+                              _mm256_loadu_ps(b + i), acc);
+    float r = hsum8(acc);
+    for (; i < n; ++i)
+        r = std::fma(a[i], b[i], r);
+    return r;
+}
+
+void
+addRowBias(float *x, const float *bias, std::int64_t rows, std::int64_t n)
+{
+    const std::int64_t lim = n & ~std::int64_t(7);
+    for (std::int64_t r = 0; r < rows; ++r) {
+        float *xrow = x + r * n;
+        std::int64_t j = 0;
+        for (; j < lim; j += 8)
+            _mm256_storeu_ps(xrow + j,
+                             _mm256_add_ps(_mm256_loadu_ps(xrow + j),
+                                           _mm256_loadu_ps(bias + j)));
+        for (; j < n; ++j)
+            xrow[j] += bias[j];
+    }
+}
+
+void
+sumRowsAcc(float *dst, const float *x, std::int64_t rows, std::int64_t n)
+{
+    const std::int64_t lim = n & ~std::int64_t(7);
+    std::int64_t j = 0;
+    for (; j < lim; j += 8) {
+        __m256 acc = _mm256_loadu_ps(dst + j);
+        for (std::int64_t r = 0; r < rows; ++r)
+            acc = _mm256_add_ps(acc, _mm256_loadu_ps(x + r * n + j));
+        _mm256_storeu_ps(dst + j, acc);
+    }
+    for (; j < n; ++j) {
+        float t = dst[j];
+        for (std::int64_t r = 0; r < rows; ++r)
+            t += x[r * n + j];
+        dst[j] = t;
+    }
+}
+
+void
+actForward(float *dst, const float *src, std::int64_t n, Act act,
+           float slope)
+{
+    if (act == Act::Sigmoid || act == Act::Tanh) {
+        scalar::actForward(dst, src, n, act, slope);
+        return;
+    }
+    const __m256 sv = _mm256_set1_ps(slope);
+    const std::int64_t lim = n & ~std::int64_t(7);
+    std::int64_t i = 0;
+    for (; i < lim; i += 8)
+        _mm256_storeu_ps(dst + i,
+                         actVec(_mm256_loadu_ps(src + i), act, sv));
+    for (; i < n; ++i)
+        dst[i] = applyActTail(src[i], act, slope);
+}
+
+void
+actBackward(float *dst, const float *dy, const float *y, std::int64_t n,
+            Act act, float slope)
+{
+    const std::int64_t lim = n & ~std::int64_t(7);
+    std::int64_t i = 0;
+    switch (act) {
+      case Act::None:
+        for (; i < n; ++i)
+            dst[i] = dy[i];
+        break;
+      case Act::Relu:
+        for (; i < lim; i += 8) {
+            const __m256 m = _mm256_cmp_ps(_mm256_loadu_ps(y + i),
+                                           _mm256_setzero_ps(),
+                                           _CMP_GT_OQ);
+            _mm256_storeu_ps(
+                dst + i, _mm256_and_ps(_mm256_loadu_ps(dy + i), m));
+        }
+        for (; i < n; ++i)
+            dst[i] = y[i] > 0.0f ? dy[i] : 0.0f;
+        break;
+      case Act::LeakyRelu: {
+        const __m256 sv = _mm256_set1_ps(slope);
+        for (; i < lim; i += 8) {
+            const __m256 dyv = _mm256_loadu_ps(dy + i);
+            const __m256 m = _mm256_cmp_ps(_mm256_loadu_ps(y + i),
+                                           _mm256_setzero_ps(),
+                                           _CMP_GT_OQ);
+            _mm256_storeu_ps(
+                dst + i,
+                _mm256_blendv_ps(_mm256_mul_ps(sv, dyv), dyv, m));
+        }
+        for (; i < n; ++i)
+            dst[i] = y[i] > 0.0f ? dy[i] : slope * dy[i];
+        break;
+      }
+      case Act::Sigmoid: {
+        const __m256 one = _mm256_set1_ps(1.0f);
+        for (; i < lim; i += 8) {
+            const __m256 yv = _mm256_loadu_ps(y + i);
+            const __m256 u =
+                _mm256_mul_ps(yv, _mm256_sub_ps(one, yv));
+            _mm256_storeu_ps(
+                dst + i, _mm256_mul_ps(_mm256_loadu_ps(dy + i), u));
+        }
+        for (; i < n; ++i)
+            dst[i] = dy[i] * (y[i] * (1.0f - y[i]));
+        break;
+      }
+      case Act::Tanh: {
+        const __m256 one = _mm256_set1_ps(1.0f);
+        for (; i < lim; i += 8) {
+            const __m256 yv = _mm256_loadu_ps(y + i);
+            const __m256 u = _mm256_fnmadd_ps(yv, yv, one);
+            _mm256_storeu_ps(
+                dst + i, _mm256_mul_ps(_mm256_loadu_ps(dy + i), u));
+        }
+        for (; i < n; ++i)
+            dst[i] = dy[i] * std::fma(-y[i], y[i], 1.0f);
+        break;
+      }
+    }
+}
+
+void
+biasAct(float *dst, const float *src, const float *bias, std::int64_t rows,
+        std::int64_t n, Act act, float slope)
+{
+    if (act == Act::Sigmoid || act == Act::Tanh) {
+        scalar::biasAct(dst, src, bias, rows, n, act, slope);
+        return;
+    }
+    const __m256 sv = _mm256_set1_ps(slope);
+    const std::int64_t lim = n & ~std::int64_t(7);
+    for (std::int64_t r = 0; r < rows; ++r) {
+        float *drow = dst + r * n;
+        const float *srow = src + r * n;
+        std::int64_t j = 0;
+        for (; j < lim; j += 8) {
+            const __m256 v = _mm256_add_ps(_mm256_loadu_ps(srow + j),
+                                           _mm256_loadu_ps(bias + j));
+            _mm256_storeu_ps(drow + j, actVec(v, act, sv));
+        }
+        for (; j < n; ++j)
+            drow[j] = applyActTail(srow[j] + bias[j], act, slope);
+    }
+}
+
+void
+sumSq(const float *x, std::int64_t n, double &sum, double &sumsq)
+{
+    __m256d s = _mm256_setzero_pd();
+    __m256d q = _mm256_setzero_pd();
+    const std::int64_t lim = n & ~std::int64_t(3);
+    std::int64_t i = 0;
+    for (; i < lim; i += 4) {
+        const __m256d d = _mm256_cvtps_pd(_mm_loadu_ps(x + i));
+        s = _mm256_add_pd(s, d);
+        q = _mm256_fmadd_pd(d, d, q);
+    }
+    double sr = hsum4d(s);
+    double qr = hsum4d(q);
+    for (; i < n; ++i) {
+        const double d = double(x[i]);
+        sr += d;
+        qr = std::fma(d, d, qr);
+    }
+    sum = sr;
+    sumsq = qr;
+}
+
+void
+bnApply(float *y, float *xhat, const float *x, std::int64_t n, float mean,
+        float invStd, float g, float b, Act act, float slope)
+{
+    if (act == Act::Sigmoid || act == Act::Tanh) {
+        scalar::bnApply(y, xhat, x, n, mean, invStd, g, b, act, slope);
+        return;
+    }
+    const __m256 mv = _mm256_set1_ps(mean);
+    const __m256 iv = _mm256_set1_ps(invStd);
+    const __m256 gv = _mm256_set1_ps(g);
+    const __m256 bv = _mm256_set1_ps(b);
+    const __m256 sv = _mm256_set1_ps(slope);
+    const std::int64_t lim = n & ~std::int64_t(7);
+    std::int64_t i = 0;
+    for (; i < lim; i += 8) {
+        const __m256 xh = _mm256_mul_ps(
+            _mm256_sub_ps(_mm256_loadu_ps(x + i), mv), iv);
+        if (xhat != nullptr)
+            _mm256_storeu_ps(xhat + i, xh);
+        const __m256 v = _mm256_fmadd_ps(gv, xh, bv);
+        _mm256_storeu_ps(y + i, actVec(v, act, sv));
+    }
+    for (; i < n; ++i) {
+        const float xh = (x[i] - mean) * invStd;
+        if (xhat != nullptr)
+            xhat[i] = xh;
+        y[i] = applyActTail(std::fma(g, xh, b), act, slope);
+    }
+}
+
+void
+bnBackwardReduce(const float *dy, const float *xhat, std::int64_t n,
+                 double &dsum, double &ddot)
+{
+    __m256d s = _mm256_setzero_pd();
+    __m256d q = _mm256_setzero_pd();
+    const std::int64_t lim = n & ~std::int64_t(3);
+    std::int64_t i = 0;
+    for (; i < lim; i += 4) {
+        const __m256d dyd = _mm256_cvtps_pd(_mm_loadu_ps(dy + i));
+        const __m256d xhd = _mm256_cvtps_pd(_mm_loadu_ps(xhat + i));
+        s = _mm256_add_pd(s, dyd);
+        q = _mm256_fmadd_pd(dyd, xhd, q);
+    }
+    double sr = hsum4d(s);
+    double qr = hsum4d(q);
+    for (; i < n; ++i) {
+        const double dg = double(dy[i]);
+        sr += dg;
+        qr = std::fma(dg, double(xhat[i]), qr);
+    }
+    dsum = sr;
+    ddot = qr;
+}
+
+void
+bnBackwardApply(float *dx, const float *dy, const float *xhat,
+                std::int64_t n, float gInvStd, float meanDy,
+                float meanDyXhat)
+{
+    const __m256 mdv = _mm256_set1_ps(meanDy);
+    const __m256 mxv = _mm256_set1_ps(meanDyXhat);
+    const __m256 gv = _mm256_set1_ps(gInvStd);
+    const std::int64_t lim = n & ~std::int64_t(7);
+    std::int64_t i = 0;
+    for (; i < lim; i += 8) {
+        const __m256 t = _mm256_sub_ps(_mm256_loadu_ps(dy + i), mdv);
+        const __m256 r =
+            _mm256_fnmadd_ps(mxv, _mm256_loadu_ps(xhat + i), t);
+        _mm256_storeu_ps(dx + i, _mm256_mul_ps(gv, r));
+    }
+    for (; i < n; ++i) {
+        const float t = dy[i] - meanDy;
+        dx[i] = gInvStd * std::fma(-meanDyXhat, xhat[i], t);
+    }
+}
+
+void
+maxPoolRow(float *out, std::int64_t *argmax, std::int64_t base,
+           const PoolRow &row)
+{
+    // The 8-wide path needs consecutive output columns to read
+    // consecutive input columns; other geometries use the oracle.
+    if (row.strideW != 1) {
+        scalar::maxPoolRow(out, argmax, base, row);
+        return;
+    }
+    const __m256i iota = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    const __m256 ninf =
+        _mm256_set1_ps(-std::numeric_limits<float>::infinity());
+    std::int64_t xo = 0;
+    for (; xo + 8 <= row.ow; xo += 8) {
+        __m256 best = ninf;
+        __m256i idx = _mm256_set1_epi32(-1);
+        for (std::int64_t ky = 0; ky < row.kH; ++ky) {
+            for (std::int64_t kx = 0; kx < row.kW; ++kx) {
+                // Plane-relative indices fit int32: planes are far
+                // smaller than 2^31 elements.
+                const std::int64_t rel = ky * row.inW + kx + xo;
+                const __m256 v = _mm256_loadu_ps(row.in + rel);
+                const __m256 m = _mm256_cmp_ps(v, best, _CMP_GT_OQ);
+                best = _mm256_blendv_ps(best, v, m);
+                const __m256i cand = _mm256_add_epi32(
+                    _mm256_set1_epi32(static_cast<std::int32_t>(rel)),
+                    iota);
+                idx = _mm256_blendv_epi8(idx, cand,
+                                         _mm256_castps_si256(m));
+            }
+        }
+        // Lanes where nothing beat -inf (all -inf/NaN) keep the
+        // generic path's convention: output 0, argmax -1.
+        const __m256i neg1 = _mm256_set1_epi32(-1);
+        const __m256i none = _mm256_cmpeq_epi32(idx, neg1);
+        best = _mm256_blendv_ps(best, _mm256_setzero_ps(),
+                                _mm256_castsi256_ps(none));
+        _mm256_storeu_ps(out + xo, best);
+        const __m256i bs = _mm256_set1_epi64x(base);
+        const __m256i neg1w = _mm256_set1_epi64x(-1);
+        const __m128i half[2] = {_mm256_castsi256_si128(idx),
+                                 _mm256_extracti128_si256(idx, 1)};
+        for (int h = 0; h < 2; ++h) {
+            const __m256i wide = _mm256_cvtepi32_epi64(half[h]);
+            const __m256i absi = _mm256_add_epi64(wide, bs);
+            const __m256i res = _mm256_blendv_epi8(
+                absi, neg1w, _mm256_cmpeq_epi64(wide, neg1w));
+            _mm256_storeu_si256(
+                reinterpret_cast<__m256i *>(argmax + xo + 4 * h), res);
+        }
+    }
+    for (; xo < row.ow; ++xo) {
+        float bestv = -std::numeric_limits<float>::infinity();
+        std::int64_t idx = -1;
+        for (std::int64_t ky = 0; ky < row.kH; ++ky) {
+            const float *rowp = row.in + ky * row.inW + xo;
+            for (std::int64_t kx = 0; kx < row.kW; ++kx) {
+                const float v = rowp[kx];
+                if (v > bestv) {
+                    bestv = v;
+                    idx = ky * row.inW + xo + kx;
+                }
+            }
+        }
+        out[xo] = idx < 0 ? 0.0f : bestv;
+        argmax[xo] = idx < 0 ? -1 : base + idx;
+    }
+}
+
+void
+avgPoolRow(float *out, float inv, const PoolRow &row)
+{
+    if (row.strideW != 1) {
+        scalar::avgPoolRow(out, inv, row);
+        return;
+    }
+    const __m256 iv = _mm256_set1_ps(inv);
+    std::int64_t xo = 0;
+    for (; xo + 8 <= row.ow; xo += 8) {
+        __m256 acc = _mm256_setzero_ps();
+        for (std::int64_t ky = 0; ky < row.kH; ++ky)
+            for (std::int64_t kx = 0; kx < row.kW; ++kx)
+                acc = _mm256_add_ps(
+                    acc,
+                    _mm256_loadu_ps(row.in + ky * row.inW + kx + xo));
+        _mm256_storeu_ps(out + xo, _mm256_mul_ps(acc, iv));
+    }
+    for (; xo < row.ow; ++xo) {
+        float s = 0.0f;
+        for (std::int64_t ky = 0; ky < row.kH; ++ky) {
+            const float *rowp = row.in + ky * row.inW + xo;
+            for (std::int64_t kx = 0; kx < row.kW; ++kx)
+                s += rowp[kx];
+        }
+        out[xo] = s * inv;
+    }
+}
+
+} // namespace tbd::tensor::kern::avx2
+
+namespace tbd::tensor::kern {
+
+const Ops &
+vectorOps()
+{
+    static const Ops table = {
+        avx2::gemmNN,          avx2::gemmTN,
+        avx2::gemmNT,          avx2::axpy,
+        avx2::scale,           avx2::dot,
+        avx2::addRowBias,      avx2::sumRowsAcc,
+        avx2::actForward,      avx2::actBackward,
+        avx2::biasAct,         avx2::sumSq,
+        avx2::bnApply,         avx2::bnBackwardReduce,
+        avx2::bnBackwardApply, avx2::maxPoolRow,
+        avx2::avgPoolRow,
+    };
+    return table;
+}
+
+} // namespace tbd::tensor::kern
+
+#else // !TBD_SIMD_HAS_AVX2
+
+// Vector tier not compiled in; dispatch never leaves the scalar
+// oracle (see tensor/simd.cpp).
+namespace tbd::tensor::kern {
+
+const Ops &
+vectorOps()
+{
+    return scalarOps();
+}
+
+} // namespace tbd::tensor::kern
+
+#endif // TBD_SIMD_HAS_AVX2

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Portable reference implementation of the microkernel layer — the
+ * bitwise oracle every vector tier is tested against.
+ *
+ * This translation unit is compiled for the baseline target ISA with
+ * -ffp-contract=off: every fused multiply-add is an *explicit*
+ * std::fma and nothing else may be contracted or split by the
+ * compiler. Reductions mirror the vector tiers' lane striping and
+ * combine trees element for element (see kernels.h); keep any edit
+ * here in lockstep with kernels_avx2.cpp.
+ */
+
+#include "tensor/kernels.h"
+
+#include <cmath>
+#include <limits>
+
+namespace tbd::tensor::kern::scalar {
+
+namespace {
+
+/** The per-element activation epilogue shared by the fused kernels. */
+inline float
+applyAct(float v, Act act, float slope)
+{
+    switch (act) {
+      case Act::None:
+        return v;
+      case Act::Relu:
+        return v > 0.0f ? v : 0.0f;
+      case Act::LeakyRelu:
+        return v > 0.0f ? v : slope * v;
+      case Act::Sigmoid:
+        return 1.0f / (1.0f + std::exp(-v));
+      case Act::Tanh:
+        return std::tanh(v);
+    }
+    return v;
+}
+
+} // namespace
+
+void
+gemmNN(float *c, const float *a, const float *b, std::int64_t rows,
+       std::int64_t N, std::int64_t K)
+{
+    for (std::int64_t r = 0; r < rows; ++r) {
+        float *crow = c + r * N;
+        const float *arow = a + r * K;
+        for (std::int64_t k = 0; k < K; ++k) {
+            const float aik = arow[k];
+            const float *brow = b + k * N;
+            for (std::int64_t j = 0; j < N; ++j)
+                crow[j] = std::fma(aik, brow[j], crow[j]);
+        }
+    }
+}
+
+void
+gemmTN(float *c, const float *a, const float *b, std::int64_t rows,
+       std::int64_t rowOff, std::int64_t lda, std::int64_t M,
+       std::int64_t N)
+{
+    for (std::int64_t r = 0; r < rows; ++r) {
+        float *crow = c + r * N;
+        const float *acol = a + rowOff + r;
+        for (std::int64_t m = 0; m < M; ++m) {
+            const float amr = acol[m * lda];
+            const float *brow = b + m * N;
+            for (std::int64_t j = 0; j < N; ++j)
+                crow[j] = std::fma(amr, brow[j], crow[j]);
+        }
+    }
+}
+
+void
+gemmNT(float *c, const float *a, const float *b, std::int64_t rows,
+       std::int64_t N, std::int64_t Kb, std::int64_t ldc)
+{
+    for (std::int64_t r = 0; r < rows; ++r) {
+        const float *arow = a + r * N;
+        float *crow = c + r * ldc;
+        for (std::int64_t k = 0; k < Kb; ++k)
+            crow[k] = dot(arow, b + k * N, N);
+    }
+}
+
+void
+axpy(float *dst, const float *src, float alpha, std::int64_t n)
+{
+    for (std::int64_t i = 0; i < n; ++i)
+        dst[i] = std::fma(alpha, src[i], dst[i]);
+}
+
+void
+scale(float *x, float alpha, std::int64_t n)
+{
+    for (std::int64_t i = 0; i < n; ++i)
+        x[i] *= alpha;
+}
+
+float
+dot(const float *a, const float *b, std::int64_t n)
+{
+    // 8 float stripes + the fixed combine tree — the exact shape of
+    // one ymm accumulator and its horizontal reduction.
+    float acc[8] = {0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f};
+    const std::int64_t lim = n & ~std::int64_t(7);
+    std::int64_t i = 0;
+    for (; i < lim; i += 8)
+        for (int l = 0; l < 8; ++l)
+            acc[l] = std::fma(a[i + l], b[i + l], acc[l]);
+    const float s0 = acc[0] + acc[4];
+    const float s1 = acc[1] + acc[5];
+    const float s2 = acc[2] + acc[6];
+    const float s3 = acc[3] + acc[7];
+    float r = (s0 + s2) + (s1 + s3);
+    for (; i < n; ++i)
+        r = std::fma(a[i], b[i], r);
+    return r;
+}
+
+void
+addRowBias(float *x, const float *bias, std::int64_t rows, std::int64_t n)
+{
+    for (std::int64_t r = 0; r < rows; ++r) {
+        float *xrow = x + r * n;
+        for (std::int64_t j = 0; j < n; ++j)
+            xrow[j] += bias[j];
+    }
+}
+
+void
+sumRowsAcc(float *dst, const float *x, std::int64_t rows, std::int64_t n)
+{
+    for (std::int64_t r = 0; r < rows; ++r) {
+        const float *xrow = x + r * n;
+        for (std::int64_t j = 0; j < n; ++j)
+            dst[j] += xrow[j];
+    }
+}
+
+void
+actForward(float *dst, const float *src, std::int64_t n, Act act,
+           float slope)
+{
+    for (std::int64_t i = 0; i < n; ++i)
+        dst[i] = applyAct(src[i], act, slope);
+}
+
+void
+actBackward(float *dst, const float *dy, const float *y, std::int64_t n,
+            Act act, float slope)
+{
+    switch (act) {
+      case Act::None:
+        for (std::int64_t i = 0; i < n; ++i)
+            dst[i] = dy[i];
+        break;
+      case Act::Relu:
+        for (std::int64_t i = 0; i < n; ++i)
+            dst[i] = y[i] > 0.0f ? dy[i] : 0.0f;
+        break;
+      case Act::LeakyRelu:
+        for (std::int64_t i = 0; i < n; ++i)
+            dst[i] = y[i] > 0.0f ? dy[i] : slope * dy[i];
+        break;
+      case Act::Sigmoid:
+        for (std::int64_t i = 0; i < n; ++i)
+            dst[i] = dy[i] * (y[i] * (1.0f - y[i]));
+        break;
+      case Act::Tanh:
+        for (std::int64_t i = 0; i < n; ++i)
+            dst[i] = dy[i] * std::fma(-y[i], y[i], 1.0f);
+        break;
+    }
+}
+
+void
+biasAct(float *dst, const float *src, const float *bias, std::int64_t rows,
+        std::int64_t n, Act act, float slope)
+{
+    for (std::int64_t r = 0; r < rows; ++r) {
+        float *drow = dst + r * n;
+        const float *srow = src + r * n;
+        for (std::int64_t j = 0; j < n; ++j)
+            drow[j] = applyAct(srow[j] + bias[j], act, slope);
+    }
+}
+
+void
+sumSq(const float *x, std::int64_t n, double &sum, double &sumsq)
+{
+    // 4 double stripes (one ymm of packed doubles) + the fixed tree.
+    double sa[4] = {0.0, 0.0, 0.0, 0.0};
+    double qa[4] = {0.0, 0.0, 0.0, 0.0};
+    const std::int64_t lim = n & ~std::int64_t(3);
+    std::int64_t i = 0;
+    for (; i < lim; i += 4) {
+        for (int l = 0; l < 4; ++l) {
+            const double d = double(x[i + l]);
+            sa[l] += d;
+            qa[l] = std::fma(d, d, qa[l]);
+        }
+    }
+    double s = (sa[0] + sa[2]) + (sa[1] + sa[3]);
+    double q = (qa[0] + qa[2]) + (qa[1] + qa[3]);
+    for (; i < n; ++i) {
+        const double d = double(x[i]);
+        s += d;
+        q = std::fma(d, d, q);
+    }
+    sum = s;
+    sumsq = q;
+}
+
+void
+bnApply(float *y, float *xhat, const float *x, std::int64_t n, float mean,
+        float invStd, float g, float b, Act act, float slope)
+{
+    for (std::int64_t i = 0; i < n; ++i) {
+        const float xh = (x[i] - mean) * invStd;
+        if (xhat != nullptr)
+            xhat[i] = xh;
+        y[i] = applyAct(std::fma(g, xh, b), act, slope);
+    }
+}
+
+void
+bnBackwardReduce(const float *dy, const float *xhat, std::int64_t n,
+                 double &dsum, double &ddot)
+{
+    double sa[4] = {0.0, 0.0, 0.0, 0.0};
+    double qa[4] = {0.0, 0.0, 0.0, 0.0};
+    const std::int64_t lim = n & ~std::int64_t(3);
+    std::int64_t i = 0;
+    for (; i < lim; i += 4) {
+        for (int l = 0; l < 4; ++l) {
+            const double dg = double(dy[i + l]);
+            sa[l] += dg;
+            qa[l] = std::fma(dg, double(xhat[i + l]), qa[l]);
+        }
+    }
+    double s = (sa[0] + sa[2]) + (sa[1] + sa[3]);
+    double q = (qa[0] + qa[2]) + (qa[1] + qa[3]);
+    for (; i < n; ++i) {
+        const double dg = double(dy[i]);
+        s += dg;
+        q = std::fma(dg, double(xhat[i]), q);
+    }
+    dsum = s;
+    ddot = q;
+}
+
+void
+bnBackwardApply(float *dx, const float *dy, const float *xhat,
+                std::int64_t n, float gInvStd, float meanDy,
+                float meanDyXhat)
+{
+    for (std::int64_t i = 0; i < n; ++i) {
+        const float t = dy[i] - meanDy;
+        dx[i] = gInvStd * std::fma(-meanDyXhat, xhat[i], t);
+    }
+}
+
+void
+maxPoolRow(float *out, std::int64_t *argmax, std::int64_t base,
+           const PoolRow &row)
+{
+    for (std::int64_t xo = 0; xo < row.ow; ++xo) {
+        const std::int64_t x0 = xo * row.strideW;
+        float best = -std::numeric_limits<float>::infinity();
+        std::int64_t idx = -1;
+        for (std::int64_t ky = 0; ky < row.kH; ++ky) {
+            const float *rowp = row.in + ky * row.inW + x0;
+            for (std::int64_t kx = 0; kx < row.kW; ++kx) {
+                const float v = rowp[kx];
+                if (v > best) {
+                    best = v;
+                    idx = ky * row.inW + x0 + kx;
+                }
+            }
+        }
+        // A window where nothing beats -inf (all -inf/NaN) keeps the
+        // generic path's convention: output 0, argmax -1.
+        out[xo] = idx < 0 ? 0.0f : best;
+        argmax[xo] = idx < 0 ? -1 : base + idx;
+    }
+}
+
+void
+avgPoolRow(float *out, float inv, const PoolRow &row)
+{
+    for (std::int64_t xo = 0; xo < row.ow; ++xo) {
+        const std::int64_t x0 = xo * row.strideW;
+        float s = 0.0f;
+        for (std::int64_t ky = 0; ky < row.kH; ++ky) {
+            const float *rowp = row.in + ky * row.inW + x0;
+            for (std::int64_t kx = 0; kx < row.kW; ++kx)
+                s += rowp[kx];
+        }
+        out[xo] = s * inv;
+    }
+}
+
+} // namespace tbd::tensor::kern::scalar
+
+namespace tbd::tensor::kern {
+
+const Ops &
+scalarOps()
+{
+    static const Ops table = {
+        scalar::gemmNN,          scalar::gemmTN,
+        scalar::gemmNT,          scalar::axpy,
+        scalar::scale,           scalar::dot,
+        scalar::addRowBias,      scalar::sumRowsAcc,
+        scalar::actForward,      scalar::actBackward,
+        scalar::biasAct,         scalar::sumSq,
+        scalar::bnApply,         scalar::bnBackwardReduce,
+        scalar::bnBackwardApply, scalar::maxPoolRow,
+        scalar::avgPoolRow,
+    };
+    return table;
+}
+
+} // namespace tbd::tensor::kern

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
+#include "tensor/kernels.h"
+#include "tensor/simd.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -10,7 +13,7 @@ namespace tbd::tensor {
 
 namespace {
 
-constexpr std::int64_t kBlock = 64;      // GEMM cache block / row grain
+constexpr std::int64_t kBlock = 64;      // GEMM row grain
 constexpr std::int64_t kElemGrain = 1 << 14; // elementwise chunk
 
 void
@@ -20,7 +23,32 @@ checkRank2(const Tensor &t, const char *name)
               t.shape().toString());
 }
 
+/**
+ * One dispatch decision: pick the kernel tier for this op invocation
+ * and note it on the engine.simd.{dispatch,fallback} counters.
+ */
+const kern::Ops &
+dispatch()
+{
+    const bool vec = simd::active();
+    simd::noteDispatch(vec);
+    return kern::ops(vec);
+}
+
 } // namespace
+
+void
+matmulInto(float *c, const float *a, const float *b, std::int64_t M,
+           std::int64_t K, std::int64_t N)
+{
+    const kern::Ops &kt = dispatch();
+    // Row-partitioned: each chunk owns rows [i0, i1) of C, so the
+    // per-element accumulation order (k ascending) is the same for any
+    // thread count and results stay bitwise-identical to serial.
+    util::parallelFor(0, M, kBlock, [&](std::int64_t i0, std::int64_t i1) {
+        kt.gemmNN(c + i0 * N, a + i0 * K, b, i1 - i0, N, K);
+    });
+}
 
 Tensor
 matmul(const Tensor &a, const Tensor &b)
@@ -32,28 +60,20 @@ matmul(const Tensor &a, const Tensor &b)
     TBD_CHECK(K == K2, "matmul inner dims differ: ", K, " vs ", K2);
 
     Tensor c(Shape{M, N});
-    const float *pa = a.data();
-    const float *pb = b.data();
-    float *pc = c.data();
-
-    // Row-partitioned: each chunk owns rows [i0, i1) of C, so the
-    // per-element accumulation order (k ascending) is the same for any
-    // thread count and results stay bitwise-identical to serial.
-    util::parallelFor(0, M, kBlock, [&](std::int64_t i0, std::int64_t i1) {
-        for (std::int64_t k0 = 0; k0 < K; k0 += kBlock) {
-            const std::int64_t k1 = std::min(k0 + kBlock, K);
-            for (std::int64_t i = i0; i < i1; ++i) {
-                for (std::int64_t k = k0; k < k1; ++k) {
-                    const float aik = pa[i * K + k];
-                    const float *brow = pb + k * N;
-                    float *crow = pc + i * N;
-                    for (std::int64_t j = 0; j < N; ++j)
-                        crow[j] += aik * brow[j];
-                }
-            }
-        }
-    });
+    matmulInto(c.data(), a.data(), b.data(), M, K, N);
     return c;
+}
+
+void
+matmulTNInto(float *c, const float *a, const float *b, std::int64_t M,
+             std::int64_t Ka, std::int64_t N)
+{
+    const kern::Ops &kt = dispatch();
+    // Partition the rows of C (the k axis of A); the m reduction stays
+    // in ascending order inside each chunk.
+    util::parallelFor(0, Ka, kBlock, [&](std::int64_t kb, std::int64_t ke) {
+        kt.gemmTN(c + kb * N, a, b, ke - kb, kb, Ka, M, N);
+    });
 }
 
 Tensor
@@ -66,27 +86,19 @@ matmulTN(const Tensor &a, const Tensor &b)
     TBD_CHECK(M == M2, "matmulTN outer dims differ: ", M, " vs ", M2);
 
     Tensor c(Shape{Ka, N});
-    const float *pa = a.data();
-    const float *pb = b.data();
-    float *pc = c.data();
-    // Partition the rows of C (the k axis); the m reduction stays in
-    // ascending order inside each chunk, blocked for cache reuse like
-    // matmul.
-    util::parallelFor(0, Ka, kBlock, [&](std::int64_t kb, std::int64_t ke) {
-        for (std::int64_t m0 = 0; m0 < M; m0 += kBlock) {
-            const std::int64_t m1 = std::min(m0 + kBlock, M);
-            for (std::int64_t k = kb; k < ke; ++k) {
-                float *crow = pc + k * N;
-                for (std::int64_t m = m0; m < m1; ++m) {
-                    const float amk = pa[m * Ka + k];
-                    const float *brow = pb + m * N;
-                    for (std::int64_t j = 0; j < N; ++j)
-                        crow[j] += amk * brow[j];
-                }
-            }
-        }
-    });
+    matmulTNInto(c.data(), a.data(), b.data(), M, Ka, N);
     return c;
+}
+
+void
+matmulNTInto(float *c, const float *a, const float *b, std::int64_t M,
+             std::int64_t N, std::int64_t Kb)
+{
+    const kern::Ops &kt = dispatch();
+    // Row-partitioned lane-striped dot products.
+    util::parallelFor(0, M, kBlock, [&](std::int64_t ib, std::int64_t ie) {
+        kt.gemmNT(c + ib * Kb, a + ib * N, b, ie - ib, N, Kb, Kb);
+    });
 }
 
 Tensor
@@ -99,27 +111,7 @@ matmulNT(const Tensor &a, const Tensor &b)
     TBD_CHECK(N == N2, "matmulNT inner dims differ: ", N, " vs ", N2);
 
     Tensor c(Shape{M, Kb});
-    const float *pa = a.data();
-    const float *pb = b.data();
-    float *pc = c.data();
-    // Row-partitioned dot products, blocked over the rows of B so a
-    // block of B stays cache-resident across the chunk's rows of A.
-    util::parallelFor(0, M, kBlock, [&](std::int64_t ib, std::int64_t ie) {
-        for (std::int64_t k0 = 0; k0 < Kb; k0 += kBlock) {
-            const std::int64_t k1 = std::min(k0 + kBlock, Kb);
-            for (std::int64_t i = ib; i < ie; ++i) {
-                const float *arow = pa + i * N;
-                float *crow = pc + i * Kb;
-                for (std::int64_t k = k0; k < k1; ++k) {
-                    const float *brow = pb + k * N;
-                    float acc = 0.0f;
-                    for (std::int64_t j = 0; j < N; ++j)
-                        acc += arow[j] * brow[j];
-                    crow[k] = acc;
-                }
-            }
-        }
-    });
+    matmulNTInto(c.data(), a.data(), b.data(), M, N, Kb);
     return c;
 }
 
@@ -166,10 +158,9 @@ addRowBias(Tensor &x, const Tensor &bias)
               " does not match row width ", N);
     float *px = x.data();
     const float *pb = bias.data();
+    const kern::Ops &kt = dispatch();
     util::parallelFor(0, M, kBlock, [&](std::int64_t ib, std::int64_t ie) {
-        for (std::int64_t i = ib; i < ie; ++i)
-            for (std::int64_t j = 0; j < N; ++j)
-                px[i * N + j] += pb[j];
+        kt.addRowBias(px + ib * N, pb, ie - ib, N);
     });
 }
 
@@ -179,11 +170,9 @@ sumRows(const Tensor &x)
     checkRank2(x, "sumRows input");
     const auto M = x.shape().dim(0), N = x.shape().dim(1);
     Tensor s(Shape{N});
-    const float *px = x.data();
-    float *ps = s.data();
-    for (std::int64_t i = 0; i < M; ++i)
-        for (std::int64_t j = 0; j < N; ++j)
-            ps[j] += px[i * N + j];
+    // Serial on purpose: the row order of the reduction is part of the
+    // result; Tensor storage is zero-initialized.
+    dispatch().sumRowsAcc(s.data(), x.data(), M, N);
     return s;
 }
 
@@ -263,36 +252,54 @@ im2col(const Tensor &x, const Conv2dGeom &g)
               x.shape().toString());
     const auto cols = g.inC * g.kH * g.kW;
     Tensor out(Shape{N * oh * ow, cols});
-    const float *px = x.data();
-    float *po = out.data();
+    im2colInto(out.data(), x.data(), N, g);
+    return out;
+}
+
+void
+im2colInto(float *po, const float *px, std::int64_t batch,
+           const Conv2dGeom &g)
+{
+    const auto N = batch;
+    const auto oh = g.outH(), ow = g.outW();
+    const auto cols = g.inC * g.kH * g.kW;
     // Batch-parallel: each (n, y) pair fills a disjoint band of rows.
     util::parallelFor(0, N * oh, oh, [&](std::int64_t rb, std::int64_t re) {
         for (std::int64_t r = rb; r < re; ++r) {
             const std::int64_t n = r / oh, y = r % oh;
             for (std::int64_t xcol = 0; xcol < ow; ++xcol) {
                 float *row = po + ((n * oh + y) * ow + xcol) * cols;
+                const std::int64_t ix0 = xcol * g.strideW - g.padW;
                 std::int64_t idx = 0;
                 for (std::int64_t c = 0; c < g.inC; ++c) {
-                    for (std::int64_t ky = 0; ky < g.kH; ++ky) {
+                    for (std::int64_t ky = 0; ky < g.kH; ++ky, idx += g.kW) {
                         const std::int64_t iy = y * g.strideH + ky - g.padH;
-                        for (std::int64_t kx = 0; kx < g.kW; ++kx, ++idx) {
-                            const std::int64_t ix =
-                                xcol * g.strideW + kx - g.padW;
-                            if (iy < 0 || iy >= g.inH || ix < 0 ||
-                                ix >= g.inW) {
-                                row[idx] = 0.0f;
-                            } else {
-                                row[idx] = px[((n * g.inC + c) * g.inH + iy) *
-                                                  g.inW +
-                                              ix];
-                            }
+                        float *dst = row + idx;
+                        if (iy < 0 || iy >= g.inH) {
+                            std::fill(dst, dst + g.kW, 0.0f);
+                            continue;
+                        }
+                        // The kx run reads consecutive input columns,
+                        // so an in-bounds window is one memcpy.
+                        const float *src =
+                            px + ((n * g.inC + c) * g.inH + iy) * g.inW +
+                            ix0;
+                        if (ix0 >= 0 && ix0 + g.kW <= g.inW) {
+                            std::memcpy(dst, src,
+                                        std::size_t(g.kW) *
+                                            sizeof(float));
+                            continue;
+                        }
+                        for (std::int64_t kx = 0; kx < g.kW; ++kx) {
+                            const std::int64_t ix = ix0 + kx;
+                            dst[kx] = (ix < 0 || ix >= g.inW) ? 0.0f
+                                                              : src[kx];
                         }
                     }
                 }
             }
         }
     });
-    return out;
 }
 
 Tensor
@@ -305,8 +312,16 @@ col2im(const Tensor &cols, std::int64_t batch, const Conv2dGeom &g)
                   cols.shape().dim(1) == width,
               "col2im input shape mismatch: ", cols.shape().toString());
     Tensor img(Shape{batch, g.inC, g.inH, g.inW});
-    const float *pc = cols.data();
-    float *pi = img.data();
+    col2imInto(img.data(), cols.data(), batch, g);
+    return img;
+}
+
+void
+col2imInto(float *pi, const float *pc, std::int64_t batch,
+           const Conv2dGeom &g)
+{
+    const auto oh = g.outH(), ow = g.outW();
+    const auto width = g.inC * g.kH * g.kW;
     // The scatter-add overlaps between output positions of one image
     // but never across images, so partition by batch index.
     util::parallelFor(0, batch, 1, [&](std::int64_t nb, std::int64_t ne) {
@@ -315,21 +330,29 @@ col2im(const Tensor &cols, std::int64_t batch, const Conv2dGeom &g)
                 for (std::int64_t xcol = 0; xcol < ow; ++xcol) {
                     const float *row =
                         pc + ((n * oh + y) * ow + xcol) * width;
+                    const std::int64_t ix0 = xcol * g.strideW - g.padW;
                     std::int64_t idx = 0;
                     for (std::int64_t c = 0; c < g.inC; ++c) {
-                        for (std::int64_t ky = 0; ky < g.kH; ++ky) {
+                        for (std::int64_t ky = 0; ky < g.kH;
+                             ++ky, idx += g.kW) {
                             const std::int64_t iy =
                                 y * g.strideH + ky - g.padH;
-                            for (std::int64_t kx = 0; kx < g.kW;
-                                 ++kx, ++idx) {
-                                const std::int64_t ix =
-                                    xcol * g.strideW + kx - g.padW;
-                                if (iy < 0 || iy >= g.inH || ix < 0 ||
-                                    ix >= g.inW) {
-                                    continue;
-                                }
-                                pi[((n * g.inC + c) * g.inH + iy) * g.inW +
-                                   ix] += row[idx];
+                            if (iy < 0 || iy >= g.inH)
+                                continue;
+                            const float *src = row + idx;
+                            float *dst =
+                                pi +
+                                ((n * g.inC + c) * g.inH + iy) * g.inW +
+                                ix0;
+                            if (ix0 >= 0 && ix0 + g.kW <= g.inW) {
+                                for (std::int64_t kx = 0; kx < g.kW; ++kx)
+                                    dst[kx] += src[kx];
+                                continue;
+                            }
+                            for (std::int64_t kx = 0; kx < g.kW; ++kx) {
+                                const std::int64_t ix = ix0 + kx;
+                                if (ix >= 0 && ix < g.inW)
+                                    dst[kx] += src[kx];
                             }
                         }
                     }
@@ -337,7 +360,6 @@ col2im(const Tensor &cols, std::int64_t batch, const Conv2dGeom &g)
             }
         }
     });
-    return img;
 }
 
 PoolResult
@@ -351,7 +373,32 @@ maxPool2d(const Tensor &x, const Conv2dGeom &g)
     res.argmax.assign(static_cast<std::size_t>(N * C * oh * ow), -1);
     const float *px = x.data();
     float *py = res.output.data();
-    // Each (n, c) plane reads and writes a disjoint slab.
+    const std::int64_t plane = g.inH * g.inW;
+    // The row-kernel path needs every window in bounds (no padding)
+    // and unit horizontal stride so 8 consecutive outputs read 8
+    // consecutive inputs; indices must fit the kernel's int32 lanes.
+    if (g.padH == 0 && g.padW == 0 && g.strideW == 1 &&
+        plane < (std::int64_t(1) << 31) / 2) {
+        const kern::Ops &kt = dispatch();
+        std::int64_t *pam = res.argmax.data();
+        util::parallelFor(
+            0, N * C, 1, [&](std::int64_t pb, std::int64_t pe) {
+                for (std::int64_t p = pb; p < pe; ++p) {
+                    for (std::int64_t y = 0; y < oh; ++y) {
+                        const std::int64_t in_off =
+                            p * plane + y * g.strideH * g.inW;
+                        const kern::PoolRow row{px + in_off, g.inW, ow,
+                                                g.kH, g.kW, 1};
+                        kt.maxPoolRow(py + (p * oh + y) * ow,
+                                      pam + (p * oh + y) * ow, in_off,
+                                      row);
+                    }
+                }
+            });
+        return res;
+    }
+    // General geometry: each (n, c) plane reads and writes a disjoint
+    // slab.
     util::parallelFor(0, N * C, 1, [&](std::int64_t pb, std::int64_t pe) {
         for (std::int64_t p = pb; p < pe; ++p) {
             const std::int64_t n = p / C, c = p % C;
@@ -424,6 +471,22 @@ avgPool2d(const Tensor &x, const Conv2dGeom &g)
     const float *px = x.data();
     float *py = y.data();
     const float inv = 1.0f / static_cast<float>(g.kH * g.kW);
+    if (g.padH == 0 && g.padW == 0 && g.strideW == 1) {
+        const std::int64_t plane = g.inH * g.inW;
+        const kern::Ops &kt = dispatch();
+        util::parallelFor(
+            0, N * C, 1, [&](std::int64_t pb, std::int64_t pe) {
+                for (std::int64_t p = pb; p < pe; ++p) {
+                    for (std::int64_t yo = 0; yo < oh; ++yo) {
+                        const kern::PoolRow row{
+                            px + p * plane + yo * g.strideH * g.inW,
+                            g.inW, ow, g.kH, g.kW, 1};
+                        kt.avgPoolRow(py + (p * oh + yo) * ow, inv, row);
+                    }
+                }
+            });
+        return y;
+    }
     util::parallelFor(0, N * C, 1, [&](std::int64_t pb, std::int64_t pe) {
         for (std::int64_t p = pb; p < pe; ++p) {
             const std::int64_t n = p / C, c = p % C;

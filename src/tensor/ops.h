@@ -27,6 +27,24 @@ Tensor matmulTN(const Tensor &a, const Tensor &b);
 /** C[M,K_b] = A * B^T where A is [M,N], B is [K_b,N]. */
 Tensor matmulNT(const Tensor &a, const Tensor &b);
 
+// Raw-pointer GEMM drivers for callers that manage their own scratch
+// (util::Arena temporaries in the layer library). The accumulating
+// variants require c to be pre-filled (usually zeroed); matmulNTInto
+// overwrites c. All three run the same partitioning and kernels as
+// their Tensor counterparts.
+
+/** c[M,N] += a[M,K] * b[K,N]. */
+void matmulInto(float *c, const float *a, const float *b, std::int64_t M,
+                std::int64_t K, std::int64_t N);
+
+/** c[Ka,N] += a[M,Ka]^T * b[M,N]. */
+void matmulTNInto(float *c, const float *a, const float *b,
+                  std::int64_t M, std::int64_t Ka, std::int64_t N);
+
+/** c[M,Kb] = a[M,N] * b[Kb,N]^T. */
+void matmulNTInto(float *c, const float *a, const float *b,
+                  std::int64_t M, std::int64_t N, std::int64_t Kb);
+
 /** y[i] = f(x[i]) elementwise. */
 Tensor map(const Tensor &x, const std::function<float(float)> &f);
 
@@ -72,8 +90,22 @@ struct Conv2dGeom
  */
 Tensor im2col(const Tensor &x, const Conv2dGeom &g);
 
+/**
+ * im2col into caller-owned storage (util::Arena scratch): cols must
+ * hold batch * outH * outW * inC * kH * kW floats. No shape checks.
+ */
+void im2colInto(float *cols, const float *x, std::int64_t batch,
+                const Conv2dGeom &g);
+
 /** col2im: scatter-add columns back to an image (conv input gradient). */
 Tensor col2im(const Tensor &cols, std::int64_t batch, const Conv2dGeom &g);
+
+/**
+ * col2im from caller-owned columns into img, which must be zeroed and
+ * hold batch * inC * inH * inW floats. No shape checks.
+ */
+void col2imInto(float *img, const float *cols, std::int64_t batch,
+                const Conv2dGeom &g);
 
 /** Max pooling forward; argmax indices are stored for backward. */
 struct PoolResult

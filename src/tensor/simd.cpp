@@ -1,0 +1,109 @@
+#include "tensor/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
+namespace tbd::tensor::simd {
+
+namespace {
+
+/** -1 = follow the environment, 0/1 = forced by setSimdEnabled. */
+std::atomic<int> simd_override{-1};
+
+bool
+envSimdEnabled()
+{
+    // Cached: kernels consult this on every op and the answer must not
+    // change mid-run (mirrors TBD_NOCACHE in perf/lowering_cache.cpp).
+    static const bool enabled =
+        simdEnabledFromEnv(std::getenv("TBD_SIMD"));
+    return enabled;
+}
+
+} // namespace
+
+const char *
+tierName(Tier tier)
+{
+    switch (tier) {
+      case Tier::Scalar:
+        return "scalar";
+      case Tier::Avx2:
+        return "avx2";
+    }
+    return "unknown";
+}
+
+Tier
+compiledTier()
+{
+#if defined(TBD_SIMD_HAS_AVX2)
+    return Tier::Avx2;
+#else
+    return Tier::Scalar;
+#endif
+}
+
+bool
+cpuSupportsCompiledTier()
+{
+#if defined(TBD_SIMD_HAS_AVX2) && defined(__GNUC__)
+    // A binary built with AVX2 kernels may land on an older machine;
+    // probe once so dispatch degrades instead of faulting.
+    static const bool supported = __builtin_cpu_supports("avx2") &&
+                                  __builtin_cpu_supports("fma");
+    return supported;
+#else
+    return compiledTier() == Tier::Scalar;
+#endif
+}
+
+Tier
+activeTier()
+{
+    if (compiledTier() == Tier::Scalar || !cpuSupportsCompiledTier())
+        return Tier::Scalar;
+    const int forced = simd_override.load(std::memory_order_relaxed);
+    if (forced >= 0)
+        return forced != 0 ? compiledTier() : Tier::Scalar;
+    return envSimdEnabled() ? compiledTier() : Tier::Scalar;
+}
+
+bool
+active()
+{
+    return activeTier() != Tier::Scalar;
+}
+
+void
+setSimdEnabled(std::optional<bool> enabled)
+{
+    simd_override.store(enabled ? (*enabled ? 1 : 0) : -1,
+                        std::memory_order_relaxed);
+}
+
+bool
+simdEnabledFromEnv(const char *value)
+{
+    if (value == nullptr)
+        return true;
+    const std::string_view v(value);
+    return v != "off" && v != "0" && v != "scalar";
+}
+
+void
+noteDispatch(bool vectorPathTaken)
+{
+    if (!obs::enabled())
+        return;
+    obs::MetricsRegistry::global()
+        .counter(vectorPathTaken ? "engine.simd.dispatch"
+                                 : "engine.simd.fallback")
+        .add(1);
+}
+
+} // namespace tbd::tensor::simd

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * SIMD dispatch for the functional engine's CPU kernels.
+ *
+ * The kernel layer (tensor/kernels.h) ships two implementations of
+ * every microkernel: a portable scalar reference (the bitwise oracle)
+ * and an AVX2+FMA version compiled only when the toolchain supports
+ * it. Which one runs is decided here:
+ *
+ *  - *Compile time*: CMake probes the compiler for -mavx2 -mfma and
+ *    defines TBD_SIMD_HAS_AVX2 on the one translation unit that
+ *    contains vector intrinsics. Everything else stays baseline
+ *    x86-64 (or any other arch) and falls back to scalar.
+ *  - *Run time*: the host CPU must actually report AVX2+FMA (a binary
+ *    built on an AVX2 machine may run elsewhere), and the TBD_SIMD
+ *    environment variable can force the scalar oracle: "off", "0" and
+ *    "scalar" disable vector dispatch, anything else (or unset)
+ *    leaves it on. Tests override both with setSimdEnabled().
+ *
+ * Both implementations execute the same floating-point operations in
+ * the same order (see kernels.h for the semantics contract), so the
+ * answer to "which tier ran?" is observable only through timing and
+ * the engine.simd.{dispatch,fallback} counters — never through a
+ * numeric result.
+ */
+
+#ifndef TBD_TENSOR_SIMD_H
+#define TBD_TENSOR_SIMD_H
+
+#include <optional>
+
+namespace tbd::tensor::simd {
+
+/** Kernel implementation tiers, lowest to highest. */
+enum class Tier { Scalar, Avx2 };
+
+/** Human-readable tier name ("scalar", "avx2"). */
+const char *tierName(Tier tier);
+
+/** Highest tier compiled into this binary. */
+Tier compiledTier();
+
+/** True when the running CPU supports the compiled vector tier. */
+bool cpuSupportsCompiledTier();
+
+/**
+ * The tier kernel dispatch selects right now: the compiled tier,
+ * clamped by the host CPU, TBD_SIMD and any setSimdEnabled override.
+ */
+Tier activeTier();
+
+/** Convenience: activeTier() != Tier::Scalar. */
+bool active();
+
+/**
+ * Programmatic override of the TBD_SIMD gate (tests, A/B benches):
+ * true forces vector dispatch (still clamped by compiledTier() and
+ * the CPU), false forces the scalar oracle, nullopt returns control
+ * to the environment.
+ */
+void setSimdEnabled(std::optional<bool> enabled);
+
+/**
+ * TBD_SIMD parsing rule: "off", "0" and "scalar" (case-sensitive)
+ * disable vector dispatch; unset, empty or anything else enables it.
+ * Split out so the parsing is testable (cf. threadCountFromEnv).
+ */
+bool simdEnabledFromEnv(const char *value);
+
+/**
+ * Note one kernel-level dispatch decision on the
+ * engine.simd.{dispatch,fallback} counters (no-op unless TBD_OBS is
+ * on). Called once per tensor-op invocation, not per microkernel.
+ */
+void noteDispatch(bool vectorPathTaken);
+
+} // namespace tbd::tensor::simd
+
+#endif // TBD_TENSOR_SIMD_H

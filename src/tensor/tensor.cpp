@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "tensor/kernels.h"
+#include "tensor/simd.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -145,19 +147,20 @@ Tensor::addScaled(const Tensor &other, float alpha)
     checkDefined();
     TBD_CHECK(other.shape() == shape_, "addScaled shape mismatch: ",
               shape_.toString(), " vs ", other.shape().toString());
-    const float *src = other.data();
-    float *dst = data_->data();
-    const std::size_t n = data_->size();
-    for (std::size_t i = 0; i < n; ++i)
-        dst[i] += alpha * src[i];
+    const bool vec = simd::active();
+    simd::noteDispatch(vec);
+    kern::ops(vec).axpy(data_->data(), other.data(), alpha,
+                        static_cast<std::int64_t>(data_->size()));
 }
 
 void
 Tensor::scale(float alpha)
 {
     checkDefined();
-    for (float &x : *data_)
-        x *= alpha;
+    const bool vec = simd::active();
+    simd::noteDispatch(vec);
+    kern::ops(vec).scale(data_->data(), alpha,
+                         static_cast<std::int64_t>(data_->size()));
 }
 
 double

@@ -1,0 +1,109 @@
+#include "util/arena.h"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+
+namespace tbd::util {
+
+namespace {
+
+/** Smallest chunk: 64K floats (256 KiB) — one conv panel or so. */
+constexpr std::int64_t kMinChunkFloats = std::int64_t(1) << 16;
+
+float *
+newChunkData(std::int64_t floats)
+{
+    return static_cast<float *>(::operator new(
+        std::size_t(floats) * sizeof(float), std::align_val_t(32)));
+}
+
+void
+freeChunkData(float *data)
+{
+    ::operator delete(data, std::align_val_t(32));
+}
+
+} // namespace
+
+Arena::~Arena()
+{
+    for (Chunk &c : chunks_)
+        freeChunkData(c.data);
+}
+
+Arena &
+Arena::current()
+{
+    static thread_local Arena arena;
+    return arena;
+}
+
+float *
+Arena::allocZeroed(std::int64_t n)
+{
+    float *p = alloc(n);
+    std::memset(p, 0, std::size_t(n) * sizeof(float));
+    return p;
+}
+
+std::size_t
+Arena::capacityBytes() const
+{
+    std::size_t total = 0;
+    for (const Chunk &c : chunks_)
+        total += std::size_t(c.size) * sizeof(float);
+    return total;
+}
+
+std::int64_t
+Arena::liveFloats() const
+{
+    std::int64_t live = 0;
+    for (std::size_t i = 0; i < chunks_.size() && i <= active_; ++i)
+        live += chunks_[i].used;
+    return live;
+}
+
+float *
+Arena::refill(std::int64_t rounded)
+{
+    if (chunks_.empty()) {
+        chunks_.push_back(
+            {newChunkData(std::max(rounded, kMinChunkFloats)),
+             std::max(rounded, kMinChunkFloats), 0});
+        active_ = 0;
+    } else {
+        // Later chunks hold no live data (Scope::restore zeroed them);
+        // walk forward to one that fits, or grow geometrically.
+        std::size_t next = active_ + 1;
+        while (next < chunks_.size() && chunks_[next].size < rounded) {
+            chunks_[next].used = 0;
+            ++next;
+        }
+        if (next == chunks_.size()) {
+            const std::int64_t grown =
+                std::max(rounded, 2 * chunks_.back().size);
+            chunks_.push_back({newChunkData(grown), grown, 0});
+        }
+        active_ = next;
+        chunks_[active_].used = 0;
+    }
+    Chunk &c = chunks_[active_];
+    float *p = c.data + c.used;
+    c.used += rounded;
+    return p;
+}
+
+void
+Arena::restore(std::size_t chunk, std::int64_t mark)
+{
+    if (chunks_.empty())
+        return;
+    for (std::size_t i = chunk + 1; i < chunks_.size(); ++i)
+        chunks_[i].used = 0;
+    chunks_[chunk].used = mark;
+    active_ = chunk;
+}
+
+} // namespace tbd::util

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Bump-pointer arena for intra-iteration temporaries.
+ *
+ * The functional engine's hot loops (conv im2col panels, GEMM
+ * scratch, layer backward temporaries) used to heap-allocate a fresh
+ * Tensor per call. The arena replaces that churn with a per-thread
+ * bump allocator:
+ *
+ *  - Arena::current() is thread-local, so ThreadPool workers never
+ *    contend and allocation order stays deterministic.
+ *  - alloc() returns 32-byte-aligned float storage (every vector
+ *    kernel may assume it can use aligned 256-bit loads on the
+ *    *chunk* base; allocations are padded to 8-float multiples so the
+ *    alignment survives consecutive allocs). Contents are
+ *    uninitialized.
+ *  - Arena::Scope is the only way memory is returned: it records a
+ *    watermark on construction and rolls the arena back on
+ *    destruction, keeping capacity for the next iteration. Scopes
+ *    nest LIFO (a layer's backward inside a training step's scope).
+ *
+ * Lifetime rule: nothing allocated inside a Scope may escape it —
+ * results that outlive the op must be copied into a Tensor before the
+ * scope closes. The steady state after one warm-up iteration is zero
+ * heap traffic.
+ *
+ * Counter wiring: util.arena.bytes (cumulative bytes handed out) and
+ * util.arena.resets (scope rollbacks) are recorded inline here in the
+ * header rather than in arena.cpp, so tbd_util itself carries no
+ * tbd_obs link dependency (the same layering trick as
+ * perf::setRunAudit; every arena user already links tbd_obs).
+ */
+
+#ifndef TBD_UTIL_ARENA_H
+#define TBD_UTIL_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
+namespace tbd::util {
+
+/** Thread-local bump allocator for float scratch (see file header). */
+class Arena
+{
+  public:
+    Arena() = default;
+    ~Arena();
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /** The calling thread's arena. */
+    static Arena &current();
+
+    /**
+     * 32-byte-aligned uninitialized storage for n floats, valid until
+     * the enclosing Scope closes.
+     */
+    float *alloc(std::int64_t n)
+    {
+        if (obs::enabled())
+            obs::MetricsRegistry::global()
+                .counter("util.arena.bytes")
+                .add(n * std::int64_t(sizeof(float)));
+        // Pad to 8 floats so the next allocation stays 32B-aligned.
+        const std::int64_t rounded = (n + 7) & ~std::int64_t(7);
+        if (!chunks_.empty()) {
+            Chunk &c = chunks_[active_];
+            if (c.used + rounded <= c.size) {
+                float *p = c.data + c.used;
+                c.used += rounded;
+                return p;
+            }
+        }
+        return refill(rounded);
+    }
+
+    /** alloc() plus zero fill. */
+    float *allocZeroed(std::int64_t n);
+
+    /** Total backing storage currently owned, in bytes. */
+    std::size_t capacityBytes() const;
+
+    /** Floats live between the arena base and the bump pointer. */
+    std::int64_t liveFloats() const;
+
+    /** RAII watermark: rolls the arena back, keeping capacity. */
+    class Scope
+    {
+      public:
+        Scope() : Scope(Arena::current()) {}
+
+        explicit Scope(Arena &arena)
+            : arena_(arena),
+              chunk_(arena.active_),
+              mark_(arena.chunks_.empty()
+                        ? 0
+                        : arena.chunks_[arena.active_].used)
+        {
+        }
+
+        ~Scope()
+        {
+            if (obs::enabled())
+                obs::MetricsRegistry::global()
+                    .counter("util.arena.resets")
+                    .add(1);
+            arena_.restore(chunk_, mark_);
+        }
+
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        Arena &arena_;
+        std::size_t chunk_;
+        std::int64_t mark_;
+    };
+
+  private:
+    struct Chunk
+    {
+        float *data = nullptr;
+        std::int64_t size = 0; ///< capacity in floats
+        std::int64_t used = 0; ///< bump offset in floats
+    };
+
+    /** Slow path: advance to (or allocate) a chunk that fits. */
+    float *refill(std::int64_t rounded);
+
+    /** Roll back to a Scope's saved watermark. */
+    void restore(std::size_t chunk, std::int64_t mark);
+
+    std::vector<Chunk> chunks_;
+    std::size_t active_ = 0;
+};
+
+} // namespace tbd::util
+
+#endif // TBD_UTIL_ARENA_H

@@ -161,10 +161,14 @@ TEST(ObsReport, FastPathSummaryRollsUpCacheAndReplayCounters)
         counterSnapshot("perf.lowering_cache.miss", 10.0),
         counterSnapshot("gpusim.replay.hit", 18.0),
         counterSnapshot("gpusim.replay.fallback", 6.0),
+        counterSnapshot("engine.simd.dispatch", 90.0),
+        counterSnapshot("engine.simd.fallback", 10.0),
+        counterSnapshot("engine.fusion.hit", 8.0),
+        counterSnapshot("engine.fusion.miss", 2.0),
         counterSnapshot("perf.runs", 2.0), // unrelated, ignored
     };
     const ta::FastPathSummary summary = ta::fastPathSummary(metrics);
-    ASSERT_EQ(summary.layers.size(), 2u);
+    ASSERT_EQ(summary.layers.size(), 4u);
 
     EXPECT_EQ(summary.layers[0].name, "lowering cache");
     EXPECT_EQ(summary.layers[0].hits, 30);
@@ -176,9 +180,21 @@ TEST(ObsReport, FastPathSummaryRollsUpCacheAndReplayCounters)
     EXPECT_EQ(summary.layers[1].misses, 6);
     EXPECT_DOUBLE_EQ(summary.layers[1].hitRate, 0.75);
 
+    EXPECT_EQ(summary.layers[2].name, "simd dispatch");
+    EXPECT_EQ(summary.layers[2].hits, 90);
+    EXPECT_EQ(summary.layers[2].misses, 10);
+    EXPECT_DOUBLE_EQ(summary.layers[2].hitRate, 0.90);
+
+    EXPECT_EQ(summary.layers[3].name, "fusion");
+    EXPECT_EQ(summary.layers[3].hits, 8);
+    EXPECT_EQ(summary.layers[3].misses, 2);
+    EXPECT_DOUBLE_EQ(summary.layers[3].hitRate, 0.80);
+
     const std::string rendered = summary.table().toString();
     EXPECT_NE(rendered.find("lowering cache"), std::string::npos);
     EXPECT_NE(rendered.find("timeline replay"), std::string::npos);
+    EXPECT_NE(rendered.find("simd dispatch"), std::string::npos);
+    EXPECT_NE(rendered.find("fusion"), std::string::npos);
 }
 
 TEST(ObsReport, FastPathSummaryOmitsAbsentLayers)

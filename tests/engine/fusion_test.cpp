@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Fusion on/off equivalence: executing a network through its fusion
+ * plan must be *bitwise identical* to the unfused layer-by-layer walk —
+ * forward (training and inference), backward input gradients, and every
+ * parameter gradient — because fused epilogues only elide memory
+ * round-trips, never change the per-element operation sequence.
+ */
+
+#include "engine/fusion.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "engine/network.h"
+#include "layers/activations.h"
+#include "layers/conv.h"
+#include "layers/dense.h"
+#include "layers/norm.h"
+#include "tensor/simd.h"
+#include "util/rng.h"
+
+namespace te = tbd::engine;
+namespace tl = tbd::layers;
+namespace tt = tbd::tensor;
+
+namespace {
+
+/** Restores the fusion/SIMD overrides however a test exits. */
+struct OverrideGuard
+{
+    ~OverrideGuard()
+    {
+        te::setFusionEnabled(std::nullopt);
+        tt::simd::setSimdEnabled(std::nullopt);
+    }
+};
+
+tt::Tensor
+randomTensor(tt::Shape shape, std::uint64_t seed)
+{
+    tbd::util::Rng rng(seed);
+    tt::Tensor t(std::move(shape));
+    t.fillNormal(rng, 0.0f, 1.0f);
+    return t;
+}
+
+/** Conv+BN+ReLU -> Conv+LeakyReLU -> Dense+Tanh -> Dense: every
+ *  segment kind the planner knows, plus a trailing Single. */
+te::Network
+makeFusableNet(std::uint64_t seed)
+{
+    tbd::util::Rng rng(seed);
+    te::Network net("fusable");
+    net.add(std::make_unique<tl::Conv2d>("c1", 2, 4, 3, 1, 1, rng, true));
+    net.add(std::make_unique<tl::BatchNorm2d>("bn1", 4));
+    net.add(std::make_unique<tl::Activation>("r1", tl::ActKind::ReLU));
+    net.add(std::make_unique<tl::Conv2d>("c2", 4, 3, 3, 2, 0, rng, true));
+    net.add(
+        std::make_unique<tl::Activation>("l1", tl::ActKind::LeakyReLU));
+    // c2 on 6x6 input: (6 - 3) / 2 + 1 = 2, so [N, 3, 2, 2] flattens
+    // to 12 features per sample.
+    net.add(std::make_unique<tl::FullyConnected>("fc1", 3 * 2 * 2, 6, rng));
+    net.add(std::make_unique<tl::Activation>("t1", tl::ActKind::Tanh));
+    net.add(std::make_unique<tl::FullyConnected>("fc2", 6, 2, rng));
+    return net;
+}
+
+struct StepResult
+{
+    std::vector<float> y;
+    std::vector<float> dx;
+    std::vector<std::vector<float>> grads;
+};
+
+StepResult
+runTrainStep(te::Network &net, const tt::Tensor &x, const tt::Tensor &dy)
+{
+    net.zeroGrads();
+    tt::Tensor y = net.forward(x, true);
+    tt::Tensor dx = net.backward(dy);
+    StepResult res;
+    res.y.assign(y.data(), y.data() + y.numel());
+    res.dx.assign(dx.data(), dx.data() + dx.numel());
+    for (auto *p : net.params())
+        res.grads.emplace_back(p->grad.data(),
+                               p->grad.data() + p->grad.numel());
+    return res;
+}
+
+void
+expectBitwiseEq(const std::vector<float> &a, const std::vector<float> &b,
+                const char *what)
+{
+    ASSERT_EQ(a.size(), b.size()) << what;
+    EXPECT_EQ(0, std::memcmp(a.data(), b.data(),
+                             a.size() * sizeof(float)))
+        << what << " differs";
+}
+
+void
+expectSameStep(const StepResult &a, const StepResult &b)
+{
+    expectBitwiseEq(a.y, b.y, "forward output");
+    expectBitwiseEq(a.dx, b.dx, "input gradient");
+    ASSERT_EQ(a.grads.size(), b.grads.size());
+    for (std::size_t i = 0; i < a.grads.size(); ++i)
+        expectBitwiseEq(a.grads[i], b.grads[i], "param gradient");
+}
+
+} // namespace
+
+TEST(Fusion, EnvParse)
+{
+    EXPECT_TRUE(te::fusionEnabledFromEnv(nullptr));
+    EXPECT_TRUE(te::fusionEnabledFromEnv("on"));
+    EXPECT_TRUE(te::fusionEnabledFromEnv("1"));
+    EXPECT_FALSE(te::fusionEnabledFromEnv("off"));
+    EXPECT_FALSE(te::fusionEnabledFromEnv("0"));
+}
+
+TEST(Fusion, SetFusionEnabledOverridesEnv)
+{
+    OverrideGuard guard;
+    te::setFusionEnabled(false);
+    EXPECT_FALSE(te::fusionEnabled());
+    te::setFusionEnabled(true);
+    EXPECT_TRUE(te::fusionEnabled());
+    te::setFusionEnabled(std::nullopt);
+}
+
+TEST(Fusion, PlanSegmentsCoverTheStack)
+{
+    tbd::util::Rng rng(7);
+    std::vector<tl::LayerPtr> stack;
+    stack.push_back(
+        std::make_unique<tl::Conv2d>("c", 2, 4, 3, 1, 1, rng, true));
+    stack.push_back(std::make_unique<tl::BatchNorm2d>("bn", 4));
+    stack.push_back(
+        std::make_unique<tl::Activation>("r", tl::ActKind::ReLU));
+    stack.push_back(std::make_unique<tl::BatchNorm2d>("bn2", 4));
+    stack.push_back(
+        std::make_unique<tl::Activation>("t", tl::ActKind::Tanh));
+    stack.push_back(std::make_unique<tl::FullyConnected>("fc", 8, 4, rng));
+    stack.push_back(
+        std::make_unique<tl::Activation>("s", tl::ActKind::Sigmoid));
+    stack.push_back(std::make_unique<tl::FullyConnected>("fc2", 4, 2, rng));
+
+    const auto plan = te::buildFusionPlan(stack);
+    using Kind = te::FusionSegment::Kind;
+    ASSERT_EQ(plan.size(), 4u);
+    EXPECT_EQ(plan[0].kind, Kind::ConvBnAct);
+    EXPECT_EQ(plan[0].count, 3u);
+    EXPECT_EQ(plan[1].kind, Kind::BnAct);
+    EXPECT_EQ(plan[2].kind, Kind::DenseAct);
+    EXPECT_EQ(plan[3].kind, Kind::Single);
+    EXPECT_EQ(plan[3].begin, 7u);
+
+    // Every layer is covered exactly once.
+    std::size_t covered = 0;
+    for (const auto &seg : plan)
+        covered += seg.count;
+    EXPECT_EQ(covered, stack.size());
+}
+
+TEST(Fusion, ChannelMismatchBlocksConvBnFusion)
+{
+    tbd::util::Rng rng(8);
+    std::vector<tl::LayerPtr> stack;
+    stack.push_back(
+        std::make_unique<tl::Conv2d>("c", 2, 4, 3, 1, 1, rng, true));
+    stack.push_back(std::make_unique<tl::BatchNorm2d>("bn", 8));
+    const auto plan = te::buildFusionPlan(stack);
+    ASSERT_EQ(plan.size(), 2u);
+    EXPECT_EQ(plan[0].kind, te::FusionSegment::Kind::Single);
+}
+
+TEST(Fusion, TrainingStepBitwiseEquivalence)
+{
+    OverrideGuard guard;
+    te::Network net = makeFusableNet(11);
+    tt::Tensor x = randomTensor(tt::Shape{2, 2, 6, 6}, 12);
+    tt::Tensor dy = randomTensor(tt::Shape{2, 2}, 13);
+
+    te::setFusionEnabled(false);
+    const StepResult off = runTrainStep(net, x, dy);
+    te::setFusionEnabled(true);
+    const StepResult on = runTrainStep(net, x, dy);
+    expectSameStep(off, on);
+}
+
+TEST(Fusion, InferenceBitwiseEquivalenceIncludingBnFold)
+{
+    OverrideGuard guard;
+    te::Network net = makeFusableNet(14);
+    // Advance the BN running statistics off their init so the
+    // inference fold has something nontrivial to reproduce.
+    tt::Tensor warm = randomTensor(tt::Shape{2, 2, 6, 6}, 15);
+    net.forward(warm, true);
+
+    tt::Tensor x = randomTensor(tt::Shape{3, 2, 6, 6}, 16);
+    te::setFusionEnabled(false);
+    tt::Tensor y_off = net.forward(x, false);
+    te::setFusionEnabled(true);
+    tt::Tensor y_on = net.forward(x, false);
+
+    ASSERT_EQ(y_off.shape(), y_on.shape());
+    EXPECT_EQ(0, std::memcmp(y_off.data(), y_on.data(),
+                             static_cast<std::size_t>(y_off.numel()) *
+                                 sizeof(float)));
+}
+
+TEST(Fusion, TrainingStepBitwiseEquivalenceOnScalarTier)
+{
+    OverrideGuard guard;
+    tt::simd::setSimdEnabled(false);
+    te::Network net = makeFusableNet(17);
+    tt::Tensor x = randomTensor(tt::Shape{2, 2, 6, 6}, 18);
+    tt::Tensor dy = randomTensor(tt::Shape{2, 2}, 19);
+
+    te::setFusionEnabled(false);
+    const StepResult off = runTrainStep(net, x, dy);
+    te::setFusionEnabled(true);
+    const StepResult on = runTrainStep(net, x, dy);
+    expectSameStep(off, on);
+}
+
+TEST(Fusion, ScalarAndVectorTiersAgreeThroughTrainingStep)
+{
+    OverrideGuard guard;
+    te::Network net = makeFusableNet(20);
+    tt::Tensor x = randomTensor(tt::Shape{2, 2, 6, 6}, 21);
+    tt::Tensor dy = randomTensor(tt::Shape{2, 2}, 22);
+
+    tt::simd::setSimdEnabled(false);
+    const StepResult scalar = runTrainStep(net, x, dy);
+    tt::simd::setSimdEnabled(true);
+    const StepResult vector = runTrainStep(net, x, dy);
+    expectSameStep(scalar, vector);
+}

@@ -1,0 +1,375 @@
+/**
+ * @file
+ * SIMD-vs-scalar A/B tests: every microkernel in tensor/kernels.h must
+ * produce *bitwise identical* results from the scalar oracle and the
+ * compiled vector tier, across odd sizes, tails shorter than one
+ * vector, and unaligned pointers. On hosts (or builds) without a
+ * vector tier, vectorOps() aliases scalarOps() and the comparisons
+ * pass trivially.
+ */
+
+#include "tensor/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/simd.h"
+#include "util/rng.h"
+
+namespace tk = tbd::tensor::kern;
+namespace ts = tbd::tensor::simd;
+namespace tt = tbd::tensor;
+
+namespace {
+
+/** Sizes that hit full vectors, masked tails, and sub-vector runs. */
+const std::int64_t kSizes[] = {1, 3, 7, 8, 9, 15, 16, 17, 31, 33, 64, 100};
+
+std::vector<float>
+randomVec(std::int64_t n, std::uint64_t seed)
+{
+    tbd::util::Rng rng(seed);
+    std::vector<float> v(static_cast<std::size_t>(n));
+    for (float &x : v)
+        x = static_cast<float>(rng.normal(0.0, 1.0));
+    return v;
+}
+
+std::uint32_t
+bits(float v)
+{
+    std::uint32_t u;
+    std::memcpy(&u, &v, sizeof(u));
+    return u;
+}
+
+void
+expectBitwiseEq(const std::vector<float> &a, const std::vector<float> &b,
+                const char *what)
+{
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(bits(a[i]), bits(b[i]))
+            << what << " diverges at [" << i << "]: " << a[i]
+            << " (scalar) vs " << b[i] << " (vector)";
+}
+
+} // namespace
+
+TEST(SimdKernels, GemmNNBitwise)
+{
+    const auto &s = tk::scalarOps();
+    const auto &v = tk::vectorOps();
+    for (std::int64_t rows : {1, 2, 5, 6, 7, 13}) {
+        for (std::int64_t N : {1, 3, 8, 16, 17, 33}) {
+            for (std::int64_t K : {1, 4, 9, 32}) {
+                auto a = randomVec(rows * K, 1);
+                auto b = randomVec(K * N, 2);
+                auto c0 = randomVec(rows * N, 3);
+                auto c1 = c0;
+                s.gemmNN(c0.data(), a.data(), b.data(), rows, N, K);
+                v.gemmNN(c1.data(), a.data(), b.data(), rows, N, K);
+                expectBitwiseEq(c0, c1, "gemmNN");
+            }
+        }
+    }
+}
+
+TEST(SimdKernels, GemmTNBitwise)
+{
+    const auto &s = tk::scalarOps();
+    const auto &v = tk::vectorOps();
+    const std::int64_t M = 11, lda = 23;
+    auto a = randomVec(M * lda, 4);
+    for (std::int64_t rows : {1, 3, 4, 5, 9}) {
+        for (std::int64_t rowOff : {0, 7}) {
+            for (std::int64_t N : {1, 8, 17, 33}) {
+                auto b = randomVec(M * N, 5);
+                auto c0 = randomVec(rows * N, 6);
+                auto c1 = c0;
+                s.gemmTN(c0.data(), a.data(), b.data(), rows, rowOff, lda,
+                         M, N);
+                v.gemmTN(c1.data(), a.data(), b.data(), rows, rowOff, lda,
+                         M, N);
+                expectBitwiseEq(c0, c1, "gemmTN");
+            }
+        }
+    }
+}
+
+TEST(SimdKernels, GemmNTBitwise)
+{
+    const auto &s = tk::scalarOps();
+    const auto &v = tk::vectorOps();
+    for (std::int64_t rows : {1, 2, 3, 7}) {
+        for (std::int64_t N : {1, 7, 8, 9, 31, 33}) {
+            for (std::int64_t Kb : {1, 3, 4, 5, 12}) {
+                auto a = randomVec(rows * N, 7);
+                auto b = randomVec(Kb * N, 8);
+                std::vector<float> c0(static_cast<std::size_t>(rows * Kb)),
+                    c1 = c0;
+                s.gemmNT(c0.data(), a.data(), b.data(), rows, N, Kb, Kb);
+                v.gemmNT(c1.data(), a.data(), b.data(), rows, N, Kb, Kb);
+                expectBitwiseEq(c0, c1, "gemmNT");
+            }
+        }
+    }
+}
+
+TEST(SimdKernels, ElementwiseBitwise)
+{
+    const auto &s = tk::scalarOps();
+    const auto &v = tk::vectorOps();
+    for (std::int64_t n : kSizes) {
+        auto x = randomVec(n, 9);
+        auto y = randomVec(n, 10);
+
+        auto d0 = x, d1 = x;
+        s.axpy(d0.data(), y.data(), 0.37f, n);
+        v.axpy(d1.data(), y.data(), 0.37f, n);
+        expectBitwiseEq(d0, d1, "axpy");
+
+        d0 = x;
+        d1 = x;
+        s.scale(d0.data(), -1.73f, n);
+        v.scale(d1.data(), -1.73f, n);
+        expectBitwiseEq(d0, d1, "scale");
+
+        const float dot0 = s.dot(x.data(), y.data(), n);
+        const float dot1 = v.dot(x.data(), y.data(), n);
+        ASSERT_EQ(bits(dot0), bits(dot1)) << "dot n=" << n;
+    }
+}
+
+TEST(SimdKernels, RowPanelsBitwise)
+{
+    const auto &s = tk::scalarOps();
+    const auto &v = tk::vectorOps();
+    for (std::int64_t n : {1, 7, 8, 17, 33}) {
+        for (std::int64_t rows : {1, 3, 10}) {
+            auto x = randomVec(rows * n, 11);
+            auto bias = randomVec(n, 12);
+
+            auto d0 = x, d1 = x;
+            s.addRowBias(d0.data(), bias.data(), rows, n);
+            v.addRowBias(d1.data(), bias.data(), rows, n);
+            expectBitwiseEq(d0, d1, "addRowBias");
+
+            auto a0 = randomVec(n, 13), a1 = a0;
+            s.sumRowsAcc(a0.data(), x.data(), rows, n);
+            v.sumRowsAcc(a1.data(), x.data(), rows, n);
+            expectBitwiseEq(a0, a1, "sumRowsAcc");
+
+            for (tk::Act act :
+                 {tk::Act::None, tk::Act::Relu, tk::Act::LeakyRelu,
+                  tk::Act::Sigmoid, tk::Act::Tanh}) {
+                d0 = x;
+                d1 = x;
+                s.biasAct(d0.data(), x.data(), bias.data(), rows, n, act,
+                          0.01f);
+                v.biasAct(d1.data(), x.data(), bias.data(), rows, n, act,
+                          0.01f);
+                expectBitwiseEq(d0, d1, "biasAct");
+            }
+        }
+    }
+}
+
+TEST(SimdKernels, ActivationsBitwise)
+{
+    const auto &s = tk::scalarOps();
+    const auto &v = tk::vectorOps();
+    for (std::int64_t n : kSizes) {
+        auto x = randomVec(n, 14);
+        auto dy = randomVec(n, 15);
+        for (tk::Act act : {tk::Act::None, tk::Act::Relu, tk::Act::LeakyRelu,
+                            tk::Act::Sigmoid, tk::Act::Tanh}) {
+            std::vector<float> y0(static_cast<std::size_t>(n)), y1 = y0;
+            s.actForward(y0.data(), x.data(), n, act, 0.01f);
+            v.actForward(y1.data(), x.data(), n, act, 0.01f);
+            expectBitwiseEq(y0, y1, "actForward");
+
+            std::vector<float> g0(static_cast<std::size_t>(n)), g1 = g0;
+            s.actBackward(g0.data(), dy.data(), y0.data(), n, act, 0.01f);
+            v.actBackward(g1.data(), dy.data(), y0.data(), n, act, 0.01f);
+            expectBitwiseEq(g0, g1, "actBackward");
+        }
+    }
+}
+
+TEST(SimdKernels, BatchNormBitwise)
+{
+    const auto &s = tk::scalarOps();
+    const auto &v = tk::vectorOps();
+    for (std::int64_t n : kSizes) {
+        auto x = randomVec(n, 16);
+        auto dy = randomVec(n, 17);
+
+        double s0, q0, s1, q1;
+        s.sumSq(x.data(), n, s0, q0);
+        v.sumSq(x.data(), n, s1, q1);
+        ASSERT_EQ(s0, s1) << "sumSq sum n=" << n;
+        ASSERT_EQ(q0, q1) << "sumSq sumsq n=" << n;
+
+        for (tk::Act act : {tk::Act::None, tk::Act::Relu, tk::Act::Tanh}) {
+            std::vector<float> y0(static_cast<std::size_t>(n)), y1 = y0;
+            std::vector<float> h0(static_cast<std::size_t>(n)), h1 = h0;
+            s.bnApply(y0.data(), h0.data(), x.data(), n, 0.13f, 1.7f, 0.9f,
+                      -0.2f, act, 0.01f);
+            v.bnApply(y1.data(), h1.data(), x.data(), n, 0.13f, 1.7f, 0.9f,
+                      -0.2f, act, 0.01f);
+            expectBitwiseEq(y0, y1, "bnApply y");
+            expectBitwiseEq(h0, h1, "bnApply xhat");
+
+            double ds0, dd0, ds1, dd1;
+            s.bnBackwardReduce(dy.data(), h0.data(), n, ds0, dd0);
+            v.bnBackwardReduce(dy.data(), h0.data(), n, ds1, dd1);
+            ASSERT_EQ(ds0, ds1) << "bnBackwardReduce dsum";
+            ASSERT_EQ(dd0, dd1) << "bnBackwardReduce ddot";
+
+            std::vector<float> dx0(static_cast<std::size_t>(n)), dx1 = dx0;
+            s.bnBackwardApply(dx0.data(), dy.data(), h0.data(), n, 1.3f,
+                              0.02f, -0.04f);
+            v.bnBackwardApply(dx1.data(), dy.data(), h0.data(), n, 1.3f,
+                              0.02f, -0.04f);
+            expectBitwiseEq(dx0, dx1, "bnBackwardApply");
+        }
+    }
+}
+
+TEST(SimdKernels, PoolRowsBitwise)
+{
+    const auto &s = tk::scalarOps();
+    const auto &v = tk::vectorOps();
+    for (std::int64_t ow : {1, 3, 8, 9, 17, 30}) {
+        for (std::int64_t k : {1, 2, 3}) {
+            for (std::int64_t strideW : {1, 2}) {
+                const std::int64_t inW = (ow - 1) * strideW + k;
+                auto in = randomVec(k * inW, 18 + ow);
+                tk::PoolRow row{in.data(), inW, ow, k, k, strideW};
+
+                std::vector<float> o0(static_cast<std::size_t>(ow)),
+                    o1 = o0;
+                std::vector<std::int64_t> m0(static_cast<std::size_t>(ow)),
+                    m1 = m0;
+                s.maxPoolRow(o0.data(), m0.data(), 1000, row);
+                v.maxPoolRow(o1.data(), m1.data(), 1000, row);
+                expectBitwiseEq(o0, o1, "maxPoolRow out");
+                ASSERT_EQ(m0, m1) << "maxPoolRow argmax";
+
+                const float inv = 1.0f / static_cast<float>(k * k);
+                s.avgPoolRow(o0.data(), inv, row);
+                v.avgPoolRow(o1.data(), inv, row);
+                expectBitwiseEq(o0, o1, "avgPoolRow");
+            }
+        }
+    }
+}
+
+TEST(SimdKernels, MaxPoolAllInfWindowMatchesGenericConvention)
+{
+    const auto &s = tk::scalarOps();
+    const auto &v = tk::vectorOps();
+    const std::int64_t ow = 9, k = 2, inW = ow + k - 1;
+    std::vector<float> in(static_cast<std::size_t>(k * inW),
+                          -std::numeric_limits<float>::infinity());
+    tk::PoolRow row{in.data(), inW, ow, k, k, 1};
+    std::vector<float> o0(static_cast<std::size_t>(ow), 42.0f), o1 = o0;
+    std::vector<std::int64_t> m0(static_cast<std::size_t>(ow), 7), m1 = m0;
+    s.maxPoolRow(o0.data(), m0.data(), 0, row);
+    v.maxPoolRow(o1.data(), m1.data(), 0, row);
+    for (std::int64_t i = 0; i < ow; ++i) {
+        EXPECT_EQ(o0[static_cast<std::size_t>(i)], 0.0f);
+        EXPECT_EQ(m0[static_cast<std::size_t>(i)], -1);
+    }
+    expectBitwiseEq(o0, o1, "maxPoolRow all -inf out");
+    ASSERT_EQ(m0, m1);
+}
+
+TEST(SimdKernels, UnalignedPointersBitwise)
+{
+    const auto &s = tk::scalarOps();
+    const auto &v = tk::vectorOps();
+    // Shift every operand one float off any natural alignment.
+    const std::int64_t n = 67;
+    auto xa = randomVec(n + 1, 30);
+    auto ya = randomVec(n + 1, 31);
+    const float *x = xa.data() + 1;
+    const float *y = ya.data() + 1;
+
+    std::vector<float> d0a(static_cast<std::size_t>(n + 1), 0.5f),
+        d1a = d0a;
+    s.axpy(d0a.data() + 1, y, 2.5f, n);
+    v.axpy(d1a.data() + 1, y, 2.5f, n);
+    expectBitwiseEq(d0a, d1a, "axpy unaligned");
+
+    ASSERT_EQ(bits(s.dot(x, y, n)), bits(v.dot(x, y, n)))
+        << "dot unaligned";
+
+    std::vector<float> y0(static_cast<std::size_t>(n + 1)), y1 = y0;
+    s.actForward(y0.data() + 1, x, n, tk::Act::LeakyRelu, 0.2f);
+    v.actForward(y1.data() + 1, x, n, tk::Act::LeakyRelu, 0.2f);
+    expectBitwiseEq(y0, y1, "actForward unaligned");
+}
+
+TEST(SimdKernels, DispatchLevelMatmulMatchesForcedScalar)
+{
+    // Whole-op A/B through the public tensor API: force the scalar
+    // oracle, then the compiled tier, and require identical bits.
+    tbd::util::Rng rng(32);
+    tt::Tensor a(tt::Shape{13, 37});
+    tt::Tensor b(tt::Shape{37, 19});
+    a.fillNormal(rng, 0.0f, 1.0f);
+    b.fillNormal(rng, 0.0f, 1.0f);
+
+    ts::setSimdEnabled(false);
+    tt::Tensor c_scalar = tt::matmul(a, b);
+    tt::Tensor tn_scalar = tt::matmulTN(a, a);
+    tt::Tensor nt_scalar = tt::matmulNT(a, a);
+    ts::setSimdEnabled(true);
+    tt::Tensor c_vec = tt::matmul(a, b);
+    tt::Tensor tn_vec = tt::matmulTN(a, a);
+    tt::Tensor nt_vec = tt::matmulNT(a, a);
+    ts::setSimdEnabled(std::nullopt);
+
+    ASSERT_EQ(0, std::memcmp(c_scalar.data(), c_vec.data(),
+                             static_cast<std::size_t>(c_scalar.numel()) *
+                                 sizeof(float)));
+    ASSERT_EQ(0, std::memcmp(tn_scalar.data(), tn_vec.data(),
+                             static_cast<std::size_t>(tn_scalar.numel()) *
+                                 sizeof(float)));
+    ASSERT_EQ(0, std::memcmp(nt_scalar.data(), nt_vec.data(),
+                             static_cast<std::size_t>(nt_scalar.numel()) *
+                                 sizeof(float)));
+}
+
+TEST(SimdKernels, EnvParse)
+{
+    EXPECT_TRUE(ts::simdEnabledFromEnv(nullptr));
+    EXPECT_TRUE(ts::simdEnabledFromEnv("on"));
+    EXPECT_TRUE(ts::simdEnabledFromEnv("1"));
+    EXPECT_TRUE(ts::simdEnabledFromEnv("avx2"));
+    EXPECT_FALSE(ts::simdEnabledFromEnv("off"));
+    EXPECT_FALSE(ts::simdEnabledFromEnv("0"));
+    EXPECT_FALSE(ts::simdEnabledFromEnv("scalar"));
+}
+
+TEST(SimdKernels, TierReporting)
+{
+    // activeTier() can never exceed what was compiled in or what the
+    // CPU supports, and forcing scalar always lands on the oracle.
+    ts::setSimdEnabled(false);
+    EXPECT_EQ(ts::activeTier(), ts::Tier::Scalar);
+    EXPECT_FALSE(ts::active());
+    ts::setSimdEnabled(std::nullopt);
+    if (ts::compiledTier() == ts::Tier::Scalar)
+        EXPECT_EQ(ts::activeTier(), ts::Tier::Scalar);
+    EXPECT_STREQ(ts::tierName(ts::Tier::Scalar), "scalar");
+    EXPECT_STREQ(ts::tierName(ts::Tier::Avx2), "avx2");
+}

@@ -1,0 +1,105 @@
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+namespace tu = tbd::util;
+
+namespace {
+
+bool
+aligned32(const float *p)
+{
+    return reinterpret_cast<std::uintptr_t>(p) % 32 == 0;
+}
+
+} // namespace
+
+TEST(Arena, AllocAligns32AndPadsTo8Floats)
+{
+    tu::Arena arena;
+    tu::Arena::Scope scope(arena);
+    float *a = arena.alloc(3);
+    float *b = arena.alloc(1);
+    EXPECT_TRUE(aligned32(a));
+    EXPECT_TRUE(aligned32(b));
+    // 3 floats round up to one 8-float slot.
+    EXPECT_EQ(b - a, 8);
+    EXPECT_EQ(arena.liveFloats(), 16);
+}
+
+TEST(Arena, AllocZeroedZeroes)
+{
+    tu::Arena arena;
+    tu::Arena::Scope scope(arena);
+    float *p = nullptr;
+    {
+        tu::Arena::Scope inner(arena);
+        p = arena.alloc(64);
+        std::memset(p, 0xab, 64 * sizeof(float));
+    }
+    float *z = arena.allocZeroed(64);
+    EXPECT_EQ(z, p); // the rolled-back slot is reused...
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(z[i], 0.0f); // ...and scrubbed on request
+}
+
+TEST(Arena, ScopeRestoresWatermarkLifo)
+{
+    tu::Arena arena;
+    tu::Arena::Scope outer(arena);
+    float *a = arena.alloc(8);
+    {
+        tu::Arena::Scope inner(arena);
+        arena.alloc(8);
+        arena.alloc(8);
+        EXPECT_EQ(arena.liveFloats(), 24);
+    }
+    EXPECT_EQ(arena.liveFloats(), 8);
+    // The next allocation reuses the rolled-back storage.
+    float *b = arena.alloc(8);
+    EXPECT_EQ(b - a, 8);
+}
+
+TEST(Arena, GrowsAcrossChunksAndRestores)
+{
+    tu::Arena arena;
+    const std::size_t cap0 = arena.capacityBytes();
+    {
+        tu::Arena::Scope scope(arena);
+        // First chunk is at least 64K floats; force a second chunk.
+        float *a = arena.alloc(1 << 16);
+        float *b = arena.alloc(1 << 17);
+        ASSERT_NE(a, nullptr);
+        ASSERT_NE(b, nullptr);
+        a[0] = 1.0f;
+        b[(1 << 17) - 1] = 2.0f;
+        EXPECT_GT(arena.capacityBytes(), cap0);
+        EXPECT_EQ(arena.liveFloats(), (1 << 16) + (1 << 17));
+    }
+    // Capacity is retained, the bump pointer is not.
+    EXPECT_EQ(arena.liveFloats(), 0);
+    EXPECT_GE(arena.capacityBytes(),
+              std::size_t((1 << 16) + (1 << 17)) * sizeof(float));
+}
+
+TEST(Arena, OversizedRequestGetsDedicatedChunk)
+{
+    tu::Arena arena;
+    tu::Arena::Scope scope(arena);
+    const std::int64_t huge = (1 << 18) + 5;
+    float *p = arena.alloc(huge);
+    ASSERT_NE(p, nullptr);
+    p[0] = 1.0f;
+    p[huge - 1] = 2.0f;
+    EXPECT_TRUE(aligned32(p));
+}
+
+TEST(Arena, CurrentIsStablePerThread)
+{
+    tu::Arena *a = &tu::Arena::current();
+    tu::Arena *b = &tu::Arena::current();
+    EXPECT_EQ(a, b);
+}
