@@ -1,0 +1,481 @@
+/**
+ * @file
+ * Deterministic replay load harness for `tbd::serve` — the PR's
+ * headline gate, not a timing benchmark.
+ *
+ *   bench_serve_load [--queries N] [--clients N] [--seed S]
+ *                    [--coalesce-rounds N]
+ *
+ * The harness starts an in-process Server, precomputes a baseline
+ * answer for every unique config with simulateDirect() (the oneshot
+ * library path), then fires a seeded mixed workload — hot repeats,
+ * batch-sweep bursts, malformed lines, unknown names, a quota-bound
+ * tenant flood and barrier-synchronized coalescing rounds — from N
+ * client threads over real sockets, and asserts:
+ *
+ *   - every served simulation is BITWISE-identical to its baseline
+ *     (ResultSummary operator==, FNV-1a fingerprints included);
+ *   - error statuses match the baseline's statuses;
+ *   - request coalescing happened (cache stats, ≥1 piggyback);
+ *   - the flood tenant saw explicit 429 rejections;
+ *   - malformed lines answered 400, unknown names 404, and the
+ *     server survived all of it with queueDepth() back at zero.
+ *
+ * Exit status is the gate: 0 only when every assertion holds. Run
+ * under TBD_OBS=1 to export the serve counters for `tbd_obs check
+ * --require-counter serve.cache.hit`.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/logging.h"
+
+using namespace tbd;
+
+namespace {
+
+/** Valid (model, framework, base batch) combos, goldens' coverage. */
+struct Combo
+{
+    const char *model;
+    const char *framework;
+    std::int64_t baseBatch;
+};
+
+const Combo kCombos[] = {
+    {"ResNet-50", "TensorFlow", 4},
+    {"Inception-v3", "TensorFlow", 4},
+    {"NMT", "TensorFlow", 4},
+    {"Transformer", "TensorFlow", 64},
+    {"Faster R-CNN", "TensorFlow", 1},
+    {"WGAN", "TensorFlow", 4},
+    {"Sockeye", "MXNet", 4},
+    {"Deep Speech 2", "MXNet", 1},
+    {"A3C", "MXNet", 8},
+};
+constexpr std::int64_t kSweep[] = {1, 2, 4}; // batch multipliers
+
+/** Raw lines the protocol must reject with 400, never crash on. */
+const char *const kMalformed[] = {
+    "this is not json",
+    "{\"id\":\"x\"",
+    "{\"id\":\"x\",\"bogus_field\":true,\"model\":\"ResNet-50\"}",
+    "[1,2,3]",
+    "{\"id\":\"x\",\"model\":\"ResNet-50\",\"batch\":\"twelve\"}",
+};
+
+struct Op
+{
+    enum Kind { Query, Malformed, Unknown } kind = Query;
+    std::size_t index = 0; ///< unique config / malformed variant
+};
+
+/** Reusable N-thread rendezvous (std::barrier is C++20). */
+class Barrier
+{
+  public:
+    explicit Barrier(std::size_t parties) : parties_(parties) {}
+
+    void arriveAndWait()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        const std::size_t generation = generation_;
+        if (++waiting_ == parties_) {
+            waiting_ = 0;
+            ++generation_;
+            cv_.notify_all();
+        } else {
+            cv_.wait(lock, [&] { return generation_ != generation; });
+        }
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::size_t parties_;
+    std::size_t waiting_ = 0;
+    std::size_t generation_ = 0;
+};
+
+struct ThreadStats
+{
+    std::int64_t sent = 0;
+    std::int64_t ok = 0;
+    std::int64_t cachedSeen = 0;
+    std::int64_t coalescedSeen = 0;
+    std::int64_t badRequest = 0;
+    std::int64_t unknownName = 0;
+    std::int64_t otherStatus = 0;
+    std::int64_t mismatches = 0;
+    std::string firstMismatch;
+};
+
+serve::Request
+uniqueRequest(std::size_t unique, const std::string &id,
+              const std::string &tenant)
+{
+    const Combo &combo = kCombos[unique / 3];
+    serve::Request request;
+    request.id = id;
+    request.tenant = tenant;
+    request.model = combo.model;
+    request.framework = combo.framework;
+    request.batch = combo.baseBatch * kSweep[unique % 3];
+    return request;
+}
+
+void
+noteMismatch(ThreadStats &stats, const std::string &what)
+{
+    if (stats.mismatches++ == 0)
+        stats.firstMismatch = what;
+}
+
+/** Compare one served answer against its oneshot baseline. */
+void
+checkAgainstBaseline(const serve::Response &served,
+                     const serve::Response &baseline,
+                     const serve::Request &request,
+                     ThreadStats &stats)
+{
+    if (served.status != baseline.status) {
+        noteMismatch(stats,
+                     "status " +
+                         std::to_string(statusCode(served.status)) +
+                         " vs baseline " +
+                         std::to_string(statusCode(baseline.status)) +
+                         " for " + request.model + " b" +
+                         std::to_string(request.batch));
+        return;
+    }
+    if (served.status == serve::Status::Ok &&
+        served.result != baseline.result) {
+        char fp[64];
+        std::snprintf(fp, sizeof fp, "%016llx vs %016llx",
+                      static_cast<unsigned long long>(
+                          served.result.fingerprint),
+                      static_cast<unsigned long long>(
+                          baseline.result.fingerprint));
+        noteMismatch(stats, "BITWISE DIVERGENCE for " + request.model +
+                                " b" + std::to_string(request.batch) +
+                                " (fingerprints " + fp + ")");
+    }
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: bench_serve_load [--queries N] [--clients N]"
+                 " [--seed S] [--coalesce-rounds N]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::int64_t total_queries = 2400;
+    std::size_t clients = 4;
+    std::uint64_t seed = 20180923; // iiswc'18
+    int max_coalesce_rounds = 10;
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (flag == "--queries" && has_value)
+            total_queries = std::stoll(argv[++i]);
+        else if (flag == "--clients" && has_value)
+            clients = static_cast<std::size_t>(std::stoul(argv[++i]));
+        else if (flag == "--seed" && has_value)
+            seed = std::stoull(argv[++i]);
+        else if (flag == "--coalesce-rounds" && has_value)
+            max_coalesce_rounds = std::stoi(argv[++i]);
+        else
+            return usage();
+    }
+    TBD_CHECK(clients >= 1, "need at least one client");
+
+    const std::size_t uniques =
+        std::size(kCombos) * std::size(kSweep);
+
+    // ---- Baseline: every unique config through the oneshot path,
+    // single-threaded, before the server exists.
+    std::printf("baseline: %zu unique configs via simulateDirect\n",
+                uniques);
+    std::vector<serve::Response> baseline;
+    baseline.reserve(uniques);
+    for (std::size_t u = 0; u < uniques; ++u)
+        baseline.push_back(
+            serve::simulateDirect(uniqueRequest(u, "base", "base")));
+
+    // ---- Pre-generate the per-thread scripts from one seeded rng so
+    // the workload is a pure function of --seed.
+    std::mt19937_64 rng(seed);
+    const std::int64_t per_thread =
+        (total_queries + static_cast<std::int64_t>(clients) - 1) /
+        static_cast<std::int64_t>(clients);
+    std::vector<std::vector<Op>> scripts(clients);
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    std::uniform_int_distribution<std::size_t> any_unique(
+        0, uniques - 1);
+    std::uniform_int_distribution<std::size_t> hot_unique(
+        0, std::min<std::size_t>(5, uniques - 1));
+    std::uniform_int_distribution<std::size_t> any_malformed(
+        0, std::size(kMalformed) - 1);
+    std::uniform_int_distribution<std::size_t> any_combo(
+        0, std::size(kCombos) - 1);
+    for (auto &script : scripts) {
+        while (script.size() < static_cast<std::size_t>(per_thread)) {
+            const double toss = coin(rng);
+            if (toss < 0.02) {
+                script.push_back(
+                    {Op::Malformed, any_malformed(rng)});
+            } else if (toss < 0.04) {
+                script.push_back({Op::Unknown, 0});
+            } else if (toss < 0.09) {
+                // Sweep burst: the full batch sweep of one combo.
+                const std::size_t combo = any_combo(rng);
+                for (std::size_t s = 0; s < std::size(kSweep); ++s)
+                    script.push_back({Op::Query, combo * 3 + s});
+            } else if (toss < 0.72) {
+                script.push_back({Op::Query, hot_unique(rng)});
+            } else {
+                script.push_back({Op::Query, any_unique(rng)});
+            }
+        }
+        script.resize(static_cast<std::size_t>(per_thread));
+    }
+
+    // ---- Server up. Default quota unlimited; the flood tenant gets
+    // a burst-4, zero-refill bucket so its rejections are exact.
+    serve::ServerOptions options;
+    options.threads = 4;
+    options.maxInflight = 256;
+    serve::Server server(options);
+    server.setTenantQuota("flood", {4.0, 0.0});
+    server.start();
+    std::printf("server on 127.0.0.1:%d, %zu clients x %lld queries\n",
+                server.port(), clients,
+                static_cast<long long>(per_thread));
+
+    // ---- Main phase: N socket clients replaying their scripts.
+    std::vector<ThreadStats> stats(clients);
+    {
+        std::vector<std::thread> threads;
+        for (std::size_t t = 0; t < clients; ++t) {
+            threads.emplace_back([&, t] {
+                serve::Client client(server.port());
+                const std::string tenant =
+                    "client-" + std::to_string(t);
+                ThreadStats &my = stats[t];
+                std::int64_t n = 0;
+                for (const Op &op : scripts[t]) {
+                    const std::string id =
+                        tenant + "/" + std::to_string(n++);
+                    serve::Response response;
+                    switch (op.kind) {
+                      case Op::Malformed:
+                        response =
+                            client.callLine(kMalformed[op.index]);
+                        if (response.status !=
+                            serve::Status::BadRequest)
+                            noteMismatch(my,
+                                         "malformed line not 400");
+                        else
+                            ++my.badRequest;
+                        break;
+                      case Op::Unknown: {
+                        serve::Request request =
+                            uniqueRequest(0, id, tenant);
+                        request.model = "NoSuchNet";
+                        response = client.call(request);
+                        if (response.status !=
+                            serve::Status::UnknownName)
+                            noteMismatch(my,
+                                         "unknown model not 404");
+                        else
+                            ++my.unknownName;
+                        break;
+                      }
+                      case Op::Query: {
+                        const serve::Request request =
+                            uniqueRequest(op.index, id, tenant);
+                        response = client.call(request);
+                        checkAgainstBaseline(response,
+                                             baseline[op.index],
+                                             request, my);
+                        if (response.status == serve::Status::Ok)
+                            ++my.ok;
+                        else if (response.status ==
+                                 serve::Status::SimulationError)
+                            ++my.otherStatus;
+                        else
+                            ++my.otherStatus;
+                        break;
+                      }
+                    }
+                    ++my.sent;
+                    my.cachedSeen += response.cached ? 1 : 0;
+                    my.coalescedSeen += response.coalesced ? 1 : 0;
+                }
+            });
+        }
+        for (auto &thread : threads)
+            thread.join();
+    }
+
+    // ---- Flood phase: burst 4 + zero refill ⇒ exactly 4 admitted.
+    std::int64_t flood_rejected = 0;
+    std::int64_t flood_admitted = 0;
+    {
+        serve::Client client(server.port());
+        for (int i = 0; i < 12; ++i) {
+            serve::Request request = uniqueRequest(
+                0, "flood/" + std::to_string(i), "flood");
+            const serve::Response response = client.call(request);
+            if (response.status == serve::Status::RejectedQuota)
+                ++flood_rejected;
+            else
+                ++flood_admitted;
+        }
+    }
+
+    // ---- Coalescing rounds: all clients fire one identical COLD
+    // config behind a barrier. Length variation with a fresh seed
+    // per round defeats every process-global fast path (lowering
+    // cache, steady-state replay), so the leader pays a full
+    // hundreds-of-ms simulation — a coalescing window orders of
+    // magnitude wider than the barrier's release skew. The oneshot
+    // baseline is deliberately computed AFTER the round: running it
+    // first would warm those caches and shrink the window.
+    std::int64_t coalesced_total = 0;
+    int coalesce_round = 0;
+    ThreadStats coalesce_stats;
+    std::mutex coalesce_mutex;
+    for (; coalesce_round < max_coalesce_rounds; ++coalesce_round) {
+        serve::Request request;
+        request.id = "co/" + std::to_string(coalesce_round);
+        request.tenant = "coalesce";
+        request.model = "Deep Speech 2"; // slowest cold simulation
+        request.framework = "MXNet";
+        request.batch = 1;
+        request.lengthCv = 0.5;
+        request.lengthSeed =
+            1000 + static_cast<std::uint64_t>(coalesce_round);
+        const std::int64_t before =
+            server.cache().stats().coalesced;
+        Barrier barrier(clients);
+        std::vector<serve::Response> answers(clients);
+        std::vector<std::thread> threads;
+        for (std::size_t t = 0; t < clients; ++t) {
+            threads.emplace_back([&, t] {
+                serve::Client client(server.port());
+                barrier.arriveAndWait();
+                answers[t] = client.call(request);
+            });
+        }
+        for (auto &thread : threads)
+            thread.join();
+        const serve::Response direct =
+            serve::simulateDirect(request);
+        for (const auto &answer : answers) {
+            std::lock_guard<std::mutex> lock(coalesce_mutex);
+            checkAgainstBaseline(answer, direct, request,
+                                 coalesce_stats);
+        }
+        coalesced_total =
+            server.cache().stats().coalesced - before;
+        if (coalesced_total > 0)
+            break;
+    }
+
+    const auto cache_stats = server.cache().stats();
+    const auto admission_stats = server.admission().stats();
+    const std::int64_t queue_depth = server.admission().queueDepth();
+    server.stop();
+
+    // ---- Verdict.
+    ThreadStats total;
+    for (const auto &s : stats) {
+        total.sent += s.sent;
+        total.ok += s.ok;
+        total.cachedSeen += s.cachedSeen;
+        total.coalescedSeen += s.coalescedSeen;
+        total.badRequest += s.badRequest;
+        total.unknownName += s.unknownName;
+        total.otherStatus += s.otherStatus;
+        if (s.mismatches > 0 && total.firstMismatch.empty())
+            total.firstMismatch = s.firstMismatch;
+        total.mismatches += s.mismatches;
+    }
+    total.mismatches += coalesce_stats.mismatches;
+    if (total.firstMismatch.empty())
+        total.firstMismatch = coalesce_stats.firstMismatch;
+
+    std::printf(
+        "\nreplayed %lld queries: %lld ok, %lld cached, "
+        "%lld coalesced (client-side), %lld bad-request, "
+        "%lld unknown-name, %lld other\n",
+        static_cast<long long>(total.sent),
+        static_cast<long long>(total.ok),
+        static_cast<long long>(total.cachedSeen),
+        static_cast<long long>(total.coalescedSeen),
+        static_cast<long long>(total.badRequest),
+        static_cast<long long>(total.unknownName),
+        static_cast<long long>(total.otherStatus));
+    std::printf("cache: %lld hits, %lld misses, %lld coalesced; "
+                "admission: %lld admitted, %lld quota-rejected, "
+                "%lld queue-rejected; flood: %lld admitted, "
+                "%lld rejected; coalesce rounds used: %d\n",
+                static_cast<long long>(cache_stats.hits),
+                static_cast<long long>(cache_stats.misses),
+                static_cast<long long>(cache_stats.coalesced),
+                static_cast<long long>(admission_stats.admitted),
+                static_cast<long long>(admission_stats.rejectedQuota),
+                static_cast<long long>(
+                    admission_stats.rejectedQueueFull),
+                static_cast<long long>(flood_admitted),
+                static_cast<long long>(flood_rejected),
+                coalesce_round + 1);
+
+    int failures = 0;
+    const auto expect = [&failures](bool ok, const char *what) {
+        if (!ok) {
+            std::fprintf(stderr, "FAIL: %s\n", what);
+            ++failures;
+        }
+    };
+    expect(total.mismatches == 0, "served answers diverged");
+    if (total.mismatches > 0)
+        std::fprintf(stderr, "      first: %s\n",
+                     total.firstMismatch.c_str());
+    expect(total.ok > 0, "no successful simulations at all");
+    expect(total.cachedSeen > 0, "hot repeats never hit the cache");
+    expect(cache_stats.hits > 0, "server cache counted no hits");
+    expect(coalesced_total > 0, "no request coalescing observed");
+    expect(flood_rejected >= 1, "flood tenant never saw a 429");
+    expect(flood_admitted == 4,
+           "flood admits != burst (token bucket drifted)");
+    expect(admission_stats.rejectedQuota >= 1,
+           "admission counted no quota rejections");
+    expect(queue_depth == 0, "queue slots leaked");
+    expect(total.badRequest > 0, "workload fired no malformed lines");
+    expect(total.unknownName > 0, "workload fired no unknown names");
+
+    if (failures == 0)
+        std::printf("PASS: 100%% bitwise agreement with the oneshot "
+                    "baseline\n");
+    return failures == 0 ? 0 : 1;
+}

@@ -108,6 +108,77 @@ fastPathSummary(const std::vector<obs::MetricSnapshot> &metrics)
     return summary;
 }
 
+util::Table
+ServeSummary::table() const
+{
+    util::Table t({"tenant", "requests", "ok", "rejected", "errors",
+                   "p50 latency", "p95 latency"});
+    for (const auto &tenant : tenants)
+        t.addRow({tenant.tenant, std::to_string(tenant.requests),
+                  std::to_string(tenant.ok),
+                  std::to_string(tenant.rejected),
+                  std::to_string(tenant.errors),
+                  util::formatDuration(tenant.p50LatencyUs * 1e-6),
+                  util::formatDuration(tenant.p95LatencyUs * 1e-6)});
+    return t;
+}
+
+ServeSummary
+serveSummary(const std::vector<obs::MetricSnapshot> &metrics)
+{
+    ServeSummary summary;
+    std::unordered_map<std::string, ServeTenantStat> by_tenant;
+    static const std::string kTenantPrefix = "serve.tenant.";
+    for (const auto &m : metrics) {
+        if (m.name == "serve.cache.hit") {
+            summary.cacheHits = static_cast<std::int64_t>(m.value);
+        } else if (m.name == "serve.cache.miss") {
+            summary.cacheMisses = static_cast<std::int64_t>(m.value);
+        } else if (m.name == "serve.cache.coalesced") {
+            summary.coalesced = static_cast<std::int64_t>(m.value);
+        } else if (m.name == "serve.malformed") {
+            summary.malformed = static_cast<std::int64_t>(m.value);
+        } else if (m.name.rfind(kTenantPrefix, 0) == 0) {
+            // serve.tenant.<name>.<event>: the event is the suffix
+            // after the last dot (tenant names may contain dots).
+            const std::size_t cut = m.name.rfind('.');
+            if (cut <= kTenantPrefix.size())
+                continue;
+            const std::string tenant = m.name.substr(
+                kTenantPrefix.size(), cut - kTenantPrefix.size());
+            const std::string event = m.name.substr(cut + 1);
+            ServeTenantStat &stat = by_tenant[tenant];
+            stat.tenant = tenant;
+            if (event == "requests")
+                stat.requests = static_cast<std::int64_t>(m.value);
+            else if (event == "ok")
+                stat.ok = static_cast<std::int64_t>(m.value);
+            else if (event == "rejected")
+                stat.rejected = static_cast<std::int64_t>(m.value);
+            else if (event == "errors")
+                stat.errors = static_cast<std::int64_t>(m.value);
+            else if (event == "latency_us") {
+                stat.p50LatencyUs = m.p50;
+                stat.p95LatencyUs = m.p95;
+            }
+        }
+    }
+    for (auto &[name, stat] : by_tenant)
+        summary.tenants.push_back(std::move(stat));
+    std::sort(summary.tenants.begin(), summary.tenants.end(),
+              [](const ServeTenantStat &a, const ServeTenantStat &b) {
+                  return a.tenant < b.tenant;
+              });
+    const std::int64_t lookups =
+        summary.cacheHits + summary.cacheMisses;
+    summary.cacheHitRate =
+        lookups > 0
+            ? static_cast<double>(summary.cacheHits) /
+                  static_cast<double>(lookups)
+            : 0.0;
+    return summary;
+}
+
 ObsReport
 buildObsReport(const obs::TraceDump &dump)
 {

@@ -75,6 +75,48 @@ struct FastPathSummary
 FastPathSummary fastPathSummary(
     const std::vector<obs::MetricSnapshot> &metrics);
 
+/** One tenant's serve-layer accounting. */
+struct ServeTenantStat
+{
+    std::string tenant;
+    std::int64_t requests = 0; ///< lines admitted to the pipeline
+    std::int64_t ok = 0;       ///< answered with a result
+    std::int64_t rejected = 0; ///< quota or queue-full rejections
+    std::int64_t errors = 0;   ///< unknown-name/simulation failures
+    double p50LatencyUs = 0.0; ///< median served latency
+    double p95LatencyUs = 0.0; ///< tail served latency
+};
+
+/**
+ * Roll-up of the tbd::serve metrics: one row per tenant
+ * (serve.tenant.<name>.{requests,ok,rejected,errors,latency_us})
+ * plus the result-cache counters (serve.cache.{hit,miss,coalesced}).
+ * empty() when no serve metrics are in the trace — the process never
+ * served — so callers can say so instead of printing headers.
+ */
+struct ServeSummary
+{
+    std::vector<ServeTenantStat> tenants; ///< sorted by tenant name
+    std::int64_t cacheHits = 0;
+    std::int64_t cacheMisses = 0;
+    std::int64_t coalesced = 0;  ///< piggybacked on in-flight twins
+    std::int64_t malformed = 0;  ///< unparseable request lines
+    double cacheHitRate = 0.0;   ///< hits / (hits + misses)
+
+    bool empty() const
+    {
+        return tenants.empty() &&
+               cacheHits + cacheMisses + coalesced == 0;
+    }
+
+    /** Tenant table: requests, ok, rejected, errors, p50/p95. */
+    util::Table table() const;
+};
+
+/** Extract the serve summary from a metric snapshot. */
+ServeSummary serveSummary(
+    const std::vector<obs::MetricSnapshot> &metrics);
+
 /** Build the roll-up from a trace dump (live or parsed from JSONL). */
 ObsReport buildObsReport(const obs::TraceDump &dump);
 

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Admission control for the serve front end: per-tenant token-bucket
+ * quotas plus a bounded in-flight budget, decided *before* a request
+ * touches the worker queue. Overload answers an explicit 429/503-style
+ * rejection instead of queueing without bound — the client always
+ * learns its fate in bounded time.
+ *
+ * Determinism: the token bucket reads time through an injectable
+ * clock, so tests drive quota decisions with a manual clock and the
+ * outcomes are exactly reproducible. The in-flight budget is a simple
+ * counted semaphore released by RAII Ticket, which makes "no queue
+ * slot leaks" a checkable invariant (queueDepth() returns to zero).
+ */
+
+#ifndef TBD_SERVE_ADMISSION_H
+#define TBD_SERVE_ADMISSION_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace tbd::serve {
+
+/** Token-bucket parameters of one tenant. */
+struct QuotaConfig
+{
+    /** Bucket capacity: the burst a tenant may send instantly. */
+    double burst = 1e9;
+
+    /** Sustained refill rate, requests per second. */
+    double ratePerSec = 1e9;
+};
+
+/** Admission outcomes, in decision order. */
+enum class Admission
+{
+    Admit,           ///< ticket granted
+    RejectQuota,     ///< tenant bucket empty (429)
+    RejectQueueFull, ///< in-flight budget exhausted (503)
+};
+
+/** Per-tenant quotas + bounded in-flight budget. */
+class AdmissionController
+{
+  public:
+    /** Seconds-valued monotonic clock (injectable for tests). */
+    using Clock = std::function<double()>;
+
+    /**
+     * @param defaultQuota Bucket parameters for tenants without an
+     *        explicit override (the default is effectively unlimited).
+     * @param maxInflight Admitted-but-unfinished request bound;
+     *        <= 0 means unbounded.
+     */
+    explicit AdmissionController(QuotaConfig defaultQuota = {},
+                                 std::int64_t maxInflight = 0);
+    ~AdmissionController();
+
+    AdmissionController(const AdmissionController &) = delete;
+    AdmissionController &operator=(const AdmissionController &) = delete;
+
+    /** Override the quota of one tenant (new bucket starts full). */
+    void setTenantQuota(const std::string &tenant,
+                        const QuotaConfig &quota);
+
+    /** Replace the time source (tests use a manual clock). */
+    void setClock(Clock clock);
+
+    /**
+     * RAII in-flight slot: released on destruction. Default
+     * constructed or moved-from tickets hold nothing.
+     */
+    class Ticket
+    {
+      public:
+        Ticket() = default;
+        Ticket(Ticket &&other) noexcept;
+        Ticket &operator=(Ticket &&other) noexcept;
+        ~Ticket();
+
+        Ticket(const Ticket &) = delete;
+        Ticket &operator=(const Ticket &) = delete;
+
+        /** True while this ticket holds a slot. */
+        bool held() const { return controller_ != nullptr; }
+
+        /** Release the slot early (idempotent). */
+        void release();
+
+      private:
+        friend class AdmissionController;
+        explicit Ticket(AdmissionController *controller)
+            : controller_(controller)
+        {
+        }
+        AdmissionController *controller_ = nullptr;
+    };
+
+    /**
+     * Decide one request: quota first (a rejected request must not
+     * consume an in-flight slot), then the in-flight budget. On
+     * Admit, `ticket` holds the slot until destroyed.
+     */
+    Admission admit(const std::string &tenant, Ticket &ticket);
+
+    /** Admitted-but-unfinished requests right now. */
+    std::int64_t queueDepth() const;
+
+    /** Admission counters. */
+    struct Stats
+    {
+        std::int64_t admitted = 0;
+        std::int64_t rejectedQuota = 0;
+        std::int64_t rejectedQueueFull = 0;
+    };
+
+    /** Current counters. */
+    Stats stats() const;
+
+  private:
+    void releaseSlot();
+
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace tbd::serve
+
+#endif // TBD_SERVE_ADMISSION_H

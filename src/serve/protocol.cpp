@@ -1,0 +1,399 @@
+#include "serve/protocol.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace tbd::serve {
+
+namespace {
+
+/** FNV-1a accumulator (64-bit offset basis / prime). */
+struct Fnv
+{
+    std::uint64_t h = 1469598103934665603ull;
+
+    void bytes(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            h ^= p[i];
+            h *= 1099511628211ull;
+        }
+    }
+
+    void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+    void i64(std::int64_t v) { bytes(&v, sizeof v); }
+
+    void f64(double v)
+    {
+        // Hash the exact bit pattern: any ULP of drift must change
+        // the digest (this is a bitwise-equality certificate, not a
+        // tolerance check).
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        u64(bits);
+    }
+
+    void str(const std::string &s)
+    {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+};
+
+} // namespace
+
+int
+statusCode(Status s)
+{
+    return static_cast<int>(s);
+}
+
+const char *
+statusName(Status s)
+{
+    switch (s) {
+    case Status::Ok: return "ok";
+    case Status::BadRequest: return "bad_request";
+    case Status::UnknownName: return "unknown_name";
+    case Status::SimulationError: return "simulation_error";
+    case Status::RejectedQuota: return "rejected_quota";
+    case Status::RejectedQueueFull: return "rejected_queue_full";
+    case Status::InternalError: return "internal_error";
+    }
+    return "internal_error";
+}
+
+Status
+statusFromCode(int code)
+{
+    switch (code) {
+    case 200: return Status::Ok;
+    case 400: return Status::BadRequest;
+    case 404: return Status::UnknownName;
+    case 422: return Status::SimulationError;
+    case 429: return Status::RejectedQuota;
+    case 503: return Status::RejectedQueueFull;
+    case 500: return Status::InternalError;
+    default:
+        TBD_FATAL("unknown serve status code ", code);
+    }
+}
+
+std::uint64_t
+resultFingerprint(const perf::RunResult &result)
+{
+    Fnv fnv;
+    fnv.str(result.modelName);
+    fnv.str(result.frameworkName);
+    fnv.str(result.gpuName);
+    fnv.i64(result.batch);
+    fnv.f64(result.iterationUs);
+    fnv.f64(result.throughputSamples);
+    fnv.f64(result.throughputUnits);
+    fnv.f64(result.gpuUtilization);
+    fnv.f64(result.fp32Utilization);
+    fnv.f64(result.cpuUtilization);
+    fnv.i64(result.kernelsPerIteration);
+    for (const std::uint64_t bytes : result.memory.peakBytes)
+        fnv.u64(bytes);
+    fnv.u64(result.kernelTrace.size());
+    for (const gpusim::KernelExec &exec : result.kernelTrace) {
+        fnv.str(exec.name.str());
+        fnv.i64(static_cast<std::int64_t>(exec.category));
+        fnv.f64(exec.startUs);
+        fnv.f64(exec.durationUs);
+        fnv.f64(exec.flops);
+        fnv.f64(exec.fp32Util);
+        fnv.i64(static_cast<std::int64_t>(exec.limiter));
+    }
+    fnv.u64(result.warmupIterationUs.size());
+    for (const double us : result.warmupIterationUs)
+        fnv.f64(us);
+    fnv.u64(result.sampleIterationUs.size());
+    for (const double us : result.sampleIterationUs)
+        fnv.f64(us);
+    return fnv.h;
+}
+
+ResultSummary
+summarize(const perf::RunResult &result)
+{
+    ResultSummary s;
+    s.model = result.modelName;
+    s.framework = result.frameworkName;
+    s.gpu = result.gpuName;
+    s.batch = result.batch;
+    s.iterationUs = result.iterationUs;
+    s.throughputSamples = result.throughputSamples;
+    s.throughputUnits = result.throughputUnits;
+    s.gpuUtilization = result.gpuUtilization;
+    s.fp32Utilization = result.fp32Utilization;
+    s.cpuUtilization = result.cpuUtilization;
+    s.kernelsPerIteration = result.kernelsPerIteration;
+    // Same accumulation as check::captureGolden, so the serving path
+    // can be diffed against tests/golden/ records exactly.
+    s.totalSimulatedUs =
+        std::accumulate(result.warmupIterationUs.begin(),
+                        result.warmupIterationUs.end(), 0.0) +
+        std::accumulate(result.sampleIterationUs.begin(),
+                        result.sampleIterationUs.end(), 0.0);
+    s.memoryBytes = result.memory.peakBytes;
+    s.memoryTotal = result.memory.total();
+    s.fingerprint = resultFingerprint(result);
+    return s;
+}
+
+bool
+operator==(const ResultSummary &a, const ResultSummary &b)
+{
+    // Doubles compare by bit pattern: NaN never appears in results,
+    // and a tolerance here would defeat the bitwise gate.
+    const auto bits = [](double v) {
+        std::uint64_t u;
+        std::memcpy(&u, &v, sizeof u);
+        return u;
+    };
+    return a.model == b.model && a.framework == b.framework &&
+           a.gpu == b.gpu && a.batch == b.batch &&
+           bits(a.iterationUs) == bits(b.iterationUs) &&
+           bits(a.throughputSamples) == bits(b.throughputSamples) &&
+           bits(a.throughputUnits) == bits(b.throughputUnits) &&
+           bits(a.gpuUtilization) == bits(b.gpuUtilization) &&
+           bits(a.fp32Utilization) == bits(b.fp32Utilization) &&
+           bits(a.cpuUtilization) == bits(b.cpuUtilization) &&
+           a.kernelsPerIteration == b.kernelsPerIteration &&
+           bits(a.totalSimulatedUs) == bits(b.totalSimulatedUs) &&
+           a.memoryBytes == b.memoryBytes &&
+           a.memoryTotal == b.memoryTotal &&
+           a.fingerprint == b.fingerprint;
+}
+
+bool
+operator!=(const ResultSummary &a, const ResultSummary &b)
+{
+    return !(a == b);
+}
+
+check::GoldenRecord
+toGoldenRecord(const ResultSummary &summary)
+{
+    check::GoldenRecord record;
+    record.model = summary.model;
+    record.framework = summary.framework;
+    record.gpu = summary.gpu;
+    record.batch = summary.batch;
+    record.iterationUs = summary.iterationUs;
+    record.throughputSamples = summary.throughputSamples;
+    record.throughputUnits = summary.throughputUnits;
+    record.gpuUtilization = summary.gpuUtilization;
+    record.fp32Utilization = summary.fp32Utilization;
+    record.cpuUtilization = summary.cpuUtilization;
+    record.kernelsPerIteration = summary.kernelsPerIteration;
+    record.totalSimulatedUs = summary.totalSimulatedUs;
+    record.memoryBytes = summary.memoryBytes;
+    record.memoryTotal = summary.memoryTotal;
+    return record;
+}
+
+core::BenchmarkRequest
+toBenchmarkRequest(const Request &request)
+{
+    core::BenchmarkRequest bench;
+    bench.model = request.model;
+    bench.framework = request.framework;
+    bench.gpu = request.gpu;
+    bench.batch = request.batch;
+    bench.lengthCv = request.lengthCv;
+    bench.lengthSeed = request.lengthSeed;
+    return bench;
+}
+
+util::json::Value
+requestToJson(const Request &request)
+{
+    using util::json::Value;
+    Value doc = Value::object();
+    doc.set("id", Value(request.id));
+    doc.set("tenant", Value(request.tenant));
+    doc.set("model", Value(request.model));
+    doc.set("framework", Value(request.framework));
+    doc.set("gpu", Value(request.gpu));
+    doc.set("batch", Value(request.batch));
+    doc.set("length_cv", Value(request.lengthCv));
+    doc.set("length_seed", Value(request.lengthSeed));
+    return doc;
+}
+
+Request
+requestFromJson(const util::json::Value &value)
+{
+    TBD_CHECK(value.isObject(), "serve request must be a JSON object");
+    Request request;
+    for (const auto &[key, member] : value.members()) {
+        if (key == "id") {
+            request.id = member.asString();
+        } else if (key == "tenant") {
+            request.tenant = member.asString();
+        } else if (key == "model") {
+            request.model = member.asString();
+        } else if (key == "framework") {
+            request.framework = member.asString();
+        } else if (key == "gpu") {
+            request.gpu = member.asString();
+        } else if (key == "batch") {
+            request.batch = member.asInt();
+        } else if (key == "length_cv") {
+            request.lengthCv = member.asDouble();
+        } else if (key == "length_seed") {
+            request.lengthSeed = member.asUint();
+        } else {
+            TBD_FATAL("unknown serve request field '", key, "'");
+        }
+    }
+    TBD_CHECK(!request.model.empty(),
+              "serve request is missing the 'model' field");
+    TBD_CHECK(!request.tenant.empty(),
+              "serve request 'tenant' must be non-empty");
+    return request;
+}
+
+namespace {
+
+util::json::Value
+summaryToJson(const ResultSummary &summary)
+{
+    using util::json::Value;
+    Value doc = Value::object();
+    doc.set("model", Value(summary.model));
+    doc.set("framework", Value(summary.framework));
+    doc.set("gpu", Value(summary.gpu));
+    doc.set("batch", Value(summary.batch));
+    doc.set("iteration_us", Value(summary.iterationUs));
+    doc.set("throughput_samples_per_s", Value(summary.throughputSamples));
+    doc.set("throughput_units_per_s", Value(summary.throughputUnits));
+    doc.set("gpu_utilization", Value(summary.gpuUtilization));
+    doc.set("fp32_utilization", Value(summary.fp32Utilization));
+    doc.set("cpu_utilization", Value(summary.cpuUtilization));
+    doc.set("kernels_per_iteration", Value(summary.kernelsPerIteration));
+    doc.set("total_simulated_us", Value(summary.totalSimulatedUs));
+    Value memory = Value::array();
+    for (std::size_t c = 0; c < memprof::kCategoryCount; ++c)
+        memory.push(Value(summary.memoryBytes[c]));
+    doc.set("memory_bytes", std::move(memory));
+    doc.set("memory_total", Value(summary.memoryTotal));
+    // The fingerprint exceeds 2^53, so it travels as a hex string
+    // rather than a (lossy) JSON number.
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(summary.fingerprint));
+    doc.set("fingerprint", Value(std::string(hex)));
+    return doc;
+}
+
+ResultSummary
+summaryFromJson(const util::json::Value &value)
+{
+    ResultSummary summary;
+    summary.model = value.at("model").asString();
+    summary.framework = value.at("framework").asString();
+    summary.gpu = value.at("gpu").asString();
+    summary.batch = value.at("batch").asInt();
+    summary.iterationUs = value.at("iteration_us").asDouble();
+    summary.throughputSamples =
+        value.at("throughput_samples_per_s").asDouble();
+    summary.throughputUnits =
+        value.at("throughput_units_per_s").asDouble();
+    summary.gpuUtilization = value.at("gpu_utilization").asDouble();
+    summary.fp32Utilization = value.at("fp32_utilization").asDouble();
+    summary.cpuUtilization = value.at("cpu_utilization").asDouble();
+    summary.kernelsPerIteration =
+        value.at("kernels_per_iteration").asInt();
+    summary.totalSimulatedUs =
+        value.at("total_simulated_us").asDouble();
+    const util::json::Value &memory = value.at("memory_bytes");
+    TBD_CHECK(memory.size() == memprof::kCategoryCount,
+              "serve summary memory_bytes must have ",
+              memprof::kCategoryCount, " entries, got ", memory.size());
+    for (std::size_t c = 0; c < memprof::kCategoryCount; ++c)
+        summary.memoryBytes[c] = memory.at(c).asUint();
+    summary.memoryTotal = value.at("memory_total").asUint();
+    const std::string &hex = value.at("fingerprint").asString();
+    char *endp = nullptr;
+    summary.fingerprint = std::strtoull(hex.c_str(), &endp, 16);
+    TBD_CHECK(endp != hex.c_str() && *endp == '\0',
+              "malformed serve fingerprint '", hex, "'");
+    return summary;
+}
+
+} // namespace
+
+util::json::Value
+responseToJson(const Response &response)
+{
+    using util::json::Value;
+    Value doc = Value::object();
+    doc.set("id", Value(response.id));
+    doc.set("status", Value(std::int64_t{statusCode(response.status)}));
+    doc.set("status_name", Value(std::string(statusName(response.status))));
+    if (response.status == Status::Ok) {
+        doc.set("cached", Value(response.cached));
+        doc.set("coalesced", Value(response.coalesced));
+        doc.set("result", summaryToJson(response.result));
+    } else {
+        doc.set("error", Value(response.error));
+        if (!response.suggestion.empty())
+            doc.set("suggestion", Value(response.suggestion));
+    }
+    return doc;
+}
+
+Response
+responseFromJson(const util::json::Value &value)
+{
+    TBD_CHECK(value.isObject(), "serve response must be a JSON object");
+    Response response;
+    response.id = value.at("id").asString();
+    response.status =
+        statusFromCode(static_cast<int>(value.at("status").asInt()));
+    if (response.status == Status::Ok) {
+        response.cached = value.at("cached").asBool();
+        response.coalesced = value.at("coalesced").asBool();
+        response.result = summaryFromJson(value.at("result"));
+    } else {
+        response.error = value.at("error").asString();
+        if (value.has("suggestion"))
+            response.suggestion = value.at("suggestion").asString();
+    }
+    return response;
+}
+
+std::string
+encodeRequest(const Request &request)
+{
+    return requestToJson(request).dump();
+}
+
+std::string
+encodeResponse(const Response &response)
+{
+    return responseToJson(response).dump();
+}
+
+Request
+decodeRequest(const std::string &line)
+{
+    return requestFromJson(util::json::Value::parse(line));
+}
+
+Response
+decodeResponse(const std::string &line)
+{
+    return responseFromJson(util::json::Value::parse(line));
+}
+
+} // namespace tbd::serve

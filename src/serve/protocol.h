@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Wire protocol of the `tbd_serve` simulation service.
+ *
+ * The service speaks newline-delimited JSON: one request object per
+ * line in, one response object per line out, correlated by a
+ * client-chosen `id` string (responses may come back out of order —
+ * requests run concurrently on the worker pool). A Request is the
+ * serve-side mirror of core::BenchmarkRequest plus tenancy; a
+ * Response carries an HTTP-style status code and, on success, a
+ * ResultSummary — every scalar metric of the perf::RunResult plus a
+ * 64-bit FNV-1a fingerprint over the *entire* result (kernel trace,
+ * per-iteration timings, memory categories included).
+ *
+ * Fidelity: util::json serializes numbers with 17 significant digits,
+ * so every double in a summary round-trips bit-for-bit through the
+ * socket. Summary equality plus fingerprint equality therefore proves
+ * the served simulation is bitwise-identical to a library-path run —
+ * the invariant the replay load harness gates on.
+ */
+
+#ifndef TBD_SERVE_PROTOCOL_H
+#define TBD_SERVE_PROTOCOL_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "check/golden.h"
+#include "core/suite.h"
+#include "memprof/memory_profiler.h"
+#include "perf/simulator.h"
+#include "util/json.h"
+
+namespace tbd::serve {
+
+/** One simulation query, as received on the wire. */
+struct Request
+{
+    std::string id;               ///< correlation id, echoed back
+    std::string tenant = "default"; ///< quota / metrics bucket
+    std::string model;            ///< ModelDesc display name
+    std::string framework = "TensorFlow";
+    std::string gpu = "Quadro P4000";
+    std::int64_t batch = 32;
+    double lengthCv = 0.0;        ///< Sec. 3.4.3 length variation
+    std::uint64_t lengthSeed = 42;
+};
+
+/** HTTP-flavoured request outcomes. */
+enum class Status
+{
+    Ok = 200,              ///< simulated (or served from cache)
+    BadRequest = 400,      ///< malformed JSON or invalid field
+    UnknownName = 404,     ///< model/framework/GPU not registered
+    SimulationError = 422, ///< simulation failed (e.g. OOM)
+    RejectedQuota = 429,   ///< tenant token bucket empty
+    RejectedQueueFull = 503, ///< bounded queue at capacity
+    InternalError = 500,   ///< unexpected server-side failure
+};
+
+/** Numeric code of a status (what goes on the wire). */
+int statusCode(Status s);
+
+/** Stable lower-case name of a status ("ok", "rejected_quota", ...). */
+const char *statusName(Status s);
+
+/**
+ * Parse a wire code back into a Status.
+ * @throws util::FatalError for a code the protocol never emits.
+ */
+Status statusFromCode(int code);
+
+/**
+ * Scalar digest of one perf::RunResult: the golden-record metric set
+ * plus a fingerprint over the full result. Two summaries compare equal
+ * (bitwise, via fingerprints and exact doubles) iff the underlying
+ * results are bitwise-identical in every field the record covers.
+ */
+struct ResultSummary
+{
+    std::string model;
+    std::string framework;
+    std::string gpu;
+    std::int64_t batch = 0;
+
+    double iterationUs = 0.0;
+    double throughputSamples = 0.0;
+    double throughputUnits = 0.0;
+    double gpuUtilization = 0.0;
+    double fp32Utilization = 0.0;
+    double cpuUtilization = 0.0;
+    std::int64_t kernelsPerIteration = 0;
+    double totalSimulatedUs = 0.0; ///< warm-up + sampled wall time
+
+    /** Per-category memory peaks, in MemCategory order. */
+    std::array<std::uint64_t, memprof::kCategoryCount> memoryBytes{};
+    std::uint64_t memoryTotal = 0;
+
+    /** FNV-1a over every RunResult field, kernel trace included. */
+    std::uint64_t fingerprint = 0;
+};
+
+/** Exact (bitwise) summary equality, fingerprints included. */
+bool operator==(const ResultSummary &a, const ResultSummary &b);
+bool operator!=(const ResultSummary &a, const ResultSummary &b);
+
+/** One reply, as sent on the wire. */
+struct Response
+{
+    std::string id;            ///< echoed request id ("" if unparsable)
+    Status status = Status::InternalError;
+    bool cached = false;       ///< served from the result cache
+    bool coalesced = false;    ///< piggybacked on an in-flight twin
+    std::string error;         ///< human-readable cause when not Ok
+    std::string suggestion;    ///< "did you mean" for UnknownName
+    ResultSummary result;      ///< valid only when status == Ok
+};
+
+/**
+ * 64-bit FNV-1a over every field of a result: scalars (doubles hashed
+ * by bit pattern), strings, the memory categories, the full kernel
+ * trace and both per-iteration timing vectors. Any bit of drift in
+ * the simulation changes the fingerprint.
+ */
+std::uint64_t resultFingerprint(const perf::RunResult &result);
+
+/** Digest a finished simulation (computes the fingerprint). */
+ResultSummary summarize(const perf::RunResult &result);
+
+/**
+ * View a summary as a golden record (drops the fingerprint) so the
+ * serving path can be diffed against tests/golden/ with the exact
+ * tolerance rules of the library-path regression harness.
+ */
+check::GoldenRecord toGoldenRecord(const ResultSummary &summary);
+
+/** The core::BenchmarkRequest a serve request resolves to. */
+core::BenchmarkRequest toBenchmarkRequest(const Request &request);
+
+/** Serialize a request. */
+util::json::Value requestToJson(const Request &request);
+
+/**
+ * Deserialize a request. Unknown keys are rejected (they are almost
+ * certainly a typo'd field name the caller expects to matter).
+ * @throws util::FatalError on malformed or mistyped documents.
+ */
+Request requestFromJson(const util::json::Value &value);
+
+/** Serialize a response. */
+util::json::Value responseToJson(const Response &response);
+
+/**
+ * Deserialize a response.
+ * @throws util::FatalError on malformed or mistyped documents.
+ */
+Response responseFromJson(const util::json::Value &value);
+
+/** One-line wire form (dump + '\n' appended by the transport). */
+std::string encodeRequest(const Request &request);
+std::string encodeResponse(const Response &response);
+
+/** Parse one wire line. @throws util::FatalError when malformed. */
+Request decodeRequest(const std::string &line);
+Response decodeResponse(const std::string &line);
+
+} // namespace tbd::serve
+
+#endif // TBD_SERVE_PROTOCOL_H

@@ -1,0 +1,177 @@
+#include "serve/result_cache.h"
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "obs/obs.h"
+#include "util/logging.h"
+
+namespace tbd::serve {
+
+std::string
+cacheKey(const core::BenchmarkRequest &request)
+{
+    // lengthCv is keyed on its exact bit pattern: two values that
+    // differ in any ULP are different simulations.
+    std::uint64_t cv_bits;
+    static_assert(sizeof cv_bits == sizeof request.lengthCv);
+    std::memcpy(&cv_bits, &request.lengthCv, sizeof cv_bits);
+
+    std::string key;
+    key.reserve(96);
+    key += request.model;
+    key += '|';
+    key += request.framework;
+    key += '|';
+    key += request.gpu;
+    key += '|';
+    key += std::to_string(request.batch);
+    key += '|';
+    key += std::to_string(cv_bits);
+    key += '|';
+    key += std::to_string(request.lengthSeed);
+    return key;
+}
+
+namespace {
+
+/** Shared state of one in-flight computation. */
+struct Inflight
+{
+    std::mutex mutex;
+    std::condition_variable done;
+    bool finished = false;
+    std::shared_ptr<const perf::RunResult> result; // null on error
+    std::string error;
+};
+
+/** Bump serve.cache.<event> when tracing is on (repo obs idiom). */
+void
+countCacheEvent(const char *event)
+{
+    if (obs::enabled())
+        obs::MetricsRegistry::global()
+            .counter(std::string("serve.cache.") + event)
+            .add();
+}
+
+} // namespace
+
+struct ResultCache::Impl
+{
+    std::size_t max_entries;
+
+    mutable std::mutex mutex;
+    std::unordered_map<std::string,
+                       std::shared_ptr<const perf::RunResult>>
+        ready;
+    std::deque<std::string> order; // FIFO eviction
+    std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight;
+    Stats stats;
+
+    explicit Impl(std::size_t bound) : max_entries(bound) {}
+};
+
+ResultCache::ResultCache(std::size_t maxEntries)
+    : impl_(std::make_unique<Impl>(maxEntries))
+{
+}
+
+ResultCache::~ResultCache() = default;
+
+ResultCache::Outcome
+ResultCache::getOrCompute(const std::string &key, const Compute &fn)
+{
+    std::shared_ptr<Inflight> flight;
+    bool leader = false;
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        const auto hit = impl_->ready.find(key);
+        if (hit != impl_->ready.end()) {
+            ++impl_->stats.hits;
+            countCacheEvent("hit");
+            return Outcome{hit->second, "", true, false};
+        }
+        const auto running = impl_->inflight.find(key);
+        if (running != impl_->inflight.end()) {
+            flight = running->second;
+            ++impl_->stats.coalesced;
+            countCacheEvent("coalesced");
+        } else {
+            flight = std::make_shared<Inflight>();
+            impl_->inflight.emplace(key, flight);
+            leader = true;
+            ++impl_->stats.misses;
+            countCacheEvent("miss");
+        }
+    }
+
+    if (!leader) {
+        // Coalesced: block until the leader publishes.
+        std::unique_lock<std::mutex> lock(flight->mutex);
+        flight->done.wait(lock, [&] { return flight->finished; });
+        return Outcome{flight->result, flight->error, false, true};
+    }
+
+    // Leader: compute outside every lock so distinct keys overlap.
+    std::shared_ptr<const perf::RunResult> result;
+    std::string error;
+    try {
+        result = std::make_shared<const perf::RunResult>(fn());
+    } catch (const std::exception &e) {
+        error = e.what();
+    } catch (...) {
+        error = "unknown simulation failure";
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        impl_->inflight.erase(key);
+        // Publish successes only: a failed simulation must not poison
+        // the key (the next request retries).
+        if (result && impl_->max_entries > 0 &&
+            impl_->ready.emplace(key, result).second) {
+            impl_->order.push_back(key);
+            while (impl_->order.size() > impl_->max_entries) {
+                impl_->ready.erase(impl_->order.front());
+                impl_->order.pop_front();
+                ++impl_->stats.evictions;
+            }
+            impl_->stats.entries =
+                static_cast<std::int64_t>(impl_->ready.size());
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(flight->mutex);
+        flight->result = result;
+        flight->error = error;
+        flight->finished = true;
+    }
+    flight->done.notify_all();
+    return Outcome{result, error, false, false};
+}
+
+ResultCache::Stats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    Stats snapshot = impl_->stats;
+    snapshot.entries = static_cast<std::int64_t>(impl_->ready.size());
+    return snapshot;
+}
+
+void
+ResultCache::clear()
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    TBD_ASSERT(impl_->inflight.empty(),
+               "ResultCache::clear with computations in flight");
+    impl_->ready.clear();
+    impl_->order.clear();
+    impl_->stats = Stats{};
+}
+
+} // namespace tbd::serve

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Content-addressed RunConfig→RunResult cache with request
+ * coalescing — the serve-layer twin of perf::LoweringCache one layer
+ * up the stack.
+ *
+ * The TCO survey's observation is that simulation queries arrive as
+ * sweep-shaped bursts: many near-identical configurations differing
+ * in one axis, and many exact repeats. Two mechanisms exploit that:
+ *
+ *  - **Cache.** A finished simulation is published under its content
+ *    key (every RunConfig field the simulation reads) and handed out
+ *    as shared_ptr<const RunResult>; identical queries never
+ *    re-simulate. FIFO-bounded like the lowering cache.
+ *  - **Coalescing.** A query whose key is *currently being simulated*
+ *    blocks on that in-flight computation instead of starting its
+ *    own; when the leader finishes, every follower is handed the same
+ *    immutable result. N concurrent identical queries cost one
+ *    simulation, not N.
+ *
+ * Errors are propagated to the leader and every follower but never
+ * cached: a failed simulation (OOM, fail point) is retried by the
+ * next request for the key.
+ */
+
+#ifndef TBD_SERVE_RESULT_CACHE_H
+#define TBD_SERVE_RESULT_CACHE_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/suite.h"
+#include "perf/simulator.h"
+
+namespace tbd::serve {
+
+/**
+ * Content key of one benchmark request: every field the simulation
+ * reads, in a fixed order. lengthCv is keyed on its exact bit
+ * pattern (like the lowering cache keys lengthScale).
+ */
+std::string cacheKey(const core::BenchmarkRequest &request);
+
+/** Thread-safe result cache with in-flight request coalescing. */
+class ResultCache
+{
+  public:
+    /** Hit/miss/coalesce accounting (also exported as obs counters). */
+    struct Stats
+    {
+        std::int64_t hits = 0;      ///< served from the ready map
+        std::int64_t misses = 0;    ///< computed by this request
+        std::int64_t coalesced = 0; ///< waited on another's compute
+        std::int64_t evictions = 0;
+        std::int64_t entries = 0;   ///< ready entries resident now
+    };
+
+    /** Outcome of one lookup-or-compute. */
+    struct Outcome
+    {
+        /** The immutable result; nullptr when the compute failed. */
+        std::shared_ptr<const perf::RunResult> result;
+        std::string error;      ///< failure message when !result
+        bool hit = false;       ///< served without any simulation
+        bool coalesced = false; ///< waited on an in-flight twin
+    };
+
+    /** Computes a result on miss (runs outside every cache lock). */
+    using Compute = std::function<perf::RunResult()>;
+
+    /** @param maxEntries Ready-entry bound; 0 disables caching
+     *         (every request computes, coalescing still applies). */
+    explicit ResultCache(std::size_t maxEntries = 4096);
+    ~ResultCache();
+
+    ResultCache(const ResultCache &) = delete;
+    ResultCache &operator=(const ResultCache &) = delete;
+
+    /**
+     * Serve `key`: from the ready map (hit), by waiting on an
+     * in-flight computation of the same key (coalesced), or by
+     * running `fn` (miss). `fn` executes with no cache lock held —
+     * distinct keys compute fully in parallel.
+     */
+    Outcome getOrCompute(const std::string &key, const Compute &fn);
+
+    /** Current counters (consistent snapshot not guaranteed). */
+    Stats stats() const;
+
+    /** Drop every ready entry and zero the counters (tests). */
+    void clear();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace tbd::serve
+
+#endif // TBD_SERVE_RESULT_CACHE_H

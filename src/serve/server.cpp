@@ -1,0 +1,562 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "check/invariants.h"
+#include "lint/lint.h"
+#include "obs/obs.h"
+#include "serve/testing.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace tbd::serve {
+
+namespace {
+
+/** Reject request lines longer than this (malformed-input flood). */
+constexpr std::size_t kMaxLineBytes = 1 << 20;
+
+double
+nowUs()
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * The same opt-in hooks the suite facade installs: TBD_CHECK=1 makes
+ * every served simulation self-audit, TBD_LINT=1 lints the registry
+ * before the first one. Both installs are idempotent.
+ */
+void
+maybeInstallAudit()
+{
+    if (check::auditEnabled())
+        check::installSimulatorAudit();
+    if (lint::lintEnabled())
+        lint::installPreRunLint();
+}
+
+/** Per-tenant counter ("serve.tenant.<name>.<event>"), obs-gated. */
+void
+countTenant(const std::string &tenant, const char *event,
+            double latencyUs = -1.0)
+{
+    if (!obs::enabled())
+        return;
+    auto &reg = obs::MetricsRegistry::global();
+    reg.counter("serve.tenant." + tenant + "." + event).add();
+    if (latencyUs >= 0.0)
+        reg.histogram("serve.tenant." + tenant + ".latency_us")
+            .observe(latencyUs);
+}
+
+/** Resolve a request, classifying every resolution failure. */
+bool
+resolveConfig(const Request &request, perf::RunConfig &config,
+              Response &response)
+{
+    try {
+        config = core::toRunConfig(toBenchmarkRequest(request));
+        return true;
+    } catch (const core::UnknownNameError &e) {
+        response.status = Status::UnknownName;
+        response.error = e.what();
+        response.suggestion = e.suggestion();
+    } catch (const util::FatalError &e) {
+        // Resolvable names but invalid parameters (batch, lengthCv).
+        response.status = Status::BadRequest;
+        response.error = e.what();
+    }
+    return false;
+}
+
+perf::RunResult
+runSimulation(const perf::RunConfig &config)
+{
+    if (testing::failPointActive(testing::FailPoint::SimulationError))
+        TBD_FATAL("fail point: forced simulation error");
+    return perf::PerfSimulator().run(config);
+}
+
+/** One accepted socket: the fd plus a write lock (responses from
+ *  worker threads interleave line-atomically). */
+struct Connection
+{
+    int fd = -1;
+
+    ~Connection()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+
+    /**
+     * Write one response line. A failed send (client disconnected
+     * mid-request) is counted and swallowed: the server's contract
+     * is to survive the client, not to reach it.
+     */
+    void writeLine(const std::string &line)
+    {
+        std::lock_guard<std::mutex> lock(writeMutex);
+        std::string framed = line;
+        framed += '\n';
+        std::size_t sent = 0;
+        while (sent < framed.size()) {
+            const ssize_t n =
+                ::send(fd, framed.data() + sent, framed.size() - sent,
+                       MSG_NOSIGNAL);
+            if (n <= 0) {
+                if (obs::enabled())
+                    obs::MetricsRegistry::global()
+                        .counter("serve.write_failed")
+                        .add();
+                return;
+            }
+            sent += static_cast<std::size_t>(n);
+        }
+    }
+
+  private:
+    std::mutex writeMutex;
+};
+
+} // namespace
+
+Response
+simulateDirect(const Request &request)
+{
+    maybeInstallAudit();
+    Response response;
+    response.id = request.id;
+    perf::RunConfig config;
+    if (!resolveConfig(request, config, response))
+        return response;
+    try {
+        response.result = summarize(runSimulation(config));
+        response.status = Status::Ok;
+    } catch (const std::exception &e) {
+        response.status = Status::SimulationError;
+        response.error = e.what();
+    }
+    return response;
+}
+
+// ---------------------------------------------------------------------------
+// Server
+
+struct Server::Impl
+{
+    Server *self;
+    ServerOptions options;
+    AdmissionController admission;
+    ResultCache cache;
+    util::ThreadPool pool;
+
+    std::atomic<bool> running{false};
+    int listenFd = -1;
+    int boundPort = 0;
+    std::thread acceptThread;
+
+    std::mutex connMutex;
+    std::vector<std::shared_ptr<Connection>> connections;
+    std::vector<std::thread> connThreads;
+
+    Impl(Server *server, ServerOptions opts)
+        : self(server),
+          options(opts),
+          admission(opts.defaultQuota, opts.maxInflight),
+          cache(opts.cacheEntries),
+          pool(std::max<std::size_t>(1, opts.threads))
+    {
+    }
+
+    void acceptLoop();
+    void connectionLoop(const std::shared_ptr<Connection> &conn);
+    void serveLine(const std::shared_ptr<Connection> &conn,
+                   const std::string &line);
+};
+
+Server::Server(ServerOptions options)
+    : impl_(std::make_unique<Impl>(this, options))
+{
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+bool
+Server::running() const
+{
+    return impl_->running.load(std::memory_order_acquire);
+}
+
+int
+Server::port() const
+{
+    return impl_->boundPort;
+}
+
+AdmissionController &
+Server::admission()
+{
+    return impl_->admission;
+}
+
+ResultCache &
+Server::cache()
+{
+    return impl_->cache;
+}
+
+void
+Server::setTenantQuota(const std::string &tenant,
+                       const QuotaConfig &quota)
+{
+    impl_->admission.setTenantQuota(tenant, quota);
+}
+
+bool
+Server::admitRequest(const Request &request,
+                     AdmissionController::Ticket &ticket,
+                     Response &response)
+{
+    response.id = request.id;
+    countTenant(request.tenant, "requests");
+
+    // The QueueFull fail point fires inside the controller itself,
+    // so forced rejections hit this path exactly like real ones.
+    const Admission decision =
+        impl_->admission.admit(request.tenant, ticket);
+    if (decision == Admission::Admit)
+        return true;
+    if (decision == Admission::RejectQuota) {
+        response.status = Status::RejectedQuota;
+        response.error = "tenant '" + request.tenant +
+                         "' is over its request quota; retry later";
+    } else {
+        response.status = Status::RejectedQueueFull;
+        response.error = "server queue is full; retry later";
+    }
+    countTenant(request.tenant, "rejected");
+    return false;
+}
+
+Response
+Server::processAdmitted(const Request &request,
+                        AdmissionController::Ticket ticket,
+                        double startUs)
+{
+    Response response;
+    response.id = request.id;
+    perf::RunConfig config;
+    if (resolveConfig(request, config, response)) {
+        const ResultCache::Outcome outcome = impl_->cache.getOrCompute(
+            cacheKey(toBenchmarkRequest(request)),
+            [&config] { return runSimulation(config); });
+        if (outcome.result) {
+            response.status = Status::Ok;
+            response.cached = outcome.hit;
+            response.coalesced = outcome.coalesced;
+            response.result = summarize(*outcome.result);
+        } else {
+            response.status = Status::SimulationError;
+            response.error = outcome.error;
+        }
+    }
+    ticket.release();
+    countTenant(request.tenant,
+                response.status == Status::Ok ? "ok" : "errors",
+                nowUs() - startUs);
+    return response;
+}
+
+Response
+Server::handle(const Request &request)
+{
+    maybeInstallAudit();
+    const double start_us = nowUs();
+    Response response;
+    AdmissionController::Ticket ticket;
+    if (!admitRequest(request, ticket, response))
+        return response;
+    return processAdmitted(request, std::move(ticket), start_us);
+}
+
+void
+Server::Impl::serveLine(const std::shared_ptr<Connection> &conn,
+                        const std::string &line)
+{
+    const double start_us = nowUs();
+    Request request;
+    try {
+        request = decodeRequest(line);
+    } catch (const std::exception &e) {
+        Response bad;
+        bad.status = Status::BadRequest;
+        bad.error = e.what();
+        if (obs::enabled())
+            obs::MetricsRegistry::global()
+                .counter("serve.malformed")
+                .add();
+        conn->writeLine(encodeResponse(bad));
+        return;
+    }
+
+    // Admission runs here, on the connection thread: a rejection
+    // answers immediately and never occupies a queue slot — the
+    // queue is bounded by construction, not by backpressure.
+    Response rejection;
+    AdmissionController::Ticket ticket;
+    if (!self->admitRequest(request, ticket, rejection)) {
+        conn->writeLine(encodeResponse(rejection));
+        return;
+    }
+
+    // The ticket must reach the worker task, but std::function wants
+    // copyable callables; park it in shared state.
+    auto held = std::make_shared<AdmissionController::Ticket>(
+        std::move(ticket));
+    const bool queued =
+        pool.post([this, conn, request, held, start_us] {
+            conn->writeLine(encodeResponse(self->processAdmitted(
+                request, std::move(*held), start_us)));
+        });
+    if (!queued) {
+        // Lost the race against stop(): answer instead of dropping.
+        held->release();
+        Response busy;
+        busy.id = request.id;
+        busy.status = Status::RejectedQueueFull;
+        busy.error = "server is shutting down";
+        conn->writeLine(encodeResponse(busy));
+    }
+}
+
+void
+Server::Impl::connectionLoop(const std::shared_ptr<Connection> &conn)
+{
+    std::string buffer;
+    char chunk[4096];
+    for (;;) {
+        const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
+        if (n <= 0)
+            return; // client closed (or stop() shut the socket down)
+        buffer.append(chunk, static_cast<std::size_t>(n));
+        if (buffer.size() > kMaxLineBytes) {
+            Response bad;
+            bad.status = Status::BadRequest;
+            bad.error = "request line exceeds 1 MiB";
+            conn->writeLine(encodeResponse(bad));
+            // We are dropping an abusive client: after the 400, send
+            // FIN so its next read sees EOF instead of blocking
+            // forever. (The fd itself is closed by stop().)
+            ::shutdown(conn->fd, SHUT_RDWR);
+            return;
+        }
+        std::size_t eol;
+        while ((eol = buffer.find('\n')) != std::string::npos) {
+            std::string line = buffer.substr(0, eol);
+            buffer.erase(0, eol + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (!line.empty())
+                serveLine(conn, line);
+        }
+    }
+}
+
+void
+Server::Impl::acceptLoop()
+{
+    while (running.load(std::memory_order_acquire)) {
+        const int conn_fd = ::accept(listenFd, nullptr, nullptr);
+        if (conn_fd < 0) {
+            if (!running.load(std::memory_order_acquire))
+                break;
+            continue; // transient accept failure
+        }
+        auto conn = std::make_shared<Connection>();
+        conn->fd = conn_fd;
+        std::lock_guard<std::mutex> lock(connMutex);
+        connections.push_back(conn);
+        connThreads.emplace_back(
+            [this, conn] { connectionLoop(conn); });
+    }
+}
+
+void
+Server::start()
+{
+    TBD_CHECK(!running(), "server is already running");
+    maybeInstallAudit();
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    TBD_CHECK(fd >= 0, "cannot create server socket: ",
+              std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port =
+        htons(static_cast<std::uint16_t>(impl_->options.port));
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) !=
+        0) {
+        const std::string reason = std::strerror(errno);
+        ::close(fd);
+        TBD_FATAL("cannot bind 127.0.0.1:", impl_->options.port, ": ",
+                  reason);
+    }
+    if (::listen(fd, 64) != 0) {
+        const std::string reason = std::strerror(errno);
+        ::close(fd);
+        TBD_FATAL("cannot listen on server socket: ", reason);
+    }
+    socklen_t len = sizeof addr;
+    ::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len);
+    impl_->listenFd = fd;
+    impl_->boundPort = ntohs(addr.sin_port);
+    impl_->running.store(true, std::memory_order_release);
+
+    impl_->acceptThread = std::thread([this] { impl_->acceptLoop(); });
+}
+
+void
+Server::stop()
+{
+    if (!impl_->running.exchange(false, std::memory_order_acq_rel))
+        return;
+
+    // 1. Stop accepting: shutdown() wakes the blocked accept(), and
+    //    the close + clear wait until after the join — the accept
+    //    thread still reads listenFd until it exits.
+    ::shutdown(impl_->listenFd, SHUT_RDWR);
+    if (impl_->acceptThread.joinable())
+        impl_->acceptThread.join();
+    ::close(impl_->listenFd);
+    impl_->listenFd = -1;
+
+    // 2. Stop reading: connection loops see EOF and exit; responses
+    //    still in flight keep their write half until the pool drains.
+    {
+        std::lock_guard<std::mutex> lock(impl_->connMutex);
+        for (const auto &conn : impl_->connections)
+            ::shutdown(conn->fd, SHUT_RD);
+    }
+    for (;;) {
+        std::thread t;
+        {
+            std::lock_guard<std::mutex> lock(impl_->connMutex);
+            if (impl_->connThreads.empty())
+                break;
+            t = std::move(impl_->connThreads.back());
+            impl_->connThreads.pop_back();
+        }
+        if (t.joinable())
+            t.join();
+    }
+
+    // 3. Drain the worker pool: every admitted request answers.
+    impl_->pool.stop();
+
+    std::lock_guard<std::mutex> lock(impl_->connMutex);
+    impl_->connections.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Client
+
+Client::Client(int port)
+{
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    TBD_CHECK(fd_ >= 0, "cannot create client socket: ",
+              std::strerror(errno));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        const std::string reason = std::strerror(errno);
+        ::close(fd_);
+        fd_ = -1;
+        TBD_FATAL("cannot connect to 127.0.0.1:", port, ": ", reason);
+    }
+}
+
+Client::~Client()
+{
+    close();
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+Client::sendLine(const std::string &text)
+{
+    TBD_CHECK(fd_ >= 0, "client is not connected");
+    std::string line = text;
+    line += '\n';
+    std::size_t sent = 0;
+    while (sent < line.size()) {
+        const ssize_t n = ::send(fd_, line.data() + sent,
+                                 line.size() - sent, MSG_NOSIGNAL);
+        TBD_CHECK(n > 0, "client send failed: ", std::strerror(errno));
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+void
+Client::send(const Request &request)
+{
+    sendLine(encodeRequest(request));
+}
+
+Response
+Client::callLine(const std::string &text)
+{
+    sendLine(text);
+    char chunk[4096];
+    for (;;) {
+        const std::size_t eol = buffer_.find('\n');
+        if (eol != std::string::npos) {
+            const std::string line = buffer_.substr(0, eol);
+            buffer_.erase(0, eol + 1);
+            return decodeResponse(line);
+        }
+        const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+        TBD_CHECK(n > 0, "server closed the connection mid-response");
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+Response
+Client::call(const Request &request)
+{
+    return callLine(encodeRequest(request));
+}
+
+} // namespace tbd::serve

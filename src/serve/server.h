@@ -1,0 +1,189 @@
+/**
+ * @file
+ * `tbd::serve` — the multi-tenant simulation service over the TBD
+ * engine (ROADMAP item 1): a loopback-socket front end speaking
+ * newline-delimited JSON, a bounded admission layer, and a
+ * content-addressed result cache with request coalescing, all feeding
+ * a util::ThreadPool of simulation workers.
+ *
+ * Request path (DESIGN.md §14):
+ *
+ *   socket line → parse → admission (tenant token bucket, in-flight
+ *   budget) → worker pool → result cache (hit / coalesce / simulate
+ *   via the core::toRunConfig + perf::PerfSimulator library path) →
+ *   response line
+ *
+ * Every pipeline stage answers a structured Response — malformed
+ * input, unknown names (with a "did you mean" suggestion), quota and
+ * queue rejections, simulation errors — so a client never hangs on a
+ * failed request and the process never dies for one.
+ *
+ * Determinism contract: a served simulation is the exact library
+ * path, so its ResultSummary is bitwise-identical to what
+ * simulateDirect() (oneshot mode) produces for the same request —
+ * the invariant bench_serve_load replays thousands of mixed queries
+ * to enforce.
+ */
+
+#ifndef TBD_SERVE_SERVER_H
+#define TBD_SERVE_SERVER_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "serve/admission.h"
+#include "serve/protocol.h"
+#include "serve/result_cache.h"
+
+namespace tbd::serve {
+
+/** Server tunables. */
+struct ServerOptions
+{
+    /** TCP port on 127.0.0.1; 0 picks a free port (see port()). */
+    int port = 0;
+
+    /** Simulation worker threads (min 1). */
+    std::size_t threads = 4;
+
+    /** Admitted-but-unfinished request bound; <= 0 = unbounded. */
+    std::int64_t maxInflight = 64;
+
+    /** Quota for tenants without an explicit override. */
+    QuotaConfig defaultQuota{};
+
+    /** Result-cache entry bound; 0 disables caching. */
+    std::size_t cacheEntries = 4096;
+};
+
+/**
+ * The library path with no serving machinery: parse nothing, cache
+ * nothing — resolve the request and simulate. This is both the
+ * `tbd_serve oneshot` mode and the baseline the load harness diffs
+ * served answers against.
+ */
+Response simulateDirect(const Request &request);
+
+/** The simulation service. */
+class Server
+{
+  public:
+    explicit Server(ServerOptions options = {});
+
+    /** Stops the server if still running. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind 127.0.0.1, start the accept loop and the worker pool.
+     * @throws util::FatalError when the socket cannot be bound.
+     */
+    void start();
+
+    /**
+     * Close the listener, join every connection thread, drain the
+     * worker pool. Idempotent. In-flight requests finish and answer;
+     * requests that race the stop get a clean 503.
+     */
+    void stop();
+
+    /** True between start() and stop(). */
+    bool running() const;
+
+    /** The bound port (after start()). */
+    int port() const;
+
+    /**
+     * The full request pipeline — admission, cache, coalescing,
+     * simulation — without the socket hop. The socket path calls
+     * exactly this; tests call it directly.
+     */
+    Response handle(const Request &request);
+
+    /** Per-tenant quota override (takes effect immediately). */
+    void setTenantQuota(const std::string &tenant,
+                        const QuotaConfig &quota);
+
+    /** The admission layer (tests: clocks, queue depth). */
+    AdmissionController &admission();
+
+    /** The result cache (tests: stats, clear). */
+    ResultCache &cache();
+
+  private:
+    /**
+     * Stage 1 of the pipeline, run on the connection thread so
+     * rejections never occupy a queue slot: tenant quota, then the
+     * in-flight budget (and the queue_full fail point). Returns true
+     * with a held ticket on admit; false with `response` filled on
+     * rejection.
+     */
+    bool admitRequest(const Request &request,
+                      AdmissionController::Ticket &ticket,
+                      Response &response);
+
+    /** Stage 2, run on a worker: resolve → cache/coalesce → simulate.
+     *  The ticket is released when processing finishes. */
+    Response processAdmitted(const Request &request,
+                             AdmissionController::Ticket ticket,
+                             double startUs);
+
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
+ * Minimal blocking client for the wire protocol: one connection, one
+ * in-flight request at a time (the load harness runs N clients on N
+ * threads). Not thread-safe; create one per thread.
+ */
+class Client
+{
+  public:
+    /**
+     * Connect to 127.0.0.1:port.
+     * @throws util::FatalError when the connection fails.
+     */
+    explicit Client(int port);
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /**
+     * Send one request and block for its response.
+     * @throws util::FatalError on a transport failure (server gone).
+     */
+    Response call(const Request &request);
+
+    /**
+     * Send one raw line (no trailing newline) and block for the
+     * response — the hook for firing deliberately malformed requests.
+     * @throws util::FatalError on a transport failure (server gone).
+     */
+    Response callLine(const std::string &text);
+
+    /**
+     * Send one request and return without reading the response —
+     * paired with close() this reproduces a mid-request client
+     * disconnect for the fault tests.
+     */
+    void send(const Request &request);
+
+    /** Send one raw line without reading the response. */
+    void sendLine(const std::string &text);
+
+    /** Close the connection (idempotent; destructor calls it). */
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::string buffer_; // bytes read past the last response line
+};
+
+} // namespace tbd::serve
+
+#endif // TBD_SERVE_SERVER_H

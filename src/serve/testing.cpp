@@ -1,0 +1,61 @@
+#include "serve/testing.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace tbd::serve::testing {
+
+namespace {
+
+// -1 = no programmatic override; otherwise a FailPoint value.
+std::atomic<int> g_override{-1};
+
+FailPoint
+envFailPoint()
+{
+    static const FailPoint point =
+        failPointFromName(std::getenv("TBD_SERVE_FAILPOINT"));
+    return point;
+}
+
+} // namespace
+
+FailPoint
+failPointFromName(const char *name)
+{
+    if (name == nullptr || *name == '\0')
+        return FailPoint::None;
+    if (std::strcmp(name, "sim_error") == 0)
+        return FailPoint::SimulationError;
+    if (std::strcmp(name, "queue_full") == 0)
+        return FailPoint::QueueFull;
+    TBD_FATAL("unknown TBD_SERVE_FAILPOINT '", name,
+              "' (valid: sim_error, queue_full)");
+}
+
+FailPoint
+activeFailPoint()
+{
+    const int forced = g_override.load(std::memory_order_relaxed);
+    if (forced >= 0)
+        return static_cast<FailPoint>(forced);
+    return envFailPoint();
+}
+
+void
+setFailPoint(FailPoint point)
+{
+    g_override.store(static_cast<int>(point),
+                     std::memory_order_relaxed);
+}
+
+bool
+failPointActive(FailPoint point)
+{
+    return activeFailPoint() == point;
+}
+
+} // namespace tbd::serve::testing

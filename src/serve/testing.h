@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fault-injection hooks for the serve subsystem.
+ *
+ * A fail point forces one failure mode at a well-defined seam so the
+ * fault tests can prove the server's promise — a structured error
+ * response, never a crash, never a leaked queue slot — without
+ * contriving a real failure:
+ *
+ *  - SimulationError: every simulation throws before doing any work.
+ *  - QueueFull: admission reports the in-flight budget exhausted.
+ *  - Disconnect is not a server-side fail point: the fault tests
+ *    produce it for real by closing the client socket mid-request.
+ *
+ * Activation: the TBD_SERVE_FAILPOINT environment variable
+ * ("sim_error" or "queue_full"; read once, like TBD_NOCACHE), or
+ * setFailPoint() from a test. Production builds pay one relaxed
+ * atomic load per request.
+ */
+
+#ifndef TBD_SERVE_TESTING_H
+#define TBD_SERVE_TESTING_H
+
+namespace tbd::serve::testing {
+
+/** Injectable failure modes. */
+enum class FailPoint
+{
+    None = 0,
+    SimulationError, ///< simulations throw immediately
+    QueueFull,       ///< admission pretends the queue is full
+};
+
+/**
+ * The active fail point: the programmatic override if one was set,
+ * otherwise the TBD_SERVE_FAILPOINT environment value (cached on
+ * first read; an unknown value is a user error and throws).
+ */
+FailPoint activeFailPoint();
+
+/** Set (or with FailPoint::None clear) the programmatic override. */
+void setFailPoint(FailPoint point);
+
+/** True when `point` is the active fail point. */
+bool failPointActive(FailPoint point);
+
+/**
+ * Parse an environment spelling ("sim_error", "queue_full", "").
+ * @throws util::FatalError on an unknown spelling.
+ */
+FailPoint failPointFromName(const char *name);
+
+} // namespace tbd::serve::testing
+
+#endif // TBD_SERVE_TESTING_H

@@ -49,13 +49,58 @@ ThreadPool::ThreadPool(std::size_t threads)
 
 ThreadPool::~ThreadPool()
 {
+    stop();
+}
+
+void
+ThreadPool::stop()
+{
+    // Flag first (under the lock), wake everyone, then join exactly
+    // once. The queue is drained before the workers exit: the wait
+    // predicate only lets a worker return once stopping_ is set AND
+    // the queue is empty.
+    std::vector<std::thread> workers;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         stopping_ = true;
+        if (joined_)
+            return;
+        joined_ = true;
+        workers.swap(workers_);
     }
     wake_.notify_all();
-    for (auto &w : workers_)
+    for (auto &w : workers)
         w.join();
+}
+
+bool
+ThreadPool::post(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        // Enqueue-after-stop during destruction ordering (a serve
+        // connection racing pool shutdown) must reject cleanly: the
+        // task is neither run nor retained, and the caller learns it.
+        if (stopping_)
+            return false;
+        if (!workers_.empty()) {
+            queue_.emplace_back(std::move(task));
+            wake_.notify_one();
+            return true;
+        }
+    }
+    // Serial pool: run inline on the caller, preserving the nesting
+    // flag so a task posted from inside a task stays inline.
+    const bool was_in_task = tls_in_task;
+    tls_in_task = true;
+    try {
+        task();
+    } catch (...) {
+        tls_in_task = was_in_task;
+        throw;
+    }
+    tls_in_task = was_in_task;
+    return true;
 }
 
 void

@@ -63,6 +63,24 @@ class ThreadPool
     void parallelFor(std::int64_t begin, std::int64_t end,
                      std::int64_t grain, const ChunkFn &fn);
 
+    /**
+     * Enqueue one fire-and-forget task (the serve request path; the
+     * task owns its own completion signalling). On a serial pool the
+     * task runs inline on the caller before post() returns. Returns
+     * false — without running or retaining the task — once stop()
+     * has begun: during shutdown the destruction ordering of server
+     * and pool must make a late enqueue reject cleanly, not deadlock
+     * or crash (see the serve.fault tests).
+     */
+    bool post(std::function<void()> task);
+
+    /**
+     * Stop accepting work, drain the queue and join the workers.
+     * Idempotent; called by the destructor. After stop() every
+     * post() returns false and parallelFor runs inline serially.
+     */
+    void stop();
+
     /** The process-wide pool, sized from TBD_THREADS on first use. */
     static ThreadPool &global();
 
@@ -94,6 +112,7 @@ class ThreadPool
     std::mutex mutex_;
     std::condition_variable wake_;
     bool stopping_ = false;
+    bool joined_ = false;
 };
 
 /**

@@ -1,0 +1,183 @@
+#include "serve/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+namespace serve = tbd::serve;
+
+namespace {
+
+/** Controller on a manual clock: quota decisions become exact. */
+struct ManualClockController
+{
+    double now = 0.0;
+    serve::AdmissionController controller;
+
+    explicit ManualClockController(serve::QuotaConfig quota = {},
+                                   std::int64_t maxInflight = 0)
+        : controller(quota, maxInflight)
+    {
+        controller.setClock([this] { return now; });
+    }
+};
+
+} // namespace
+
+TEST(ServeAdmission, DefaultQuotaAdmitsFreely)
+{
+    serve::AdmissionController controller;
+    for (int i = 0; i < 100; ++i) {
+        serve::AdmissionController::Ticket ticket;
+        EXPECT_EQ(controller.admit("anyone", ticket),
+                  serve::Admission::Admit);
+    }
+    EXPECT_EQ(controller.queueDepth(), 0); // all tickets released
+    EXPECT_EQ(controller.stats().admitted, 100);
+}
+
+TEST(ServeAdmission, TokenBucketEnforcesBurstAndRefill)
+{
+    ManualClockController manual;
+    manual.controller.setTenantQuota("t", {2.0, 1.0});
+
+    serve::AdmissionController::Ticket tickets[4];
+    EXPECT_EQ(manual.controller.admit("t", tickets[0]),
+              serve::Admission::Admit);
+    EXPECT_EQ(manual.controller.admit("t", tickets[1]),
+              serve::Admission::Admit);
+    // Bucket empty: explicit 429, not queueing.
+    EXPECT_EQ(manual.controller.admit("t", tickets[2]),
+              serve::Admission::RejectQuota);
+    EXPECT_FALSE(tickets[2].held());
+
+    // One second refills one token — exactly one more admit.
+    manual.now += 1.0;
+    EXPECT_EQ(manual.controller.admit("t", tickets[2]),
+              serve::Admission::Admit);
+    EXPECT_EQ(manual.controller.admit("t", tickets[3]),
+              serve::Admission::RejectQuota);
+
+    // Refill saturates at the burst, never beyond.
+    manual.now += 1000.0;
+    int admitted = 0;
+    for (int i = 0; i < 5; ++i) {
+        serve::AdmissionController::Ticket ticket;
+        if (manual.controller.admit("t", ticket) ==
+            serve::Admission::Admit)
+            ++admitted;
+    }
+    EXPECT_EQ(admitted, 2);
+    EXPECT_EQ(manual.controller.stats().rejectedQuota, 5);
+}
+
+TEST(ServeAdmission, ZeroRateBucketNeverRefills)
+{
+    ManualClockController manual;
+    manual.controller.setTenantQuota("flood", {3.0, 0.0});
+    int admitted = 0;
+    for (int i = 0; i < 10; ++i) {
+        serve::AdmissionController::Ticket ticket;
+        if (manual.controller.admit("flood", ticket) ==
+            serve::Admission::Admit)
+            ++admitted;
+        manual.now += 100.0;
+    }
+    EXPECT_EQ(admitted, 3);
+}
+
+TEST(ServeAdmission, QuotaIsPerTenant)
+{
+    ManualClockController manual;
+    manual.controller.setTenantQuota("tight", {1.0, 0.0});
+    serve::AdmissionController::Ticket a, b, c;
+    EXPECT_EQ(manual.controller.admit("tight", a),
+              serve::Admission::Admit);
+    EXPECT_EQ(manual.controller.admit("tight", b),
+              serve::Admission::RejectQuota);
+    // Another tenant rides the (unlimited) default quota.
+    EXPECT_EQ(manual.controller.admit("other", c),
+              serve::Admission::Admit);
+}
+
+TEST(ServeAdmission, InflightBudgetBoundsTheQueue)
+{
+    serve::AdmissionController controller({}, /*maxInflight=*/2);
+    serve::AdmissionController::Ticket a, b, c;
+    EXPECT_EQ(controller.admit("t", a), serve::Admission::Admit);
+    EXPECT_EQ(controller.admit("t", b), serve::Admission::Admit);
+    EXPECT_EQ(controller.queueDepth(), 2);
+    // Full: explicit 503.
+    EXPECT_EQ(controller.admit("t", c),
+              serve::Admission::RejectQueueFull);
+    EXPECT_EQ(controller.stats().rejectedQueueFull, 1);
+    // Releasing one slot readmits.
+    a.release();
+    EXPECT_EQ(controller.queueDepth(), 1);
+    EXPECT_EQ(controller.admit("t", c), serve::Admission::Admit);
+    EXPECT_EQ(controller.queueDepth(), 2);
+}
+
+TEST(ServeAdmission, QuotaIsCheckedBeforeTheInflightBudget)
+{
+    // An over-quota request must answer 429 even when the queue is
+    // simultaneously full: the bucket check comes first.
+    ManualClockController manual({}, /*maxInflight=*/2);
+    manual.controller.setTenantQuota("tight", {1.0, 0.0});
+    serve::AdmissionController::Ticket a, b, c, d;
+    EXPECT_EQ(manual.controller.admit("tight", a),
+              serve::Admission::Admit); // drains tight's one token
+    EXPECT_EQ(manual.controller.admit("other", b),
+              serve::Admission::Admit); // queue now full
+    EXPECT_EQ(manual.controller.admit("tight", c),
+              serve::Admission::RejectQuota);
+    EXPECT_EQ(manual.controller.admit("other", d),
+              serve::Admission::RejectQueueFull);
+    EXPECT_EQ(manual.controller.stats().rejectedQuota, 1);
+    EXPECT_EQ(manual.controller.stats().rejectedQueueFull, 1);
+}
+
+TEST(ServeAdmission, TicketReleaseIsIdempotentAndMoveSafe)
+{
+    serve::AdmissionController controller({}, 4);
+    serve::AdmissionController::Ticket a;
+    ASSERT_EQ(controller.admit("t", a), serve::Admission::Admit);
+    EXPECT_TRUE(a.held());
+
+    // Move transfers the slot; the source holds nothing.
+    serve::AdmissionController::Ticket b = std::move(a);
+    EXPECT_FALSE(a.held());
+    EXPECT_TRUE(b.held());
+    EXPECT_EQ(controller.queueDepth(), 1);
+
+    b.release();
+    b.release(); // idempotent
+    EXPECT_FALSE(b.held());
+    EXPECT_EQ(controller.queueDepth(), 0);
+
+    // Destruction of a released ticket must not double-release.
+    {
+        serve::AdmissionController::Ticket c;
+        ASSERT_EQ(controller.admit("t", c), serve::Admission::Admit);
+    }
+    EXPECT_EQ(controller.queueDepth(), 0);
+}
+
+TEST(ServeAdmission, RejectedRequestsNeverLeakSlots)
+{
+    ManualClockController manual({}, /*maxInflight=*/8);
+    manual.controller.setTenantQuota("tight", {1.0, 0.0});
+    {
+        serve::AdmissionController::Ticket first;
+        ASSERT_EQ(manual.controller.admit("tight", first),
+                  serve::Admission::Admit);
+        for (int i = 0; i < 20; ++i) {
+            serve::AdmissionController::Ticket ticket;
+            EXPECT_EQ(manual.controller.admit("tight", ticket),
+                      serve::Admission::RejectQuota);
+            EXPECT_FALSE(ticket.held());
+        }
+        EXPECT_EQ(manual.controller.queueDepth(), 1);
+    }
+    EXPECT_EQ(manual.controller.queueDepth(), 0);
+}

@@ -1,0 +1,176 @@
+#include "serve/testing.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/logging.h"
+
+namespace serve = tbd::serve;
+namespace util = tbd::util;
+
+namespace {
+
+serve::Request
+resnetRequest(const std::string &id)
+{
+    serve::Request request;
+    request.id = id;
+    request.model = "ResNet-50";
+    request.batch = 4;
+    return request;
+}
+
+/** A simulation slow enough to still be running when we disconnect:
+ *  length variation with a fresh seed defeats every fast path. */
+serve::Request
+slowRequest(const std::string &id, std::uint64_t seed)
+{
+    serve::Request request;
+    request.id = id;
+    request.model = "Deep Speech 2";
+    request.framework = "MXNet";
+    request.batch = 1;
+    request.lengthCv = 0.5;
+    request.lengthSeed = seed;
+    return request;
+}
+
+/** Clears the fail point however the test exits. */
+class ServeFault : public ::testing::Test
+{
+  protected:
+    void TearDown() override
+    {
+        serve::testing::setFailPoint(serve::testing::FailPoint::None);
+    }
+};
+
+} // namespace
+
+TEST_F(ServeFault, NamesParse)
+{
+    using serve::testing::FailPoint;
+    using serve::testing::failPointFromName;
+    EXPECT_EQ(failPointFromName(""), FailPoint::None);
+    EXPECT_EQ(failPointFromName(nullptr), FailPoint::None);
+    EXPECT_EQ(failPointFromName("sim_error"),
+              FailPoint::SimulationError);
+    EXPECT_EQ(failPointFromName("queue_full"), FailPoint::QueueFull);
+    EXPECT_THROW(failPointFromName("explode"), util::FatalError);
+}
+
+TEST_F(ServeFault, SimulationErrorAnswers422AndNeverCrashes)
+{
+    serve::Server server;
+    serve::testing::setFailPoint(
+        serve::testing::FailPoint::SimulationError);
+    const serve::Response failed =
+        server.handle(resnetRequest("f0"));
+    EXPECT_EQ(failed.status, serve::Status::SimulationError);
+    EXPECT_NE(failed.error.find("fail point"), std::string::npos);
+    EXPECT_EQ(server.admission().queueDepth(), 0)
+        << "failed request leaked its queue slot";
+
+    // The error was not cached: clearing the fail point heals the
+    // server completely.
+    serve::testing::setFailPoint(serve::testing::FailPoint::None);
+    const serve::Response healed =
+        server.handle(resnetRequest("f1"));
+    EXPECT_EQ(healed.status, serve::Status::Ok);
+    EXPECT_FALSE(healed.cached);
+}
+
+TEST_F(ServeFault, SimulationErrorOverTheSocket)
+{
+    serve::Server server;
+    server.start();
+    serve::testing::setFailPoint(
+        serve::testing::FailPoint::SimulationError);
+    serve::Client client(server.port());
+    const serve::Response failed = client.call(resnetRequest("s0"));
+    EXPECT_EQ(failed.status, serve::Status::SimulationError);
+    serve::testing::setFailPoint(serve::testing::FailPoint::None);
+    EXPECT_EQ(client.call(resnetRequest("s1")).status,
+              serve::Status::Ok);
+    server.stop();
+    EXPECT_EQ(server.admission().queueDepth(), 0);
+}
+
+TEST_F(ServeFault, QueueFullAnswers503WithoutTakingASlot)
+{
+    serve::Server server;
+    serve::testing::setFailPoint(
+        serve::testing::FailPoint::QueueFull);
+    const serve::Response rejected =
+        server.handle(resnetRequest("q0"));
+    EXPECT_EQ(rejected.status, serve::Status::RejectedQueueFull);
+    EXPECT_FALSE(rejected.error.empty());
+    EXPECT_EQ(server.admission().queueDepth(), 0);
+    EXPECT_GE(server.admission().stats().rejectedQueueFull, 1);
+
+    serve::testing::setFailPoint(serve::testing::FailPoint::None);
+    EXPECT_EQ(server.handle(resnetRequest("q1")).status,
+              serve::Status::Ok);
+}
+
+TEST_F(ServeFault, ClientDisconnectMidRequestLeaksNothing)
+{
+    serve::Server server;
+    server.start();
+    {
+        // Fire a slow request and slam the connection before the
+        // answer can be written.
+        serve::Client client(server.port());
+        client.send(slowRequest("gone", 991));
+        client.close();
+    }
+    // The simulation finishes into a dead socket; the slot must come
+    // back and the server must stay healthy.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(30);
+    while (server.admission().queueDepth() != 0 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_EQ(server.admission().queueDepth(), 0)
+        << "disconnected request leaked its queue slot";
+    EXPECT_TRUE(server.running());
+
+    serve::Client fresh(server.port());
+    EXPECT_EQ(fresh.call(resnetRequest("after")).status,
+              serve::Status::Ok);
+    server.stop();
+}
+
+TEST_F(ServeFault, StopWithRequestInFlightAnswersBeforeExit)
+{
+    serve::Server server;
+    server.start();
+    serve::Client client(server.port());
+    client.send(slowRequest("racing", 992));
+    // Wait until the request is admitted (a slot is held), so the
+    // stop below races the *simulation*, not the socket read.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(30);
+    while (server.admission().queueDepth() == 0 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_GT(server.admission().queueDepth(), 0);
+    // Stop while the simulation is still running: in-flight work
+    // must finish and answer, not vanish.
+    serve::Server *raw = &server;
+    std::thread stopper([raw] { raw->stop(); });
+    const serve::Response response = client.callLine("");
+    stopper.join();
+    // Either the worker answered the simulation, or the stop raced
+    // ahead and the request was turned away with a clean 503 — but
+    // never a hang, a crash, or a dropped line.
+    EXPECT_TRUE(response.status == serve::Status::Ok ||
+                response.status ==
+                    serve::Status::RejectedQueueFull)
+        << "got status " << serve::statusCode(response.status);
+    EXPECT_EQ(server.admission().queueDepth(), 0);
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Golden determinism through the serving path: every committed
+ * tests/golden/ record must be reproduced bit-for-bit by a request
+ * that travels the full socket pipeline — proof that the wire
+ * protocol, the cache and the worker handoff add zero drift over the
+ * library path the goldens were captured from.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/golden.h"
+#include "frameworks/framework.h"
+#include "models/model_desc.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace serve = tbd::serve;
+namespace check = tbd::check;
+namespace models = tbd::models;
+
+#ifndef TBD_GOLDEN_DIR
+#define TBD_GOLDEN_DIR "tests/golden"
+#endif
+
+TEST(ServeGolden, SocketPathReproducesEveryCommittedGolden)
+{
+    serve::Server server;
+    server.start();
+    serve::Client client(server.port());
+
+    int checked = 0;
+    for (const models::ModelDesc *model : models::allModels()) {
+        // The canonical configuration every golden was captured
+        // from, expressed as a wire request.
+        const tbd::perf::RunConfig config =
+            check::canonicalConfig(*model);
+        serve::Request request;
+        request.id = model->name;
+        request.model = model->name;
+        request.framework =
+            tbd::frameworks::frameworkName(config.framework);
+        request.gpu = config.gpu.name;
+        request.batch = config.batch;
+
+        const serve::Response response = client.call(request);
+        ASSERT_EQ(response.status, serve::Status::Ok)
+            << model->name << ": " << response.error;
+
+        const check::GoldenRecord served =
+            serve::toGoldenRecord(response.result);
+        const check::GoldenRecord expected = check::readGoldenFile(
+            std::string(TBD_GOLDEN_DIR) + "/" +
+            check::goldenFileName(served));
+        const check::GoldenDiff diff =
+            check::compareGolden(expected, served);
+        EXPECT_TRUE(diff.ok())
+            << "serving path drifted from the committed golden for "
+            << model->name << ":\n"
+            << diff.summary();
+        ++checked;
+    }
+    server.stop();
+    EXPECT_GE(checked, 9) << "golden coverage shrank";
+}

@@ -1,0 +1,180 @@
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "check/golden.h"
+#include "core/suite.h"
+#include "perf/simulator.h"
+#include "util/logging.h"
+
+namespace serve = tbd::serve;
+namespace util = tbd::util;
+
+namespace {
+
+serve::Request
+sampleRequest()
+{
+    serve::Request request;
+    request.id = "req-1";
+    request.tenant = "team-a";
+    request.model = "ResNet-50";
+    request.framework = "TensorFlow";
+    request.gpu = "Quadro P4000";
+    request.batch = 4;
+    request.lengthCv = 0.25;
+    request.lengthSeed = 7;
+    return request;
+}
+
+} // namespace
+
+TEST(ServeProtocol, StatusCodesRoundTrip)
+{
+    const serve::Status all[] = {
+        serve::Status::Ok,
+        serve::Status::BadRequest,
+        serve::Status::UnknownName,
+        serve::Status::SimulationError,
+        serve::Status::RejectedQuota,
+        serve::Status::RejectedQueueFull,
+        serve::Status::InternalError,
+    };
+    for (const serve::Status status : all) {
+        EXPECT_EQ(serve::statusFromCode(serve::statusCode(status)),
+                  status);
+        EXPECT_STRNE(serve::statusName(status), "");
+    }
+    EXPECT_THROW(serve::statusFromCode(123), util::FatalError);
+}
+
+TEST(ServeProtocol, RequestRoundTripsThroughWireForm)
+{
+    const serve::Request request = sampleRequest();
+    const serve::Request parsed =
+        serve::decodeRequest(serve::encodeRequest(request));
+    EXPECT_EQ(parsed.id, request.id);
+    EXPECT_EQ(parsed.tenant, request.tenant);
+    EXPECT_EQ(parsed.model, request.model);
+    EXPECT_EQ(parsed.framework, request.framework);
+    EXPECT_EQ(parsed.gpu, request.gpu);
+    EXPECT_EQ(parsed.batch, request.batch);
+    EXPECT_EQ(parsed.lengthCv, request.lengthCv);
+    EXPECT_EQ(parsed.lengthSeed, request.lengthSeed);
+}
+
+TEST(ServeProtocol, RequestDefaultsMatchStructDefaults)
+{
+    const serve::Request parsed = serve::decodeRequest(
+        "{\"id\":\"x\",\"model\":\"ResNet-50\"}");
+    const serve::Request defaults;
+    EXPECT_EQ(parsed.tenant, defaults.tenant);
+    EXPECT_EQ(parsed.framework, defaults.framework);
+    EXPECT_EQ(parsed.gpu, defaults.gpu);
+    EXPECT_EQ(parsed.batch, defaults.batch);
+    EXPECT_EQ(parsed.lengthCv, defaults.lengthCv);
+    EXPECT_EQ(parsed.lengthSeed, defaults.lengthSeed);
+}
+
+TEST(ServeProtocol, MalformedRequestsThrow)
+{
+    // Not JSON at all.
+    EXPECT_THROW(serve::decodeRequest("not json"), util::FatalError);
+    // Wrong top-level type.
+    EXPECT_THROW(serve::decodeRequest("[1,2,3]"), util::FatalError);
+    // Unknown key (almost certainly a typo'd field).
+    EXPECT_THROW(serve::decodeRequest(
+                     "{\"id\":\"x\",\"model\":\"ResNet-50\","
+                     "\"batchsize\":4}"),
+                 util::FatalError);
+    // Mistyped field.
+    EXPECT_THROW(serve::decodeRequest(
+                     "{\"id\":\"x\",\"model\":\"ResNet-50\","
+                     "\"batch\":\"four\"}"),
+                 util::FatalError);
+    // Missing model.
+    EXPECT_THROW(serve::decodeRequest("{\"id\":\"x\"}"),
+                 util::FatalError);
+}
+
+TEST(ServeProtocol, FingerprintSeesEveryScalarField)
+{
+    tbd::perf::RunResult a{};
+    const std::uint64_t base = serve::resultFingerprint(a);
+    tbd::perf::RunResult b = a;
+    b.iterationUs = 1.0;
+    EXPECT_NE(serve::resultFingerprint(b), base);
+    // A sign flip of zero is a bit-level change and must be seen.
+    tbd::perf::RunResult c = a;
+    c.iterationUs = -0.0;
+    EXPECT_NE(serve::resultFingerprint(c), base);
+}
+
+TEST(ServeProtocol, SummaryRoundTripsBitwiseThroughResponseJson)
+{
+    // Doubles that don't have short decimal spellings must still
+    // round-trip exactly (util::json emits 17 significant digits).
+    serve::Response response;
+    response.id = "r";
+    response.status = serve::Status::Ok;
+    response.result.model = "NMT";
+    response.result.framework = "TensorFlow";
+    response.result.gpu = "Quadro P4000";
+    response.result.batch = 4;
+    response.result.iterationUs = 1.0 / 3.0;
+    response.result.throughputSamples = 2.0 / 7.0;
+    response.result.gpuUtilization = 0.1 + 0.2; // 0.30000000000000004
+    response.result.kernelsPerIteration = 514;
+    response.result.memoryBytes[0] = 123456789;
+    response.result.memoryTotal = 123456789;
+    response.result.fingerprint = 0xdeadbeefcafef00dull;
+
+    const serve::Response parsed =
+        serve::decodeResponse(serve::encodeResponse(response));
+    EXPECT_EQ(parsed.status, serve::Status::Ok);
+    EXPECT_TRUE(parsed.result == response.result);
+    // A single-ULP nudge must break equality (proves the comparison
+    // is bitwise, not tolerance-based).
+    serve::ResultSummary nudged = parsed.result;
+    nudged.iterationUs =
+        std::nextafter(nudged.iterationUs, 2.0);
+    EXPECT_TRUE(nudged != response.result);
+}
+
+TEST(ServeProtocol, ErrorResponsesCarryNoResult)
+{
+    serve::Response response;
+    response.id = "r";
+    response.status = serve::Status::UnknownName;
+    response.error = "unknown model 'X'";
+    response.suggestion = "ResNet-50";
+    const std::string wire = serve::encodeResponse(response);
+    EXPECT_EQ(wire.find("\"result\""), std::string::npos);
+    const serve::Response parsed = serve::decodeResponse(wire);
+    EXPECT_EQ(parsed.status, serve::Status::UnknownName);
+    EXPECT_EQ(parsed.error, response.error);
+    EXPECT_EQ(parsed.suggestion, response.suggestion);
+}
+
+TEST(ServeProtocol, SummaryAgreesWithGoldenCapture)
+{
+    // toGoldenRecord(summarize(result)) must equal captureGolden for
+    // the same run — the equivalence the golden-determinism test
+    // leans on.
+    serve::Request request = sampleRequest();
+    request.lengthCv = 0.0;
+    const tbd::perf::RunConfig config =
+        tbd::core::toRunConfig(serve::toBenchmarkRequest(request));
+    const tbd::perf::RunResult result =
+        tbd::perf::PerfSimulator().run(config);
+    const tbd::check::GoldenRecord via_serve =
+        serve::toGoldenRecord(serve::summarize(result));
+    const tbd::check::GoldenRecord direct =
+        tbd::check::captureGolden(config, result);
+    const tbd::check::GoldenDiff diff =
+        tbd::check::compareGolden(direct, via_serve,
+                                  /*relTol=*/0.0);
+    EXPECT_TRUE(diff.ok()) << diff.summary();
+}

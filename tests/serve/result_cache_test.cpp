@@ -1,0 +1,203 @@
+#include "serve/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "core/suite.h"
+#include "util/logging.h"
+
+namespace serve = tbd::serve;
+namespace perf = tbd::perf;
+namespace util = tbd::util;
+
+namespace {
+
+/** A distinguishable fake result (no real simulation needed). */
+perf::RunResult
+fakeResult(double marker)
+{
+    perf::RunResult result;
+    result.modelName = "fake";
+    result.iterationUs = marker;
+    return result;
+}
+
+} // namespace
+
+TEST(ServeResultCache, MissThenHitComputesOnce)
+{
+    serve::ResultCache cache;
+    int computes = 0;
+    const auto fn = [&] {
+        ++computes;
+        return fakeResult(1.0);
+    };
+    const auto first = cache.getOrCompute("k", fn);
+    ASSERT_NE(first.result, nullptr);
+    EXPECT_FALSE(first.hit);
+    EXPECT_FALSE(first.coalesced);
+    const auto second = cache.getOrCompute("k", fn);
+    ASSERT_NE(second.result, nullptr);
+    EXPECT_TRUE(second.hit);
+    EXPECT_EQ(computes, 1);
+    // Both callers see the same immutable result object.
+    EXPECT_EQ(first.result.get(), second.result.get());
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1);
+    EXPECT_EQ(stats.misses, 1);
+    EXPECT_EQ(stats.coalesced, 0);
+}
+
+TEST(ServeResultCache, DistinctKeysComputeIndependently)
+{
+    serve::ResultCache cache;
+    const auto a =
+        cache.getOrCompute("a", [] { return fakeResult(1.0); });
+    const auto b =
+        cache.getOrCompute("b", [] { return fakeResult(2.0); });
+    EXPECT_EQ(a.result->iterationUs, 1.0);
+    EXPECT_EQ(b.result->iterationUs, 2.0);
+    EXPECT_EQ(cache.stats().misses, 2);
+}
+
+TEST(ServeResultCache, ErrorsPropagateButAreNeverCached)
+{
+    serve::ResultCache cache;
+    int computes = 0;
+    const auto failing = [&]() -> perf::RunResult {
+        ++computes;
+        TBD_FATAL("forced failure");
+    };
+    const auto failed = cache.getOrCompute("k", failing);
+    EXPECT_EQ(failed.result, nullptr);
+    EXPECT_NE(failed.error.find("forced failure"), std::string::npos);
+    // The key was not poisoned: the next request retries and can
+    // succeed.
+    const auto retried = cache.getOrCompute("k", [&] {
+        ++computes;
+        return fakeResult(3.0);
+    });
+    ASSERT_NE(retried.result, nullptr);
+    EXPECT_FALSE(retried.hit);
+    EXPECT_EQ(computes, 2);
+    EXPECT_EQ(cache.stats().misses, 2);
+}
+
+TEST(ServeResultCache, FifoEvictionRespectsBound)
+{
+    serve::ResultCache cache(/*maxEntries=*/2);
+    int computes = 0;
+    const auto fn = [&] { return fakeResult(++computes); };
+    cache.getOrCompute("a", fn);
+    cache.getOrCompute("b", fn);
+    cache.getOrCompute("c", fn); // evicts "a"
+    auto stats = cache.stats();
+    EXPECT_EQ(stats.entries, 2);
+    EXPECT_EQ(stats.evictions, 1);
+    EXPECT_TRUE(cache.getOrCompute("b", fn).hit);
+    EXPECT_FALSE(cache.getOrCompute("a", fn).hit); // recomputed
+}
+
+TEST(ServeResultCache, ZeroBoundDisablesCachingEntirely)
+{
+    serve::ResultCache cache(/*maxEntries=*/0);
+    int computes = 0;
+    const auto fn = [&] { return fakeResult(++computes); };
+    EXPECT_FALSE(cache.getOrCompute("k", fn).hit);
+    EXPECT_FALSE(cache.getOrCompute("k", fn).hit);
+    EXPECT_EQ(computes, 2);
+    EXPECT_EQ(cache.stats().entries, 0);
+}
+
+TEST(ServeResultCache, CoalescedFollowerWaitsForLeader)
+{
+    serve::ResultCache cache;
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool release = false;
+
+    // Leader: computes under our control so the in-flight window is
+    // deterministic, not a race.
+    std::thread leader([&] {
+        cache.getOrCompute("k", [&] {
+            std::unique_lock<std::mutex> lock(mutex);
+            cv.wait(lock, [&] { return release; });
+            return fakeResult(7.0);
+        });
+    });
+
+    // Wait until the leader is registered in flight.
+    while (cache.stats().misses == 0)
+        std::this_thread::yield();
+
+    serve::ResultCache::Outcome follower_outcome;
+    std::thread follower([&] {
+        follower_outcome = cache.getOrCompute(
+            "k", [&]() -> perf::RunResult {
+                ADD_FAILURE() << "follower must not compute";
+                return fakeResult(0.0);
+            });
+    });
+
+    // The follower registers as coalesced BEFORE blocking; only then
+    // release the leader.
+    while (cache.stats().coalesced == 0)
+        std::this_thread::yield();
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        release = true;
+    }
+    cv.notify_all();
+    leader.join();
+    follower.join();
+
+    ASSERT_NE(follower_outcome.result, nullptr);
+    EXPECT_TRUE(follower_outcome.coalesced);
+    EXPECT_FALSE(follower_outcome.hit);
+    EXPECT_EQ(follower_outcome.result->iterationUs, 7.0);
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.misses, 1);
+    EXPECT_EQ(stats.coalesced, 1);
+    // N concurrent identical queries cost one simulation.
+    EXPECT_EQ(stats.entries, 1);
+}
+
+TEST(ServeResultCache, ClearResetsEntriesAndCounters)
+{
+    serve::ResultCache cache;
+    cache.getOrCompute("k", [] { return fakeResult(1.0); });
+    cache.clear();
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.entries, 0);
+    EXPECT_EQ(stats.hits + stats.misses + stats.coalesced, 0);
+    EXPECT_FALSE(
+        cache.getOrCompute("k", [] { return fakeResult(2.0); }).hit);
+}
+
+TEST(ServeCacheKey, CoversEveryRequestField)
+{
+    tbd::core::BenchmarkRequest base;
+    const std::string key = serve::cacheKey(base);
+
+    auto differs = [&](auto mutate) {
+        tbd::core::BenchmarkRequest request = base;
+        mutate(request);
+        return serve::cacheKey(request) != key;
+    };
+    EXPECT_TRUE(differs([](auto &r) { r.model = "NMT"; }));
+    EXPECT_TRUE(differs([](auto &r) { r.framework = "MXNet"; }));
+    EXPECT_TRUE(differs([](auto &r) { r.gpu = "TITAN Xp"; }));
+    EXPECT_TRUE(differs([](auto &r) { r.batch = 64; }));
+    EXPECT_TRUE(differs([](auto &r) { r.lengthCv = 0.5; }));
+    EXPECT_TRUE(differs([](auto &r) { r.lengthSeed = 1; }));
+    // Exact bit pattern: a one-ULP lengthCv change is a new key.
+    EXPECT_TRUE(differs([](auto &r) {
+        r.lengthCv = std::nextafter(r.lengthCv, 1.0);
+    }));
+}

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Concurrency soak over the serve pipeline — part of the TSan CI
+ * subset (the ctest regex picks up every "serve." test). Eight
+ * threads hammer the result cache, coalescing and admission from
+ * every angle at once; the assertions are conservation laws that any
+ * lost update, leaked slot or double count would break.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "serve/admission.h"
+#include "serve/protocol.h"
+#include "serve/result_cache.h"
+#include "serve/server.h"
+
+namespace serve = tbd::serve;
+namespace perf = tbd::perf;
+
+namespace {
+
+constexpr int kThreads = 8;
+
+perf::RunResult
+fakeResult(double marker)
+{
+    perf::RunResult result;
+    result.iterationUs = marker;
+    return result;
+}
+
+} // namespace
+
+TEST(ServeSoak, ResultCacheConservesUnderContention)
+{
+    serve::ResultCache cache(/*maxEntries=*/64);
+    constexpr int kIterations = 400;
+    std::atomic<std::int64_t> computes{0};
+    std::atomic<std::int64_t> answered{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            std::mt19937_64 rng(1000 + t);
+            std::uniform_int_distribution<int> pick(0, 7);
+            for (int i = 0; i < kIterations; ++i) {
+                const std::string key =
+                    "key-" + std::to_string(pick(rng));
+                const auto outcome =
+                    cache.getOrCompute(key, [&] {
+                        computes.fetch_add(1);
+                        return fakeResult(1.0);
+                    });
+                if (outcome.result != nullptr)
+                    answered.fetch_add(1);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    const auto stats = cache.stats();
+    // Every call is exactly one of hit/miss/coalesced.
+    EXPECT_EQ(stats.hits + stats.misses + stats.coalesced,
+              kThreads * kIterations);
+    // Every compute was counted as a miss, and nothing failed.
+    EXPECT_EQ(stats.misses, computes.load());
+    EXPECT_EQ(answered.load(), kThreads * kIterations);
+    EXPECT_LE(stats.entries, 64);
+}
+
+TEST(ServeSoak, AdmissionConservesUnderContention)
+{
+    serve::AdmissionController controller({}, /*maxInflight=*/6);
+    controller.setTenantQuota("metered", {1e6, 1e6});
+    constexpr int kIterations = 500;
+    std::atomic<std::int64_t> admitted{0};
+    std::atomic<std::int64_t> rejected{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kIterations; ++i) {
+                serve::AdmissionController::Ticket ticket;
+                const std::string tenant =
+                    (t % 2) != 0 ? "metered" : "free";
+                switch (controller.admit(tenant, ticket)) {
+                  case serve::Admission::Admit:
+                    admitted.fetch_add(1);
+                    // The bound holds at every instant a slot is
+                    // held.
+                    EXPECT_LE(controller.queueDepth(), 6);
+                    break;
+                  default:
+                    rejected.fetch_add(1);
+                    EXPECT_FALSE(ticket.held());
+                    break;
+                }
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(admitted.load() + rejected.load(),
+              kThreads * kIterations);
+    EXPECT_EQ(controller.queueDepth(), 0) << "a slot leaked";
+    const auto stats = controller.stats();
+    EXPECT_EQ(stats.admitted, admitted.load());
+    EXPECT_EQ(stats.rejectedQuota + stats.rejectedQueueFull,
+              rejected.load());
+}
+
+TEST(ServeSoak, FullPipelineUnderContention)
+{
+    // In-process (no sockets): TSan watches the cache, coalescing,
+    // admission and worker pool interplay directly.
+    serve::ServerOptions options;
+    options.threads = 4;
+    options.maxInflight = 16;
+    serve::Server server(options);
+    server.setTenantQuota("throttled", {8.0, 0.0});
+
+    constexpr int kIterations = 60;
+    const char *const models[] = {"ResNet-50", "Inception-v3",
+                                  "WGAN"};
+    std::atomic<std::int64_t> ok{0}, quota_rejected{0}, other{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            std::mt19937_64 rng(42 + t);
+            std::uniform_int_distribution<int> pick_model(0, 2);
+            std::uniform_int_distribution<int> pick_batch(0, 2);
+            std::uniform_int_distribution<int> pick_tenant(0, 9);
+            for (int i = 0; i < kIterations; ++i) {
+                serve::Request request;
+                request.id = std::to_string(t) + "/" +
+                             std::to_string(i);
+                request.tenant = pick_tenant(rng) == 0
+                                     ? "throttled"
+                                     : "open";
+                request.model = models[pick_model(rng)];
+                request.batch = 4 << pick_batch(rng);
+                const serve::Response response =
+                    server.handle(request);
+                if (response.status == serve::Status::Ok)
+                    ok.fetch_add(1);
+                else if (response.status ==
+                         serve::Status::RejectedQuota)
+                    quota_rejected.fetch_add(1);
+                else
+                    other.fetch_add(1);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(other.load(), 0) << "unexpected failure status";
+    EXPECT_EQ(ok.load() + quota_rejected.load(),
+              kThreads * kIterations);
+    EXPECT_GT(ok.load(), 0);
+    // burst 8, zero refill: at most 8 throttled requests ever pass.
+    EXPECT_GE(quota_rejected.load(), 1);
+    EXPECT_EQ(server.admission().queueDepth(), 0);
+    const auto stats = server.cache().stats();
+    // Only admitted requests reach the cache.
+    EXPECT_EQ(stats.hits + stats.misses + stats.coalesced,
+              ok.load());
+    EXPECT_LE(stats.misses, 9) << "at most one miss per unique key";
+}

@@ -1,0 +1,213 @@
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "util/logging.h"
+
+namespace serve = tbd::serve;
+namespace util = tbd::util;
+
+namespace {
+
+serve::Request
+resnetRequest(const std::string &id)
+{
+    serve::Request request;
+    request.id = id;
+    request.model = "ResNet-50";
+    request.batch = 4;
+    return request;
+}
+
+} // namespace
+
+TEST(ServeServer, DirectPathSimulates)
+{
+    const serve::Response response =
+        serve::simulateDirect(resnetRequest("d0"));
+    ASSERT_EQ(response.status, serve::Status::Ok);
+    EXPECT_EQ(response.result.model, "ResNet-50");
+    EXPECT_GT(response.result.iterationUs, 0.0);
+    EXPECT_NE(response.result.fingerprint, 0u);
+}
+
+TEST(ServeServer, UnknownModelAnswers404WithSuggestion)
+{
+    serve::Request request = resnetRequest("u0");
+    request.model = "ResNet50"; // typo'd
+    const serve::Response response = serve::simulateDirect(request);
+    EXPECT_EQ(response.status, serve::Status::UnknownName);
+    EXPECT_NE(response.error.find("ResNet50"), std::string::npos);
+    EXPECT_EQ(response.suggestion, "ResNet-50");
+}
+
+TEST(ServeServer, HandleIsTheFullPipelineWithoutSockets)
+{
+    serve::Server server;
+    const serve::Response first =
+        server.handle(resnetRequest("h0"));
+    ASSERT_EQ(first.status, serve::Status::Ok);
+    EXPECT_FALSE(first.cached);
+    const serve::Response second =
+        server.handle(resnetRequest("h1"));
+    ASSERT_EQ(second.status, serve::Status::Ok);
+    EXPECT_TRUE(second.cached);
+    EXPECT_TRUE(first.result == second.result);
+    EXPECT_EQ(server.admission().queueDepth(), 0);
+}
+
+TEST(ServeServer, SocketAnswersAreBitwiseIdenticalToDirect)
+{
+    const serve::Response direct =
+        serve::simulateDirect(resnetRequest("base"));
+    ASSERT_EQ(direct.status, serve::Status::Ok);
+
+    serve::Server server;
+    server.start();
+    serve::Client client(server.port());
+    const serve::Response served =
+        client.call(resnetRequest("s0"));
+    ASSERT_EQ(served.status, serve::Status::Ok);
+    EXPECT_TRUE(served.result == direct.result)
+        << "served answer diverged from the library path";
+    EXPECT_EQ(served.id, "s0");
+
+    // Second call over the same connection: a cache hit, still
+    // bitwise-identical.
+    const serve::Response repeat =
+        client.call(resnetRequest("s1"));
+    ASSERT_EQ(repeat.status, serve::Status::Ok);
+    EXPECT_TRUE(repeat.cached);
+    EXPECT_TRUE(repeat.result == direct.result);
+    server.stop();
+}
+
+TEST(ServeServer, MalformedLineAnswers400AndKeepsConnection)
+{
+    serve::Server server;
+    server.start();
+    serve::Client client(server.port());
+    const serve::Response bad = client.callLine("this is not json");
+    EXPECT_EQ(bad.status, serve::Status::BadRequest);
+    EXPECT_FALSE(bad.error.empty());
+    // The connection survived; a valid request still works.
+    const serve::Response good = client.call(resnetRequest("m0"));
+    EXPECT_EQ(good.status, serve::Status::Ok);
+    server.stop();
+}
+
+TEST(ServeServer, UnknownJsonFieldAnswers400)
+{
+    serve::Server server;
+    server.start();
+    serve::Client client(server.port());
+    const serve::Response response = client.callLine(
+        "{\"id\":\"x\",\"model\":\"ResNet-50\",\"batchsize\":4}");
+    EXPECT_EQ(response.status, serve::Status::BadRequest);
+    server.stop();
+}
+
+TEST(ServeServer, QuotaRejectionTravelsTheWire)
+{
+    serve::Server server;
+    server.setTenantQuota("tight", {1.0, 0.0});
+    server.start();
+    serve::Client client(server.port());
+    serve::Request request = resnetRequest("q0");
+    request.tenant = "tight";
+    EXPECT_EQ(client.call(request).status, serve::Status::Ok);
+    request.id = "q1";
+    const serve::Response rejected = client.call(request);
+    EXPECT_EQ(rejected.status, serve::Status::RejectedQuota);
+    EXPECT_FALSE(rejected.error.empty());
+    server.stop();
+    EXPECT_EQ(server.admission().queueDepth(), 0);
+}
+
+TEST(ServeServer, ConcurrentClientsAllGetIdenticalAnswers)
+{
+    const serve::Response direct =
+        serve::simulateDirect(resnetRequest("base"));
+    serve::Server server;
+    server.start();
+    const int clients = 4, calls = 8;
+    std::vector<int> mismatches(clients, 0);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < clients; ++t) {
+        threads.emplace_back([&, t] {
+            serve::Client client(server.port());
+            for (int i = 0; i < calls; ++i) {
+                const serve::Response response = client.call(
+                    resnetRequest(std::to_string(t) + "/" +
+                                  std::to_string(i)));
+                if (response.status != serve::Status::Ok ||
+                    !(response.result == direct.result))
+                    ++mismatches[t];
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    for (int t = 0; t < clients; ++t)
+        EXPECT_EQ(mismatches[t], 0) << "client " << t;
+    // One simulation total: everything else hit or coalesced.
+    const auto stats = server.cache().stats();
+    EXPECT_EQ(stats.misses, 1);
+    EXPECT_EQ(stats.hits + stats.coalesced + stats.misses,
+              clients * calls);
+    server.stop();
+}
+
+TEST(ServeServer, StopIsIdempotentAndStopsAccepting)
+{
+    serve::Server server;
+    server.start();
+    const int port = server.port();
+    EXPECT_TRUE(server.running());
+    server.stop();
+    server.stop(); // idempotent
+    EXPECT_FALSE(server.running());
+    // New connections are refused (connect or first call fails).
+    EXPECT_THROW(
+        {
+            serve::Client client(port);
+            client.call(resnetRequest("x"));
+        },
+        util::FatalError);
+}
+
+TEST(ServeServer, OversizedLineClosesTheConnection)
+{
+    serve::Server server;
+    server.start();
+    serve::Client client(server.port());
+    // 2 MiB of garbage with no newline blows the line bound; the
+    // server sends a best-effort 400 and drops the connection rather
+    // than buffering forever. The reset can race the 400's delivery,
+    // so the client sees either — but never a hang or a crash.
+    const std::string huge(2 * 1024 * 1024, 'x');
+    bool got_response = false;
+    try {
+        const serve::Response bad = client.callLine(huge);
+        got_response = true;
+        EXPECT_EQ(bad.status, serve::Status::BadRequest);
+        EXPECT_NE(bad.error.find("1 MiB"), std::string::npos);
+    } catch (const util::FatalError &) {
+        // Connection reset before the 400 arrived: equally final.
+    }
+    if (got_response) {
+        // The connection is gone either way: the next call fails.
+        EXPECT_THROW(client.call(resnetRequest("dead")),
+                     util::FatalError);
+    }
+    // But the server itself survives.
+    serve::Client fresh(server.port());
+    EXPECT_EQ(fresh.call(resnetRequest("after")).status,
+              serve::Status::Ok);
+    server.stop();
+}

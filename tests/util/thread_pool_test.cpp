@@ -6,6 +6,7 @@
 #include <mutex>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/logging.h"
@@ -175,4 +176,72 @@ TEST(ThreadPool, ManySmallBatchesDrainCleanly)
         total += sum.load();
     }
     EXPECT_EQ(total, 200 * 16);
+}
+
+TEST(ThreadPool, PostRunsFireAndForgetTasks)
+{
+    tu::ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 50; ++i)
+        EXPECT_TRUE(pool.post([&] { ran.fetch_add(1); }));
+    pool.stop(); // drains the queue before the workers exit
+    EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPool, PostOnSerialPoolRunsInline)
+{
+    tu::ThreadPool pool(0);
+    bool ran = false;
+    EXPECT_TRUE(pool.post([&] { ran = true; }));
+    EXPECT_TRUE(ran); // no workers: ran on this thread, synchronously
+}
+
+TEST(ThreadPool, PostAfterStopRejectsCleanly)
+{
+    // Regression: enqueue-after-stop used to be undefined during
+    // destruction ordering. It must reject — task neither run nor
+    // retained — and never deadlock or crash.
+    tu::ThreadPool pool(2);
+    pool.stop();
+    bool ran = false;
+    EXPECT_FALSE(pool.post([&] { ran = true; }));
+    EXPECT_FALSE(ran);
+    // Serial pools reject after stop too (no silent inline run).
+    tu::ThreadPool serial(0);
+    serial.stop();
+    EXPECT_FALSE(serial.post([&] { ran = true; }));
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, StopIsIdempotentAndDestructorSafe)
+{
+    tu::ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 8; ++i)
+        pool.post([&] { ran.fetch_add(1); });
+    pool.stop();
+    pool.stop(); // second stop: no double join, no hang
+    EXPECT_EQ(ran.load(), 8);
+    // Destructor after explicit stop must also be a no-op.
+}
+
+TEST(ThreadPool, PostedTasksCountAsInTask)
+{
+    // A parallelFor inside a posted task must run inline (the nested
+    // rule), exactly as it does inside a parallelFor chunk.
+    tu::ThreadPool pool(2);
+    std::atomic<bool> nested_inline{false};
+    std::atomic<bool> done{false};
+    pool.post([&] {
+        const auto outer = std::this_thread::get_id();
+        pool.parallelFor(0, 4, 1,
+                         [&](std::int64_t, std::int64_t) {
+                             if (std::this_thread::get_id() == outer)
+                                 nested_inline.store(true);
+                         });
+        done.store(true);
+    });
+    pool.stop();
+    EXPECT_TRUE(done.load());
+    EXPECT_TRUE(nested_inline.load());
 }

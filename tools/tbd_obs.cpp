@@ -3,25 +3,29 @@
  * `tbd_obs` — observability-trace maintenance CLI.
  *
  *   tbd_obs check <trace.jsonl> [--min-coverage F]
+ *                 [--require-counter NAME]...
  *   tbd_obs report <trace.jsonl> [--top N]
  *
  * `check` validates a JSONL export produced under TBD_OBS=1: the file
  * must exist, be non-empty, parse line-by-line, and contain at least
  * one span. With --min-coverage it additionally requires the root
  * spans to account for at least fraction F of the trace wall time
- * (the CI gate uses 0.95). Exits non-zero on any violation so it can
- * anchor a pipeline step.
+ * (the CI gate uses 0.95). Each --require-counter NAME (repeatable)
+ * requires counter NAME to be present with a nonzero value — the
+ * serve CI job gates on serve.cache.hit this way. Exits non-zero on
+ * any violation so it can anchor a pipeline step.
  *
  * `report` prints the analysis::obs_report roll-up: top spans by self
- * time, the metric summary, and the simulator fast-path hit rates
- * (lowering cache, steady-state replay) when their counters are in
- * the trace.
+ * time, the metric summary, the simulator fast-path hit rates
+ * (lowering cache, steady-state replay) and, when the trace came
+ * from a serving process, the per-tenant serve summary.
  */
 
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "analysis/obs_report.h"
 #include "obs/obs.h"
@@ -38,6 +42,7 @@ usage()
     std::fprintf(stderr,
                  "usage:\n"
                  "  tbd_obs check <trace.jsonl> [--min-coverage F]\n"
+                 "                [--require-counter NAME]...\n"
                  "  tbd_obs report <trace.jsonl> [--top N]\n");
     return 2;
 }
@@ -54,7 +59,8 @@ readFile(const std::string &path)
 }
 
 int
-cmdCheck(const std::string &path, double minCoverage)
+cmdCheck(const std::string &path, double minCoverage,
+         const std::vector<std::string> &requiredCounters)
 {
     const std::string text = readFile(path);
     if (text.find_first_not_of(" \t\r\n") == std::string::npos) {
@@ -87,6 +93,25 @@ cmdCheck(const std::string &path, double minCoverage)
         return 1;
     }
 
+    for (const std::string &name : requiredCounters) {
+        bool satisfied = false;
+        for (const auto &m : dump.metrics) {
+            if (m.name == name &&
+                m.kind == obs::MetricSnapshot::Kind::Counter &&
+                m.value > 0.0) {
+                satisfied = true;
+                break;
+            }
+        }
+        if (!satisfied) {
+            std::fprintf(stderr,
+                         "FAIL: required counter '%s' is absent or "
+                         "zero in trace '%s'\n",
+                         name.c_str(), path.c_str());
+            return 1;
+        }
+    }
+
     std::printf("OK: %zu spans, %zu metrics, root coverage %.1f%%\n",
                 dump.spans.size(), dump.metrics.size(),
                 coverage * 100.0);
@@ -113,6 +138,19 @@ cmdReport(const std::string &path, std::size_t topN)
     else
         std::printf("fast paths: no cache/replay counters in trace "
                     "(TBD_NOCACHE=1 or no simulations)\n");
+
+    const analysis::ServeSummary serve =
+        analysis::serveSummary(report.metrics);
+    if (!serve.empty()) {
+        std::printf("\nserve: result cache %lld hit / %lld miss "
+                    "(%s), %lld coalesced, %lld malformed\n",
+                    static_cast<long long>(serve.cacheHits),
+                    static_cast<long long>(serve.cacheMisses),
+                    util::formatPercent(serve.cacheHitRate).c_str(),
+                    static_cast<long long>(serve.coalesced),
+                    static_cast<long long>(serve.malformed));
+        std::printf("%s\n", serve.table().toString().c_str());
+    }
     return 0;
 }
 
@@ -129,13 +167,17 @@ main(int argc, char **argv)
     try {
         if (cmd == "check") {
             double min_coverage = 0.0;
-            if (argc == 5 &&
-                std::string(argv[3]) == "--min-coverage") {
-                min_coverage = std::stod(argv[4]);
-            } else if (argc != 3) {
-                return usage();
+            std::vector<std::string> required_counters;
+            for (int i = 3; i < argc; ++i) {
+                const std::string flag = argv[i];
+                if (flag == "--min-coverage" && i + 1 < argc)
+                    min_coverage = std::stod(argv[++i]);
+                else if (flag == "--require-counter" && i + 1 < argc)
+                    required_counters.emplace_back(argv[++i]);
+                else
+                    return usage();
             }
-            return cmdCheck(path, min_coverage);
+            return cmdCheck(path, min_coverage, required_counters);
         }
         if (cmd == "report") {
             std::size_t top_n = 20;

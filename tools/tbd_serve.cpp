@@ -1,0 +1,179 @@
+/**
+ * @file
+ * `tbd_serve` — the simulation service CLI (see src/serve).
+ *
+ *   tbd_serve serve [--port P] [--threads N] [--max-inflight N]
+ *                   [--quota-burst B] [--quota-rate R]
+ *                   [--cache-entries N]
+ *                   [--tenant-quota NAME:BURST:RATE]...
+ *   tbd_serve oneshot
+ *
+ * `serve` binds 127.0.0.1 (port 0 = auto), prints the bound port on
+ * stdout (so scripts can parse it), then runs until stdin reaches EOF
+ * or reads a "quit" line — the idiom that lets a CI step own the
+ * server's lifetime without signals or pid files.
+ *
+ * `oneshot` reads request lines (the same newline-delimited JSON the
+ * socket speaks) from stdin and answers each on stdout via the direct
+ * library path — no queue, no cache, no coalescing. This is the
+ * baseline the load harness diffs served answers against: a served
+ * simulation must be bitwise-identical to its oneshot answer.
+ *
+ * Run either mode under TBD_OBS=1 to get the serve metrics
+ * (serve.cache.*, serve.tenant.*) flushed to TBD_OBS_FILE at exit for
+ * `tbd_obs report` / `tbd_obs check --require-counter`.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/json.h"
+#include "util/logging.h"
+
+using namespace tbd;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage:\n"
+        "  tbd_serve serve [--port P] [--threads N]"
+        " [--max-inflight N]\n"
+        "                  [--quota-burst B] [--quota-rate R]\n"
+        "                  [--cache-entries N]\n"
+        "                  [--tenant-quota NAME:BURST:RATE]...\n"
+        "  tbd_serve oneshot    (request lines on stdin)\n");
+    return 2;
+}
+
+/** "NAME:BURST:RATE" → (tenant, quota). */
+bool
+parseTenantQuota(const std::string &spec, std::string &tenant,
+                 serve::QuotaConfig &quota)
+{
+    const std::size_t c1 = spec.find(':');
+    if (c1 == std::string::npos || c1 == 0)
+        return false;
+    const std::size_t c2 = spec.find(':', c1 + 1);
+    if (c2 == std::string::npos)
+        return false;
+    try {
+        tenant = spec.substr(0, c1);
+        quota.burst = std::stod(spec.substr(c1 + 1, c2 - c1 - 1));
+        quota.ratePerSec = std::stod(spec.substr(c2 + 1));
+    } catch (const std::exception &) {
+        return false;
+    }
+    return true;
+}
+
+int
+cmdServe(int argc, char **argv)
+{
+    serve::ServerOptions options;
+    std::vector<std::pair<std::string, serve::QuotaConfig>> tenants;
+    for (int i = 2; i < argc; ++i) {
+        const std::string flag = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (flag == "--port" && has_value)
+            options.port = std::stoi(argv[++i]);
+        else if (flag == "--threads" && has_value)
+            options.threads =
+                static_cast<std::size_t>(std::stoul(argv[++i]));
+        else if (flag == "--max-inflight" && has_value)
+            options.maxInflight = std::stoll(argv[++i]);
+        else if (flag == "--quota-burst" && has_value)
+            options.defaultQuota.burst = std::stod(argv[++i]);
+        else if (flag == "--quota-rate" && has_value)
+            options.defaultQuota.ratePerSec = std::stod(argv[++i]);
+        else if (flag == "--cache-entries" && has_value)
+            options.cacheEntries =
+                static_cast<std::size_t>(std::stoul(argv[++i]));
+        else if (flag == "--tenant-quota" && has_value) {
+            std::string tenant;
+            serve::QuotaConfig quota;
+            if (!parseTenantQuota(argv[++i], tenant, quota)) {
+                std::fprintf(stderr,
+                             "bad --tenant-quota '%s' (want "
+                             "NAME:BURST:RATE)\n",
+                             argv[i]);
+                return 2;
+            }
+            tenants.emplace_back(std::move(tenant), quota);
+        } else {
+            return usage();
+        }
+    }
+
+    serve::Server server(options);
+    for (const auto &[tenant, quota] : tenants)
+        server.setTenantQuota(tenant, quota);
+    server.start();
+
+    // Scripts parse this line for the auto-assigned port.
+    std::printf("listening on 127.0.0.1:%d\n", server.port());
+    std::fflush(stdout);
+
+    // Serve until the parent closes our stdin (or says "quit").
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        if (line == "quit")
+            break;
+    }
+    server.stop();
+    std::printf("stopped\n");
+    return 0;
+}
+
+int
+cmdOneshot()
+{
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        if (line.empty())
+            continue;
+        serve::Response response;
+        try {
+            const serve::Request request =
+                serve::decodeRequest(line);
+            response = serve::simulateDirect(request);
+        } catch (const util::FatalError &err) {
+            response.status = serve::Status::BadRequest;
+            response.error = err.what();
+        }
+        std::printf("%s\n",
+                    serve::encodeResponse(response).c_str());
+        std::fflush(stdout);
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    try {
+        if (cmd == "serve")
+            return cmdServe(argc, argv);
+        if (cmd == "oneshot")
+            return argc == 2 ? cmdOneshot() : usage();
+    } catch (const util::FatalError &err) {
+        std::fprintf(stderr, "error: %s\n", err.what());
+        return 1;
+    } catch (const std::exception &err) {
+        std::fprintf(stderr, "error: %s\n", err.what());
+        return 1;
+    }
+    return usage();
+}
