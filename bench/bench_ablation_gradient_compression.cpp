@@ -3,8 +3,9 @@
  * Ablation: gradient compression over slow networks. Observation 13's
  * remedy list includes "reduce the amount of data sent"; this harness
  * sweeps compression ratios (FP32 -> FP16 -> 8-bit -> 1-bit-SGD-style)
- * for ResNet-50 over the 1 GbE link that collapses in Fig. 10 and
- * reports when two machines become worthwhile again.
+ * as a declarative `distCompressions` axis for ResNet-50 over the
+ * 1 GbE shape that collapses in Fig. 10, and reports when two
+ * machines become worthwhile again.
  */
 
 #include <iostream>
@@ -23,10 +24,14 @@ printFigure()
         "Observation 13's 'reduce the amount of data sent'");
 
     // Single-GPU baseline for the break-even comparison.
-    dist::ClusterConfig single{1, 1, dist::infiniband100G()};
-    const auto base = dist::simulateDataParallel(
-        models::resnet50(), frameworks::FrameworkId::MXNet,
-        gpusim::quadroP4000(), 32, single);
+    core::BenchmarkRequest single;
+    single.model = models::resnet50().name;
+    single.framework = "MXNet";
+    single.batch = 32;
+    single.distTopology = "paper-1m1g";
+    const auto base_cells =
+        core::BenchmarkSuite::runDistSweep({single});
+    const dist::DistResult &base = *base_cells[0];
 
     struct Ratio
     {
@@ -38,18 +43,26 @@ printFigure()
                                        {4.0, "8-bit quantized"},
                                        {32.0, "1-bit SGD"}};
 
+    // The compression schemes are one sweep axis on the paper's
+    // 2-machine Ethernet shape.
+    std::vector<double> values;
+    for (const auto &ratio : ratios)
+        values.push_back(ratio.value);
+    const auto results = core::BenchmarkSuite::runDistSweep(
+        core::SweepSpec()
+            .model(models::resnet50().name)
+            .framework("MXNet")
+            .batches({32})
+            .distTopologies({"paper-2m1g-eth"})
+            .distCompressions(values));
+
     util::Table t({"scheme", "gradient payload", "2M1G throughput",
                    "vs 1 GPU", "exposed comm"});
-    for (const auto &ratio : ratios) {
-        dist::ClusterConfig cluster{2, 1, dist::ethernet1G()};
-        cluster.gradientCompression = ratio.value;
-        const auto r = dist::simulateDataParallel(
-            models::resnet50(), frameworks::FrameworkId::MXNet,
-            gpusim::quadroP4000(), 32, cluster);
-        t.addRow({ratio.scheme,
-                  util::formatBytes(static_cast<std::uint64_t>(
-                      models::resnet50().describe(32).totalParams() *
-                      4.0 / ratio.value)),
+    for (std::size_t i = 0; i < ratios.size(); ++i) {
+        const dist::DistResult &r = *results[i];
+        t.addRow({ratios[i].scheme,
+                  util::formatBytes(
+                      static_cast<std::uint64_t>(r.gradBytes)),
                   util::formatFixed(r.throughputSamples, 1),
                   util::formatFixed(r.throughputSamples /
                                         base.throughputSamples,

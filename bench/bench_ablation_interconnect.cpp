@@ -2,9 +2,12 @@
  * @file
  * Ablation: how much network bandwidth does distributed training
  * actually need? Observation 13 says bandwidth governs multi-machine
- * scaling; this harness sweeps the inter-machine link from 1 to
- * 100 Gb/s and locates the break-even point where two machines beat
- * one GPU, and the point where scaling efficiency crosses 90% — for a
+ * scaling; this harness registers one throwaway topology per swept
+ * link speed (1 to 100 Gb/s between two single-GPU machines — the
+ * `registerTopology` extension point working as intended), runs the
+ * grid as a declarative SweepSpec through the graph engine, and
+ * locates the break-even point where two machines beat one GPU and
+ * the point where scaling efficiency crosses 90% — for a
  * communication-heavy model (ResNet-50, ~98 MiB of gradients) and a
  * light one (A3C, ~5 MiB).
  */
@@ -17,6 +20,44 @@ using namespace tbd;
 
 namespace {
 
+const std::vector<double> kGbits = {1, 2, 5, 10, 25, 50, 100};
+
+/** Registry slug for one swept link speed. */
+std::string
+sweptName(double gb)
+{
+    return "swept-" + util::formatFixed(gb, 0) + "gbs";
+}
+
+/** Register a 2-machine, 1-GPU-per-machine shape per link speed. */
+std::vector<std::string>
+registerSweptTopologies()
+{
+    std::vector<std::string> names;
+    for (double gb : kGbits) {
+        dist::LinkSpec link;
+        link.name = util::formatFixed(gb, 0) + " Gb/s";
+        link.bandwidthGBs = gb / 8.0 * 0.9; // 90% payload efficiency
+        link.latencyUs = 20.0;
+
+        dist::TopologySpec spec;
+        spec.name = sweptName(gb);
+        spec.description = "2x1 GPU machines over a " + link.name +
+                           " link (interconnect ablation)";
+        spec.gpuHourUsd = 2.0;
+        spec.hostHourUsd = 0.6;
+        spec.fixedWorkers = 2;
+        spec.build = [link](int workers) {
+            TBD_CHECK(workers == 2,
+                      "swept ablation shape is pinned to 2 workers");
+            return dist::builders::paperCluster(2, 1, link);
+        };
+        dist::registerTopology(spec);
+        names.push_back(spec.name);
+    }
+    return names;
+}
+
 void
 printFigure()
 {
@@ -26,40 +67,47 @@ printFigure()
     struct Case
     {
         const models::ModelDesc *model;
-        frameworks::FrameworkId framework;
+        const char *framework;
         std::int64_t batch;
     };
     const std::vector<Case> cases = {
-        {&models::resnet50(), frameworks::FrameworkId::MXNet, 32},
-        {&models::a3c(), frameworks::FrameworkId::MXNet, 64},
+        {&models::resnet50(), "MXNet", 32},
+        {&models::a3c(), "MXNet", 64},
     };
-    const std::vector<double> gbits = {1, 2, 5, 10, 25, 50, 100};
+    const auto swept = registerSweptTopologies();
 
     for (const auto &c : cases) {
-        // Single-GPU baseline.
-        dist::ClusterConfig single{1, 1, dist::infiniband100G()};
-        const auto base = dist::simulateDataParallel(
-            *c.model, c.framework, gpusim::quadroP4000(), c.batch,
-            single);
+        // Single-GPU baseline for the break-even comparison.
+        core::BenchmarkRequest single;
+        single.model = c.model->name;
+        single.framework = c.framework;
+        single.batch = c.batch;
+        single.distTopology = "paper-1m1g";
+        const auto base_cells =
+            core::BenchmarkSuite::runDistSweep({single});
+        const dist::DistResult &base = *base_cells[0];
 
-        util::Table t({"model", "link", "2M1G throughput",
-                       "vs 1 GPU", "scaling efficiency"});
+        // The bandwidth axis is just the topology axis of a sweep.
+        const auto results = core::BenchmarkSuite::runDistSweep(
+            core::SweepSpec()
+                .model(c.model->name)
+                .framework(c.framework)
+                .batches({c.batch})
+                .distTopologies(swept));
+
+        util::Table t({"model", "link", "2M1G throughput", "vs 1 GPU",
+                       "scaling efficiency"});
         double break_even = -1.0, ninety = -1.0;
-        for (double gb : gbits) {
-            dist::ClusterConfig cluster{2, 1,
-                                        dist::LinkSpec{
-                                            util::formatFixed(gb, 0) +
-                                                " Gb/s",
-                                            gb / 8.0 * 0.9, 20.0}};
-            const auto r = dist::simulateDataParallel(
-                *c.model, c.framework, gpusim::quadroP4000(), c.batch,
-                cluster);
+        for (std::size_t i = 0; i < kGbits.size(); ++i) {
+            const double gb = kGbits[i];
+            const dist::DistResult &r = *results[i];
             if (break_even < 0 &&
                 r.throughputSamples > base.throughputSamples)
                 break_even = gb;
             if (ninety < 0 && r.scalingEfficiency > 0.9)
                 ninety = gb;
-            t.addRow({c.model->name, cluster.network.name,
+            t.addRow({c.model->name,
+                      util::formatFixed(gb, 0) + " Gb/s",
                       util::formatFixed(r.throughputSamples, 1),
                       util::formatFixed(r.throughputSamples /
                                             base.throughputSamples,

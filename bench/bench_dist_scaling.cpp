@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Distributed scaling study on the topology-graph engine: every suite
+ * model at 8-64 workers, across four cluster shapes and three
+ * collectives, with the TCO layer attached — the "what would the
+ * paper's Fig. 10 look like at today's scales and prices" experiment.
+ *
+ * Unlike the figure harnesses this one *asserts* its observations
+ * (TBD_CHECK, so a violated observation fails the run):
+ *
+ *   1. Exposed-communication share grows with the worker count on the
+ *      slow fabric (ring steps multiply, compute per GPU does not).
+ *   2. Observation 13's remedies work: at equal scale, InfiniBand
+ *      never scales worse than 1 GbE, and 1-bit-SGD-style compression
+ *      never lowers throughput on 1 GbE.
+ *   3. Every model has a cheapest configuration hitting half of its
+ *      best observed throughput (the TCO planner's query is total).
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace tbd;
+
+namespace {
+
+const std::vector<std::string> kTopologies = {
+    "ethernet-flat", "infiniband-flat", "nvlink-island", "fat-tree"};
+const std::vector<int> kWorkers = {8, 16, 32, 64};
+const std::vector<std::string> kCollectives = {"ring", "tree",
+                                               "hierarchical"};
+
+/** Cells per model: the full shape x scale x collective grid plus one
+ *  compressed cell on the slow fabric. */
+constexpr std::size_t kGridPerModel = 4 * 4 * 3;
+constexpr std::size_t kCellsPerModel = kGridPerModel + 1;
+
+std::size_t
+cellIndex(std::size_t model, std::size_t topo, std::size_t workers,
+          std::size_t coll)
+{
+    return model * kCellsPerModel + (topo * kWorkers.size() + workers) *
+                                        kCollectives.size() +
+           coll;
+}
+
+std::vector<core::BenchmarkRequest>
+buildRequests()
+{
+    std::vector<core::BenchmarkRequest> requests;
+    for (const auto *model : models::allModels()) {
+        core::BenchmarkRequest base;
+        base.model = model->name;
+        base.framework =
+            frameworks::frameworkName(model->frameworks.front());
+        base.batch = model->batchSweep.front();
+        for (const auto &topo : kTopologies) {
+            for (int workers : kWorkers) {
+                for (const auto &coll : kCollectives) {
+                    core::BenchmarkRequest r = base;
+                    r.distTopology = topo;
+                    r.distWorkers = workers;
+                    r.distCollective = coll;
+                    requests.push_back(r);
+                }
+            }
+        }
+        // Observation 13's other remedy: 1-bit-SGD-style compression
+        // on the fabric that collapses.
+        core::BenchmarkRequest packed = base;
+        packed.distTopology = "ethernet-flat";
+        packed.distWorkers = 8;
+        packed.distCollective = "ring";
+        packed.distCompression = 32.0;
+        requests.push_back(packed);
+    }
+    return requests;
+}
+
+void
+printFigure()
+{
+    benchutil::banner(
+        "Distributed scaling - 9 models x 8-64 workers x shapes x "
+        "collectives",
+        "extension of Fig. 10 / Observation 13");
+
+    const auto &all_models = models::allModels();
+    const auto requests = buildRequests();
+    const auto results = core::BenchmarkSuite::runDistSweep(requests);
+    TBD_CHECK(results.size() == all_models.size() * kCellsPerModel,
+              "unexpected sweep size ", results.size());
+    for (const auto &cell : results)
+        TBD_CHECK(cell.has_value(),
+                  "no cell may OOM at the smallest sweep batch");
+
+    auto at = [&](std::size_t m, std::size_t t, std::size_t w,
+                  std::size_t c) -> const dist::DistResult & {
+        return *results[cellIndex(m, t, w, c)];
+    };
+    auto packedAt = [&](std::size_t m) -> const dist::DistResult & {
+        return *results[m * kCellsPerModel + kGridPerModel];
+    };
+
+    // ---- The scaling picture: best collective per shape at 64 GPUs.
+    util::Table summary({"model", "topology", "best collective",
+                         "throughput (samples/s)", "scaling eff",
+                         "comm share"});
+    for (std::size_t m = 0; m < all_models.size(); ++m) {
+        for (std::size_t t = 0; t < kTopologies.size(); ++t) {
+            std::size_t best = 0;
+            for (std::size_t c = 1; c < kCollectives.size(); ++c)
+                if (at(m, t, 3, c).throughputSamples >
+                    at(m, t, 3, best).throughputSamples)
+                    best = c;
+            const auto &r = at(m, t, 3, best);
+            summary.addRow({all_models[m]->name, kTopologies[t],
+                            kCollectives[best],
+                            util::formatFixed(r.throughputSamples, 1),
+                            util::formatPercent(r.scalingEfficiency),
+                            util::formatPercent(r.commShare)});
+        }
+    }
+    summary.print(std::cout);
+
+    // ---- Observation 1: comm share grows with scale on 1 GbE.
+    std::cout << "\nExposed-communication share on ethernet-flat "
+                 "(ring), 8 -> 64 workers:\n";
+    util::Table growth({"model", "x8", "x16", "x32", "x64"});
+    for (std::size_t m = 0; m < all_models.size(); ++m) {
+        std::vector<std::string> row = {all_models[m]->name};
+        double prev = -1.0;
+        for (std::size_t w = 0; w < kWorkers.size(); ++w) {
+            const auto &r = at(m, 0, w, 0);
+            TBD_CHECK(r.commShare >= prev - 1e-12,
+                      all_models[m]->name,
+                      ": comm share must not shrink with scale on a "
+                      "slow fabric (x",
+                      kWorkers[w], ")");
+            prev = r.commShare;
+            row.push_back(util::formatPercent(r.commShare));
+        }
+        growth.addRow(row);
+    }
+    growth.print(std::cout);
+
+    // ---- Observation 2: the paper's remedies, asserted per model.
+    for (std::size_t m = 0; m < all_models.size(); ++m) {
+        const auto &eth = at(m, 0, 0, 0); // ethernet-flat ring x8
+        const auto &ib = at(m, 1, 0, 0);  // infiniband-flat ring x8
+        const auto &packed = packedAt(m); // ethernet ring x8, /32
+        TBD_CHECK(ib.scalingEfficiency >=
+                      eth.scalingEfficiency - 1e-12,
+                  all_models[m]->name,
+                  ": InfiniBand must not scale worse than 1 GbE");
+        TBD_CHECK(packed.throughputSamples >=
+                      eth.throughputSamples - 1e-9,
+                  all_models[m]->name,
+                  ": compression must not lower 1 GbE throughput");
+        TBD_CHECK(std::max(ib.scalingEfficiency,
+                           packed.scalingEfficiency) >
+                      eth.scalingEfficiency ||
+                      eth.scalingEfficiency > 0.9,
+                  all_models[m]->name,
+                  ": some remedy must help unless 1 GbE already "
+                  "scales");
+    }
+    std::cout << "\nObservation 13 holds on the graph engine: "
+                 "InfiniBand and gradient\ncompression recover the "
+                 "scaling that 1 GbE destroys, for every model.\n";
+
+    // ---- Observation 3: the TCO planner's question.
+    std::cout << "\nCheapest configuration reaching half of each "
+                 "model's best observed\nthroughput ($/GPU-hour x "
+                 "simulated samples/s):\n";
+    util::Table tco({"model", "configuration", "$/hour",
+                     "$/Msamples", "throughput (samples/s)"});
+    for (std::size_t m = 0; m < all_models.size(); ++m) {
+        std::vector<dist::TcoPoint> points;
+        double best = 0.0;
+        for (std::size_t t = 0; t < kTopologies.size(); ++t) {
+            const auto spec = *dist::findTopology(kTopologies[t]);
+            for (std::size_t w = 0; w < kWorkers.size(); ++w)
+                for (std::size_t c = 0; c < kCollectives.size(); ++c) {
+                    points.push_back(
+                        dist::priceResult(spec, at(m, t, w, c)));
+                    best = std::max(
+                        best, points.back().result.throughputSamples);
+                }
+        }
+        const auto pick = dist::cheapestAtTarget(points, best / 2.0);
+        TBD_CHECK(pick.has_value(), all_models[m]->name,
+                  ": a half-best target must always be reachable");
+        tco.addRow({all_models[m]->name, pick->result.label,
+                    util::formatFixed(pick->usdPerHour, 2),
+                    util::formatFixed(pick->usdPerMSamples, 2),
+                    util::formatFixed(pick->result.throughputSamples,
+                                      1)});
+    }
+    tco.print(std::cout);
+    std::cout << "\nNVLink islands win the throughput race but the "
+                 "commodity shapes often\nwin $/sample — the planner's "
+                 "answer depends on the target, which is\nexactly why "
+                 "the TCO layer exists.\n\n";
+
+    // Time the whole sweep: 400+ cells against 9 deduplicated
+    // single-GPU baselines.
+    benchmark::RegisterBenchmark(
+        "dist_scaling/full_sweep", [](benchmark::State &state) {
+            const auto reqs = buildRequests();
+            for (auto _ : state) {
+                auto cells = core::BenchmarkSuite::runDistSweep(reqs);
+                benchmark::DoNotOptimize(cells.size());
+            }
+            state.counters["cells"] =
+                static_cast<double>(reqs.size());
+        });
+}
+
+} // namespace
+
+TBD_BENCH_MAIN(printFigure)

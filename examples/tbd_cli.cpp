@@ -27,6 +27,18 @@ using namespace tbd;
 
 namespace {
 
+core::BenchmarkRequest
+makeRequest(const std::string &model, const std::string &framework,
+            const std::string &gpu, std::int64_t batch)
+{
+    core::BenchmarkRequest req;
+    req.model = model;
+    req.framework = framework;
+    req.gpu = gpu;
+    req.batch = batch;
+    return req;
+}
+
 int
 usage()
 {
@@ -62,7 +74,8 @@ int
 cmdRun(const std::string &model, const std::string &framework,
        std::int64_t batch, const std::string &gpu)
 {
-    core::BenchmarkRequest req{model, framework, gpu, batch};
+    const core::BenchmarkRequest req =
+        makeRequest(model, framework, gpu, batch);
     const auto report = core::BenchmarkSuite::run(req);
     const auto &r = report.result;
     std::printf("%s / %s / %s, batch %lld\n", model.c_str(),
@@ -94,7 +107,8 @@ cmdSweep(const std::string &model, const std::string &framework,
     util::Table t({"batch", "throughput", "GPU util", "FP32 util",
                    "memory"});
     for (std::int64_t batch : m.batchSweep) {
-        core::BenchmarkRequest req{model, framework, gpu, batch};
+        const core::BenchmarkRequest req =
+            makeRequest(model, framework, gpu, batch);
         auto maybe = core::BenchmarkSuite::runIfFits(req);
         if (!maybe) {
             t.addRow({std::to_string(batch), "OOM", "-", "-", "-"});
@@ -115,7 +129,8 @@ int
 cmdMemory(const std::string &model, const std::string &framework,
           std::int64_t batch)
 {
-    core::BenchmarkRequest req{model, framework, "Quadro P4000", batch};
+    const core::BenchmarkRequest req =
+        makeRequest(model, framework, "Quadro P4000", batch);
     const auto r = core::BenchmarkSuite::run(req).result;
     util::Table t({"category", "bytes", "share"});
     for (std::size_t c = 0; c < memprof::kCategoryCount; ++c) {
@@ -133,7 +148,8 @@ int
 cmdKernels(const std::string &model, const std::string &framework,
            std::int64_t batch)
 {
-    core::BenchmarkRequest req{model, framework, "Quadro P4000", batch};
+    const core::BenchmarkRequest req =
+        makeRequest(model, framework, "Quadro P4000", batch);
     const auto r = core::BenchmarkSuite::run(req).result;
     std::printf("GPU time by category:\n");
     util::Table cats({"category", "share", "launches"});
@@ -187,7 +203,8 @@ int
 cmdLayers(const std::string &model, const std::string &framework,
           std::int64_t batch)
 {
-    core::BenchmarkRequest req{model, framework, "Quadro P4000", batch};
+    const core::BenchmarkRequest req =
+        makeRequest(model, framework, "Quadro P4000", batch);
     const auto r = core::BenchmarkSuite::run(req).result;
     util::Table t({"layer", "GPU time share", "time/iter", "kernels"});
     for (const auto &l : analysis::layerBreakdown(r.kernelTrace, 15)) {
@@ -203,7 +220,8 @@ int
 cmdTrace(const std::string &model, const std::string &framework,
          std::int64_t batch, const std::string &path)
 {
-    core::BenchmarkRequest req{model, framework, "Quadro P4000", batch};
+    const core::BenchmarkRequest req =
+        makeRequest(model, framework, "Quadro P4000", batch);
     const auto r = core::BenchmarkSuite::run(req).result;
     analysis::exportChromeTrace(r.kernelTrace, path,
                                 model + " / " + framework + " / batch " +
@@ -220,8 +238,8 @@ cmdObs(const std::string &model, const std::string &framework,
 {
     obs::setEnabled(true);
     obs::resetAll();
-    core::BenchmarkRequest req{model, framework, "Quadro P4000",
-                               batch};
+    const core::BenchmarkRequest req =
+        makeRequest(model, framework, "Quadro P4000", batch);
     (void)core::BenchmarkSuite::run(req);
     const auto report = analysis::buildObsReport(obs::dumpTrace());
     std::printf("top spans by self time:\n");
@@ -236,10 +254,9 @@ cmdCurve(const std::string &model)
 {
     const auto &m = models::modelByName(model);
     const auto &spec = analysis::convergenceSpec(model);
-    core::BenchmarkRequest req{model,
-                               frameworks::frameworkName(
-                                   m.frameworks.front()),
-                               "Quadro P4000", m.batchSweep.back()};
+    const core::BenchmarkRequest req = makeRequest(
+        model, frameworks::frameworkName(m.frameworks.front()),
+        "Quadro P4000", m.batchSweep.back());
     const auto r = core::BenchmarkSuite::run(req).result;
     util::Table t({spec.metric, "training time"});
     for (const auto &pt :

@@ -1,0 +1,239 @@
+#include "check/dist_golden.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace tbd::check {
+
+namespace {
+
+std::string
+formatDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/** One pinned scaling cell. */
+struct DistGoldenConfig
+{
+    const char *topology;
+    const char *collective;
+    int workers;
+};
+
+/** The committed cells: one small-island run, one 64-worker tree. */
+constexpr DistGoldenConfig kDistGoldenConfigs[] = {
+    {"nvlink-island", "hierarchical", 8},
+    {"fat-tree", "ring", 64},
+};
+
+DistGoldenRecord
+captureOne(const DistGoldenConfig &cfg)
+{
+    // Same canonical workload as the single-GPU goldens: ResNet-50,
+    // first implementing framework, Quadro P4000, smallest batch.
+    const auto &model = models::modelByName("ResNet-50");
+    const perf::RunConfig base = canonicalConfig(model);
+
+    dist::DistConfig dc;
+    dc.topology = *dist::findTopology(cfg.topology);
+    dc.collective = *dist::findCollective(cfg.collective);
+    dc.workers = cfg.workers;
+    const dist::DistResult r = dist::simulateDistributed(
+        model, base.framework, base.gpu, base.batch, dc);
+    const dist::TcoPoint priced = dist::priceResult(dc.topology, r);
+
+    DistGoldenRecord record;
+    record.model = model.name;
+    record.framework = frameworks::frameworkName(base.framework);
+    record.gpu = base.gpu.name;
+    record.batch = base.batch;
+    record.topology = r.topology;
+    record.collective = r.collective;
+    record.workers = r.workers;
+    record.compression = dc.gradientCompression;
+    record.computeUs = r.computeUs;
+    record.commUs = r.commUs;
+    record.exposedCommUs = r.exposedCommUs;
+    record.iterationUs = r.iterationUs;
+    record.throughputSamples = r.throughputSamples;
+    record.scalingEfficiency = r.scalingEfficiency;
+    record.commShare = r.commShare;
+    record.gradBytes = r.gradBytes;
+    record.busiestEdge = r.busiestEdge;
+    record.usdPerHour = priced.usdPerHour;
+    record.usdPerMSamples = priced.usdPerMSamples;
+    return record;
+}
+
+} // namespace
+
+std::vector<DistGoldenRecord>
+captureDistGoldens()
+{
+    std::vector<DistGoldenRecord> records;
+    for (const auto &cfg : kDistGoldenConfigs)
+        records.push_back(captureOne(cfg));
+    return records;
+}
+
+std::string
+distGoldenFileName(const DistGoldenRecord &record)
+{
+    return "dist_" + record.topology + "_x" +
+           std::to_string(record.workers) + ".json";
+}
+
+util::json::Value
+distGoldenToJson(const DistGoldenRecord &record)
+{
+    using util::json::Value;
+    Value doc = Value::object();
+    doc.set("schema", Value(std::int64_t{1}));
+    doc.set("model", Value(record.model));
+    doc.set("framework", Value(record.framework));
+    doc.set("gpu", Value(record.gpu));
+    doc.set("batch", Value(record.batch));
+    doc.set("topology", Value(record.topology));
+    doc.set("collective", Value(record.collective));
+    doc.set("workers", Value(std::int64_t{record.workers}));
+    doc.set("compression", Value(record.compression));
+
+    Value metrics = Value::object();
+    metrics.set("compute_us", Value(record.computeUs));
+    metrics.set("comm_us", Value(record.commUs));
+    metrics.set("exposed_comm_us", Value(record.exposedCommUs));
+    metrics.set("iteration_us", Value(record.iterationUs));
+    metrics.set("throughput_samples_per_s",
+                Value(record.throughputSamples));
+    metrics.set("scaling_efficiency", Value(record.scalingEfficiency));
+    metrics.set("comm_share", Value(record.commShare));
+    metrics.set("grad_bytes", Value(record.gradBytes));
+    metrics.set("busiest_edge", Value(record.busiestEdge));
+    doc.set("metrics", std::move(metrics));
+
+    Value tco = Value::object();
+    tco.set("usd_per_hour", Value(record.usdPerHour));
+    tco.set("usd_per_msamples", Value(record.usdPerMSamples));
+    doc.set("tco", std::move(tco));
+    return doc;
+}
+
+DistGoldenRecord
+distGoldenFromJson(const util::json::Value &value)
+{
+    DistGoldenRecord record;
+    TBD_CHECK(value.at("schema").asInt() == 1,
+              "unsupported dist golden schema version ",
+              value.at("schema").asInt());
+    record.model = value.at("model").asString();
+    record.framework = value.at("framework").asString();
+    record.gpu = value.at("gpu").asString();
+    record.batch = value.at("batch").asInt();
+    record.topology = value.at("topology").asString();
+    record.collective = value.at("collective").asString();
+    record.workers = static_cast<int>(value.at("workers").asInt());
+    record.compression = value.at("compression").asDouble();
+
+    const auto &metrics = value.at("metrics");
+    record.computeUs = metrics.at("compute_us").asDouble();
+    record.commUs = metrics.at("comm_us").asDouble();
+    record.exposedCommUs = metrics.at("exposed_comm_us").asDouble();
+    record.iterationUs = metrics.at("iteration_us").asDouble();
+    record.throughputSamples =
+        metrics.at("throughput_samples_per_s").asDouble();
+    record.scalingEfficiency =
+        metrics.at("scaling_efficiency").asDouble();
+    record.commShare = metrics.at("comm_share").asDouble();
+    record.gradBytes = metrics.at("grad_bytes").asDouble();
+    record.busiestEdge = metrics.at("busiest_edge").asString();
+
+    const auto &tco = value.at("tco");
+    record.usdPerHour = tco.at("usd_per_hour").asDouble();
+    record.usdPerMSamples = tco.at("usd_per_msamples").asDouble();
+    return record;
+}
+
+void
+writeDistGoldenFile(const std::string &path,
+                    const DistGoldenRecord &record)
+{
+    std::ofstream os(path);
+    TBD_CHECK(os.good(), "cannot open '", path, "' for writing");
+    os << distGoldenToJson(record).dump(2);
+    os.flush();
+    TBD_CHECK(os.good(), "write failure on '", path, "'");
+}
+
+DistGoldenRecord
+readDistGoldenFile(const std::string &path)
+{
+    std::ifstream is(path);
+    TBD_CHECK(is.good(), "cannot open dist golden file '", path,
+              "' (run tools/tbd_golden dist-rebaseline to create it)");
+    std::string text((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    try {
+        return distGoldenFromJson(util::json::Value::parse(text));
+    } catch (const util::FatalError &e) {
+        TBD_FATAL("malformed dist golden file '", path, "': ",
+                  e.what());
+    }
+}
+
+GoldenDiff
+compareDistGolden(const DistGoldenRecord &expected,
+                  const DistGoldenRecord &actual, double relTol)
+{
+    GoldenDiff diff;
+    auto exactStr = [&](const char *field, const std::string &e,
+                        const std::string &a) {
+        if (e != a)
+            diff.fields.push_back({field, e, a});
+    };
+    auto exactInt = [&](const char *field, std::int64_t e,
+                        std::int64_t a) {
+        if (e != a)
+            diff.fields.push_back(
+                {field, std::to_string(e), std::to_string(a)});
+    };
+    auto relFloat = [&](const char *field, double e, double a) {
+        const double scale =
+            std::max({1.0, std::fabs(e), std::fabs(a)});
+        if (!(std::fabs(e - a) <= relTol * scale))
+            diff.fields.push_back(
+                {field, formatDouble(e), formatDouble(a)});
+    };
+
+    exactStr("model", expected.model, actual.model);
+    exactStr("framework", expected.framework, actual.framework);
+    exactStr("gpu", expected.gpu, actual.gpu);
+    exactInt("batch", expected.batch, actual.batch);
+    exactStr("topology", expected.topology, actual.topology);
+    exactStr("collective", expected.collective, actual.collective);
+    exactInt("workers", expected.workers, actual.workers);
+    relFloat("compression", expected.compression, actual.compression);
+    relFloat("compute_us", expected.computeUs, actual.computeUs);
+    relFloat("comm_us", expected.commUs, actual.commUs);
+    relFloat("exposed_comm_us", expected.exposedCommUs,
+             actual.exposedCommUs);
+    relFloat("iteration_us", expected.iterationUs, actual.iterationUs);
+    relFloat("throughput_samples_per_s", expected.throughputSamples,
+             actual.throughputSamples);
+    relFloat("scaling_efficiency", expected.scalingEfficiency,
+             actual.scalingEfficiency);
+    relFloat("comm_share", expected.commShare, actual.commShare);
+    relFloat("grad_bytes", expected.gradBytes, actual.gradBytes);
+    exactStr("busiest_edge", expected.busiestEdge, actual.busiestEdge);
+    relFloat("usd_per_hour", expected.usdPerHour, actual.usdPerHour);
+    relFloat("usd_per_msamples", expected.usdPerMSamples,
+             actual.usdPerMSamples);
+    return diff;
+}
+
+} // namespace tbd::check

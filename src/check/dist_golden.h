@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Golden traces for the topology-graph distributed simulator: two
+ * pinned scaling cells — one 8-worker NVLink-island run and one
+ * 64-worker fat-tree run — serialized to committed JSON under
+ * tests/golden/ next to the single-GPU records. The records pin the
+ * whole dist stack end to end: compute baseline, CommPlan cost on the
+ * routed graph, overlap accounting, and the TCO layer's $/hour and
+ * $/Msamples. `tools/tbd_golden dist-rebaseline` regenerates them
+ * after an intentional model change.
+ */
+
+#ifndef TBD_CHECK_DIST_GOLDEN_H
+#define TBD_CHECK_DIST_GOLDEN_H
+
+#include <string>
+#include <vector>
+
+#include "check/golden.h"
+#include "dist/tco.h"
+
+namespace tbd::check {
+
+/** Canonical metrics record for one distributed scaling cell. */
+struct DistGoldenRecord
+{
+    std::string model;
+    std::string framework;
+    std::string gpu;
+    std::int64_t batch = 0;
+    std::string topology;
+    std::string collective;
+    int workers = 0;
+    double compression = 1.0;
+
+    double computeUs = 0.0;
+    double commUs = 0.0;
+    double exposedCommUs = 0.0;
+    double iterationUs = 0.0;
+    double throughputSamples = 0.0;
+    double scalingEfficiency = 0.0;
+    double commShare = 0.0;
+    double gradBytes = 0.0;
+    std::string busiestEdge;
+    double usdPerHour = 0.0;
+    double usdPerMSamples = 0.0;
+};
+
+/**
+ * The two pinned scaling cells, captured live: ResNet-50 at its
+ * smallest sweep batch on 8 nvlink-island workers (hierarchical) and
+ * on 64 fat-tree workers (ring).
+ */
+std::vector<DistGoldenRecord> captureDistGoldens();
+
+/** Committed file name, e.g. "dist_nvlink-island_x8.json". */
+std::string distGoldenFileName(const DistGoldenRecord &record);
+
+/** Serialize a record. */
+util::json::Value distGoldenToJson(const DistGoldenRecord &record);
+
+/**
+ * Deserialize a record.
+ * @throws util::FatalError on a malformed or incomplete document.
+ */
+DistGoldenRecord distGoldenFromJson(const util::json::Value &value);
+
+/**
+ * Write a record as pretty-printed JSON.
+ * @throws util::FatalError on I/O failure.
+ */
+void writeDistGoldenFile(const std::string &path,
+                         const DistGoldenRecord &record);
+
+/**
+ * Read a committed dist golden file.
+ * @throws util::FatalError on I/O or parse failure.
+ */
+DistGoldenRecord readDistGoldenFile(const std::string &path);
+
+/**
+ * Structured diff of two records: identity fields and the worker
+ * count compare exactly, derived floats with the given relative
+ * tolerance (kGoldenRelTol by default).
+ */
+GoldenDiff compareDistGolden(const DistGoldenRecord &expected,
+                             const DistGoldenRecord &actual,
+                             double relTol = kGoldenRelTol);
+
+} // namespace tbd::check
+
+#endif // TBD_CHECK_DIST_GOLDEN_H

@@ -15,6 +15,7 @@
 
 #include "analysis/kernel_report.h"
 #include "analysis/sampling.h"
+#include "dist/distributed.h"
 #include "models/model_desc.h"
 #include "perf/simulator.h"
 #include "util/logging.h"
@@ -38,6 +39,26 @@ struct BenchmarkRequest
      */
     double lengthCv = 0.0;
     std::uint64_t lengthSeed = 42; ///< length-sampling stream seed
+
+    /**
+     * Distributed axes (all unset = a plain single-GPU request).
+     * `distTopology`/`distCollective` are dist:: registry names;
+     * `distWorkers` is the simulated GPU count (0 = the topology's
+     * fixedWorkers); `distCompression` is the gradient-compression
+     * ratio. A request with any of these set goes through
+     * toDistConfig / runDistSweep, never toRunConfig.
+     */
+    int distWorkers = 0;
+    std::string distTopology;
+    std::string distCollective;
+    double distCompression = 1.0;
+
+    /** True when any distributed axis is set. */
+    bool isDist() const
+    {
+        return distWorkers > 0 || !distTopology.empty() ||
+               !distCollective.empty();
+    }
 };
 
 /**
@@ -89,6 +110,17 @@ std::vector<std::string> modelNames();
  *         lengthCv outside [0, 1].
  */
 perf::RunConfig toRunConfig(const BenchmarkRequest &request);
+
+/**
+ * Resolve a distributed request's topology and collective against the
+ * dist:: registries — the suggestion-carrying lookup layered over
+ * `dist::findTopology` / `dist::findCollective`, mirroring what
+ * toRunConfig does for frameworks and GPUs.
+ * @throws UnknownNameError (kind "topology" or "collective") for an
+ *         unresolvable name; util::FatalError for a compression ratio
+ *         below 1 or a worker count conflicting with a pinned shape.
+ */
+dist::DistConfig toDistConfig(const BenchmarkRequest &request);
 
 /**
  * Suite facade.
@@ -167,6 +199,23 @@ class BenchmarkSuite
 
     /** Sweep the cells a SweepSpec expands to. */
     static std::vector<std::optional<perf::RunResult>> runSweep(
+        const SweepSpec &spec);
+
+    /**
+     * Evaluate distributed cells. The expensive part — the single-GPU
+     * compute baseline — is deduplicated: one PerfSimulator run per
+     * unique (model, framework, GPU, batch, lengthCv) combination,
+     * evaluated on the thread pool via runSweep, then every cell is
+     * costed against its baseline through the topology-graph engine
+     * (cheap, pure arithmetic). Results come back in request order;
+     * OOM baselines yield nullopt cells.
+     * @throws UnknownNameError for any unresolvable axis name.
+     */
+    static std::vector<std::optional<dist::DistResult>> runDistSweep(
+        const std::vector<BenchmarkRequest> &requests);
+
+    /** Distributed-sweep the cells a SweepSpec expands to. */
+    static std::vector<std::optional<dist::DistResult>> runDistSweep(
         const SweepSpec &spec);
 
     /** Render Table 2 (benchmark overview) from the registry. */

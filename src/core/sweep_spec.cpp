@@ -80,6 +80,34 @@ SweepSpec::lengthCv(double cv, std::uint64_t seed)
 }
 
 SweepSpec &
+SweepSpec::distWorkers(std::vector<int> counts)
+{
+    distWorkers_ = std::move(counts);
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::distTopologies(std::vector<std::string> names)
+{
+    distTopologies_ = std::move(names);
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::distCollectives(std::vector<std::string> names)
+{
+    distCollectives_ = std::move(names);
+    return *this;
+}
+
+SweepSpec &
+SweepSpec::distCompressions(std::vector<double> ratios)
+{
+    distCompressions_ = std::move(ratios);
+    return *this;
+}
+
+SweepSpec &
 SweepSpec::filter(std::function<bool(const BenchmarkRequest &)> predicate)
 {
     filters_.push_back(std::move(predicate));
@@ -124,6 +152,45 @@ SweepSpec::requests() const
         gpu_axis.push_back(*gpu);
     }
 
+    // Distributed axes: resolving the names up front gives a typo'd
+    // topology/collective the same fail-before-any-cell treatment as
+    // a typo'd framework.
+    const bool dist_sweep =
+        !distWorkers_.empty() || !distTopologies_.empty() ||
+        !distCollectives_.empty() || !distCompressions_.empty();
+    std::vector<dist::TopologySpec> topology_axis;
+    std::vector<std::string> collective_axis;
+    std::vector<double> compression_axis;
+    std::vector<int> worker_axis;
+    if (dist_sweep) {
+        const std::vector<std::string> topo_names =
+            distTopologies_.empty()
+                ? std::vector<std::string>{"infiniband-flat"}
+                : distTopologies_;
+        for (const auto &name : topo_names) {
+            const auto spec = dist::findTopology(name);
+            if (!spec)
+                throw UnknownNameError("topology", name,
+                                       dist::topologyNames());
+            topology_axis.push_back(*spec);
+        }
+        collective_axis = distCollectives_.empty()
+                              ? std::vector<std::string>{"ring"}
+                              : distCollectives_;
+        for (const auto &name : collective_axis) {
+            if (!dist::findCollective(name))
+                throw UnknownNameError("collective", name,
+                                       dist::collectiveNames());
+        }
+        compression_axis = distCompressions_.empty()
+                               ? std::vector<double>{1.0}
+                               : distCompressions_;
+        // 0 = "use the topology's fixedWorkers" (toDistConfig rejects
+        // it for scalable shapes).
+        worker_axis = distWorkers_.empty() ? std::vector<int>{0}
+                                           : distWorkers_;
+    }
+
     std::vector<BenchmarkRequest> cells;
     for (const models::ModelDesc *model : model_axis) {
         // Unset framework axis: the model's implementations, in
@@ -146,11 +213,40 @@ SweepSpec::requests() const
                     cell.batch = batch;
                     cell.lengthCv = lengthCv_;
                     cell.lengthSeed = lengthSeed_;
-                    const bool kept = std::all_of(
-                        filters_.begin(), filters_.end(),
-                        [&](const auto &pred) { return pred(cell); });
-                    if (kept)
-                        cells.push_back(std::move(cell));
+                    auto keep = [&](const BenchmarkRequest &c) {
+                        return std::all_of(
+                            filters_.begin(), filters_.end(),
+                            [&](const auto &pred) {
+                                return pred(c);
+                            });
+                    };
+                    if (!dist_sweep) {
+                        if (keep(cell))
+                            cells.push_back(std::move(cell));
+                        continue;
+                    }
+                    for (const auto &topo : topology_axis) {
+                        for (int workers : worker_axis) {
+                            // A pinned shape only exists at its own
+                            // worker count — drop mismatching combos
+                            // like unsupported model x framework
+                            // cells.
+                            if (topo.fixedWorkers > 0 && workers > 0 &&
+                                workers != topo.fixedWorkers)
+                                continue;
+                            for (const auto &coll : collective_axis) {
+                                for (double ratio : compression_axis) {
+                                    BenchmarkRequest d = cell;
+                                    d.distTopology = topo.name;
+                                    d.distWorkers = workers;
+                                    d.distCollective = coll;
+                                    d.distCompression = ratio;
+                                    if (keep(d))
+                                        cells.push_back(std::move(d));
+                                }
+                            }
+                        }
+                    }
                 }
             }
         }

@@ -10,7 +10,10 @@
  *
  * Expansion order is deterministic: models in the given (or registry)
  * order, then frameworks, then GPUs, then batches — so a spec's cell
- * index maps 1:1 onto a figure's row order.
+ * index maps 1:1 onto a figure's row order. Distributed sweeps add
+ * four more axes (topologies, then workers, then collectives, then
+ * compression ratios) expanded innermost, and their cells run through
+ * BenchmarkSuite::runDistSweep.
  */
 
 #ifndef TBD_CORE_SWEEP_SPEC_H
@@ -74,6 +77,28 @@ class SweepSpec
     SweepSpec &lengthCv(double cv, std::uint64_t seed = 42);
 
     /**
+     * Distributed axes. Setting any of these makes every expanded
+     * cell a distributed request (BenchmarkRequest::isDist()), to be
+     * run through BenchmarkSuite::runDistSweep. Unset axes default at
+     * expansion: topologies to {"infiniband-flat"}, collectives to
+     * {"ring"}, compressions to {1.0}; an unset worker axis uses each
+     * pinned topology's fixedWorkers (scalable topologies then fail
+     * fast at toDistConfig). A pinned topology combined with a
+     * non-matching explicit worker count is dropped, the dist
+     * analogue of an unsupported model x framework cell.
+     */
+    SweepSpec &distWorkers(std::vector<int> counts);
+
+    /** Set the topology axis (dist:: registry names). */
+    SweepSpec &distTopologies(std::vector<std::string> names);
+
+    /** Set the collective axis (dist:: registry names). */
+    SweepSpec &distCollectives(std::vector<std::string> names);
+
+    /** Set the gradient-compression axis (ratios >= 1). */
+    SweepSpec &distCompressions(std::vector<double> ratios);
+
+    /**
      * Arbitrary cell filter, applied after axis expansion; chainable
      * (all registered predicates must accept a cell).
      */
@@ -96,6 +121,10 @@ class SweepSpec
     bool keepUnsupported_ = false;
     double lengthCv_ = 0.0;
     std::uint64_t lengthSeed_ = 42;
+    std::vector<int> distWorkers_;
+    std::vector<std::string> distTopologies_;
+    std::vector<std::string> distCollectives_;
+    std::vector<double> distCompressions_;
     std::vector<std::function<bool(const BenchmarkRequest &)>> filters_;
 };
 

@@ -20,8 +20,12 @@
 #include "data/catch_env.h"
 #include "data/dataset_spec.h"
 #include "data/synthetic.h"
+#include "dist/collective.h"
 #include "dist/data_parallel.h"
+#include "dist/distributed.h"
 #include "dist/model_parallel.h"
+#include "dist/tco.h"
+#include "dist/topology.h"
 #include "engine/network.h"
 #include "engine/optimizer.h"
 #include "engine/schedule.h"

@@ -1,0 +1,335 @@
+#include "dist/collective.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "obs/obs.h"
+#include "util/logging.h"
+
+namespace tbd::dist {
+
+double
+CommPlan::totalBytes() const
+{
+    double bytes = 0.0;
+    for (const auto &step : steps)
+        for (const auto &t : step.transfers)
+            bytes += t.bytes;
+    return bytes;
+}
+
+CommCost
+costPlan(const Topology &topo, const CommPlan &plan)
+{
+    CommCost cost;
+    // Cumulative per-(edge, direction) busy time across the whole
+    // plan, for the busiest-edge report. Key: edge index, then 0 for
+    // a->b, 1 for b->a.
+    std::map<std::pair<int, int>, double> edge_dir_total_us;
+
+    for (const auto &step : plan.steps) {
+        double base_max = 0.0;
+        std::map<std::pair<int, int>, double> edge_dir_us;
+        for (const auto &t : step.transfers) {
+            TBD_CHECK(t.bytes >= 0.0, "negative transfer size in ",
+                      plan.collective, " plan");
+            if (t.from == t.to)
+                continue;
+            double lat = 0.0;
+            double bottleneck =
+                std::numeric_limits<double>::infinity();
+            int node = t.from;
+            for (const int e : topo.route(t.from, t.to)) {
+                const TopoEdge &edge = topo.edges()[e];
+                lat += edge.link.latencyUs;
+                bottleneck =
+                    std::min(bottleneck, edge.link.bandwidthGBs);
+                const int dir = edge.a == node ? 0 : 1;
+                edge_dir_us[{e, dir}] +=
+                    edge.link.latencyUs +
+                    t.bytes / (edge.link.bandwidthGBs * 1e9) * 1e6;
+                node = edge.a == node ? edge.b : edge.a;
+            }
+            base_max = std::max(
+                base_max, lat + t.bytes / (bottleneck * 1e9) * 1e6);
+        }
+        double contended_max = 0.0;
+        for (const auto &[key, us] : edge_dir_us) {
+            contended_max = std::max(contended_max, us);
+            edge_dir_total_us[key] += us;
+        }
+        cost.totalUs += std::max(base_max, contended_max);
+    }
+
+    for (const auto &[key, us] : edge_dir_total_us) {
+        if (us > cost.busiestEdgeUs) {
+            cost.busiestEdgeUs = us;
+            cost.busiestEdge = topo.edges()[key.first].link.name;
+        }
+    }
+
+    if (obs::enabled()) {
+        auto &registry = obs::MetricsRegistry::global();
+        registry.counter("dist.plans_costed").add(1);
+        registry.counter("dist.plan_bytes")
+            .add(static_cast<std::int64_t>(plan.totalBytes()));
+        registry.histogram("dist.plan_sim_us").observe(cost.totalUs);
+    }
+    return cost;
+}
+
+namespace {
+
+/**
+ * Binomial-tree reduce onto `members[0]`, appended to `steps` as
+ * ceil(log2 |members|) rounds of full-payload transfers. `members`
+ * holds topology node indices. With `broadcast` the direction flips
+ * (root fans the payload back out, same rounds reversed).
+ */
+void
+appendTreeRounds(std::vector<CommStep> &steps,
+                 const std::vector<int> &members, double bytes,
+                 bool broadcast)
+{
+    const int n = static_cast<int>(members.size());
+    std::vector<CommStep> rounds;
+    for (int span = 1; span < n; span *= 2) {
+        CommStep step;
+        for (int j = span; j < n; j += 2 * span) {
+            // Reduce: member j sends to member j - span.
+            Transfer t;
+            t.from = members[j];
+            t.to = members[j - span];
+            t.bytes = bytes;
+            if (broadcast)
+                std::swap(t.from, t.to);
+            step.transfers.push_back(t);
+        }
+        rounds.push_back(std::move(step));
+    }
+    if (broadcast)
+        std::reverse(rounds.begin(), rounds.end());
+    for (auto &r : rounds)
+        steps.push_back(std::move(r));
+}
+
+CommPlan
+planParameterServer(const Topology &topo, double bytes)
+{
+    CommPlan plan;
+    plan.collective = "parameter-server";
+    const auto &gpus = topo.gpus();
+    const int n = static_cast<int>(gpus.size());
+    if (n <= 1)
+        return plan;
+    // The server lives with worker 0. Push step: every other worker
+    // sends its full gradient; the server's links serialize them.
+    CommStep push;
+    for (int i = 1; i < n; ++i)
+        push.transfers.push_back({gpus[i], gpus[0], bytes});
+    plan.steps.push_back(std::move(push));
+    // Pull step: fresh weights fan back out.
+    CommStep pull;
+    for (int i = 1; i < n; ++i)
+        pull.transfers.push_back({gpus[0], gpus[i], bytes});
+    plan.steps.push_back(std::move(pull));
+    return plan;
+}
+
+CommPlan
+planRing(const Topology &topo, double bytes)
+{
+    CommPlan plan;
+    plan.collective = "ring";
+    const auto &gpus = topo.gpus();
+    const int n = static_cast<int>(gpus.size());
+    if (n <= 1)
+        return plan;
+    // Bandwidth-optimal ring allreduce: reduce-scatter then allgather,
+    // 2(n-1) steps in which every rank passes one 1/n shard to its
+    // successor. Full-duplex links keep all n transfers of a step
+    // concurrent.
+    for (int s = 0; s < 2 * (n - 1); ++s) {
+        CommStep step;
+        for (int i = 0; i < n; ++i)
+            step.transfers.push_back(
+                {gpus[i], gpus[(i + 1) % n], bytes / n});
+        plan.steps.push_back(std::move(step));
+    }
+    return plan;
+}
+
+CommPlan
+planTree(const Topology &topo, double bytes)
+{
+    CommPlan plan;
+    plan.collective = "tree";
+    const auto &gpus = topo.gpus();
+    if (gpus.size() <= 1)
+        return plan;
+    // Binomial reduce to rank 0 then broadcast: 2*ceil(log2 n) rounds
+    // of full-payload transfers. Latency-optimal; loses to the ring
+    // once bytes/BW dominates the round count.
+    appendTreeRounds(plan.steps, gpus, bytes, /*broadcast=*/false);
+    appendTreeRounds(plan.steps, gpus, bytes, /*broadcast=*/true);
+    return plan;
+}
+
+CommPlan
+planHierarchical(const Topology &topo, double bytes)
+{
+    CommPlan plan;
+    plan.collective = "hierarchical";
+    const auto &gpus = topo.gpus();
+    const int n = static_cast<int>(gpus.size());
+    if (n <= 1)
+        return plan;
+    const auto islands = topo.islandsByHost();
+    const int k = static_cast<int>(islands.size());
+    if (k <= 1)
+        return planRing(topo, bytes); // one island: flat ring locally
+
+    // Island member lists as node indices; leaders are members[0].
+    std::vector<std::vector<int>> members(islands.size());
+    std::vector<int> leaders;
+    for (std::size_t i = 0; i < islands.size(); ++i) {
+        for (const int rank : islands[i])
+            members[i].push_back(gpus[rank]);
+        leaders.push_back(members[i][0]);
+    }
+
+    // Phase 1 — intra-island reduce to each leader over the fast
+    // local links; islands run concurrently, so merge their tree
+    // rounds step-by-step.
+    std::size_t max_rounds = 0;
+    std::vector<std::vector<CommStep>> local(islands.size());
+    for (std::size_t i = 0; i < islands.size(); ++i) {
+        appendTreeRounds(local[i], members[i], bytes, false);
+        max_rounds = std::max(max_rounds, local[i].size());
+    }
+    for (std::size_t r = 0; r < max_rounds; ++r) {
+        CommStep step;
+        for (auto &rounds : local)
+            if (r < rounds.size())
+                for (auto &t : rounds[r].transfers)
+                    step.transfers.push_back(t);
+        plan.steps.push_back(std::move(step));
+    }
+
+    // Phase 2 — ring allreduce across island leaders with 1/k shards:
+    // only 2(k-1) crossings of the slow fabric instead of 2(n-1).
+    for (int s = 0; s < 2 * (k - 1); ++s) {
+        CommStep step;
+        for (int i = 0; i < k; ++i)
+            step.transfers.push_back(
+                {leaders[i], leaders[(i + 1) % k], bytes / k});
+        plan.steps.push_back(std::move(step));
+    }
+
+    // Phase 3 — intra-island broadcast of the reduced weights.
+    for (auto &rounds : local)
+        rounds.clear();
+    max_rounds = 0;
+    for (std::size_t i = 0; i < islands.size(); ++i) {
+        appendTreeRounds(local[i], members[i], bytes, true);
+        max_rounds = std::max(max_rounds, local[i].size());
+    }
+    for (std::size_t r = 0; r < max_rounds; ++r) {
+        CommStep step;
+        for (auto &rounds : local)
+            if (r < rounds.size())
+                for (auto &t : rounds[r].transfers)
+                    step.transfers.push_back(t);
+        plan.steps.push_back(std::move(step));
+    }
+    return plan;
+}
+
+std::vector<CollectiveSpec>
+builtinCollectives()
+{
+    return {
+        {"parameter-server",
+         "push gradients to one server, pull weights back; the "
+         "server's links serialize (MXNet kvstore)",
+         planParameterServer},
+        {"ring",
+         "bandwidth-optimal ring allreduce: 2(n-1) steps of 1/n "
+         "shards between neighbors",
+         planRing},
+        {"tree",
+         "binomial reduce + broadcast: 2*ceil(log2 n) full-payload "
+         "rounds; latency-optimal for small tensors",
+         planTree},
+        {"hierarchical",
+         "reduce to island leaders over fast local links, ring of "
+         "1/k shards across islands, broadcast back",
+         planHierarchical},
+    };
+}
+
+/** The process-wide registry: builtins plus registered extras. */
+std::vector<CollectiveSpec> &
+registry()
+{
+    static std::vector<CollectiveSpec> *specs =
+        new std::vector<CollectiveSpec>(builtinCollectives());
+    return *specs;
+}
+
+} // namespace
+
+std::optional<CollectiveSpec>
+findCollective(const std::string &name)
+{
+    for (const auto &spec : registry()) {
+        if (spec.name == name)
+            return spec;
+    }
+    return std::nullopt;
+}
+
+std::vector<std::string>
+collectiveNames()
+{
+    std::vector<std::string> names;
+    names.reserve(registry().size());
+    for (const auto &spec : registry())
+        names.push_back(spec.name);
+    return names;
+}
+
+void
+registerCollective(CollectiveSpec spec)
+{
+    TBD_CHECK(!spec.name.empty() && spec.plan != nullptr,
+              "a collective spec needs a name and a plan builder");
+    for (auto &existing : registry()) {
+        if (existing.name == spec.name) {
+            existing = std::move(spec);
+            return;
+        }
+    }
+    registry().push_back(std::move(spec));
+}
+
+std::vector<std::pair<std::string, std::string>>
+collectiveDocTable()
+{
+    // The canonical doc rows mirrored by DESIGN.md §15. tbd::lint
+    // compares this table against the *builtin* registry entries so
+    // documentation drift is a lint failure, not a surprise.
+    return {
+        {"parameter-server",
+         "2 steps; serializes on the server's links"},
+        {"ring", "2(n-1) steps of S/n; ~2S(n-1)/n over the slowest "
+                 "link"},
+        {"tree", "2*ceil(log2 n) steps of S; wins at small payloads"},
+        {"hierarchical",
+         "local trees + 1/k-shard ring across islands"},
+    };
+}
+
+} // namespace tbd::dist

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Pluggable weight-exchange collectives. A CollectivePolicy does not
+ * compute a time directly: it emits a CommPlan — an explicit schedule
+ * of point-to-point transfers grouped into concurrent steps — and
+ * `costPlan` prices that schedule against a Topology by routing every
+ * transfer over the graph and charging contention per edge direction.
+ * Keeping the plan declarative (rather than folding the arithmetic
+ * into each policy) is what leaves the door open to Daydream-style
+ * what-if transforms later: a plan can be rescheduled, compressed or
+ * partially overlapped without touching the policies that built it.
+ *
+ * Collectives are registry-backed like topologies:
+ * `findCollective(name)` → optional CollectiveSpec, with the throwing
+ * suggestion-carrying lookup layered on in core::.
+ */
+
+#ifndef TBD_DIST_COLLECTIVE_H
+#define TBD_DIST_COLLECTIVE_H
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/topology.h"
+
+namespace tbd::dist {
+
+/** One point-to-point transfer between two topology nodes. */
+struct Transfer
+{
+    int from = -1;    ///< source node index
+    int to = -1;      ///< destination node index
+    double bytes = 0; ///< payload size
+};
+
+/** Transfers that run concurrently; the step ends when all finish. */
+struct CommStep
+{
+    std::vector<Transfer> transfers;
+};
+
+/** A full schedule for one collective over one payload. */
+struct CommPlan
+{
+    std::string collective; ///< policy that produced the plan
+    std::vector<CommStep> steps;
+
+    /** Total bytes moved across all transfers of all steps. */
+    double totalBytes() const;
+};
+
+/** What a CommPlan costs on a concrete topology. */
+struct CommCost
+{
+    double totalUs = 0.0;      ///< sum of step times
+    double busiestEdgeUs = 0.0; ///< most-loaded edge-direction's time
+    std::string busiestEdge;    ///< its link name (empty when no comm)
+};
+
+/**
+ * Price a plan on a topology. Each transfer routes over the graph;
+ * within a step, a transfer's base time is its path latency plus
+ * bytes over the bottleneck bandwidth, and every (edge, direction)
+ * pair additionally serializes the transfers crossing it (links are
+ * full-duplex, so opposite directions do not contend). The step takes
+ * the max of both views; the plan takes the sum of its steps.
+ */
+CommCost costPlan(const Topology &topo, const CommPlan &plan);
+
+/** One registered weight-exchange policy. */
+struct CollectiveSpec
+{
+    std::string name;        ///< registry slug, e.g. "ring"
+    std::string description; ///< one-line docs (DESIGN.md §15 table)
+
+    /**
+     * Build the transfer schedule for exchanging `bytes` of gradients
+     * among all GPUs of `topo`. A single-GPU topology yields an empty
+     * plan.
+     */
+    std::function<CommPlan(const Topology &topo, double bytes)> plan;
+};
+
+/**
+ * Resolve a registered collective by name; nullopt when unknown. The
+ * throwing lookup with an edit-distance suggestion lives in core::
+ * (UnknownNameError over collectiveNames()).
+ */
+std::optional<CollectiveSpec> findCollective(const std::string &name);
+
+/** Names findCollective accepts, builtins first, registry order. */
+std::vector<std::string> collectiveNames();
+
+/**
+ * Register (or replace, matching by name) a collective. Process-wide
+ * and not thread-safe — register before fanning work out.
+ */
+void registerCollective(CollectiveSpec spec);
+
+/**
+ * The documented collective table: (name, summary) rows that DESIGN.md
+ * §15 mirrors. tbd::lint cross-checks this against the live registry
+ * so the docs cannot silently drift from the code.
+ */
+std::vector<std::pair<std::string, std::string>> collectiveDocTable();
+
+} // namespace tbd::dist
+
+#endif // TBD_DIST_COLLECTIVE_H

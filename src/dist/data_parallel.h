@@ -7,6 +7,13 @@
  * Per-GPU compute comes from the single-GPU performance simulator;
  * this module adds the communication and overlap model that produces
  * Fig. 10.
+ *
+ * @deprecated This is the legacy closed-form engine, kept verbatim so
+ * existing Fig. 10 call sites stay bitwise-identical. New code should
+ * use the topology-graph engine: resolve a shape with
+ * `findTopology(name)`, a policy with `findCollective(name)`, and run
+ * `simulateDistributed` (distributed.h), which routes an explicit
+ * CommPlan over the cluster graph instead of charging one link.
  */
 
 #ifndef TBD_DIST_DATA_PARALLEL_H

@@ -1,0 +1,116 @@
+#include "dist/distributed.h"
+
+#include <algorithm>
+
+#include "obs/obs.h"
+#include "util/logging.h"
+
+namespace tbd::dist {
+
+int
+DistConfig::effectiveWorkers() const
+{
+    if (workers > 0)
+        return workers;
+    TBD_CHECK(topology.fixedWorkers > 0, "topology ", topology.name,
+              " is scalable; a worker count is required");
+    return topology.fixedWorkers;
+}
+
+std::string
+DistConfig::label() const
+{
+    std::string s =
+        topology.name + " x" + std::to_string(effectiveWorkers()) +
+        " (" + collective.name + ")";
+    if (gradientCompression > 1.0) {
+        // Trim the double's trailing zeros for a compact label.
+        std::string ratio = std::to_string(gradientCompression);
+        ratio.erase(ratio.find_last_not_of('0') + 1);
+        if (!ratio.empty() && ratio.back() == '.')
+            ratio.pop_back();
+        s += " /" + ratio;
+    }
+    return s;
+}
+
+DistResult
+simulateDistributed(const models::ModelDesc &model,
+                    frameworks::FrameworkId framework,
+                    const gpusim::GpuSpec &gpu,
+                    std::int64_t perGpuBatch, const DistConfig &config,
+                    const perf::RunResult *singleGpu)
+{
+    TBD_CHECK(config.topology.build != nullptr &&
+                  config.collective.plan != nullptr,
+              "dist config needs a resolved topology and collective");
+    TBD_CHECK(config.overlapFraction >= 0.0 &&
+                  config.overlapFraction <= 1.0,
+              "overlap fraction out of [0, 1]");
+    TBD_CHECK(config.gradientCompression >= 1.0,
+              "compression ratio must be >= 1");
+
+    const int workers = config.effectiveWorkers();
+
+    obs::Span span("dist.simulate_topology");
+    span.attr("model", model.name);
+    span.attr("config", config.label());
+    span.attr("per_gpu_batch", perGpuBatch);
+
+    // Per-GPU compute: reuse the caller's baseline when provided.
+    perf::RunResult single;
+    if (singleGpu != nullptr) {
+        single = *singleGpu;
+    } else {
+        perf::PerfSimulator sim;
+        perf::RunConfig rc;
+        rc.model = &model;
+        rc.framework = framework;
+        rc.gpu = gpu;
+        rc.batch = perGpuBatch;
+        rc.obsParent = span.id();
+        single = sim.run(rc);
+    }
+
+    DistResult result;
+    result.topology = config.topology.name;
+    result.collective = config.collective.name;
+    result.label = config.label();
+    result.workers = workers;
+    result.computeUs = single.iterationUs;
+    result.gradBytes =
+        static_cast<double>(
+            model.describe(perGpuBatch).totalParams()) *
+        4.0 / config.gradientCompression;
+
+    if (workers > 1) {
+        const Topology topo = config.topology.build(workers);
+        TBD_CHECK(static_cast<int>(topo.gpus().size()) == workers,
+                  "topology ", config.topology.name, " built ",
+                  topo.gpus().size(), " GPUs for ", workers,
+                  " workers");
+        const CommPlan plan =
+            config.collective.plan(topo, result.gradBytes);
+        const CommCost cost = costPlan(topo, plan);
+        result.commUs = cost.totalUs;
+        result.busiestEdge = cost.busiestEdge;
+    }
+
+    const double overlappable =
+        config.overlapFraction * single.iterationUs;
+    result.exposedCommUs = std::max(0.0, result.commUs - overlappable);
+    result.iterationUs = single.iterationUs + result.exposedCommUs;
+    result.commShare = result.iterationUs > 0.0
+                           ? result.exposedCommUs / result.iterationUs
+                           : 0.0;
+
+    result.throughputSamples = static_cast<double>(perGpuBatch) *
+                               workers / (result.iterationUs * 1e-6);
+    const double single_thr = static_cast<double>(perGpuBatch) /
+                              (single.iterationUs * 1e-6);
+    result.scalingEfficiency =
+        result.throughputSamples / (single_thr * workers);
+    return result;
+}
+
+} // namespace tbd::dist

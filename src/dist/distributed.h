@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The topology-graph distributed simulator: the redesigned engine
+ * behind Fig. 10 and the 8–64-worker scaling sweeps. Where the legacy
+ * `simulateDataParallel` (data_parallel.h) charges one representative
+ * link with a closed form, this engine builds the cluster graph from a
+ * TopologySpec, asks a CollectivePolicy for an explicit CommPlan, and
+ * prices that plan by routing every transfer over the graph with
+ * per-edge-direction contention (collective.h). Per-GPU compute still
+ * comes from the single-GPU performance simulator; overlap and
+ * gradient compression are modeled as in the legacy path.
+ */
+
+#ifndef TBD_DIST_DISTRIBUTED_H
+#define TBD_DIST_DISTRIBUTED_H
+
+#include "dist/collective.h"
+#include "dist/topology.h"
+#include "perf/simulator.h"
+
+namespace tbd::dist {
+
+/** One distributed-training cell: shape x scale x algorithm. */
+struct DistConfig
+{
+    TopologySpec topology;    ///< resolved shape (findTopology)
+    CollectiveSpec collective; ///< resolved policy (findCollective)
+
+    /**
+     * Worker (GPU) count; 0 means "use the topology's fixedWorkers",
+     * which is only valid for pinned shapes.
+     */
+    int workers = 0;
+
+    /** Fraction of comm hidden behind the backward pass. */
+    double overlapFraction = 0.5;
+
+    /** Gradient-compression ratio (1 = FP32, 2 = FP16, 32 = 1-bit). */
+    double gradientCompression = 1.0;
+
+    /** Effective worker count after the fixedWorkers default. */
+    int effectiveWorkers() const;
+
+    /** Display label, e.g. "nvlink-island x16 (ring)". */
+    std::string label() const;
+};
+
+/** Result of one topology-graph simulation. */
+struct DistResult
+{
+    std::string topology;
+    std::string collective;
+    std::string label;
+    int workers = 0;
+    double computeUs = 0.0;     ///< per-GPU iteration compute
+    double commUs = 0.0;        ///< full CommPlan cost
+    double exposedCommUs = 0.0; ///< comm not hidden behind backward
+    double iterationUs = 0.0;
+    double throughputSamples = 0.0; ///< aggregate samples/s
+    double scalingEfficiency = 0.0; ///< vs workers x single-GPU
+    double commShare = 0.0;         ///< exposedCommUs / iterationUs
+    double gradBytes = 0.0;         ///< payload after compression
+    std::string busiestEdge;        ///< most-loaded link in the plan
+};
+
+/**
+ * Simulate data-parallel training on a topology graph.
+ * @param model       Benchmark model (full replica per worker).
+ * @param framework   Framework running each replica.
+ * @param gpu         GPU type of every worker.
+ * @param perGpuBatch Mini-batch slice per worker.
+ * @param config      Cluster shape, scale and collective.
+ * @param singleGpu   Optional precomputed single-GPU result for this
+ *                    (model, framework, gpu, batch); sweeps pass it so
+ *                    costing a cell is cheap and the perf simulator
+ *                    runs once per model instead of once per cell.
+ */
+DistResult simulateDistributed(const models::ModelDesc &model,
+                               frameworks::FrameworkId framework,
+                               const gpusim::GpuSpec &gpu,
+                               std::int64_t perGpuBatch,
+                               const DistConfig &config,
+                               const perf::RunResult *singleGpu = nullptr);
+
+} // namespace tbd::dist
+
+#endif // TBD_DIST_DISTRIBUTED_H

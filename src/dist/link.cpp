@@ -5,6 +5,35 @@
 
 namespace tbd::dist {
 
+namespace {
+
+/** One catalog row: lookup slug + the spec it resolves to. */
+struct CatalogRow
+{
+    const char *slug;
+    LinkSpec spec;
+};
+
+/**
+ * The link catalog. Bandwidths are effective payload rates (what a
+ * gradient tensor actually achieves, below line rate), calibrated so
+ * the paper-cluster shapes reproduce Fig. 10.
+ */
+const std::vector<CatalogRow> &
+catalog()
+{
+    static const std::vector<CatalogRow> rows = {
+        {"pcie3-x16", {"PCIe 3.0 x16", 13.0, 5.0}},
+        {"1gbe", {"1 GbE", 0.117, 50.0}},
+        {"infiniband-100g", {"InfiniBand 100Gb/s", 11.0, 2.0}},
+        {"nvlink2", {"NVLink 2.0", 44.0, 1.0}},
+        {"25gbe", {"25 GbE", 2.9, 20.0}},
+    };
+    return rows;
+}
+
+} // namespace
+
 double
 LinkSpec::transferUs(double bytes) const
 {
@@ -22,24 +51,58 @@ LinkSpec::transferUs(double bytes) const
     return us;
 }
 
+std::optional<LinkSpec>
+findLink(const std::string &name)
+{
+    for (const auto &row : catalog()) {
+        if (name == row.slug)
+            return row.spec;
+    }
+    return std::nullopt;
+}
+
+std::vector<std::string>
+linkNames()
+{
+    std::vector<std::string> names;
+    names.reserve(catalog().size());
+    for (const auto &row : catalog())
+        names.push_back(row.slug);
+    return names;
+}
+
 const LinkSpec &
 pcie3x16()
 {
-    static const LinkSpec link{"PCIe 3.0 x16", 13.0, 5.0};
+    static const LinkSpec link = *findLink("pcie3-x16");
     return link;
 }
 
 const LinkSpec &
 ethernet1G()
 {
-    static const LinkSpec link{"1 GbE", 0.117, 50.0};
+    static const LinkSpec link = *findLink("1gbe");
     return link;
 }
 
 const LinkSpec &
 infiniband100G()
 {
-    static const LinkSpec link{"InfiniBand 100Gb/s", 11.0, 2.0};
+    static const LinkSpec link = *findLink("infiniband-100g");
+    return link;
+}
+
+const LinkSpec &
+nvlink2()
+{
+    static const LinkSpec link = *findLink("nvlink2");
+    return link;
+}
+
+const LinkSpec &
+ethernet25G()
+{
+    static const LinkSpec link = *findLink("25gbe");
     return link;
 }
 

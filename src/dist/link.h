@@ -1,40 +1,75 @@
 /**
  * @file
- * Interconnect models for distributed training (Section 4.5): the
- * links the paper's cluster exposes — PCIe 3.0 x16 within a machine,
- * Ethernet and 100 Gb/s InfiniBand between machines.
+ * Interconnect models for distributed training (Section 4.5 and the
+ * topology-graph extension): the links the paper's cluster exposes —
+ * PCIe 3.0 x16 within a machine, Ethernet and 100 Gb/s InfiniBand
+ * between machines — plus NVLink for the island-shaped clusters the
+ * scaling sweeps explore.
+ *
+ * Links are registry-backed: `findLink(name)` resolves a catalog name
+ * ("pcie3-x16", "1gbe", "infiniband-100g", "nvlink2", "25gbe") to its
+ * LinkSpec, returning nullopt for an unknown name so callers can
+ * attach their own error (core::SweepSpec throws UnknownNameError
+ * with an edit-distance suggestion). The historical free functions
+ * (`pcie3x16()` et al.) remain as thin shims over the registry.
  */
 
 #ifndef TBD_DIST_LINK_H
 #define TBD_DIST_LINK_H
 
+#include <optional>
 #include <string>
+#include <vector>
 
 namespace tbd::dist {
 
-/** A bidirectional communication link. */
+/** A bidirectional (full-duplex) communication link. */
 struct LinkSpec
 {
     std::string name;
-    double bandwidthGBs = 0.0; ///< effective payload bandwidth
+    double bandwidthGBs = 0.0; ///< effective payload bandwidth per direction
     double latencyUs = 0.0;    ///< per-transfer latency
 
     /** Time to move `bytes` across the link, in microseconds. */
     double transferUs(double bytes) const;
 };
 
-/** PCIe 3.0 x16 effective bandwidth (intra-machine GPU links). */
+/**
+ * Resolve a catalog link by name; nullopt when unknown. Catalog names
+ * are stable lowercase slugs (see linkNames()).
+ */
+std::optional<LinkSpec> findLink(const std::string &name);
+
+/** Names findLink accepts, in catalog order. */
+std::vector<std::string> linkNames();
+
+/**
+ * PCIe 3.0 x16 effective bandwidth (intra-machine GPU links).
+ * @deprecated Thin wrapper over findLink("pcie3-x16"); new code
+ *             should use the registry (or a topology builder, which
+ *             names links per edge).
+ */
 const LinkSpec &pcie3x16();
 
 /**
  * Gigabit Ethernet. The paper's "2 machines (ethernet)" configuration
  * degrades below single-GPU throughput (Observation 13) — the
  * signature of gradient exchange over a ~1 Gb/s path.
+ * @deprecated Thin wrapper over findLink("1gbe").
  */
 const LinkSpec &ethernet1G();
 
-/** 100 Gb/s InfiniBand (Mellanox) — the paper's fast fabric. */
+/**
+ * 100 Gb/s InfiniBand (Mellanox) — the paper's fast fabric.
+ * @deprecated Thin wrapper over findLink("infiniband-100g").
+ */
 const LinkSpec &infiniband100G();
+
+/** NVLink 2.0, one link pair (intra-island GPU-to-GPU). */
+const LinkSpec &nvlink2();
+
+/** 25 Gb/s datacenter Ethernet (commodity cloud fabric). */
+const LinkSpec &ethernet25G();
 
 } // namespace tbd::dist
 

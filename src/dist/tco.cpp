@@ -1,0 +1,54 @@
+#include "dist/tco.h"
+
+#include <limits>
+
+#include "util/logging.h"
+
+namespace tbd::dist {
+
+double
+clusterUsdPerHour(const TopologySpec &spec, int workers)
+{
+    TBD_CHECK(workers >= 1, "pricing needs a positive worker count");
+    TBD_CHECK(spec.build != nullptr, "topology ", spec.name,
+              " has no builder to price");
+    const Topology topo = spec.build(workers);
+    return workers * spec.gpuHourUsd +
+           static_cast<double>(topo.hosts().size()) * spec.hostHourUsd;
+}
+
+TcoPoint
+priceResult(const TopologySpec &spec, const DistResult &result)
+{
+    TcoPoint point;
+    point.result = result;
+    point.usdPerHour = clusterUsdPerHour(spec, result.workers);
+    // samples/hour = throughput * 3600; $/Msamples follows. A stalled
+    // cell (zero throughput) prices as infinity so it never wins.
+    const double samples_per_hour =
+        result.throughputSamples * 3600.0;
+    point.usdPerMSamples =
+        samples_per_hour > 0.0
+            ? point.usdPerHour / samples_per_hour * 1e6
+            : std::numeric_limits<double>::infinity();
+    return point;
+}
+
+std::optional<TcoPoint>
+cheapestAtTarget(const std::vector<TcoPoint> &points,
+                 double targetSamplesPerSec)
+{
+    std::optional<TcoPoint> best;
+    for (const auto &p : points) {
+        if (p.result.throughputSamples < targetSamplesPerSec)
+            continue;
+        if (!best || p.usdPerHour < best->usdPerHour ||
+            (p.usdPerHour == best->usdPerHour &&
+             p.result.throughputSamples >
+                 best->result.throughputSamples))
+            best = p;
+    }
+    return best;
+}
+
+} // namespace tbd::dist

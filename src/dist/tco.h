@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Total-cost-of-ownership layer over the distributed simulator
+ * (following the TCO framing of the end-to-end distributed-training
+ * survey): every TopologySpec carries $/GPU-hour and $/host-hour
+ * prices, a simulated cell yields samples/s, and the quotient answers
+ * the planner's question — "what is the cheapest configuration that
+ * sustains N samples/s?"
+ */
+
+#ifndef TBD_DIST_TCO_H
+#define TBD_DIST_TCO_H
+
+#include <optional>
+#include <vector>
+
+#include "dist/distributed.h"
+
+namespace tbd::dist {
+
+/** Price + throughput of one simulated cell. */
+struct TcoPoint
+{
+    DistResult result;
+    double usdPerHour = 0.0;  ///< cluster rental price
+    double usdPerMSamples = 0.0; ///< $ per million training samples
+};
+
+/**
+ * Cluster rental price for `workers` GPUs on `spec`'s fabric:
+ * workers x gpuHourUsd plus one hostHourUsd per host in the built
+ * graph (many-small-machines shapes pay for their NICs).
+ */
+double clusterUsdPerHour(const TopologySpec &spec, int workers);
+
+/** Attach prices to a simulated cell. */
+TcoPoint priceResult(const TopologySpec &spec, const DistResult &result);
+
+/**
+ * Cheapest point sustaining at least `targetSamplesPerSec`, by
+ * $/hour (ties broken by higher throughput, then input order);
+ * nullopt when no point reaches the target.
+ */
+std::optional<TcoPoint>
+cheapestAtTarget(const std::vector<TcoPoint> &points,
+                 double targetSamplesPerSec);
+
+} // namespace tbd::dist
+
+#endif // TBD_DIST_TCO_H

@@ -1,0 +1,484 @@
+#include "dist/topology.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/obs.h"
+#include "util/logging.h"
+
+namespace tbd::dist {
+
+namespace {
+
+/**
+ * Routing weight of one edge: its latency plus the time a 1 MiB
+ * reference payload needs. The payload term makes Dijkstra prefer a
+ * fat NVLink hop over a thin PCIe one even when latencies tie.
+ */
+double
+edgeWeight(const TopoEdge &edge)
+{
+    TBD_CHECK(edge.link.bandwidthGBs > 0.0, "edge ", edge.link.name,
+              " has no bandwidth");
+    constexpr double kRefBytes = 1024.0 * 1024.0;
+    return edge.link.latencyUs +
+           kRefBytes / (edge.link.bandwidthGBs * 1e9) * 1e6;
+}
+
+} // namespace
+
+const char *
+nodeKindName(NodeKind kind)
+{
+    switch (kind) {
+      case NodeKind::Gpu:
+        return "gpu";
+      case NodeKind::Host:
+        return "host";
+      case NodeKind::Switch:
+        return "switch";
+    }
+    return "?";
+}
+
+int
+Topology::addNode(std::string name, NodeKind kind, int host)
+{
+    TBD_CHECK(host < static_cast<int>(nodes_.size()),
+              "host index out of range for node ", name);
+    const int index = static_cast<int>(nodes_.size());
+    nodes_.push_back({std::move(name), kind, host});
+    adjacency_.emplace_back();
+    if (kind == NodeKind::Gpu)
+        gpus_.push_back(index);
+    else if (kind == NodeKind::Host)
+        hosts_.push_back(index);
+    return index;
+}
+
+void
+Topology::addEdge(int a, int b, LinkSpec link)
+{
+    TBD_CHECK(a >= 0 && a < static_cast<int>(nodes_.size()) && b >= 0 &&
+                  b < static_cast<int>(nodes_.size()) && a != b,
+              "edge endpoints out of range in topology ", name_);
+    const int index = static_cast<int>(edges_.size());
+    edges_.push_back({a, b, std::move(link)});
+    adjacency_[a].push_back(index);
+    adjacency_[b].push_back(index);
+}
+
+std::vector<std::vector<int>>
+Topology::islandsByHost() const
+{
+    std::vector<std::vector<int>> islands;
+    std::vector<int> island_of_host(nodes_.size(), -1);
+    for (std::size_t rank = 0; rank < gpus_.size(); ++rank) {
+        const int host = nodes_[gpus_[rank]].host;
+        if (host < 0) {
+            islands.push_back({static_cast<int>(rank)});
+            continue;
+        }
+        if (island_of_host[host] < 0) {
+            island_of_host[host] = static_cast<int>(islands.size());
+            islands.emplace_back();
+        }
+        islands[island_of_host[host]].push_back(
+            static_cast<int>(rank));
+    }
+    return islands;
+}
+
+bool
+Topology::connected() const
+{
+    if (nodes_.empty())
+        return false;
+    std::vector<bool> seen(nodes_.size(), false);
+    std::vector<int> stack = {0};
+    seen[0] = true;
+    std::size_t reached = 1;
+    while (!stack.empty()) {
+        const int node = stack.back();
+        stack.pop_back();
+        for (const int e : adjacency_[node]) {
+            const TopoEdge &edge = edges_[e];
+            const int next = edge.a == node ? edge.b : edge.a;
+            if (!seen[next]) {
+                seen[next] = true;
+                ++reached;
+                stack.push_back(next);
+            }
+        }
+    }
+    return reached == nodes_.size();
+}
+
+std::vector<int>
+Topology::route(int from, int to) const
+{
+    TBD_CHECK(from >= 0 && from < static_cast<int>(nodes_.size()) &&
+                  to >= 0 && to < static_cast<int>(nodes_.size()),
+              "route endpoints out of range in topology ", name_);
+    if (from == to)
+        return {};
+
+    // Dijkstra, O(V^2): cluster graphs are tens of nodes. Ties break
+    // on the lower node index so routes are deterministic.
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    std::vector<double> dist(nodes_.size(), kInf);
+    std::vector<int> via_edge(nodes_.size(), -1);
+    std::vector<bool> done(nodes_.size(), false);
+    dist[from] = 0.0;
+    for (;;) {
+        int node = -1;
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+            if (!done[i] && dist[i] < kInf &&
+                (node < 0 || dist[i] < dist[node]))
+                node = static_cast<int>(i);
+        }
+        if (node < 0 || node == to)
+            break;
+        done[node] = true;
+        for (const int e : adjacency_[node]) {
+            const TopoEdge &edge = edges_[e];
+            const int next = edge.a == node ? edge.b : edge.a;
+            const double candidate = dist[node] + edgeWeight(edge);
+            if (candidate < dist[next]) {
+                dist[next] = candidate;
+                via_edge[next] = e;
+            }
+        }
+    }
+    TBD_CHECK(dist[to] < kInf, "no path between ", nodes_[from].name,
+              " and ", nodes_[to].name, " in topology ", name_);
+
+    std::vector<int> path;
+    for (int node = to; node != from;) {
+        const int e = via_edge[node];
+        path.push_back(e);
+        node = edges_[e].a == node ? edges_[e].b : edges_[e].a;
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+double
+Topology::pathLatencyUs(int from, int to) const
+{
+    double us = 0.0;
+    for (const int e : route(from, to))
+        us += edges_[e].link.latencyUs;
+    return us;
+}
+
+double
+Topology::bottleneckGBs(int from, int to) const
+{
+    double gbs = std::numeric_limits<double>::infinity();
+    for (const int e : route(from, to))
+        gbs = std::min(gbs, edges_[e].link.bandwidthGBs);
+    return gbs;
+}
+
+double
+Topology::transferUs(int from, int to, double bytes) const
+{
+    if (from == to)
+        return 0.0;
+    const double gbs = bottleneckGBs(from, to);
+    return pathLatencyUs(from, to) + bytes / (gbs * 1e9) * 1e6;
+}
+
+namespace builders {
+
+Topology
+paperCluster(int machines, int gpusPerMachine, const LinkSpec &network,
+             const LinkSpec &intraNode)
+{
+    TBD_CHECK(machines >= 1 && gpusPerMachine >= 1,
+              "cluster must have at least one GPU");
+    Topology topo(std::to_string(machines) + "M" +
+                  std::to_string(gpusPerMachine) + "G");
+    const int net_switch =
+        machines > 1 ? topo.addNode("netswitch", NodeKind::Switch) : -1;
+    for (int m = 0; m < machines; ++m) {
+        const int host =
+            topo.addNode("host" + std::to_string(m), NodeKind::Host);
+        if (net_switch >= 0)
+            topo.addEdge(host, net_switch, network);
+        // One shared PCIe segment per machine: the root complex every
+        // local GPU contends on (what serializes local PS traffic).
+        for (int g = 0; g < gpusPerMachine; ++g) {
+            const int gpu = topo.addNode("gpu" + std::to_string(m) +
+                                             "." + std::to_string(g),
+                                         NodeKind::Gpu, host);
+            topo.addEdge(gpu, host, intraNode);
+        }
+    }
+    return topo;
+}
+
+Topology
+nvlinkIsland(int workers, int gpusPerIsland)
+{
+    TBD_CHECK(workers >= 1 && gpusPerIsland >= 1,
+              "nvlink island needs positive workers and island size");
+    Topology topo("nvlink-island");
+    const int islands =
+        (workers + gpusPerIsland - 1) / gpusPerIsland;
+    const int net_switch =
+        islands > 1 ? topo.addNode("ibswitch", NodeKind::Switch) : -1;
+    int remaining = workers;
+    for (int m = 0; m < islands; ++m) {
+        const int host =
+            topo.addNode("host" + std::to_string(m), NodeKind::Host);
+        if (net_switch >= 0)
+            topo.addEdge(host, net_switch, infiniband100G());
+        const int local = std::min(remaining, gpusPerIsland);
+        std::vector<int> local_gpus;
+        for (int g = 0; g < local; ++g) {
+            const int gpu = topo.addNode("gpu" + std::to_string(m) +
+                                             "." + std::to_string(g),
+                                         NodeKind::Gpu, host);
+            topo.addEdge(gpu, host, pcie3x16());
+            // NVLink clique within the island: direct GPU-GPU lanes.
+            for (const int peer : local_gpus)
+                topo.addEdge(gpu, peer, nvlink2());
+            local_gpus.push_back(gpu);
+        }
+        remaining -= local;
+    }
+    return topo;
+}
+
+Topology
+fatTree(int workers, const LinkSpec &leafLink, int gpusPerHost,
+        int hostsPerLeaf)
+{
+    TBD_CHECK(workers >= 1 && gpusPerHost >= 1 && hostsPerLeaf >= 1,
+              "fat tree needs positive workers and fan-outs");
+    Topology topo("fat-tree");
+    const int hosts = (workers + gpusPerHost - 1) / gpusPerHost;
+    const int leaves = (hosts + hostsPerLeaf - 1) / hostsPerLeaf;
+    // Spine uplinks carry a leaf's aggregated traffic: double the
+    // edge bandwidth so the tree is (modestly) fat, halve nothing
+    // else.
+    LinkSpec uplink = leafLink;
+    uplink.name = leafLink.name + " x2 uplink";
+    uplink.bandwidthGBs = leafLink.bandwidthGBs * 2.0;
+    const int spine =
+        leaves > 1 ? topo.addNode("spine", NodeKind::Switch) : -1;
+    int remaining = workers;
+    for (int l = 0; l < leaves; ++l) {
+        const int leaf =
+            topo.addNode("leaf" + std::to_string(l), NodeKind::Switch);
+        if (spine >= 0)
+            topo.addEdge(leaf, spine, uplink);
+        for (int h = 0; h < hostsPerLeaf && remaining > 0; ++h) {
+            const int host = topo.addNode("host" + std::to_string(l) +
+                                              "." + std::to_string(h),
+                                          NodeKind::Host);
+            topo.addEdge(host, leaf, leafLink);
+            const int local = std::min(remaining, gpusPerHost);
+            for (int g = 0; g < local; ++g) {
+                const int gpu = topo.addNode(
+                    "gpu" + std::to_string(l) + "." +
+                        std::to_string(h) + "." + std::to_string(g),
+                    NodeKind::Gpu, host);
+                topo.addEdge(gpu, host, pcie3x16());
+            }
+            remaining -= local;
+        }
+    }
+    return topo;
+}
+
+} // namespace builders
+
+namespace {
+
+/** Fatal unless `workers` matches a spec's declared shape. */
+void
+checkWorkers(const TopologySpec &spec, int workers)
+{
+    TBD_CHECK(workers >= 1, "topology ", spec.name,
+              " needs a positive worker count, got ", workers);
+    TBD_CHECK(spec.fixedWorkers == 0 || workers == spec.fixedWorkers,
+              "topology ", spec.name, " is pinned to ",
+              spec.fixedWorkers, " workers, got ", workers);
+}
+
+/** A paper-cluster spec pinned to one of Fig. 10's five shapes. */
+TopologySpec
+paperSpec(const std::string &name, const std::string &description,
+          int machines, int gpusPerMachine, const LinkSpec &network)
+{
+    TopologySpec spec;
+    spec.name = name;
+    spec.description = description;
+    spec.gpuHourUsd = 2.0;
+    spec.hostHourUsd = 0.6;
+    spec.fixedWorkers = machines * gpusPerMachine;
+    spec.build = [spec, machines, gpusPerMachine,
+                  network](int workers) {
+        checkWorkers(spec, workers);
+        return builders::paperCluster(machines, gpusPerMachine,
+                                      network);
+    };
+    return spec;
+}
+
+/** A flat cluster of `gpusPerHost`-GPU machines on one switch. */
+TopologySpec
+flatSpec(const std::string &name, const std::string &description,
+         const LinkSpec &network, double gpuHourUsd, double hostHourUsd,
+         int gpusPerHost = 4)
+{
+    TopologySpec spec;
+    spec.name = name;
+    spec.description = description;
+    spec.gpuHourUsd = gpuHourUsd;
+    spec.hostHourUsd = hostHourUsd;
+    spec.build = [spec, network, gpusPerHost](int workers) {
+        checkWorkers(spec, workers);
+        const int machines =
+            (workers + gpusPerHost - 1) / gpusPerHost;
+        // Trailing machine may be partial; paperCluster builds full
+        // machines, so build host-by-host here via the same shape.
+        if (workers % gpusPerHost == 0)
+            return builders::paperCluster(machines, gpusPerHost,
+                                          network);
+        Topology topo = builders::paperCluster(machines - 1 > 0
+                                                   ? machines - 1
+                                                   : 1,
+                                               gpusPerHost, network);
+        // Simplest correct shape for ragged counts: rebuild exactly.
+        Topology exact(spec.name);
+        const int net_switch =
+            machines > 1 ? exact.addNode("netswitch", NodeKind::Switch)
+                         : -1;
+        int remaining = workers;
+        for (int m = 0; m < machines; ++m) {
+            const int host = exact.addNode("host" + std::to_string(m),
+                                           NodeKind::Host);
+            if (net_switch >= 0)
+                exact.addEdge(host, net_switch, network);
+            const int local = std::min(remaining, gpusPerHost);
+            for (int g = 0; g < local; ++g) {
+                const int gpu = exact.addNode(
+                    "gpu" + std::to_string(m) + "." + std::to_string(g),
+                    NodeKind::Gpu, host);
+                exact.addEdge(gpu, host, pcie3x16());
+            }
+            remaining -= local;
+        }
+        return exact;
+    };
+    return spec;
+}
+
+std::vector<TopologySpec>
+builtinTopologies()
+{
+    std::vector<TopologySpec> specs;
+    specs.push_back(paperSpec(
+        "paper-1m1g", "the paper's single-GPU baseline machine", 1, 1,
+        infiniband100G()));
+    specs.push_back(paperSpec(
+        "paper-2m1g-eth",
+        "two paper machines over 1 GbE (the Fig. 10 collapse)", 2, 1,
+        ethernet1G()));
+    specs.push_back(paperSpec(
+        "paper-2m1g-ib",
+        "two paper machines over 100 Gb/s InfiniBand", 2, 1,
+        infiniband100G()));
+    specs.push_back(paperSpec(
+        "paper-1m2g", "one paper machine, two GPUs on shared PCIe", 1,
+        2, infiniband100G()));
+    specs.push_back(paperSpec(
+        "paper-1m4g", "one paper machine, four GPUs on shared PCIe", 1,
+        4, infiniband100G()));
+    specs.push_back(flatSpec(
+        "ethernet-flat",
+        "commodity 4-GPU machines on a 1 GbE switch (cheapest fabric)",
+        ethernet1G(), 1.5, 0.4));
+    specs.push_back(flatSpec(
+        "infiniband-flat",
+        "4-GPU machines on a 100 Gb/s InfiniBand switch",
+        infiniband100G(), 2.2, 0.8));
+    {
+        TopologySpec spec;
+        spec.name = "nvlink-island";
+        spec.description = "8-GPU NVLink-clique islands joined by "
+                           "InfiniBand (DGX-style)";
+        spec.gpuHourUsd = 3.4;
+        spec.hostHourUsd = 1.2;
+        spec.build = [spec](int workers) {
+            checkWorkers(spec, workers);
+            return builders::nvlinkIsland(workers);
+        };
+        specs.push_back(std::move(spec));
+    }
+    {
+        TopologySpec spec;
+        spec.name = "fat-tree";
+        spec.description = "two-level InfiniBand fat tree of 4-GPU "
+                           "hosts (4 hosts/leaf, x2 uplinks)";
+        spec.gpuHourUsd = 2.5;
+        spec.hostHourUsd = 0.9;
+        spec.build = [spec](int workers) {
+            checkWorkers(spec, workers);
+            return builders::fatTree(workers, infiniband100G());
+        };
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+/** The process-wide registry: builtins plus registered extras. */
+std::vector<TopologySpec> &
+registry()
+{
+    static std::vector<TopologySpec> *specs =
+        new std::vector<TopologySpec>(builtinTopologies());
+    return *specs;
+}
+
+} // namespace
+
+std::optional<TopologySpec>
+findTopology(const std::string &name)
+{
+    for (const auto &spec : registry()) {
+        if (spec.name == name)
+            return spec;
+    }
+    return std::nullopt;
+}
+
+std::vector<std::string>
+topologyNames()
+{
+    std::vector<std::string> names;
+    names.reserve(registry().size());
+    for (const auto &spec : registry())
+        names.push_back(spec.name);
+    return names;
+}
+
+void
+registerTopology(TopologySpec spec)
+{
+    TBD_CHECK(!spec.name.empty() && spec.build != nullptr,
+              "a topology spec needs a name and a builder");
+    for (auto &existing : registry()) {
+        if (existing.name == spec.name) {
+            existing = std::move(spec);
+            return;
+        }
+    }
+    registry().push_back(std::move(spec));
+}
+
+} // namespace tbd::dist

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Cluster topology graphs for the distributed simulator. A Topology is
+ * a small undirected graph — nodes are GPUs, host CPUs and switches,
+ * edges carry a LinkSpec (full-duplex latency + per-direction
+ * bandwidth) — and transfers are costed by *routing over the graph*
+ * rather than by charging a single representative link, which is what
+ * lets a parameter-server NIC serialize while NVLink-island traffic
+ * stays local.
+ *
+ * Topologies come from a registry of named, parameterized builders
+ * (`findTopology(name)` → optional TopologySpec, the same
+ * optional-plus-suggestion facade pattern core:: uses for frameworks
+ * and GPUs): the paper's PCIe/InfiniBand cluster plus NVLink-island
+ * and fat-tree shapes, each annotated with a $/GPU-hour figure the
+ * TCO layer consumes. `registerTopology` lets harnesses add bespoke
+ * shapes (the interconnect ablation registers one per swept
+ * bandwidth).
+ */
+
+#ifndef TBD_DIST_TOPOLOGY_H
+#define TBD_DIST_TOPOLOGY_H
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/link.h"
+
+namespace tbd::dist {
+
+/** What a topology node models. */
+enum class NodeKind
+{
+    Gpu,   ///< a worker accelerator
+    Host,  ///< a machine's CPU/root complex (PCIe attach point, NIC)
+    Switch ///< a network switch (no compute)
+};
+
+/** Display name of a node kind. */
+const char *nodeKindName(NodeKind kind);
+
+/** One node of a cluster graph. */
+struct TopoNode
+{
+    std::string name;
+    NodeKind kind = NodeKind::Gpu;
+    /**
+     * Index of the host node this GPU is attached to (-1 for hosts,
+     * switches and free-floating nodes). Collectives use it to form
+     * intra-machine islands for hierarchical reduction.
+     */
+    int host = -1;
+};
+
+/** One undirected, full-duplex edge of a cluster graph. */
+struct TopoEdge
+{
+    int a = -1;
+    int b = -1;
+    LinkSpec link;
+};
+
+/** A cluster shape: the graph the communication model routes over. */
+class Topology
+{
+  public:
+    Topology() = default;
+    explicit Topology(std::string name) : name_(std::move(name)) {}
+
+    /** Add a node; returns its index. */
+    int addNode(std::string name, NodeKind kind, int host = -1);
+
+    /** Add an undirected edge; fatal on out-of-range endpoints. */
+    void addEdge(int a, int b, LinkSpec link);
+
+    const std::string &name() const { return name_; }
+    const std::vector<TopoNode> &nodes() const { return nodes_; }
+    const std::vector<TopoEdge> &edges() const { return edges_; }
+
+    /** GPU node indices, in insertion order (worker rank order). */
+    const std::vector<int> &gpus() const { return gpus_; }
+
+    /** Host node indices, in insertion order. */
+    const std::vector<int> &hosts() const { return hosts_; }
+
+    /**
+     * Worker ranks grouped into islands by owning host (rank order
+     * within each island, islands in host insertion order). GPUs with
+     * no host each form a singleton island.
+     */
+    std::vector<std::vector<int>> islandsByHost() const;
+
+    /** True when every node can reach every other node. */
+    bool connected() const;
+
+    /**
+     * Edge indices of the cheapest path between two nodes, by
+     * latency + time for a 1 MiB payload (deterministic tie-break on
+     * node index). Fatal when no path exists.
+     */
+    std::vector<int> route(int from, int to) const;
+
+    /** Sum of edge latencies along route(from, to). */
+    double pathLatencyUs(int from, int to) const;
+
+    /** Bottleneck (minimum) bandwidth along route(from, to), GB/s. */
+    double bottleneckGBs(int from, int to) const;
+
+    /**
+     * Time for one uncontended transfer of `bytes` from `from` to
+     * `to`: path latency plus bytes over the bottleneck bandwidth.
+     */
+    double transferUs(int from, int to, double bytes) const;
+
+  private:
+    std::string name_;
+    std::vector<TopoNode> nodes_;
+    std::vector<TopoEdge> edges_;
+    std::vector<int> gpus_;
+    std::vector<int> hosts_;
+    std::vector<std::vector<int>> adjacency_; ///< node -> edge indices
+};
+
+/** One registered cluster shape, parameterized by worker count. */
+struct TopologySpec
+{
+    std::string name;        ///< registry slug, e.g. "nvlink-island"
+    std::string description; ///< one-line docs (DESIGN.md §15 table)
+
+    /**
+     * Cluster price for the TCO layer: what one worker-hour costs on
+     * this fabric ($/GPU-hour, GPU + its host share), and a fixed
+     * per-host premium ($/host-hour) that makes many-small-machines
+     * shapes pay for their NICs.
+     */
+    double gpuHourUsd = 0.0;
+    double hostHourUsd = 0.0;
+
+    /**
+     * Worker count this shape is pinned to (the paper's fixed
+     * clusters); 0 = buildable at any positive worker count.
+     */
+    int fixedWorkers = 0;
+
+    /**
+     * Build the graph for `workers` GPUs. Fatal when workers is
+     * non-positive or conflicts with fixedWorkers.
+     */
+    std::function<Topology(int workers)> build;
+};
+
+/**
+ * Resolve a registered topology by name; nullopt when unknown.
+ * Callers that want a throwing lookup with an edit-distance
+ * suggestion go through core::SweepSpec / core::toDistConfig, which
+ * raise UnknownNameError over topologyNames().
+ */
+std::optional<TopologySpec> findTopology(const std::string &name);
+
+/** Names findTopology accepts, builtins first, in registry order. */
+std::vector<std::string> topologyNames();
+
+/**
+ * Register (or replace, matching by name) a topology. Harnesses use
+ * this for bespoke swept shapes; registration is process-wide and not
+ * thread-safe — do it before fanning work out.
+ */
+void registerTopology(TopologySpec spec);
+
+namespace builders {
+
+/**
+ * The paper's cluster shape: `machines` hosts of `gpusPerMachine`
+ * GPUs each, every GPU on a shared PCIe segment to its host, hosts
+ * star-wired to one network switch. With one machine the network
+ * tier is omitted.
+ */
+Topology paperCluster(int machines, int gpusPerMachine,
+                      const LinkSpec &network,
+                      const LinkSpec &intraNode = pcie3x16());
+
+/**
+ * NVLink islands: machines of `gpusPerIsland` GPUs in an all-to-all
+ * NVLink clique (plus PCIe to the host for H2D), islands joined by an
+ * InfiniBand switch.
+ */
+Topology nvlinkIsland(int workers, int gpusPerIsland = 8);
+
+/**
+ * Two-level fat tree: hosts of 4 GPUs on leaf switches (4 hosts per
+ * leaf), leaves star-wired to a spine with double-bandwidth uplinks.
+ */
+Topology fatTree(int workers, const LinkSpec &leafLink,
+                 int gpusPerHost = 4, int hostsPerLeaf = 4);
+
+} // namespace builders
+
+} // namespace tbd::dist
+
+#endif // TBD_DIST_TOPOLOGY_H

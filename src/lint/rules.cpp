@@ -14,6 +14,8 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "dist/collective.h"
+#include "dist/topology.h"
 #include "gpusim/intern.h"
 #include "gpusim/kernel.h"
 #include "gpusim/kernel_catalog.h"
@@ -672,6 +674,151 @@ ruleFrameworkProfile(const LintContext &ctx, Sink &sink)
     }
 }
 
+// --- dist rules ----------------------------------------------------------
+
+/** Worker count a registered topology is checked at: its pinned count
+ *  for fixed shapes, a mid-sweep 8 for scalable ones. */
+int
+probeWorkers(const dist::TopologySpec &spec)
+{
+    return spec.fixedWorkers > 0 ? spec.fixedWorkers : 8;
+}
+
+void
+ruleDistTopologyGraph(const LintContext &, Sink &sink)
+{
+    // Registry-wide like intern.collision: the topology registry is
+    // process-global state, independent of the lint context's models.
+    for (const auto &name : dist::topologyNames()) {
+        const auto spec = dist::findTopology(name);
+        if (!spec || !spec->build) {
+            sink.emit(name, "registered topology has no builder");
+            continue;
+        }
+        const dist::Topology topo = spec->build(probeWorkers(*spec));
+        if (topo.nodes().empty()) {
+            sink.emit(name, "topology builds an empty graph");
+            continue;
+        }
+        if (!topo.connected())
+            sink.emit(name,
+                      "topology graph is not connected: some workers "
+                      "can never exchange gradients");
+        for (const auto &edge : topo.edges()) {
+            if (!(edge.link.bandwidthGBs > 0.0))
+                sink.emit(name + ":" + edge.link.name,
+                          "edge has non-positive bandwidth " +
+                              num(edge.link.bandwidthGBs) + " GB/s");
+            if (!(edge.link.latencyUs > 0.0))
+                sink.emit(name + ":" + edge.link.name,
+                          "edge has non-positive latency " +
+                              num(edge.link.latencyUs) + " us");
+        }
+        // Host attribution must partition the workers: hierarchical
+        // collectives build their islands from it.
+        std::size_t in_islands = 0;
+        for (const auto &island : topo.islandsByHost())
+            in_islands += island.size();
+        if (in_islands != topo.gpus().size())
+            sink.emit(name,
+                      "islandsByHost covers " +
+                          std::to_string(in_islands) + " of " +
+                          std::to_string(topo.gpus().size()) +
+                          " workers");
+    }
+}
+
+void
+ruleDistCollectiveRegistry(const LintContext &, Sink &sink)
+{
+    // Docs drift: the documented table (mirrored in DESIGN.md §15)
+    // and the live registry must list exactly the same collectives.
+    std::set<std::string> documented;
+    for (const auto &[name, summary] : dist::collectiveDocTable()) {
+        documented.insert(name);
+        if (!dist::findCollective(name))
+            sink.emit(name, "documented collective is not in the "
+                            "registry");
+        if (summary.empty())
+            sink.emit(name, "documented collective has an empty "
+                            "summary row");
+    }
+    for (const auto &name : dist::collectiveNames()) {
+        const auto spec = dist::findCollective(name);
+        if (!spec || !spec->plan) {
+            sink.emit(name, "registered collective has no plan "
+                            "builder");
+            continue;
+        }
+        if (spec->description.empty())
+            sink.emit(name, "registered collective has no "
+                            "description");
+    }
+    // Builtins must be documented; harness-registered extras (e.g. a
+    // swept experimental policy) are exempt, matching how bespoke
+    // topologies work.
+    for (const char *builtin :
+         {"parameter-server", "ring", "tree", "hierarchical"}) {
+        if (documented.find(builtin) == documented.end())
+            sink.emit(builtin, "builtin collective is missing from "
+                               "collectiveDocTable()");
+    }
+    // Closed-form tripwire: on a zero-contention uniform ring the
+    // costed ring plan must equal 2 * S * (n-1)/n / BW. A drifting
+    // cost model invalidates every scaling figure, so lint pins it.
+    const auto ring = dist::findCollective("ring");
+    if (ring && ring->plan) {
+        dist::Topology topo("lint-uniform");
+        constexpr int n = 4;
+        constexpr double bw = 10.0;     // GB/s
+        constexpr double bytes = 4e8;   // 100M FP32 params
+        dist::LinkSpec link{"lint-link", bw, /*latencyUs=*/0.0};
+        for (int i = 0; i < n; ++i)
+            topo.addNode("gpu" + std::to_string(i),
+                         dist::NodeKind::Gpu);
+        for (int i = 0; i < n; ++i)
+            topo.addEdge(i, (i + 1) % n, link);
+        const dist::CommCost cost =
+            dist::costPlan(topo, ring->plan(topo, bytes));
+        const double closed =
+            2.0 * bytes * (n - 1.0) / n / (bw * 1e9) * 1e6;
+        if (std::abs(cost.totalUs - closed) > 1e-9 * closed)
+            sink.emit("ring",
+                      "costed ring allreduce takes " +
+                          num(cost.totalUs) + "us on a uniform " +
+                          std::to_string(n) + "-ring, closed form "
+                          "2S(n-1)/n/BW gives " + num(closed) + "us");
+    }
+}
+
+void
+ruleDistClusterCell(const LintContext &, Sink &sink)
+{
+    // Statically-impossible cells: flag before any simulation runs.
+    for (const auto &name : dist::topologyNames()) {
+        const auto spec = dist::findTopology(name);
+        if (!spec || !spec->build)
+            continue; // dist.topology-graph owns this
+        if (spec->fixedWorkers < 0)
+            sink.emit(name, "negative fixedWorkers " +
+                                std::to_string(spec->fixedWorkers));
+        const int workers = probeWorkers(*spec);
+        const dist::Topology topo = spec->build(workers);
+        if (topo.gpus().empty())
+            sink.emit(name, "cluster cell has 0 GPUs: nothing to "
+                            "train on");
+        else if (static_cast<int>(topo.gpus().size()) != workers)
+            sink.emit(name,
+                      "builder produced " +
+                          std::to_string(topo.gpus().size()) +
+                          " GPUs for a " + std::to_string(workers) +
+                          "-worker request");
+        if (spec->gpuHourUsd < 0.0 || spec->hostHourUsd < 0.0)
+            sink.emit(name, "negative $/hour pricing (TCO layer "
+                            "would reward bigger clusters)");
+    }
+}
+
 } // namespace
 
 std::vector<std::string>
@@ -832,6 +979,25 @@ RuleRegistry::builtin()
                 "fix the profile constants in "
                 "frameworks/framework.cpp",
                 ruleFrameworkProfile});
+        r->add({"dist.topology-graph", Severity::Error, "dist",
+                "every registered topology builds a connected graph "
+                "with positive bandwidth and latency on every edge",
+                "fix the builder in dist/topology.cpp (or the "
+                "registerTopology call site)",
+                ruleDistTopologyGraph});
+        r->add({"dist.collective-registry", Severity::Error, "dist",
+                "collective registry and docs agree, and the ring "
+                "cost matches its closed form on a uniform ring",
+                "sync collectiveDocTable() with the registry, or fix "
+                "the costPlan contention model",
+                ruleDistCollectiveRegistry});
+        r->add({"dist.cluster-cell", Severity::Error, "dist",
+                "no registered cluster shape yields a statically-"
+                "impossible cell (0 GPUs, wrong worker count, "
+                "negative pricing)",
+                "fix the topology builder or its TopologySpec "
+                "constants",
+                ruleDistClusterCell});
         return r;
     }();
     return *registry;

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "core/suite.h"
+#include "core/sweep_spec.h"
+#include "models/model_desc.h"
+#include "util/logging.h"
+
+namespace tc = tbd::core;
+namespace td = tbd::dist;
+
+TEST(DistSweepSpec, DistAxesExpandInnermost)
+{
+    const auto cells = tc::SweepSpec()
+                           .model("ResNet-50")
+                           .framework("MXNet")
+                           .batches({32})
+                           .distTopologies({"ethernet-flat",
+                                            "infiniband-flat"})
+                           .distWorkers({8, 16})
+                           .distCollectives({"ring", "tree"})
+                           .requests();
+    // topology -> workers -> collective, inside the single-GPU axes.
+    ASSERT_EQ(cells.size(), 8u);
+    EXPECT_EQ(cells[0].distTopology, "ethernet-flat");
+    EXPECT_EQ(cells[0].distWorkers, 8);
+    EXPECT_EQ(cells[0].distCollective, "ring");
+    EXPECT_EQ(cells[1].distCollective, "tree");
+    EXPECT_EQ(cells[2].distWorkers, 16);
+    EXPECT_EQ(cells[4].distTopology, "infiniband-flat");
+    for (const auto &cell : cells) {
+        EXPECT_TRUE(cell.isDist());
+        EXPECT_EQ(cell.distCompression, 1.0);
+    }
+}
+
+TEST(DistSweepSpec, UnsetDistAxesDefault)
+{
+    // Setting only the worker axis fills topology/collective with
+    // their documented defaults.
+    const auto cells = tc::SweepSpec()
+                           .model("ResNet-50")
+                           .framework("MXNet")
+                           .batches({32})
+                           .distWorkers({8})
+                           .requests();
+    ASSERT_EQ(cells.size(), 1u);
+    EXPECT_EQ(cells[0].distTopology, "infiniband-flat");
+    EXPECT_EQ(cells[0].distCollective, "ring");
+    EXPECT_EQ(cells[0].distCompression, 1.0);
+}
+
+TEST(DistSweepSpec, NoDistAxesMeansPlainCells)
+{
+    const auto cells = tc::SweepSpec()
+                           .model("ResNet-50")
+                           .framework("MXNet")
+                           .batches({32})
+                           .requests();
+    ASSERT_EQ(cells.size(), 1u);
+    EXPECT_FALSE(cells[0].isDist());
+}
+
+TEST(DistSweepSpec, PinnedTopologyDropsMismatchedWorkerCounts)
+{
+    // paper-2m1g-ib is pinned to 2 workers: the 8/16 cells vanish the
+    // same way an unsupported framework cell does, while the scalable
+    // shape keeps every count.
+    const auto cells = tc::SweepSpec()
+                           .model("ResNet-50")
+                           .framework("MXNet")
+                           .batches({32})
+                           .distTopologies({"paper-2m1g-ib",
+                                            "infiniband-flat"})
+                           .distWorkers({2, 8, 16})
+                           .requests();
+    ASSERT_EQ(cells.size(), 4u);
+    EXPECT_EQ(cells[0].distTopology, "paper-2m1g-ib");
+    EXPECT_EQ(cells[0].distWorkers, 2);
+    for (std::size_t i = 1; i < cells.size(); ++i)
+        EXPECT_EQ(cells[i].distTopology, "infiniband-flat");
+}
+
+TEST(DistSweepSpec, CompressionAxisPropagates)
+{
+    const auto cells = tc::SweepSpec()
+                           .model("ResNet-50")
+                           .framework("MXNet")
+                           .batches({32})
+                           .distTopologies({"ethernet-flat"})
+                           .distWorkers({8})
+                           .distCompressions({1.0, 4.0, 32.0})
+                           .requests();
+    ASSERT_EQ(cells.size(), 3u);
+    EXPECT_EQ(cells[0].distCompression, 1.0);
+    EXPECT_EQ(cells[1].distCompression, 4.0);
+    EXPECT_EQ(cells[2].distCompression, 32.0);
+}
+
+TEST(DistSweepSpec, UnknownDistNamesThrowWithSuggestions)
+{
+    try {
+        (void)tc::SweepSpec()
+            .model("ResNet-50")
+            .distTopologies({"nvlink-islands"})
+            .distWorkers({8})
+            .requests();
+        FAIL() << "expected UnknownNameError";
+    } catch (const tc::UnknownNameError &e) {
+        EXPECT_EQ(e.kind(), "topology");
+        EXPECT_EQ(e.suggestion(), "nvlink-island");
+    }
+    try {
+        (void)tc::SweepSpec()
+            .model("ResNet-50")
+            .distCollectives({"rign"})
+            .distWorkers({8})
+            .requests();
+        FAIL() << "expected UnknownNameError";
+    } catch (const tc::UnknownNameError &e) {
+        EXPECT_EQ(e.kind(), "collective");
+        EXPECT_EQ(e.suggestion(), "ring");
+    }
+}
+
+TEST(DistSweep, ToDistConfigResolvesNames)
+{
+    tc::BenchmarkRequest request;
+    request.distTopology = "nvlink-island";
+    request.distCollective = "hierarchical";
+    request.distWorkers = 16;
+    request.distCompression = 4.0;
+    const td::DistConfig dc = tc::toDistConfig(request);
+    EXPECT_EQ(dc.topology.name, "nvlink-island");
+    EXPECT_EQ(dc.collective.name, "hierarchical");
+    EXPECT_EQ(dc.workers, 16);
+    EXPECT_EQ(dc.gradientCompression, 4.0);
+}
+
+TEST(DistSweep, ToDistConfigRejectsBadRequests)
+{
+    tc::BenchmarkRequest request;
+    request.distTopology = "fat-trie";
+    request.distWorkers = 8;
+    EXPECT_THROW((void)tc::toDistConfig(request),
+                 tc::UnknownNameError);
+
+    request.distTopology = "fat-tree";
+    request.distCompression = 0.5;
+    EXPECT_THROW((void)tc::toDistConfig(request),
+                 tbd::util::FatalError);
+
+    // A scalable topology with no worker count cannot be simulated.
+    request.distCompression = 1.0;
+    request.distWorkers = 0;
+    EXPECT_THROW((void)tc::toDistConfig(request),
+                 tbd::util::FatalError);
+}
+
+TEST(DistSweep, ToRunConfigRefusesDistRequests)
+{
+    tc::BenchmarkRequest request;
+    request.distWorkers = 8;
+    EXPECT_THROW((void)tc::toRunConfig(request),
+                 tbd::util::FatalError);
+}
+
+TEST(DistSweep, RunDistSweepReturnsCellsInRequestOrder)
+{
+    const tc::SweepSpec spec = tc::SweepSpec()
+                                   .model("ResNet-50")
+                                   .framework("MXNet")
+                                   .batches({32})
+                                   .distTopologies({"infiniband-flat"})
+                                   .distWorkers({8, 16, 32});
+    const auto results = tc::BenchmarkSuite::runDistSweep(spec);
+    ASSERT_EQ(results.size(), 3u);
+    int expected_workers = 8;
+    for (const auto &cell : results) {
+        ASSERT_TRUE(cell.has_value());
+        EXPECT_EQ(cell->workers, expected_workers);
+        EXPECT_EQ(cell->topology, "infiniband-flat");
+        EXPECT_GT(cell->throughputSamples, 0.0);
+        expected_workers *= 2;
+    }
+}
+
+TEST(DistSweep, RunDistSweepMatchesDirectSimulation)
+{
+    // The baseline-dedup fast path must not change any number.
+    tc::BenchmarkRequest request;
+    request.model = "ResNet-50";
+    request.framework = "MXNet";
+    request.batch = 32;
+    request.distTopology = "nvlink-island";
+    request.distCollective = "ring";
+    request.distWorkers = 16;
+    const auto swept = tc::BenchmarkSuite::runDistSweep({request});
+    ASSERT_EQ(swept.size(), 1u);
+    ASSERT_TRUE(swept[0].has_value());
+
+    const auto direct = td::simulateDistributed(
+        tbd::models::modelByName("ResNet-50"),
+        *tc::BenchmarkSuite::findFramework("MXNet"),
+        *tc::BenchmarkSuite::findGpu("Quadro P4000"), 32,
+        tc::toDistConfig(request));
+    EXPECT_EQ(swept[0]->iterationUs, direct.iterationUs);
+    EXPECT_EQ(swept[0]->commUs, direct.commUs);
+    EXPECT_EQ(swept[0]->throughputSamples, direct.throughputSamples);
+}

@@ -1,0 +1,236 @@
+#include "dist/collective.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dist/topology.h"
+
+using namespace tbd;
+using namespace tbd::dist;
+
+namespace {
+
+/** Uniform zero-latency ring of `n` GPUs at `gbs` GB/s per link. */
+Topology
+uniformRing(int n, double gbs)
+{
+    Topology topo("uniform-ring");
+    LinkSpec wire;
+    wire.name = "test-wire";
+    wire.bandwidthGBs = gbs;
+    wire.latencyUs = 0.0;
+    for (int i = 0; i < n; ++i)
+        topo.addNode("gpu" + std::to_string(i), NodeKind::Gpu);
+    for (int i = 0; i < n; ++i)
+        topo.addEdge(i, (i + 1) % n, wire);
+    return topo;
+}
+
+CommCost
+costOf(const char *collective, const Topology &topo, double bytes)
+{
+    const auto spec = findCollective(collective);
+    EXPECT_TRUE(spec.has_value()) << collective;
+    return costPlan(topo, spec->plan(topo, bytes));
+}
+
+} // namespace
+
+TEST(CollectiveProperty, RingMatchesClosedFormOnUniformRing)
+{
+    // On a zero-latency uniform ring the costed plan must reproduce
+    // the textbook ring all-reduce bound 2*S*(n-1)/n / BW exactly —
+    // this is the tripwire that pins the whole contention model.
+    for (int n : {2, 4, 8, 16}) {
+        const double gbs = 10.0;
+        const double bytes = 6.4e8;
+        const Topology topo = uniformRing(n, gbs);
+        const CommCost cost = costOf("ring", topo, bytes);
+        const double closed =
+            2.0 * bytes * (n - 1.0) / n / (gbs * 1e9) * 1e6;
+        EXPECT_NEAR(cost.totalUs, closed, 1e-9 * closed) << "n=" << n;
+    }
+}
+
+TEST(CollectiveProperty, RingStepAndByteCounts)
+{
+    const Topology topo = uniformRing(8, 10.0);
+    const auto plan = findCollective("ring")->plan(topo, 8e6);
+    // 2(n-1) steps; every step moves S/n per worker, so the plan as a
+    // whole moves 2(n-1)*S bytes.
+    EXPECT_EQ(plan.steps.size(), 14u);
+    for (const auto &step : plan.steps)
+        EXPECT_EQ(step.transfers.size(), 8u);
+    EXPECT_NEAR(plan.totalBytes(), 2.0 * 7.0 * 8e6, 1e-6);
+}
+
+TEST(CollectiveProperty, TreeUsesLogRounds)
+{
+    for (int n : {2, 5, 8, 16, 64}) {
+        const Topology topo =
+            builders::fatTree(n, infiniband100G());
+        const auto plan = findCollective("tree")->plan(topo, 1e6);
+        const auto rounds = static_cast<std::size_t>(
+            std::ceil(std::log2(static_cast<double>(n))));
+        EXPECT_EQ(plan.steps.size(), 2 * rounds) << "n=" << n;
+    }
+}
+
+TEST(CollectiveProperty, ParameterServerUsesTwoSteps)
+{
+    const Topology topo = builders::paperCluster(2, 4, ethernet1G());
+    const auto plan =
+        findCollective("parameter-server")->plan(topo, 1e6);
+    ASSERT_EQ(plan.steps.size(), 2u);
+    // Push from every non-server worker, then pull to every one.
+    EXPECT_EQ(plan.steps[0].transfers.size(), 7u);
+    EXPECT_EQ(plan.steps[1].transfers.size(), 7u);
+}
+
+TEST(CollectiveProperty, TreeBeatsRingAtSmallPayloads)
+{
+    // Latency-dominated regime: tree pays 2*ceil(log2 n) latency
+    // rounds versus the ring's 2(n-1).
+    const Topology topo = builders::fatTree(16, infiniband100G());
+    const double bytes = 1024.0;
+    const CommCost tree = costOf("tree", topo, bytes);
+    const CommCost ring = costOf("ring", topo, bytes);
+    EXPECT_LT(tree.totalUs, ring.totalUs);
+}
+
+TEST(CollectiveProperty, RingBeatsTreeAtLargePayloads)
+{
+    // Bandwidth-dominated regime: the ring moves S/n chunks, the tree
+    // moves the full payload every round.
+    const Topology topo = builders::fatTree(16, infiniband100G());
+    const double bytes = 4e8;
+    const CommCost tree = costOf("tree", topo, bytes);
+    const CommCost ring = costOf("ring", topo, bytes);
+    EXPECT_LT(ring.totalUs, tree.totalUs);
+}
+
+TEST(CollectiveProperty, HierarchicalNoWorseThanFlatRingOnTwoLevel)
+{
+    // Two machines of four GPUs over 1 GbE: the flat ring drags the
+    // full (n-1)/n payload across the slow network, the hierarchical
+    // policy only ships (k-1)/k of it between the two island leaders.
+    const Topology topo = builders::paperCluster(2, 4, ethernet1G());
+    const double bytes = 1e8;
+    const CommCost hier = costOf("hierarchical", topo, bytes);
+    const CommCost ring = costOf("ring", topo, bytes);
+    EXPECT_LE(hier.totalUs, ring.totalUs);
+    // And the gap is structural, not a rounding artifact.
+    EXPECT_LT(hier.totalUs, 0.75 * ring.totalUs);
+}
+
+TEST(CollectiveProperty, HierarchicalDegeneratesToRingOnOneIsland)
+{
+    // A single island has no inter-island tier; the policy must
+    // delegate to the flat ring rather than reduce to one GPU.
+    const Topology topo = builders::nvlinkIsland(8);
+    const double bytes = 1e7;
+    const CommCost hier = costOf("hierarchical", topo, bytes);
+    const CommCost ring = costOf("ring", topo, bytes);
+    EXPECT_DOUBLE_EQ(hier.totalUs, ring.totalUs);
+}
+
+TEST(CollectiveProperty, FullDuplexOppositeDirectionsDoNotContend)
+{
+    Topology topo("pair");
+    LinkSpec wire;
+    wire.name = "test-wire";
+    wire.bandwidthGBs = 10.0;
+    wire.latencyUs = 0.0;
+    const int a = topo.addNode("gpu0", NodeKind::Gpu);
+    const int b = topo.addNode("gpu1", NodeKind::Gpu);
+    topo.addEdge(a, b, wire);
+
+    const double bytes = 1e8;
+    CommPlan oneWay;
+    oneWay.collective = "test";
+    oneWay.steps.push_back({{{a, b, bytes}}});
+    CommPlan bothWays;
+    bothWays.collective = "test";
+    bothWays.steps.push_back({{{a, b, bytes}, {b, a, bytes}}});
+
+    // Full duplex: the reverse transfer rides the other direction of
+    // the same link, so the step is no slower.
+    EXPECT_DOUBLE_EQ(costPlan(topo, bothWays).totalUs,
+                     costPlan(topo, oneWay).totalUs);
+
+    // Two transfers in the SAME direction do serialize.
+    CommPlan sameWay;
+    sameWay.collective = "test";
+    sameWay.steps.push_back({{{a, b, bytes}, {a, b, bytes}}});
+    EXPECT_DOUBLE_EQ(costPlan(topo, sameWay).totalUs,
+                     2.0 * costPlan(topo, oneWay).totalUs);
+}
+
+TEST(CollectiveProperty, SingleGpuPlansAreEmpty)
+{
+    const Topology topo =
+        builders::paperCluster(1, 1, infiniband100G());
+    for (const auto &name : collectiveNames()) {
+        const auto plan = findCollective(name)->plan(topo, 1e6);
+        EXPECT_TRUE(plan.steps.empty()) << name;
+        const CommCost cost = costPlan(topo, plan);
+        EXPECT_EQ(cost.totalUs, 0.0) << name;
+        EXPECT_TRUE(cost.busiestEdge.empty()) << name;
+    }
+}
+
+TEST(CollectiveProperty, CompressionScalesRingCostLinearly)
+{
+    // Zero-latency ring: halving the payload halves the plan cost —
+    // the gradient-compression ablation depends on this linearity.
+    const Topology topo = uniformRing(8, 10.0);
+    const double full = costOf("ring", topo, 4e8).totalUs;
+    const double half = costOf("ring", topo, 2e8).totalUs;
+    EXPECT_NEAR(half, full / 2.0, 1e-9 * full);
+}
+
+TEST(CollectiveRegistry, BuiltinsResolveAndAreDocumented)
+{
+    const std::set<std::string> expected = {
+        "parameter-server", "ring", "tree", "hierarchical"};
+    for (const auto &name : expected) {
+        const auto spec = findCollective(name);
+        ASSERT_TRUE(spec.has_value()) << name;
+        EXPECT_EQ(spec->name, name);
+        EXPECT_FALSE(spec->description.empty()) << name;
+        EXPECT_TRUE(static_cast<bool>(spec->plan)) << name;
+    }
+    EXPECT_FALSE(findCollective("all-gather").has_value());
+
+    // Every doc-table row must name a registered collective, and every
+    // builtin must appear in the table (tbd::lint enforces the same).
+    std::set<std::string> documented;
+    for (const auto &[name, summary] : collectiveDocTable()) {
+        EXPECT_TRUE(findCollective(name).has_value()) << name;
+        EXPECT_FALSE(summary.empty()) << name;
+        documented.insert(name);
+    }
+    for (const auto &name : expected)
+        EXPECT_TRUE(documented.count(name)) << name;
+}
+
+TEST(CollectiveRegistry, RegisterReplacesByName)
+{
+    CollectiveSpec spec;
+    spec.name = "test-collective";
+    spec.description = "registered by the collective test";
+    spec.plan = [](const Topology &, double) { return CommPlan{}; };
+    registerCollective(spec);
+    ASSERT_TRUE(findCollective("test-collective").has_value());
+
+    spec.description = "replaced";
+    registerCollective(spec);
+    EXPECT_EQ(findCollective("test-collective")->description,
+              "replaced");
+    int hits = 0;
+    for (const auto &name : collectiveNames())
+        hits += name == "test-collective" ? 1 : 0;
+    EXPECT_EQ(hits, 1);
+}

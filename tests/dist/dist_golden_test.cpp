@@ -1,0 +1,64 @@
+#include "check/dist_golden.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#ifndef TBD_GOLDEN_DIR
+#error "TBD_GOLDEN_DIR must point at tests/golden"
+#endif
+
+using namespace tbd;
+
+TEST(DistGolden, CommittedCellsMatchLiveCapture)
+{
+    // The regression gate: the two pinned scaling cells, recomputed
+    // from scratch, must match the committed JSON byte-for-meaning.
+    const auto records = check::captureDistGoldens();
+    ASSERT_EQ(records.size(), 2u);
+    for (const auto &actual : records) {
+        const std::string path = std::string(TBD_GOLDEN_DIR) + "/" +
+                                 check::distGoldenFileName(actual);
+        const check::DistGoldenRecord expected =
+            check::readDistGoldenFile(path);
+        const check::GoldenDiff diff =
+            check::compareDistGolden(expected, actual);
+        EXPECT_TRUE(diff.ok())
+            << path << "\n"
+            << diff.summary()
+            << "intentional change? run: tbd_golden dist-rebaseline";
+    }
+}
+
+TEST(DistGolden, CellsCoverBothCommittedShapes)
+{
+    const auto records = check::captureDistGoldens();
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].topology, "nvlink-island");
+    EXPECT_EQ(records[0].collective, "hierarchical");
+    EXPECT_EQ(records[0].workers, 8);
+    EXPECT_EQ(records[1].topology, "fat-tree");
+    EXPECT_EQ(records[1].collective, "ring");
+    EXPECT_EQ(records[1].workers, 64);
+}
+
+TEST(DistGolden, JsonRoundTripIsLossless)
+{
+    for (const auto &record : check::captureDistGoldens()) {
+        const check::DistGoldenRecord back =
+            check::distGoldenFromJson(check::distGoldenToJson(record));
+        const check::GoldenDiff diff =
+            check::compareDistGolden(record, back);
+        EXPECT_TRUE(diff.ok()) << diff.summary();
+    }
+}
+
+TEST(DistGolden, FileNamesEncodeShapeAndScale)
+{
+    const auto records = check::captureDistGoldens();
+    EXPECT_EQ(check::distGoldenFileName(records[0]),
+              "dist_nvlink-island_x8.json");
+    EXPECT_EQ(check::distGoldenFileName(records[1]),
+              "dist_fat-tree_x64.json");
+}

@@ -1,0 +1,110 @@
+#include "dist/tco.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "models/model_desc.h"
+
+namespace td = tbd::dist;
+namespace md = tbd::models;
+namespace tf = tbd::frameworks;
+namespace tg = tbd::gpusim;
+
+namespace {
+
+td::DistResult
+simulate(const char *topology, const char *collective, int workers)
+{
+    td::DistConfig dc;
+    dc.topology = *td::findTopology(topology);
+    dc.collective = *td::findCollective(collective);
+    dc.workers = workers;
+    return td::simulateDistributed(md::resnet50(),
+                                   tf::FrameworkId::MXNet,
+                                   tg::quadroP4000(), 32, dc);
+}
+
+} // namespace
+
+TEST(Tco, ClusterPriceCountsGpusAndHosts)
+{
+    // infiniband-flat packs 4 GPUs per host: 8 workers rent 8 GPU
+    // shares plus 2 host premiums.
+    const auto spec = *td::findTopology("infiniband-flat");
+    EXPECT_DOUBLE_EQ(td::clusterUsdPerHour(spec, 8),
+                     8 * spec.gpuHourUsd + 2 * spec.hostHourUsd);
+    // Twice the workers, twice the hosts: price scales linearly here.
+    EXPECT_DOUBLE_EQ(td::clusterUsdPerHour(spec, 16),
+                     2.0 * td::clusterUsdPerHour(spec, 8));
+}
+
+TEST(Tco, PriceResultDividesDollarsByThroughput)
+{
+    const auto spec = *td::findTopology("infiniband-flat");
+    const td::DistResult r = simulate("infiniband-flat", "ring", 8);
+    const td::TcoPoint p = td::priceResult(spec, r);
+    EXPECT_DOUBLE_EQ(p.usdPerHour, td::clusterUsdPerHour(spec, 8));
+    // $/Msamples = $/hour / (samples/s * 3600) * 1e6.
+    EXPECT_NEAR(p.usdPerMSamples,
+                p.usdPerHour / (r.throughputSamples * 3600.0) * 1e6,
+                1e-9 * p.usdPerMSamples);
+}
+
+TEST(Tco, ZeroThroughputPricesAtInfinity)
+{
+    const auto spec = *td::findTopology("infiniband-flat");
+    td::DistResult r;
+    r.workers = 8;
+    r.throughputSamples = 0.0;
+    EXPECT_TRUE(std::isinf(td::priceResult(spec, r).usdPerMSamples));
+}
+
+TEST(Tco, CheapestAtTargetPicksLowestPrice)
+{
+    std::vector<td::TcoPoint> points;
+    for (int workers : {8, 16, 32}) {
+        const auto spec = *td::findTopology("infiniband-flat");
+        points.push_back(
+            td::priceResult(spec, simulate("infiniband-flat", "ring",
+                                           workers)));
+    }
+    // A modest target: the smallest (cheapest) cluster that reaches it
+    // wins, not the fastest.
+    const double target =
+        points[0].result.throughputSamples * 0.9;
+    const auto pick = td::cheapestAtTarget(points, target);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(pick->result.workers, 8);
+
+    // A target above every point yields nothing.
+    const double unreachable =
+        points[2].result.throughputSamples * 10.0;
+    EXPECT_FALSE(
+        td::cheapestAtTarget(points, unreachable).has_value());
+}
+
+TEST(Tco, CheapestAtTargetBreaksPriceTiesByThroughput)
+{
+    td::TcoPoint slow;
+    slow.result.workers = 4;
+    slow.result.throughputSamples = 100.0;
+    slow.usdPerHour = 10.0;
+    td::TcoPoint fast = slow;
+    fast.result.workers = 5;
+    fast.result.throughputSamples = 150.0;
+    const auto pick = td::cheapestAtTarget({slow, fast}, 50.0);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(pick->result.workers, 5);
+}
+
+TEST(Tco, NvlinkPremiumShowsUpInPrice)
+{
+    // The NVLink island rents above the flat InfiniBand cluster at
+    // equal scale; whether it wins on $/Msamples is a throughput
+    // question, but the $/hour ordering is fixed by the price book.
+    const auto island = *td::findTopology("nvlink-island");
+    const auto flat = *td::findTopology("infiniband-flat");
+    EXPECT_GT(td::clusterUsdPerHour(island, 16),
+              td::clusterUsdPerHour(flat, 16));
+}

@@ -1,0 +1,217 @@
+#include "dist/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+using namespace tbd;
+using namespace tbd::dist;
+
+TEST(Topology, PaperClusterShape)
+{
+    // 2 machines x 4 GPUs: 1 net switch + 2 hosts + 8 GPUs; each GPU
+    // has one PCIe edge, each host one network edge.
+    const Topology topo =
+        builders::paperCluster(2, 4, infiniband100G());
+    EXPECT_EQ(topo.nodes().size(), 11u);
+    EXPECT_EQ(topo.gpus().size(), 8u);
+    EXPECT_EQ(topo.hosts().size(), 2u);
+    EXPECT_EQ(topo.edges().size(), 10u);
+    EXPECT_TRUE(topo.connected());
+
+    const auto islands = topo.islandsByHost();
+    ASSERT_EQ(islands.size(), 2u);
+    EXPECT_EQ(islands[0].size(), 4u);
+    EXPECT_EQ(islands[1].size(), 4u);
+}
+
+TEST(Topology, SingleMachineOmitsNetworkTier)
+{
+    const Topology topo =
+        builders::paperCluster(1, 4, infiniband100G());
+    for (const auto &node : topo.nodes())
+        EXPECT_NE(node.kind, NodeKind::Switch);
+    EXPECT_TRUE(topo.connected());
+}
+
+TEST(Topology, RouteCrossesNetworkBetweenMachines)
+{
+    const Topology topo = builders::paperCluster(2, 1, ethernet1G());
+    const int a = topo.gpus()[0];
+    const int b = topo.gpus()[1];
+    // gpu -> host -> switch -> host -> gpu: 4 edges, bottleneck is
+    // the 1 GbE hop, latency the sum along the path.
+    const auto path = topo.route(a, b);
+    EXPECT_EQ(path.size(), 4u);
+    EXPECT_DOUBLE_EQ(topo.bottleneckGBs(a, b),
+                     ethernet1G().bandwidthGBs);
+    EXPECT_DOUBLE_EQ(topo.pathLatencyUs(a, b),
+                     2 * pcie3x16().latencyUs +
+                         2 * ethernet1G().latencyUs);
+    // Uncontended transfer = path latency + bytes over bottleneck.
+    const double bytes = 1e9;
+    EXPECT_DOUBLE_EQ(topo.transferUs(a, b, bytes),
+                     topo.pathLatencyUs(a, b) +
+                         bytes /
+                             (ethernet1G().bandwidthGBs * 1e9) * 1e6);
+}
+
+TEST(Topology, RoutePrefersNvlinkOverPcie)
+{
+    const Topology topo = builders::nvlinkIsland(8);
+    const int a = topo.gpus()[0];
+    const int b = topo.gpus()[1];
+    // Same island: the direct NVLink edge beats gpu->host->gpu.
+    const auto path = topo.route(a, b);
+    ASSERT_EQ(path.size(), 1u);
+    EXPECT_EQ(topo.edges()[path[0]].link.name, nvlink2().name);
+}
+
+TEST(Topology, NvlinkIslandsJoinOverInfiniband)
+{
+    const Topology topo = builders::nvlinkIsland(16, 8);
+    EXPECT_EQ(topo.gpus().size(), 16u);
+    EXPECT_EQ(topo.islandsByHost().size(), 2u);
+    const int a = topo.gpus()[0];
+    const int b = topo.gpus()[8]; // other island
+    EXPECT_DOUBLE_EQ(topo.bottleneckGBs(a, b),
+                     infiniband100G().bandwidthGBs);
+}
+
+TEST(Topology, FatTreeBuildsRequestedWorkers)
+{
+    for (int workers : {8, 16, 33, 64}) {
+        const Topology topo =
+            builders::fatTree(workers, infiniband100G());
+        EXPECT_EQ(static_cast<int>(topo.gpus().size()), workers);
+        EXPECT_TRUE(topo.connected());
+    }
+}
+
+TEST(Topology, RouteIsDeterministic)
+{
+    const Topology topo = builders::fatTree(32, infiniband100G());
+    const int a = topo.gpus()[3];
+    const int b = topo.gpus()[29];
+    const auto first = topo.route(a, b);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(topo.route(a, b), first);
+}
+
+TEST(Topology, DisconnectedGraphDetected)
+{
+    Topology topo("disconnected");
+    topo.addNode("gpu0", NodeKind::Gpu);
+    topo.addNode("gpu1", NodeKind::Gpu);
+    EXPECT_FALSE(topo.connected());
+    EXPECT_THROW(topo.route(0, 1), util::FatalError);
+}
+
+TEST(TopologyRegistry, FindResolvesBuiltins)
+{
+    for (const char *name :
+         {"paper-1m1g", "paper-2m1g-eth", "paper-2m1g-ib",
+          "paper-1m2g", "paper-1m4g", "ethernet-flat",
+          "infiniband-flat", "nvlink-island", "fat-tree"}) {
+        const auto spec = findTopology(name);
+        ASSERT_TRUE(spec.has_value()) << name;
+        EXPECT_EQ(spec->name, name);
+        EXPECT_FALSE(spec->description.empty());
+        EXPECT_GT(spec->gpuHourUsd, 0.0);
+    }
+    EXPECT_FALSE(findTopology("no-such-shape").has_value());
+}
+
+TEST(TopologyRegistry, NamesMatchRegistryOrder)
+{
+    const auto names = topologyNames();
+    ASSERT_GE(names.size(), 9u);
+    for (const auto &name : names)
+        EXPECT_TRUE(findTopology(name).has_value()) << name;
+}
+
+TEST(TopologyRegistry, PinnedShapesUseFixedWorkers)
+{
+    const auto spec = findTopology("paper-2m1g-eth");
+    ASSERT_TRUE(spec.has_value());
+    EXPECT_EQ(spec->fixedWorkers, 2);
+    const Topology topo = spec->build(2);
+    EXPECT_EQ(topo.gpus().size(), 2u);
+    // Building at a conflicting count is a hard error.
+    EXPECT_THROW(spec->build(4), util::FatalError);
+}
+
+TEST(TopologyRegistry, ScalableShapesBuildRaggedCounts)
+{
+    for (const char *name :
+         {"ethernet-flat", "infiniband-flat", "nvlink-island",
+          "fat-tree"}) {
+        const auto spec = findTopology(name);
+        ASSERT_TRUE(spec.has_value()) << name;
+        EXPECT_EQ(spec->fixedWorkers, 0) << name;
+        for (int workers : {8, 13, 64}) {
+            const Topology topo = spec->build(workers);
+            EXPECT_EQ(static_cast<int>(topo.gpus().size()), workers)
+                << name << " x" << workers;
+            EXPECT_TRUE(topo.connected()) << name << " x" << workers;
+        }
+    }
+}
+
+TEST(TopologyRegistry, RegisterReplacesByName)
+{
+    TopologySpec spec;
+    spec.name = "test-shape";
+    spec.description = "registered by the topology test";
+    spec.gpuHourUsd = 1.0;
+    spec.build = [](int workers) {
+        Topology topo("test-shape");
+        int prev = -1;
+        for (int i = 0; i < workers; ++i) {
+            const int gpu = topo.addNode("gpu" + std::to_string(i),
+                                         NodeKind::Gpu);
+            if (prev >= 0)
+                topo.addEdge(prev, gpu, pcie3x16());
+            prev = gpu;
+        }
+        return topo;
+    };
+    registerTopology(spec);
+    ASSERT_TRUE(findTopology("test-shape").has_value());
+    EXPECT_EQ(findTopology("test-shape")->gpuHourUsd, 1.0);
+
+    spec.gpuHourUsd = 2.0;
+    registerTopology(spec);
+    EXPECT_EQ(findTopology("test-shape")->gpuHourUsd, 2.0);
+    // Replacement did not duplicate the name.
+    int hits = 0;
+    for (const auto &name : topologyNames())
+        hits += name == "test-shape" ? 1 : 0;
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(LinkRegistry, FindLinkResolvesCatalog)
+{
+    for (const char *name :
+         {"pcie3-x16", "1gbe", "infiniband-100g", "nvlink2", "25gbe"}) {
+        ASSERT_TRUE(findLink(name).has_value()) << name;
+        EXPECT_GT(findLink(name)->bandwidthGBs, 0.0) << name;
+    }
+    EXPECT_FALSE(findLink("10gbe").has_value());
+    EXPECT_EQ(linkNames().size(), 5u);
+}
+
+TEST(LinkRegistry, ShimsMatchCatalogRows)
+{
+    // The deprecated free functions must stay bitwise-identical to
+    // the registry rows they wrap (legacy Fig. 10 results depend on
+    // these constants).
+    EXPECT_EQ(pcie3x16().bandwidthGBs, findLink("pcie3-x16")->bandwidthGBs);
+    EXPECT_EQ(pcie3x16().latencyUs, findLink("pcie3-x16")->latencyUs);
+    EXPECT_EQ(ethernet1G().bandwidthGBs, findLink("1gbe")->bandwidthGBs);
+    EXPECT_EQ(ethernet1G().latencyUs, findLink("1gbe")->latencyUs);
+    EXPECT_EQ(infiniband100G().bandwidthGBs,
+              findLink("infiniband-100g")->bandwidthGBs);
+    EXPECT_EQ(infiniband100G().latencyUs,
+              findLink("infiniband-100g")->latencyUs);
+}

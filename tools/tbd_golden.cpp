@@ -5,6 +5,8 @@
  *   tbd_golden check [dir]        compare all workloads to the goldens
  *   tbd_golden rebaseline [dir]   regenerate the committed goldens
  *   tbd_golden print <model>      dump one canonical record as JSON
+ *   tbd_golden dist-check [dir]       compare the dist scaling cells
+ *   tbd_golden dist-rebaseline [dir]  regenerate the dist goldens
  *
  * `dir` defaults to the repository's tests/golden/ (baked in at build
  * time). `check` exits non-zero when any record drifted or a file is
@@ -16,6 +18,7 @@
 #include <cstdio>
 #include <string>
 
+#include "check/dist_golden.h"
 #include "check/golden.h"
 #include "check/invariants.h"
 #include "models/model_desc.h"
@@ -37,6 +40,8 @@ usage()
                  "  tbd_golden check [dir]\n"
                  "  tbd_golden rebaseline [dir]\n"
                  "  tbd_golden print <model>\n"
+                 "  tbd_golden dist-check [dir]\n"
+                 "  tbd_golden dist-rebaseline [dir]\n"
                  "\ndefault dir: %s\n",
                  TBD_GOLDEN_DIR);
     return 2;
@@ -125,6 +130,58 @@ cmdPrint(const std::string &modelName)
     return 0;
 }
 
+int
+cmdDistCheck(const std::string &dir)
+{
+    int drifted = 0;
+    for (const auto &actual : check::captureDistGoldens()) {
+        const std::string path =
+            dir + "/" + check::distGoldenFileName(actual);
+        check::DistGoldenRecord expected;
+        try {
+            expected = check::readDistGoldenFile(path);
+        } catch (const util::FatalError &e) {
+            std::printf("MISSING  %-24s %s\n", actual.topology.c_str(),
+                        e.what());
+            ++drifted;
+            continue;
+        }
+        const check::GoldenDiff diff =
+            check::compareDistGolden(expected, actual);
+        if (diff.ok()) {
+            std::printf("OK       %-24s %s\n", actual.topology.c_str(),
+                        check::distGoldenFileName(actual).c_str());
+        } else {
+            std::printf("DRIFTED  %-24s %s\n%s",
+                        actual.topology.c_str(),
+                        check::distGoldenFileName(actual).c_str(),
+                        diff.summary().c_str());
+            ++drifted;
+        }
+    }
+    if (drifted) {
+        std::printf("\n%d dist cell(s) drifted from the goldens. If "
+                    "the change is intentional, run:\n  tbd_golden "
+                    "dist-rebaseline\n",
+                    drifted);
+        return 1;
+    }
+    std::printf("\nall dist scaling cells match the goldens\n");
+    return 0;
+}
+
+int
+cmdDistRebaseline(const std::string &dir)
+{
+    for (const auto &record : check::captureDistGoldens()) {
+        const std::string path =
+            dir + "/" + check::distGoldenFileName(record);
+        check::writeDistGoldenFile(path, record);
+        std::printf("wrote %s\n", path.c_str());
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -141,6 +198,10 @@ main(int argc, char **argv)
             return cmdRebaseline(dir);
         if (cmd == "print" && argc > 2)
             return cmdPrint(argv[2]);
+        if (cmd == "dist-check")
+            return cmdDistCheck(dir);
+        if (cmd == "dist-rebaseline")
+            return cmdDistRebaseline(dir);
     } catch (const util::FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
