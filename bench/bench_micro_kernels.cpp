@@ -10,10 +10,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+
 #include "bench_util.h"
+#include "core/sweep_spec.h"
 #include "core/tbd.h"
+#include "dist/sim_cache.h"
 #include "engine/fusion.h"
 #include "perf/lowering_cache.h"
+#include "store/store.h"
 #include "tensor/simd.h"
 
 using namespace tbd;
@@ -436,9 +441,14 @@ runSweepBody(benchmark::State &state, bool fastPaths)
         for (const auto &[model, framework] : lines) {
             const std::size_t points =
                 std::min<std::size_t>(3, model->batchSweep.size());
-            for (std::size_t i = 0; i < points; ++i)
-                cells.push_back({model->name, framework, gpu,
-                                 model->batchSweep[i]});
+            for (std::size_t i = 0; i < points; ++i) {
+                core::BenchmarkRequest cell;
+                cell.model = model->name;
+                cell.framework = framework;
+                cell.gpu = gpu;
+                cell.batch = model->batchSweep[i];
+                cells.push_back(cell);
+            }
         }
     }
     for (auto _ : state) {
@@ -463,6 +473,182 @@ BM_RunSweepNoCache(benchmark::State &state)
 }
 BENCHMARK(BM_RunSweepNoCache);
 
+// Persistent-store A/B (DESIGN.md §16): the full figure sweep set,
+// cold (simulate + record) vs warm (served from disk). Between timed
+// iterations the in-process lowering cache and dist memos are cleared,
+// so each iteration prices what a *fresh process* pays — the store's
+// actual scenario, a re-run of a figure harness. The StoreWarm /
+// StoreCold pairs are the headline: check_bench_regression.py gates
+// warm-over-cold speedup (--min-warm-speedup) and the warm hit rate
+// (--min-warm-hit-rate, from the store_hit_rate counter).
+
+/** A fresh, enabled store under a temp dir; restores gating on exit. */
+struct StoreBenchDir
+{
+    std::string dir;
+
+    StoreBenchDir()
+    {
+        static int seq = 0;
+        dir = (std::filesystem::temp_directory_path() /
+               ("tbd-store-bench-" + std::to_string(++seq)))
+                  .string();
+        std::filesystem::remove_all(dir);
+        store::setStoreEnabled(true);
+        store::setStoreDir(dir);
+        store::resetCounters();
+    }
+
+    ~StoreBenchDir()
+    {
+        store::setStoreEnabled(false);
+        store::setStoreDir(std::nullopt);
+        std::error_code ec;
+        std::filesystem::remove_all(dir, ec);
+    }
+};
+
+/**
+ * The Figure 4/5/6 sweep cells on both Table 4 GPUs — the same cells
+ * Figures 8 (utilization) and 9 (memory) read, so warming this set
+ * warms the whole single-GPU evaluation section.
+ */
+std::vector<core::BenchmarkRequest>
+figSweepCells()
+{
+    std::vector<core::BenchmarkRequest> cells;
+    for (const char *gpu : {"Quadro P4000", "TITAN Xp"}) {
+        for (const auto &panel : benchutil::figure456Panels()) {
+            for (auto &request :
+                 core::SweepSpec()
+                     .model(panel.model->name)
+                     .framework(
+                         frameworks::frameworkName(panel.framework))
+                     .gpu(gpu)
+                     .requests())
+                cells.push_back(std::move(request));
+        }
+    }
+    return cells;
+}
+
+void
+freshProcessCaches()
+{
+    // What a process restart costs: in-memory fast paths are gone;
+    // only the on-disk store survives.
+    perf::LoweringCache::global().clear();
+    dist::clearDistMemos();
+}
+
+void
+figSweepStoreBody(benchmark::State &state, bool warm)
+{
+    StoreBenchDir store_dir;
+    const auto cells = figSweepCells();
+    if (warm)
+        (void)core::BenchmarkSuite::runSweep(cells); // record once
+    store::resetCounters();
+    for (auto _ : state) {
+        state.PauseTiming();
+        if (!warm)
+            store::clearStore(store_dir.dir);
+        freshProcessCaches();
+        state.ResumeTiming();
+        const auto results = core::BenchmarkSuite::runSweep(cells);
+        benchmark::DoNotOptimize(results.size());
+    }
+    state.counters["cells"] = static_cast<double>(cells.size());
+    const auto counters = store::counters();
+    const std::int64_t probes = counters.hits + counters.misses;
+    state.counters["store_hit_rate"] =
+        probes > 0 ? static_cast<double>(counters.hits) /
+                         static_cast<double>(probes)
+                   : 0.0;
+}
+
+void
+BM_FigSweepStoreCold(benchmark::State &state)
+{
+    figSweepStoreBody(state, /*warm=*/false);
+}
+BENCHMARK(BM_FigSweepStoreCold)->Unit(benchmark::kMillisecond);
+
+void
+BM_FigSweepStoreWarm(benchmark::State &state)
+{
+    figSweepStoreBody(state, /*warm=*/true);
+}
+BENCHMARK(BM_FigSweepStoreWarm)->Unit(benchmark::kMillisecond);
+
+/** A Fig. 10-style distributed grid over models, scales and fabrics. */
+std::vector<core::BenchmarkRequest>
+distSweepCells()
+{
+    // One line per model at its paper base batch (token-batched
+    // models cannot share an image-batch axis), swept over scales,
+    // fabrics and collectives.
+    const std::pair<const models::ModelDesc *, const char *> lines[] = {
+        {&models::resnet50(), "MXNet"},
+        {&models::transformer(), "TensorFlow"},
+        {&models::deepSpeech2(), "MXNet"},
+    };
+    std::vector<core::BenchmarkRequest> cells;
+    for (const auto &[model, framework] : lines) {
+        for (auto &request :
+             core::SweepSpec()
+                 .model(model->name)
+                 .framework(framework)
+                 .batches({model->batchSweep.front()})
+                 .distWorkers({4, 8, 16})
+                 .distTopologies({"nvlink-island", "fat-tree"})
+                 .distCollectives({"ring", "hierarchical"})
+                 .requests())
+            cells.push_back(std::move(request));
+    }
+    return cells;
+}
+
+void
+distSweepStoreBody(benchmark::State &state, bool warm)
+{
+    StoreBenchDir store_dir;
+    const auto cells = distSweepCells();
+    if (warm)
+        (void)core::BenchmarkSuite::runDistSweep(cells); // record once
+    store::resetCounters();
+    for (auto _ : state) {
+        state.PauseTiming();
+        if (!warm)
+            store::clearStore(store_dir.dir);
+        freshProcessCaches();
+        state.ResumeTiming();
+        const auto results = core::BenchmarkSuite::runDistSweep(cells);
+        benchmark::DoNotOptimize(results.size());
+    }
+    state.counters["cells"] = static_cast<double>(cells.size());
+    const auto counters = store::counters();
+    const std::int64_t probes = counters.hits + counters.misses;
+    state.counters["store_hit_rate"] =
+        probes > 0 ? static_cast<double>(counters.hits) /
+                         static_cast<double>(probes)
+                   : 0.0;
+}
+
+void
+BM_DistSweepStoreCold(benchmark::State &state)
+{
+    distSweepStoreBody(state, /*warm=*/false);
+}
+BENCHMARK(BM_DistSweepStoreCold)->Unit(benchmark::kMillisecond);
+
+void
+BM_DistSweepStoreWarm(benchmark::State &state)
+{
+    distSweepStoreBody(state, /*warm=*/true);
+}
+BENCHMARK(BM_DistSweepStoreWarm)->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 // Not BENCHMARK_MAIN(): committed-baseline provenance requires the
@@ -470,6 +656,11 @@ BENCHMARK(BM_RunSweepNoCache);
 int
 main(int argc, char **argv)
 {
+    // The persistent store must not color the non-store benchmarks
+    // (a workspace .tbd-store would turn BM_PerfSimulatorRun into a
+    // disk read). The Store benchmarks opt back in on their own temp
+    // directories via StoreBenchDir.
+    tbd::store::setStoreEnabled(false);
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

@@ -19,7 +19,11 @@
  *   - request coalescing happened (cache stats, ≥1 piggyback);
  *   - the flood tenant saw explicit 429 rejections;
  *   - malformed lines answered 400, unknown names 404, and the
- *     server survived all of it with queueDepth() back at zero.
+ *     server survived all of it with queueDepth() back at zero;
+ *   - (store enabled) a RESTARTED server with an empty in-memory
+ *     cache answers every unique config from the persistent store —
+ *     bitwise-identical, response.cached, Stats::diskHits > 0 —
+ *     the DESIGN.md §16 cross-process warm path over real sockets.
  *
  * Exit status is the gate: 0 only when every assertion holds. Run
  * under TBD_OBS=1 to export the serve counters for `tbd_obs check
@@ -30,6 +34,7 @@
 #include <condition_variable>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <mutex>
 #include <random>
@@ -37,8 +42,11 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "serve/protocol.h"
 #include "serve/server.h"
+#include "store/store.h"
 #include "util/logging.h"
 
 using namespace tbd;
@@ -209,6 +217,26 @@ main(int argc, char **argv)
 
     const std::size_t uniques =
         std::size(kCombos) * std::size(kSweep);
+
+    // ---- Persistent store: pin a fresh directory so the restart
+    // phase replays entries THIS run recorded (ambient .tbd-store
+    // state must not leak into the gate). TBD_STORE=off or
+    // TBD_NOCACHE=1 skip the restart phase entirely — the rest of
+    // the harness still runs and still gates.
+    const bool store_phase = store::storeEnabled();
+    std::string store_dir;
+    if (store_phase) {
+        store_dir = (std::filesystem::temp_directory_path() /
+                     ("tbd-store-serveload-" +
+                      std::to_string(::getpid())))
+                        .string();
+        std::filesystem::remove_all(store_dir);
+        store::setStoreDir(store_dir);
+        std::printf("store: %s (restart phase on)\n",
+                    store_dir.c_str());
+    } else {
+        std::printf("store: disabled (restart phase skipped)\n");
+    }
 
     // ---- Baseline: every unique config through the oneshot path,
     // single-threaded, before the server exists.
@@ -406,6 +434,40 @@ main(int argc, char **argv)
     const std::int64_t queue_depth = server.admission().queueDepth();
     server.stop();
 
+    // ---- Warm-restart phase: a second Server with a brand-new
+    // (empty) in-memory ResultCache, standing in for a restarted
+    // process. Every unique config must come back from the
+    // persistent store's disk tier — never recomputed, bitwise
+    // against the same oneshot baseline as the live phases.
+    std::int64_t restart_disk_hits = 0;
+    std::int64_t restart_uncached = 0;
+    ThreadStats restart_stats;
+    if (store_phase) {
+        serve::Server second(options);
+        second.start();
+        std::printf("restarted server on 127.0.0.1:%d, replaying "
+                    "%zu unique configs\n",
+                    second.port(), uniques);
+        serve::Client client(second.port());
+        for (std::size_t u = 0; u < uniques; ++u) {
+            const serve::Request request = uniqueRequest(
+                u, "restart/" + std::to_string(u), "restart");
+            const serve::Response response = client.call(request);
+            checkAgainstBaseline(response, baseline[u], request,
+                                 restart_stats);
+            if (response.status == serve::Status::Ok &&
+                !response.cached)
+                ++restart_uncached;
+        }
+        restart_disk_hits = second.cache().stats().diskHits;
+        second.stop();
+        std::printf("restart: %lld disk hits, %lld uncached, "
+                    "%lld mismatches\n",
+                    static_cast<long long>(restart_disk_hits),
+                    static_cast<long long>(restart_uncached),
+                    static_cast<long long>(restart_stats.mismatches));
+    }
+
     // ---- Verdict.
     ThreadStats total;
     for (const auto &s : stats) {
@@ -473,6 +535,18 @@ main(int argc, char **argv)
     expect(queue_depth == 0, "queue slots leaked");
     expect(total.badRequest > 0, "workload fired no malformed lines");
     expect(total.unknownName > 0, "workload fired no unknown names");
+    if (store_phase) {
+        expect(restart_stats.mismatches == 0,
+               "restarted server diverged from the baseline");
+        if (restart_stats.mismatches > 0)
+            std::fprintf(stderr, "      first: %s\n",
+                         restart_stats.firstMismatch.c_str());
+        expect(restart_disk_hits > 0,
+               "restarted server never hit the persistent store");
+        expect(restart_uncached == 0,
+               "restarted server recomputed instead of replaying");
+        std::filesystem::remove_all(store_dir);
+    }
 
     if (failures == 0)
         std::printf("PASS: 100%% bitwise agreement with the oneshot "

@@ -29,12 +29,20 @@ namespace tbd::benchutil {
  * Refuse to time a non-Release build, and stamp run provenance.
  *
  * A committed baseline recorded from an unoptimized build poisons
- * every later comparison (BENCH_micro.json once shipped with
- * "library_build_type": "debug"), so the harness hard-fails unless
- * CMake said Release. Set TBD_BENCH_ALLOW_DEBUG=1 to smoke-test a
- * debug harness anyway; the run is still tagged so the JSON can never
- * masquerade as a baseline. Also records the active SIMD tier — a
- * scalar-tier number is not comparable to an AVX2 one.
+ * every later comparison (BENCH_micro.json once shipped from a debug
+ * harness), so the harness hard-fails unless CMake said Release. Set
+ * TBD_BENCH_ALLOW_DEBUG=1 to smoke-test a debug harness anyway; the
+ * run is still tagged so the JSON can never masquerade as a baseline.
+ * Also records the active SIMD tier — a scalar-tier number is not
+ * comparable to an AVX2 one.
+ *
+ * Provenance keys on the `tbd_build_type` stamp this function adds,
+ * NOT on google-benchmark's own `library_build_type` context field:
+ * that field describes how the *benchmark library* was compiled and
+ * says nothing about our TUs (a Release libbenchmark happily links a
+ * debug harness and vice versa — exactly the ambiguity behind the
+ * original incident). check_bench_regression.py reads only
+ * `tbd_build_type`; treat `library_build_type` as noise.
  *
  * @return true when benchmarks may run.
  */

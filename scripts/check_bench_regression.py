@@ -23,8 +23,26 @@ DESIGN.md "Fast paths in the functional engine").
 
 Only benchmarks present in BOTH files are compared — CI filters the
 run down to the stable micro-kernels — but an empty intersection is an
-error, never a vacuous pass. Exits 0 when every compared benchmark is
-inside the band, 1 on any regression or provenance failure.
+error, never a vacuous pass. Comparison is by exact benchmark name, so
+the persistent-store A/B pairs never cross modes: a ``...StoreCold``
+row is only ever held against the baseline's cold recording and
+``...StoreWarm`` against warm.
+
+Two store-specific gates run on the CURRENT run alone (the committed
+baseline merely proves they once held on the recording host):
+
+- ``--min-warm-hit-rate R``: every ``*StoreWarm*`` benchmark must
+  report a ``store_hit_rate`` counter >= R. A warm pass that quietly
+  recomputes (key drift, an epoch bump without re-recording) fails
+  here rather than showing up as a timing blip inside the wide band.
+- ``--min-warm-speedup S``: for every ``<prefix>StoreCold`` /
+  ``<prefix>StoreWarm`` pair in the current run, cold cpu_time must be
+  >= S * warm cpu_time. This is the DESIGN.md §16 acceptance ratio
+  (warm sweeps >= 5x cold on the recording host; CI asks for less
+  because its neighbours are noisy).
+
+Exits 0 when every compared benchmark is inside the band and the
+store gates hold, 1 on any regression or provenance failure.
 """
 
 import argparse
@@ -37,10 +55,11 @@ _TIME_UNITS_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
 def load_benchmarks(path):
-    """Return (context, {name: cpu_time_ns}) for real iteration runs."""
+    """Return (context, {name: cpu_time_ns}, {name: {counter: value}})."""
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
     times = {}
+    counters = {}
     for bench in doc.get("benchmarks", []):
         # Skip aggregates (mean/median/stddev rows) and error rows.
         if bench.get("run_type", "iteration") != "iteration":
@@ -52,7 +71,70 @@ def load_benchmarks(path):
             raise SystemExit(
                 f"{path}: unknown time_unit in {bench.get('name')!r}")
         times[bench["name"]] = float(bench["cpu_time"]) * unit
-    return doc.get("context", {}), times
+        # google-benchmark flattens UserCounters into the benchmark
+        # object itself; pick out the numeric non-schema keys.
+        counters[bench["name"]] = {
+            key: float(value)
+            for key, value in bench.items()
+            if isinstance(value, (int, float)) and key not in (
+                "cpu_time", "real_time", "iterations",
+                "repetitions", "repetition_index", "threads",
+                "family_index", "per_family_instance_index")
+        }
+    return doc.get("context", {}), times, counters
+
+
+_STORE_PAIR_RE = re.compile(r"^(?P<prefix>.*)StoreCold(?P<suffix>.*)$")
+
+
+def check_store_gates(times, counters, min_hit_rate, min_speedup):
+    """Apply the store warm-path gates to the current run. Returns ok."""
+    ok = True
+    if min_hit_rate is not None:
+        warm = [n for n in sorted(times) if "StoreWarm" in n]
+        if not warm:
+            print("error: --min-warm-hit-rate given but the current "
+                  "run has no *StoreWarm* benchmarks", file=sys.stderr)
+            ok = False
+        for name in warm:
+            rate = counters.get(name, {}).get("store_hit_rate")
+            if rate is None:
+                print(f"error: {name} carries no store_hit_rate "
+                      "counter (store disabled in the bench build?)",
+                      file=sys.stderr)
+                ok = False
+            elif rate < min_hit_rate:
+                print(f"error: {name} store_hit_rate={rate:.3f} < "
+                      f"{min_hit_rate:.3f} — the warm pass is "
+                      "recomputing instead of replaying",
+                      file=sys.stderr)
+                ok = False
+    if min_speedup is not None:
+        pairs = []
+        for name in sorted(times):
+            m = _STORE_PAIR_RE.match(name)
+            if not m:
+                continue
+            warm_name = (m.group("prefix") + "StoreWarm"
+                         + m.group("suffix"))
+            if warm_name in times:
+                pairs.append((name, warm_name))
+        if not pairs:
+            print("error: --min-warm-speedup given but the current "
+                  "run has no StoreCold/StoreWarm pairs",
+                  file=sys.stderr)
+            ok = False
+        for cold_name, warm_name in pairs:
+            speedup = times[cold_name] / times[warm_name]
+            verdict = "ok" if speedup >= min_speedup else "TOO SLOW"
+            print(f"{cold_name} / {warm_name}: {speedup:.2f}x warm "
+                  f"speedup (floor {min_speedup:.2f}x) {verdict}")
+            if speedup < min_speedup:
+                print(f"error: warm speedup {speedup:.2f}x under the "
+                      f"{min_speedup:.2f}x floor for {warm_name}",
+                      file=sys.stderr)
+                ok = False
+    return ok
 
 
 def check_provenance(context, path, what):
@@ -93,13 +175,26 @@ def main(argv=None):
     parser.add_argument("--filter", default=None,
                         help="only compare benchmark names matching "
                              "this regex")
+    parser.add_argument("--min-warm-hit-rate", type=float, default=None,
+                        metavar="R",
+                        help="require store_hit_rate >= R on every "
+                             "*StoreWarm* benchmark in the current run")
+    parser.add_argument("--min-warm-speedup", type=float, default=None,
+                        metavar="S",
+                        help="require cold/warm cpu_time >= S for every "
+                             "StoreCold/StoreWarm pair in the current run")
     args = parser.parse_args(argv)
 
     if args.tolerance <= 1.0:
         parser.error("--tolerance must be > 1.0 (it is a ratio)")
+    if args.min_warm_hit_rate is not None and not (
+            0.0 < args.min_warm_hit_rate <= 1.0):
+        parser.error("--min-warm-hit-rate must be in (0, 1]")
+    if args.min_warm_speedup is not None and args.min_warm_speedup <= 1.0:
+        parser.error("--min-warm-speedup must be > 1.0 (it is a ratio)")
 
-    base_ctx, baseline = load_benchmarks(args.baseline)
-    cur_ctx, current = load_benchmarks(args.current)
+    base_ctx, baseline, _ = load_benchmarks(args.baseline)
+    cur_ctx, current, cur_counters = load_benchmarks(args.current)
 
     ok = check_provenance(base_ctx, args.baseline, "baseline")
     ok &= check_provenance(cur_ctx, args.current, "current run")
@@ -132,6 +227,10 @@ def main(argv=None):
         print(f"note: {len(skipped)} baseline benchmark(s) not in the "
               f"current run: {', '.join(skipped[:8])}"
               f"{' ...' if len(skipped) > 8 else ''}")
+
+    ok &= check_store_gates(current, cur_counters,
+                            args.min_warm_hit_rate,
+                            args.min_warm_speedup)
 
     if regressions:
         print(f"error: {len(regressions)} benchmark(s) regressed past "

@@ -105,6 +105,11 @@ fastPathSummary(const std::vector<obs::MetricSnapshot> &metrics)
     // fusion plan (miss = a layer executed unfused).
     add("simd dispatch", "engine.simd.dispatch", "engine.simd.fallback");
     add("fusion", "engine.fusion.hit", "engine.fusion.miss");
+    // Persistent tiers (DESIGN.md §16): the on-disk result store and
+    // the in-process dist plan-cost memo.
+    add("result store", "store.hit", "store.miss");
+    add("dist plan cache", "dist.plan_cache.hit",
+        "dist.plan_cache.miss");
     return summary;
 }
 

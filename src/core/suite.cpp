@@ -9,6 +9,7 @@
 #include "data/dataset_spec.h"
 #include "lint/lint.h"
 #include "obs/obs.h"
+#include "store/store.h"
 #include "util/format.h"
 #include "util/thread_pool.h"
 
@@ -30,6 +31,10 @@ maybeInstallAudit()
         check::installSimulatorAudit();
     if (lint::lintEnabled())
         lint::installPreRunLint();
+    // Persistent result store (no-op while TBD_STORE=off): sweeps
+    // become incremental — only cells whose key is absent or whose
+    // epoch changed are simulated (DESIGN.md §16).
+    store::installSimulatorTier();
 }
 
 bool
@@ -425,9 +430,26 @@ BenchmarkSuite::runDistSweep(const std::vector<BenchmarkRequest> &requests)
         const auto gpu = findGpu(request.gpu);
         if (!gpu)
             throw UnknownNameError("GPU", request.gpu, gpuNames());
-        results[i] = dist::simulateDistributed(
-            *model, *framework, *gpu, request.batch,
-            toDistConfig(request), &*base);
+        const dist::DistConfig dist_config = toDistConfig(request);
+        // Persistent-store tier: a warm cell skips plan emission and
+        // costing entirely; misses are computed then recorded.
+        if (store::storeEnabled()) {
+            const perf::RunConfig base_config =
+                toRunConfig(bases[base_of[i]]);
+            if (auto cached =
+                    store::tryLoadDist(base_config, dist_config)) {
+                results[i] = *std::move(cached);
+                continue;
+            }
+            results[i] = dist::simulateDistributed(
+                *model, *framework, *gpu, request.batch, dist_config,
+                &*base);
+            store::putDist(base_config, dist_config, *results[i]);
+        } else {
+            results[i] = dist::simulateDistributed(
+                *model, *framework, *gpu, request.batch, dist_config,
+                &*base);
+        }
     }
     return results;
 }

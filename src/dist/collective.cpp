@@ -5,6 +5,7 @@
 #include <map>
 #include <utility>
 
+#include "dist/sim_cache.h"
 #include "obs/obs.h"
 #include "util/logging.h"
 
@@ -306,6 +307,9 @@ registerCollective(CollectiveSpec spec)
 {
     TBD_CHECK(!spec.name.empty() && spec.plan != nullptr,
               "a collective spec needs a name and a plan builder");
+    // A redefined policy must never be served from stale memoized plan
+    // costs (sim_cache.h).
+    clearDistMemos();
     for (auto &existing : registry()) {
         if (existing.name == spec.name) {
             existing = std::move(spec);

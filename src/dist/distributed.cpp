@@ -1,7 +1,9 @@
 #include "dist/distributed.h"
 
 #include <algorithm>
+#include <memory>
 
+#include "dist/sim_cache.h"
 #include "obs/obs.h"
 #include "util/logging.h"
 
@@ -84,14 +86,31 @@ simulateDistributed(const models::ModelDesc &model,
         4.0 / config.gradientCompression;
 
     if (workers > 1) {
-        const Topology topo = config.topology.build(workers);
-        TBD_CHECK(static_cast<int>(topo.gpus().size()) == workers,
+        // Share one built graph (with its routing table) across every
+        // sweep cell on this (shape, scale), and memoize the costed
+        // plan per exact (graph, collective, bytes, workers) — the
+        // cached CommCost is returned as computed, never rescaled, so
+        // hits are bitwise-identical (sim_cache.h). TBD_NOCACHE=1
+        // makes both helpers fall through to fresh computation.
+        const std::shared_ptr<const Topology> topo =
+            sharedTopology(config.topology, workers);
+        TBD_CHECK(static_cast<int>(topo->gpus().size()) == workers,
                   "topology ", config.topology.name, " built ",
-                  topo.gpus().size(), " GPUs for ", workers,
+                  topo->gpus().size(), " GPUs for ", workers,
                   " workers");
-        const CommPlan plan =
-            config.collective.plan(topo, result.gradBytes);
-        const CommCost cost = costPlan(topo, plan);
+        const std::uint64_t topo_fnv = topologyFingerprint(*topo);
+        const std::optional<CommCost> cached = cachedPlanCost(
+            topo_fnv, config.collective.name, result.gradBytes, workers);
+        CommCost cost;
+        if (cached) {
+            cost = *cached;
+        } else {
+            const CommPlan plan =
+                config.collective.plan(*topo, result.gradBytes);
+            cost = costPlan(*topo, plan);
+            storePlanCost(topo_fnv, config.collective.name,
+                          result.gradBytes, workers, cost);
+        }
         result.commUs = cost.totalUs;
         result.busiestEdge = cost.busiestEdge;
     }

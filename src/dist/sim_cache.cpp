@@ -1,0 +1,222 @@
+#include "dist/sim_cache.h"
+
+#include <atomic>
+#include <bit>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "perf/lowering_cache.h"
+
+namespace tbd::dist {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void
+fnvBytes(std::uint64_t &h, const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+}
+
+void
+fnvString(std::uint64_t &h, const std::string &s)
+{
+    // Length-prefixed so ("ab","c") and ("a","bc") cannot collide.
+    const std::uint64_t len = s.size();
+    fnvBytes(h, &len, sizeof(len));
+    fnvBytes(h, s.data(), s.size());
+}
+
+void
+fnvU64(std::uint64_t &h, std::uint64_t v)
+{
+    fnvBytes(h, &v, sizeof(v));
+}
+
+void
+fnvDouble(std::uint64_t &h, double v)
+{
+    fnvU64(h, std::bit_cast<std::uint64_t>(v));
+}
+
+/**
+ * The memo tables. Leaked-singleton like the intern table and metrics
+ * registry: memoized topologies may be referenced from results that
+ * outlive static destruction order.
+ */
+struct Caches
+{
+    std::mutex mutex;
+    std::unordered_map<std::string, std::shared_ptr<const Topology>>
+        topologies; ///< (spec name, workers) -> built graph
+    std::unordered_map<std::string, CommCost>
+        planCosts; ///< (graph fnv, collective, bytes, workers) -> cost
+
+    std::atomic<std::int64_t> planHits{0};
+    std::atomic<std::int64_t> planMisses{0};
+};
+
+Caches &
+caches()
+{
+    static Caches *c = new Caches;
+    return *c;
+}
+
+/** Bump dist.plan_cache.<event> when tracing is on (repo obs idiom). */
+void
+countPlanEvent(const char *event)
+{
+    if (obs::enabled())
+        obs::MetricsRegistry::global()
+            .counter(std::string("dist.plan_cache.") + event)
+            .add();
+}
+
+std::string
+topologyKey(const TopologySpec &spec, int workers)
+{
+    std::string key = spec.name;
+    key.push_back('\0');
+    key += std::to_string(workers);
+    return key;
+}
+
+std::string
+planKey(std::uint64_t topoFnv, const std::string &collective,
+        double gradBytes, int workers)
+{
+    // Exact byte pattern of gradBytes: a cached cost is only reused
+    // for bit-identical payloads, never rescaled (FP addition is not
+    // associative; scaling would break bitwise sweep identity).
+    std::string key = collective;
+    key.push_back('\0');
+    key += std::to_string(topoFnv);
+    key.push_back(':');
+    key += std::to_string(std::bit_cast<std::uint64_t>(gradBytes));
+    key.push_back(':');
+    key += std::to_string(workers);
+    return key;
+}
+
+} // namespace
+
+std::uint64_t
+topologyFingerprint(const Topology &topo)
+{
+    std::uint64_t h = kFnvOffset;
+    fnvString(h, topo.name());
+    fnvU64(h, topo.nodes().size());
+    for (const TopoNode &node : topo.nodes()) {
+        fnvString(h, node.name);
+        fnvU64(h, static_cast<std::uint64_t>(node.kind));
+        fnvU64(h, static_cast<std::uint64_t>(
+                      static_cast<std::int64_t>(node.host)));
+    }
+    fnvU64(h, topo.edges().size());
+    for (const TopoEdge &edge : topo.edges()) {
+        fnvU64(h, static_cast<std::uint64_t>(edge.a));
+        fnvU64(h, static_cast<std::uint64_t>(edge.b));
+        fnvString(h, edge.link.name);
+        fnvDouble(h, edge.link.bandwidthGBs);
+        fnvDouble(h, edge.link.latencyUs);
+    }
+    return h;
+}
+
+std::shared_ptr<const Topology>
+sharedTopology(const TopologySpec &spec, int workers)
+{
+    if (!perf::fastPathsEnabled())
+        return std::make_shared<const Topology>(spec.build(workers));
+
+    const std::string key = topologyKey(spec, workers);
+    Caches &c = caches();
+    {
+        std::lock_guard<std::mutex> lock(c.mutex);
+        auto it = c.topologies.find(key);
+        if (it != c.topologies.end())
+            return it->second;
+    }
+    // Build outside the lock (repo cache idiom). Concurrent first
+    // calls may build twice; the first insert wins and both graphs are
+    // identical, so either instance is valid to hand out.
+    auto built = std::make_shared<const Topology>(spec.build(workers));
+    std::lock_guard<std::mutex> lock(c.mutex);
+    auto [it, inserted] = c.topologies.emplace(key, std::move(built));
+    return it->second;
+}
+
+std::optional<CommCost>
+cachedPlanCost(std::uint64_t topoFnv, const std::string &collective,
+               double gradBytes, int workers)
+{
+    if (!perf::fastPathsEnabled())
+        return std::nullopt;
+
+    Caches &c = caches();
+    const std::string key = planKey(topoFnv, collective, gradBytes, workers);
+    {
+        std::lock_guard<std::mutex> lock(c.mutex);
+        auto it = c.planCosts.find(key);
+        if (it != c.planCosts.end()) {
+            c.planHits.fetch_add(1, std::memory_order_relaxed);
+            countPlanEvent("hit");
+            return it->second;
+        }
+    }
+    c.planMisses.fetch_add(1, std::memory_order_relaxed);
+    countPlanEvent("miss");
+    return std::nullopt;
+}
+
+void
+storePlanCost(std::uint64_t topoFnv, const std::string &collective,
+              double gradBytes, int workers, const CommCost &cost)
+{
+    if (!perf::fastPathsEnabled())
+        return;
+
+    Caches &c = caches();
+    std::lock_guard<std::mutex> lock(c.mutex);
+    c.planCosts.emplace(planKey(topoFnv, collective, gradBytes, workers),
+                        cost);
+}
+
+PlanCacheStats
+planCacheStats()
+{
+    Caches &c = caches();
+    PlanCacheStats stats;
+    stats.hits = c.planHits.load(std::memory_order_relaxed);
+    stats.misses = c.planMisses.load(std::memory_order_relaxed);
+    return stats;
+}
+
+void
+resetPlanCacheStats()
+{
+    Caches &c = caches();
+    c.planHits.store(0, std::memory_order_relaxed);
+    c.planMisses.store(0, std::memory_order_relaxed);
+}
+
+void
+clearDistMemos()
+{
+    Caches &c = caches();
+    std::lock_guard<std::mutex> lock(c.mutex);
+    c.topologies.clear();
+    c.planCosts.clear();
+}
+
+} // namespace tbd::dist

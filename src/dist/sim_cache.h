@@ -1,0 +1,85 @@
+/**
+ * @file
+ * In-process memoization for the topology-graph simulator: shared
+ * Topology instances (with their routing tables) and costed CommPlan
+ * results, reused across sweep cells that share (topology, collective,
+ * worker count). A dist scaling study prices the same 36 cluster
+ * shapes against 9 models — without this layer every model × batch
+ * cell rebuilds the graph, re-runs Dijkstra and re-emits the plan.
+ *
+ * Everything here is bitwise-transparent: cached values are returned
+ * exactly as computed (costs are never rescaled), and the whole layer
+ * is gated on perf::fastPathsEnabled() so `TBD_NOCACHE=1` bypasses it.
+ * `registerTopology`/`registerCollective` clear the memos, so a
+ * re-registered builder or policy can never serve stale entries.
+ * Persistence of dist results across processes lives in tbd::store
+ * (which also uses `topologyFingerprint` to key entries by the actual
+ * graph, not just the spec name).
+ */
+
+#ifndef TBD_DIST_SIM_CACHE_H
+#define TBD_DIST_SIM_CACHE_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "dist/collective.h"
+#include "dist/topology.h"
+
+namespace tbd::dist {
+
+/**
+ * FNV-1a 64 fingerprint of a topology graph: name, every node
+ * (name, kind, host) and every edge (endpoints, link name, latency
+ * and bandwidth as exact bit patterns). Two graphs with the same
+ * fingerprint route and cost identically.
+ */
+std::uint64_t topologyFingerprint(const Topology &topo);
+
+/**
+ * The memoized graph for (spec.name, workers). Builds and caches on
+ * first use; later calls share the instance (and its accumulated
+ * routing table). Falls back to building a fresh, uncached graph when
+ * fast paths are disabled.
+ */
+std::shared_ptr<const Topology> sharedTopology(const TopologySpec &spec,
+                                               int workers);
+
+/**
+ * Look up a previously costed plan for (topology fingerprint,
+ * collective, exact gradient bytes, workers). Returns the CommCost
+ * exactly as first computed — never scaled — or nullopt on miss or
+ * when fast paths are disabled.
+ */
+std::optional<CommCost> cachedPlanCost(std::uint64_t topoFnv,
+                                       const std::string &collective,
+                                       double gradBytes, int workers);
+
+/** Record a costed plan for later cachedPlanCost hits. */
+void storePlanCost(std::uint64_t topoFnv, const std::string &collective,
+                   double gradBytes, int workers, const CommCost &cost);
+
+/** Plan-cost memo accounting (mirrored to dist.plan_cache.* obs). */
+struct PlanCacheStats
+{
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+};
+
+/** Snapshot of the plan-cost memo counters. */
+PlanCacheStats planCacheStats();
+
+/** Zero the plan-cost memo counters (tests and benches). */
+void resetPlanCacheStats();
+
+/**
+ * Drop every memoized topology and plan cost. Called by
+ * registerTopology and registerCollective so redefinitions are never
+ * aliased by stale cache entries; tests use it for isolation.
+ */
+void clearDistMemos();
+
+} // namespace tbd::dist
+
+#endif // TBD_DIST_SIM_CACHE_H

@@ -2,11 +2,27 @@
 
 #include <algorithm>
 #include <limits>
+#include <mutex>
+#include <unordered_map>
 
+#include "dist/sim_cache.h"
 #include "obs/obs.h"
+#include "perf/lowering_cache.h"
 #include "util/logging.h"
 
 namespace tbd::dist {
+
+/**
+ * Memoized Dijkstra results, keyed by (from, to). Owned via
+ * shared_ptr: addNode/addEdge swap in a fresh memo rather than
+ * clearing this one, so a copied topology that shares it never sees
+ * routes for a graph it no longer matches.
+ */
+struct RouteMemo
+{
+    std::mutex mutex;
+    std::unordered_map<std::uint64_t, std::vector<int>> routes;
+};
 
 namespace {
 
@@ -49,6 +65,7 @@ Topology::addNode(std::string name, NodeKind kind, int host)
     const int index = static_cast<int>(nodes_.size());
     nodes_.push_back({std::move(name), kind, host});
     adjacency_.emplace_back();
+    routeMemo_ = std::make_shared<RouteMemo>();
     if (kind == NodeKind::Gpu)
         gpus_.push_back(index);
     else if (kind == NodeKind::Host)
@@ -66,6 +83,7 @@ Topology::addEdge(int a, int b, LinkSpec link)
     edges_.push_back({a, b, std::move(link)});
     adjacency_[a].push_back(index);
     adjacency_[b].push_back(index);
+    routeMemo_ = std::make_shared<RouteMemo>();
 }
 
 std::vector<std::vector<int>>
@@ -123,6 +141,24 @@ Topology::route(int from, int to) const
     if (from == to)
         return {};
 
+    // Route memo: collectives ask for the same few pairs once per
+    // plan-costing step, and sweeps cost hundreds of plans per shared
+    // graph. Gated like every fast path; memoized routes are the exact
+    // vectors Dijkstra produced, so hits are bitwise-transparent. The
+    // memo pointer is only read here — mutators swap in a fresh one.
+    const std::shared_ptr<RouteMemo> memo =
+        perf::fastPathsEnabled() ? routeMemo_ : nullptr;
+    const std::uint64_t memo_key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from))
+         << 32) |
+        static_cast<std::uint32_t>(to);
+    if (memo != nullptr) {
+        std::lock_guard<std::mutex> lock(memo->mutex);
+        auto it = memo->routes.find(memo_key);
+        if (it != memo->routes.end())
+            return it->second;
+    }
+
     // Dijkstra, O(V^2): cluster graphs are tens of nodes. Ties break
     // on the lower node index so routes are deterministic.
     constexpr double kInf = std::numeric_limits<double>::infinity();
@@ -160,6 +196,10 @@ Topology::route(int from, int to) const
         node = edges_[e].a == node ? edges_[e].b : edges_[e].a;
     }
     std::reverse(path.begin(), path.end());
+    if (memo != nullptr) {
+        std::lock_guard<std::mutex> lock(memo->mutex);
+        memo->routes.emplace(memo_key, path);
+    }
     return path;
 }
 
@@ -472,6 +512,9 @@ registerTopology(TopologySpec spec)
 {
     TBD_CHECK(!spec.name.empty() && spec.build != nullptr,
               "a topology spec needs a name and a builder");
+    // A redefined builder must never be served from stale memoized
+    // graphs or plan costs (sim_cache.h).
+    clearDistMemos();
     for (auto &existing : registry()) {
         if (existing.name == spec.name) {
             existing = std::move(spec);

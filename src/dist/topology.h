@@ -22,6 +22,7 @@
 #define TBD_DIST_TOPOLOGY_H
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -40,6 +41,9 @@ enum class NodeKind
 
 /** Display name of a node kind. */
 const char *nodeKindName(NodeKind kind);
+
+/** Memoized shortest-path routes (defined in topology.cpp). */
+struct RouteMemo;
 
 /** One node of a cluster graph. */
 struct TopoNode
@@ -121,6 +125,15 @@ class Topology
     std::vector<int> gpus_;
     std::vector<int> hosts_;
     std::vector<std::vector<int>> adjacency_; ///< node -> edge indices
+
+    /**
+     * Per-graph route memo, consulted by route() when fast paths are
+     * on (`TBD_NOCACHE=1` recomputes every Dijkstra). Mutators swap in
+     * a fresh memo instead of clearing, so copies sharing the old one
+     * stay valid and route() only ever *reads* the pointer — safe for
+     * concurrent routing once a topology stops being mutated.
+     */
+    std::shared_ptr<RouteMemo> routeMemo_;
 };
 
 /** One registered cluster shape, parameterized by worker count. */

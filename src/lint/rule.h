@@ -72,6 +72,29 @@ class Sink
 std::vector<std::string>
 internTableDefects(const std::vector<std::string> &names);
 
+/**
+ * One config struct audited by the store.key-completeness tripwire:
+ * its display name, the live field count (store::fieldCount<T>()) and
+ * the count its canonical key serialization accounts for (the
+ * kXKeyFields snapshot constant in store/store.h).
+ */
+struct StoreKeyCoverage
+{
+    std::string name;          ///< e.g. "perf::RunConfig"
+    std::size_t liveFields = 0;
+    std::size_t keyedFields = 0;
+};
+
+/**
+ * Mismatches between live field counts and the canonical-key
+ * accounting: adding a field to RunConfig/DistConfig (or any struct
+ * embedded in their keys) without extending the key serialization is
+ * a defect. Pure so fixtures can fire the rule with fabricated
+ * counts; store.key-completeness feeds it the real ones.
+ */
+std::vector<std::string>
+storeKeyCoverageDefects(const std::vector<StoreKeyCoverage> &structs);
+
 /** Ordered, id-unique rule collection. */
 class RuleRegistry
 {

@@ -21,6 +21,7 @@
 #include "gpusim/kernel_catalog.h"
 #include "lint/rule.h"
 #include "perf/memory_model.h"
+#include "store/store.h"
 #include "util/format.h"
 #include "util/logging.h"
 
@@ -819,6 +820,35 @@ ruleDistClusterCell(const LintContext &, Sink &sink)
     }
 }
 
+void
+ruleStoreKeyCompleteness(const LintContext &, Sink &sink)
+{
+    // Live field counts come from compile-time aggregate probing;
+    // the kXKeyFields constants snapshot what the canonical key
+    // serializations (store::canonicalRunKeyJson/DistKeyJson) were
+    // written against. Growing a struct without extending the key —
+    // or documenting the exclusion and bumping the constant — makes
+    // two different simulations share one store entry.
+    for (const auto &defect : storeKeyCoverageDefects({
+             {"perf::RunConfig", store::fieldCount<perf::RunConfig>(),
+              store::kRunConfigKeyFields},
+             {"dist::DistConfig",
+              store::fieldCount<dist::DistConfig>(),
+              store::kDistConfigKeyFields},
+             {"gpusim::GpuSpec", store::fieldCount<gpusim::GpuSpec>(),
+              store::kGpuSpecKeyFields},
+             {"gpusim::CpuSpec", store::fieldCount<gpusim::CpuSpec>(),
+              store::kCpuSpecKeyFields},
+             {"dist::TopologySpec",
+              store::fieldCount<dist::TopologySpec>(),
+              store::kTopologySpecKeyFields},
+             {"dist::CollectiveSpec",
+              store::fieldCount<dist::CollectiveSpec>(),
+              store::kCollectiveSpecKeyFields},
+         }))
+        sink.emit("store", defect);
+}
+
 } // namespace
 
 std::vector<std::string>
@@ -840,6 +870,25 @@ internTableDefects(const std::vector<std::string> &names)
                               " and " + std::to_string(id) +
                               " both hold the string '" + name +
                               "' (table collision)");
+    }
+    return defects;
+}
+
+std::vector<std::string>
+storeKeyCoverageDefects(const std::vector<StoreKeyCoverage> &structs)
+{
+    std::vector<std::string> defects;
+    for (const auto &entry : structs) {
+        if (entry.liveFields == entry.keyedFields)
+            continue;
+        defects.push_back(
+            entry.name + " has " + std::to_string(entry.liveFields) +
+            " fields but the canonical store key accounts for " +
+            std::to_string(entry.keyedFields) +
+            " — extend the key serialization in store/store.cpp (or "
+            "document the exclusion) and bump the matching "
+            "kXKeyFields constant; simulation-visible additions also "
+            "need a store epoch bump (CONTRIBUTING)");
     }
     return defects;
 }
@@ -998,6 +1047,13 @@ RuleRegistry::builtin()
                 "fix the topology builder or its TopologySpec "
                 "constants",
                 ruleDistClusterCell});
+        r->add({"store.key-completeness", Severity::Error, "store",
+                "every RunConfig/DistConfig field participates in the "
+                "persistent store's canonical cache key",
+                "extend canonicalRunKeyJson/canonicalDistKeyJson in "
+                "store/store.cpp and bump the kXKeyFields snapshot "
+                "(plus the store epoch when simulation-visible)",
+                ruleStoreKeyCompleteness});
         return r;
     }();
     return *registry;

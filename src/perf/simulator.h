@@ -119,6 +119,30 @@ using RunPrologue = std::function<void()>;
  */
 RunPrologue setRunPrologue(RunPrologue prologue);
 
+/**
+ * Persistent second-tier result store hooks. tbd::store installs them
+ * (store::installSimulatorTier) the same way tbd::check uses the
+ * post-run audit — the indirection keeps perf free of a dependency on
+ * the store, which itself links dist. `load` probes for a finished
+ * result before any simulation work (and replays cached enforceMemory
+ * OOM negatives by throwing the recorded util::FatalError, so callers
+ * cannot tell a cached failure from a recomputed one); `save`
+ * persists a finished run; `saveOom` records an enforceMemory failure.
+ */
+struct RunStoreTier
+{
+    std::function<std::optional<RunResult>(const RunConfig &)> load;
+    std::function<void(const RunConfig &, const RunResult &)> save;
+    std::function<void(const RunConfig &, const std::string &)> saveOom;
+};
+
+/**
+ * Install (or clear, with {}) the global store tier and return the
+ * previous one. Must not race with in-flight runs: set it before
+ * fanning simulations out over the thread pool.
+ */
+RunStoreTier setRunStoreTier(RunStoreTier tier);
+
 /** Runs configurations against the gpusim substrate. */
 class PerfSimulator
 {

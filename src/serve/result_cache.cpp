@@ -83,7 +83,8 @@ ResultCache::ResultCache(std::size_t maxEntries)
 ResultCache::~ResultCache() = default;
 
 ResultCache::Outcome
-ResultCache::getOrCompute(const std::string &key, const Compute &fn)
+ResultCache::getOrCompute(const std::string &key, const Compute &fn,
+                          const DiskLoad &disk)
 {
     std::shared_ptr<Inflight> flight;
     bool leader = false;
@@ -113,23 +114,35 @@ ResultCache::getOrCompute(const std::string &key, const Compute &fn)
         // Coalesced: block until the leader publishes.
         std::unique_lock<std::mutex> lock(flight->mutex);
         flight->done.wait(lock, [&] { return flight->finished; });
-        return Outcome{flight->result, flight->error, false, true};
+        return Outcome{flight->result, flight->error, false, true,
+                       false};
     }
 
-    // Leader: compute outside every lock so distinct keys overlap.
+    // Leader: probe the disk tier, then compute — both outside every
+    // lock so distinct keys overlap.
     std::shared_ptr<const perf::RunResult> result;
     std::string error;
-    try {
-        result = std::make_shared<const perf::RunResult>(fn());
-    } catch (const std::exception &e) {
-        error = e.what();
-    } catch (...) {
-        error = "unknown simulation failure";
+    bool disk_hit = false;
+    if (disk) {
+        result = disk();
+        disk_hit = result != nullptr;
+        countCacheEvent(disk_hit ? "disk_hit" : "disk_miss");
+    }
+    if (!result) {
+        try {
+            result = std::make_shared<const perf::RunResult>(fn());
+        } catch (const std::exception &e) {
+            error = e.what();
+        } catch (...) {
+            error = "unknown simulation failure";
+        }
     }
 
     {
         std::lock_guard<std::mutex> lock(impl_->mutex);
         impl_->inflight.erase(key);
+        if (disk_hit)
+            ++impl_->stats.diskHits;
         // Publish successes only: a failed simulation must not poison
         // the key (the next request retries).
         if (result && impl_->max_entries > 0 &&
@@ -151,7 +164,7 @@ ResultCache::getOrCompute(const std::string &key, const Compute &fn)
         flight->finished = true;
     }
     flight->done.notify_all();
-    return Outcome{result, error, false, false};
+    return Outcome{result, error, false, false, disk_hit};
 }
 
 ResultCache::Stats

@@ -53,6 +53,7 @@ class ResultCache
         std::int64_t hits = 0;      ///< served from the ready map
         std::int64_t misses = 0;    ///< computed by this request
         std::int64_t coalesced = 0; ///< waited on another's compute
+        std::int64_t diskHits = 0;  ///< answered by the disk tier
         std::int64_t evictions = 0;
         std::int64_t entries = 0;   ///< ready entries resident now
     };
@@ -65,10 +66,21 @@ class ResultCache
         std::string error;      ///< failure message when !result
         bool hit = false;       ///< served without any simulation
         bool coalesced = false; ///< waited on an in-flight twin
+        bool diskHit = false;   ///< leader answered from the disk tier
     };
 
     /** Computes a result on miss (runs outside every cache lock). */
     using Compute = std::function<perf::RunResult()>;
+
+    /**
+     * Optional persistent tier probed by the *leader* before it
+     * computes (tbd::store wires this up in serve::Server, so a
+     * restarted server answers hot queries from disk). Returns
+     * nullptr on miss; coalescing is unchanged — followers of an
+     * in-flight key wait for the leader whether it loaded or computed.
+     */
+    using DiskLoad =
+        std::function<std::shared_ptr<const perf::RunResult>()>;
 
     /** @param maxEntries Ready-entry bound; 0 disables caching
      *         (every request computes, coalescing still applies). */
@@ -82,9 +94,12 @@ class ResultCache
      * Serve `key`: from the ready map (hit), by waiting on an
      * in-flight computation of the same key (coalesced), or by
      * running `fn` (miss). `fn` executes with no cache lock held —
-     * distinct keys compute fully in parallel.
+     * distinct keys compute fully in parallel. When `disk` is
+     * provided, the leader probes it first and only falls back to
+     * `fn` on a disk miss.
      */
-    Outcome getOrCompute(const std::string &key, const Compute &fn);
+    Outcome getOrCompute(const std::string &key, const Compute &fn,
+                         const DiskLoad &disk = nullptr);
 
     /** Current counters (consistent snapshot not guaranteed). */
     Stats stats() const;

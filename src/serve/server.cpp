@@ -17,6 +17,7 @@
 #include "lint/lint.h"
 #include "obs/obs.h"
 #include "serve/testing.h"
+#include "store/store.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -47,6 +48,10 @@ maybeInstallAudit()
         check::installSimulatorAudit();
     if (lint::lintEnabled())
         lint::installPreRunLint();
+    // Persistent result store (no-op while TBD_STORE=off): a restarted
+    // server answers hot queries from disk via the ResultCache disk
+    // tier and the simulator's second-tier probe.
+    store::installSimulatorTier();
 }
 
 /** Per-tenant counter ("serve.tenant.<name>.<event>"), obs-gated. */
@@ -267,10 +272,32 @@ Server::processAdmitted(const Request &request,
     if (resolveConfig(request, config, response)) {
         const ResultCache::Outcome outcome = impl_->cache.getOrCompute(
             cacheKey(toBenchmarkRequest(request)),
-            [&config] { return runSimulation(config); });
+            [&config] { return runSimulation(config); },
+            [&config]() -> std::shared_ptr<const perf::RunResult> {
+                // Fail points must fire even with a populated store —
+                // the fault tests inject at the real admit seam.
+                if (testing::failPointActive(
+                        testing::FailPoint::SimulationError))
+                    return nullptr;
+                // count=false: the cache counts this probe itself as
+                // serve.cache.disk_{hit,miss}; a disk miss would
+                // otherwise double-count when the simulator's own
+                // store tier probes again inside runSimulation.
+                try {
+                    if (auto cached = store::tryLoadRun(
+                            config, /*count=*/false))
+                        return std::make_shared<const perf::RunResult>(
+                            *std::move(cached));
+                } catch (const util::FatalError &) {
+                    // Cached-OOM negative: fall through to the compute
+                    // path, whose own store probe replays the failure
+                    // under getOrCompute's error handling.
+                }
+                return nullptr;
+            });
         if (outcome.result) {
             response.status = Status::Ok;
-            response.cached = outcome.hit;
+            response.cached = outcome.hit || outcome.diskHit;
             response.coalesced = outcome.coalesced;
             response.result = summarize(*outcome.result);
         } else {

@@ -1,0 +1,1137 @@
+#include "store/store.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <mutex>
+#include <unordered_map>
+#include <unistd.h>
+
+#include "dist/sim_cache.h"
+#include "frameworks/framework.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace tbd::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Gating state
+// ---------------------------------------------------------------------
+
+/** -1 = follow the environment, 0/1 = programmatic override. */
+std::atomic<int> enabled_override{-1};
+
+std::mutex override_mutex;
+std::optional<std::string> dir_override;   // guarded by override_mutex
+std::optional<std::string> epoch_override; // guarded by override_mutex
+
+/** Raw TBD_STORE value, cached (same policy as TBD_NOCACHE). */
+const std::string &
+envStoreValue()
+{
+    static const std::string value = [] {
+        const char *v = std::getenv("TBD_STORE");
+        return std::string(v != nullptr ? v : "");
+    }();
+    return value;
+}
+
+bool
+envNoCache()
+{
+    static const bool nocache = [] {
+        const char *v = std::getenv("TBD_NOCACHE");
+        return v != nullptr && *v != '\0' && std::string_view(v) != "0";
+    }();
+    return nocache;
+}
+
+/** True when TBD_STORE names a disable token rather than a path. */
+bool
+isDisableToken(const std::string &v)
+{
+    return v == "0" || v == "off";
+}
+
+/** True when TBD_STORE names an enable token rather than a path. */
+bool
+isEnableToken(const std::string &v)
+{
+    return v.empty() || v == "1" || v == "on";
+}
+
+// ---------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------
+
+struct AtomicCounters
+{
+    std::atomic<std::int64_t> hits{0};
+    std::atomic<std::int64_t> misses{0};
+    std::atomic<std::int64_t> puts{0};
+    std::atomic<std::int64_t> oomHits{0};
+    std::atomic<std::int64_t> corrupt{0};
+    std::atomic<std::int64_t> epochMismatch{0};
+    std::atomic<std::int64_t> evicted{0};
+};
+
+AtomicCounters &
+atomicCounters()
+{
+    static AtomicCounters *c = new AtomicCounters;
+    return *c;
+}
+
+/** Bump store.<event> when tracing is on (repo obs idiom). */
+void
+countStoreEvent(const char *event, std::int64_t n = 1)
+{
+    if (obs::enabled())
+        obs::MetricsRegistry::global()
+            .counter(std::string("store.") + event)
+            .add(n);
+}
+
+// ---------------------------------------------------------------------
+// Small codec helpers
+// ---------------------------------------------------------------------
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return std::string(buf);
+}
+
+/**
+ * Payload checksum: FNV-1a folding eight bytes per step instead of
+ * one. Payloads are tens of KiB per entry (kernel traces), so the
+ * byte-wise fnv1a64() used for the short canonical keys would dominate
+ * the warm read path here. Not interchangeable with fnv1a64 — both
+ * sides of an entry always use this one for `payload_fnv`.
+ */
+std::uint64_t
+payloadChecksum(std::string_view bytes)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    const std::size_t words = bytes.size() / 8;
+    const char *p = bytes.data();
+    for (std::size_t i = 0; i < words; ++i) {
+        std::uint64_t w;
+        std::memcpy(&w, p + i * 8, sizeof w);
+        h ^= w;
+        h *= 1099511628211ull;
+    }
+    for (std::size_t i = words * 8; i < bytes.size(); ++i) {
+        h ^= static_cast<unsigned char>(bytes[i]);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+void
+putU8(std::string &out, std::uint8_t v)
+{
+    out.push_back(static_cast<char>(v));
+}
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putI64(std::string &out, std::int64_t v)
+{
+    putU64(out, static_cast<std::uint64_t>(v));
+}
+
+void
+putDouble(std::string &out, double v)
+{
+    putU64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void
+putString(std::string &out, const std::string &s)
+{
+    putU32(out, static_cast<std::uint32_t>(s.size()));
+    out.append(s);
+}
+
+/** Bounds-checked little-endian reader; `ok` latches false forever. */
+struct Reader
+{
+    const unsigned char *p = nullptr;
+    std::size_t left = 0;
+    bool ok = true;
+
+    explicit Reader(std::string_view bytes)
+        : p(reinterpret_cast<const unsigned char *>(bytes.data())),
+          left(bytes.size())
+    {
+    }
+
+    bool take(std::size_t n)
+    {
+        if (!ok || left < n) {
+            ok = false;
+            return false;
+        }
+        return true;
+    }
+
+    std::uint8_t u8()
+    {
+        if (!take(1))
+            return 0;
+        std::uint8_t v = p[0];
+        p += 1;
+        left -= 1;
+        return v;
+    }
+
+    // Fixed-width reads memcpy on little-endian hosts (the common
+    // case — a single load instead of a byte/shift loop, which
+    // dominated decode of multi-KiB kernel traces) and fall back to
+    // explicit LE assembly elsewhere.
+
+    std::uint32_t u32()
+    {
+        if (!take(4))
+            return 0;
+        std::uint32_t v = 0;
+        if constexpr (std::endian::native == std::endian::little) {
+            std::memcpy(&v, p, 4);
+        } else {
+            for (int i = 0; i < 4; ++i)
+                v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+        }
+        p += 4;
+        left -= 4;
+        return v;
+    }
+
+    std::uint64_t u64()
+    {
+        if (!take(8))
+            return 0;
+        std::uint64_t v = 0;
+        if constexpr (std::endian::native == std::endian::little) {
+            std::memcpy(&v, p, 8);
+        } else {
+            for (int i = 0; i < 8; ++i)
+                v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+        }
+        p += 8;
+        left -= 8;
+        return v;
+    }
+
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+    double f64() { return std::bit_cast<double>(u64()); }
+
+    std::string str()
+    {
+        const std::uint32_t n = u32();
+        if (!take(n))
+            return {};
+        std::string s(reinterpret_cast<const char *>(p), n);
+        p += n;
+        left -= n;
+        return s;
+    }
+};
+
+constexpr std::uint32_t kRunMagic = 0x52444254u;  // "TBDR" LE
+constexpr std::uint32_t kDistMagic = 0x44444254u; // "TBDD" LE
+constexpr std::uint32_t kPayloadVersion = 1;
+constexpr std::uint8_t kStatusOk = 0;
+constexpr std::uint8_t kStatusOom = 1;
+
+/** One-past-the-last KernelCategory/Limiter value, for decode checks. */
+constexpr std::uint8_t kCategoryEnd =
+    static_cast<std::uint8_t>(gpusim::KernelCategory::Copy) + 1;
+constexpr std::uint8_t kLimiterEnd =
+    static_cast<std::uint8_t>(gpusim::Limiter::Tail) + 1;
+
+// ---------------------------------------------------------------------
+// Canonical keys
+// ---------------------------------------------------------------------
+
+util::json::Value
+gpuKeyValue(const gpusim::GpuSpec &gpu)
+{
+    using util::json::Value;
+    Value v = Value::object();
+    v.set("name", Value(gpu.name));
+    v.set("multiprocessors",
+          Value(static_cast<std::int64_t>(gpu.multiprocessors)));
+    v.set("core_count", Value(static_cast<std::int64_t>(gpu.coreCount)));
+    v.set("max_clock_mhz", Value(gpu.maxClockMHz));
+    v.set("memory_gib", Value(gpu.memoryGiB));
+    v.set("llc_mib", Value(gpu.llcMiB));
+    v.set("memory_bus_type", Value(gpu.memoryBusType));
+    v.set("memory_bw_gbs", Value(gpu.memoryBwGBs));
+    v.set("memory_speed_mhz", Value(gpu.memorySpeedMHz));
+    return v;
+}
+
+util::json::Value
+cpuKeyValue(const gpusim::CpuSpec &cpu)
+{
+    using util::json::Value;
+    Value v = Value::object();
+    v.set("name", Value(cpu.name));
+    v.set("core_count", Value(static_cast<std::int64_t>(cpu.coreCount)));
+    v.set("max_clock_mhz", Value(cpu.maxClockMHz));
+    v.set("memory_gib", Value(cpu.memoryGiB));
+    v.set("memory_bw_gbs", Value(cpu.memoryBwGBs));
+    return v;
+}
+
+util::json::Value
+runKeyValue(const perf::RunConfig &config)
+{
+    using util::json::Value;
+    TBD_ASSERT(config.model != nullptr,
+               "store key requires a resolved model");
+    Value v = Value::object();
+    v.set("kind", Value(std::string("run")));
+    v.set("model", Value(config.model->name));
+    v.set("framework",
+          Value(std::string(frameworks::frameworkName(config.framework))));
+    v.set("gpu", gpuKeyValue(config.gpu));
+    v.set("cpu", cpuKeyValue(config.cpu));
+    v.set("batch", Value(config.batch));
+    v.set("warmup_iterations",
+          Value(static_cast<std::int64_t>(config.warmupIterations)));
+    v.set("sample_iterations",
+          Value(static_cast<std::int64_t>(config.sampleIterations)));
+    v.set("enforce_memory", Value(config.enforceMemory));
+    v.set("length_cv", Value(config.lengthCv));
+    v.set("length_seed", Value(config.lengthSeed));
+    // RunConfig::obsParent is deliberately absent: pure observability,
+    // never read by the simulation (kRunConfigKeyFields counts it as
+    // the one documented exclusion).
+    return v;
+}
+
+// ---------------------------------------------------------------------
+// Entry files
+// ---------------------------------------------------------------------
+
+/**
+ * Atomic write: unique tmp name in the target directory, then one
+ * rename (the checkpoint/trace discipline from engine/checkpoint.cpp).
+ * Best-effort — a full disk or read-only root degrades to a miss on
+ * the next run, never to a torn entry.
+ */
+bool
+writeFileAtomic(const std::string &path, const std::string &bytes)
+{
+    static std::atomic<std::uint64_t> sequence{0};
+    const std::string tmp = path + ".tmp." + std::to_string(::getpid()) +
+                            "." +
+                            std::to_string(sequence.fetch_add(1));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        if (!out) {
+            out.close();
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::optional<std::string>
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    // One sized read() instead of istreambuf_iterator: entries carry
+    // multi-KiB kernel traces and the per-character streambuf walk
+    // was the single largest cost on the warm probe path. The atomic
+    // tmp+rename publish protocol means the open fd always sees a
+    // complete entry, so the size cannot change under us.
+    in.seekg(0, std::ios::end);
+    const std::streamoff size = in.tellg();
+    if (size < 0)
+        return std::nullopt;
+    std::string bytes(static_cast<std::size_t>(size), '\0');
+    in.seekg(0);
+    in.read(bytes.data(), size);
+    if (in.bad() || in.gcount() != size)
+        return std::nullopt;
+    return bytes;
+}
+
+/** A parsed entry file; `problem` is set whenever !valid. */
+struct ParsedEntry
+{
+    bool valid = false;   ///< header parsed + payload complete + checksum
+    std::string problem;  ///< defect description when !valid
+    int schema = 0;
+    std::string epoch;
+    std::string kind;
+    std::string key;      ///< the canonical key JSON, verbatim
+    std::string payload;  ///< raw payload bytes (checksummed)
+};
+
+ParsedEntry
+parseEntry(const std::string &bytes)
+{
+    ParsedEntry e;
+    if (bytes.empty()) {
+        e.problem = "empty file";
+        return e;
+    }
+    const std::size_t nl = bytes.find('\n');
+    if (nl == std::string::npos) {
+        e.problem = "missing header line";
+        return e;
+    }
+    util::json::Value header;
+    try {
+        header = util::json::Value::parse(bytes.substr(0, nl));
+        if (!header.has("schema") || !header.has("epoch") ||
+            !header.has("kind") || !header.has("key") ||
+            !header.has("payload_bytes") || !header.has("payload_fnv")) {
+            e.problem = "header missing required field";
+            return e;
+        }
+        e.schema = static_cast<int>(header.at("schema").asInt());
+        e.epoch = header.at("epoch").asString();
+        e.kind = header.at("kind").asString();
+        e.key = header.at("key").asString();
+        const std::uint64_t payloadBytes =
+            header.at("payload_bytes").asUint();
+        const std::string payloadFnv =
+            header.at("payload_fnv").asString();
+        e.payload = bytes.substr(nl + 1);
+        if (e.payload.size() != payloadBytes) {
+            e.problem = "truncated payload";
+            return e;
+        }
+        if (hex16(payloadChecksum(e.payload)) != payloadFnv) {
+            e.problem = "payload checksum mismatch";
+            return e;
+        }
+    } catch (const std::exception &) {
+        e.problem = "malformed header";
+        return e;
+    }
+    e.valid = true;
+    return e;
+}
+
+std::string
+encodeEntry(const std::string &kind, const std::string &key,
+            const std::string &payload)
+{
+    using util::json::Value;
+    Value header = Value::object();
+    header.set("schema",
+               Value(static_cast<std::int64_t>(kStoreSchemaVersion)));
+    header.set("epoch", Value(storeEpoch()));
+    header.set("kind", Value(kind));
+    header.set("key", Value(key));
+    header.set("payload_bytes",
+               Value(static_cast<std::uint64_t>(payload.size())));
+    header.set("payload_fnv", Value(hex16(payloadChecksum(payload))));
+    std::string bytes = header.dump();
+    bytes.push_back('\n');
+    bytes.append(payload);
+    return bytes;
+}
+
+/**
+ * Entry path for a key: `<kind>-<fnv64 of the key JSON>.tbds`, flat
+ * under the store root. The epoch is in the header, not the name, so
+ * an epoch bump overwrites the same file instead of orphaning it.
+ */
+std::string
+entryPath(const std::string &kind, const std::string &key)
+{
+    return (fs::path(storeDir()) /
+            (kind + "-" + hex16(fnv1a64(key)) + ".tbds"))
+        .string();
+}
+
+/**
+ * Shared load path. Exactly one counter outcome per probe: hit (and
+ * oom_hit for negatives), or miss — with corrupt / epoch_mismatch
+ * recording the miss's cause — so hits + misses always equals probes.
+ */
+std::optional<std::string>
+loadEntryPayload(const std::string &kind, const std::string &key,
+                 bool count)
+{
+    const auto counted = [&](std::atomic<std::int64_t> *cause,
+                             const char *causeEvent) {
+        if (!count)
+            return;
+        atomicCounters().misses.fetch_add(1, std::memory_order_relaxed);
+        countStoreEvent("miss");
+        if (cause != nullptr) {
+            cause->fetch_add(1, std::memory_order_relaxed);
+            countStoreEvent(causeEvent);
+        }
+    };
+
+    const auto bytes = readFileBytes(entryPath(kind, key));
+    if (!bytes) {
+        counted(nullptr, nullptr);
+        return std::nullopt;
+    }
+    ParsedEntry entry = parseEntry(*bytes);
+    if (!entry.valid) {
+        counted(&atomicCounters().corrupt, "corrupt");
+        return std::nullopt;
+    }
+    if (entry.schema != kStoreSchemaVersion ||
+        entry.epoch != storeEpoch()) {
+        counted(&atomicCounters().epochMismatch, "epoch_mismatch");
+        return std::nullopt;
+    }
+    // Exact key comparison: a 64-bit filename collision must read as a
+    // plain miss, never as another configuration's result.
+    if (entry.kind != kind || entry.key != key) {
+        counted(nullptr, nullptr);
+        return std::nullopt;
+    }
+    return std::move(entry.payload);
+}
+
+void
+putEntry(const std::string &kind, const std::string &key,
+         const std::string &payload)
+{
+    std::error_code ec;
+    fs::create_directories(storeDir(), ec);
+    if (writeFileAtomic(entryPath(kind, key),
+                        encodeEntry(kind, key, payload))) {
+        atomicCounters().puts.fetch_add(1, std::memory_order_relaxed);
+        countStoreEvent("put");
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Gating
+// ---------------------------------------------------------------------
+
+bool
+storeEnabled()
+{
+    const int ov = enabled_override.load(std::memory_order_relaxed);
+    if (ov >= 0)
+        return ov != 0;
+    if (envNoCache())
+        return false;
+    return !isDisableToken(envStoreValue());
+}
+
+void
+setStoreEnabled(std::optional<bool> enabled)
+{
+    enabled_override.store(enabled ? (*enabled ? 1 : 0) : -1,
+                           std::memory_order_relaxed);
+}
+
+std::string
+storeDir()
+{
+    {
+        std::lock_guard<std::mutex> lock(override_mutex);
+        if (dir_override)
+            return *dir_override;
+    }
+    const std::string &env = envStoreValue();
+    if (!isEnableToken(env) && !isDisableToken(env))
+        return env;
+    return ".tbd-store";
+}
+
+void
+setStoreDir(std::optional<std::string> dir)
+{
+    std::lock_guard<std::mutex> lock(override_mutex);
+    dir_override = std::move(dir);
+}
+
+// ---------------------------------------------------------------------
+// Epoch
+// ---------------------------------------------------------------------
+
+std::string
+storeEpoch()
+{
+    {
+        std::lock_guard<std::mutex> lock(override_mutex);
+        if (epoch_override)
+            return *epoch_override;
+    }
+    static const std::string env = [] {
+        const char *v = std::getenv("TBD_STORE_EPOCH");
+        return std::string(v != nullptr ? v : "");
+    }();
+    if (!env.empty())
+        return env;
+    return "s" + std::to_string(kStoreSchemaVersion) + ".c" +
+           std::to_string(kStoreCodeEpoch);
+}
+
+void
+setStoreEpoch(std::optional<std::string> epoch)
+{
+    std::lock_guard<std::mutex> lock(override_mutex);
+    epoch_override = std::move(epoch);
+}
+
+// ---------------------------------------------------------------------
+// Content keys
+// ---------------------------------------------------------------------
+
+std::uint64_t
+fnv1a64(std::string_view bytes)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    for (const char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::string
+canonicalRunKeyJson(const perf::RunConfig &config)
+{
+    return runKeyValue(config).dump();
+}
+
+std::string
+canonicalDistKeyJson(const perf::RunConfig &base,
+                     const dist::DistConfig &config)
+{
+    using util::json::Value;
+    const int workers = config.effectiveWorkers();
+    // Key the topology by the graph it actually builds, not just the
+    // spec name: a re-registered builder under the same name changes
+    // the fingerprint and cleanly misses the old entries.
+    const auto topo = dist::sharedTopology(config.topology, workers);
+
+    Value v = Value::object();
+    v.set("kind", Value(std::string("dist")));
+    v.set("base", runKeyValue(base));
+    Value topoV = Value::object();
+    topoV.set("name", Value(config.topology.name));
+    topoV.set("description", Value(config.topology.description));
+    topoV.set("gpu_hour_usd", Value(config.topology.gpuHourUsd));
+    topoV.set("host_hour_usd", Value(config.topology.hostHourUsd));
+    topoV.set("fixed_workers",
+              Value(static_cast<std::int64_t>(config.topology.fixedWorkers)));
+    topoV.set("graph_fnv", Value(hex16(dist::topologyFingerprint(*topo))));
+    v.set("topology", topoV);
+    Value collV = Value::object();
+    collV.set("name", Value(config.collective.name));
+    collV.set("description", Value(config.collective.description));
+    // CollectiveSpec::plan is a closure and cannot be fingerprinted;
+    // replacing a collective's behavior under an existing name needs a
+    // store-epoch bump (CONTRIBUTING).
+    v.set("collective", collV);
+    v.set("workers", Value(static_cast<std::int64_t>(workers)));
+    v.set("overlap_fraction", Value(config.overlapFraction));
+    v.set("gradient_compression", Value(config.gradientCompression));
+    return v.dump();
+}
+
+// ---------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------
+
+StoreCounters
+counters()
+{
+    AtomicCounters &c = atomicCounters();
+    StoreCounters out;
+    out.hits = c.hits.load(std::memory_order_relaxed);
+    out.misses = c.misses.load(std::memory_order_relaxed);
+    out.puts = c.puts.load(std::memory_order_relaxed);
+    out.oomHits = c.oomHits.load(std::memory_order_relaxed);
+    out.corrupt = c.corrupt.load(std::memory_order_relaxed);
+    out.epochMismatch = c.epochMismatch.load(std::memory_order_relaxed);
+    out.evicted = c.evicted.load(std::memory_order_relaxed);
+    return out;
+}
+
+void
+resetCounters()
+{
+    AtomicCounters &c = atomicCounters();
+    c.hits.store(0, std::memory_order_relaxed);
+    c.misses.store(0, std::memory_order_relaxed);
+    c.puts.store(0, std::memory_order_relaxed);
+    c.oomHits.store(0, std::memory_order_relaxed);
+    c.corrupt.store(0, std::memory_order_relaxed);
+    c.epochMismatch.store(0, std::memory_order_relaxed);
+    c.evicted.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Blob codecs
+// ---------------------------------------------------------------------
+
+std::string
+encodeRunPayload(const RunPayload &payload)
+{
+    std::string out;
+    putU32(out, kRunMagic);
+    putU32(out, kPayloadVersion);
+    putU8(out, payload.oom ? kStatusOom : kStatusOk);
+    if (payload.oom) {
+        putString(out, payload.oomMessage);
+        return out;
+    }
+    const perf::RunResult &r = payload.result;
+    putString(out, r.modelName);
+    putString(out, r.frameworkName);
+    putString(out, r.gpuName);
+    putI64(out, r.batch);
+    putDouble(out, r.iterationUs);
+    putDouble(out, r.throughputSamples);
+    putDouble(out, r.throughputUnits);
+    putDouble(out, r.gpuUtilization);
+    putDouble(out, r.fp32Utilization);
+    putDouble(out, r.cpuUtilization);
+    putI64(out, r.kernelsPerIteration);
+    putU32(out, static_cast<std::uint32_t>(r.memory.peakBytes.size()));
+    for (const std::uint64_t bytes : r.memory.peakBytes)
+        putU64(out, bytes);
+    // Kernel names repeat heavily within a trace (a model launches a
+    // few dozen distinct kernels thousands of times), so rows index a
+    // per-entry string table instead of carrying the name. Besides
+    // shrinking the blob, a warm decode interns tens of names instead
+    // of thousands — per-row interning hits a process-global table
+    // and serializes the parallel sweep decodes runSweep fans out.
+    std::vector<std::string> names;
+    std::unordered_map<gpusim::NameId, std::uint32_t> name_index;
+    for (const gpusim::KernelExec &k : r.kernelTrace) {
+        if (name_index.emplace(k.name.id(),
+                               static_cast<std::uint32_t>(names.size()))
+                .second)
+            names.push_back(k.name.str());
+    }
+    putU32(out, static_cast<std::uint32_t>(names.size()));
+    for (const std::string &name : names)
+        putString(out, name);
+    putU32(out, static_cast<std::uint32_t>(r.kernelTrace.size()));
+    for (const gpusim::KernelExec &k : r.kernelTrace) {
+        putU32(out, name_index.at(k.name.id()));
+        putU8(out, static_cast<std::uint8_t>(k.category));
+        putDouble(out, k.startUs);
+        putDouble(out, k.durationUs);
+        putDouble(out, k.flops);
+        putDouble(out, k.fp32Util);
+        putU8(out, static_cast<std::uint8_t>(k.limiter));
+    }
+    putU32(out, static_cast<std::uint32_t>(r.warmupIterationUs.size()));
+    for (const double us : r.warmupIterationUs)
+        putDouble(out, us);
+    putU32(out, static_cast<std::uint32_t>(r.sampleIterationUs.size()));
+    for (const double us : r.sampleIterationUs)
+        putDouble(out, us);
+    return out;
+}
+
+std::optional<RunPayload>
+decodeRunPayload(std::string_view bytes)
+{
+    Reader in(bytes);
+    if (in.u32() != kRunMagic || in.u32() != kPayloadVersion)
+        return std::nullopt;
+    RunPayload payload;
+    const std::uint8_t status = in.u8();
+    if (status == kStatusOom) {
+        payload.oom = true;
+        payload.oomMessage = in.str();
+        if (!in.ok || in.left != 0)
+            return std::nullopt;
+        return payload;
+    }
+    if (status != kStatusOk)
+        return std::nullopt;
+    perf::RunResult &r = payload.result;
+    r.modelName = in.str();
+    r.frameworkName = in.str();
+    r.gpuName = in.str();
+    r.batch = in.i64();
+    r.iterationUs = in.f64();
+    r.throughputSamples = in.f64();
+    r.throughputUnits = in.f64();
+    r.gpuUtilization = in.f64();
+    r.fp32Utilization = in.f64();
+    r.cpuUtilization = in.f64();
+    r.kernelsPerIteration = in.i64();
+    const std::uint32_t categories = in.u32();
+    if (!in.ok || categories != r.memory.peakBytes.size())
+        return std::nullopt;
+    for (std::uint64_t &bytesPeak : r.memory.peakBytes)
+        bytesPeak = in.u64();
+    const std::uint32_t name_count = in.u32();
+    if (!in.ok)
+        return std::nullopt;
+    std::vector<gpusim::KernelName> names;
+    names.reserve(name_count);
+    for (std::uint32_t i = 0; i < name_count && in.ok; ++i)
+        names.emplace_back(in.str());
+    const std::uint32_t kernels = in.u32();
+    if (!in.ok)
+        return std::nullopt;
+    r.kernelTrace.reserve(kernels);
+    for (std::uint32_t i = 0; i < kernels && in.ok; ++i) {
+        gpusim::KernelExec k;
+        const std::uint32_t name_id = in.u32();
+        if (name_id >= names.size())
+            return std::nullopt;
+        k.name = names[name_id];
+        const std::uint8_t category = in.u8();
+        if (category >= kCategoryEnd)
+            return std::nullopt;
+        k.category = static_cast<gpusim::KernelCategory>(category);
+        k.startUs = in.f64();
+        k.durationUs = in.f64();
+        k.flops = in.f64();
+        k.fp32Util = in.f64();
+        const std::uint8_t limiter = in.u8();
+        if (limiter >= kLimiterEnd)
+            return std::nullopt;
+        k.limiter = static_cast<gpusim::Limiter>(limiter);
+        r.kernelTrace.push_back(std::move(k));
+    }
+    const std::uint32_t warmups = in.u32();
+    if (!in.ok)
+        return std::nullopt;
+    r.warmupIterationUs.reserve(warmups);
+    for (std::uint32_t i = 0; i < warmups && in.ok; ++i)
+        r.warmupIterationUs.push_back(in.f64());
+    const std::uint32_t samples = in.u32();
+    if (!in.ok)
+        return std::nullopt;
+    r.sampleIterationUs.reserve(samples);
+    for (std::uint32_t i = 0; i < samples && in.ok; ++i)
+        r.sampleIterationUs.push_back(in.f64());
+    if (!in.ok || in.left != 0)
+        return std::nullopt;
+    return payload;
+}
+
+std::string
+encodeDistPayload(const dist::DistResult &result)
+{
+    std::string out;
+    putU32(out, kDistMagic);
+    putU32(out, kPayloadVersion);
+    putString(out, result.topology);
+    putString(out, result.collective);
+    putString(out, result.label);
+    putI64(out, result.workers);
+    putDouble(out, result.computeUs);
+    putDouble(out, result.commUs);
+    putDouble(out, result.exposedCommUs);
+    putDouble(out, result.iterationUs);
+    putDouble(out, result.throughputSamples);
+    putDouble(out, result.scalingEfficiency);
+    putDouble(out, result.commShare);
+    putDouble(out, result.gradBytes);
+    putString(out, result.busiestEdge);
+    return out;
+}
+
+std::optional<dist::DistResult>
+decodeDistPayload(std::string_view bytes)
+{
+    Reader in(bytes);
+    if (in.u32() != kDistMagic || in.u32() != kPayloadVersion)
+        return std::nullopt;
+    dist::DistResult r;
+    r.topology = in.str();
+    r.collective = in.str();
+    r.label = in.str();
+    r.workers = static_cast<int>(in.i64());
+    r.computeUs = in.f64();
+    r.commUs = in.f64();
+    r.exposedCommUs = in.f64();
+    r.iterationUs = in.f64();
+    r.throughputSamples = in.f64();
+    r.scalingEfficiency = in.f64();
+    r.commShare = in.f64();
+    r.gradBytes = in.f64();
+    r.busiestEdge = in.str();
+    if (!in.ok || in.left != 0)
+        return std::nullopt;
+    return r;
+}
+
+// ---------------------------------------------------------------------
+// Entry I/O
+// ---------------------------------------------------------------------
+
+std::optional<perf::RunResult>
+tryLoadRun(const perf::RunConfig &config, bool count)
+{
+    if (!storeEnabled())
+        return std::nullopt;
+    const std::string key = canonicalRunKeyJson(config);
+    auto payloadBytes = loadEntryPayload("run", key, count);
+    if (!payloadBytes)
+        return std::nullopt;
+    auto payload = decodeRunPayload(*payloadBytes);
+    if (!payload) {
+        // Checksum passed but the blob didn't decode: count it as a
+        // corrupt miss like any other invalid entry.
+        if (count) {
+            atomicCounters().misses.fetch_add(1,
+                                              std::memory_order_relaxed);
+            atomicCounters().corrupt.fetch_add(1,
+                                               std::memory_order_relaxed);
+            countStoreEvent("miss");
+            countStoreEvent("corrupt");
+        }
+        return std::nullopt;
+    }
+    if (payload->oom) {
+        if (count) {
+            atomicCounters().hits.fetch_add(1, std::memory_order_relaxed);
+            atomicCounters().oomHits.fetch_add(1,
+                                               std::memory_order_relaxed);
+            countStoreEvent("hit");
+            countStoreEvent("oom_hit");
+        }
+        // Replay the recorded failure verbatim: callers (runSweep's
+        // OOM filter, the CLI) see exactly what recomputing would
+        // throw.
+        throw util::FatalError(payload->oomMessage);
+    }
+    if (count) {
+        atomicCounters().hits.fetch_add(1, std::memory_order_relaxed);
+        countStoreEvent("hit");
+    }
+    return std::move(payload->result);
+}
+
+void
+putRun(const perf::RunConfig &config, const perf::RunResult &result)
+{
+    if (!storeEnabled())
+        return;
+    RunPayload payload;
+    payload.result = result;
+    putEntry("run", canonicalRunKeyJson(config),
+             encodeRunPayload(payload));
+}
+
+void
+putRunOom(const perf::RunConfig &config, const std::string &message)
+{
+    if (!storeEnabled())
+        return;
+    RunPayload payload;
+    payload.oom = true;
+    payload.oomMessage = message;
+    putEntry("run", canonicalRunKeyJson(config),
+             encodeRunPayload(payload));
+}
+
+std::optional<dist::DistResult>
+tryLoadDist(const perf::RunConfig &base, const dist::DistConfig &config)
+{
+    if (!storeEnabled())
+        return std::nullopt;
+    const std::string key = canonicalDistKeyJson(base, config);
+    auto payloadBytes = loadEntryPayload("dist", key, /*count=*/true);
+    if (!payloadBytes)
+        return std::nullopt;
+    auto result = decodeDistPayload(*payloadBytes);
+    if (!result) {
+        atomicCounters().misses.fetch_add(1, std::memory_order_relaxed);
+        atomicCounters().corrupt.fetch_add(1, std::memory_order_relaxed);
+        countStoreEvent("miss");
+        countStoreEvent("corrupt");
+        return std::nullopt;
+    }
+    atomicCounters().hits.fetch_add(1, std::memory_order_relaxed);
+    countStoreEvent("hit");
+    return result;
+}
+
+void
+putDist(const perf::RunConfig &base, const dist::DistConfig &config,
+        const dist::DistResult &result)
+{
+    if (!storeEnabled())
+        return;
+    putEntry("dist", canonicalDistKeyJson(base, config),
+             encodeDistPayload(result));
+}
+
+void
+installSimulatorTier()
+{
+    // call_once: installation swaps a global hook, which must not race
+    // with concurrent installers (e.g. serve worker + suite).
+    static std::once_flag once;
+    std::call_once(once, [] {
+        perf::RunStoreTier tier;
+        tier.load = [](const perf::RunConfig &config) {
+            return tryLoadRun(config); // throws on cached-OOM negatives
+        };
+        tier.save = [](const perf::RunConfig &config,
+                       const perf::RunResult &result) {
+            putRun(config, result);
+        };
+        tier.saveOom = [](const perf::RunConfig &config,
+                          const std::string &message) {
+            putRunOom(config, message);
+        };
+        perf::setRunStoreTier(std::move(tier));
+    });
+}
+
+// ---------------------------------------------------------------------
+// Maintenance
+// ---------------------------------------------------------------------
+
+std::vector<EntryInfo>
+scanStore(const std::string &dir)
+{
+    std::vector<EntryInfo> entries;
+    std::error_code ec;
+    for (const auto &file : fs::directory_iterator(dir, ec)) {
+        if (!file.is_regular_file(ec))
+            continue;
+        const fs::path &path = file.path();
+        if (path.extension() != ".tbds")
+            continue;
+        EntryInfo info;
+        info.path = path.string();
+        info.bytes = file.file_size(ec);
+        const auto bytes = readFileBytes(info.path);
+        if (!bytes) {
+            info.problem = "unreadable";
+            entries.push_back(std::move(info));
+            continue;
+        }
+        ParsedEntry entry = parseEntry(*bytes);
+        info.kind = entry.kind;
+        if (!entry.valid) {
+            info.problem = entry.problem;
+            entries.push_back(std::move(info));
+            continue;
+        }
+        info.epochCurrent = entry.schema == kStoreSchemaVersion &&
+                            entry.epoch == storeEpoch();
+        // A valid header still needs a decodable blob of its kind.
+        if (entry.kind == "run")
+            info.valid = decodeRunPayload(entry.payload).has_value();
+        else if (entry.kind == "dist")
+            info.valid = decodeDistPayload(entry.payload).has_value();
+        if (!info.valid)
+            info.problem = entry.kind.empty() || (entry.kind != "run" &&
+                                                  entry.kind != "dist")
+                               ? "unknown entry kind"
+                               : "undecodable payload";
+        entries.push_back(std::move(info));
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const EntryInfo &a, const EntryInfo &b) {
+                  return a.path < b.path;
+              });
+    return entries;
+}
+
+GcStats
+gcStore(const std::string &dir)
+{
+    GcStats stats;
+    std::int64_t removed = 0;
+    for (const EntryInfo &info : scanStore(dir)) {
+        if (info.valid && info.epochCurrent) {
+            ++stats.kept;
+            stats.keptBytes += info.bytes;
+            continue;
+        }
+        std::error_code ec;
+        if (fs::remove(info.path, ec)) {
+            ++removed;
+            if (info.valid)
+                ++stats.removedStale;
+            else
+                ++stats.removedInvalid;
+        }
+    }
+    if (removed > 0) {
+        atomicCounters().evicted.fetch_add(removed,
+                                           std::memory_order_relaxed);
+        countStoreEvent("evict", removed);
+    }
+    return stats;
+}
+
+std::int64_t
+clearStore(const std::string &dir)
+{
+    std::int64_t removed = 0;
+    std::error_code ec;
+    for (const auto &file : fs::directory_iterator(dir, ec)) {
+        if (!file.is_regular_file(ec) ||
+            file.path().extension() != ".tbds")
+            continue;
+        std::error_code removeEc;
+        if (fs::remove(file.path(), removeEc))
+            ++removed;
+    }
+    if (removed > 0) {
+        atomicCounters().evicted.fetch_add(removed,
+                                           std::memory_order_relaxed);
+        countStoreEvent("evict", removed);
+    }
+    return removed;
+}
+
+} // namespace tbd::store

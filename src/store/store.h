@@ -1,0 +1,306 @@
+/**
+ * @file
+ * tbd::store — the persistent, content-addressed simulation store
+ * (DESIGN.md §16). Where perf::LoweringCache and serve::ResultCache
+ * die with the process, this tier maps a versioned content key —
+ * FNV-1a over the canonical 17-digit JSON of a RunConfig or
+ * (RunConfig, DistConfig) pair, plus a schema/code epoch so stale
+ * entries self-invalidate — to a serialized RunResult / DistResult
+ * blob on disk. Warm re-runs of the figure sweeps, `runDistSweep`
+ * and `tbd_serve` restarts answer from the store, bitwise-identical
+ * to recomputation.
+ *
+ * Layout and safety: one flat file per entry under the store root
+ * (default `.tbd-store/`, `TBD_STORE=<path>` overrides), written with
+ * the repo's atomic tmp+rename discipline. Concurrent readers and
+ * writers are safe by construction: last writer wins, a reader sees
+ * either a complete old entry or a complete new one, and anything
+ * corrupted or truncated fails the header/checksum validation and is
+ * silently recomputed (counted in `counters().corrupt`).
+ *
+ * Gating: on by default; `TBD_STORE=0|off` disables, any other
+ * non-empty value relocates the root, and `TBD_NOCACHE=1` (the global
+ * fast-path escape hatch) disables it too. Programmatic overrides
+ * (`setStoreEnabled` / `setStoreDir`) beat the environment — tests
+ * and benches pin themselves to temp dirs regardless of the caller's
+ * environment.
+ */
+
+#ifndef TBD_STORE_STORE_H
+#define TBD_STORE_STORE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "dist/distributed.h"
+#include "perf/simulator.h"
+
+namespace tbd::store {
+
+// ---------------------------------------------------------------------
+// Gating
+// ---------------------------------------------------------------------
+
+/** True when the persistent store is active for this process. */
+bool storeEnabled();
+
+/**
+ * Programmatic enable/disable override (beats TBD_STORE and
+ * TBD_NOCACHE); nullopt restores environment-driven gating.
+ */
+void setStoreEnabled(std::optional<bool> enabled);
+
+/** The active store root directory (created lazily on first put). */
+std::string storeDir();
+
+/**
+ * Programmatic root override (beats TBD_STORE=<path>); nullopt
+ * restores the environment-driven root.
+ */
+void setStoreDir(std::optional<std::string> dir);
+
+// ---------------------------------------------------------------------
+// Epoch
+// ---------------------------------------------------------------------
+
+/** Entry-file format version: bump when the blob layout changes. */
+inline constexpr int kStoreSchemaVersion = 1;
+
+/**
+ * Simulation-code fingerprint: bump whenever a change alters any
+ * simulated number (calibration constants, lowering, timeline,
+ * collective plans, ...). Entries recorded under another epoch are
+ * treated as absent. See CONTRIBUTING "When to bump the store epoch".
+ */
+inline constexpr int kStoreCodeEpoch = 1;
+
+/** The active epoch string, e.g. "s1.c1" (TBD_STORE_EPOCH overrides). */
+std::string storeEpoch();
+
+/** Test override for the epoch; nullopt restores the default. */
+void setStoreEpoch(std::optional<std::string> epoch);
+
+// ---------------------------------------------------------------------
+// Content keys
+// ---------------------------------------------------------------------
+
+/** FNV-1a 64-bit over a byte string (the repo's fingerprint hash). */
+std::uint64_t fnv1a64(std::string_view bytes);
+
+/**
+ * Canonical content key of one single-GPU run: a compact JSON object
+ * serializing every RunConfig field the simulation reads, doubles in
+ * 17-digit form. `obsParent` is deliberately excluded — it is pure
+ * observability, never read by the simulation (see RunConfig docs).
+ * The lint rule `store.key-completeness` trips when RunConfig grows a
+ * field without this serialization (and kRunConfigKeyFields) keeping
+ * up.
+ */
+std::string canonicalRunKeyJson(const perf::RunConfig &config);
+
+/**
+ * Canonical content key of one distributed cell: the base run key
+ * plus every DistConfig field. The topology is keyed by its spec
+ * fields *and* a fingerprint of the graph it builds at this worker
+ * count, so a re-registered builder under the same name cannot alias
+ * stale entries. The collective's plan closure cannot be
+ * fingerprinted; replacing a collective's behavior under an existing
+ * name requires an epoch bump (CONTRIBUTING).
+ */
+std::string canonicalDistKeyJson(const perf::RunConfig &base,
+                                 const dist::DistConfig &config);
+
+// ---------------------------------------------------------------------
+// Key-completeness tripwire (lint rule store.key-completeness)
+// ---------------------------------------------------------------------
+
+namespace detail {
+
+/** Converts to anything but the probed aggregate itself. */
+template <class Owner>
+struct ProbeField
+{
+    template <class T>
+        requires(!std::is_same_v<std::remove_cvref_t<T>, Owner>)
+    constexpr operator T() const;
+};
+
+template <class T, class... Probes>
+constexpr std::size_t
+fieldCountImpl()
+{
+    if constexpr (requires { T{Probes{}..., ProbeField<T>{}}; })
+        return fieldCountImpl<T, Probes..., ProbeField<T>>();
+    else
+        return sizeof...(Probes);
+}
+
+} // namespace detail
+
+/**
+ * Number of non-static data members of an aggregate, computed at
+ * compile time by brace-init probing. The store's canonical key
+ * serializations are written against a snapshot of each config
+ * struct; the constants below record those snapshots, and the lint
+ * rule `store.key-completeness` compares them against the live
+ * counts — adding a field without extending the key (or documenting
+ * its exclusion and bumping the constant) fails the lint gate.
+ */
+template <class T>
+constexpr std::size_t
+fieldCount()
+{
+    static_assert(std::is_aggregate_v<T>,
+                  "fieldCount probes aggregate initialization");
+    return detail::fieldCountImpl<T>();
+}
+
+/** RunConfig fields accounted for by canonicalRunKeyJson (10
+ *  serialized + obsParent, documented-excluded). */
+inline constexpr std::size_t kRunConfigKeyFields = 11;
+/** DistConfig fields serialized by canonicalDistKeyJson. */
+inline constexpr std::size_t kDistConfigKeyFields = 5;
+/** GpuSpec fields serialized into the "gpu" key object. */
+inline constexpr std::size_t kGpuSpecKeyFields = 9;
+/** CpuSpec fields serialized into the "cpu" key object. */
+inline constexpr std::size_t kCpuSpecKeyFields = 5;
+/** TopologySpec fields accounted for (build → graph fingerprint). */
+inline constexpr std::size_t kTopologySpecKeyFields = 6;
+/** CollectiveSpec fields accounted for (plan → epoch, documented). */
+inline constexpr std::size_t kCollectiveSpecKeyFields = 3;
+
+// ---------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------
+
+/**
+ * Process-wide store accounting. Always counted (plain atomics), and
+ * mirrored to obs counters `store.{hit,miss,put,corrupt,
+ * epoch_mismatch,evict}` when tracing is on — `fastPathSummary` rolls
+ * the hit/miss pair up next to the in-memory fast paths.
+ */
+struct StoreCounters
+{
+    std::int64_t hits = 0;          ///< entries served from disk
+    std::int64_t misses = 0;        ///< probes that found nothing
+    std::int64_t puts = 0;          ///< entries written
+    std::int64_t oomHits = 0;       ///< cached-OOM negatives replayed
+    std::int64_t corrupt = 0;       ///< invalid entries (recomputed)
+    std::int64_t epochMismatch = 0; ///< stale-epoch entries skipped
+    std::int64_t evicted = 0;       ///< entries removed by gc/clear
+};
+
+/** Snapshot of the process-wide counters. */
+StoreCounters counters();
+
+/** Zero the process-wide counters (tests and benches). */
+void resetCounters();
+
+// ---------------------------------------------------------------------
+// Entry I/O
+// ---------------------------------------------------------------------
+
+/**
+ * Probe the store for a run entry. Returns the stored result on a
+ * hit, nullopt on miss/corruption/epoch mismatch. A cached
+ * enforceMemory OOM negative is replayed by *throwing* the recorded
+ * util::FatalError message — indistinguishable from recomputing the
+ * OOM. No-op (nullopt) when the store is disabled.
+ *
+ * @param count When false, neither the plain counters nor the obs
+ *              mirrors are bumped (serve's disk probe accounts for
+ *              itself under serve.cache.disk_*).
+ */
+std::optional<perf::RunResult>
+tryLoadRun(const perf::RunConfig &config, bool count = true);
+
+/** Persist a finished run (no-op when the store is disabled). */
+void putRun(const perf::RunConfig &config,
+            const perf::RunResult &result);
+
+/**
+ * Persist an enforceMemory OOM outcome as a negative entry so warm
+ * sweeps skip re-deriving the memory model just to throw again.
+ */
+void putRunOom(const perf::RunConfig &config,
+               const std::string &message);
+
+/** Probe the store for a distributed cell. */
+std::optional<dist::DistResult>
+tryLoadDist(const perf::RunConfig &base, const dist::DistConfig &config);
+
+/** Persist a finished distributed cell. */
+void putDist(const perf::RunConfig &base, const dist::DistConfig &config,
+             const dist::DistResult &result);
+
+/**
+ * Install the store as the perf simulator's second tier (the
+ * RunStoreTier seam in perf/simulator.h). Idempotent and cheap; the
+ * installed closures re-check storeEnabled() on every probe, so
+ * installation itself never changes behavior while the store is off.
+ * core::BenchmarkSuite and serve::Server install it alongside the
+ * check/lint hooks; standalone harnesses call it directly.
+ */
+void installSimulatorTier();
+
+// ---------------------------------------------------------------------
+// Blob codecs (exposed for round-trip tests and tbd_store verify)
+// ---------------------------------------------------------------------
+
+/** A run entry's payload: a result, or a cached OOM negative. */
+struct RunPayload
+{
+    bool oom = false;
+    std::string oomMessage; ///< the FatalError text, replayed verbatim
+    perf::RunResult result; ///< valid when !oom
+};
+
+/** Exact little-endian binary encoding (doubles as bit patterns). */
+std::string encodeRunPayload(const RunPayload &payload);
+
+/** Decode; nullopt on any malformed byte (never throws). */
+std::optional<RunPayload> decodeRunPayload(std::string_view bytes);
+
+std::string encodeDistPayload(const dist::DistResult &result);
+std::optional<dist::DistResult> decodeDistPayload(std::string_view bytes);
+
+// ---------------------------------------------------------------------
+// Maintenance (tbd_store CLI and tests)
+// ---------------------------------------------------------------------
+
+/** One store entry as seen by scan/verify/gc. */
+struct EntryInfo
+{
+    std::string path;
+    std::string kind;         ///< "run" | "dist" ("" when unreadable)
+    std::uint64_t bytes = 0;  ///< whole file size
+    bool valid = false;       ///< header + checksum + payload decode
+    bool epochCurrent = false;///< entry epoch == storeEpoch()
+    std::string problem;      ///< human-readable defect when !valid
+};
+
+/** Inspect every entry file under `dir` (sorted by path). */
+std::vector<EntryInfo> scanStore(const std::string &dir);
+
+/** What gcStore removed and kept. */
+struct GcStats
+{
+    std::int64_t removedInvalid = 0; ///< corrupt/truncated entries
+    std::int64_t removedStale = 0;   ///< valid but wrong-epoch entries
+    std::int64_t kept = 0;
+    std::uint64_t keptBytes = 0;
+};
+
+/** Remove invalid and stale-epoch entries; keep current ones. */
+GcStats gcStore(const std::string &dir);
+
+/** Remove every entry file; returns how many were removed. */
+std::int64_t clearStore(const std::string &dir);
+
+} // namespace tbd::store
+
+#endif // TBD_STORE_STORE_H

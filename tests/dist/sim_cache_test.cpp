@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The dist memo layer (dist/sim_cache.h): shared topologies, route
+ * memoization and the plan-cost cache reused across sweep cells — all
+ * bitwise-transparent against the uncached path and invalidated by
+ * registry redefinition.
+ */
+
+#include "dist/sim_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "dist/distributed.h"
+#include "models/model_desc.h"
+#include "perf/lowering_cache.h"
+#include "perf/simulator.h"
+
+namespace td = tbd::dist;
+namespace tp = tbd::perf;
+namespace md = tbd::models;
+namespace tf = tbd::frameworks;
+namespace tg = tbd::gpusim;
+
+namespace {
+
+struct FastPathGuard
+{
+    explicit FastPathGuard(bool enabled)
+    {
+        tp::setFastPathsEnabled(enabled);
+    }
+    ~FastPathGuard() { tp::setFastPathsEnabled(std::nullopt); }
+};
+
+td::DistConfig
+ringConfig(int workers)
+{
+    td::DistConfig dc;
+    dc.topology = *td::findTopology("nvlink-island");
+    dc.collective = *td::findCollective("ring");
+    dc.workers = workers;
+    return dc;
+}
+
+td::DistResult
+simulate(const td::DistConfig &dc, const tp::RunResult &single)
+{
+    return td::simulateDistributed(md::resnet50(),
+                                   tf::FrameworkId::MXNet,
+                                   tg::quadroP4000(), 16, dc, &single);
+}
+
+} // namespace
+
+TEST(DistSimCache, SharedTopologyReusesOneGraphPerShape)
+{
+    td::clearDistMemos();
+    FastPathGuard guard(true);
+    const td::TopologySpec spec = *td::findTopology("nvlink-island");
+    const auto a = td::sharedTopology(spec, 8);
+    const auto b = td::sharedTopology(spec, 8);
+    const auto c = td::sharedTopology(spec, 16);
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a.get(), b.get()); // same shape ⇒ same instance
+    EXPECT_NE(a.get(), c.get()); // different worker count
+    EXPECT_EQ(td::topologyFingerprint(*a), td::topologyFingerprint(*b));
+    EXPECT_NE(td::topologyFingerprint(*a), td::topologyFingerprint(*c));
+}
+
+TEST(DistSimCache, FingerprintSeesGraphDetail)
+{
+    td::Topology a("t");
+    a.addNode("gpu0", td::NodeKind::Gpu);
+    a.addNode("gpu1", td::NodeKind::Gpu);
+    a.addEdge(0, 1, {"nvlink", 80.0, 1.0});
+
+    td::Topology b("t");
+    b.addNode("gpu0", td::NodeKind::Gpu);
+    b.addNode("gpu1", td::NodeKind::Gpu);
+    b.addEdge(0, 1, {"nvlink", 40.0, 1.0}); // slower link
+
+    EXPECT_NE(td::topologyFingerprint(a), td::topologyFingerprint(b));
+}
+
+TEST(DistSimCache, PlanCostMemoHitsAreBitwise)
+{
+    td::clearDistMemos();
+    FastPathGuard guard(true);
+    const tp::RunResult single = [] {
+        tp::RunConfig rc;
+        rc.model = &md::resnet50();
+        rc.framework = tf::FrameworkId::MXNet;
+        rc.gpu = tg::quadroP4000();
+        rc.batch = 16;
+        return tp::PerfSimulator().run(rc);
+    }();
+
+    const td::DistConfig dc = ringConfig(8);
+    td::resetPlanCacheStats();
+    const td::DistResult cold = simulate(dc, single);
+    const auto after_cold = td::planCacheStats();
+    EXPECT_GT(after_cold.misses, 0);
+
+    const td::DistResult warm = simulate(dc, single);
+    const auto after_warm = td::planCacheStats();
+    EXPECT_GT(after_warm.hits, after_cold.hits);
+
+    // Memoized plan costs are returned exactly as first computed.
+    EXPECT_EQ(cold.commUs, warm.commUs);
+    EXPECT_EQ(cold.exposedCommUs, warm.exposedCommUs);
+    EXPECT_EQ(cold.iterationUs, warm.iterationUs);
+    EXPECT_EQ(cold.busiestEdge, warm.busiestEdge);
+
+    // And identical to the fully uncached path.
+    td::clearDistMemos();
+    FastPathGuard slow(false);
+    const td::DistResult uncached = simulate(dc, single);
+    EXPECT_EQ(cold.commUs, uncached.commUs);
+    EXPECT_EQ(cold.exposedCommUs, uncached.exposedCommUs);
+    EXPECT_EQ(cold.iterationUs, uncached.iterationUs);
+    EXPECT_EQ(cold.scalingEfficiency, uncached.scalingEfficiency);
+    EXPECT_EQ(cold.busiestEdge, uncached.busiestEdge);
+}
+
+TEST(DistSimCache, RegistryRedefinitionClearsTheMemos)
+{
+    td::clearDistMemos();
+    FastPathGuard guard(true);
+    const td::TopologySpec spec = *td::findTopology("nvlink-island");
+    const auto before = td::sharedTopology(spec, 8);
+
+    // Re-registering (even an identical spec) must drop the memo so a
+    // changed builder can never serve a stale graph.
+    td::registerTopology(spec);
+    const auto after = td::sharedTopology(spec, 8);
+    EXPECT_NE(before.get(), after.get());
+    // The fresh build is equivalent, just not aliased.
+    EXPECT_EQ(td::topologyFingerprint(*before),
+              td::topologyFingerprint(*after));
+}

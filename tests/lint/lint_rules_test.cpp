@@ -321,6 +321,40 @@ TEST(LintRules, InternRuleCleanOnLiveTable)
     EXPECT_EQ(countRule(report, "intern.collision"), 0u);
 }
 
+TEST(LintRules, StoreKeyDefectsFlagUncoveredFields)
+{
+    EXPECT_TRUE(tl::storeKeyCoverageDefects({}).empty());
+    EXPECT_TRUE(
+        tl::storeKeyCoverageDefects({{"perf::RunConfig", 11, 11}})
+            .empty());
+    // A struct that grew past its key snapshot trips the rule —
+    // whether the key is behind (new field) or ahead (stale constant).
+    const auto behind =
+        tl::storeKeyCoverageDefects({{"perf::RunConfig", 12, 11}});
+    ASSERT_EQ(behind.size(), 1u);
+    EXPECT_NE(behind.front().find("perf::RunConfig"),
+              std::string::npos);
+    EXPECT_NE(behind.front().find("12"), std::string::npos);
+    EXPECT_NE(behind.front().find("11"), std::string::npos);
+    EXPECT_FALSE(
+        tl::storeKeyCoverageDefects({{"dist::DistConfig", 5, 6}})
+            .empty());
+    // Multiple mismatches report once each.
+    EXPECT_EQ(tl::storeKeyCoverageDefects({{"a", 2, 1}, {"b", 3, 3},
+                                           {"c", 4, 5}})
+                  .size(),
+              2u);
+}
+
+TEST(LintRules, StoreKeyRuleCleanOnLiveStructs)
+{
+    // The live counts match the snapshots (the same invariant
+    // StoreTest.FieldCountProbesMatchTheLiveStructs pins): the rule
+    // stays silent until a config struct grows a field.
+    const auto report = runRules(tl::emptyContext());
+    EXPECT_EQ(countRule(report, "store.key-completeness"), 0u);
+}
+
 TEST(LintRules, DeviceSpecFiresOnBrokenGpu)
 {
     tl::LintContext ctx = tl::emptyContext();

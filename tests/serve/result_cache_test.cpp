@@ -168,6 +168,61 @@ TEST(ServeResultCache, CoalescedFollowerWaitsForLeader)
     EXPECT_EQ(stats.entries, 1);
 }
 
+TEST(ServeResultCache, DiskTierAnswersLeaderMissesWithoutComputing)
+{
+    serve::ResultCache cache;
+    int computes = 0;
+    int probes = 0;
+    const auto fn = [&] {
+        ++computes;
+        return fakeResult(1.0);
+    };
+    const auto disk = [&]() -> std::shared_ptr<const perf::RunResult> {
+        ++probes;
+        return std::make_shared<perf::RunResult>(fakeResult(9.0));
+    };
+
+    const auto first = cache.getOrCompute("k", fn, disk);
+    ASSERT_NE(first.result, nullptr);
+    EXPECT_FALSE(first.hit);
+    EXPECT_TRUE(first.diskHit);
+    EXPECT_EQ(first.result->iterationUs, 9.0); // served from "disk"
+    EXPECT_EQ(computes, 0);
+    EXPECT_EQ(probes, 1);
+
+    // The disk answer is now a resident entry: the next query is a
+    // plain memory hit and the disk is not probed again.
+    const auto second = cache.getOrCompute("k", fn, disk);
+    EXPECT_TRUE(second.hit);
+    EXPECT_FALSE(second.diskHit);
+    EXPECT_EQ(probes, 1);
+
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.diskHits, 1);
+    EXPECT_EQ(stats.misses, 1); // a disk hit is still a memory miss
+    EXPECT_EQ(stats.hits, 1);
+}
+
+TEST(ServeResultCache, DiskMissFallsThroughToCompute)
+{
+    serve::ResultCache cache;
+    int computes = 0;
+    const auto outcome = cache.getOrCompute(
+        "k",
+        [&] {
+            ++computes;
+            return fakeResult(2.0);
+        },
+        []() -> std::shared_ptr<const perf::RunResult> {
+            return nullptr; // nothing on disk
+        });
+    ASSERT_NE(outcome.result, nullptr);
+    EXPECT_FALSE(outcome.diskHit);
+    EXPECT_EQ(outcome.result->iterationUs, 2.0);
+    EXPECT_EQ(computes, 1);
+    EXPECT_EQ(cache.stats().diskHits, 0);
+}
+
 TEST(ServeResultCache, ClearResetsEntriesAndCounters)
 {
     serve::ResultCache cache;

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The store's correctness anchor (DESIGN.md §16): for every Table 2
+ * workload, the numbers a warm store serves are BITWISE-identical to
+ * a cold computation and to running with the store off. Exact double
+ * equality everywhere — the store replays recorded bit patterns, it
+ * never recomputes approximately.
+ */
+
+#include "store/store.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "models/model_desc.h"
+#include "perf/simulator.h"
+#include "store_test_util.h"
+#include "util/logging.h"
+
+namespace ts = tbd::store;
+namespace tp = tbd::perf;
+namespace md = tbd::models;
+namespace tf = tbd::frameworks;
+namespace tg = tbd::gpusim;
+
+using tbd::test::StoreGuard;
+
+namespace {
+
+std::optional<tp::RunResult>
+runOnce(const md::ModelDesc &model, tf::FrameworkId fw,
+        std::int64_t batch)
+{
+    tp::RunConfig rc;
+    rc.model = &model;
+    rc.framework = fw;
+    rc.gpu = tg::quadroP4000();
+    rc.batch = batch;
+    try {
+        return tp::PerfSimulator().run(rc);
+    } catch (const tbd::util::FatalError &) {
+        return std::nullopt; // OOM cell: all modes must agree
+    }
+}
+
+void
+expectBitwiseEqual(const tp::RunResult &a, const tp::RunResult &b)
+{
+    EXPECT_EQ(a.modelName, b.modelName);
+    EXPECT_EQ(a.frameworkName, b.frameworkName);
+    EXPECT_EQ(a.gpuName, b.gpuName);
+    EXPECT_EQ(a.batch, b.batch);
+    EXPECT_EQ(a.iterationUs, b.iterationUs);
+    EXPECT_EQ(a.throughputSamples, b.throughputSamples);
+    EXPECT_EQ(a.throughputUnits, b.throughputUnits);
+    EXPECT_EQ(a.gpuUtilization, b.gpuUtilization);
+    EXPECT_EQ(a.fp32Utilization, b.fp32Utilization);
+    EXPECT_EQ(a.cpuUtilization, b.cpuUtilization);
+    EXPECT_EQ(a.kernelsPerIteration, b.kernelsPerIteration);
+    EXPECT_EQ(a.memory.peakBytes, b.memory.peakBytes);
+    EXPECT_EQ(a.warmupIterationUs, b.warmupIterationUs);
+    EXPECT_EQ(a.sampleIterationUs, b.sampleIterationUs);
+    ASSERT_EQ(a.kernelTrace.size(), b.kernelTrace.size());
+    for (std::size_t i = 0; i < a.kernelTrace.size(); ++i) {
+        const auto &s = a.kernelTrace[i];
+        const auto &f = b.kernelTrace[i];
+        EXPECT_EQ(s.name.id(), f.name.id()) << "trace entry " << i;
+        EXPECT_EQ(s.category, f.category) << "trace entry " << i;
+        EXPECT_EQ(s.startUs, f.startUs) << "trace entry " << i;
+        EXPECT_EQ(s.durationUs, f.durationUs) << "trace entry " << i;
+        EXPECT_EQ(s.flops, f.flops) << "trace entry " << i;
+        EXPECT_EQ(s.fp32Util, f.fp32Util) << "trace entry " << i;
+        EXPECT_EQ(s.limiter, f.limiter) << "trace entry " << i;
+    }
+}
+
+} // namespace
+
+TEST(StoreBitwise, OffColdAndWarmAgreeAcrossAllWorkloads)
+{
+    ts::installSimulatorTier();
+    for (const md::ModelDesc *model : md::allModels()) {
+        tf::FrameworkId fw = tf::FrameworkId::TensorFlow;
+        for (tf::FrameworkId candidate : tf::allFrameworks())
+            if (model->supports(candidate)) {
+                fw = candidate;
+                break;
+            }
+        ASSERT_FALSE(model->batchSweep.empty()) << model->name;
+        const std::int64_t batch = model->batchSweep.front();
+        SCOPED_TRACE(model->name + " b" + std::to_string(batch));
+
+        // Reference: store disabled entirely.
+        std::optional<tp::RunResult> off;
+        {
+            StoreGuard guard;
+            ts::setStoreEnabled(false);
+            off = runOnce(*model, fw, batch);
+        }
+
+        // Cold (computes and records) then warm (served from disk),
+        // against one fresh store directory.
+        StoreGuard guard;
+        const auto cold = runOnce(*model, fw, batch);
+        const auto cold_counters = ts::counters();
+        const auto warm = runOnce(*model, fw, batch);
+        const auto warm_counters = ts::counters();
+
+        ASSERT_EQ(off.has_value(), cold.has_value());
+        ASSERT_EQ(off.has_value(), warm.has_value());
+        if (!off)
+            continue; // OOM everywhere: agreement already proven
+        EXPECT_GT(warm_counters.hits, cold_counters.hits)
+            << "warm pass must be served from the store";
+        expectBitwiseEqual(*off, *cold);
+        expectBitwiseEqual(*off, *warm);
+    }
+}

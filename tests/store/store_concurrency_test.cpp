@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Concurrency contract of the persistent store: many threads reading
+ * and writing the same entries in one directory never crash, never
+ * observe torn data (atomic tmp+rename ⇒ a reader sees a complete old
+ * entry or a complete new one), and every successful load is bitwise
+ * one of the written payloads. Runs under the TSan ctest subset
+ * (`StoreConcurrency` is in the CI regex).
+ */
+
+#include "store/store.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "models/model_desc.h"
+#include "perf/simulator.h"
+#include "store_test_util.h"
+
+namespace ts = tbd::store;
+namespace tp = tbd::perf;
+namespace md = tbd::models;
+namespace tf = tbd::frameworks;
+namespace tg = tbd::gpusim;
+
+using tbd::test::StoreGuard;
+
+namespace {
+
+tp::RunConfig
+configForBatch(std::int64_t batch)
+{
+    tp::RunConfig rc;
+    rc.model = &md::resnet50();
+    rc.framework = tf::FrameworkId::MXNet;
+    rc.gpu = tg::quadroP4000();
+    rc.batch = batch;
+    return rc;
+}
+
+} // namespace
+
+TEST(StoreConcurrency, ParallelPutAndLoadOnSharedEntries)
+{
+    StoreGuard guard;
+    const std::vector<std::int64_t> batches = {8, 16, 32};
+    std::vector<tp::RunConfig> configs;
+    std::vector<tp::RunResult> results;
+    for (std::int64_t batch : batches) {
+        configs.push_back(configForBatch(batch));
+        results.push_back(tp::PerfSimulator().run(configs.back()));
+    }
+
+    constexpr int kThreads = 8;
+    constexpr int kIterations = 40;
+    std::atomic<std::int64_t> loads{0};
+    std::atomic<bool> mismatch{false};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kIterations; ++i) {
+                const std::size_t pick =
+                    static_cast<std::size_t>(t + i) % configs.size();
+                if ((t + i) % 2 == 0) {
+                    ts::putRun(configs[pick], results[pick]);
+                } else if (const auto loaded =
+                               ts::tryLoadRun(configs[pick])) {
+                    loads.fetch_add(1);
+                    // Same key ⇒ same payload: any successful read
+                    // must be bitwise the recorded result.
+                    if (loaded->iterationUs !=
+                            results[pick].iterationUs ||
+                        loaded->kernelTrace.size() !=
+                            results[pick].kernelTrace.size())
+                        mismatch.store(true);
+                }
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    EXPECT_FALSE(mismatch.load());
+    // After the dust settles every entry is complete and current.
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const auto loaded = ts::tryLoadRun(configs[i]);
+        ASSERT_TRUE(loaded.has_value()) << "batch " << batches[i];
+        EXPECT_EQ(loaded->iterationUs, results[i].iterationUs);
+    }
+    for (const auto &entry : ts::scanStore(guard.dir))
+        EXPECT_TRUE(entry.valid) << entry.path << ": " << entry.problem;
+
+    const auto counters = ts::counters();
+    EXPECT_EQ(counters.corrupt, 0); // rename atomicity: no torn reads
+    EXPECT_GT(loads.load(), 0);
+}
+
+TEST(StoreConcurrency, ConcurrentSimulatorTierProbesShareOneStore)
+{
+    StoreGuard guard;
+    ts::installSimulatorTier();
+    const tp::RunConfig config = configForBatch(8);
+    const tp::RunResult reference = tp::PerfSimulator().run(config);
+
+    constexpr int kThreads = 6;
+    std::atomic<bool> mismatch{false};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < 5; ++i) {
+                const tp::RunResult r = tp::PerfSimulator().run(config);
+                if (r.iterationUs != reference.iterationUs)
+                    mismatch.store(true);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_FALSE(mismatch.load());
+    EXPECT_GT(ts::counters().hits, 0);
+}

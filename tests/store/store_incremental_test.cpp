@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The incremental-sweep contract (DESIGN.md §16): re-running a
+ * figure/table sweep against a warm store recomputes nothing, and
+ * growing the request list computes only the new cells — with results
+ * identical to a cold evaluation in both cases. Covers runSweep
+ * (single-GPU cells) and runDistSweep (distributed cells, whose
+ * baselines ride the same store).
+ */
+
+#include "core/suite.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "store/store.h"
+#include "store_test_util.h"
+
+namespace ts = tbd::store;
+namespace tc = tbd::core;
+
+using tbd::test::StoreGuard;
+
+namespace {
+
+std::vector<tc::BenchmarkRequest>
+smallSweep()
+{
+    std::vector<tc::BenchmarkRequest> requests;
+    for (std::int64_t batch : {8, 16}) {
+        tc::BenchmarkRequest request;
+        request.model = "ResNet-50";
+        request.framework = "MXNet";
+        request.gpu = "Quadro P4000";
+        request.batch = batch;
+        requests.push_back(request);
+    }
+    tc::BenchmarkRequest inception;
+    inception.model = "Inception-v3";
+    inception.framework = "MXNet";
+    inception.batch = 32;
+    requests.push_back(inception);
+    return requests;
+}
+
+} // namespace
+
+TEST(StoreIncremental, WarmRunSweepRecomputesNothing)
+{
+    StoreGuard guard;
+    const auto requests = smallSweep();
+
+    const auto cold = tc::BenchmarkSuite::runSweep(requests);
+    const auto after_cold = ts::counters();
+    EXPECT_EQ(after_cold.hits, 0);
+    EXPECT_EQ(after_cold.misses,
+              static_cast<std::int64_t>(requests.size()));
+    EXPECT_EQ(after_cold.puts,
+              static_cast<std::int64_t>(requests.size()));
+
+    const auto warm = tc::BenchmarkSuite::runSweep(requests);
+    const auto after_warm = ts::counters();
+    EXPECT_EQ(after_warm.hits,
+              static_cast<std::int64_t>(requests.size()));
+    EXPECT_EQ(after_warm.misses, after_cold.misses); // no new misses
+    EXPECT_EQ(after_warm.puts, after_cold.puts);     // no new writes
+
+    ASSERT_EQ(cold.size(), warm.size());
+    for (std::size_t i = 0; i < cold.size(); ++i) {
+        ASSERT_EQ(cold[i].has_value(), warm[i].has_value()) << i;
+        if (!cold[i])
+            continue;
+        EXPECT_EQ(cold[i]->iterationUs, warm[i]->iterationUs) << i;
+        EXPECT_EQ(cold[i]->throughputSamples,
+                  warm[i]->throughputSamples)
+            << i;
+        EXPECT_EQ(cold[i]->kernelTrace.size(),
+                  warm[i]->kernelTrace.size())
+            << i;
+    }
+}
+
+TEST(StoreIncremental, GrowingTheSweepComputesOnlyNewCells)
+{
+    StoreGuard guard;
+    auto requests = smallSweep();
+    (void)tc::BenchmarkSuite::runSweep(requests);
+
+    tc::BenchmarkRequest fresh;
+    fresh.model = "ResNet-50";
+    fresh.framework = "MXNet";
+    fresh.batch = 64; // not in the original sweep
+    requests.push_back(fresh);
+
+    ts::resetCounters();
+    const auto results = tc::BenchmarkSuite::runSweep(requests);
+    const auto c = ts::counters();
+    EXPECT_EQ(c.hits, static_cast<std::int64_t>(requests.size() - 1));
+    EXPECT_EQ(c.misses, 1); // only the new cell computed
+    EXPECT_EQ(c.puts, 1);
+    ASSERT_EQ(results.size(), requests.size());
+    EXPECT_TRUE(results.back().has_value());
+}
+
+TEST(StoreIncremental, WarmDistSweepServesCellsAndBaselines)
+{
+    StoreGuard guard;
+    std::vector<tc::BenchmarkRequest> requests;
+    for (int workers : {4, 8}) {
+        tc::BenchmarkRequest request;
+        request.model = "ResNet-50";
+        request.framework = "MXNet";
+        request.batch = 16;
+        request.distWorkers = workers;
+        request.distTopology = "nvlink-island";
+        request.distCollective = "ring";
+        requests.push_back(request);
+    }
+
+    const auto cold = tc::BenchmarkSuite::runDistSweep(requests);
+    const auto after_cold = ts::counters();
+    // One shared baseline + two dist cells recorded.
+    EXPECT_EQ(after_cold.puts, 3);
+    EXPECT_EQ(after_cold.hits, 0);
+
+    const auto warm = tc::BenchmarkSuite::runDistSweep(requests);
+    const auto after_warm = ts::counters();
+    // Baseline + both cells come back from disk; nothing recomputed.
+    EXPECT_EQ(after_warm.hits, after_cold.hits + 3);
+    EXPECT_EQ(after_warm.puts, after_cold.puts);
+
+    ASSERT_EQ(cold.size(), warm.size());
+    for (std::size_t i = 0; i < cold.size(); ++i) {
+        ASSERT_TRUE(cold[i].has_value());
+        ASSERT_TRUE(warm[i].has_value());
+        EXPECT_EQ(cold[i]->iterationUs, warm[i]->iterationUs) << i;
+        EXPECT_EQ(cold[i]->commUs, warm[i]->commUs) << i;
+        EXPECT_EQ(cold[i]->scalingEfficiency,
+                  warm[i]->scalingEfficiency)
+            << i;
+        EXPECT_EQ(cold[i]->busiestEdge, warm[i]->busiestEdge) << i;
+    }
+}
+
+TEST(StoreIncremental, NocacheEscapeHatchBypassesTheStore)
+{
+    StoreGuard guard;
+    const auto requests = smallSweep();
+    const auto with_store = tc::BenchmarkSuite::runSweep(requests);
+
+    ts::setStoreEnabled(false); // what TBD_STORE=off / TBD_NOCACHE do
+    ts::resetCounters();
+    const auto without = tc::BenchmarkSuite::runSweep(requests);
+    const auto c = ts::counters();
+    EXPECT_EQ(c.hits, 0);
+    EXPECT_EQ(c.misses, 0);
+    EXPECT_EQ(c.puts, 0);
+
+    ASSERT_EQ(with_store.size(), without.size());
+    for (std::size_t i = 0; i < with_store.size(); ++i) {
+        ASSERT_EQ(with_store[i].has_value(), without[i].has_value());
+        if (with_store[i]) {
+            EXPECT_EQ(with_store[i]->iterationUs,
+                      without[i]->iterationUs)
+                << i;
+        }
+    }
+}

@@ -1,0 +1,495 @@
+/**
+ * @file
+ * tbd::store unit contract (DESIGN.md §16): canonical keys, blob
+ * codec exactness, entry round-trips with counter accounting,
+ * corruption/truncation tolerance, epoch invalidation, cached-OOM
+ * negatives, and the scan/gc/clear maintenance surface.
+ */
+
+#include "store/store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "dist/collective.h"
+#include "dist/topology.h"
+#include "models/model_desc.h"
+#include "perf/simulator.h"
+#include "store_test_util.h"
+#include "util/logging.h"
+
+namespace ts = tbd::store;
+namespace tp = tbd::perf;
+namespace td = tbd::dist;
+namespace md = tbd::models;
+namespace tf = tbd::frameworks;
+namespace tg = tbd::gpusim;
+
+using tbd::test::StoreGuard;
+
+namespace {
+
+tp::RunConfig
+sampleConfig(std::int64_t batch = 8)
+{
+    tp::RunConfig rc;
+    rc.model = &md::resnet50();
+    rc.framework = tf::FrameworkId::MXNet;
+    rc.gpu = tg::quadroP4000();
+    rc.batch = batch;
+    return rc;
+}
+
+tp::RunResult
+computeSample(const tp::RunConfig &config)
+{
+    return tp::PerfSimulator().run(config);
+}
+
+td::DistConfig
+sampleDistConfig(int workers = 8)
+{
+    td::DistConfig dc;
+    dc.topology = *td::findTopology("nvlink-island");
+    dc.collective = *td::findCollective("ring");
+    dc.workers = workers;
+    return dc;
+}
+
+/** The single entry file under a one-entry store. */
+std::string
+onlyEntryPath(const std::string &dir)
+{
+    const auto entries = ts::scanStore(dir);
+    EXPECT_EQ(entries.size(), 1u);
+    return entries.empty() ? std::string() : entries.front().path;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Keys
+// ---------------------------------------------------------------------
+
+TEST(StoreTest, RunKeyIsDeterministicAndConfigSensitive)
+{
+    const tp::RunConfig a = sampleConfig(8);
+    EXPECT_EQ(ts::canonicalRunKeyJson(a), ts::canonicalRunKeyJson(a));
+
+    tp::RunConfig b = a;
+    b.batch = 16;
+    EXPECT_NE(ts::canonicalRunKeyJson(a), ts::canonicalRunKeyJson(b));
+
+    tp::RunConfig c = a;
+    c.framework = tf::FrameworkId::TensorFlow;
+    EXPECT_NE(ts::canonicalRunKeyJson(a), ts::canonicalRunKeyJson(c));
+
+    tp::RunConfig d = a;
+    d.lengthCv = 0.35;
+    EXPECT_NE(ts::canonicalRunKeyJson(a), ts::canonicalRunKeyJson(d));
+}
+
+TEST(StoreTest, RunKeyExcludesObsParentOnly)
+{
+    // obsParent is pure observability (never read by the simulation);
+    // it is the one RunConfig field deliberately outside the key.
+    tp::RunConfig a = sampleConfig();
+    tp::RunConfig b = a;
+    b.obsParent = 12345;
+    EXPECT_EQ(ts::canonicalRunKeyJson(a), ts::canonicalRunKeyJson(b));
+}
+
+TEST(StoreTest, RunKeySeesEveryGpuSpecField)
+{
+    // The GPU participates by value, not by name: recalibrating a
+    // spec must re-key every entry recorded under the old numbers.
+    const tp::RunConfig a = sampleConfig();
+    tp::RunConfig b = a;
+    b.gpu.memoryBwGBs *= 2.0;
+    EXPECT_NE(ts::canonicalRunKeyJson(a), ts::canonicalRunKeyJson(b));
+
+    tp::RunConfig c = a;
+    c.gpu.memoryGiB += 1.0;
+    EXPECT_NE(ts::canonicalRunKeyJson(a), ts::canonicalRunKeyJson(c));
+}
+
+TEST(StoreTest, DistKeySeesEveryAxisAndTheBuiltGraph)
+{
+    const tp::RunConfig base = sampleConfig();
+    const td::DistConfig a = sampleDistConfig(8);
+    EXPECT_EQ(ts::canonicalDistKeyJson(base, a),
+              ts::canonicalDistKeyJson(base, a));
+
+    td::DistConfig b = a;
+    b.workers = 16;
+    EXPECT_NE(ts::canonicalDistKeyJson(base, a),
+              ts::canonicalDistKeyJson(base, b));
+
+    td::DistConfig c = a;
+    c.gradientCompression = 2.0;
+    EXPECT_NE(ts::canonicalDistKeyJson(base, a),
+              ts::canonicalDistKeyJson(base, c));
+
+    td::DistConfig d = a;
+    d.collective = *td::findCollective("hierarchical");
+    EXPECT_NE(ts::canonicalDistKeyJson(base, a),
+              ts::canonicalDistKeyJson(base, d));
+
+    // The base run key participates too.
+    tp::RunConfig other_base = base;
+    other_base.batch += 8;
+    EXPECT_NE(ts::canonicalDistKeyJson(base, a),
+              ts::canonicalDistKeyJson(other_base, a));
+}
+
+TEST(StoreTest, FieldCountProbesMatchTheLiveStructs)
+{
+    // The same counts the store.key-completeness lint rule audits:
+    // if one of these fails, a config struct grew a field and the
+    // canonical key serialization (and its snapshot constant) must
+    // keep up. See store/store.h.
+    EXPECT_EQ(ts::fieldCount<tp::RunConfig>(), ts::kRunConfigKeyFields);
+    EXPECT_EQ(ts::fieldCount<td::DistConfig>(),
+              ts::kDistConfigKeyFields);
+    EXPECT_EQ(ts::fieldCount<tg::GpuSpec>(), ts::kGpuSpecKeyFields);
+    EXPECT_EQ(ts::fieldCount<tg::CpuSpec>(), ts::kCpuSpecKeyFields);
+    EXPECT_EQ(ts::fieldCount<td::TopologySpec>(),
+              ts::kTopologySpecKeyFields);
+    EXPECT_EQ(ts::fieldCount<td::CollectiveSpec>(),
+              ts::kCollectiveSpecKeyFields);
+}
+
+// ---------------------------------------------------------------------
+// Blob codecs
+// ---------------------------------------------------------------------
+
+TEST(StoreTest, RunPayloadRoundTripsBitwise)
+{
+    const tp::RunConfig config = sampleConfig();
+    ts::RunPayload payload;
+    payload.result = computeSample(config);
+    ASSERT_FALSE(payload.result.kernelTrace.empty());
+
+    const std::string bytes = ts::encodeRunPayload(payload);
+    const auto decoded = ts::decodeRunPayload(bytes);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_FALSE(decoded->oom);
+
+    // Re-encoding the decode must reproduce the exact bytes: every
+    // field (including the full kernel trace and memory breakdown)
+    // survives with its bit pattern intact.
+    EXPECT_EQ(ts::encodeRunPayload(*decoded), bytes);
+
+    const tp::RunResult &r = decoded->result;
+    EXPECT_EQ(r.modelName, payload.result.modelName);
+    EXPECT_EQ(r.iterationUs, payload.result.iterationUs);
+    EXPECT_EQ(r.memory.peakBytes, payload.result.memory.peakBytes);
+    ASSERT_EQ(r.kernelTrace.size(), payload.result.kernelTrace.size());
+    EXPECT_EQ(r.kernelTrace.front().startUs,
+              payload.result.kernelTrace.front().startUs);
+    EXPECT_EQ(r.kernelTrace.front().name.id(),
+              payload.result.kernelTrace.front().name.id());
+}
+
+TEST(StoreTest, OomPayloadRoundTrips)
+{
+    ts::RunPayload payload;
+    payload.oom = true;
+    payload.oomMessage = "ResNet-50 b1024: out of memory (9.1 GiB)";
+    const std::string bytes = ts::encodeRunPayload(payload);
+    const auto decoded = ts::decodeRunPayload(bytes);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_TRUE(decoded->oom);
+    EXPECT_EQ(decoded->oomMessage, payload.oomMessage);
+}
+
+TEST(StoreTest, DecodeRejectsMalformedBytesWithoutThrowing)
+{
+    const tp::RunConfig config = sampleConfig();
+    ts::RunPayload payload;
+    payload.result = computeSample(config);
+    const std::string bytes = ts::encodeRunPayload(payload);
+
+    EXPECT_FALSE(ts::decodeRunPayload("").has_value());
+    EXPECT_FALSE(ts::decodeRunPayload("garbage").has_value());
+    // Every truncation point must fail cleanly, never read past end.
+    for (std::size_t cut = 1; cut < bytes.size();
+         cut += std::max<std::size_t>(1, bytes.size() / 64))
+        EXPECT_FALSE(
+            ts::decodeRunPayload(std::string_view(bytes).substr(0, cut))
+                .has_value())
+            << "cut at " << cut;
+    // Trailing junk is malformed too (decode demands exhaustion).
+    EXPECT_FALSE(ts::decodeRunPayload(bytes + "x").has_value());
+}
+
+TEST(StoreTest, DistPayloadRoundTripsBitwise)
+{
+    td::DistResult result;
+    result.topology = "nvlink-island";
+    result.collective = "ring";
+    result.label = "nvlink-island x8 (ring)";
+    result.workers = 8;
+    result.computeUs = 1234.5678901234567;
+    result.commUs = 89.0625;
+    result.exposedCommUs = 44.53125;
+    result.iterationUs = 1279.03125;
+    result.throughputSamples = 50045.125;
+    result.scalingEfficiency = 0.96533203125;
+    result.commShare = 0.034814453125;
+    result.gradBytes = 102760448.0;
+    result.busiestEdge = "nvlink0";
+
+    const std::string bytes = ts::encodeDistPayload(result);
+    const auto decoded = ts::decodeDistPayload(bytes);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(ts::encodeDistPayload(*decoded), bytes);
+    EXPECT_EQ(decoded->iterationUs, result.iterationUs);
+    EXPECT_EQ(decoded->busiestEdge, result.busiestEdge);
+    EXPECT_FALSE(ts::decodeDistPayload("").has_value());
+    EXPECT_FALSE(ts::decodeDistPayload(bytes + "y").has_value());
+}
+
+// ---------------------------------------------------------------------
+// Entry round-trips and counters
+// ---------------------------------------------------------------------
+
+TEST(StoreTest, PutThenLoadHitsAndCountsExactly)
+{
+    StoreGuard guard;
+    const tp::RunConfig config = sampleConfig();
+
+    EXPECT_FALSE(ts::tryLoadRun(config).has_value());
+    auto after_miss = ts::counters();
+    EXPECT_EQ(after_miss.misses, 1);
+    EXPECT_EQ(after_miss.hits, 0);
+
+    const tp::RunResult result = computeSample(config);
+    ts::putRun(config, result);
+    EXPECT_EQ(ts::counters().puts, 1);
+
+    const auto loaded = ts::tryLoadRun(config);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->iterationUs, result.iterationUs);
+    EXPECT_EQ(loaded->kernelTrace.size(), result.kernelTrace.size());
+
+    auto final_counters = ts::counters();
+    EXPECT_EQ(final_counters.hits, 1);
+    EXPECT_EQ(final_counters.misses, 1);
+    // Every probe is exactly one of {hit, miss}.
+    EXPECT_EQ(final_counters.hits + final_counters.misses, 2);
+}
+
+TEST(StoreTest, DisabledStoreIsInert)
+{
+    StoreGuard guard;
+    ts::setStoreEnabled(false);
+    const tp::RunConfig config = sampleConfig();
+    ts::putRun(config, computeSample(config));
+    EXPECT_FALSE(ts::tryLoadRun(config).has_value());
+    const auto c = ts::counters();
+    EXPECT_EQ(c.puts, 0);
+    EXPECT_EQ(c.hits, 0);
+    EXPECT_EQ(c.misses, 0); // disabled probes are not misses
+    EXPECT_FALSE(std::filesystem::exists(guard.dir));
+}
+
+TEST(StoreTest, DistEntryRoundTrips)
+{
+    StoreGuard guard;
+    const tp::RunConfig base = sampleConfig();
+    const td::DistConfig dc = sampleDistConfig();
+    EXPECT_FALSE(ts::tryLoadDist(base, dc).has_value());
+
+    const tp::RunResult single = computeSample(base);
+    const td::DistResult result = td::simulateDistributed(
+        *base.model, base.framework, base.gpu, base.batch, dc, &single);
+    ts::putDist(base, dc, result);
+
+    const auto loaded = ts::tryLoadDist(base, dc);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->iterationUs, result.iterationUs);
+    EXPECT_EQ(loaded->scalingEfficiency, result.scalingEfficiency);
+    EXPECT_EQ(loaded->busiestEdge, result.busiestEdge);
+
+    // Run and dist entries address different namespaces: the run
+    // probe must not see the dist entry.
+    EXPECT_FALSE(ts::tryLoadRun(base).has_value());
+}
+
+// ---------------------------------------------------------------------
+// Corruption and epochs
+// ---------------------------------------------------------------------
+
+TEST(StoreTest, CorruptedEntryIsAMissNeverAnError)
+{
+    StoreGuard guard;
+    const tp::RunConfig config = sampleConfig();
+    ts::putRun(config, computeSample(config));
+    const std::string path = onlyEntryPath(guard.dir);
+
+    // Flip one payload byte: checksum mismatch.
+    {
+        std::fstream f(path, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        f.seekp(-1, std::ios::end);
+        f.put('\0');
+    }
+    ts::resetCounters();
+    EXPECT_FALSE(ts::tryLoadRun(config).has_value());
+    auto c = ts::counters();
+    EXPECT_EQ(c.misses, 1);
+    EXPECT_EQ(c.corrupt, 1);
+
+    // Recompute-and-put heals the entry in place.
+    ts::putRun(config, computeSample(config));
+    EXPECT_TRUE(ts::tryLoadRun(config).has_value());
+}
+
+TEST(StoreTest, TruncatedAndEmptyEntriesAreMisses)
+{
+    StoreGuard guard;
+    const tp::RunConfig config = sampleConfig();
+    ts::putRun(config, computeSample(config));
+    const std::string path = onlyEntryPath(guard.dir);
+    const auto full = std::filesystem::file_size(path);
+
+    std::filesystem::resize_file(path, full / 2); // truncated payload
+    ts::resetCounters();
+    EXPECT_FALSE(ts::tryLoadRun(config).has_value());
+    EXPECT_EQ(ts::counters().corrupt, 1);
+
+    std::filesystem::resize_file(path, 0); // zero-length entry
+    ts::resetCounters();
+    EXPECT_FALSE(ts::tryLoadRun(config).has_value());
+    EXPECT_EQ(ts::counters().corrupt, 1);
+}
+
+TEST(StoreTest, EpochMismatchInvalidatesSilently)
+{
+    StoreGuard guard;
+    const tp::RunConfig config = sampleConfig();
+    ts::putRun(config, computeSample(config));
+    ASSERT_TRUE(ts::tryLoadRun(config).has_value());
+
+    ts::setStoreEpoch("s1.c999"); // simulated-code change
+    ts::resetCounters();
+    EXPECT_FALSE(ts::tryLoadRun(config).has_value());
+    auto c = ts::counters();
+    EXPECT_EQ(c.misses, 1);
+    EXPECT_EQ(c.epochMismatch, 1);
+    EXPECT_EQ(c.corrupt, 0);
+
+    // Writing under the new epoch overwrites the same entry file
+    // (the epoch lives in the header, not the filename).
+    ts::putRun(config, computeSample(config));
+    EXPECT_EQ(ts::scanStore(guard.dir).size(), 1u);
+    EXPECT_TRUE(ts::tryLoadRun(config).has_value());
+}
+
+// ---------------------------------------------------------------------
+// Cached OOM negatives
+// ---------------------------------------------------------------------
+
+TEST(StoreTest, CachedOomReplaysTheExactFatalError)
+{
+    StoreGuard guard;
+    const tp::RunConfig config = sampleConfig(4096);
+    const std::string message =
+        "ResNet-50 (MXNet) b4096 needs 63.1 GiB but Quadro P4000 has "
+        "8 GiB: out of memory";
+    ts::putRunOom(config, message);
+
+    try {
+        (void)ts::tryLoadRun(config);
+        FAIL() << "cached OOM must throw";
+    } catch (const tbd::util::FatalError &error) {
+        EXPECT_EQ(std::string(error.what()), message);
+    }
+    auto c = ts::counters();
+    EXPECT_EQ(c.hits, 1); // a negative hit is still a hit
+    EXPECT_EQ(c.oomHits, 1);
+}
+
+// ---------------------------------------------------------------------
+// Simulator tier (end to end through PerfSimulator)
+// ---------------------------------------------------------------------
+
+TEST(StoreTest, SimulatorSecondTierServesWarmRunsBitwise)
+{
+    StoreGuard guard;
+    ts::installSimulatorTier();
+    const tp::RunConfig config = sampleConfig();
+
+    const tp::RunResult cold = tp::PerfSimulator().run(config);
+    auto after_cold = ts::counters();
+    EXPECT_EQ(after_cold.hits, 0);
+    EXPECT_EQ(after_cold.puts, 1);
+
+    const tp::RunResult warm = tp::PerfSimulator().run(config);
+    auto after_warm = ts::counters();
+    EXPECT_EQ(after_warm.hits, 1);
+    EXPECT_EQ(after_warm.puts, 1); // a hit is never re-written
+
+    EXPECT_EQ(cold.iterationUs, warm.iterationUs);
+    EXPECT_EQ(cold.throughputSamples, warm.throughputSamples);
+    ASSERT_EQ(cold.kernelTrace.size(), warm.kernelTrace.size());
+    for (std::size_t i = 0; i < cold.kernelTrace.size(); ++i) {
+        EXPECT_EQ(cold.kernelTrace[i].startUs,
+                  warm.kernelTrace[i].startUs);
+        EXPECT_EQ(cold.kernelTrace[i].durationUs,
+                  warm.kernelTrace[i].durationUs);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Maintenance
+// ---------------------------------------------------------------------
+
+TEST(StoreTest, ScanGcAndClearAccountForEveryEntry)
+{
+    StoreGuard guard;
+    const tp::RunConfig a = sampleConfig(8);
+    const tp::RunConfig b = sampleConfig(16);
+    ts::putRun(a, computeSample(a));
+    ts::putRun(b, computeSample(b));
+
+    // One stale entry (wrong epoch) and one corrupt entry.
+    ts::setStoreEpoch("s1.c999");
+    tp::RunConfig c = sampleConfig(32);
+    ts::putRun(c, computeSample(c));
+    ts::setStoreEpoch(std::nullopt);
+    {
+        std::ofstream junk(std::filesystem::path(guard.dir) /
+                           "run-deadbeefdeadbeef.tbds");
+        junk << "not a store entry";
+    }
+
+    auto entries = ts::scanStore(guard.dir);
+    ASSERT_EQ(entries.size(), 4u);
+    int valid_current = 0, stale = 0, invalid = 0;
+    for (const auto &entry : entries) {
+        if (!entry.valid)
+            ++invalid;
+        else if (!entry.epochCurrent)
+            ++stale;
+        else
+            ++valid_current;
+    }
+    EXPECT_EQ(valid_current, 2);
+    EXPECT_EQ(stale, 1);
+    EXPECT_EQ(invalid, 1);
+
+    const ts::GcStats gc = ts::gcStore(guard.dir);
+    EXPECT_EQ(gc.removedInvalid, 1);
+    EXPECT_EQ(gc.removedStale, 1);
+    EXPECT_EQ(gc.kept, 2);
+    EXPECT_EQ(ts::scanStore(guard.dir).size(), 2u);
+    EXPECT_TRUE(ts::tryLoadRun(a).has_value());
+
+    EXPECT_EQ(ts::clearStore(guard.dir), 2);
+    EXPECT_EQ(ts::scanStore(guard.dir).size(), 0u);
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared fixture plumbing for the store suites: StoreGuard pins the
+ * store to a fresh per-test temp directory via the programmatic
+ * overrides (which beat TBD_STORE/TBD_NOCACHE — ctest exports
+ * TBD_STORE=off for hermeticity) and restores environment gating on
+ * exit, removing the directory.
+ */
+
+#ifndef TBD_TESTS_STORE_STORE_TEST_UTIL_H
+#define TBD_TESTS_STORE_STORE_TEST_UTIL_H
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include "store/store.h"
+
+namespace tbd::test {
+
+/** Unique temp store root per instantiation (pid + counter). */
+inline std::string
+freshStoreDir()
+{
+    static std::atomic<int> seq{0};
+    const auto dir =
+        std::filesystem::temp_directory_path() /
+        ("tbd-store-test-" + std::to_string(::getpid()) + "-" +
+         std::to_string(seq.fetch_add(1)));
+    return dir.string();
+}
+
+/** Enables the store on a fresh temp dir; restores env gating on exit. */
+struct StoreGuard
+{
+    std::string dir = freshStoreDir();
+
+    StoreGuard()
+    {
+        store::setStoreEnabled(true);
+        store::setStoreDir(dir);
+        store::resetCounters();
+    }
+
+    ~StoreGuard()
+    {
+        store::setStoreEnabled(std::nullopt);
+        store::setStoreDir(std::nullopt);
+        store::setStoreEpoch(std::nullopt);
+        std::error_code ec;
+        std::filesystem::remove_all(dir, ec);
+    }
+
+    StoreGuard(const StoreGuard &) = delete;
+    StoreGuard &operator=(const StoreGuard &) = delete;
+};
+
+} // namespace tbd::test
+
+#endif // TBD_TESTS_STORE_STORE_TEST_UTIL_H

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * `tbd_store` — persistent simulation-store maintenance CLI
+ * (DESIGN.md §16).
+ *
+ *   tbd_store stats  [dir]
+ *   tbd_store verify [dir]
+ *   tbd_store gc     [dir]
+ *   tbd_store clear  [dir]
+ *
+ * `dir` defaults to the active store root (TBD_STORE=<path> or
+ * `.tbd-store`). `stats` summarizes entry counts, kinds, bytes and
+ * epoch currency. `verify` re-validates every entry (header, payload
+ * checksum, blob decode) and exits non-zero when any entry is corrupt
+ * — the CI store job anchors on it. `gc` removes invalid and
+ * stale-epoch entries, keeping current ones. `clear` removes every
+ * entry.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "store/store.h"
+
+using namespace tbd;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr, "usage:\n"
+                         "  tbd_store stats  [dir]\n"
+                         "  tbd_store verify [dir]\n"
+                         "  tbd_store gc     [dir]\n"
+                         "  tbd_store clear  [dir]\n");
+    return 2;
+}
+
+int
+runStats(const std::string &dir)
+{
+    const auto entries = store::scanStore(dir);
+    std::int64_t runs = 0;
+    std::int64_t dists = 0;
+    std::int64_t invalid = 0;
+    std::int64_t stale = 0;
+    std::uint64_t bytes = 0;
+    for (const auto &entry : entries) {
+        bytes += entry.bytes;
+        if (!entry.valid) {
+            ++invalid;
+            continue;
+        }
+        if (!entry.epochCurrent)
+            ++stale;
+        if (entry.kind == "run")
+            ++runs;
+        else if (entry.kind == "dist")
+            ++dists;
+    }
+    std::printf("store %s (epoch %s)\n", dir.c_str(),
+                store::storeEpoch().c_str());
+    std::printf("  entries      %zu (%llu bytes)\n", entries.size(),
+                static_cast<unsigned long long>(bytes));
+    std::printf("  run results  %lld\n", static_cast<long long>(runs));
+    std::printf("  dist results %lld\n", static_cast<long long>(dists));
+    std::printf("  stale epoch  %lld\n", static_cast<long long>(stale));
+    std::printf("  invalid      %lld\n",
+                static_cast<long long>(invalid));
+    return 0;
+}
+
+int
+runVerify(const std::string &dir)
+{
+    const auto entries = store::scanStore(dir);
+    std::int64_t invalid = 0;
+    for (const auto &entry : entries) {
+        if (entry.valid)
+            continue;
+        ++invalid;
+        std::fprintf(stderr, "corrupt: %s (%s)\n", entry.path.c_str(),
+                     entry.problem.c_str());
+    }
+    std::printf("verified %zu entries, %lld corrupt\n", entries.size(),
+                static_cast<long long>(invalid));
+    return invalid > 0 ? 1 : 0;
+}
+
+int
+runGc(const std::string &dir)
+{
+    const store::GcStats stats = store::gcStore(dir);
+    std::printf("gc %s: removed %lld invalid + %lld stale, "
+                "kept %lld (%llu bytes)\n",
+                dir.c_str(),
+                static_cast<long long>(stats.removedInvalid),
+                static_cast<long long>(stats.removedStale),
+                static_cast<long long>(stats.kept),
+                static_cast<unsigned long long>(stats.keptBytes));
+    return 0;
+}
+
+int
+runClear(const std::string &dir)
+{
+    const std::int64_t removed = store::clearStore(dir);
+    std::printf("cleared %s: removed %lld entries\n", dir.c_str(),
+                static_cast<long long>(removed));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2 || argc > 3)
+        return usage();
+    const std::string command = argv[1];
+    const std::string dir = argc == 3 ? argv[2] : store::storeDir();
+    if (command == "stats")
+        return runStats(dir);
+    if (command == "verify")
+        return runVerify(dir);
+    if (command == "gc")
+        return runGc(dir);
+    if (command == "clear")
+        return runClear(dir);
+    return usage();
+}
