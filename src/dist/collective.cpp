@@ -319,6 +319,21 @@ registerCollective(CollectiveSpec spec)
     registry().push_back(std::move(spec));
 }
 
+bool
+unregisterCollective(const std::string &name)
+{
+    auto &specs = registry();
+    for (auto it = specs.begin(); it != specs.end(); ++it) {
+        if (it->name != name)
+            continue;
+        // Memoized plan costs may reference the outgoing policy.
+        clearDistMemos();
+        specs.erase(it);
+        return true;
+    }
+    return false;
+}
+
 std::vector<std::pair<std::string, std::string>>
 collectiveDocTable()
 {

@@ -100,6 +100,14 @@ std::vector<std::string> collectiveNames();
 void registerCollective(CollectiveSpec spec);
 
 /**
+ * Remove a registered collective by name; returns false when the name
+ * is unknown. Exists so test fixtures and analysis harnesses that
+ * register deliberately broken collectives can restore the process-wide
+ * registry instead of leaking the fixture into later suites.
+ */
+bool unregisterCollective(const std::string &name);
+
+/**
  * The documented collective table: (name, summary) rows that DESIGN.md
  * §15 mirrors. tbd::lint cross-checks this against the live registry
  * so the docs cannot silently drift from the code.

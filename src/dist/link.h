@@ -19,6 +19,7 @@
 
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace tbd::dist {
@@ -33,6 +34,17 @@ struct LinkSpec
     /** Time to move `bytes` across the link, in microseconds. */
     double transferUs(double bytes) const;
 };
+
+/**
+ * Unit annotations (field name → unit spec, parsed by
+ * lint::ir::parseUnit) for the numeric LinkSpec fields; the
+ * dimensional-analysis lint rule re-derives transferUs from these.
+ */
+inline std::vector<std::pair<const char *, const char *>>
+linkSpecUnits()
+{
+    return {{"bandwidthGBs", "GB/s"}, {"latencyUs", "us"}};
+}
 
 /**
  * Resolve a catalog link by name; nullopt when unknown. Catalog names

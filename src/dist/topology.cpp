@@ -524,4 +524,20 @@ registerTopology(TopologySpec spec)
     registry().push_back(std::move(spec));
 }
 
+bool
+unregisterTopology(const std::string &name)
+{
+    auto &specs = registry();
+    for (auto it = specs.begin(); it != specs.end(); ++it) {
+        if (it->name != name)
+            continue;
+        // Memoized graphs and plan costs may reference the outgoing
+        // shape.
+        clearDistMemos();
+        specs.erase(it);
+        return true;
+    }
+    return false;
+}
+
 } // namespace tbd::dist

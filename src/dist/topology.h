@@ -182,6 +182,13 @@ std::vector<std::string> topologyNames();
  */
 void registerTopology(TopologySpec spec);
 
+/**
+ * Remove a registered topology by name; returns false when the name is
+ * unknown. Mirrors unregisterCollective: fixtures that register broken
+ * shapes restore the process-wide registry with this.
+ */
+bool unregisterTopology(const std::string &name);
+
 namespace builders {
 
 /**

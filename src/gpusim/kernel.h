@@ -17,6 +17,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "gpusim/gpu_spec.h"
 #include "gpusim/intern.h"
@@ -80,6 +82,38 @@ KernelTiming timeKernel(const GpuSpec &gpu, const KernelDesc &kernel);
 
 /** Fixed per-kernel tail (drain/launch latency on-device), in us. */
 constexpr double kKernelTailUs = 1.7;
+
+/**
+ * Unit annotations (field name → unit spec, parsed by
+ * lint::ir::parseUnit) for the numeric KernelDesc fields. The
+ * dimensional-analysis lint rule re-derives timeKernel symbolically
+ * from these, so an annotation that drifts from the field's actual
+ * dimension is a lint failure.
+ */
+inline std::vector<std::pair<const char *, const char *>>
+kernelDescUnits()
+{
+    return {{"flops", "flops"},     {"bytes", "bytes"},
+            {"parallelism", "1"},   {"computeEff", "1"},
+            {"memoryEff", "1"}};
+}
+
+/** Unit annotations for the KernelTiming output fields. */
+inline std::vector<std::pair<const char *, const char *>>
+kernelTimingUnits()
+{
+    return {{"durationUs", "us"}, {"fp32Util", "1"}};
+}
+
+/** Unit annotations for the numeric GpuSpec fields. */
+inline std::vector<std::pair<const char *, const char *>>
+gpuSpecUnits()
+{
+    return {{"maxClockMHz", "MHz"},    {"memoryGiB", "GiB"},
+            {"llcMiB", "MiB"},         {"memoryBwGBs", "GB/s"},
+            {"memorySpeedMHz", "MHz"}, {"peakFlops()", "flops/s"},
+            {"saturationThreads()", "1"}};
+}
 
 } // namespace tbd::gpusim
 

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The deep-analysis rule families built on lint::ir, registered next
+ * to the core rules in RuleRegistry::builtin() but tagged with an
+ * analysis family ("plan", "lowering", "units") so they are
+ * individually selectable (LintOptions::analyses, CLI --analysis) and
+ * honour the Shallow/Full config-space depth.
+ *
+ * The checking logic is exposed as pure functions over plain inputs so
+ * fixture tests can demonstrate every rule firing on fabricated
+ * defects (a lossy plan, a leaked tensor, a mismatched unit) without
+ * touching process-wide registries.
+ */
+
+#ifndef TBD_LINT_ANALYSES_ANALYSES_H
+#define TBD_LINT_ANALYSES_ANALYSES_H
+
+#include <string>
+#include <vector>
+
+#include "lint/ir.h"
+#include "lint/rule.h"
+#include "memprof/memory_profiler.h"
+
+namespace tbd::lint::analyses {
+
+/** Register the CommPlan verification rules (family "plan"). */
+void registerPlanRules(RuleRegistry &registry);
+
+/** Register the lowered-iteration dataflow rules ("lowering"). */
+void registerLoweringRules(RuleRegistry &registry);
+
+/** Register the dimensional-analysis rules ("units"). */
+void registerUnitsRules(RuleRegistry &registry);
+
+/**
+ * Worker counts to probe a topology at: pinned shapes at their fixed
+ * count, scalable shapes at {2, 8} (Shallow) or {2, 4, 8, 16, 32, 64}
+ * (Full).
+ */
+std::vector<int> planProbeWorkers(const dist::TopologySpec &spec,
+                                  AnalysisDepth depth);
+
+/**
+ * Dead-kernel / never-consumed-output defects in one training stream:
+ * kernels anchored to no op, ops whose stashed forward output no
+ * backward kernel consumes, backward kernels differentiating values
+ * never produced, and optimizer updates fed by no gradient.
+ */
+std::vector<std::string>
+deadKernelDefects(const models::Workload &workload,
+                  const perf::LoweredIteration &training);
+
+/**
+ * Liveness cross-check: re-derive all five memprof category peaks
+ * from tensor live intervals (stash [forward, backward], activation
+ * gradients [producer, consumer]) and compare exactly against the
+ * recorded breakdown. Any difference means the imperative replay
+ * leaked or double-freed a tensor (or this model drifted from it).
+ */
+std::vector<std::string>
+livenessDefects(const models::ModelDesc &model,
+                const models::Workload &workload,
+                const frameworks::FrameworkProfile &fw,
+                const memprof::MemoryBreakdown &recorded);
+
+/**
+ * Dimensional + value consistency of the kernel cost model for one
+ * kernel on one device: re-derives timeKernel from unit-annotated
+ * quantities and checks the expression is dimensionally a time and
+ * numerically agrees with the live model.
+ */
+std::vector<std::string>
+kernelCostUnitDefects(const gpusim::GpuSpec &gpu,
+                      const gpusim::KernelDesc &kernel);
+
+} // namespace tbd::lint::analyses
+
+#endif // TBD_LINT_ANALYSES_ANALYSES_H

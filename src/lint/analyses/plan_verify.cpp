@@ -1,0 +1,157 @@
+/**
+ * @file
+ * CommPlan verification rules: every registered collective is planned
+ * on every registered topology across the probed worker counts, and
+ * each plan is statically certified by lint::ir::checkPlan — route
+ * validity, byte conservation, deadlock freedom, and agreement of the
+ * contention accounting with an independent re-derivation. This is the
+ * certification seam a what-if engine can reuse: any transformed plan
+ * that still passes checkPlan is safe to price.
+ */
+
+#include "lint/analyses/analyses.h"
+
+namespace tbd::lint::analyses {
+
+namespace {
+
+/**
+ * The probed payload: a 100M-parameter fp32 gradient, large enough
+ * that per-shard transfers stay well above zero bytes at 64 workers.
+ */
+constexpr double kPlanPayloadBytes = 4.0e8;
+
+/**
+ * Run `fn(object, topo, plan)` for every registered collective x
+ * topology x probed worker count. Disconnected topologies are skipped
+ * (dist.topology-graph owns those); single-GPU cells still run so an
+ * unexpectedly non-empty plan is flagged.
+ */
+template <typename Fn>
+void
+forEachPlanCell(AnalysisDepth depth, Fn &&fn)
+{
+    for (const auto &topo_name : dist::topologyNames()) {
+        const auto spec = dist::findTopology(topo_name);
+        if (!spec)
+            continue;
+        for (const int workers : planProbeWorkers(*spec, depth)) {
+            const dist::Topology topo = spec->build(workers);
+            if (!topo.connected())
+                continue;
+            for (const auto &coll_name : dist::collectiveNames()) {
+                const auto coll = dist::findCollective(coll_name);
+                if (!coll)
+                    continue;
+                const dist::CommPlan plan =
+                    coll->plan(topo, kPlanPayloadBytes);
+                const std::string object = coll_name + "@" + topo_name +
+                                           ":n=" +
+                                           std::to_string(workers);
+                fn(object, topo, plan);
+            }
+        }
+    }
+}
+
+void
+rulePlanConservation(const LintContext & /*context*/, Sink &sink)
+{
+    forEachPlanCell(sink.depth(), [&](const std::string &object,
+                                      const dist::Topology &topo,
+                                      const dist::CommPlan &plan) {
+        const auto pc =
+            ir::checkPlan(topo, plan, kPlanPayloadBytes);
+        for (const auto &defect : pc.conservation)
+            sink.emit(object, defect);
+    });
+}
+
+void
+rulePlanDeadlock(const LintContext & /*context*/, Sink &sink)
+{
+    forEachPlanCell(sink.depth(), [&](const std::string &object,
+                                      const dist::Topology &topo,
+                                      const dist::CommPlan &plan) {
+        const auto pc =
+            ir::checkPlan(topo, plan, kPlanPayloadBytes);
+        for (const auto &defect : pc.deadlock)
+            sink.emit(object, defect);
+    });
+}
+
+void
+rulePlanRoute(const LintContext & /*context*/, Sink &sink)
+{
+    forEachPlanCell(sink.depth(), [&](const std::string &object,
+                                      const dist::Topology &topo,
+                                      const dist::CommPlan &plan) {
+        const auto pc =
+            ir::checkPlan(topo, plan, kPlanPayloadBytes);
+        for (const auto &defect : pc.route)
+            sink.emit(object, defect);
+        for (const auto &defect : pc.contention)
+            sink.emit(object, defect);
+    });
+}
+
+} // namespace
+
+std::vector<int>
+planProbeWorkers(const dist::TopologySpec &spec, AnalysisDepth depth)
+{
+    if (spec.fixedWorkers > 0)
+        return {spec.fixedWorkers};
+    if (depth == AnalysisDepth::Shallow)
+        return {2, 8};
+    return {2, 4, 8, 16, 32, 64};
+}
+
+void
+registerPlanRules(RuleRegistry &registry)
+{
+    registry.add(
+        {"dist.plan-conservation", Severity::Error, "dist",
+         "every collective's plan delivers the full reduced gradient "
+         "to every worker on every registered topology",
+         "fix the plan builder so each worker's contribution reaches "
+         "all workers (check shard sizes and step coverage)",
+         rulePlanConservation, "plan",
+         "A lossy plan silently trains on stale gradients: the "
+         "simulated scaling curves would look plausible while "
+         "modeling an allreduce that never converges. The verifier "
+         "tracks, per worker, the fraction of every other worker's "
+         "contribution it could reconstruct (a transfer of b bytes "
+         "forwards at most b/payload of any one contribution), which "
+         "is exact for ring/tree/parameter-server/hierarchical "
+         "schedules."});
+    registry.add(
+        {"dist.plan-deadlock", Severity::Error, "dist",
+         "no plan depends on same-step transfers executing in a "
+         "particular order (intra-step rendezvous deadlock)",
+         "move the dependent transfer into a later CommStep",
+         rulePlanDeadlock, "plan",
+         "Transfers within one CommStep are concurrent — costPlan "
+         "prices them that way. A plan that only conserves gradients "
+         "when its same-step transfers run in list order encodes a "
+         "rendezvous cycle that a real concurrent fabric would "
+         "deadlock on (or silently reorder into wrong results). "
+         "Detected by interpreting the plan under both start-of-step "
+         "and sequential semantics and comparing outcomes."});
+    registry.add(
+        {"dist.plan-route", Severity::Error, "dist",
+         "every transfer routes between in-range GPU endpoints with "
+         "positive finite bytes, and costPlan's contention accounting "
+         "matches an independent re-derivation",
+         "fix the plan builder's endpoints/sizes, or reconcile "
+         "costPlan with lint::ir::rederivePlanCostUs (and DESIGN.md "
+         "§15) after a deliberate pricing change",
+         rulePlanRoute, "plan",
+         "Structural route defects make a plan unpriceable or price "
+         "phantom work; the contention cross-check is a "
+         "two-implementation tripwire like the ring closed form, so "
+         "a drive-by change to costPlan's serialization model fails "
+         "lint until the verifier (and docs) move with it."});
+}
+
+} // namespace tbd::lint::analyses

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Dimensional-analysis rule: re-derive every cost expression reachable
+ * from the kernel catalogs (timeKernel's roofline, GpuSpec's derived
+ * peak rate, LinkSpec::transferUs) from unit-annotated quantities, and
+ * require (a) that the expressions are dimensionally times/rates and
+ * (b) that the symbolically-derived values agree with the live models
+ * to floating-point tolerance. An annotation that drifts from a
+ * field's actual dimension, a formula that adds microseconds to bytes,
+ * or a unit-conversion constant that silently changes all fail here.
+ */
+
+#include "lint/analyses/analyses.h"
+
+#include <set>
+
+#include "gpusim/kernel.h"
+
+namespace tbd::lint::analyses {
+
+namespace {
+
+constexpr double kValueTol = 1e-9;
+
+/** Parse-validate one field -> unit-spec annotation table. */
+void
+checkAnnotationTable(
+    Sink &sink, const std::string &table,
+    const std::vector<std::pair<const char *, const char *>> &entries)
+{
+    for (const auto &[field, spec] : entries) {
+        if (!ir::parseUnit(spec)) {
+            sink.emit("annotations/" + table,
+                      std::string("field '") + field +
+                          "' is annotated with unparseable unit spec '" +
+                          spec + "'");
+        }
+    }
+}
+
+void
+ruleUnitsConsistency(const LintContext &context, Sink &sink)
+{
+    checkAnnotationTable(sink, "kernelDescUnits",
+                         gpusim::kernelDescUnits());
+    checkAnnotationTable(sink, "kernelTimingUnits",
+                         gpusim::kernelTimingUnits());
+    checkAnnotationTable(sink, "gpuSpecUnits", gpusim::gpuSpecUnits());
+    checkAnnotationTable(sink, "linkSpecUnits", dist::linkSpecUnits());
+    checkAnnotationTable(sink, "launchItemUnits",
+                         perf::launchItemUnits());
+
+    // Every kernel reachable from the lowered catalogs, on every
+    // context device, deduplicated by (device, kernel name): kernels
+    // sharing a name within one lowering share shape-derived fields
+    // only through the same formulas, so one instance per name is
+    // representative for dimensional purposes and keeps the pass fast.
+    for (const auto *gpu : context.gpus) {
+        if (gpu == nullptr)
+            continue;
+        std::set<std::string> seen;
+        for (const auto &lm : context.lowered) {
+            for (const auto *iter : {&lm.training, &lm.autotune}) {
+                for (const auto &item : iter->items) {
+                    const std::string key = item.kernel.name.str();
+                    if (!seen.insert(key).second)
+                        continue;
+                    for (const auto &defect :
+                         kernelCostUnitDefects(*gpu, item.kernel)) {
+                        sink.emit(gpu->name + "/" + key, defect,
+                                  lm.model);
+                    }
+                }
+            }
+        }
+    }
+
+    // LinkSpec::transferUs for every catalog link.
+    for (const auto &name : dist::linkNames()) {
+        const auto link = dist::findLink(name);
+        if (!link || link->bandwidthGBs <= 0.0)
+            continue; // transferUs asserts on degenerate bandwidth
+        ir::UnitCheck check;
+        const double probe_bytes = 1024.0 * 1024.0;
+        const auto bytes =
+            check.value(probe_bytes, "bytes", name + ".payload");
+        const auto bw = check.value(link->bandwidthGBs, "GB/s",
+                                    name + ".bandwidthGBs");
+        const auto lat =
+            check.value(link->latencyUs, "us", name + ".latencyUs");
+        const auto derived = bytes / bw + lat;
+        check.expectValue(derived, "us", link->transferUs(probe_bytes),
+                          kValueTol, name + ".transferUs(1 MiB)");
+        for (const auto &defect : check.defects())
+            sink.emit("link/" + name, defect);
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+kernelCostUnitDefects(const gpusim::GpuSpec &gpu,
+                      const gpusim::KernelDesc &kernel)
+{
+    ir::UnitCheck check;
+    const std::string kname = kernel.name.str();
+
+    // Field soundness first: timeKernel (which the value cross-check
+    // calls) is fatal on negative work or out-of-range efficiencies,
+    // so report those as unit-model defects instead of crashing.
+    std::vector<std::string> soundness;
+    if (!(kernel.flops >= 0.0) || !(kernel.flops < 1e30))
+        soundness.push_back("kernel '" + kname +
+                            "' has unsound flops field");
+    if (!(kernel.bytes >= 0.0) || !(kernel.bytes < 1e30))
+        soundness.push_back("kernel '" + kname +
+                            "' has unsound bytes field");
+    if (!(kernel.computeEff > 0.0 && kernel.computeEff <= 1.0))
+        soundness.push_back("kernel '" + kname +
+                            "' has computeEff outside (0, 1]");
+    if (!(kernel.memoryEff > 0.0 && kernel.memoryEff <= 1.0))
+        soundness.push_back("kernel '" + kname +
+                            "' has memoryEff outside (0, 1]");
+    if (!soundness.empty())
+        return soundness;
+
+    // Derived GpuSpec quantities. peakFlops() is 2 FLOPs/core/cycle x
+    // clock; deriving it as flops * frequency proves the MHz -> s^-1
+    // conversion rather than assuming it.
+    const auto per_cycle = check.value(2.0 * gpu.coreCount, "flops",
+                                       gpu.name + ".fma-per-cycle");
+    const auto clock =
+        check.value(gpu.maxClockMHz, "MHz", gpu.name + ".maxClockMHz");
+    const auto peak = per_cycle * clock;
+    check.expectValue(peak, "flops/s", gpu.peakFlops(), kValueTol,
+                      gpu.name + ".peakFlops()");
+
+    // The roofline, symbolically (mirrors gpusim::timeKernel).
+    const auto flops =
+        check.value(kernel.flops, "flops", kname + ".flops");
+    const auto bytes =
+        check.value(kernel.bytes, "bytes", kname + ".bytes");
+    const auto par = check.value(std::max(kernel.parallelism, 1.0), "1",
+                                 kname + ".parallelism");
+    const auto sat_threads =
+        check.value(gpu.saturationThreads(), "1",
+                    gpu.name + ".saturationThreads()");
+    const auto compute_eff =
+        check.value(kernel.computeEff, "1", kname + ".computeEff");
+    const auto memory_eff =
+        check.value(kernel.memoryEff, "1", kname + ".memoryEff");
+    const auto bw = check.value(gpu.memoryBwGBs, "GB/s",
+                                gpu.name + ".memoryBwGBs");
+    const auto tail =
+        check.value(gpusim::kKernelTailUs, "us", "kKernelTailUs");
+
+    const auto sat = par / (par + sat_threads);
+    const auto compute_us = flops / (peak * compute_eff * sat);
+    const auto memory_us = bytes / (bw * memory_eff);
+    const auto duration = ir::qmax(compute_us, memory_us) + tail;
+    check.expect(compute_us, "s", kname + " compute time");
+    check.expect(memory_us, "s", kname + " memory time");
+
+    const auto timing = gpusim::timeKernel(gpu, kernel);
+    check.expectValue(duration, "us", timing.durationUs, kValueTol,
+                      kname + ".durationUs");
+
+    // fp32Util must come out dimensionless: flops / (rate * time).
+    const auto live_duration =
+        check.value(timing.durationUs, "us", kname + ".durationUs");
+    const auto util = flops / (peak * live_duration);
+    check.expectValue(util, "1", timing.fp32Util, kValueTol,
+                      kname + ".fp32Util");
+
+    return check.defects();
+}
+
+void
+registerUnitsRules(RuleRegistry &registry)
+{
+    registry.add(
+        {"units.consistency", Severity::Error, "units",
+         "every cost expression reachable from the kernel catalogs "
+         "(timeKernel, peakFlops, transferUs) is dimensionally sound "
+         "and matches its unit-annotated symbolic re-derivation",
+         "reconcile the formula with the field's *Units() annotation "
+         "(or fix the annotation) — a deliberate model change must "
+         "move both",
+         ruleUnitsConsistency, "units",
+         "The cost models mix MHz, GB/s, GiB, microseconds and raw "
+         "FLOP counts in hand-written arithmetic; a single dropped "
+         "1e6 reproduces the paper's *shapes* while being quietly "
+         "wrong in absolute scale. Evaluating the same expressions "
+         "over dimensioned quantities catches unit slips "
+         "structurally, and the value cross-check pins the "
+         "conversion constants themselves."});
+}
+
+} // namespace tbd::lint::analyses

@@ -69,6 +69,12 @@ LintReport::summary() const
         if (!f.fixHint.empty())
             os << "    fix: " << f.fixHint << "\n";
     }
+    if (deprecatedSuppressions > 0) {
+        os << "warning: " << deprecatedSuppressions
+           << " suppression(s) matched only via the deprecated "
+              "object-substring fallback; migrate the lintSuppress "
+              "annotations to exact object ids\n";
+    }
     return os.str();
 }
 
@@ -85,6 +91,8 @@ LintReport::toJson() const
                            count(Severity::Info))));
     counts.set("suppressed",
                Value(static_cast<std::int64_t>(suppressed)));
+    counts.set("deprecated_suppressions",
+               Value(static_cast<std::int64_t>(deprecatedSuppressions)));
 
     Value items = Value::array();
     for (const auto &f : findings) {

@@ -1,0 +1,537 @@
+#include "lint/ir.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <utility>
+
+namespace tbd::lint::ir {
+
+// ---------------------------------------------------------------------
+// Units
+// ---------------------------------------------------------------------
+
+bool
+operator==(const Unit &a, const Unit &b)
+{
+    return a.bytes == b.bytes && a.flops == b.flops &&
+           a.seconds == b.seconds;
+}
+
+bool
+operator!=(const Unit &a, const Unit &b)
+{
+    return !(a == b);
+}
+
+std::string
+unitName(const Unit &u)
+{
+    std::ostringstream out;
+    bool first = true;
+    const auto dim = [&](const char *base, int exp) {
+        if (exp == 0)
+            return;
+        if (!first)
+            out << "*";
+        out << base;
+        if (exp != 1)
+            out << "^" << exp;
+        first = false;
+    };
+    dim("bytes", u.bytes);
+    dim("flops", u.flops);
+    dim("s", u.seconds);
+    if (first)
+        return "1";
+    return out.str();
+}
+
+namespace {
+
+std::optional<ParsedUnit>
+baseToken(const std::string &token)
+{
+    ParsedUnit p;
+    if (token == "1")
+        return p;
+    if (token == "bytes" || token == "B") {
+        p.unit.bytes = 1;
+        return p;
+    }
+    if (token == "KiB" || token == "MiB" || token == "GiB") {
+        p.unit.bytes = 1;
+        p.scale = token == "KiB" ? 1024.0
+                  : token == "MiB" ? 1024.0 * 1024.0
+                                   : 1024.0 * 1024.0 * 1024.0;
+        return p;
+    }
+    if (token == "GB") {
+        p.unit.bytes = 1;
+        p.scale = 1e9;
+        return p;
+    }
+    if (token == "flops") {
+        p.unit.flops = 1;
+        return p;
+    }
+    if (token == "s" || token == "ms" || token == "us") {
+        p.unit.seconds = 1;
+        p.scale = token == "s" ? 1.0 : token == "ms" ? 1e-3 : 1e-6;
+        return p;
+    }
+    if (token == "MHz") {
+        p.unit.seconds = -1;
+        p.scale = 1e6;
+        return p;
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+std::optional<ParsedUnit>
+parseUnit(const std::string &spec)
+{
+    const std::size_t slash = spec.find('/');
+    if (slash == std::string::npos)
+        return baseToken(spec);
+    const auto num = baseToken(spec.substr(0, slash));
+    const auto den = baseToken(spec.substr(slash + 1));
+    if (!num || !den || den->scale == 0.0)
+        return std::nullopt;
+    ParsedUnit p;
+    p.scale = num->scale / den->scale;
+    p.unit.bytes = num->unit.bytes - den->unit.bytes;
+    p.unit.flops = num->unit.flops - den->unit.flops;
+    p.unit.seconds = num->unit.seconds - den->unit.seconds;
+    return p;
+}
+
+Quantity
+UnitCheck::value(double raw, const std::string &unitSpec,
+                 std::string label)
+{
+    Quantity q;
+    q.label = std::move(label);
+    q.check = this;
+    const auto parsed = parseUnit(unitSpec);
+    if (!parsed) {
+        defect("unparseable unit spec '" + unitSpec + "' on '" +
+               q.label + "'");
+        q.value = raw;
+        return q;
+    }
+    q.value = raw * parsed->scale;
+    q.unit = parsed->unit;
+    return q;
+}
+
+void
+UnitCheck::defect(std::string message)
+{
+    defects_.push_back(std::move(message));
+}
+
+void
+UnitCheck::expect(const Quantity &q, const std::string &unitSpec,
+                  const std::string &context)
+{
+    const auto parsed = parseUnit(unitSpec);
+    if (!parsed) {
+        defect("unparseable unit spec '" + unitSpec + "' expected for " +
+               context);
+        return;
+    }
+    if (q.unit != parsed->unit) {
+        defect(context + ": expected " + unitName(parsed->unit) +
+               ", derived " + unitName(q.unit) + " (from '" + q.label +
+               "')");
+    }
+}
+
+void
+UnitCheck::expectValue(const Quantity &q, const std::string &unitSpec,
+                       double live, double relTol,
+                       const std::string &context)
+{
+    expect(q, unitSpec, context);
+    const auto parsed = parseUnit(unitSpec);
+    if (!parsed)
+        return;
+    const double live_si = live * parsed->scale;
+    if (!std::isfinite(q.value) || !std::isfinite(live_si)) {
+        std::ostringstream out;
+        out << context << ": non-finite value (derived " << q.value
+            << ", live " << live_si << ")";
+        defect(out.str());
+        return;
+    }
+    const double mag =
+        std::max({std::fabs(q.value), std::fabs(live_si), 1e-30});
+    if (std::fabs(q.value - live_si) > relTol * mag) {
+        std::ostringstream out;
+        out << context << ": derived " << q.value / parsed->scale << " "
+            << unitSpec << ", live model computes "
+            << live << " " << unitSpec;
+        defect(out.str());
+    }
+}
+
+namespace {
+
+UnitCheck *
+pickCheck(const Quantity &a, const Quantity &b)
+{
+    return a.check != nullptr ? a.check : b.check;
+}
+
+Quantity
+addLike(const Quantity &a, const Quantity &b, const char *opName,
+        double value)
+{
+    Quantity q;
+    q.check = pickCheck(a, b);
+    q.unit = a.unit;
+    q.value = value;
+    q.label = "(" + a.label + opName + b.label + ")";
+    if (a.unit != b.unit && q.check != nullptr) {
+        q.check->defect("dimension mismatch in '" + a.label + "'" +
+                        opName + "'" + b.label + "': " +
+                        unitName(a.unit) + " vs " + unitName(b.unit));
+    }
+    return q;
+}
+
+} // namespace
+
+Quantity
+operator+(const Quantity &a, const Quantity &b)
+{
+    return addLike(a, b, " + ", a.value + b.value);
+}
+
+Quantity
+operator-(const Quantity &a, const Quantity &b)
+{
+    return addLike(a, b, " - ", a.value - b.value);
+}
+
+Quantity
+operator*(const Quantity &a, const Quantity &b)
+{
+    Quantity q;
+    q.check = pickCheck(a, b);
+    q.value = a.value * b.value;
+    q.unit.bytes = a.unit.bytes + b.unit.bytes;
+    q.unit.flops = a.unit.flops + b.unit.flops;
+    q.unit.seconds = a.unit.seconds + b.unit.seconds;
+    q.label = "(" + a.label + " * " + b.label + ")";
+    return q;
+}
+
+Quantity
+operator/(const Quantity &a, const Quantity &b)
+{
+    Quantity q;
+    q.check = pickCheck(a, b);
+    q.value = a.value / b.value;
+    q.unit.bytes = a.unit.bytes - b.unit.bytes;
+    q.unit.flops = a.unit.flops - b.unit.flops;
+    q.unit.seconds = a.unit.seconds - b.unit.seconds;
+    q.label = "(" + a.label + " / " + b.label + ")";
+    return q;
+}
+
+Quantity
+qmax(const Quantity &a, const Quantity &b)
+{
+    Quantity q = addLike(a, b, " max ", std::max(a.value, b.value));
+    return q;
+}
+
+// ---------------------------------------------------------------------
+// CommPlan verification
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Map node index -> worker rank (-1 for non-GPU nodes). */
+std::vector<int>
+rankByNode(const dist::Topology &topo)
+{
+    std::vector<int> rank(topo.nodes().size(), -1);
+    const auto &gpus = topo.gpus();
+    for (std::size_t i = 0; i < gpus.size(); ++i)
+        rank[static_cast<std::size_t>(gpus[i])] = static_cast<int>(i);
+    return rank;
+}
+
+/** True when a transfer can carry knowledge between two workers. */
+bool
+carriesKnowledge(const dist::Transfer &t, const std::vector<int> &rank)
+{
+    const auto nodes = static_cast<int>(rank.size());
+    return t.from >= 0 && t.from < nodes && t.to >= 0 && t.to < nodes &&
+           rank[static_cast<std::size_t>(t.from)] >= 0 &&
+           rank[static_cast<std::size_t>(t.to)] >= 0 && t.from != t.to &&
+           std::isfinite(t.bytes) && t.bytes > 0.0;
+}
+
+constexpr double kConservedTol = 1e-9;
+
+/** Workers holding less than the full reduced gradient. */
+std::vector<std::pair<int, double>>
+deficientWorkers(const std::vector<std::vector<double>> &fractions)
+{
+    std::vector<std::pair<int, double>> shortfall;
+    for (std::size_t w = 0; w < fractions.size(); ++w) {
+        double worst = 1.0;
+        for (const double f : fractions[w])
+            worst = std::min(worst, f);
+        if (worst < 1.0 - kConservedTol)
+            shortfall.emplace_back(static_cast<int>(w), worst);
+    }
+    return shortfall;
+}
+
+std::string
+describeShortfall(const std::vector<std::pair<int, double>> &shortfall)
+{
+    std::ostringstream out;
+    out << shortfall.size() << " of the workers end without the full "
+        << "reduced gradient (worst: worker " << shortfall.front().first
+        << " reconstructs at most "
+        << shortfall.front().second * 100.0
+        << "% of some contribution)";
+    return out.str();
+}
+
+} // namespace
+
+std::vector<std::vector<double>>
+executePlan(const dist::Topology &topo, const dist::CommPlan &plan,
+            double bytes, StepSemantics semantics)
+{
+    const auto rank = rankByNode(topo);
+    const std::size_t n = topo.gpus().size();
+    std::vector<std::vector<double>> f(n, std::vector<double>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i)
+        f[i][i] = 1.0;
+    if (n == 0 || !(bytes > 0.0))
+        return f;
+
+    for (const auto &step : plan.steps) {
+        // Under Snapshot semantics every transfer reads the state from
+        // the start of the step; gains still accumulate additively.
+        const auto base = f;
+        const auto &source =
+            semantics == StepSemantics::Snapshot ? base : f;
+        for (const auto &t : step.transfers) {
+            if (!carriesKnowledge(t, rank))
+                continue;
+            const auto u = static_cast<std::size_t>(
+                rank[static_cast<std::size_t>(t.from)]);
+            const auto v = static_cast<std::size_t>(
+                rank[static_cast<std::size_t>(t.to)]);
+            // A b-byte message out of a payload of `bytes` carries at
+            // most b/bytes of any one contribution; reduced data
+            // carries all contributions at once, so the cap applies
+            // per contribution rather than being split among them.
+            const double cap = std::min(1.0, t.bytes / bytes);
+            for (std::size_t c = 0; c < n; ++c) {
+                const double gain = std::min(cap, source[u][c]);
+                f[v][c] = std::min(1.0, f[v][c] + gain);
+            }
+        }
+    }
+    return f;
+}
+
+double
+rederivePlanCostUs(const dist::Topology &topo,
+                   const dist::CommPlan &plan)
+{
+    // Deliberately re-implements costPlan's pricing from the Topology
+    // helpers instead of sharing its code: agreement is the tripwire.
+    double total_us = 0.0;
+    std::map<std::pair<int, int>, double> busy_us;
+    for (const auto &step : plan.steps) {
+        busy_us.clear();
+        double uncontended = 0.0;
+        for (const auto &t : step.transfers) {
+            if (t.from == t.to)
+                continue;
+            uncontended = std::max(
+                uncontended, topo.transferUs(t.from, t.to, t.bytes));
+            int node = t.from;
+            for (const int e : topo.route(t.from, t.to)) {
+                const auto &edge = topo.edges()[static_cast<std::size_t>(e)];
+                const int dir = edge.a == node ? 0 : 1;
+                busy_us[{e, dir}] +=
+                    edge.link.latencyUs +
+                    t.bytes / (edge.link.bandwidthGBs * 1e9) * 1e6;
+                node = edge.a == node ? edge.b : edge.a;
+            }
+        }
+        double contended = 0.0;
+        for (const auto &[key, us] : busy_us)
+            contended = std::max(contended, us);
+        total_us += std::max(uncontended, contended);
+    }
+    return total_us;
+}
+
+PlanCheck
+checkPlan(const dist::Topology &topo, const dist::CommPlan &plan,
+          double bytes)
+{
+    PlanCheck pc;
+    const auto &nodes = topo.nodes();
+    const auto rank = rankByNode(topo);
+    const std::size_t n = topo.gpus().size();
+
+    // --- route validity (structural) ---
+    std::size_t route_defects = 0;
+    const auto routeDefect = [&](std::string message) {
+        if (++route_defects <= 8)
+            pc.route.push_back(std::move(message));
+    };
+    for (std::size_t s = 0; s < plan.steps.size(); ++s) {
+        const auto &step = plan.steps[s];
+        const std::string where = "step " + std::to_string(s);
+        if (step.transfers.empty()) {
+            routeDefect(where + " has no transfers (dead barrier)");
+            continue;
+        }
+        for (const auto &t : step.transfers) {
+            const std::string id = where + " transfer " +
+                                   std::to_string(t.from) + "->" +
+                                   std::to_string(t.to);
+            if (t.from < 0 || t.to < 0 ||
+                t.from >= static_cast<int>(nodes.size()) ||
+                t.to >= static_cast<int>(nodes.size())) {
+                routeDefect(id + ": endpoint outside the topology");
+                continue;
+            }
+            if (rank[static_cast<std::size_t>(t.from)] < 0 ||
+                rank[static_cast<std::size_t>(t.to)] < 0) {
+                routeDefect(id + ": endpoint is not a GPU (gradients "
+                                 "must terminate on workers)");
+                continue;
+            }
+            if (t.from == t.to) {
+                routeDefect(id + ": transfer to itself moves nothing");
+                continue;
+            }
+            if (!std::isfinite(t.bytes) || t.bytes < 0.0) {
+                routeDefect(id + ": non-finite or negative bytes");
+                continue;
+            }
+            if (t.bytes == 0.0)
+                routeDefect(id + ": zero-byte transfer (dead work)");
+        }
+    }
+    if (route_defects > 8) {
+        pc.route.push_back("... and " +
+                           std::to_string(route_defects - 8) +
+                           " more route defects");
+    }
+    if (!topo.connected()) {
+        // dist.topology-graph owns disconnected graphs; recording it
+        // here keeps checkPlan total (routing would be fatal).
+        pc.route.push_back("topology is not connected; transfers "
+                           "cannot be routed");
+    }
+
+    // --- conservation and deadlock freedom ---
+    if (n >= 2 && bytes > 0.0) {
+        if (plan.steps.empty()) {
+            pc.conservation.push_back(
+                "plan schedules no transfers, so no worker can see "
+                "any other worker's gradient");
+        } else {
+            const auto sequential = deficientWorkers(executePlan(
+                topo, plan, bytes, StepSemantics::Sequential));
+            if (!sequential.empty()) {
+                pc.conservation.push_back(
+                    describeShortfall(sequential));
+            } else {
+                const auto snapshot = deficientWorkers(executePlan(
+                    topo, plan, bytes, StepSemantics::Snapshot));
+                if (!snapshot.empty()) {
+                    pc.deadlock.push_back(
+                        "conserves gradients only when same-step "
+                        "transfers execute in list order; under "
+                        "concurrent start-of-step semantics " +
+                        describeShortfall(snapshot) +
+                        " — an intra-step rendezvous deadlock");
+                }
+            }
+        }
+    }
+
+    // --- contention accounting cross-check ---
+    if (pc.structurallySound() && !plan.steps.empty()) {
+        const double live = dist::costPlan(topo, plan).totalUs;
+        const double derived = rederivePlanCostUs(topo, plan);
+        const double mag =
+            std::max({std::fabs(live), std::fabs(derived), 1.0});
+        if (!std::isfinite(live) || !std::isfinite(derived) ||
+            std::fabs(live - derived) > 1e-9 * mag) {
+            std::ostringstream out;
+            out << "costPlan prices the plan at " << live
+                << " us but an independent re-derivation of the "
+                << "per-edge-direction contention accounting gives "
+                << derived << " us";
+            pc.contention.push_back(out.str());
+        }
+    }
+    return pc;
+}
+
+// ---------------------------------------------------------------------
+// Lowered-iteration dataflow
+// ---------------------------------------------------------------------
+
+IterationGraph
+buildIterationGraph(const models::Workload &workload,
+                    const perf::LoweredIteration &iter)
+{
+    IterationGraph graph;
+    graph.ops.resize(workload.ops.size());
+    for (std::size_t i = 0; i < iter.items.size(); ++i) {
+        const auto &item = iter.items[i];
+        if (item.opIndex < 0 ||
+            item.opIndex >= static_cast<int>(workload.ops.size())) {
+            graph.structural.push_back(
+                "kernel '" + item.kernel.name.str() +
+                "' is not anchored to any workload op (opIndex " +
+                std::to_string(item.opIndex) + ")");
+            continue;
+        }
+        auto &node = graph.ops[static_cast<std::size_t>(item.opIndex)];
+        switch (item.phase) {
+          case perf::LowerPhase::Forward:
+            node.forward.push_back(i);
+            break;
+          case perf::LowerPhase::Backward:
+            node.backward.push_back(i);
+            break;
+          case perf::LowerPhase::Update:
+            node.update.push_back(i);
+            break;
+          case perf::LowerPhase::Autotune:
+            graph.structural.push_back(
+                "kernel '" + item.kernel.name.str() +
+                "' carries the autotune phase inside a training "
+                "stream");
+            break;
+        }
+    }
+    return graph;
+}
+
+} // namespace tbd::lint::ir

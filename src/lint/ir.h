@@ -1,0 +1,254 @@
+/**
+ * @file
+ * lint::ir — the small typed dataflow IR the deep-analysis rules run
+ * on. Three families of artifacts get a checkable representation:
+ *
+ *  1. **CommPlans** as knowledge-flow graphs. `executePlan` abstractly
+ *     interprets a plan: it tracks, per worker, what *fraction* of
+ *     every other worker's gradient contribution that worker could
+ *     have reconstructed so far. A transfer of `b` bytes forwards at
+ *     most `b / payload` of any one contribution (reduced data carries
+ *     all contributions simultaneously, so the bound applies per
+ *     contribution, not divided among them). The relaxation is exact
+ *     for the registered collectives — a ring allreduce reaches 1.0
+ *     for every (worker, contribution) pair on exactly its last step —
+ *     and it is a true upper bound on real schedules, so a plan it
+ *     flags as short is genuinely short. Running the interpreter under
+ *     two step semantics (transfers see start-of-step state vs effects
+ *     of earlier same-step transfers) splits "conserves bytes" from
+ *     "conserves bytes only if same-step transfers rendezvous in
+ *     order", which is the static signature of an intra-step deadlock.
+ *
+ *  2. **Lowered iterations** as op-anchored kernel graphs.
+ *     `buildIterationGraph` groups a LoweredIteration's launch stream
+ *     by the (phase, opIndex) provenance the lowering now records, so
+ *     rules can ask structural questions — which kernels implement op
+ *     i's backward pass? — without parsing kernel names.
+ *
+ *  3. **Cost expressions** as dimensioned quantities. `Quantity`
+ *     carries a value in canonical SI units plus an exponent vector
+ *     over {bytes, flops, seconds}; arithmetic propagates dimensions
+ *     and records a defect on any dimensionally-invalid addition or
+ *     comparison. Struct fields advertise their units via the
+ *     `*Units()` annotation tables next to each struct, parsed by
+ *     `parseUnit`.
+ */
+
+#ifndef TBD_LINT_IR_H
+#define TBD_LINT_IR_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/collective.h"
+#include "dist/topology.h"
+#include "models/workload.h"
+#include "perf/lowering.h"
+
+namespace tbd::lint::ir {
+
+// ---------------------------------------------------------------------
+// Dimensional analysis
+// ---------------------------------------------------------------------
+
+/** A dimension: integer exponents over the three base units. */
+struct Unit
+{
+    int bytes = 0;
+    int flops = 0;
+    int seconds = 0;
+};
+
+bool operator==(const Unit &a, const Unit &b);
+bool operator!=(const Unit &a, const Unit &b);
+
+/** Render a unit as e.g. "bytes*s^-1" ("1" when dimensionless). */
+std::string unitName(const Unit &u);
+
+/**
+ * A parsed unit spec: the dimension plus the scale that converts a
+ * value expressed in the spec'd unit into canonical SI (e.g. "us" →
+ * scale 1e-6 over seconds, "GB/s" → scale 1e9 over bytes/s).
+ */
+struct ParsedUnit
+{
+    double scale = 1.0;
+    Unit unit;
+};
+
+/**
+ * Parse a unit spec: a base token ("1", "bytes", "flops", "s", "us",
+ * "ms", "GB", "GiB", "MiB", "KiB", "MHz", "flops") or a quotient
+ * "A/B" of two base tokens. Returns nullopt for anything else.
+ */
+std::optional<ParsedUnit> parseUnit(const std::string &spec);
+
+class UnitCheck;
+
+/**
+ * A dimensioned value. `value` is always canonical SI (bytes, flops,
+ * seconds and their products); the scale of the unit spec it was built
+ * from has already been folded in. Arithmetic on quantities reports
+ * dimension violations to the owning UnitCheck instead of asserting,
+ * so a lint rule can collect every inconsistency in one pass.
+ */
+struct Quantity
+{
+    double value = 0.0;
+    Unit unit;
+    std::string label;
+    UnitCheck *check = nullptr;
+};
+
+/** Collects dimensional defects while expressions are evaluated. */
+class UnitCheck
+{
+  public:
+    /**
+     * Make a quantity from a raw value expressed in `unitSpec` units.
+     * An unparseable spec is itself a defect and yields a
+     * dimensionless quantity.
+     */
+    Quantity value(double raw, const std::string &unitSpec,
+                   std::string label);
+
+    /** Record a defect directly. */
+    void defect(std::string message);
+
+    /** Require `q` to have the dimension of `unitSpec`. */
+    void expect(const Quantity &q, const std::string &unitSpec,
+                const std::string &context);
+
+    /**
+     * Require `q` to have the dimension of `unitSpec` AND to agree
+     * with `live` (a value expressed in `unitSpec` units, typically
+     * produced by the production cost model) within `relTol` relative
+     * tolerance. Non-finite values on either side are defects.
+     */
+    void expectValue(const Quantity &q, const std::string &unitSpec,
+                     double live, double relTol,
+                     const std::string &context);
+
+    const std::vector<std::string> &defects() const { return defects_; }
+
+  private:
+    std::vector<std::string> defects_;
+};
+
+Quantity operator+(const Quantity &a, const Quantity &b);
+Quantity operator-(const Quantity &a, const Quantity &b);
+Quantity operator*(const Quantity &a, const Quantity &b);
+Quantity operator/(const Quantity &a, const Quantity &b);
+
+/** max() of two quantities; mismatched dimensions are a defect. */
+Quantity qmax(const Quantity &a, const Quantity &b);
+
+// ---------------------------------------------------------------------
+// CommPlan verification
+// ---------------------------------------------------------------------
+
+/** How transfers within one CommStep observe each other. */
+enum class StepSemantics
+{
+    /**
+     * Every transfer of a step reads the knowledge state from the
+     * start of the step (truly concurrent transfers; nothing ordered
+     * within a step). This is the semantics costPlan prices.
+     */
+    Snapshot,
+    /**
+     * Transfers apply in list order, each seeing the effects of
+     * earlier transfers in the same step. A plan that conserves only
+     * under this semantics silently relies on an intra-step rendezvous
+     * order — a deadlock waiting to happen on a real concurrent
+     * fabric.
+     */
+    Sequential,
+};
+
+/**
+ * Abstractly interpret a plan over `topo`'s workers for a payload of
+ * `bytes` per worker. Returns fractions[w][c] ∈ [0,1]: the fraction
+ * of worker c's gradient contribution that worker w can reconstruct
+ * after the plan completes (identity matrix before any transfer).
+ * Transfers whose endpoints are not in-range GPU nodes are skipped —
+ * checkPlan reports those as route defects.
+ */
+std::vector<std::vector<double>>
+executePlan(const dist::Topology &topo, const dist::CommPlan &plan,
+            double bytes, StepSemantics semantics);
+
+/** Everything the static plan verifier found wrong with one plan. */
+struct PlanCheck
+{
+    /** Structural/route defects: bad endpoints, bad sizes, dead steps. */
+    std::vector<std::string> route;
+    /** Allreduce shortfalls under Sequential semantics. */
+    std::vector<std::string> conservation;
+    /** Conserves under Sequential but not Snapshot semantics. */
+    std::vector<std::string> deadlock;
+    /** costPlan contention re-derivation disagreements. */
+    std::vector<std::string> contention;
+
+    bool structurallySound() const { return route.empty(); }
+    bool clean() const
+    {
+        return route.empty() && conservation.empty() &&
+               deadlock.empty() && contention.empty();
+    }
+};
+
+/**
+ * Statically verify one plan: route validity, byte conservation (every
+ * worker ends with the full reduced gradient), deadlock freedom (the
+ * conservation result does not depend on intra-step ordering), and
+ * agreement of an independent re-derivation of the per-step contention
+ * accounting with the live costPlan. The costPlan cross-check is
+ * skipped for structurally broken plans (costPlan is fatal on them).
+ */
+PlanCheck checkPlan(const dist::Topology &topo,
+                    const dist::CommPlan &plan, double bytes);
+
+/**
+ * Independent re-implementation of costPlan's step pricing (routes,
+ * per-(edge, direction) serialization, max(base, contended) per step,
+ * sum over steps). Exists purely as a tripwire: if costPlan's
+ * semantics drift, the `dist.plan-route` rule fails until the verifier
+ * and the docs are updated too.
+ */
+double rederivePlanCostUs(const dist::Topology &topo,
+                          const dist::CommPlan &plan);
+
+// ---------------------------------------------------------------------
+// Lowered-iteration dataflow
+// ---------------------------------------------------------------------
+
+/** The kernels (item indices) implementing one workload op. */
+struct OpNode
+{
+    std::vector<std::size_t> forward;
+    std::vector<std::size_t> backward;
+    std::vector<std::size_t> update;
+};
+
+/** A LoweredIteration grouped by op provenance. */
+struct IterationGraph
+{
+    std::vector<OpNode> ops; ///< parallel to Workload::ops
+    /** Kernels that could not be anchored to a workload op. */
+    std::vector<std::string> structural;
+};
+
+/**
+ * Group a *training* launch stream by the (phase, opIndex) provenance
+ * recorded during lowering. Kernels with an out-of-range op index or
+ * an autotune phase (autotune kernels live in their own stream) are
+ * reported in `structural`.
+ */
+IterationGraph buildIterationGraph(const models::Workload &workload,
+                                   const perf::LoweredIteration &iter);
+
+} // namespace tbd::lint::ir
+
+#endif // TBD_LINT_IR_H

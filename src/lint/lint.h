@@ -78,6 +78,13 @@ struct LintReport
     std::size_t suppressed = 0;    ///< findings waived by annotations
     std::size_t modelsChecked = 0; ///< models in the linted context
     std::size_t loweringsChecked = 0; ///< model x framework lowerings
+    /**
+     * Suppressions that matched only via the deprecated
+     * object-substring fallback ("rule.id=object-substring"); exact
+     * object ids are the supported form. Surfaced as a warning by the
+     * CLI so annotations get migrated before the fallback is removed.
+     */
+    std::size_t deprecatedSuppressions = 0;
 
     /** Findings at exactly this severity. */
     std::size_t count(Severity severity) const;
@@ -118,11 +125,38 @@ BaselineDiff diffAgainstBaseline(const LintReport &report,
                                  const std::set<std::string> &keys,
                                  Severity gate = Severity::Info);
 
+/**
+ * How exhaustively the analysis families probe their config spaces.
+ * Shallow keeps the default `tbd_lint run`, the committed-baseline CI
+ * gate and the TBD_LINT pre-run hook fast (scalable topologies probed
+ * at {2, 8} workers); Full is the `--analysis all` sweep over worker
+ * counts {2, 4, 8, 16, 32, 64}.
+ */
+enum class AnalysisDepth { Shallow, Full };
+
 /** Per-invocation linting knobs. */
 struct LintOptions
 {
     /** Rule ids disabled wholesale (CLI --suppress). */
     std::set<std::string> disabledRules;
+
+    /**
+     * Analysis families to run in addition to the core rules
+     * (rules carrying an empty family tag always run). nullopt = all
+     * registered families. An empty set = core rules only
+     * (CLI --analysis none).
+     */
+    std::optional<std::set<std::string>> analyses;
+
+    /** Config-space depth for the analysis families. */
+    AnalysisDepth depth = AnalysisDepth::Shallow;
+
+    /** True when `family` should run under these options. */
+    bool analysisEnabled(const std::string &family) const
+    {
+        return family.empty() || !analyses.has_value() ||
+               analyses->count(family) > 0;
+    }
 };
 
 /**

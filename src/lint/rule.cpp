@@ -8,15 +8,24 @@ namespace tbd::lint {
 
 namespace {
 
+/** How a suppression annotation matched a finding, if at all. */
+enum class SuppressMatch { No, Exact, Deprecated };
+
 /**
- * True when a ModelDesc suppression annotation waives this finding.
+ * Whether a ModelDesc suppression annotation waives this finding.
  * Annotations are "rule.id" (whole rule for the model) or
- * "rule.id=needle" (only findings whose object contains the needle).
+ * "rule.id=object" (only the finding with exactly that object id).
+ * An annotation whose object part merely appears as a substring of the
+ * finding's object still matches, but as Deprecated: substring needles
+ * can alias across objects (":fc" waives ":fc" and ":fc_bias" alike),
+ * so the fallback is counted separately and warned about until the
+ * annotations are migrated to exact ids.
  */
-bool
+SuppressMatch
 suppressedBy(const models::ModelDesc &model, const std::string &ruleId,
              const std::string &object)
 {
+    SuppressMatch best = SuppressMatch::No;
     for (const auto &entry : model.lintSuppress) {
         const std::size_t eq = entry.find('=');
         const std::string rule =
@@ -24,17 +33,20 @@ suppressedBy(const models::ModelDesc &model, const std::string &ruleId,
         if (rule != ruleId)
             continue;
         if (eq == std::string::npos)
-            return true;
-        if (object.find(entry.substr(eq + 1)) != std::string::npos)
-            return true;
+            return SuppressMatch::Exact;
+        const std::string needle = entry.substr(eq + 1);
+        if (needle == object)
+            return SuppressMatch::Exact;
+        if (object.find(needle) != std::string::npos)
+            best = SuppressMatch::Deprecated;
     }
-    return false;
+    return best;
 }
 
 } // namespace
 
-Sink::Sink(const Rule &rule, LintReport &report)
-    : rule_(rule), report_(report)
+Sink::Sink(const Rule &rule, LintReport &report, AnalysisDepth depth)
+    : rule_(rule), report_(report), depth_(depth)
 {
 }
 
@@ -42,9 +54,15 @@ void
 Sink::emit(std::string object, std::string detail,
            const models::ModelDesc *model)
 {
-    if (model != nullptr && suppressedBy(*model, rule_.id, object)) {
-        ++report_.suppressed;
-        return;
+    if (model != nullptr) {
+        const SuppressMatch match =
+            suppressedBy(*model, rule_.id, object);
+        if (match != SuppressMatch::No) {
+            ++report_.suppressed;
+            if (match == SuppressMatch::Deprecated)
+                ++report_.deprecatedSuppressions;
+            return;
+        }
     }
     Finding f;
     f.rule = rule_.id;
@@ -81,6 +99,20 @@ RuleRegistry::find(const std::string &id) const
     return nullptr;
 }
 
+std::vector<std::string>
+RuleRegistry::analyses() const
+{
+    std::vector<std::string> families;
+    for (const auto &rule : rules_) {
+        if (rule.analysis.empty())
+            continue;
+        if (std::find(families.begin(), families.end(), rule.analysis) ==
+            families.end())
+            families.push_back(rule.analysis);
+    }
+    return families;
+}
+
 LintReport
 RuleRegistry::run(const LintContext &context,
                   const LintOptions &options) const
@@ -91,7 +123,9 @@ RuleRegistry::run(const LintContext &context,
     for (const auto &rule : rules_) {
         if (options.disabledRules.count(rule.id) != 0)
             continue;
-        Sink sink(rule, report);
+        if (!options.analysisEnabled(rule.analysis))
+            continue;
+        Sink sink(rule, report, options.depth);
         rule.run(context, sink);
         ++report.rulesRun;
     }

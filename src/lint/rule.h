@@ -37,13 +37,23 @@ struct Rule
     std::string description; ///< one-line what-it-checks
     std::string fixHint;     ///< stamped onto every finding
     std::function<void(const LintContext &, Sink &)> run;
+    /**
+     * Deep-analysis family ("plan", "lowering", "units"); empty for
+     * the core rules. Families are selectable per invocation
+     * (LintOptions::analyses, CLI --analysis) and honour
+     * LintOptions::depth.
+     */
+    std::string analysis = {};
+    /** Why the invariant matters (shown by `tbd_lint explain`). */
+    std::string rationale = {};
 };
 
 /** Collects findings for one rule, applying suppressions. */
 class Sink
 {
   public:
-    Sink(const Rule &rule, LintReport &report);
+    Sink(const Rule &rule, LintReport &report,
+         AnalysisDepth depth = AnalysisDepth::Shallow);
 
     /**
      * Emit one finding. `model` (when non-null) names the owning
@@ -56,10 +66,14 @@ class Sink
     /** Findings emitted (not counting suppressed ones). */
     std::size_t emitted() const { return emitted_; }
 
+    /** Config-space depth the invoking options requested. */
+    AnalysisDepth depth() const { return depth_; }
+
   private:
     const Rule &rule_;
     LintReport &report_;
     std::size_t emitted_ = 0;
+    AnalysisDepth depth_;
 };
 
 /**
@@ -113,6 +127,9 @@ class RuleRegistry
 
     /** Lookup by id; nullptr when unknown. */
     const Rule *find(const std::string &id) const;
+
+    /** Distinct non-empty analysis families, in registration order. */
+    std::vector<std::string> analyses() const;
 
     /** Run every enabled rule over the context. */
     LintReport run(const LintContext &context,

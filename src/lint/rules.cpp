@@ -19,6 +19,7 @@
 #include "gpusim/intern.h"
 #include "gpusim/kernel.h"
 #include "gpusim/kernel_catalog.h"
+#include "lint/analyses/analyses.h"
 #include "lint/rule.h"
 #include "perf/memory_model.h"
 #include "store/store.h"
@@ -1010,7 +1011,9 @@ RuleRegistry::builtin()
         r->add({"sweep.static-oom", Severity::Info, "sweep",
                 "inventory of sweep cells that statically must OOM "
                 "(expected truncation)",
-                "", ruleSweepStaticOom});
+                "trim the model's batchSweep or raise the device "
+                "memory if the cell should actually fit",
+                ruleSweepStaticOom});
         r->add({"intern.collision", Severity::Error, "intern",
                 "the kernel-name intern table is collision-free and "
                 "round-trips",
@@ -1054,6 +1057,9 @@ RuleRegistry::builtin()
                 "store/store.cpp and bump the kXKeyFields snapshot "
                 "(plus the store epoch when simulation-visible)",
                 ruleStoreKeyCompleteness});
+        analyses::registerPlanRules(*r);
+        analyses::registerLoweringRules(*r);
+        analyses::registerUnitsRules(*r);
         return r;
     }();
     return *registry;

@@ -42,13 +42,17 @@ struct Emitter
     LoweredIteration out;
     const FrameworkProfile &fw;
     bool firstOfOp = true;
+    LowerPhase phase = LowerPhase::Forward;
+    std::int32_t opIndex = -1;
 
     explicit Emitter(const FrameworkProfile &profile) : fw(profile) {}
 
     void
-    beginOp()
+    beginOp(LowerPhase p, std::int32_t op_index)
     {
         firstOfOp = true;
+        phase = p;
+        opIndex = op_index;
         ++out.opCount;
     }
 
@@ -59,6 +63,8 @@ struct Emitter
         item.kernel = std::move(k);
         item.extraHostUs =
             (firstOfOp ? fw.frontendUsPerOp : 0.0) + step_host_us;
+        item.phase = phase;
+        item.opIndex = opIndex;
         firstOfOp = false;
         out.items.push_back(std::move(item));
     }
@@ -230,7 +236,6 @@ lowerAttention(Emitter &e, const OpDesc &op, const FrameworkProfile &fw,
 void
 lowerForwardOp(Emitter &e, const OpDesc &op, const FrameworkProfile &fw)
 {
-    e.beginOp();
     switch (op.type) {
       case OpType::Conv2d:
         lowerConvForward(e, op, fw);
@@ -310,7 +315,6 @@ lowerForwardOp(Emitter &e, const OpDesc &op, const FrameworkProfile &fw)
 void
 lowerBackwardOp(Emitter &e, const OpDesc &op, const FrameworkProfile &fw)
 {
-    e.beginOp();
     switch (op.type) {
       case OpType::Conv2d:
         lowerConvBackward(e, op, fw);
@@ -411,6 +415,22 @@ doubleBits(double d)
 
 } // namespace
 
+const char *
+lowerPhaseName(LowerPhase phase)
+{
+    switch (phase) {
+      case LowerPhase::Forward:
+        return "forward";
+      case LowerPhase::Backward:
+        return "backward";
+      case LowerPhase::Update:
+        return "update";
+      case LowerPhase::Autotune:
+        return "autotune";
+    }
+    return "unknown";
+}
+
 std::uint64_t
 fingerprintIteration(const LoweredIteration &iter)
 {
@@ -447,20 +467,27 @@ lowerIteration(const models::Workload &workload,
     TBD_CHECK(!workload.ops.empty(), "lowering an empty workload");
     Emitter e(fw);
 
+    const auto op_count = static_cast<std::int32_t>(workload.ops.size());
+
     // Forward pass.
-    for (const auto &op : workload.ops)
-        lowerForwardOp(e, op, fw);
+    for (std::int32_t i = 0; i < op_count; ++i) {
+        e.beginOp(LowerPhase::Forward, i);
+        lowerForwardOp(e, workload.ops[i], fw);
+    }
 
     // Backward pass, reverse order.
-    for (auto it = workload.ops.rbegin(); it != workload.ops.rend(); ++it)
-        lowerBackwardOp(e, *it, fw);
+    for (std::int32_t i = op_count - 1; i >= 0; --i) {
+        e.beginOp(LowerPhase::Backward, i);
+        lowerBackwardOp(e, workload.ops[i], fw);
+    }
 
     // Optimizer update: one elementwise kernel per parameterized op
     // (this is why even CNNs launch dozens of tiny update kernels).
-    for (const auto &op : workload.ops) {
+    for (std::int32_t i = 0; i < op_count; ++i) {
+        const auto &op = workload.ops[i];
         if (op.params == 0)
             continue;
-        e.beginOp();
+        e.beginOp(LowerPhase::Update, i);
         e.emit(makeKernel(fw.elementwiseKernel + "(" + op.name +
                               "_sgd_mom_update)",
                           KernelCategory::Update, 4.0 * op.params,
@@ -477,9 +504,11 @@ lowerInference(const models::Workload &workload,
 {
     TBD_CHECK(!workload.ops.empty(), "lowering an empty workload");
     Emitter e(fw);
-    for (const auto &op : workload.ops) {
+    for (std::size_t i = 0; i < workload.ops.size(); ++i) {
+        const auto &op = workload.ops[i];
         if (op.type == OpType::Dropout || op.type == OpType::Loss)
             continue; // inference skips regularization and the loss
+        e.beginOp(LowerPhase::Forward, static_cast<std::int32_t>(i));
         lowerForwardOp(e, op, fw);
     }
     e.out.fingerprint = fingerprintIteration(e.out);
@@ -492,10 +521,11 @@ autotuneKernels(const models::Workload &workload,
 {
     Emitter e(fw);
     // cuDNN tries ~6 algorithms per convolution during warm-up.
-    for (const auto &op : workload.ops) {
+    for (std::size_t i = 0; i < workload.ops.size(); ++i) {
+        const auto &op = workload.ops[i];
         if (op.type != OpType::Conv2d)
             continue;
-        e.beginOp();
+        e.beginOp(LowerPhase::Autotune, static_cast<std::int32_t>(i));
         for (int algo = 0; algo < 6; ++algo) {
             e.emit(makeKernel("cudnn_algo_probe(" + op.name + ")",
                               KernelCategory::Conv,

@@ -22,6 +22,7 @@
 #define TBD_PERF_LOWERING_H
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "frameworks/framework.h"
@@ -30,12 +31,45 @@
 
 namespace tbd::perf {
 
-/** One kernel launch plus host-side work attributable to it. */
+/** Which pass of the iteration a kernel belongs to. */
+enum class LowerPhase : std::uint8_t
+{
+    Forward,
+    Backward,
+    Update,
+    Autotune,
+};
+
+/** Stable lowercase name for a LowerPhase. */
+const char *lowerPhaseName(LowerPhase phase);
+
+/**
+ * One kernel launch plus host-side work attributable to it.
+ *
+ * `phase` and `opIndex` record which workload op (by position) and
+ * which pass emitted the kernel. They are provenance for dataflow
+ * analyses (lint::ir) and deliberately excluded from
+ * fingerprintIteration: they do not change the GPU work issued, so
+ * they must not perturb steady-state replay.
+ */
 struct LaunchItem
 {
     gpusim::KernelDesc kernel;
     double extraHostUs = 0.0; ///< frontend cost on op boundaries
+    LowerPhase phase = LowerPhase::Forward;
+    std::int32_t opIndex = -1; ///< index into Workload::ops, -1 = unset
 };
+
+/**
+ * Unit annotations for the numeric LaunchItem/LoweredIteration fields
+ * (field name → unit spec parsed by lint::ir::parseUnit). The
+ * dimensional-analysis lint rule walks these tables.
+ */
+inline std::vector<std::pair<const char *, const char *>>
+launchItemUnits()
+{
+    return {{"extraHostUs", "us"}};
+}
 
 /** A full training iteration as a launch stream. */
 struct LoweredIteration

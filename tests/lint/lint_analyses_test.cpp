@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Firing fixtures for the deep-analysis rule families (plan /
+ * lowering / units): each test seeds one concrete violation — a lossy
+ * collective, a rendezvous-ordered plan, a tampered kernel stream, a
+ * degenerate device — and proves the rule catches it. Registry
+ * fixtures are scoped (ScopedCollective/ScopedTopology) so the
+ * process-wide registries are clean again before the cached
+ * shipped-suite report or any later fixture runs.
+ */
+
+#include "lint/analyses/analyses.h"
+
+#include <gtest/gtest.h>
+
+#include "lint/lint.h"
+#include "lint/rule.h"
+#include "lint_test_util.h"
+
+namespace tl = tbd::lint;
+namespace td = tbd::dist;
+namespace md = tbd::models;
+namespace tg = tbd::gpusim;
+namespace mp = tbd::memprof;
+
+using tbd::lint_test::cleanModel;
+using tbd::lint_test::countRule;
+using tbd::lint_test::firstFinding;
+using tbd::lint_test::ScopedCollective;
+using tbd::lint_test::ScopedTopology;
+
+namespace {
+
+tl::LintReport
+runRules(const tl::LintContext &ctx, const tl::LintOptions &options = {})
+{
+    return tl::RuleRegistry::builtin().run(ctx, options);
+}
+
+/** The builtin ring plan (the fixtures below derive broken plans from it). */
+td::CommPlan
+ringPlan(const td::Topology &topo, double bytes)
+{
+    const auto ring = td::findCollective("ring");
+    EXPECT_TRUE(ring.has_value());
+    return ring->plan(topo, bytes);
+}
+
+// --- plan family -----------------------------------------------------
+
+TEST(LintAnalyses, PlanConservationFiresOnLossyCollective)
+{
+    // A ring allreduce missing its final allgather step: every worker
+    // ends short of at least one contribution.
+    ScopedCollective lossy({"fx-lossy",
+                            "ring with the last step dropped (fixture)",
+                            [](const td::Topology &topo, double bytes) {
+                                td::CommPlan plan = ringPlan(topo, bytes);
+                                plan.collective = "fx-lossy";
+                                if (!plan.steps.empty())
+                                    plan.steps.pop_back();
+                                return plan;
+                            }});
+    const auto report = runRules(tl::emptyContext());
+    EXPECT_RULE_FIRES(report, "dist.plan-conservation");
+    const auto *f = firstFinding(report, "dist.plan-conservation");
+    ASSERT_NE(f, nullptr);
+    EXPECT_NE(f->object.find("fx-lossy@"), std::string::npos);
+    // The intact builtins stay clean: every finding names the fixture.
+    for (const auto &finding : report.findings) {
+        if (finding.rule.rfind("dist.plan-", 0) == 0) {
+            EXPECT_NE(finding.object.find("fx-lossy@"),
+                      std::string::npos)
+                << finding.object;
+        }
+    }
+}
+
+TEST(LintAnalyses, PlanDeadlockFiresOnRendezvousOrderedPlan)
+{
+    // Conserves only if same-step transfers run in list order: step 0
+    // needs 1->2 to happen *after* 0->1 so worker 2 receives worker
+    // 0's contribution second-hand. Under concurrent (snapshot)
+    // semantics worker 2 never gets it.
+    ScopedCollective rendezvous(
+        {"fx-rendezvous",
+         "plan relying on intra-step transfer order (fixture)",
+         [](const td::Topology &topo, double bytes) {
+             const auto &gpus = topo.gpus();
+             if (gpus.size() < 3)
+                 return ringPlan(topo, bytes); // too small to express
+             td::CommPlan plan;
+             plan.collective = "fx-rendezvous";
+             td::CommStep relay;
+             relay.transfers.push_back({gpus[0], gpus[1], bytes});
+             relay.transfers.push_back({gpus[1], gpus[2], bytes});
+             plan.steps.push_back(std::move(relay));
+             td::CommStep fanout;
+             fanout.transfers.push_back({gpus[2], gpus[0], bytes});
+             fanout.transfers.push_back({gpus[2], gpus[1], bytes});
+             for (std::size_t i = 3; i < gpus.size(); ++i) {
+                 // Remaining workers exchange everything with worker 2
+                 // up front so only ranks 0..2 carry the rendezvous.
+                 plan.steps.front().transfers.push_back(
+                     {gpus[i], gpus[2], bytes});
+                 fanout.transfers.push_back({gpus[2], gpus[i], bytes});
+             }
+             plan.steps.push_back(std::move(fanout));
+             return plan;
+         }});
+    const auto report = runRules(tl::emptyContext());
+    EXPECT_RULE_FIRES(report, "dist.plan-deadlock");
+    const auto *f = firstFinding(report, "dist.plan-deadlock");
+    ASSERT_NE(f, nullptr);
+    EXPECT_NE(f->object.find("fx-rendezvous@"), std::string::npos);
+    // The defining property: the plan DOES conserve sequentially, so
+    // the conservation rule must stay silent about it.
+    EXPECT_EQ(countRule(report, "dist.plan-conservation"), 0u);
+}
+
+TEST(LintAnalyses, PlanRouteFiresOnBadEndpoint)
+{
+    ScopedCollective badroute(
+        {"fx-badroute",
+         "plan with an out-of-range destination (fixture)",
+         [](const td::Topology &topo, double bytes) {
+             td::CommPlan plan;
+             plan.collective = "fx-badroute";
+             td::CommStep step;
+             step.transfers.push_back(
+                 {topo.gpus().empty() ? 0 : topo.gpus()[0], 9999,
+                  bytes});
+             plan.steps.push_back(std::move(step));
+             return plan;
+         }});
+    const auto report = runRules(tl::emptyContext());
+    EXPECT_RULE_FIRES(report, "dist.plan-route");
+}
+
+TEST(LintAnalyses, PlanRulesSkipDisconnectedTopologies)
+{
+    // The disconnected shape belongs to dist.topology-graph; the plan
+    // rules must neither crash routing over it nor duplicate it.
+    ScopedTopology disconnected(
+        {"fx-disconnected", "two GPUs, no wires (fixture)", 1.0, 0.0,
+         /*fixedWorkers=*/2, [](int workers) {
+             td::Topology topo("fx-disconnected");
+             for (int i = 0; i < workers; ++i)
+                 topo.addNode("gpu" + std::to_string(i),
+                              td::NodeKind::Gpu);
+             return topo;
+         }});
+    const auto report = runRules(tl::emptyContext());
+    EXPECT_RULE_FIRES(report, "dist.topology-graph");
+    for (const auto &finding : report.findings) {
+        if (finding.rule.rfind("dist.plan-", 0) == 0) {
+            EXPECT_EQ(finding.object.find("fx-disconnected"),
+                      std::string::npos)
+                << finding.object;
+        }
+    }
+}
+
+TEST(LintAnalyses, ClusterCellFiresOnWorkerMiscount)
+{
+    ScopedTopology miscount(
+        {"fx-miscount", "says 4 workers, builds 2 (fixture)", 1.0, 0.0,
+         /*fixedWorkers=*/4, [](int /*workers*/) {
+             td::Topology topo("fx-miscount");
+             const int a = topo.addNode("gpu0", td::NodeKind::Gpu);
+             const int b = topo.addNode("gpu1", td::NodeKind::Gpu);
+             topo.addEdge(a, b, td::LinkSpec{"fx-wire", 10.0, 1.0});
+             return topo;
+         }});
+    const auto report = runRules(tl::emptyContext());
+    EXPECT_RULE_FIRES(report, "dist.cluster-cell");
+}
+
+TEST(LintAnalyses, CollectiveRegistryFiresOnMissingDescription)
+{
+    ScopedCollective nodesc(
+        {"fx-nodesc", /*description=*/"",
+         [](const td::Topology &topo, double bytes) {
+             return ringPlan(topo, bytes);
+         }});
+    const auto report = runRules(tl::emptyContext());
+    EXPECT_RULE_FIRES(report, "dist.collective-registry");
+}
+
+TEST(LintAnalyses, BuiltinPlansAreCleanAtFullDepth)
+{
+    tl::LintOptions options;
+    options.depth = tl::AnalysisDepth::Full;
+    const auto report = runRules(tl::emptyContext(), options);
+    EXPECT_EQ(countRule(report, "dist.plan-conservation"), 0u);
+    EXPECT_EQ(countRule(report, "dist.plan-deadlock"), 0u);
+    EXPECT_EQ(countRule(report, "dist.plan-route"), 0u);
+}
+
+TEST(LintAnalyses, AnalysisGatingSelectsFamilies)
+{
+    ScopedCollective lossy({"fx-lossy-gated",
+                            "lossy fixture for family gating",
+                            [](const td::Topology &topo, double bytes) {
+                                td::CommPlan plan = ringPlan(topo, bytes);
+                                if (!plan.steps.empty())
+                                    plan.steps.pop_back();
+                                return plan;
+                            }});
+    tl::LintOptions core_only;
+    core_only.analyses.emplace(); // empty set: core rules only
+    const auto core = runRules(tl::emptyContext(), core_only);
+    EXPECT_EQ(countRule(core, "dist.plan-conservation"), 0u);
+
+    tl::LintOptions plan_only;
+    plan_only.analyses.emplace(std::set<std::string>{"plan"});
+    const auto plan = runRules(tl::emptyContext(), plan_only);
+    EXPECT_RULE_FIRES(plan, "dist.plan-conservation");
+
+    // Family gating must be reflected in rulesRun so the baseline
+    // pipeline can tell a gated run from a broken one.
+    EXPECT_LT(core.rulesRun, plan.rulesRun);
+    const auto all = runRules(tl::emptyContext());
+    EXPECT_EQ(all.rulesRun,
+              tl::RuleRegistry::builtin().rules().size());
+}
+
+// --- lowering family -------------------------------------------------
+
+TEST(LintAnalyses, DeadKernelFiresOnOrphanedBackwardlessOp)
+{
+    const md::ModelDesc m = cleanModel("fx-deadstash");
+    tl::LintContext ctx = tl::emptyContext();
+    ctx.addModel(m);
+    ASSERT_FALSE(ctx.lowered.empty());
+    // Rewrite op 0's backward kernels as forward ones: its stash is
+    // now never consumed and its optimizer update is fed by nothing.
+    for (auto &item : ctx.lowered[0].training.items) {
+        if (item.opIndex == 0 &&
+            item.phase == tbd::perf::LowerPhase::Backward)
+            item.phase = tbd::perf::LowerPhase::Forward;
+    }
+    const auto report = runRules(ctx);
+    EXPECT_RULE_FIRES(report, "lowering.dead-kernel");
+}
+
+TEST(LintAnalyses, DeadKernelFiresOnUnanchoredKernel)
+{
+    const md::ModelDesc m = cleanModel("fx-unanchored");
+    tl::LintContext ctx = tl::emptyContext();
+    ctx.addModel(m);
+    ASSERT_FALSE(ctx.lowered.empty());
+    ASSERT_FALSE(ctx.lowered[0].training.items.empty());
+    ctx.lowered[0].training.items[0].opIndex = 42; // out of range
+    const auto report = runRules(ctx);
+    EXPECT_RULE_FIRES(report, "lowering.dead-kernel");
+}
+
+TEST(LintAnalyses, LivenessFiresOnTamperedCategoryPeak)
+{
+    const md::ModelDesc m = cleanModel("fx-leak");
+    tl::LintContext ctx = tl::emptyContext();
+    ctx.addModel(m);
+    ASSERT_FALSE(ctx.lowered.empty());
+    // A 64-byte phantom: exactly what a leaked gradient buffer would
+    // add to the recorded peak.
+    ctx.lowered[0].memory.peakBytes[static_cast<std::size_t>(
+        mp::MemCategory::FeatureMaps)] += 64;
+    const auto report = runRules(ctx);
+    EXPECT_RULE_FIRES(report, "lowering.liveness");
+}
+
+TEST(LintAnalyses, LivenessIsByteExactOnUntouchedLowerings)
+{
+    // Named locals: the context stores pointers, not copies.
+    const md::ModelDesc clean = cleanModel("fx-live-clean");
+    tl::LintContext ctx = tl::emptyContext();
+    ctx.addModel(clean);
+    ctx.addModel(md::resnet50());
+    const auto report = runRules(ctx);
+    EXPECT_EQ(countRule(report, "lowering.liveness"), 0u);
+    EXPECT_EQ(countRule(report, "lowering.dead-kernel"), 0u);
+}
+
+// --- units family ----------------------------------------------------
+
+TEST(LintAnalyses, UnitsFireOnDegenerateDevice)
+{
+    const md::ModelDesc m = cleanModel("fx-degenerate");
+    tl::LintContext ctx = tl::emptyContext();
+    tg::GpuSpec dead;
+    dead.name = "Dead GPU";
+    dead.multiprocessors = 1;
+    dead.coreCount = 0; // zero peak rate: infinite derived durations
+    dead.maxClockMHz = 0.0;
+    dead.memoryGiB = 8.0;
+    dead.memoryBwGBs = 100.0;
+    ctx.gpus = {&dead};
+    ctx.addModel(m);
+    const auto report = runRules(ctx);
+    EXPECT_RULE_FIRES(report, "units.consistency");
+}
+
+TEST(LintAnalyses, UnitsFireOnUnsoundKernelFields)
+{
+    const md::ModelDesc m = cleanModel("fx-badeff");
+    tl::LintContext ctx = tl::emptyContext();
+    ctx.addModel(m);
+    ASSERT_FALSE(ctx.lowered.empty());
+    ASSERT_FALSE(ctx.lowered[0].training.items.empty());
+    ctx.lowered[0].training.items[0].kernel.memoryEff = 0.0;
+    const auto report = runRules(ctx);
+    EXPECT_RULE_FIRES(report, "units.consistency");
+}
+
+TEST(LintAnalyses, UnitsCleanOnShippedTables)
+{
+    const md::ModelDesc clean = cleanModel("fx-units-clean");
+    tl::LintContext ctx = tl::emptyContext();
+    ctx.addModel(clean);
+    const auto report = runRules(ctx);
+    EXPECT_EQ(countRule(report, "units.consistency"), 0u);
+}
+
+} // namespace

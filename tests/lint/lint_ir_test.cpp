@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Unit tests for lint::ir itself — the dimensional algebra, the
+ * abstract plan interpreter under both step semantics, the costPlan
+ * re-derivation tripwire, and the op-anchored iteration graph — on
+ * hand-built topologies and plans, independent of the rule layer.
+ */
+
+#include "lint/ir.h"
+
+#include <gtest/gtest.h>
+
+#include "frameworks/framework.h"
+#include "models/workload.h"
+
+namespace ir = tbd::lint::ir;
+namespace td = tbd::dist;
+namespace md = tbd::models;
+
+namespace {
+
+// --- units -----------------------------------------------------------
+
+TEST(LintIr, ParseUnitHandlesScalesAndQuotients)
+{
+    const auto us = ir::parseUnit("us");
+    ASSERT_TRUE(us.has_value());
+    EXPECT_DOUBLE_EQ(us->scale, 1e-6);
+    EXPECT_EQ(us->unit.seconds, 1);
+
+    const auto gbs = ir::parseUnit("GB/s");
+    ASSERT_TRUE(gbs.has_value());
+    EXPECT_DOUBLE_EQ(gbs->scale, 1e9);
+    EXPECT_EQ(gbs->unit.bytes, 1);
+    EXPECT_EQ(gbs->unit.seconds, -1);
+
+    const auto mhz = ir::parseUnit("MHz");
+    ASSERT_TRUE(mhz.has_value());
+    EXPECT_DOUBLE_EQ(mhz->scale, 1e6);
+    EXPECT_EQ(mhz->unit.seconds, -1);
+
+    const auto gib = ir::parseUnit("GiB");
+    ASSERT_TRUE(gib.has_value());
+    EXPECT_DOUBLE_EQ(gib->scale, 1024.0 * 1024.0 * 1024.0);
+
+    EXPECT_FALSE(ir::parseUnit("furlongs").has_value());
+    EXPECT_FALSE(ir::parseUnit("").has_value());
+}
+
+TEST(LintIr, QuantityAlgebraFlagsDimensionMismatch)
+{
+    ir::UnitCheck check;
+    const auto time = check.value(3.0, "us", "t");
+    const auto data = check.value(8.0, "bytes", "d");
+    EXPECT_TRUE(check.defects().empty());
+
+    const auto rate = data / time; // bytes/s — fine
+    EXPECT_EQ(rate.unit.bytes, 1);
+    EXPECT_EQ(rate.unit.seconds, -1);
+    EXPECT_TRUE(check.defects().empty());
+
+    (void)(time + data); // seconds + bytes — dimension error
+    ASSERT_EQ(check.defects().size(), 1u);
+    EXPECT_NE(check.defects()[0].find("dimension mismatch"),
+              std::string::npos);
+}
+
+TEST(LintIr, ExpectValueCatchesScaleSlips)
+{
+    ir::UnitCheck check;
+    const auto t = check.value(2.0, "ms", "t");
+    check.expectValue(t, "us", 2000.0, 1e-9, "t in us");
+    EXPECT_TRUE(check.defects().empty());
+    // A dropped factor of 1000 (classic ms-vs-us slip).
+    check.expectValue(t, "us", 2.0, 1e-9, "t slipped");
+    EXPECT_EQ(check.defects().size(), 1u);
+    // Wrong dimension entirely (flags the dimension and the value).
+    check.expectValue(t, "bytes", 2000.0, 1e-9, "t as bytes");
+    EXPECT_GE(check.defects().size(), 2u);
+}
+
+// --- plans -----------------------------------------------------------
+
+/** n GPUs on a uniform ring of 10 GB/s, 1 us links. */
+td::Topology
+uniformRing(int n)
+{
+    td::Topology topo("test-ring");
+    for (int i = 0; i < n; ++i)
+        topo.addNode("gpu" + std::to_string(i), td::NodeKind::Gpu);
+    for (int i = 0; i < n; ++i)
+        topo.addEdge(i, (i + 1) % n, td::LinkSpec{"wire", 10.0, 1.0});
+    return topo;
+}
+
+TEST(LintIr, ExecutePlanReachesFullKnowledgeOnBuiltinRing)
+{
+    const auto ring = td::findCollective("ring");
+    ASSERT_TRUE(ring.has_value());
+    const td::Topology topo = uniformRing(4);
+    constexpr double kBytes = 4e8;
+    const auto plan = ring->plan(topo, kBytes);
+    for (const auto semantics :
+         {ir::StepSemantics::Snapshot, ir::StepSemantics::Sequential}) {
+        const auto f = ir::executePlan(topo, plan, kBytes, semantics);
+        ASSERT_EQ(f.size(), 4u);
+        for (const auto &row : f)
+            for (const double frac : row)
+                EXPECT_GE(frac, 1.0 - 1e-9);
+    }
+    // Tightness: dropping the final step leaves someone short, so the
+    // bound is exact for the ring, not just an upper bound.
+    auto truncated = plan;
+    truncated.steps.pop_back();
+    const auto f = ir::executePlan(topo, truncated, kBytes,
+                                   ir::StepSemantics::Snapshot);
+    double min_frac = 1.0;
+    for (const auto &row : f)
+        for (const double frac : row)
+            min_frac = std::min(min_frac, frac);
+    EXPECT_LT(min_frac, 1.0 - 1e-9);
+}
+
+TEST(LintIr, CheckPlanSplitsConservationFromDeadlock)
+{
+    const td::Topology topo = uniformRing(3);
+    constexpr double kBytes = 1e6;
+    const auto g = topo.gpus();
+
+    // Relies on intra-step order: 1->2 must see 0->1's payload.
+    td::CommPlan rendezvous;
+    rendezvous.steps.push_back(
+        {{{g[0], g[1], kBytes}, {g[1], g[2], kBytes}}});
+    rendezvous.steps.push_back(
+        {{{g[2], g[0], kBytes}, {g[2], g[1], kBytes}}});
+    const auto pc = ir::checkPlan(topo, rendezvous, kBytes);
+    EXPECT_TRUE(pc.route.empty());
+    EXPECT_TRUE(pc.conservation.empty());
+    ASSERT_EQ(pc.deadlock.size(), 1u);
+    EXPECT_NE(pc.deadlock[0].find("intra-step"), std::string::npos);
+
+    // Same plan with the relay split into two steps: clean.
+    td::CommPlan staged;
+    staged.steps.push_back({{{g[0], g[1], kBytes}}});
+    staged.steps.push_back({{{g[1], g[2], kBytes}}});
+    staged.steps.push_back(
+        {{{g[2], g[0], kBytes}, {g[2], g[1], kBytes}}});
+    EXPECT_TRUE(ir::checkPlan(topo, staged, kBytes).clean());
+
+    // Genuinely lossy: never conserves, regardless of ordering.
+    td::CommPlan lossy;
+    lossy.steps.push_back({{{g[0], g[1], kBytes}}});
+    const auto lc = ir::checkPlan(topo, lossy, kBytes);
+    EXPECT_FALSE(lc.conservation.empty());
+    EXPECT_TRUE(lc.deadlock.empty());
+}
+
+TEST(LintIr, CheckPlanFlagsRouteDefects)
+{
+    const td::Topology topo = uniformRing(2);
+    td::CommPlan plan;
+    plan.steps.push_back({{{0, 99, 8.0}}});   // out-of-range dest
+    plan.steps.push_back({});                 // dead barrier
+    plan.steps.push_back({{{0, 0, 8.0}}});    // self-transfer
+    plan.steps.push_back({{{0, 1, -4.0}}});   // negative payload
+    const auto pc = ir::checkPlan(topo, plan, 8.0);
+    EXPECT_GE(pc.route.size(), 4u);
+    EXPECT_FALSE(pc.structurallySound());
+    // Structurally broken plans skip the costPlan cross-check (it is
+    // fatal on them) — so no contention defects, only route ones.
+    EXPECT_TRUE(pc.contention.empty());
+}
+
+TEST(LintIr, RederivedCostMatchesCostPlanOnBuiltins)
+{
+    constexpr double kBytes = 4e8;
+    for (const char *name :
+         {"parameter-server", "ring", "tree", "hierarchical"}) {
+        const auto coll = td::findCollective(name);
+        ASSERT_TRUE(coll.has_value()) << name;
+        for (const int n : {2, 4, 8}) {
+            const td::Topology topo = uniformRing(n);
+            const auto plan = coll->plan(topo, kBytes);
+            const double live = td::costPlan(topo, plan).totalUs;
+            const double derived = ir::rederivePlanCostUs(topo, plan);
+            EXPECT_NEAR(derived, live, 1e-9 * live)
+                << name << " at n=" << n;
+        }
+    }
+}
+
+// --- iteration graphs ------------------------------------------------
+
+TEST(LintIr, IterationGraphAnchorsKernelsToOps)
+{
+    md::Workload w;
+    w.add(md::gemmOp("fc1", 8, 64, 64));
+    w.add(md::activationOp("relu", 8 * 64));
+    const auto &fw = tbd::frameworks::tensorflow();
+    const auto iter = tbd::perf::lowerIteration(w, fw);
+    const auto graph = ir::buildIterationGraph(w, iter);
+    EXPECT_TRUE(graph.structural.empty());
+    ASSERT_EQ(graph.ops.size(), 2u);
+    // The GEMM has all three passes; the activation owns no params,
+    // so it gets no optimizer update.
+    EXPECT_FALSE(graph.ops[0].forward.empty());
+    EXPECT_FALSE(graph.ops[0].backward.empty());
+    EXPECT_FALSE(graph.ops[0].update.empty());
+    EXPECT_FALSE(graph.ops[1].forward.empty());
+    EXPECT_TRUE(graph.ops[1].update.empty());
+    // Anchors cover every kernel exactly once.
+    std::size_t anchored = 0;
+    for (const auto &node : graph.ops)
+        anchored += node.forward.size() + node.backward.size() +
+                    node.update.size();
+    EXPECT_EQ(anchored, iter.items.size());
+}
+
+TEST(LintIr, IterationGraphReportsUnanchoredKernels)
+{
+    md::Workload w;
+    w.add(md::gemmOp("fc1", 8, 64, 64));
+    const auto &fw = tbd::frameworks::tensorflow();
+    auto iter = tbd::perf::lowerIteration(w, fw);
+    ASSERT_FALSE(iter.items.empty());
+    iter.items[0].opIndex = 7; // out of range
+    const auto graph = ir::buildIterationGraph(w, iter);
+    ASSERT_EQ(graph.structural.size(), 1u);
+    EXPECT_NE(graph.structural[0].find("not anchored"),
+              std::string::npos);
+}
+
+TEST(LintIr, ProvenanceIsFingerprintNeutral)
+{
+    // phase/opIndex are analysis metadata: scrubbing them must not
+    // change the fingerprint that licenses steady-state replay.
+    md::Workload w;
+    w.add(md::gemmOp("fc1", 8, 64, 64));
+    const auto &fw = tbd::frameworks::tensorflow();
+    auto iter = tbd::perf::lowerIteration(w, fw);
+    const auto before = tbd::perf::fingerprintIteration(iter);
+    for (auto &item : iter.items) {
+        item.phase = tbd::perf::LowerPhase::Autotune;
+        item.opIndex = -1;
+    }
+    EXPECT_EQ(tbd::perf::fingerprintIteration(iter), before);
+}
+
+} // namespace

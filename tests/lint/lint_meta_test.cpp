@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The meta-lint: every registered rule id must have a firing fixture.
+ * The test scans the lint test sources (TBD_LINT_TEST_SRC_DIR) for
+ * EXPECT_RULE_FIRES / RULE_FIRES_VIA_PURE_FN coverage markers and
+ * fails on any rule the fixtures never demonstrate firing — so adding
+ * a rule without proof that it catches its defect is itself a test
+ * failure, closing the loop DESIGN.md §12's recipe describes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <set>
+#include <string>
+
+#include "lint/rule.h"
+
+#ifndef TBD_LINT_TEST_SRC_DIR
+#define TBD_LINT_TEST_SRC_DIR "tests/lint"
+#endif
+
+namespace {
+
+/** The first "quoted string" after `pos`, or empty when none. */
+std::string
+quotedAfter(const std::string &text, std::size_t pos)
+{
+    const std::size_t open = text.find('"', pos);
+    if (open == std::string::npos)
+        return {};
+    const std::size_t close = text.find('"', open + 1);
+    if (close == std::string::npos)
+        return {};
+    return text.substr(open + 1, close - open - 1);
+}
+
+/** Rule ids named by coverage markers in one source text. */
+void
+collectMarkedRules(const std::string &text, std::set<std::string> &ids)
+{
+    for (const char *marker :
+         {"EXPECT_RULE_FIRES", "RULE_FIRES_VIA_PURE_FN"}) {
+        std::size_t pos = 0;
+        while ((pos = text.find(marker, pos)) != std::string::npos) {
+            pos += std::string(marker).size();
+            const std::string id = quotedAfter(text, pos);
+            // The macro definitions themselves have no literal id;
+            // real call sites always quote a "category.slug".
+            if (id.find('.') != std::string::npos)
+                ids.insert(id);
+        }
+    }
+}
+
+std::set<std::string>
+fixtureCoveredRules()
+{
+    std::set<std::string> ids;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(TBD_LINT_TEST_SRC_DIR)) {
+        if (entry.path().extension() != ".cpp")
+            continue;
+        // This file mentions the marker names in prose and in its own
+        // scanner; scanning it would yield phantom ids.
+        if (entry.path().filename() == "lint_meta_test.cpp")
+            continue;
+        std::ifstream is(entry.path());
+        const std::string text((std::istreambuf_iterator<char>(is)),
+                               std::istreambuf_iterator<char>());
+        collectMarkedRules(text, ids);
+    }
+    return ids;
+}
+
+TEST(LintMeta, EveryRegisteredRuleHasAFiringFixture)
+{
+    const std::set<std::string> covered = fixtureCoveredRules();
+    ASSERT_GE(covered.size(), 20u)
+        << "coverage scan of " << TBD_LINT_TEST_SRC_DIR
+        << " found implausibly few markers — did the sources move?";
+    for (const auto &rule : tbd::lint::RuleRegistry::builtin().rules()) {
+        EXPECT_TRUE(covered.count(rule.id) == 1)
+            << "rule '" << rule.id
+            << "' has no firing fixture: add a test that seeds its "
+               "defect and asserts EXPECT_RULE_FIRES(report, \""
+            << rule.id << "\")";
+    }
+}
+
+TEST(LintMeta, MarkersNameOnlyRegisteredRules)
+{
+    // The reverse direction: a marker naming a rule that no longer
+    // exists is a stale fixture (e.g. a renamed rule id).
+    const auto &registry = tbd::lint::RuleRegistry::builtin();
+    for (const auto &id : fixtureCoveredRules())
+        EXPECT_NE(registry.find(id), nullptr)
+            << "fixture marker names unknown rule '" << id << "'";
+}
+
+TEST(LintMeta, EveryRuleCarriesExplainableMetadata)
+{
+    // `tbd_lint explain` renders description + fix hint for every
+    // rule; deep-analysis rules must also say *why* (rationale) and
+    // carry one of the registered family tags.
+    const auto &registry = tbd::lint::RuleRegistry::builtin();
+    const auto families = registry.analyses();
+    EXPECT_EQ(families.size(), 3u);
+    for (const auto &rule : registry.rules()) {
+        EXPECT_FALSE(rule.description.empty()) << rule.id;
+        EXPECT_FALSE(rule.fixHint.empty()) << rule.id;
+        if (rule.analysis.empty())
+            continue;
+        EXPECT_FALSE(rule.rationale.empty()) << rule.id;
+        EXPECT_NE(std::find(families.begin(), families.end(),
+                            rule.analysis),
+                  families.end())
+            << rule.id;
+    }
+}
+
+} // namespace

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "lint/lint.h"
+#include "lint_test_util.h"
 #include "models/model_desc.h"
 #include "util/logging.h"
 
@@ -23,14 +24,7 @@ namespace mp = tbd::memprof;
 
 namespace {
 
-std::size_t
-countRule(const tl::LintReport &report, const std::string &id)
-{
-    std::size_t n = 0;
-    for (const auto &f : report.findings)
-        n += f.rule == id ? 1 : 0;
-    return n;
-}
+using tbd::lint_test::countRule;
 
 tl::LintReport
 runRules(const tl::LintContext &ctx, const tl::LintOptions &options = {})
@@ -38,25 +32,7 @@ runRules(const tl::LintContext &ctx, const tl::LintOptions &options = {})
     return tl::RuleRegistry::builtin().run(ctx, options);
 }
 
-/** A well-formed single-GEMM fixture model the rules accept. */
-md::ModelDesc
-cleanModel(const std::string &name)
-{
-    md::ModelDesc m;
-    m.name = name;
-    m.application = "Fixture";
-    m.dominantLayer = "GEMM";
-    m.layerCount = 1;
-    m.frameworks = {fw::FrameworkId::TensorFlow};
-    m.dataset = md::resnet50().dataset;
-    m.batchSweep = {1};
-    m.describe = [](std::int64_t batch) {
-        md::Workload w;
-        w.add(md::gemmOp("fc", batch * 8, 64, 64));
-        return w;
-    };
-    return m;
-}
+using tbd::lint_test::cleanModel;
 
 TEST(LintRules, MetadataFiresOnIncompleteModel)
 {
@@ -65,6 +41,7 @@ TEST(LintRules, MetadataFiresOnIncompleteModel)
     tl::LintContext ctx = tl::emptyContext();
     ctx.addModel(broken);
     const auto report = runRules(ctx);
+    EXPECT_RULE_FIRES(report, "model.metadata");
     EXPECT_GE(countRule(report, "model.metadata"), 4u);
 }
 
@@ -84,6 +61,7 @@ TEST(LintRules, BatchSweepFiresOnDisorder)
     tl::LintContext ctx = tl::emptyContext();
     ctx.addModel(m);
     const auto report = runRules(ctx);
+    EXPECT_RULE_FIRES(report, "model.batch-sweep");
     EXPECT_GE(countRule(report, "model.batch-sweep"), 2u);
 }
 
@@ -99,6 +77,7 @@ TEST(LintRules, DuplicateOpFiresOnNameCollision)
     tl::LintContext ctx = tl::emptyContext();
     ctx.addModel(m);
     const auto report = runRules(ctx);
+    EXPECT_RULE_FIRES(report, "model.duplicate-op");
     EXPECT_EQ(countRule(report, "model.duplicate-op"), 1u);
 }
 
@@ -115,6 +94,7 @@ TEST(LintRules, DanglingInputFiresOnUnknownReference)
     tl::LintContext ctx = tl::emptyContext();
     ctx.addModel(m);
     const auto report = runRules(ctx);
+    EXPECT_RULE_FIRES(report, "model.dangling-input");
     EXPECT_EQ(countRule(report, "model.dangling-input"), 1u);
 }
 
@@ -132,6 +112,7 @@ TEST(LintRules, InputCycleFiresOnForwardReference)
     tl::LintContext ctx = tl::emptyContext();
     ctx.addModel(m);
     const auto report = runRules(ctx);
+    EXPECT_RULE_FIRES(report, "model.input-cycle");
     EXPECT_EQ(countRule(report, "model.input-cycle"), 1u);
 }
 
@@ -161,7 +142,7 @@ TEST(LintRules, ParamAccountingFiresOnDeclaredParamDrift)
     // the declared count afterwards so they disagree.
     ctx.lowered[0].workload.ops[0].params += 1;
     const auto report = runRules(ctx);
-    EXPECT_GE(countRule(report, "model.param-accounting"), 1u);
+    EXPECT_RULE_FIRES(report, "model.param-accounting");
 }
 
 TEST(LintRules, KernelNonpositiveFiresOnNegativeFlops)
@@ -173,7 +154,7 @@ TEST(LintRules, KernelNonpositiveFiresOnNegativeFlops)
     ASSERT_FALSE(ctx.lowered[0].training.items.empty());
     ctx.lowered[0].training.items[0].kernel.flops = -5.0;
     const auto report = runRules(ctx);
-    EXPECT_GE(countRule(report, "kernel.nonpositive"), 1u);
+    EXPECT_RULE_FIRES(report, "kernel.nonpositive");
 }
 
 TEST(LintRules, KernelEfficiencyFiresAboveOne)
@@ -185,7 +166,7 @@ TEST(LintRules, KernelEfficiencyFiresAboveOne)
     ASSERT_FALSE(ctx.lowered[0].training.items.empty());
     ctx.lowered[0].training.items[0].kernel.computeEff = 1.5;
     const auto report = runRules(ctx);
-    EXPECT_GE(countRule(report, "kernel.efficiency"), 1u);
+    EXPECT_RULE_FIRES(report, "kernel.efficiency");
 }
 
 TEST(LintRules, RooflineFiresOnDegenerateDevice)
@@ -205,7 +186,7 @@ TEST(LintRules, RooflineFiresOnDegenerateDevice)
     ctx.gpus = {&dead};
     ctx.addModel(m);
     const auto report = runRules(ctx);
-    EXPECT_GE(countRule(report, "kernel.roofline"), 1u);
+    EXPECT_RULE_FIRES(report, "kernel.roofline");
 }
 
 TEST(LintRules, RooflineCleanOnRealDevices)
@@ -227,7 +208,7 @@ TEST(LintRules, CatalogUnknownFiresOnUncataloguedName)
     ctx.lowered[0].training.items[0].kernel.name =
         tg::KernelName("mystery_kernel(fc)");
     const auto report = runRules(ctx);
-    EXPECT_GE(countRule(report, "catalog.unknown-kernel"), 1u);
+    EXPECT_RULE_FIRES(report, "catalog.unknown-kernel");
 }
 
 TEST(LintRules, CatalogOrphanFiresOnUnreachedEntries)
@@ -238,7 +219,7 @@ TEST(LintRules, CatalogOrphanFiresOnUnreachedEntries)
     tl::LintContext ctx = tl::emptyContext();
     ctx.addModel(m);
     const auto report = runRules(ctx);
-    EXPECT_GE(countRule(report, "catalog.orphan"), 1u);
+    EXPECT_RULE_FIRES(report, "catalog.orphan");
 }
 
 TEST(LintRules, MemoryConservationFiresOnTamperedBreakdown)
@@ -250,7 +231,7 @@ TEST(LintRules, MemoryConservationFiresOnTamperedBreakdown)
     ctx.lowered[0].memory.peakBytes[static_cast<std::size_t>(
         mp::MemCategory::Workspace)] += 1024;
     const auto report = runRules(ctx);
-    EXPECT_GE(countRule(report, "memory.conservation"), 1u);
+    EXPECT_RULE_FIRES(report, "memory.conservation");
 }
 
 TEST(LintRules, MemoryConservationFiresOnZeroFootprint)
@@ -261,7 +242,7 @@ TEST(LintRules, MemoryConservationFiresOnZeroFootprint)
     ASSERT_FALSE(ctx.lowered.empty());
     ctx.lowered[0].memory = mp::MemoryBreakdown{};
     const auto report = runRules(ctx);
-    EXPECT_GE(countRule(report, "memory.conservation"), 1u);
+    EXPECT_RULE_FIRES(report, "memory.conservation");
 }
 
 TEST(LintRules, MemoryParamBytesFiresOnMissingWeights)
@@ -273,7 +254,7 @@ TEST(LintRules, MemoryParamBytesFiresOnMissingWeights)
     ctx.lowered[0].memory.peakBytes[static_cast<std::size_t>(
         mp::MemCategory::Weights)] = 0;
     const auto report = runRules(ctx);
-    EXPECT_GE(countRule(report, "memory.param-bytes"), 1u);
+    EXPECT_RULE_FIRES(report, "memory.param-bytes");
 }
 
 TEST(LintRules, MinBatchOomFiresWhenNothingFits)
@@ -288,7 +269,7 @@ TEST(LintRules, MinBatchOomFiresWhenNothingFits)
     tl::LintContext ctx = tl::emptyContext();
     ctx.addModel(m);
     const auto report = runRules(ctx);
-    EXPECT_GE(countRule(report, "sweep.min-batch-oom"), 1u);
+    EXPECT_RULE_FIRES(report, "sweep.min-batch-oom");
 }
 
 TEST(LintRules, StaticOomInventoriesInfeasibleCells)
@@ -305,11 +286,12 @@ TEST(LintRules, StaticOomInventoriesInfeasibleCells)
     ctx.addModel(m);
     const auto report = runRules(ctx);
     EXPECT_EQ(countRule(report, "sweep.min-batch-oom"), 0u);
-    EXPECT_GE(countRule(report, "sweep.static-oom"), 1u);
+    EXPECT_RULE_FIRES(report, "sweep.static-oom");
 }
 
 TEST(LintRules, InternDefectsFlagCollisions)
 {
+    RULE_FIRES_VIA_PURE_FN("intern.collision");
     EXPECT_TRUE(tl::internTableDefects({"", "a", "b"}).empty());
     EXPECT_FALSE(tl::internTableDefects({"", "a", "a"}).empty());
     EXPECT_FALSE(tl::internTableDefects({"x"}).empty());
@@ -323,6 +305,7 @@ TEST(LintRules, InternRuleCleanOnLiveTable)
 
 TEST(LintRules, StoreKeyDefectsFlagUncoveredFields)
 {
+    RULE_FIRES_VIA_PURE_FN("store.key-completeness");
     EXPECT_TRUE(tl::storeKeyCoverageDefects({}).empty());
     EXPECT_TRUE(
         tl::storeKeyCoverageDefects({{"perf::RunConfig", 11, 11}})
@@ -365,7 +348,7 @@ TEST(LintRules, DeviceSpecFiresOnBrokenGpu)
     bad.maxClockMHz = 0.0;
     ctx.gpus = {&bad};
     const auto report = runRules(ctx);
-    EXPECT_GE(countRule(report, "device.spec"), 1u);
+    EXPECT_RULE_FIRES(report, "device.spec");
 }
 
 TEST(LintRules, DeviceSpecCleanOnShippedTables)
@@ -385,6 +368,7 @@ TEST(LintRules, FrameworkProfileFiresOnBrokenPersonality)
     bad.gemmKernel.clear();
     ctx.frameworks = {&bad};
     const auto report = runRules(ctx);
+    EXPECT_RULE_FIRES(report, "framework.profile");
     EXPECT_GE(countRule(report, "framework.profile"), 4u);
 }
 
@@ -425,6 +409,34 @@ TEST(LintRules, SuppressionNarrowsToObjectSubstring)
     const auto report = runRules(ctx);
     EXPECT_EQ(countRule(report, "model.dangling-input"), 1u);
     EXPECT_EQ(report.suppressed, 1u);
+    // A substring needle still works, but only via the deprecated
+    // fallback — the report says so until the annotation is migrated.
+    EXPECT_EQ(report.deprecatedSuppressions, 1u);
+    EXPECT_NE(report.summary().find("deprecated"), std::string::npos);
+}
+
+TEST(LintRules, SuppressionExactObjectIdIsNotDeprecated)
+{
+    md::ModelDesc m = cleanModel("fx-exactsup");
+    m.describe = [](std::int64_t batch) {
+        md::Workload w;
+        md::OpDesc alpha = md::gemmOp("alpha", batch * 8, 64, 64);
+        alpha.inputs.push_back("no_such_op");
+        w.add(std::move(alpha));
+        md::OpDesc beta = md::gemmOp("beta", batch * 8, 64, 64);
+        beta.inputs.push_back("no_such_op");
+        w.add(std::move(beta));
+        return w;
+    };
+    // Full object id ("<model>:<op>"): an exact match, no fallback,
+    // and it cannot alias onto the beta finding.
+    m.lintSuppress = {"model.dangling-input=fx-exactsup:alpha"};
+    tl::LintContext ctx = tl::emptyContext();
+    ctx.addModel(m);
+    const auto report = runRules(ctx);
+    EXPECT_EQ(countRule(report, "model.dangling-input"), 1u);
+    EXPECT_EQ(report.suppressed, 1u);
+    EXPECT_EQ(report.deprecatedSuppressions, 0u);
 }
 
 TEST(LintRules, DisabledRuleDoesNotRun)

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Shared helpers for the lint test binary. The EXPECT_RULE_FIRES /
+ * RULE_FIRES_VIA_PURE_FN macros double as machine-readable coverage
+ * markers: lint_meta_test.cpp scans the test sources for them and
+ * fails if any registered rule id lacks a firing demonstration, so a
+ * new rule cannot land without a fixture proving it catches its
+ * defect.
+ */
+
+#ifndef TBD_TESTS_LINT_LINT_TEST_UTIL_H
+#define TBD_TESTS_LINT_LINT_TEST_UTIL_H
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "dist/collective.h"
+#include "dist/topology.h"
+#include "lint/lint.h"
+#include "lint/rule.h"
+#include "models/model_desc.h"
+
+namespace tbd::lint_test {
+
+/** Findings a report holds for one rule id. */
+inline std::size_t
+countRule(const tbd::lint::LintReport &report, const std::string &id)
+{
+    std::size_t n = 0;
+    for (const auto &f : report.findings)
+        n += f.rule == id ? 1 : 0;
+    return n;
+}
+
+/** First finding of a rule, or nullptr. */
+inline const tbd::lint::Finding *
+firstFinding(const tbd::lint::LintReport &report, const std::string &id)
+{
+    for (const auto &f : report.findings) {
+        if (f.rule == id)
+            return &f;
+    }
+    return nullptr;
+}
+
+/** A well-formed single-GEMM fixture model the rules accept. */
+inline tbd::models::ModelDesc
+cleanModel(const std::string &name)
+{
+    tbd::models::ModelDesc m;
+    m.name = name;
+    m.application = "Fixture";
+    m.dominantLayer = "GEMM";
+    m.layerCount = 1;
+    m.frameworks = {tbd::frameworks::FrameworkId::TensorFlow};
+    m.dataset = tbd::models::resnet50().dataset;
+    m.batchSweep = {1};
+    m.describe = [](std::int64_t batch) {
+        tbd::models::Workload w;
+        w.add(tbd::models::gemmOp("fc", batch * 8, 64, 64));
+        return w;
+    };
+    return m;
+}
+
+/**
+ * Registers a (deliberately broken) collective for one test and
+ * restores the process-wide registry on scope exit, so the cached
+ * shipped-suite report and later fixtures never see it.
+ */
+class ScopedCollective
+{
+  public:
+    explicit ScopedCollective(tbd::dist::CollectiveSpec spec)
+        : name_(spec.name)
+    {
+        tbd::dist::registerCollective(std::move(spec));
+    }
+    ~ScopedCollective() { tbd::dist::unregisterCollective(name_); }
+    ScopedCollective(const ScopedCollective &) = delete;
+    ScopedCollective &operator=(const ScopedCollective &) = delete;
+
+  private:
+    std::string name_;
+};
+
+/** Scoped topology registration; see ScopedCollective. */
+class ScopedTopology
+{
+  public:
+    explicit ScopedTopology(tbd::dist::TopologySpec spec)
+        : name_(spec.name)
+    {
+        tbd::dist::registerTopology(std::move(spec));
+    }
+    ~ScopedTopology() { tbd::dist::unregisterTopology(name_); }
+    ScopedTopology(const ScopedTopology &) = delete;
+    ScopedTopology &operator=(const ScopedTopology &) = delete;
+
+  private:
+    std::string name_;
+};
+
+} // namespace tbd::lint_test
+
+/**
+ * Assert a rule fired at least once in `report` AND mark the rule as
+ * fixture-covered for lint_meta_test's source scan. The rule id must
+ * appear as a string literal at the call site for the scan to see it.
+ */
+#define EXPECT_RULE_FIRES(report, id)                                  \
+    EXPECT_GE(tbd::lint_test::countRule((report), (id)), 1u)           \
+        << "expected lint rule '" << (id) << "' to fire"
+
+/**
+ * Coverage marker for rules whose inputs are process-global and
+ * cannot be faked from a fixture context (the live intern table, the
+ * live store key constants): the firing proof is the adjacent test of
+ * the rule's exported pure defect function.
+ */
+#define RULE_FIRES_VIA_PURE_FN(id)                                     \
+    SUCCEED() << "rule '" << (id)                                      \
+              << "' firing proven via its pure defect function"
+
+#endif // TBD_TESTS_LINT_LINT_TEST_UTIL_H

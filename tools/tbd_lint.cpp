@@ -2,8 +2,9 @@
  * @file
  * `tbd_lint` — static analyzer CLI over the model/catalog registry.
  *
- *   tbd_lint run [options]   lint the shipped suite
- *   tbd_lint rules           list the builtin rules
+ *   tbd_lint run [options]      lint the shipped suite
+ *   tbd_lint rules              list the builtin rules
+ *   tbd_lint explain <rule.id>  why a rule exists and how to fix it
  *
  * run options:
  *   --json                 machine-readable report on stdout
@@ -15,16 +16,26 @@
  *                          the file can be pruned)
  *   --suppress <rule.id>   disable a rule for this invocation
  *                          (repeatable)
+ *   --analysis <spec>      deep-analysis families to run at full
+ *                          config-space depth: "all", "none" (core
+ *                          rules only), or a comma list of family
+ *                          names (`tbd_lint rules` tags each rule
+ *                          with its family). Default: every family
+ *                          at shallow depth — the cheap pre-run
+ *                          hook configuration.
  *
  * Exit status: 0 clean, 1 gated findings (or fatal analysis error),
  * 2 usage. Without --baseline the gate counts every finding at or
  * above --severity; CI runs `--severity info --baseline
- * tests/lint/baseline.json` so any *new* finding fails the build.
+ * tests/lint/baseline.json` so any *new* finding fails the build,
+ * plus a deep job with `--analysis all`.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iterator>
+#include <set>
 #include <string>
 
 #include "lint/lint.h"
@@ -44,7 +55,10 @@ usage()
                  "error]\n"
                  "               [--baseline <file>] [--suppress "
                  "<rule.id>]...\n"
-                 "  tbd_lint rules\n");
+                 "               [--analysis all|none|<family>[,"
+                 "<family>]...]\n"
+                 "  tbd_lint rules\n"
+                 "  tbd_lint explain <rule.id>\n");
     return 2;
 }
 
@@ -58,13 +72,91 @@ loadBaseline(const std::string &path)
     return util::json::Value::parse(text);
 }
 
+/**
+ * Parse an --analysis spec into LintOptions. "all" and explicit
+ * family lists switch to Full depth: asking for an analysis by name
+ * means wanting its whole config space, while the default (every
+ * family, Shallow) keeps the pre-run hook cheap.
+ */
+bool
+applyAnalysisSpec(const std::string &spec, lint::LintOptions &options)
+{
+    if (spec == "all") {
+        options.analyses.reset();
+        options.depth = lint::AnalysisDepth::Full;
+        return true;
+    }
+    if (spec == "none") {
+        options.analyses = std::set<std::string>{};
+        return true;
+    }
+    const auto known = lint::RuleRegistry::builtin().analyses();
+    std::set<std::string> picked;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        const std::size_t comma = spec.find(',', start);
+        const std::string family =
+            spec.substr(start, comma == std::string::npos
+                                   ? std::string::npos
+                                   : comma - start);
+        if (family.empty() ||
+            std::find(known.begin(), known.end(), family) ==
+                known.end()) {
+            std::fprintf(stderr, "unknown analysis family '%s'; ",
+                         family.c_str());
+            std::fprintf(stderr, "known:");
+            for (const auto &name : known)
+                std::fprintf(stderr, " %s", name.c_str());
+            std::fprintf(stderr, "\n");
+            return false;
+        }
+        picked.insert(family);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    options.analyses = std::move(picked);
+    options.depth = lint::AnalysisDepth::Full;
+    return true;
+}
+
 int
 cmdRules()
 {
-    for (const auto &rule : lint::RuleRegistry::builtin().rules())
-        std::printf("%-24s %-8s %s\n", rule.id.c_str(),
-                    lint::severityName(rule.severity),
+    for (const auto &rule : lint::RuleRegistry::builtin().rules()) {
+        const std::string family =
+            rule.analysis.empty() ? "core" : rule.analysis;
+        std::printf("%-24s %-8s %-9s %s\n", rule.id.c_str(),
+                    lint::severityName(rule.severity), family.c_str(),
                     rule.description.c_str());
+    }
+    return 0;
+}
+
+int
+cmdExplain(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    const std::string id = argv[2];
+    const lint::Rule *rule = lint::RuleRegistry::builtin().find(id);
+    if (rule == nullptr) {
+        std::fprintf(stderr, "unknown rule '%s' (see `tbd_lint "
+                             "rules`)\n",
+                     id.c_str());
+        return 1;
+    }
+    std::printf("%s\n", rule->id.c_str());
+    std::printf("  severity:  %s\n", lint::severityName(rule->severity));
+    std::printf("  family:    %s\n", rule->analysis.empty()
+                                         ? "core"
+                                         : rule->analysis.c_str());
+    std::printf("  category:  %s\n", rule->category.c_str());
+    std::printf("  checks:    %s\n", rule->description.c_str());
+    if (!rule->fixHint.empty())
+        std::printf("  fix:       %s\n", rule->fixHint.c_str());
+    if (!rule->rationale.empty())
+        std::printf("  rationale: %s\n", rule->rationale.c_str());
     return 0;
 }
 
@@ -89,6 +181,9 @@ cmdRun(int argc, char **argv)
             baselinePath = argv[++i];
         } else if (arg == "--suppress" && i + 1 < argc) {
             options.disabledRules.insert(argv[++i]);
+        } else if (arg == "--analysis" && i + 1 < argc) {
+            if (!applyAnalysisSpec(argv[++i], options))
+                return usage();
         } else {
             return usage();
         }
@@ -98,7 +193,8 @@ cmdRun(int argc, char **argv)
 
     if (json)
         std::printf("%s\n", report.toJson().dump(2).c_str());
-    else if (!report.findings.empty())
+    else if (!report.findings.empty() ||
+             report.deprecatedSuppressions != 0)
         std::printf("%s", report.summary().c_str());
 
     if (!baselinePath.empty()) {
@@ -156,6 +252,8 @@ main(int argc, char **argv)
             return cmdRun(argc, argv);
         if (cmd == "rules")
             return cmdRules();
+        if (cmd == "explain")
+            return cmdExplain(argc, argv);
     } catch (const util::FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
